@@ -1,0 +1,92 @@
+//===- bench/bench_compile_time.cpp - Section 6.4 compile time ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6.4 compile-time experiment, transposed to our substrate:
+/// the paper replaced InstCombine with the Alive-generated subset (about
+/// a third of the optimizations) and measured ~7% faster compilation
+/// because fewer rewrites run. We optimize the same generated workload
+/// with (a) the full verified pass and (b) a one-third subset, and report
+/// wall-clock per configuration plus firing counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "liteir/IRGen.h"
+#include "rewrite/PassDriver.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace alive;
+using namespace alive::lite;
+using namespace alive::rewrite;
+
+namespace {
+
+struct RunResult {
+  double Seconds;
+  uint64_t Firings;
+  uint64_t Attempts;
+};
+
+RunResult optimizeWorkload(const Pass &P, unsigned NumFunctions) {
+  PassStats Total;
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned Seed = 0; Seed != NumFunctions; ++Seed) {
+    auto F = generateFunction(Seed);
+    Total.merge(P.run(*F));
+  }
+  double Sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return {Sec, Total.TotalFirings, Total.MatchAttempts};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned NumFunctions = argc > 1 ? std::atoi(argv[1]) : 1500;
+
+  auto Transforms = corpus::parseCorrectCorpus();
+  std::vector<const ir::Transform *> Full, Third;
+  for (size_t I = 0; I != Transforms.size(); ++I) {
+    Full.push_back(Transforms[I].get());
+    if (I % 3 == 0)
+      Third.push_back(Transforms[I].get());
+  }
+
+  Pass FullPass(Full);
+  Pass ThirdPass(Third);
+
+  std::printf("Section 6.4 (compile time): optimizing %u generated "
+              "functions\n\n",
+              NumFunctions);
+  // Warm up both configurations, then measure.
+  optimizeWorkload(FullPass, NumFunctions / 4 + 1);
+  optimizeWorkload(ThirdPass, NumFunctions / 4 + 1);
+  RunResult RF = optimizeWorkload(FullPass, NumFunctions);
+  RunResult RT = optimizeWorkload(ThirdPass, NumFunctions);
+
+  std::printf("%-28s %10s %12s %16s\n", "configuration", "time (s)",
+              "firings", "match attempts");
+  std::printf("%-28s %10.2f %12llu %16llu\n", "full pass", RF.Seconds,
+              static_cast<unsigned long long>(RF.Firings),
+              static_cast<unsigned long long>(RF.Attempts));
+  std::printf("%-28s %10.2f %12llu %16llu\n", "one-third subset (paper's)",
+              RT.Seconds, static_cast<unsigned long long>(RT.Firings),
+              static_cast<unsigned long long>(RT.Attempts));
+  std::printf(
+      "\nmatch-attempt reduction: %.0f%% — the mechanism behind the "
+      "paper's ~7%% faster\ncompilation (LLVM+Alive ran a third of "
+      "InstCombine). Wall-clock here can go\neither way: the subset "
+      "normalizes less, so later sweeps rescan more residual\n"
+      "instructions (wall-clock delta: %+.0f%%).\n",
+      100.0 * (static_cast<double>(RF.Attempts) - RT.Attempts) /
+          RF.Attempts,
+      100.0 * (RT.Seconds - RF.Seconds) / RF.Seconds);
+  return 0;
+}

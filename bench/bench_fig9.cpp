@@ -1,0 +1,76 @@
+//===- bench/bench_fig9.cpp - Figure 9 firing-count reproduction --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 9: runs the optimizer pass built from every
+/// verified corpus transformation over a large randomly generated
+/// workload (the stand-in for the LLVM nightly suite + SPEC) and prints
+/// the per-optimization invocation counts sorted descending. The paper
+/// observed ~87,000 firings with the top ten optimizations covering
+/// about 70% of all invocations and a long tail of rarely firing ones;
+/// the same skew must appear here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "liteir/IRGen.h"
+#include "rewrite/PassDriver.h"
+
+#include <cstdio>
+
+using namespace alive;
+using namespace alive::lite;
+using namespace alive::rewrite;
+
+int main(int argc, char **argv) {
+  unsigned NumFunctions = argc > 1 ? std::atoi(argv[1]) : 2000;
+
+  auto Transforms = corpus::parseCorrectCorpus();
+  std::vector<const ir::Transform *> Ptrs;
+  for (const auto &T : Transforms)
+    Ptrs.push_back(T.get());
+  Pass P(Ptrs);
+
+  std::printf("Figure 9: optimization invocation counts over %u generated "
+              "functions\n(%zu verified rewrite rules in the pass)\n\n",
+              NumFunctions, P.numRules());
+
+  PassStats Total;
+  IRGenConfig Cfg;
+  for (unsigned Seed = 0; Seed != NumFunctions; ++Seed) {
+    auto F = generateFunction(Seed, Cfg);
+    Total.merge(P.run(*F));
+  }
+
+  auto Sorted = Total.sortedFirings();
+  std::printf("total invocations: %llu across %zu distinct optimizations\n\n",
+              static_cast<unsigned long long>(Total.TotalFirings),
+              Sorted.size());
+
+  uint64_t Top10 = 0;
+  for (size_t I = 0; I != Sorted.size() && I < 10; ++I)
+    Top10 += Sorted[I].second;
+
+  std::printf("%-6s %-36s %10s %8s\n", "rank", "optimization", "count",
+              "cum %");
+  uint64_t Cum = 0;
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    Cum += Sorted[I].second;
+    // Print the head in full and then every 10th entry of the tail.
+    if (I < 15 || I % 10 == 0 || I + 1 == Sorted.size())
+      std::printf("%-6zu %-36s %10llu %7.1f%%\n", I + 1,
+                  Sorted[I].first.c_str(),
+                  static_cast<unsigned long long>(Sorted[I].second),
+                  100.0 * Cum / Total.TotalFirings);
+  }
+
+  std::printf("\ntop-10 share: %.1f%% (paper: ~70%%)\n",
+              100.0 * Top10 / Total.TotalFirings);
+  std::printf("constant folds: %llu, dead instructions removed: %llu\n",
+              static_cast<unsigned long long>(Total.Folded),
+              static_cast<unsigned long long>(Total.DeadRemoved));
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- bench/bench_typing.cpp - type enumeration (Section 3.2) ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares the two feasible-type enumerators: the native backtracking
+/// propagator and the paper's SMT model-enumeration technique
+/// (Section 3.2, iteratively blocking models until unsat).
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "typing/TypeConstraints.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alive;
+using namespace alive::typing;
+
+namespace {
+
+struct NamedTransform {
+  const char *Name;
+  const char *Text;
+};
+
+const NamedTransform Cases[] = {
+    {"monomorphic", "%1 = add i8 %x, 3\n=>\n%1 = add %x, 3\n"},
+    {"one_class", "%1 = xor %x, -1\n%2 = add %1, C\n=>\n"
+                  "%2 = sub C-1, %x\n"},
+    {"ext_chain", "%a = zext %x\n%b = zext %a\n=>\n%b = zext %x\n"},
+    {"memory", "%p = alloca i8, 4\nstore %v, %p\n%r = load %p\n=>\n"
+               "store %v, %p\n%r = %v\n"},
+    {"two_classes", "%a = and %x, C1\n%c = icmp eq %a, C1\n"
+                    "%r = select %c, %y, %z\n=>\n"
+                    "%a2 = and %x, C1\n%c = icmp eq %a2, C1\n"
+                    "%r = select %c, %y, %z\n"},
+};
+
+void runEnum(benchmark::State &State, const char *Text, bool UseZ3,
+             unsigned NumWidths) {
+  auto P = parser::parseTransform(Text);
+  if (!P.ok()) {
+    State.SkipWithError(P.message().c_str());
+    return;
+  }
+  auto Sys = TypeConstraintSystem::fromTransform(*P.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths.clear();
+  for (unsigned W = 1; W <= NumWidths; ++W)
+    Cfg.Widths.push_back(W * 4);
+  Cfg.MaxAssignments = 4096;
+  size_t Count = 0;
+  for (auto _ : State) {
+    auto R = UseZ3 ? enumerateTypesZ3(Sys, Cfg)
+                   : enumerateTypesNative(Sys, Cfg);
+    if (!R.ok()) {
+      State.SkipWithError(R.message().c_str());
+      return;
+    }
+    Count = R.get().size();
+    benchmark::DoNotOptimize(Count);
+  }
+  State.counters["assignments"] = static_cast<double>(Count);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const NamedTransform &C : Cases) {
+    for (unsigned NumWidths : {4u, 8u, 16u}) {
+      std::string Base = std::string("typing/") + C.Name + "/widths:" +
+                         std::to_string(NumWidths);
+      benchmark::RegisterBenchmark(
+          (Base + "/native").c_str(),
+          [&C, NumWidths](benchmark::State &S) {
+            runEnum(S, C.Text, /*UseZ3=*/false, NumWidths);
+          });
+      benchmark::RegisterBenchmark(
+          (Base + "/z3").c_str(), [&C, NumWidths](benchmark::State &S) {
+            runEnum(S, C.Text, /*UseZ3=*/true, NumWidths);
+          });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/bench_verify.cpp - verification latency (Section 6.1) ------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures end-to-end verification latency per transformation class and
+/// per SMT backend (Section 6.1 reports "a few seconds" per transform;
+/// our per-query formulas are smaller because the test widths are 4/8).
+/// Uses google-benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+struct NamedTransform {
+  const char *Name;
+  const char *Text;
+};
+
+const NamedTransform Cases[] = {
+    {"bitwise", "%a = and %x, C1\n%r = and %a, C2\n=>\n"
+                "%r = and %x, C1 & C2\n"},
+    {"arith_nsw", "%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n"
+                  "%2 = true\n"},
+    {"shift", "%s = shl nsw %x, C\n%r = ashr %s, C\n=>\n%r = %x\n"},
+    {"muldiv", "Pre: isPowerOf2(C)\n%r = udiv %x, C\n=>\n"
+               "%r = lshr %x, log2(C)\n"},
+    {"select", "%c = icmp ne %x, 0\n%r = select %c, %x, 0\n=>\n%r = %x\n"},
+    {"memory", "store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v\n"},
+    {"bug_pr21245", "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n"
+                    "%r = sdiv %s, C2\n=>\n%r = sdiv %X, C2/(1<<C1)\n"},
+};
+
+void runVerify(benchmark::State &State, const char *Text,
+               BackendKind Backend, std::vector<unsigned> Widths) {
+  auto P = parser::parseTransform(Text);
+  if (!P.ok()) {
+    State.SkipWithError(P.message().c_str());
+    return;
+  }
+  VerifyConfig Cfg;
+  Cfg.Backend = Backend;
+  Cfg.Types.Widths = std::move(Widths);
+  Cfg.Types.MaxAssignments = 8;
+  unsigned Queries = 0;
+  for (auto _ : State) {
+    VerifyResult R = verify(*P.get(), Cfg);
+    benchmark::DoNotOptimize(R.V);
+    Queries = R.NumQueries;
+  }
+  State.counters["smt_queries"] = Queries;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const NamedTransform &C : Cases) {
+    for (auto [BName, B] :
+         {std::pair{"hybrid", BackendKind::Hybrid},
+          std::pair{"z3", BackendKind::Z3},
+          std::pair{"bitblast", BackendKind::BitBlast}}) {
+      std::string Name =
+          std::string("verify/") + C.Name + "/" + BName + "/w4_8";
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [&C, B = B](benchmark::State &S) {
+            runVerify(S, C.Text, B, {4, 8});
+          });
+    }
+    // Wider types through the hybrid backend only (Section 6.1's slow
+    // cases come from wide multiplications and divisions).
+    std::string Wide = std::string("verify/") + C.Name + "/hybrid/w16_32";
+    benchmark::RegisterBenchmark(Wide.c_str(),
+                                 [&C](benchmark::State &S) {
+                                   runVerify(S, C.Text, BackendKind::Hybrid,
+                                             {16, 32});
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/attr_infer_demo.cpp - Section 3.4 attribute inference --------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the Figure 6 algorithm on concrete transformations: inferring the
+/// strongest target-side nsw/nuw/exact placement (so later passes keep
+/// exploiting undefined behavior) and the weakest source-side requirement.
+/// The paper observed LLVM developers dropping attributes out of caution;
+/// this tool computes the optimum automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+
+using namespace alive;
+using namespace alive::verifier;
+
+static std::string flagsToString(unsigned Flags) {
+  std::string S;
+  if (Flags & ir::AttrNSW)
+    S += " nsw";
+  if (Flags & ir::AttrNUW)
+    S += " nuw";
+  if (Flags & ir::AttrExact)
+    S += " exact";
+  return S.empty() ? " (none)" : S;
+}
+
+static void demo(const char *Title, const char *Text) {
+  std::printf("=== %s ===\n%s", Title, Text);
+  auto P = parser::parseTransform(Text);
+  if (!P.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", P.message().c_str());
+    return;
+  }
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 4;
+  AttrInferenceResult R = inferAttributes(*P.get(), Cfg);
+  if (!R.Feasible) {
+    std::printf("-> no attribute assignment makes this correct: %s\n\n",
+                R.Message.c_str());
+    return;
+  }
+  std::printf("-> weakest source requirement:\n");
+  for (const auto &[Name, Flags] : R.SrcFlags)
+    std::printf("     %s:%s\n", Name.c_str(), flagsToString(Flags).c_str());
+  std::printf("-> strongest target placement:\n");
+  for (const auto &[Name, Flags] : R.TgtFlags)
+    std::printf("     %s:%s\n", Name.c_str(), flagsToString(Flags).c_str());
+  std::printf("   strengthens postcondition: %s, weakens precondition: %s\n"
+              "   (%u solver queries)\n\n",
+              R.strengthensPostcondition(*P.get()) ? "yes" : "no",
+              R.weakensPrecondition(*P.get()) ? "yes" : "no", R.NumQueries);
+}
+
+int main() {
+  // The developer wrote no flags on the target shl; inference shows both
+  // nsw and nuw can be added because the source mul guarantees them.
+  demo("mul to shl keeps both wrap flags",
+       "%r = mul nsw nuw %x, 2\n=>\n%r = shl %x, 1\n");
+
+  // The nsw on the source add is unnecessary: negation by xor/add is
+  // correct for every input.
+  demo("negation does not need nsw",
+       "%a = xor %x, -1\n%r = add nsw %a, 1\n=>\n%r = sub 0, %x\n");
+
+  // The paper's Section 3.1.3 example: the ashr of a nsw shl; the target
+  // shl keeps nsw.
+  demo("shift narrowing",
+       "Pre: C1 u>= C2\n%0 = shl nsw %a, C1\n%1 = ashr %0, C2\n=>\n"
+       "%1 = shl %a, C1-C2\n");
+
+  // A transformation that is wrong under every attribute assignment.
+  demo("unfixable", "%r = add %x, 1\n=>\n%r = add %x, 2\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/optimize_ir.cpp - run the verified optimizer on IR -----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end use of the whole stack as a compiler pass (Sections 4 and
+/// 6.4): build an InstCombine-style pass from the verified corpus, apply
+/// it to a lite-IR function, print before/after, and double-check by
+/// execution that the optimized function refines the original.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "liteir/Folder.h"
+#include "liteir/Interp.h"
+#include "rewrite/PassDriver.h"
+
+#include <cstdio>
+
+using namespace alive;
+using namespace alive::lite;
+
+/// Builds the demo function:
+///   t0 = x ^ -1        ; ~x
+///   t1 = t0 + 7        ; matches the intro pattern -> 6 - x
+///   t2 = y * 8         ; -> y << 3
+///   t3 = t1 + 0        ; -> t1
+///   t4 = t3 u% 16      ; -> t3 & 15
+///   r  = t4 ^ t2
+static std::unique_ptr<Function> buildDemo() {
+  auto F = std::make_unique<Function>("demo");
+  Argument *X = F->addArgument(16, "x");
+  Argument *Y = F->addArgument(16, "y");
+  auto *T0 = F->createBinOp(Opcode::Xor, X,
+                            F->getConstant(APInt::getAllOnes(16)));
+  auto *T1 = F->createBinOp(Opcode::Add, T0, F->getConstant(APInt(16, 7)));
+  auto *T2 = F->createBinOp(Opcode::Mul, Y, F->getConstant(APInt(16, 8)));
+  auto *T3 = F->createBinOp(Opcode::Add, T1, F->getConstant(APInt(16, 0)));
+  auto *T4 = F->createBinOp(Opcode::URem, T3, F->getConstant(APInt(16, 16)));
+  F->setReturnValue(F->createBinOp(Opcode::Xor, T4, T2));
+  return F;
+}
+
+int main() {
+  // The pass contains every verified, canonical-direction transformation
+  // of the corpus — the paper's "replace InstCombine with Alive output".
+  auto Transforms = corpus::parseCorrectCorpus();
+  std::vector<const ir::Transform *> Rules;
+  for (const auto &T : Transforms)
+    Rules.push_back(T.get());
+  rewrite::Pass P(Rules);
+  std::printf("pass built from %zu verified transformations\n\n",
+              P.numRules());
+
+  auto Original = buildDemo();
+  auto Optimized = buildDemo();
+  std::printf("before:\n%s\n", Original->str().c_str());
+
+  rewrite::PassStats S = P.run(*Optimized);
+  std::printf("after (%llu rewrites, %llu folds):\n%s\n",
+              static_cast<unsigned long long>(S.TotalFirings),
+              static_cast<unsigned long long>(S.Folded),
+              Optimized->str().c_str());
+  for (const auto &[Name, N] : S.sortedFirings())
+    std::printf("  fired %-28s x%llu\n", Name.c_str(),
+                static_cast<unsigned long long>(N));
+
+  // Differential check: the optimized function must refine the original
+  // on random and corner-case inputs.
+  Status R = checkRefinementByExecution(*Original, *Optimized, 500, 42);
+  std::printf("\nrefinement by execution (500 trials): %s\n",
+              R.ok() ? "OK" : R.message().c_str());
+  return R.ok() ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+; A lite-IR function exercising several verified rewrites.
+define i16 @demo(i16 %x, i16 %y) {
+  %t0 = xor i16 %x, -1
+  %t1 = add i16 %t0, 7
+  %t2 = mul i16 %y, 8
+  %t3 = add i16 %t1, 0
+  %t4 = urem i16 %t3, 16
+  %t5 = xor i16 %t4, %t2
+  ret i16 %t5
+}

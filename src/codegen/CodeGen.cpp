@@ -1,0 +1,721 @@
+//===- codegen/CodeGen.cpp - C++ emission (Figure 7) -------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include <map>
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::codegen;
+
+namespace {
+
+/// Maps Alive names (%x, C1) to valid C++ identifiers.
+std::string cxxName(const std::string &AliveName) {
+  std::string Out;
+  for (char C : AliveName) {
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+      Out += C;
+    else if (C != '%')
+      Out += '_';
+  }
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out = "v" + Out;
+  return Out;
+}
+
+const char *matcherName(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return "m_Add";
+  case BinOpcode::Sub:
+    return "m_Sub";
+  case BinOpcode::Mul:
+    return "m_Mul";
+  case BinOpcode::UDiv:
+    return "m_UDiv";
+  case BinOpcode::SDiv:
+    return "m_SDiv";
+  case BinOpcode::URem:
+    return "m_URem";
+  case BinOpcode::SRem:
+    return "m_SRem";
+  case BinOpcode::Shl:
+    return "m_Shl";
+  case BinOpcode::LShr:
+    return "m_LShr";
+  case BinOpcode::AShr:
+    return "m_AShr";
+  case BinOpcode::And:
+    return "m_And";
+  case BinOpcode::Or:
+    return "m_Or";
+  case BinOpcode::Xor:
+    return "m_Xor";
+  }
+  return "?";
+}
+
+const char *liteOpcodeExpr(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return "Opcode::Add";
+  case BinOpcode::Sub:
+    return "Opcode::Sub";
+  case BinOpcode::Mul:
+    return "Opcode::Mul";
+  case BinOpcode::UDiv:
+    return "Opcode::UDiv";
+  case BinOpcode::SDiv:
+    return "Opcode::SDiv";
+  case BinOpcode::URem:
+    return "Opcode::URem";
+  case BinOpcode::SRem:
+    return "Opcode::SRem";
+  case BinOpcode::Shl:
+    return "Opcode::Shl";
+  case BinOpcode::LShr:
+    return "Opcode::LShr";
+  case BinOpcode::AShr:
+    return "Opcode::AShr";
+  case BinOpcode::And:
+    return "Opcode::And";
+  case BinOpcode::Or:
+    return "Opcode::Or";
+  case BinOpcode::Xor:
+    return "Opcode::Xor";
+  }
+  return "?";
+}
+
+std::string flagsExpr(unsigned Flags) {
+  if (!Flags)
+    return "LFNone";
+  std::string S;
+  auto Add = [&](const char *F) {
+    if (!S.empty())
+      S += " | ";
+    S += F;
+  };
+  if (Flags & AttrNSW)
+    Add("LFNSW");
+  if (Flags & AttrNUW)
+    Add("LFNUW");
+  if (Flags & AttrExact)
+    Add("LFExact");
+  return S;
+}
+
+const char *predExpr(ICmpCond C) {
+  switch (C) {
+  case ICmpCond::EQ:
+    return "Pred::EQ";
+  case ICmpCond::NE:
+    return "Pred::NE";
+  case ICmpCond::UGT:
+    return "Pred::UGT";
+  case ICmpCond::UGE:
+    return "Pred::UGE";
+  case ICmpCond::ULT:
+    return "Pred::ULT";
+  case ICmpCond::ULE:
+    return "Pred::ULE";
+  case ICmpCond::SGT:
+    return "Pred::SGT";
+  case ICmpCond::SGE:
+    return "Pred::SGE";
+  case ICmpCond::SLT:
+    return "Pred::SLT";
+  case ICmpCond::SLE:
+    return "Pred::SLE";
+  }
+  return "?";
+}
+
+class Emitter {
+public:
+  explicit Emitter(const Transform &T) : T(T) {}
+
+  Result<std::string> run() {
+    // Reject constructs outside the integer fragment.
+    for (const Instr *I : T.src())
+      if (!supported(I))
+        return Result<std::string>::error(
+            "code generation does not support instruction: " + I->str());
+    for (const Instr *I : T.tgt())
+      if (!supported(I))
+        return Result<std::string>::error(
+            "code generation does not support instruction: " + I->str());
+
+    // Declarations.
+    declare();
+
+    // Matching conditions: root first, then temporaries (Section 4:
+    // matching begins at the root and recurses until all non-inputs are
+    // bound; Alive matches each instruction in a separate clause).
+    std::vector<std::string> Conds;
+    Conds.push_back(matchClause(T.getSrcRoot(), "I"));
+    for (auto It = T.src().rbegin(); It != T.src().rend(); ++It)
+      if (*It != T.getSrcRoot())
+        Conds.push_back(matchClause(*It, "v_" + cxxName((*It)->getName())));
+    if (!EqChecks.empty())
+      Conds.insert(Conds.end(), EqChecks.begin(), EqChecks.end());
+    if (!T.getPrecondition().isTrue()) {
+      auto P = precond(T.getPrecondition());
+      if (!P.ok())
+        return P;
+      Conds.push_back(P.get());
+    }
+
+    std::string Out = Decls;
+    Out += "if (";
+    for (size_t I = 0; I != Conds.size(); ++I) {
+      if (I)
+        Out += " &&\n    ";
+      Out += Conds[I];
+    }
+    Out += ") {\n";
+
+    // Target materialization.
+    auto Body = target();
+    if (!Body.ok())
+      return Body;
+    Out += Body.get();
+    Out += "  return true;\n}\nreturn false;\n";
+    return Out;
+  }
+
+private:
+  bool supported(const Instr *I) const {
+    switch (I->getKind()) {
+    case ValueKind::BinOp:
+    case ValueKind::ICmp:
+    case ValueKind::Select:
+    case ValueKind::Copy:
+      return true;
+    case ValueKind::Conv: {
+      auto Op = cast<Conv>(I)->getOpcode();
+      return Op == ConvOpcode::ZExt || Op == ConvOpcode::SExt ||
+             Op == ConvOpcode::Trunc;
+    }
+    default:
+      return false;
+    }
+  }
+
+  void declare() {
+    std::set<std::string> Declared;
+    auto DeclareVal = [&](const Value *V) {
+      if (isa<InputVar>(V)) {
+        std::string N = cxxName(V->getName());
+        if (Declared.insert(N).second)
+          Decls += "LValue *" + N + " = nullptr;\n";
+      } else if (isa<ConstantSymbol>(V)) {
+        std::string N = cxxName(V->getName());
+        if (Declared.insert(N).second)
+          Decls += "ConstantInt *" + N + " = nullptr;\n";
+      } else if (isa<ConstExprValue>(V)) {
+        std::string N = literalName(V);
+        if (Declared.insert(N).second)
+          Decls += "ConstantInt *" + N + " = nullptr;\n";
+      }
+    };
+    for (const Instr *I : T.src()) {
+      if (I != T.getSrcRoot()) {
+        std::string N = "v_" + cxxName(I->getName());
+        if (Declared.insert(N).second)
+          Decls += "LValue *" + N + " = nullptr;\n";
+      }
+      for (const Value *Op : I->operands())
+        DeclareVal(Op);
+      if (const auto *C = dyn_cast<ICmp>(I)) {
+        (void)C;
+        std::string N = "p_" + cxxName(I->getName());
+        if (Declared.insert(N).second)
+          Decls += "Pred " + N + " = Pred::EQ;\n";
+      }
+    }
+  }
+
+  std::string literalName(const Value *V) {
+    auto It = LiteralNames.find(V);
+    if (It != LiteralNames.end())
+      return It->second;
+    std::string N = "lit" + std::to_string(LiteralNames.size());
+    LiteralNames.emplace(V, N);
+    return N;
+  }
+
+  /// A pattern for one operand of a matched instruction.
+  std::string operandPattern(const Value *Op) {
+    if (isa<InputVar>(Op)) {
+      std::string N = cxxName(Op->getName());
+      if (BoundOnce.insert(N).second)
+        return "m_Value(" + N + ")";
+      return "m_Specific(" + N + ")";
+    }
+    if (isa<ConstantSymbol>(Op)) {
+      std::string N = cxxName(Op->getName());
+      if (BoundOnce.insert(N).second)
+        return "m_ConstantInt(" + N + ")";
+      // Re-occurrence: bind a fresh name and require equality.
+      std::string N2 = N + "_again" + std::to_string(EqChecks.size());
+      Decls += "ConstantInt *" + N2 + " = nullptr;\n";
+      EqChecks.push_back(N2 + "->getValue() == " + N + "->getValue()");
+      return "m_ConstantInt(" + N2 + ")";
+    }
+    if (const auto *CE = dyn_cast<ConstExprValue>(Op)) {
+      std::string N = literalName(Op);
+      // Bind, then compare against the evaluated expression at the bound
+      // constant's width.
+      EqChecks.push_back(N + "->getValue() == (" +
+                         constExpr(CE->getExpr(), N + "->getWidth()") + ")");
+      return "m_ConstantInt(" + N + ")";
+    }
+    if (isa<UndefValue>(Op))
+      return "m_Undef()";
+    // A source temporary: bind as a value here; matched by its own clause.
+    return BoundOnce.insert("v_" + cxxName(Op->getName())).second
+               ? "m_Value(v_" + cxxName(Op->getName()) + ")"
+               : "m_Specific(v_" + cxxName(Op->getName()) + ")";
+  }
+
+  std::string matchClause(const Instr *I, const std::string &Subject) {
+    switch (I->getKind()) {
+    case ValueKind::BinOp: {
+      const auto *B = cast<BinOp>(I);
+      std::string S = "match(" + Subject + ", " + matcherName(B->getOpcode()) +
+                      "(" + operandPattern(B->getLHS()) + ", " +
+                      operandPattern(B->getRHS());
+      if (B->getFlags())
+        S += ", " + flagsExpr(B->getFlags());
+      return S + "))";
+    }
+    case ValueKind::ICmp: {
+      const auto *C = cast<ICmp>(I);
+      std::string PN = "p_" + cxxName(I->getName());
+      std::string S = "match(" + Subject + ", m_ICmp(" + PN + ", " +
+                      operandPattern(C->getLHS()) + ", " +
+                      operandPattern(C->getRHS()) + "))";
+      return S + " && " + PN + " == " + predExpr(C->getCond());
+    }
+    case ValueKind::Select: {
+      const auto *S = cast<Select>(I);
+      return "match(" + Subject + ", m_Select(" +
+             operandPattern(S->getCondition()) + ", " +
+             operandPattern(S->getTrueValue()) + ", " +
+             operandPattern(S->getFalseValue()) + "))";
+    }
+    case ValueKind::Conv: {
+      const auto *C = cast<Conv>(I);
+      const char *M = C->getOpcode() == ConvOpcode::ZExt   ? "m_ZExt"
+                      : C->getOpcode() == ConvOpcode::SExt ? "m_SExt"
+                                                           : "m_Trunc";
+      return "match(" + Subject + ", " + std::string(M) + "(" +
+             operandPattern(C->getSrc()) + "))";
+    }
+    case ValueKind::Copy:
+      return "match(" + Subject + ", " +
+             operandPattern(cast<Copy>(I)->getSrc()) + ")";
+    default:
+      return "false /* unsupported */";
+    }
+  }
+
+  /// Renders a constant expression as C++ over APInt values. \p WidthExpr
+  /// is a C++ expression for the context bit width.
+  std::string constExpr(const ConstExpr *E, const std::string &WidthExpr) {
+    using CE = ConstExpr;
+    switch (E->getKind()) {
+    case CE::Kind::Literal:
+      return "APInt::getSigned(" + WidthExpr + ", " +
+             std::to_string(E->getLiteral()) + ")";
+    case CE::Kind::SymRef:
+      return cxxName(E->getSymName()) + "->getValue().zextOrTrunc(" +
+             WidthExpr + ")";
+    case CE::Kind::Unary:
+      return constExpr(E->getArg(0), WidthExpr) +
+             (E->getUnaryOp() == CE::UnaryOp::Neg ? ".neg()" : ".notOp()");
+    case CE::Kind::Binary: {
+      std::string A = constExpr(E->getArg(0), WidthExpr);
+      std::string B = constExpr(E->getArg(1), WidthExpr);
+      const char *M = nullptr;
+      switch (E->getBinaryOp()) {
+      case CE::BinaryOp::Add:
+        M = "add";
+        break;
+      case CE::BinaryOp::Sub:
+        M = "sub";
+        break;
+      case CE::BinaryOp::Mul:
+        M = "mul";
+        break;
+      case CE::BinaryOp::SDiv:
+        M = "sdiv";
+        break;
+      case CE::BinaryOp::UDiv:
+        M = "udiv";
+        break;
+      case CE::BinaryOp::SRem:
+        M = "srem";
+        break;
+      case CE::BinaryOp::URem:
+        M = "urem";
+        break;
+      case CE::BinaryOp::Shl:
+        M = "shl";
+        break;
+      case CE::BinaryOp::LShr:
+        M = "lshr";
+        break;
+      case CE::BinaryOp::AShr:
+        M = "ashr";
+        break;
+      case CE::BinaryOp::And:
+        M = "andOp";
+        break;
+      case CE::BinaryOp::Or:
+        M = "orOp";
+        break;
+      case CE::BinaryOp::Xor:
+        M = "xorOp";
+        break;
+      }
+      return A + "." + M + "(" + B + ")";
+    }
+    case CE::Kind::Call: {
+      if (E->getBuiltin() == CE::Builtin::Width && E->getValueArg())
+        return "APInt(" + WidthExpr + ", " +
+               valueRef(E->getValueArg()) + "->getWidth())";
+      std::string A = constExpr(E->getArg(0), WidthExpr);
+      switch (E->getBuiltin()) {
+      case CE::Builtin::Log2:
+        return "APInt(" + WidthExpr + ", " + A + ".logBase2())";
+      case CE::Builtin::Abs:
+        return A + ".abs()";
+      case CE::Builtin::UMax:
+        return A + ".umax(" + constExpr(E->getArg(1), WidthExpr) + ")";
+      case CE::Builtin::UMin:
+        return A + ".umin(" + constExpr(E->getArg(1), WidthExpr) + ")";
+      case CE::Builtin::SMax:
+        return A + ".smax(" + constExpr(E->getArg(1), WidthExpr) + ")";
+      case CE::Builtin::SMin:
+        return A + ".smin(" + constExpr(E->getArg(1), WidthExpr) + ")";
+      default:
+        return A;
+      }
+    }
+    }
+    return "/*bad-constexpr*/ APInt()";
+  }
+
+  /// C++ reference to a bound pattern value.
+  std::string valueRef(const Value *V) const {
+    if (isa<InputVar>(V) || isa<ConstantSymbol>(V))
+      return cxxName(V->getName());
+    if (isa<Instr>(V)) {
+      const Instr *I = cast<Instr>(V);
+      if (I == T.getSrcRoot())
+        return "I";
+      // Target instruction or source temporary.
+      for (const Instr *S : T.src())
+        if (S == I)
+          return "v_" + cxxName(I->getName());
+      return "n_" + cxxName(I->getName());
+    }
+    auto It = LiteralNames.find(V);
+    if (It != LiteralNames.end())
+      return It->second;
+    return "/*unknown*/ nullptr";
+  }
+
+  Result<std::string> precond(const Precond &P) {
+    switch (P.getKind()) {
+    case Precond::Kind::True:
+      return std::string("true");
+    case Precond::Kind::Not: {
+      auto A = precond(*P.getChild(0));
+      if (!A.ok())
+        return A;
+      return "!(" + A.get() + ")";
+    }
+    case Precond::Kind::And:
+    case Precond::Kind::Or: {
+      std::string S = "(";
+      for (unsigned I = 0; I != P.getNumChildren(); ++I) {
+        auto A = precond(*P.getChild(I));
+        if (!A.ok())
+          return A;
+        if (I)
+          S += P.getKind() == Precond::Kind::And ? " && " : " || ";
+        S += A.get();
+      }
+      return S + ")";
+    }
+    case Precond::Kind::Cmp: {
+      // Width of the first referenced constant.
+      std::vector<std::string> Syms;
+      P.getCmpLHS()->collectSymRefs(Syms);
+      P.getCmpRHS()->collectSymRefs(Syms);
+      std::string W =
+          Syms.empty() ? "32u" : cxxName(Syms[0]) + "->getWidth()";
+      std::string L = constExpr(P.getCmpLHS(), W);
+      std::string R = constExpr(P.getCmpRHS(), W);
+      switch (P.getCmpOp()) {
+      case Precond::CmpOp::EQ:
+        return "(" + L + ") == (" + R + ")";
+      case Precond::CmpOp::NE:
+        return "(" + L + ") != (" + R + ")";
+      case Precond::CmpOp::ULT:
+        return "(" + L + ").ult(" + R + ")";
+      case Precond::CmpOp::ULE:
+        return "(" + L + ").ule(" + R + ")";
+      case Precond::CmpOp::UGT:
+        return "(" + L + ").ugt(" + R + ")";
+      case Precond::CmpOp::UGE:
+        return "(" + L + ").uge(" + R + ")";
+      case Precond::CmpOp::SLT:
+        return "(" + L + ").slt(" + R + ")";
+      case Precond::CmpOp::SLE:
+        return "(" + L + ").sle(" + R + ")";
+      case Precond::CmpOp::SGT:
+        return "(" + L + ").sgt(" + R + ")";
+      case Precond::CmpOp::SGE:
+        return "(" + L + ").sge(" + R + ")";
+      }
+      return Result<std::string>::error("bad comparison");
+    }
+    case Precond::Kind::Builtin: {
+      const auto &Args = P.getArgs();
+      auto ConstVal = [&](const Value *V) -> std::string {
+        if (isa<ConstantSymbol>(V))
+          return cxxName(V->getName()) + "->getValue()";
+        if (const auto *CE = dyn_cast<ConstExprValue>(V)) {
+          std::string W = "32u";
+          std::vector<std::string> Syms;
+          CE->getExpr()->collectSymRefs(Syms);
+          if (!Syms.empty())
+            W = cxxName(Syms[0]) + "->getWidth()";
+          return constExpr(CE->getExpr(), W);
+        }
+        return "";
+      };
+      switch (P.getPred()) {
+      case PredKind::OneUse:
+        return valueRef(Args[0]) + "->hasOneUse()";
+      case PredKind::IsPowerOf2: {
+        std::string A = ConstVal(Args[0]);
+        if (A.empty())
+          return Result<std::string>::error(
+              "isPowerOf2 on a non-constant requires a dataflow analysis");
+        return "(" + A + ").isPowerOf2()";
+      }
+      case PredKind::IsSignBit: {
+        std::string A = ConstVal(Args[0]);
+        if (A.empty())
+          return Result<std::string>::error("isSignBit on a non-constant");
+        return "(" + A + ").isSignBit()";
+      }
+      case PredKind::IsShiftedMask: {
+        std::string A = ConstVal(Args[0]);
+        if (A.empty())
+          return Result<std::string>::error(
+              "isShiftedMask on a non-constant");
+        return "(" + A + ").isShiftedMask()";
+      }
+      case PredKind::MaskedValueIsZero: {
+        std::string A = ConstVal(Args[0]);
+        std::string B = ConstVal(Args[1]);
+        if (A.empty() || B.empty())
+          return Result<std::string>::error(
+              "MaskedValueIsZero on non-constants requires known-bits");
+        return "(" + A + ").andOp(" + B + ").isZero()";
+      }
+      default: {
+        // WillNotOverflow* on constants.
+        std::string A = ConstVal(Args[0]);
+        std::string B = Args.size() > 1 ? ConstVal(Args[1]) : "";
+        if (A.empty() || (Args.size() > 1 && B.empty()))
+          return Result<std::string>::error(
+              std::string(predKindName(P.getPred())) +
+              " on non-constants requires a dataflow analysis");
+        const char *Method = nullptr;
+        switch (P.getPred()) {
+        case PredKind::WillNotOverflowSignedAdd:
+          Method = "saddOverflow";
+          break;
+        case PredKind::WillNotOverflowUnsignedAdd:
+          Method = "uaddOverflow";
+          break;
+        case PredKind::WillNotOverflowSignedSub:
+          Method = "ssubOverflow";
+          break;
+        case PredKind::WillNotOverflowUnsignedSub:
+          Method = "usubOverflow";
+          break;
+        case PredKind::WillNotOverflowSignedMul:
+          Method = "smulOverflow";
+          break;
+        case PredKind::WillNotOverflowUnsignedMul:
+          Method = "umulOverflow";
+          break;
+        case PredKind::WillNotOverflowSignedShl:
+          Method = "sshlOverflow";
+          break;
+        case PredKind::WillNotOverflowUnsignedShl:
+          Method = "ushlOverflow";
+          break;
+        case PredKind::IsPowerOf2OrZero:
+          return "((" + A + ").isZero() || (" + A + ").isPowerOf2())";
+        case PredKind::CannotBeNegative:
+          return "!(" + A + ").isNegative()";
+        default:
+          return Result<std::string>::error("unsupported predicate");
+        }
+        return "[&]{ bool Ov; (" + A + ")." + Method + "(" + B +
+               ", Ov); return !Ov; }()";
+      }
+      }
+    }
+    }
+    return Result<std::string>::error("bad precondition");
+  }
+
+  Result<std::string> target() {
+    std::string Out;
+    std::string RootRepl;
+    for (const Instr *I : T.tgt()) {
+      std::string N = "n_" + cxxName(I->getName());
+      switch (I->getKind()) {
+      case ValueKind::BinOp: {
+        const auto *B = cast<BinOp>(I);
+        auto L = targetOperand(B->getLHS(), Out, "I->getWidth()");
+        auto R = targetOperand(B->getRHS(), Out, "I->getWidth()");
+        if (!L.ok())
+          return L;
+        if (!R.ok())
+          return R;
+        Out += "  Instruction *" + N + " = F.insertBinOpBefore(I, " +
+               liteOpcodeExpr(B->getOpcode()) + ", " + L.get() + ", " +
+               R.get() + ", " + flagsExpr(B->getFlags()) + ");\n";
+        break;
+      }
+      case ValueKind::ICmp: {
+        const auto *C = cast<ICmp>(I);
+        auto L = targetOperand(C->getLHS(), Out, "I->getWidth()");
+        auto R = targetOperand(C->getRHS(), Out, "I->getWidth()");
+        if (!L.ok())
+          return L;
+        if (!R.ok())
+          return R;
+        Out += "  Instruction *" + N + " = F.insertICmpBefore(I, " +
+               predExpr(C->getCond()) + ", " + L.get() + ", " + R.get() +
+               ");\n";
+        break;
+      }
+      case ValueKind::Select: {
+        const auto *S = cast<Select>(I);
+        auto C = targetOperand(S->getCondition(), Out, "1u");
+        auto TV = targetOperand(S->getTrueValue(), Out, "I->getWidth()");
+        auto FV = targetOperand(S->getFalseValue(), Out, "I->getWidth()");
+        if (!C.ok())
+          return C;
+        if (!TV.ok())
+          return TV;
+        if (!FV.ok())
+          return FV;
+        Out += "  Instruction *" + N + " = F.insertSelectBefore(I, " +
+               C.get() + ", " + TV.get() + ", " + FV.get() + ");\n";
+        break;
+      }
+      case ValueKind::Copy: {
+        auto V = targetOperand(cast<Copy>(I)->getSrc(), Out,
+                               "I->getWidth()");
+        if (!V.ok())
+          return V;
+        Out += "  LValue *" + N + " = " + V.get() + ";\n";
+        break;
+      }
+      default:
+        return Result<std::string>::error(
+            "code generation does not support target instruction: " +
+            I->str());
+      }
+      if (I == T.getTgtRoot())
+        RootRepl = N;
+    }
+    Out += "  I->replaceAllUsesWith(" + RootRepl + ");\n";
+    Out += "  if (F.getReturnValue() == I)\n";
+    Out += "    F.setReturnValue(" + RootRepl + ");\n";
+    return Out;
+  }
+
+  /// C++ expression for one target operand; constants may need a helper
+  /// statement appended to \p Stmts first.
+  Result<std::string> targetOperand(const Value *V, std::string &Stmts,
+                                    const std::string &WidthExpr) {
+    if (isa<InputVar>(V))
+      return cxxName(V->getName());
+    if (isa<ConstantSymbol>(V))
+      return std::string(cxxName(V->getName()));
+    if (const auto *CE = dyn_cast<ConstExprValue>(V)) {
+      std::string Tmp = "c" + std::to_string(TmpCounter++);
+      Stmts += "  APInt " + Tmp + "_val = " +
+               constExpr(CE->getExpr(), WidthExpr) + ";\n";
+      Stmts += "  ConstantInt *" + Tmp + " = F.getConstant(" + Tmp +
+               "_val);\n";
+      return Tmp;
+    }
+    if (isa<UndefValue>(V))
+      return "F.getUndef(" + WidthExpr + ")";
+    const auto *I = cast<Instr>(V);
+    for (const Instr *S : T.src())
+      if (S == I)
+        return S == T.getSrcRoot() ? std::string("I")
+                                   : "v_" + cxxName(I->getName());
+    return "n_" + cxxName(I->getName());
+  }
+
+  const Transform &T;
+  std::string Decls;
+  std::set<std::string> BoundOnce;
+  std::vector<std::string> EqChecks;
+  std::map<const Value *, std::string> LiteralNames;
+  unsigned TmpCounter = 0;
+};
+
+} // namespace
+
+Result<std::string> codegen::emitCpp(const Transform &T) {
+  Emitter E(T);
+  return E.run();
+}
+
+Result<std::string> codegen::emitCppFunction(const Transform &T,
+                                             const std::string &FnName) {
+  auto Body = emitCpp(T);
+  if (!Body.ok())
+    return Body;
+  std::string Out;
+  Out += "// Generated by alive-cpp from transformation: " +
+         (T.Name.empty() ? std::string("<anonymous>") : T.Name) + "\n";
+  Out += "bool " + FnName + "(Function &F, Instruction *I) {\n";
+  // Indent the body by two spaces.
+  std::string Body2;
+  size_t Pos = 0;
+  const std::string &B = Body.get();
+  while (Pos < B.size()) {
+    size_t Eol = B.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = B.size();
+    Body2 += "  " + B.substr(Pos, Eol - Pos) + "\n";
+    Pos = Eol + 1;
+  }
+  Out += Body2 + "}\n";
+  return Out;
+}

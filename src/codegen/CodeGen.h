@@ -1,0 +1,41 @@
+//===- codegen/CodeGen.h - C++ emission (Figure 7) --------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates a verified Alive transformation into C++ (Section 4) against
+/// this repository's lite-IR PatternMatch clone. The emitted function has
+/// the shape of Figure 7: one match() clause per source instruction plus
+/// the precondition, then target materialization and replaceAllUsesWith.
+/// Like the paper's generator, no cleanup of dead instructions is
+/// attempted (a later DCE pass handles it), and each instruction is
+/// matched in a separate clause.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_CODEGEN_CODEGEN_H
+#define ALIVE_CODEGEN_CODEGEN_H
+
+#include "ir/Transform.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace alive {
+namespace codegen {
+
+/// Emits the body of a `bool rule(Function &F, Instruction *I)` routine
+/// applying \p T, or an error when the transformation uses constructs the
+/// generator does not support (memory instructions).
+Result<std::string> emitCpp(const ir::Transform &T);
+
+/// Emits a complete C++ function definition named \p FnName.
+Result<std::string> emitCppFunction(const ir::Transform &T,
+                                    const std::string &FnName);
+
+} // namespace codegen
+} // namespace alive
+
+#endif // ALIVE_CODEGEN_CODEGEN_H

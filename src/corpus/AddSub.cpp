@@ -1,0 +1,153 @@
+//===- corpus/AddSub.cpp - InstCombineAddSub translations -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::addSubEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      {"AddSub", "add-zero", "%r = add %x, 0\n=>\n%r = %x\n", true},
+      {"AddSub", "add-self-to-shl", "%r = add %x, %x\n=>\n%r = shl %x, 1\n",
+       true},
+      {"AddSub", "add-nsw-self-to-shl-nsw",
+       "%r = add nsw %x, %x\n=>\n%r = shl nsw %x, 1\n", true},
+      {"AddSub", "add-nuw-self-to-shl-nuw",
+       "%r = add nuw %x, %x\n=>\n%r = shl nuw %x, 1\n", true},
+      {"AddSub", "xor-not-plus-c",
+       "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n", true},
+      {"AddSub", "not-plus-one-is-neg",
+       "%1 = xor %x, -1\n%2 = add %1, 1\n=>\n%2 = sub 0, %x\n", true},
+      {"AddSub", "add-neg-is-sub",
+       "%n = sub 0, %B\n%r = add %A, %n\n=>\n%r = sub %A, %B\n", true},
+      {"AddSub", "neg-plus-is-sub",
+       "%n = sub 0, %A\n%r = add %n, %B\n=>\n%r = sub %B, %A\n", true},
+      {"AddSub", "add-neg-self",
+       "%n = sub 0, %A\n%r = add %n, %A\n=>\n%r = 0\n", true},
+      {"AddSub", "add-sub-cancel-left",
+       "%s = sub %B, %A\n%r = add %A, %s\n=>\n%r = %B\n", true},
+      {"AddSub", "add-sub-cancel-right",
+       "%s = sub %A, %B\n%r = add %s, %B\n=>\n%r = %A\n", true},
+      {"AddSub", "add-signbit-is-xor",
+       "Pre: isSignBit(C)\n%r = add %x, C\n=>\n%r = xor %x, C\n", true},
+      {"AddSub", "add-const-canon-sub",
+       "%r = add %x, C\n=>\n%r = sub %x, -C\n", true},
+      {"AddSub", "add-masked-no-carry",
+       "Pre: C1 & C2 == 0\n%a = and %x, C1\n%b = and %y, C2\n"
+       "%r = add %a, %b\n=>\n%r = or %a, %b\n",
+       true},
+      {"AddSub", "add-and-or-is-add",
+       "%a = and %A, %B\n%o = or %A, %B\n%r = add %a, %o\n=>\n"
+       "%r = add %A, %B\n",
+       true},
+      {"AddSub", "add-xor-and-twice",
+       "%x1 = xor %A, %B\n%a1 = and %A, %B\n%s = shl %a1, 1\n"
+       "%r = add %x1, %s\n=>\n%r = add %A, %B\n",
+       true},
+      {"AddSub", "sub-zero", "%r = sub %x, 0\n=>\n%r = %x\n", true},
+      {"AddSub", "sub-self", "%r = sub %x, %x\n=>\n%r = 0\n", true},
+      {"AddSub", "sub-zero-lhs-is-neg",
+       "%r = sub 0, %x\n=>\n%r = mul %x, -1\n", true},
+      {"AddSub", "double-negation",
+       "%n = sub 0, %x\n%r = sub 0, %n\n=>\n%r = %x\n", true},
+      {"AddSub", "sub-allones-is-not",
+       "%r = sub -1, %x\n=>\n%r = xor %x, -1\n", true},
+      {"AddSub", "sub-const-not",
+       "%n = xor %x, -1\n%r = sub C, %n\n=>\n%r = add %x, C+1\n", true},
+      {"AddSub", "sub-add-cancel",
+       "%s = add %A, %B\n%r = sub %s, %A\n=>\n%r = %B\n", true},
+      {"AddSub", "sub-of-neg-is-add",
+       "%n = sub 0, %B\n%r = sub %A, %n\n=>\n%r = add %A, %B\n", true},
+      {"AddSub", "sub-const-is-add",
+       "%r = sub %x, C\n=>\n%r = add %x, -C\n", true},
+      {"AddSub", "sub-neg-both",
+       "%na = sub 0, %A\n%nb = sub 0, %B\n%r = sub %na, %nb\n=>\n"
+       "%r = sub %B, %A\n",
+       true},
+      {"AddSub", "sub-or-xor-is-and",
+       "%o = or %A, %B\n%x1 = xor %A, %B\n%r = sub %o, %x1\n=>\n"
+       "%r = and %A, %B\n",
+       true},
+      {"AddSub", "sub-or-is-or-not-plus-one",
+       "%o = or %A, %B\n%r = sub %A, %o\n=>\n%nb = xor %B, -1\n"
+       "%n = or %A, %nb\n%r = sub %n, -1\n",
+       true},
+      {"AddSub", "add-nsw-flag-drop",
+       "%r = add nsw nuw %x, %y\n=>\n%r = add %x, %y\n", true},
+      {"AddSub", "sub-nuw-zero-drop",
+       "%r = sub nuw %x, 0\n=>\n%r = %x\n", true},
+      {"AddSub", "add-shl-same-factor",
+       "%s = shl %x, 1\n%r = add %s, %x\n=>\n%r = mul %x, 3\n", true},
+      {"AddSub", "add-nsw-const-merge",
+       "%a = add nsw %x, C1\n%r = add nsw %a, C2\n=>\n"
+       "%r = add %x, C1+C2\n",
+       true},
+      {"AddSub", "add-const-merge-needs-flags-care",
+       "%a = add %x, C1\n%r = add %a, C2\n=>\n%r = add nsw %x, C1+C2\n",
+       false},
+      {"AddSub", "add-zext-bool-is-select",
+       "%z = zext i1 %b to i8\n%r = add %z, C\n=>\n"
+       "%r = select %b, i8 C+1, C\n",
+       true},
+      {"AddSub", "sub-zext-bool",
+       "%z = zext i1 %b to i8\n%r = sub %x, %z\n=>\n"
+       "%m = sext %b to i8\n%r = add %x, %m\n",
+       true},
+      {"AddSub", "add-sext-bool-is-sub-zext",
+       "%s = sext i1 %b to i8\n%r = add %x, %s\n=>\n"
+       "%z = zext i1 %b to i8\n%r = sub %x, %z\n",
+       true},
+      {"AddSub", "add-udiv-urem-recompose",
+       "Pre: C != 0\n%d = udiv %x, C\n%m = urem %x, C\n"
+       "%s = mul %d, C\n%r = add %s, %m\n=>\n%r = %x\n",
+       true},
+      {"AddSub", "neg-of-sub",
+       "%s = sub %A, %B\n%r = sub 0, %s\n=>\n%r = sub %B, %A\n", true},
+      {"AddSub", "xor-signbit-to-add-nuw-wrong",
+       "Pre: isSignBit(C)\n%r = xor %x, C\n=>\n%r = add nuw %x, C\n",
+       false},
+      {"AddSub", "add-not-both-is-not-add",
+       "%na = xor %A, -1\n%nb = xor %B, -1\n%s = add %na, %nb\n=>\n"
+       "%a2 = add %A, %B\n%n = xor %a2, -1\n%s = sub %n, 1\n",
+       true},
+      {"AddSub", "PR20186-sub-of-sdiv",
+       "%a = sdiv %X, C\n%r = sub 0, %a\n=>\n%r = sdiv %X, -C\n", false},
+      {"AddSub", "PR20186-fixed",
+       "Pre: !isSignBit(C) && C != 1\n%a = sdiv %X, C\n%r = sub 0, %a\n"
+       "=>\n%r = sdiv %X, -C\n",
+       true},
+      {"AddSub", "PR20189-sub-of-neg-nsw",
+       "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add nsw %x, %A\n",
+       false},
+      {"AddSub", "PR20189-fixed",
+       "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add %x, %A\n", true},
+      {"AddSub", "add-trunc-shift-parts",
+       "%t = trunc i16 %x to i8\n%r = add %t, 0\n=>\n"
+       "%r = trunc i16 %x to i8\n",
+       true},
+      {"AddSub", "sub-sext-bool",
+       "%s = sext i1 %b to i8\n%r = sub %x, %s\n=>\n"
+       "%z = zext %b to i8\n%r = add %x, %z\n",
+       true},
+      {"AddSub", "sub-xor-allones-rhs",
+       "%n = xor %x, -1\n%r = sub %n, C\n=>\n%r = sub -1-C, %x\n", true},
+      {"AddSub", "add-mul-neg-factor",
+       "%m = mul %x, C\n%r = add %m, %x\n=>\n%r = mul %x, C+1\n", true},
+      {"AddSub", "or-minus-and-is-xor",
+       "%o = or %x, %y\n%a = and %x, %y\n%r = sub %o, %a\n=>\n"
+       "%r = xor %x, %y\n",
+       true},
+      {"AddSub", "sub-masked-pair-const",
+       "%o = or %x, C\n%a = and %x, C\n%r = sub %o, %a\n=>\n"
+       "%r = xor %x, C\n",
+       true},
+      {"AddSub", "add-two-muls-same",
+       "%a = mul %x, C1\n%b = mul %x, C2\n%r = add %a, %b\n=>\n"
+       "%r = mul %x, C1+C2\n",
+       true},
+  };
+  return Entries;
+}

@@ -1,0 +1,427 @@
+//===- corpus/AndOrXor.cpp - InstCombineAndOrXor translations ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::andOrXorEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      // --- and ---------------------------------------------------------------
+      {"AndOrXor", "and-zero", "%r = and %x, 0\n=>\n%r = 0\n", true},
+      {"AndOrXor", "and-allones", "%r = and %x, -1\n=>\n%r = %x\n", true},
+      {"AndOrXor", "and-self", "%r = and %x, %x\n=>\n%r = %x\n", true},
+      {"AndOrXor", "and-not-self",
+       "%n = xor %x, -1\n%r = and %x, %n\n=>\n%r = 0\n", true},
+      {"AndOrXor", "and-const-merge",
+       "%a = and %x, C1\n%r = and %a, C2\n=>\n%r = and %x, C1 & C2\n", true},
+      {"AndOrXor", "and-or-absorb",
+       "%o = or %x, %y\n%r = and %x, %o\n=>\n%r = %x\n", true},
+      {"AndOrXor", "and-or-const-mix",
+       "%o = or %x, C1\n%r = and %o, C2\n=>\n"
+       "%a = and %x, C2\n%r = or %a, C1 & C2\n",
+       true},
+      {"AndOrXor", "and-xor-unfold",
+       "%x1 = xor %A, %B\n%r = and %x1, %A\n=>\n"
+       "%nb = xor %B, -1\n%r = and %A, %nb\n",
+       true},
+      {"AndOrXor", "and-one-is-trunc-zext",
+       "%r = and i8 %x, 1\n=>\n%t = trunc %x to i1\n"
+       "%r = zext %t to i8\n",
+       true},
+      {"AndOrXor", "and-shl-mask-noop",
+       "%s = shl %x, C\n%r = and %s, -1 << C\n=>\n%r = shl %x, C\n", true},
+      {"AndOrXor", "and-lshr-mask-noop",
+       "%s = lshr %x, C\n%r = and %s, -1 >>u C\n=>\n%r = lshr %x, C\n",
+       true},
+      {"AndOrXor", "and-sext-bool-is-select",
+       "%s = sext i1 %b to i8\n%r = and %s, %x\n=>\n"
+       "%r = select %b, %x, i8 0\n",
+       true},
+      {"AndOrXor", "and-masked-value-zero",
+       "Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x\n",
+       true},
+      {"AndOrXor", "and-commute-not",
+       "%n = xor %x, -1\n%r = and %n, %x\n=>\n%r = 0\n", true},
+      {"AndOrXor", "and-sign-splat-select",
+       "%s = ashr %x, width(%x)-1\n%r = and %s, C\n=>\n"
+       "%c = icmp slt %x, 0\n%r = select %c, C, 0\n",
+       true},
+
+      // --- or ----------------------------------------------------------------
+      {"AndOrXor", "or-zero", "%r = or %x, 0\n=>\n%r = %x\n", true},
+      {"AndOrXor", "or-allones", "%r = or %x, -1\n=>\n%r = -1\n", true},
+      {"AndOrXor", "or-self", "%r = or %x, %x\n=>\n%r = %x\n", true},
+      {"AndOrXor", "or-not-self",
+       "%n = xor %x, -1\n%r = or %x, %n\n=>\n%r = -1\n", true},
+      {"AndOrXor", "or-const-merge",
+       "%a = or %x, C1\n%r = or %a, C2\n=>\n%r = or %x, C1 | C2\n", true},
+      {"AndOrXor", "or-and-absorb",
+       "%a = and %x, %y\n%r = or %x, %a\n=>\n%r = %x\n", true},
+      {"AndOrXor", "or-xor-operand",
+       "%x1 = xor %x, %y\n%r = or %x, %x1\n=>\n%r = or %x, %y\n", true},
+      {"AndOrXor", "or-and-complement-masks",
+       "%a = and %x, C\n%b = and %x, ~C\n%r = or %a, %b\n=>\n"
+       "%r = %x\n",
+       true},
+      {"AndOrXor", "or-masked-disjoint-figure2",
+       "Pre: C1 & C2 == 0 && MaskedValueIsZero(%V, ~C1)\n"
+       "%t0 = or %B, %V\n%t1 = and %t0, C1\n%t2 = and %B, C2\n"
+       "%R = or %t1, %t2\n=>\n%R = and %t0, (C1 | C2)\n",
+       true},
+      {"AndOrXor", "or-and-mixed-const",
+       "%a = and %x, C1\n%r = or %a, C2\n=>\n"
+       "%o = or %x, C2\n%r = and %o, C1 | C2\n",
+       true},
+      {"AndOrXor", "or-sext-bool-is-select",
+       "%s = sext i1 %b to i8\n%r = or %s, %x\n=>\n"
+       "%r = select %b, i8 -1, %x\n",
+       true},
+      {"AndOrXor", "or-and-same-op-const",
+       "%a = and %x, C\n%r = or %a, %x\n=>\n%r = %x\n", true},
+
+      // --- xor ---------------------------------------------------------------
+      {"AndOrXor", "xor-zero", "%r = xor %x, 0\n=>\n%r = %x\n", true},
+      {"AndOrXor", "xor-self", "%r = xor %x, %x\n=>\n%r = 0\n", true},
+      {"AndOrXor", "xor-not-twice",
+       "%a = xor %x, -1\n%r = xor %a, -1\n=>\n%r = %x\n", true},
+      {"AndOrXor", "xor-const-merge",
+       "%a = xor %x, C1\n%r = xor %a, C2\n=>\n%r = xor %x, C1 ^ C2\n",
+       true},
+      {"AndOrXor", "xor-not-self-allones",
+       "%n = xor %x, -1\n%r = xor %x, %n\n=>\n%r = -1\n", true},
+      {"AndOrXor", "xor-or-and-pair",
+       "%o = or %A, %B\n%a = and %A, %B\n%r = xor %o, %a\n=>\n"
+       "%r = xor %A, %B\n",
+       true},
+      {"AndOrXor", "xor-and-or-fold",
+       "%o = or %A, %B\n%r = xor %o, %B\n=>\n"
+       "%nb = xor %B, -1\n%r = and %A, %nb\n",
+       true},
+      {"AndOrXor", "xor-and-operand",
+       "%a = and %A, %B\n%r = xor %a, %B\n=>\n"
+       "%na = xor %A, -1\n%r = and %na, %B\n",
+       true},
+      {"AndOrXor", "demorgan-and",
+       "%na = xor %A, -1\n%nb = xor %B, -1\n%r = and %na, %nb\n=>\n"
+       "%o = or %A, %B\n%r = xor %o, -1\n",
+       true},
+      {"AndOrXor", "demorgan-or",
+       "%na = xor %A, -1\n%nb = xor %B, -1\n%r = or %na, %nb\n=>\n"
+       "%a = and %A, %B\n%r = xor %a, -1\n",
+       true},
+      {"AndOrXor", "xor-is-sub-for-signbit",
+       "Pre: isSignBit(C)\n%r = xor %x, C\n=>\n%r = add %x, C\n", true},
+      {"AndOrXor", "not-of-neg",
+       "%n = sub 0, %x\n%r = xor %n, -1\n=>\n%r = add %x, -1\n", true},
+      {"AndOrXor", "not-of-add-const",
+       "%a = add %x, C\n%r = xor %a, -1\n=>\n%r = sub -1-C, %x\n", true},
+      {"AndOrXor", "xor-to-or-disjoint",
+       "Pre: C1 & C2 == 0\n%a = and %x, C1\n%r = xor %a, C2\n=>\n"
+       "%a2 = and %x, C1\n%r = or %a2, C2\n",
+       true},
+
+      // --- distributivity and factoring ---------------------------------------
+      {"AndOrXor", "and-distribute-or",
+       "%a = and %A, %B\n%b = and %A, %D\n%r = or %a, %b\n=>\n"
+       "%o = or %B, %D\n%r = and %A, %o\n",
+       true},
+      {"AndOrXor", "or-distribute-and",
+       "%a = or %A, %B\n%b = or %A, %D\n%r = and %a, %b\n=>\n"
+       "%o = and %B, %D\n%r = or %A, %o\n",
+       true},
+      {"AndOrXor", "masked-merge",
+       "%a = and %x, %m\n%nm = xor %m, -1\n%b = and %y, %nm\n"
+       "%r = or %a, %b\n=>\n%x1 = xor %x, %y\n%a1 = and %x1, %m\n"
+       "%r = xor %a1, %y\n",
+       true},
+
+      // --- icmp-rooted logic (these live in InstCombineAndOrXor) -------------
+      {"AndOrXor", "icmp-and-pow2-ne",
+       "Pre: isPowerOf2(C)\n%a = and %x, C\n%c = icmp eq %a, C\n=>\n"
+       "%a2 = and %x, C\n%c = icmp ne %a2, 0\n",
+       true},
+      {"AndOrXor", "icmp-ult-one-is-eq-zero",
+       "%c = icmp ult %x, 1\n=>\n%c = icmp eq %x, 0\n", true},
+      {"AndOrXor", "icmp-ugt-allones-minus-one",
+       "%c = icmp ugt %x, -2\n=>\n%c = icmp eq %x, -1\n", true},
+      {"AndOrXor", "icmp-slt-zero-is-signbit",
+       "%c = icmp slt %x, 0\n=>\n%s = lshr %x, width(%x)-1\n"
+       "%c = icmp eq %s, 1\n",
+       true},
+      {"AndOrXor", "icmp-eq-self", "%c = icmp eq %x, %x\n=>\n%c = true\n",
+       true},
+      {"AndOrXor", "icmp-ne-self", "%c = icmp ne %x, %x\n=>\n%c = false\n",
+       true},
+      {"AndOrXor", "icmp-sgt-smax-false",
+       "Pre: C == (1 << (width(C)-1)) - 1\n%c = icmp sgt %x, C\n=>\n"
+       "%c = false\n",
+       true},
+      {"AndOrXor", "icmp-ult-zero-false",
+       "%c = icmp ult %x, 0\n=>\n%c = false\n", true},
+      {"AndOrXor", "icmp-uge-zero-true",
+       "%c = icmp uge %x, 0\n=>\n%c = true\n", true},
+      {"AndOrXor", "icmp-xor-same-eq",
+       "%a = xor %x, C\n%c = icmp eq %a, 0\n=>\n%c = icmp eq %x, C\n",
+       true},
+      {"AndOrXor", "icmp-add-const-eq",
+       "%a = add %x, C1\n%c = icmp eq %a, C2\n=>\n"
+       "%c = icmp eq %x, C2-C1\n",
+       true},
+      {"AndOrXor", "icmp-sub-const-eq",
+       "%a = sub %x, C1\n%c = icmp eq %a, C2\n=>\n"
+       "%c = icmp eq %x, C1+C2\n",
+       true},
+      {"AndOrXor", "icmp-neg-eq",
+       "%n = sub 0, %x\n%c = icmp eq %n, C\n=>\n%c = icmp eq %x, -C\n",
+       true},
+      {"AndOrXor", "icmp-ne-to-ugt-wrong",
+       "%c = icmp ne %x, 0\n=>\n%c = icmp sgt %x, 0\n", false},
+      {"AndOrXor", "and-of-icmp-eq-range-wrong",
+       "%c = icmp ult %x, C\n=>\n%c = icmp slt %x, C\n", false},
+
+      // --- zext/sext interaction ----------------------------------------------
+      {"AndOrXor", "and-zext-mask-noop",
+       "%z = zext i8 %x to i16\n%r = and %z, 255\n=>\n"
+       "%r = zext i8 %x to i16\n",
+       true},
+      {"AndOrXor", "xor-zext-bools",
+       "%za = zext i1 %a to i8\n%zb = zext i1 %b to i8\n"
+       "%r = xor %za, %zb\n=>\n%x1 = xor %a, %b\n"
+       "%r = zext %x1 to i8\n",
+       true},
+      {"AndOrXor", "and-zext-bools",
+       "%za = zext i1 %a to i8\n%zb = zext i1 %b to i8\n"
+       "%r = and %za, %zb\n=>\n%a1 = and %a, %b\n"
+       "%r = zext %a1 to i8\n",
+       true},
+      {"AndOrXor", "or-zext-bools",
+       "%za = zext i1 %a to i8\n%zb = zext i1 %b to i8\n"
+       "%r = or %za, %zb\n=>\n%o1 = or %a, %b\n"
+       "%r = zext %o1 to i8\n",
+       true},
+      {"AndOrXor", "or-shl-lshr-not-rotate-wrong",
+       "%h = shl %x, C\n%l = lshr %x, C\n%r = or %h, %l\n=>\n%r = %x\n",
+       false},
+
+
+
+      // --- fourth batch: casts, masks and comparison folds --------------------
+      {"AndOrXor", "and-sext-sext-bools",
+       "%sa = sext i1 %a to i8\n%sb = sext i1 %b to i8\n"
+       "%r = and %sa, %sb\n=>\n%ab = and %a, %b\n"
+       "%r = sext %ab to i8\n",
+       true},
+      {"AndOrXor", "or-sext-sext-bools",
+       "%sa = sext i1 %a to i8\n%sb = sext i1 %b to i8\n"
+       "%r = or %sa, %sb\n=>\n%ab = or %a, %b\n"
+       "%r = sext %ab to i8\n",
+       true},
+      {"AndOrXor", "xor-sext-sext-bools",
+       "%sa = sext i1 %a to i8\n%sb = sext i1 %b to i8\n"
+       "%r = xor %sa, %sb\n=>\n%ab = xor %a, %b\n"
+       "%r = sext %ab to i8\n",
+       true},
+      {"AndOrXor", "and-zext-narrows-mask",
+       "%z = zext i8 %x to i16\n%r = and %z, C\n=>\n"
+       "%t = and i8 %x, trunc(C)\n%r = zext %t to i16\n",
+       true},
+      {"AndOrXor", "not-of-sub",
+       "%s = sub %A, %B\n%r = xor %s, -1\n=>\n"
+       "%n = sub %B, %A\n%r = add %n, -1\n",
+       true},
+      {"AndOrXor", "xor-icmp-pair-parity",
+       "%c1 = icmp slt %x, 0\n%c2 = icmp slt %y, 0\n"
+       "%r = xor %c1, %c2\n=>\n%m = xor %x, %y\n"
+       "%r = icmp slt %m, 0\n",
+       true},
+      {"AndOrXor", "and-icmp-sgt-sgt-same-const",
+       "%c1 = icmp sgt %x, C\n%c2 = icmp sgt %y, C\n"
+       "%r = and %c1, %c2\n=>\n%c1 = icmp sgt %x, C\n"
+       "%c2 = icmp sgt %y, C\n%r = and %c2, %c1\n",
+       true},
+      {"AndOrXor", "or-icmp-eq-to-and-mask",
+       "Pre: C1 & C2 == C2\n%a = and %x, C1\n"
+       "%c = icmp eq %a, C2\n=>\n%a2 = and %x, C1\n"
+       "%c = icmp eq %a2, C2\n",
+       true},
+      {"AndOrXor", "and-lowbit-parity",
+       "%a = add %x, %x\n%r = and %a, 1\n=>\n%r = 0\n", true},
+      {"AndOrXor", "or-with-shifted-self-wrong",
+       "%s = shl %x, 1\n%r = or %x, %s\n=>\n%r = mul %x, 3\n", false},
+      {"AndOrXor", "and-parity-of-odd-mul",
+       "Pre: C % 2 == 1\n%m = mul %x, C\n%r = and %m, 1\n=>\n"
+       "%r = and %x, 1\n",
+       true},
+      {"AndOrXor", "icmp-ne-zero-or",
+       "%o = or %x, %y\n%c = icmp eq %o, 0\n=>\n"
+       "%c1 = icmp eq %x, 0\n%c2 = icmp eq %y, 0\n"
+       "%c = and %c1, %c2\n",
+       true},
+      {"AndOrXor", "icmp-ne-zero-and-wrong",
+       "%a = and %x, %y\n%c = icmp eq %a, 0\n=>\n"
+       "%c1 = icmp eq %x, 0\n%c2 = icmp eq %y, 0\n"
+       "%c = or %c1, %c2\n",
+       false},
+      {"AndOrXor", "xor-swap-canonical",
+       "%a = xor %x, %y\n%r = xor %a, %x\n=>\n%r = %y\n", true},
+      {"AndOrXor", "and-or-same-mask-identity",
+       "%o = or %x, C\n%r = and %o, C\n=>\n%r = C\n", true},
+      {"AndOrXor", "or-and-same-mask-identity",
+       "%a = and %x, C\n%r = or %a, C\n=>\n%r = C\n", true},
+      // --- undef semantics (Figure 4 / Section 3.1.2) ------------------------
+      {"AndOrXor", "and-undef-refines-zero",
+       "%r = and %x, undef\n=>\n%r = 0\n", true},
+      {"AndOrXor", "and-undef-refines-x",
+       "%r = and %x, undef\n=>\n%r = %x\n", true},
+      {"AndOrXor", "or-undef-refines-allones",
+       "%r = or %x, undef\n=>\n%r = -1\n", true},
+      {"AndOrXor", "or-undef-refines-x",
+       "%r = or %x, undef\n=>\n%r = %x\n", true},
+      {"AndOrXor", "xor-undef-undef-is-undef",
+       "%r = xor undef, undef\n=>\n%r = undef\n", true},
+      {"AndOrXor", "xor-undef-not-zero-of-x",
+       "%r = xor %x, undef\n=>\n%r = %x\n", true},
+      {"AndOrXor", "undef-does-not-refine-backwards",
+       "%r = and %x, 0\n=>\n%r = undef\n", false},
+      {"AndOrXor", "or-shl-disjoint-is-add",
+       "%s = shl %x, C\n%m = and %y, (1 << C) - 1\n%r = or %s, %m\n"
+       "=>\n%s2 = shl %x, C\n%m2 = and %y, (1 << C) - 1\n"
+       "%r = add %s2, %m2\n",
+       true},
+      {"AndOrXor", "and-trunc-zext-roundtrip",
+       "%t = trunc i16 %x to i8\n%z = zext %t to i16\n=>\n"
+       "%z = and i16 %x, 255\n",
+       true},
+      {"AndOrXor", "or-xor-not-pair",
+       "%nx = xor %x, -1\n%r = or %nx, %x\n=>\n%r = -1\n", true},
+      {"AndOrXor", "xor-sub-from-allones",
+       "%r = xor %x, -1\n=>\n%r = sub -1, %x\n", true},
+      {"AndOrXor", "icmp-slt-one-is-sle-zero",
+       "%c = icmp slt %x, 1\n=>\n%c = icmp sle %x, 0\n", true},
+      {"AndOrXor", "icmp-both-pow2-and-eq",
+       "Pre: isPowerOf2(C1) && isPowerOf2(C2) && C1 != C2\n"
+       "%a = and %x, C1\n%b = and %x, C2\n%c1 = icmp eq %a, C1\n"
+       "%c2 = icmp eq %b, C2\n%r = and %c1, %c2\n=>\n"
+       "%m = and %x, C1 | C2\n%r = icmp eq %m, C1 | C2\n",
+       true},
+      {"AndOrXor", "and-ugt-larger-power-wrong",
+       "Pre: isPowerOf2(C)\n%a = and %x, C\n%c = icmp ugt %a, 0\n"
+       "=>\n%c = true\n",
+       false},
+      // --- selects in logic (rooted here in LLVM) ------------------------------
+      {"AndOrXor", "and-select-const-arms",
+       "%s = select %c, i8 C1, C2\n%r = and %s, C3\n=>\n"
+       "%r = select %c, i8 C1 & C3, C2 & C3\n",
+       true},
+
+      // --- second batch: complement/absorption and icmp range facts ---------
+      {"AndOrXor", "and-not-of-and",
+       "%ab = and %A, %B\n%n = xor %ab, -1\n%r = and %A, %n\n=>\n"
+       "%nb = xor %B, -1\n%r = and %A, %nb\n",
+       true},
+      {"AndOrXor", "or-not-of-or",
+       "%ab = or %A, %B\n%n = xor %ab, -1\n%r = or %A, %n\n=>\n"
+       "%nb = xor %B, -1\n%r = or %A, %nb\n",
+       true},
+      {"AndOrXor", "icmp-eq-xor-operands",
+       "%x1 = xor %A, %B\n%c = icmp eq %x1, 0\n=>\n"
+       "%c = icmp eq %A, %B\n",
+       true},
+      {"AndOrXor", "icmp-ne-xor-operands",
+       "%x1 = xor %A, %B\n%c = icmp ne %x1, 0\n=>\n"
+       "%c = icmp ne %A, %B\n",
+       true},
+      {"AndOrXor", "and-of-sign-splats",
+       "%sa = ashr %A, width(%A)-1\n%sb = ashr %B, width(%B)-1\n"
+       "%r = and %sa, %sb\n=>\n%ab = and %A, %B\n"
+       "%r = ashr %ab, width(%A)-1\n",
+       true},
+      {"AndOrXor", "or-of-sign-splats",
+       "%sa = ashr %A, width(%A)-1\n%sb = ashr %B, width(%B)-1\n"
+       "%r = or %sa, %sb\n=>\n%ab = or %A, %B\n"
+       "%r = ashr %ab, width(%A)-1\n",
+       true},
+      {"AndOrXor", "xor-of-sign-splats",
+       "%sa = ashr %A, width(%A)-1\n%sb = ashr %B, width(%B)-1\n"
+       "%r = xor %sa, %sb\n=>\n%ab = xor %A, %B\n"
+       "%r = ashr %ab, width(%A)-1\n",
+       true},
+      {"AndOrXor", "icmp-ugt-zero-is-ne",
+       "%c = icmp ugt %x, 0\n=>\n%c = icmp ne %x, 0\n", true},
+      {"AndOrXor", "icmp-ult-pow2-is-mask-test",
+       "Pre: isPowerOf2(C)\n%c = icmp ult %x, C\n=>\n"
+       "%a = and %x, 0-C\n%c = icmp eq %a, 0\n",
+       true},
+      {"AndOrXor", "icmp-uge-pow2-is-mask-test",
+       "Pre: isPowerOf2(C)\n%c = icmp uge %x, C\n=>\n"
+       "%a = and %x, 0-C\n%c = icmp ne %a, 0\n",
+       true},
+      {"AndOrXor", "or-disjoint-masked-is-add",
+       "Pre: C1 & C2 == 0\n%a = and %x, C1\n%r = or %a, C2\n=>\n"
+       "%a2 = and %x, C1\n%r = add %a2, C2\n",
+       true},
+      {"AndOrXor", "not-of-icmp-slt",
+       "%c = icmp slt %x, %y\n%r = xor %c, 1\n=>\n"
+       "%r = icmp sge %x, %y\n",
+       true},
+      {"AndOrXor", "not-of-icmp-eq",
+       "%c = icmp eq %x, %y\n%r = xor %c, 1\n=>\n"
+       "%r = icmp ne %x, %y\n",
+       true},
+      {"AndOrXor", "not-of-icmp-ule",
+       "%c = icmp ule %x, %y\n%r = xor %c, 1\n=>\n"
+       "%r = icmp ugt %x, %y\n",
+       true},
+      {"AndOrXor", "and-of-distinct-eq-is-false",
+       "Pre: C1 != C2\n%c1 = icmp eq %x, C1\n%c2 = icmp eq %x, C2\n"
+       "%r = and %c1, %c2\n=>\n%r = false\n",
+       true},
+      {"AndOrXor", "or-of-distinct-ne-is-true",
+       "Pre: C1 != C2\n%c1 = icmp ne %x, C1\n%c2 = icmp ne %x, C2\n"
+       "%r = or %c1, %c2\n=>\n%r = true\n",
+       true},
+      {"AndOrXor", "icmp-ne-and-pow2-inverted",
+       "Pre: isPowerOf2(C)\n%a = and %x, C\n%c = icmp ne %a, C\n=>\n"
+       "%a2 = and %x, C\n%c = icmp eq %a2, 0\n",
+       true},
+      {"AndOrXor", "xor-of-masked-is-andnot",
+       "%a = and %x, C\n%r = xor %a, C\n=>\n"
+       "%n = xor %x, -1\n%r = and %n, C\n",
+       true},
+      {"AndOrXor", "xor-of-ored-is-andnot",
+       "%a = or %x, C\n%r = xor %a, C\n=>\n%r = and %x, ~C\n", true},
+      {"AndOrXor", "xor-not-const",
+       "%n = xor %x, -1\n%r = xor %n, C\n=>\n%r = xor %x, ~C\n", true},
+      {"AndOrXor", "and-absorb-not-or",
+       "%na = xor %A, -1\n%o = or %na, %B\n%r = and %A, %o\n=>\n"
+       "%r = and %A, %B\n",
+       true},
+      {"AndOrXor", "or-absorb-not-and",
+       "%na = xor %A, -1\n%a = and %na, %B\n%r = or %A, %a\n=>\n"
+       "%r = or %A, %B\n",
+       true},
+      {"AndOrXor", "icmp-swap-operands",
+       "%c = icmp slt %x, %y\n=>\n%c = icmp sgt %y, %x\n", true},
+      {"AndOrXor", "icmp-ult-succ-is-ule",
+       "Pre: C != -1\n%c = icmp ult %x, C+1\n=>\n"
+       "%c = icmp ule %x, C\n",
+       true},
+      {"AndOrXor", "icmp-sgt-pred-is-sge",
+       "Pre: !isSignBit(C)\n%c = icmp sgt %x, C-1\n=>\n"
+       "%c = icmp sge %x, C\n",
+       true},
+      {"AndOrXor", "demorgan-needs-both-nots-wrong",
+       "%na = xor %A, -1\n%r = and %na, %B\n=>\n"
+       "%o = or %A, %B\n%r = xor %o, -1\n",
+       false},
+      {"AndOrXor", "or-select-const-arms",
+       "%s = select %c, i8 C1, C2\n%r = or %s, C3\n=>\n"
+       "%r = select %c, i8 C1 | C3, C2 | C3\n",
+       true},
+  };
+  return Entries;
+}

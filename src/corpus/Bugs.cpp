@@ -1,0 +1,79 @@
+//===- corpus/Bugs.cpp - the Figure 8 bug suite -------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight previously unknown InstCombine bugs found during the paper's
+/// translation effort (Figure 8), verbatim, plus corrected variants. The
+/// same transformations also appear in their home files' entry lists; this
+/// standalone list drives the Figure 8 benchmark and the bug-hunting
+/// example.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::bugEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      {"Bugs", "PR20186",
+       "%a = sdiv %X, C\n%r = sub 0, %a\n=>\n%r = sdiv %X, -C\n", false},
+      {"Bugs", "PR20189",
+       "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add nsw %x, %A\n",
+       false},
+      {"Bugs", "PR21242",
+       "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n"
+       "%r = shl nsw %x, log2(C1)\n",
+       false},
+      {"Bugs", "PR21243",
+       "Pre: !WillNotOverflowSignedMul(C1, C2)\n%Op0 = sdiv %X, C1\n"
+       "%r = sdiv %Op0, C2\n=>\n%r = 0\n",
+       false},
+      {"Bugs", "PR21245",
+       "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n%r = sdiv %s, C2\n"
+       "=>\n%r = sdiv %X, C2/(1<<C1)\n",
+       false},
+      {"Bugs", "PR21255",
+       "%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n"
+       "%r = udiv %X, C2 << C1\n",
+       false},
+      {"Bugs", "PR21256",
+       "%Op1 = sub 0, %X\n%r = srem %Op0, %Op1\n=>\n%r = srem %Op0, %X\n",
+       false},
+      {"Bugs", "PR21274",
+       "Pre: isPowerOf2(%Power) && hasOneUse(%Y)\n%s = shl %Power, %A\n"
+       "%Y = lshr %s, %B\n%r = udiv %X, %Y\n=>\n%sub = sub %A, %B\n"
+       "%Y = shl %Power, %sub\n%r = udiv %X, %Y\n",
+       false},
+      // Fixed variants (re-translated after the LLVM fixes; Section 6.1
+      // notes the corrected versions were re-verified).
+      {"Bugs", "PR20186-fixed",
+       "Pre: !isSignBit(C) && C != 1\n%a = sdiv %X, C\n%r = sub 0, %a\n"
+       "=>\n%r = sdiv %X, -C\n",
+       true},
+      {"Bugs", "PR20189-fixed",
+       "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add %x, %A\n", true},
+      {"Bugs", "PR21242-fixed",
+       "Pre: isPowerOf2(C1) && !isSignBit(C1)\n%r = mul nsw %x, C1\n=>\n"
+       "%r = shl nsw %x, log2(C1)\n",
+       true},
+      {"Bugs", "PR21245-fixed",
+       "Pre: C2 % (1<<C1) == 0 && (C2 / (1<<C1)) * (1<<C1) == C2 && "
+       "C1 u< width(C1) && C2 != 0 && !isSignBit(C2)\n"
+       "%s = shl nsw %X, C1\n%r = sdiv %s, C2\n=>\n"
+       "%r = sdiv %X, C2/(1<<C1)\n",
+       true},
+      {"Bugs", "PR21255-fixed",
+       "Pre: (C2 << C1) >>u C1 == C2 && C2 != 0\n%Op0 = lshr %X, C1\n"
+       "%r = udiv %Op0, C2\n=>\n%r = udiv %X, C2 << C1\n",
+       true},
+      {"Bugs", "PR21256-fixed",
+       "Pre: !isSignBit(C) && C != -1\n%Op1 = sub 0, C\n"
+       "%r = srem %Op0, %Op1\n=>\n%r = srem %Op0, C\n",
+       true},
+  };
+  return Entries;
+}

@@ -1,0 +1,71 @@
+//===- corpus/Corpus.cpp - corpus aggregation ---------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "parser/Parser.h"
+
+using namespace alive;
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &corpus::fullCorpus() {
+  static const std::vector<CorpusEntry> All = [] {
+    std::vector<CorpusEntry> Out;
+    for (const auto *List :
+         {&addSubEntries(), &andOrXorEntries(), &mulDivRemEntries(),
+          &selectEntries(), &shiftsEntries(), &loadStoreAllocaEntries()})
+      Out.insert(Out.end(), List->begin(), List->end());
+    return Out;
+  }();
+  return All;
+}
+
+std::vector<std::string> corpus::corpusFiles() {
+  return {"AddSub", "AndOrXor", "MulDivRem", "Select", "Shifts",
+          "LoadStoreAlloca"};
+}
+
+Result<std::unique_ptr<ir::Transform>> corpus::parseEntry(
+    const CorpusEntry &E) {
+  std::string Text = std::string("Name: ") + E.Name + "\n" + E.Text;
+  return parser::parseTransform(Text);
+}
+
+bool corpus::inOptimizerPass(const CorpusEntry &E) {
+  if (!E.ExpectCorrect)
+    return false;
+  static const char *AntiCanonical[] = {
+      "add-const-canon-sub",      // reverse of sub-const-is-add
+      "sub-zero-lhs-is-neg",      // reverse of mul-minus-one
+      "shl-mul-equivalence",      // reverse of mul-pow2-to-shl
+      "shl-mul-equivalence-guarded",
+      "xor-is-sub-for-signbit",   // reverse of add-signbit-is-xor
+      "ashr-sign-splat-select",   // expansion, cycles with select canon
+      "and-sign-splat-select",
+      "select-const-arms-and",    // expansion of select
+      "srem-by-pow2-sign-select", // expansion of srem
+      "icmp-slt-zero-is-signbit", // expansion of icmp
+      "sub-zext-bool",            // reverse of add-sext-bool-is-sub-zext
+      "and-or-const-mix",         // cycles with or-and-mixed-const
+      "sub-or-is-or-not-plus-one",
+  };
+  for (const char *Name : AntiCanonical)
+    if (E.Name == std::string(Name))
+      return false;
+  return true;
+}
+
+std::vector<std::unique_ptr<ir::Transform>> corpus::parseCorrectCorpus() {
+  std::vector<std::unique_ptr<ir::Transform>> Out;
+  for (const CorpusEntry &E : fullCorpus()) {
+    if (!inOptimizerPass(E))
+      continue;
+    auto R = parseEntry(E);
+    if (R.ok())
+      Out.push_back(R.take());
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- corpus/Corpus.h - the translated InstCombine corpus ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization corpus reproducing Section 6.1 / Table 3: InstCombine
+/// transformations translated into the Alive DSL, grouped by the LLVM
+/// source file that implements them (AddSub, AndOrXor, MulDivRem, Select,
+/// Shifts, LoadStoreAlloca), including the eight genuinely buggy
+/// transformations of Figure 8 (expected verdict: incorrect) and their
+/// corrected variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_CORPUS_CORPUS_H
+#define ALIVE_CORPUS_CORPUS_H
+
+#include "ir/Transform.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace corpus {
+
+/// One corpus transformation with its known ground-truth verdict.
+struct CorpusEntry {
+  const char *File;       ///< InstCombine file name (Table 3 row)
+  const char *Name;       ///< optimization name (PR number for the bugs)
+  const char *Text;       ///< Alive DSL
+  bool ExpectCorrect;     ///< ground truth used by tests and benchmarks
+};
+
+/// Per-file entry lists (defined in the per-file .cpp units).
+const std::vector<CorpusEntry> &addSubEntries();
+const std::vector<CorpusEntry> &andOrXorEntries();
+const std::vector<CorpusEntry> &mulDivRemEntries();
+const std::vector<CorpusEntry> &selectEntries();
+const std::vector<CorpusEntry> &shiftsEntries();
+const std::vector<CorpusEntry> &loadStoreAllocaEntries();
+/// Figure 8's eight bugs plus fixed variants.
+const std::vector<CorpusEntry> &bugEntries();
+
+/// The whole corpus (all files concatenated, bugs included).
+const std::vector<CorpusEntry> &fullCorpus();
+
+/// Distinct file names in Table 3 order.
+std::vector<std::string> corpusFiles();
+
+/// Parses one entry.
+Result<std::unique_ptr<ir::Transform>> parseEntry(const CorpusEntry &E);
+
+/// True when \p E belongs in the optimizer pass. Verified-correct
+/// entries that run *against* LLVM's canonical direction (e.g. shl back
+/// to mul) are excluded — two verified opposite-direction rewrites would
+/// ping-pong forever, exactly the instability real InstCombine avoids by
+/// fixing canonical forms.
+bool inOptimizerPass(const CorpusEntry &E);
+
+/// Parses every *correct* canonical-direction entry (the set the
+/// optimizer pass is built from; the paper only links verified
+/// transformations into LLVM).
+std::vector<std::unique_ptr<ir::Transform>> parseCorrectCorpus();
+
+} // namespace corpus
+} // namespace alive
+
+#endif // ALIVE_CORPUS_CORPUS_H

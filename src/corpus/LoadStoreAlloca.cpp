@@ -1,0 +1,74 @@
+//===- corpus/LoadStoreAlloca.cpp - memory optimization translations ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::loadStoreAllocaEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      {"LoadStoreAlloca", "store-load-forward",
+       "store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v\n", true},
+      {"LoadStoreAlloca", "load-load-same-addr",
+       "%a = load %p\n%b = load %p\n%r = add %a, %b\n=>\n"
+       "%r = add %a, %a\n",
+       true},
+      {"LoadStoreAlloca", "store-store-overwrite",
+       "store %v, %p\nstore %w, %p\n=>\nstore %w, %p\n", true},
+      {"LoadStoreAlloca", "store-store-keep-order-wrong",
+       "store %v, %p\nstore %w, %p\n=>\nstore %v, %p\n", false},
+      {"LoadStoreAlloca", "gep-zero-identity",
+       "%q = getelementptr %p, 0\n%r = load %q\n=>\n%r = load %p\n", true},
+      {"LoadStoreAlloca", "gep-gep-merge",
+       "%q = getelementptr %p, i32 C1\n%q2 = getelementptr %q, i32 C2\n"
+       "%r = load %q2\n=>\n%q3 = getelementptr %p, i32 C1+C2\n"
+       "%r = load %q3\n",
+       true},
+      {"LoadStoreAlloca", "bitcast-ptr-load",
+       "%q = bitcast %p\n%r = load %q\n=>\n%r = load %p\n", true},
+      {"LoadStoreAlloca", "ptrtoint-inttoptr-roundtrip",
+       "%i = ptrtoint %p to i32\n%q = inttoptr %i\n%r = load %q\n=>\n"
+       "%r = load %p\n",
+       true},
+      {"LoadStoreAlloca", "alloca-store-load-forward",
+       "%p = alloca i8, 1\nstore %v, %p\n%r = load %p\n=>\n"
+       "store %v, %p\n%r = %v\n",
+       true},
+      {"LoadStoreAlloca", "store-two-addr-swap-wrong",
+       "store %v, %p\nstore %w, %q\n=>\nstore %w, %q\nstore %v, %p\n",
+       false},
+      // Byte-width pointee: sub-byte stores zero-pad their byte, so the
+      // store is only removable when the value fills whole bytes.
+      {"LoadStoreAlloca", "store-of-just-loaded-value",
+       "%v = load %p\nstore i8 %v, %p\n=>\n%v = load %p\n",
+       true},
+      {"LoadStoreAlloca", "store-narrower-wrong",
+       "store i16 %v, %p\n=>\n%t = trunc i16 %v to i8\n"
+       "%q = bitcast %p\nstore %t, %q\n",
+       false},
+      {"LoadStoreAlloca", "gep-load-distinct-from-store",
+       "store %v, %p\n%q = getelementptr %p, 0\n%r = load %q\n=>\n"
+       "store %v, %p\n%r = %v\n",
+       true},
+      {"LoadStoreAlloca", "store-then-store-other-then-load",
+       "store %v, %p\nstore %w, %q\n%r = load %q\n=>\n"
+       "store %v, %p\nstore %w, %q\n%r = %w\n",
+       true},
+      {"LoadStoreAlloca", "load-before-store-not-forwardable",
+       "%r = load %p\nstore %v, %p\n=>\n%r2 = load %p\n"
+       "store %v, %p\n%r = %r2\n",
+       true},
+      {"LoadStoreAlloca", "forward-across-unrelated-store-wrong",
+       "store %v, %p\nstore %w, %q\n%r = load %p\n=>\n"
+       "store %v, %p\nstore %w, %q\n%r = %v\n",
+       false},
+      {"LoadStoreAlloca", "load-of-bitcast-of-bitcast",
+       "%q = bitcast %p\n%q2 = bitcast %q\n%r = load %q2\n=>\n"
+       "%r = load %p\n",
+       true},
+  };
+  return Entries;
+}

@@ -1,0 +1,166 @@
+//===- corpus/MulDivRem.cpp - InstCombineMulDivRem translations --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The buggiest InstCombine file the paper found: six of the eight
+/// Figure 8 bugs are rooted in multiply/divide/remainder expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::mulDivRemEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      // --- mul ---------------------------------------------------------------
+      {"MulDivRem", "mul-zero", "%r = mul %x, 0\n=>\n%r = 0\n", true},
+      {"MulDivRem", "mul-one", "%r = mul %x, 1\n=>\n%r = %x\n", true},
+      {"MulDivRem", "mul-minus-one",
+       "%r = mul %x, -1\n=>\n%r = sub 0, %x\n", true},
+      {"MulDivRem", "mul-pow2-to-shl",
+       "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)\n",
+       true},
+      {"MulDivRem", "mul-const-merge",
+       "%a = mul %x, C1\n%r = mul %a, C2\n=>\n%r = mul %x, C1*C2\n", true},
+      {"MulDivRem", "mul-neg-both",
+       "%na = sub 0, %A\n%nb = sub 0, %B\n%r = mul %na, %nb\n=>\n"
+       "%r = mul %A, %B\n",
+       true},
+      {"MulDivRem", "mul-neg-const",
+       "%n = sub 0, %x\n%r = mul %n, C\n=>\n%r = mul %x, -C\n", true},
+      {"MulDivRem", "mul-shl-merge",
+       "%s = shl %x, C1\n%r = mul %s, C2\n=>\n%r = mul %x, C2 << C1\n",
+       true},
+      {"MulDivRem", "mul-zext-bool-and",
+       "%z = zext i1 %b to i8\n%r = mul %z, %x\n=>\n"
+       "%r = select %b, %x, i8 0\n",
+       true},
+      {"MulDivRem", "mul-nsw-nuw-drop",
+       "%r = mul nsw nuw %x, %y\n=>\n%r = mul %x, %y\n", true},
+
+      // --- udiv --------------------------------------------------------------
+      {"MulDivRem", "udiv-one", "%r = udiv %x, 1\n=>\n%r = %x\n", true},
+      {"MulDivRem", "udiv-pow2-to-lshr",
+       "Pre: isPowerOf2(C)\n%r = udiv %x, C\n=>\n%r = lshr %x, log2(C)\n",
+       true},
+      {"MulDivRem", "udiv-exact-pow2-to-lshr-exact",
+       "Pre: isPowerOf2(C)\n%r = udiv exact %x, C\n=>\n"
+       "%r = lshr exact %x, log2(C)\n",
+       true},
+      {"MulDivRem", "udiv-mul-nuw-cancel",
+       "Pre: C != 0\n%m = mul nuw %x, C\n%r = udiv %m, C\n=>\n%r = %x\n",
+       true},
+      {"MulDivRem", "udiv-shl-amount",
+       "%s = shl nuw %y, C\n%r = udiv %x, %s\n=>\n"
+       "%l = lshr %x, C\n%r = udiv %l, %y\n",
+       true},
+      {"MulDivRem", "udiv-self-wrong",
+       "%r = udiv %x, %x\n=>\n%r = 1\n", true},
+      {"MulDivRem", "udiv-by-zero-any",
+       "%r = udiv %x, 0\n=>\n%r = 0\n", true},
+
+      // --- sdiv --------------------------------------------------------------
+      {"MulDivRem", "sdiv-one", "%r = sdiv %x, 1\n=>\n%r = %x\n", true},
+      {"MulDivRem", "sdiv-minus-one",
+       "%r = sdiv %x, -1\n=>\n%r = sub 0, %x\n", true},
+      {"MulDivRem", "sdiv-mul-nsw-cancel",
+       "Pre: C != 0\n%m = mul nsw %x, C\n%r = sdiv %m, C\n=>\n%r = %x\n",
+       true},
+      {"MulDivRem", "sdiv-neg-rhs",
+       "Pre: !isSignBit(C)\n%r = sdiv %x, -C\n=>\n"
+       "%n = sub 0, %x\n%r = sdiv %n, C\n",
+       false},
+      {"MulDivRem", "sdiv-exact-neg",
+       "%d = sdiv exact %x, C\n%r = sub 0, %d\n=>\n"
+       "%r = sdiv exact %x, -C\n",
+       false},
+
+      // --- urem / srem -------------------------------------------------------
+      {"MulDivRem", "urem-one", "%r = urem %x, 1\n=>\n%r = 0\n", true},
+      {"MulDivRem", "urem-pow2-to-and",
+       "Pre: isPowerOf2(C)\n%r = urem %x, C\n=>\n%r = and %x, C-1\n",
+       true},
+      {"MulDivRem", "urem-udiv-mul-recompose",
+       "Pre: C != 0\n%d = udiv %x, C\n%m = mul %d, C\n%r = sub %x, %m\n"
+       "=>\n%r = urem %x, C\n",
+       true},
+      {"MulDivRem", "srem-one", "%r = srem %x, 1\n=>\n%r = 0\n", true},
+      {"MulDivRem", "srem-minus-one-not-zero",
+       "%r = srem %x, -1\n=>\n%r = 0\n", true},
+      {"MulDivRem", "urem-zext-bool",
+       "%z = zext i1 %b to i8\n%r = urem %x, %z\n=>\n%r = 0\n", true},
+      {"MulDivRem", "srem-pow2-not-and-wrong",
+       "Pre: isPowerOf2(C)\n%r = srem %x, C\n=>\n%r = and %x, C-1\n",
+       false},
+
+      // --- Figure 8 bugs rooted in this file ----------------------------------
+      {"MulDivRem", "PR21242", // mul nsw pow2 -> shl nsw
+       "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n"
+       "%r = shl nsw %x, log2(C1)\n",
+       false},
+      {"MulDivRem", "PR21242-fixed",
+       "Pre: isPowerOf2(C1) && !isSignBit(C1)\n%r = mul nsw %x, C1\n=>\n"
+       "%r = shl nsw %x, log2(C1)\n",
+       true},
+      {"MulDivRem", "PR21243",
+       "Pre: !WillNotOverflowSignedMul(C1, C2)\n%Op0 = sdiv %X, C1\n"
+       "%r = sdiv %Op0, C2\n=>\n%r = 0\n",
+       false},
+      {"MulDivRem", "PR21245",
+       "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n%r = sdiv %s, C2\n"
+       "=>\n%r = sdiv %X, C2/(1<<C1)\n",
+       false},
+      {"MulDivRem", "PR21255",
+       "%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n"
+       "%r = udiv %X, C2 << C1\n",
+       false},
+      {"MulDivRem", "PR21255-fixed",
+       "Pre: (C2 << C1) >>u C1 == C2 && C2 != 0\n"
+       "%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n"
+       "%r = udiv %X, C2 << C1\n",
+       true},
+      {"MulDivRem", "PR21256",
+       "%Op1 = sub 0, %X\n%r = srem %Op0, %Op1\n=>\n"
+       "%r = srem %Op0, %X\n",
+       false},
+      {"MulDivRem", "PR21274",
+       "Pre: isPowerOf2(%Power) && hasOneUse(%Y)\n"
+       "%s = shl %Power, %A\n%Y = lshr %s, %B\n%r = udiv %X, %Y\n=>\n"
+       "%sub = sub %A, %B\n%Y = shl %Power, %sub\n%r = udiv %X, %Y\n",
+       false},
+
+      // --- misc --------------------------------------------------------------
+      {"MulDivRem", "mul-signbit-is-shl",
+       "Pre: isSignBit(C)\n%r = mul %x, C\n=>\n"
+       "%r = shl %x, width(C)-1\n",
+       true},
+      {"MulDivRem", "sdiv-exact-pow2-to-ashr",
+       "Pre: isPowerOf2(C) && !isSignBit(C)\n%r = sdiv exact %x, C\n=>\n"
+       "%r = ashr exact %x, log2(C)\n",
+       true},
+      {"MulDivRem", "mul-sub-factor",
+       "%a = mul %x, C\n%r = sub %a, %x\n=>\n%r = mul %x, C-1\n", true},
+      {"MulDivRem", "udiv-lshr-merge",
+       "Pre: (C1+C2) u< width(%x)\n%a = lshr %x, C1\n"
+       "%r = lshr %a, C2\n=>\n%r = lshr %x, C1+C2\n",
+       true},
+      {"MulDivRem", "mul-and-one",
+       "%a = and %x, 1\n%r = mul %a, %y\n=>\n"
+       "%t = trunc %x to i1\n%r = select %t, %y, 0\n",
+       true},
+      {"MulDivRem", "srem-by-pow2-sign-select",
+       "%r = srem %x, 2\n=>\n%a = and %x, 1\n"
+       "%c = icmp slt %x, 0\n%n = sub 0, %a\n%r = select %c, %n, %a\n",
+       true},
+      {"MulDivRem", "udiv-udiv-merge",
+       "Pre: C1 * C2 u>= C1 && C1 != 0 && C2 != 0\n"
+       "%a = udiv %x, C1\n%r = udiv %a, C2\n=>\n"
+       "%r = udiv %x, C1*C2\n",
+       false},
+  };
+  return Entries;
+}

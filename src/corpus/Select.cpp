@@ -1,0 +1,177 @@
+//===- corpus/Select.cpp - InstCombineSelect translations --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::selectEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      {"Select", "select-true", "%r = select true, %x, %y\n=>\n%r = %x\n",
+       true},
+      {"Select", "select-false", "%r = select false, %x, %y\n=>\n%r = %y\n",
+       true},
+      {"Select", "select-same-arms", "%r = select %c, %x, %x\n=>\n%r = %x\n",
+       true},
+      {"Select", "select-bool-id",
+       "%r = select %c, i1 1, 0\n=>\n%r = %c\n", true},
+      {"Select", "select-bool-not",
+       "%r = select %c, i1 0, 1\n=>\n%r = xor %c, 1\n", true},
+      {"Select", "select-bool-and",
+       "%r = select %c, i1 %b, 0\n=>\n%r = and %c, %b\n", true},
+      {"Select", "select-bool-or",
+       "%r = select %c, i1 1, %b\n=>\n%r = or %c, %b\n", true},
+      {"Select", "select-zext",
+       "%r = select %c, i8 1, 0\n=>\n%r = zext %c to i8\n", true},
+      {"Select", "select-sext",
+       "%r = select %c, i8 -1, 0\n=>\n%r = sext %c to i8\n", true},
+      {"Select", "select-zext-flipped",
+       "%r = select %c, i8 0, 1\n=>\n%n = xor %c, 1\n"
+       "%r = zext %n to i8\n",
+       true},
+      {"Select", "select-inverted-cond",
+       "%n = xor %c, 1\n%r = select %n, %x, %y\n=>\n"
+       "%r = select %c, %y, %x\n",
+       true},
+      {"Select", "select-icmp-eq-arms",
+       "%c = icmp eq %x, %y\n%r = select %c, %x, %y\n=>\n%r = %y\n", true},
+      {"Select", "select-icmp-ne-arms",
+       "%c = icmp ne %x, %y\n%r = select %c, %x, %y\n=>\n%r = %x\n", true},
+      {"Select", "select-icmp-eq-const-arm",
+       "%c = icmp eq %x, C\n%r = select %c, C, %x\n=>\n%r = %x\n", true},
+      {"Select", "select-icmp-ne-zero-self",
+       "%c = icmp ne %x, 0\n%r = select %c, %x, 0\n=>\n%r = %x\n", true},
+      {"Select", "select-icmp-eq-zero-self",
+       "%c = icmp eq %x, 0\n%r = select %c, 0, %x\n=>\n%r = %x\n", true},
+      {"Select", "select-of-select-same-cond",
+       "%s = select %c, %x, %y\n%r = select %c, %s, %y\n=>\n"
+       "%r = select %c, %x, %y\n",
+       true},
+      {"Select", "select-of-select-same-cond-outer",
+       "%s = select %c, %x, %y\n%r = select %c, %x, %s\n=>\n"
+       "%r = select %c, %x, %y\n",
+       true},
+      {"Select", "select-add-arms",
+       "%a = add %x, C1\n%b = add %x, C2\n%r = select %c, %a, %b\n=>\n"
+       "%s = select %c, C1, C2\n%r = add %x, %s\n",
+       true},
+      {"Select", "select-const-arms-and",
+       "%r = select %c, i8 C1, C2\n=>\n%s = sext %c to i8\n"
+       "%a = and %s, C1 ^ C2\n%r = xor %a, C2\n",
+       true},
+      {"Select", "select-umax-canon",
+       "%c = icmp ugt %x, %y\n%r = select %c, %x, %y\n=>\n"
+       "%c2 = icmp ult %y, %x\n%r = select %c2, %x, %y\n",
+       true},
+      {"Select", "select-abs-canon",
+       "%c = icmp slt %x, 0\n%n = sub 0, %x\n%r = select %c, %n, %x\n=>\n"
+       "%c2 = icmp sgt %x, 0\n%n2 = sub 0, %x\n"
+       "%r = select %c2, %x, %n2\n",
+       true},
+      {"Select", "select-signbit-test",
+       "%s = lshr %x, width(%x)-1\n%t = trunc %s to i1\n"
+       "%r = select %t, %a, %b\n=>\n%c = icmp slt %x, 0\n"
+       "%r = select %c, %a, %b\n",
+       true},
+      {"Select", "select-sub-arms-common",
+       "%a = sub %x, %y\n%r = select %c, %a, 0\n=>\n"
+       "%s = select %c, %y, %x\n%r = sub %x, %s\n",
+       true},
+      {"Select", "select-xor-arm",
+       "%a = xor %x, C\n%r = select %c, %a, %x\n=>\n"
+       "%s = select %c, C, 0\n%r = xor %x, %s\n",
+       true},
+      {"Select", "select-or-arm",
+       "%a = or %x, C\n%r = select %c, %a, %x\n=>\n"
+       "%s = select %c, C, 0\n%r = or %x, %s\n",
+       true},
+      {"Select", "select-icmp-ult-const-adjacent",
+       "%c = icmp ult %x, C\n%r = select %c, i8 C, %x\n=>\n"
+       "%c2 = icmp ugt %x, C\n%r = select %c2, %x, i8 C\n",
+       true},
+      {"Select", "select-not-both-arms",
+       "%nx = xor %x, -1\n%ny = xor %y, -1\n"
+       "%r = select %c, %nx, %ny\n=>\n%s = select %c, %x, %y\n"
+       "%r = xor %s, -1\n",
+       true},
+      {"Select", "select-shl-bool-wrong",
+       "%r = select %c, i8 2, 0\n=>\n%z = zext %c to i8\n"
+       "%r = shl %z, 2\n",
+       false},
+      {"Select", "select-zext-shl",
+       "%r = select %c, i8 2, 0\n=>\n%z = zext %c to i8\n"
+       "%r = shl %z, 1\n",
+       true},
+      {"Select", "select-eq-fold-wrong-arm",
+       "%c = icmp eq %x, C\n%r = select %c, %x, %y\n=>\n"
+       "%r = select %c, C, %y\n",
+       true},
+      {"Select", "select-sgt-minus-one-abs",
+       "%c = icmp sgt %x, -1\n%n = sub 0, %x\n"
+       "%r = select %c, %x, %n\n=>\n%c2 = icmp slt %x, 0\n"
+       "%n2 = sub 0, %x\n%r = select %c2, %n2, %x\n",
+       true},
+      {"Select", "select-and-cond-arms-wrong",
+       "%r = select %c, %x, %y\n=>\n%r = select %c, %y, %x\n", false},
+      {"Select", "select-icmp-ule-one-wrong",
+       "%c = icmp ule %x, 0\n%r = select %c, i8 1, 0\n=>\n%r = %x\n",
+       false},
+      {"Select", "select-mul-arm-zero",
+       "%m = mul %x, %y\n%r = select %c, %m, 0\n=>\n"
+       "%s = select %c, %y, 0\n%r = mul %x, %s\n",
+       true},
+      {"Select", "select-undef-cond-refines-true-arm",
+       "%r = select undef, %x, %y\n=>\n%r = %x\n", true},
+      {"Select", "select-undef-cond-refines-false-arm",
+       "%r = select undef, %x, %y\n=>\n%r = %y\n", true},
+      {"Select", "select-undef-cond-not-any-value",
+       "%r = select undef, %x, %y\n=>\n%r = add %x, %y\n", false},
+      {"Select", "select-xor-cond-const-arms",
+       "%n = xor %c, 1\n%r = select %n, i8 C1, C2\n=>\n"
+       "%r = select %c, i8 C2, C1\n",
+       true},
+      {"Select", "select-same-op-arms-factor",
+       "%a = mul %x, C1\n%b = mul %x, C2\n%r = select %c, %a, %b\n=>\n"
+       "%k = select %c, C1, C2\n%r = mul %x, %k\n",
+       true},
+      {"Select", "select-of-neg-or-self",
+       "%n = sub 0, %x\n%c = icmp eq %x, 0\n%r = select %c, %x, %n\n"
+       "=>\n%r = sub 0, %x\n",
+       true},
+      {"Select", "select-zext-vs-sext-wrong",
+       "%r = select %c, i8 -1, 0\n=>\n%r = zext %c to i8\n", false},
+      {"Select", "select-and-folded-cond",
+       "%c1 = icmp ne %x, 0\n%c2 = icmp ne %y, 0\n%b = and %c1, %c2\n"
+       "%r = select %b, i8 1, 0\n=>\n%z1 = zext %c1 to i8\n"
+       "%z2 = zext %c2 to i8\n%r = and %z1, %z2\n",
+       true},
+      {"Select", "select-min-via-sub-wrong",
+       "%c = icmp ult %x, %y\n%r = select %c, %x, %y\n=>\n"
+       "%d = sub %x, %y\n%r = add %y, %d\n",
+       false},
+      {"Select", "select-double-not-cond",
+       "%n1 = xor %c, 1\n%n2 = xor %n1, 1\n%r = select %n2, %x, %y\n"
+       "=>\n%r = select %c, %x, %y\n",
+       true},
+      {"Select", "select-icmp-sle-canon",
+       "%c = icmp sle %x, %y\n%r = select %c, %x, %y\n=>\n"
+       "%c2 = icmp sgt %x, %y\n%r = select %c2, %y, %x\n",
+       true},
+      {"Select", "select-shifted-cond",
+       "Pre: C u< 8\n%z = zext i1 %c to i8\n%s = shl %z, C\n"
+       "%t = icmp ne %s, 0\n=>\n%t = %c\n",
+       true},
+      {"Select", "select-clamp-negative-to-zero",
+       "%c = icmp slt %x, 0\n%r = select %c, 0, %x\n=>\n"
+       "%c2 = icmp sgt %x, 0\n%r = select %c2, %x, 0\n",
+       true},
+      {"Select", "select-trunc-cond-roundtrip",
+       "%t = trunc i8 %x to i1\n%r = select %t, i8 1, 0\n=>\n"
+       "%r = and %x, 1\n",
+       true},
+  };
+  return Entries;
+}

@@ -1,0 +1,139 @@
+//===- corpus/Shifts.cpp - InstCombineShifts translations --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive::corpus;
+
+const std::vector<CorpusEntry> &alive::corpus::shiftsEntries() {
+  static const std::vector<CorpusEntry> Entries = {
+      {"Shifts", "shl-zero-amount", "%r = shl %x, 0\n=>\n%r = %x\n", true},
+      {"Shifts", "lshr-zero-amount", "%r = lshr %x, 0\n=>\n%r = %x\n", true},
+      {"Shifts", "ashr-zero-amount", "%r = ashr %x, 0\n=>\n%r = %x\n", true},
+      {"Shifts", "shl-of-zero", "%r = shl 0, %x\n=>\n%r = 0\n", true},
+      {"Shifts", "lshr-of-zero", "%r = lshr 0, %x\n=>\n%r = 0\n", true},
+      {"Shifts", "ashr-of-allones",
+       "%r = ashr -1, %x\n=>\n%r = -1\n", true},
+      {"Shifts", "shl-shl-merge",
+       "Pre: (C1+C2) u< width(%x)\n%a = shl %x, C1\n%r = shl %a, C2\n"
+       "=>\n%r = shl %x, C1+C2\n",
+       true},
+      {"Shifts", "lshr-lshr-merge",
+       "Pre: (C1+C2) u< width(%x)\n%a = lshr %x, C1\n%r = lshr %a, C2\n"
+       "=>\n%r = lshr %x, C1+C2\n",
+       true},
+      {"Shifts", "shl-shl-merge-missing-pre",
+       "%a = shl %x, C1\n%r = shl %a, C2\n=>\n%r = shl %x, C1+C2\n",
+       false},
+      {"Shifts", "shl-lshr-mask",
+       "%s = shl %x, C\n%r = lshr %s, C\n=>\n%r = and %x, -1 >>u C\n",
+       true},
+      {"Shifts", "lshr-shl-mask",
+       "%s = lshr %x, C\n%r = shl %s, C\n=>\n%r = and %x, -1 << C\n",
+       true},
+      {"Shifts", "shl-nsw-ashr-roundtrip",
+       "%s = shl nsw %x, C\n%r = ashr %s, C\n=>\n%r = %x\n", true},
+      {"Shifts", "shl-nuw-lshr-roundtrip",
+       "%s = shl nuw %x, C\n%r = lshr %s, C\n=>\n%r = %x\n", true},
+      {"Shifts", "shl-lshr-roundtrip-wrong",
+       "%s = shl %x, C\n%r = lshr %s, C\n=>\n%r = %x\n", false},
+      {"Shifts", "lshr-exact-shl-roundtrip",
+       "%s = lshr exact %x, C\n%r = shl %s, C\n=>\n%r = %x\n", true},
+      {"Shifts", "ashr-exact-shl-roundtrip",
+       "%s = ashr exact %x, C\n%r = shl %s, C\n=>\n%r = %x\n", true},
+      {"Shifts", "shl-nsw-ashr-narrower",
+       "Pre: C1 u>= C2\n%0 = shl nsw %a, C1\n%1 = ashr %0, C2\n=>\n"
+       "%1 = shl nsw %a, C1-C2\n",
+       true},
+      {"Shifts", "lshr-of-shl-greater",
+       "Pre: C1 u>= C2 && C1 u< width(%x)\n%s = shl nuw %x, C1\n"
+       "%r = lshr %s, C2\n=>\n%r = shl nuw %x, C1-C2\n",
+       true},
+      {"Shifts", "ashr-sign-splat-select",
+       "Pre: C == width(%x)-1\n%r = ashr %x, C\n=>\n"
+       "%c = icmp slt %x, 0\n%r = select %c, -1, 0\n",
+       true},
+      {"Shifts", "lshr-sign-bit-icmp",
+       "Pre: C == width(%x)-1\n%r = lshr i8 %x, C\n=>\n"
+       "%c = icmp slt %x, 0\n%r = zext %c to i8\n",
+       true},
+      {"Shifts", "shl-mul-equivalence",
+       "%r = shl %x, C\n=>\n%r = mul %x, 1 << C\n", true},
+      {"Shifts", "shl-mul-equivalence-guarded",
+       "Pre: C u< width(%x)\n%r = shl %x, C\n=>\n%r = mul %x, 1 << C\n",
+       true},
+      {"Shifts", "lshr-pow2-drop-shift-wrong",
+       "Pre: isPowerOf2(C) && C != 1\n%r = lshr C, %x\n=>\n%r = C\n",
+       false},
+      {"Shifts", "lshr-exact-ne-zero",
+       "%s = lshr exact %x, C\n%c = icmp eq %s, 0\n=>\n"
+       "%c = icmp eq %x, 0\n",
+       true},
+      {"Shifts", "ashr-ashr-merge",
+       "Pre: (C1+C2) u< width(%x)\n%a = ashr %x, C1\n%r = ashr %a, C2\n"
+       "=>\n%r = ashr %x, C1+C2\n",
+       true},
+      {"Shifts", "shl-xor-const",
+       "%a = xor %x, C1\n%r = shl %a, C2\n=>\n"
+       "%s = shl %x, C2\n%r = xor %s, C1 << C2\n",
+       true},
+      {"Shifts", "shl-and-const",
+       "%a = and %x, C1\n%r = shl %a, C2\n=>\n"
+       "%s = shl %x, C2\n%r = and %s, C1 << C2\n",
+       true},
+      {"Shifts", "shl-or-const",
+       "%a = or %x, C1\n%r = shl %a, C2\n=>\n"
+       "%s = shl %x, C2\n%r = or %s, C1 << C2\n",
+       true},
+      {"Shifts", "lshr-and-const",
+       "%a = and %x, C1\n%r = lshr %a, C2\n=>\n"
+       "%s = lshr %x, C2\n%r = and %s, C1 >>u C2\n",
+       true},
+      {"Shifts", "shl-add-const",
+       "%a = add %x, C1\n%r = shl %a, C2\n=>\n"
+       "%s = shl %x, C2\n%r = add %s, C1 << C2\n",
+       true},
+      {"Shifts", "shl-zext-then-trunc",
+       "%z = zext i8 %x to i16\n%s = shl %z, 8\n"
+       "%t = trunc %s to i8\n=>\n%t = 0\n",
+       true},
+      {"Shifts", "trunc-of-lshr-not-trunc-wrong",
+       "%s = lshr i16 %x, 8\n%t = trunc %s to i8\n=>\n"
+       "%t = trunc i16 %x to i8\n",
+       false},
+      {"Shifts", "lshr-of-lshr-exact-keep",
+       "Pre: (C1+C2) u< width(%x)\n%a = lshr exact %x, C1\n"
+       "%r = lshr exact %a, C2\n=>\n%r = lshr exact %x, C1+C2\n",
+       true},
+      // An undef shift *amount* can always be instantiated past the width,
+      // making the source undefined — so any target refines it (the ∃u in
+      // condition 3 picks the UB-triggering value).
+      {"Shifts", "shl-undef-amount-refines",
+       "%r = shl %x, undef\n=>\n%r = 0\n", true},
+      {"Shifts", "shl-of-undef-refines-zero",
+       "%r = shl undef, %y\n=>\n%r = 0\n", true},
+      {"Shifts", "lshr-then-trunc-keeps-high",
+       "%s = lshr i16 %x, 8\n%t = trunc %s to i8\n%z = zext %t to i16\n"
+       "=>\n%z = lshr i16 %x, 8\n",
+       true},
+      {"Shifts", "ashr-nonneg-is-lshr",
+       "Pre: CannotBeNegative(%x)\n%r = ashr %x, C\n=>\n"
+       "%r = lshr %x, C\n",
+       true},
+      {"Shifts", "shl-by-one-is-add",
+       "%r = shl %x, 1\n=>\n%r = add %x, %x\n", true},
+      {"Shifts", "lshr-by-width-minus-one-bool",
+       "%s = lshr i8 %x, 7\n%c = icmp ne %s, 0\n=>\n"
+       "%c = icmp slt %x, 0\n",
+       true},
+      {"Shifts", "shl-nuw-drop-flag",
+       "%r = shl nuw i8 1, %x\n=>\n%r = shl i8 1, %x\n", true},
+      {"Shifts", "shl-one-never-zero",
+       "%s = shl nuw i8 1, %x\n%c = icmp eq %s, 0\n=>\n%c = false\n",
+       true},
+  };
+  return Entries;
+}

@@ -1,0 +1,128 @@
+//===- ir/ConstExpr.cpp - constant expression implementation --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ConstExpr.h"
+
+#include "ir/Value.h"
+
+using namespace alive;
+using namespace alive::ir;
+
+std::unique_ptr<ConstExpr> ConstExpr::clone() const {
+  auto E = std::unique_ptr<ConstExpr>(new ConstExpr(K));
+  E->LiteralVal = LiteralVal;
+  E->SymName = SymName;
+  E->UOp = UOp;
+  E->BOp = BOp;
+  E->Fn = Fn;
+  E->ValueArg = ValueArg;
+  for (const auto &A : Args)
+    E->Args.push_back(A->clone());
+  return E;
+}
+
+void ConstExpr::collectSymRefs(std::vector<std::string> &Out) const {
+  if (K == Kind::SymRef) {
+    Out.push_back(SymName);
+    return;
+  }
+  for (const auto &A : Args)
+    A->collectSymRefs(Out);
+}
+
+const char *ConstExpr::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::SDiv:
+    return "/";
+  case BinaryOp::UDiv:
+    return "/u";
+  case BinaryOp::SRem:
+    return "%";
+  case BinaryOp::URem:
+    return "%u";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::LShr:
+    return ">>u";
+  case BinaryOp::AShr:
+    return ">>";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Or:
+    return "|";
+  case BinaryOp::Xor:
+    return "^";
+  }
+  return "?";
+}
+
+const char *ConstExpr::builtinName(Builtin Fn) {
+  switch (Fn) {
+  case Builtin::Width:
+    return "width";
+  case Builtin::Log2:
+    return "log2";
+  case Builtin::Abs:
+    return "abs";
+  case Builtin::UMax:
+    return "umax";
+  case Builtin::UMin:
+    return "umin";
+  case Builtin::SMax:
+    return "smax";
+  case Builtin::SMin:
+    return "smin";
+  case Builtin::ZExt:
+    return "zext";
+  case Builtin::SExt:
+    return "sext";
+  case Builtin::Trunc:
+    return "trunc";
+  }
+  return "?";
+}
+
+std::string ConstExpr::str() const {
+  switch (K) {
+  case Kind::Literal:
+    return std::to_string(LiteralVal);
+  case Kind::SymRef:
+    return SymName;
+  case Kind::Unary:
+    return (UOp == UnaryOp::Neg ? "-" : "~") + Args[0]->str();
+  case Kind::Binary: {
+    // Parenthesize compound operands to keep printing unambiguous.
+    auto Wrap = [](const ConstExpr *E) {
+      std::string S = E->str();
+      if (E->getKind() == Kind::Binary)
+        return "(" + S + ")";
+      return S;
+    };
+    return Wrap(Args[0].get()) + " " + binaryOpName(BOp) + " " +
+           Wrap(Args[1].get());
+  }
+  case Kind::Call: {
+    std::string S = std::string(builtinName(Fn)) + "(";
+    if (ValueArg) {
+      S += ValueArg->operandStr();
+    } else {
+      for (size_t I = 0; I != Args.size(); ++I) {
+        if (I)
+          S += ", ";
+        S += Args[I]->str();
+      }
+    }
+    return S + ")";
+  }
+  }
+  return "<bad-constexpr>";
+}

@@ -1,0 +1,174 @@
+//===- ir/ConstExpr.h - Alive's constant expression language ----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constant-expression language of Section 2.2: literals, abstract
+/// constants (C, C1, ...), unary and binary operators, and built-in
+/// functions (width(), log2(), abs(), umax(), ...). Constant expressions
+/// appear as instruction operands in target templates (e.g. `C-1`) and in
+/// preconditions (e.g. `C2 % (1<<C1) == 0`).
+///
+/// Literals are width-polymorphic: `-1` denotes the all-ones value of
+/// whatever width type inference assigns to its context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_CONSTEXPR_H
+#define ALIVE_IR_CONSTEXPR_H
+
+#include "support/APInt.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace ir {
+
+class Value;
+
+/// A node in a constant expression tree.
+class ConstExpr {
+public:
+  enum class Kind {
+    Literal, ///< width-polymorphic integer literal
+    SymRef,  ///< reference to an abstract constant (C1) by name
+    Unary,
+    Binary,
+    Call, ///< built-in function application
+  };
+
+  enum class UnaryOp { Neg, Not };
+
+  enum class BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    Shl,
+    LShr,
+    AShr,
+    And,
+    Or,
+    Xor,
+  };
+
+  /// Built-in constant functions (Section 2.2 lists abs(), umax(),
+  /// width(); log2() appears in PR21242's fix).
+  enum class Builtin {
+    Width,   ///< width(%x): the bit width of the argument's type
+    Log2,    ///< log2(C): floor of log2
+    Abs,     ///< abs(C)
+    UMax,    ///< umax(C1, C2)
+    UMin,
+    SMax,
+    SMin,
+    ZExt,    ///< zext(C): zero-extend to the context width
+    SExt,    ///< sext(C)
+    Trunc,   ///< trunc(C)
+  };
+
+  static std::unique_ptr<ConstExpr> literal(int64_t V) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::Literal));
+    E->LiteralVal = V;
+    return E;
+  }
+  static std::unique_ptr<ConstExpr> symRef(std::string Name) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::SymRef));
+    E->SymName = std::move(Name);
+    return E;
+  }
+  static std::unique_ptr<ConstExpr> unary(UnaryOp Op,
+                                          std::unique_ptr<ConstExpr> A) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::Unary));
+    E->UOp = Op;
+    E->Args.push_back(std::move(A));
+    return E;
+  }
+  static std::unique_ptr<ConstExpr> binary(BinaryOp Op,
+                                           std::unique_ptr<ConstExpr> A,
+                                           std::unique_ptr<ConstExpr> B) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::Binary));
+    E->BOp = Op;
+    E->Args.push_back(std::move(A));
+    E->Args.push_back(std::move(B));
+    return E;
+  }
+  static std::unique_ptr<ConstExpr>
+  call(Builtin Fn, std::vector<std::unique_ptr<ConstExpr>> Args) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::Call));
+    E->Fn = Fn;
+    E->Args = std::move(Args);
+    return E;
+  }
+  /// Call taking a value argument (width(%x), log2 of a register is not
+  /// allowed but width of one is).
+  static std::unique_ptr<ConstExpr> callOnValue(Builtin Fn, Value *V) {
+    auto E = std::unique_ptr<ConstExpr>(new ConstExpr(Kind::Call));
+    E->Fn = Fn;
+    E->ValueArg = V;
+    return E;
+  }
+
+  /// Deep copy.
+  std::unique_ptr<ConstExpr> clone() const;
+
+  Kind getKind() const { return K; }
+  int64_t getLiteral() const {
+    assert(K == Kind::Literal);
+    return LiteralVal;
+  }
+  const std::string &getSymName() const {
+    assert(K == Kind::SymRef);
+    return SymName;
+  }
+  UnaryOp getUnaryOp() const {
+    assert(K == Kind::Unary);
+    return UOp;
+  }
+  BinaryOp getBinaryOp() const {
+    assert(K == Kind::Binary);
+    return BOp;
+  }
+  Builtin getBuiltin() const {
+    assert(K == Kind::Call);
+    return Fn;
+  }
+  const ConstExpr *getArg(unsigned I) const { return Args[I].get(); }
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Value *getValueArg() const { return ValueArg; }
+
+  /// Collects the names of all referenced abstract constants.
+  void collectSymRefs(std::vector<std::string> &Out) const;
+
+  /// Renders the expression in Alive's surface syntax.
+  std::string str() const;
+
+  static const char *binaryOpName(BinaryOp Op);
+  static const char *builtinName(Builtin Fn);
+
+private:
+  explicit ConstExpr(Kind K) : K(K) {}
+
+  Kind K;
+  int64_t LiteralVal = 0;
+  std::string SymName;
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  Builtin Fn = Builtin::Width;
+  std::vector<std::unique_ptr<ConstExpr>> Args;
+  Value *ValueArg = nullptr;
+};
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_CONSTEXPR_H

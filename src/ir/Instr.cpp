@@ -1,0 +1,164 @@
+//===- ir/Instr.cpp - instruction printing and opcode tables ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instr.h"
+
+using namespace alive;
+using namespace alive::ir;
+
+Value::~Value() = default;
+
+const char *ir::binOpcodeName(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return "add";
+  case BinOpcode::Sub:
+    return "sub";
+  case BinOpcode::Mul:
+    return "mul";
+  case BinOpcode::UDiv:
+    return "udiv";
+  case BinOpcode::SDiv:
+    return "sdiv";
+  case BinOpcode::URem:
+    return "urem";
+  case BinOpcode::SRem:
+    return "srem";
+  case BinOpcode::Shl:
+    return "shl";
+  case BinOpcode::LShr:
+    return "lshr";
+  case BinOpcode::AShr:
+    return "ashr";
+  case BinOpcode::And:
+    return "and";
+  case BinOpcode::Or:
+    return "or";
+  case BinOpcode::Xor:
+    return "xor";
+  }
+  return "?";
+}
+
+bool ir::binOpSupportsWrapFlags(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+  case BinOpcode::Sub:
+  case BinOpcode::Mul:
+  case BinOpcode::Shl:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::binOpSupportsExact(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::UDiv:
+  case BinOpcode::SDiv:
+  case BinOpcode::LShr:
+  case BinOpcode::AShr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ir::icmpCondName(ICmpCond C) {
+  switch (C) {
+  case ICmpCond::EQ:
+    return "eq";
+  case ICmpCond::NE:
+    return "ne";
+  case ICmpCond::UGT:
+    return "ugt";
+  case ICmpCond::UGE:
+    return "uge";
+  case ICmpCond::ULT:
+    return "ult";
+  case ICmpCond::ULE:
+    return "ule";
+  case ICmpCond::SGT:
+    return "sgt";
+  case ICmpCond::SGE:
+    return "sge";
+  case ICmpCond::SLT:
+    return "slt";
+  case ICmpCond::SLE:
+    return "sle";
+  }
+  return "?";
+}
+
+const char *ir::convOpcodeName(ConvOpcode Op) {
+  switch (Op) {
+  case ConvOpcode::ZExt:
+    return "zext";
+  case ConvOpcode::SExt:
+    return "sext";
+  case ConvOpcode::Trunc:
+    return "trunc";
+  case ConvOpcode::BitCast:
+    return "bitcast";
+  case ConvOpcode::PtrToInt:
+    return "ptrtoint";
+  case ConvOpcode::IntToPtr:
+    return "inttoptr";
+  }
+  return "?";
+}
+
+std::string BinOp::str() const {
+  std::string S = Name + " = " + binOpcodeName(Op);
+  if (hasNSW())
+    S += " nsw";
+  if (hasNUW())
+    S += " nuw";
+  if (isExact())
+    S += " exact";
+  return S + " " + getLHS()->operandStr() + ", " + getRHS()->operandStr();
+}
+
+std::string ICmp::str() const {
+  return Name + " = icmp " + std::string(icmpCondName(Cond)) + " " +
+         getLHS()->operandStr() + ", " + getRHS()->operandStr();
+}
+
+std::string Select::str() const {
+  return Name + " = select " + getCondition()->operandStr() + ", " +
+         getTrueValue()->operandStr() + ", " + getFalseValue()->operandStr();
+}
+
+std::string Conv::str() const {
+  return Name + " = " + convOpcodeName(Op) + " " + getSrc()->operandStr();
+}
+
+std::string Alloca::str() const {
+  std::string S = Name + " = alloca";
+  if (HasElemTy)
+    S += " " + ElemTy.str();
+  return S + ", " + getNumElems()->operandStr();
+}
+
+std::string GEP::str() const {
+  std::string S = Name + " = getelementptr " + getBase()->operandStr();
+  for (unsigned I = 0, E = getNumIndices(); I != E; ++I)
+    S += ", " + getIndex(I)->operandStr();
+  return S;
+}
+
+std::string Load::str() const {
+  return Name + " = load " + getPointer()->operandStr();
+}
+
+std::string Store::str() const {
+  return "store " + getValue()->operandStr() + ", " +
+         getPointer()->operandStr();
+}
+
+std::string Unreachable::str() const { return "unreachable"; }
+
+std::string Copy::str() const { return Name + " = " + getSrc()->operandStr(); }

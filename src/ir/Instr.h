@@ -1,0 +1,301 @@
+//===- ir/Instr.h - Alive instructions --------------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of Figure 1: integer binary operations (with the
+/// nsw/nuw/exact attributes of Section 2.4), comparisons, select,
+/// conversions, and the memory operations alloca / getelementptr / load /
+/// store, plus unreachable and the explicit copy instruction Alive adds
+/// over LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_INSTR_H
+#define ALIVE_IR_INSTR_H
+
+#include "ir/Value.h"
+
+#include <vector>
+
+namespace alive {
+namespace ir {
+
+/// Base class for all instructions.
+class Instr : public Value {
+public:
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Renders the whole instruction line, e.g. "%1 = add nsw %x, C".
+  virtual std::string str() const = 0;
+
+  static bool classof(const Value *V) { return V->isInstr(); }
+
+protected:
+  Instr(ValueKind K, std::string Name, std::vector<Value *> Ops)
+      : Value(K, std::move(Name)), Operands(std::move(Ops)) {}
+
+  std::vector<Value *> Operands;
+};
+
+/// Binary integer operation opcodes (Figure 1's binop).
+enum class BinOpcode {
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  SDiv,
+  URem,
+  SRem,
+  Shl,
+  LShr,
+  AShr,
+  And,
+  Or,
+  Xor,
+};
+
+/// Instruction attributes that weaken behavior (Section 2.4).
+enum AttrFlags : unsigned {
+  AttrNone = 0,
+  AttrNSW = 1 << 0,   ///< no signed wrap
+  AttrNUW = 1 << 1,   ///< no unsigned wrap
+  AttrExact = 1 << 2, ///< division/shift must be lossless
+};
+
+const char *binOpcodeName(BinOpcode Op);
+
+/// True if \p Op may carry nsw/nuw (add, sub, mul, shl).
+bool binOpSupportsWrapFlags(BinOpcode Op);
+/// True if \p Op may carry exact (udiv, sdiv, lshr, ashr).
+bool binOpSupportsExact(BinOpcode Op);
+
+/// An integer binary operation: `%d = add nsw %a, %b`.
+class BinOp final : public Instr {
+public:
+  BinOp(std::string Name, BinOpcode Op, Value *LHS, Value *RHS,
+        unsigned Flags = AttrNone)
+      : Instr(ValueKind::BinOp, std::move(Name), {LHS, RHS}), Op(Op),
+        Flags(Flags) {}
+
+  BinOpcode getOpcode() const { return Op; }
+  unsigned getFlags() const { return Flags; }
+  void setFlags(unsigned F) { Flags = F; }
+  bool hasNSW() const { return Flags & AttrNSW; }
+  bool hasNUW() const { return Flags & AttrNUW; }
+  bool isExact() const { return Flags & AttrExact; }
+
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BinOp;
+  }
+
+private:
+  BinOpcode Op;
+  unsigned Flags;
+};
+
+/// Comparison predicates for icmp.
+enum class ICmpCond { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE };
+
+const char *icmpCondName(ICmpCond C);
+
+/// `%c = icmp sgt %a, %b` — always yields i1.
+class ICmp final : public Instr {
+public:
+  ICmp(std::string Name, ICmpCond Cond, Value *LHS, Value *RHS)
+      : Instr(ValueKind::ICmp, std::move(Name), {LHS, RHS}), Cond(Cond) {}
+
+  ICmpCond getCond() const { return Cond; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ICmp;
+  }
+
+private:
+  ICmpCond Cond;
+};
+
+/// `%r = select %c, %a, %b`.
+class Select final : public Instr {
+public:
+  Select(std::string Name, Value *Cond, Value *TrueVal, Value *FalseVal)
+      : Instr(ValueKind::Select, std::move(Name), {Cond, TrueVal, FalseVal}) {}
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Select;
+  }
+};
+
+/// Conversion opcodes: integer resizes plus the pointer casts.
+enum class ConvOpcode { ZExt, SExt, Trunc, BitCast, PtrToInt, IntToPtr };
+
+const char *convOpcodeName(ConvOpcode Op);
+
+/// `%w = zext %x` (result type constrained by the typing rules; an explicit
+/// destination type may be given in the surface syntax, recorded as a type
+/// constraint rather than here).
+class Conv final : public Instr {
+public:
+  Conv(std::string Name, ConvOpcode Op, Value *Src)
+      : Instr(ValueKind::Conv, std::move(Name), {Src}), Op(Op) {}
+
+  ConvOpcode getOpcode() const { return Op; }
+  Value *getSrc() const { return getOperand(0); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Conv;
+  }
+
+private:
+  ConvOpcode Op;
+};
+
+/// `%p = alloca ty, N` — reserves stack memory (Section 2.5). The element
+/// count must be a compile-time constant.
+class Alloca final : public Instr {
+public:
+  Alloca(std::string Name, Value *NumElems)
+      : Instr(ValueKind::Alloca, std::move(Name), {NumElems}) {}
+
+  Value *getNumElems() const { return getOperand(0); }
+
+  /// Explicit element type annotation (`alloca i8`); when absent the
+  /// element type is polymorphic and enumerated by the typing module.
+  bool hasElemType() const { return HasElemTy; }
+  const Type &getElemType() const {
+    assert(HasElemTy && "alloca has no explicit element type");
+    return ElemTy;
+  }
+  void setElemType(Type T) {
+    ElemTy = std::move(T);
+    HasElemTy = true;
+  }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Alloca;
+  }
+
+private:
+  Type ElemTy;
+  bool HasElemTy = false;
+};
+
+/// `%p = getelementptr %base, %i1, ..., %in` — structured address
+/// arithmetic.
+class GEP final : public Instr {
+public:
+  GEP(std::string Name, Value *Base, std::vector<Value *> Indices)
+      : Instr(ValueKind::GEP, std::move(Name), prepend(Base, Indices)) {}
+
+  Value *getBase() const { return getOperand(0); }
+  unsigned getNumIndices() const { return getNumOperands() - 1; }
+  Value *getIndex(unsigned I) const { return getOperand(I + 1); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::GEP; }
+
+private:
+  static std::vector<Value *> prepend(Value *Base, std::vector<Value *> &Idx) {
+    std::vector<Value *> Ops;
+    Ops.push_back(Base);
+    Ops.insert(Ops.end(), Idx.begin(), Idx.end());
+    return Ops;
+  }
+};
+
+/// `%v = load %p`.
+class Load final : public Instr {
+public:
+  Load(std::string Name, Value *Ptr)
+      : Instr(ValueKind::Load, std::move(Name), {Ptr}) {}
+
+  Value *getPointer() const { return getOperand(0); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Load;
+  }
+};
+
+/// `store %v, %p` — void result; creates a sequence point (Section 3.3.1).
+class Store final : public Instr {
+public:
+  Store(std::string Name, Value *Val, Value *Ptr)
+      : Instr(ValueKind::Store, std::move(Name), {Val, Ptr}) {}
+
+  Value *getValue() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Store;
+  }
+};
+
+/// `unreachable` — executing it is immediate undefined behavior.
+class Unreachable final : public Instr {
+public:
+  explicit Unreachable(std::string Name)
+      : Instr(ValueKind::Unreachable, std::move(Name), {}) {}
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Unreachable;
+  }
+};
+
+/// `%a = %b` — Alive's explicit copy instruction (Section 2.1).
+class Copy final : public Instr {
+public:
+  Copy(std::string Name, Value *Src)
+      : Instr(ValueKind::Copy, std::move(Name), {Src}) {}
+
+  Value *getSrc() const { return getOperand(0); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Copy;
+  }
+};
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_INSTR_H

@@ -1,0 +1,113 @@
+//===- ir/Precondition.cpp - precondition printing and tables --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Precondition.h"
+
+using namespace alive;
+using namespace alive::ir;
+
+const char *ir::predKindName(PredKind K) {
+  switch (K) {
+  case PredKind::IsPowerOf2:
+    return "isPowerOf2";
+  case PredKind::IsPowerOf2OrZero:
+    return "isPowerOf2OrZero";
+  case PredKind::IsSignBit:
+    return "isSignBit";
+  case PredKind::IsShiftedMask:
+    return "isShiftedMask";
+  case PredKind::MaskedValueIsZero:
+    return "MaskedValueIsZero";
+  case PredKind::WillNotOverflowSignedAdd:
+    return "WillNotOverflowSignedAdd";
+  case PredKind::WillNotOverflowUnsignedAdd:
+    return "WillNotOverflowUnsignedAdd";
+  case PredKind::WillNotOverflowSignedSub:
+    return "WillNotOverflowSignedSub";
+  case PredKind::WillNotOverflowUnsignedSub:
+    return "WillNotOverflowUnsignedSub";
+  case PredKind::WillNotOverflowSignedMul:
+    return "WillNotOverflowSignedMul";
+  case PredKind::WillNotOverflowUnsignedMul:
+    return "WillNotOverflowUnsignedMul";
+  case PredKind::WillNotOverflowSignedShl:
+    return "WillNotOverflowSignedShl";
+  case PredKind::WillNotOverflowUnsignedShl:
+    return "WillNotOverflowUnsignedShl";
+  case PredKind::CannotBeNegative:
+    return "CannotBeNegative";
+  case PredKind::OneUse:
+    return "hasOneUse";
+  }
+  return "?";
+}
+
+unsigned ir::predKindArity(PredKind K) {
+  switch (K) {
+  case PredKind::MaskedValueIsZero:
+  case PredKind::WillNotOverflowSignedAdd:
+  case PredKind::WillNotOverflowUnsignedAdd:
+  case PredKind::WillNotOverflowSignedSub:
+  case PredKind::WillNotOverflowUnsignedSub:
+  case PredKind::WillNotOverflowSignedMul:
+  case PredKind::WillNotOverflowUnsignedMul:
+  case PredKind::WillNotOverflowSignedShl:
+  case PredKind::WillNotOverflowUnsignedShl:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+bool ir::predKindIsApproximate(PredKind K) {
+  // All of these surface LLVM must-analyses; when their arguments are not
+  // compile-time constants the analysis result is an under-approximation
+  // of the mathematical property. hasOneUse is purely structural: it has
+  // no semantic content at all and is encoded as an unconstrained Boolean.
+  switch (K) {
+  case PredKind::OneUse:
+    return true;
+  default:
+    return true;
+  }
+}
+
+std::string Precond::str() const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::Not:
+    return "!" + Children[0]->str();
+  case Kind::And: {
+    std::string S = Children[0]->str();
+    for (unsigned I = 1; I != Children.size(); ++I)
+      S += " && " + Children[I]->str();
+    return S;
+  }
+  case Kind::Or: {
+    std::string S = "(" + Children[0]->str();
+    for (unsigned I = 1; I != Children.size(); ++I)
+      S += " || " + Children[I]->str();
+    return S + ")";
+  }
+  case Kind::Cmp: {
+    static const char *Names[] = {"==", "!=",  "u<", "u<=", "u>",
+                                  "u>=", "<",  "<=", ">",   ">="};
+    return CmpLHS->str() + " " + Names[static_cast<int>(Op)] + " " +
+           CmpRHS->str();
+  }
+  case Kind::Builtin: {
+    std::string S = std::string(predKindName(Pred)) + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Args[I]->operandStr();
+    }
+    return S + ")";
+  }
+  }
+  return "<bad-precond>";
+}

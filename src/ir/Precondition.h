@@ -1,0 +1,143 @@
+//===- ir/Precondition.h - precondition language ----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preconditions (Section 2.3): built-in predicates that surface LLVM
+/// dataflow analysis results, comparisons over constant expressions, and
+/// the usual logical connectives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_PRECONDITION_H
+#define ALIVE_IR_PRECONDITION_H
+
+#include "ir/ConstExpr.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace ir {
+
+/// Built-in precondition predicates. Each entry records whether the
+/// backing LLVM analysis is precise or a must-approximation — that choice
+/// drives the SMT encoding (Section 3.1.1): precise predicates (or any
+/// predicate applied to compile-time constants) are encoded exactly, while
+/// must-analyses get a fresh Boolean p with side constraint p => exact.
+enum class PredKind {
+  IsPowerOf2,
+  IsPowerOf2OrZero,
+  IsSignBit,               ///< value is exactly the sign bit (0x80...0)
+  IsShiftedMask,
+  MaskedValueIsZero,       ///< MaskedValueIsZero(%v, mask): %v & mask == 0
+  WillNotOverflowSignedAdd,
+  WillNotOverflowUnsignedAdd,
+  WillNotOverflowSignedSub,
+  WillNotOverflowUnsignedSub,
+  WillNotOverflowSignedMul,
+  WillNotOverflowUnsignedMul,
+  WillNotOverflowSignedShl,
+  WillNotOverflowUnsignedShl,
+  CannotBeNegative,        ///< sign bit known zero
+  OneUse,                  ///< hasOneUse(%x): profitability-only
+};
+
+const char *predKindName(PredKind K);
+/// Number of arguments the predicate expects.
+unsigned predKindArity(PredKind K);
+/// True when the backing analysis is a must-approximation (encoded with a
+/// one-sided side constraint unless all arguments are constants).
+bool predKindIsApproximate(PredKind K);
+
+/// A precondition formula.
+class Precond {
+public:
+  enum class Kind {
+    True,
+    Not,
+    And,
+    Or,
+    Cmp,     ///< comparison of two constant expressions
+    Builtin, ///< built-in predicate application
+  };
+
+  /// Comparison operators usable in preconditions.
+  enum class CmpOp { EQ, NE, ULT, ULE, UGT, UGE, SLT, SLE, SGT, SGE };
+
+  static std::unique_ptr<Precond> mkTrue() {
+    return std::unique_ptr<Precond>(new Precond(Kind::True));
+  }
+  static std::unique_ptr<Precond> mkNot(std::unique_ptr<Precond> A) {
+    auto P = std::unique_ptr<Precond>(new Precond(Kind::Not));
+    P->Children.push_back(std::move(A));
+    return P;
+  }
+  static std::unique_ptr<Precond> mkAnd(std::unique_ptr<Precond> A,
+                                        std::unique_ptr<Precond> B) {
+    auto P = std::unique_ptr<Precond>(new Precond(Kind::And));
+    P->Children.push_back(std::move(A));
+    P->Children.push_back(std::move(B));
+    return P;
+  }
+  static std::unique_ptr<Precond> mkOr(std::unique_ptr<Precond> A,
+                                       std::unique_ptr<Precond> B) {
+    auto P = std::unique_ptr<Precond>(new Precond(Kind::Or));
+    P->Children.push_back(std::move(A));
+    P->Children.push_back(std::move(B));
+    return P;
+  }
+  static std::unique_ptr<Precond> mkCmp(CmpOp Op,
+                                        std::unique_ptr<ConstExpr> L,
+                                        std::unique_ptr<ConstExpr> R) {
+    auto P = std::unique_ptr<Precond>(new Precond(Kind::Cmp));
+    P->Op = Op;
+    P->CmpLHS = std::move(L);
+    P->CmpRHS = std::move(R);
+    return P;
+  }
+  /// Builtin application; arguments are Values (inputs, constants, or
+  /// source temporaries) or constant expressions wrapped as ConstExprValue
+  /// by the parser.
+  static std::unique_ptr<Precond> mkBuiltin(PredKind K,
+                                            std::vector<Value *> Args) {
+    auto P = std::unique_ptr<Precond>(new Precond(Kind::Builtin));
+    P->Pred = K;
+    P->Args = std::move(Args);
+    return P;
+  }
+
+  Kind getKind() const { return K; }
+  const Precond *getChild(unsigned I) const { return Children[I].get(); }
+  unsigned getNumChildren() const {
+    return static_cast<unsigned>(Children.size());
+  }
+  CmpOp getCmpOp() const { return Op; }
+  const ConstExpr *getCmpLHS() const { return CmpLHS.get(); }
+  const ConstExpr *getCmpRHS() const { return CmpRHS.get(); }
+  PredKind getPred() const { return Pred; }
+  const std::vector<Value *> &getArgs() const { return Args; }
+
+  bool isTrue() const { return K == Kind::True; }
+
+  std::string str() const;
+
+private:
+  explicit Precond(Kind K) : K(K) {}
+
+  Kind K;
+  std::vector<std::unique_ptr<Precond>> Children;
+  CmpOp Op = CmpOp::EQ;
+  std::unique_ptr<ConstExpr> CmpLHS, CmpRHS;
+  PredKind Pred = PredKind::IsPowerOf2;
+  std::vector<Value *> Args;
+};
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_PRECONDITION_H

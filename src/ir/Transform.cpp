@@ -1,0 +1,118 @@
+//===- ir/Transform.cpp - transform validation and printing ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Transform.h"
+
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+
+std::vector<Value *> Transform::inputs() const {
+  std::vector<Value *> Out;
+  for (const auto &V : Pool)
+    if (isa<InputVar>(V.get()) || isa<ConstantSymbol>(V.get()))
+      Out.push_back(V.get());
+  return Out;
+}
+
+std::vector<Instr *> Transform::tgtOverwrites() const {
+  std::set<std::string> SrcNames;
+  for (Instr *I : Src)
+    if (!I->getName().empty())
+      SrcNames.insert(I->getName());
+  std::vector<Instr *> Out;
+  for (Instr *I : Tgt)
+    if (I != TgtRoot && SrcNames.count(I->getName()))
+      Out.push_back(I);
+  return Out;
+}
+
+Status Transform::finalize() {
+  if (Src.empty())
+    return Status::error("transform '" + Name + "' has an empty source");
+  if (Tgt.empty())
+    return Status::error("transform '" + Name + "' has an empty target");
+
+  // The root is the last definition of the source; the target must define
+  // a value of the same name (Section 2.1: common root variable).
+  SrcRoot = Src.back();
+  TgtRoot = nullptr;
+  if (SrcRoot->getName().empty()) {
+    // A void root (store/unreachable): the transformation is about memory
+    // effects, so any target shape is allowed; refinement is established
+    // through the memory-equality condition.
+    TgtRoot = Tgt.back();
+  } else {
+    for (Instr *I : Tgt)
+      if (I->getName() == SrcRoot->getName())
+        TgtRoot = I;
+    if (!TgtRoot)
+      return Status::error("transform '" + Name + "': target never defines " +
+                           "the root variable " + SrcRoot->getName());
+    if (TgtRoot != Tgt.back())
+      return Status::error("transform '" + Name + "': the root " +
+                           SrcRoot->getName() +
+                           " must be the last target definition");
+  }
+
+  // Collect names the target overwrites.
+  std::set<std::string> TgtNames;
+  for (Instr *I : Tgt)
+    if (!I->getName().empty())
+      TgtNames.insert(I->getName());
+
+  // Every source temporary must be used by a later source instruction or
+  // be overwritten in the target (to help catch template typos).
+  for (size_t I = 0; I != Src.size(); ++I) {
+    Instr *Def = Src[I];
+    if (Def == SrcRoot || Def->getName().empty())
+      continue;
+    bool Used = false;
+    for (size_t J = I + 1; J != Src.size() && !Used; ++J)
+      for (Value *Op : Src[J]->operands())
+        Used |= Op == static_cast<Value *>(Def);
+    if (!Used && !TgtNames.count(Def->getName()))
+      return Status::error("transform '" + Name + "': source temporary " +
+                           Def->getName() +
+                           " is never used nor overwritten");
+  }
+
+  // Every non-root target temporary must be used by a later target
+  // instruction or overwrite a source instruction.
+  std::set<std::string> SrcNames;
+  for (Instr *I : Src)
+    if (!I->getName().empty())
+      SrcNames.insert(I->getName());
+  for (size_t I = 0; I != Tgt.size(); ++I) {
+    Instr *Def = Tgt[I];
+    if (Def == TgtRoot || Def->getName().empty())
+      continue;
+    bool Used = false;
+    for (size_t J = I + 1; J != Tgt.size() && !Used; ++J)
+      for (Value *Op : Tgt[J]->operands())
+        Used |= Op == static_cast<Value *>(Def);
+    if (!Used && !SrcNames.count(Def->getName()))
+      return Status::error("transform '" + Name + "': target temporary " +
+                           Def->getName() +
+                           " is never used and overwrites nothing");
+  }
+  return Status::success();
+}
+
+std::string Transform::str() const {
+  std::string S;
+  if (!Name.empty())
+    S += "Name: " + Name + "\n";
+  if (!Pre->isTrue())
+    S += "Pre: " + Pre->str() + "\n";
+  for (const Instr *I : Src)
+    S += I->str() + "\n";
+  S += "=>\n";
+  for (const Instr *I : Tgt)
+    S += I->str() + "\n";
+  return S;
+}

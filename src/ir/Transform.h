@@ -1,0 +1,111 @@
+//===- ir/Transform.h - An Alive transformation -----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Transform is one `Pre / source => target` unit: the central object of
+/// the whole tool chain. It owns every Value, keeps the source and target
+/// instruction lists in program order, records explicit type annotations
+/// as constraints for the typing module, and implements the scoping and
+/// well-formedness rules of Section 2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_TRANSFORM_H
+#define ALIVE_IR_TRANSFORM_H
+
+#include "ir/Instr.h"
+#include "ir/Precondition.h"
+#include "support/Status.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace ir {
+
+/// One Alive transformation.
+class Transform {
+public:
+  Transform() : Pre(Precond::mkTrue()) {}
+  Transform(Transform &&) = default;
+  Transform &operator=(Transform &&) = default;
+
+  std::string Name;
+
+  /// Adds a value to the ownership pool, assigning it a fresh type
+  /// variable. Returns a raw pointer valid for the Transform's lifetime.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Ptr = Owned.get();
+    Ptr->setTypeVar(static_cast<TypeVar>(Pool.size()));
+    Pool.push_back(std::move(Owned));
+    return Ptr;
+  }
+
+  void setPrecondition(std::unique_ptr<Precond> P) { Pre = std::move(P); }
+  const Precond &getPrecondition() const { return *Pre; }
+
+  void appendSrc(Instr *I) { Src.push_back(I); }
+  void appendTgt(Instr *I) { Tgt.push_back(I); }
+
+  const std::vector<Instr *> &src() const { return Src; }
+  const std::vector<Instr *> &tgt() const { return Tgt; }
+
+  /// The root instruction of the source template (the common root variable
+  /// of Section 2.1); set by finalize().
+  Instr *getSrcRoot() const { return SrcRoot; }
+  /// The target instruction computing the root variable's new value.
+  Instr *getTgtRoot() const { return TgtRoot; }
+
+  /// Number of type variables (one per pooled value).
+  unsigned getNumTypeVars() const { return static_cast<unsigned>(Pool.size()); }
+
+  /// Records an explicit type annotation (e.g. `add i8 %x, %y`) pinning a
+  /// value's type.
+  void fixType(const Value *V, Type T) {
+    FixedTypes.emplace_back(V->getTypeVar(), std::move(T));
+  }
+  const std::vector<std::pair<TypeVar, Type>> &fixedTypes() const {
+    return FixedTypes;
+  }
+
+  /// All owned values, in creation order.
+  const std::vector<std::unique_ptr<Value>> &pool() const { return Pool; }
+
+  /// Input variables and abstract constants of the source (the set I of
+  /// Section 3.1.2).
+  std::vector<Value *> inputs() const;
+
+  /// Establishes the roots and checks the scoping rules:
+  ///  * source and target each end in a definition of a common root name;
+  ///  * every source temporary is used by a later source instruction or
+  ///    overwritten in the target;
+  ///  * every target temporary is used later in the target or overwrites a
+  ///    source instruction.
+  Status finalize();
+
+  /// Renders the transformation in Alive surface syntax.
+  std::string str() const;
+
+  /// Target instructions that redefine (overwrite) a source temporary of
+  /// the same name, excluding the root. Used by the rewrite engine.
+  std::vector<Instr *> tgtOverwrites() const;
+
+private:
+  std::unique_ptr<Precond> Pre;
+  std::vector<std::unique_ptr<Value>> Pool;
+  std::vector<Instr *> Src, Tgt;
+  Instr *SrcRoot = nullptr;
+  Instr *TgtRoot = nullptr;
+  std::vector<std::pair<TypeVar, Type>> FixedTypes;
+};
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_TRANSFORM_H

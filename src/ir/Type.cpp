@@ -1,0 +1,9 @@
+//===- ir/Type.cpp - anchor for the IR library ----------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+// Type is header-only; this file anchors the translation unit list.

@@ -1,0 +1,137 @@
+//===- ir/Type.h - Alive's concrete types and type variables ----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alive types (Section 2.2): arbitrary-width integers i1..i64, pointers,
+/// statically sized arrays, and void. Transformations are polymorphic: each
+/// value in a Transform carries a *type variable*, and the typing module
+/// (src/typing) enumerates concrete assignments satisfying Figure 3's rules.
+/// This header defines the concrete types those assignments range over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_TYPE_H
+#define ALIVE_IR_TYPE_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace alive {
+namespace ir {
+
+/// A concrete Alive type. Immutable value type; cheap to copy (element
+/// types are shared).
+class Type {
+public:
+  enum class Kind { Int, Ptr, Array, Void };
+
+  Type() : K(Kind::Void) {}
+
+  static Type intTy(unsigned Width) {
+    assert(Width >= 1 && Width <= 64 && "integer width out of range");
+    Type T;
+    T.K = Kind::Int;
+    T.Width = Width;
+    return T;
+  }
+  static Type ptrTy(Type Pointee) {
+    Type T;
+    T.K = Kind::Ptr;
+    T.Elem = std::make_shared<Type>(std::move(Pointee));
+    return T;
+  }
+  static Type arrayTy(unsigned NumElems, Type ElemTy) {
+    Type T;
+    T.K = Kind::Array;
+    T.Width = NumElems;
+    T.Elem = std::make_shared<Type>(std::move(ElemTy));
+    return T;
+  }
+  static Type voidTy() { return Type(); }
+
+  Kind getKind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isVoid() const { return K == Kind::Void; }
+  /// First-class types can be instruction results (FC = I ∪ P).
+  bool isFirstClass() const { return isInt() || isPtr(); }
+
+  unsigned getIntWidth() const {
+    assert(isInt() && "not an integer type");
+    return Width;
+  }
+  unsigned getNumElems() const {
+    assert(isArray() && "not an array type");
+    return Width;
+  }
+  const Type &getElemType() const {
+    assert((isPtr() || isArray()) && "type has no element");
+    return *Elem;
+  }
+
+  /// The width(.) function from Figure 3: bit width of an integer, or the
+  /// pointer width for pointers.
+  unsigned widthBits(unsigned PtrWidth) const {
+    if (isInt())
+      return Width;
+    assert(isPtr() && "width of a non-first-class type");
+    return PtrWidth;
+  }
+
+  /// Allocation size in bytes: the width rounded up to a byte boundary
+  /// (Section 3.3.1; ABI alignment is handled by the memory encoder).
+  unsigned allocSizeBytes(unsigned PtrWidth) const {
+    if (isArray())
+      return Width * Elem->allocSizeBytes(PtrWidth);
+    return (widthBits(PtrWidth) + 7) / 8;
+  }
+
+  bool operator==(const Type &RHS) const {
+    if (K != RHS.K)
+      return false;
+    switch (K) {
+    case Kind::Void:
+      return true;
+    case Kind::Int:
+      return Width == RHS.Width;
+    case Kind::Ptr:
+      return *Elem == *RHS.Elem;
+    case Kind::Array:
+      return Width == RHS.Width && *Elem == *RHS.Elem;
+    }
+    return false;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Void:
+      return "void";
+    case Kind::Int:
+      return "i" + std::to_string(Width);
+    case Kind::Ptr:
+      return Elem->str() + "*";
+    case Kind::Array:
+      return "[" + std::to_string(Width) + " x " + Elem->str() + "]";
+    }
+    return "<bad-type>";
+  }
+
+private:
+  Kind K;
+  unsigned Width = 0; // int width or array element count
+  std::shared_ptr<Type> Elem;
+};
+
+/// Index of a type variable within a Transform (dense, 0-based).
+using TypeVar = unsigned;
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_TYPE_H

@@ -1,0 +1,150 @@
+//===- ir/Value.h - Alive values --------------------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value hierarchy of the Alive AST. A Transform owns every Value;
+/// instructions reference their operands as raw pointers into that
+/// ownership pool. Each value carries a type variable resolved by the
+/// typing module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_IR_VALUE_H
+#define ALIVE_IR_VALUE_H
+
+#include "ir/ConstExpr.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+
+namespace alive {
+namespace ir {
+
+/// Discriminator for the Value hierarchy (LLVM-style hand-rolled RTTI).
+enum class ValueKind {
+  Input,     ///< input variable %x
+  ConstSym,  ///< abstract constant C1
+  ConstVal,  ///< constant expression operand (literal or compound)
+  Undef,     ///< one textual occurrence of `undef`
+  // Instructions:
+  BinOp,
+  ICmp,
+  Select,
+  Conv,
+  Alloca,
+  GEP,
+  Load,
+  Store,
+  Unreachable,
+  Copy,
+};
+
+/// Base class for everything that can appear as an operand or result.
+class Value {
+public:
+  virtual ~Value();
+
+  ValueKind getKind() const { return K; }
+  const std::string &getName() const { return Name; }
+  TypeVar getTypeVar() const { return TyVar; }
+  void setTypeVar(TypeVar TV) { TyVar = TV; }
+
+  bool isInstr() const { return K >= ValueKind::BinOp; }
+
+  /// Renders the value in operand position (%x, C1, 3333, C-1, undef).
+  virtual std::string operandStr() const { return Name; }
+
+protected:
+  Value(ValueKind K, std::string Name) : K(K), Name(std::move(Name)) {}
+
+  ValueKind K;
+  std::string Name;
+  TypeVar TyVar = 0;
+};
+
+/// An input variable of the transformation (universally quantified).
+class InputVar final : public Value {
+public:
+  explicit InputVar(std::string Name) : Value(ValueKind::Input, Name) {}
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Input;
+  }
+};
+
+/// An abstract compile-time constant such as C or C1: universally
+/// quantified like an input, but known to be a constant, which lets the
+/// verifier encode precondition predicates precisely (Section 3.1.1) and
+/// the code generator bind it to a ConstantInt.
+class ConstantSymbol final : public Value {
+public:
+  explicit ConstantSymbol(std::string Name)
+      : Value(ValueKind::ConstSym, Name) {}
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstSym;
+  }
+};
+
+/// A constant-expression operand: a literal like `-1` or a compound like
+/// `C-1` or `C2/(1<<C1)`.
+class ConstExprValue final : public Value {
+public:
+  ConstExprValue(std::string Name, std::unique_ptr<ConstExpr> Expr)
+      : Value(ValueKind::ConstVal, std::move(Name)), Expr(std::move(Expr)) {}
+
+  const ConstExpr *getExpr() const { return Expr.get(); }
+
+  std::string operandStr() const override { return Expr->str(); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstVal;
+  }
+
+private:
+  std::unique_ptr<ConstExpr> Expr;
+};
+
+/// One textual occurrence of `undef`. Every occurrence is a distinct
+/// Value, matching the semantics of Figure 4 (xor undef, undef can be
+/// any value).
+class UndefValue final : public Value {
+public:
+  explicit UndefValue(std::string Name) : Value(ValueKind::Undef, Name) {}
+
+  std::string operandStr() const override { return "undef"; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Undef;
+  }
+};
+
+/// LLVM-style isa/cast/dyn_cast over the Value hierarchy.
+template <typename T> bool isa(const Value *V) { return T::classof(V); }
+
+template <typename T> T *cast(Value *V) {
+  assert(T::classof(V) && "invalid cast");
+  return static_cast<T *>(V);
+}
+
+template <typename T> const T *cast(const Value *V) {
+  assert(T::classof(V) && "invalid cast");
+  return static_cast<const T *>(V);
+}
+
+template <typename T> T *dyn_cast(Value *V) {
+  return T::classof(V) ? static_cast<T *>(V) : nullptr;
+}
+
+template <typename T> const T *dyn_cast(const Value *V) {
+  return T::classof(V) ? static_cast<const T *>(V) : nullptr;
+}
+
+} // namespace ir
+} // namespace alive
+
+#endif // ALIVE_IR_VALUE_H

@@ -1,0 +1,217 @@
+//===- liteir/Folder.cpp - constant folding for lite IR ---------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/Folder.h"
+
+#include "liteir/Interp.h"
+
+using namespace alive;
+using namespace alive::lite;
+
+/// Evaluates one all-constant instruction; returns false when evaluation
+/// would be UB or poison (folding must not hide either).
+static bool evalConst(const Instruction &I, APInt &Out) {
+  unsigned W = I.getWidth();
+  const auto *CA = dyn_cast<ConstantInt>(I.getOperand(0));
+  if (!CA)
+    return false;
+  const APInt &A = CA->getValue();
+
+  switch (I.getOpcode()) {
+  case Opcode::ZExt:
+    Out = A.zext(W);
+    return true;
+  case Opcode::SExt:
+    Out = A.sext(W);
+    return true;
+  case Opcode::Trunc:
+    Out = A.trunc(W);
+    return true;
+  default:
+    break;
+  }
+
+  const auto *CB = dyn_cast<ConstantInt>(I.getOperand(1));
+  if (!CB)
+    return false;
+  const APInt &B = CB->getValue();
+
+  if (I.getOpcode() == Opcode::Select) {
+    const auto *CE = dyn_cast<ConstantInt>(I.getOperand(2));
+    if (!CE)
+      return false;
+    Out = A.isOne() ? B : CE->getValue();
+    return true;
+  }
+  if (I.getOpcode() == Opcode::ICmp) {
+    bool R = false;
+    switch (I.getPredicate()) {
+    case Pred::EQ:
+      R = A.eq(B);
+      break;
+    case Pred::NE:
+      R = A.ne(B);
+      break;
+    case Pred::UGT:
+      R = A.ugt(B);
+      break;
+    case Pred::UGE:
+      R = A.uge(B);
+      break;
+    case Pred::ULT:
+      R = A.ult(B);
+      break;
+    case Pred::ULE:
+      R = A.ule(B);
+      break;
+    case Pred::SGT:
+      R = A.sgt(B);
+      break;
+    case Pred::SGE:
+      R = A.sge(B);
+      break;
+    case Pred::SLT:
+      R = A.slt(B);
+      break;
+    case Pred::SLE:
+      R = A.sle(B);
+      break;
+    }
+    Out = APInt(1, R);
+    return true;
+  }
+
+  bool Ovf = false;
+  switch (I.getOpcode()) {
+  case Opcode::Add:
+    Out = A.add(B);
+    if (I.hasNSW()) {
+      bool O;
+      A.saddOverflow(B, O);
+      Ovf |= O;
+    }
+    if (I.hasNUW()) {
+      bool O;
+      A.uaddOverflow(B, O);
+      Ovf |= O;
+    }
+    break;
+  case Opcode::Sub:
+    Out = A.sub(B);
+    if (I.hasNSW()) {
+      bool O;
+      A.ssubOverflow(B, O);
+      Ovf |= O;
+    }
+    if (I.hasNUW()) {
+      bool O;
+      A.usubOverflow(B, O);
+      Ovf |= O;
+    }
+    break;
+  case Opcode::Mul:
+    Out = A.mul(B);
+    if (I.hasNSW()) {
+      bool O;
+      A.smulOverflow(B, O);
+      Ovf |= O;
+    }
+    if (I.hasNUW()) {
+      bool O;
+      A.umulOverflow(B, O);
+      Ovf |= O;
+    }
+    break;
+  case Opcode::UDiv:
+    if (B.isZero())
+      return false;
+    Out = A.udiv(B);
+    if (I.isExact() && !A.urem(B).isZero())
+      Ovf = true;
+    break;
+  case Opcode::SDiv:
+    if (B.isZero() || (A.isSignedMinValue() && B.isAllOnes()))
+      return false;
+    Out = A.sdiv(B);
+    if (I.isExact() && !A.srem(B).isZero())
+      Ovf = true;
+    break;
+  case Opcode::URem:
+    if (B.isZero())
+      return false;
+    Out = A.urem(B);
+    break;
+  case Opcode::SRem:
+    if (B.isZero() || (A.isSignedMinValue() && B.isAllOnes()))
+      return false;
+    Out = A.srem(B);
+    break;
+  case Opcode::Shl:
+    if (B.getZExtValue() >= W)
+      return false;
+    Out = A.shl(B);
+    if (I.hasNSW()) {
+      bool O;
+      A.sshlOverflow(B, O);
+      Ovf |= O;
+    }
+    if (I.hasNUW()) {
+      bool O;
+      A.ushlOverflow(B, O);
+      Ovf |= O;
+    }
+    break;
+  case Opcode::LShr:
+    if (B.getZExtValue() >= W)
+      return false;
+    Out = A.lshr(B);
+    if (I.isExact() && Out.shl(B) != A)
+      Ovf = true;
+    break;
+  case Opcode::AShr:
+    if (B.getZExtValue() >= W)
+      return false;
+    Out = A.ashr(B);
+    if (I.isExact() && Out.shl(B) != A)
+      Ovf = true;
+    break;
+  case Opcode::And:
+    Out = A.andOp(B);
+    break;
+  case Opcode::Or:
+    Out = A.orOp(B);
+    break;
+  case Opcode::Xor:
+    Out = A.xorOp(B);
+    break;
+  default:
+    return false;
+  }
+  return !Ovf;
+}
+
+unsigned lite::foldConstants(Function &F) {
+  unsigned Folded = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &I : F.body()) {
+      if (I->getNumUses() == 0 && F.getReturnValue() != I.get())
+        continue;
+      APInt Out;
+      if (!evalConst(*I, Out))
+        continue;
+      ConstantInt *C = F.getConstant(Out);
+      I->replaceAllUsesWith(C);
+      if (F.getReturnValue() == I.get())
+        F.setReturnValue(C);
+      ++Folded;
+      Changed = true;
+      break; // restart: use lists changed
+    }
+  }
+  return Folded;
+}

@@ -1,0 +1,30 @@
+//===- liteir/Folder.h - constant folding for lite IR -----------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative constant folder: instructions whose operands are all
+/// constants, whose execution is defined, and whose result is not poison
+/// are replaced by constants. Runs as a cleanup pass next to the rewrite
+/// engine, mirroring how InstCombine interleaves folding with rewriting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_FOLDER_H
+#define ALIVE_LITEIR_FOLDER_H
+
+#include "liteir/LiteIR.h"
+
+namespace alive {
+namespace lite {
+
+/// Folds constant instructions in place; returns how many were folded.
+/// Dead leftovers are the caller's to remove (Function::eliminateDeadCode).
+unsigned foldConstants(Function &F);
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_FOLDER_H

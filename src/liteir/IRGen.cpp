@@ -1,0 +1,169 @@
+//===- liteir/IRGen.cpp - random lite IR workload generator -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/IRGen.h"
+
+#include <random>
+
+using namespace alive;
+using namespace alive::lite;
+
+namespace {
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const IRGenConfig &Cfg)
+      : Rng(Seed), Cfg(Cfg),
+        F(std::make_unique<Function>("f" + std::to_string(Seed))) {}
+
+  std::unique_ptr<Function> run() {
+    for (unsigned I = 0; I != Cfg.NumArgs; ++I) {
+      unsigned W = Cfg.Widths[pick(Cfg.Widths.size())];
+      Pool.push_back(F->addArgument(W, "a" + std::to_string(I)));
+    }
+    while (countInstrs() < Cfg.NumInstrs) {
+      if (pick(100) < Cfg.IdiomPercent)
+        emitIdiom();
+      else
+        emitRandom();
+    }
+    // Return the last integer value produced.
+    F->setReturnValue(F->body().back().get());
+    return std::move(F);
+  }
+
+private:
+  unsigned pick(size_t N) { return static_cast<unsigned>(Rng() % N); }
+  unsigned countInstrs() const {
+    return static_cast<unsigned>(F->body().size());
+  }
+
+  /// A random already-defined value of width \p W (synthesizing a cast or
+  /// constant when none exists).
+  LValue *valueOf(unsigned W) {
+    std::vector<LValue *> Candidates;
+    for (LValue *V : Pool)
+      if (V->getWidth() == W)
+        Candidates.push_back(V);
+    // Mix in constants with realistic skew: small values dominate.
+    if (Candidates.empty() || pick(4) == 0) {
+      static const int64_t Common[] = {0, 1, -1, 2, 4, 7, 8, 15, 16, 31, 32,
+                                       255};
+      int64_t C = pick(8) == 0 ? static_cast<int64_t>(Rng())
+                               : Common[pick(sizeof(Common) /
+                                             sizeof(Common[0]))];
+      return F->getConstant(APInt::getSigned(W, C));
+    }
+    return Candidates[pick(Candidates.size())];
+  }
+
+  void define(Instruction *I) { Pool.push_back(I); }
+
+  void emitRandom() {
+    static const Opcode Ops[] = {
+        Opcode::Add, Opcode::Sub,  Opcode::Mul,  Opcode::And,
+        Opcode::Or,  Opcode::Xor,  Opcode::Shl,  Opcode::LShr,
+        Opcode::AShr, Opcode::UDiv, Opcode::SRem,
+    };
+    unsigned W = Cfg.Widths[pick(Cfg.Widths.size())];
+    Opcode Op = Ops[pick(sizeof(Ops) / sizeof(Ops[0]))];
+    LValue *A = valueOf(W);
+    LValue *B = valueOf(W);
+    unsigned Flags = LFNone;
+    if ((Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul) &&
+        pick(3) == 0)
+      Flags |= pick(2) ? LFNSW : LFNUW;
+    // Keep shift amounts and divisors benign so programs stay UB-free on
+    // most inputs (mirrors real code).
+    if (Op == Opcode::Shl || Op == Opcode::LShr || Op == Opcode::AShr)
+      B = F->getConstant(APInt(W, pick(W)));
+    if (Op == Opcode::UDiv || Op == Opcode::SRem)
+      B = F->getConstant(APInt(W, 1 + pick(14)));
+    define(F->createBinOp(Op, A, B, Flags));
+  }
+
+  void emitIdiom() {
+    unsigned W = Cfg.Widths[pick(Cfg.Widths.size())];
+    LValue *X = valueOf(W);
+    switch (pick(10)) {
+    case 0: { // (x ^ -1) + C : the paper's intro pattern
+      auto *NotX =
+          F->createBinOp(Opcode::Xor, X, F->getConstant(APInt::getAllOnes(W)));
+      define(NotX);
+      define(F->createBinOp(Opcode::Add, NotX,
+                            F->getConstant(APInt(W, 1 + pick(100)))));
+      break;
+    }
+    case 1: { // x + 0, x * 1: identity chains front-ends love to emit
+      define(F->createBinOp(pick(2) ? Opcode::Add : Opcode::Or, X,
+                            F->getConstant(APInt(W, 0))));
+      break;
+    }
+    case 2: { // masking: (x & mask) — and-of-and
+      auto *M1 = F->createBinOp(Opcode::And, X,
+                                F->getConstant(APInt(W, 0xFF)));
+      define(M1);
+      define(F->createBinOp(Opcode::And, M1,
+                            F->getConstant(APInt(W, 0x0F))));
+      break;
+    }
+    case 3: { // division by a power of two
+      define(F->createBinOp(Opcode::UDiv, X,
+                            F->getConstant(APInt(W, 1ULL << (1 + pick(3))))));
+      break;
+    }
+    case 4: { // urem by a power of two
+      define(F->createBinOp(Opcode::URem, X,
+                            F->getConstant(APInt(W, 1ULL << (1 + pick(3))))));
+      break;
+    }
+    case 5: { // double negation
+      auto *Neg = F->createBinOp(Opcode::Sub, F->getConstant(APInt(W, 0)), X);
+      define(Neg);
+      define(F->createBinOp(Opcode::Sub, F->getConstant(APInt(W, 0)), Neg));
+      break;
+    }
+    case 6: { // compare shifted value: (x + 1) > x shape
+      auto *Inc = F->createBinOp(Opcode::Add, X,
+                                 F->getConstant(APInt(W, 1)), LFNSW);
+      define(Inc);
+      define(F->createICmp(Pred::SGT, Inc, X));
+      // Give the i1 a consumer of matching width.
+      define(F->createCast(Opcode::ZExt, F->body().back().get(),
+                           W > 1 ? W : 8));
+      break;
+    }
+    case 7: { // mul by 2 (strength-reducible)
+      define(F->createBinOp(Opcode::Mul, X, F->getConstant(APInt(W, 2))));
+      break;
+    }
+    case 8: { // xor with self via copy: x ^ x
+      define(F->createBinOp(Opcode::Xor, X, X));
+      break;
+    }
+    default: { // select on a comparison
+      LValue *Y = valueOf(W);
+      auto *Cmp = F->createICmp(Pred::ULT, X, Y);
+      define(Cmp);
+      define(F->createSelect(Cmp, X, Y));
+      break;
+    }
+    }
+  }
+
+  std::mt19937_64 Rng;
+  IRGenConfig Cfg;
+  std::unique_ptr<Function> F;
+  std::vector<LValue *> Pool;
+};
+
+} // namespace
+
+std::unique_ptr<Function> lite::generateFunction(uint64_t Seed,
+                                                 const IRGenConfig &Cfg) {
+  Generator G(Seed, Cfg);
+  return G.run();
+}

@@ -1,0 +1,44 @@
+//===- liteir/IRGen.h - random lite IR workload generator -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random program generator used as the stand-in for the paper's
+/// compile-time workloads (the LLVM nightly suite and SPEC, Section 6.4 /
+/// Figure 9). Programs mix uniformly random integer instructions with
+/// *idioms* — small shapes that real front-ends emit constantly (masking,
+/// negation via xor/-1, power-of-two division, comparisons of adjusted
+/// values) — so InstCombine-style rewrites fire with realistic, skewed
+/// frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_IRGEN_H
+#define ALIVE_LITEIR_IRGEN_H
+
+#include "liteir/LiteIR.h"
+
+#include <memory>
+
+namespace alive {
+namespace lite {
+
+struct IRGenConfig {
+  unsigned NumArgs = 4;
+  unsigned NumInstrs = 24;
+  std::vector<unsigned> Widths = {8, 16, 32};
+  /// Probability (percent) that the next emission is an idiom template
+  /// rather than a uniformly random instruction.
+  unsigned IdiomPercent = 45;
+};
+
+/// Generates one function deterministically from \p Seed.
+std::unique_ptr<Function> generateFunction(uint64_t Seed,
+                                           const IRGenConfig &Cfg = {});
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_IRGEN_H

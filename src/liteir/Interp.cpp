@@ -1,0 +1,336 @@
+//===- liteir/Interp.cpp - lite IR interpreter ------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/Interp.h"
+
+#include <map>
+#include <random>
+
+using namespace alive;
+using namespace alive::lite;
+
+namespace {
+
+/// A runtime value: poison or a concrete APInt.
+struct RtValue {
+  bool Poison = false;
+  APInt V;
+
+  static RtValue poison(unsigned W) {
+    RtValue R;
+    R.Poison = true;
+    R.V = APInt(W, 0);
+    return R;
+  }
+  static RtValue of(const APInt &V) {
+    RtValue R;
+    R.V = V;
+    return R;
+  }
+};
+
+class Interpreter {
+public:
+  Interpreter(const Function &F, const std::vector<APInt> &Args,
+              uint64_t UndefSeed)
+      : F(F), Rng(UndefSeed) {
+    assert(Args.size() == F.args().size() && "argument count mismatch");
+    for (size_t I = 0; I != Args.size(); ++I) {
+      assert(Args[I].getWidth() == F.args()[I]->getWidth());
+      Env[F.args()[I].get()] = RtValue::of(Args[I]);
+    }
+  }
+
+  ExecResult run() {
+    ExecResult R;
+    for (const auto &I : F.body()) {
+      RtValue V = exec(*I);
+      if (HitUB) {
+        R.UB = true;
+        return R;
+      }
+      Env[I.get()] = V;
+    }
+    const LValue *Ret = F.getReturnValue();
+    assert(Ret && "function has no return value");
+    RtValue V = read(Ret);
+    R.Poison = V.Poison;
+    R.Value = V.V;
+    return R;
+  }
+
+private:
+  RtValue read(const LValue *V) {
+    if (const auto *C = dyn_cast<ConstantInt>(V))
+      return RtValue::of(C->getValue());
+    if (isa<UndefValue>(V)) {
+      // Each read of undef may yield a different value (Figure 4).
+      return RtValue::of(APInt(V->getWidth(), Rng()));
+    }
+    auto It = Env.find(V);
+    assert(It != Env.end() && "read of an undefined value");
+    return It->second;
+  }
+
+  RtValue exec(const Instruction &I) {
+    unsigned W = I.getWidth();
+    RtValue A = read(I.getOperand(0));
+    if (I.getOpcode() == Opcode::ZExt)
+      return A.Poison ? RtValue::poison(W) : RtValue::of(A.V.zext(W));
+    if (I.getOpcode() == Opcode::SExt)
+      return A.Poison ? RtValue::poison(W) : RtValue::of(A.V.sext(W));
+    if (I.getOpcode() == Opcode::Trunc)
+      return A.Poison ? RtValue::poison(W) : RtValue::of(A.V.trunc(W));
+
+    if (I.getOpcode() == Opcode::Select) {
+      RtValue T = read(I.getOperand(1));
+      RtValue E = read(I.getOperand(2));
+      // Strict poison propagation, matching the verifier's semantics.
+      if (A.Poison || T.Poison || E.Poison)
+        return RtValue::poison(W);
+      return A.V.isOne() ? T : E;
+    }
+
+    RtValue B = read(I.getOperand(1));
+    if (I.getOpcode() == Opcode::ICmp) {
+      if (A.Poison || B.Poison)
+        return RtValue::poison(1);
+      bool R = false;
+      switch (I.getPredicate()) {
+      case Pred::EQ:
+        R = A.V.eq(B.V);
+        break;
+      case Pred::NE:
+        R = A.V.ne(B.V);
+        break;
+      case Pred::UGT:
+        R = A.V.ugt(B.V);
+        break;
+      case Pred::UGE:
+        R = A.V.uge(B.V);
+        break;
+      case Pred::ULT:
+        R = A.V.ult(B.V);
+        break;
+      case Pred::ULE:
+        R = A.V.ule(B.V);
+        break;
+      case Pred::SGT:
+        R = A.V.sgt(B.V);
+        break;
+      case Pred::SGE:
+        R = A.V.sge(B.V);
+        break;
+      case Pred::SLT:
+        R = A.V.slt(B.V);
+        break;
+      case Pred::SLE:
+        R = A.V.sle(B.V);
+        break;
+      }
+      return RtValue::of(APInt(1, R));
+    }
+
+    // Table 1: definedness — checked on concrete operand *values*, so a
+    // poison divisor still traps conservatively only when its carried
+    // value violates the condition; poison operands dominate below.
+    switch (I.getOpcode()) {
+    case Opcode::UDiv:
+    case Opcode::URem:
+      if (!B.Poison && B.V.isZero()) {
+        HitUB = true;
+        return RtValue::poison(W);
+      }
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem:
+      if (!B.Poison &&
+          (B.V.isZero() ||
+           (!A.Poison && A.V.isSignedMinValue() && B.V.isAllOnes()))) {
+        HitUB = true;
+        return RtValue::poison(W);
+      }
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (!B.Poison && B.V.getZExtValue() >= W) {
+        HitUB = true;
+        return RtValue::poison(W);
+      }
+      break;
+    default:
+      break;
+    }
+    if (A.Poison || B.Poison)
+      return RtValue::poison(W);
+
+    bool Ovf = false;
+    APInt R(W, 0);
+    switch (I.getOpcode()) {
+    case Opcode::Add: {
+      R = A.V.add(B.V);
+      if (I.hasNSW()) {
+        bool O;
+        A.V.saddOverflow(B.V, O);
+        Ovf |= O;
+      }
+      if (I.hasNUW()) {
+        bool O;
+        A.V.uaddOverflow(B.V, O);
+        Ovf |= O;
+      }
+      break;
+    }
+    case Opcode::Sub: {
+      R = A.V.sub(B.V);
+      if (I.hasNSW()) {
+        bool O;
+        A.V.ssubOverflow(B.V, O);
+        Ovf |= O;
+      }
+      if (I.hasNUW()) {
+        bool O;
+        A.V.usubOverflow(B.V, O);
+        Ovf |= O;
+      }
+      break;
+    }
+    case Opcode::Mul: {
+      R = A.V.mul(B.V);
+      if (I.hasNSW()) {
+        bool O;
+        A.V.smulOverflow(B.V, O);
+        Ovf |= O;
+      }
+      if (I.hasNUW()) {
+        bool O;
+        A.V.umulOverflow(B.V, O);
+        Ovf |= O;
+      }
+      break;
+    }
+    case Opcode::UDiv:
+      R = A.V.udiv(B.V);
+      if (I.isExact() && !A.V.urem(B.V).isZero())
+        Ovf = true;
+      break;
+    case Opcode::SDiv:
+      R = A.V.sdiv(B.V);
+      if (I.isExact() && !A.V.srem(B.V).isZero())
+        Ovf = true;
+      break;
+    case Opcode::URem:
+      R = A.V.urem(B.V);
+      break;
+    case Opcode::SRem:
+      R = A.V.srem(B.V);
+      break;
+    case Opcode::Shl: {
+      R = A.V.shl(B.V);
+      if (I.hasNSW()) {
+        bool O;
+        A.V.sshlOverflow(B.V, O);
+        Ovf |= O;
+      }
+      if (I.hasNUW()) {
+        bool O;
+        A.V.ushlOverflow(B.V, O);
+        Ovf |= O;
+      }
+      break;
+    }
+    case Opcode::LShr:
+      R = A.V.lshr(B.V);
+      if (I.isExact() && R.shl(B.V) != A.V)
+        Ovf = true;
+      break;
+    case Opcode::AShr:
+      R = A.V.ashr(B.V);
+      if (I.isExact() && R.shl(B.V) != A.V)
+        Ovf = true;
+      break;
+    case Opcode::And:
+      R = A.V.andOp(B.V);
+      break;
+    case Opcode::Or:
+      R = A.V.orOp(B.V);
+      break;
+    case Opcode::Xor:
+      R = A.V.xorOp(B.V);
+      break;
+    default:
+      assert(false && "unhandled opcode");
+    }
+    return Ovf ? RtValue::poison(W) : RtValue::of(R);
+  }
+
+  const Function &F;
+  std::mt19937_64 Rng;
+  std::map<const LValue *, RtValue> Env;
+  bool HitUB = false;
+};
+
+} // namespace
+
+ExecResult lite::interpret(const Function &F, const std::vector<APInt> &Args,
+                           uint64_t UndefSeed) {
+  Interpreter I(F, Args, UndefSeed);
+  return I.run();
+}
+
+bool lite::refines(const ExecResult &Original, const ExecResult &Optimized) {
+  if (Original.UB || Original.Poison)
+    return true;
+  return !Optimized.UB && !Optimized.Poison &&
+         Optimized.Value == Original.Value;
+}
+
+Status lite::checkRefinementByExecution(const Function &Original,
+                                        const Function &Optimized,
+                                        unsigned NumTrials, uint64_t Seed) {
+  if (Original.args().size() != Optimized.args().size())
+    return Status::error("argument count mismatch");
+  std::mt19937_64 Rng(Seed);
+  for (unsigned T = 0; T != NumTrials; ++T) {
+    std::vector<APInt> Args;
+    for (const auto &A : Original.args()) {
+      // Mix uniform values with corner cases.
+      uint64_t Raw;
+      switch (Rng() % 6) {
+      case 0:
+        Raw = 0;
+        break;
+      case 1:
+        Raw = ~0ULL;
+        break;
+      case 2:
+        Raw = 1ULL << (A->getWidth() - 1); // INT_MIN
+        break;
+      case 3:
+        Raw = (1ULL << (A->getWidth() - 1)) - 1; // INT_MAX
+        break;
+      default:
+        Raw = Rng();
+        break;
+      }
+      Args.push_back(APInt(A->getWidth(), Raw));
+    }
+    ExecResult RO = interpret(Original, Args, /*UndefSeed=*/T);
+    ExecResult RN = interpret(Optimized, Args, /*UndefSeed=*/T);
+    if (!refines(RO, RN)) {
+      std::string Msg = "refinement violated on input (";
+      for (size_t I = 0; I != Args.size(); ++I)
+        Msg += (I ? ", " : "") + Args[I].toString();
+      Msg += "): original ";
+      Msg += RO.UB ? "UB" : RO.Poison ? "poison" : RO.Value.toString();
+      Msg += ", optimized ";
+      Msg += RN.UB ? "UB" : RN.Poison ? "poison" : RN.Value.toString();
+      return Status::error(Msg);
+    }
+  }
+  return Status::success();
+}

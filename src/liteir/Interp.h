@@ -1,0 +1,55 @@
+//===- liteir/Interp.h - lite IR interpreter --------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interpreter for lite IR with explicit undefined-behavior and poison
+/// semantics, mirroring Tables 1 and 2. It is the dynamic oracle behind
+/// differential testing: an optimized function must refine the original
+/// on every input (UB allows anything; a poison result allows anything;
+/// otherwise values must agree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_INTERP_H
+#define ALIVE_LITEIR_INTERP_H
+
+#include "liteir/LiteIR.h"
+
+namespace alive {
+namespace lite {
+
+/// Result of executing a function on concrete arguments.
+struct ExecResult {
+  bool UB = false;     ///< true undefined behavior was executed
+  bool Poison = false; ///< the returned value is poison
+  APInt Value;         ///< meaningful when neither UB nor Poison
+
+  bool operator==(const ExecResult &R) const {
+    if (UB != R.UB || Poison != R.Poison)
+      return false;
+    return UB || Poison || Value == R.Value;
+  }
+};
+
+/// Executes \p F on \p Args. Each `undef` read draws a value from a
+/// deterministic RNG seeded with \p UndefSeed.
+ExecResult interpret(const Function &F, const std::vector<APInt> &Args,
+                     uint64_t UndefSeed = 0);
+
+/// Refinement oracle: does running \p Optimized refine running \p Original
+/// on these arguments? UB or poison in the original permits any behavior.
+bool refines(const ExecResult &Original, const ExecResult &Optimized);
+
+/// Runs both functions over \p NumTrials random argument vectors drawn
+/// from \p Seed and reports the first refinement violation (or success).
+Status checkRefinementByExecution(const Function &Original,
+                                  const Function &Optimized,
+                                  unsigned NumTrials, uint64_t Seed);
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_INTERP_H

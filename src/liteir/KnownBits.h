@@ -1,0 +1,70 @@
+//===- liteir/KnownBits.h - known-bits dataflow analysis --------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward known-bits analysis over lite IR, standing in for the LLVM
+/// dataflow analyses that back Alive's built-in predicates (Section 2.3:
+/// "Peephole optimizations frequently make use of the results of dataflow
+/// analyses... The analyses producing these results are trusted by
+/// Alive"). The rewrite engine consults it so preconditions like
+/// MaskedValueIsZero(%V, mask) and CannotBeNegative(%x) can fire on
+/// non-constant values, exactly as InstCombine does.
+///
+/// The analysis is a must-analysis: a bit reported known is genuinely
+/// known; unknown bits carry no information. This one-sidedness is what
+/// the verifier's side-constraint encoding of Section 3.1.1 models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_KNOWNBITS_H
+#define ALIVE_LITEIR_KNOWNBITS_H
+
+#include "liteir/LiteIR.h"
+
+namespace alive {
+namespace lite {
+
+/// Bit-level facts about a value: Zeros has a 1 for every bit known to be
+/// 0, Ones has a 1 for every bit known to be 1. The two masks are always
+/// disjoint.
+struct KnownBits {
+  APInt Zeros;
+  APInt Ones;
+
+  explicit KnownBits(unsigned Width = 1)
+      : Zeros(Width, 0), Ones(Width, 0) {}
+
+  unsigned getWidth() const { return Zeros.getWidth(); }
+  bool isConstant() const {
+    return Zeros.orOp(Ones).isAllOnes();
+  }
+  APInt getConstant() const {
+    assert(isConstant() && "value not fully known");
+    return Ones;
+  }
+  /// Bits known either way.
+  APInt known() const { return Zeros.orOp(Ones); }
+
+  bool isNonNegative() const {
+    return Zeros.lshr(APInt(getWidth(), getWidth() - 1)).isOne();
+  }
+  bool isNegative() const {
+    return Ones.lshr(APInt(getWidth(), getWidth() - 1)).isOne();
+  }
+  /// True when `V & Mask == 0` is guaranteed.
+  bool maskedValueIsZero(const APInt &Mask) const {
+    return Mask.andOp(Zeros) == Mask;
+  }
+};
+
+/// Computes known bits for \p V, recursing through its defining
+/// instructions up to \p Depth levels (LLVM uses a depth limit of 6).
+KnownBits computeKnownBits(const LValue *V, unsigned Depth = 6);
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_KNOWNBITS_H

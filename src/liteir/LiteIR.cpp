@@ -1,0 +1,370 @@
+//===- liteir/LiteIR.cpp - lite IR implementation ---------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/LiteIR.h"
+
+#include <algorithm>
+
+using namespace alive;
+using namespace alive::lite;
+
+LValue::~LValue() = default;
+
+void LValue::replaceAllUsesWith(LValue *New) {
+  assert(New != this && "RAUW with itself");
+  // Copy: setOperand mutates the user list we iterate.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *I : Snapshot)
+    for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K)
+      if (I->getOperand(K) == this)
+        I->setOperand(K, New);
+}
+
+std::string LValue::operandStr() const {
+  switch (K) {
+  case LValueKind::ConstantInt:
+    return static_cast<const ConstantInt *>(this)
+        ->getValue()
+        .toDecimalString(/*Signed=*/true);
+  case LValueKind::Undef:
+    return "undef";
+  default:
+    return "%" + Name;
+  }
+}
+
+const char *lite::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::Select:
+    return "select";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::Trunc:
+    return "trunc";
+  }
+  return "?";
+}
+
+const char *lite::predName(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return "eq";
+  case Pred::NE:
+    return "ne";
+  case Pred::UGT:
+    return "ugt";
+  case Pred::UGE:
+    return "uge";
+  case Pred::ULT:
+    return "ult";
+  case Pred::ULE:
+    return "ule";
+  case Pred::SGT:
+    return "sgt";
+  case Pred::SGE:
+    return "sge";
+  case Pred::SLT:
+    return "slt";
+  case Pred::SLE:
+    return "sle";
+  }
+  return "?";
+}
+
+bool lite::isBinaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::ICmp:
+  case Opcode::Select:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+    return false;
+  default:
+    return true;
+  }
+}
+
+void Instruction::setOperand(unsigned I, LValue *V) {
+  assert(I < Operands.size());
+  LValue *Old = Operands[I];
+  // Remove one use entry for the old operand.
+  auto &OldUsers = Old->Users;
+  auto It = std::find(OldUsers.begin(), OldUsers.end(), this);
+  assert(It != OldUsers.end() && "use list out of sync");
+  OldUsers.erase(It);
+  Operands[I] = V;
+  V->Users.push_back(this);
+}
+
+void Instruction::dropOperands() {
+  for (LValue *Op : Operands) {
+    auto &Us = Op->Users;
+    auto It = std::find(Us.begin(), Us.end(), this);
+    if (It != Us.end())
+      Us.erase(It);
+  }
+  Operands.clear();
+}
+
+std::string Instruction::str() const {
+  std::string S = "%" + getName() + " = ";
+  if (Op == Opcode::ICmp) {
+    S += "icmp " + std::string(predName(P)) + " i" +
+         std::to_string(getOperand(0)->getWidth()) + " " +
+         getOperand(0)->operandStr() + ", " + getOperand(1)->operandStr();
+    return S;
+  }
+  S += opcodeName(Op);
+  if (hasNSW())
+    S += " nsw";
+  if (hasNUW())
+    S += " nuw";
+  if (isExact())
+    S += " exact";
+  if (Op == Opcode::ZExt || Op == Opcode::SExt || Op == Opcode::Trunc) {
+    S += " i" + std::to_string(getOperand(0)->getWidth()) + " " +
+         getOperand(0)->operandStr() + " to i" + std::to_string(getWidth());
+    return S;
+  }
+  S += " i" + std::to_string(getWidth());
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    S += std::string(I ? "," : "") + " " + getOperand(I)->operandStr();
+  return S;
+}
+
+Argument *Function::addArgument(unsigned Width, std::string ArgName) {
+  Args.push_back(std::make_unique<Argument>(Width, std::move(ArgName)));
+  return Args.back().get();
+}
+
+ConstantInt *Function::getConstant(const APInt &V) {
+  for (const auto &C : Constants)
+    if (C->getValue() == V)
+      return C.get();
+  Constants.push_back(std::make_unique<ConstantInt>(V));
+  return Constants.back().get();
+}
+
+UndefValue *Function::getUndef(unsigned Width) {
+  for (const auto &U : Undefs)
+    if (U->getWidth() == Width)
+      return U.get();
+  Undefs.push_back(std::make_unique<UndefValue>(Width));
+  return Undefs.back().get();
+}
+
+Instruction *Function::insert(Instruction *Before, Opcode Op, unsigned Width,
+                              std::vector<LValue *> Ops, unsigned Flags,
+                              Pred P) {
+  auto Owned = std::unique_ptr<Instruction>(
+      new Instruction(Op, Width, "t" + std::to_string(NextId++),
+                      std::move(Ops), Flags, P));
+  Instruction *Ptr = Owned.get();
+  if (!Before) {
+    Body.push_back(std::move(Owned));
+    return Ptr;
+  }
+  for (auto It = Body.begin(); It != Body.end(); ++It)
+    if (It->get() == Before) {
+      Body.insert(It, std::move(Owned));
+      return Ptr;
+    }
+  assert(false && "insertion point not in function");
+  return Ptr;
+}
+
+Instruction *Function::createBinOp(Opcode Op, LValue *L, LValue *R,
+                                   unsigned Flags, std::string Name) {
+  assert(isBinaryOp(Op) && L->getWidth() == R->getWidth());
+  Instruction *I = insert(nullptr, Op, L->getWidth(), {L, R}, Flags,
+                          Pred::EQ);
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return I;
+}
+
+Instruction *Function::createICmp(Pred P, LValue *L, LValue *R,
+                                  std::string Name) {
+  assert(L->getWidth() == R->getWidth());
+  Instruction *I = insert(nullptr, Opcode::ICmp, 1, {L, R}, LFNone, P);
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return I;
+}
+
+Instruction *Function::createSelect(LValue *C, LValue *T, LValue *E,
+                                    std::string Name) {
+  assert(C->getWidth() == 1 && T->getWidth() == E->getWidth());
+  Instruction *I =
+      insert(nullptr, Opcode::Select, T->getWidth(), {C, T, E}, LFNone,
+             Pred::EQ);
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return I;
+}
+
+Instruction *Function::createCast(Opcode Op, LValue *V, unsigned DstWidth,
+                                  std::string Name) {
+  assert(Op == Opcode::ZExt || Op == Opcode::SExt || Op == Opcode::Trunc);
+  Instruction *I = insert(nullptr, Op, DstWidth, {V}, LFNone, Pred::EQ);
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return I;
+}
+
+Instruction *Function::insertBinOpBefore(Instruction *Before, Opcode Op,
+                                         LValue *L, LValue *R,
+                                         unsigned Flags) {
+  assert(isBinaryOp(Op) && L->getWidth() == R->getWidth());
+  return insert(Before, Op, L->getWidth(), {L, R}, Flags, Pred::EQ);
+}
+
+Instruction *Function::insertICmpBefore(Instruction *Before, Pred P,
+                                        LValue *L, LValue *R) {
+  return insert(Before, Opcode::ICmp, 1, {L, R}, LFNone, P);
+}
+
+Instruction *Function::insertSelectBefore(Instruction *Before, LValue *C,
+                                          LValue *T, LValue *E) {
+  return insert(Before, Opcode::Select, T->getWidth(), {C, T, E}, LFNone,
+                Pred::EQ);
+}
+
+Instruction *Function::insertCastBefore(Instruction *Before, Opcode Op,
+                                        LValue *V, unsigned DstWidth) {
+  return insert(Before, Op, DstWidth, {V}, LFNone, Pred::EQ);
+}
+
+unsigned Function::eliminateDeadCode() {
+  unsigned Deleted = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Body.rbegin(); It != Body.rend(); ++It) {
+      Instruction *I = It->get();
+      if (I->getNumUses() != 0 || Ret == I)
+        continue;
+      I->dropOperands();
+      Body.erase(std::next(It).base());
+      ++Deleted;
+      Changed = true;
+      break; // iterators invalidated; restart the scan
+    }
+  }
+  return Deleted;
+}
+
+Status Function::verify() const {
+  std::vector<const LValue *> Defined;
+  for (const auto &A : Args)
+    Defined.push_back(A.get());
+  for (const auto &I : Body) {
+    for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K) {
+      const LValue *Op = I->getOperand(K);
+      if (isa<ConstantInt>(Op) || isa<UndefValue>(Op))
+        continue;
+      bool Seen = false;
+      for (const LValue *D : Defined)
+        Seen |= D == Op;
+      if (!Seen)
+        return Status::error("function " + Name + ": %" + I->getName() +
+                             " uses a value before its definition");
+    }
+    // Width checks.
+    switch (I->getOpcode()) {
+    case Opcode::ICmp:
+      if (I->getWidth() != 1 ||
+          I->getOperand(0)->getWidth() != I->getOperand(1)->getWidth())
+        return Status::error("function " + Name + ": malformed icmp %" +
+                             I->getName());
+      break;
+    case Opcode::Select:
+      if (I->getOperand(0)->getWidth() != 1 ||
+          I->getWidth() != I->getOperand(1)->getWidth() ||
+          I->getWidth() != I->getOperand(2)->getWidth())
+        return Status::error("function " + Name + ": malformed select %" +
+                             I->getName());
+      break;
+    case Opcode::ZExt:
+    case Opcode::SExt:
+      if (I->getWidth() <= I->getOperand(0)->getWidth())
+        return Status::error("function " + Name + ": malformed ext %" +
+                             I->getName());
+      break;
+    case Opcode::Trunc:
+      if (I->getWidth() >= I->getOperand(0)->getWidth())
+        return Status::error("function " + Name + ": malformed trunc %" +
+                             I->getName());
+      break;
+    default:
+      if (I->getWidth() != I->getOperand(0)->getWidth() ||
+          I->getWidth() != I->getOperand(1)->getWidth())
+        return Status::error("function " + Name + ": width mismatch in %" +
+                             I->getName());
+      break;
+    }
+    Defined.push_back(I.get());
+  }
+  if (Ret) {
+    bool Seen = isa<ConstantInt>(Ret) || isa<UndefValue>(Ret);
+    for (const LValue *D : Defined)
+      Seen |= D == Ret;
+    if (!Seen)
+      return Status::error("function " + Name +
+                           ": return value is not defined");
+  }
+  return Status::success();
+}
+
+std::string Function::str() const {
+  std::string S = "define i";
+  S += Ret ? std::to_string(Ret->getWidth()) : std::string("0");
+  S += " @" + Name + "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += "i" + std::to_string(Args[I]->getWidth()) + " %" +
+         Args[I]->getName();
+  }
+  S += ") {\n";
+  for (const auto &I : Body)
+    S += "  " + I->str() + "\n";
+  if (Ret)
+    S += "  ret i" + std::to_string(Ret->getWidth()) + " " +
+         Ret->operandStr() + "\n";
+  S += "}\n";
+  return S;
+}

@@ -1,0 +1,287 @@
+//===- liteir/LiteIR.h - a small LLVM-like SSA IR ---------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime substrate standing in for LLVM itself (see DESIGN.md): a
+/// small SSA intermediate representation with integer types i1..i64,
+/// use-lists, and the instruction set InstCombine rewrites. Verified
+/// Alive transformations are applied to this IR by the rewrite engine,
+/// generated C++ matchers compile against its PatternMatch clone, and the
+/// interpreter (undef/poison aware) provides end-to-end differential
+/// testing of optimizations.
+///
+/// Functions are single-block (InstCombine does not change control flow,
+/// Section 2.1), with an explicit return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_LITEIR_H
+#define ALIVE_LITEIR_LITEIR_H
+
+#include "support/APInt.h"
+#include "support/Status.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace lite {
+
+class Function;
+class Instruction;
+
+/// Discriminates the value hierarchy.
+enum class LValueKind { Argument, ConstantInt, Undef, Instruction };
+
+/// Base class for everything usable as an operand.
+class LValue {
+public:
+  virtual ~LValue();
+
+  LValueKind getKind() const { return K; }
+  unsigned getWidth() const { return Width; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions currently using this value.
+  const std::vector<Instruction *> &users() const { return Users; }
+  unsigned getNumUses() const { return static_cast<unsigned>(Users.size()); }
+  bool hasOneUse() const { return Users.size() == 1; }
+
+  /// Rewrites every use of this value to \p New (LLVM's RAUW).
+  void replaceAllUsesWith(LValue *New);
+
+  std::string operandStr() const;
+
+protected:
+  LValue(LValueKind K, unsigned Width, std::string Name)
+      : K(K), Width(Width), Name(std::move(Name)) {}
+
+private:
+  friend class Instruction;
+  LValueKind K;
+  unsigned Width;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// A function argument.
+class Argument final : public LValue {
+public:
+  Argument(unsigned Width, std::string Name)
+      : LValue(LValueKind::Argument, Width, std::move(Name)) {}
+
+  static bool classof(const LValue *V) {
+    return V->getKind() == LValueKind::Argument;
+  }
+};
+
+/// An integer constant.
+class ConstantInt final : public LValue {
+public:
+  explicit ConstantInt(const APInt &V)
+      : LValue(LValueKind::ConstantInt, V.getWidth(), ""), Value(V) {}
+
+  const APInt &getValue() const { return Value; }
+
+  static bool classof(const LValue *V) {
+    return V->getKind() == LValueKind::ConstantInt;
+  }
+
+private:
+  APInt Value;
+};
+
+/// The undef value of a given width.
+class UndefValue final : public LValue {
+public:
+  explicit UndefValue(unsigned Width)
+      : LValue(LValueKind::Undef, Width, "") {}
+
+  static bool classof(const LValue *V) {
+    return V->getKind() == LValueKind::Undef;
+  }
+};
+
+/// Instruction opcodes: the Figure 1 integer subset.
+enum class Opcode {
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  SDiv,
+  URem,
+  SRem,
+  Shl,
+  LShr,
+  AShr,
+  And,
+  Or,
+  Xor,
+  ICmp,
+  Select,
+  ZExt,
+  SExt,
+  Trunc,
+};
+
+/// icmp predicates.
+enum class Pred { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE };
+
+/// nsw/nuw/exact flag bits (shared values with ir::AttrFlags).
+enum LFlags : unsigned {
+  LFNone = 0,
+  LFNSW = 1 << 0,
+  LFNUW = 1 << 1,
+  LFExact = 1 << 2,
+};
+
+const char *opcodeName(Opcode Op);
+const char *predName(Pred P);
+bool isBinaryOp(Opcode Op);
+
+/// An SSA instruction. Owned by its Function, in program order.
+class Instruction final : public LValue {
+public:
+  Opcode getOpcode() const { return Op; }
+  unsigned getFlags() const { return Flags; }
+  void setFlags(unsigned F) { Flags = F; }
+  bool hasNSW() const { return Flags & LFNSW; }
+  bool hasNUW() const { return Flags & LFNUW; }
+  bool isExact() const { return Flags & LFExact; }
+  Pred getPredicate() const {
+    assert(Op == Opcode::ICmp);
+    return P;
+  }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  LValue *getOperand(unsigned I) const {
+    assert(I < Operands.size());
+    return Operands[I];
+  }
+  void setOperand(unsigned I, LValue *V);
+
+  std::string str() const;
+
+  static bool classof(const LValue *V) {
+    return V->getKind() == LValueKind::Instruction;
+  }
+
+private:
+  friend class Function;
+  Instruction(Opcode Op, unsigned Width, std::string Name,
+              std::vector<LValue *> Ops, unsigned Flags, Pred P)
+      : LValue(LValueKind::Instruction, Width, std::move(Name)), Op(Op),
+        Flags(Flags), P(P) {
+    for (LValue *V : Ops)
+      addOperand(V);
+  }
+
+  void addOperand(LValue *V) {
+    Operands.push_back(V);
+    V->Users.push_back(this);
+  }
+  void dropOperands();
+
+  Opcode Op;
+  unsigned Flags;
+  Pred P;
+  std::vector<LValue *> Operands;
+};
+
+/// A single-block function: arguments, instruction list, return value.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  Argument *addArgument(unsigned Width, std::string ArgName);
+  ConstantInt *getConstant(const APInt &V);
+  UndefValue *getUndef(unsigned Width);
+
+  /// Appends a binary operation.
+  Instruction *createBinOp(Opcode Op, LValue *L, LValue *R,
+                           unsigned Flags = LFNone, std::string Name = "");
+  Instruction *createICmp(Pred P, LValue *L, LValue *R,
+                          std::string Name = "");
+  Instruction *createSelect(LValue *C, LValue *T, LValue *E,
+                            std::string Name = "");
+  Instruction *createCast(Opcode Op, LValue *V, unsigned DstWidth,
+                          std::string Name = "");
+  /// Inserts \p I's clone-style creation before \p Before (used by the
+  /// rewriter to materialize target templates next to the match root).
+  Instruction *insertBinOpBefore(Instruction *Before, Opcode Op, LValue *L,
+                                 LValue *R, unsigned Flags = LFNone);
+  Instruction *insertICmpBefore(Instruction *Before, Pred P, LValue *L,
+                                LValue *R);
+  Instruction *insertSelectBefore(Instruction *Before, LValue *C, LValue *T,
+                                  LValue *E);
+  Instruction *insertCastBefore(Instruction *Before, Opcode Op, LValue *V,
+                                unsigned DstWidth);
+
+  const std::vector<std::unique_ptr<Argument>> &args() const { return Args; }
+  const std::vector<std::unique_ptr<Instruction>> &body() const {
+    return Body;
+  }
+
+  LValue *getReturnValue() const { return Ret; }
+  void setReturnValue(LValue *V) { Ret = V; }
+
+  /// Removes instructions with no users that are not the return value.
+  /// Returns the number of deleted instructions.
+  unsigned eliminateDeadCode();
+
+  /// SSA well-formedness: operands defined before use, width agreement,
+  /// flags only on legal opcodes.
+  Status verify() const;
+
+  std::string str() const;
+
+private:
+  Instruction *insert(Instruction *Before, Opcode Op, unsigned Width,
+                      std::vector<LValue *> Ops, unsigned Flags, Pred P);
+
+  std::string Name;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<Instruction>> Body;
+  std::vector<std::unique_ptr<ConstantInt>> Constants;
+  std::vector<std::unique_ptr<UndefValue>> Undefs;
+  LValue *Ret = nullptr;
+  unsigned NextId = 0;
+};
+
+/// LLVM-style isa/cast/dyn_cast over lite values.
+template <typename T> bool isa(const LValue *V) { return T::classof(V); }
+
+template <typename T> T *cast(LValue *V) {
+  assert(T::classof(V) && "invalid cast");
+  return static_cast<T *>(V);
+}
+
+template <typename T> const T *cast(const LValue *V) {
+  assert(T::classof(V) && "invalid cast");
+  return static_cast<const T *>(V);
+}
+
+template <typename T> T *dyn_cast(LValue *V) {
+  return T::classof(V) ? static_cast<T *>(V) : nullptr;
+}
+
+template <typename T> const T *dyn_cast(const LValue *V) {
+  return T::classof(V) ? static_cast<const T *>(V) : nullptr;
+}
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_LITEIR_H

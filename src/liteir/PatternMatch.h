@@ -1,0 +1,226 @@
+//===- liteir/PatternMatch.h - LLVM-style pattern matching ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A clone of llvm/IR/PatternMatch.h over lite IR. The C++ code Alive
+/// generates (Section 4, Figure 7) is written against this API:
+///
+///   Value *a; ConstantInt *C;
+///   if (match(I, m_Add(m_Value(a), m_ConstantInt(C)))) ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_PATTERNMATCH_H
+#define ALIVE_LITEIR_PATTERNMATCH_H
+
+#include "liteir/LiteIR.h"
+
+namespace alive {
+namespace lite {
+namespace patternmatch {
+
+/// Entry point: does \p V match pattern \p P?
+template <typename Pattern> bool match(LValue *V, const Pattern &P) {
+  return P.match(V);
+}
+
+/// Matches any value and captures it.
+struct BindValue {
+  LValue *&Out;
+  bool match(LValue *V) const {
+    Out = V;
+    return true;
+  }
+};
+inline BindValue m_Value(LValue *&Out) { return BindValue{Out}; }
+
+/// Matches a specific value (already-bound occurrence).
+struct SpecificValue {
+  const LValue *Want;
+  bool match(LValue *V) const { return V == Want; }
+};
+inline SpecificValue m_Specific(const LValue *Want) {
+  return SpecificValue{Want};
+}
+
+/// Matches any integer constant and captures it.
+struct BindConstantInt {
+  ConstantInt *&Out;
+  bool match(LValue *V) const {
+    if (auto *C = dyn_cast<ConstantInt>(V)) {
+      Out = C;
+      return true;
+    }
+    return false;
+  }
+};
+inline BindConstantInt m_ConstantInt(ConstantInt *&Out) {
+  return BindConstantInt{Out};
+}
+
+/// Matches a constant with a specific (signed) value.
+struct SpecificInt {
+  int64_t Want;
+  bool match(LValue *V) const {
+    const auto *C = dyn_cast<ConstantInt>(V);
+    return C && C->getValue().getSExtValue() == Want;
+  }
+};
+inline SpecificInt m_SpecificInt(int64_t Want) { return SpecificInt{Want}; }
+inline SpecificInt m_Zero() { return SpecificInt{0}; }
+inline SpecificInt m_One() { return SpecificInt{1}; }
+inline SpecificInt m_AllOnes() { return SpecificInt{-1}; }
+
+/// Matches undef.
+struct UndefPat {
+  bool match(LValue *V) const { return isa<UndefValue>(V); }
+};
+inline UndefPat m_Undef() { return UndefPat{}; }
+
+/// Matches a binary operation with a given opcode. \p RequiredFlags must
+/// all be present on the instruction.
+template <typename LHS, typename RHS> struct BinOpPat {
+  Opcode Op;
+  unsigned RequiredFlags;
+  LHS L;
+  RHS R;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->getOpcode() != Op ||
+        (I->getFlags() & RequiredFlags) != RequiredFlags)
+      return false;
+    return L.match(I->getOperand(0)) && R.match(I->getOperand(1));
+  }
+};
+
+#define ALIVE_DEFINE_BINOP_MATCHER(NAME, OPCODE)                               \
+  template <typename LHS, typename RHS>                                        \
+  BinOpPat<LHS, RHS> NAME(const LHS &L, const RHS &R,                          \
+                          unsigned RequiredFlags = LFNone) {                   \
+    return BinOpPat<LHS, RHS>{OPCODE, RequiredFlags, L, R};                    \
+  }
+
+ALIVE_DEFINE_BINOP_MATCHER(m_Add, Opcode::Add)
+ALIVE_DEFINE_BINOP_MATCHER(m_Sub, Opcode::Sub)
+ALIVE_DEFINE_BINOP_MATCHER(m_Mul, Opcode::Mul)
+ALIVE_DEFINE_BINOP_MATCHER(m_UDiv, Opcode::UDiv)
+ALIVE_DEFINE_BINOP_MATCHER(m_SDiv, Opcode::SDiv)
+ALIVE_DEFINE_BINOP_MATCHER(m_URem, Opcode::URem)
+ALIVE_DEFINE_BINOP_MATCHER(m_SRem, Opcode::SRem)
+ALIVE_DEFINE_BINOP_MATCHER(m_Shl, Opcode::Shl)
+ALIVE_DEFINE_BINOP_MATCHER(m_LShr, Opcode::LShr)
+ALIVE_DEFINE_BINOP_MATCHER(m_AShr, Opcode::AShr)
+ALIVE_DEFINE_BINOP_MATCHER(m_And, Opcode::And)
+ALIVE_DEFINE_BINOP_MATCHER(m_Or, Opcode::Or)
+ALIVE_DEFINE_BINOP_MATCHER(m_Xor, Opcode::Xor)
+#undef ALIVE_DEFINE_BINOP_MATCHER
+
+/// Matches `xor %x, -1` — LLVM's m_Not.
+template <typename Inner> struct NotPat {
+  Inner P;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->getOpcode() != Opcode::Xor)
+      return false;
+    const auto *C = dyn_cast<ConstantInt>(I->getOperand(1));
+    if (C && C->getValue().isAllOnes())
+      return P.match(I->getOperand(0));
+    C = dyn_cast<ConstantInt>(I->getOperand(0));
+    return C && C->getValue().isAllOnes() && P.match(I->getOperand(1));
+  }
+};
+template <typename Inner> NotPat<Inner> m_Not(const Inner &P) {
+  return NotPat<Inner>{P};
+}
+
+/// Matches `sub 0, %x` — LLVM's m_Neg.
+template <typename Inner> struct NegPat {
+  Inner P;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->getOpcode() != Opcode::Sub)
+      return false;
+    const auto *C = dyn_cast<ConstantInt>(I->getOperand(0));
+    return C && C->getValue().isZero() && P.match(I->getOperand(1));
+  }
+};
+template <typename Inner> NegPat<Inner> m_Neg(const Inner &P) {
+  return NegPat<Inner>{P};
+}
+
+/// Matches an icmp, capturing the predicate.
+template <typename LHS, typename RHS> struct ICmpPat {
+  Pred &P;
+  LHS L;
+  RHS R;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->getOpcode() != Opcode::ICmp)
+      return false;
+    if (!L.match(I->getOperand(0)) || !R.match(I->getOperand(1)))
+      return false;
+    P = I->getPredicate();
+    return true;
+  }
+};
+template <typename LHS, typename RHS>
+ICmpPat<LHS, RHS> m_ICmp(Pred &P, const LHS &L, const RHS &R) {
+  return ICmpPat<LHS, RHS>{P, L, R};
+}
+
+/// Matches a select.
+template <typename CondP, typename TP, typename EP> struct SelectPat {
+  CondP C;
+  TP T;
+  EP E;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->getOpcode() != Opcode::Select)
+      return false;
+    return C.match(I->getOperand(0)) && T.match(I->getOperand(1)) &&
+           E.match(I->getOperand(2));
+  }
+};
+template <typename CondP, typename TP, typename EP>
+SelectPat<CondP, TP, EP> m_Select(const CondP &C, const TP &T, const EP &E) {
+  return SelectPat<CondP, TP, EP>{C, T, E};
+}
+
+/// Matches casts.
+template <typename Inner> struct CastPat {
+  Opcode Op;
+  Inner P;
+  bool match(LValue *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Op && P.match(I->getOperand(0));
+  }
+};
+template <typename Inner> CastPat<Inner> m_ZExt(const Inner &P) {
+  return CastPat<Inner>{Opcode::ZExt, P};
+}
+template <typename Inner> CastPat<Inner> m_SExt(const Inner &P) {
+  return CastPat<Inner>{Opcode::SExt, P};
+}
+template <typename Inner> CastPat<Inner> m_Trunc(const Inner &P) {
+  return CastPat<Inner>{Opcode::Trunc, P};
+}
+
+/// Disjunction of two patterns.
+template <typename A, typename B> struct OrPat {
+  A P1;
+  B P2;
+  bool match(LValue *V) const { return P1.match(V) || P2.match(V); }
+};
+template <typename A, typename B>
+OrPat<A, B> m_CombineOr(const A &P1, const B &P2) {
+  return OrPat<A, B>{P1, P2};
+}
+
+} // namespace patternmatch
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_PATTERNMATCH_H

@@ -1,0 +1,281 @@
+//===- liteir/Reader.cpp - textual lite IR parser ----------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/Reader.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace alive;
+using namespace alive::lite;
+
+namespace {
+
+/// Line-oriented tokenizer: splits on whitespace and the punctuation the
+/// printer emits (commas, parens, braces, '=', '@', '%').
+struct LineLexer {
+  std::vector<std::string> Toks;
+  size_t Pos = 0;
+
+  explicit LineLexer(const std::string &Line) {
+    std::string Cur;
+    auto Flush = [&] {
+      if (!Cur.empty()) {
+        Toks.push_back(Cur);
+        Cur.clear();
+      }
+    };
+    for (char C : Line) {
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        Flush();
+      } else if (C == ',' || C == '(' || C == ')' || C == '{' || C == '}' ||
+                 C == '=' || C == '@') {
+        Flush();
+        Toks.push_back(std::string(1, C));
+      } else {
+        Cur += C;
+      }
+    }
+    Flush();
+  }
+
+  bool done() const { return Pos >= Toks.size(); }
+  const std::string &peek() const {
+    static const std::string Empty;
+    return done() ? Empty : Toks[Pos];
+  }
+  std::string next() { return done() ? std::string() : Toks[Pos++]; }
+  bool accept(const std::string &S) {
+    if (peek() != S)
+      return false;
+    ++Pos;
+    return true;
+  }
+};
+
+bool parseIntType(const std::string &S, unsigned &Width) {
+  if (S.size() < 2 || S[0] != 'i')
+    return false;
+  for (size_t I = 1; I != S.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+  Width = static_cast<unsigned>(std::stoul(S.substr(1)));
+  return Width >= 1 && Width <= 64;
+}
+
+struct Parser {
+  std::map<std::string, LValue *> Names;
+  std::unique_ptr<Function> F;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  LValue *operand(LineLexer &L, unsigned Width) {
+    std::string T = L.next();
+    if (T == "undef")
+      return F->getUndef(Width);
+    if (!T.empty() && T[0] == '%') {
+      auto It = Names.find(T.substr(1));
+      if (It == Names.end()) {
+        fail("unknown value " + T);
+        return nullptr;
+      }
+      if (It->second->getWidth() != Width) {
+        fail("width mismatch on " + T);
+        return nullptr;
+      }
+      return It->second;
+    }
+    // Signed decimal constant.
+    try {
+      long long V = std::stoll(T);
+      return F->getConstant(APInt::getSigned(Width, V));
+    } catch (...) {
+      fail("expected an operand, found '" + T + "'");
+      return nullptr;
+    }
+  }
+
+  bool instruction(const std::string &Line) {
+    LineLexer L(Line);
+    if (L.accept("ret")) {
+      unsigned W;
+      if (!parseIntType(L.next(), W))
+        return fail("expected a type after ret");
+      LValue *V = operand(L, W);
+      if (!V)
+        return false;
+      F->setReturnValue(V);
+      return true;
+    }
+    std::string Name = L.next();
+    if (Name.empty() || Name[0] != '%')
+      return fail("expected an instruction definition: " + Line);
+    Name = Name.substr(1);
+    if (!L.accept("="))
+      return fail("expected '=' after %" + Name);
+
+    std::string Op = L.next();
+    unsigned Flags = LFNone;
+    for (;;) {
+      if (L.accept("nsw"))
+        Flags |= LFNSW;
+      else if (L.accept("nuw"))
+        Flags |= LFNUW;
+      else if (L.accept("exact"))
+        Flags |= LFExact;
+      else
+        break;
+    }
+
+    static const std::map<std::string, Opcode> BinOps = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"udiv", Opcode::UDiv},
+        {"sdiv", Opcode::SDiv}, {"urem", Opcode::URem},
+        {"srem", Opcode::SRem}, {"shl", Opcode::Shl},
+        {"lshr", Opcode::LShr}, {"ashr", Opcode::AShr},
+        {"and", Opcode::And},   {"or", Opcode::Or},
+        {"xor", Opcode::Xor}};
+    static const std::map<std::string, Pred> Preds = {
+        {"eq", Pred::EQ},   {"ne", Pred::NE},   {"ugt", Pred::UGT},
+        {"uge", Pred::UGE}, {"ult", Pred::ULT}, {"ule", Pred::ULE},
+        {"sgt", Pred::SGT}, {"sge", Pred::SGE}, {"slt", Pred::SLT},
+        {"sle", Pred::SLE}};
+
+    Instruction *I = nullptr;
+    if (auto It = BinOps.find(Op); It != BinOps.end()) {
+      unsigned W;
+      if (!parseIntType(L.next(), W))
+        return fail("expected a type in " + Op);
+      LValue *A = operand(L, W);
+      if (!A || !L.accept(","))
+        return fail("malformed " + Op);
+      LValue *B = operand(L, W);
+      if (!B)
+        return false;
+      I = F->createBinOp(It->second, A, B, Flags);
+    } else if (Op == "icmp") {
+      auto PIt = Preds.find(L.next());
+      if (PIt == Preds.end())
+        return fail("bad icmp predicate");
+      unsigned W;
+      if (!parseIntType(L.next(), W))
+        return fail("expected a type in icmp");
+      LValue *A = operand(L, W);
+      if (!A || !L.accept(","))
+        return fail("malformed icmp");
+      LValue *B = operand(L, W);
+      if (!B)
+        return false;
+      I = F->createICmp(PIt->second, A, B);
+    } else if (Op == "select") {
+      unsigned W;
+      if (!parseIntType(L.next(), W))
+        return fail("expected a type in select");
+      // Printed form: select iW %c, %a, %b with the condition width 1 —
+      // the printer emits the *result* width; condition is always i1.
+      LValue *C = operand(L, 1);
+      if (!C || !L.accept(","))
+        return fail("malformed select");
+      LValue *A = operand(L, W);
+      if (!A || !L.accept(","))
+        return fail("malformed select");
+      LValue *B = operand(L, W);
+      if (!B)
+        return false;
+      I = F->createSelect(C, A, B);
+    } else if (Op == "zext" || Op == "sext" || Op == "trunc") {
+      unsigned SrcW;
+      if (!parseIntType(L.next(), SrcW))
+        return fail("expected a source type in " + Op);
+      LValue *A = operand(L, SrcW);
+      if (!A || !L.accept("to"))
+        return fail("malformed " + Op);
+      unsigned DstW;
+      if (!parseIntType(L.next(), DstW))
+        return fail("expected a destination type in " + Op);
+      Opcode OC = Op == "zext"   ? Opcode::ZExt
+                  : Op == "sext" ? Opcode::SExt
+                                 : Opcode::Trunc;
+      I = F->createCast(OC, A, DstW);
+    } else {
+      return fail("unknown opcode '" + Op + "'");
+    }
+    I->setName(Name);
+    Names[Name] = I;
+    return true;
+  }
+
+  Result<std::unique_ptr<Function>> run(const std::string &Text) {
+    std::istringstream In(Text);
+    std::string Line;
+    bool SeenDefine = false;
+    while (std::getline(In, Line)) {
+      // Strip comments and surrounding whitespace.
+      size_t Semi = Line.find(';');
+      if (Semi != std::string::npos)
+        Line = Line.substr(0, Semi);
+      size_t B = Line.find_first_not_of(" \t");
+      if (B == std::string::npos)
+        continue;
+      size_t E = Line.find_last_not_of(" \t");
+      Line = Line.substr(B, E - B + 1);
+      if (Line == "}")
+        continue;
+
+      if (!SeenDefine) {
+        LineLexer L(Line);
+        if (!L.accept("define"))
+          return Result<std::unique_ptr<Function>>::error(
+              "expected 'define'");
+        L.next(); // return type (informational; ret line re-checks)
+        if (!L.accept("@"))
+          return Result<std::unique_ptr<Function>>::error(
+              "expected '@name'");
+        F = std::make_unique<Function>(L.next());
+        if (!L.accept("("))
+          return Result<std::unique_ptr<Function>>::error("expected '('");
+        while (!L.accept(")")) {
+          unsigned W;
+          if (!parseIntType(L.next(), W))
+            return Result<std::unique_ptr<Function>>::error(
+                "expected an argument type");
+          std::string AName = L.next();
+          if (AName.empty() || AName[0] != '%')
+            return Result<std::unique_ptr<Function>>::error(
+                "expected an argument name");
+          Argument *A = F->addArgument(W, AName.substr(1));
+          Names[A->getName()] = A;
+          L.accept(",");
+        }
+        SeenDefine = true;
+        continue;
+      }
+      if (!instruction(Line))
+        return Result<std::unique_ptr<Function>>::error(
+            Error.empty() ? "parse error: " + Line : Error);
+    }
+    if (!F)
+      return Result<std::unique_ptr<Function>>::error("no function found");
+    if (!F->getReturnValue())
+      return Result<std::unique_ptr<Function>>::error("missing ret");
+    if (Status S = F->verify(); !S.ok())
+      return Result<std::unique_ptr<Function>>::error(S.message());
+    return std::move(F);
+  }
+};
+
+} // namespace
+
+Result<std::unique_ptr<Function>> lite::parseFunction(const std::string &Text) {
+  Parser P;
+  return P.run(Text);
+}

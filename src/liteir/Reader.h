@@ -1,0 +1,37 @@
+//===- liteir/Reader.h - textual lite IR parser -----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form Function::str() prints, closing the loop for
+/// file-based tooling (tools/liteopt) and print/parse round-trip tests:
+///
+///   define i16 @demo(i16 %x, i16 %y) {
+///     %t0 = xor i16 %x, -1
+///     %t1 = add i16 %t0, 7
+///     ret i16 %t1
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_LITEIR_READER_H
+#define ALIVE_LITEIR_READER_H
+
+#include "liteir/LiteIR.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+
+namespace alive {
+namespace lite {
+
+/// Parses one function in the printer's format.
+Result<std::unique_ptr<Function>> parseFunction(const std::string &Text);
+
+} // namespace lite
+} // namespace alive
+
+#endif // ALIVE_LITEIR_READER_H

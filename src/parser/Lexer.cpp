@@ -1,0 +1,283 @@
+//===- parser/Lexer.cpp - Alive DSL lexer ----------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace alive;
+using namespace alive::parser;
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+static bool isIdentChar(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+Lexer::Lexer(std::string In) : Input(std::move(In)) { run(); }
+
+void Lexer::addTok(TokKind K, unsigned Line, unsigned Col, std::string Text,
+                   int64_t Val) {
+  Token T;
+  T.Kind = K;
+  T.Text = std::move(Text);
+  T.IntVal = Val;
+  T.Line = Line;
+  T.Col = Col;
+  Toks.push_back(std::move(T));
+}
+
+void Lexer::run() {
+  size_t I = 0, N = Input.size();
+  unsigned Line = 1, LineStart = 0;
+  auto Col = [&](size_t Pos) { return static_cast<unsigned>(Pos - LineStart + 1); };
+
+  while (I < N) {
+    char C = Input[I];
+    // Comments run to end of line.
+    if (C == ';') {
+      while (I < N && Input[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '\n') {
+      // Collapse consecutive newlines into one token.
+      if (!Toks.empty() && Toks.back().Kind != TokKind::Newline)
+        addTok(TokKind::Newline, Line, Col(I));
+      ++I;
+      ++Line;
+      LineStart = static_cast<unsigned>(I);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+
+    unsigned TokLine = Line, TokCol = Col(I);
+
+    // Registers: %name. Also the %u operator when 'u' is not part of a
+    // longer register name.
+    if (C == '%') {
+      if (I + 1 < N && Input[I + 1] == 'u' &&
+          (I + 2 >= N || !isIdentChar(Input[I + 2]))) {
+        addTok(TokKind::PercentU, TokLine, TokCol);
+        I += 2;
+        continue;
+      }
+      size_t J = I + 1;
+      while (J < N && isIdentChar(Input[J]))
+        ++J;
+      if (J == I + 1) {
+        addTok(TokKind::Percent, TokLine, TokCol);
+        ++I;
+        continue;
+      }
+      addTok(TokKind::Reg, TokLine, TokCol,
+             "%" + Input.substr(I + 1, J - I - 1));
+      I = J;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      int64_t Val = 0;
+      if (C == '0' && I + 1 < N && (Input[I + 1] == 'x' || Input[I + 1] == 'X')) {
+        J = I + 2;
+        while (J < N && std::isxdigit(static_cast<unsigned char>(Input[J]))) {
+          Val = Val * 16 + (std::isdigit(static_cast<unsigned char>(Input[J]))
+                                ? Input[J] - '0'
+                                : (std::tolower(Input[J]) - 'a' + 10));
+          ++J;
+        }
+      } else {
+        while (J < N && std::isdigit(static_cast<unsigned char>(Input[J]))) {
+          Val = Val * 10 + (Input[J] - '0');
+          ++J;
+        }
+      }
+      addTok(TokKind::Int, TokLine, TokCol, "", Val);
+      I = J;
+      continue;
+    }
+
+    if (isIdentStart(C)) {
+      size_t J = I;
+      while (J < N && isIdentChar(Input[J]))
+        ++J;
+      std::string Id = Input.substr(I, J - I);
+      I = J;
+      // "Name:" and "Pre:" headers.
+      if ((Id == "Name" || Id == "Pre") && I < N && Input[I] == ':') {
+        ++I;
+        if (Id == "Pre") {
+          addTok(TokKind::PreColon, TokLine, TokCol);
+          continue;
+        }
+        // Name: the rest of the line is free-form text.
+        size_t E = I;
+        while (E < N && Input[E] != '\n')
+          ++E;
+        size_t B = I;
+        while (B < E && std::isspace(static_cast<unsigned char>(Input[B])))
+          ++B;
+        size_t E2 = E;
+        while (E2 > B && std::isspace(static_cast<unsigned char>(Input[E2 - 1])))
+          --E2;
+        addTok(TokKind::NameColon, TokLine, TokCol, Input.substr(B, E2 - B));
+        I = E;
+        continue;
+      }
+      // The unsigned comparison prefix: `u<`, `u<=`, `u>`, `u>=`.
+      if (Id == "u" && I < N && (Input[I] == '<' || Input[I] == '>')) {
+        char D = Input[I++];
+        bool HasEq = I < N && Input[I] == '=';
+        if (HasEq)
+          ++I;
+        addTok(D == '<' ? (HasEq ? TokKind::ULe : TokKind::ULt)
+                        : (HasEq ? TokKind::UGe : TokKind::UGt),
+               TokLine, TokCol);
+        continue;
+      }
+      if (Id == "x") {
+        addTok(TokKind::X, TokLine, TokCol, Id);
+        continue;
+      }
+      addTok(TokKind::Ident, TokLine, TokCol, Id);
+      continue;
+    }
+
+    auto Two = [&](char Next) { return I + 1 < N && Input[I + 1] == Next; };
+    switch (C) {
+    case ',':
+      addTok(TokKind::Comma, TokLine, TokCol);
+      ++I;
+      break;
+    case '(':
+      addTok(TokKind::LParen, TokLine, TokCol);
+      ++I;
+      break;
+    case ')':
+      addTok(TokKind::RParen, TokLine, TokCol);
+      ++I;
+      break;
+    case '[':
+      addTok(TokKind::LBracket, TokLine, TokCol);
+      ++I;
+      break;
+    case ']':
+      addTok(TokKind::RBracket, TokLine, TokCol);
+      ++I;
+      break;
+    case '*':
+      addTok(TokKind::Star, TokLine, TokCol);
+      ++I;
+      break;
+    case '+':
+      addTok(TokKind::Plus, TokLine, TokCol);
+      ++I;
+      break;
+    case '-':
+      addTok(TokKind::Minus, TokLine, TokCol);
+      ++I;
+      break;
+    case '~':
+      addTok(TokKind::Tilde, TokLine, TokCol);
+      ++I;
+      break;
+    case '^':
+      addTok(TokKind::Caret, TokLine, TokCol);
+      ++I;
+      break;
+    case '=':
+      if (Two('>')) {
+        addTok(TokKind::Arrow, TokLine, TokCol);
+        I += 2;
+      } else if (Two('=')) {
+        addTok(TokKind::EqEq, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Equals, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '&':
+      if (Two('&')) {
+        addTok(TokKind::AndAnd, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Amp, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '|':
+      if (Two('|')) {
+        addTok(TokKind::OrOr, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Pipe, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '!':
+      if (Two('=')) {
+        addTok(TokKind::BangEq, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Bang, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '<':
+      if (Two('<')) {
+        addTok(TokKind::Shl, TokLine, TokCol);
+        I += 2;
+      } else if (Two('=')) {
+        addTok(TokKind::Le, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Lt, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '>':
+      if (Two('>')) {
+        I += 2;
+        if (I < N && Input[I] == 'u' && (I + 1 >= N || !isIdentChar(Input[I + 1]))) {
+          addTok(TokKind::LShrU, TokLine, TokCol);
+          ++I;
+        } else {
+          addTok(TokKind::AShr, TokLine, TokCol);
+        }
+      } else if (Two('=')) {
+        addTok(TokKind::Ge, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Gt, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    case '/':
+      if (Two('u')) {
+        addTok(TokKind::SlashU, TokLine, TokCol);
+        I += 2;
+      } else {
+        addTok(TokKind::Slash, TokLine, TokCol);
+        ++I;
+      }
+      break;
+    default:
+      Error = "line " + std::to_string(TokLine) + ": unexpected character '" +
+              std::string(1, C) + "'";
+      addTok(TokKind::Eof, TokLine, TokCol);
+      return;
+    }
+  }
+  if (!Toks.empty() && Toks.back().Kind != TokKind::Newline)
+    addTok(TokKind::Newline, Line, 1);
+  addTok(TokKind::Eof, Line, 1);
+}

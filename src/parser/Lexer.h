@@ -1,0 +1,102 @@
+//===- parser/Lexer.h - Alive DSL lexer -------------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for Alive's surface syntax (Figure 1). Newlines are
+/// significant (they terminate statements), ';' introduces a comment to
+/// end of line, and a handful of two-character operators (`=>`, `&&`,
+/// `u<=`, `>>u`, `/u`, `%u`) require one-character lookahead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_PARSER_LEXER_H
+#define ALIVE_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace parser {
+
+enum class TokKind {
+  Eof,
+  Newline,
+  Ident,    ///< bare identifier: opcodes, predicates, C1, i8, undef...
+  Reg,      ///< %name (text excludes the sigil)
+  Int,      ///< integer literal
+  Comma,
+  Equals,
+  Arrow,    ///< =>
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Star,
+  AndAnd,
+  OrOr,
+  Bang,
+  EqEq,
+  BangEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  ULt,  ///< u<
+  ULe,  ///< u<=
+  UGt,  ///< u>
+  UGe,  ///< u>=
+  Plus,
+  Minus,
+  Tilde,
+  Slash,    ///< signed division in constant expressions
+  SlashU,   ///< /u
+  Percent,  ///< signed remainder
+  PercentU, ///< %u
+  Shl,      ///< <<
+  AShr,     ///< >> (arithmetic in constant expressions)
+  LShrU,    ///< >>u
+  Amp,
+  Pipe,
+  Caret,
+  NameColon, ///< "Name:" — the rest of the line is in Text
+  PreColon,  ///< "Pre:"
+  X,         ///< the `x` in array types [4 x i8]
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  ///< identifier/register text or Name: payload
+  int64_t IntVal = 0;
+  unsigned Line = 0; ///< 1-based source line (for diagnostics)
+  unsigned Col = 0;
+};
+
+/// Tokenizes a whole buffer up front (Alive files are tiny).
+class Lexer {
+public:
+  /// Tokenizes \p Input. On a lexical error, emits an Eof token and sets
+  /// the error message retrievable via getError().
+  explicit Lexer(std::string Input);
+
+  const std::vector<Token> &tokens() const { return Toks; }
+  const std::string &getError() const { return Error; }
+  bool hadError() const { return !Error.empty(); }
+
+private:
+  void run();
+  void addTok(TokKind K, unsigned Line, unsigned Col, std::string Text = "",
+              int64_t Val = 0);
+
+  std::string Input;
+  std::vector<Token> Toks;
+  std::string Error;
+};
+
+} // namespace parser
+} // namespace alive
+
+#endif // ALIVE_PARSER_LEXER_H

@@ -1,0 +1,955 @@
+//===- parser/Parser.cpp - Alive DSL parser --------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+
+#include <map>
+
+using namespace alive;
+using namespace alive::parser;
+using namespace alive::ir;
+
+namespace {
+
+/// Internal recursive-descent parser over the token stream.
+class ParserImpl {
+public:
+  explicit ParserImpl(const std::vector<Token> &Toks) : Toks(Toks) {}
+
+  Result<std::vector<std::unique_ptr<Transform>>> parseAll() {
+    std::vector<std::unique_ptr<Transform>> Out;
+    skipNewlines();
+    while (!at(TokKind::Eof)) {
+      auto T = parseOne();
+      if (!T.ok())
+        return T.status();
+      Out.push_back(T.take());
+      skipNewlines();
+    }
+    if (Out.empty())
+      return Result<std::vector<std::unique_ptr<Transform>>>::error(
+          "input contains no transformations");
+    return Out;
+  }
+
+private:
+  // --- Token plumbing -------------------------------------------------------
+
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atIdent(const char *S) const {
+    return at(TokKind::Ident) && cur().Text == S;
+  }
+  Token eat() { return Toks[Pos++]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipNewlines() {
+    while (at(TokKind::Newline))
+      ++Pos;
+  }
+
+  Status err(const std::string &Msg) const {
+    return Status::error("line " + std::to_string(cur().Line) + ": " + Msg);
+  }
+
+  // --- Top level -------------------------------------------------------------
+
+  Result<std::unique_ptr<Transform>> parseOne() {
+    auto Tr = std::make_unique<Transform>();
+    T = Tr.get();
+    Consts.clear();
+    Scope.clear();
+    InSource = true;
+
+    skipNewlines();
+    if (at(TokKind::NameColon)) {
+      Tr->Name = eat().Text;
+      skipNewlines();
+    }
+    // Remember the precondition token range; parse after the source so it
+    // can reference source temporaries.
+    size_t PreBegin = 0, PreEnd = 0;
+    if (accept(TokKind::PreColon)) {
+      PreBegin = Pos;
+      while (!at(TokKind::Newline) && !at(TokKind::Eof))
+        ++Pos;
+      PreEnd = Pos;
+      skipNewlines();
+    }
+
+    // Source statements until '=>'.
+    while (!at(TokKind::Arrow)) {
+      if (at(TokKind::Eof))
+        return Result<std::unique_ptr<Transform>>(
+            err("unexpected end of input before '=>'"));
+      if (Status S = parseStatement(); !S.ok())
+        return Result<std::unique_ptr<Transform>>(S);
+      skipNewlines();
+    }
+    eat(); // '=>'
+    skipNewlines();
+
+    // Parse the precondition now that source names are in scope.
+    if (PreEnd > PreBegin) {
+      size_t Save = Pos;
+      Pos = PreBegin;
+      auto P = parsePrecondOr(PreEnd);
+      if (!P.ok())
+        return Result<std::unique_ptr<Transform>>(P.status());
+      if (Pos != PreEnd)
+        return Result<std::unique_ptr<Transform>>(
+            err("trailing tokens in precondition"));
+      T->setPrecondition(P.take());
+      Pos = Save;
+    }
+
+    // Target statements until the next transformation or EOF.
+    InSource = false;
+    while (!at(TokKind::Eof) && !at(TokKind::NameColon) &&
+           !at(TokKind::PreColon)) {
+      if (Status S = parseStatement(); !S.ok())
+        return Result<std::unique_ptr<Transform>>(S);
+      skipNewlines();
+    }
+
+    if (Status S = T->finalize(); !S.ok())
+      return Result<std::unique_ptr<Transform>>(S);
+    return Result<std::unique_ptr<Transform>>(std::move(Tr));
+  }
+
+  // --- Types ------------------------------------------------------------------
+
+  /// True when the current token begins a type (iN, [N x ty], with '*'s).
+  bool atType() const {
+    if (at(TokKind::LBracket))
+      return true;
+    if (!at(TokKind::Ident))
+      return false;
+    const std::string &S = cur().Text;
+    if (S.size() < 2 || S[0] != 'i')
+      return false;
+    for (size_t I = 1; I != S.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+    return true;
+  }
+
+  Result<Type> parseType() {
+    Type Base;
+    if (accept(TokKind::LBracket)) {
+      if (!at(TokKind::Int))
+        return Result<Type>(err("expected array length"));
+      int64_t N = eat().IntVal;
+      if (!at(TokKind::X))
+        return Result<Type>(err("expected 'x' in array type"));
+      eat();
+      auto Elem = parseType();
+      if (!Elem.ok())
+        return Elem;
+      if (!accept(TokKind::RBracket))
+        return Result<Type>(err("expected ']' in array type"));
+      Base = Type::arrayTy(static_cast<unsigned>(N), Elem.take());
+    } else {
+      if (!atType())
+        return Result<Type>(err("expected a type"));
+      std::string S = eat().Text;
+      unsigned W = static_cast<unsigned>(std::stoul(S.substr(1)));
+      if (W < 1 || W > 64)
+        return Result<Type>(err("integer width " + std::to_string(W) +
+                                " outside the supported range 1..64"));
+      Base = Type::intTy(W);
+    }
+    while (accept(TokKind::Star))
+      Base = Type::ptrTy(Base);
+    return Base;
+  }
+
+  // --- Constant expressions ----------------------------------------------------
+
+  bool isConstFn(const std::string &S, ConstExpr::Builtin &Fn) const {
+    static const std::pair<const char *, ConstExpr::Builtin> Map[] = {
+        {"width", ConstExpr::Builtin::Width},
+        {"log2", ConstExpr::Builtin::Log2},
+        {"abs", ConstExpr::Builtin::Abs},
+        {"umax", ConstExpr::Builtin::UMax},
+        {"umin", ConstExpr::Builtin::UMin},
+        {"smax", ConstExpr::Builtin::SMax},
+        {"smin", ConstExpr::Builtin::SMin},
+        {"zext", ConstExpr::Builtin::ZExt},
+        {"sext", ConstExpr::Builtin::SExt},
+        {"trunc", ConstExpr::Builtin::Trunc},
+    };
+    for (const auto &[Name, B] : Map)
+      if (S == Name) {
+        Fn = B;
+        return true;
+      }
+    return false;
+  }
+
+  /// True when \p S names an abstract constant: 'C' optionally followed by
+  /// digits.
+  static bool isConstSymName(const std::string &S) {
+    if (S.empty() || S[0] != 'C')
+      return false;
+    for (size_t I = 1; I != S.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+    return true;
+  }
+
+  using CE = std::unique_ptr<ConstExpr>;
+
+  Result<CE> parseCEPrimary() {
+    if (at(TokKind::Int))
+      return ConstExpr::literal(eat().IntVal);
+    if (accept(TokKind::LParen)) {
+      auto E = parseCEOr();
+      if (!E.ok())
+        return E;
+      if (!accept(TokKind::RParen))
+        return Result<CE>(err("expected ')' in constant expression"));
+      return E;
+    }
+    if (at(TokKind::Ident)) {
+      std::string Id = cur().Text;
+      ConstExpr::Builtin Fn;
+      if (isConstFn(Id, Fn)) {
+        eat();
+        if (!accept(TokKind::LParen))
+          return Result<CE>(err("expected '(' after " + Id));
+        // width() takes a value: a register or an abstract constant.
+        if (Fn == ConstExpr::Builtin::Width && at(TokKind::Ident) &&
+            isConstSymName(cur().Text)) {
+          Value *Sym = getOrCreateConstSym(eat().Text);
+          if (!accept(TokKind::RParen))
+            return Result<CE>(err("expected ')' after " + Id + " argument"));
+          return ConstExpr::callOnValue(Fn, Sym);
+        }
+        // A single register argument (e.g. width(%x)) or constant exprs.
+        if (at(TokKind::Reg)) {
+          std::string RegName = eat().Text;
+          Value *V = lookupValue(RegName);
+          if (!V)
+            return Result<CE>(err("unknown value " + RegName +
+                                  " in constant expression"));
+          if (!accept(TokKind::RParen))
+            return Result<CE>(err("expected ')' after " + Id + " argument"));
+          return ConstExpr::callOnValue(Fn, V);
+        }
+        std::vector<CE> Args;
+        if (!at(TokKind::RParen)) {
+          for (;;) {
+            auto A = parseCEOr();
+            if (!A.ok())
+              return A;
+            Args.push_back(A.take());
+            if (!accept(TokKind::Comma))
+              break;
+          }
+        }
+        if (!accept(TokKind::RParen))
+          return Result<CE>(err("expected ')' after " + Id + " arguments"));
+        return ConstExpr::call(Fn, std::move(Args));
+      }
+      if (isConstSymName(Id)) {
+        eat();
+        getOrCreateConstSym(Id);
+        return ConstExpr::symRef(Id);
+      }
+      return Result<CE>(err("unexpected identifier '" + Id +
+                            "' in constant expression"));
+    }
+    return Result<CE>(err("expected a constant expression"));
+  }
+
+  Result<CE> parseCEUnary() {
+    if (accept(TokKind::Minus)) {
+      auto E = parseCEUnary();
+      if (!E.ok())
+        return E;
+      return ConstExpr::unary(ConstExpr::UnaryOp::Neg, E.take());
+    }
+    if (accept(TokKind::Tilde)) {
+      auto E = parseCEUnary();
+      if (!E.ok())
+        return E;
+      return ConstExpr::unary(ConstExpr::UnaryOp::Not, E.take());
+    }
+    return parseCEPrimary();
+  }
+
+  Result<CE> parseCEBinLevel(unsigned Level) {
+    // Precedence (loosest to tightest): | , ^ , & , shifts , +- , */%.
+    if (Level == 6)
+      return parseCEUnary();
+    auto L = parseCEBinLevel(Level + 1);
+    if (!L.ok())
+      return L;
+    CE Acc = L.take();
+    for (;;) {
+      ConstExpr::BinaryOp Op;
+      bool Match = false;
+      switch (Level) {
+      case 0:
+        if (at(TokKind::Pipe)) {
+          Op = ConstExpr::BinaryOp::Or;
+          Match = true;
+        }
+        break;
+      case 1:
+        if (at(TokKind::Caret)) {
+          Op = ConstExpr::BinaryOp::Xor;
+          Match = true;
+        }
+        break;
+      case 2:
+        if (at(TokKind::Amp)) {
+          Op = ConstExpr::BinaryOp::And;
+          Match = true;
+        }
+        break;
+      case 3:
+        if (at(TokKind::Shl)) {
+          Op = ConstExpr::BinaryOp::Shl;
+          Match = true;
+        } else if (at(TokKind::AShr)) {
+          Op = ConstExpr::BinaryOp::AShr;
+          Match = true;
+        } else if (at(TokKind::LShrU)) {
+          Op = ConstExpr::BinaryOp::LShr;
+          Match = true;
+        }
+        break;
+      case 4:
+        if (at(TokKind::Plus)) {
+          Op = ConstExpr::BinaryOp::Add;
+          Match = true;
+        } else if (at(TokKind::Minus)) {
+          Op = ConstExpr::BinaryOp::Sub;
+          Match = true;
+        }
+        break;
+      case 5:
+        if (at(TokKind::Star)) {
+          Op = ConstExpr::BinaryOp::Mul;
+          Match = true;
+        } else if (at(TokKind::Slash)) {
+          Op = ConstExpr::BinaryOp::SDiv;
+          Match = true;
+        } else if (at(TokKind::SlashU)) {
+          Op = ConstExpr::BinaryOp::UDiv;
+          Match = true;
+        } else if (at(TokKind::Percent)) {
+          Op = ConstExpr::BinaryOp::SRem;
+          Match = true;
+        } else if (at(TokKind::PercentU)) {
+          Op = ConstExpr::BinaryOp::URem;
+          Match = true;
+        }
+        break;
+      }
+      if (!Match)
+        return Result<CE>(std::move(Acc));
+      eat();
+      auto R = parseCEBinLevel(Level + 1);
+      if (!R.ok())
+        return R;
+      Acc = ConstExpr::binary(Op, std::move(Acc), R.take());
+    }
+  }
+
+  Result<CE> parseCEOr() { return parseCEBinLevel(0); }
+
+  // --- Preconditions -----------------------------------------------------------
+
+  bool atCmpOp() const {
+    switch (cur().Kind) {
+    case TokKind::EqEq:
+    case TokKind::BangEq:
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge:
+    case TokKind::ULt:
+    case TokKind::ULe:
+    case TokKind::UGt:
+    case TokKind::UGe:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Precond::CmpOp cmpOpFromTok(TokKind K) const {
+    switch (K) {
+    case TokKind::EqEq:
+      return Precond::CmpOp::EQ;
+    case TokKind::BangEq:
+      return Precond::CmpOp::NE;
+    case TokKind::Lt:
+      return Precond::CmpOp::SLT;
+    case TokKind::Le:
+      return Precond::CmpOp::SLE;
+    case TokKind::Gt:
+      return Precond::CmpOp::SGT;
+    case TokKind::Ge:
+      return Precond::CmpOp::SGE;
+    case TokKind::ULt:
+      return Precond::CmpOp::ULT;
+    case TokKind::ULe:
+      return Precond::CmpOp::ULE;
+    case TokKind::UGt:
+      return Precond::CmpOp::UGT;
+    default:
+      return Precond::CmpOp::UGE;
+    }
+  }
+
+  bool isPredName(const std::string &S, PredKind &K) const {
+    static const std::pair<const char *, PredKind> Map[] = {
+        {"isPowerOf2", PredKind::IsPowerOf2},
+        {"isPowerOf2OrZero", PredKind::IsPowerOf2OrZero},
+        {"isSignBit", PredKind::IsSignBit},
+        {"isShiftedMask", PredKind::IsShiftedMask},
+        {"MaskedValueIsZero", PredKind::MaskedValueIsZero},
+        {"WillNotOverflowSignedAdd", PredKind::WillNotOverflowSignedAdd},
+        {"WillNotOverflowUnsignedAdd", PredKind::WillNotOverflowUnsignedAdd},
+        {"WillNotOverflowSignedSub", PredKind::WillNotOverflowSignedSub},
+        {"WillNotOverflowUnsignedSub", PredKind::WillNotOverflowUnsignedSub},
+        {"WillNotOverflowSignedMul", PredKind::WillNotOverflowSignedMul},
+        {"WillNotOverflowUnsignedMul", PredKind::WillNotOverflowUnsignedMul},
+        {"WillNotOverflowSignedShl", PredKind::WillNotOverflowSignedShl},
+        {"WillNotOverflowUnsignedShl", PredKind::WillNotOverflowUnsignedShl},
+        {"CannotBeNegative", PredKind::CannotBeNegative},
+        {"hasOneUse", PredKind::OneUse},
+    };
+    for (const auto &[Name, P] : Map)
+      if (S == Name) {
+        K = P;
+        return true;
+      }
+    return false;
+  }
+
+  using PC = std::unique_ptr<Precond>;
+
+  Result<PC> parsePrecondOr(size_t End) {
+    auto L = parsePrecondAnd(End);
+    if (!L.ok())
+      return L;
+    PC Acc = L.take();
+    while (Pos < End && at(TokKind::OrOr)) {
+      eat();
+      auto R = parsePrecondAnd(End);
+      if (!R.ok())
+        return R;
+      Acc = Precond::mkOr(std::move(Acc), R.take());
+    }
+    return Result<PC>(std::move(Acc));
+  }
+
+  Result<PC> parsePrecondAnd(size_t End) {
+    auto L = parsePrecondUnary(End);
+    if (!L.ok())
+      return L;
+    PC Acc = L.take();
+    while (Pos < End && at(TokKind::AndAnd)) {
+      eat();
+      auto R = parsePrecondUnary(End);
+      if (!R.ok())
+        return R;
+      Acc = Precond::mkAnd(std::move(Acc), R.take());
+    }
+    return Result<PC>(std::move(Acc));
+  }
+
+  Result<PC> parsePrecondUnary(size_t End) {
+    if (at(TokKind::Bang)) {
+      eat();
+      auto A = parsePrecondUnary(End);
+      if (!A.ok())
+        return A;
+      return Precond::mkNot(A.take());
+    }
+    // Built-in predicate application.
+    if (at(TokKind::Ident)) {
+      PredKind PK;
+      if (isPredName(cur().Text, PK)) {
+        std::string Id = eat().Text;
+        if (!accept(TokKind::LParen))
+          return Result<PC>(err("expected '(' after " + Id));
+        std::vector<Value *> Args;
+        if (!at(TokKind::RParen)) {
+          for (;;) {
+            auto A = parsePredArg();
+            if (!A.ok())
+              return Result<PC>(A.status());
+            Args.push_back(A.get());
+            if (!accept(TokKind::Comma))
+              break;
+          }
+        }
+        if (!accept(TokKind::RParen))
+          return Result<PC>(err("expected ')' after " + Id + " arguments"));
+        if (Args.size() != predKindArity(PK))
+          return Result<PC>(err(Id + " expects " +
+                                std::to_string(predKindArity(PK)) +
+                                " argument(s)"));
+        return Precond::mkBuiltin(PK, std::move(Args));
+      }
+    }
+    // Parenthesized precondition vs. parenthesized constant expression:
+    // try the comparison reading first and backtrack on failure.
+    if (at(TokKind::LParen)) {
+      size_t Save = Pos;
+      auto AsCmp = tryParseCmp(End);
+      if (AsCmp.ok())
+        return AsCmp;
+      Pos = Save;
+      eat(); // '('
+      auto Inner = parsePrecondOr(End);
+      if (!Inner.ok())
+        return Inner;
+      if (!accept(TokKind::RParen))
+        return Result<PC>(err("expected ')' in precondition"));
+      return Inner;
+    }
+    return tryParseCmp(End);
+  }
+
+  Result<PC> tryParseCmp(size_t End) {
+    auto L = parsePredCE();
+    if (!L.ok())
+      return Result<PC>(L.status());
+    if (Pos >= End || !atCmpOp())
+      return Result<PC>(err("expected a comparison operator"));
+    Precond::CmpOp Op = cmpOpFromTok(eat().Kind);
+    auto R = parsePredCE();
+    if (!R.ok())
+      return Result<PC>(R.status());
+    return Precond::mkCmp(Op, L.take(), R.take());
+  }
+
+  /// Constant expression inside a precondition; registers are allowed as
+  /// width() arguments only (handled by parseCEPrimary).
+  Result<CE> parsePredCE() { return parseCEOr(); }
+
+  /// Predicate argument: a register, or a constant expression wrapped in a
+  /// pool-owned value.
+  Result<Value *> parsePredArg() {
+    if (at(TokKind::Reg)) {
+      std::string Name = eat().Text;
+      Value *V = lookupValue(Name);
+      if (!V)
+        return Result<Value *>(err("unknown value " + Name +
+                                   " in precondition"));
+      return V;
+    }
+    auto E = parseCEOr();
+    if (!E.ok())
+      return Result<Value *>(E.status());
+    return wrapConstExpr(E.take());
+  }
+
+  // --- Operands -----------------------------------------------------------------
+
+  Value *lookupValue(const std::string &Name) {
+    auto It = Scope.find(Name);
+    return It == Scope.end() ? nullptr : It->second;
+  }
+
+  ConstantSymbol *getOrCreateConstSym(const std::string &Name) {
+    auto It = Consts.find(Name);
+    if (It != Consts.end())
+      return It->second;
+    ConstantSymbol *C = T->create<ConstantSymbol>(Name);
+    Consts.emplace(Name, C);
+    return C;
+  }
+
+  Value *wrapConstExpr(CE E) {
+    // A bare reference to an abstract constant is the constant itself.
+    if (E->getKind() == ConstExpr::Kind::SymRef)
+      return getOrCreateConstSym(E->getSymName());
+    return T->create<ConstExprValue>(E->str(), std::move(E));
+  }
+
+  /// Parses one operand with an optional leading type annotation.
+  Result<Value *> parseOperand() {
+    Type Annot;
+    bool HasAnnot = false;
+    if (atType()) {
+      auto Ty = parseType();
+      if (!Ty.ok())
+        return Result<Value *>(Ty.status());
+      Annot = Ty.take();
+      HasAnnot = true;
+    }
+    Value *V = nullptr;
+    if (at(TokKind::Reg)) {
+      std::string Name = eat().Text;
+      V = lookupValue(Name);
+      if (!V) {
+        if (!InSource)
+          return Result<Value *>(
+              err("target references unknown value " + Name));
+        V = T->create<InputVar>(Name);
+        Scope.emplace(Name, V);
+      }
+    } else if (atIdent("undef")) {
+      eat();
+      V = T->create<UndefValue>("undef#" + std::to_string(UndefCounter++));
+    } else if (atIdent("true") || atIdent("false")) {
+      bool B = eat().Text == "true";
+      V = T->create<ConstExprValue>(B ? "true" : "false",
+                                    ConstExpr::literal(B ? 1 : 0));
+      T->fixType(V, Type::intTy(1));
+    } else {
+      auto E = parseCEOr();
+      if (!E.ok())
+        return Result<Value *>(E.status());
+      V = wrapConstExpr(E.take());
+    }
+    if (HasAnnot)
+      T->fixType(V, Annot);
+    return V;
+  }
+
+  // --- Statements -----------------------------------------------------------------
+
+  bool isBinOpcode(const std::string &S, BinOpcode &Op) const {
+    static const std::pair<const char *, BinOpcode> Map[] = {
+        {"add", BinOpcode::Add},   {"sub", BinOpcode::Sub},
+        {"mul", BinOpcode::Mul},   {"udiv", BinOpcode::UDiv},
+        {"sdiv", BinOpcode::SDiv}, {"urem", BinOpcode::URem},
+        {"srem", BinOpcode::SRem}, {"shl", BinOpcode::Shl},
+        {"lshr", BinOpcode::LShr}, {"ashr", BinOpcode::AShr},
+        {"and", BinOpcode::And},   {"or", BinOpcode::Or},
+        {"xor", BinOpcode::Xor},
+    };
+    for (const auto &[Name, B] : Map)
+      if (S == Name) {
+        Op = B;
+        return true;
+      }
+    return false;
+  }
+
+  bool isConvOpcode(const std::string &S, ConvOpcode &Op) const {
+    static const std::pair<const char *, ConvOpcode> Map[] = {
+        {"zext", ConvOpcode::ZExt},         {"sext", ConvOpcode::SExt},
+        {"trunc", ConvOpcode::Trunc},       {"bitcast", ConvOpcode::BitCast},
+        {"ptrtoint", ConvOpcode::PtrToInt}, {"inttoptr", ConvOpcode::IntToPtr},
+    };
+    for (const auto &[Name, C] : Map)
+      if (S == Name) {
+        Op = C;
+        return true;
+      }
+    return false;
+  }
+
+  bool isICmpCond(const std::string &S, ICmpCond &C) const {
+    static const std::pair<const char *, ICmpCond> Map[] = {
+        {"eq", ICmpCond::EQ},   {"ne", ICmpCond::NE},
+        {"ugt", ICmpCond::UGT}, {"uge", ICmpCond::UGE},
+        {"ult", ICmpCond::ULT}, {"ule", ICmpCond::ULE},
+        {"sgt", ICmpCond::SGT}, {"sge", ICmpCond::SGE},
+        {"slt", ICmpCond::SLT}, {"sle", ICmpCond::SLE},
+    };
+    for (const auto &[Name, IC] : Map)
+      if (S == Name) {
+        C = IC;
+        return true;
+      }
+    return false;
+  }
+
+  void define(const std::string &Name, Instr *I) {
+    Scope[Name] = I; // overwrites any earlier binding (target overwrite)
+    if (InSource)
+      T->appendSrc(I);
+    else
+      T->appendTgt(I);
+  }
+
+  Status parseStatement() {
+    if (atIdent("unreachable")) {
+      eat();
+      Instr *I = T->create<Unreachable>("");
+      if (InSource)
+        T->appendSrc(I);
+      else
+        T->appendTgt(I);
+      return expectEol();
+    }
+    if (atIdent("store")) {
+      eat();
+      auto V = parseOperand();
+      if (!V.ok())
+        return V.status();
+      if (!accept(TokKind::Comma))
+        return err("expected ',' in store");
+      auto P = parseOperand();
+      if (!P.ok())
+        return P.status();
+      Instr *I = T->create<Store>("", V.get(), P.get());
+      if (InSource)
+        T->appendSrc(I);
+      else
+        T->appendTgt(I);
+      return expectEol();
+    }
+    if (!at(TokKind::Reg))
+      return err("expected a statement");
+    std::string Name = eat().Text;
+    if (!accept(TokKind::Equals))
+      return err("expected '=' after " + Name);
+    return parseInstrBody(Name);
+  }
+
+  Status expectEol() {
+    if (!at(TokKind::Newline) && !at(TokKind::Eof))
+      return err("trailing tokens after statement");
+    return Status::success();
+  }
+
+  Status parseInstrBody(const std::string &Name) {
+    if (at(TokKind::Ident)) {
+      std::string Id = cur().Text;
+      BinOpcode BOp;
+      ConvOpcode COp;
+      if (isBinOpcode(Id, BOp)) {
+        eat();
+        return parseBinOp(Name, BOp);
+      }
+      if (isConvOpcode(Id, COp)) {
+        eat();
+        return parseConv(Name, COp);
+      }
+      if (Id == "icmp") {
+        eat();
+        return parseICmp(Name);
+      }
+      if (Id == "select") {
+        eat();
+        return parseSelect(Name);
+      }
+      if (Id == "alloca") {
+        eat();
+        return parseAlloca(Name);
+      }
+      if (Id == "getelementptr") {
+        eat();
+        return parseGEP(Name);
+      }
+      if (Id == "load") {
+        eat();
+        auto P = parseOperand();
+        if (!P.ok())
+          return P.status();
+        define(Name, T->create<Load>(Name, P.get()));
+        return expectEol();
+      }
+    }
+    // Fallback: a copy `%a = <operand>`.
+    auto V = parseOperand();
+    if (!V.ok())
+      return V.status();
+    define(Name, T->create<Copy>(Name, V.get()));
+    return expectEol();
+  }
+
+  Status parseBinOp(const std::string &Name, BinOpcode Op) {
+    unsigned Flags = AttrNone;
+    for (;;) {
+      if (atIdent("nsw")) {
+        eat();
+        Flags |= AttrNSW;
+      } else if (atIdent("nuw")) {
+        eat();
+        Flags |= AttrNUW;
+      } else if (atIdent("exact")) {
+        eat();
+        Flags |= AttrExact;
+      } else {
+        break;
+      }
+    }
+    if ((Flags & (AttrNSW | AttrNUW)) && !binOpSupportsWrapFlags(Op))
+      return err(std::string(binOpcodeName(Op)) +
+                 " does not support nsw/nuw");
+    if ((Flags & AttrExact) && !binOpSupportsExact(Op))
+      return err(std::string(binOpcodeName(Op)) + " does not support exact");
+
+    Type Annot;
+    bool HasAnnot = false;
+    if (atType()) {
+      auto Ty = parseType();
+      if (!Ty.ok())
+        return Ty.status();
+      Annot = Ty.take();
+      HasAnnot = true;
+    }
+    auto L = parseOperand();
+    if (!L.ok())
+      return L.status();
+    if (!accept(TokKind::Comma))
+      return err("expected ',' in " + std::string(binOpcodeName(Op)));
+    auto R = parseOperand();
+    if (!R.ok())
+      return R.status();
+    Instr *I = T->create<BinOp>(Name, Op, L.get(), R.get(), Flags);
+    if (HasAnnot)
+      T->fixType(I, Annot);
+    define(Name, I);
+    return expectEol();
+  }
+
+  Status parseConv(const std::string &Name, ConvOpcode Op) {
+    auto V = parseOperand();
+    if (!V.ok())
+      return V.status();
+    Instr *I = T->create<Conv>(Name, Op, V.get());
+    if (atIdent("to")) {
+      eat();
+      auto Ty = parseType();
+      if (!Ty.ok())
+        return Ty.status();
+      T->fixType(I, Ty.take());
+    }
+    define(Name, I);
+    return expectEol();
+  }
+
+  Status parseICmp(const std::string &Name) {
+    ICmpCond Cond = ICmpCond::EQ;
+    bool HasCond = false;
+    if (at(TokKind::Ident) && isICmpCond(cur().Text, Cond)) {
+      eat();
+      HasCond = true;
+    }
+    if (!HasCond)
+      return err("expected an icmp condition");
+    auto L = parseOperand();
+    if (!L.ok())
+      return L.status();
+    if (!accept(TokKind::Comma))
+      return err("expected ',' in icmp");
+    auto R = parseOperand();
+    if (!R.ok())
+      return R.status();
+    Instr *I = T->create<ICmp>(Name, Cond, L.get(), R.get());
+    T->fixType(I, Type::intTy(1));
+    define(Name, I);
+    return expectEol();
+  }
+
+  Status parseSelect(const std::string &Name) {
+    auto C = parseOperand();
+    if (!C.ok())
+      return C.status();
+    if (!accept(TokKind::Comma))
+      return err("expected ',' in select");
+    auto TV = parseOperand();
+    if (!TV.ok())
+      return TV.status();
+    if (!accept(TokKind::Comma))
+      return err("expected ',' in select");
+    auto FV = parseOperand();
+    if (!FV.ok())
+      return FV.status();
+    Instr *I = T->create<Select>(Name, C.get(), TV.get(), FV.get());
+    T->fixType(C.get(), Type::intTy(1));
+    define(Name, I);
+    return expectEol();
+  }
+
+  Status parseAlloca(const std::string &Name) {
+    Type Elem;
+    bool HasElem = false;
+    if (atType()) {
+      auto Ty = parseType();
+      if (!Ty.ok())
+        return Ty.status();
+      Elem = Ty.take();
+      HasElem = true;
+    }
+    Value *Num;
+    if (accept(TokKind::Comma)) {
+      auto N = parseOperand();
+      if (!N.ok())
+        return N.status();
+      Num = N.get();
+    } else {
+      Num = T->create<ConstExprValue>("1", ConstExpr::literal(1));
+    }
+    // LLVM allocas count elements with a 32-bit integer.
+    T->fixType(Num, Type::intTy(32));
+    auto *I = T->create<Alloca>(Name, Num);
+    if (HasElem)
+      I->setElemType(Elem);
+    define(Name, I);
+    return expectEol();
+  }
+
+  Status parseGEP(const std::string &Name) {
+    auto B = parseOperand();
+    if (!B.ok())
+      return B.status();
+    std::vector<Value *> Idx;
+    while (accept(TokKind::Comma)) {
+      auto V = parseOperand();
+      if (!V.ok())
+        return V.status();
+      Idx.push_back(V.get());
+    }
+    if (Idx.empty())
+      return err("getelementptr needs at least one index");
+    define(Name, T->create<GEP>(Name, B.get(), std::move(Idx)));
+    return expectEol();
+  }
+
+  const std::vector<Token> &Toks;
+  size_t Pos = 0;
+
+  Transform *T = nullptr;
+  std::map<std::string, ConstantSymbol *> Consts;
+  std::map<std::string, Value *> Scope;
+  bool InSource = true;
+  unsigned UndefCounter = 0;
+};
+
+} // namespace
+
+Result<std::vector<std::unique_ptr<Transform>>>
+parser::parseTransforms(const std::string &Input) {
+  Lexer Lex(Input);
+  if (Lex.hadError())
+    return Result<std::vector<std::unique_ptr<Transform>>>::error(
+        Lex.getError());
+  ParserImpl P(Lex.tokens());
+  return P.parseAll();
+}
+
+Result<std::unique_ptr<Transform>>
+parser::parseTransform(const std::string &Input) {
+  auto All = parseTransforms(Input);
+  if (!All.ok())
+    return All.status();
+  if (All.get().size() != 1)
+    return Result<std::unique_ptr<Transform>>::error(
+        "expected exactly one transformation, found " +
+        std::to_string(All.get().size()));
+  return std::move(All.get()[0]);
+}

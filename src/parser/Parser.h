@@ -1,0 +1,47 @@
+//===- parser/Parser.h - Alive DSL parser -----------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Alive DSL of Figure 1 plus the
+/// precondition and constant-expression languages. A file holds one or
+/// more transformations, each of the form:
+///
+///   Name: <free text>
+///   Pre: <precondition>
+///   <source statements>
+///   =>
+///   <target statements>
+///
+/// Preconditions may reference source temporaries (e.g. hasOneUse(%Y)), so
+/// the precondition tokens are parsed after the source template.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_PARSER_PARSER_H
+#define ALIVE_PARSER_PARSER_H
+
+#include "ir/Transform.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace parser {
+
+/// Parses every transformation in \p Input.
+Result<std::vector<std::unique_ptr<ir::Transform>>>
+parseTransforms(const std::string &Input);
+
+/// Parses exactly one transformation.
+Result<std::unique_ptr<ir::Transform>>
+parseTransform(const std::string &Input);
+
+} // namespace parser
+} // namespace alive
+
+#endif // ALIVE_PARSER_PARSER_H

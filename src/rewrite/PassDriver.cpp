@@ -1,0 +1,78 @@
+//===- rewrite/PassDriver.cpp - InstCombine-style pass loop -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/PassDriver.h"
+
+#include "liteir/Folder.h"
+
+#include <algorithm>
+
+using namespace alive;
+using namespace alive::rewrite;
+
+void PassStats::merge(const PassStats &S) {
+  for (const auto &[Name, N] : S.Firings)
+    Firings[Name] += N;
+  TotalFirings += S.TotalFirings;
+  MatchAttempts += S.MatchAttempts;
+  Folded += S.Folded;
+  DeadRemoved += S.DeadRemoved;
+  Iterations += S.Iterations;
+}
+
+std::vector<std::pair<std::string, uint64_t>> PassStats::sortedFirings() const {
+  std::vector<std::pair<std::string, uint64_t>> Out(Firings.begin(),
+                                                    Firings.end());
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return A.second != B.second ? A.second > B.second : A.first < B.first;
+  });
+  return Out;
+}
+
+Pass::Pass(std::vector<const ir::Transform *> Transforms) {
+  for (const ir::Transform *T : Transforms)
+    Rules.push_back(std::make_unique<Rewriter>(*T));
+}
+
+PassStats Pass::run(lite::Function &F, unsigned MaxIterations) const {
+  PassStats Stats;
+  // Safety valve against rewrite cycles a curated rule set should never
+  // hit: give up after a generous per-function budget.
+  const uint64_t FiringBudget = 64 + 16 * F.body().size();
+  for (unsigned Iter = 0; Iter != MaxIterations; ++Iter) {
+    ++Stats.Iterations;
+    bool Changed = false;
+    // One sweep over a snapshot of the body (rewrites insert new
+    // instructions, which the next iteration visits — LLVM's worklist
+    // discipline, approximately). At most one rule fires per instruction
+    // per sweep.
+    std::vector<lite::Instruction *> Snapshot;
+    for (const auto &I : F.body())
+      Snapshot.push_back(I.get());
+    for (lite::Instruction *I : Snapshot) {
+      if (Stats.TotalFirings >= FiringBudget)
+        break;
+      // Skip dead instructions: rewriting them wastes work and inflates
+      // the firing counts.
+      if (I->getNumUses() == 0 && F.getReturnValue() != I)
+        continue;
+      for (const auto &R : Rules) {
+        ++Stats.MatchAttempts;
+        if (!R->matchAndApply(F, I))
+          continue;
+        ++Stats.Firings[R->transform().Name];
+        ++Stats.TotalFirings;
+        Changed = true;
+        break;
+      }
+    }
+    Stats.Folded += lite::foldConstants(F);
+    Stats.DeadRemoved += F.eliminateDeadCode();
+    if (!Changed)
+      break;
+  }
+  return Stats;
+}

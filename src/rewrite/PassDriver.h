@@ -1,0 +1,58 @@
+//===- rewrite/PassDriver.h - InstCombine-style pass loop -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a set of verified rewrite rules over lite IR functions to a
+/// fixpoint, interleaved with constant folding and dead-code elimination —
+/// the shape of LLVM's InstCombine worklist. Collects per-rule firing
+/// counts, which reproduce Figure 9's invocation distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_REWRITE_PASSDRIVER_H
+#define ALIVE_REWRITE_PASSDRIVER_H
+
+#include "rewrite/Rewriter.h"
+
+#include <map>
+#include <memory>
+
+namespace alive {
+namespace rewrite {
+
+/// Statistics of one pass execution (or an accumulation over many).
+struct PassStats {
+  std::map<std::string, uint64_t> Firings; ///< per-transform invocations
+  uint64_t TotalFirings = 0;
+  uint64_t MatchAttempts = 0; ///< rule-pattern match attempts
+  uint64_t Folded = 0;
+  uint64_t DeadRemoved = 0;
+  unsigned Iterations = 0;
+
+  void merge(const PassStats &S);
+
+  /// Firing counts sorted descending — the series Figure 9 plots.
+  std::vector<std::pair<std::string, uint64_t>> sortedFirings() const;
+};
+
+/// An optimization pass built from verified transformations.
+class Pass {
+public:
+  explicit Pass(std::vector<const ir::Transform *> Transforms);
+
+  /// Runs to fixpoint (bounded by \p MaxIterations sweeps).
+  PassStats run(lite::Function &F, unsigned MaxIterations = 8) const;
+
+  size_t numRules() const { return Rules.size(); }
+
+private:
+  std::vector<std::unique_ptr<Rewriter>> Rules;
+};
+
+} // namespace rewrite
+} // namespace alive
+
+#endif // ALIVE_REWRITE_PASSDRIVER_H

@@ -1,0 +1,713 @@
+//===- rewrite/Rewriter.cpp - apply verified transforms to lite IR ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rewriter.h"
+
+#include "liteir/KnownBits.h"
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::rewrite;
+namespace lt = alive::lite;
+
+namespace {
+
+lt::Opcode liteOpcode(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return lt::Opcode::Add;
+  case BinOpcode::Sub:
+    return lt::Opcode::Sub;
+  case BinOpcode::Mul:
+    return lt::Opcode::Mul;
+  case BinOpcode::UDiv:
+    return lt::Opcode::UDiv;
+  case BinOpcode::SDiv:
+    return lt::Opcode::SDiv;
+  case BinOpcode::URem:
+    return lt::Opcode::URem;
+  case BinOpcode::SRem:
+    return lt::Opcode::SRem;
+  case BinOpcode::Shl:
+    return lt::Opcode::Shl;
+  case BinOpcode::LShr:
+    return lt::Opcode::LShr;
+  case BinOpcode::AShr:
+    return lt::Opcode::AShr;
+  case BinOpcode::And:
+    return lt::Opcode::And;
+  case BinOpcode::Or:
+    return lt::Opcode::Or;
+  case BinOpcode::Xor:
+    return lt::Opcode::Xor;
+  }
+  return lt::Opcode::Add;
+}
+
+lt::Pred litePred(ICmpCond C) {
+  switch (C) {
+  case ICmpCond::EQ:
+    return lt::Pred::EQ;
+  case ICmpCond::NE:
+    return lt::Pred::NE;
+  case ICmpCond::UGT:
+    return lt::Pred::UGT;
+  case ICmpCond::UGE:
+    return lt::Pred::UGE;
+  case ICmpCond::ULT:
+    return lt::Pred::ULT;
+  case ICmpCond::ULE:
+    return lt::Pred::ULE;
+  case ICmpCond::SGT:
+    return lt::Pred::SGT;
+  case ICmpCond::SGE:
+    return lt::Pred::SGE;
+  case ICmpCond::SLT:
+    return lt::Pred::SLT;
+  case ICmpCond::SLE:
+    return lt::Pred::SLE;
+  }
+  return lt::Pred::EQ;
+}
+
+} // namespace
+
+struct Rewriter::Bindings {
+  std::map<const Value *, lt::LValue *> Values; ///< pattern -> IR
+  std::map<std::string, APInt> Consts;          ///< abstract constants
+};
+
+Rewriter::Rewriter(const Transform &T) : T(T) {
+  for (const auto &[TV, Ty] : T.fixedTypes()) {
+    if (!Ty.isInt())
+      continue;
+    for (const auto &V : T.pool())
+      if (V->getTypeVar() == TV)
+        FixedWidth[V.get()] = Ty.getIntWidth();
+  }
+}
+
+bool Rewriter::evalCE(const ConstExpr *E, unsigned Width, const Bindings &B,
+                      APInt &Out) const {
+  using CE = ConstExpr;
+  switch (E->getKind()) {
+  case CE::Kind::Literal:
+    Out = APInt::getSigned(Width, E->getLiteral());
+    return true;
+  case CE::Kind::SymRef: {
+    auto It = B.Consts.find(E->getSymName());
+    if (It == B.Consts.end())
+      return false;
+    Out = It->second.zextOrTrunc(Width);
+    return true;
+  }
+  case CE::Kind::Unary: {
+    APInt A;
+    if (!evalCE(E->getArg(0), Width, B, A))
+      return false;
+    Out = E->getUnaryOp() == CE::UnaryOp::Neg ? A.neg() : A.notOp();
+    return true;
+  }
+  case CE::Kind::Binary: {
+    APInt A, Bv;
+    if (!evalCE(E->getArg(0), Width, B, A) ||
+        !evalCE(E->getArg(1), Width, B, Bv))
+      return false;
+    switch (E->getBinaryOp()) {
+    case CE::BinaryOp::Add:
+      Out = A.add(Bv);
+      return true;
+    case CE::BinaryOp::Sub:
+      Out = A.sub(Bv);
+      return true;
+    case CE::BinaryOp::Mul:
+      Out = A.mul(Bv);
+      return true;
+    case CE::BinaryOp::SDiv:
+      if (Bv.isZero() || (A.isSignedMinValue() && Bv.isAllOnes()))
+        return false;
+      Out = A.sdiv(Bv);
+      return true;
+    case CE::BinaryOp::UDiv:
+      if (Bv.isZero())
+        return false;
+      Out = A.udiv(Bv);
+      return true;
+    case CE::BinaryOp::SRem:
+      if (Bv.isZero() || (A.isSignedMinValue() && Bv.isAllOnes()))
+        return false;
+      Out = A.srem(Bv);
+      return true;
+    case CE::BinaryOp::URem:
+      if (Bv.isZero())
+        return false;
+      Out = A.urem(Bv);
+      return true;
+    case CE::BinaryOp::Shl:
+      Out = A.shl(Bv);
+      return true;
+    case CE::BinaryOp::LShr:
+      Out = A.lshr(Bv);
+      return true;
+    case CE::BinaryOp::AShr:
+      Out = A.ashr(Bv);
+      return true;
+    case CE::BinaryOp::And:
+      Out = A.andOp(Bv);
+      return true;
+    case CE::BinaryOp::Or:
+      Out = A.orOp(Bv);
+      return true;
+    case CE::BinaryOp::Xor:
+      Out = A.xorOp(Bv);
+      return true;
+    }
+    return false;
+  }
+  case CE::Kind::Call: {
+    if (E->getBuiltin() == CE::Builtin::Width) {
+      const Value *Arg = E->getValueArg();
+      auto It = B.Values.find(Arg);
+      if (It == B.Values.end())
+        return false;
+      Out = APInt(Width, It->second->getWidth());
+      return true;
+    }
+    APInt A;
+    if (E->getNumArgs() < 1 || !evalCE(E->getArg(0), Width, B, A))
+      return false;
+    switch (E->getBuiltin()) {
+    case CE::Builtin::Log2:
+      if (A.isZero())
+        return false;
+      Out = APInt(Width, A.logBase2());
+      return true;
+    case CE::Builtin::Abs:
+      Out = A.abs();
+      return true;
+    case CE::Builtin::UMax:
+    case CE::Builtin::UMin:
+    case CE::Builtin::SMax:
+    case CE::Builtin::SMin: {
+      APInt Bv;
+      if (E->getNumArgs() < 2 || !evalCE(E->getArg(1), Width, B, Bv))
+        return false;
+      switch (E->getBuiltin()) {
+      case CE::Builtin::UMax:
+        Out = A.umax(Bv);
+        return true;
+      case CE::Builtin::UMin:
+        Out = A.umin(Bv);
+        return true;
+      case CE::Builtin::SMax:
+        Out = A.smax(Bv);
+        return true;
+      default:
+        Out = A.smin(Bv);
+        return true;
+      }
+    }
+    case CE::Builtin::ZExt:
+    case CE::Builtin::SExt:
+    case CE::Builtin::Trunc:
+      Out = A;
+      return true;
+    case CE::Builtin::Width:
+      return false;
+    }
+    return false;
+  }
+  }
+  return false;
+}
+
+bool Rewriter::matchValue(const Value *Pat, lt::LValue *V,
+                          Bindings &B) const {
+  // Explicit type annotations constrain the match.
+  auto FW = FixedWidth.find(Pat);
+  if (FW != FixedWidth.end() && V->getWidth() != FW->second)
+    return false;
+
+  switch (Pat->getKind()) {
+  case ValueKind::Input: {
+    auto [It, Inserted] = B.Values.emplace(Pat, V);
+    return Inserted || It->second == V;
+  }
+  case ValueKind::ConstSym: {
+    const auto *C = lt::dyn_cast<lt::ConstantInt>(V);
+    if (!C)
+      return false;
+    auto [It, Inserted] = B.Consts.emplace(Pat->getName(), C->getValue());
+    if (!Inserted && It->second != C->getValue())
+      return false;
+    B.Values.emplace(Pat, V);
+    return true;
+  }
+  case ValueKind::ConstVal: {
+    const auto *C = lt::dyn_cast<lt::ConstantInt>(V);
+    if (!C)
+      return false;
+    APInt Want;
+    if (!evalCE(cast<ConstExprValue>(Pat)->getExpr(), C->getWidth(), B,
+                Want))
+      return false;
+    if (Want != C->getValue())
+      return false;
+    B.Values.emplace(Pat, V);
+    return true;
+  }
+  case ValueKind::Undef:
+    return lt::isa<lt::UndefValue>(V);
+  default:
+    break;
+  }
+
+  // Instruction patterns. A pattern temporary bound earlier must match
+  // the same IR value (shared subgraphs).
+  auto Bound = B.Values.find(Pat);
+  if (Bound != B.Values.end())
+    return Bound->second == V;
+
+  auto *I = lt::dyn_cast<lt::Instruction>(V);
+  if (!I)
+    return false;
+
+  switch (Pat->getKind()) {
+  case ValueKind::BinOp: {
+    const auto *P = cast<BinOp>(Pat);
+    if (I->getOpcode() != liteOpcode(P->getOpcode()))
+      return false;
+    // The pattern's attributes must all be present on the instruction.
+    if ((I->getFlags() & P->getFlags()) != P->getFlags())
+      return false;
+    if (!matchValue(P->getLHS(), I->getOperand(0), B) ||
+        !matchValue(P->getRHS(), I->getOperand(1), B))
+      return false;
+    break;
+  }
+  case ValueKind::ICmp: {
+    const auto *P = cast<ICmp>(Pat);
+    if (I->getOpcode() != lt::Opcode::ICmp ||
+        I->getPredicate() != litePred(P->getCond()))
+      return false;
+    if (!matchValue(P->getLHS(), I->getOperand(0), B) ||
+        !matchValue(P->getRHS(), I->getOperand(1), B))
+      return false;
+    break;
+  }
+  case ValueKind::Select: {
+    const auto *P = cast<Select>(Pat);
+    if (I->getOpcode() != lt::Opcode::Select)
+      return false;
+    if (!matchValue(P->getCondition(), I->getOperand(0), B) ||
+        !matchValue(P->getTrueValue(), I->getOperand(1), B) ||
+        !matchValue(P->getFalseValue(), I->getOperand(2), B))
+      return false;
+    break;
+  }
+  case ValueKind::Conv: {
+    const auto *P = cast<Conv>(Pat);
+    lt::Opcode Want;
+    switch (P->getOpcode()) {
+    case ConvOpcode::ZExt:
+      Want = lt::Opcode::ZExt;
+      break;
+    case ConvOpcode::SExt:
+      Want = lt::Opcode::SExt;
+      break;
+    case ConvOpcode::Trunc:
+      Want = lt::Opcode::Trunc;
+      break;
+    default:
+      return false; // pointer casts: lite IR is integer-only
+    }
+    if (I->getOpcode() != Want ||
+        !matchValue(P->getSrc(), I->getOperand(0), B))
+      return false;
+    break;
+  }
+  case ValueKind::Copy:
+    return matchValue(cast<Copy>(Pat)->getSrc(), V, B);
+  default:
+    return false; // memory instructions are not rewritten on lite IR
+  }
+
+  B.Values.emplace(Pat, V);
+  return true;
+}
+
+bool Rewriter::evalPrecond(const Precond &P, const Bindings &B) const {
+  switch (P.getKind()) {
+  case Precond::Kind::True:
+    return true;
+  case Precond::Kind::Not:
+    return !evalPrecond(*P.getChild(0), B);
+  case Precond::Kind::And:
+    for (unsigned I = 0; I != P.getNumChildren(); ++I)
+      if (!evalPrecond(*P.getChild(I), B))
+        return false;
+    return true;
+  case Precond::Kind::Or:
+    for (unsigned I = 0; I != P.getNumChildren(); ++I)
+      if (evalPrecond(*P.getChild(I), B))
+        return true;
+    return false;
+  case Precond::Kind::Cmp: {
+    // Width: the first bound abstract constant on either side.
+    std::vector<std::string> Syms;
+    P.getCmpLHS()->collectSymRefs(Syms);
+    P.getCmpRHS()->collectSymRefs(Syms);
+    unsigned W = 32;
+    for (const std::string &S : Syms) {
+      auto It = B.Consts.find(S);
+      if (It != B.Consts.end()) {
+        W = It->second.getWidth();
+        break;
+      }
+    }
+    APInt L, R;
+    if (!evalCE(P.getCmpLHS(), W, B, L) || !evalCE(P.getCmpRHS(), W, B, R))
+      return false;
+    switch (P.getCmpOp()) {
+    case Precond::CmpOp::EQ:
+      return L.eq(R);
+    case Precond::CmpOp::NE:
+      return L.ne(R);
+    case Precond::CmpOp::ULT:
+      return L.ult(R);
+    case Precond::CmpOp::ULE:
+      return L.ule(R);
+    case Precond::CmpOp::UGT:
+      return L.ugt(R);
+    case Precond::CmpOp::UGE:
+      return L.uge(R);
+    case Precond::CmpOp::SLT:
+      return L.slt(R);
+    case Precond::CmpOp::SLE:
+      return L.sle(R);
+    case Precond::CmpOp::SGT:
+      return L.sgt(R);
+    case Precond::CmpOp::SGE:
+      return L.sge(R);
+    }
+    return false;
+  }
+  case Precond::Kind::Builtin: {
+    // hasOneUse is structural; everything else is evaluated precisely on
+    // constants, and conservatively rejected otherwise (we do not model
+    // LLVM's dataflow analyses at rewrite time).
+    const auto &Args = P.getArgs();
+    if (P.getPred() == PredKind::OneUse) {
+      auto It = B.Values.find(Args[0]);
+      return It != B.Values.end() && It->second->hasOneUse();
+    }
+    std::vector<APInt> Vals;
+    for (const Value *A : Args) {
+      APInt V;
+      if (const auto *CE = dyn_cast<ConstExprValue>(A)) {
+        unsigned W = 32;
+        auto It = B.Values.find(A);
+        if (It != B.Values.end())
+          W = It->second->getWidth();
+        else {
+          // Width of the sibling argument if bound.
+          for (const Value *Other : Args) {
+            auto OIt = B.Values.find(Other);
+            if (OIt != B.Values.end()) {
+              W = OIt->second->getWidth();
+              break;
+            }
+          }
+        }
+        if (!evalCE(CE->getExpr(), W, B, V))
+          return false;
+      } else if (isa<ConstantSymbol>(A)) {
+        auto It = B.Consts.find(A->getName());
+        if (It == B.Consts.end())
+          return false;
+        V = It->second;
+      } else {
+        // Non-constant argument: consult the known-bits analysis, the
+        // stand-in for the LLVM dataflow analyses Alive trusts (§2.3).
+        auto It = B.Values.find(A);
+        if (It == B.Values.end())
+          return false;
+        if (const auto *C = lt::dyn_cast<lt::ConstantInt>(It->second)) {
+          V = C->getValue();
+        } else {
+          lt::KnownBits KB = lt::computeKnownBits(It->second);
+          switch (P.getPred()) {
+          case PredKind::CannotBeNegative:
+            return KB.isNonNegative();
+          case PredKind::MaskedValueIsZero: {
+            // The mask must be a compile-time constant.
+            APInt Mask;
+            const Value *MaskArg = Args[1];
+            if (const auto *CE = dyn_cast<ConstExprValue>(MaskArg)) {
+              if (!evalCE(CE->getExpr(), KB.getWidth(), B, Mask))
+                return false;
+            } else if (isa<ConstantSymbol>(MaskArg)) {
+              auto MIt = B.Consts.find(MaskArg->getName());
+              if (MIt == B.Consts.end())
+                return false;
+              Mask = MIt->second.zextOrTrunc(KB.getWidth());
+            } else {
+              return false;
+            }
+            return KB.maskedValueIsZero(Mask);
+          }
+          case PredKind::IsPowerOf2:
+            // Provable from known bits only when fully known.
+            if (!KB.isConstant())
+              return false;
+            return KB.getConstant().isPowerOf2();
+          default:
+            return false; // analysis cannot establish the property
+          }
+        }
+      }
+      Vals.push_back(V);
+    }
+    // Unify widths of two-argument predicates.
+    if (Vals.size() == 2 && Vals[0].getWidth() != Vals[1].getWidth())
+      Vals[1] = Vals[1].zextOrTrunc(Vals[0].getWidth());
+    const APInt &A = Vals[0];
+    switch (P.getPred()) {
+    case PredKind::IsPowerOf2:
+      return A.isPowerOf2();
+    case PredKind::IsPowerOf2OrZero:
+      return A.isZero() || A.isPowerOf2();
+    case PredKind::IsSignBit:
+      return A.isSignBit();
+    case PredKind::IsShiftedMask:
+      return A.isShiftedMask();
+    case PredKind::MaskedValueIsZero:
+      return A.andOp(Vals[1]).isZero();
+    case PredKind::CannotBeNegative:
+      return !A.isNegative();
+    case PredKind::WillNotOverflowSignedAdd: {
+      bool O;
+      A.saddOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowUnsignedAdd: {
+      bool O;
+      A.uaddOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowSignedSub: {
+      bool O;
+      A.ssubOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowUnsignedSub: {
+      bool O;
+      A.usubOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowSignedMul: {
+      bool O;
+      A.smulOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowUnsignedMul: {
+      bool O;
+      A.umulOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowSignedShl: {
+      bool O;
+      A.sshlOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::WillNotOverflowUnsignedShl: {
+      bool O;
+      A.ushlOverflow(Vals[1], O);
+      return !O;
+    }
+    case PredKind::OneUse:
+      return false; // handled above
+    }
+    return false;
+  }
+  }
+  return false;
+}
+
+lt::LValue *Rewriter::materialize(const Value *Pat, lt::Function &F,
+                                  lt::Instruction *Before,
+                                  Bindings &B) const {
+  auto It = B.Values.find(Pat);
+  if (It != B.Values.end())
+    return It->second;
+
+  switch (Pat->getKind()) {
+  case ValueKind::ConstSym: {
+    auto CIt = B.Consts.find(Pat->getName());
+    if (CIt == B.Consts.end())
+      return nullptr;
+    return F.getConstant(CIt->second);
+  }
+  case ValueKind::ConstVal: {
+    // Context width: the root's width is the only safe general choice for
+    // freestanding constants; instruction contexts resize below.
+    APInt V;
+    unsigned W = Before->getWidth();
+    auto FW = FixedWidth.find(Pat);
+    if (FW != FixedWidth.end())
+      W = FW->second;
+    if (!evalCE(cast<ConstExprValue>(Pat)->getExpr(), W, B, V))
+      return nullptr;
+    return F.getConstant(V);
+  }
+  case ValueKind::Undef: {
+    auto FW = FixedWidth.find(Pat);
+    return F.getUndef(FW != FixedWidth.end() ? FW->second
+                                             : Before->getWidth());
+  }
+  case ValueKind::Input:
+    return nullptr; // unbound target input: cannot materialize
+  default:
+    break;
+  }
+
+  // Target instruction: materialize operands first.
+  const auto *I = cast<Instr>(Pat);
+  std::vector<lt::LValue *> Ops;
+  for (const Value *Op : I->operands()) {
+    lt::LValue *V = materialize(Op, F, Before, B);
+    if (!V)
+      return nullptr;
+    Ops.push_back(V);
+  }
+
+  lt::LValue *New = nullptr;
+  switch (I->getKind()) {
+  case ValueKind::BinOp: {
+    const auto *P = cast<BinOp>(I);
+    // Resize constant operands to the non-constant operand's width.
+    unsigned W = Ops[0]->getWidth();
+    if (lt::isa<lt::ConstantInt>(Ops[0]) &&
+        !lt::isa<lt::ConstantInt>(Ops[1]))
+      W = Ops[1]->getWidth();
+    for (lt::LValue *&Op : Ops)
+      if (auto *C = lt::dyn_cast<lt::ConstantInt>(Op);
+          C && C->getWidth() != W) {
+        // Re-evaluate the constant expression at the right width.
+        const Value *Src = P->getLHS();
+        if (Op == Ops[1])
+          Src = P->getRHS();
+        APInt V;
+        if (const auto *CE = dyn_cast<ConstExprValue>(Src)) {
+          if (!evalCE(CE->getExpr(), W, B, V))
+            return nullptr;
+        } else {
+          V = C->getValue().zextOrTrunc(W);
+        }
+        Op = F.getConstant(V);
+      }
+    if (Ops[0]->getWidth() != Ops[1]->getWidth())
+      return nullptr;
+    New = F.insertBinOpBefore(Before, liteOpcode(P->getOpcode()), Ops[0],
+                              Ops[1], P->getFlags());
+    break;
+  }
+  case ValueKind::ICmp:
+    if (Ops[0]->getWidth() != Ops[1]->getWidth())
+      return nullptr;
+    New = F.insertICmpBefore(Before, litePred(cast<ICmp>(I)->getCond()),
+                             Ops[0], Ops[1]);
+    break;
+  case ValueKind::Select:
+    New = F.insertSelectBefore(Before, Ops[0], Ops[1], Ops[2]);
+    break;
+  case ValueKind::Conv: {
+    const auto *P = cast<Conv>(I);
+    auto FW = FixedWidth.find(Pat);
+    unsigned DstW;
+    if (FW != FixedWidth.end()) {
+      DstW = FW->second;
+    } else if (!T.tgtOverwrites().empty() || I == T.getTgtRoot()) {
+      // Overwrite or root: reuse the replaced instruction's width.
+      DstW = I == T.getTgtRoot() ? Before->getWidth() : 0;
+      if (!DstW) {
+        for (const Instr *S : T.src())
+          if (S->getName() == I->getName()) {
+            auto SIt = B.Values.find(S);
+            if (SIt != B.Values.end())
+              DstW = SIt->second->getWidth();
+          }
+      }
+      if (!DstW)
+        return nullptr;
+    } else {
+      return nullptr; // polymorphic new cast: width unknown at runtime
+    }
+    lt::Opcode Op;
+    switch (P->getOpcode()) {
+    case ConvOpcode::ZExt:
+      Op = lt::Opcode::ZExt;
+      break;
+    case ConvOpcode::SExt:
+      Op = lt::Opcode::SExt;
+      break;
+    case ConvOpcode::Trunc:
+      Op = lt::Opcode::Trunc;
+      break;
+    default:
+      return nullptr;
+    }
+    if ((Op == lt::Opcode::Trunc) != (DstW < Ops[0]->getWidth()) ||
+        DstW == Ops[0]->getWidth())
+      return nullptr;
+    New = F.insertCastBefore(Before, Op, Ops[0], DstW);
+    break;
+  }
+  case ValueKind::Copy:
+    New = Ops[0];
+    break;
+  default:
+    return nullptr;
+  }
+  B.Values[Pat] = New;
+  return New;
+}
+
+bool Rewriter::matchAndApply(lt::Function &F, lt::Instruction *Root) const {
+  Bindings B;
+  if (!matchValue(T.getSrcRoot(), Root, B))
+    return false;
+  if (!evalPrecond(T.getPrecondition(), B))
+    return false;
+
+  // Materialize the target. Pre-visit: drop stale bindings of names the
+  // target overwrites so references after the redefinition see the new
+  // instruction, while references *inside* its own computation were bound
+  // to source values already (safe: the target is in SSA order).
+  Bindings Applied = B;
+  for (const Instr *O : T.tgtOverwrites())
+    Applied.Values.erase(O);
+
+  // Build every target instruction in order; the last one (the root's new
+  // value) replaces the match root.
+  lt::LValue *NewRoot = nullptr;
+  for (const Instr *I : T.tgt()) {
+    lt::LValue *V = materialize(I, F, Root, Applied);
+    if (!V)
+      return false;
+    if (I == T.getTgtRoot())
+      NewRoot = V;
+  }
+  if (!NewRoot || NewRoot == Root)
+    return false;
+  if (NewRoot->getWidth() != Root->getWidth())
+    return false;
+
+  Root->replaceAllUsesWith(NewRoot);
+  if (F.getReturnValue() == Root)
+    F.setReturnValue(NewRoot);
+  return true;
+}

@@ -1,0 +1,59 @@
+//===- rewrite/Rewriter.h - apply verified transforms to lite IR -*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime counterpart of the generated C++ of Section 4: a verified
+/// Alive transformation is interpreted directly as a rewrite rule over
+/// lite IR. Matching walks the source template DAG from the root,
+/// binding inputs, abstract constants (checking repeated occurrences and
+/// explicit type annotations), evaluating the precondition on the bound
+/// constants, then materializing the target template next to the match
+/// root and replacing all uses. Like the paper's generated code, no
+/// cleanup is attempted — dead instructions are left for DCE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_REWRITE_REWRITER_H
+#define ALIVE_REWRITE_REWRITER_H
+
+#include "ir/Transform.h"
+#include "liteir/LiteIR.h"
+
+#include <map>
+
+namespace alive {
+namespace rewrite {
+
+/// One compiled rewrite rule.
+class Rewriter {
+public:
+  /// \p T must outlive the Rewriter.
+  explicit Rewriter(const ir::Transform &T);
+
+  /// Attempts to rewrite the DAG rooted at \p Root. On success the root's
+  /// uses are redirected and true is returned.
+  bool matchAndApply(lite::Function &F, lite::Instruction *Root) const;
+
+  const ir::Transform &transform() const { return T; }
+
+private:
+  struct Bindings;
+  bool matchValue(const ir::Value *Pat, lite::LValue *V, Bindings &B) const;
+  bool evalPrecond(const ir::Precond &P, const Bindings &B) const;
+  bool evalCE(const ir::ConstExpr *E, unsigned Width, const Bindings &B,
+              APInt &Out) const;
+  lite::LValue *materialize(const ir::Value *Pat, lite::Function &F,
+                            lite::Instruction *Before, Bindings &B) const;
+
+  const ir::Transform &T;
+  /// Explicit width requirements from type annotations.
+  std::map<const ir::Value *, unsigned> FixedWidth;
+};
+
+} // namespace rewrite
+} // namespace alive
+
+#endif // ALIVE_REWRITE_REWRITER_H

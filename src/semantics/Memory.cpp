@@ -1,0 +1,122 @@
+//===- semantics/Memory.cpp - the two memory encodings ---------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3's array-theory encoding and Section 3.3.3's eager
+/// Ackermann-style encoding. Both sides of a transformation share the
+/// initial memory: the array encoding shares the initial array variable,
+/// the eager encoding shares the table of base-read variables (one fresh
+/// 8-bit variable per distinct address term — per the paper, consistency
+/// across distinct-looking addresses is deliberately not enforced).
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantics/VCGen.h"
+
+using namespace alive;
+using namespace alive::smt;
+using namespace alive::semantics;
+
+MemoryState::~MemoryState() = default;
+
+namespace {
+
+/// Array-theory memory: a (_ BitVec PtrWidth) -> (_ BitVec 8) array
+/// updated through guarded stores.
+class ArrayMemory final : public MemoryState {
+public:
+  ArrayMemory(TermContext &Ctx, TermRef Initial) : Ctx(Ctx), Arr(Initial) {}
+
+  TermRef loadByte(TermRef Addr) override { return Ctx.mkSelect(Arr, Addr); }
+
+  void storeByte(TermRef Addr, TermRef Byte, TermRef Guard) override {
+    Arr = Ctx.mkIte(Guard, Ctx.mkStore(Arr, Addr, Byte), Arr);
+  }
+
+  TermRef finalByte(TermRef Addr) override { return Ctx.mkSelect(Arr, Addr); }
+
+private:
+  TermContext &Ctx;
+  TermRef Arr;
+};
+
+/// Shared base-read table for the eager encoding. Unlike the paper's
+/// version, equal-address consistency is enforced with pairwise Ackermann
+/// axioms; the paper skips them as unnecessary for its corpus, but
+/// store-elimination patterns (store of a just-loaded value) require them.
+struct BaseReads {
+  TermContext &Ctx;
+  std::map<TermRef, TermRef> Table;
+  std::shared_ptr<std::vector<TermRef>> Axioms;
+
+  BaseReads(TermContext &Ctx, std::shared_ptr<std::vector<TermRef>> Axioms)
+      : Ctx(Ctx), Axioms(std::move(Axioms)) {}
+
+  TermRef read(TermRef Addr) {
+    auto It = Table.find(Addr);
+    if (It != Table.end())
+      return It->second;
+    TermRef V = Ctx.mkFreshVar("mem0", Sort::bv(8));
+    for (const auto &[OtherAddr, OtherV] : Table)
+      Axioms->push_back(
+          Ctx.mkImplies(Ctx.mkEq(Addr, OtherAddr), Ctx.mkEq(V, OtherV)));
+    Table.emplace(Addr, V);
+    return V;
+  }
+};
+
+/// Eager ite-chain memory: stores are recorded in program order; a load at
+/// address q becomes ite(q = p_n, v_n, ... ite(q = p_1, v_1, base(q))),
+/// most recent store first, with the chain built so that the newest store
+/// to a matching address wins.
+class IteMemory final : public MemoryState {
+public:
+  IteMemory(TermContext &Ctx, std::shared_ptr<BaseReads> Base)
+      : Ctx(Ctx), Base(std::move(Base)) {}
+
+  TermRef loadByte(TermRef Addr) override {
+    TermRef V = Base->read(Addr);
+    // Oldest store first so the newest ends up outermost.
+    for (const StoreRec &S : Stores) {
+      TermRef Hit = Ctx.mkAnd(S.Guard, Ctx.mkEq(Addr, S.Addr));
+      V = Ctx.mkIte(Hit, S.Byte, V);
+    }
+    return V;
+  }
+
+  void storeByte(TermRef Addr, TermRef Byte, TermRef Guard) override {
+    Stores.push_back({Addr, Byte, Guard});
+  }
+
+  TermRef finalByte(TermRef Addr) override { return loadByte(Addr); }
+
+private:
+  struct StoreRec {
+    TermRef Addr, Byte, Guard;
+  };
+
+  TermContext &Ctx;
+  std::shared_ptr<BaseReads> Base;
+  std::vector<StoreRec> Stores;
+};
+
+} // namespace
+
+MemoryPair semantics::createMemoryPair(TermContext &Ctx,
+                                       const EncodingConfig &Cfg) {
+  MemoryPair P;
+  P.Axioms = std::make_shared<std::vector<TermRef>>();
+  if (Cfg.Memory == MemoryEncoding::ArrayTheory) {
+    TermRef M0 = Ctx.mkVar("mem0", Sort::array(Cfg.PtrWidth, 8));
+    P.Src = std::make_unique<ArrayMemory>(Ctx, M0);
+    P.Tgt = std::make_unique<ArrayMemory>(Ctx, M0);
+  } else {
+    auto Base = std::make_shared<BaseReads>(Ctx, P.Axioms);
+    P.Src = std::make_unique<IteMemory>(Ctx, Base);
+    P.Tgt = std::make_unique<IteMemory>(Ctx, Base);
+  }
+  return P;
+}

@@ -1,0 +1,250 @@
+//===- semantics/Predicates.cpp - precondition encoding --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes preconditions into SMT per Section 3.1.1. Built-in predicates
+/// backed by LLVM must-analyses are encoded *precisely* when every
+/// argument is a compile-time constant, and otherwise as a fresh Boolean
+/// variable p with the one-sided side constraint p => property. The
+/// profitability-only hasOneUse() becomes an unconstrained Boolean.
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantics/VCGen.h"
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::smt;
+
+namespace alive {
+namespace semantics {
+
+/// Friend of Encoder: encodes Precond trees using the encoder's value and
+/// constant-expression machinery.
+class PrecondEncoder {
+public:
+  PrecondEncoder(Encoder &E, TermContext &Ctx,
+                 std::vector<TermRef> &SideConstraints)
+      : E(E), Ctx(Ctx), SideConstraints(SideConstraints) {}
+
+  Result<TermRef> encode(const Precond &P) {
+    switch (P.getKind()) {
+    case Precond::Kind::True:
+      return Ctx.mkTrue();
+    case Precond::Kind::Not: {
+      auto A = encode(*P.getChild(0));
+      if (!A.ok())
+        return A;
+      return Ctx.mkNot(A.get());
+    }
+    case Precond::Kind::And: {
+      std::vector<TermRef> Parts;
+      for (unsigned I = 0; I != P.getNumChildren(); ++I) {
+        auto A = encode(*P.getChild(I));
+        if (!A.ok())
+          return A;
+        Parts.push_back(A.get());
+      }
+      return Ctx.mkAnd(Parts);
+    }
+    case Precond::Kind::Or: {
+      std::vector<TermRef> Parts;
+      for (unsigned I = 0; I != P.getNumChildren(); ++I) {
+        auto A = encode(*P.getChild(I));
+        if (!A.ok())
+          return A;
+        Parts.push_back(A.get());
+      }
+      return Ctx.mkOr(Parts);
+    }
+    case Precond::Kind::Cmp:
+      return encodeCmp(P);
+    case Precond::Kind::Builtin:
+      return encodeBuiltin(P);
+    }
+    return Result<TermRef>::error("bad precondition node");
+  }
+
+private:
+  /// Width for a comparison: the type of the first abstract constant
+  /// referenced on either side; 32 bits for pure-literal comparisons
+  /// (e.g. width(%x) == 8).
+  unsigned cmpWidth(const Precond &P) const {
+    std::vector<std::string> Syms;
+    P.getCmpLHS()->collectSymRefs(Syms);
+    P.getCmpRHS()->collectSymRefs(Syms);
+    if (!Syms.empty()) {
+      for (const auto &V : E.T.pool())
+        if (isa<ConstantSymbol>(V.get()) && V->getName() == Syms[0])
+          return E.widthOf(V.get());
+    }
+    return 32;
+  }
+
+  Result<TermRef> encodeCmp(const Precond &P) {
+    unsigned W = cmpWidth(P);
+    TermRef Def = Ctx.mkTrue();
+    auto L = E.encodeConstExpr(P.getCmpLHS(), W, Def);
+    if (!L.ok())
+      return L;
+    auto R = E.encodeConstExpr(P.getCmpRHS(), W, Def);
+    if (!R.ok())
+      return R;
+    TermRef A = L.get(), B = R.get();
+    TermRef Cmp = nullptr;
+    switch (P.getCmpOp()) {
+    case Precond::CmpOp::EQ:
+      Cmp = Ctx.mkEq(A, B);
+      break;
+    case Precond::CmpOp::NE:
+      Cmp = Ctx.mkNe(A, B);
+      break;
+    case Precond::CmpOp::ULT:
+      Cmp = Ctx.mkBVUlt(A, B);
+      break;
+    case Precond::CmpOp::ULE:
+      Cmp = Ctx.mkBVUle(A, B);
+      break;
+    case Precond::CmpOp::UGT:
+      Cmp = Ctx.mkBVUgt(A, B);
+      break;
+    case Precond::CmpOp::UGE:
+      Cmp = Ctx.mkBVUge(A, B);
+      break;
+    case Precond::CmpOp::SLT:
+      Cmp = Ctx.mkBVSlt(A, B);
+      break;
+    case Precond::CmpOp::SLE:
+      Cmp = Ctx.mkBVSle(A, B);
+      break;
+    case Precond::CmpOp::SGT:
+      Cmp = Ctx.mkBVSgt(A, B);
+      break;
+    case Precond::CmpOp::SGE:
+      Cmp = Ctx.mkBVSge(A, B);
+      break;
+    }
+    // A comparison whose constant expression is itself undefined (e.g.
+    // divides by zero) cannot enable the transformation.
+    return Ctx.mkAnd(Def, Cmp);
+  }
+
+  /// The mathematically exact property a predicate reports.
+  TermRef exactProperty(PredKind K, const std::vector<TermRef> &A) {
+    unsigned W = A[0]->getSort().getWidth();
+    TermRef Zero = Ctx.mkBV(W, 0);
+    TermRef One = Ctx.mkBV(W, 1);
+    switch (K) {
+    case PredKind::IsPowerOf2:
+      return Ctx.mkAnd(
+          Ctx.mkNe(A[0], Zero),
+          Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero));
+    case PredKind::IsPowerOf2OrZero:
+      return Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero);
+    case PredKind::IsSignBit:
+      return Ctx.mkEq(A[0], Ctx.mkBV(APInt::getSignedMinValue(W)));
+    case PredKind::IsShiftedMask: {
+      // Fill the trailing zeros, then require a low mask: contiguous ones.
+      TermRef V = Ctx.mkBVOr(A[0], Ctx.mkBVSub(A[0], One));
+      return Ctx.mkAnd(
+          Ctx.mkNe(A[0], Zero),
+          Ctx.mkEq(Ctx.mkBVAnd(Ctx.mkBVAdd(V, One), V), Zero));
+    }
+    case PredKind::MaskedValueIsZero:
+      return Ctx.mkEq(Ctx.mkBVAnd(A[0], A[1]), Zero);
+    case PredKind::CannotBeNegative:
+      return Ctx.mkBVSge(A[0], Zero);
+    case PredKind::WillNotOverflowSignedAdd:
+      return noWrapSigned(A[0], A[1], TermKind::BVAdd, 1);
+    case PredKind::WillNotOverflowUnsignedAdd:
+      return noWrapUnsigned(A[0], A[1], TermKind::BVAdd, 1);
+    case PredKind::WillNotOverflowSignedSub:
+      return noWrapSigned(A[0], A[1], TermKind::BVSub, 1);
+    case PredKind::WillNotOverflowUnsignedSub:
+      return noWrapUnsigned(A[0], A[1], TermKind::BVSub, 1);
+    case PredKind::WillNotOverflowSignedMul:
+      return noWrapSigned(A[0], A[1], TermKind::BVMul, W);
+    case PredKind::WillNotOverflowUnsignedMul:
+      return noWrapUnsigned(A[0], A[1], TermKind::BVMul, W);
+    case PredKind::WillNotOverflowSignedShl:
+      return Ctx.mkAnd(
+          Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
+          Ctx.mkEq(Ctx.mkBVAShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
+    case PredKind::WillNotOverflowUnsignedShl:
+      return Ctx.mkAnd(
+          Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
+          Ctx.mkEq(Ctx.mkBVLShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
+    case PredKind::OneUse:
+      return nullptr; // purely structural: no semantic property
+    }
+    return nullptr;
+  }
+
+  TermRef noWrapSigned(TermRef X, TermRef Y, TermKind Op, unsigned Extra) {
+    unsigned W = X->getSort().getWidth();
+    TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkSext(X, W + Extra),
+                               Ctx.mkSext(Y, W + Extra));
+    return Ctx.mkEq(Wide, Ctx.mkSext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+  }
+  TermRef noWrapUnsigned(TermRef X, TermRef Y, TermKind Op, unsigned Extra) {
+    unsigned W = X->getSort().getWidth();
+    TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkZext(X, W + Extra),
+                               Ctx.mkZext(Y, W + Extra));
+    return Ctx.mkEq(Wide, Ctx.mkZext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+  }
+
+  Result<TermRef> encodeBuiltin(const Precond &P) {
+    std::vector<TermRef> ArgTerms;
+    bool AllConst = true;
+    for (Value *A : P.getArgs()) {
+      ValueSem S = E.encodeValue(A, E.SrcSide);
+      ArgTerms.push_back(S.Val);
+      AllConst &= isa<ConstantSymbol>(A) || isa<ConstExprValue>(A);
+    }
+    // Arity-2 predicates compare same-width values; resize the second
+    // argument if typing left it at a different width.
+    if (ArgTerms.size() == 2) {
+      unsigned W0 = ArgTerms[0]->getSort().getWidth();
+      unsigned W1 = ArgTerms[1]->getSort().getWidth();
+      if (W1 < W0)
+        ArgTerms[1] = Ctx.mkZext(ArgTerms[1], W0);
+      else if (W1 > W0)
+        ArgTerms[1] = Ctx.mkExtract(ArgTerms[1], W0 - 1, 0);
+    }
+
+    TermRef Property = exactProperty(P.getPred(), ArgTerms);
+    if (!Property) {
+      // hasOneUse(): no semantics, unconstrained Boolean.
+      return Ctx.mkFreshVar("oneuse", Sort::boolSort());
+    }
+    if (AllConst && !predKindIsApproximate(P.getPred()))
+      return Property;
+    if (AllConst) {
+      // Precise when applied to compile-time constants (Section 3.1.1).
+      return Property;
+    }
+    // Must-analysis on non-constant inputs: fresh p with p => property.
+    TermRef Pv =
+        Ctx.mkFreshVar(std::string("pred_") + predKindName(P.getPred()),
+                       Sort::boolSort());
+    SideConstraints.push_back(Ctx.mkImplies(Pv, Property));
+    return Pv;
+  }
+
+  Encoder &E;
+  TermContext &Ctx;
+  std::vector<TermRef> &SideConstraints;
+};
+
+Result<TermRef> encodePrecondition(Encoder &E, TermContext &Ctx,
+                                   const Precond &P,
+                                   std::vector<TermRef> &SideConstraints) {
+  PrecondEncoder PE(E, Ctx, SideConstraints);
+  return PE.encode(P);
+}
+
+} // namespace semantics
+} // namespace alive

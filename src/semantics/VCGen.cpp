@@ -1,0 +1,735 @@
+//===- semantics/VCGen.cpp - verification condition generation -------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/VCGen.h"
+
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::smt;
+using namespace alive::semantics;
+
+// Implemented in Predicates.cpp.
+namespace alive {
+namespace semantics {
+Result<TermRef> encodePrecondition(Encoder &E, smt::TermContext &Ctx,
+                                   const ir::Precond &P,
+                                   std::vector<TermRef> &SideConstraints);
+} // namespace semantics
+} // namespace alive
+
+Encoder::Encoder(TermContext &Ctx, const Transform &T,
+                 const typing::TypeAssignment &Types,
+                 const EncodingConfig &Cfg)
+    : Ctx(Ctx), T(T), Types(Types), Cfg(Cfg) {
+  Mem = createMemoryPair(Ctx, Cfg);
+  SrcSide.IsSource = true;
+  SrcSide.Mem = Mem.Src.get();
+  TgtSide.IsSource = false;
+  TgtSide.Mem = Mem.Tgt.get();
+  SrcSide.SeqDefined = TgtSide.SeqDefined = Ctx.mkTrue();
+  SrcSide.Alpha = TgtSide.Alpha = Ctx.mkTrue();
+}
+
+Encoder::~Encoder() = default;
+
+unsigned Encoder::widthOf(const Value *V) const {
+  const Type &Ty = Types[V->getTypeVar()];
+  assert(!Ty.isVoid() && "width of a void value");
+  return Ty.widthBits(Cfg.PtrWidth);
+}
+
+TermRef Encoder::constSymTerm(const std::string &Name, unsigned Width) {
+  auto It = ConstSyms.find(Name);
+  if (It != ConstSyms.end()) {
+    TermRef V = It->second;
+    unsigned Have = V->getSort().getWidth();
+    if (Have == Width)
+      return V;
+    // A constant referenced at a different width (e.g. inside a constant
+    // expression feeding a differently typed operand) is resized.
+    return Have < Width ? Ctx.mkZext(V, Width)
+                        : Ctx.mkExtract(V, Width - 1, 0);
+  }
+  TermRef V = Ctx.mkVar(Name, Sort::bv(Width));
+  ConstSyms.emplace(Name, V);
+  return V;
+}
+
+// --- Constant expressions ----------------------------------------------------
+
+Result<TermRef> Encoder::encodeConstExpr(const ConstExpr *E, unsigned Width,
+                                         TermRef &DefinedOut) {
+  using CE = ConstExpr;
+  switch (E->getKind()) {
+  case CE::Kind::Literal:
+    return Ctx.mkBV(APInt(Width, static_cast<uint64_t>(E->getLiteral())));
+  case CE::Kind::SymRef:
+    return constSymTerm(E->getSymName(), Width);
+  case CE::Kind::Unary: {
+    auto A = encodeConstExpr(E->getArg(0), Width, DefinedOut);
+    if (!A.ok())
+      return A;
+    return E->getUnaryOp() == CE::UnaryOp::Neg ? Ctx.mkBVNeg(A.get())
+                                               : Ctx.mkBVNot(A.get());
+  }
+  case CE::Kind::Binary: {
+    auto A = encodeConstExpr(E->getArg(0), Width, DefinedOut);
+    if (!A.ok())
+      return A;
+    auto B = encodeConstExpr(E->getArg(1), Width, DefinedOut);
+    if (!B.ok())
+      return B;
+    TermRef L = A.get(), R = B.get();
+    switch (E->getBinaryOp()) {
+    case CE::BinaryOp::Add:
+      return Ctx.mkBVAdd(L, R);
+    case CE::BinaryOp::Sub:
+      return Ctx.mkBVSub(L, R);
+    case CE::BinaryOp::Mul:
+      return Ctx.mkBVMul(L, R);
+    case CE::BinaryOp::SDiv: {
+      // Constant folding of a division by zero (or INT_MIN / -1) at
+      // compile time is undefined; record the side condition.
+      TermRef IntMin = Ctx.mkBV(APInt::getSignedMinValue(Width));
+      TermRef MinusOne = Ctx.mkBV(APInt::getAllOnes(Width));
+      DefinedOut = Ctx.mkAnd(
+          DefinedOut,
+          Ctx.mkAnd(Ctx.mkNe(R, Ctx.mkBV(Width, 0)),
+                    Ctx.mkOr(Ctx.mkNe(L, IntMin), Ctx.mkNe(R, MinusOne))));
+      return Ctx.mkBVSDiv(L, R);
+    }
+    case CE::BinaryOp::UDiv:
+      DefinedOut = Ctx.mkAnd(DefinedOut, Ctx.mkNe(R, Ctx.mkBV(Width, 0)));
+      return Ctx.mkBVUDiv(L, R);
+    case CE::BinaryOp::SRem: {
+      TermRef IntMin = Ctx.mkBV(APInt::getSignedMinValue(Width));
+      TermRef MinusOne = Ctx.mkBV(APInt::getAllOnes(Width));
+      DefinedOut = Ctx.mkAnd(
+          DefinedOut,
+          Ctx.mkAnd(Ctx.mkNe(R, Ctx.mkBV(Width, 0)),
+                    Ctx.mkOr(Ctx.mkNe(L, IntMin), Ctx.mkNe(R, MinusOne))));
+      return Ctx.mkBVSRem(L, R);
+    }
+    case CE::BinaryOp::URem:
+      DefinedOut = Ctx.mkAnd(DefinedOut, Ctx.mkNe(R, Ctx.mkBV(Width, 0)));
+      return Ctx.mkBVURem(L, R);
+    case CE::BinaryOp::Shl:
+      return Ctx.mkBVShl(L, R);
+    case CE::BinaryOp::LShr:
+      return Ctx.mkBVLShr(L, R);
+    case CE::BinaryOp::AShr:
+      return Ctx.mkBVAShr(L, R);
+    case CE::BinaryOp::And:
+      return Ctx.mkBVAnd(L, R);
+    case CE::BinaryOp::Or:
+      return Ctx.mkBVOr(L, R);
+    case CE::BinaryOp::Xor:
+      return Ctx.mkBVXor(L, R);
+    }
+    return Result<TermRef>::error("bad constant binary operator");
+  }
+  case CE::Kind::Call: {
+    CE::Builtin Fn = E->getBuiltin();
+    if (Fn == CE::Builtin::Width) {
+      const Value *Arg = E->getValueArg();
+      if (!Arg)
+        return Result<TermRef>::error("width() expects a value argument");
+      return Ctx.mkBV(APInt(Width, widthOf(Arg)));
+    }
+    if (E->getValueArg())
+      return Result<TermRef>::error(
+          std::string(CE::builtinName(Fn)) +
+          "() does not accept a register argument");
+    auto A = encodeConstExpr(E->getArg(0), Width, DefinedOut);
+    if (!A.ok())
+      return A;
+    TermRef X = A.get();
+    switch (Fn) {
+    case CE::Builtin::Log2: {
+      // Floor of log2 as an ite chain over the leading bit (log2(0) = 0;
+      // preconditions such as isPowerOf2 rule the zero case out).
+      TermRef R = Ctx.mkBV(Width, 0);
+      for (unsigned I = 1; I != Width; ++I) {
+        TermRef BitSet = Ctx.mkEq(Ctx.mkExtract(X, I, I), Ctx.mkBV(1, 1));
+        R = Ctx.mkIte(BitSet, Ctx.mkBV(Width, I), R);
+      }
+      return R;
+    }
+    case CE::Builtin::Abs:
+      return Ctx.mkIte(Ctx.mkBVSlt(X, Ctx.mkBV(Width, 0)), Ctx.mkBVNeg(X), X);
+    case CE::Builtin::UMax:
+    case CE::Builtin::UMin:
+    case CE::Builtin::SMax:
+    case CE::Builtin::SMin: {
+      auto B = encodeConstExpr(E->getArg(1), Width, DefinedOut);
+      if (!B.ok())
+        return B;
+      TermRef Y = B.get();
+      switch (Fn) {
+      case CE::Builtin::UMax:
+        return Ctx.mkIte(Ctx.mkBVUgt(X, Y), X, Y);
+      case CE::Builtin::UMin:
+        return Ctx.mkIte(Ctx.mkBVUlt(X, Y), X, Y);
+      case CE::Builtin::SMax:
+        return Ctx.mkIte(Ctx.mkBVSgt(X, Y), X, Y);
+      default:
+        return Ctx.mkIte(Ctx.mkBVSlt(X, Y), X, Y);
+      }
+    }
+    case CE::Builtin::ZExt:
+    case CE::Builtin::SExt:
+    case CE::Builtin::Trunc:
+      // Already encoded at the context width; resizing is a no-op here
+      // (see DESIGN.md on constant-expression typing).
+      return X;
+    case CE::Builtin::Width:
+      break;
+    }
+    return Result<TermRef>::error("bad constant builtin");
+  }
+  }
+  return Result<TermRef>::error("bad constant expression");
+}
+
+// --- Values --------------------------------------------------------------------
+
+ValueSem Encoder::encodeValue(const Value *V, Side &S) {
+  // Non-instruction values and source instructions live in the source
+  // cache; target instructions live in the target cache. Target operands
+  // pointing at source instructions reuse the source encoding (Section 3:
+  // the target refines the *source's* computation of shared temporaries).
+  Side *Home = &S;
+  if (const auto *I = dyn_cast<Instr>(V)) {
+    bool IsSrcInstr = false;
+    for (const Instr *SI : T.src())
+      IsSrcInstr |= SI == I;
+    Home = IsSrcInstr ? &SrcSide : &TgtSide;
+  } else {
+    Home = &SrcSide; // inputs/constants/undefs cache
+  }
+
+  // Undef occurrences are per-side: re-home them to the requesting side so
+  // a target-only undef lands in Ū.
+  if (isa<UndefValue>(V))
+    Home = &S;
+
+  auto It = Home->Sem.find(V);
+  if (It != Home->Sem.end())
+    return It->second;
+
+  ValueSem Out;
+  TermRef True = Ctx.mkTrue();
+  switch (V->getKind()) {
+  case ValueKind::Input: {
+    Out.Val = Ctx.mkVar(V->getName(), Sort::bv(widthOf(V)));
+    Out.Defined = Out.PoisonFree = True;
+    Inputs.emplace_back(V, Out.Val);
+    break;
+  }
+  case ValueKind::ConstSym: {
+    Out.Val = constSymTerm(V->getName(), widthOf(V));
+    Out.Defined = Out.PoisonFree = True;
+    Inputs.emplace_back(V, Out.Val);
+    break;
+  }
+  case ValueKind::ConstVal: {
+    TermRef Def = True;
+    auto R = encodeConstExpr(cast<ConstExprValue>(V)->getExpr(), widthOf(V),
+                             Def);
+    if (!R.ok()) {
+      EncodeError = R.status();
+      Out.Val = Ctx.mkBV(widthOf(V), 0);
+      Out.Defined = Out.PoisonFree = True;
+      break;
+    }
+    Out.Val = R.get();
+    Out.Defined = Def;
+    Out.PoisonFree = True;
+    break;
+  }
+  case ValueKind::Undef: {
+    TermRef U0 = Ctx.mkFreshVar(S.IsSource ? "undef" : "undef_t",
+                                Sort::bv(widthOf(V)));
+    (S.IsSource ? U : UBar).push_back(U0);
+    Out.Val = U0;
+    Out.Defined = Out.PoisonFree = True;
+    break;
+  }
+  default:
+    Out = encodeInstr(cast<Instr>(V), *Home);
+    break;
+  }
+
+  Home->Sem.emplace(V, Out);
+  return Out;
+}
+
+// --- Instructions ----------------------------------------------------------------
+
+static TermKind binOpTermKind(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return TermKind::BVAdd;
+  case BinOpcode::Sub:
+    return TermKind::BVSub;
+  case BinOpcode::Mul:
+    return TermKind::BVMul;
+  case BinOpcode::UDiv:
+    return TermKind::BVUDiv;
+  case BinOpcode::SDiv:
+    return TermKind::BVSDiv;
+  case BinOpcode::URem:
+    return TermKind::BVURem;
+  case BinOpcode::SRem:
+    return TermKind::BVSRem;
+  case BinOpcode::Shl:
+    return TermKind::BVShl;
+  case BinOpcode::LShr:
+    return TermKind::BVLShr;
+  case BinOpcode::AShr:
+    return TermKind::BVAShr;
+  case BinOpcode::And:
+    return TermKind::BVAnd;
+  case BinOpcode::Or:
+    return TermKind::BVOr;
+  case BinOpcode::Xor:
+    return TermKind::BVXor;
+  }
+  return TermKind::BVAdd;
+}
+
+ValueSem Encoder::encodeBinOp(const BinOp *I, Side &S) {
+  ValueSem A = encodeValue(I->getLHS(), S);
+  ValueSem B = encodeValue(I->getRHS(), S);
+  unsigned W = widthOf(I);
+  TermRef L = A.Val, R = B.Val;
+  TermRef Zero = Ctx.mkBV(W, 0);
+
+  ValueSem Out;
+  Out.Val = Ctx.mkBVBin(binOpTermKind(I->getOpcode()), L, R);
+
+  // Table 1: definedness.
+  TermRef OwnDef = Ctx.mkTrue();
+  switch (I->getOpcode()) {
+  case BinOpcode::SDiv:
+  case BinOpcode::SRem: {
+    TermRef IntMin = Ctx.mkBV(APInt::getSignedMinValue(W));
+    TermRef MinusOne = Ctx.mkBV(APInt::getAllOnes(W));
+    OwnDef = Ctx.mkAnd(Ctx.mkNe(R, Zero),
+                       Ctx.mkOr(Ctx.mkNe(L, IntMin), Ctx.mkNe(R, MinusOne)));
+    break;
+  }
+  case BinOpcode::UDiv:
+  case BinOpcode::URem:
+    OwnDef = Ctx.mkNe(R, Zero);
+    break;
+  case BinOpcode::Shl:
+  case BinOpcode::LShr:
+  case BinOpcode::AShr:
+    OwnDef = Ctx.mkBVUlt(R, Ctx.mkBV(W, W));
+    break;
+  default:
+    break;
+  }
+
+  // Table 2: poison-free conditions, possibly guarded by inference
+  // indicator variables (Figure 6).
+  auto WrapCheckSigned = [&](TermRef X, TermRef Y, TermKind Op,
+                             unsigned Extra) {
+    TermRef XE = Ctx.mkSext(X, W + Extra);
+    TermRef YE = Ctx.mkSext(Y, W + Extra);
+    TermRef Wide = Ctx.mkBVBin(Op, XE, YE);
+    return Ctx.mkEq(Wide, Ctx.mkSext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+  };
+  auto WrapCheckUnsigned = [&](TermRef X, TermRef Y, TermKind Op,
+                               unsigned Extra) {
+    TermRef XE = Ctx.mkZext(X, W + Extra);
+    TermRef YE = Ctx.mkZext(Y, W + Extra);
+    TermRef Wide = Ctx.mkBVBin(Op, XE, YE);
+    return Ctx.mkEq(Wide, Ctx.mkZext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+  };
+
+  TermRef NSWCond = nullptr, NUWCond = nullptr, ExactCond = nullptr;
+  switch (I->getOpcode()) {
+  case BinOpcode::Add:
+    NSWCond = WrapCheckSigned(L, R, TermKind::BVAdd, 1);
+    NUWCond = WrapCheckUnsigned(L, R, TermKind::BVAdd, 1);
+    break;
+  case BinOpcode::Sub:
+    NSWCond = WrapCheckSigned(L, R, TermKind::BVSub, 1);
+    NUWCond = WrapCheckUnsigned(L, R, TermKind::BVSub, 1);
+    break;
+  case BinOpcode::Mul:
+    NSWCond = WrapCheckSigned(L, R, TermKind::BVMul, W);
+    NUWCond = WrapCheckUnsigned(L, R, TermKind::BVMul, W);
+    break;
+  case BinOpcode::Shl:
+    // (a << b) >> b == a (arithmetic for nsw, logical for nuw).
+    NSWCond = Ctx.mkEq(Ctx.mkBVAShr(Out.Val, R), L);
+    NUWCond = Ctx.mkEq(Ctx.mkBVLShr(Out.Val, R), L);
+    break;
+  case BinOpcode::SDiv:
+    ExactCond = Ctx.mkEq(Ctx.mkBVMul(Out.Val, R), L);
+    break;
+  case BinOpcode::UDiv:
+    ExactCond = Ctx.mkEq(Ctx.mkBVMul(Out.Val, R), L);
+    break;
+  case BinOpcode::AShr:
+  case BinOpcode::LShr:
+    ExactCond = Ctx.mkEq(Ctx.mkBVShl(Out.Val, R), L);
+    break;
+  default:
+    break;
+  }
+
+  TermRef OwnPoison = Ctx.mkTrue();
+  auto applyFlag = [&](unsigned Flag, TermRef Cond) {
+    if (!Cond)
+      return;
+    if (InferAttrs) {
+      std::string Tag = std::string(S.IsSource ? "fs" : "ft") + "_" +
+                        I->getName() + "_" +
+                        (Flag == AttrNSW ? "nsw"
+                                         : Flag == AttrNUW ? "nuw" : "exact");
+      TermRef F = Ctx.mkVar(Tag, Sort::boolSort());
+      AttrVars.push_back({I, S.IsSource, Flag, F});
+      OwnPoison = Ctx.mkAnd(OwnPoison, Ctx.mkImplies(F, Cond));
+      return;
+    }
+    if (I->getFlags() & Flag)
+      OwnPoison = Ctx.mkAnd(OwnPoison, Cond);
+  };
+  applyFlag(AttrNSW, NSWCond);
+  applyFlag(AttrNUW, NUWCond);
+  applyFlag(AttrExact, ExactCond);
+
+  Out.Defined = Ctx.mkAnd({OwnDef, A.Defined, B.Defined, S.SeqDefined});
+  Out.PoisonFree = Ctx.mkAnd({OwnPoison, A.PoisonFree, B.PoisonFree});
+  return Out;
+}
+
+ValueSem Encoder::encodeInstr(const Instr *I, Side &S) {
+  switch (I->getKind()) {
+  case ValueKind::BinOp:
+    return encodeBinOp(cast<BinOp>(I), S);
+  case ValueKind::ICmp: {
+    const auto *C = cast<ICmp>(I);
+    ValueSem A = encodeValue(C->getLHS(), S);
+    ValueSem B = encodeValue(C->getRHS(), S);
+    TermRef Cmp = nullptr;
+    switch (C->getCond()) {
+    case ICmpCond::EQ:
+      Cmp = Ctx.mkEq(A.Val, B.Val);
+      break;
+    case ICmpCond::NE:
+      Cmp = Ctx.mkNe(A.Val, B.Val);
+      break;
+    case ICmpCond::UGT:
+      Cmp = Ctx.mkBVUgt(A.Val, B.Val);
+      break;
+    case ICmpCond::UGE:
+      Cmp = Ctx.mkBVUge(A.Val, B.Val);
+      break;
+    case ICmpCond::ULT:
+      Cmp = Ctx.mkBVUlt(A.Val, B.Val);
+      break;
+    case ICmpCond::ULE:
+      Cmp = Ctx.mkBVUle(A.Val, B.Val);
+      break;
+    case ICmpCond::SGT:
+      Cmp = Ctx.mkBVSgt(A.Val, B.Val);
+      break;
+    case ICmpCond::SGE:
+      Cmp = Ctx.mkBVSge(A.Val, B.Val);
+      break;
+    case ICmpCond::SLT:
+      Cmp = Ctx.mkBVSlt(A.Val, B.Val);
+      break;
+    case ICmpCond::SLE:
+      Cmp = Ctx.mkBVSle(A.Val, B.Val);
+      break;
+    }
+    ValueSem Out;
+    Out.Val = Ctx.mkIte(Cmp, Ctx.mkBV(1, 1), Ctx.mkBV(1, 0));
+    Out.Defined = Ctx.mkAnd({A.Defined, B.Defined, S.SeqDefined});
+    Out.PoisonFree = Ctx.mkAnd(A.PoisonFree, B.PoisonFree);
+    return Out;
+  }
+  case ValueKind::Select: {
+    const auto *Sel = cast<Select>(I);
+    ValueSem C = encodeValue(Sel->getCondition(), S);
+    ValueSem TV = encodeValue(Sel->getTrueValue(), S);
+    ValueSem FV = encodeValue(Sel->getFalseValue(), S);
+    ValueSem Out;
+    Out.Val = Ctx.mkIte(Ctx.mkEq(C.Val, Ctx.mkBV(1, 1)), TV.Val, FV.Val);
+    // Definedness and poison flow strictly through all operands
+    // (Section 3.1.1: constraints flow through def-use chains).
+    Out.Defined =
+        Ctx.mkAnd({C.Defined, TV.Defined, FV.Defined, S.SeqDefined});
+    Out.PoisonFree = Ctx.mkAnd({C.PoisonFree, TV.PoisonFree, FV.PoisonFree});
+    return Out;
+  }
+  case ValueKind::Conv: {
+    const auto *Cv = cast<Conv>(I);
+    ValueSem A = encodeValue(Cv->getSrc(), S);
+    unsigned WOut = widthOf(I);
+    unsigned WIn = widthOf(Cv->getSrc());
+    ValueSem Out;
+    switch (Cv->getOpcode()) {
+    case ConvOpcode::ZExt:
+      Out.Val = Ctx.mkZext(A.Val, WOut);
+      break;
+    case ConvOpcode::SExt:
+      Out.Val = Ctx.mkSext(A.Val, WOut);
+      break;
+    case ConvOpcode::Trunc:
+      Out.Val = Ctx.mkExtract(A.Val, WOut - 1, 0);
+      break;
+    case ConvOpcode::BitCast:
+      Out.Val = A.Val; // same width by typing
+      break;
+    case ConvOpcode::PtrToInt:
+    case ConvOpcode::IntToPtr:
+      Out.Val = WOut >= WIn ? Ctx.mkZext(A.Val, WOut)
+                            : Ctx.mkExtract(A.Val, WOut - 1, 0);
+      break;
+    }
+    Out.Defined = Ctx.mkAnd(A.Defined, S.SeqDefined);
+    Out.PoisonFree = A.PoisonFree;
+    return Out;
+  }
+  case ValueKind::Copy: {
+    ValueSem A = encodeValue(cast<Copy>(I)->getSrc(), S);
+    A.Defined = Ctx.mkAnd(A.Defined, S.SeqDefined);
+    return A;
+  }
+  case ValueKind::Unreachable: {
+    // Executing unreachable is immediate undefined behavior.
+    ValueSem Out;
+    Out.Val = nullptr;
+    Out.Defined = Ctx.mkFalse();
+    Out.PoisonFree = Ctx.mkTrue();
+    S.SeqDefined = Ctx.mkFalse();
+    return Out;
+  }
+  case ValueKind::Alloca:
+  case ValueKind::GEP:
+  case ValueKind::Load:
+  case ValueKind::Store:
+    return encodeMemoryInstr(I, S);
+  default:
+    assert(false && "unknown instruction kind");
+    return ValueSem();
+  }
+}
+
+static unsigned nextPow2(unsigned X) {
+  unsigned P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+ValueSem Encoder::encodeMemoryInstr(const Instr *I, Side &S) {
+  HasMemory = true;
+  unsigned PW = Cfg.PtrWidth;
+  switch (I->getKind()) {
+  case ValueKind::Alloca: {
+    const auto *Al = cast<Alloca>(I);
+    ValueSem Num = encodeValue(Al->getNumElems(), S);
+
+    const Type &PtrTy = Types[Al->getTypeVar()];
+    Type ElemTy =
+        Al->hasElemType() ? Al->getElemType() : PtrTy.getElemType();
+    unsigned ElemBytes = ElemTy.allocSizeBytes(PW);
+    unsigned Align = nextPow2(ElemBytes);
+    if (Align > 8)
+      Align = 8;
+    unsigned ElemAligned = ((ElemBytes + Align - 1) / Align) * Align;
+
+    TermRef P = Ctx.mkFreshVar("alloca" + Al->getName(), Sort::bv(PW));
+    TermRef CountPW = Num.Val->getSort().getWidth() >= PW
+                          ? Ctx.mkExtract(Num.Val, PW - 1, 0)
+                          : Ctx.mkZext(Num.Val, PW);
+    TermRef Size = Ctx.mkBVMul(CountPW, Ctx.mkBV(PW, ElemAligned));
+
+    // α constraints (Section 3.3.1): non-null, aligned, no wraparound,
+    // disjoint from every previously allocated block on this side.
+    TermRef A = Ctx.mkNe(P, Ctx.mkBV(PW, 0));
+    if (Align > 1)
+      A = Ctx.mkAnd(A, Ctx.mkEq(Ctx.mkBVAnd(P, Ctx.mkBV(PW, Align - 1)),
+                                Ctx.mkBV(PW, 0)));
+    TermRef End = Ctx.mkBVAdd(P, Size);
+    A = Ctx.mkAnd(A, Ctx.mkBVUle(P, End));
+    for (const auto &[Q, QSize] : S.Blocks) {
+      TermRef QEnd = Ctx.mkBVAdd(Q, QSize);
+      A = Ctx.mkAnd(A, Ctx.mkOr(Ctx.mkBVUge(P, QEnd), Ctx.mkBVUge(Q, End)));
+    }
+    S.Blocks.emplace_back(P, Size);
+    S.Alpha = Ctx.mkAnd(S.Alpha, A);
+
+    // Mark the block uninitialized: when the element count is a concrete
+    // constant, store fresh bytes so repeated loads of one location agree
+    // (the fresh variables are undef values, Section 3.3.1).
+    uint64_t ConstCount = 0;
+    bool CountKnown = false;
+    if (Num.Val->isConstBV()) {
+      ConstCount = Num.Val->getBVValue().getZExtValue();
+      CountKnown = ConstCount * ElemAligned <= 64;
+    }
+    if (CountKnown) {
+      for (uint64_t Byte = 0; Byte != ConstCount * ElemAligned; ++Byte) {
+        TermRef Fresh = Ctx.mkFreshVar("uninit", Sort::bv(8));
+        (S.IsSource ? U : UBar).push_back(Fresh);
+        S.Mem->storeByte(Ctx.mkBVAdd(P, Ctx.mkBV(PW, Byte)), Fresh,
+                         Ctx.mkTrue());
+      }
+    }
+
+    ValueSem Out;
+    Out.Val = P;
+    Out.Defined = Ctx.mkAnd(Num.Defined, S.SeqDefined);
+    Out.PoisonFree = Num.PoisonFree;
+    return Out;
+  }
+  case ValueKind::GEP: {
+    const auto *G = cast<GEP>(I);
+    ValueSem Base = encodeValue(G->getBase(), S);
+    const Type &BaseTy = Types[G->getBase()->getTypeVar()];
+    unsigned ElemBytes =
+        BaseTy.isPtr() ? BaseTy.getElemType().allocSizeBytes(PW) : 1;
+    TermRef Addr = Base.Val;
+    TermRef Def = Base.Defined;
+    TermRef Poison = Base.PoisonFree;
+    for (unsigned X = 0, E = G->getNumIndices(); X != E; ++X) {
+      ValueSem Idx = encodeValue(G->getIndex(X), S);
+      unsigned WI = Idx.Val->getSort().getWidth();
+      TermRef IdxPW = WI >= PW ? Ctx.mkExtract(Idx.Val, PW - 1, 0)
+                               : Ctx.mkSext(Idx.Val, PW);
+      Addr = Ctx.mkBVAdd(Addr, Ctx.mkBVMul(IdxPW, Ctx.mkBV(PW, ElemBytes)));
+      Def = Ctx.mkAnd(Def, Idx.Defined);
+      Poison = Ctx.mkAnd(Poison, Idx.PoisonFree);
+    }
+    ValueSem Out;
+    Out.Val = Addr;
+    Out.Defined = Ctx.mkAnd(Def, S.SeqDefined);
+    Out.PoisonFree = Poison;
+    return Out;
+  }
+  case ValueKind::Load: {
+    const auto *L = cast<Load>(I);
+    ValueSem P = encodeValue(L->getPointer(), S);
+    unsigned W = widthOf(I);
+    unsigned Bytes = (W + 7) / 8;
+    TermRef Val = nullptr;
+    for (unsigned B = 0; B != Bytes; ++B) {
+      TermRef Byte = S.Mem->loadByte(
+          B == 0 ? P.Val : Ctx.mkBVAdd(P.Val, Ctx.mkBV(Cfg.PtrWidth, B)));
+      Val = B == 0 ? Byte : Ctx.mkConcat(Byte, Val);
+    }
+    if (W % 8 != 0)
+      Val = Ctx.mkExtract(Val, W - 1, 0);
+    ValueSem Out;
+    Out.Val = Val;
+    // Simplified in-bounds rule: the pointer must be non-null; block-range
+    // and alignment checks for input pointers are not modeled (DESIGN.md).
+    Out.Defined =
+        Ctx.mkAnd({Ctx.mkNe(P.Val, Ctx.mkBV(Cfg.PtrWidth, 0)), P.Defined,
+                   S.SeqDefined});
+    Out.PoisonFree = P.PoisonFree;
+    return Out;
+  }
+  case ValueKind::Store: {
+    const auto *St = cast<Store>(I);
+    ValueSem V = encodeValue(St->getValue(), S);
+    ValueSem P = encodeValue(St->getPointer(), S);
+    unsigned W = V.Val->getSort().getWidth();
+    unsigned Bytes = (W + 7) / 8;
+    TermRef Def =
+        Ctx.mkAnd({Ctx.mkNe(P.Val, Ctx.mkBV(Cfg.PtrWidth, 0)), V.Defined,
+                   P.Defined, S.SeqDefined});
+    // A store lands only when no undefined behavior happened before it and
+    // the stored value is poison-free.
+    TermRef Guard = Ctx.mkAnd({Def, V.PoisonFree, P.PoisonFree});
+    for (unsigned B = 0; B != Bytes; ++B) {
+      unsigned Hi = std::min(W - 1, 8 * B + 7);
+      TermRef Byte = Ctx.mkExtract(V.Val, Hi, 8 * B);
+      if (Hi - 8 * B + 1 < 8)
+        Byte = Ctx.mkZext(Byte, 8);
+      S.Mem->storeByte(
+          B == 0 ? P.Val : Ctx.mkBVAdd(P.Val, Ctx.mkBV(Cfg.PtrWidth, B)),
+          Byte, Guard);
+    }
+    // Sequence point: subsequent instructions inherit this definedness.
+    S.SeqDefined = Def;
+    ValueSem Out;
+    Out.Val = nullptr;
+    Out.Defined = Def;
+    Out.PoisonFree = Ctx.mkAnd(V.PoisonFree, P.PoisonFree);
+    return Out;
+  }
+  default:
+    assert(false && "not a memory instruction");
+    return ValueSem();
+  }
+}
+
+// --- Top-level ---------------------------------------------------------------------
+
+Status Encoder::encode(bool Infer) {
+  InferAttrs = Infer;
+
+  for (const Instr *I : T.src()) {
+    ValueSem Sem = encodeValue(I, SrcSide);
+    if (Sem.Val)
+      SrcInstrs.emplace_back(I, Sem.Val);
+  }
+  SrcRoot = SrcSide.Sem.at(T.getSrcRoot());
+
+  for (const Instr *I : T.tgt())
+    encodeValue(I, TgtSide);
+  TgtRoot = TgtSide.Sem.at(T.getTgtRoot());
+
+  if (!EncodeError.ok())
+    return EncodeError;
+
+  std::vector<TermRef> SideConstraints;
+  auto Pre = encodePrecondition(*this, Ctx, T.getPrecondition(),
+                                SideConstraints);
+  if (!Pre.ok())
+    return Pre.status();
+  std::vector<TermRef> PhiParts{Pre.get()};
+  PhiParts.insert(PhiParts.end(), SideConstraints.begin(),
+                  SideConstraints.end());
+  Phi = Ctx.mkAnd(PhiParts);
+
+  // α: both sides' allocation constraints plus input pointers lying
+  // outside every allocated block.
+  Alpha = Ctx.mkAnd(SrcSide.Alpha, TgtSide.Alpha);
+  for (const auto &[V, Term] : Inputs) {
+    if (!Types[V->getTypeVar()].isPtr())
+      continue;
+    for (const Side *S : {&SrcSide, &TgtSide})
+      for (const auto &[P, Size] : S->Blocks) {
+        TermRef End = Ctx.mkBVAdd(P, Size);
+        Alpha = Ctx.mkAnd(
+            Alpha, Ctx.mkOr(Ctx.mkBVUlt(Term, P), Ctx.mkBVUge(Term, End)));
+      }
+  }
+  return Status::success();
+}
+
+TermRef Encoder::memoryAxioms() const { return Ctx.mkAnd(*Mem.Axioms); }
+
+TermRef Encoder::srcFinalByte(TermRef Index) {
+  return Mem.Src->finalByte(Index);
+}
+
+TermRef Encoder::tgtFinalByte(TermRef Index) {
+  return Mem.Tgt->finalByte(Index);
+}

@@ -1,0 +1,190 @@
+//===- semantics/VCGen.h - verification condition generation ----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes an Alive transformation, for one feasible type assignment, into
+/// SMT terms (Section 3). For every instruction three expressions are
+/// computed: the result ι, the definedness condition δ (Table 1), and the
+/// poison-free condition ρ (Table 2); both conditions aggregate over
+/// def-use chains. `undef` occurrences become fresh variables collected in
+/// U (source) and Ū (target). Preconditions encode per Section 3.1.1:
+/// precisely when applied to compile-time constants, and as fresh Booleans
+/// with one-sided side constraints when they surface must-analyses.
+/// Memory is modeled either with the SMT array theory or with the eager
+/// Ackermann-style ite-chain encoding of Section 3.3.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SEMANTICS_VCGEN_H
+#define ALIVE_SEMANTICS_VCGEN_H
+
+#include "ir/Transform.h"
+#include "smt/Term.h"
+#include "support/Status.h"
+#include "typing/TypeConstraints.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace alive {
+namespace semantics {
+
+/// Memory encoding choice (Section 3.3 vs 3.3.3).
+enum class MemoryEncoding {
+  ArrayTheory, ///< SMT arrays (complete, Z3 only)
+  EagerIte,    ///< ite-chains + Ackermann base reads (QF_BV friendly)
+};
+
+struct EncodingConfig {
+  unsigned PtrWidth = 32;
+  MemoryEncoding Memory = MemoryEncoding::EagerIte;
+};
+
+/// The (ι, δ, ρ) triple for a value: result term (null for void),
+/// definedness, and poison-freedom, both aggregated over operands.
+struct ValueSem {
+  smt::TermRef Val = nullptr;
+  smt::TermRef Defined = nullptr;
+  smt::TermRef PoisonFree = nullptr;
+};
+
+/// Attribute-inference mode: poison-free constraints for nsw/nuw/exact are
+/// generated conditionally on fresh Boolean indicator variables
+/// (Section 3.4 / Figure 6).
+struct AttrIndicator {
+  const ir::BinOp *I = nullptr;
+  bool InSource = false;
+  unsigned Flag = 0; ///< one of AttrNSW / AttrNUW / AttrExact
+  smt::TermRef Var = nullptr;
+};
+
+/// One side's memory model. Both sides observe the same initial memory.
+class MemoryState {
+public:
+  virtual ~MemoryState();
+  /// Reads the byte at \p Addr in the current state.
+  virtual smt::TermRef loadByte(smt::TermRef Addr) = 0;
+  /// Stores \p Byte at \p Addr; the store only lands when \p Guard holds
+  /// (no prior undefined behavior, Section 3.3.1).
+  virtual void storeByte(smt::TermRef Addr, smt::TermRef Byte,
+                         smt::TermRef Guard) = 0;
+  /// Reads the byte at \p Addr in the *final* state (condition 4).
+  virtual smt::TermRef finalByte(smt::TermRef Addr) = 0;
+};
+
+/// Shared factory: creates a pair of memory states over a common initial
+/// memory according to \p Cfg.
+struct MemoryPair {
+  std::unique_ptr<MemoryState> Src, Tgt;
+  /// Consistency axioms of the eager encoding: two base reads at equal
+  /// addresses yield equal bytes (Ackermann constraints). Grows as reads
+  /// are issued; conjoin its current contents into every query premise.
+  std::shared_ptr<std::vector<smt::TermRef>> Axioms;
+};
+MemoryPair createMemoryPair(smt::TermContext &Ctx, const EncodingConfig &Cfg);
+
+/// The full encoding of one transformation at one type assignment.
+class Encoder {
+public:
+  Encoder(smt::TermContext &Ctx, const ir::Transform &T,
+          const typing::TypeAssignment &Types, const EncodingConfig &Cfg);
+  ~Encoder();
+
+  /// Runs the encoding. Must be called exactly once before any accessor.
+  /// When \p InferAttrs is true, nsw/nuw/exact conditions are guarded by
+  /// indicator variables retrievable via attrIndicators().
+  Status encode(bool InferAttrs = false);
+
+  /// ψ's ingredients: precondition φ (with predicate side constraints),
+  /// plus the source root's δ and ρ, plus α constraints from both sides.
+  smt::TermRef phi() const { return Phi; }
+  smt::TermRef alpha() const { return Alpha; }
+
+  const ValueSem &srcRootSem() const { return SrcRoot; }
+  const ValueSem &tgtRootSem() const { return TgtRoot; }
+
+  /// Fresh variables standing for `undef` occurrences.
+  const std::vector<smt::TermRef> &srcUndefs() const { return U; }
+  const std::vector<smt::TermRef> &tgtUndefs() const { return UBar; }
+
+  /// Input variables and abstract constants with their terms, in
+  /// declaration order (for counterexample reporting).
+  const std::vector<std::pair<const ir::Value *, smt::TermRef>> &
+  inputTerms() const {
+    return Inputs;
+  }
+  /// Source intermediate instructions with their ι terms (for
+  /// counterexample reporting).
+  const std::vector<std::pair<const ir::Instr *, smt::TermRef>> &
+  srcInstrTerms() const {
+    return SrcInstrs;
+  }
+
+  bool hasMemory() const { return HasMemory; }
+  /// Current memory consistency axioms (see MemoryPair::Axioms).
+  smt::TermRef memoryAxioms() const;
+  /// Byte of final source/target memory at \p Index (condition 4).
+  smt::TermRef srcFinalByte(smt::TermRef Index);
+  smt::TermRef tgtFinalByte(smt::TermRef Index);
+
+  const std::vector<AttrIndicator> &attrIndicators() const {
+    return AttrVars;
+  }
+
+  unsigned getPtrWidth() const { return Cfg.PtrWidth; }
+
+  /// Bit width of \p V under the current type assignment (pointer types
+  /// use the configured pointer width).
+  unsigned widthOf(const ir::Value *V) const;
+
+private:
+  friend class PrecondEncoder;
+
+  struct Side;
+  ValueSem encodeValue(const ir::Value *V, Side &S);
+  ValueSem encodeInstr(const ir::Instr *I, Side &S);
+  ValueSem encodeBinOp(const ir::BinOp *I, Side &S);
+  ValueSem encodeMemoryInstr(const ir::Instr *I, Side &S);
+  Result<smt::TermRef> encodeConstExpr(const ir::ConstExpr *E, unsigned Width,
+                                       smt::TermRef &DefinedOut);
+  smt::TermRef constSymTerm(const std::string &Name, unsigned Width);
+
+  smt::TermContext &Ctx;
+  const ir::Transform &T;
+  const typing::TypeAssignment &Types;
+  EncodingConfig Cfg;
+
+  struct Side {
+    bool IsSource = true;
+    std::map<const ir::Value *, ValueSem> Sem;
+    MemoryState *Mem = nullptr;
+    smt::TermRef SeqDefined = nullptr; ///< δ accumulated at sequence points
+    smt::TermRef Alpha = nullptr;      ///< alloca constraints
+    /// Allocated blocks (pointer, size-in-bytes) for disjointness.
+    std::vector<std::pair<smt::TermRef, smt::TermRef>> Blocks;
+  };
+
+  Side SrcSide, TgtSide;
+  MemoryPair Mem;
+
+  ValueSem SrcRoot, TgtRoot;
+  smt::TermRef Phi = nullptr;
+  smt::TermRef Alpha = nullptr;
+  std::vector<smt::TermRef> U, UBar;
+  std::vector<std::pair<const ir::Value *, smt::TermRef>> Inputs;
+  std::vector<std::pair<const ir::Instr *, smt::TermRef>> SrcInstrs;
+  std::map<std::string, smt::TermRef> ConstSyms;
+  bool HasMemory = false;
+  bool InferAttrs = false;
+  std::vector<AttrIndicator> AttrVars;
+  Status EncodeError = Status::success();
+};
+
+} // namespace semantics
+} // namespace alive
+
+#endif // ALIVE_SEMANTICS_VCGEN_H

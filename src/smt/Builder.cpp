@@ -1,0 +1,406 @@
+//===- smt/Builder.cpp - Term construction with local simplification -----===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TermContext builder methods. Each method performs constant folding and
+/// a handful of sound local identities before interning a node. The rules
+/// here must be *equivalences* in SMT-LIB semantics — the verifier's
+/// soundness depends on it — so anything value-dependent (division,
+/// shifts past the width) follows the total SMT-LIB definitions from
+/// Simplify.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplify.h"
+#include "smt/Term.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+TermRef TermContext::mkNot(TermRef A) {
+  assert(A->getSort().isBool());
+  if (A->isConstBool())
+    return mkBool(!A->getBoolValue());
+  if (A->getKind() == TermKind::Not)
+    return A->getOperand(0);
+  Term Node(TermKind::Not, Sort::boolSort());
+  Node.Ops = {A};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkAnd(TermRef A, TermRef B) {
+  return mkAnd(std::vector<TermRef>{A, B});
+}
+
+TermRef TermContext::mkAnd(const std::vector<TermRef> &Conj) {
+  // Flatten nested conjunctions, drop `true`, and short-circuit on `false`.
+  std::vector<TermRef> Ops;
+  for (TermRef T : Conj) {
+    assert(T->getSort().isBool());
+    if (T->isTrue())
+      continue;
+    if (T->isFalse())
+      return mkFalse();
+    if (T->getKind() == TermKind::And) {
+      for (TermRef Op : T->operands())
+        Ops.push_back(Op);
+      continue;
+    }
+    Ops.push_back(T);
+  }
+  // Deduplicate while preserving order.
+  std::vector<TermRef> Dedup;
+  for (TermRef T : Ops) {
+    bool Seen = false;
+    for (TermRef D : Dedup)
+      Seen |= D == T;
+    if (!Seen)
+      Dedup.push_back(T);
+  }
+  if (Dedup.empty())
+    return mkTrue();
+  if (Dedup.size() == 1)
+    return Dedup[0];
+  Term Node(TermKind::And, Sort::boolSort());
+  Node.Ops = std::move(Dedup);
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkOr(TermRef A, TermRef B) {
+  return mkOr(std::vector<TermRef>{A, B});
+}
+
+TermRef TermContext::mkOr(const std::vector<TermRef> &Disj) {
+  std::vector<TermRef> Ops;
+  for (TermRef T : Disj) {
+    assert(T->getSort().isBool());
+    if (T->isFalse())
+      continue;
+    if (T->isTrue())
+      return mkTrue();
+    if (T->getKind() == TermKind::Or) {
+      for (TermRef Op : T->operands())
+        Ops.push_back(Op);
+      continue;
+    }
+    Ops.push_back(T);
+  }
+  std::vector<TermRef> Dedup;
+  for (TermRef T : Ops) {
+    bool Seen = false;
+    for (TermRef D : Dedup)
+      Seen |= D == T;
+    if (!Seen)
+      Dedup.push_back(T);
+  }
+  if (Dedup.empty())
+    return mkFalse();
+  if (Dedup.size() == 1)
+    return Dedup[0];
+  Term Node(TermKind::Or, Sort::boolSort());
+  Node.Ops = std::move(Dedup);
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkXor(TermRef A, TermRef B) {
+  assert(A->getSort().isBool() && B->getSort().isBool());
+  if (A->isConstBool() && B->isConstBool())
+    return mkBool(A->getBoolValue() != B->getBoolValue());
+  if (A->isFalse())
+    return B;
+  if (B->isFalse())
+    return A;
+  if (A->isTrue())
+    return mkNot(B);
+  if (B->isTrue())
+    return mkNot(A);
+  if (A == B)
+    return mkFalse();
+  Term Node(TermKind::Xor, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkImplies(TermRef A, TermRef B) {
+  assert(A->getSort().isBool() && B->getSort().isBool());
+  if (A->isTrue())
+    return B;
+  if (A->isFalse() || B->isTrue())
+    return mkTrue();
+  if (B->isFalse())
+    return mkNot(A);
+  if (A == B)
+    return mkTrue();
+  Term Node(TermKind::Implies, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkEq(TermRef A, TermRef B) {
+  assert(A->getSort() == B->getSort() && "eq over distinct sorts");
+  if (A == B)
+    return mkTrue();
+  if (A->isConstBV() && B->isConstBV())
+    return mkBool(A->getBVValue() == B->getBVValue());
+  if (A->isConstBool() && B->isConstBool())
+    return mkBool(A->getBoolValue() == B->getBoolValue());
+  // Boolean equality against a constant reduces to the operand or its
+  // negation.
+  if (A->getSort().isBool()) {
+    if (A->isConstBool())
+      std::swap(A, B);
+    if (B->isConstBool())
+      return B->getBoolValue() ? A : mkNot(A);
+  }
+  Term Node(TermKind::Eq, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkIte(TermRef C, TermRef T, TermRef E) {
+  assert(C->getSort().isBool() && T->getSort() == E->getSort());
+  if (C->isTrue())
+    return T;
+  if (C->isFalse())
+    return E;
+  if (T == E)
+    return T;
+  Term Node(TermKind::Ite, T->getSort());
+  Node.Ops = {C, T, E};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVNeg(TermRef A) {
+  assert(A->getSort().isBitVec());
+  if (A->isConstBV())
+    return mkBV(A->getBVValue().neg());
+  if (A->getKind() == TermKind::BVNeg)
+    return A->getOperand(0);
+  Term Node(TermKind::BVNeg, A->getSort());
+  Node.Ops = {A};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVNot(TermRef A) {
+  assert(A->getSort().isBitVec());
+  if (A->isConstBV())
+    return mkBV(A->getBVValue().notOp());
+  if (A->getKind() == TermKind::BVNot)
+    return A->getOperand(0);
+  Term Node(TermKind::BVNot, A->getSort());
+  Node.Ops = {A};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVBin(TermKind K, TermRef A, TermRef B) {
+  assert(A->getSort().isBitVec() && A->getSort() == B->getSort() &&
+         "bitvector binop over mismatched sorts");
+  unsigned Width = A->getSort().getWidth();
+  if (A->isConstBV() && B->isConstBV()) {
+    APInt Out;
+    if (evalBVBinOp(K, A->getBVValue(), B->getBVValue(), Out))
+      return mkBV(Out);
+  }
+  // Identity and absorption rules (all sound in total SMT-LIB semantics).
+  bool AZero = A->isConstBV() && A->getBVValue().isZero();
+  bool BZero = B->isConstBV() && B->getBVValue().isZero();
+  bool AOnes = A->isConstBV() && A->getBVValue().isAllOnes();
+  bool BOnes = B->isConstBV() && B->getBVValue().isAllOnes();
+  switch (K) {
+  case TermKind::BVAdd:
+    if (AZero)
+      return B;
+    if (BZero)
+      return A;
+    break;
+  case TermKind::BVSub:
+    if (BZero)
+      return A;
+    if (A == B)
+      return mkBV(Width, 0);
+    if (AZero)
+      return mkBVNeg(B);
+    break;
+  case TermKind::BVMul:
+    if (AZero || BZero)
+      return mkBV(Width, 0);
+    if (A->isConstBV() && A->getBVValue().isOne())
+      return B;
+    if (B->isConstBV() && B->getBVValue().isOne())
+      return A;
+    break;
+  case TermKind::BVAnd:
+    if (AZero || BZero)
+      return mkBV(Width, 0);
+    if (AOnes)
+      return B;
+    if (BOnes)
+      return A;
+    if (A == B)
+      return A;
+    break;
+  case TermKind::BVOr:
+    if (AOnes || BOnes)
+      return mkBV(APInt::getAllOnes(Width));
+    if (AZero)
+      return B;
+    if (BZero)
+      return A;
+    if (A == B)
+      return A;
+    break;
+  case TermKind::BVXor:
+    if (AZero)
+      return B;
+    if (BZero)
+      return A;
+    if (A == B)
+      return mkBV(Width, 0);
+    break;
+  case TermKind::BVShl:
+  case TermKind::BVLShr:
+  case TermKind::BVAShr:
+    if (BZero)
+      return A;
+    break;
+  default:
+    break;
+  }
+  Term Node(K, A->getSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+static TermRef mkBVPredImpl(TermContext &Ctx, TermKind K, TermRef A, TermRef B,
+                            bool ReflexiveValue) {
+  assert(A->getSort().isBitVec() && A->getSort() == B->getSort());
+  if (A->isConstBV() && B->isConstBV())
+    return Ctx.mkBool(evalBVPred(K, A->getBVValue(), B->getBVValue()));
+  if (A == B)
+    return Ctx.mkBool(ReflexiveValue);
+  return nullptr;
+}
+
+TermRef TermContext::mkBVUlt(TermRef A, TermRef B) {
+  if (TermRef F = mkBVPredImpl(*this, TermKind::BVUlt, A, B, false))
+    return F;
+  // x <u 0 is always false.
+  if (B->isConstBV() && B->getBVValue().isZero())
+    return mkFalse();
+  Term Node(TermKind::BVUlt, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVUle(TermRef A, TermRef B) {
+  if (TermRef F = mkBVPredImpl(*this, TermKind::BVUle, A, B, true))
+    return F;
+  if (A->isConstBV() && A->getBVValue().isZero())
+    return mkTrue();
+  Term Node(TermKind::BVUle, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVSlt(TermRef A, TermRef B) {
+  if (TermRef F = mkBVPredImpl(*this, TermKind::BVSlt, A, B, false))
+    return F;
+  Term Node(TermKind::BVSlt, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBVSle(TermRef A, TermRef B) {
+  if (TermRef F = mkBVPredImpl(*this, TermKind::BVSle, A, B, true))
+    return F;
+  Term Node(TermKind::BVSle, Sort::boolSort());
+  Node.Ops = {A, B};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkConcat(TermRef Hi, TermRef Lo) {
+  assert(Hi->getSort().isBitVec() && Lo->getSort().isBitVec());
+  unsigned W = Hi->getSort().getWidth() + Lo->getSort().getWidth();
+  if (Hi->isConstBV() && Lo->isConstBV() && W <= 64) {
+    uint64_t V = (Hi->getBVValue().getZExtValue()
+                  << Lo->getSort().getWidth()) |
+                 Lo->getBVValue().getZExtValue();
+    return mkBV(APInt(W, V));
+  }
+  assert(W <= 64 && "concat beyond 64 bits is unsupported");
+  Term Node(TermKind::BVConcat, Sort::bv(W));
+  Node.Ops = {Hi, Lo};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkExtract(TermRef A, unsigned Hi, unsigned Lo) {
+  assert(A->getSort().isBitVec() && Hi >= Lo &&
+         Hi < A->getSort().getWidth() && "bad extract bounds");
+  unsigned W = Hi - Lo + 1;
+  if (W == A->getSort().getWidth())
+    return A;
+  if (A->isConstBV())
+    return mkBV(APInt(W, A->getBVValue().getZExtValue() >> Lo));
+  if (A->getKind() == TermKind::BVExtract)
+    return mkExtract(A->getOperand(0), A->getExtractLo() + Hi,
+                     A->getExtractLo() + Lo);
+  Term Node(TermKind::BVExtract, Sort::bv(W));
+  Node.Ops = {A};
+  Node.ExtractHi = Hi;
+  Node.ExtractLo = Lo;
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkZext(TermRef A, unsigned NewWidth) {
+  assert(A->getSort().isBitVec() && NewWidth >= A->getSort().getWidth());
+  if (NewWidth == A->getSort().getWidth())
+    return A;
+  // Widths above 64 appear in nsw/nuw overflow checks (Table 2 doubles the
+  // width for mul); constants stay at <= 64 bits, so folding is skipped.
+  if (A->isConstBV() && NewWidth <= 64)
+    return mkBV(A->getBVValue().zext(NewWidth));
+  Term Node(TermKind::BVZext, Sort::bv(NewWidth));
+  Node.Ops = {A};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkSext(TermRef A, unsigned NewWidth) {
+  assert(A->getSort().isBitVec() && NewWidth >= A->getSort().getWidth());
+  if (NewWidth == A->getSort().getWidth())
+    return A;
+  if (A->isConstBV() && NewWidth <= 64)
+    return mkBV(A->getBVValue().sext(NewWidth));
+  Term Node(TermKind::BVSext, Sort::bv(NewWidth));
+  Node.Ops = {A};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkSelect(TermRef Array, TermRef Index) {
+  assert(Array->getSort().isArray() &&
+         Index->getSort().getWidth() == Array->getSort().getIndexWidth());
+  // select(store(a, i, v), i) == v; and when both indices are constants and
+  // differ, the store is transparent.
+  if (Array->getKind() == TermKind::ArrayStore) {
+    TermRef StIdx = Array->getOperand(1);
+    if (StIdx == Index)
+      return Array->getOperand(2);
+    if (StIdx->isConstBV() && Index->isConstBV())
+      return mkSelect(Array->getOperand(0), Index);
+  }
+  Term Node(TermKind::ArraySelect,
+            Sort::bv(Array->getSort().getElementWidth()));
+  Node.Ops = {Array, Index};
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkStore(TermRef Array, TermRef Index, TermRef Value) {
+  assert(Array->getSort().isArray() &&
+         Index->getSort().getWidth() == Array->getSort().getIndexWidth() &&
+         Value->getSort().getWidth() == Array->getSort().getElementWidth());
+  Term Node(TermKind::ArrayStore, Array->getSort());
+  Node.Ops = {Array, Index, Value};
+  return intern(std::move(Node));
+}

@@ -1,0 +1,183 @@
+//===- smt/Printer.cpp - SMT-LIB2 printing --------------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+
+#include <unordered_set>
+
+using namespace alive;
+using namespace alive::smt;
+
+static const char *opName(TermKind K) {
+  switch (K) {
+  case TermKind::Not:
+    return "not";
+  case TermKind::And:
+    return "and";
+  case TermKind::Or:
+    return "or";
+  case TermKind::Xor:
+    return "xor";
+  case TermKind::Implies:
+    return "=>";
+  case TermKind::Eq:
+    return "=";
+  case TermKind::Ite:
+    return "ite";
+  case TermKind::BVNeg:
+    return "bvneg";
+  case TermKind::BVNot:
+    return "bvnot";
+  case TermKind::BVAdd:
+    return "bvadd";
+  case TermKind::BVSub:
+    return "bvsub";
+  case TermKind::BVMul:
+    return "bvmul";
+  case TermKind::BVUDiv:
+    return "bvudiv";
+  case TermKind::BVSDiv:
+    return "bvsdiv";
+  case TermKind::BVURem:
+    return "bvurem";
+  case TermKind::BVSRem:
+    return "bvsrem";
+  case TermKind::BVShl:
+    return "bvshl";
+  case TermKind::BVLShr:
+    return "bvlshr";
+  case TermKind::BVAShr:
+    return "bvashr";
+  case TermKind::BVAnd:
+    return "bvand";
+  case TermKind::BVOr:
+    return "bvor";
+  case TermKind::BVXor:
+    return "bvxor";
+  case TermKind::BVUlt:
+    return "bvult";
+  case TermKind::BVUle:
+    return "bvule";
+  case TermKind::BVSlt:
+    return "bvslt";
+  case TermKind::BVSle:
+    return "bvsle";
+  case TermKind::BVConcat:
+    return "concat";
+  case TermKind::ArraySelect:
+    return "select";
+  case TermKind::ArrayStore:
+    return "store";
+  default:
+    return nullptr;
+  }
+}
+
+static void print(TermRef T, std::string &Out) {
+  switch (T->getKind()) {
+  case TermKind::ConstBool:
+    Out += T->getBoolValue() ? "true" : "false";
+    return;
+  case TermKind::ConstBV: {
+    const APInt &V = T->getBVValue();
+    Out += "(_ bv" + V.toDecimalString(/*Signed=*/false) + " " +
+           std::to_string(V.getWidth()) + ")";
+    return;
+  }
+  case TermKind::Var:
+    Out += T->getName();
+    return;
+  case TermKind::BVExtract: {
+    Out += "((_ extract " + std::to_string(T->getExtractHi()) + " " +
+           std::to_string(T->getExtractLo()) + ") ";
+    print(T->getOperand(0), Out);
+    Out += ")";
+    return;
+  }
+  case TermKind::BVZext:
+  case TermKind::BVSext: {
+    unsigned Delta =
+        T->getSort().getWidth() - T->getOperand(0)->getSort().getWidth();
+    Out += std::string("((_ ") +
+           (T->getKind() == TermKind::BVZext ? "zero_extend" : "sign_extend") +
+           " " + std::to_string(Delta) + ") ";
+    print(T->getOperand(0), Out);
+    Out += ")";
+    return;
+  }
+  case TermKind::Forall:
+  case TermKind::Exists: {
+    Out += T->getKind() == TermKind::Forall ? "(forall (" : "(exists (";
+    for (unsigned I = 0, E = T->getNumOperands() - 1; I != E; ++I) {
+      if (I)
+        Out += " ";
+      TermRef V = T->getOperand(I);
+      Out += "(" + V->getName() + " " + V->getSort().str() + ")";
+    }
+    Out += ") ";
+    print(T->getOperand(T->getNumOperands() - 1), Out);
+    Out += ")";
+    return;
+  }
+  default: {
+    const char *Name = opName(T->getKind());
+    assert(Name && "unhandled term kind in printer");
+    Out += "(";
+    Out += Name;
+    for (TermRef Op : T->operands()) {
+      Out += " ";
+      print(Op, Out);
+    }
+    Out += ")";
+    return;
+  }
+  }
+}
+
+std::string smt::toSMTLib(TermRef T) {
+  std::string Out;
+  print(T, Out);
+  return Out;
+}
+
+static void collectVars(TermRef T, std::unordered_set<TermRef> &Bound,
+                        std::unordered_set<TermRef> &Seen,
+                        std::vector<TermRef> &Out) {
+  if (T->getKind() == TermKind::Var) {
+    if (!Bound.count(T) && Seen.insert(T).second)
+      Out.push_back(T);
+    return;
+  }
+  if (T->getKind() == TermKind::Forall || T->getKind() == TermKind::Exists) {
+    // Bound variables shadow outer occurrences; since our bound vars are
+    // always freshly named, a simple add/remove suffices.
+    std::vector<TermRef> Added;
+    for (unsigned I = 0, E = T->getNumOperands() - 1; I != E; ++I)
+      if (Bound.insert(T->getOperand(I)).second)
+        Added.push_back(T->getOperand(I));
+    collectVars(T->getOperand(T->getNumOperands() - 1), Bound, Seen, Out);
+    for (TermRef V : Added)
+      Bound.erase(V);
+    return;
+  }
+  for (TermRef Op : T->operands())
+    collectVars(Op, Bound, Seen, Out);
+}
+
+std::vector<TermRef> smt::collectFreeVars(TermRef T) {
+  std::unordered_set<TermRef> Bound, Seen;
+  std::vector<TermRef> Out;
+  collectVars(T, Bound, Seen, Out);
+  return Out;
+}
+
+std::string smt::toSMTLibScript(TermRef Assertion) {
+  std::string Out = "(set-logic ALL)\n";
+  for (TermRef V : collectFreeVars(Assertion))
+    Out += "(declare-const " + V->getName() + " " + V->getSort().str() + ")\n";
+  Out += "(assert " + toSMTLib(Assertion) + ")\n(check-sat)\n";
+  return Out;
+}

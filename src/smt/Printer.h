@@ -1,0 +1,37 @@
+//===- smt/Printer.h - SMT-LIB2 printing ------------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms as SMT-LIB2 s-expressions: useful for debugging, golden
+/// tests, and exporting verification conditions to external solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_PRINTER_H
+#define ALIVE_SMT_PRINTER_H
+
+#include "smt/Term.h"
+
+#include <string>
+
+namespace alive {
+namespace smt {
+
+/// Renders \p T as a single SMT-LIB2 s-expression.
+std::string toSMTLib(TermRef T);
+
+/// Renders a complete benchmark: declarations for every free variable of
+/// \p Assertion, one assert, and (check-sat).
+std::string toSMTLibScript(TermRef Assertion);
+
+/// Collects the free variables of \p T in first-occurrence order
+/// (quantifier-bound variables are excluded).
+std::vector<TermRef> collectFreeVars(TermRef T);
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_PRINTER_H

@@ -1,0 +1,100 @@
+//===- smt/Simplify.cpp - Constant evaluation for term folding -----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplify.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+/// SMT-LIB division semantics are total: bvudiv by zero yields all ones and
+/// bvurem by zero yields the dividend. The signed forms are defined in terms
+/// of the unsigned ones with sign correction. We follow them exactly so the
+/// folder, the bit-blaster and Z3 always agree.
+static APInt udivTotal(const APInt &A, const APInt &B) {
+  return B.isZero() ? APInt::getAllOnes(A.getWidth()) : A.udiv(B);
+}
+
+static APInt uremTotal(const APInt &A, const APInt &B) {
+  return B.isZero() ? A : A.urem(B);
+}
+
+static APInt sdivTotal(const APInt &A, const APInt &B) {
+  bool NegA = A.isNegative(), NegB = B.isNegative();
+  APInt UA = NegA ? A.neg() : A;
+  APInt UB = NegB ? B.neg() : B;
+  APInt Q = udivTotal(UA, UB);
+  return NegA != NegB ? Q.neg() : Q;
+}
+
+static APInt sremTotal(const APInt &A, const APInt &B) {
+  bool NegA = A.isNegative();
+  APInt UA = NegA ? A.neg() : A;
+  APInt UB = B.isNegative() ? B.neg() : B;
+  APInt R = uremTotal(UA, UB);
+  return NegA ? R.neg() : R;
+}
+
+bool smt::evalBVBinOp(TermKind K, const APInt &A, const APInt &B, APInt &Out) {
+  switch (K) {
+  case TermKind::BVAdd:
+    Out = A.add(B);
+    return true;
+  case TermKind::BVSub:
+    Out = A.sub(B);
+    return true;
+  case TermKind::BVMul:
+    Out = A.mul(B);
+    return true;
+  case TermKind::BVUDiv:
+    Out = udivTotal(A, B);
+    return true;
+  case TermKind::BVSDiv:
+    Out = sdivTotal(A, B);
+    return true;
+  case TermKind::BVURem:
+    Out = uremTotal(A, B);
+    return true;
+  case TermKind::BVSRem:
+    Out = sremTotal(A, B);
+    return true;
+  case TermKind::BVShl:
+    Out = A.shl(B);
+    return true;
+  case TermKind::BVLShr:
+    Out = A.lshr(B);
+    return true;
+  case TermKind::BVAShr:
+    Out = A.ashr(B);
+    return true;
+  case TermKind::BVAnd:
+    Out = A.andOp(B);
+    return true;
+  case TermKind::BVOr:
+    Out = A.orOp(B);
+    return true;
+  case TermKind::BVXor:
+    Out = A.xorOp(B);
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool smt::evalBVPred(TermKind K, const APInt &A, const APInt &B) {
+  switch (K) {
+  case TermKind::BVUlt:
+    return A.ult(B);
+  case TermKind::BVUle:
+    return A.ule(B);
+  case TermKind::BVSlt:
+    return A.slt(B);
+  case TermKind::BVSle:
+    return A.sle(B);
+  default:
+    assert(false && "not a bitvector predicate");
+    return false;
+  }
+}

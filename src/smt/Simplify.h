@@ -1,0 +1,33 @@
+//===- smt/Simplify.h - Constant evaluation for term folding ----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers used by the TermContext builder methods to fold
+/// constant operands. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SIMPLIFY_H
+#define ALIVE_SMT_SIMPLIFY_H
+
+#include "smt/Term.h"
+
+namespace alive {
+namespace smt {
+
+/// Evaluates a binary bitvector operation on constants. Returns false when
+/// the operation is not foldable for these values (division or remainder by
+/// zero, or signed INT_MIN / -1); SMT-LIB defines those cases, but leaving
+/// them to the solver keeps our folder conservative and trivially correct.
+bool evalBVBinOp(TermKind K, const APInt &A, const APInt &B, APInt &Out);
+
+/// Evaluates a bitvector comparison (BVUlt/BVUle/BVSlt/BVSle) on constants.
+bool evalBVPred(TermKind K, const APInt &A, const APInt &B);
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_SIMPLIFY_H

@@ -1,0 +1,130 @@
+//===- smt/Solver.cpp - Model evaluation and the hybrid solver ------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/Simplify.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+Solver::~Solver() = default;
+
+bool Model::evalBool(TermRef T) const {
+  switch (T->getKind()) {
+  case TermKind::ConstBool:
+    return T->getBoolValue();
+  case TermKind::Var: {
+    auto V = getBool(T);
+    return V.value_or(false);
+  }
+  case TermKind::Not:
+    return !evalBool(T->getOperand(0));
+  case TermKind::And:
+    for (TermRef Op : T->operands())
+      if (!evalBool(Op))
+        return false;
+    return true;
+  case TermKind::Or:
+    for (TermRef Op : T->operands())
+      if (evalBool(Op))
+        return true;
+    return false;
+  case TermKind::Xor:
+    return evalBool(T->getOperand(0)) != evalBool(T->getOperand(1));
+  case TermKind::Implies:
+    return !evalBool(T->getOperand(0)) || evalBool(T->getOperand(1));
+  case TermKind::Eq: {
+    TermRef A = T->getOperand(0);
+    if (A->getSort().isBool())
+      return evalBool(A) == evalBool(T->getOperand(1));
+    return evalBV(A) == evalBV(T->getOperand(1));
+  }
+  case TermKind::Ite:
+    return evalBool(T->getOperand(0)) ? evalBool(T->getOperand(1))
+                                      : evalBool(T->getOperand(2));
+  case TermKind::BVUlt:
+  case TermKind::BVUle:
+  case TermKind::BVSlt:
+  case TermKind::BVSle:
+    return evalBVPred(T->getKind(), evalBV(T->getOperand(0)),
+                      evalBV(T->getOperand(1)));
+  default:
+    assert(false && "cannot evaluate term under a model");
+    return false;
+  }
+}
+
+APInt Model::evalBV(TermRef T) const {
+  unsigned Width = T->getSort().getWidth();
+  switch (T->getKind()) {
+  case TermKind::ConstBV:
+    return T->getBVValue();
+  case TermKind::Var:
+    return getBVOrZero(T);
+  case TermKind::BVNeg:
+    return evalBV(T->getOperand(0)).neg();
+  case TermKind::BVNot:
+    return evalBV(T->getOperand(0)).notOp();
+  case TermKind::Ite:
+    return evalBool(T->getOperand(0)) ? evalBV(T->getOperand(1))
+                                      : evalBV(T->getOperand(2));
+  case TermKind::BVZext:
+    return evalBV(T->getOperand(0)).zext(Width);
+  case TermKind::BVSext:
+    return evalBV(T->getOperand(0)).sext(Width);
+  case TermKind::BVExtract: {
+    APInt V = evalBV(T->getOperand(0));
+    return APInt(Width, V.getZExtValue() >> T->getExtractLo());
+  }
+  case TermKind::BVConcat: {
+    APInt Hi = evalBV(T->getOperand(0));
+    APInt Lo = evalBV(T->getOperand(1));
+    return APInt(Width,
+                 (Hi.getZExtValue() << Lo.getWidth()) | Lo.getZExtValue());
+  }
+  default: {
+    APInt A = evalBV(T->getOperand(0));
+    APInt B = evalBV(T->getOperand(1));
+    APInt Out;
+    bool Folded = evalBVBinOp(T->getKind(), A, B, Out);
+    assert(Folded && "cannot evaluate term under a model");
+    (void)Folded;
+    return Out;
+  }
+  }
+}
+
+namespace {
+
+/// Tries the native QF_BV solver and falls back to Z3 whenever the query
+/// is outside its fragment (or it gives up).
+class HybridSolver final : public Solver {
+public:
+  explicit HybridSolver(unsigned TimeoutMs)
+      : Native(createBitBlastSolver(/*ConflictBudget=*/20000)),
+        Z3(createZ3Solver(TimeoutMs)) {}
+
+  CheckResult check(TermRef Assertion) override {
+    ++Queries;
+    CheckResult R = Native->check(Assertion);
+    if (!R.isUnknown())
+      return R;
+    return Z3->check(Assertion);
+  }
+
+  std::string name() const override { return "hybrid(bitblast,z3)"; }
+
+private:
+  std::unique_ptr<Solver> Native;
+  std::unique_ptr<Solver> Z3;
+};
+
+} // namespace
+
+std::unique_ptr<Solver> smt::createHybridSolver(unsigned TimeoutMs) {
+  return std::make_unique<HybridSolver>(TimeoutMs);
+}

@@ -1,0 +1,120 @@
+//===- smt/Solver.h - Solver interface and models ---------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend-independent solving interface. Two implementations exist:
+///
+///  * Z3Solver (smt/z3) — complete: quantifiers, array theory.
+///  * BitBlastSolver (smt/bitblast) — our from-scratch QF_BV decision
+///    procedure (Tseitin encoding + CDCL SAT); refuses quantified or
+///    array-theoretic queries.
+///
+/// The verifier uses whichever backend the caller configures and falls back
+/// to Z3 for the query shapes only it supports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SOLVER_H
+#define ALIVE_SMT_SOLVER_H
+
+#include "smt/Term.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace alive {
+namespace smt {
+
+/// Outcome of a satisfiability check.
+enum class CheckStatus {
+  Sat,
+  Unsat,
+  Unknown, ///< timeout, resource limit, or unsupported fragment
+};
+
+/// A satisfying assignment: values for the free variables of the query.
+/// Variables absent from the model are unconstrained (any value works).
+class Model {
+public:
+  void setBV(TermRef Var, const APInt &V) { BVs[Var] = V; }
+  void setBool(TermRef Var, bool V) { Bools[Var] = V; }
+
+  std::optional<APInt> getBV(TermRef Var) const {
+    auto It = BVs.find(Var);
+    return It == BVs.end() ? std::nullopt : std::optional<APInt>(It->second);
+  }
+  std::optional<bool> getBool(TermRef Var) const {
+    auto It = Bools.find(Var);
+    return It == Bools.end() ? std::nullopt : std::optional<bool>(It->second);
+  }
+
+  /// Value of \p Var, defaulting to zero/false when unconstrained.
+  APInt getBVOrZero(TermRef Var) const {
+    if (auto V = getBV(Var))
+      return *V;
+    return APInt(Var->getSort().getWidth(), 0);
+  }
+
+  /// Evaluates a (quantifier-free, array-free) term under this model,
+  /// treating unassigned variables as zero/false. Used for counterexample
+  /// reporting and for model-based tests.
+  APInt evalBV(TermRef T) const;
+  bool evalBool(TermRef T) const;
+
+private:
+  std::map<TermRef, APInt> BVs;
+  std::map<TermRef, bool> Bools;
+};
+
+/// Result of Solver::check.
+struct CheckResult {
+  CheckStatus Status = CheckStatus::Unknown;
+  Model M;            ///< meaningful only when Status == Sat
+  std::string Reason; ///< for Unknown: what went wrong
+
+  bool isSat() const { return Status == CheckStatus::Sat; }
+  bool isUnsat() const { return Status == CheckStatus::Unsat; }
+  bool isUnknown() const { return Status == CheckStatus::Unknown; }
+};
+
+/// A satisfiability checker over our term language.
+class Solver {
+public:
+  virtual ~Solver();
+
+  /// Checks satisfiability of \p Assertion (a Bool-sorted term). On Sat,
+  /// the result carries a model of the free variables.
+  virtual CheckResult check(TermRef Assertion) = 0;
+
+  /// Human-readable backend name (for benchmark labels).
+  virtual std::string name() const = 0;
+
+  /// Total number of check() calls (the paper reports Alive issuing
+  /// hundreds to thousands of solver calls per transformation).
+  unsigned numQueries() const { return Queries; }
+
+protected:
+  unsigned Queries = 0;
+};
+
+/// Creates the Z3-backed solver. \p TimeoutMs of 0 means no limit.
+std::unique_ptr<Solver> createZ3Solver(unsigned TimeoutMs = 0);
+
+/// Creates the native bit-blasting solver (QF_BV only; returns Unknown on
+/// quantified or array-theoretic queries). A non-zero \p ConflictBudget
+/// bounds the CDCL search; exceeding it reports Unknown.
+std::unique_ptr<Solver> createBitBlastSolver(uint64_t ConflictBudget = 0);
+
+/// Creates a portfolio: try the native solver first, fall back to Z3 for
+/// queries outside QF_BV.
+std::unique_ptr<Solver> createHybridSolver(unsigned TimeoutMs = 0);
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_SOLVER_H

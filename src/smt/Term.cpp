@@ -1,0 +1,149 @@
+//===- smt/Term.cpp - Term interning and leaf construction ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Term.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+std::string Sort::str() const {
+  switch (K) {
+  case Kind::Bool:
+    return "Bool";
+  case Kind::BitVec:
+    return "(_ BitVec " + std::to_string(A) + ")";
+  case Kind::Array:
+    return "(Array (_ BitVec " + std::to_string(A) + ") (_ BitVec " +
+           std::to_string(B) + "))";
+  }
+  return "<bad-sort>";
+}
+
+static size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t TermContext::Hasher::operator()(const Term *T) const {
+  size_t H = static_cast<size_t>(T->getKind());
+  H = hashCombine(H, static_cast<size_t>(T->getSort().getKind()));
+  if (T->getSort().isBitVec())
+    H = hashCombine(H, T->getSort().getWidth());
+  else if (T->getSort().isArray())
+    H = hashCombine(H, (static_cast<size_t>(T->getSort().getIndexWidth())
+                        << 16) ^
+                           T->getSort().getElementWidth());
+  for (const Term *Op : T->operands())
+    H = hashCombine(H, reinterpret_cast<size_t>(Op));
+  switch (T->getKind()) {
+  case TermKind::ConstBool:
+    H = hashCombine(H, T->getBoolValue());
+    break;
+  case TermKind::ConstBV:
+    H = hashCombine(H, T->getBVValue().getZExtValue());
+    H = hashCombine(H, T->getBVValue().getWidth());
+    break;
+  case TermKind::Var:
+    H = hashCombine(H, std::hash<std::string>()(T->getName()));
+    break;
+  case TermKind::BVExtract:
+    H = hashCombine(H, (static_cast<size_t>(T->getExtractHi()) << 8) ^
+                           T->getExtractLo());
+    break;
+  default:
+    break;
+  }
+  return H;
+}
+
+bool TermContext::Equal::operator()(const Term *A, const Term *B) const {
+  if (A->getKind() != B->getKind() || A->getSort() != B->getSort() ||
+      A->operands() != B->operands())
+    return false;
+  switch (A->getKind()) {
+  case TermKind::ConstBool:
+    return A->getBoolValue() == B->getBoolValue();
+  case TermKind::ConstBV:
+    return A->getBVValue() == B->getBVValue();
+  case TermKind::Var:
+    return A->getName() == B->getName();
+  case TermKind::BVExtract:
+    return A->getExtractHi() == B->getExtractHi() &&
+           A->getExtractLo() == B->getExtractLo();
+  default:
+    return true;
+  }
+}
+
+TermContext::TermContext() = default;
+TermContext::~TermContext() = default;
+
+TermRef TermContext::intern(Term &&Node) {
+  auto It = Unique.find(&Node);
+  if (It != Unique.end())
+    return It->second;
+  auto Owned = std::unique_ptr<Term>(new Term(std::move(Node)));
+  Owned->Id = static_cast<unsigned>(AllTerms.size());
+  const Term *Ptr = Owned.get();
+  AllTerms.push_back(std::move(Owned));
+  Unique.emplace(Ptr, Ptr);
+  return Ptr;
+}
+
+TermRef TermContext::mkBool(bool V) {
+  Term Node(TermKind::ConstBool, Sort::boolSort());
+  Node.BoolVal = V;
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkBV(const APInt &V) {
+  Term Node(TermKind::ConstBV, Sort::bv(V.getWidth()));
+  Node.BVVal = V;
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkVar(const std::string &Name, Sort S) {
+  auto It = NamedVars.find(Name);
+  if (It != NamedVars.end()) {
+    assert(It->second->getSort() == S && "variable re-declared with new sort");
+    return It->second;
+  }
+  Term Node(TermKind::Var, S);
+  Node.Name = Name;
+  TermRef T = intern(std::move(Node));
+  NamedVars.emplace(Name, T);
+  return T;
+}
+
+TermRef TermContext::mkFreshVar(const std::string &Prefix, Sort S) {
+  std::string Name;
+  do {
+    Name = Prefix + "!" + std::to_string(FreshCounter++);
+  } while (NamedVars.count(Name));
+  return mkVar(Name, S);
+}
+
+TermRef TermContext::mkQuant(TermKind K, const std::vector<TermRef> &Bound,
+                             TermRef Body) {
+  assert(Body->getSort().isBool() && "quantifier body must be boolean");
+  if (Bound.empty() || Body->isConstBool())
+    return Body;
+  for ([[maybe_unused]] TermRef B : Bound)
+    assert(B->getKind() == TermKind::Var && "bound term must be a variable");
+  Term Node(K, Sort::boolSort());
+  Node.Ops = Bound;
+  Node.Ops.push_back(Body);
+  return intern(std::move(Node));
+}
+
+TermRef TermContext::mkForall(const std::vector<TermRef> &Bound,
+                              TermRef Body) {
+  return mkQuant(TermKind::Forall, Bound, Body);
+}
+
+TermRef TermContext::mkExists(const std::vector<TermRef> &Bound,
+                              TermRef Body) {
+  return mkQuant(TermKind::Exists, Bound, Body);
+}

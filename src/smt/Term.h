@@ -1,0 +1,320 @@
+//===- smt/Term.h - Hash-consed SMT terms -----------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver-independent SMT term representation used by the verification
+/// condition generator (Section 3 of the paper). Terms are immutable,
+/// hash-consed DAG nodes owned by a TermContext. Two backends consume them:
+/// the Z3 lowering (full logic, including quantifiers and the array theory)
+/// and the native bit-blasting solver (quantifier-free bitvectors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_TERM_H
+#define ALIVE_SMT_TERM_H
+
+#include "support/APInt.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+namespace smt {
+
+/// The sort (type) of a term: Bool, BitVec(w) or Array(idx -> elem).
+class Sort {
+public:
+  enum class Kind : uint8_t { Bool, BitVec, Array };
+
+  static Sort boolSort() { return Sort(Kind::Bool, 0, 0); }
+  static Sort bv(unsigned Width) {
+    assert(Width >= 1 && "bitvector width must be positive");
+    return Sort(Kind::BitVec, Width, 0);
+  }
+  static Sort array(unsigned IdxWidth, unsigned ElemWidth) {
+    return Sort(Kind::Array, IdxWidth, ElemWidth);
+  }
+
+  Kind getKind() const { return K; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isBitVec() const { return K == Kind::BitVec; }
+  bool isArray() const { return K == Kind::Array; }
+
+  /// Bitvector width; only valid for BitVec sorts.
+  unsigned getWidth() const {
+    assert(isBitVec() && "not a bitvector sort");
+    return A;
+  }
+  unsigned getIndexWidth() const {
+    assert(isArray() && "not an array sort");
+    return A;
+  }
+  unsigned getElementWidth() const {
+    assert(isArray() && "not an array sort");
+    return B;
+  }
+
+  bool operator==(const Sort &RHS) const {
+    return K == RHS.K && A == RHS.A && B == RHS.B;
+  }
+  bool operator!=(const Sort &RHS) const { return !(*this == RHS); }
+
+  std::string str() const;
+
+private:
+  Sort(Kind K, unsigned A, unsigned B) : K(K), A(A), B(B) {}
+
+  Kind K;
+  unsigned A, B;
+};
+
+/// Node kinds of the term language.
+enum class TermKind : uint8_t {
+  // Leaves.
+  ConstBool, // payload: BoolVal
+  ConstBV,   // payload: BVVal
+  Var,       // payload: Name (fresh variables get unique names)
+
+  // Boolean connectives.
+  Not,
+  And, // n-ary
+  Or,  // n-ary
+  Xor, // binary (bool)
+  Implies,
+
+  // Polymorphic.
+  Eq,
+  Ite, // (cond, then, else)
+
+  // Bitvector arithmetic.
+  BVNeg,
+  BVAdd,
+  BVSub,
+  BVMul,
+  BVUDiv,
+  BVSDiv,
+  BVURem,
+  BVSRem,
+  BVShl,
+  BVLShr,
+  BVAShr,
+  BVNot,
+  BVAnd,
+  BVOr,
+  BVXor,
+
+  // Bitvector predicates (result Bool).
+  BVUlt,
+  BVUle,
+  BVSlt,
+  BVSle,
+
+  // Width manipulation. Result width is in the node's sort; Extract keeps
+  // (hi, lo) in the payload.
+  BVConcat,
+  BVExtract,
+  BVZext,
+  BVSext,
+
+  // Array theory.
+  ArraySelect, // (array, index)
+  ArrayStore,  // (array, index, value)
+
+  // Quantifiers: operands are [bound vars..., body].
+  Forall,
+  Exists,
+};
+
+class TermContext;
+
+/// An immutable, hash-consed term node. Compare by pointer.
+class Term {
+public:
+  TermKind getKind() const { return K; }
+  const Sort &getSort() const { return S; }
+
+  unsigned getNumOperands() const { return static_cast<unsigned>(Ops.size()); }
+  const Term *getOperand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  const std::vector<const Term *> &operands() const { return Ops; }
+
+  bool isConstBool() const { return K == TermKind::ConstBool; }
+  bool isConstBV() const { return K == TermKind::ConstBV; }
+  bool isTrue() const { return isConstBool() && BoolVal; }
+  bool isFalse() const { return isConstBool() && !BoolVal; }
+
+  bool getBoolValue() const {
+    assert(isConstBool() && "not a boolean constant");
+    return BoolVal;
+  }
+  const APInt &getBVValue() const {
+    assert(isConstBV() && "not a bitvector constant");
+    return BVVal;
+  }
+  const std::string &getName() const {
+    assert(K == TermKind::Var && "not a variable");
+    return Name;
+  }
+  unsigned getExtractHi() const {
+    assert(K == TermKind::BVExtract);
+    return ExtractHi;
+  }
+  unsigned getExtractLo() const {
+    assert(K == TermKind::BVExtract);
+    return ExtractLo;
+  }
+
+  /// Stable per-context id, usable as a dense map key.
+  unsigned getId() const { return Id; }
+
+private:
+  friend class TermContext;
+  Term(TermKind K, Sort S) : K(K), S(S) {}
+
+  TermKind K;
+  Sort S;
+  std::vector<const Term *> Ops;
+  bool BoolVal = false;
+  APInt BVVal;
+  std::string Name;
+  unsigned ExtractHi = 0, ExtractLo = 0;
+  unsigned Id = 0;
+};
+
+using TermRef = const Term *;
+
+/// Owns and uniquifies terms. All terms created through one context may be
+/// freely combined; the context must outlive every term it created.
+///
+/// The building methods perform local constant folding and light algebraic
+/// simplification (see Simplify.cpp), which keeps the formulas handed to the
+/// backends small — the paper notes Alive issues hundreds to thousands of
+/// solver calls per transformation, so cheap preprocessing pays off.
+class TermContext {
+public:
+  TermContext();
+  ~TermContext();
+  TermContext(const TermContext &) = delete;
+  TermContext &operator=(const TermContext &) = delete;
+
+  // Leaves.
+  TermRef mkBool(bool V);
+  TermRef mkTrue() { return mkBool(true); }
+  TermRef mkFalse() { return mkBool(false); }
+  TermRef mkBV(const APInt &V);
+  TermRef mkBV(unsigned Width, uint64_t V) { return mkBV(APInt(Width, V)); }
+  /// A named variable; the same (name, sort) pair always returns the same
+  /// term. Distinct sorts with one name are rejected by an assert.
+  TermRef mkVar(const std::string &Name, Sort S);
+  /// A fresh variable whose name starts with \p Prefix.
+  TermRef mkFreshVar(const std::string &Prefix, Sort S);
+
+  // Boolean connectives (with folding).
+  TermRef mkNot(TermRef A);
+  TermRef mkAnd(TermRef A, TermRef B);
+  TermRef mkAnd(const std::vector<TermRef> &Conj);
+  TermRef mkOr(TermRef A, TermRef B);
+  TermRef mkOr(const std::vector<TermRef> &Disj);
+  TermRef mkXor(TermRef A, TermRef B);
+  TermRef mkImplies(TermRef A, TermRef B);
+
+  TermRef mkEq(TermRef A, TermRef B);
+  TermRef mkNe(TermRef A, TermRef B) { return mkNot(mkEq(A, B)); }
+  TermRef mkIte(TermRef C, TermRef T, TermRef E);
+
+  // Bitvector operations.
+  TermRef mkBVNeg(TermRef A);
+  TermRef mkBVNot(TermRef A);
+  TermRef mkBVBin(TermKind K, TermRef A, TermRef B);
+  TermRef mkBVAdd(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVAdd, A, B);
+  }
+  TermRef mkBVSub(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVSub, A, B);
+  }
+  TermRef mkBVMul(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVMul, A, B);
+  }
+  TermRef mkBVUDiv(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVUDiv, A, B);
+  }
+  TermRef mkBVSDiv(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVSDiv, A, B);
+  }
+  TermRef mkBVURem(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVURem, A, B);
+  }
+  TermRef mkBVSRem(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVSRem, A, B);
+  }
+  TermRef mkBVShl(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVShl, A, B);
+  }
+  TermRef mkBVLShr(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVLShr, A, B);
+  }
+  TermRef mkBVAShr(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVAShr, A, B);
+  }
+  TermRef mkBVAnd(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVAnd, A, B);
+  }
+  TermRef mkBVOr(TermRef A, TermRef B) { return mkBVBin(TermKind::BVOr, A, B); }
+  TermRef mkBVXor(TermRef A, TermRef B) {
+    return mkBVBin(TermKind::BVXor, A, B);
+  }
+
+  TermRef mkBVUlt(TermRef A, TermRef B);
+  TermRef mkBVUle(TermRef A, TermRef B);
+  TermRef mkBVSlt(TermRef A, TermRef B);
+  TermRef mkBVSle(TermRef A, TermRef B);
+  TermRef mkBVUgt(TermRef A, TermRef B) { return mkBVUlt(B, A); }
+  TermRef mkBVUge(TermRef A, TermRef B) { return mkBVUle(B, A); }
+  TermRef mkBVSgt(TermRef A, TermRef B) { return mkBVSlt(B, A); }
+  TermRef mkBVSge(TermRef A, TermRef B) { return mkBVSle(B, A); }
+
+  TermRef mkConcat(TermRef Hi, TermRef Lo);
+  TermRef mkExtract(TermRef A, unsigned Hi, unsigned Lo);
+  TermRef mkZext(TermRef A, unsigned NewWidth);
+  TermRef mkSext(TermRef A, unsigned NewWidth);
+
+  // Array theory.
+  TermRef mkSelect(TermRef Array, TermRef Index);
+  TermRef mkStore(TermRef Array, TermRef Index, TermRef Value);
+
+  // Quantifiers; \p Bound must be Var terms.
+  TermRef mkForall(const std::vector<TermRef> &Bound, TermRef Body);
+  TermRef mkExists(const std::vector<TermRef> &Bound, TermRef Body);
+
+  /// Number of distinct live terms (for tests and benchmarks).
+  size_t numTerms() const { return AllTerms.size(); }
+
+private:
+  TermRef intern(Term &&Node);
+  TermRef mkQuant(TermKind K, const std::vector<TermRef> &Bound, TermRef Body);
+
+  struct Hasher {
+    size_t operator()(const Term *T) const;
+  };
+  struct Equal {
+    bool operator()(const Term *A, const Term *B) const;
+  };
+
+  std::vector<std::unique_ptr<Term>> AllTerms;
+  std::unordered_map<const Term *, const Term *, Hasher, Equal> Unique;
+  std::unordered_map<std::string, const Term *> NamedVars;
+  unsigned FreshCounter = 0;
+};
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_TERM_H

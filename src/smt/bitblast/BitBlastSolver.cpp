@@ -1,0 +1,68 @@
+//===- smt/bitblast/BitBlastSolver.cpp - native QF_BV Solver --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+#include "smt/Solver.h"
+#include "smt/bitblast/BitBlaster.h"
+#include "smt/sat/SatSolver.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+/// Solver implementation backed by the native bit-blaster + CDCL SAT core.
+/// Quantified or array-theoretic queries report Unknown, which makes the
+/// hybrid solver fall back to Z3.
+class BitBlastSolver final : public Solver {
+public:
+  explicit BitBlastSolver(uint64_t ConflictBudget)
+      : ConflictBudget(ConflictBudget) {}
+
+  CheckResult check(TermRef Assertion) override {
+    ++Queries;
+    CheckResult R;
+    if (!BitBlaster::supports(Assertion)) {
+      R.Status = CheckStatus::Unknown;
+      R.Reason = "query outside the QF_BV fragment";
+      return R;
+    }
+    sat::SatSolver Sat;
+    BitBlaster Blaster(Sat);
+    Blaster.assertTerm(Assertion);
+    switch (Sat.solve(ConflictBudget)) {
+    case sat::SatResult::Sat: {
+      R.Status = CheckStatus::Sat;
+      for (TermRef V : collectFreeVars(Assertion)) {
+        if (V->getSort().isBool())
+          R.M.setBool(V, Blaster.readBool(V));
+        else
+          R.M.setBV(V, Blaster.readBV(V));
+      }
+      return R;
+    }
+    case sat::SatResult::Unsat:
+      R.Status = CheckStatus::Unsat;
+      return R;
+    case sat::SatResult::Unknown:
+      R.Status = CheckStatus::Unknown;
+      R.Reason = "conflict budget exhausted";
+      return R;
+    }
+    return R;
+  }
+
+  std::string name() const override { return "bitblast"; }
+
+private:
+  uint64_t ConflictBudget;
+};
+
+} // namespace
+
+std::unique_ptr<Solver> smt::createBitBlastSolver(uint64_t ConflictBudget) {
+  return std::make_unique<BitBlastSolver>(ConflictBudget);
+}

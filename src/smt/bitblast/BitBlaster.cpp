@@ -1,0 +1,493 @@
+//===- smt/bitblast/BitBlaster.cpp - QF_BV to CNF reduction ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/bitblast/BitBlaster.h"
+
+#include <cassert>
+
+using namespace alive;
+using namespace alive::smt;
+using sat::Lit;
+
+BitBlaster::BitBlaster(sat::SatSolver &S) : S(S) {
+  // A dedicated always-true literal lets constants flow through gate
+  // constructors uniformly.
+  TrueLit = Lit(S.newVar(), /*Negated=*/false);
+  S.addClause(TrueLit);
+}
+
+bool BitBlaster::supports(TermRef T) {
+  switch (T->getKind()) {
+  case TermKind::Forall:
+  case TermKind::Exists:
+  case TermKind::ArraySelect:
+  case TermKind::ArrayStore:
+    return false;
+  case TermKind::Var:
+    return !T->getSort().isArray();
+  default:
+    for (TermRef Op : T->operands())
+      if (!supports(Op))
+        return false;
+    return true;
+  }
+}
+
+// --- Gates ------------------------------------------------------------------
+
+Lit BitBlaster::mkAndGate(Lit A, Lit B) {
+  if (A == litFalse() || B == litFalse())
+    return litFalse();
+  if (A == litTrue())
+    return B;
+  if (B == litTrue())
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return litFalse();
+  Lit O(S.newVar(), false);
+  S.addClause(~O, A);
+  S.addClause(~O, B);
+  S.addClause(O, ~A, ~B);
+  return O;
+}
+
+Lit BitBlaster::mkOrGate(Lit A, Lit B) { return ~mkAndGate(~A, ~B); }
+
+Lit BitBlaster::mkXorGate(Lit A, Lit B) {
+  if (A == litFalse())
+    return B;
+  if (B == litFalse())
+    return A;
+  if (A == litTrue())
+    return ~B;
+  if (B == litTrue())
+    return ~A;
+  if (A == B)
+    return litFalse();
+  if (A == ~B)
+    return litTrue();
+  Lit O(S.newVar(), false);
+  S.addClause(~O, A, B);
+  S.addClause(~O, ~A, ~B);
+  S.addClause(O, ~A, B);
+  S.addClause(O, A, ~B);
+  return O;
+}
+
+Lit BitBlaster::mkMuxGate(Lit Sel, Lit T, Lit E) {
+  if (Sel == litTrue())
+    return T;
+  if (Sel == litFalse())
+    return E;
+  if (T == E)
+    return T;
+  if (T == litTrue() && E == litFalse())
+    return Sel;
+  if (T == litFalse() && E == litTrue())
+    return ~Sel;
+  Lit O(S.newVar(), false);
+  S.addClause(~Sel, ~T, O);
+  S.addClause(~Sel, T, ~O);
+  S.addClause(Sel, ~E, O);
+  S.addClause(Sel, E, ~O);
+  return O;
+}
+
+Lit BitBlaster::mkAndChain(const std::vector<Lit> &Ls) {
+  Lit Acc = litTrue();
+  for (Lit L : Ls)
+    Acc = mkAndGate(Acc, L);
+  return Acc;
+}
+
+Lit BitBlaster::mkOrChain(const std::vector<Lit> &Ls) {
+  Lit Acc = litFalse();
+  for (Lit L : Ls)
+    Acc = mkOrGate(Acc, L);
+  return Acc;
+}
+
+void BitBlaster::fullAdder(Lit A, Lit B, Lit Cin, Lit &Sum, Lit &Cout) {
+  Lit AxB = mkXorGate(A, B);
+  Sum = mkXorGate(AxB, Cin);
+  // Cout = (A & B) | (Cin & (A ^ B)) — the majority function.
+  Cout = mkOrGate(mkAndGate(A, B), mkAndGate(Cin, AxB));
+}
+
+// --- Word-level circuits ------------------------------------------------------
+
+BitBlaster::Bits BitBlaster::addBits(const Bits &A, const Bits &B, Lit Cin) {
+  assert(A.size() == B.size());
+  Bits Out(A.size(), litFalse());
+  Lit Carry = Cin;
+  for (size_t I = 0; I != A.size(); ++I)
+    fullAdder(A[I], B[I], Carry, Out[I], Carry);
+  return Out;
+}
+
+BitBlaster::Bits BitBlaster::negBits(const Bits &A) {
+  Bits NotA(A.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    NotA[I] = ~A[I];
+  Bits Zero(A.size(), litFalse());
+  return addBits(NotA, Zero, litTrue());
+}
+
+BitBlaster::Bits BitBlaster::mulBits(const Bits &A, const Bits &B) {
+  size_t W = A.size();
+  Bits Acc(W, litFalse());
+  for (size_t I = 0; I != W; ++I) {
+    // Partial product: (A << I) & B[I], truncated to W bits.
+    Bits Partial(W, litFalse());
+    for (size_t K = I; K != W; ++K)
+      Partial[K] = mkAndGate(A[K - I], B[I]);
+    Acc = addBits(Acc, Partial, litFalse());
+  }
+  return Acc;
+}
+
+void BitBlaster::udivuremBits(const Bits &A, const Bits &B, Bits &Quot,
+                              Bits &Rem) {
+  // Restoring long division with a (W+1)-bit partial remainder. For a zero
+  // divisor every trial subtraction succeeds (R - 0), producing an all-ones
+  // quotient and remainder A — exactly SMT-LIB's bvudiv/bvurem semantics.
+  size_t W = A.size();
+  Bits R(W + 1, litFalse());
+  Bits BExt(W + 1);
+  for (size_t I = 0; I != W; ++I)
+    BExt[I] = B[I];
+  BExt[W] = litFalse();
+  Bits NegB = negBits(BExt);
+
+  Quot.assign(W, litFalse());
+  for (size_t Step = W; Step-- > 0;) {
+    // R = (R << 1) | A[Step]
+    for (size_t I = W; I > 0; --I)
+      R[I] = R[I - 1];
+    R[0] = A[Step];
+    // Trial subtraction D = R - B (as W+1-bit add of NegB).
+    Bits D = addBits(R, NegB, litFalse());
+    // R >= B iff the subtraction did not borrow iff D's sign bit is 0.
+    Lit Ge = ~D[W];
+    Quot[Step] = Ge;
+    R = muxBits(Ge, D, R);
+  }
+  Rem.assign(W, litFalse());
+  for (size_t I = 0; I != W; ++I)
+    Rem[I] = R[I];
+}
+
+BitBlaster::Bits BitBlaster::muxBits(Lit Sel, const Bits &T, const Bits &E) {
+  assert(T.size() == E.size());
+  Bits Out(T.size());
+  for (size_t I = 0; I != T.size(); ++I)
+    Out[I] = mkMuxGate(Sel, T[I], E[I]);
+  return Out;
+}
+
+BitBlaster::Bits BitBlaster::shiftBits(const Bits &A, const Bits &Amount,
+                                       bool Left, Lit Fill) {
+  // Logarithmic barrel shifter over the low bits of the shift amount, with
+  // an overflow detector for amounts >= width (which must produce the fill).
+  size_t W = A.size();
+  unsigned Stages = 0;
+  while ((1ULL << Stages) < W)
+    ++Stages;
+
+  Bits Cur = A;
+  for (unsigned St = 0; St != Stages; ++St) {
+    size_t Dist = 1ULL << St;
+    Bits Shifted(W, Fill);
+    for (size_t I = 0; I != W; ++I) {
+      if (Left) {
+        if (I >= Dist)
+          Shifted[I] = Cur[I - Dist];
+      } else {
+        if (I + Dist < W)
+          Shifted[I] = Cur[I + Dist];
+      }
+    }
+    Cur = muxBits(Amount[St], Shifted, Cur);
+  }
+  // Amount >= W when any amount bit at position >= Stages is set, or the
+  // low Stages bits encode a value >= W (only possible when W is not a
+  // power of two).
+  std::vector<Lit> OverflowBits;
+  for (size_t I = Stages; I != Amount.size(); ++I)
+    OverflowBits.push_back(Amount[I]);
+  Lit Overflow = mkOrChain(OverflowBits);
+  if ((W & (W - 1)) != 0) {
+    // Compare the low Stages bits against W.
+    Bits Low(Stages), WBits(Stages);
+    for (unsigned I = 0; I != Stages; ++I) {
+      Low[I] = Amount[I];
+      WBits[I] = (W >> I) & 1 ? litTrue() : litFalse();
+    }
+    Overflow = mkOrGate(Overflow, ~ultBits(Low, WBits));
+  }
+  Bits FillVec(W, Fill);
+  return muxBits(Overflow, FillVec, Cur);
+}
+
+Lit BitBlaster::ultBits(const Bits &A, const Bits &B) {
+  // Ripple comparison from the least significant bit:
+  // lt_i = (~a_i & b_i) | ((a_i == b_i) & lt_{i-1})
+  Lit Lt = litFalse();
+  for (size_t I = 0; I != A.size(); ++I) {
+    Lit AiLtBi = mkAndGate(~A[I], B[I]);
+    Lit EqI = mkXnorGate(A[I], B[I]);
+    Lt = mkOrGate(AiLtBi, mkAndGate(EqI, Lt));
+  }
+  return Lt;
+}
+
+Lit BitBlaster::sltBits(const Bits &A, const Bits &B) {
+  size_t W = A.size();
+  Lit SA = A[W - 1], SB = B[W - 1];
+  Lit U = ultBits(A, B);
+  // Signs differ: A < B iff A is negative. Signs equal: unsigned compare.
+  return mkMuxGate(mkXorGate(SA, SB), SA, U);
+}
+
+Lit BitBlaster::eqBits(const Bits &A, const Bits &B) {
+  std::vector<Lit> Eqs;
+  for (size_t I = 0; I != A.size(); ++I)
+    Eqs.push_back(mkXnorGate(A[I], B[I]));
+  return mkAndChain(Eqs);
+}
+
+// --- Term encoders ------------------------------------------------------------
+
+Lit BitBlaster::encodeBool(TermRef T) {
+  auto It = BoolCache.find(T);
+  if (It != BoolCache.end())
+    return It->second;
+
+  Lit Out;
+  switch (T->getKind()) {
+  case TermKind::ConstBool:
+    Out = T->getBoolValue() ? litTrue() : litFalse();
+    break;
+  case TermKind::Var:
+    Out = Lit(S.newVar(), false);
+    break;
+  case TermKind::Not:
+    Out = ~encodeBool(T->getOperand(0));
+    break;
+  case TermKind::And: {
+    std::vector<Lit> Ls;
+    for (TermRef Op : T->operands())
+      Ls.push_back(encodeBool(Op));
+    Out = mkAndChain(Ls);
+    break;
+  }
+  case TermKind::Or: {
+    std::vector<Lit> Ls;
+    for (TermRef Op : T->operands())
+      Ls.push_back(encodeBool(Op));
+    Out = mkOrChain(Ls);
+    break;
+  }
+  case TermKind::Xor:
+    Out = mkXorGate(encodeBool(T->getOperand(0)), encodeBool(T->getOperand(1)));
+    break;
+  case TermKind::Implies:
+    Out = mkOrGate(~encodeBool(T->getOperand(0)), encodeBool(T->getOperand(1)));
+    break;
+  case TermKind::Eq: {
+    TermRef A = T->getOperand(0);
+    if (A->getSort().isBool())
+      Out = mkXnorGate(encodeBool(A), encodeBool(T->getOperand(1)));
+    else
+      Out = eqBits(encodeBV(A), encodeBV(T->getOperand(1)));
+    break;
+  }
+  case TermKind::Ite:
+    Out = mkMuxGate(encodeBool(T->getOperand(0)), encodeBool(T->getOperand(1)),
+                    encodeBool(T->getOperand(2)));
+    break;
+  case TermKind::BVUlt:
+    Out = ultBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)));
+    break;
+  case TermKind::BVUle:
+    Out = ~ultBits(encodeBV(T->getOperand(1)), encodeBV(T->getOperand(0)));
+    break;
+  case TermKind::BVSlt:
+    Out = sltBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)));
+    break;
+  case TermKind::BVSle:
+    Out = ~sltBits(encodeBV(T->getOperand(1)), encodeBV(T->getOperand(0)));
+    break;
+  default:
+    assert(false && "unsupported boolean term in bit-blaster");
+    Out = litFalse();
+  }
+  BoolCache.emplace(T, Out);
+  return Out;
+}
+
+const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
+  auto It = BVCache.find(T);
+  if (It != BVCache.end())
+    return It->second;
+
+  unsigned W = T->getSort().getWidth();
+  Bits Out(W, litFalse());
+  switch (T->getKind()) {
+  case TermKind::ConstBV: {
+    uint64_t V = T->getBVValue().getZExtValue();
+    for (unsigned I = 0; I != W; ++I)
+      Out[I] = (V >> I) & 1 ? litTrue() : litFalse();
+    break;
+  }
+  case TermKind::Var:
+    for (unsigned I = 0; I != W; ++I)
+      Out[I] = Lit(S.newVar(), false);
+    break;
+  case TermKind::BVNeg:
+    Out = negBits(encodeBV(T->getOperand(0)));
+    break;
+  case TermKind::BVNot: {
+    const Bits &A = encodeBV(T->getOperand(0));
+    for (unsigned I = 0; I != W; ++I)
+      Out[I] = ~A[I];
+    break;
+  }
+  case TermKind::BVAdd:
+    Out = addBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
+                  litFalse());
+    break;
+  case TermKind::BVSub: {
+    Bits A = encodeBV(T->getOperand(0));
+    Bits B = encodeBV(T->getOperand(1));
+    for (Lit &L : B)
+      L = ~L;
+    Out = addBits(A, B, litTrue());
+    break;
+  }
+  case TermKind::BVMul:
+    Out = mulBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)));
+    break;
+  case TermKind::BVUDiv:
+  case TermKind::BVURem: {
+    Bits Quot, Rem;
+    udivuremBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)), Quot,
+                 Rem);
+    Out = T->getKind() == TermKind::BVUDiv ? Quot : Rem;
+    break;
+  }
+  case TermKind::BVSDiv:
+  case TermKind::BVSRem: {
+    // SMT-LIB definition: operate on magnitudes, then fix the sign.
+    Bits A = encodeBV(T->getOperand(0));
+    Bits B = encodeBV(T->getOperand(1));
+    Lit SA = A[W - 1], SB = B[W - 1];
+    Bits MagA = muxBits(SA, negBits(A), A);
+    Bits MagB = muxBits(SB, negBits(B), B);
+    Bits Quot, Rem;
+    udivuremBits(MagA, MagB, Quot, Rem);
+    if (T->getKind() == TermKind::BVSDiv) {
+      Lit NegQ = mkXorGate(SA, SB);
+      Out = muxBits(NegQ, negBits(Quot), Quot);
+    } else {
+      Out = muxBits(SA, negBits(Rem), Rem);
+    }
+    break;
+  }
+  case TermKind::BVShl:
+    Out = shiftBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
+                    /*Left=*/true, litFalse());
+    break;
+  case TermKind::BVLShr:
+    Out = shiftBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
+                    /*Left=*/false, litFalse());
+    break;
+  case TermKind::BVAShr: {
+    const Bits &A = encodeBV(T->getOperand(0));
+    Out = shiftBits(A, encodeBV(T->getOperand(1)), /*Left=*/false,
+                    A[W - 1]);
+    break;
+  }
+  case TermKind::BVAnd:
+  case TermKind::BVOr:
+  case TermKind::BVXor: {
+    const Bits A = encodeBV(T->getOperand(0));
+    const Bits B = encodeBV(T->getOperand(1));
+    for (unsigned I = 0; I != W; ++I) {
+      if (T->getKind() == TermKind::BVAnd)
+        Out[I] = mkAndGate(A[I], B[I]);
+      else if (T->getKind() == TermKind::BVOr)
+        Out[I] = mkOrGate(A[I], B[I]);
+      else
+        Out[I] = mkXorGate(A[I], B[I]);
+    }
+    break;
+  }
+  case TermKind::Ite: {
+    Lit Sel = encodeBool(T->getOperand(0));
+    Out = muxBits(Sel, encodeBV(T->getOperand(1)), encodeBV(T->getOperand(2)));
+    break;
+  }
+  case TermKind::BVConcat: {
+    const Bits Hi = encodeBV(T->getOperand(0));
+    const Bits Lo = encodeBV(T->getOperand(1));
+    for (size_t I = 0; I != Lo.size(); ++I)
+      Out[I] = Lo[I];
+    for (size_t I = 0; I != Hi.size(); ++I)
+      Out[Lo.size() + I] = Hi[I];
+    break;
+  }
+  case TermKind::BVExtract: {
+    const Bits &A = encodeBV(T->getOperand(0));
+    for (unsigned I = 0; I != W; ++I)
+      Out[I] = A[T->getExtractLo() + I];
+    break;
+  }
+  case TermKind::BVZext: {
+    const Bits &A = encodeBV(T->getOperand(0));
+    for (size_t I = 0; I != A.size(); ++I)
+      Out[I] = A[I];
+    break;
+  }
+  case TermKind::BVSext: {
+    const Bits &A = encodeBV(T->getOperand(0));
+    for (unsigned I = 0; I != W; ++I)
+      Out[I] = I < A.size() ? A[I] : A.back();
+    break;
+  }
+  default:
+    assert(false && "unsupported bitvector term in bit-blaster");
+  }
+  return BVCache.emplace(T, std::move(Out)).first->second;
+}
+
+void BitBlaster::assertTerm(TermRef T) {
+  assert(T->getSort().isBool() && "assertion must be boolean");
+  S.addClause(encodeBool(T));
+}
+
+APInt BitBlaster::readBV(TermRef Var) const {
+  auto It = BVCache.find(Var);
+  unsigned W = Var->getSort().getWidth();
+  if (It == BVCache.end())
+    return APInt(W, 0); // unconstrained
+  uint64_t V = 0;
+  for (unsigned I = 0; I != W; ++I) {
+    const Lit &L = It->second[I];
+    bool B = S.modelValue(L.var()) != L.negated();
+    V |= static_cast<uint64_t>(B) << I;
+  }
+  return APInt(W, V);
+}
+
+bool BitBlaster::readBool(TermRef Var) const {
+  auto It = BoolCache.find(Var);
+  if (It == BoolCache.end())
+    return false;
+  return S.modelValue(It->second.var()) != It->second.negated();
+}

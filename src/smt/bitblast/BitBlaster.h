@@ -1,0 +1,87 @@
+//===- smt/bitblast/BitBlaster.h - QF_BV to CNF reduction -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tseitin-encodes quantifier-free bitvector terms into CNF for the native
+/// CDCL solver. Word-level operators become gate networks: ripple-carry
+/// adders, shift-add multipliers, restoring dividers (matching SMT-LIB's
+/// total division semantics), and logarithmic barrel shifters. Terms are
+/// cached by node identity, so DAG sharing in the input produces shared
+/// gates in the output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_BITBLAST_BITBLASTER_H
+#define ALIVE_SMT_BITBLAST_BITBLASTER_H
+
+#include "smt/Term.h"
+#include "smt/sat/SatSolver.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+namespace smt {
+
+/// Lowers terms into a sat::SatSolver instance.
+class BitBlaster {
+public:
+  explicit BitBlaster(sat::SatSolver &S);
+
+  /// True iff \p T is inside the supported fragment (no quantifiers, no
+  /// array theory anywhere in the DAG).
+  static bool supports(TermRef T);
+
+  /// Encodes \p T (Bool sort) and asserts it.
+  void assertTerm(TermRef T);
+
+  /// After a Sat result, reads back the value of a bitvector variable.
+  APInt readBV(TermRef Var) const;
+  /// After a Sat result, reads back the value of a boolean variable.
+  bool readBool(TermRef Var) const;
+
+private:
+  using Lit = sat::Lit;
+  using Bits = std::vector<Lit>;
+
+  // Gate constructors with constant short-circuiting.
+  Lit litTrue() const { return TrueLit; }
+  Lit litFalse() const { return ~TrueLit; }
+  Lit mkAndGate(Lit A, Lit B);
+  Lit mkOrGate(Lit A, Lit B);
+  Lit mkXorGate(Lit A, Lit B);
+  Lit mkXnorGate(Lit A, Lit B) { return ~mkXorGate(A, B); }
+  Lit mkMuxGate(Lit Sel, Lit T, Lit E);
+  Lit mkAndChain(const std::vector<Lit> &Ls);
+  Lit mkOrChain(const std::vector<Lit> &Ls);
+  void fullAdder(Lit A, Lit B, Lit Cin, Lit &Sum, Lit &Cout);
+
+  // Word-level circuits. All operate on little-endian bit vectors
+  // (index 0 = least significant bit).
+  Bits addBits(const Bits &A, const Bits &B, Lit Cin);
+  Bits negBits(const Bits &A);
+  Bits mulBits(const Bits &A, const Bits &B);
+  void udivuremBits(const Bits &A, const Bits &B, Bits &Quot, Bits &Rem);
+  Bits muxBits(Lit Sel, const Bits &T, const Bits &E);
+  Bits shiftBits(const Bits &A, const Bits &Amount, bool Left, Lit Fill);
+  Lit ultBits(const Bits &A, const Bits &B);
+  Lit sltBits(const Bits &A, const Bits &B);
+  Lit eqBits(const Bits &A, const Bits &B);
+
+  // Term encoders (cached).
+  Lit encodeBool(TermRef T);
+  const Bits &encodeBV(TermRef T);
+
+  sat::SatSolver &S;
+  Lit TrueLit;
+  std::unordered_map<TermRef, Lit> BoolCache;
+  std::unordered_map<TermRef, Bits> BVCache;
+};
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_BITBLAST_BITBLASTER_H

@@ -1,0 +1,429 @@
+//===- smt/sat/SatSolver.cpp - CDCL SAT solver ----------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace alive;
+using namespace alive::sat;
+
+SatSolver::SatSolver() = default;
+
+Var SatSolver::newVar() {
+  Var V = static_cast<Var>(Activity.size());
+  Activity.push_back(0.0);
+  Assigns.push_back(LBool::Undef);
+  Phase.push_back(false);
+  Level.push_back(0);
+  Reason.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  SeenBuf.push_back(false);
+  HeapPos.push_back(-1);
+  heapInsert(V);
+  return V;
+}
+
+// --- Indexed binary max-heap over variable activity ----------------------
+
+void SatSolver::heapInsert(Var V) {
+  if (HeapPos[V] != -1)
+    return;
+  HeapPos[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  heapSiftUp(HeapPos[V]);
+}
+
+Var SatSolver::heapPopMax() {
+  assert(!Heap.empty() && "pop from empty heap");
+  Var Top = Heap[0];
+  HeapPos[Top] = -1;
+  Var Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    HeapPos[Last] = 0;
+    heapSiftDown(0);
+  }
+  return Top;
+}
+
+void SatSolver::heapSiftUp(int Idx) {
+  Var V = Heap[Idx];
+  while (Idx > 0) {
+    int Parent = (Idx - 1) / 2;
+    if (!heapLess(Heap[Parent], V))
+      break;
+    Heap[Idx] = Heap[Parent];
+    HeapPos[Heap[Idx]] = Idx;
+    Idx = Parent;
+  }
+  Heap[Idx] = V;
+  HeapPos[V] = Idx;
+}
+
+void SatSolver::heapSiftDown(int Idx) {
+  Var V = Heap[Idx];
+  int N = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * Idx + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && heapLess(Heap[Child], Heap[Child + 1]))
+      ++Child;
+    if (!heapLess(V, Heap[Child]))
+      break;
+    Heap[Idx] = Heap[Child];
+    HeapPos[Heap[Idx]] = Idx;
+    Idx = Child;
+  }
+  Heap[Idx] = V;
+  HeapPos[V] = Idx;
+}
+
+// --- Clause management ----------------------------------------------------
+
+void SatSolver::attachClause(int CIdx) {
+  Clause &C = Clauses[CIdx];
+  assert(C.Lits.size() >= 2 && "attaching a short clause");
+  Watches[(~C.Lits[0]).code()].push_back({CIdx, C.Lits[1]});
+  Watches[(~C.Lits[1]).code()].push_back({CIdx, C.Lits[0]});
+}
+
+bool SatSolver::addClause(std::vector<Lit> Clause) {
+  assert(TrailLims.empty() && "clauses must be added at decision level 0");
+  if (Unsatisfiable)
+    return false;
+
+  // Simplify: sort, drop duplicates and false literals, detect tautologies
+  // and already-satisfied clauses.
+  std::sort(Clause.begin(), Clause.end(),
+            [](Lit A, Lit B) { return A.code() < B.code(); });
+  std::vector<Lit> Simplified;
+  for (size_t I = 0; I != Clause.size(); ++I) {
+    Lit L = Clause[I];
+    if (I + 1 < Clause.size() && Clause[I + 1] == ~L)
+      return true; // tautology: always satisfied
+    if (!Simplified.empty() && Simplified.back() == L)
+      continue;
+    LBool V = value(L);
+    if (V == LBool::True)
+      return true; // already satisfied at level 0
+    if (V == LBool::False)
+      continue; // literal can never help
+    Simplified.push_back(L);
+  }
+
+  if (Simplified.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  ++NumProblemClauses;
+  if (Simplified.size() == 1) {
+    if (value(Simplified[0]) == LBool::Undef)
+      enqueue(Simplified[0], -1);
+    if (propagate() != -1)
+      Unsatisfiable = true;
+    return !Unsatisfiable;
+  }
+  Clauses.push_back({std::move(Simplified), /*Learned=*/false, 0.0});
+  attachClause(static_cast<int>(Clauses.size()) - 1);
+  return true;
+}
+
+// --- Assignment and propagation -------------------------------------------
+
+void SatSolver::enqueue(Lit L, int ReasonIdx) {
+  assert(value(L) == LBool::Undef && "enqueue of assigned literal");
+  Var V = L.var();
+  Assigns[V] = L.negated() ? LBool::False : LBool::True;
+  Phase[V] = !L.negated();
+  Level[V] = static_cast<int>(TrailLims.size());
+  Reason[V] = ReasonIdx;
+  Trail.push_back(L);
+}
+
+int SatSolver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++];
+    ++Propagations;
+    std::vector<Watcher> &WList = Watches[P.code()];
+    size_t Keep = 0;
+    for (size_t I = 0; I != WList.size(); ++I) {
+      Watcher W = WList[I];
+      // Fast path: the blocker literal is already true.
+      if (value(W.Blocker) == LBool::True) {
+        WList[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.ClauseIdx];
+      // Normalize so the false literal (~P) sits at slot 1.
+      Lit NotP = ~P;
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP && "watch list out of sync");
+      // First literal true => clause satisfied.
+      if (value(C.Lits[0]) == LBool::True) {
+        WList[Keep++] = {W.ClauseIdx, C.Lits[0]};
+        continue;
+      }
+      // Search for a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K != C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[(~C.Lits[1]).code()].push_back({W.ClauseIdx, C.Lits[0]});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Clause is unit or conflicting.
+      WList[Keep++] = W;
+      if (value(C.Lits[0]) == LBool::False) {
+        // Conflict: restore the remaining watchers and report.
+        for (size_t K = I + 1; K != WList.size(); ++K)
+          WList[Keep++] = WList[K];
+        WList.resize(Keep);
+        PropHead = Trail.size();
+        return W.ClauseIdx;
+      }
+      enqueue(C.Lits[0], W.ClauseIdx);
+    }
+    WList.resize(Keep);
+  }
+  return -1;
+}
+
+// --- Conflict analysis (first UIP) ----------------------------------------
+
+void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
+                        int &BackLevel) {
+  Learned.clear();
+  Learned.push_back(Lit()); // slot for the asserting literal
+  int CurLevel = static_cast<int>(TrailLims.size());
+  int Counter = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t TrailIdx = Trail.size();
+  int CIdx = ConflictIdx;
+
+  std::vector<Var> ToClear;
+  do {
+    assert(CIdx != -1 && "no reason clause during analysis");
+    Clause &C = Clauses[CIdx];
+    if (C.Learned)
+      bumpClause(CIdx);
+    for (size_t I = HaveP ? 1 : 0; I != C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      Var V = Q.var();
+      if (SeenBuf[V] || Level[V] == 0)
+        continue;
+      SeenBuf[V] = true;
+      ToClear.push_back(V);
+      bumpVar(V);
+      if (Level[V] == CurLevel)
+        ++Counter;
+      else
+        Learned.push_back(Q);
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --TrailIdx;
+      P = Trail[TrailIdx];
+    } while (!SeenBuf[P.var()]);
+    HaveP = true;
+    SeenBuf[P.var()] = false;
+    CIdx = Reason[P.var()];
+    --Counter;
+  } while (Counter > 0);
+  Learned[0] = ~P;
+
+  // Compute the backtrack level: highest level among the other literals.
+  BackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learned.size(); ++I) {
+    if (Level[Learned[I].var()] > BackLevel) {
+      BackLevel = Level[Learned[I].var()];
+      MaxIdx = I;
+    }
+  }
+  if (Learned.size() > 1)
+    std::swap(Learned[1], Learned[MaxIdx]);
+
+  for (Var V : ToClear)
+    SeenBuf[V] = false;
+}
+
+void SatSolver::backtrack(int TargetLevel) {
+  if (static_cast<int>(TrailLims.size()) <= TargetLevel)
+    return;
+  size_t Bound = TrailLims[TargetLevel];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Var V = Trail[I - 1].var();
+    Assigns[V] = LBool::Undef;
+    Reason[V] = -1;
+    heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLims.resize(TargetLevel);
+  PropHead = Trail.size();
+}
+
+// --- Heuristics -------------------------------------------------------------
+
+Lit SatSolver::pickBranchLit() {
+  while (!Heap.empty()) {
+    Var V = heapPopMax();
+    if (Assigns[V] == LBool::Undef)
+      return Lit(V, !Phase[V]);
+  }
+  return Lit(); // all assigned
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (HeapPos[V] != -1)
+    heapSiftUp(HeapPos[V]);
+}
+
+void SatSolver::bumpClause(int CIdx) {
+  Clause &C = Clauses[CIdx];
+  C.Activity += ClauseInc;
+  if (C.Activity > 1e20) {
+    for (Clause &Cl : Clauses)
+      if (Cl.Learned)
+        Cl.Activity *= 1e-20;
+    ClauseInc *= 1e-20;
+  }
+}
+
+void SatSolver::decayActivities() {
+  VarInc /= 0.95;
+  ClauseInc /= 0.999;
+}
+
+void SatSolver::reduceLearned() {
+  // Delete the less active half of the learned clauses, except clauses that
+  // are currently the reason for an assignment.
+  std::vector<int> LearnedIdx;
+  for (int I = 0, E = static_cast<int>(Clauses.size()); I != E; ++I)
+    if (Clauses[I].Learned)
+      LearnedIdx.push_back(I);
+  if (LearnedIdx.size() < 64)
+    return;
+  std::sort(LearnedIdx.begin(), LearnedIdx.end(), [&](int A, int B) {
+    return Clauses[A].Activity < Clauses[B].Activity;
+  });
+  std::vector<bool> Locked(Clauses.size(), false);
+  for (Lit L : Trail)
+    if (Reason[L.var()] != -1)
+      Locked[Reason[L.var()]] = true;
+
+  std::vector<bool> Dead(Clauses.size(), false);
+  for (size_t I = 0; I != LearnedIdx.size() / 2; ++I) {
+    int CIdx = LearnedIdx[I];
+    if (!Locked[CIdx] && Clauses[CIdx].Lits.size() > 2)
+      Dead[CIdx] = true;
+  }
+  // Detach dead clauses from the watch lists; keep slots (no compaction) so
+  // clause indices stay stable.
+  for (auto &WList : Watches) {
+    size_t Keep = 0;
+    for (const Watcher &W : WList)
+      if (!Dead[W.ClauseIdx])
+        WList[Keep++] = W;
+    WList.resize(Keep);
+  }
+  for (size_t I = 0; I != Clauses.size(); ++I)
+    if (Dead[I]) {
+      Clauses[I].Lits.clear();
+      Clauses[I].Lits.shrink_to_fit();
+      Clauses[I].Learned = false; // tombstone
+    }
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's version).
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I = I % Size;
+  }
+  return 1ULL << Seq;
+}
+
+// --- Main CDCL loop ---------------------------------------------------------
+
+SatResult SatSolver::solve(uint64_t ConflictBudget) {
+  if (Unsatisfiable)
+    return SatResult::Unsat;
+  if (propagate() != -1) {
+    Unsatisfiable = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t RestartRound = 0;
+  uint64_t RestartLimit = 64 * luby(RestartRound);
+  uint64_t ConflictsAtRestart = Conflicts;
+  uint64_t ReduceLimit = 4096;
+
+  std::vector<Lit> Learned;
+  for (;;) {
+    int ConflictIdx = propagate();
+    if (ConflictIdx != -1) {
+      ++Conflicts;
+      if (TrailLims.empty()) {
+        Unsatisfiable = true;
+        return SatResult::Unsat;
+      }
+      if (ConflictBudget && Conflicts >= ConflictBudget)
+        return SatResult::Unknown;
+      int BackLevel;
+      analyze(ConflictIdx, Learned, BackLevel);
+      backtrack(BackLevel);
+      if (Learned.size() == 1) {
+        enqueue(Learned[0], -1);
+      } else {
+        Clauses.push_back({Learned, /*Learned=*/true, ClauseInc});
+        int CIdx = static_cast<int>(Clauses.size()) - 1;
+        attachClause(CIdx);
+        enqueue(Learned[0], CIdx);
+      }
+      decayActivities();
+      if (Conflicts - ConflictsAtRestart >= RestartLimit) {
+        backtrack(0);
+        ConflictsAtRestart = Conflicts;
+        RestartLimit = 64 * luby(++RestartRound);
+      }
+      if (Conflicts >= ReduceLimit) {
+        reduceLearned();
+        ReduceLimit += 4096;
+      }
+      continue;
+    }
+    // No conflict: decide.
+    Lit Next = pickBranchLit();
+    if (Next == Lit())
+      return SatResult::Sat; // fully assigned
+    ++Decisions;
+    TrailLims.push_back(static_cast<int>(Trail.size()));
+    enqueue(Next, -1);
+  }
+}

@@ -1,0 +1,160 @@
+//===- smt/sat/SatSolver.h - CDCL SAT solver --------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch CDCL SAT solver in the MiniSat lineage: two-watched-
+/// literal propagation, first-UIP conflict analysis with clause learning,
+/// VSIDS-style decision heuristic with phase saving, Luby restarts, and
+/// activity-based deletion of learned clauses. It is the decision procedure
+/// underneath the native bit-blasting backend (see smt/bitblast), which is
+/// this reproduction's substitute for the paper's use of Z3 on
+/// quantifier-free queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SAT_SATSOLVER_H
+#define ALIVE_SMT_SAT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alive {
+namespace sat {
+
+/// A propositional variable index (0-based).
+using Var = int;
+
+/// A literal: variable with polarity. Encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+public:
+  Lit() : Code(-2) {}
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  static Lit fromCode(int Code) {
+    Lit L;
+    L.Code = Code;
+    return L;
+  }
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const { return fromCode(Code ^ 1); }
+  int code() const { return Code; }
+
+  bool operator==(const Lit &RHS) const { return Code == RHS.Code; }
+  bool operator!=(const Lit &RHS) const { return Code != RHS.Code; }
+
+private:
+  int Code;
+};
+
+/// Ternary assignment value.
+enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+/// Outcome of solving.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// CDCL solver. Usage: newVar() for every variable, addClause() for the
+/// CNF, then solve(); on Sat, modelValue() reads the assignment.
+class SatSolver {
+public:
+  SatSolver();
+
+  /// Allocates a new variable and returns its index.
+  Var newVar();
+
+  unsigned numVars() const { return static_cast<unsigned>(Activity.size()); }
+  unsigned numClauses() const { return NumProblemClauses; }
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+  /// Adds a clause; returns false if the formula is already trivially
+  /// unsatisfiable (empty clause after simplification).
+  bool addClause(std::vector<Lit> Clause);
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Runs the CDCL loop. \p ConflictBudget of 0 means unbounded; otherwise
+  /// the solver gives up with Unknown after that many conflicts.
+  SatResult solve(uint64_t ConflictBudget = 0);
+
+  /// The value of \p V in the satisfying assignment (valid after Sat).
+  bool modelValue(Var V) const {
+    return Assigns[V] == LBool::True;
+  }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+    double Activity = 0;
+  };
+
+  struct Watcher {
+    int ClauseIdx;
+    Lit Blocker;
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool B = (V == LBool::True) != L.negated();
+    return B ? LBool::True : LBool::False;
+  }
+
+  void attachClause(int CIdx);
+  void enqueue(Lit L, int ReasonIdx);
+  int propagate(); // returns conflicting clause index or -1
+  void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel);
+  void backtrack(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void bumpClause(int CIdx);
+  void decayActivities();
+  void reduceLearned();
+  static uint64_t luby(uint64_t I);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by literal code
+  std::vector<LBool> Assigns;
+  std::vector<bool> Phase;       // saved polarity per variable
+  std::vector<int> Level;        // decision level per variable
+  std::vector<int> Reason;       // clause index that implied the var, or -1
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLims;    // trail positions of decision levels
+  size_t PropHead = 0;
+
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+
+  // Activity-ordered binary max-heap of decision candidates (MiniSat's
+  // indexed heap: HeapPos maps a variable to its slot, or -1 if absent).
+  std::vector<Var> Heap;
+  std::vector<int> HeapPos;
+  void heapInsert(Var V);
+  Var heapPopMax();
+  void heapSiftUp(int Idx);
+  void heapSiftDown(int Idx);
+  bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }
+
+  std::vector<bool> SeenBuf;
+
+  unsigned NumProblemClauses = 0;
+  uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+  bool Unsatisfiable = false;
+};
+
+} // namespace sat
+} // namespace alive
+
+#endif // ALIVE_SMT_SAT_SATSOLVER_H

@@ -1,0 +1,155 @@
+//===- support/APInt.cpp - Fixed-width integer implementation ------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/APInt.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+bool APInt::isShiftedMask() const {
+  if (isZero())
+    return false;
+  // A shifted mask becomes contiguous ones after removing trailing zeros;
+  // V + lowest-set-bit must then be a power of two (or zero on overflow).
+  uint64_t V = Value >> countTrailingZeros();
+  return (V & (V + 1)) == 0;
+}
+
+unsigned APInt::countLeadingZeros() const {
+  if (Value == 0)
+    return Width;
+  return clz64(Value) - (64 - Width);
+}
+
+unsigned APInt::countTrailingZeros() const {
+  if (Value == 0)
+    return Width;
+  return __builtin_ctzll(Value);
+}
+
+unsigned APInt::countPopulation() const {
+  return __builtin_popcountll(Value);
+}
+
+APInt APInt::sdiv(const APInt &RHS) const {
+  assert(sameWidth(RHS) && !RHS.isZero() && "sdiv by zero");
+  assert(!(isSignedMinValue() && RHS.isAllOnes()) && "sdiv overflow");
+  return getSigned(Width, getSExtValue() / RHS.getSExtValue());
+}
+
+APInt APInt::srem(const APInt &RHS) const {
+  assert(sameWidth(RHS) && !RHS.isZero() && "srem by zero");
+  assert(!(isSignedMinValue() && RHS.isAllOnes()) && "srem overflow");
+  return getSigned(Width, getSExtValue() % RHS.getSExtValue());
+}
+
+APInt APInt::ashr(const APInt &RHS) const {
+  assert(sameWidth(RHS));
+  int64_t S = getSExtValue();
+  if (RHS.Value >= Width)
+    return getSigned(Width, S < 0 ? -1 : 0);
+  return getSigned(Width, S >> RHS.Value);
+}
+
+APInt APInt::saddOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = add(RHS);
+  Overflow = Res.getSExtValue() != getSExtValue() + RHS.getSExtValue();
+  if (Width == 64) {
+    int64_t Out;
+    Overflow = __builtin_add_overflow(getSExtValue(), RHS.getSExtValue(), &Out);
+  }
+  return Res;
+}
+
+APInt APInt::uaddOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = add(RHS);
+  Overflow = Res.ult(*this);
+  return Res;
+}
+
+APInt APInt::ssubOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = sub(RHS);
+  Overflow = Res.getSExtValue() != getSExtValue() - RHS.getSExtValue();
+  if (Width == 64) {
+    int64_t Out;
+    Overflow = __builtin_sub_overflow(getSExtValue(), RHS.getSExtValue(), &Out);
+  }
+  return Res;
+}
+
+APInt APInt::usubOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = sub(RHS);
+  Overflow = ult(RHS);
+  return Res;
+}
+
+APInt APInt::smulOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = mul(RHS);
+  if (Width <= 32) {
+    Overflow = Res.getSExtValue() != getSExtValue() * RHS.getSExtValue();
+  } else {
+    int64_t Out;
+    Overflow = __builtin_mul_overflow(getSExtValue(), RHS.getSExtValue(), &Out);
+    if (!Overflow && Width < 64)
+      Overflow = Res.getSExtValue() != Out;
+  }
+  return Res;
+}
+
+APInt APInt::umulOverflow(const APInt &RHS, bool &Overflow) const {
+  APInt Res = mul(RHS);
+  if (Width <= 32) {
+    Overflow = (Value * RHS.Value) >> Width != 0;
+  } else {
+    uint64_t Out;
+    Overflow = __builtin_mul_overflow(Value, RHS.Value, &Out);
+    if (!Overflow && Width < 64)
+      Overflow = Out >> Width != 0;
+  }
+  return Res;
+}
+
+APInt APInt::sshlOverflow(const APInt &RHS, bool &Overflow) const {
+  // Per Table 2: shl nsw overflows iff (a << b) >> b != a with an
+  // arithmetic right shift.
+  APInt Res = shl(RHS);
+  Overflow = RHS.Value >= Width || Res.ashr(RHS) != *this;
+  return Res;
+}
+
+APInt APInt::ushlOverflow(const APInt &RHS, bool &Overflow) const {
+  // Per Table 2: shl nuw overflows iff (a << b) >>u b != a.
+  APInt Res = shl(RHS);
+  Overflow = RHS.Value >= Width || Res.lshr(RHS) != *this;
+  return Res;
+}
+
+std::string APInt::toString() const {
+  std::string S = toHexString() + " (" + toDecimalString(/*Signed=*/false);
+  if (isNegative())
+    S += ", " + toDecimalString(/*Signed=*/true);
+  return S + ")";
+}
+
+std::string APInt::toHexString() const {
+  char Buf[32];
+  unsigned Digits = (Width + 3) / 4;
+  std::snprintf(Buf, sizeof(Buf), "0x%0*llX", Digits,
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+std::string APInt::toDecimalString(bool Signed) const {
+  char Buf[32];
+  if (Signed)
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(getSExtValue()));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(Value));
+  return Buf;
+}

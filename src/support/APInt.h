@@ -1,0 +1,249 @@
+//===- support/APInt.h - Fixed-width arbitrary precision ints --*- C++ -*-===//
+//
+// Part of the alive-cpp project, reproducing "Provably Correct Peephole
+// Optimizations with Alive" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width two's-complement integer, supporting widths 1..64.
+///
+/// Alive bounds verification at 64 bits (Section 5 of the paper), so a
+/// single 64-bit word with explicit masking gives us the full APInt surface
+/// the tool chain needs: modular arithmetic, signed/unsigned comparisons and
+/// division, shifts, overflow-detecting operations (for nsw/nuw/exact
+/// reasoning and constant folding), and the bit utilities backing built-in
+/// predicates such as isPowerOf2() and isSignBit().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_APINT_H
+#define ALIVE_SUPPORT_APINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace alive {
+
+/// Fixed-width two's-complement integer value with width 1..64 bits.
+///
+/// All arithmetic is modular; operations that can overflow have explicit
+/// *Overflow variants that report whether wrapping occurred. Values are
+/// stored zero-extended: bits above the width are always zero.
+class APInt {
+public:
+  APInt() : Width(1), Value(0) {}
+
+  /// Creates a value of \p Width bits holding \p Val truncated to the width.
+  APInt(unsigned Width, uint64_t Val) : Width(Width), Value(mask(Width, Val)) {
+    assert(Width >= 1 && Width <= 64 && "APInt width out of range");
+  }
+
+  /// Creates a value from a signed integer (sign bits truncated).
+  static APInt getSigned(unsigned Width, int64_t Val) {
+    return APInt(Width, static_cast<uint64_t>(Val));
+  }
+
+  static APInt getZero(unsigned Width) { return APInt(Width, 0); }
+  static APInt getOne(unsigned Width) { return APInt(Width, 1); }
+  static APInt getAllOnes(unsigned Width) { return APInt(Width, ~0ULL); }
+
+  /// Smallest signed value: the sign bit alone (INT_MIN of the paper).
+  static APInt getSignedMinValue(unsigned Width) {
+    return APInt(Width, 1ULL << (Width - 1));
+  }
+  /// Largest signed value: all bits but the sign bit.
+  static APInt getSignedMaxValue(unsigned Width) {
+    return APInt(Width, (1ULL << (Width - 1)) - 1);
+  }
+  /// Largest unsigned value (all ones).
+  static APInt getMaxValue(unsigned Width) { return getAllOnes(Width); }
+
+  unsigned getWidth() const { return Width; }
+
+  /// The value zero-extended to 64 bits.
+  uint64_t getZExtValue() const { return Value; }
+
+  /// The value sign-extended to 64 bits.
+  int64_t getSExtValue() const {
+    if (Width == 64)
+      return static_cast<int64_t>(Value);
+    uint64_t SignBit = 1ULL << (Width - 1);
+    return static_cast<int64_t>((Value ^ SignBit)) -
+           static_cast<int64_t>(SignBit);
+  }
+
+  bool isZero() const { return Value == 0; }
+  bool isOne() const { return Value == 1; }
+  bool isAllOnes() const { return Value == mask(Width, ~0ULL); }
+  bool isNegative() const { return (Value >> (Width - 1)) & 1; }
+  bool isSignedMinValue() const {
+    return Value == getSignedMinValue(Width).Value;
+  }
+  bool isSignedMaxValue() const {
+    return Value == getSignedMaxValue(Width).Value;
+  }
+
+  /// True iff exactly one bit is set (LLVM's unsigned notion; the sign bit
+  /// alone *is* a power of two here, which matters for bug PR21242).
+  bool isPowerOf2() const { return Value != 0 && (Value & (Value - 1)) == 0; }
+
+  /// True iff only the sign bit is set.
+  bool isSignBit() const { return isSignedMinValue(); }
+
+  /// True iff the value is a run of ones shifted left (e.g. 0b0111000).
+  bool isShiftedMask() const;
+
+  unsigned countLeadingZeros() const;
+  unsigned countTrailingZeros() const;
+  unsigned countPopulation() const;
+
+  /// Floor of log2; requires a non-zero value.
+  unsigned logBase2() const {
+    assert(!isZero() && "logBase2 of zero");
+    return 63 - clz64(Value);
+  }
+
+  // Modular arithmetic.
+  APInt add(const APInt &RHS) const { return bin(Value + RHS.Value, RHS); }
+  APInt sub(const APInt &RHS) const { return bin(Value - RHS.Value, RHS); }
+  APInt mul(const APInt &RHS) const { return bin(Value * RHS.Value, RHS); }
+  APInt neg() const { return APInt(Width, 0ULL - Value); }
+
+  /// Unsigned division; requires a non-zero divisor.
+  APInt udiv(const APInt &RHS) const {
+    assert(sameWidth(RHS) && !RHS.isZero() && "udiv by zero");
+    return APInt(Width, Value / RHS.Value);
+  }
+  /// Unsigned remainder; requires a non-zero divisor.
+  APInt urem(const APInt &RHS) const {
+    assert(sameWidth(RHS) && !RHS.isZero() && "urem by zero");
+    return APInt(Width, Value % RHS.Value);
+  }
+  /// Signed division (truncating); requires divisor non-zero and not
+  /// INT_MIN / -1 (true UB per Table 1).
+  APInt sdiv(const APInt &RHS) const;
+  /// Signed remainder; same definedness conditions as sdiv.
+  APInt srem(const APInt &RHS) const;
+
+  // Bitwise operations.
+  APInt andOp(const APInt &RHS) const { return bin(Value & RHS.Value, RHS); }
+  APInt orOp(const APInt &RHS) const { return bin(Value | RHS.Value, RHS); }
+  APInt xorOp(const APInt &RHS) const { return bin(Value ^ RHS.Value, RHS); }
+  APInt notOp() const { return APInt(Width, ~Value); }
+
+  /// Left shift; a shift amount >= width yields zero (total function; the
+  /// definedness constraint of Table 1 is enforced by the caller).
+  APInt shl(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return RHS.Value >= Width ? APInt(Width, 0)
+                              : APInt(Width, Value << RHS.Value);
+  }
+  /// Logical right shift; shift amounts >= width yield zero.
+  APInt lshr(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return RHS.Value >= Width ? APInt(Width, 0)
+                              : APInt(Width, Value >> RHS.Value);
+  }
+  /// Arithmetic right shift; shift amounts >= width yield the sign fill.
+  APInt ashr(const APInt &RHS) const;
+
+  // Comparisons.
+  bool eq(const APInt &RHS) const {
+    return sameWidth(RHS) && Value == RHS.Value;
+  }
+  bool ne(const APInt &RHS) const { return !eq(RHS); }
+  bool ult(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return Value < RHS.Value;
+  }
+  bool ule(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return Value <= RHS.Value;
+  }
+  bool ugt(const APInt &RHS) const { return RHS.ult(*this); }
+  bool uge(const APInt &RHS) const { return RHS.ule(*this); }
+  bool slt(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return getSExtValue() < RHS.getSExtValue();
+  }
+  bool sle(const APInt &RHS) const {
+    assert(sameWidth(RHS));
+    return getSExtValue() <= RHS.getSExtValue();
+  }
+  bool sgt(const APInt &RHS) const { return RHS.slt(*this); }
+  bool sge(const APInt &RHS) const { return RHS.sle(*this); }
+
+  bool operator==(const APInt &RHS) const {
+    return Width == RHS.Width && Value == RHS.Value;
+  }
+  bool operator!=(const APInt &RHS) const { return !(*this == RHS); }
+
+  // Width changes.
+  APInt zext(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "zext must not shrink");
+    return APInt(NewWidth, Value);
+  }
+  APInt sext(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "sext must not shrink");
+    return APInt(NewWidth, static_cast<uint64_t>(getSExtValue()));
+  }
+  APInt trunc(unsigned NewWidth) const {
+    assert(NewWidth <= Width && "trunc must not grow");
+    return APInt(NewWidth, Value);
+  }
+  /// zext, sext or trunc to \p NewWidth (zero extension when growing).
+  APInt zextOrTrunc(unsigned NewWidth) const {
+    return NewWidth >= Width ? zext(NewWidth) : trunc(NewWidth);
+  }
+  APInt sextOrTrunc(unsigned NewWidth) const {
+    return NewWidth >= Width ? sext(NewWidth) : trunc(NewWidth);
+  }
+
+  // Overflow-detecting arithmetic (Table 2 semantics).
+  APInt saddOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt uaddOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt ssubOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt usubOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt smulOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt umulOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt sshlOverflow(const APInt &RHS, bool &Overflow) const;
+  APInt ushlOverflow(const APInt &RHS, bool &Overflow) const;
+
+  /// Absolute value (modular: abs(INT_MIN) == INT_MIN).
+  APInt abs() const { return isNegative() ? neg() : *this; }
+
+  APInt umax(const APInt &RHS) const { return ugt(RHS) ? *this : RHS; }
+  APInt umin(const APInt &RHS) const { return ult(RHS) ? *this : RHS; }
+  APInt smax(const APInt &RHS) const { return sgt(RHS) ? *this : RHS; }
+  APInt smin(const APInt &RHS) const { return slt(RHS) ? *this : RHS; }
+
+  /// Formats like the paper's Figure 5: "0xF (15, -1)" — hex plus the
+  /// unsigned value, plus the signed value when it differs.
+  std::string toString() const;
+  /// Hex digits only, e.g. "0xF".
+  std::string toHexString() const;
+  /// Decimal, signed or unsigned view.
+  std::string toDecimalString(bool Signed) const;
+
+private:
+  static uint64_t mask(unsigned Width, uint64_t V) {
+    return Width >= 64 ? V : V & ((1ULL << Width) - 1);
+  }
+  static unsigned clz64(uint64_t V) {
+    return V == 0 ? 64 : __builtin_clzll(V);
+  }
+  bool sameWidth(const APInt &RHS) const { return Width == RHS.Width; }
+  APInt bin(uint64_t Raw, const APInt &RHS) const {
+    assert(sameWidth(RHS) && "width mismatch");
+    return APInt(Width, Raw);
+  }
+
+  unsigned Width;
+  uint64_t Value;
+};
+
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_APINT_H

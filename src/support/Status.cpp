@@ -1,0 +1,10 @@
+//===- support/Status.cpp - anchor for the support library ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+// Status and Result are header-only; this file anchors the library so the
+// build system always has at least one translation unit for alive_support.

@@ -1,0 +1,86 @@
+//===- support/Status.h - Lightweight error handling ------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error handling without exceptions: a Status carries success or an error
+/// message; Result<T> carries a value or an error. These follow the LLVM
+/// guideline of recoverable errors for conditions triggered by user input
+/// (e.g. parse errors, infeasible typings) while asserts guard internal
+/// invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_STATUS_H
+#define ALIVE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace alive {
+
+/// Success-or-error-message outcome of an operation.
+class Status {
+public:
+  static Status success() { return Status(); }
+  static Status error(std::string Msg) { return Status(std::move(Msg)); }
+
+  bool ok() const { return !Message.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error message; only valid when !ok().
+  const std::string &message() const {
+    assert(!ok() && "no message on a success status");
+    return *Message;
+  }
+
+private:
+  Status() = default;
+  explicit Status(std::string Msg) : Message(std::move(Msg)) {}
+
+  std::optional<std::string> Message;
+};
+
+/// A value of type T or an error message.
+template <typename T> class Result {
+public:
+  Result(T Value) : Value(std::move(Value)) {}
+  Result(Status Err) : Err(std::move(Err)) {
+    assert(!this->Err.ok() && "Result constructed from a success status");
+  }
+
+  static Result<T> error(std::string Msg) {
+    return Result<T>(Status::error(std::move(Msg)));
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T &get() const {
+    assert(ok() && "accessing value of an error result");
+    return *Value;
+  }
+  T &get() {
+    assert(ok() && "accessing value of an error result");
+    return *Value;
+  }
+  T take() {
+    assert(ok() && "taking value of an error result");
+    return std::move(*Value);
+  }
+
+  const std::string &message() const { return Err.message(); }
+  Status status() const { return ok() ? Status::success() : Err; }
+
+private:
+  std::optional<T> Value;
+  Status Err = Status::success();
+};
+
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_STATUS_H

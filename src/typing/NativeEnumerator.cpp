@@ -1,0 +1,345 @@
+//===- typing/NativeEnumerator.cpp - backtracking type enumeration ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native feasible-type enumerator: union-find over equality
+/// constraints, kind propagation, then depth-first search over the width
+/// variables with eager constraint checking. Widths are tried in
+/// ascending order so the verifier meets small bitwidths first — the
+/// paper biases counterexamples toward 4- and 8-bit examples because they
+/// are the easiest to read (Section 3.1.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "typing/TypeConstraints.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::typing;
+
+namespace {
+
+/// Simple union-find over type variables.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    for (unsigned I = 0; I != N; ++I)
+      Parent[I] = I;
+  }
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(unsigned A, unsigned B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+enum class ClassKind { Unknown, Int, Ptr, Void };
+
+struct ClassInfo {
+  ClassKind Kind = ClassKind::Unknown;
+  std::optional<Type> FixedTy;      ///< full fixed type
+  std::optional<Type> FixedPointee; ///< fixed pointee for Ptr classes
+  int PointeeClass = -1;            ///< class whose type is our pointee
+  bool Infeasible = false;
+};
+
+} // namespace
+
+Result<std::vector<TypeAssignment>>
+typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
+                             const TypeEnumConfig &Config) {
+  using K = TypeConstraint::Kind;
+  unsigned N = Sys.getNumVars();
+  UnionFind UF(N);
+  for (const TypeConstraint &C : Sys.constraints())
+    if (C.K == K::Same)
+      UF.merge(C.A, C.B);
+
+  // Map representative var -> dense class index.
+  std::map<unsigned, unsigned> RepToClass;
+  std::vector<unsigned> VarClass(N);
+  for (unsigned V = 0; V != N; ++V) {
+    unsigned Rep = UF.find(V);
+    auto [It, Inserted] =
+        RepToClass.emplace(Rep, static_cast<unsigned>(RepToClass.size()));
+    VarClass[V] = It->second;
+  }
+  unsigned NumClasses = static_cast<unsigned>(RepToClass.size());
+  std::vector<ClassInfo> Cls(NumClasses);
+
+  auto setKind = [&](unsigned C, ClassKind Want) {
+    ClassInfo &CI = Cls[C];
+    if (CI.Kind == ClassKind::Unknown) {
+      CI.Kind = Want;
+      return;
+    }
+    if (CI.Kind != Want)
+      CI.Infeasible = true;
+  };
+
+  // Width-relation constraints between classes (checked during search).
+  struct WidthRel {
+    unsigned A, B;
+    bool Strict; ///< A < B when true, A == B when false (Int classes)
+  };
+  std::vector<WidthRel> Rels;
+  std::vector<std::pair<unsigned, unsigned>> SameKindPairs;
+
+  for (const TypeConstraint &C : Sys.constraints()) {
+    unsigned CA = VarClass[C.A];
+    unsigned CB = VarClass[C.B];
+    switch (C.K) {
+    case K::Same:
+      break;
+    case K::IsInt:
+      setKind(CA, ClassKind::Int);
+      break;
+    case K::IsPtr:
+      setKind(CA, ClassKind::Ptr);
+      break;
+    case K::IsVoid:
+      setKind(CA, ClassKind::Void);
+      break;
+    case K::IsIntOrPtr:
+      // Defaulting rule below makes Unknown classes Int, satisfying this.
+      break;
+    case K::WidthLT:
+      setKind(CA, ClassKind::Int);
+      setKind(CB, ClassKind::Int);
+      Rels.push_back({CA, CB, /*Strict=*/true});
+      break;
+    case K::WidthEQ:
+      SameKindPairs.emplace_back(CA, CB);
+      break;
+    case K::Fixed: {
+      ClassInfo &CI = Cls[CA];
+      if (CI.FixedTy && *CI.FixedTy != C.FixedTy)
+        CI.Infeasible = true;
+      else
+        CI.FixedTy = C.FixedTy;
+      switch (C.FixedTy.getKind()) {
+      case Type::Kind::Int:
+        setKind(CA, ClassKind::Int);
+        break;
+      case Type::Kind::Ptr:
+        setKind(CA, ClassKind::Ptr);
+        break;
+      case Type::Kind::Void:
+        setKind(CA, ClassKind::Void);
+        break;
+      case Type::Kind::Array:
+        // Arrays only occur behind pointers in our fragment.
+        CI.Infeasible = true;
+        break;
+      }
+      break;
+    }
+    case K::PointeeIs: {
+      setKind(CA, ClassKind::Ptr);
+      ClassInfo &CI = Cls[CA];
+      if (CI.PointeeClass != -1 && CI.PointeeClass != static_cast<int>(CB))
+        // Two pointee classes: force them equal by merging widths via an
+        // equality relation.
+        Rels.push_back({static_cast<unsigned>(CI.PointeeClass), CB,
+                        /*Strict=*/false});
+      else
+        CI.PointeeClass = static_cast<int>(CB);
+      break;
+    }
+    case K::FixedPointee: {
+      setKind(CA, ClassKind::Ptr);
+      ClassInfo &CI = Cls[CA];
+      if (CI.FixedPointee && *CI.FixedPointee != C.FixedTy)
+        CI.Infeasible = true;
+      else
+        CI.FixedPointee = C.FixedTy;
+      break;
+    }
+    }
+  }
+
+  // A class with both a fixed pointee and a pointee class pins that class's
+  // width (pointee(p) == type(v) with pointee(p) == iW forces v : iW).
+  std::vector<int> ForcedWidth(NumClasses, -1);
+  for (ClassInfo &CI : Cls) {
+    if (!CI.FixedPointee || CI.PointeeClass == -1)
+      continue;
+    if (!CI.FixedPointee->isInt()) {
+      CI.Infeasible = true;
+      continue;
+    }
+    unsigned W = CI.FixedPointee->getIntWidth();
+    int &FW = ForcedWidth[CI.PointeeClass];
+    if (FW != -1 && FW != static_cast<int>(W))
+      CI.Infeasible = true;
+    else
+      FW = static_cast<int>(W);
+    setKind(static_cast<unsigned>(CI.PointeeClass), ClassKind::Int);
+  }
+
+  // Bitcast pairs share their kind: propagate known kinds across them
+  // before defaulting the rest to Int.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (auto [A, B] : SameKindPairs) {
+      if (Cls[A].Kind != ClassKind::Unknown &&
+          Cls[B].Kind == ClassKind::Unknown) {
+        Cls[B].Kind = Cls[A].Kind;
+        Changed = true;
+      }
+      if (Cls[B].Kind != ClassKind::Unknown &&
+          Cls[A].Kind == ClassKind::Unknown) {
+        Cls[A].Kind = Cls[B].Kind;
+        Changed = true;
+      }
+    }
+  }
+  // Default unconstrained classes to Int; resolve SameKind pairs.
+  for (ClassInfo &CI : Cls)
+    if (CI.Kind == ClassKind::Unknown)
+      CI.Kind = ClassKind::Int;
+  for (auto [A, B] : SameKindPairs) {
+    if (Cls[A].Kind != Cls[B].Kind) {
+      Cls[A].Infeasible = true;
+      continue;
+    }
+    if (Cls[A].Kind == ClassKind::Int)
+      Rels.push_back({A, B, /*Strict=*/false});
+  }
+
+  for (const ClassInfo &CI : Cls)
+    if (CI.Infeasible)
+      return std::vector<TypeAssignment>{};
+
+  // Width variables: Int classes get one; Ptr classes with a fixed pointee
+  // or a pointee class get none (derived); Ptr classes otherwise get one
+  // (their pointee's width). Fixed classes are pinned.
+  std::vector<int> Pinned(NumClasses, -1); // pinned width, -1 if free
+  for (unsigned C = 0; C != NumClasses; ++C) {
+    const ClassInfo &CI = Cls[C];
+    if (CI.Kind == ClassKind::Void) {
+      Pinned[C] = 0;
+    } else if (CI.FixedTy && CI.FixedTy->isInt()) {
+      Pinned[C] = static_cast<int>(CI.FixedTy->getIntWidth());
+      if (ForcedWidth[C] != -1 && ForcedWidth[C] != Pinned[C])
+        return std::vector<TypeAssignment>{};
+    } else if (ForcedWidth[C] != -1) {
+      Pinned[C] = ForcedWidth[C];
+    } else if (CI.Kind == ClassKind::Ptr &&
+               (CI.FixedPointee || CI.PointeeClass != -1)) {
+      Pinned[C] = 0; // width is irrelevant or derived
+    }
+  }
+
+  // Ensure pinned widths outside the width set do not kill feasibility:
+  // a fixed i3 annotation is allowed even if 3 is not in Config.Widths.
+  std::vector<unsigned> Order;
+  for (unsigned C = 0; C != NumClasses; ++C)
+    if (Pinned[C] < 0)
+      Order.push_back(C);
+
+  std::vector<unsigned> Width(NumClasses, 0);
+  for (unsigned C = 0; C != NumClasses; ++C)
+    if (Pinned[C] >= 0)
+      Width[C] = static_cast<unsigned>(Pinned[C]);
+
+  std::vector<unsigned> SortedWidths = Config.Widths;
+  std::sort(SortedWidths.begin(), SortedWidths.end());
+
+  auto relsHold = [&](size_t AssignedUpTo) {
+    // Check every relation whose classes are both pinned or assigned.
+    auto Known = [&](unsigned C) {
+      if (Pinned[C] >= 0)
+        return true;
+      for (size_t I = 0; I != AssignedUpTo; ++I)
+        if (Order[I] == C)
+          return true;
+      return false;
+    };
+    for (const WidthRel &R : Rels) {
+      if (!Known(R.A) || !Known(R.B))
+        continue;
+      if (R.Strict ? Width[R.A] >= Width[R.B] : Width[R.A] != Width[R.B])
+        return false;
+    }
+    return true;
+  };
+
+  std::vector<TypeAssignment> Out;
+  auto emit = [&] {
+    TypeAssignment A(N);
+    // Two passes: first Int/Void, then Ptr (which may reference an Int
+    // class's type as pointee).
+    std::vector<Type> ClassTy(NumClasses);
+    for (unsigned C = 0; C != NumClasses; ++C) {
+      const ClassInfo &CI = Cls[C];
+      if (CI.FixedTy)
+        ClassTy[C] = *CI.FixedTy;
+      else if (CI.Kind == ClassKind::Void)
+        ClassTy[C] = Type::voidTy();
+      else if (CI.Kind == ClassKind::Int)
+        ClassTy[C] = Type::intTy(Width[C]);
+    }
+    for (unsigned C = 0; C != NumClasses; ++C) {
+      const ClassInfo &CI = Cls[C];
+      if (CI.FixedTy || CI.Kind != ClassKind::Ptr)
+        continue;
+      if (CI.FixedPointee)
+        ClassTy[C] = Type::ptrTy(*CI.FixedPointee);
+      else if (CI.PointeeClass != -1)
+        ClassTy[C] = Type::ptrTy(ClassTy[CI.PointeeClass]);
+      else
+        ClassTy[C] = Type::ptrTy(Type::intTy(Width[C] ? Width[C] : 8));
+    }
+    for (unsigned V = 0; V != N; ++V)
+      A[V] = ClassTy[VarClass[V]];
+    Out.push_back(std::move(A));
+  };
+
+  // Depth-first enumeration in ascending width order.
+  std::vector<size_t> Choice(Order.size(), 0);
+  size_t Depth = 0;
+  if (Order.empty()) {
+    if (relsHold(0))
+      emit();
+    return Out;
+  }
+  for (;;) {
+    if (Out.size() >= Config.MaxAssignments)
+      break;
+    if (Choice[Depth] >= SortedWidths.size()) {
+      if (Depth == 0)
+        break;
+      Choice[Depth] = 0;
+      --Depth;
+      ++Choice[Depth];
+      continue;
+    }
+    Width[Order[Depth]] = SortedWidths[Choice[Depth]];
+    if (!relsHold(Depth + 1)) {
+      ++Choice[Depth];
+      continue;
+    }
+    if (Depth + 1 == Order.size()) {
+      emit();
+      ++Choice[Depth];
+      continue;
+    }
+    ++Depth;
+    Choice[Depth] = 0;
+  }
+  return Out;
+}

@@ -1,0 +1,296 @@
+//===- typing/TypeConstraints.cpp - constraint generation ------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typing/TypeConstraints.h"
+
+#include <functional>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::typing;
+
+static TypeConstraint mk(TypeConstraint::Kind K, TypeVar A, TypeVar B = 0) {
+  TypeConstraint C;
+  C.K = K;
+  C.A = A;
+  C.B = B;
+  return C;
+}
+
+static TypeConstraint mkFixed(TypeConstraint::Kind K, TypeVar A, Type T) {
+  TypeConstraint C;
+  C.K = K;
+  C.A = A;
+  C.FixedTy = std::move(T);
+  return C;
+}
+
+TypeConstraintSystem TypeConstraintSystem::fromTransform(const Transform &T) {
+  TypeConstraintSystem Sys;
+  Sys.NumVars = T.getNumTypeVars();
+  using K = TypeConstraint::Kind;
+
+  for (const auto &VPtr : T.pool()) {
+    const Value *V = VPtr.get();
+    TypeVar R = V->getTypeVar();
+    switch (V->getKind()) {
+    case ValueKind::Input:
+      // Inputs may be integers or pointers; usage constrains further.
+      break;
+    case ValueKind::ConstSym:
+    case ValueKind::ConstVal:
+      Sys.add(mk(K::IsInt, R));
+      break;
+    case ValueKind::Undef:
+      Sys.add(mk(K::IsInt, R));
+      break;
+    case ValueKind::BinOp: {
+      const auto *I = cast<BinOp>(V);
+      Sys.add(mk(K::IsInt, R));
+      Sys.add(mk(K::Same, R, I->getLHS()->getTypeVar()));
+      Sys.add(mk(K::Same, R, I->getRHS()->getTypeVar()));
+      break;
+    }
+    case ValueKind::ICmp: {
+      const auto *I = cast<ICmp>(V);
+      Sys.add(mkFixed(K::Fixed, R, Type::intTy(1)));
+      Sys.add(mk(K::Same, I->getLHS()->getTypeVar(),
+                 I->getRHS()->getTypeVar()));
+      // Figure 3 admits icmp over pointers too; we restrict enumeration to
+      // integers (pointer comparisons never appear in the InstCombine
+      // corpus we reproduce — see DESIGN.md).
+      Sys.add(mk(K::IsInt, I->getLHS()->getTypeVar()));
+      break;
+    }
+    case ValueKind::Select: {
+      const auto *I = cast<Select>(V);
+      Sys.add(mkFixed(K::Fixed, I->getCondition()->getTypeVar(),
+                      Type::intTy(1)));
+      Sys.add(mk(K::Same, R, I->getTrueValue()->getTypeVar()));
+      Sys.add(mk(K::Same, R, I->getFalseValue()->getTypeVar()));
+      break;
+    }
+    case ValueKind::Conv: {
+      const auto *I = cast<Conv>(V);
+      TypeVar S = I->getSrc()->getTypeVar();
+      switch (I->getOpcode()) {
+      case ConvOpcode::ZExt:
+      case ConvOpcode::SExt:
+        Sys.add(mk(K::IsInt, R));
+        Sys.add(mk(K::IsInt, S));
+        Sys.add(mk(K::WidthLT, S, R));
+        break;
+      case ConvOpcode::Trunc:
+        Sys.add(mk(K::IsInt, R));
+        Sys.add(mk(K::IsInt, S));
+        Sys.add(mk(K::WidthLT, R, S));
+        break;
+      case ConvOpcode::BitCast:
+        Sys.add(mk(K::WidthEQ, S, R));
+        break;
+      case ConvOpcode::PtrToInt:
+        Sys.add(mk(K::IsPtr, S));
+        Sys.add(mk(K::IsInt, R));
+        break;
+      case ConvOpcode::IntToPtr:
+        Sys.add(mk(K::IsInt, S));
+        Sys.add(mk(K::IsPtr, R));
+        break;
+      }
+      break;
+    }
+    case ValueKind::Alloca: {
+      const auto *I = cast<Alloca>(V);
+      Sys.add(mk(K::IsPtr, R));
+      if (I->hasElemType())
+        Sys.add(mkFixed(K::FixedPointee, R, I->getElemType()));
+      break;
+    }
+    case ValueKind::GEP: {
+      const auto *I = cast<GEP>(V);
+      // Simplified array-style GEP: the result points at the same element
+      // type as the base (see DESIGN.md).
+      Sys.add(mk(K::IsPtr, R));
+      Sys.add(mk(K::Same, R, I->getBase()->getTypeVar()));
+      for (unsigned X = 0, E = I->getNumIndices(); X != E; ++X)
+        Sys.add(mk(K::IsInt, I->getIndex(X)->getTypeVar()));
+      break;
+    }
+    case ValueKind::Load: {
+      const auto *I = cast<Load>(V);
+      Sys.add(mk(K::PointeeIs, I->getPointer()->getTypeVar(), R));
+      Sys.add(mk(K::IsInt, R));
+      break;
+    }
+    case ValueKind::Store: {
+      const auto *I = cast<Store>(V);
+      Sys.add(mk(K::PointeeIs, I->getPointer()->getTypeVar(),
+                 I->getValue()->getTypeVar()));
+      Sys.add(mk(K::IsInt, I->getValue()->getTypeVar()));
+      Sys.add(mk(K::IsVoid, R));
+      break;
+    }
+    case ValueKind::Unreachable:
+      Sys.add(mk(K::IsVoid, R));
+      break;
+    case ValueKind::Copy:
+      Sys.add(mk(K::Same, R, cast<Copy>(V)->getSrc()->getTypeVar()));
+      break;
+    }
+  }
+
+  // Constant expressions are encoded at their context width, so every
+  // abstract constant referenced inside one shares its type.
+  auto FindConstSym = [&T](const std::string &Name) -> const Value * {
+    for (const auto &V : T.pool())
+      if (isa<ConstantSymbol>(V.get()) && V->getName() == Name)
+        return V.get();
+    return nullptr;
+  };
+  // Width-changing builtins (zext/sext/trunc) break the same-width
+  // relationship between the expression and its referenced constants;
+  // the encoder resizes such references explicitly instead.
+  std::function<bool(const ConstExpr *)> ChangesWidth =
+      [&](const ConstExpr *E) -> bool {
+    if (E->getKind() == ConstExpr::Kind::Call) {
+      switch (E->getBuiltin()) {
+      case ConstExpr::Builtin::ZExt:
+      case ConstExpr::Builtin::SExt:
+      case ConstExpr::Builtin::Trunc:
+        return true;
+      default:
+        break;
+      }
+    }
+    for (unsigned I = 0; I != E->getNumArgs(); ++I)
+      if (ChangesWidth(E->getArg(I)))
+        return true;
+    return false;
+  };
+  for (const auto &VPtr : T.pool()) {
+    const auto *CV = dyn_cast<ConstExprValue>(VPtr.get());
+    if (!CV || ChangesWidth(CV->getExpr()))
+      continue;
+    std::vector<std::string> Syms;
+    CV->getExpr()->collectSymRefs(Syms);
+    for (const std::string &Name : Syms)
+      if (const Value *Sym = FindConstSym(Name))
+        Sys.add(mk(K::Same, CV->getTypeVar(), Sym->getTypeVar()));
+  }
+
+  // Precondition comparisons and two-argument predicates unify the types
+  // of the values they relate.
+  std::function<void(const Precond &)> WalkPre = [&](const Precond &P) {
+    switch (P.getKind()) {
+    case Precond::Kind::Not:
+    case Precond::Kind::And:
+    case Precond::Kind::Or:
+      for (unsigned I = 0; I != P.getNumChildren(); ++I)
+        WalkPre(*P.getChild(I));
+      return;
+    case Precond::Kind::Cmp: {
+      std::vector<std::string> Syms;
+      P.getCmpLHS()->collectSymRefs(Syms);
+      P.getCmpRHS()->collectSymRefs(Syms);
+      const Value *First = nullptr;
+      for (const std::string &Name : Syms) {
+        const Value *Sym = FindConstSym(Name);
+        if (!Sym)
+          continue;
+        if (!First)
+          First = Sym;
+        else
+          Sys.add(mk(K::Same, First->getTypeVar(), Sym->getTypeVar()));
+      }
+      return;
+    }
+    case Precond::Kind::Builtin: {
+      const auto &Args = P.getArgs();
+      if (Args.size() == 2)
+        Sys.add(mk(K::Same, Args[0]->getTypeVar(), Args[1]->getTypeVar()));
+      return;
+    }
+    case Precond::Kind::True:
+      return;
+    }
+  };
+  WalkPre(T.getPrecondition());
+
+  for (const auto &[TV, Ty] : T.fixedTypes())
+    Sys.add(mkFixed(K::Fixed, TV, Ty));
+
+  // Source root and target root compute the same variable: equal types.
+  // (Void-rooted store transforms have unrelated roots.)
+  if (T.getSrcRoot() && T.getTgtRoot() &&
+      T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
+    Sys.add(mk(K::Same, T.getSrcRoot()->getTypeVar(),
+               T.getTgtRoot()->getTypeVar()));
+  // Target redefinitions of source temporaries must match their type.
+  for (const Instr *I : T.tgtOverwrites())
+    for (const Instr *S : T.src())
+      if (S->getName() == I->getName())
+        Sys.add(mk(K::Same, S->getTypeVar(), I->getTypeVar()));
+
+  return Sys;
+}
+
+bool TypeConstraintSystem::satisfies(const TypeAssignment &A,
+                                     unsigned PtrWidth) const {
+  using K = TypeConstraint::Kind;
+  for (const TypeConstraint &C : List) {
+    const Type &TA = A[C.A];
+    switch (C.K) {
+    case K::IsInt:
+      if (!TA.isInt())
+        return false;
+      break;
+    case K::IsPtr:
+      if (!TA.isPtr())
+        return false;
+      break;
+    case K::IsIntOrPtr:
+      if (!TA.isInt() && !TA.isPtr())
+        return false;
+      break;
+    case K::Same:
+      if (TA != A[C.B])
+        return false;
+      break;
+    case K::WidthLT:
+      if (!TA.isInt() || !A[C.B].isInt() ||
+          TA.getIntWidth() >= A[C.B].getIntWidth())
+        return false;
+      break;
+    case K::WidthEQ: {
+      const Type &TB = A[C.B];
+      if (TA.isInt() != TB.isInt() || TA.isPtr() != TB.isPtr())
+        return false;
+      if (TA.isInt() && TA.getIntWidth() != TB.getIntWidth())
+        return false;
+      if (!TA.isInt() && !TA.isPtr())
+        return false;
+      break;
+    }
+    case K::Fixed:
+      if (TA != C.FixedTy)
+        return false;
+      break;
+    case K::PointeeIs:
+      if (!TA.isPtr() || TA.getElemType() != A[C.B])
+        return false;
+      break;
+    case K::FixedPointee:
+      if (!TA.isPtr() || TA.getElemType() != C.FixedTy)
+        return false;
+      break;
+    case K::IsVoid:
+      if (!TA.isVoid())
+        return false;
+      break;
+    }
+  }
+  return true;
+}

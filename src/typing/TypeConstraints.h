@@ -1,0 +1,104 @@
+//===- typing/TypeConstraints.h - Figure 3 typing constraints ---*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraint generation for Alive's type system (Figure 3) and the
+/// interface for enumerating *feasible type assignments* (Section 3.2):
+/// the concrete typings a polymorphic transformation must be verified
+/// under. Two enumerators implement the interface — a native backtracking
+/// propagator and a Z3/LIA model enumerator mirroring the paper's
+/// implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_TYPING_TYPECONSTRAINTS_H
+#define ALIVE_TYPING_TYPECONSTRAINTS_H
+
+#include "ir/Transform.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace alive {
+namespace typing {
+
+/// One typing constraint over the transform's type variables.
+struct TypeConstraint {
+  enum class Kind {
+    IsInt,        ///< A is an integer type
+    IsPtr,        ///< A is a pointer type
+    IsIntOrPtr,   ///< A ∈ I ∪ P (icmp operands)
+    Same,         ///< type(A) == type(B)
+    WidthLT,      ///< both Int and width(A) < width(B)  (t <: t')
+    WidthEQ,      ///< bitcast: same kind; equal widths when both Int
+    Fixed,        ///< type(A) == FixedTy (explicit annotation)
+    PointeeIs,    ///< A is Ptr and pointee(A) == type(B)
+    FixedPointee, ///< A is Ptr and pointee(A) == FixedTy
+    IsVoid,       ///< A is void (store/unreachable results)
+  };
+
+  Kind K;
+  ir::TypeVar A = 0;
+  ir::TypeVar B = 0;
+  ir::Type FixedTy;
+};
+
+/// A full assignment: one concrete type per type variable.
+using TypeAssignment = std::vector<ir::Type>;
+
+/// Controls the enumeration space. The paper bounds integer widths at 64
+/// and enumerates every feasible assignment; exhaustive enumeration of
+/// 1..64 per class is supported but tests default to a sampled width set.
+struct TypeEnumConfig {
+  std::vector<unsigned> Widths = {4, 8, 16, 32};
+  unsigned PtrWidth = 32;          ///< pointer width in bits
+  unsigned MaxAssignments = 24;    ///< cap on enumerated assignments
+  bool isAllowedWidth(unsigned W) const {
+    for (unsigned X : Widths)
+      if (X == W)
+        return true;
+    return false;
+  }
+};
+
+/// The constraint system extracted from a Transform.
+class TypeConstraintSystem {
+public:
+  /// Walks source and target and generates Figure 3's constraints.
+  static TypeConstraintSystem fromTransform(const ir::Transform &T);
+
+  unsigned getNumVars() const { return NumVars; }
+  const std::vector<TypeConstraint> &constraints() const { return List; }
+
+  void add(TypeConstraint C) { List.push_back(std::move(C)); }
+
+  /// Checks \p A against every constraint (used by tests and as a
+  /// cross-check on enumerator output).
+  bool satisfies(const TypeAssignment &A, unsigned PtrWidth) const;
+
+private:
+  unsigned NumVars = 0;
+  std::vector<TypeConstraint> List;
+};
+
+/// Enumerates feasible type assignments with the native backtracking
+/// solver. Returns at most Config.MaxAssignments assignments; an empty
+/// result with an ok() status means the constraints are infeasible.
+Result<std::vector<TypeAssignment>>
+enumerateTypesNative(const TypeConstraintSystem &Sys,
+                     const TypeEnumConfig &Config);
+
+/// Enumerates feasible type assignments by iterating models of a Z3
+/// integer-arithmetic encoding (the paper's Section 3.2 technique,
+/// blocking each model until unsat).
+Result<std::vector<TypeAssignment>>
+enumerateTypesZ3(const TypeConstraintSystem &Sys,
+                 const TypeEnumConfig &Config);
+
+} // namespace typing
+} // namespace alive
+
+#endif // ALIVE_TYPING_TYPECONSTRAINTS_H

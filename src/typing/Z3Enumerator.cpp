@@ -1,0 +1,220 @@
+//===- typing/Z3Enumerator.cpp - SMT-based type enumeration ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3.2 technique: encode the typing constraints over
+/// integer variables (a kind tag and a width per type variable), then
+/// enumerate all models by iteratively conjoining the negation of each
+/// model until the formula becomes unsatisfiable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "typing/TypeConstraints.h"
+
+#include <functional>
+
+#include <z3++.h>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::typing;
+
+namespace {
+// Kind tags in the integer encoding.
+constexpr int KindInt = 0;
+constexpr int KindPtr = 1;
+constexpr int KindVoid = 2;
+} // namespace
+
+Result<std::vector<TypeAssignment>>
+typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
+                         const TypeEnumConfig &Config) {
+  using K = TypeConstraint::Kind;
+  std::vector<TypeAssignment> Out;
+  try {
+    z3::context C;
+    z3::solver S(C);
+    unsigned N = Sys.getNumVars();
+
+    // Classes pinned by an explicit annotation escape the configured width
+    // domain (a fixed i3 must stay feasible even when 3 is not in the
+    // Widths set). Compute Same-classes with a small union-find, mirroring
+    // the native enumerator.
+    std::vector<unsigned> Parent(N);
+    for (unsigned I = 0; I != N; ++I)
+      Parent[I] = I;
+    std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+      while (Parent[X] != X) {
+        Parent[X] = Parent[Parent[X]];
+        X = Parent[X];
+      }
+      return X;
+    };
+    for (const TypeConstraint &Con : Sys.constraints())
+      if (Con.K == K::Same)
+        Parent[Find(Con.A)] = Find(Con.B);
+    std::vector<bool> WidthExempt(N, false), PointeeExempt(N, false);
+    std::vector<bool> MayPtr(N, false), MayVoid(N, false);
+    for (const TypeConstraint &Con : Sys.constraints()) {
+      if (Con.K == K::Fixed) {
+        WidthExempt[Find(Con.A)] = true;
+        if (Con.FixedTy.isPtr())
+          MayPtr[Find(Con.A)] = true;
+        if (Con.FixedTy.isVoid())
+          MayVoid[Find(Con.A)] = true;
+      }
+      if (Con.K == K::FixedPointee || Con.K == K::PointeeIs)
+        PointeeExempt[Find(Con.A)] = true;
+      if (Con.K == K::IsPtr || Con.K == K::FixedPointee ||
+          Con.K == K::PointeeIs)
+        MayPtr[Find(Con.A)] = true;
+      if (Con.K == K::IsVoid)
+        MayVoid[Find(Con.A)] = true;
+    }
+    // Bitcasts equate kinds: a pointer on one side makes the other side
+    // pointer-capable too (fixpoint over WidthEQ pairs).
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (const TypeConstraint &Con : Sys.constraints()) {
+        if (Con.K != K::WidthEQ)
+          continue;
+        unsigned CA = Find(Con.A), CB = Find(Con.B);
+        if (MayPtr[CA] != MayPtr[CB]) {
+          MayPtr[CA] = MayPtr[CB] = true;
+          Changed = true;
+        }
+      }
+    }
+
+    std::vector<z3::expr> Kind, Width, PointeeW;
+    for (unsigned I = 0; I != N; ++I) {
+      Kind.push_back(C.int_const(("k" + std::to_string(I)).c_str()));
+      Width.push_back(C.int_const(("w" + std::to_string(I)).c_str()));
+      PointeeW.push_back(C.int_const(("p" + std::to_string(I)).c_str()));
+      S.add(Kind[I] >= KindInt && Kind[I] <= KindVoid);
+      // Enumeration policy (matching the native enumerator): a class never
+      // forced toward pointers or void defaults to Int rather than
+      // multiplying the assignment space.
+      if (!MayPtr[Find(I)] && !MayVoid[Find(I)])
+        S.add(Kind[I] == KindInt);
+      else if (!MayPtr[Find(I)])
+        S.add(Kind[I] != KindPtr);
+
+      // Width domains: any allowed width; pointer/void widths pinned to 0
+      // and their pointee width constrained instead.
+      z3::expr WidthOk = C.bool_val(false);
+      z3::expr PtrWOk = C.bool_val(false);
+      for (unsigned W : Config.Widths) {
+        WidthOk = WidthOk || Width[I] == static_cast<int>(W);
+        PtrWOk = PtrWOk || PointeeW[I] == static_cast<int>(W);
+      }
+      if (!WidthExempt[Find(I)])
+        S.add(z3::implies(Kind[I] == KindInt, WidthOk));
+      S.add(z3::implies(Kind[I] != KindInt, Width[I] == 0));
+      if (!PointeeExempt[Find(I)])
+        S.add(z3::implies(Kind[I] == KindPtr, PtrWOk));
+      S.add(z3::implies(Kind[I] != KindPtr, PointeeW[I] == 0));
+    }
+
+    auto fixTo = [&](unsigned V, const Type &T, bool &Supported) {
+      switch (T.getKind()) {
+      case Type::Kind::Int:
+        S.add(Kind[V] == KindInt &&
+              Width[V] == static_cast<int>(T.getIntWidth()));
+        break;
+      case Type::Kind::Ptr:
+        S.add(Kind[V] == KindPtr);
+        if (T.getElemType().isInt())
+          S.add(PointeeW[V] ==
+                static_cast<int>(T.getElemType().getIntWidth()));
+        else
+          Supported = false;
+        break;
+      case Type::Kind::Void:
+        S.add(Kind[V] == KindVoid);
+        break;
+      case Type::Kind::Array:
+        Supported = false;
+        break;
+      }
+    };
+
+    bool Supported = true;
+    for (const TypeConstraint &Con : Sys.constraints()) {
+      unsigned A = Con.A, B = Con.B;
+      switch (Con.K) {
+      case K::IsInt:
+        S.add(Kind[A] == KindInt);
+        break;
+      case K::IsPtr:
+        S.add(Kind[A] == KindPtr);
+        break;
+      case K::IsIntOrPtr:
+        S.add(Kind[A] == KindInt || Kind[A] == KindPtr);
+        break;
+      case K::IsVoid:
+        S.add(Kind[A] == KindVoid);
+        break;
+      case K::Same:
+        S.add(Kind[A] == Kind[B] && Width[A] == Width[B] &&
+              PointeeW[A] == PointeeW[B]);
+        break;
+      case K::WidthLT:
+        S.add(Kind[A] == KindInt && Kind[B] == KindInt &&
+              Width[A] < Width[B]);
+        break;
+      case K::WidthEQ:
+        S.add(Kind[A] == Kind[B] && Kind[A] != KindVoid);
+        S.add(z3::implies(Kind[A] == KindInt, Width[A] == Width[B]));
+        break;
+      case K::Fixed:
+        fixTo(A, Con.FixedTy, Supported);
+        break;
+      case K::PointeeIs:
+        S.add(Kind[A] == KindPtr && Kind[B] == KindInt &&
+              PointeeW[A] == Width[B]);
+        break;
+      case K::FixedPointee:
+        S.add(Kind[A] == KindPtr);
+        if (Con.FixedTy.isInt())
+          S.add(PointeeW[A] == static_cast<int>(Con.FixedTy.getIntWidth()));
+        else
+          Supported = false;
+        break;
+      }
+    }
+    if (!Supported)
+      return Result<std::vector<TypeAssignment>>::error(
+          "Z3 type enumerator: unsupported fixed type (array pointee)");
+
+    // Enumerate all models, blocking each one (paper Section 3.2).
+    while (Out.size() < Config.MaxAssignments && S.check() == z3::sat) {
+      z3::model M = S.get_model();
+      TypeAssignment Asg(N);
+      z3::expr Block = C.bool_val(false);
+      for (unsigned I = 0; I != N; ++I) {
+        int64_t KV = M.eval(Kind[I], true).get_numeral_int64();
+        int64_t WV = M.eval(Width[I], true).get_numeral_int64();
+        int64_t PV = M.eval(PointeeW[I], true).get_numeral_int64();
+        if (KV == KindInt)
+          Asg[I] = Type::intTy(static_cast<unsigned>(WV));
+        else if (KV == KindPtr)
+          Asg[I] = Type::ptrTy(Type::intTy(static_cast<unsigned>(PV)));
+        else
+          Asg[I] = Type::voidTy();
+        Block = Block || Kind[I] != M.eval(Kind[I], true) ||
+                Width[I] != M.eval(Width[I], true) ||
+                PointeeW[I] != M.eval(PointeeW[I], true);
+      }
+      Out.push_back(std::move(Asg));
+      S.add(Block);
+    }
+  } catch (const z3::exception &Ex) {
+    return Result<std::vector<TypeAssignment>>::error(
+        std::string("Z3 type enumeration failed: ") + Ex.msg());
+  }
+  return Out;
+}

@@ -1,0 +1,286 @@
+//===- verifier/AttrInfer.cpp - optimal attribute inference ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6's algorithm. Poison-free constraints are generated
+/// conditionally on fresh Boolean indicators (one per legal nsw/nuw/exact
+/// position on either side). For each type assignment, every model of
+/// ∃F,F̄ : Φ ∧ c1 ∧ c2 ∧ c3 (∧ c4) is enumerated; each model contributes a
+/// cube recording which source attributes were assumed (they constrain
+/// the precondition) and which target attributes were dropped (they
+/// constrain the postcondition), exploiting the partial order between
+/// attribute assignments. The conjunction over type assignments of these
+/// cube disjunctions describes all safe placements; the optimum is the
+/// model with the fewest source and the most target attributes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "smt/Printer.h"
+
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::smt;
+using namespace alive::semantics;
+using namespace alive::verifier;
+
+namespace {
+
+/// One literal of a cube: indicator variable name and required polarity.
+struct CubeLit {
+  std::string Name;
+  bool Positive;
+};
+using Cube = std::vector<CubeLit>;
+/// μ for one type assignment: a disjunction of cubes.
+using Mu = std::vector<Cube>;
+
+TermRef buildCube(TermContext &Ctx, const Cube &C) {
+  std::vector<TermRef> Lits;
+  for (const CubeLit &L : C) {
+    TermRef V = Ctx.mkVar(L.Name, Sort::boolSort());
+    Lits.push_back(L.Positive ? V : Ctx.mkNot(V));
+  }
+  return Ctx.mkAnd(Lits);
+}
+
+TermRef buildPhi(TermContext &Ctx, const std::vector<Mu> &Phi) {
+  std::vector<TermRef> Conj;
+  for (const Mu &M : Phi) {
+    std::vector<TermRef> Disj;
+    for (const Cube &C : M)
+      Disj.push_back(buildCube(Ctx, C));
+    Conj.push_back(Ctx.mkOr(Disj));
+  }
+  return Ctx.mkAnd(Conj);
+}
+
+} // namespace
+
+bool AttrInferenceResult::strengthensPostcondition(const Transform &T) const {
+  for (const Instr *I : T.tgt()) {
+    const auto *B = dyn_cast<BinOp>(I);
+    if (!B)
+      continue;
+    auto It = TgtFlags.find(B->getName());
+    if (It == TgtFlags.end())
+      continue;
+    if (It->second & ~B->getFlags())
+      return true;
+  }
+  return false;
+}
+
+bool AttrInferenceResult::weakensPrecondition(const Transform &T) const {
+  for (const Instr *I : T.src()) {
+    const auto *B = dyn_cast<BinOp>(I);
+    if (!B)
+      continue;
+    auto It = SrcFlags.find(B->getName());
+    if (It == SrcFlags.end())
+      continue;
+    if (B->getFlags() & ~It->second)
+      return true;
+  }
+  return false;
+}
+
+AttrInferenceResult verifier::inferAttributes(const Transform &T,
+                                              const VerifyConfig &Cfg) {
+  AttrInferenceResult R;
+
+  auto Sys = typing::TypeConstraintSystem::fromTransform(T);
+  auto Assignments = typing::enumerateTypesNative(Sys, Cfg.Types);
+  if (!Assignments.ok() || Assignments.get().empty()) {
+    R.Message = Assignments.ok() ? "no feasible type assignment"
+                                 : Assignments.message();
+    return R;
+  }
+
+  // Attribute inference needs the ∃F ∀I ∃U quantifier structure: Z3 only.
+  auto Solver = createZ3Solver(Cfg.TimeoutMs);
+
+  std::vector<Mu> Phi;
+  // Indicator metadata captured while the per-assignment TermContext is
+  // alive (the AttrIndicator terms themselves die with each context).
+  struct IndicatorInfo {
+    std::string VarName;
+    bool InSource;
+    unsigned Flag;
+    std::string InstrName;
+    unsigned WrittenFlags;
+  };
+  std::vector<IndicatorInfo> IndicatorSet;
+
+  for (const auto &Types : Assignments.get()) {
+    TermContext Ctx;
+    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+    if (Status S = Enc.encode(/*InferAttrs=*/true); !S.ok()) {
+      R.Message = S.message();
+      return R;
+    }
+    IndicatorSet.clear();
+    for (const AttrIndicator &AI : Enc.attrIndicators())
+      IndicatorSet.push_back({AI.Var->getName(), AI.InSource, AI.Flag,
+                              AI.I->getName(), AI.I->getFlags()});
+
+    const ValueSem &Src = Enc.srcRootSem();
+    const ValueSem &Tgt = Enc.tgtRootSem();
+    TermRef Psi = Ctx.mkAnd(
+        {Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
+    std::vector<TermRef> Conds{Ctx.mkImplies(Psi, Tgt.Defined),
+                               Ctx.mkImplies(Psi, Tgt.PoisonFree)};
+    if (Src.Val && Tgt.Val)
+      Conds.push_back(Ctx.mkImplies(Psi, Ctx.mkEq(Src.Val, Tgt.Val)));
+    if (Enc.hasMemory()) {
+      TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
+      Conds.push_back(Ctx.mkImplies(
+          Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree}),
+          Ctx.mkEq(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx))));
+    }
+    TermRef Body = Ctx.mkAnd(Conds);
+    if (!Enc.srcUndefs().empty())
+      Body = Ctx.mkExists(Enc.srcUndefs(), Body);
+
+    // Universally quantify everything except the attribute indicators
+    // (the source undefs are already bound by the inner ∃).
+    std::set<TermRef> AttrVarSet;
+    for (const AttrIndicator &AI : Enc.attrIndicators())
+      AttrVarSet.insert(AI.Var);
+    std::vector<TermRef> UVars;
+    for (TermRef V : collectFreeVars(Body))
+      if (!AttrVarSet.count(V))
+        UVars.push_back(V);
+    TermRef Quantified = Ctx.mkForall(UVars, Body);
+
+    // Enumerate the models of Φ ∧ c over the indicator variables.
+    Mu MuA;
+    TermRef F = Ctx.mkAnd(buildPhi(Ctx, Phi), Quantified);
+    for (;;) {
+      CheckResult CR = Solver->check(F);
+      ++R.NumQueries;
+      if (CR.isUnknown()) {
+        R.Message = "solver gave up during attribute inference: " + CR.Reason;
+        return R;
+      }
+      if (CR.isUnsat())
+        break;
+      // Build the cube b: source attributes that are ON, target
+      // attributes that are OFF (Figure 6).
+      Cube B;
+      for (const AttrIndicator &AI : Enc.attrIndicators()) {
+        bool V = CR.M.getBool(AI.Var).value_or(false);
+        if (AI.InSource && V)
+          B.push_back({AI.Var->getName(), true});
+        if (!AI.InSource && !V)
+          B.push_back({AI.Var->getName(), false});
+      }
+      MuA.push_back(B);
+      F = Ctx.mkAnd(F, Ctx.mkNot(buildCube(Ctx, B)));
+      // An empty cube covers every assignment: μ is already everything.
+      if (B.empty())
+        break;
+    }
+    if (MuA.empty()) {
+      R.Message = "no attribute assignment makes the transformation correct";
+      return R;
+    }
+    Phi.push_back(std::move(MuA));
+  }
+
+  // Optimal assignment relative to the written attributes (Section 6.3):
+  //  * weakest precondition — fewest source attributes, holding the target
+  //    at its written flags;
+  //  * strongest postcondition — most target attributes, holding the
+  //    source at its written flags.
+  TermContext Ctx;
+  TermRef F = buildPhi(Ctx, Phi);
+  auto Boolean = createBitBlastSolver();
+
+  auto VarOf = [&](const IndicatorInfo &AI) {
+    return Ctx.mkVar(AI.VarName, Sort::boolSort());
+  };
+  auto WrittenLit = [&](const IndicatorInfo &AI) {
+    bool On = AI.WrittenFlags & AI.Flag;
+    return On ? VarOf(AI) : Ctx.mkNot(VarOf(AI));
+  };
+  auto PinSide = [&](bool Source) {
+    TermRef Pin = Ctx.mkTrue();
+    for (const IndicatorInfo &AI : IndicatorSet)
+      if (AI.InSource == Source)
+        Pin = Ctx.mkAnd(Pin, WrittenLit(AI));
+    return Pin;
+  };
+
+  // Greedily optimize one side while the other is pinned at its written
+  // flags; prefer OFF for source and ON for target indicators.
+  auto Optimize = [&](bool Source, TermRef Base,
+                      std::map<std::string, unsigned> &Out) -> bool {
+    CheckResult Sanity = Boolean->check(Base);
+    ++R.NumQueries;
+    if (!Sanity.isSat())
+      return false;
+    TermRef Acc = Base;
+    for (const IndicatorInfo &AI : IndicatorSet) {
+      if (AI.InSource != Source)
+        continue;
+      bool Prefer = !Source;
+      TermRef V = VarOf(AI);
+      TermRef Try = Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V));
+      CheckResult CR = Boolean->check(Try);
+      ++R.NumQueries;
+      bool Val = CR.isSat() ? Prefer : !Prefer;
+      Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
+      if (Val)
+        Out[AI.InstrName] |= AI.Flag;
+      else
+        Out.try_emplace(AI.InstrName, 0u);
+    }
+    return true;
+  };
+
+  bool SrcOk = Optimize(/*Source=*/true, Ctx.mkAnd(F, PinSide(false)),
+                        R.SrcFlags);
+  bool TgtOk = Optimize(/*Source=*/false, Ctx.mkAnd(F, PinSide(true)),
+                        R.TgtFlags);
+  if (!SrcOk || !TgtOk) {
+    // The transformation is incorrect as written; fall back to a global
+    // optimum (repair mode): maximize target attributes first, then
+    // minimize source attributes.
+    R.SrcFlags.clear();
+    R.TgtFlags.clear();
+    CheckResult Any = Boolean->check(F);
+    ++R.NumQueries;
+    if (!Any.isSat()) {
+      R.Message = "no attribute assignment makes the transformation correct";
+      return R;
+    }
+    TermRef Acc = F;
+    for (bool Source : {false, true}) {
+      std::map<std::string, unsigned> &Out =
+          Source ? R.SrcFlags : R.TgtFlags;
+      for (const IndicatorInfo &AI : IndicatorSet) {
+        if (AI.InSource != Source)
+          continue;
+        bool Prefer = !Source;
+        TermRef V = VarOf(AI);
+        CheckResult CR =
+            Boolean->check(Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V)));
+        ++R.NumQueries;
+        bool Val = CR.isSat() ? Prefer : !Prefer;
+        Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
+        if (Val)
+          Out[AI.InstrName] |= AI.Flag;
+      }
+    }
+  }
+
+  R.Feasible = true;
+  return R;
+}

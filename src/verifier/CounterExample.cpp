@@ -1,0 +1,111 @@
+//===- verifier/CounterExample.cpp - Figure 5-style counterexamples --------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::smt;
+using namespace alive::semantics;
+using namespace alive::verifier;
+
+/// Model evaluation is only safe on quantifier-free, array-free terms with
+/// widths our APInt supports; δ/ρ terms can contain >64-bit overflow
+/// checks, so we test before evaluating.
+static bool isEvaluable(TermRef T) {
+  if (T->getSort().isArray() ||
+      (T->getSort().isBitVec() && T->getSort().getWidth() > 64))
+    return false;
+  switch (T->getKind()) {
+  case TermKind::ArraySelect:
+  case TermKind::ArrayStore:
+  case TermKind::Forall:
+  case TermKind::Exists:
+    return false;
+  default:
+    for (TermRef Op : T->operands())
+      if (!isEvaluable(Op))
+        return false;
+    return true;
+  }
+}
+
+namespace alive {
+namespace verifier {
+
+CounterExample buildCounterExample(FailureKind Kind, const Encoder &Enc,
+                                   const Model &M, const Transform &T,
+                                   const typing::TypeAssignment &Types,
+                                   unsigned PtrWidth) {
+  CounterExample CEX;
+  CEX.Kind = Kind;
+  CEX.Types = Types;
+  CEX.RootName = T.getSrcRoot()->getName();
+  CEX.RootTypeStr = Types[T.getSrcRoot()->getTypeVar()].str();
+
+  for (const auto &[V, Term] : Enc.inputTerms()) {
+    CounterExample::Binding B;
+    B.Name = V->getName();
+    B.TypeStr = Types[V->getTypeVar()].str();
+    B.Value = M.getBVOrZero(Term);
+    CEX.Inputs.push_back(std::move(B));
+  }
+  for (const auto &[I, Term] : Enc.srcInstrTerms()) {
+    if (I == T.getSrcRoot() || !isEvaluable(Term))
+      continue;
+    CounterExample::Binding B;
+    B.Name = I->getName();
+    B.TypeStr = Types[I->getTypeVar()].str();
+    B.Value = M.evalBV(Term);
+    CEX.Intermediates.push_back(std::move(B));
+  }
+  if (Enc.srcRootSem().Val && isEvaluable(Enc.srcRootSem().Val))
+    CEX.SourceValue = M.evalBV(Enc.srcRootSem().Val);
+  if (Kind == FailureKind::ValueMismatch && Enc.tgtRootSem().Val &&
+      isEvaluable(Enc.tgtRootSem().Val))
+    CEX.TargetValue = M.evalBV(Enc.tgtRootSem().Val);
+  return CEX;
+}
+
+} // namespace verifier
+} // namespace alive
+
+std::string CounterExample::str() const {
+  // Figure 5's format:
+  //   ERROR: Mismatch in values of i4 %r
+  //   Example:
+  //   %X i4 = 0xF (15, -1)
+  //   ...
+  //   Source value: 0x1 (1)
+  //   Target value: 0xF (15, -1)
+  std::string S = "ERROR: " + std::string(failureKindName(Kind)) + " of " +
+                  RootTypeStr + " " + RootName + "\n";
+  S += "Example:\n";
+  for (const Binding &B : Inputs)
+    S += B.Name + " " + B.TypeStr + " = " + B.Value.toString() + "\n";
+  for (const Binding &B : Intermediates)
+    S += B.Name + " " + B.TypeStr + " = " + B.Value.toString() + "\n";
+  if (SourceValue)
+    S += "Source value: " + SourceValue->toString() + "\n";
+  else
+    S += "Source value: (not evaluable)\n";
+  switch (Kind) {
+  case FailureKind::ValueMismatch:
+    if (TargetValue)
+      S += "Target value: " + TargetValue->toString() + "\n";
+    break;
+  case FailureKind::TargetUndefined:
+    S += "Target value: undefined behavior\n";
+    break;
+  case FailureKind::TargetPoison:
+    S += "Target value: poison\n";
+    break;
+  case FailureKind::MemoryMismatch:
+    S += "Target memory differs from source memory\n";
+    break;
+  }
+  return S;
+}

@@ -1,0 +1,145 @@
+//===- verifier/Verifier.cpp - refinement checking --------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "smt/Printer.h"
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::smt;
+using namespace alive::semantics;
+using namespace alive::verifier;
+
+// Implemented in CounterExample.cpp.
+namespace alive {
+namespace verifier {
+CounterExample buildCounterExample(FailureKind Kind, const Encoder &Enc,
+                                   const Model &M, const ir::Transform &T,
+                                   const typing::TypeAssignment &Types,
+                                   unsigned PtrWidth);
+} // namespace verifier
+} // namespace alive
+
+const char *verifier::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::TargetUndefined:
+    return "Domain of definedness of target is smaller than the source's";
+  case FailureKind::TargetPoison:
+    return "Target introduces poison where the source is poison-free";
+  case FailureKind::ValueMismatch:
+    return "Mismatch in values";
+  case FailureKind::MemoryMismatch:
+    return "Mismatch in final memory states";
+  }
+  return "?";
+}
+
+static std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
+  switch (Cfg.Backend) {
+  case BackendKind::Z3:
+    return createZ3Solver(Cfg.TimeoutMs);
+  case BackendKind::BitBlast:
+    return createBitBlastSolver();
+  case BackendKind::Hybrid:
+    return createHybridSolver(Cfg.TimeoutMs);
+  }
+  return createHybridSolver(Cfg.TimeoutMs);
+}
+
+VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
+  VerifyResult R;
+
+  auto Sys = typing::TypeConstraintSystem::fromTransform(T);
+  auto Assignments = Cfg.UseZ3TypeEnum
+                         ? typing::enumerateTypesZ3(Sys, Cfg.Types)
+                         : typing::enumerateTypesNative(Sys, Cfg.Types);
+  if (!Assignments.ok()) {
+    R.V = Verdict::EncodeError;
+    R.Message = Assignments.message();
+    return R;
+  }
+  if (Assignments.get().empty()) {
+    R.V = Verdict::TypeError;
+    R.Message = "no feasible type assignment";
+    return R;
+  }
+
+  auto Solver = makeSolver(Cfg);
+
+  for (const auto &Types : Assignments.get()) {
+    ++R.NumTypeAssignments;
+    TermContext Ctx;
+    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+    if (Status S = Enc.encode(); !S.ok()) {
+      R.V = Verdict::EncodeError;
+      R.Message = S.message();
+      return R;
+    }
+
+    const ValueSem &Src = Enc.srcRootSem();
+    const ValueSem &Tgt = Enc.tgtRootSem();
+    TermRef Psi = Ctx.mkAnd(
+        {Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
+
+    struct Check {
+      FailureKind Kind;
+      TermRef Negated; ///< ψ ∧ ¬X — satisfiable means broken
+    };
+    std::vector<Check> Checks;
+    // Condition 1: ψ ⇒ δ̄.
+    Checks.push_back(
+        {FailureKind::TargetUndefined, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.Defined))});
+    // Condition 2: ψ ⇒ ρ̄.
+    Checks.push_back(
+        {FailureKind::TargetPoison, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.PoisonFree))});
+    // Condition 3: ψ ⇒ ι = ι̅ (roots with a value; a store/unreachable
+    // root has none and is covered by conditions 1 and 4).
+    if (Src.Val && Tgt.Val &&
+        T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
+      Checks.push_back({FailureKind::ValueMismatch,
+                        Ctx.mkAnd(Psi, Ctx.mkNe(Src.Val, Tgt.Val))});
+    // Condition 4: equal final memories at every index.
+    if (Enc.hasMemory()) {
+      TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
+      TermRef Diff =
+          Ctx.mkNe(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx));
+      Checks.push_back(
+          {FailureKind::MemoryMismatch,
+           Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree,
+                      Diff})});
+    }
+
+    // Ackermann consistency of the eager memory encoding. The final-byte
+    // reads above may add axioms, so gather them last.
+    TermRef MemAxioms = Enc.memoryAxioms();
+
+    for (const Check &C : Checks) {
+      // Source-side undef values are existential in the original
+      // condition, hence universally quantified in its negation.
+      TermRef Query = Ctx.mkAnd(MemAxioms, C.Negated);
+      if (!Enc.srcUndefs().empty())
+        Query = Ctx.mkForall(Enc.srcUndefs(), Query);
+      CheckResult CR = Solver->check(Query);
+      ++R.NumQueries;
+      if (CR.isUnknown()) {
+        R.V = Verdict::Unknown;
+        R.Message = "solver gave up on " +
+                    std::string(failureKindName(C.Kind)) + ": " + CR.Reason;
+        return R;
+      }
+      if (CR.isSat()) {
+        R.V = Verdict::Incorrect;
+        R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
+                                    Cfg.Encoding.PtrWidth);
+        return R;
+      }
+    }
+  }
+
+  R.V = Verdict::Correct;
+  return R;
+}

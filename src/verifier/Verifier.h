@@ -1,0 +1,121 @@
+//===- verifier/Verifier.h - refinement checking -----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the tool chain: verifies an Alive transformation by checking
+/// the refinement conditions of Sections 3.1.2 and 3.3.2 for every
+/// feasible type assignment, producing Figure 5-style counterexamples on
+/// failure, and inferring optimal nsw/nuw/exact attribute placement
+/// (Section 3.4, Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_VERIFIER_VERIFIER_H
+#define ALIVE_VERIFIER_VERIFIER_H
+
+#include "semantics/VCGen.h"
+#include "smt/Solver.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace alive {
+namespace verifier {
+
+/// Which SMT backend discharges the refinement queries.
+enum class BackendKind {
+  Z3,       ///< everything through Z3
+  BitBlast, ///< native only (fails on quantified/array queries)
+  Hybrid,   ///< native first, Z3 fallback (default)
+};
+
+struct VerifyConfig {
+  typing::TypeEnumConfig Types;
+  semantics::EncodingConfig Encoding;
+  BackendKind Backend = BackendKind::Hybrid;
+  unsigned TimeoutMs = 60000;
+  bool UseZ3TypeEnum = false; ///< paper-style SMT type enumeration
+};
+
+/// Overall verdict for a transformation.
+enum class Verdict {
+  Correct,    ///< refinement holds for every feasible type assignment
+  Incorrect,  ///< a counterexample exists
+  Unknown,    ///< solver gave up (timeout / unsupported fragment)
+  TypeError,  ///< no feasible type assignment
+  EncodeError,///< the transformation uses an unsupported construct
+};
+
+/// Which refinement condition a counterexample violates.
+enum class FailureKind {
+  TargetUndefined,  ///< condition 1: target UB where source is defined
+  TargetPoison,     ///< condition 2: target poison where source is clean
+  ValueMismatch,    ///< condition 3: differing root values
+  MemoryMismatch,   ///< condition 4: differing final memory
+};
+
+const char *failureKindName(FailureKind K);
+
+/// A concrete counterexample, printable in the format of Figure 5.
+struct CounterExample {
+  FailureKind Kind;
+  typing::TypeAssignment Types;
+  /// (name, type string, value) for inputs, constants and source
+  /// intermediates, in declaration order.
+  struct Binding {
+    std::string Name;
+    std::string TypeStr;
+    APInt Value;
+  };
+  std::vector<Binding> Inputs;
+  std::vector<Binding> Intermediates;
+  std::optional<APInt> SourceValue; ///< root value (when evaluable)
+  std::optional<APInt> TargetValue;
+  std::string RootName;
+  std::string RootTypeStr;
+
+  /// Renders in the paper's counterexample format.
+  std::string str() const;
+};
+
+struct VerifyResult {
+  Verdict V = Verdict::Unknown;
+  std::optional<CounterExample> CEX;
+  unsigned NumTypeAssignments = 0;
+  unsigned NumQueries = 0;
+  std::string Message;
+
+  bool isCorrect() const { return V == Verdict::Correct; }
+};
+
+/// Verifies \p T under \p Cfg.
+VerifyResult verify(const ir::Transform &T, const VerifyConfig &Cfg = {});
+
+/// Attribute inference (Section 3.4): the weakest source-side and
+/// strongest target-side nsw/nuw/exact placement.
+struct AttrInferenceResult {
+  bool Feasible = false; ///< some attribute assignment makes T correct
+  /// Optimal flags per instruction name ("%r" -> AttrNSW|...).
+  std::map<std::string, unsigned> SrcFlags, TgtFlags;
+  unsigned NumQueries = 0;
+  std::string Message;
+
+  /// True when the inferred target flags strictly exceed the flags
+  /// written in \p T's target (a strengthened postcondition, §6.3).
+  bool strengthensPostcondition(const ir::Transform &T) const;
+  /// True when the inferred source flags are strictly fewer than written
+  /// (a weakened precondition).
+  bool weakensPrecondition(const ir::Transform &T) const;
+};
+
+AttrInferenceResult inferAttributes(const ir::Transform &T,
+                                    const VerifyConfig &Cfg = {});
+
+} // namespace verifier
+} // namespace alive
+
+#endif // ALIVE_VERIFIER_VERIFIER_H

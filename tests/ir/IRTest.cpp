@@ -1,0 +1,213 @@
+//===- tests/ir/IRTest.cpp - Alive AST unit tests ----------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct unit tests of the Alive AST layer: types, constant expressions,
+/// precondition printing, and the Transform scoping rules of Section 2.1
+/// (built programmatically here rather than through the parser).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Transform.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::ir;
+
+namespace {
+
+TEST(TypeTest, Construction) {
+  Type I8 = Type::intTy(8);
+  EXPECT_TRUE(I8.isInt());
+  EXPECT_EQ(I8.getIntWidth(), 8u);
+  EXPECT_EQ(I8.str(), "i8");
+  EXPECT_TRUE(I8.isFirstClass());
+
+  Type P = Type::ptrTy(I8);
+  EXPECT_TRUE(P.isPtr());
+  EXPECT_EQ(P.getElemType(), I8);
+  EXPECT_EQ(P.str(), "i8*");
+  EXPECT_TRUE(P.isFirstClass());
+
+  Type A = Type::arrayTy(4, I8);
+  EXPECT_TRUE(A.isArray());
+  EXPECT_EQ(A.str(), "[4 x i8]");
+  EXPECT_FALSE(A.isFirstClass());
+
+  EXPECT_TRUE(Type::voidTy().isVoid());
+}
+
+TEST(TypeTest, WidthAndAllocSize) {
+  EXPECT_EQ(Type::intTy(5).widthBits(32), 5u);
+  EXPECT_EQ(Type::ptrTy(Type::intTy(8)).widthBits(32), 32u);
+  // Allocation size rounds to bytes (the i5 example of Section 3.3.1).
+  EXPECT_EQ(Type::intTy(5).allocSizeBytes(32), 1u);
+  EXPECT_EQ(Type::intTy(16).allocSizeBytes(32), 2u);
+  EXPECT_EQ(Type::arrayTy(4, Type::intTy(16)).allocSizeBytes(32), 8u);
+  EXPECT_EQ(Type::ptrTy(Type::intTy(8)).allocSizeBytes(32), 4u);
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::intTy(8), Type::intTy(8));
+  EXPECT_NE(Type::intTy(8), Type::intTy(16));
+  EXPECT_EQ(Type::ptrTy(Type::intTy(8)), Type::ptrTy(Type::intTy(8)));
+  EXPECT_NE(Type::ptrTy(Type::intTy(8)), Type::intTy(8));
+}
+
+TEST(ConstExprTest, PrintAndClone) {
+  // (C1 | C2) - 1
+  auto E = ConstExpr::binary(
+      ConstExpr::BinaryOp::Sub,
+      ConstExpr::binary(ConstExpr::BinaryOp::Or, ConstExpr::symRef("C1"),
+                        ConstExpr::symRef("C2")),
+      ConstExpr::literal(1));
+  EXPECT_EQ(E->str(), "(C1 | C2) - 1");
+  auto Clone = E->clone();
+  EXPECT_EQ(Clone->str(), E->str());
+  std::vector<std::string> Syms;
+  E->collectSymRefs(Syms);
+  ASSERT_EQ(Syms.size(), 2u);
+  EXPECT_EQ(Syms[0], "C1");
+  EXPECT_EQ(Syms[1], "C2");
+}
+
+TEST(ConstExprTest, UnaryAndCalls) {
+  auto Neg = ConstExpr::unary(ConstExpr::UnaryOp::Neg,
+                              ConstExpr::symRef("C"));
+  EXPECT_EQ(Neg->str(), "-C");
+  auto Not = ConstExpr::unary(ConstExpr::UnaryOp::Not,
+                              ConstExpr::symRef("C"));
+  EXPECT_EQ(Not->str(), "~C");
+  std::vector<std::unique_ptr<ConstExpr>> Args;
+  Args.push_back(ConstExpr::symRef("C"));
+  auto Log = ConstExpr::call(ConstExpr::Builtin::Log2, std::move(Args));
+  EXPECT_EQ(Log->str(), "log2(C)");
+}
+
+TEST(TransformTest, ScopingAcceptsChain) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *C = T.create<ConstantSymbol>("C");
+  auto *A = T.create<BinOp>("%a", BinOpcode::Xor, X, C);
+  auto *R = T.create<BinOp>("%r", BinOpcode::Add, A, X);
+  T.appendSrc(A);
+  T.appendSrc(R);
+  auto *R2 = T.create<BinOp>("%r", BinOpcode::Sub, X, C);
+  T.appendTgt(R2);
+  Status S = T.finalize();
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  EXPECT_EQ(T.getSrcRoot(), A->getName() == "%r" ? A : R);
+  EXPECT_EQ(T.getTgtRoot(), R2);
+  EXPECT_EQ(T.inputs().size(), 2u);
+}
+
+TEST(TransformTest, ScopingRejectsDeadSourceTemporary) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *Dead = T.create<BinOp>("%dead", BinOpcode::Add, X, X);
+  auto *R = T.create<BinOp>("%r", BinOpcode::Sub, X, X);
+  T.appendSrc(Dead);
+  T.appendSrc(R);
+  auto *R2 = T.create<Copy>("%r", X);
+  T.appendTgt(R2);
+  EXPECT_FALSE(T.finalize().ok());
+}
+
+TEST(TransformTest, ScopingRejectsDeadTargetTemporary) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *R = T.create<BinOp>("%r", BinOpcode::Add, X, X);
+  T.appendSrc(R);
+  auto *Dead = T.create<BinOp>("%dead", BinOpcode::Sub, X, X);
+  auto *R2 = T.create<BinOp>("%r", BinOpcode::Shl, X, X);
+  T.appendTgt(Dead);
+  T.appendTgt(R2);
+  EXPECT_FALSE(T.finalize().ok());
+}
+
+TEST(TransformTest, RootMustBeLastTargetDefinition) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *R = T.create<BinOp>("%r", BinOpcode::Add, X, X);
+  T.appendSrc(R);
+  auto *R2 = T.create<BinOp>("%r", BinOpcode::Shl, X, X);
+  auto *After = T.create<BinOp>("%after", BinOpcode::Sub, R2, X);
+  T.appendTgt(R2);
+  T.appendTgt(After);
+  EXPECT_FALSE(T.finalize().ok());
+}
+
+TEST(TransformTest, OverwritesDetected) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *Y = T.create<BinOp>("%y", BinOpcode::Add, X, X);
+  auto *R = T.create<BinOp>("%r", BinOpcode::Mul, Y, X);
+  T.appendSrc(Y);
+  T.appendSrc(R);
+  auto *Y2 = T.create<BinOp>("%y", BinOpcode::Shl, X, X);
+  auto *R2 = T.create<BinOp>("%r", BinOpcode::Mul, Y2, X);
+  T.appendTgt(Y2);
+  T.appendTgt(R2);
+  ASSERT_TRUE(T.finalize().ok());
+  auto Ov = T.tgtOverwrites();
+  ASSERT_EQ(Ov.size(), 1u);
+  EXPECT_EQ(Ov[0], Y2);
+}
+
+TEST(PrecondTest, Printing) {
+  Transform T;
+  auto *V = T.create<InputVar>("%V");
+  auto P = Precond::mkAnd(
+      Precond::mkCmp(Precond::CmpOp::EQ,
+                     ConstExpr::binary(ConstExpr::BinaryOp::And,
+                                       ConstExpr::symRef("C1"),
+                                       ConstExpr::symRef("C2")),
+                     ConstExpr::literal(0)),
+      Precond::mkBuiltin(PredKind::MaskedValueIsZero,
+                         {V, T.create<ConstExprValue>(
+                                 "~C1", ConstExpr::unary(
+                                            ConstExpr::UnaryOp::Not,
+                                            ConstExpr::symRef("C1")))}));
+  EXPECT_EQ(P->str(),
+            "C1 & C2 == 0 && MaskedValueIsZero(%V, ~C1)");
+  auto N = Precond::mkNot(Precond::mkBuiltin(
+      PredKind::WillNotOverflowSignedMul,
+      {T.create<ConstantSymbol>("C1"), T.create<ConstantSymbol>("C2")}));
+  EXPECT_EQ(N->str(), "!WillNotOverflowSignedMul(C1, C2)");
+}
+
+TEST(InstrTest, Printing) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *Y = T.create<InputVar>("%y");
+  EXPECT_EQ(T.create<BinOp>("%a", BinOpcode::Add, X, Y,
+                            AttrNSW | AttrNUW)
+                ->str(),
+            "%a = add nsw nuw %x, %y");
+  EXPECT_EQ(T.create<BinOp>("%b", BinOpcode::LShr, X, Y, AttrExact)->str(),
+            "%b = lshr exact %x, %y");
+  EXPECT_EQ(T.create<ICmp>("%c", ICmpCond::SGE, X, Y)->str(),
+            "%c = icmp sge %x, %y");
+  auto *C = T.create<InputVar>("%c");
+  EXPECT_EQ(T.create<Select>("%s", C, X, Y)->str(),
+            "%s = select %c, %x, %y");
+  EXPECT_EQ(T.create<Conv>("%z", ConvOpcode::ZExt, X)->str(),
+            "%z = zext %x");
+  EXPECT_EQ(T.create<Store>("", X, Y)->str(), "store %x, %y");
+  EXPECT_EQ(T.create<Load>("%l", Y)->str(), "%l = load %y");
+}
+
+TEST(InstrTest, AttributeLegality) {
+  EXPECT_TRUE(binOpSupportsWrapFlags(BinOpcode::Add));
+  EXPECT_TRUE(binOpSupportsWrapFlags(BinOpcode::Shl));
+  EXPECT_FALSE(binOpSupportsWrapFlags(BinOpcode::UDiv));
+  EXPECT_TRUE(binOpSupportsExact(BinOpcode::LShr));
+  EXPECT_TRUE(binOpSupportsExact(BinOpcode::SDiv));
+  EXPECT_FALSE(binOpSupportsExact(BinOpcode::And));
+}
+
+} // namespace

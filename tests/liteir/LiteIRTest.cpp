@@ -1,0 +1,285 @@
+//===- tests/liteir/LiteIRTest.cpp - lite IR substrate tests ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liteir/Folder.h"
+#include "liteir/IRGen.h"
+#include "liteir/Interp.h"
+#include "liteir/LiteIR.h"
+#include "liteir/PatternMatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::lite;
+
+namespace {
+
+TEST(LiteIRTest, BuildAndPrint) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *Not = F.createBinOp(Opcode::Xor, X,
+                                   F.getConstant(APInt::getAllOnes(8)));
+  Instruction *Add = F.createBinOp(Opcode::Add, Not,
+                                   F.getConstant(APInt(8, 3)));
+  F.setReturnValue(Add);
+  EXPECT_TRUE(F.verify().ok());
+  std::string S = F.str();
+  EXPECT_NE(S.find("xor"), std::string::npos);
+  EXPECT_NE(S.find("add"), std::string::npos);
+  EXPECT_NE(S.find("ret i8"), std::string::npos);
+}
+
+TEST(LiteIRTest, UseListsAndRAUW) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Argument *Y = F.addArgument(8, "y");
+  Instruction *A = F.createBinOp(Opcode::Add, X, Y);
+  Instruction *B = F.createBinOp(Opcode::Mul, A, A);
+  F.setReturnValue(B);
+  EXPECT_EQ(A->getNumUses(), 2u);
+  EXPECT_FALSE(A->hasOneUse());
+  Instruction *C = F.createBinOp(Opcode::Sub, X, Y);
+  A->replaceAllUsesWith(C);
+  EXPECT_EQ(A->getNumUses(), 0u);
+  EXPECT_EQ(B->getOperand(0), static_cast<LValue *>(C));
+  EXPECT_EQ(B->getOperand(1), static_cast<LValue *>(C));
+}
+
+TEST(LiteIRTest, DeadCodeElimination) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  F.createBinOp(Opcode::Add, X, F.getConstant(APInt(8, 1))); // dead
+  Instruction *Live = F.createBinOp(Opcode::Mul, X, X);
+  F.setReturnValue(Live);
+  EXPECT_EQ(F.eliminateDeadCode(), 1u);
+  EXPECT_EQ(F.body().size(), 1u);
+}
+
+TEST(LiteIRTest, DeadCodeChains) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *A = F.createBinOp(Opcode::Add, X, X);
+  F.createBinOp(Opcode::Mul, A, A); // dead, keeps A alive until removed
+  Instruction *Live = F.createBinOp(Opcode::Sub, X, X);
+  F.setReturnValue(Live);
+  EXPECT_EQ(F.eliminateDeadCode(), 2u);
+  EXPECT_EQ(F.body().size(), 1u);
+}
+
+TEST(LiteIRTest, VerifyCatchesUseBeforeDef) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *A = F.createBinOp(Opcode::Add, X, X);
+  Instruction *B = F.createBinOp(Opcode::Mul, X, X);
+  // Insert B's clone before A, referencing A: use-before-def.
+  Instruction *Bad = F.insertBinOpBefore(A, Opcode::Sub, A, X);
+  F.setReturnValue(B);
+  (void)Bad;
+  EXPECT_FALSE(F.verify().ok());
+}
+
+// --- Interpreter ------------------------------------------------------------
+
+TEST(InterpTest, BasicArithmetic) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *A = F.createBinOp(Opcode::Add, X, F.getConstant(APInt(8, 10)));
+  Instruction *M = F.createBinOp(Opcode::Mul, A, F.getConstant(APInt(8, 3)));
+  F.setReturnValue(M);
+  ExecResult R = interpret(F, {APInt(8, 5)});
+  EXPECT_FALSE(R.UB);
+  EXPECT_FALSE(R.Poison);
+  EXPECT_EQ(R.Value.getZExtValue(), 45u);
+}
+
+TEST(InterpTest, DivByZeroIsUB) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *D = F.createBinOp(Opcode::UDiv, X, F.getConstant(APInt(8, 0)));
+  F.setReturnValue(D);
+  ExecResult R = interpret(F, {APInt(8, 5)});
+  EXPECT_TRUE(R.UB);
+}
+
+TEST(InterpTest, SDivOverflowIsUB) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *D = F.createBinOp(Opcode::SDiv, X,
+                                 F.getConstant(APInt::getAllOnes(8)));
+  F.setReturnValue(D);
+  EXPECT_TRUE(interpret(F, {APInt(8, 0x80)}).UB); // INT_MIN / -1
+  ExecResult R = interpret(F, {APInt(8, 4)});
+  EXPECT_FALSE(R.UB);
+  EXPECT_EQ(R.Value.getSExtValue(), -4);
+}
+
+TEST(InterpTest, NswOverflowIsPoison) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *A =
+      F.createBinOp(Opcode::Add, X, F.getConstant(APInt(8, 1)), LFNSW);
+  F.setReturnValue(A);
+  EXPECT_TRUE(interpret(F, {APInt(8, 0x7F)}).Poison);
+  EXPECT_FALSE(interpret(F, {APInt(8, 5)}).Poison);
+}
+
+TEST(InterpTest, PoisonPropagates) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *A =
+      F.createBinOp(Opcode::Add, X, F.getConstant(APInt(8, 1)), LFNSW);
+  Instruction *B = F.createBinOp(Opcode::Xor, A, A);
+  F.setReturnValue(B);
+  // Poison ^ Poison is still poison (xor does not launder it).
+  EXPECT_TRUE(interpret(F, {APInt(8, 0x7F)}).Poison);
+}
+
+TEST(InterpTest, ShiftTooFarIsUB) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *S = F.createBinOp(Opcode::Shl, X, F.getConstant(APInt(8, 8)));
+  F.setReturnValue(S);
+  EXPECT_TRUE(interpret(F, {APInt(8, 1)}).UB);
+}
+
+TEST(InterpTest, SelectAndICmp) {
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Argument *Y = F.addArgument(8, "y");
+  Instruction *C = F.createICmp(Pred::ULT, X, Y);
+  Instruction *S = F.createSelect(C, X, Y); // umin
+  F.setReturnValue(S);
+  EXPECT_EQ(interpret(F, {APInt(8, 3), APInt(8, 9)}).Value.getZExtValue(),
+            3u);
+  EXPECT_EQ(interpret(F, {APInt(8, 12), APInt(8, 9)}).Value.getZExtValue(),
+            9u);
+}
+
+TEST(InterpTest, RefinementOracle) {
+  ExecResult UB;
+  UB.UB = true;
+  ExecResult Poison;
+  Poison.Poison = true;
+  ExecResult Five;
+  Five.Value = APInt(8, 5);
+  ExecResult Six;
+  Six.Value = APInt(8, 6);
+  EXPECT_TRUE(refines(UB, Six));
+  EXPECT_TRUE(refines(Poison, Six));
+  EXPECT_TRUE(refines(Five, Five));
+  EXPECT_FALSE(refines(Five, Six));
+  EXPECT_FALSE(refines(Five, UB));
+  EXPECT_FALSE(refines(Five, Poison));
+}
+
+// --- Constant folding ---------------------------------------------------------
+
+TEST(FolderTest, FoldsConstants) {
+  Function F("f");
+  Instruction *A = F.createBinOp(Opcode::Add, F.getConstant(APInt(8, 3)),
+                                 F.getConstant(APInt(8, 4)));
+  Instruction *M =
+      F.createBinOp(Opcode::Mul, A, F.getConstant(APInt(8, 2)));
+  F.setReturnValue(M);
+  unsigned N = foldConstants(F);
+  EXPECT_EQ(N, 2u);
+  auto *C = dyn_cast<ConstantInt>(F.getReturnValue());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getValue().getZExtValue(), 14u);
+}
+
+TEST(FolderTest, RefusesUBFolds) {
+  Function F("f");
+  Instruction *D = F.createBinOp(Opcode::UDiv, F.getConstant(APInt(8, 3)),
+                                 F.getConstant(APInt(8, 0)));
+  F.setReturnValue(D);
+  EXPECT_EQ(foldConstants(F), 0u);
+}
+
+TEST(FolderTest, RefusesPoisonFolds) {
+  Function F("f");
+  Instruction *A = F.createBinOp(Opcode::Add, F.getConstant(APInt(8, 0x7F)),
+                                 F.getConstant(APInt(8, 1)), LFNSW);
+  F.setReturnValue(A);
+  EXPECT_EQ(foldConstants(F), 0u);
+}
+
+// --- Pattern matching -----------------------------------------------------------
+
+TEST(PatternMatchTest, Figure7Shapes) {
+  using namespace alive::lite::patternmatch;
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *Not = F.createBinOp(Opcode::Xor, X,
+                                   F.getConstant(APInt::getAllOnes(8)));
+  Instruction *Add =
+      F.createBinOp(Opcode::Add, Not, F.getConstant(APInt(8, 33)));
+  F.setReturnValue(Add);
+
+  LValue *B = nullptr, *A = nullptr;
+  ConstantInt *C2 = nullptr, *C1 = nullptr;
+  ASSERT_TRUE(match(Add, m_Add(m_Value(B), m_ConstantInt(C2))));
+  EXPECT_EQ(B, static_cast<LValue *>(Not));
+  EXPECT_EQ(C2->getValue().getZExtValue(), 33u);
+  ASSERT_TRUE(match(B, m_Xor(m_Value(A), m_ConstantInt(C1))));
+  EXPECT_EQ(A, static_cast<LValue *>(X));
+  EXPECT_TRUE(C1->getValue().isAllOnes());
+  // m_Not matches xor by -1 in either operand order.
+  LValue *Inner = nullptr;
+  EXPECT_TRUE(match(Not, m_Not(m_Value(Inner))));
+  EXPECT_EQ(Inner, static_cast<LValue *>(X));
+}
+
+TEST(PatternMatchTest, FlagsAndSpecific) {
+  using namespace alive::lite::patternmatch;
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Instruction *Plain = F.createBinOp(Opcode::Add, X, X);
+  Instruction *Nsw = F.createBinOp(Opcode::Add, X, X, LFNSW);
+  F.setReturnValue(Nsw);
+  LValue *V = nullptr;
+  EXPECT_FALSE(match(Plain, m_Add(m_Value(V), m_Specific(X), LFNSW)));
+  EXPECT_TRUE(match(Nsw, m_Add(m_Value(V), m_Specific(X), LFNSW)));
+  EXPECT_TRUE(match(Nsw, m_Add(m_Specific(X), m_Specific(X))));
+}
+
+TEST(PatternMatchTest, ICmpSelectCasts) {
+  using namespace alive::lite::patternmatch;
+  Function F("f");
+  Argument *X = F.addArgument(8, "x");
+  Argument *Y = F.addArgument(8, "y");
+  Instruction *C = F.createICmp(Pred::SGT, X, Y);
+  Instruction *S = F.createSelect(C, X, Y);
+  Instruction *Z = F.createCast(Opcode::ZExt, S, 16);
+  F.setReturnValue(Z);
+  Pred P;
+  LValue *A = nullptr, *B = nullptr;
+  ASSERT_TRUE(match(C, m_ICmp(P, m_Value(A), m_Value(B))));
+  EXPECT_EQ(P, Pred::SGT);
+  LValue *Inner = nullptr;
+  EXPECT_TRUE(
+      match(Z, m_ZExt(m_Select(m_Specific(C), m_Value(Inner), m_Specific(Y)))));
+  EXPECT_EQ(Inner, static_cast<LValue *>(X));
+}
+
+// --- Random generator -----------------------------------------------------------
+
+class IRGenTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IRGenTest, GeneratedFunctionsAreWellFormed) {
+  IRGenConfig Cfg;
+  auto F = generateFunction(GetParam(), Cfg);
+  Status S = F->verify();
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  EXPECT_GE(F->body().size(), Cfg.NumInstrs);
+  // Deterministic: the same seed produces the same program.
+  auto F2 = generateFunction(GetParam(), Cfg);
+  EXPECT_EQ(F->str(), F2->str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IRGenTest, ::testing::Range<uint64_t>(0, 24));
+
+} // namespace

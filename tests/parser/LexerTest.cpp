@@ -1,0 +1,137 @@
+//===- tests/parser/LexerTest.cpp - lexer unit tests -------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::parser;
+
+namespace {
+
+std::vector<TokKind> kinds(const std::string &In) {
+  Lexer L(In);
+  std::vector<TokKind> Out;
+  for (const Token &T : L.tokens())
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, RegistersAndIdentifiers) {
+  Lexer L("%x = add %abc, C1");
+  const auto &T = L.tokens();
+  ASSERT_GE(T.size(), 5u);
+  EXPECT_EQ(T[0].Kind, TokKind::Reg);
+  EXPECT_EQ(T[0].Text, "%x");
+  EXPECT_EQ(T[1].Kind, TokKind::Equals);
+  EXPECT_EQ(T[2].Kind, TokKind::Ident);
+  EXPECT_EQ(T[2].Text, "add");
+  EXPECT_EQ(T[3].Kind, TokKind::Reg);
+  EXPECT_EQ(T[4].Kind, TokKind::Comma);
+  EXPECT_EQ(T[5].Kind, TokKind::Ident);
+  EXPECT_EQ(T[5].Text, "C1");
+}
+
+TEST(LexerTest, NumbersDecimalAndHex) {
+  Lexer L("42 0x2A 0");
+  const auto &T = L.tokens();
+  EXPECT_EQ(T[0].IntVal, 42);
+  EXPECT_EQ(T[1].IntVal, 42);
+  EXPECT_EQ(T[2].IntVal, 0);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto K = kinds("=> == != && || << >= <=");
+  std::vector<TokKind> Want = {TokKind::Arrow, TokKind::EqEq,
+                               TokKind::BangEq, TokKind::AndAnd,
+                               TokKind::OrOr,   TokKind::Shl,
+                               TokKind::Ge,     TokKind::Le,
+                               TokKind::Newline, TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, UnsignedComparisonPrefix) {
+  auto K = kinds("C1 u>= C2 u< C3");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::UGe, TokKind::Ident,
+                               TokKind::ULt,   TokKind::Ident,
+                               TokKind::Newline, TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, ShiftOperatorsWithUSuffix) {
+  auto K = kinds("C >>u 2 >> 3");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::LShrU, TokKind::Int,
+                               TokKind::AShr,  TokKind::Int,
+                               TokKind::Newline, TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, PercentDisambiguation) {
+  // %u alone is the unsigned remainder operator; %u2 is a register.
+  Lexer L("C %u 2");
+  EXPECT_EQ(L.tokens()[1].Kind, TokKind::PercentU);
+  Lexer L2("%u2 = add %u3, 1");
+  EXPECT_EQ(L2.tokens()[0].Kind, TokKind::Reg);
+  EXPECT_EQ(L2.tokens()[0].Text, "%u2");
+  Lexer L3("C2 % (1<<C1)");
+  EXPECT_EQ(L3.tokens()[1].Kind, TokKind::Percent);
+}
+
+TEST(LexerTest, SlashU) {
+  auto K = kinds("C /u 2 / 3");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::SlashU, TokKind::Int,
+                               TokKind::Slash, TokKind::Int,
+                               TokKind::Newline, TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, NameAndPreHeaders) {
+  Lexer L("Name: PR12345 something odd\nPre: C1 == 0\n");
+  const auto &T = L.tokens();
+  EXPECT_EQ(T[0].Kind, TokKind::NameColon);
+  EXPECT_EQ(T[0].Text, "PR12345 something odd");
+  EXPECT_EQ(T[1].Kind, TokKind::Newline);
+  EXPECT_EQ(T[2].Kind, TokKind::PreColon);
+}
+
+TEST(LexerTest, CommentsAreStripped) {
+  auto K = kinds("; full line comment\n%x = 1 ; trailing\n");
+  std::vector<TokKind> Want = {TokKind::Reg, TokKind::Equals, TokKind::Int,
+                               TokKind::Newline, TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, NewlinesCollapse) {
+  auto K = kinds("a\n\n\nb");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::Newline,
+                               TokKind::Ident, TokKind::Newline,
+                               TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, LineNumbersForDiagnostics) {
+  Lexer L("a\nb\nc");
+  EXPECT_EQ(L.tokens()[0].Line, 1u);
+  EXPECT_EQ(L.tokens()[2].Line, 2u);
+  EXPECT_EQ(L.tokens()[4].Line, 3u);
+}
+
+TEST(LexerTest, ErrorOnBadCharacter) {
+  Lexer L("%x = $bogus");
+  EXPECT_TRUE(L.hadError());
+  EXPECT_NE(L.getError().find("unexpected character"), std::string::npos);
+}
+
+TEST(LexerTest, ArrayTypeTokens) {
+  auto K = kinds("[4 x i8]");
+  std::vector<TokKind> Want = {TokKind::LBracket, TokKind::Int, TokKind::X,
+                               TokKind::Ident,    TokKind::RBracket,
+                               TokKind::Newline,  TokKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/smt/SatSolverTest.cpp - CDCL solver unit tests -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the CDCL core directly on CNF: unit propagation, conflict
+/// learning, pigeonhole unsatisfiability, random 3-SAT with model
+/// validation, and the conflict budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/sat/SatSolver.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::sat;
+
+namespace {
+
+TEST(SatSolverTest, EmptyFormulaIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SatSolverTest, UnitClauses) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause(Lit(A, false)));
+  EXPECT_TRUE(S.addClause(Lit(B, true)));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_FALSE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, DirectContradiction) {
+  SatSolver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause(Lit(A, false)));
+  EXPECT_FALSE(S.addClause(Lit(A, true)));
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatSolverTest, PropagationChainUnsat) {
+  // a, a->b, b->c, c->~a : unsat.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(Lit(A, false));
+  S.addClause(Lit(A, true), Lit(B, false));
+  S.addClause(Lit(B, true), Lit(C, false));
+  S.addClause(Lit(C, true), Lit(A, true));
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatSolverTest, TautologyAndDuplicatesSimplified) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  // Tautological clause is dropped, duplicate literals deduplicated.
+  EXPECT_TRUE(S.addClause({Lit(A, false), Lit(A, true)}));
+  EXPECT_TRUE(S.addClause({Lit(B, false), Lit(B, false)}));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+/// Pigeonhole principle PHP(N+1, N): N+1 pigeons into N holes — a classic
+/// resolution-hard family; tiny instances must still come back Unsat.
+void pigeonhole(unsigned Holes) {
+  SatSolver S;
+  unsigned Pigeons = Holes + 1;
+  std::vector<std::vector<Var>> V(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  // Every pigeon sits somewhere.
+  for (unsigned P = 0; P != Pigeons; ++P) {
+    std::vector<Lit> Clause;
+    for (unsigned H = 0; H != Holes; ++H)
+      Clause.push_back(Lit(V[P][H], false));
+    S.addClause(Clause);
+  }
+  // No two pigeons share a hole.
+  for (unsigned H = 0; H != Holes; ++H)
+    for (unsigned P1 = 0; P1 != Pigeons; ++P1)
+      for (unsigned P2 = P1 + 1; P2 != Pigeons; ++P2)
+        S.addClause(Lit(V[P1][H], true), Lit(V[P2][H], true));
+  EXPECT_EQ(S.solve(), SatResult::Unsat) << "PHP(" << Pigeons << ","
+                                         << Holes << ")";
+}
+
+TEST(SatSolverTest, Pigeonhole) {
+  for (unsigned Holes : {2u, 3u, 4u, 5u, 6u})
+    pigeonhole(Holes);
+}
+
+TEST(SatSolverTest, ConflictBudgetReportsUnknown) {
+  SatSolver S;
+  const unsigned Holes = 9; // PHP(10,9): needs far more than 10 conflicts
+  unsigned Pigeons = Holes + 1;
+  std::vector<std::vector<Var>> V(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  for (unsigned P = 0; P != Pigeons; ++P) {
+    std::vector<Lit> Clause;
+    for (unsigned H = 0; H != Holes; ++H)
+      Clause.push_back(Lit(V[P][H], false));
+    S.addClause(Clause);
+  }
+  for (unsigned H = 0; H != Holes; ++H)
+    for (unsigned P1 = 0; P1 != Pigeons; ++P1)
+      for (unsigned P2 = P1 + 1; P2 != Pigeons; ++P2)
+        S.addClause(Lit(V[P1][H], true), Lit(V[P2][H], true));
+  EXPECT_EQ(S.solve(/*ConflictBudget=*/10), SatResult::Unknown);
+}
+
+// Random 3-SAT at varying clause densities; every Sat answer must come
+// with a genuinely satisfying model (checked against the raw clauses).
+class Random3SatTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Random3SatTest, ModelsSatisfyClauses) {
+  std::mt19937 Rng(GetParam());
+  const unsigned NumVars = 60;
+  // Density 3.5 (mostly sat) and 5.0 (mostly unsat).
+  for (double Density : {3.5, 5.0}) {
+    SatSolver S;
+    std::vector<Var> Vars;
+    for (unsigned I = 0; I != NumVars; ++I)
+      Vars.push_back(S.newVar());
+    std::vector<std::vector<Lit>> Clauses;
+    unsigned NumClauses = static_cast<unsigned>(NumVars * Density);
+    for (unsigned C = 0; C != NumClauses; ++C) {
+      std::vector<Lit> Cl;
+      for (int K = 0; K != 3; ++K)
+        Cl.push_back(Lit(Vars[Rng() % NumVars], Rng() & 1));
+      Clauses.push_back(Cl);
+      S.addClause(Cl);
+    }
+    SatResult R = S.solve();
+    ASSERT_NE(R, SatResult::Unknown);
+    if (R == SatResult::Sat) {
+      for (const auto &Cl : Clauses) {
+        bool Satisfied = false;
+        for (Lit L : Cl)
+          Satisfied |= S.modelValue(L.var()) != L.negated();
+        EXPECT_TRUE(Satisfied);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest, ::testing::Range(1u, 21u));
+
+TEST(SatSolverTest, StatisticsAreTracked) {
+  SatSolver S;
+  std::vector<Var> Vars;
+  for (unsigned I = 0; I != 20; ++I)
+    Vars.push_back(S.newVar());
+  std::mt19937 Rng(7);
+  for (unsigned C = 0; C != 90; ++C)
+    S.addClause(Lit(Vars[Rng() % 20], Rng() & 1),
+                Lit(Vars[Rng() % 20], Rng() & 1),
+                Lit(Vars[Rng() % 20], Rng() & 1));
+  S.solve();
+  EXPECT_GT(S.numPropagations(), 0u);
+  EXPECT_GT(S.numClauses(), 0u);
+}
+
+} // namespace

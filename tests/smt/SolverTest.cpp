@@ -1,0 +1,292 @@
+//===- tests/smt/SolverTest.cpp - backend correctness tests ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-checks the native bit-blasting solver against Z3 on targeted and
+/// randomized QF_BV queries, and exercises models, quantifiers (Z3 only)
+/// and the array theory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+#include "smt/Solver.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+class SolverBackendTest : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<Solver> makeSolver() {
+    std::string Name = GetParam();
+    if (Name == "z3")
+      return createZ3Solver();
+    if (Name == "bitblast")
+      return createBitBlastSolver();
+    return createHybridSolver();
+  }
+
+  TermContext Ctx;
+};
+
+TEST_P(SolverBackendTest, TrivialSatUnsat) {
+  auto S = makeSolver();
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isSat());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnsat());
+}
+
+TEST_P(SolverBackendTest, SimpleEquation) {
+  auto S = makeSolver();
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  // x + 1 == 0 has the unique solution x == 255.
+  TermRef Q = Ctx.mkEq(Ctx.mkBVAdd(X, Ctx.mkBV(8, 1)), Ctx.mkBV(8, 0));
+  CheckResult R = S->check(Q);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.M.getBVOrZero(X).getZExtValue(), 255u);
+}
+
+TEST_P(SolverBackendTest, UnsatContradiction) {
+  auto S = makeSolver();
+  TermRef X = Ctx.mkVar("x", Sort::bv(16));
+  TermRef Q = Ctx.mkAnd(Ctx.mkBVUlt(X, Ctx.mkBV(16, 5)),
+                        Ctx.mkBVUlt(Ctx.mkBV(16, 10), X));
+  EXPECT_TRUE(S->check(Q).isUnsat());
+}
+
+TEST_P(SolverBackendTest, MulCommutes) {
+  auto S = makeSolver();
+  TermRef X = Ctx.mkVar("x", Sort::bv(7));
+  TermRef Y = Ctx.mkVar("y", Sort::bv(7));
+  TermRef Q = Ctx.mkNe(Ctx.mkBVMul(X, Y), Ctx.mkBVMul(Y, X));
+  EXPECT_TRUE(S->check(Q).isUnsat());
+}
+
+TEST_P(SolverBackendTest, UDivMulRoundTrip) {
+  auto S = makeSolver();
+  // exact unsigned division: (x / y) * y == x is falsifiable.
+  TermRef X = Ctx.mkVar("x", Sort::bv(6));
+  TermRef Y = Ctx.mkVar("y", Sort::bv(6));
+  TermRef Q = Ctx.mkAnd(
+      Ctx.mkNe(Y, Ctx.mkBV(6, 0)),
+      Ctx.mkNe(Ctx.mkBVMul(Ctx.mkBVUDiv(X, Y), Y), X));
+  CheckResult R = S->check(Q);
+  ASSERT_TRUE(R.isSat());
+  APInt XV = R.M.getBVOrZero(X), YV = R.M.getBVOrZero(Y);
+  ASSERT_FALSE(YV.isZero());
+  EXPECT_NE(XV.udiv(YV).mul(YV), XV);
+}
+
+TEST_P(SolverBackendTest, DivByZeroSemantics) {
+  auto S = makeSolver();
+  // SMT-LIB: bvudiv x 0 == all-ones, bvurem x 0 == x.
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  TermRef Zero = Ctx.mkBV(8, 0);
+  TermRef Q1 = Ctx.mkNe(Ctx.mkBVUDiv(X, Zero), Ctx.mkBV(8, 0xFF));
+  EXPECT_TRUE(S->check(Q1).isUnsat());
+  TermRef Q2 = Ctx.mkNe(Ctx.mkBVURem(X, Zero), X);
+  EXPECT_TRUE(S->check(Q2).isUnsat());
+  // bvsdiv x 0 == (x < 0 ? 1 : -1).
+  TermRef Expect = Ctx.mkIte(Ctx.mkBVSlt(X, Zero), Ctx.mkBV(8, 1),
+                             Ctx.mkBV(8, 0xFF));
+  TermRef Q3 = Ctx.mkNe(Ctx.mkBVSDiv(X, Zero), Expect);
+  EXPECT_TRUE(S->check(Q3).isUnsat());
+  // bvsrem x 0 == x.
+  TermRef Q4 = Ctx.mkNe(Ctx.mkBVSRem(X, Zero), X);
+  EXPECT_TRUE(S->check(Q4).isUnsat());
+}
+
+TEST_P(SolverBackendTest, ShiftOutOfRange) {
+  auto S = makeSolver();
+  // Shifting an i8 by >= 8 yields 0 (logical) per SMT-LIB.
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  TermRef Q = Ctx.mkNe(Ctx.mkBVShl(X, Ctx.mkBV(8, 9)), Ctx.mkBV(8, 0));
+  EXPECT_TRUE(S->check(Q).isUnsat());
+  // ashr of a negative value by >= width gives all ones.
+  TermRef Neg = Ctx.mkVar("n", Sort::bv(8));
+  TermRef Q2 = Ctx.mkAnd(
+      Ctx.mkBVSlt(Neg, Ctx.mkBV(8, 0)),
+      Ctx.mkNe(Ctx.mkBVAShr(Neg, Ctx.mkBV(8, 20)), Ctx.mkBV(8, 0xFF)));
+  EXPECT_TRUE(S->check(Q2).isUnsat());
+}
+
+TEST_P(SolverBackendTest, SExtZExtExtract) {
+  auto S = makeSolver();
+  TermRef X = Ctx.mkVar("x", Sort::bv(4));
+  // sext to 8 then extract the low 4 bits gives x back.
+  TermRef Q = Ctx.mkNe(Ctx.mkExtract(Ctx.mkSext(X, 8), 3, 0), X);
+  EXPECT_TRUE(S->check(Q).isUnsat());
+  // zext never sets high bits.
+  TermRef Hi = Ctx.mkExtract(Ctx.mkZext(X, 8), 7, 4);
+  TermRef Q2 = Ctx.mkNe(Hi, Ctx.mkBV(4, 0));
+  EXPECT_TRUE(S->check(Q2).isUnsat());
+}
+
+TEST_P(SolverBackendTest, NonPowerOfTwoWidthShift) {
+  auto S = makeSolver();
+  // Width 6: shifting by exactly 6 or 7 must yield zero.
+  TermRef X = Ctx.mkVar("x", Sort::bv(6));
+  TermRef A = Ctx.mkVar("a", Sort::bv(6));
+  TermRef Q = Ctx.mkAnd(
+      Ctx.mkBVUge(A, Ctx.mkBV(6, 6)),
+      Ctx.mkNe(Ctx.mkBVLShr(X, A), Ctx.mkBV(6, 0)));
+  EXPECT_TRUE(S->check(Q).isUnsat());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SolverBackendTest,
+                         ::testing::Values("z3", "bitblast", "hybrid"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+// --- Differential fuzzing: native solver vs Z3 -----------------------------
+
+struct RandomTermGen {
+  TermContext &Ctx;
+  std::mt19937 Rng;
+  std::vector<TermRef> Vars;
+  unsigned Width;
+
+  RandomTermGen(TermContext &Ctx, unsigned Width, unsigned Seed)
+      : Ctx(Ctx), Rng(Seed), Width(Width) {
+    for (unsigned I = 0; I != 3; ++I)
+      Vars.push_back(
+          Ctx.mkVar("v" + std::to_string(Seed) + "_" + std::to_string(I),
+                    Sort::bv(Width)));
+  }
+
+  unsigned pick(unsigned N) { return Rng() % N; }
+
+  TermRef randBV(unsigned Depth) {
+    if (Depth == 0 || pick(4) == 0) {
+      if (pick(2) == 0)
+        return Vars[pick(static_cast<unsigned>(Vars.size()))];
+      return Ctx.mkBV(APInt(Width, Rng()));
+    }
+    static const TermKind Ops[] = {
+        TermKind::BVAdd,  TermKind::BVSub,  TermKind::BVMul,
+        TermKind::BVUDiv, TermKind::BVSDiv, TermKind::BVURem,
+        TermKind::BVSRem, TermKind::BVShl,  TermKind::BVLShr,
+        TermKind::BVAShr, TermKind::BVAnd,  TermKind::BVOr,
+        TermKind::BVXor};
+    TermKind K = Ops[pick(sizeof(Ops) / sizeof(Ops[0]))];
+    return Ctx.mkBVBin(K, randBV(Depth - 1), randBV(Depth - 1));
+  }
+
+  TermRef randBool(unsigned Depth) {
+    switch (pick(5)) {
+    case 0:
+      return Ctx.mkEq(randBV(Depth), randBV(Depth));
+    case 1:
+      return Ctx.mkBVUlt(randBV(Depth), randBV(Depth));
+    case 2:
+      return Ctx.mkBVSle(randBV(Depth), randBV(Depth));
+    case 3:
+      if (Depth > 0)
+        return Ctx.mkAnd(randBool(Depth - 1), randBool(Depth - 1));
+      return Ctx.mkEq(randBV(0), randBV(0));
+    default:
+      if (Depth > 0)
+        return Ctx.mkNot(randBool(Depth - 1));
+      return Ctx.mkBVUle(randBV(0), randBV(0));
+    }
+  }
+};
+
+class SolverFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SolverFuzzTest, NativeAgreesWithZ3) {
+  TermContext Ctx;
+  RandomTermGen Gen(Ctx, /*Width=*/5, /*Seed=*/GetParam());
+  auto Native = createBitBlastSolver();
+  auto Z3 = createZ3Solver();
+  for (unsigned I = 0; I != 8; ++I) {
+    TermRef Q = Gen.randBool(3);
+    CheckResult RN = Native->check(Q);
+    CheckResult RZ = Z3->check(Q);
+    ASSERT_FALSE(RN.isUnknown()) << toSMTLib(Q);
+    ASSERT_FALSE(RZ.isUnknown()) << toSMTLib(Q);
+    EXPECT_EQ(RN.isSat(), RZ.isSat()) << toSMTLib(Q);
+    // Any model we produce must actually satisfy the query.
+    if (RN.isSat()) {
+      EXPECT_TRUE(RN.M.evalBool(Q)) << toSMTLib(Q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzzTest,
+                         ::testing::Range(1u, 13u));
+
+// --- Z3-only fragments -------------------------------------------------------
+
+TEST(Z3OnlyTest, ForallExists) {
+  TermContext Ctx;
+  auto S = createZ3Solver();
+  TermRef X = Ctx.mkVar("qx", Sort::bv(8));
+  TermRef Y = Ctx.mkVar("qy", Sort::bv(8));
+  // forall x. exists y. y == x + 1 — valid.
+  TermRef Body = Ctx.mkExists({Y}, Ctx.mkEq(Y, Ctx.mkBVAdd(X, Ctx.mkBV(8, 1))));
+  EXPECT_TRUE(S->check(Ctx.mkForall({X}, Body)).isSat());
+  // forall x. x == 0 — invalid.
+  EXPECT_TRUE(
+      S->check(Ctx.mkForall({X}, Ctx.mkEq(X, Ctx.mkBV(8, 0)))).isUnsat());
+}
+
+TEST(Z3OnlyTest, ArrayTheory) {
+  TermContext Ctx;
+  auto S = createZ3Solver();
+  TermRef A = Ctx.mkVar("mem", Sort::array(32, 8));
+  TermRef I = Ctx.mkVar("i", Sort::bv(32));
+  TermRef V = Ctx.mkVar("v", Sort::bv(8));
+  // select(store(a, i, v), i) != v is unsat.
+  TermRef Q = Ctx.mkNe(Ctx.mkSelect(Ctx.mkStore(A, I, V), I), V);
+  EXPECT_TRUE(S->check(Q).isUnsat());
+}
+
+TEST(BitBlastOnlyTest, RefusesQuantifiers) {
+  TermContext Ctx;
+  auto S = createBitBlastSolver();
+  TermRef X = Ctx.mkVar("rx", Sort::bv(4));
+  TermRef Q = Ctx.mkForall({X}, Ctx.mkBVUle(X, Ctx.mkBV(4, 15)));
+  EXPECT_TRUE(S->check(Q).isUnknown());
+}
+
+TEST(HybridTest, FallsBackToZ3) {
+  TermContext Ctx;
+  auto S = createHybridSolver();
+  TermRef X = Ctx.mkVar("hx", Sort::bv(4));
+  TermRef Q = Ctx.mkForall({X}, Ctx.mkBVUle(X, Ctx.mkBV(4, 15)));
+  EXPECT_TRUE(S->check(Q).isSat());
+}
+
+// --- Printer golden checks ---------------------------------------------------
+
+TEST(PrinterTest, BasicShapes) {
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("px", Sort::bv(8));
+  EXPECT_EQ(toSMTLib(Ctx.mkBVAdd(X, Ctx.mkBV(8, 3))),
+            "(bvadd px (_ bv3 8))");
+  EXPECT_EQ(toSMTLib(Ctx.mkZext(X, 16)), "((_ zero_extend 8) px)");
+  EXPECT_EQ(toSMTLib(Ctx.mkExtract(X, 3, 1)), "((_ extract 3 1) px)");
+  TermRef F = Ctx.mkForall({X}, Ctx.mkEq(X, X));
+  EXPECT_EQ(toSMTLib(F), "true"); // folded: x == x simplifies to true
+}
+
+TEST(PrinterTest, CollectFreeVarsSkipsBound) {
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("fv_x", Sort::bv(8));
+  TermRef Y = Ctx.mkVar("fv_y", Sort::bv(8));
+  TermRef Q = Ctx.mkForall({X}, Ctx.mkBVUlt(X, Y));
+  auto Vars = collectFreeVars(Q);
+  ASSERT_EQ(Vars.size(), 1u);
+  EXPECT_EQ(Vars[0], Y);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- tests/support/APIntTest.cpp - APInt unit tests ---------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/APInt.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+namespace {
+
+TEST(APIntTest, ConstructionAndMasking) {
+  EXPECT_EQ(APInt(8, 0x1FF).getZExtValue(), 0xFFu);
+  EXPECT_EQ(APInt(1, 3).getZExtValue(), 1u);
+  EXPECT_EQ(APInt(64, ~0ULL).getZExtValue(), ~0ULL);
+  EXPECT_EQ(APInt::getSigned(8, -1).getZExtValue(), 0xFFu);
+}
+
+TEST(APIntTest, SignExtension) {
+  EXPECT_EQ(APInt(8, 0xFF).getSExtValue(), -1);
+  EXPECT_EQ(APInt(8, 0x80).getSExtValue(), -128);
+  EXPECT_EQ(APInt(8, 0x7F).getSExtValue(), 127);
+  EXPECT_EQ(APInt(1, 1).getSExtValue(), -1);
+  EXPECT_EQ(APInt(64, ~0ULL).getSExtValue(), -1);
+}
+
+TEST(APIntTest, MinMaxValues) {
+  EXPECT_EQ(APInt::getSignedMinValue(8).getSExtValue(), -128);
+  EXPECT_EQ(APInt::getSignedMaxValue(8).getSExtValue(), 127);
+  EXPECT_TRUE(APInt::getSignedMinValue(4).isSignedMinValue());
+  EXPECT_TRUE(APInt::getSignedMinValue(4).isSignBit());
+  EXPECT_TRUE(APInt::getAllOnes(4).isAllOnes());
+}
+
+TEST(APIntTest, ModularArithmetic) {
+  APInt A(8, 200), B(8, 100);
+  EXPECT_EQ(A.add(B).getZExtValue(), 44u); // 300 mod 256
+  EXPECT_EQ(B.sub(A).getSExtValue(), -100);
+  EXPECT_EQ(A.mul(B).getZExtValue(), (200u * 100u) & 0xFF);
+  EXPECT_EQ(APInt(8, 1).neg().getZExtValue(), 0xFFu);
+}
+
+TEST(APIntTest, Division) {
+  EXPECT_EQ(APInt(8, 200).udiv(APInt(8, 3)).getZExtValue(), 66u);
+  EXPECT_EQ(APInt(8, 200).urem(APInt(8, 3)).getZExtValue(), 2u);
+  EXPECT_EQ(APInt::getSigned(8, -7).sdiv(APInt(8, 2)).getSExtValue(), -3);
+  EXPECT_EQ(APInt::getSigned(8, -7).srem(APInt(8, 2)).getSExtValue(), -1);
+  EXPECT_EQ(APInt::getSigned(8, 7).sdiv(APInt::getSigned(8, -2)).getSExtValue(),
+            -3);
+}
+
+TEST(APIntTest, Shifts) {
+  EXPECT_EQ(APInt(8, 1).shl(APInt(8, 3)).getZExtValue(), 8u);
+  EXPECT_EQ(APInt(8, 1).shl(APInt(8, 8)).getZExtValue(), 0u);
+  EXPECT_EQ(APInt(8, 0x80).lshr(APInt(8, 7)).getZExtValue(), 1u);
+  EXPECT_EQ(APInt(8, 0x80).ashr(APInt(8, 7)).getZExtValue(), 0xFFu);
+  EXPECT_EQ(APInt(8, 0x80).ashr(APInt(8, 100)).getZExtValue(), 0xFFu);
+  EXPECT_EQ(APInt(8, 0x40).ashr(APInt(8, 100)).getZExtValue(), 0u);
+}
+
+TEST(APIntTest, Comparisons) {
+  APInt A(8, 0xFF), B(8, 1);
+  EXPECT_TRUE(B.ult(A));
+  EXPECT_TRUE(A.slt(B)); // -1 < 1 signed
+  EXPECT_TRUE(A.sle(A));
+  EXPECT_TRUE(A.uge(B));
+  EXPECT_TRUE(A.sge(A));
+}
+
+TEST(APIntTest, WidthConversions) {
+  EXPECT_EQ(APInt(4, 0xF).zext(8).getZExtValue(), 0xFu);
+  EXPECT_EQ(APInt(4, 0xF).sext(8).getZExtValue(), 0xFFu);
+  EXPECT_EQ(APInt(8, 0xAB).trunc(4).getZExtValue(), 0xBu);
+  EXPECT_EQ(APInt(8, 5).zextOrTrunc(8), APInt(8, 5));
+}
+
+TEST(APIntTest, OverflowSignedAdd) {
+  bool Ov;
+  APInt(8, 100).saddOverflow(APInt(8, 27), Ov);
+  EXPECT_FALSE(Ov);
+  APInt(8, 100).saddOverflow(APInt(8, 28), Ov);
+  EXPECT_TRUE(Ov);
+  APInt::getSigned(8, -100).saddOverflow(APInt::getSigned(8, -29), Ov);
+  EXPECT_TRUE(Ov);
+}
+
+TEST(APIntTest, OverflowUnsignedAdd) {
+  bool Ov;
+  APInt(8, 255).uaddOverflow(APInt(8, 1), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 254).uaddOverflow(APInt(8, 1), Ov);
+  EXPECT_FALSE(Ov);
+}
+
+TEST(APIntTest, OverflowSignedSub) {
+  bool Ov;
+  APInt(8, 0).ssubOverflow(APInt::getSigned(8, -128), Ov);
+  EXPECT_TRUE(Ov); // 0 - (-128) = 128 > 127
+  APInt::getSigned(8, -128).ssubOverflow(APInt::getSigned(8, -128), Ov);
+  EXPECT_FALSE(Ov);
+}
+
+TEST(APIntTest, OverflowMul) {
+  bool Ov;
+  APInt(8, 16).smulOverflow(APInt(8, 8), Ov);
+  EXPECT_TRUE(Ov); // 128 > 127
+  APInt(8, 16).umulOverflow(APInt(8, 8), Ov);
+  EXPECT_FALSE(Ov); // 128 <= 255
+  APInt(8, 16).umulOverflow(APInt(8, 16), Ov);
+  EXPECT_TRUE(Ov); // 256 > 255
+  // The PR21242 case: 1 * 0x80 fits signed i8 (it is -128), but
+  // 1 << 7 == 0x80 signed-shift-overflows.
+  APInt(8, 1).smulOverflow(APInt(8, 0x80), Ov);
+  EXPECT_FALSE(Ov);
+  APInt(8, 1).sshlOverflow(APInt(8, 7), Ov);
+  EXPECT_TRUE(Ov);
+}
+
+TEST(APIntTest, OverflowShl) {
+  bool Ov;
+  APInt(8, 1).ushlOverflow(APInt(8, 7), Ov);
+  EXPECT_FALSE(Ov);
+  APInt(8, 2).ushlOverflow(APInt(8, 7), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 1).sshlOverflow(APInt(8, 6), Ov);
+  EXPECT_FALSE(Ov);
+  APInt(8, 3).sshlOverflow(APInt(8, 8), Ov);
+  EXPECT_TRUE(Ov); // shift amount == width always overflows
+}
+
+TEST(APIntTest, BitQueries) {
+  EXPECT_TRUE(APInt(8, 64).isPowerOf2());
+  EXPECT_TRUE(APInt(8, 0x80).isPowerOf2()); // sign bit counts (unsigned view)
+  EXPECT_FALSE(APInt(8, 0).isPowerOf2());
+  EXPECT_FALSE(APInt(8, 6).isPowerOf2());
+  EXPECT_EQ(APInt(8, 64).logBase2(), 6u);
+  EXPECT_EQ(APInt(8, 0x70).countLeadingZeros(), 1u);
+  EXPECT_EQ(APInt(8, 0x70).countTrailingZeros(), 4u);
+  EXPECT_EQ(APInt(8, 0).countLeadingZeros(), 8u);
+  EXPECT_EQ(APInt(8, 0x70).countPopulation(), 3u);
+  EXPECT_TRUE(APInt(8, 0x70).isShiftedMask());
+  EXPECT_FALSE(APInt(8, 0x50).isShiftedMask());
+}
+
+TEST(APIntTest, MinMaxAbs) {
+  EXPECT_EQ(APInt::getSigned(8, -5).abs().getZExtValue(), 5u);
+  EXPECT_EQ(APInt::getSignedMinValue(8).abs(), APInt::getSignedMinValue(8));
+  EXPECT_EQ(APInt(8, 3).umax(APInt(8, 250)).getZExtValue(), 250u);
+  EXPECT_EQ(APInt(8, 250).smax(APInt(8, 3)).getZExtValue(), 3u); // 250 is -6
+  EXPECT_EQ(APInt(8, 250).smin(APInt(8, 3)).getZExtValue(), 250u);
+}
+
+TEST(APIntTest, Formatting) {
+  // Figure 5 style: 0xF (15, -1) for i4.
+  EXPECT_EQ(APInt(4, 0xF).toString(), "0xF (15, -1)");
+  EXPECT_EQ(APInt(4, 0x3).toString(), "0x3 (3)");
+  EXPECT_EQ(APInt(4, 0x8).toString(), "0x8 (8, -8)");
+  EXPECT_EQ(APInt(8, 0x1).toHexString(), "0x01");
+}
+
+// Property sweep over widths: algebraic identities hold for every width.
+class APIntWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(APIntWidthTest, AlgebraicIdentities) {
+  unsigned W = GetParam();
+  for (uint64_t Raw : {0ULL, 1ULL, 2ULL, 0x55ULL, 0xFFFFFFFFFFFFFFFFULL,
+                       1ULL << (W - 1), (1ULL << (W - 1)) - 1}) {
+    APInt A(W, Raw);
+    EXPECT_EQ(A.add(A.neg()), APInt(W, 0));
+    EXPECT_EQ(A.xorOp(A), APInt(W, 0));
+    EXPECT_EQ(A.notOp().notOp(), A);
+    EXPECT_EQ(A.sub(A), APInt(W, 0));
+    EXPECT_EQ(A.zext(64).trunc(W), A);
+    EXPECT_EQ(A.sext(64).trunc(W), A);
+    if (!A.isZero()) {
+      EXPECT_EQ(A.udiv(A), APInt(W, 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, APIntWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 13u, 16u,
+                                           31u, 32u, 33u, 63u, 64u));
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/typing/TypingTest.cpp - type enumeration tests ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises constraint generation (Figure 3) and cross-checks the two
+/// feasible-type enumerators (native backtracking vs Z3 model iteration,
+/// Section 3.2) against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "typing/TypeConstraints.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::typing;
+
+namespace {
+
+Result<std::unique_ptr<Transform>> parse(const char *Text) {
+  return parser::parseTransform(Text);
+}
+
+std::vector<std::string> assignmentStrings(std::vector<TypeAssignment> As) {
+  std::vector<std::string> Out;
+  for (const auto &A : As) {
+    std::string S;
+    for (const auto &T : A)
+      S += T.str() + ";";
+    Out.push_back(std::move(S));
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(TypingTest, MonomorphicTransform) {
+  auto R = parse("%1 = add i8 %x, 3\n=>\n%1 = add %x, 3\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  ASSERT_EQ(As.get().size(), 1u);
+  // Every value in this transform is i8.
+  for (const auto &T : As.get()[0])
+    EXPECT_EQ(T, Type::intTy(8));
+  EXPECT_TRUE(Sys.satisfies(As.get()[0], Cfg.PtrWidth));
+}
+
+TEST(TypingTest, PolymorphicWidths) {
+  auto R = parse("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {4, 8, 16};
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  // A single unified class: one assignment per width.
+  EXPECT_EQ(As.get().size(), 3u);
+  for (const auto &A : As.get())
+    EXPECT_TRUE(Sys.satisfies(A, Cfg.PtrWidth));
+}
+
+TEST(TypingTest, ICmpResultIsI1) {
+  auto R = parse("%c = icmp eq %x, %y\n=>\n%c = icmp ule %x, %y\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {8};
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  ASSERT_FALSE(As.get().empty());
+  const Transform &T = *R.get();
+  for (const auto &A : As.get())
+    EXPECT_EQ(A[T.getSrcRoot()->getTypeVar()], Type::intTy(1));
+}
+
+TEST(TypingTest, TruncRequiresStrictlySmaller) {
+  auto R = parse("%t = trunc %x\n=>\n%t = trunc %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {8, 16};
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  // Only 8 < 16 is feasible.
+  ASSERT_EQ(As.get().size(), 1u);
+  const Transform &T = *R.get();
+  const Instr *Root = T.getSrcRoot();
+  EXPECT_EQ(As.get()[0][Root->getTypeVar()], Type::intTy(8));
+  EXPECT_EQ(As.get()[0][Root->getOperand(0)->getTypeVar()], Type::intTy(16));
+}
+
+TEST(TypingTest, ZExtChainNeedsThreeWidths) {
+  auto R = parse("%a = zext %x\n%b = zext %a\n=>\n%b = zext %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {4, 8, 16};
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  // x < a < b: exactly one chain over three widths.
+  EXPECT_EQ(As.get().size(), 1u);
+}
+
+TEST(TypingTest, InfeasibleAnnotations) {
+  // add operands share a type; conflicting annotations are infeasible.
+  auto R = parse("%r = add i8 %x, i16 %y\n=>\n%r = add %x, %y\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  auto As = enumerateTypesNative(Sys, TypeEnumConfig());
+  ASSERT_TRUE(As.ok()) << As.message();
+  EXPECT_TRUE(As.get().empty());
+}
+
+TEST(TypingTest, MemoryTyping) {
+  auto R = parse("%p = alloca i8, 4\nstore %v, %p\n%r = load %p\n"
+                 "=>\n%r = %v\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {8, 16};
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  ASSERT_EQ(As.get().size(), 1u);
+  const Transform &T = *R.get();
+  // %p : i8*, %v and %r : i8.
+  Value *P = T.src()[0];
+  EXPECT_EQ(As.get()[0][P->getTypeVar()], Type::ptrTy(Type::intTy(8)));
+  EXPECT_EQ(As.get()[0][T.getSrcRoot()->getTypeVar()], Type::intTy(8));
+}
+
+// Cross-check the two enumerators on a family of transforms.
+class EnumeratorAgreementTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(EnumeratorAgreementTest, NativeMatchesZ3) {
+  auto R = parse(GetParam());
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  Cfg.Widths = {4, 8, 16};
+  Cfg.MaxAssignments = 1000;
+  auto Native = enumerateTypesNative(Sys, Cfg);
+  auto Z3 = enumerateTypesZ3(Sys, Cfg);
+  ASSERT_TRUE(Native.ok()) << Native.message();
+  ASSERT_TRUE(Z3.ok()) << Z3.message();
+  EXPECT_EQ(assignmentStrings(Native.take()), assignmentStrings(Z3.take()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, EnumeratorAgreementTest,
+    ::testing::Values(
+        "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n",
+        "%t = trunc %x\n=>\n%t = trunc %x\n",
+        "%a = zext %x\n%b = zext %a\n=>\n%b = zext %x\n",
+        "%c = icmp eq %x, %y\n=>\n%c = icmp ule %x, %y\n",
+        "%r = select %c, %x, %y\n=>\n%r = select %c, %x, %y\n",
+        "%p = alloca i8, 4\n%r = load %p\n=>\n%r = load %p\n",
+        "%1 = add i8 %x, 3\n=>\n%1 = add %x, 3\n"));
+
+// Every enumerated assignment must satisfy the constraint system.
+TEST(TypingTest, EnumeratedAssignmentsSatisfyConstraints) {
+  const char *Cases[] = {
+      "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n",
+      "%a = zext %x\n%b = zext %a\n=>\n%b = zext %x\n",
+      "%p = alloca i8, 4\nstore %v, %p\n%r = load %p\n=>\n%r = %v\n",
+  };
+  for (const char *Text : Cases) {
+    auto R = parse(Text);
+    ASSERT_TRUE(R.ok()) << R.message();
+    auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+    TypeEnumConfig Cfg;
+    auto As = enumerateTypesNative(Sys, Cfg);
+    ASSERT_TRUE(As.ok()) << As.message();
+    for (const auto &A : As.get())
+      EXPECT_TRUE(Sys.satisfies(A, Cfg.PtrWidth)) << Text;
+  }
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- tests/verifier/MetamorphicTest.cpp - verifier soundness fuzzing -------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metamorphic properties over randomly generated transformations:
+///
+///  1. A transformation whose target is a structural copy of its source
+///     must always verify Correct (reflexivity of refinement).
+///  2. If concrete execution of the source and a mutated target ever
+///     disagree on a defined, poison-free input, the verifier must have
+///     said Incorrect (soundness: no false "correct" verdicts).
+///
+/// Property 2 is the one that matters: it catches encoding bugs in
+/// Tables 1/2, operand-order slips, and width-handling mistakes without
+/// needing hand-written expectations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+struct RandomTransform {
+  std::string Source;                 // DSL text of the source template
+  std::vector<std::string> Ops;       // opcode of each instruction
+  std::vector<std::array<int, 2>> Args; // operand codes per instruction
+  unsigned NumInstrs;
+
+  // Operand codes: 0 = %x, 1 = %y, 2 = C, 3 = literal 3, >=4 = temp k-4.
+  static constexpr int FirstTemp = 4;
+};
+
+const char *OpNames[] = {"add", "sub", "mul", "and", "or", "xor", "shl"};
+
+RandomTransform makeTransform(std::mt19937 &Rng, unsigned NumInstrs) {
+  RandomTransform T;
+  T.NumInstrs = NumInstrs;
+  std::ostringstream Src;
+  for (unsigned I = 0; I != NumInstrs; ++I) {
+    T.Ops.push_back(OpNames[Rng() % (sizeof(OpNames) / sizeof(OpNames[0]))]);
+    std::array<int, 2> A;
+    for (int K = 0; K != 2; ++K) {
+      // Bias later instructions toward consuming earlier temporaries so
+      // every temporary is used (the scoping rule demands it).
+      if (I > 0 && (K == 0 || Rng() % 2))
+        A[K] = RandomTransform::FirstTemp + static_cast<int>(Rng() % I);
+      else
+        A[K] = static_cast<int>(Rng() % 4);
+    }
+    // Force the previous temporary to be consumed.
+    if (I > 0)
+      A[0] = RandomTransform::FirstTemp + static_cast<int>(I - 1);
+    T.Args.push_back(A);
+  }
+  auto OperandStr = [](int Code) -> std::string {
+    switch (Code) {
+    case 0:
+      return "%x";
+    case 1:
+      return "%y";
+    case 2:
+      return "C";
+    case 3:
+      return "3";
+    default:
+      return "%t" + std::to_string(Code - RandomTransform::FirstTemp);
+    }
+  };
+  for (unsigned I = 0; I != NumInstrs; ++I)
+    Src << "%t" << I << " = " << T.Ops[I] << " " << OperandStr(T.Args[I][0])
+        << ", " << OperandStr(T.Args[I][1]) << "\n";
+  T.Source = Src.str();
+  return T;
+}
+
+/// Renders a target template: the same DAG with temporaries renamed
+/// %s0..%s(n-1) except the root, optionally with one opcode mutated.
+std::string renderTarget(const RandomTransform &T, int MutateAt,
+                         const char *MutatedOp) {
+  std::ostringstream Out;
+  auto OperandStr = [&](int Code) -> std::string {
+    switch (Code) {
+    case 0:
+      return "%x";
+    case 1:
+      return "%y";
+    case 2:
+      return "C";
+    case 3:
+      return "3";
+    default: {
+      unsigned K = static_cast<unsigned>(Code - RandomTransform::FirstTemp);
+      return (K + 1 == T.NumInstrs ? "%t" : "%s") + std::to_string(K);
+    }
+    }
+  };
+  for (unsigned I = 0; I != T.NumInstrs; ++I) {
+    const char *Op =
+        static_cast<int>(I) == MutateAt ? MutatedOp : T.Ops[I].c_str();
+    const char *Name = I + 1 == T.NumInstrs ? "%t" : "%s";
+    Out << Name << I << " = " << Op << " " << OperandStr(T.Args[I][0])
+        << ", " << OperandStr(T.Args[I][1]) << "\n";
+  }
+  return Out.str();
+}
+
+/// Evaluates the source template concretely at width 8 (shift amounts out
+/// of range count as UB). Returns false when execution is UB.
+bool evalTemplate(const RandomTransform &T, const std::vector<std::string> &Ops,
+                  uint64_t X, uint64_t Y, uint64_t C, APInt &Out) {
+  std::vector<APInt> Temps;
+  for (unsigned I = 0; I != T.NumInstrs; ++I) {
+    auto Val = [&](int Code) -> APInt {
+      switch (Code) {
+      case 0:
+        return APInt(8, X);
+      case 1:
+        return APInt(8, Y);
+      case 2:
+        return APInt(8, C);
+      case 3:
+        return APInt(8, 3);
+      default:
+        return Temps[Code - RandomTransform::FirstTemp];
+      }
+    };
+    APInt A = Val(T.Args[I][0]), B = Val(T.Args[I][1]);
+    const std::string &Op = Ops[I];
+    APInt R(8, 0);
+    if (Op == "add")
+      R = A.add(B);
+    else if (Op == "sub")
+      R = A.sub(B);
+    else if (Op == "mul")
+      R = A.mul(B);
+    else if (Op == "and")
+      R = A.andOp(B);
+    else if (Op == "or")
+      R = A.orOp(B);
+    else if (Op == "xor")
+      R = A.xorOp(B);
+    else if (Op == "shl") {
+      if (B.getZExtValue() >= 8)
+        return false; // UB
+      R = A.shl(B);
+    }
+    Temps.push_back(R);
+  }
+  Out = Temps.back();
+  return true;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MetamorphicTest, IdentityTargetsVerifyCorrect) {
+  std::mt19937 Rng(GetParam());
+  for (unsigned Round = 0; Round != 4; ++Round) {
+    RandomTransform T = makeTransform(Rng, 2 + Rng() % 3);
+    std::string Text = T.Source + "=>\n" + renderTarget(T, -1, "");
+    auto P = parser::parseTransform(Text);
+    ASSERT_TRUE(P.ok()) << P.message() << "\n" << Text;
+    VerifyConfig Cfg;
+    Cfg.Types.Widths = {8};
+    VerifyResult R = verify(*P.get(), Cfg);
+    EXPECT_EQ(R.V, Verdict::Correct) << Text << R.Message;
+  }
+}
+
+TEST_P(MetamorphicTest, NoFalseCorrectOnMutatedTargets) {
+  std::mt19937 Rng(GetParam() + 1000);
+  for (unsigned Round = 0; Round != 4; ++Round) {
+    RandomTransform T = makeTransform(Rng, 2 + Rng() % 3);
+    int MutateAt = static_cast<int>(Rng() % T.NumInstrs);
+    const char *NewOp =
+        OpNames[Rng() % (sizeof(OpNames) / sizeof(OpNames[0]))];
+    std::string Text = T.Source + "=>\n" + renderTarget(T, MutateAt, NewOp);
+    auto P = parser::parseTransform(Text);
+    ASSERT_TRUE(P.ok()) << P.message() << "\n" << Text;
+    VerifyConfig Cfg;
+    Cfg.Types.Widths = {8};
+    VerifyResult R = verify(*P.get(), Cfg);
+    ASSERT_NE(R.V, Verdict::Unknown) << Text << R.Message;
+
+    // Mutated opcode table for concrete cross-checking.
+    std::vector<std::string> MutOps = T.Ops;
+    MutOps[MutateAt] = NewOp;
+
+    bool FoundMismatch = false;
+    std::mt19937 InRng(GetParam() * 7 + Round);
+    for (unsigned Trial = 0; Trial != 200 && !FoundMismatch; ++Trial) {
+      uint64_t X = InRng(), Y = InRng(), C = InRng();
+      APInt SrcV, TgtV;
+      if (!evalTemplate(T, T.Ops, X, Y, C, SrcV))
+        continue; // source UB: any target behavior is allowed
+      if (!evalTemplate(T, MutOps, X, Y, C, TgtV)) {
+        FoundMismatch = true; // target UB where source defined
+        break;
+      }
+      FoundMismatch = SrcV != TgtV;
+    }
+    // Soundness: a concrete mismatch implies the verifier refuted it.
+    if (FoundMismatch) {
+      EXPECT_EQ(R.V, Verdict::Incorrect)
+          << "verifier accepted a transformation that misbehaves:\n"
+          << Text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest, ::testing::Range(1u, 26u));
+
+} // namespace

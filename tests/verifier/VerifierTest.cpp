@@ -1,0 +1,376 @@
+//===- tests/verifier/VerifierTest.cpp - refinement checking tests ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end verification of the paper's worked examples: the Section 1
+/// intro rewrite, the Section 2.4 nsw example, the Section 3.1.3 shifted
+/// sdiv, the undef-refinement example, and every Figure 8 bug (which must
+/// be refuted with a counterexample) together with corrected variants
+/// (which must prove).
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+VerifyConfig fastConfig() {
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 8;
+  return Cfg;
+}
+
+VerifyResult verifyText(const char *Text,
+                        const VerifyConfig &Cfg = fastConfig()) {
+  auto R = parser::parseTransform(Text);
+  EXPECT_TRUE(R.ok()) << R.message();
+  if (!R.ok())
+    return VerifyResult();
+  return verify(*R.get(), Cfg);
+}
+
+// --- Worked examples from the paper ----------------------------------------
+
+TEST(VerifierTest, IntroExampleCorrect) {
+  // (x ^ -1) + C ==> (C-1) - x  (Section 1).
+  auto R = verifyText("%1 = xor %x, -1\n"
+                      "%2 = add %1, C\n"
+                      "=>\n"
+                      "%2 = sub C-1, %x\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+  EXPECT_GE(R.NumTypeAssignments, 2u);
+}
+
+TEST(VerifierTest, NswIncrementComparison) {
+  // add nsw %x, 1; icmp sgt -> true (Section 2.4).
+  auto R = verifyText("%1 = add nsw %x, 1\n"
+                      "%2 = icmp sgt %1, %x\n"
+                      "=>\n"
+                      "%2 = true\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(VerifierTest, NswIncrementComparisonWithoutNswIsWrong) {
+  // Without nsw the comparison is false for x == INT_MAX.
+  auto R = verifyText("%1 = add %x, 1\n"
+                      "%2 = icmp sgt %1, %x\n"
+                      "=>\n"
+                      "%2 = true\n");
+  ASSERT_EQ(R.V, Verdict::Incorrect) << R.Message;
+  ASSERT_TRUE(R.CEX.has_value());
+  // The counterexample must set %x to INT_MAX of the chosen width.
+  bool FoundX = false;
+  for (const auto &B : R.CEX->Inputs)
+    if (B.Name == "%x") {
+      FoundX = true;
+      EXPECT_TRUE(B.Value.isSignedMaxValue()) << B.Value.toString();
+    }
+  EXPECT_TRUE(FoundX);
+}
+
+TEST(VerifierTest, Section313ShlAshrExample) {
+  // Pre: C1 u>= C2 — shl nsw then ashr; correct per Section 3.1.3.
+  auto R = verifyText("Pre: C1 u>= C2\n"
+                      "%0 = shl nsw %a, C1\n"
+                      "%1 = ashr %0, C2\n"
+                      "=>\n"
+                      "%1 = shl nsw %a, C1-C2\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(VerifierTest, UndefSelectAshrExample) {
+  // Section 3.1.2's ∀ū∃u example: select undef, -1, 0 => ashr undef, 3.
+  // Valid only when the ashr can produce both -1 and 0: width > 3.
+  // At i4, ashr by 3 replicates the sign bit: exactly {0, -1}.
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = verifyText("%r = select undef, i4 -1, 0\n"
+                      "=>\n"
+                      "%r = ashr undef, 3\n",
+                      Cfg);
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+  // At i8 the target's value set {-16..15} exceeds {0,-1}: not a
+  // refinement.
+  Cfg.Types.Widths = {8};
+  auto R8 = verifyText("%r = select undef, i8 -1, 0\n"
+                       "=>\n"
+                       "%r = ashr undef, 3\n",
+                       Cfg);
+  EXPECT_EQ(R8.V, Verdict::Incorrect) << R8.Message;
+}
+
+TEST(VerifierTest, UndefRefinementDirectionMatters) {
+  // The reverse direction is wrong: the source set {0,-1} cannot cover
+  // every value an unconstrained target undef yields.
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = verifyText("%r = ashr undef, 3\n"
+                      "=>\n"
+                      "%r = select undef, i4 -1, 0\n",
+                      Cfg);
+  // Target values {0,-1} ⊆ source values — this direction is actually a
+  // refinement; the truly-wrong direction replaces the root with a wider
+  // set:
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+
+  // A target value outside the source's {0, -1} set is not a refinement.
+  auto R2 = verifyText("%r = select undef, i4 -1, 0\n"
+                       "=>\n"
+                       "%r = 2\n",
+                       Cfg);
+  EXPECT_EQ(R2.V, Verdict::Incorrect) << R2.Message;
+}
+
+TEST(VerifierTest, XorUndefIsNotZero) {
+  // xor undef, undef == {anything}, so folding to 0 is *allowed*
+  // (refinement picks equal values); folding to %x is not.
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = verifyText("%z = xor undef, undef\n=>\n%z = 0\n", Cfg);
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+// --- Figure 8: the eight real InstCombine bugs ------------------------------
+
+struct Fig8Case {
+  const char *Name;
+  const char *Text;
+};
+
+class Figure8Test : public ::testing::TestWithParam<Fig8Case> {};
+
+TEST_P(Figure8Test, BugIsRefuted) {
+  VerifyConfig Cfg = fastConfig();
+  auto R = verifyText(GetParam().Text, Cfg);
+  ASSERT_EQ(R.V, Verdict::Incorrect)
+      << GetParam().Name << ": " << R.Message;
+  ASSERT_TRUE(R.CEX.has_value());
+  EXPECT_FALSE(R.CEX->str().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bugs, Figure8Test,
+    ::testing::Values(
+        Fig8Case{"PR20186",
+                 "%a = sdiv %X, C\n%r = sub 0, %a\n=>\n%r = sdiv %X, -C\n"},
+        Fig8Case{"PR20189",
+                 "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n"
+                 "%C = add nsw %x, %A\n"},
+        Fig8Case{"PR21242",
+                 "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n"
+                 "%r = shl nsw %x, log2(C1)\n"},
+        Fig8Case{"PR21243",
+                 "Pre: !WillNotOverflowSignedMul(C1, C2)\n"
+                 "%Op0 = sdiv %X, C1\n%r = sdiv %Op0, C2\n=>\n%r = 0\n"},
+        Fig8Case{"PR21245",
+                 "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n"
+                 "%r = sdiv %s, C2\n=>\n%r = sdiv %X, C2/(1<<C1)\n"},
+        Fig8Case{"PR21255",
+                 "%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n"
+                 "%r = udiv %X, C2 << C1\n"},
+        Fig8Case{"PR21256",
+                 "%Op1 = sub 0, %X\n%r = srem %Op0, %Op1\n=>\n"
+                 "%r = srem %Op0, %X\n"},
+        Fig8Case{"PR21274",
+                 "Pre: isPowerOf2(%Power) && hasOneUse(%Y)\n"
+                 "%s = shl %Power, %A\n%Y = lshr %s, %B\n"
+                 "%r = udiv %X, %Y\n=>\n%sub = sub %A, %B\n"
+                 "%Y = shl %Power, %sub\n%r = udiv %X, %Y\n"}),
+    [](const auto &Info) { return std::string(Info.param.Name); });
+
+// --- Corrected variants of the Figure 8 bugs --------------------------------
+
+TEST(Figure8FixedTest, PR20186Fixed) {
+  // Excluding C == INT_MIN and C == 1 makes the negation safe (the LLVM
+  // fix guards the same cases).
+  auto R = verifyText("Pre: !isSignBit(C) && C != 1\n"
+                      "%a = sdiv %X, C\n"
+                      "%r = sub 0, %a\n"
+                      "=>\n"
+                      "%r = sdiv %X, -C\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(Figure8FixedTest, PR20189Fixed) {
+  // Dropping the bogus nsw from the target is correct.
+  auto R = verifyText("%B = sub 0, %A\n"
+                      "%C = sub nsw %x, %B\n"
+                      "=>\n"
+                      "%C = add %x, %A\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(Figure8FixedTest, PR21242Fixed) {
+  // Excluding the sign bit (INT_MIN is a "power of two" in the unsigned
+  // reading) repairs the nsw propagation.
+  auto R = verifyText("Pre: isPowerOf2(C1) && !isSignBit(C1)\n"
+                      "%r = mul nsw %x, C1\n"
+                      "=>\n"
+                      "%r = shl nsw %x, log2(C1)\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(Figure8FixedTest, PR21256Fixed) {
+  // srem's result only depends on |divisor|: flipping the sign is fine
+  // when X != INT_MIN (so that 0 - X cannot itself be INT_MIN with the
+  // divisor staying INT_MIN) — the fixed LLVM code requires constants.
+  auto R = verifyText("Pre: !isSignBit(C) && C != -1\n"
+                      "%Op1 = sub 0, C\n"
+                      "%r = srem %Op0, %Op1\n"
+                      "=>\n"
+                      "%r = srem %Op0, C\n");
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+// --- Counterexample format (Figure 5) ---------------------------------------
+
+TEST(CounterExampleTest, PR21245Format) {
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4}; // the paper's counterexample is i4
+  auto R = verifyText("Pre: C2 % (1<<C1) == 0\n"
+                      "%s = shl nsw %X, C1\n"
+                      "%r = sdiv %s, C2\n"
+                      "=>\n"
+                      "%r = sdiv %X, C2/(1<<C1)\n",
+                      Cfg);
+  ASSERT_EQ(R.V, Verdict::Incorrect) << R.Message;
+  ASSERT_TRUE(R.CEX.has_value());
+  std::string S = R.CEX->str();
+  EXPECT_NE(S.find("ERROR:"), std::string::npos) << S;
+  EXPECT_NE(S.find("%r"), std::string::npos) << S;
+  EXPECT_NE(S.find("Example:"), std::string::npos) << S;
+  EXPECT_NE(S.find("%X i4 = "), std::string::npos) << S;
+  EXPECT_NE(S.find("Source value: "), std::string::npos) << S;
+}
+
+// --- Backend parity -----------------------------------------------------------
+
+TEST(VerifierBackendTest, BitBlastHandlesQuantifierFree) {
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Backend = BackendKind::BitBlast;
+  auto R = verifyText("%1 = xor %x, -1\n%2 = add %1, C\n=>\n"
+                      "%2 = sub C-1, %x\n",
+                      Cfg);
+  EXPECT_EQ(R.V, Verdict::Correct) << R.Message;
+}
+
+TEST(VerifierBackendTest, Z3OnlyForUndefSources) {
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  Cfg.Backend = BackendKind::BitBlast;
+  auto R = verifyText("%r = select undef, i4 -1, 0\n=>\n"
+                      "%r = ashr undef, 3\n",
+                      Cfg);
+  EXPECT_EQ(R.V, Verdict::Unknown); // quantified: outside QF_BV
+  Cfg.Backend = BackendKind::Hybrid;
+  auto R2 = verifyText("%r = select undef, i4 -1, 0\n=>\n"
+                       "%r = ashr undef, 3\n",
+                       Cfg);
+  EXPECT_EQ(R2.V, Verdict::Correct) << R2.Message;
+}
+
+// --- Simple algebraic identities (smoke corpus) ------------------------------
+
+class IdentityTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(IdentityTest, Correct) {
+  auto R = verifyText(GetParam());
+  EXPECT_EQ(R.V, Verdict::Correct) << GetParam() << ": " << R.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Identities, IdentityTest,
+    ::testing::Values(
+        "%r = add %x, 0\n=>\n%r = %x\n",
+        "%r = mul %x, 2\n=>\n%r = shl %x, 1\n",
+        "%r = sub %x, %x\n=>\n%r = 0\n",
+        "%r = and %x, %x\n=>\n%r = %x\n",
+        "%r = or %x, -1\n=>\n%r = -1\n",
+        "%r = xor %x, %x\n=>\n%r = 0\n",
+        "%r = udiv %x, 1\n=>\n%r = %x\n",
+        "%r = urem %x, 1\n=>\n%r = 0\n",
+        "%a = sub 0, %x\n%r = sub 0, %a\n=>\n%r = %x\n",
+        "%c = icmp ult %x, %x\n=>\n%c = false\n",
+        "Pre: isPowerOf2(C)\n%r = urem %x, C\n=>\n%r = and %x, C-1\n",
+        "%a = xor %x, -1\n%r = xor %a, -1\n=>\n%r = %x\n"));
+
+class WrongTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WrongTest, Refuted) {
+  auto R = verifyText(GetParam());
+  EXPECT_EQ(R.V, Verdict::Incorrect) << GetParam() << ": " << R.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Wrong, WrongTest,
+    ::testing::Values(
+        // Dropping UB: udiv by %y is not always defined.
+        "%r = udiv %x, %y\n=>\n%r = 0\n",
+        // Signed overflow differs from unsigned.
+        "%r = add nsw %x, %x\n=>\n%r = shl nuw %x, 1\n",
+        // sdiv is not udiv.
+        "%r = sdiv %x, 2\n=>\n%r = lshr %x, 1\n",
+        // icmp signedness mixup.
+        "%c = icmp slt %x, %y\n=>\n%c = icmp ult %x, %y\n",
+        // ashr is not lshr.
+        "%r = ashr %x, 1\n=>\n%r = lshr %x, 1\n"));
+
+// --- Attribute inference (Section 3.4) ---------------------------------------
+
+TEST(AttrInferTest, StrengthensPostcondition) {
+  // and of a value with itself: actually use a case with obvious room —
+  // %r = sub %x, %x => %r = 0 carries no attrs; try shl-by-zero style:
+  // `%r = add %x, 0 => %r = %x` has no binop in the target. Use:
+  // mul %x, 2 => shl %x, 1 — the target shl can gain nsw/nuw iff the
+  // source mul has them; with no source attrs, none can be added.
+  auto P = parser::parseTransform(
+      "%r = mul nsw nuw %x, 2\n=>\n%r = shl %x, 1\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = inferAttributes(*P.get(), Cfg);
+  ASSERT_TRUE(R.Feasible) << R.Message;
+  // Target shl may take both nsw and nuw given the source guarantees.
+  auto It = R.TgtFlags.find("%r");
+  ASSERT_NE(It, R.TgtFlags.end());
+  EXPECT_TRUE(It->second & ir::AttrNSW);
+  EXPECT_TRUE(It->second & ir::AttrNUW);
+  EXPECT_TRUE(R.strengthensPostcondition(*P.get()));
+}
+
+TEST(AttrInferTest, WeakensPrecondition) {
+  // xor-based negation: `%a = xor %x, -1; %r = add nsw %a, 1` — the nsw
+  // on the source is unnecessary for `%r = sub 0, %x` to be correct.
+  auto P = parser::parseTransform(
+      "%a = xor %x, -1\n%r = add nsw %a, 1\n=>\n%r = sub 0, %x\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = inferAttributes(*P.get(), Cfg);
+  ASSERT_TRUE(R.Feasible) << R.Message;
+  auto It = R.SrcFlags.find("%r");
+  ASSERT_NE(It, R.SrcFlags.end());
+  EXPECT_EQ(It->second & ir::AttrNSW, 0u);
+  EXPECT_TRUE(R.weakensPrecondition(*P.get()));
+}
+
+TEST(AttrInferTest, InfeasibleWhenAlwaysWrong) {
+  auto P = parser::parseTransform("%r = add %x, 1\n=>\n%r = add %x, 2\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  VerifyConfig Cfg = fastConfig();
+  Cfg.Types.Widths = {4};
+  auto R = inferAttributes(*P.get(), Cfg);
+  EXPECT_FALSE(R.Feasible);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+//===- tools/alivec.cpp - the Alive command-line driver -----------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line face of the tool chain, mirroring how LLVM developers
+/// use Alive (Section 6.2: checking InstCombine patches before commit):
+///
+///   alivec verify  file.opt   verify every transformation in the file
+///   alivec infer   file.opt   infer optimal nsw/nuw/exact placement
+///   alivec codegen file.opt   emit InstCombine-style C++ for correct ones
+///   alivec print   file.opt   parse and pretty-print
+///
+/// Options:
+///   --widths=4,8,16   type widths to enumerate (default 4,8)
+///   --backend=hybrid|z3|bitblast
+///   --memory=ite|array
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: alivec <verify|infer|codegen|print> [options] "
+               "<file.opt>\n"
+               "  --widths=4,8,16        type widths to enumerate\n"
+               "  --backend=hybrid|z3|bitblast\n"
+               "  --memory=ite|array\n");
+}
+
+std::string flagsToString(unsigned Flags) {
+  std::string S;
+  if (Flags & ir::AttrNSW)
+    S += " nsw";
+  if (Flags & ir::AttrNUW)
+    S += " nuw";
+  if (Flags & ir::AttrExact)
+    S += " exact";
+  return S.empty() ? " (none)" : S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  std::string Mode = argv[1];
+  std::string Path;
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+
+  for (int I = 2; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--widths=", 0) == 0) {
+      Cfg.Types.Widths.clear();
+      std::stringstream SS(Arg.substr(9));
+      std::string W;
+      while (std::getline(SS, W, ','))
+        Cfg.Types.Widths.push_back(
+            static_cast<unsigned>(std::stoul(W)));
+    } else if (Arg == "--backend=z3") {
+      Cfg.Backend = BackendKind::Z3;
+    } else if (Arg == "--backend=bitblast") {
+      Cfg.Backend = BackendKind::BitBlast;
+    } else if (Arg == "--backend=hybrid") {
+      Cfg.Backend = BackendKind::Hybrid;
+    } else if (Arg == "--memory=array") {
+      Cfg.Encoding.Memory = semantics::MemoryEncoding::ArrayTheory;
+    } else if (Arg == "--memory=ite") {
+      Cfg.Encoding.Memory = semantics::MemoryEncoding::EagerIte;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  auto Parsed = parser::parseTransforms(Buf.str());
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 Parsed.message().c_str());
+    return 1;
+  }
+
+  unsigned Failures = 0;
+  for (const auto &T : Parsed.get()) {
+    std::string Name = T->Name.empty() ? "<anonymous>" : T->Name;
+    if (Mode == "print") {
+      std::printf("%s\n", T->str().c_str());
+      continue;
+    }
+    if (Mode == "verify") {
+      VerifyResult R = verify(*T, Cfg);
+      switch (R.V) {
+      case Verdict::Correct:
+        std::printf("%-32s correct (%u type assignments, %u queries)\n",
+                    Name.c_str(), R.NumTypeAssignments, R.NumQueries);
+        break;
+      case Verdict::Incorrect:
+        ++Failures;
+        std::printf("%-32s INCORRECT\n%s\n", Name.c_str(),
+                    R.CEX ? R.CEX->str().c_str() : "");
+        break;
+      default:
+        ++Failures;
+        std::printf("%-32s %s\n", Name.c_str(), R.Message.c_str());
+        break;
+      }
+      continue;
+    }
+    if (Mode == "infer") {
+      AttrInferenceResult R = inferAttributes(*T, Cfg);
+      if (!R.Feasible) {
+        ++Failures;
+        std::printf("%-32s infeasible: %s\n", Name.c_str(),
+                    R.Message.c_str());
+        continue;
+      }
+      std::printf("%s:\n", Name.c_str());
+      for (const auto &[I, Flags] : R.SrcFlags)
+        std::printf("  source %-8s needs%s\n", I.c_str(),
+                    flagsToString(Flags).c_str());
+      for (const auto &[I, Flags] : R.TgtFlags)
+        std::printf("  target %-8s may carry%s\n", I.c_str(),
+                    flagsToString(Flags).c_str());
+      continue;
+    }
+    if (Mode == "codegen") {
+      VerifyResult R = verify(*T, Cfg);
+      if (!R.isCorrect()) {
+        ++Failures;
+        std::fprintf(stderr,
+                     "// %s failed verification; no code generated\n",
+                     Name.c_str());
+        continue;
+      }
+      auto Cpp = codegen::emitCppFunction(
+          *T, "apply_" + std::to_string(Failures + 1));
+      if (Cpp.ok())
+        std::printf("%s\n", Cpp.get().c_str());
+      else
+        std::fprintf(stderr, "// %s: %s\n", Name.c_str(),
+                     Cpp.message().c_str());
+      continue;
+    }
+    usage();
+    return 2;
+  }
+  return Failures == 0 ? 0 : 1;
+}
