@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attr_infer.dir/bench_attr_infer.cpp.o"
+  "CMakeFiles/bench_attr_infer.dir/bench_attr_infer.cpp.o.d"
+  "bench_attr_infer"
+  "bench_attr_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attr_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_infer_demo.dir/attr_infer_demo.cpp.o"
+  "CMakeFiles/attr_infer_demo.dir/attr_infer_demo.cpp.o.d"
+  "attr_infer_demo"
+  "attr_infer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_infer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

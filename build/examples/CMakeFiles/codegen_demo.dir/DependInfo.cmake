@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/codegen_demo.cpp" "examples/CMakeFiles/codegen_demo.dir/codegen_demo.cpp.o" "gcc" "examples/CMakeFiles/codegen_demo.dir/codegen_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_liteir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

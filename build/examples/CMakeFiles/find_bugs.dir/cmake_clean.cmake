@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_bugs.dir/find_bugs.cpp.o"
+  "CMakeFiles/find_bugs.dir/find_bugs.cpp.o.d"
+  "find_bugs"
+  "find_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_ir.dir/optimize_ir.cpp.o"
+  "CMakeFiles/optimize_ir.dir/optimize_ir.cpp.o.d"
+  "optimize_ir"
+  "optimize_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

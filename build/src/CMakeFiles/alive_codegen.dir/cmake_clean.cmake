@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_codegen.dir/codegen/CodeGen.cpp.o"
+  "CMakeFiles/alive_codegen.dir/codegen/CodeGen.cpp.o.d"
+  "libalive_codegen.a"
+  "libalive_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/AddSub.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/AddSub.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/AddSub.cpp.o.d"
+  "/root/repo/src/corpus/AndOrXor.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/AndOrXor.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/AndOrXor.cpp.o.d"
+  "/root/repo/src/corpus/Bugs.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/Bugs.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/Bugs.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/Corpus.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/LoadStoreAlloca.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/LoadStoreAlloca.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/LoadStoreAlloca.cpp.o.d"
+  "/root/repo/src/corpus/MulDivRem.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/MulDivRem.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/MulDivRem.cpp.o.d"
+  "/root/repo/src/corpus/Select.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/Select.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/Select.cpp.o.d"
+  "/root/repo/src/corpus/Shifts.cpp" "src/CMakeFiles/alive_corpus.dir/corpus/Shifts.cpp.o" "gcc" "src/CMakeFiles/alive_corpus.dir/corpus/Shifts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

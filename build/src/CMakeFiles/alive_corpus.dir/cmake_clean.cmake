@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_corpus.dir/corpus/AddSub.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/AddSub.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/AndOrXor.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/AndOrXor.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/Bugs.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/Bugs.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/Corpus.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/Corpus.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/LoadStoreAlloca.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/LoadStoreAlloca.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/MulDivRem.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/MulDivRem.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/Select.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/Select.cpp.o.d"
+  "CMakeFiles/alive_corpus.dir/corpus/Shifts.cpp.o"
+  "CMakeFiles/alive_corpus.dir/corpus/Shifts.cpp.o.d"
+  "libalive_corpus.a"
+  "libalive_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

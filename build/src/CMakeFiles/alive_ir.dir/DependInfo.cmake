@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ConstExpr.cpp" "src/CMakeFiles/alive_ir.dir/ir/ConstExpr.cpp.o" "gcc" "src/CMakeFiles/alive_ir.dir/ir/ConstExpr.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/CMakeFiles/alive_ir.dir/ir/Instr.cpp.o" "gcc" "src/CMakeFiles/alive_ir.dir/ir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Precondition.cpp" "src/CMakeFiles/alive_ir.dir/ir/Precondition.cpp.o" "gcc" "src/CMakeFiles/alive_ir.dir/ir/Precondition.cpp.o.d"
+  "/root/repo/src/ir/Transform.cpp" "src/CMakeFiles/alive_ir.dir/ir/Transform.cpp.o" "gcc" "src/CMakeFiles/alive_ir.dir/ir/Transform.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/alive_ir.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/alive_ir.dir/ir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_ir.dir/ir/ConstExpr.cpp.o"
+  "CMakeFiles/alive_ir.dir/ir/ConstExpr.cpp.o.d"
+  "CMakeFiles/alive_ir.dir/ir/Instr.cpp.o"
+  "CMakeFiles/alive_ir.dir/ir/Instr.cpp.o.d"
+  "CMakeFiles/alive_ir.dir/ir/Precondition.cpp.o"
+  "CMakeFiles/alive_ir.dir/ir/Precondition.cpp.o.d"
+  "CMakeFiles/alive_ir.dir/ir/Transform.cpp.o"
+  "CMakeFiles/alive_ir.dir/ir/Transform.cpp.o.d"
+  "CMakeFiles/alive_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/alive_ir.dir/ir/Type.cpp.o.d"
+  "libalive_ir.a"
+  "libalive_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

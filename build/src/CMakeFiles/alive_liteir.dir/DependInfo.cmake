@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liteir/Folder.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/Folder.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/Folder.cpp.o.d"
+  "/root/repo/src/liteir/IRGen.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/IRGen.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/IRGen.cpp.o.d"
+  "/root/repo/src/liteir/Interp.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/Interp.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/Interp.cpp.o.d"
+  "/root/repo/src/liteir/KnownBits.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/KnownBits.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/KnownBits.cpp.o.d"
+  "/root/repo/src/liteir/LiteIR.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/LiteIR.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/LiteIR.cpp.o.d"
+  "/root/repo/src/liteir/Reader.cpp" "src/CMakeFiles/alive_liteir.dir/liteir/Reader.cpp.o" "gcc" "src/CMakeFiles/alive_liteir.dir/liteir/Reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_liteir.dir/liteir/Folder.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/Folder.cpp.o.d"
+  "CMakeFiles/alive_liteir.dir/liteir/IRGen.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/IRGen.cpp.o.d"
+  "CMakeFiles/alive_liteir.dir/liteir/Interp.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/Interp.cpp.o.d"
+  "CMakeFiles/alive_liteir.dir/liteir/KnownBits.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/KnownBits.cpp.o.d"
+  "CMakeFiles/alive_liteir.dir/liteir/LiteIR.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/LiteIR.cpp.o.d"
+  "CMakeFiles/alive_liteir.dir/liteir/Reader.cpp.o"
+  "CMakeFiles/alive_liteir.dir/liteir/Reader.cpp.o.d"
+  "libalive_liteir.a"
+  "libalive_liteir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_liteir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_parser.dir/parser/Lexer.cpp.o"
+  "CMakeFiles/alive_parser.dir/parser/Lexer.cpp.o.d"
+  "CMakeFiles/alive_parser.dir/parser/Parser.cpp.o"
+  "CMakeFiles/alive_parser.dir/parser/Parser.cpp.o.d"
+  "libalive_parser.a"
+  "libalive_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

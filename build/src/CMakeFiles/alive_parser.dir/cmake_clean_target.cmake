@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalive_parser.a"
+)

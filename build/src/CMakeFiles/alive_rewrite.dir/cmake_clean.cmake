@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_rewrite.dir/rewrite/PassDriver.cpp.o"
+  "CMakeFiles/alive_rewrite.dir/rewrite/PassDriver.cpp.o.d"
+  "CMakeFiles/alive_rewrite.dir/rewrite/Rewriter.cpp.o"
+  "CMakeFiles/alive_rewrite.dir/rewrite/Rewriter.cpp.o.d"
+  "libalive_rewrite.a"
+  "libalive_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

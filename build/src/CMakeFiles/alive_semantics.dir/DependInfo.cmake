@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/Memory.cpp" "src/CMakeFiles/alive_semantics.dir/semantics/Memory.cpp.o" "gcc" "src/CMakeFiles/alive_semantics.dir/semantics/Memory.cpp.o.d"
+  "/root/repo/src/semantics/Predicates.cpp" "src/CMakeFiles/alive_semantics.dir/semantics/Predicates.cpp.o" "gcc" "src/CMakeFiles/alive_semantics.dir/semantics/Predicates.cpp.o.d"
+  "/root/repo/src/semantics/VCGen.cpp" "src/CMakeFiles/alive_semantics.dir/semantics/VCGen.cpp.o" "gcc" "src/CMakeFiles/alive_semantics.dir/semantics/VCGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

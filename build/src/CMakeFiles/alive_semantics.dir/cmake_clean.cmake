@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_semantics.dir/semantics/Memory.cpp.o"
+  "CMakeFiles/alive_semantics.dir/semantics/Memory.cpp.o.d"
+  "CMakeFiles/alive_semantics.dir/semantics/Predicates.cpp.o"
+  "CMakeFiles/alive_semantics.dir/semantics/Predicates.cpp.o.d"
+  "CMakeFiles/alive_semantics.dir/semantics/VCGen.cpp.o"
+  "CMakeFiles/alive_semantics.dir/semantics/VCGen.cpp.o.d"
+  "libalive_semantics.a"
+  "libalive_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Builder.cpp" "src/CMakeFiles/alive_smt.dir/smt/Builder.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/Builder.cpp.o.d"
+  "/root/repo/src/smt/Printer.cpp" "src/CMakeFiles/alive_smt.dir/smt/Printer.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/Printer.cpp.o.d"
+  "/root/repo/src/smt/Simplify.cpp" "src/CMakeFiles/alive_smt.dir/smt/Simplify.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/Simplify.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/alive_smt.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/Solver.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/CMakeFiles/alive_smt.dir/smt/Term.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/Term.cpp.o.d"
+  "/root/repo/src/smt/bitblast/BitBlastSolver.cpp" "src/CMakeFiles/alive_smt.dir/smt/bitblast/BitBlastSolver.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/bitblast/BitBlastSolver.cpp.o.d"
+  "/root/repo/src/smt/bitblast/BitBlaster.cpp" "src/CMakeFiles/alive_smt.dir/smt/bitblast/BitBlaster.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/bitblast/BitBlaster.cpp.o.d"
+  "/root/repo/src/smt/sat/SatSolver.cpp" "src/CMakeFiles/alive_smt.dir/smt/sat/SatSolver.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/sat/SatSolver.cpp.o.d"
+  "/root/repo/src/smt/z3/Z3Solver.cpp" "src/CMakeFiles/alive_smt.dir/smt/z3/Z3Solver.cpp.o" "gcc" "src/CMakeFiles/alive_smt.dir/smt/z3/Z3Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_smt.dir/smt/Builder.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/Builder.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/Printer.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/Printer.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/Simplify.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/Simplify.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/Solver.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/Solver.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/Term.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/Term.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/bitblast/BitBlastSolver.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/bitblast/BitBlastSolver.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/bitblast/BitBlaster.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/bitblast/BitBlaster.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/sat/SatSolver.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/sat/SatSolver.cpp.o.d"
+  "CMakeFiles/alive_smt.dir/smt/z3/Z3Solver.cpp.o"
+  "CMakeFiles/alive_smt.dir/smt/z3/Z3Solver.cpp.o.d"
+  "libalive_smt.a"
+  "libalive_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

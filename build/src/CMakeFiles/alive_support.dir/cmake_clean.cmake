@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_support.dir/support/APInt.cpp.o"
+  "CMakeFiles/alive_support.dir/support/APInt.cpp.o.d"
+  "CMakeFiles/alive_support.dir/support/Status.cpp.o"
+  "CMakeFiles/alive_support.dir/support/Status.cpp.o.d"
+  "libalive_support.a"
+  "libalive_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typing/NativeEnumerator.cpp" "src/CMakeFiles/alive_typing.dir/typing/NativeEnumerator.cpp.o" "gcc" "src/CMakeFiles/alive_typing.dir/typing/NativeEnumerator.cpp.o.d"
+  "/root/repo/src/typing/TypeConstraints.cpp" "src/CMakeFiles/alive_typing.dir/typing/TypeConstraints.cpp.o" "gcc" "src/CMakeFiles/alive_typing.dir/typing/TypeConstraints.cpp.o.d"
+  "/root/repo/src/typing/Z3Enumerator.cpp" "src/CMakeFiles/alive_typing.dir/typing/Z3Enumerator.cpp.o" "gcc" "src/CMakeFiles/alive_typing.dir/typing/Z3Enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alive_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alive_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_typing.dir/typing/NativeEnumerator.cpp.o"
+  "CMakeFiles/alive_typing.dir/typing/NativeEnumerator.cpp.o.d"
+  "CMakeFiles/alive_typing.dir/typing/TypeConstraints.cpp.o"
+  "CMakeFiles/alive_typing.dir/typing/TypeConstraints.cpp.o.d"
+  "CMakeFiles/alive_typing.dir/typing/Z3Enumerator.cpp.o"
+  "CMakeFiles/alive_typing.dir/typing/Z3Enumerator.cpp.o.d"
+  "libalive_typing.a"
+  "libalive_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

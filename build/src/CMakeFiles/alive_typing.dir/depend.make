@@ -1,0 +1,2 @@
+# Empty dependencies file for alive_typing.
+# This may be replaced when dependencies are built.

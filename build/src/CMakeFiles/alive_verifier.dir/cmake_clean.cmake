@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_verifier.dir/verifier/AttrInfer.cpp.o"
+  "CMakeFiles/alive_verifier.dir/verifier/AttrInfer.cpp.o.d"
+  "CMakeFiles/alive_verifier.dir/verifier/CounterExample.cpp.o"
+  "CMakeFiles/alive_verifier.dir/verifier/CounterExample.cpp.o.d"
+  "CMakeFiles/alive_verifier.dir/verifier/Verifier.cpp.o"
+  "CMakeFiles/alive_verifier.dir/verifier/Verifier.cpp.o.d"
+  "libalive_verifier.a"
+  "libalive_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alivec.dir/__/tools/alivec.cpp.o"
+  "CMakeFiles/alivec.dir/__/tools/alivec.cpp.o.d"
+  "alivec"
+  "alivec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alivec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

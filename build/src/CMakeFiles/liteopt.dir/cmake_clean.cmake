@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liteopt.dir/__/tools/liteopt.cpp.o"
+  "CMakeFiles/liteopt.dir/__/tools/liteopt.cpp.o.d"
+  "liteopt"
+  "liteopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liteopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liteir_test.dir/liteir/KnownBitsTest.cpp.o"
+  "CMakeFiles/liteir_test.dir/liteir/KnownBitsTest.cpp.o.d"
+  "CMakeFiles/liteir_test.dir/liteir/LiteIRTest.cpp.o"
+  "CMakeFiles/liteir_test.dir/liteir/LiteIRTest.cpp.o.d"
+  "CMakeFiles/liteir_test.dir/liteir/ReaderTest.cpp.o"
+  "CMakeFiles/liteir_test.dir/liteir/ReaderTest.cpp.o.d"
+  "liteir_test"
+  "liteir_test.pdb"
+  "liteir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liteir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

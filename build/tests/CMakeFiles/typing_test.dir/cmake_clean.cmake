@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typing_test.dir/typing/TypingTest.cpp.o"
+  "CMakeFiles/typing_test.dir/typing/TypingTest.cpp.o.d"
+  "typing_test"
+  "typing_test.pdb"
+  "typing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/smt_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/typing_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/liteir_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+add_test(alivec_verify_intro "/root/repo/build/src/alivec" "verify" "/root/repo/opts/intro.opt")
+set_tests_properties(alivec_verify_intro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(alivec_verify_figure2 "/root/repo/build/src/alivec" "verify" "/root/repo/opts/figure2.opt")
+set_tests_properties(alivec_verify_figure2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(alivec_refutes_figure8 "/root/repo/build/src/alivec" "verify" "/root/repo/opts/figure8.opt")
+set_tests_properties(alivec_refutes_figure8 PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(alivec_print_roundtrip "/root/repo/build/src/alivec" "print" "/root/repo/opts/figure8.opt")
+set_tests_properties(alivec_print_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liteopt_demo "/root/repo/build/src/liteopt" "/root/repo/opts/demo.ll")
+set_tests_properties(liteopt_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
