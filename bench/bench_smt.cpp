@@ -64,18 +64,28 @@ TermRef shiftQuery(TermContext &Ctx, unsigned W) {
 
 using QueryFn = TermRef (*)(TermContext &, unsigned);
 
-void runSolver(benchmark::State &State, QueryFn Fn, unsigned W, bool UseZ3) {
+void runSolver(benchmark::State &State, QueryFn Fn, unsigned W, bool UseZ3,
+               ResourceLimits Limits = {}, bool AllowUnknown = false) {
+  SolverStats Total;
   for (auto _ : State) {
     TermContext Ctx;
     TermRef Q = Fn(Ctx, W);
-    auto S = UseZ3 ? createZ3Solver() : createBitBlastSolver();
+    auto S = UseZ3 ? createZ3Solver(Limits.DeadlineMs)
+                   : createBitBlastSolver(Limits);
     CheckResult R = S->check(Q);
-    if (R.isUnknown()) {
+    Total.merge(S->stats());
+    if (R.isUnknown() && !AllowUnknown) {
       State.SkipWithError("solver gave up");
       return;
     }
     benchmark::DoNotOptimize(R.Status);
   }
+  State.counters["queries"] = static_cast<double>(Total.Queries);
+  State.counters["unknowns"] = static_cast<double>(Total.UnknownAnswers);
+  State.counters["unknown_deadline"] =
+      static_cast<double>(Total.unknowns(UnknownReason::Deadline));
+  State.counters["unknown_conflicts"] =
+      static_cast<double>(Total.unknowns(UnknownReason::ConflictBudget));
 }
 
 } // namespace
@@ -107,6 +117,24 @@ int main(int argc, char **argv) {
                                        runSolver(S, Fn, W, UseZ3);
                                      });
       }
+  // Resource-governed variants: the same exponential query under a
+  // deadline and under a conflict budget — the latency of giving up.
+  benchmark::RegisterBenchmark(
+      "smt/mul_distribute_unsat/w32/bitblast_deadline25",
+      [](benchmark::State &S) {
+        ResourceLimits L;
+        L.DeadlineMs = 25;
+        runSolver(S, mulDistributeQuery, 32, /*UseZ3=*/false, L,
+                  /*AllowUnknown=*/true);
+      });
+  benchmark::RegisterBenchmark(
+      "smt/mul_distribute_unsat/w32/bitblast_conflicts1k",
+      [](benchmark::State &S) {
+        ResourceLimits L;
+        L.ConflictBudget = 1000;
+        runSolver(S, mulDistributeQuery, 32, /*UseZ3=*/false, L,
+                  /*AllowUnknown=*/true);
+      });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -42,7 +42,8 @@ const NamedTransform Cases[] = {
 };
 
 void runVerify(benchmark::State &State, const char *Text,
-               BackendKind Backend, std::vector<unsigned> Widths) {
+               BackendKind Backend, std::vector<unsigned> Widths,
+               smt::ResourceLimits Limits = {}) {
   auto P = parser::parseTransform(Text);
   if (!P.ok()) {
     State.SkipWithError(P.message().c_str());
@@ -52,13 +53,24 @@ void runVerify(benchmark::State &State, const char *Text,
   Cfg.Backend = Backend;
   Cfg.Types.Widths = std::move(Widths);
   Cfg.Types.MaxAssignments = 8;
+  Cfg.Limits = Limits;
   unsigned Queries = 0;
+  smt::SolverStats Total;
   for (auto _ : State) {
     VerifyResult R = verify(*P.get(), Cfg);
     benchmark::DoNotOptimize(R.V);
     Queries = R.NumQueries;
+    Total.merge(R.Stats);
   }
   State.counters["smt_queries"] = Queries;
+  State.counters["unknowns"] = static_cast<double>(Total.UnknownAnswers);
+  State.counters["unknown_deadline"] =
+      static_cast<double>(Total.unknowns(smt::UnknownReason::Deadline));
+  State.counters["unknown_conflicts"] = static_cast<double>(
+      Total.unknowns(smt::UnknownReason::ConflictBudget));
+  State.counters["escalations"] = static_cast<double>(Total.Escalations);
+  State.counters["z3_fallbacks"] =
+      static_cast<double>(Total.FragmentFallbacks);
 }
 
 } // namespace
@@ -85,6 +97,20 @@ int main(int argc, char **argv) {
                                              {16, 32});
                                  });
   }
+  // Resource-governed verification: a deadline turns the exponentially
+  // hard wide-multiplier case into a bounded Unknown. Measures the cost
+  // of giving up (and the unknown_* counters prove the reason surfaced).
+  benchmark::RegisterBenchmark(
+      "verify/mul_distrib/bitblast_deadline50/w32",
+      [](benchmark::State &S) {
+        smt::ResourceLimits L;
+        L.DeadlineMs = 50;
+        runVerify(S,
+                  "%m1 = mul %x, %a\n%m2 = mul %x, %b\n"
+                  "%r = add %m1, %m2\n=>\n"
+                  "%s = add %a, %b\n%r = mul %x, %s\n",
+                  BackendKind::BitBlast, {32}, L);
+      });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,0 +1,94 @@
+//===- smt/FaultInject.cpp - deterministic solver chaos -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault-injection decorator. Downstream code must
+/// treat solver divergence as an expected, recoverable outcome; these
+/// injected faults let tests prove the verifier, attribute inference, and
+/// the hybrid fallback never misreport Correct/Incorrect when a solver
+/// flakes. Every injected fault is a *downgrade to Unknown* (optionally
+/// with a delay) — the injector never fabricates a Sat or Unsat answer, so
+/// a client that mishandles Unknown is exposed while sound clients only
+/// lose completeness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <thread>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+/// splitmix64: tiny, deterministic, and statistically fine for fault
+/// scheduling. Avoids <random> engine-portability concerns so a seed
+/// reproduces the same fault sequence everywhere.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw in [0, 1).
+  double nextUnit() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  uint64_t State;
+};
+
+class FaultInjectingSolver final : public Solver {
+public:
+  FaultInjectingSolver(std::unique_ptr<Solver> Inner, const FaultPlan &Plan)
+      : Inner(std::move(Inner)), Plan(Plan), Rng(Plan.Seed) {}
+
+  CheckResult checkImpl(TermRef Assertion) override {
+    if (Plan.DelayRate > 0 && Rng.nextUnit() < Plan.DelayRate)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Plan.DelayMs));
+
+    if (Plan.FailAfter && Stats.Queries >= Plan.FailAfter)
+      return inject("solver degraded after " +
+                    std::to_string(Plan.FailAfter) + " queries");
+
+    if (Plan.UnknownRate > 0 && Rng.nextUnit() < Plan.UnknownRate)
+      return inject("injected pre-emptive unknown");
+
+    CheckResult R = Inner->check(Assertion);
+    if (!R.isUnknown() && Plan.DowngradeRate > 0 &&
+        Rng.nextUnit() < Plan.DowngradeRate)
+      return inject("injected downgrade of a " +
+                    std::string(R.isSat() ? "sat" : "unsat") + " answer");
+    return R;
+  }
+
+  std::string name() const override {
+    return "fault(" + Inner->name() + ")";
+  }
+
+private:
+  CheckResult inject(std::string Why) {
+    ++Stats.FaultsInjected;
+    return CheckResult::unknown(UnknownReason::Injected, std::move(Why));
+  }
+
+  std::unique_ptr<Solver> Inner;
+  FaultPlan Plan;
+  SplitMix64 Rng;
+};
+
+} // namespace
+
+std::unique_ptr<Solver>
+smt::createFaultInjectingSolver(std::unique_ptr<Solver> Inner,
+                                const FaultPlan &Plan) {
+  return std::make_unique<FaultInjectingSolver>(std::move(Inner), Plan);
+}

@@ -1,0 +1,98 @@
+//===- smt/GuardedSolver.cpp - escalation ladder decorator ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graceful-degradation escalation ladder of the solving layer:
+///
+///   rung 1: native bit-blaster with a small probe budget (catches the
+///           easy bulk of verifier queries at SAT-solver speed),
+///   rung 2: native bit-blaster with the full budget,
+///   rung 3: Z3 (also the direct route for queries outside QF_BV).
+///
+/// Each rung is an ordinary Solver honoring its own ResourceLimits, so a
+/// deadline or cancellation interrupts whichever rung is running. The
+/// ladder accounts for every retry (SolverStats::Escalations) and for
+/// fragment-driven fallbacks, and when every rung gives up it reports the
+/// last rung's structured reason — the most informed one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "smt/bitblast/BitBlaster.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+class GuardedSolver final : public Solver {
+public:
+  explicit GuardedSolver(const EscalationConfig &Cfg)
+      : Cfg(Cfg), Probe(Cfg.UseProbe ? createBitBlastSolver(Cfg.Probe)
+                                     : nullptr),
+        Full(createBitBlastSolver(Cfg.Full)),
+        Z3(Cfg.UseZ3Fallback ? createZ3Solver(Cfg.Z3TimeoutMs) : nullptr) {}
+
+  CheckResult checkImpl(TermRef Assertion) override {
+    // Queries outside the native fragment cannot benefit from the native
+    // rungs; route them straight to Z3.
+    if (!BitBlaster::supports(Assertion)) {
+      ++Stats.FragmentFallbacks;
+      if (!Z3)
+        return CheckResult::unknown(
+            UnknownReason::UnsupportedFragment,
+            "query outside QF_BV and Z3 fallback disabled");
+      return Z3->check(Assertion);
+    }
+
+    CheckResult R;
+    if (Probe) {
+      R = Probe->check(Assertion);
+      if (!R.isUnknown())
+        return R;
+      if (cannotRecover(R.Why))
+        return R;
+      ++Stats.Escalations;
+    }
+
+    R = Full->check(Assertion);
+    if (!R.isUnknown())
+      return R;
+    if (cannotRecover(R.Why) || !Z3)
+      return R;
+    ++Stats.Escalations;
+
+    return Z3->check(Assertion);
+  }
+
+  std::string name() const override {
+    std::string N = "guarded(";
+    if (Probe)
+      N += "bitblast-probe,";
+    N += "bitblast";
+    if (Z3)
+      N += ",z3";
+    return N + ")";
+  }
+
+private:
+  /// A cancelled query must not be retried on a higher rung: the caller
+  /// asked for the whole check to stop, not for more effort.
+  static bool cannotRecover(UnknownReason R) {
+    return R == UnknownReason::Cancelled;
+  }
+
+  EscalationConfig Cfg;
+  std::unique_ptr<Solver> Probe;
+  std::unique_ptr<Solver> Full;
+  std::unique_ptr<Solver> Z3;
+};
+
+} // namespace
+
+std::unique_ptr<Solver> smt::createGuardedSolver(const EscalationConfig &Cfg) {
+  return std::make_unique<GuardedSolver>(Cfg);
+}

@@ -1,0 +1,96 @@
+//===- smt/ResourceLimits.h - solver resource governance --------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the solving layer. The paper leans on Z3's
+/// timeout and resource limits to keep Alive responsive under the hundreds
+/// to thousands of queries a single transformation can issue; this header
+/// gives every backend — including the native bit-blast/CDCL one — the same
+/// vocabulary:
+///
+///  * ResourceLimits — per-query budgets: wall-clock deadline, CDCL
+///    conflict budget, propagation budget, learned-clause memory cap.
+///  * Cancellation — a cooperative token checked inside the CDCL search
+///    loop and the Tseitin bit-blaster, so a caller (another thread, a
+///    signal handler, a batch driver) can interrupt a query mid-flight.
+///  * UnknownReason — structured codes explaining *why* a query came back
+///    Unknown (deadline / conflict budget / memory / unsupported
+///    fragment / ...), so the verifier can report Verdict::Unknown with a
+///    cause instead of a bare shrug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_RESOURCELIMITS_H
+#define ALIVE_SMT_RESOURCELIMITS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace alive {
+namespace smt {
+
+/// Why a check() reported Unknown. Kept dense so stats can index by it.
+enum class UnknownReason : uint8_t {
+  None = 0,            ///< the result was not Unknown
+  Deadline,            ///< wall-clock deadline exceeded
+  ConflictBudget,      ///< CDCL conflict budget exhausted
+  PropagationBudget,   ///< CDCL propagation budget exhausted
+  MemoryBudget,        ///< learned-clause memory cap exceeded
+  Cancelled,           ///< cooperative cancellation token fired
+  UnsupportedFragment, ///< query outside the backend's theory fragment
+  Backend,             ///< backend-specific failure (e.g. a Z3 error)
+  Injected,            ///< synthetic fault from FaultInjectingSolver
+};
+
+constexpr unsigned NumUnknownReasons = 9;
+
+const char *unknownReasonName(UnknownReason R);
+
+/// Cooperative cancellation token. Sharable across threads: cancel() may be
+/// called from anywhere; solvers poll isCancelled() at their check points.
+class Cancellation {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+  bool isCancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Per-query resource budgets. Zero / null fields mean "unbounded".
+struct ResourceLimits {
+  unsigned DeadlineMs = 0;        ///< wall-clock budget per check()
+  uint64_t ConflictBudget = 0;    ///< CDCL conflicts per check()
+  uint64_t PropagationBudget = 0; ///< CDCL propagations per check()
+  uint64_t LearnedBytesBudget = 0;///< live learned-clause memory cap
+  const Cancellation *Cancel = nullptr; ///< not owned
+
+  bool unlimited() const {
+    return !DeadlineMs && !ConflictBudget && !PropagationBudget &&
+           !LearnedBytesBudget && !Cancel;
+  }
+
+  /// Absolute deadline for a query starting now (meaningful only when
+  /// DeadlineMs is non-zero).
+  std::chrono::steady_clock::time_point deadlineFromNow() const {
+    return std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(DeadlineMs);
+  }
+};
+
+/// Thrown by encoding stages (the bit-blaster) when a deadline or
+/// cancellation fires mid-build; converted to an Unknown result at the
+/// Solver boundary and never escapes the smt layer.
+struct Interrupted {
+  UnknownReason Reason;
+};
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_RESOURCELIMITS_H

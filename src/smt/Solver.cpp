@@ -13,6 +13,76 @@ using namespace alive::smt;
 
 Solver::~Solver() = default;
 
+const char *smt::unknownReasonName(UnknownReason R) {
+  switch (R) {
+  case UnknownReason::None:
+    return "none";
+  case UnknownReason::Deadline:
+    return "deadline";
+  case UnknownReason::ConflictBudget:
+    return "conflict-budget";
+  case UnknownReason::PropagationBudget:
+    return "propagation-budget";
+  case UnknownReason::MemoryBudget:
+    return "memory-budget";
+  case UnknownReason::Cancelled:
+    return "cancelled";
+  case UnknownReason::UnsupportedFragment:
+    return "unsupported-fragment";
+  case UnknownReason::Backend:
+    return "backend";
+  case UnknownReason::Injected:
+    return "injected-fault";
+  }
+  return "?";
+}
+
+std::string SolverStats::str() const {
+  std::string S = "queries=" + std::to_string(Queries) +
+                  " sat=" + std::to_string(SatAnswers) +
+                  " unsat=" + std::to_string(UnsatAnswers) +
+                  " unknown=" + std::to_string(UnknownAnswers);
+  if (UnknownAnswers) {
+    S += " (";
+    bool First = true;
+    for (unsigned I = 0; I != NumUnknownReasons; ++I) {
+      if (!UnknownBy[I])
+        continue;
+      if (!First)
+        S += ", ";
+      First = false;
+      S += std::string(unknownReasonName(static_cast<UnknownReason>(I))) +
+           "=" + std::to_string(UnknownBy[I]);
+    }
+    S += ")";
+  }
+  if (Escalations)
+    S += " escalations=" + std::to_string(Escalations);
+  if (FragmentFallbacks)
+    S += " fragment-fallbacks=" + std::to_string(FragmentFallbacks);
+  if (FaultsInjected)
+    S += " faults-injected=" + std::to_string(FaultsInjected);
+  return S;
+}
+
+CheckResult Solver::check(TermRef Assertion) {
+  CheckResult R = checkImpl(Assertion);
+  ++Stats.Queries;
+  switch (R.Status) {
+  case CheckStatus::Sat:
+    ++Stats.SatAnswers;
+    break;
+  case CheckStatus::Unsat:
+    ++Stats.UnsatAnswers;
+    break;
+  case CheckStatus::Unknown:
+    ++Stats.UnknownAnswers;
+    ++Stats.UnknownBy[static_cast<unsigned>(R.Why)];
+    break;
+  }
+  return R;
+}
+
 bool Model::evalBool(TermRef T) const {
   switch (T->getKind()) {
   case TermKind::ConstBool:
@@ -98,33 +168,8 @@ APInt Model::evalBV(TermRef T) const {
   }
 }
 
-namespace {
-
-/// Tries the native QF_BV solver and falls back to Z3 whenever the query
-/// is outside its fragment (or it gives up).
-class HybridSolver final : public Solver {
-public:
-  explicit HybridSolver(unsigned TimeoutMs)
-      : Native(createBitBlastSolver(/*ConflictBudget=*/20000)),
-        Z3(createZ3Solver(TimeoutMs)) {}
-
-  CheckResult check(TermRef Assertion) override {
-    ++Queries;
-    CheckResult R = Native->check(Assertion);
-    if (!R.isUnknown())
-      return R;
-    return Z3->check(Assertion);
-  }
-
-  std::string name() const override { return "hybrid(bitblast,z3)"; }
-
-private:
-  std::unique_ptr<Solver> Native;
-  std::unique_ptr<Solver> Z3;
-};
-
-} // namespace
-
 std::unique_ptr<Solver> smt::createHybridSolver(unsigned TimeoutMs) {
-  return std::make_unique<HybridSolver>(TimeoutMs);
+  EscalationConfig Cfg;
+  Cfg.Z3TimeoutMs = TimeoutMs;
+  return createGuardedSolver(Cfg);
 }

@@ -5,12 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The backend-independent solving interface. Two implementations exist:
+/// The backend-independent solving interface. Two base implementations
+/// exist:
 ///
 ///  * Z3Solver (smt/z3) — complete: quantifiers, array theory.
 ///  * BitBlastSolver (smt/bitblast) — our from-scratch QF_BV decision
 ///    procedure (Tseitin encoding + CDCL SAT); refuses quantified or
 ///    array-theoretic queries.
+///
+/// On top of them sit two decorators:
+///
+///  * GuardedSolver — the graceful-degradation escalation ladder: native
+///    with a small probe budget, then native with the full budget, then Z3.
+///    Every rung honors the ResourceLimits of ResourceLimits.h, and the
+///    ladder records per-query escalation/fallback counts in SolverStats.
+///  * FaultInjectingSolver — a deterministic, seeded chaos layer (injected
+///    Unknowns, delays, answers downgraded to Unknown) used by tests to
+///    prove the toolchain never misreports under solver failure.
 ///
 /// The verifier uses whichever backend the caller configures and falls back
 /// to Z3 for the query shapes only it supports.
@@ -20,8 +31,10 @@
 #ifndef ALIVE_SMT_SOLVER_H
 #define ALIVE_SMT_SOLVER_H
 
+#include "smt/ResourceLimits.h"
 #include "smt/Term.h"
 
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -75,11 +88,60 @@ private:
 struct CheckResult {
   CheckStatus Status = CheckStatus::Unknown;
   Model M;            ///< meaningful only when Status == Sat
-  std::string Reason; ///< for Unknown: what went wrong
+  std::string Reason; ///< for Unknown: human-readable cause
+  UnknownReason Why = UnknownReason::None; ///< for Unknown: structured cause
 
   bool isSat() const { return Status == CheckStatus::Sat; }
   bool isUnsat() const { return Status == CheckStatus::Unsat; }
   bool isUnknown() const { return Status == CheckStatus::Unknown; }
+
+  static CheckResult unknown(UnknownReason Why, std::string Reason) {
+    CheckResult R;
+    R.Status = CheckStatus::Unknown;
+    R.Why = Why;
+    R.Reason = std::move(Reason);
+    return R;
+  }
+};
+
+/// Per-solver accounting: query/answer counts, Unknowns broken down by
+/// structured reason, and — for decorators — escalation bookkeeping. The
+/// paper reports Alive issuing hundreds to thousands of solver calls per
+/// transformation; this is how budget regressions stay visible.
+struct SolverStats {
+  uint64_t Queries = 0;
+  uint64_t SatAnswers = 0;
+  uint64_t UnsatAnswers = 0;
+  uint64_t UnknownAnswers = 0;
+  std::array<uint64_t, NumUnknownReasons> UnknownBy{};
+
+  // GuardedSolver only:
+  uint64_t Escalations = 0;       ///< probe rung gave up, retried higher
+  uint64_t FragmentFallbacks = 0; ///< sent straight to Z3 (non-QF_BV)
+  // FaultInjectingSolver only:
+  uint64_t FaultsInjected = 0;
+
+  uint64_t unknowns(UnknownReason R) const {
+    return UnknownBy[static_cast<unsigned>(R)];
+  }
+
+  /// Accumulates \p O into this — for aggregating across solver instances
+  /// (batch runs, benchmark iterations).
+  void merge(const SolverStats &O) {
+    Queries += O.Queries;
+    SatAnswers += O.SatAnswers;
+    UnsatAnswers += O.UnsatAnswers;
+    UnknownAnswers += O.UnknownAnswers;
+    for (unsigned I = 0; I != NumUnknownReasons; ++I)
+      UnknownBy[I] += O.UnknownBy[I];
+    Escalations += O.Escalations;
+    FragmentFallbacks += O.FragmentFallbacks;
+    FaultsInjected += O.FaultsInjected;
+  }
+
+  /// Compact rendering, e.g.
+  /// "queries=12 sat=3 unsat=8 unknown=1 (deadline=1)".
+  std::string str() const;
 };
 
 /// A satisfiability checker over our term language.
@@ -88,31 +150,86 @@ public:
   virtual ~Solver();
 
   /// Checks satisfiability of \p Assertion (a Bool-sorted term). On Sat,
-  /// the result carries a model of the free variables.
-  virtual CheckResult check(TermRef Assertion) = 0;
+  /// the result carries a model of the free variables. Updates stats().
+  CheckResult check(TermRef Assertion);
 
   /// Human-readable backend name (for benchmark labels).
   virtual std::string name() const = 0;
 
   /// Total number of check() calls (the paper reports Alive issuing
   /// hundreds to thousands of solver calls per transformation).
-  unsigned numQueries() const { return Queries; }
+  uint64_t numQueries() const { return Stats.Queries; }
+
+  /// Query/answer accounting, including Unknowns by structured reason.
+  const SolverStats &stats() const { return Stats; }
 
 protected:
-  unsigned Queries = 0;
+  /// Backend hook: the actual satisfiability check.
+  virtual CheckResult checkImpl(TermRef Assertion) = 0;
+
+  SolverStats Stats;
 };
 
 /// Creates the Z3-backed solver. \p TimeoutMs of 0 means no limit.
 std::unique_ptr<Solver> createZ3Solver(unsigned TimeoutMs = 0);
 
 /// Creates the native bit-blasting solver (QF_BV only; returns Unknown on
-/// quantified or array-theoretic queries). A non-zero \p ConflictBudget
-/// bounds the CDCL search; exceeding it reports Unknown.
-std::unique_ptr<Solver> createBitBlastSolver(uint64_t ConflictBudget = 0);
+/// quantified or array-theoretic queries). All \p Limits fields are
+/// honored: the wall-clock deadline and the cancellation token are polled
+/// inside both the Tseitin encoder and the CDCL search loop.
+std::unique_ptr<Solver> createBitBlastSolver(const ResourceLimits &Limits = {});
+
+/// Escalation ladder configuration for createGuardedSolver.
+struct EscalationConfig {
+  EscalationConfig() {
+    Probe.ConflictBudget = 2000;
+    Full.ConflictBudget = 20000;
+  }
+
+  /// First rung: native solver with a small budget. Solves the easy bulk
+  /// of verifier queries cheaply.
+  ResourceLimits Probe;
+  /// Second rung: native solver with the full budget.
+  ResourceLimits Full;
+  /// Whether to run the probe rung at all.
+  bool UseProbe = true;
+  /// Third rung: fall back to Z3 (also used directly for queries outside
+  /// the native QF_BV fragment).
+  bool UseZ3Fallback = true;
+  unsigned Z3TimeoutMs = 0;
+};
+
+/// Creates the graceful-degradation decorator: native(small budget) →
+/// native(full budget) → Z3. Non-QF_BV queries go straight to the Z3 rung.
+/// stats() records Escalations and FragmentFallbacks; when every rung gives
+/// up, the returned Unknown carries the last (most-informed) reason.
+std::unique_ptr<Solver> createGuardedSolver(const EscalationConfig &Cfg = {});
 
 /// Creates a portfolio: try the native solver first, fall back to Z3 for
-/// queries outside QF_BV.
+/// queries outside QF_BV. Implemented as a GuardedSolver with default
+/// budgets and \p TimeoutMs on the Z3 rung.
 std::unique_ptr<Solver> createHybridSolver(unsigned TimeoutMs = 0);
+
+/// Deterministic fault plan for createFaultInjectingSolver. Probabilities
+/// are in [0, 1] and drawn from a seeded PRNG, so a given (seed, query
+/// sequence) pair always injects the same faults.
+struct FaultPlan {
+  uint64_t Seed = 1;
+  double UnknownRate = 0.0;   ///< pre-empt the inner solver with Unknown
+  double DowngradeRate = 0.0; ///< replace an inner Sat/Unsat with Unknown
+  double DelayRate = 0.0;     ///< sleep DelayMs before forwarding
+  unsigned DelayMs = 0;
+  /// When non-zero: every query after the first \p FailAfter succeeds is
+  /// forced to Unknown — models a solver that degrades mid-run (e.g. the
+  /// middle of the verifier's type-assignment loop).
+  unsigned FailAfter = 0;
+};
+
+/// Wraps \p Inner in a deterministic fault injector. Injected failures are
+/// always *downgrades to Unknown* (never fabricated Sat/Unsat), so a
+/// correct client may lose answers but can never be fed wrong ones.
+std::unique_ptr<Solver> createFaultInjectingSolver(std::unique_ptr<Solver> Inner,
+                                                   const FaultPlan &Plan);
 
 } // namespace smt
 } // namespace alive

@@ -16,24 +16,42 @@ namespace {
 
 /// Solver implementation backed by the native bit-blaster + CDCL SAT core.
 /// Quantified or array-theoretic queries report Unknown, which makes the
-/// hybrid solver fall back to Z3.
+/// guarded/hybrid solver fall back to Z3. Every ResourceLimits field is
+/// honored: the wall-clock deadline spans both the Tseitin encoding and
+/// the SAT search, and the cancellation token is polled inside both.
 class BitBlastSolver final : public Solver {
 public:
-  explicit BitBlastSolver(uint64_t ConflictBudget)
-      : ConflictBudget(ConflictBudget) {}
+  explicit BitBlastSolver(const ResourceLimits &Limits) : Limits(Limits) {}
 
-  CheckResult check(TermRef Assertion) override {
-    ++Queries;
-    CheckResult R;
-    if (!BitBlaster::supports(Assertion)) {
-      R.Status = CheckStatus::Unknown;
-      R.Reason = "query outside the QF_BV fragment";
-      return R;
-    }
+  CheckResult checkImpl(TermRef Assertion) override {
+    if (!BitBlaster::supports(Assertion))
+      return CheckResult::unknown(UnknownReason::UnsupportedFragment,
+                                  "query outside the QF_BV fragment");
+
+    const bool HasDeadline = Limits.DeadlineMs != 0;
+    const auto Deadline = Limits.deadlineFromNow();
+
     sat::SatSolver Sat;
     BitBlaster Blaster(Sat);
-    Blaster.assertTerm(Assertion);
-    switch (Sat.solve(ConflictBudget)) {
+    Blaster.setInterrupt(HasDeadline, Deadline, Limits.Cancel);
+    try {
+      Blaster.assertTerm(Assertion);
+    } catch (const Interrupted &I) {
+      return CheckResult::unknown(I.Reason,
+                                  std::string(unknownReasonName(I.Reason)) +
+                                      " during bit-blasting");
+    }
+
+    sat::SearchLimits SL;
+    SL.ConflictBudget = Limits.ConflictBudget;
+    SL.PropagationBudget = Limits.PropagationBudget;
+    SL.LearnedBytesBudget = Limits.LearnedBytesBudget;
+    SL.HasDeadline = HasDeadline;
+    SL.Deadline = Deadline;
+    SL.Cancel = Limits.Cancel;
+
+    CheckResult R;
+    switch (Sat.solve(SL)) {
     case sat::SatResult::Sat: {
       R.Status = CheckStatus::Sat;
       for (TermRef V : collectFreeVars(Assertion)) {
@@ -48,9 +66,8 @@ public:
       R.Status = CheckStatus::Unsat;
       return R;
     case sat::SatResult::Unknown:
-      R.Status = CheckStatus::Unknown;
-      R.Reason = "conflict budget exhausted";
-      return R;
+      return CheckResult::unknown(mapStopReason(Sat.stopReason()),
+                                  describeStop(Sat.stopReason()));
     }
     return R;
   }
@@ -58,11 +75,47 @@ public:
   std::string name() const override { return "bitblast"; }
 
 private:
-  uint64_t ConflictBudget;
+  static UnknownReason mapStopReason(sat::StopReason R) {
+    switch (R) {
+    case sat::StopReason::Conflicts:
+      return UnknownReason::ConflictBudget;
+    case sat::StopReason::Propagations:
+      return UnknownReason::PropagationBudget;
+    case sat::StopReason::Memory:
+      return UnknownReason::MemoryBudget;
+    case sat::StopReason::Deadline:
+      return UnknownReason::Deadline;
+    case sat::StopReason::Cancelled:
+      return UnknownReason::Cancelled;
+    case sat::StopReason::None:
+      break;
+    }
+    return UnknownReason::Backend;
+  }
+
+  static std::string describeStop(sat::StopReason R) {
+    switch (R) {
+    case sat::StopReason::Conflicts:
+      return "conflict budget exhausted";
+    case sat::StopReason::Propagations:
+      return "propagation budget exhausted";
+    case sat::StopReason::Memory:
+      return "learned-clause memory cap exceeded";
+    case sat::StopReason::Deadline:
+      return "deadline exceeded during CDCL search";
+    case sat::StopReason::Cancelled:
+      return "cancelled during CDCL search";
+    case sat::StopReason::None:
+      break;
+    }
+    return "CDCL search gave up";
+  }
+
+  ResourceLimits Limits;
 };
 
 } // namespace
 
-std::unique_ptr<Solver> smt::createBitBlastSolver(uint64_t ConflictBudget) {
-  return std::make_unique<BitBlastSolver>(ConflictBudget);
+std::unique_ptr<Solver> smt::createBitBlastSolver(const ResourceLimits &Limits) {
+  return std::make_unique<BitBlastSolver>(Limits);
 }

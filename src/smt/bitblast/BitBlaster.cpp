@@ -138,10 +138,26 @@ BitBlaster::Bits BitBlaster::negBits(const Bits &A) {
   return addBits(NotA, Zero, litTrue());
 }
 
+void BitBlaster::checkInterrupt() {
+  if (!HasDeadline && !Cancel)
+    return;
+  if (Cancel && Cancel->isCancelled())
+    throw Interrupted{UnknownReason::Cancelled};
+  // Throttle clock reads: one per 64 checkpoints keeps the poll cost
+  // invisible while a wide multiplier row still checks every few µs.
+  if (!HasDeadline)
+    return;
+  if (InterruptPollCountdown++ % 64 != 0)
+    return;
+  if (std::chrono::steady_clock::now() >= Deadline)
+    throw Interrupted{UnknownReason::Deadline};
+}
+
 BitBlaster::Bits BitBlaster::mulBits(const Bits &A, const Bits &B) {
   size_t W = A.size();
   Bits Acc(W, litFalse());
   for (size_t I = 0; I != W; ++I) {
+    checkInterrupt();
     // Partial product: (A << I) & B[I], truncated to W bits.
     Bits Partial(W, litFalse());
     for (size_t K = I; K != W; ++K)
@@ -166,6 +182,7 @@ void BitBlaster::udivuremBits(const Bits &A, const Bits &B, Bits &Quot,
 
   Quot.assign(W, litFalse());
   for (size_t Step = W; Step-- > 0;) {
+    checkInterrupt();
     // R = (R << 1) | A[Step]
     for (size_t I = W; I > 0; --I)
       R[I] = R[I - 1];
@@ -268,6 +285,7 @@ Lit BitBlaster::encodeBool(TermRef T) {
   if (It != BoolCache.end())
     return It->second;
 
+  checkInterrupt();
   Lit Out;
   switch (T->getKind()) {
   case TermKind::ConstBool:
@@ -336,13 +354,15 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
   if (It != BVCache.end())
     return It->second;
 
+  checkInterrupt();
   unsigned W = T->getSort().getWidth();
   Bits Out(W, litFalse());
   switch (T->getKind()) {
   case TermKind::ConstBV: {
+    // APInt carries at most 64 value bits; wider constants zero-extend.
     uint64_t V = T->getBVValue().getZExtValue();
     for (unsigned I = 0; I != W; ++I)
-      Out[I] = (V >> I) & 1 ? litTrue() : litFalse();
+      Out[I] = I < 64 && ((V >> I) & 1) ? litTrue() : litFalse();
     break;
   }
   case TermKind::Var:
@@ -477,7 +497,8 @@ APInt BitBlaster::readBV(TermRef Var) const {
   if (It == BVCache.end())
     return APInt(W, 0); // unconstrained
   uint64_t V = 0;
-  for (unsigned I = 0; I != W; ++I) {
+  // APInt carries at most 64 value bits; bits above 63 are dropped.
+  for (unsigned I = 0; I != W && I != 64; ++I) {
     const Lit &L = It->second[I];
     bool B = S.modelValue(L.var()) != L.negated();
     V |= static_cast<uint64_t>(B) << I;

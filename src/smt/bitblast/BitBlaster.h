@@ -17,9 +17,11 @@
 #ifndef ALIVE_SMT_BITBLAST_BITBLASTER_H
 #define ALIVE_SMT_BITBLAST_BITBLASTER_H
 
+#include "smt/ResourceLimits.h"
 #include "smt/Term.h"
 #include "smt/sat/SatSolver.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +37,21 @@ public:
   /// array theory anywhere in the DAG).
   static bool supports(TermRef T);
 
-  /// Encodes \p T (Bool sort) and asserts it.
+  /// Arms cooperative interruption: encoding polls the deadline and the
+  /// cancellation token at circuit-construction checkpoints (wide
+  /// multiplier/divider rows, term entry) and throws smt::Interrupted when
+  /// either fires. Without this, a very wide query could burn the whole
+  /// wall-clock budget before the SAT search even starts.
+  void setInterrupt(bool HasDeadline,
+                    std::chrono::steady_clock::time_point Deadline,
+                    const Cancellation *Cancel) {
+    this->HasDeadline = HasDeadline;
+    this->Deadline = Deadline;
+    this->Cancel = Cancel;
+  }
+
+  /// Encodes \p T (Bool sort) and asserts it. Throws smt::Interrupted if an
+  /// armed deadline/cancellation fires mid-encode.
   void assertTerm(TermRef T);
 
   /// After a Sat result, reads back the value of a bitvector variable.
@@ -75,10 +91,19 @@ private:
   Lit encodeBool(TermRef T);
   const Bits &encodeBV(TermRef T);
 
+  /// Throttled interrupt poll; throws smt::Interrupted when armed and
+  /// fired. Called at term entry and inside wide-circuit loops.
+  void checkInterrupt();
+
   sat::SatSolver &S;
   Lit TrueLit;
   std::unordered_map<TermRef, Lit> BoolCache;
   std::unordered_map<TermRef, Bits> BVCache;
+
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+  const Cancellation *Cancel = nullptr;
+  unsigned InterruptPollCountdown = 0;
 };
 
 } // namespace smt

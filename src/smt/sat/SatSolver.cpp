@@ -334,8 +334,11 @@ void SatSolver::reduceLearned() {
   std::vector<bool> Dead(Clauses.size(), false);
   for (size_t I = 0; I != LearnedIdx.size() / 2; ++I) {
     int CIdx = LearnedIdx[I];
-    if (!Locked[CIdx] && Clauses[CIdx].Lits.size() > 2)
+    if (!Locked[CIdx] && Clauses[CIdx].Lits.size() > 2) {
       Dead[CIdx] = true;
+      LearnedLiveBytes -=
+          sizeof(Clause) + Clauses[CIdx].Lits.capacity() * sizeof(Lit);
+    }
   }
   // Detach dead clauses from the watch lists; keep slots (no compaction) so
   // clause indices stay stable.
@@ -371,7 +374,33 @@ uint64_t SatSolver::luby(uint64_t I) {
 
 // --- Main CDCL loop ---------------------------------------------------------
 
+uint64_t SatSolver::learnedBytes() const { return LearnedLiveBytes; }
+
+StopReason SatSolver::pollInterrupts(const SearchLimits &Limits) const {
+  if (Limits.Cancel && Limits.Cancel->isCancelled())
+    return StopReason::Cancelled;
+  if (Limits.HasDeadline &&
+      std::chrono::steady_clock::now() >= Limits.Deadline)
+    return StopReason::Deadline;
+  return StopReason::None;
+}
+
 SatResult SatSolver::solve(uint64_t ConflictBudget) {
+  SearchLimits Limits;
+  Limits.ConflictBudget = ConflictBudget;
+  return solve(Limits);
+}
+
+SatResult SatSolver::solve(const SearchLimits &Limits) {
+  LastStop = StopReason::None;
+  auto GiveUp = [this](StopReason R) {
+    LastStop = R;
+    return SatResult::Unknown;
+  };
+  // An interrupt may already be pending (e.g. the deadline burned down
+  // during encoding); honor it before doing any work.
+  if (StopReason R = pollInterrupts(Limits); R != StopReason::None)
+    return GiveUp(R);
   if (Unsatisfiable)
     return SatResult::Unsat;
   if (propagate() != -1) {
@@ -383,18 +412,42 @@ SatResult SatSolver::solve(uint64_t ConflictBudget) {
   uint64_t RestartLimit = 64 * luby(RestartRound);
   uint64_t ConflictsAtRestart = Conflicts;
   uint64_t ReduceLimit = 4096;
+  // Budgets are relative to this call, so a reused solver is not charged
+  // for work done by earlier solve() calls.
+  const uint64_t StartConflicts = Conflicts;
+  const uint64_t StartProps = Propagations;
+  // Deadline/cancellation polls are throttled: every 64 conflicts and
+  // every 256 conflict-free decisions, so the clock read never dominates
+  // and an interrupt still lands well within ~2x a millisecond-scale
+  // deadline.
+  unsigned DecisionsSincePoll = 0;
 
   std::vector<Lit> Learned;
   for (;;) {
     int ConflictIdx = propagate();
+    if (Limits.PropagationBudget &&
+        Propagations - StartProps >= Limits.PropagationBudget)
+      return GiveUp(StopReason::Propagations);
     if (ConflictIdx != -1) {
       ++Conflicts;
       if (TrailLims.empty()) {
         Unsatisfiable = true;
         return SatResult::Unsat;
       }
-      if (ConflictBudget && Conflicts >= ConflictBudget)
-        return SatResult::Unknown;
+      if (Limits.ConflictBudget &&
+          Conflicts - StartConflicts >= Limits.ConflictBudget)
+        return GiveUp(StopReason::Conflicts);
+      if ((Conflicts & 63) == 0) {
+        DecisionsSincePoll = 0;
+        if (StopReason R = pollInterrupts(Limits); R != StopReason::None)
+          return GiveUp(R);
+        if (Limits.LearnedBytesBudget &&
+            LearnedLiveBytes > Limits.LearnedBytesBudget) {
+          reduceLearned();
+          if (LearnedLiveBytes > Limits.LearnedBytesBudget)
+            return GiveUp(StopReason::Memory);
+        }
+      }
       int BackLevel;
       analyze(ConflictIdx, Learned, BackLevel);
       backtrack(BackLevel);
@@ -403,6 +456,8 @@ SatResult SatSolver::solve(uint64_t ConflictBudget) {
       } else {
         Clauses.push_back({Learned, /*Learned=*/true, ClauseInc});
         int CIdx = static_cast<int>(Clauses.size()) - 1;
+        LearnedLiveBytes +=
+            sizeof(Clause) + Clauses[CIdx].Lits.capacity() * sizeof(Lit);
         attachClause(CIdx);
         enqueue(Learned[0], CIdx);
       }
@@ -419,6 +474,11 @@ SatResult SatSolver::solve(uint64_t ConflictBudget) {
       continue;
     }
     // No conflict: decide.
+    if (++DecisionsSincePoll >= 256) {
+      DecisionsSincePoll = 0;
+      if (StopReason R = pollInterrupts(Limits); R != StopReason::None)
+        return GiveUp(R);
+    }
     Lit Next = pickBranchLit();
     if (Next == Lit())
       return SatResult::Sat; // fully assigned

@@ -18,6 +18,9 @@
 #ifndef ALIVE_SMT_SAT_SATSOLVER_H
 #define ALIVE_SMT_SAT_SATSOLVER_H
 
+#include "smt/ResourceLimits.h"
+
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -58,6 +61,28 @@ enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
 /// Outcome of solving.
 enum class SatResult { Sat, Unsat, Unknown };
 
+/// Why solve() stopped with Unknown (None for Sat/Unsat).
+enum class StopReason {
+  None,
+  Conflicts,    ///< conflict budget exhausted
+  Propagations, ///< propagation budget exhausted
+  Memory,       ///< learned-clause memory cap exceeded
+  Deadline,     ///< wall-clock deadline passed
+  Cancelled,    ///< cancellation token fired
+};
+
+/// Per-call search budgets for solve(). Zero / null / unset fields mean
+/// "unbounded". The deadline is absolute so that a caller can share one
+/// wall-clock budget across encoding and search.
+struct SearchLimits {
+  uint64_t ConflictBudget = 0;
+  uint64_t PropagationBudget = 0;
+  uint64_t LearnedBytesBudget = 0;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+  const smt::Cancellation *Cancel = nullptr; ///< not owned
+};
+
 /// CDCL solver. Usage: newVar() for every variable, addClause() for the
 /// CNF, then solve(); on Sat, modelValue() reads the assignment.
 class SatSolver {
@@ -85,6 +110,19 @@ public:
   /// Runs the CDCL loop. \p ConflictBudget of 0 means unbounded; otherwise
   /// the solver gives up with Unknown after that many conflicts.
   SatResult solve(uint64_t ConflictBudget = 0);
+
+  /// Runs the CDCL loop under the full budget set. The deadline and the
+  /// cancellation token are polled cooperatively (every few hundred
+  /// conflicts/decisions and every few thousand propagations), so an
+  /// interrupt lands within a small constant factor of the deadline.
+  SatResult solve(const SearchLimits &Limits);
+
+  /// Why the last solve() returned Unknown (StopReason::None otherwise).
+  StopReason stopReason() const { return LastStop; }
+
+  /// Estimated bytes held by live learned clauses (the quantity bounded by
+  /// SearchLimits::LearnedBytesBudget).
+  uint64_t learnedBytes() const;
 
   /// The value of \p V in the satisfying assignment (valid after Sat).
   bool modelValue(Var V) const {
@@ -149,8 +187,14 @@ private:
 
   std::vector<bool> SeenBuf;
 
+  /// Deadline/cancellation poll from inside the search. Returns the stop
+  /// reason when an external limit fired, StopReason::None otherwise.
+  StopReason pollInterrupts(const SearchLimits &Limits) const;
+
   unsigned NumProblemClauses = 0;
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+  uint64_t LearnedLiveBytes = 0;
+  StopReason LastStop = StopReason::None;
   bool Unsatisfiable = false;
 };
 

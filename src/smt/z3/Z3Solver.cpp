@@ -158,12 +158,27 @@ private:
   std::unordered_map<TermRef, z3::expr> Cache;
 };
 
+/// Maps Z3's free-text reason_unknown onto our structured codes so the
+/// escalation ladder and the verifier can account for Z3 give-ups the same
+/// way as native ones.
+UnknownReason classifyZ3Reason(const std::string &Reason) {
+  if (Reason.find("timeout") != std::string::npos ||
+      Reason.find("canceled") != std::string::npos ||
+      Reason.find("cancelled") != std::string::npos ||
+      Reason.find("interrupted") != std::string::npos ||
+      Reason.find("resource") != std::string::npos)
+    return UnknownReason::Deadline;
+  if (Reason.find("memout") != std::string::npos ||
+      Reason.find("memory") != std::string::npos)
+    return UnknownReason::MemoryBudget;
+  return UnknownReason::Backend;
+}
+
 class Z3Solver final : public Solver {
 public:
   explicit Z3Solver(unsigned TimeoutMs) : TimeoutMs(TimeoutMs) {}
 
-  CheckResult check(TermRef Assertion) override {
-    ++Queries;
+  CheckResult checkImpl(TermRef Assertion) override {
     CheckResult R;
     try {
       z3::context C;
@@ -201,11 +216,13 @@ public:
       case z3::unknown:
         R.Status = CheckStatus::Unknown;
         R.Reason = S.reason_unknown();
+        R.Why = classifyZ3Reason(R.Reason);
         return R;
       }
     } catch (const z3::exception &Ex) {
       R.Status = CheckStatus::Unknown;
       R.Reason = std::string("z3 error: ") + Ex.msg();
+      R.Why = UnknownReason::Backend;
     }
     return R;
   }

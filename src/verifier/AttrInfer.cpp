@@ -30,6 +30,13 @@ using namespace alive::smt;
 using namespace alive::semantics;
 using namespace alive::verifier;
 
+// Shared with Verifier.cpp.
+namespace alive {
+namespace verifier {
+smt::ResourceLimits effectiveLimits(const VerifyConfig &Cfg);
+} // namespace verifier
+} // namespace alive
+
 namespace {
 
 /// One literal of a cube: indicator variable name and required polarity.
@@ -103,8 +110,11 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     return R;
   }
 
-  // Attribute inference needs the ∃F ∀I ∃U quantifier structure: Z3 only.
-  auto Solver = createZ3Solver(Cfg.TimeoutMs);
+  // Attribute inference needs the ∃F ∀I ∃U quantifier structure: Z3 only
+  // (unless a test factory supplies its own solver).
+  auto Solver = Cfg.SolverFactory
+                    ? Cfg.SolverFactory()
+                    : createZ3Solver(effectiveLimits(Cfg).DeadlineMs);
 
   std::vector<Mu> Phi;
   // Indicator metadata captured while the per-assignment TermContext is
@@ -166,7 +176,10 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
       CheckResult CR = Solver->check(F);
       ++R.NumQueries;
       if (CR.isUnknown()) {
-        R.Message = "solver gave up during attribute inference: " + CR.Reason;
+        R.WhyUnknown = CR.Why;
+        R.Message = "solver gave up during attribute inference: " +
+                    CR.Reason + " [" + unknownReasonName(CR.Why) + "] (" +
+                    Solver->stats().str() + ")";
         return R;
       }
       if (CR.isUnsat())
@@ -201,7 +214,21 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
   //    source at its written flags.
   TermContext Ctx;
   TermRef F = buildPhi(Ctx, Phi);
-  auto Boolean = createBitBlastSolver();
+  auto Boolean = Cfg.SolverFactory
+                     ? Cfg.SolverFactory()
+                     : createBitBlastSolver(effectiveLimits(Cfg));
+
+  // Any Unknown during the Boolean optimization phase aborts inference:
+  // guessing a flag whose feasibility was not proven could report an
+  // unsafe attribute placement as Feasible.
+  UnknownReason BoolUnknown = UnknownReason::None;
+  auto CheckB = [&](TermRef Q) {
+    CheckResult CR = Boolean->check(Q);
+    ++R.NumQueries;
+    if (CR.isUnknown() && BoolUnknown == UnknownReason::None)
+      BoolUnknown = CR.Why;
+    return CR;
+  };
 
   auto VarOf = [&](const IndicatorInfo &AI) {
     return Ctx.mkVar(AI.VarName, Sort::boolSort());
@@ -222,8 +249,7 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
   // flags; prefer OFF for source and ON for target indicators.
   auto Optimize = [&](bool Source, TermRef Base,
                       std::map<std::string, unsigned> &Out) -> bool {
-    CheckResult Sanity = Boolean->check(Base);
-    ++R.NumQueries;
+    CheckResult Sanity = CheckB(Base);
     if (!Sanity.isSat())
       return false;
     TermRef Acc = Base;
@@ -233,8 +259,9 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
       bool Prefer = !Source;
       TermRef V = VarOf(AI);
       TermRef Try = Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V));
-      CheckResult CR = Boolean->check(Try);
-      ++R.NumQueries;
+      CheckResult CR = CheckB(Try);
+      if (CR.isUnknown())
+        return false; // resolved below via BoolUnknown
       bool Val = CR.isSat() ? Prefer : !Prefer;
       Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
       if (Val)
@@ -245,18 +272,35 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     return true;
   };
 
+  auto GiveUp = [&] {
+    R.Feasible = false;
+    R.SrcFlags.clear();
+    R.TgtFlags.clear();
+    R.WhyUnknown = BoolUnknown;
+    R.Message = std::string("solver gave up during attribute optimization"
+                            " [") +
+                unknownReasonName(BoolUnknown) + "] (" +
+                Boolean->stats().str() + ")";
+    return R;
+  };
+
   bool SrcOk = Optimize(/*Source=*/true, Ctx.mkAnd(F, PinSide(false)),
                         R.SrcFlags);
+  if (BoolUnknown != UnknownReason::None)
+    return GiveUp();
   bool TgtOk = Optimize(/*Source=*/false, Ctx.mkAnd(F, PinSide(true)),
                         R.TgtFlags);
+  if (BoolUnknown != UnknownReason::None)
+    return GiveUp();
   if (!SrcOk || !TgtOk) {
     // The transformation is incorrect as written; fall back to a global
     // optimum (repair mode): maximize target attributes first, then
     // minimize source attributes.
     R.SrcFlags.clear();
     R.TgtFlags.clear();
-    CheckResult Any = Boolean->check(F);
-    ++R.NumQueries;
+    CheckResult Any = CheckB(F);
+    if (Any.isUnknown())
+      return GiveUp();
     if (!Any.isSat()) {
       R.Message = "no attribute assignment makes the transformation correct";
       return R;
@@ -270,9 +314,9 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
           continue;
         bool Prefer = !Source;
         TermRef V = VarOf(AI);
-        CheckResult CR =
-            Boolean->check(Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V)));
-        ++R.NumQueries;
+        CheckResult CR = CheckB(Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V)));
+        if (CR.isUnknown())
+          return GiveUp();
         bool Val = CR.isSat() ? Prefer : !Prefer;
         Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
         if (Val)

@@ -8,6 +8,8 @@
 
 #include "smt/Printer.h"
 
+#include <algorithm>
+
 using namespace alive;
 using namespace alive::ir;
 using namespace alive::smt;
@@ -38,17 +40,49 @@ const char *verifier::failureKindName(FailureKind K) {
   return "?";
 }
 
-static std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
+// Implemented here, shared with AttrInfer.cpp.
+namespace alive {
+namespace verifier {
+
+/// The verifier's effective per-query budgets: VerifyConfig::Limits with a
+/// zero deadline inheriting the legacy TimeoutMs knob, so the wall-clock
+/// budget reaches every backend, not just Z3.
+smt::ResourceLimits effectiveLimits(const VerifyConfig &Cfg) {
+  ResourceLimits L = Cfg.Limits;
+  if (!L.DeadlineMs)
+    L.DeadlineMs = Cfg.TimeoutMs;
+  return L;
+}
+
+std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
+  if (Cfg.SolverFactory)
+    return Cfg.SolverFactory();
+  ResourceLimits L = effectiveLimits(Cfg);
   switch (Cfg.Backend) {
   case BackendKind::Z3:
-    return createZ3Solver(Cfg.TimeoutMs);
+    return createZ3Solver(L.DeadlineMs);
   case BackendKind::BitBlast:
-    return createBitBlastSolver();
+    return createBitBlastSolver(L);
   case BackendKind::Hybrid:
-    return createHybridSolver(Cfg.TimeoutMs);
+    break;
   }
-  return createHybridSolver(Cfg.TimeoutMs);
+  // Escalation ladder: probe with a fraction of the budgets, then the full
+  // native budget, then Z3 under the same wall clock.
+  EscalationConfig E;
+  E.Full = L;
+  E.Probe = L;
+  if (L.ConflictBudget)
+    E.Probe.ConflictBudget = std::max<uint64_t>(1, L.ConflictBudget / 10);
+  else
+    E.Probe.ConflictBudget = 2000;
+  if (L.DeadlineMs)
+    E.Probe.DeadlineMs = std::max(1u, L.DeadlineMs / 10);
+  E.Z3TimeoutMs = L.DeadlineMs;
+  return createGuardedSolver(E);
 }
+
+} // namespace verifier
+} // namespace alive
 
 VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
   VerifyResult R;
@@ -127,19 +161,25 @@ VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
       ++R.NumQueries;
       if (CR.isUnknown()) {
         R.V = Verdict::Unknown;
+        R.WhyUnknown = CR.Why;
+        R.Stats = Solver->stats();
         R.Message = "solver gave up on " +
-                    std::string(failureKindName(C.Kind)) + ": " + CR.Reason;
+                    std::string(failureKindName(C.Kind)) + ": " + CR.Reason +
+                    " [" + unknownReasonName(CR.Why) + "] (" +
+                    R.Stats.str() + ")";
         return R;
       }
       if (CR.isSat()) {
         R.V = Verdict::Incorrect;
         R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
                                     Cfg.Encoding.PtrWidth);
+        R.Stats = Solver->stats();
         return R;
       }
     }
   }
 
   R.V = Verdict::Correct;
+  R.Stats = Solver->stats();
   return R;
 }

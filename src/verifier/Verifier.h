@@ -19,6 +19,7 @@
 #include "semantics/VCGen.h"
 #include "smt/Solver.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,8 +38,19 @@ struct VerifyConfig {
   typing::TypeEnumConfig Types;
   semantics::EncodingConfig Encoding;
   BackendKind Backend = BackendKind::Hybrid;
+  /// Wall-clock budget per solver query, all backends. (Historically Z3's
+  /// timeout; now the default for Limits.DeadlineMs when that is unset.)
   unsigned TimeoutMs = 60000;
+  /// Per-query resource budgets for the native backends (conflict /
+  /// propagation / memory caps, cancellation token). A zero DeadlineMs
+  /// inherits TimeoutMs, so every backend — not just Z3 — honors the
+  /// verifier timeout.
+  smt::ResourceLimits Limits;
   bool UseZ3TypeEnum = false; ///< paper-style SMT type enumeration
+  /// Test hook: when set, the verifier and attribute inference obtain
+  /// their solvers from this factory instead of Backend — used to wrap
+  /// backends in fault injectors and prove Unknown-path soundness.
+  std::function<std::unique_ptr<smt::Solver>()> SolverFactory;
 };
 
 /// Overall verdict for a transformation.
@@ -87,6 +99,11 @@ struct VerifyResult {
   std::optional<CounterExample> CEX;
   unsigned NumTypeAssignments = 0;
   unsigned NumQueries = 0;
+  /// Why the verdict is Unknown (deadline / conflict budget / ...).
+  smt::UnknownReason WhyUnknown = smt::UnknownReason::None;
+  /// Solver-side accounting for the whole run: answers, Unknowns by
+  /// reason, escalations. Mirrored into Message on resource exhaustion.
+  smt::SolverStats Stats;
   std::string Message;
 
   bool isCorrect() const { return V == Verdict::Correct; }
@@ -102,6 +119,8 @@ struct AttrInferenceResult {
   /// Optimal flags per instruction name ("%r" -> AttrNSW|...).
   std::map<std::string, unsigned> SrcFlags, TgtFlags;
   unsigned NumQueries = 0;
+  /// Why inference gave up, when it did (solver resource exhaustion).
+  smt::UnknownReason WhyUnknown = smt::UnknownReason::None;
   std::string Message;
 
   /// True when the inferred target flags strictly exceed the flags

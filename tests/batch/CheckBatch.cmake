@@ -1,0 +1,29 @@
+# Runs alivec and asserts on its aggregate exit code and output.
+#
+#   cmake -DALIVEC=<path> "-DARGS=verify;--deadline-ms=50;file.opt"
+#         "-DEXPECT_CODE=4" ["-DEXPECT_MATCH=PARSE ERROR;2 correct"]
+#         -P CheckBatch.cmake
+#
+# EXPECT_CODE is a list of acceptable exit codes (timing-dependent tests
+# may legitimately land on more than one). A crash (signal) never matches:
+# RESULT_VARIABLE is then a signal name, not a number.
+
+execute_process(COMMAND ${ALIVEC} ${ARGS}
+                RESULT_VARIABLE Code
+                OUTPUT_VARIABLE Out
+                ERROR_VARIABLE Err)
+message(STATUS "alivec exited with '${Code}'; stdout:\n${Out}")
+
+list(FIND EXPECT_CODE "${Code}" Idx)
+if(Idx EQUAL -1)
+  message(FATAL_ERROR
+          "expected exit code in [${EXPECT_CODE}], got '${Code}'\n"
+          "stderr:\n${Err}")
+endif()
+
+foreach(M IN LISTS EXPECT_MATCH)
+  string(FIND "${Out}" "${M}" Pos)
+  if(Pos EQUAL -1)
+    message(FATAL_ERROR "output does not contain '${M}'")
+  endif()
+endforeach()

@@ -1,0 +1,338 @@
+//===- tests/smt/ResourceLimitsTest.cpp - resource governance tests -------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the solver resource-governance layer: wall-clock deadlines,
+/// conflict/propagation/memory budgets, cooperative cancellation, the
+/// GuardedSolver escalation ladder, and the deterministic fault injector.
+/// The key property throughout: an exhausted budget yields Unknown with a
+/// structured reason — never a fabricated Sat/Unsat, never a hang.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+/// Distributivity at width W: x*a + x*b != x*(a+b). Unsatisfiable, but
+/// multiplier equivalence is exponentially hard for CDCL, so at wide
+/// bitwidths this query reliably outlives any small budget.
+TermRef hardQuery(TermContext &Ctx, unsigned W) {
+  TermRef X = Ctx.mkVar("hq_x", Sort::bv(W));
+  TermRef A = Ctx.mkVar("hq_a", Sort::bv(W));
+  TermRef B = Ctx.mkVar("hq_b", Sort::bv(W));
+  return Ctx.mkNe(Ctx.mkBVAdd(Ctx.mkBVMul(X, A), Ctx.mkBVMul(X, B)),
+                  Ctx.mkBVMul(X, Ctx.mkBVAdd(A, B)));
+}
+
+double runMs(const std::function<void()> &F) {
+  auto Start = std::chrono::steady_clock::now();
+  F();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+// --- Deadlines ---------------------------------------------------------------
+
+TEST(ResourceLimitsTest, DeadlineYieldsUnknownWithinTwiceTheBudget) {
+  // The 2x bound is the contract: interrupt polling (every 64 conflicts /
+  // 256 decisions) must be frequent enough that giving up costs at most
+  // as much as the budget itself. A 200ms deadline keeps OS scheduling
+  // noise (tens of ms under parallel ctest) proportionally negligible.
+  TermContext Ctx;
+  ResourceLimits L;
+  L.DeadlineMs = 200;
+  auto S = createBitBlastSolver(L);
+  CheckResult R;
+  double Ms = runMs([&] { R = S->check(hardQuery(Ctx, 64)); });
+  ASSERT_TRUE(R.isUnknown()) << R.Reason;
+  EXPECT_EQ(R.Why, UnknownReason::Deadline) << R.Reason;
+  EXPECT_LE(Ms, 400.0) << "overran 2x the 200ms deadline";
+}
+
+TEST(ResourceLimitsTest, DeadlineInterruptsEncoding) {
+  // A single width-512 multiplier is >1M gates: the deadline must fire
+  // inside the Tseitin encoder, not only in the search loop. The reason
+  // string distinguishes the two interrupt sites, so no wall-clock
+  // assertion is needed (teardown latency of a half-built clause database
+  // varies too much under parallel test load to bound tightly).
+  TermContext Ctx;
+  ResourceLimits L;
+  L.DeadlineMs = 50;
+  auto S = createBitBlastSolver(L);
+  TermRef X = Ctx.mkVar("enc_x", Sort::bv(512));
+  TermRef Y = Ctx.mkVar("enc_y", Sort::bv(512));
+  TermRef Q = Ctx.mkEq(Ctx.mkBVMul(X, Y), Ctx.mkBV(APInt(512, 1)));
+  CheckResult R = S->check(Q);
+  ASSERT_TRUE(R.isUnknown()) << R.Reason;
+  EXPECT_EQ(R.Why, UnknownReason::Deadline);
+  EXPECT_NE(R.Reason.find("bit-blasting"), std::string::npos)
+      << "expected the encoder, not the search loop, to be interrupted: "
+      << R.Reason;
+}
+
+// --- Search budgets ----------------------------------------------------------
+
+TEST(ResourceLimitsTest, ConflictBudget) {
+  TermContext Ctx;
+  ResourceLimits L;
+  L.ConflictBudget = 100;
+  auto S = createBitBlastSolver(L);
+  CheckResult R = S->check(hardQuery(Ctx, 32));
+  ASSERT_TRUE(R.isUnknown()) << R.Reason;
+  EXPECT_EQ(R.Why, UnknownReason::ConflictBudget);
+}
+
+TEST(ResourceLimitsTest, PropagationBudget) {
+  TermContext Ctx;
+  ResourceLimits L;
+  L.PropagationBudget = 1000;
+  auto S = createBitBlastSolver(L);
+  CheckResult R = S->check(hardQuery(Ctx, 32));
+  ASSERT_TRUE(R.isUnknown()) << R.Reason;
+  EXPECT_EQ(R.Why, UnknownReason::PropagationBudget);
+}
+
+TEST(ResourceLimitsTest, LearnedClauseMemoryBudget) {
+  TermContext Ctx;
+  ResourceLimits L;
+  L.LearnedBytesBudget = 1024; // absurdly small: forces the cap
+  auto S = createBitBlastSolver(L);
+  CheckResult R = S->check(hardQuery(Ctx, 32));
+  ASSERT_TRUE(R.isUnknown()) << R.Reason;
+  EXPECT_EQ(R.Why, UnknownReason::MemoryBudget);
+}
+
+TEST(ResourceLimitsTest, BudgetsAreRelativeToEachQuery) {
+  // A budget exhausted by one query must not poison the next one on the
+  // same solver: easy queries still get real answers afterwards.
+  TermContext Ctx;
+  ResourceLimits L;
+  L.ConflictBudget = 50;
+  auto S = createBitBlastSolver(L);
+  EXPECT_TRUE(S->check(hardQuery(Ctx, 32)).isUnknown());
+  TermRef X = Ctx.mkVar("easy_x", Sort::bv(8));
+  TermRef Easy =
+      Ctx.mkEq(Ctx.mkBVAdd(X, Ctx.mkBV(8, 1)), Ctx.mkBV(8, 0));
+  EXPECT_TRUE(S->check(Easy).isSat());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnsat());
+}
+
+// --- Cancellation ------------------------------------------------------------
+
+TEST(ResourceLimitsTest, PreCancelledTokenShortCircuits) {
+  TermContext Ctx;
+  Cancellation C;
+  C.cancel();
+  ResourceLimits L;
+  L.Cancel = &C;
+  auto S = createBitBlastSolver(L);
+  CheckResult R = S->check(hardQuery(Ctx, 64));
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::Cancelled);
+}
+
+TEST(ResourceLimitsTest, CancellationFromAnotherThread) {
+  TermContext Ctx;
+  Cancellation C;
+  ResourceLimits L;
+  L.Cancel = &C;
+  auto S = createBitBlastSolver(L);
+  std::thread Killer([&C] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    C.cancel();
+  });
+  CheckResult R;
+  double Ms = runMs([&] { R = S->check(hardQuery(Ctx, 64)); });
+  Killer.join();
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::Cancelled);
+  EXPECT_LE(Ms, 1000.0) << "cancellation was not honored promptly";
+  // The token is reusable after reset.
+  C.reset();
+  EXPECT_FALSE(C.isCancelled());
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isSat());
+}
+
+// --- Stats accounting --------------------------------------------------------
+
+TEST(ResourceLimitsTest, StatsCountAnswersAndUnknownReasons) {
+  TermContext Ctx;
+  ResourceLimits L;
+  L.ConflictBudget = 50;
+  auto S = createBitBlastSolver(L);
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isSat());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnsat());
+  EXPECT_TRUE(S->check(hardQuery(Ctx, 32)).isUnknown());
+  const SolverStats &St = S->stats();
+  EXPECT_EQ(St.Queries, 3u);
+  EXPECT_EQ(S->numQueries(), 3u);
+  EXPECT_EQ(St.SatAnswers, 1u);
+  EXPECT_EQ(St.UnsatAnswers, 1u);
+  EXPECT_EQ(St.UnknownAnswers, 1u);
+  EXPECT_EQ(St.unknowns(UnknownReason::ConflictBudget), 1u);
+  EXPECT_EQ(St.unknowns(UnknownReason::Deadline), 0u);
+  EXPECT_NE(St.str().find("queries=3"), std::string::npos) << St.str();
+}
+
+TEST(ResourceLimitsTest, UnknownReasonNamesAreStable) {
+  EXPECT_STREQ(unknownReasonName(UnknownReason::None), "none");
+  EXPECT_STREQ(unknownReasonName(UnknownReason::Deadline), "deadline");
+  EXPECT_STREQ(unknownReasonName(UnknownReason::ConflictBudget),
+               "conflict-budget");
+  EXPECT_STREQ(unknownReasonName(UnknownReason::Cancelled), "cancelled");
+  EXPECT_STREQ(unknownReasonName(UnknownReason::Injected), "injected-fault");
+}
+
+// --- The escalation ladder ---------------------------------------------------
+
+TEST(GuardedSolverTest, ProbeEscalatesToFullBudget) {
+  TermContext Ctx;
+  EscalationConfig E;
+  E.Probe.ConflictBudget = 1; // probe must give up immediately
+  E.Full.ConflictBudget = 0;  // full native rung is unlimited
+  E.UseZ3Fallback = false;
+  auto S = createGuardedSolver(E);
+  // Width 4 distributivity: too hard for one conflict, fine for a full run.
+  CheckResult R = S->check(hardQuery(Ctx, 4));
+  EXPECT_TRUE(R.isUnsat()) << R.Reason;
+  EXPECT_GE(S->stats().Escalations, 1u);
+}
+
+TEST(GuardedSolverTest, NonBitVectorFragmentRoutesToZ3) {
+  TermContext Ctx;
+  auto S = createGuardedSolver();
+  TermRef X = Ctx.mkVar("gq_x", Sort::bv(4));
+  TermRef Q = Ctx.mkForall({X}, Ctx.mkBVUle(X, Ctx.mkBV(4, 15)));
+  EXPECT_TRUE(S->check(Q).isSat());
+  EXPECT_EQ(S->stats().FragmentFallbacks, 1u);
+}
+
+TEST(GuardedSolverTest, UnsupportedFragmentWithoutZ3IsUnknown) {
+  TermContext Ctx;
+  EscalationConfig E;
+  E.UseZ3Fallback = false;
+  auto S = createGuardedSolver(E);
+  TermRef X = Ctx.mkVar("gn_x", Sort::bv(4));
+  TermRef Q = Ctx.mkForall({X}, Ctx.mkBVUle(X, Ctx.mkBV(4, 15)));
+  CheckResult R = S->check(Q);
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::UnsupportedFragment);
+}
+
+TEST(GuardedSolverTest, ExhaustedLadderReportsWhy) {
+  TermContext Ctx;
+  EscalationConfig E;
+  E.Probe.ConflictBudget = 10;
+  E.Full.ConflictBudget = 100;
+  E.UseZ3Fallback = false;
+  auto S = createGuardedSolver(E);
+  CheckResult R = S->check(hardQuery(Ctx, 64));
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::ConflictBudget);
+  EXPECT_GE(S->stats().Escalations, 1u);
+}
+
+TEST(GuardedSolverTest, CancellationIsNotRetried) {
+  // A cancelled probe must not escalate: the user asked the whole query
+  // chain to stop, not one rung of it.
+  TermContext Ctx;
+  Cancellation C;
+  C.cancel();
+  EscalationConfig E;
+  E.Probe.Cancel = &C;
+  E.Full.Cancel = &C;
+  E.UseZ3Fallback = false;
+  auto S = createGuardedSolver(E);
+  CheckResult R = S->check(hardQuery(Ctx, 32));
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::Cancelled);
+  EXPECT_EQ(S->stats().Escalations, 0u);
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+TEST(FaultInjectTest, AlwaysUnknownInjector) {
+  TermContext Ctx;
+  FaultPlan P;
+  P.UnknownRate = 1.0;
+  auto S = createFaultInjectingSolver(createBitBlastSolver(), P);
+  for (int I = 0; I != 5; ++I) {
+    CheckResult R = S->check(Ctx.mkTrue());
+    ASSERT_TRUE(R.isUnknown());
+    EXPECT_EQ(R.Why, UnknownReason::Injected);
+  }
+  EXPECT_EQ(S->stats().FaultsInjected, 5u);
+  EXPECT_EQ(S->stats().UnknownAnswers, 5u);
+}
+
+TEST(FaultInjectTest, DowngradesNeverFlipAnswers) {
+  // With DowngradeRate=1 every real answer is withheld, but a fault may
+  // only turn Sat/Unsat into Unknown — never Sat into Unsat or vice versa.
+  TermContext Ctx;
+  FaultPlan P;
+  P.DowngradeRate = 1.0;
+  auto S = createFaultInjectingSolver(createBitBlastSolver(), P);
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isUnknown());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnknown());
+  EXPECT_EQ(S->stats().FaultsInjected, 2u);
+}
+
+TEST(FaultInjectTest, FailAfterPassesEarlyQueriesThrough) {
+  TermContext Ctx;
+  FaultPlan P;
+  P.FailAfter = 2;
+  auto S = createFaultInjectingSolver(createBitBlastSolver(), P);
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isSat());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnsat());
+  EXPECT_TRUE(S->check(Ctx.mkTrue()).isUnknown());
+  EXPECT_TRUE(S->check(Ctx.mkFalse()).isUnknown());
+}
+
+TEST(FaultInjectTest, DeterministicUnderASeed) {
+  TermContext Ctx;
+  auto Run = [&Ctx](uint64_t Seed) {
+    FaultPlan P;
+    P.Seed = Seed;
+    P.UnknownRate = 0.5;
+    auto S = createFaultInjectingSolver(createBitBlastSolver(), P);
+    std::string Trace;
+    for (int I = 0; I != 32; ++I)
+      Trace += S->check(I % 2 ? Ctx.mkTrue() : Ctx.mkFalse()).isUnknown()
+                   ? 'U'
+                   : '.';
+    return Trace;
+  };
+  std::string A = Run(7), B = Run(7);
+  EXPECT_EQ(A, B);
+  // The 50% rate actually injects something and passes something through.
+  EXPECT_NE(A.find('U'), std::string::npos);
+  EXPECT_NE(A.find('.'), std::string::npos);
+}
+
+TEST(FaultInjectTest, InjectedDelaysAreObservable) {
+  TermContext Ctx;
+  FaultPlan P;
+  P.DelayRate = 1.0;
+  P.DelayMs = 20;
+  auto S = createFaultInjectingSolver(createBitBlastSolver(), P);
+  CheckResult R;
+  double Ms = runMs([&] { R = S->check(Ctx.mkTrue()); });
+  EXPECT_TRUE(R.isSat()); // a delay alone does not change the answer
+  EXPECT_GE(Ms, 20.0);
+}
+
+} // namespace

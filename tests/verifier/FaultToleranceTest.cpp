@@ -1,0 +1,255 @@
+//===- tests/verifier/FaultToleranceTest.cpp - Unknown-path soundness -----===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the verifier and attribute inference through failing solvers —
+/// deterministic fault injectors and real resource exhaustion — and checks
+/// the one property that makes resource governance sound: a solver failure
+/// may cost an answer (Verdict::Unknown) but may never change one. A
+/// correct transformation is never reported Incorrect, a buggy one is
+/// never reported Correct, and an inference run that gives up says why
+/// instead of fabricating an "infeasible" claim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::smt;
+using namespace alive::verifier;
+
+namespace {
+
+// The paper's Section 1 rewrite: provably correct.
+const char *CorrectOpt = "%1 = xor %x, -1\n"
+                         "%2 = add %1, C\n"
+                         "=>\n"
+                         "%2 = sub C-1, %x\n";
+
+// Figure 8, PR20186: buggy (C == INT_MIN).
+const char *BuggyOpt = "%a = sdiv %X, C\n"
+                       "%r = sub 0, %a\n"
+                       "=>\n"
+                       "%r = sdiv %X, -C\n";
+
+// Needs >1 solver query per width and is exponentially hard at width 32.
+const char *SlowOpt = "%m1 = mul %x, %a\n"
+                      "%m2 = mul %x, %b\n"
+                      "%r = add %m1, %m2\n"
+                      "=>\n"
+                      "%s = add %a, %b\n"
+                      "%r = mul %x, %s\n";
+
+std::unique_ptr<ir::Transform> parse(const char *Text) {
+  auto R = parser::parseTransform(Text);
+  EXPECT_TRUE(R.ok()) << R.message();
+  return R.ok() ? std::move(R.get()) : nullptr;
+}
+
+VerifyConfig faultyConfig(const FaultPlan &P) {
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 8;
+  // Wrap the full hybrid ladder: faults must be tolerated even when the
+  // production escalation path is underneath.
+  Cfg.SolverFactory = [P] {
+    return createFaultInjectingSolver(createHybridSolver(), P);
+  };
+  return Cfg;
+}
+
+// --- verify() under injected faults -----------------------------------------
+
+TEST(FaultToleranceTest, TotalSolverFailureIsReportedAsUnknown) {
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  FaultPlan P;
+  P.UnknownRate = 1.0;
+  VerifyResult R = verify(*T, faultyConfig(P));
+  ASSERT_EQ(R.V, Verdict::Unknown) << R.Message;
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::Injected);
+  EXPECT_GE(R.Stats.FaultsInjected, 1u);
+  EXPECT_NE(R.Message.find("injected-fault"), std::string::npos)
+      << R.Message;
+}
+
+TEST(FaultToleranceTest, CorrectTransformIsNeverReportedIncorrect) {
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    FaultPlan P;
+    P.Seed = Seed;
+    P.UnknownRate = 0.3;
+    P.DowngradeRate = 0.3;
+    VerifyResult R = verify(*T, faultyConfig(P));
+    ASSERT_TRUE(R.V == Verdict::Correct || R.V == Verdict::Unknown)
+        << "seed " << Seed << ": " << R.Message;
+    if (R.V == Verdict::Unknown) {
+      EXPECT_EQ(R.WhyUnknown, UnknownReason::Injected);
+    }
+  }
+}
+
+TEST(FaultToleranceTest, BuggyTransformIsNeverReportedCorrect) {
+  auto T = parse(BuggyOpt);
+  ASSERT_TRUE(T);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    FaultPlan P;
+    P.Seed = Seed;
+    P.UnknownRate = 0.3;
+    P.DowngradeRate = 0.3;
+    VerifyResult R = verify(*T, faultyConfig(P));
+    ASSERT_TRUE(R.V == Verdict::Incorrect || R.V == Verdict::Unknown)
+        << "seed " << Seed << ": " << R.Message;
+    if (R.V == Verdict::Incorrect) {
+      EXPECT_TRUE(R.CEX.has_value());
+    }
+  }
+}
+
+TEST(FaultToleranceTest, LateFailureMidRunStaysUnknown) {
+  // The solver dies after two honest answers — mid refinement-check, not
+  // at the boundary. The partial progress must not leak into a verdict.
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  FaultPlan P;
+  P.FailAfter = 2;
+  VerifyResult R = verify(*T, faultyConfig(P));
+  ASSERT_EQ(R.V, Verdict::Unknown) << R.Message;
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::Injected);
+  EXPECT_GE(R.NumQueries, 3u) << "fault should strike after real queries";
+}
+
+// --- verify() under real resource exhaustion --------------------------------
+
+TEST(FaultToleranceTest, DeadlineMidTypeAssignmentLoopIsNotCorrect) {
+  // Width 4 verifies in milliseconds; width 32 outlives any realistic
+  // deadline (minutes of CDCL). The verdict for the whole transformation
+  // must be Unknown — the verified prefix of the type-assignment loop
+  // proves nothing about the rest. The 500ms deadline leaves width 4
+  // plenty of headroom even under parallel test load.
+  auto T = parse(SlowOpt);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 32};
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.Limits.DeadlineMs = 500;
+  VerifyResult R = verify(*T, Cfg);
+  ASSERT_EQ(R.V, Verdict::Unknown) << R.Message;
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::Deadline);
+  EXPECT_EQ(R.NumTypeAssignments, 2u)
+      << "should fail on the second assignment, not the first";
+}
+
+TEST(FaultToleranceTest, ConflictBudgetReasonReachesTheResult) {
+  auto T = parse(SlowOpt);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {32};
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.Limits.ConflictBudget = 100;
+  VerifyResult R = verify(*T, Cfg);
+  ASSERT_EQ(R.V, Verdict::Unknown) << R.Message;
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::ConflictBudget);
+  EXPECT_EQ(R.Stats.unknowns(UnknownReason::ConflictBudget), 1u);
+  EXPECT_NE(R.Message.find("conflict-budget"), std::string::npos)
+      << R.Message;
+}
+
+TEST(FaultToleranceTest, LegacyTimeoutMsGovernsNativeBackend) {
+  // TimeoutMs historically only reached Z3; it must now bound the native
+  // backend too (via ResourceLimits.DeadlineMs inheritance).
+  auto T = parse(SlowOpt);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {32};
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.TimeoutMs = 60;
+  VerifyResult R = verify(*T, Cfg);
+  ASSERT_EQ(R.V, Verdict::Unknown) << R.Message;
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::Deadline);
+}
+
+// --- inferAttributes() under faults -----------------------------------------
+
+TEST(FaultToleranceTest, InferenceGivesUpInsteadOfGuessing) {
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4};
+  FaultPlan P;
+  P.UnknownRate = 1.0;
+  Cfg.SolverFactory = [P] {
+    return createFaultInjectingSolver(createZ3Solver(), P);
+  };
+  AttrInferenceResult R = inferAttributes(*T, Cfg);
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.WhyUnknown, UnknownReason::Injected) << R.Message;
+  EXPECT_TRUE(R.SrcFlags.empty());
+  EXPECT_TRUE(R.TgtFlags.empty());
+}
+
+TEST(FaultToleranceTest, InfeasibilityIsNeverFabricatedByFaults) {
+  // For a transformation with a feasible attribute assignment, any
+  // "infeasible" report under fault injection must carry an Unknown
+  // reason — a fault may suppress the answer, not invent a negative one.
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    VerifyConfig Cfg;
+    Cfg.Types.Widths = {4};
+    FaultPlan P;
+    P.Seed = Seed;
+    P.UnknownRate = 0.25;
+    P.DowngradeRate = 0.25;
+    Cfg.SolverFactory = [P] {
+      return createFaultInjectingSolver(createZ3Solver(), P);
+    };
+    AttrInferenceResult R = inferAttributes(*T, Cfg);
+    if (!R.Feasible)
+      EXPECT_NE(R.WhyUnknown, UnknownReason::None)
+          << "seed " << Seed << " fabricated infeasibility: " << R.Message;
+    else
+      EXPECT_EQ(R.WhyUnknown, UnknownReason::None);
+  }
+}
+
+TEST(FaultToleranceTest, InferenceMidOptimizationFailureGivesUp) {
+  // Kill the solver after N honest answers, for every small N: the fault
+  // then strikes at a different point of the enumeration/optimization
+  // pipeline each time. Whatever the cut point, inference must either
+  // finish cleanly or give up with a reason — never emit a flag set it
+  // could not prove. (Each phase creates its own solver, so a large N can
+  // legitimately let the whole run through.)
+  auto T = parse(CorrectOpt);
+  ASSERT_TRUE(T);
+  unsigned GaveUp = 0;
+  for (unsigned FailAfter = 1; FailAfter <= 8; ++FailAfter) {
+    VerifyConfig Cfg;
+    Cfg.Types.Widths = {4};
+    FaultPlan P;
+    P.FailAfter = FailAfter;
+    Cfg.SolverFactory = [P] {
+      return createFaultInjectingSolver(createZ3Solver(), P);
+    };
+    AttrInferenceResult R = inferAttributes(*T, Cfg);
+    if (R.Feasible) {
+      EXPECT_EQ(R.WhyUnknown, UnknownReason::None);
+    } else {
+      ++GaveUp;
+      EXPECT_EQ(R.WhyUnknown, UnknownReason::Injected)
+          << "FailAfter=" << FailAfter << ": " << R.Message;
+      EXPECT_TRUE(R.SrcFlags.empty() && R.TgtFlags.empty())
+          << "gave up but still emitted flags";
+    }
+  }
+  EXPECT_GE(GaveUp, 1u) << "no cut point exercised the give-up path";
+}
+
+} // namespace

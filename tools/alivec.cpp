@@ -14,9 +14,27 @@
 ///   alivec print   file.opt   parse and pretty-print
 ///
 /// Options:
-///   --widths=4,8,16   type widths to enumerate (default 4,8)
+///   --widths=4,8,16     type widths to enumerate (default 4,8)
 ///   --backend=hybrid|z3|bitblast
 ///   --memory=ite|array
+///   --deadline-ms=N     wall-clock budget per solver query (all backends)
+///   --conflicts=N       CDCL conflict budget per query
+///   --max-learned-mb=N  learned-clause memory cap per query
+///   --fail-fast         stop at the first non-correct transformation
+///
+/// Batch runs are fault-isolated: a transformation that fails to parse,
+/// hits a resource limit, or crashes its pipeline stage is reported on its
+/// own status line and the run continues. Ctrl-C cancels the in-flight
+/// solver query cooperatively and finishes with the summary. The aggregate
+/// exit code is:
+///
+///   0  every transformation verified correct (infer: feasible)
+///   1  at least one transformation is incorrect / infeasible
+///   2  usage error, or the input file cannot be read
+///   3  none incorrect, but at least one hit a resource limit or
+///      otherwise returned unknown
+///   4  none incorrect, but at least one faulted (parse error, type or
+///      encoding error, or an internal error); faults outrank unknowns
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +42,8 @@
 #include "parser/Parser.h"
 #include "verifier/Verifier.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,7 +60,13 @@ void usage() {
                "<file.opt>\n"
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
-               "  --memory=ite|array\n");
+               "  --memory=ite|array\n"
+               "  --deadline-ms=N        per-query wall-clock budget\n"
+               "  --conflicts=N          per-query CDCL conflict budget\n"
+               "  --max-learned-mb=N     per-query learned-clause cap\n"
+               "  --fail-fast            stop at first non-correct result\n"
+               "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
+               "            3 unknown/resource-limited, 4 faulted\n");
 }
 
 std::string flagsToString(unsigned Flags) {
@@ -54,6 +80,106 @@ std::string flagsToString(unsigned Flags) {
   return S.empty() ? " (none)" : S;
 }
 
+/// One "Name:"-delimited region of the input file. Parsed independently so
+/// a syntax error in one transformation cannot abort the batch.
+struct Chunk {
+  std::string Text;
+  std::string Label; ///< the Name: header text, or a line-number fallback
+  unsigned FirstLine = 1;
+};
+
+bool hasContent(const std::string &S) {
+  std::istringstream In(S);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Pos = Line.find_first_not_of(" \t\r");
+    if (Pos != std::string::npos && Line[Pos] != ';')
+      return true;
+  }
+  return false;
+}
+
+std::vector<Chunk> splitCorpus(const std::string &Text) {
+  std::vector<Chunk> Chunks;
+  Chunk Cur;
+  bool CurHasHeader = false;
+  unsigned LineNo = 0;
+
+  auto Flush = [&] {
+    if (hasContent(Cur.Text)) {
+      if (Cur.Label.empty())
+        Cur.Label = "<line " + std::to_string(Cur.FirstLine) + ">";
+      Chunks.push_back(Cur);
+    }
+    Cur = Chunk();
+    Cur.FirstLine = LineNo + 1;
+    CurHasHeader = false;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    bool IsHeader = Line.rfind("Name:", 0) == 0;
+    if (IsHeader) {
+      // A new header always opens a new chunk; comments and blank lines
+      // seen since the last transformation travel with the new one.
+      if (CurHasHeader || hasContent(Cur.Text))
+        Flush();
+      CurHasHeader = true;
+      std::string Name = Line.substr(5);
+      size_t B = Name.find_first_not_of(" \t");
+      Cur.Label = B == std::string::npos ? Name : Name.substr(B);
+      if (Cur.Text.empty())
+        Cur.FirstLine = LineNo + 1;
+    }
+    Cur.Text += Line + "\n";
+    ++LineNo;
+  }
+  Flush();
+  return Chunks;
+}
+
+/// Per-transformation outcome category for the batch summary.
+enum class Outcome { Correct, Incorrect, Unknown, Faulted };
+
+struct Tally {
+  unsigned Count[4] = {0, 0, 0, 0};
+  unsigned UnknownBy[smt::NumUnknownReasons] = {};
+  bool Cancelled = false;
+
+  void add(Outcome O) { ++Count[static_cast<unsigned>(O)]; }
+  unsigned of(Outcome O) const { return Count[static_cast<unsigned>(O)]; }
+
+  int exitCode() const {
+    if (of(Outcome::Incorrect))
+      return 1;
+    if (of(Outcome::Faulted))
+      return 4;
+    if (of(Outcome::Unknown))
+      return 3;
+    return 0;
+  }
+};
+
+smt::Cancellation GInterrupt;
+
+void onSigInt(int) { GInterrupt.cancel(); }
+
+// Parses the numeric payload of --opt=N, exiting with the usage code on
+// garbage or overflow instead of letting std::stoull abort the process.
+uint64_t parseNum(const std::string &Opt, const std::string &Text) {
+  try {
+    size_t Used = 0;
+    uint64_t V = std::stoull(Text, &Used);
+    if (Used == Text.size())
+      return V;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Opt.c_str(),
+               Text.c_str());
+  std::exit(2);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -65,6 +191,7 @@ int main(int argc, char **argv) {
   std::string Path;
   VerifyConfig Cfg;
   Cfg.Types.Widths = {4, 8};
+  bool FailFast = false;
 
   for (int I = 2; I != argc; ++I) {
     std::string Arg = argv[I];
@@ -74,7 +201,11 @@ int main(int argc, char **argv) {
       std::string W;
       while (std::getline(SS, W, ','))
         Cfg.Types.Widths.push_back(
-            static_cast<unsigned>(std::stoul(W)));
+            static_cast<unsigned>(parseNum("--widths", W)));
+      if (Cfg.Types.Widths.empty()) {
+        std::fprintf(stderr, "error: --widths needs at least one width\n");
+        return 2;
+      }
     } else if (Arg == "--backend=z3") {
       Cfg.Backend = BackendKind::Z3;
     } else if (Arg == "--backend=bitblast") {
@@ -85,6 +216,17 @@ int main(int argc, char **argv) {
       Cfg.Encoding.Memory = semantics::MemoryEncoding::ArrayTheory;
     } else if (Arg == "--memory=ite") {
       Cfg.Encoding.Memory = semantics::MemoryEncoding::EagerIte;
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Cfg.Limits.DeadlineMs =
+          static_cast<unsigned>(parseNum("--deadline-ms", Arg.substr(14)));
+      Cfg.TimeoutMs = Cfg.Limits.DeadlineMs;
+    } else if (Arg.rfind("--conflicts=", 0) == 0) {
+      Cfg.Limits.ConflictBudget = parseNum("--conflicts", Arg.substr(12));
+    } else if (Arg.rfind("--max-learned-mb=", 0) == 0) {
+      Cfg.Limits.LearnedBytesBudget =
+          parseNum("--max-learned-mb", Arg.substr(17)) * 1024 * 1024;
+    } else if (Arg == "--fail-fast") {
+      FailFast = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       usage();
@@ -106,76 +248,155 @@ int main(int argc, char **argv) {
   std::stringstream Buf;
   Buf << In.rdbuf();
 
-  auto Parsed = parser::parseTransforms(Buf.str());
-  if (!Parsed.ok()) {
-    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
-                 Parsed.message().c_str());
-    return 1;
+  std::signal(SIGINT, onSigInt);
+  Cfg.Limits.Cancel = &GInterrupt;
+
+  Tally Sum;
+  unsigned Emitted = 0;
+  const auto BatchStart = std::chrono::steady_clock::now();
+
+  auto Finish = [&](unsigned Total) {
+    const double Ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - BatchStart)
+            .count();
+    std::printf("---- batch summary: %u transforms | %u correct | "
+                "%u incorrect | %u unknown | %u faulted | %.1f ms ----\n",
+                Total, Sum.of(Outcome::Correct), Sum.of(Outcome::Incorrect),
+                Sum.of(Outcome::Unknown), Sum.of(Outcome::Faulted), Ms);
+    if (Sum.of(Outcome::Unknown)) {
+      std::printf("     unknown reasons:");
+      for (unsigned I = 0; I != smt::NumUnknownReasons; ++I)
+        if (Sum.UnknownBy[I])
+          std::printf(" %s=%u",
+                      smt::unknownReasonName(
+                          static_cast<smt::UnknownReason>(I)),
+                      Sum.UnknownBy[I]);
+      std::printf("\n");
+    }
+    if (Sum.Cancelled)
+      std::printf("     run cancelled by SIGINT; remaining transforms "
+                  "skipped\n");
+    return Sum.exitCode();
+  };
+
+  std::vector<Chunk> Chunks = splitCorpus(Buf.str());
+  unsigned Total = 0;
+
+  for (const Chunk &C : Chunks) {
+    if (GInterrupt.isCancelled()) {
+      Sum.Cancelled = true;
+      break;
+    }
+    auto Parsed = parser::parseTransforms(C.Text);
+    if (!Parsed.ok()) {
+      ++Total;
+      Sum.add(Outcome::Faulted);
+      std::printf("%-32s PARSE ERROR: %s\n", C.Label.c_str(),
+                  Parsed.message().c_str());
+      if (FailFast)
+        return Finish(Total);
+      continue;
+    }
+
+    for (const auto &T : Parsed.get()) {
+      if (GInterrupt.isCancelled()) {
+        Sum.Cancelled = true;
+        break;
+      }
+      ++Total;
+      std::string Name = T->Name.empty() ? C.Label : T->Name;
+      Outcome O = Outcome::Correct;
+
+      try {
+        if (Mode == "print") {
+          std::printf("%s\n", T->str().c_str());
+        } else if (Mode == "verify") {
+          VerifyResult R = verify(*T, Cfg);
+          switch (R.V) {
+          case Verdict::Correct:
+            std::printf("%-32s correct (%u type assignments, %u queries)\n",
+                        Name.c_str(), R.NumTypeAssignments, R.NumQueries);
+            break;
+          case Verdict::Incorrect:
+            O = Outcome::Incorrect;
+            std::printf("%-32s INCORRECT\n%s\n", Name.c_str(),
+                        R.CEX ? R.CEX->str().c_str() : "");
+            break;
+          case Verdict::Unknown:
+            O = Outcome::Unknown;
+            ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
+            std::printf("%-32s unknown: %s\n", Name.c_str(),
+                        R.Message.c_str());
+            break;
+          case Verdict::TypeError:
+          case Verdict::EncodeError:
+            O = Outcome::Faulted;
+            std::printf("%-32s ERROR: %s\n", Name.c_str(),
+                        R.Message.c_str());
+            break;
+          }
+        } else if (Mode == "infer") {
+          AttrInferenceResult R = inferAttributes(*T, Cfg);
+          if (!R.Feasible) {
+            O = R.WhyUnknown != smt::UnknownReason::None
+                    ? Outcome::Unknown
+                    : Outcome::Incorrect;
+            if (O == Outcome::Unknown)
+              ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
+            std::printf("%-32s infeasible: %s\n", Name.c_str(),
+                        R.Message.c_str());
+          } else {
+            std::printf("%s:\n", Name.c_str());
+            for (const auto &[I, Flags] : R.SrcFlags)
+              std::printf("  source %-8s needs%s\n", I.c_str(),
+                          flagsToString(Flags).c_str());
+            for (const auto &[I, Flags] : R.TgtFlags)
+              std::printf("  target %-8s may carry%s\n", I.c_str(),
+                          flagsToString(Flags).c_str());
+          }
+        } else if (Mode == "codegen") {
+          VerifyResult R = verify(*T, Cfg);
+          if (!R.isCorrect()) {
+            O = R.V == Verdict::Incorrect ? Outcome::Incorrect
+                : R.V == Verdict::Unknown ? Outcome::Unknown
+                                          : Outcome::Faulted;
+            if (O == Outcome::Unknown)
+              ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
+            std::fprintf(stderr,
+                         "// %s failed verification; no code generated\n",
+                         Name.c_str());
+          } else {
+            auto Cpp = codegen::emitCppFunction(
+                *T, "apply_" + std::to_string(++Emitted));
+            if (Cpp.ok())
+              std::printf("%s\n", Cpp.get().c_str());
+            else {
+              O = Outcome::Faulted;
+              std::fprintf(stderr, "// %s: %s\n", Name.c_str(),
+                           Cpp.message().c_str());
+            }
+          }
+        } else {
+          usage();
+          return 2;
+        }
+      } catch (const std::exception &Ex) {
+        O = Outcome::Faulted;
+        std::printf("%-32s INTERNAL ERROR: %s\n", Name.c_str(), Ex.what());
+      } catch (...) {
+        O = Outcome::Faulted;
+        std::printf("%-32s INTERNAL ERROR: unknown exception\n",
+                    Name.c_str());
+      }
+
+      Sum.add(O);
+      if (FailFast && O != Outcome::Correct)
+        return Finish(Total);
+    }
   }
 
-  unsigned Failures = 0;
-  for (const auto &T : Parsed.get()) {
-    std::string Name = T->Name.empty() ? "<anonymous>" : T->Name;
-    if (Mode == "print") {
-      std::printf("%s\n", T->str().c_str());
-      continue;
-    }
-    if (Mode == "verify") {
-      VerifyResult R = verify(*T, Cfg);
-      switch (R.V) {
-      case Verdict::Correct:
-        std::printf("%-32s correct (%u type assignments, %u queries)\n",
-                    Name.c_str(), R.NumTypeAssignments, R.NumQueries);
-        break;
-      case Verdict::Incorrect:
-        ++Failures;
-        std::printf("%-32s INCORRECT\n%s\n", Name.c_str(),
-                    R.CEX ? R.CEX->str().c_str() : "");
-        break;
-      default:
-        ++Failures;
-        std::printf("%-32s %s\n", Name.c_str(), R.Message.c_str());
-        break;
-      }
-      continue;
-    }
-    if (Mode == "infer") {
-      AttrInferenceResult R = inferAttributes(*T, Cfg);
-      if (!R.Feasible) {
-        ++Failures;
-        std::printf("%-32s infeasible: %s\n", Name.c_str(),
-                    R.Message.c_str());
-        continue;
-      }
-      std::printf("%s:\n", Name.c_str());
-      for (const auto &[I, Flags] : R.SrcFlags)
-        std::printf("  source %-8s needs%s\n", I.c_str(),
-                    flagsToString(Flags).c_str());
-      for (const auto &[I, Flags] : R.TgtFlags)
-        std::printf("  target %-8s may carry%s\n", I.c_str(),
-                    flagsToString(Flags).c_str());
-      continue;
-    }
-    if (Mode == "codegen") {
-      VerifyResult R = verify(*T, Cfg);
-      if (!R.isCorrect()) {
-        ++Failures;
-        std::fprintf(stderr,
-                     "// %s failed verification; no code generated\n",
-                     Name.c_str());
-        continue;
-      }
-      auto Cpp = codegen::emitCppFunction(
-          *T, "apply_" + std::to_string(Failures + 1));
-      if (Cpp.ok())
-        std::printf("%s\n", Cpp.get().c_str());
-      else
-        std::fprintf(stderr, "// %s: %s\n", Name.c_str(),
-                     Cpp.message().c_str());
-      continue;
-    }
-    usage();
-    return 2;
-  }
-  return Failures == 0 ? 0 : 1;
+  if (Mode == "print")
+    return Sum.of(Outcome::Faulted) ? 4 : 0;
+  return Finish(Total);
 }
