@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 
 using namespace alive;
 using namespace alive::corpus;
@@ -31,6 +32,9 @@ int main() {
   std::printf("Figure 8: the eight wrong InstCombine transformations\n\n");
 
   unsigned Found = 0, FixedOk = 0, Expected = 0, ExpectedFixed = 0;
+  double TotalMs = 0;
+  // Verdict + counterexample text per entry, for the parallel parity check.
+  std::map<std::string, std::pair<Verdict, std::string>> SerialResults;
   for (const CorpusEntry &E : bugEntries()) {
     auto P = parseEntry(E);
     if (!P.ok()) {
@@ -48,6 +52,8 @@ int main() {
                                                          : "unknown";
     std::printf("%-16s -> %-8s (%5.0f ms, %u type assignments, %u queries)\n",
                 E.Name, VerdictStr, Ms, R.NumTypeAssignments, R.NumQueries);
+    TotalMs += Ms;
+    SerialResults[E.Name] = {R.V, R.CEX ? R.CEX->str() : std::string()};
     if (!E.ExpectCorrect) {
       ++Expected;
       if (R.V == Verdict::Incorrect) {
@@ -65,5 +71,40 @@ int main() {
   }
   std::printf("\nbugs refuted:   %u / %u (paper: 8 / 8)\n", Found, Expected);
   std::printf("fixes verified: %u / %u\n", FixedOk, ExpectedFixed);
-  return Found == Expected && FixedOk == ExpectedFixed ? 0 : 1;
+
+  // Replay the whole corpus through the parallel engine with a shared
+  // query cache: every verdict (and counterexample) must be identical to
+  // the serial run above, and the cache should see real traffic.
+  double SerialMs = TotalMs;
+  Cfg.Jobs = 4;
+  Cfg.Cache = std::make_shared<smt::QueryCache>();
+  unsigned ParityBroken = 0;
+  auto P0 = std::chrono::steady_clock::now();
+  for (const CorpusEntry &E : bugEntries()) {
+    auto P = parseEntry(E);
+    if (!P.ok())
+      continue;
+    VerifyResult R = verify(*P.get(), Cfg);
+    auto It = SerialResults.find(E.Name);
+    if (It == SerialResults.end())
+      continue;
+    const auto &[SerialV, SerialCEX] = It->second;
+    if (R.V != SerialV || (R.CEX ? R.CEX->str() : std::string()) != SerialCEX) {
+      ++ParityBroken;
+      std::fprintf(stderr, "parallel verdict mismatch in %s\n", E.Name);
+    }
+  }
+  double ParallelMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - P0)
+                          .count();
+  smt::QueryCacheStats CS = Cfg.Cache->stats();
+  std::printf("\nparallel replay (jobs=4, shared cache): %.0f ms vs %.0f ms "
+              "serial, speedup %.2fx\n",
+              ParallelMs, SerialMs,
+              ParallelMs > 0 ? SerialMs / ParallelMs : 0.0);
+  std::printf("query cache: %s\n", CS.str().c_str());
+  std::printf("verdict parity: %s\n", ParityBroken ? "BROKEN" : "ok");
+
+  return Found == Expected && FixedOk == ExpectedFixed && !ParityBroken ? 0
+                                                                        : 1;
 }

@@ -13,9 +13,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "parser/Parser.h"
+#include "support/ThreadPool.h"
 #include "verifier/Verifier.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
 
 using namespace alive;
 using namespace alive::verifier;
@@ -73,9 +77,87 @@ void runVerify(benchmark::State &State, const char *Text,
       static_cast<double>(Total.FragmentFallbacks);
 }
 
+/// One timed sweep over every case with \p Jobs workers fanned out over the
+/// transformations (the same granularity as `alivec --jobs`; each verify
+/// itself runs serially). Returns wall milliseconds and fills \p Verdicts
+/// in case order.
+double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
+                   std::vector<Verdict> &Verdicts) {
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 8;
+  Cfg.Cache = std::move(Cache);
+
+  std::vector<std::unique_ptr<ir::Transform>> Parsed;
+  for (const NamedTransform &C : Cases) {
+    auto P = parser::parseTransform(C.Text);
+    if (P.ok())
+      Parsed.push_back(std::move(P.get()));
+  }
+  Verdicts.assign(Parsed.size(), Verdict::Unknown);
+  auto T0 = std::chrono::steady_clock::now();
+  support::ThreadPool::parallelFor(Jobs, Parsed.size(), [&](size_t I) {
+    Verdicts[I] = verify(*Parsed[I], Cfg).V;
+  });
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// The parallel-engine acceptance report: serial vs parallel wall time over
+/// the case corpus plus query-cache counters, as machine-readable JSON.
+void writeBenchJson(const char *Path) {
+  std::vector<Verdict> SerialVerdicts, ParallelVerdicts;
+  // Warm-up pass absorbs one-time costs so the two timed sweeps compare
+  // like with like; it uses no cache so the parallel sweep's counters
+  // reflect only its own run.
+  {
+    std::vector<Verdict> Ignore;
+    sweepCorpus(1, nullptr, Ignore);
+  }
+  double SerialMs = sweepCorpus(1, nullptr, SerialVerdicts);
+
+  unsigned Jobs = 4;
+  auto Cache = std::make_shared<smt::QueryCache>();
+  double ParallelMs = sweepCorpus(Jobs, Cache, ParallelVerdicts);
+
+  bool Match = SerialVerdicts == ParallelVerdicts;
+  smt::QueryCacheStats CS = Cache->stats();
+
+  std::ofstream Out(Path);
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n"
+                "  \"corpus_cases\": %zu,\n"
+                "  \"jobs\": %u,\n"
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"serial_ms\": %.2f,\n"
+                "  \"parallel_ms\": %.2f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"verdicts_match\": %s,\n"
+                "  \"cache_hits\": %llu,\n"
+                "  \"cache_misses\": %llu,\n"
+                "  \"cache_evictions\": %llu,\n"
+                "  \"cache_hit_rate\": %.4f\n"
+                "}\n",
+                std::size(Cases), Jobs,
+                support::ThreadPool::defaultConcurrency(), SerialMs,
+                ParallelMs, ParallelMs > 0 ? SerialMs / ParallelMs : 0.0,
+                Match ? "true" : "false",
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.Evictions), CS.hitRate());
+  Out << Buf;
+  std::printf("wrote %s (serial %.1f ms, parallel %.1f ms at jobs=%u, "
+              "verdicts %s, cache %s)\n",
+              Path, SerialMs, ParallelMs, Jobs,
+              Match ? "match" : "MISMATCH", CS.str().c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  writeBenchJson("BENCH_verify.json");
   for (const NamedTransform &C : Cases) {
     for (auto [BName, B] :
          {std::pair{"hybrid", BackendKind::Hybrid},

@@ -1,0 +1,289 @@
+//===- smt/QueryCache.cpp - memoizing solver verdict cache ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/QueryCache.h"
+
+#include "smt/Printer.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+using namespace alive;
+using namespace alive::smt;
+
+//===----------------------------------------------------------------------===//
+// Canonical key
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendNode(std::string &Out, TermRef T,
+                const std::unordered_map<TermRef, unsigned> &Ids) {
+  Out += 'k';
+  Out += std::to_string(static_cast<unsigned>(T->getKind()));
+  const Sort &S = T->getSort();
+  Out += 's';
+  Out += std::to_string(static_cast<unsigned>(S.getKind()));
+  if (S.isBitVec()) {
+    Out += '.';
+    Out += std::to_string(S.getWidth());
+  } else if (S.isArray()) {
+    Out += '.';
+    Out += std::to_string(S.getIndexWidth());
+    Out += '.';
+    Out += std::to_string(S.getElementWidth());
+  }
+  switch (T->getKind()) {
+  case TermKind::ConstBool:
+    Out += T->getBoolValue() ? "b1" : "b0";
+    break;
+  case TermKind::ConstBV:
+    Out += 'v';
+    Out += std::to_string(T->getBVValue().getZExtValue());
+    break;
+  case TermKind::Var:
+    // Length-prefixed so a name can never run into the next field.
+    Out += 'n';
+    Out += std::to_string(T->getName().size());
+    Out += ':';
+    Out += T->getName();
+    break;
+  case TermKind::BVExtract:
+    Out += 'x';
+    Out += std::to_string(T->getExtractHi());
+    Out += ':';
+    Out += std::to_string(T->getExtractLo());
+    break;
+  default:
+    break;
+  }
+  Out += '(';
+  for (unsigned I = 0, E = T->getNumOperands(); I != E; ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(Ids.at(T->getOperand(I)));
+  }
+  Out += ");";
+}
+
+} // namespace
+
+std::string smt::canonicalQueryKey(TermRef Root) {
+  // Iterative post-order over the DAG: every node is serialized once, after
+  // its operands, and referenced afterwards by its dense visit id. Explicit
+  // stack — verifier queries can be very deep ite-chains.
+  std::string Out;
+  std::unordered_map<TermRef, unsigned> Ids;
+  std::vector<std::pair<TermRef, unsigned>> Stack;
+  Stack.push_back({Root, 0});
+  while (!Stack.empty()) {
+    auto &[T, NextOp] = Stack.back();
+    if (Ids.count(T)) {
+      Stack.pop_back();
+      continue;
+    }
+    if (NextOp < T->getNumOperands()) {
+      TermRef Child = T->getOperand(NextOp++);
+      if (!Ids.count(Child))
+        Stack.push_back({Child, 0});
+      continue;
+    }
+    Ids.emplace(T, static_cast<unsigned>(Ids.size()));
+    appendNode(Out, T, Ids);
+    Stack.pop_back();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// QueryCache
+//===----------------------------------------------------------------------===//
+
+std::string QueryCacheStats::str() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "hits=%llu misses=%llu evictions=%llu entries=%llu "
+                "hit-rate=%.1f%%",
+                static_cast<unsigned long long>(Hits),
+                static_cast<unsigned long long>(Misses),
+                static_cast<unsigned long long>(Evictions),
+                static_cast<unsigned long long>(Entries), hitRate() * 100.0);
+  return Buf;
+}
+
+struct QueryCache::Shard {
+  std::mutex M;
+  /// LRU order, most recent at the front; map values point into it.
+  std::list<std::string> Recency;
+  struct Slot {
+    Entry E;
+    std::list<std::string>::iterator It;
+  };
+  std::unordered_map<std::string, Slot> Map;
+};
+
+QueryCache::QueryCache(size_t MaxEntries, unsigned ShardCount) {
+  ShardCount = ShardCount ? ShardCount : 1;
+  PerShardCap = MaxEntries / ShardCount;
+  if (!PerShardCap)
+    PerShardCap = 1;
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I != ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+QueryCache::~QueryCache() = default;
+
+QueryCache::Shard &QueryCache::shardFor(const std::string &Key) {
+  return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
+}
+
+bool QueryCache::lookup(const std::string &Key, Entry &Out) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  S.Recency.splice(S.Recency.begin(), S.Recency, It->second.It);
+  Out = It->second.E;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryCache::insert(const std::string &Key, Entry E) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    // Raced with another worker solving the same query; keep the first
+    // answer (both are correct for the same formula).
+    S.Recency.splice(S.Recency.begin(), S.Recency, It->second.It);
+    return;
+  }
+  while (S.Map.size() >= PerShardCap && !S.Recency.empty()) {
+    S.Map.erase(S.Recency.back());
+    S.Recency.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  S.Recency.push_front(Key);
+  S.Map.emplace(Key, Shard::Slot{std::move(E), S.Recency.begin()});
+}
+
+QueryCacheStats QueryCache::stats() const {
+  QueryCacheStats R;
+  R.Hits = Hits.load(std::memory_order_relaxed);
+  R.Misses = Misses.load(std::memory_order_relaxed);
+  R.Evictions = Evictions.load(std::memory_order_relaxed);
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> L(S->M);
+    R.Entries += S->Map.size();
+  }
+  return R;
+}
+
+void QueryCache::clear() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> L(S->M);
+    S->Map.clear();
+    S->Recency.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CachingSolver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class CachingSolver final : public Solver {
+public:
+  CachingSolver(std::unique_ptr<Solver> Inner,
+                std::shared_ptr<QueryCache> Cache)
+      : Inner(std::move(Inner)), Cache(std::move(Cache)) {}
+
+  CheckResult checkImpl(TermRef Assertion) override {
+    std::string Key = canonicalQueryKey(Assertion);
+    QueryCache::Entry E;
+    if (Cache->lookup(Key, E)) {
+      CheckResult R;
+      if (!E.IsSat) {
+        R.Status = CheckStatus::Unsat;
+        return R;
+      }
+      R.Status = CheckStatus::Sat;
+      // Rebind the stored model by name onto this query's free variables.
+      // The canonical key matched exactly, so the free-variable names and
+      // sorts are identical to the run that populated the entry.
+      std::unordered_map<std::string, const QueryCache::ModelBinding *> ByName;
+      for (const QueryCache::ModelBinding &B : E.Model)
+        ByName.emplace(B.Name, &B);
+      for (TermRef V : collectFreeVars(Assertion)) {
+        auto It = ByName.find(V->getName());
+        if (It == ByName.end())
+          continue; // unconstrained in the original model too
+        if (It->second->IsBool)
+          R.M.setBool(V, It->second->BoolVal);
+        else
+          R.M.setBV(V, It->second->BVVal);
+      }
+      return R;
+    }
+
+    SolverStats Before = Inner->stats();
+    CheckResult R = Inner->check(Assertion);
+    // Surface the decorator-invisible counters (this decorator's own
+    // query/answer counts are maintained by Solver::check).
+    const SolverStats &After = Inner->stats();
+    Stats.Escalations += After.Escalations - Before.Escalations;
+    Stats.FragmentFallbacks += After.FragmentFallbacks - Before.FragmentFallbacks;
+    Stats.FaultsInjected += After.FaultsInjected - Before.FaultsInjected;
+
+    if (R.isUnknown())
+      return R; // never memoize a give-up; a retry may have more budget
+
+    QueryCache::Entry NE;
+    NE.IsSat = R.isSat();
+    if (R.isSat()) {
+      for (TermRef V : collectFreeVars(Assertion)) {
+        QueryCache::ModelBinding B;
+        B.Name = V->getName();
+        if (V->getSort().isBool()) {
+          auto BV = R.M.getBool(V);
+          if (!BV)
+            continue;
+          B.IsBool = true;
+          B.BoolVal = *BV;
+        } else if (V->getSort().isBitVec()) {
+          auto BV = R.M.getBV(V);
+          if (!BV)
+            continue;
+          B.BVVal = *BV;
+        } else {
+          continue; // array-sorted inputs carry no scalar model value
+        }
+        NE.Model.push_back(std::move(B));
+      }
+    }
+    Cache->insert(Key, std::move(NE));
+    return R;
+  }
+
+  std::string name() const override { return "cached(" + Inner->name() + ")"; }
+
+private:
+  std::unique_ptr<Solver> Inner;
+  std::shared_ptr<QueryCache> Cache;
+};
+
+} // namespace
+
+std::unique_ptr<Solver>
+smt::createCachingSolver(std::unique_ptr<Solver> Inner,
+                         std::shared_ptr<QueryCache> Cache) {
+  return std::make_unique<CachingSolver>(std::move(Inner), std::move(Cache));
+}

@@ -1,0 +1,115 @@
+//===- smt/QueryCache.h - memoizing solver verdict cache --------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, size-bounded memoization cache for solver verdicts. The
+/// verification workload is highly repetitive — every transformation is
+/// checked once per feasible type assignment and four times per assignment
+/// (Sections 3.1.2/3.3.2), and the corpus of Section 6 multiplies that into
+/// thousands of near-duplicate queries — so identical query DAGs recur both
+/// within one transformation (shared sub-conditions across widths) and
+/// across transformations (common idioms like overflow checks).
+///
+/// Keys are a canonical structural serialization of the query DAG computed
+/// context-locally (node kinds, sorts, payloads, and operand references by
+/// DAG id), so a hit transfers across TermContexts, across worker threads,
+/// and across transformations. Matching is exact — the full serialization
+/// is compared, never just a hash — so a hit can never alias two distinct
+/// formulas. Sat models are stored by variable *name* and rebound onto the
+/// requesting context's free variables, which works because name-identical
+/// serializations imply name-identical free variables.
+///
+/// Only definitive answers (Sat/Unsat) are memoized; Unknowns are retried.
+/// All methods are thread-safe; contention is spread over the shards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_QUERYCACHE_H
+#define ALIVE_SMT_QUERYCACHE_H
+
+#include "smt/Solver.h"
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+namespace smt {
+
+/// Canonical structural serialization of \p T: a context-independent key
+/// that is equal exactly when two DAGs are structurally identical
+/// (including variable names and sorts).
+std::string canonicalQueryKey(TermRef T);
+
+/// Cache-wide counters. Snapshot; taken under the shard locks.
+struct QueryCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Entries = 0; ///< currently resident
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
+  }
+  /// "hits=12 misses=30 evictions=0 entries=30 hit-rate=28.6%"
+  std::string str() const;
+};
+
+class QueryCache {
+public:
+  /// \p MaxEntries bounds the total resident entries (split evenly over
+  /// \p ShardCount shards, each evicting least-recently-used first).
+  explicit QueryCache(size_t MaxEntries = 1 << 16, unsigned ShardCount = 16);
+  ~QueryCache();
+
+  QueryCache(const QueryCache &) = delete;
+  QueryCache &operator=(const QueryCache &) = delete;
+
+  /// One model binding, stored context-independently by variable name.
+  struct ModelBinding {
+    std::string Name;
+    bool IsBool = false;
+    bool BoolVal = false;
+    APInt BVVal;
+  };
+  struct Entry {
+    bool IsSat = false;
+    std::vector<ModelBinding> Model; ///< meaningful only when IsSat
+  };
+
+  /// True on hit; fills \p Out and refreshes recency.
+  bool lookup(const std::string &Key, Entry &Out);
+  void insert(const std::string &Key, Entry E);
+
+  QueryCacheStats stats() const;
+  void clear();
+
+private:
+  struct Shard;
+  Shard &shardFor(const std::string &Key);
+
+  size_t PerShardCap;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+};
+
+/// Decorator: memoizes the inner solver's Sat/Unsat verdicts (and models)
+/// in \p Cache. The decorator's own SolverStats count every check() and its
+/// answer — hit or miss — so query accounting stays deterministic across
+/// serial and parallel runs; hit/miss/eviction counts live in the cache's
+/// own stats. Escalation counters of the inner solver are folded into the
+/// decorator's stats on misses.
+std::unique_ptr<Solver> createCachingSolver(std::unique_ptr<Solver> Inner,
+                                            std::shared_ptr<QueryCache> Cache);
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_QUERYCACHE_H

@@ -1,0 +1,99 @@
+//===- support/ThreadPool.cpp - fixed-size worker pool --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace alive;
+using namespace alive::support;
+
+ThreadPool::ThreadPool(unsigned Threads, const smt::Cancellation *ExternalCancel)
+    : ExternalCancel(ExternalCancel) {
+  Threads = std::max(Threads, 1u);
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this](std::stop_token Tok) { workerLoop(Tok); });
+}
+
+ThreadPool::~ThreadPool() {
+  cancelPending();
+  for (auto &W : Workers)
+    W.request_stop();
+  // jthread joins on destruction; the stop-token-aware wait wakes workers.
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Queue.push_back(std::move(Job));
+  }
+  QueueCV.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(M);
+  IdleCV.wait(L, [&] { return Queue.empty() && Active == 0; });
+}
+
+void ThreadPool::cancelPending() {
+  std::lock_guard<std::mutex> L(M);
+  Queue.clear();
+  if (Active == 0)
+    IdleCV.notify_all();
+}
+
+void ThreadPool::workerLoop(std::stop_token Tok) {
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    QueueCV.wait(L, Tok, [&] { return !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Tok.stop_requested())
+        return;
+      continue; // spurious wakeup
+    }
+    if (ExternalCancel && ExternalCancel->isCancelled()) {
+      // Cooperative shutdown: drop everything that has not started.
+      Queue.clear();
+      if (Active == 0)
+        IdleCV.notify_all();
+      continue;
+    }
+    std::function<void()> Job = std::move(Queue.front());
+    Queue.pop_front();
+    ++Active;
+    L.unlock();
+    try {
+      Job();
+    } catch (...) {
+      // Jobs own their error reporting; a stray exception must not kill
+      // the worker or wedge wait().
+    }
+    L.lock();
+    --Active;
+    if (Queue.empty() && Active == 0)
+      IdleCV.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(unsigned Threads, size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<size_t>(Threads, N)));
+  for (size_t I = 0; I != N; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}

@@ -1,0 +1,85 @@
+//===- support/ThreadPool.h - fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, work-queue thread pool for the parallel verification
+/// engine. The paper's workload is embarrassingly parallel — one job per
+/// (transformation, type assignment, refinement condition) — so the pool is
+/// deliberately minimal: submit closures, wait for the queue to drain, and
+/// shut down cooperatively.
+///
+/// Cancellation integrates with the existing smt::Cancellation token: when
+/// the optional external token fires, workers stop dequeuing and drop the
+/// remaining queue (in-flight jobs finish; the token also reaches the
+/// solvers through ResourceLimits, interrupting long queries mid-flight).
+/// Jobs must not throw — escaped exceptions are swallowed so a faulting job
+/// cannot take down its worker or deadlock wait().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_THREADPOOL_H
+#define ALIVE_SUPPORT_THREADPOOL_H
+
+#include "smt/ResourceLimits.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alive {
+namespace support {
+
+class ThreadPool {
+public:
+  /// Starts \p Threads workers (clamped to at least 1). When
+  /// \p ExternalCancel is set and fires, queued jobs that have not started
+  /// are dropped; wait() still returns normally.
+  explicit ThreadPool(unsigned Threads,
+                      const smt::Cancellation *ExternalCancel = nullptr);
+  /// Drops pending jobs, requests stop, and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a job. Thread-safe.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished or been dropped.
+  void wait();
+
+  /// Drops jobs that have not started yet; in-flight jobs finish normally.
+  void cancelPending();
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned defaultConcurrency();
+
+  /// Convenience: runs Fn(0), ..., Fn(N-1) on up to \p Threads workers and
+  /// blocks until all are done. Threads <= 1 runs inline, in order.
+  static void parallelFor(unsigned Threads, size_t N,
+                          const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop(std::stop_token Tok);
+
+  const smt::Cancellation *ExternalCancel;
+  std::mutex M;
+  std::condition_variable_any QueueCV; ///< workers sleep here
+  std::condition_variable IdleCV;      ///< wait() sleeps here
+  std::deque<std::function<void()>> Queue;
+  size_t Active = 0; ///< jobs currently executing
+  std::vector<std::jthread> Workers;
+};
+
+} // namespace support
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_THREADPOOL_H

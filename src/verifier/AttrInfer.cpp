@@ -21,6 +21,7 @@
 #include "verifier/Verifier.h"
 
 #include "smt/Printer.h"
+#include "support/ThreadPool.h"
 
 #include <set>
 
@@ -48,6 +49,18 @@ using Cube = std::vector<CubeLit>;
 /// μ for one type assignment: a disjunction of cubes.
 using Mu = std::vector<Cube>;
 
+/// Indicator metadata captured while a per-assignment TermContext is alive
+/// (the AttrIndicator terms themselves die with each context). Identified
+/// by variable name, which is stable across re-encodings of the same
+/// transformation.
+struct IndicatorInfo {
+  std::string VarName;
+  bool InSource;
+  unsigned Flag;
+  std::string InstrName;
+  unsigned WrittenFlags;
+};
+
 TermRef buildCube(TermContext &Ctx, const Cube &C) {
   std::vector<TermRef> Lits;
   for (const CubeLit &L : C) {
@@ -66,6 +79,110 @@ TermRef buildPhi(TermContext &Ctx, const std::vector<Mu> &Phi) {
     Conj.push_back(Ctx.mkOr(Disj));
   }
   return Ctx.mkAnd(Conj);
+}
+
+/// Everything one type assignment's probe produced.
+struct AssignmentProbe {
+  Mu MuA;
+  std::vector<IndicatorInfo> Indicators;
+  unsigned Queries = 0;
+  bool EncodeOk = true;
+  std::string EncodeMessage;
+  UnknownReason Why = UnknownReason::None;
+  std::string UnknownMessage;
+
+  bool failed() const { return !EncodeOk || Why != UnknownReason::None; }
+};
+
+/// Figure 6's per-assignment model enumeration: finds every cube of
+/// indicator polarities under which the refinement conditions hold for
+/// \p Types. \p Seed, when given, conjoins the μs already learned from
+/// other assignments — a pruning that the serial path applies; parallel
+/// candidate probes pass null and enumerate independently, which yields the
+/// same final conjunction Φ (cubes a seed would have pruned are exactly the
+/// ones the cross-assignment conjunction eliminates anyway).
+AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
+                                const typing::TypeAssignment &Types,
+                                Solver &Solver, const std::vector<Mu> *Seed) {
+  AssignmentProbe P;
+  TermContext Ctx;
+  Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+  if (Status S = Enc.encode(/*InferAttrs=*/true); !S.ok()) {
+    P.EncodeOk = false;
+    P.EncodeMessage = S.message();
+    return P;
+  }
+  for (const AttrIndicator &AI : Enc.attrIndicators())
+    P.Indicators.push_back({AI.Var->getName(), AI.InSource, AI.Flag,
+                            AI.I->getName(), AI.I->getFlags()});
+
+  const ValueSem &Src = Enc.srcRootSem();
+  const ValueSem &Tgt = Enc.tgtRootSem();
+  TermRef Psi =
+      Ctx.mkAnd({Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
+  std::vector<TermRef> Conds{Ctx.mkImplies(Psi, Tgt.Defined),
+                             Ctx.mkImplies(Psi, Tgt.PoisonFree)};
+  if (Src.Val && Tgt.Val)
+    Conds.push_back(Ctx.mkImplies(Psi, Ctx.mkEq(Src.Val, Tgt.Val)));
+  if (Enc.hasMemory()) {
+    TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
+    Conds.push_back(Ctx.mkImplies(
+        Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree}),
+        Ctx.mkEq(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx))));
+  }
+  TermRef Body = Ctx.mkAnd(Conds);
+  if (!Enc.srcUndefs().empty())
+    Body = Ctx.mkExists(Enc.srcUndefs(), Body);
+
+  // Universally quantify everything except the attribute indicators
+  // (the source undefs are already bound by the inner ∃).
+  std::set<TermRef> AttrVarSet;
+  for (const AttrIndicator &AI : Enc.attrIndicators())
+    AttrVarSet.insert(AI.Var);
+  std::vector<TermRef> UVars;
+  for (TermRef V : collectFreeVars(Body))
+    if (!AttrVarSet.count(V))
+      UVars.push_back(V);
+  TermRef Quantified = Ctx.mkForall(UVars, Body);
+
+  // Enumerate the models of Φ ∧ c over the indicator variables.
+  TermRef F = Seed ? Ctx.mkAnd(buildPhi(Ctx, *Seed), Quantified) : Quantified;
+  for (;;) {
+    CheckResult CR = Solver.check(F);
+    ++P.Queries;
+    if (CR.isUnknown()) {
+      P.Why = CR.Why;
+      P.UnknownMessage = "solver gave up during attribute inference: " +
+                         CR.Reason + " [" + unknownReasonName(CR.Why) +
+                         "] (" + Solver.stats().str() + ")";
+      return P;
+    }
+    if (CR.isUnsat())
+      break;
+    // Build the cube b: source attributes that are ON, target attributes
+    // that are OFF (Figure 6).
+    Cube B;
+    for (const AttrIndicator &AI : Enc.attrIndicators()) {
+      bool V = CR.M.getBool(AI.Var).value_or(false);
+      if (AI.InSource && V)
+        B.push_back({AI.Var->getName(), true});
+      if (!AI.InSource && !V)
+        B.push_back({AI.Var->getName(), false});
+    }
+    P.MuA.push_back(B);
+    F = Ctx.mkAnd(F, Ctx.mkNot(buildCube(Ctx, B)));
+    // An empty cube covers every assignment: μ is already everything.
+    if (B.empty())
+      break;
+  }
+  return P;
+}
+
+std::unique_ptr<Solver> makeInferSolver(const VerifyConfig &Cfg) {
+  // Attribute inference needs the ∃F ∀I ∃U quantifier structure: Z3 only
+  // (unless a test factory supplies its own solver).
+  return Cfg.SolverFactory ? Cfg.SolverFactory()
+                           : createZ3Solver(effectiveLimits(Cfg).DeadlineMs);
 }
 
 } // namespace
@@ -110,101 +227,64 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     return R;
   }
 
-  // Attribute inference needs the ∃F ∀I ∃U quantifier structure: Z3 only
-  // (unless a test factory supplies its own solver).
-  auto Solver = Cfg.SolverFactory
-                    ? Cfg.SolverFactory()
-                    : createZ3Solver(effectiveLimits(Cfg).DeadlineMs);
-
+  const auto &TypeSets = Assignments.get();
   std::vector<Mu> Phi;
-  // Indicator metadata captured while the per-assignment TermContext is
-  // alive (the AttrIndicator terms themselves die with each context).
-  struct IndicatorInfo {
-    std::string VarName;
-    bool InSource;
-    unsigned Flag;
-    std::string InstrName;
-    unsigned WrittenFlags;
-  };
   std::vector<IndicatorInfo> IndicatorSet;
 
-  for (const auto &Types : Assignments.get()) {
-    TermContext Ctx;
-    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
-    if (Status S = Enc.encode(/*InferAttrs=*/true); !S.ok()) {
-      R.Message = S.message();
-      return R;
-    }
-    IndicatorSet.clear();
-    for (const AttrIndicator &AI : Enc.attrIndicators())
-      IndicatorSet.push_back({AI.Var->getName(), AI.InSource, AI.Flag,
-                              AI.I->getName(), AI.I->getFlags()});
-
-    const ValueSem &Src = Enc.srcRootSem();
-    const ValueSem &Tgt = Enc.tgtRootSem();
-    TermRef Psi = Ctx.mkAnd(
-        {Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
-    std::vector<TermRef> Conds{Ctx.mkImplies(Psi, Tgt.Defined),
-                               Ctx.mkImplies(Psi, Tgt.PoisonFree)};
-    if (Src.Val && Tgt.Val)
-      Conds.push_back(Ctx.mkImplies(Psi, Ctx.mkEq(Src.Val, Tgt.Val)));
-    if (Enc.hasMemory()) {
-      TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
-      Conds.push_back(Ctx.mkImplies(
-          Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree}),
-          Ctx.mkEq(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx))));
-    }
-    TermRef Body = Ctx.mkAnd(Conds);
-    if (!Enc.srcUndefs().empty())
-      Body = Ctx.mkExists(Enc.srcUndefs(), Body);
-
-    // Universally quantify everything except the attribute indicators
-    // (the source undefs are already bound by the inner ∃).
-    std::set<TermRef> AttrVarSet;
-    for (const AttrIndicator &AI : Enc.attrIndicators())
-      AttrVarSet.insert(AI.Var);
-    std::vector<TermRef> UVars;
-    for (TermRef V : collectFreeVars(Body))
-      if (!AttrVarSet.count(V))
-        UVars.push_back(V);
-    TermRef Quantified = Ctx.mkForall(UVars, Body);
-
-    // Enumerate the models of Φ ∧ c over the indicator variables.
-    Mu MuA;
-    TermRef F = Ctx.mkAnd(buildPhi(Ctx, Phi), Quantified);
-    for (;;) {
-      CheckResult CR = Solver->check(F);
-      ++R.NumQueries;
-      if (CR.isUnknown()) {
-        R.WhyUnknown = CR.Why;
-        R.Message = "solver gave up during attribute inference: " +
-                    CR.Reason + " [" + unknownReasonName(CR.Why) + "] (" +
-                    Solver->stats().str() + ")";
+  unsigned Jobs =
+      Cfg.Jobs ? Cfg.Jobs : support::ThreadPool::defaultConcurrency();
+  if (Jobs > 1 && TypeSets.size() > 1) {
+    // Parallel candidate probes: each assignment's cube enumeration is
+    // independent when unseeded, so fan them out one per job with a
+    // worker-private solver, then fold in canonical order. The final Φ —
+    // and hence the inferred flags — match the serial path; only the
+    // pruning (and so NumQueries) differs.
+    std::vector<AssignmentProbe> Probes(TypeSets.size());
+    support::ThreadPool::parallelFor(
+        Jobs, TypeSets.size(), [&](size_t I) {
+          auto Solver = makeInferSolver(Cfg);
+          Probes[I] =
+              probeAssignment(T, Cfg, TypeSets[I], *Solver, /*Seed=*/nullptr);
+        });
+    for (AssignmentProbe &P : Probes) {
+      R.NumQueries += P.Queries;
+      if (!P.EncodeOk) {
+        R.Message = P.EncodeMessage;
         return R;
       }
-      if (CR.isUnsat())
-        break;
-      // Build the cube b: source attributes that are ON, target
-      // attributes that are OFF (Figure 6).
-      Cube B;
-      for (const AttrIndicator &AI : Enc.attrIndicators()) {
-        bool V = CR.M.getBool(AI.Var).value_or(false);
-        if (AI.InSource && V)
-          B.push_back({AI.Var->getName(), true});
-        if (!AI.InSource && !V)
-          B.push_back({AI.Var->getName(), false});
+      if (P.Why != UnknownReason::None) {
+        R.WhyUnknown = P.Why;
+        R.Message = P.UnknownMessage;
+        return R;
       }
-      MuA.push_back(B);
-      F = Ctx.mkAnd(F, Ctx.mkNot(buildCube(Ctx, B)));
-      // An empty cube covers every assignment: μ is already everything.
-      if (B.empty())
-        break;
+      if (P.MuA.empty()) {
+        R.Message = "no attribute assignment makes the transformation correct";
+        return R;
+      }
+      Phi.push_back(std::move(P.MuA));
     }
-    if (MuA.empty()) {
-      R.Message = "no attribute assignment makes the transformation correct";
-      return R;
+    IndicatorSet = std::move(Probes.back().Indicators);
+  } else {
+    auto Solver = makeInferSolver(Cfg);
+    for (const auto &Types : TypeSets) {
+      AssignmentProbe P = probeAssignment(T, Cfg, Types, *Solver, &Phi);
+      R.NumQueries += P.Queries;
+      if (!P.EncodeOk) {
+        R.Message = P.EncodeMessage;
+        return R;
+      }
+      if (P.Why != UnknownReason::None) {
+        R.WhyUnknown = P.Why;
+        R.Message = P.UnknownMessage;
+        return R;
+      }
+      if (P.MuA.empty()) {
+        R.Message = "no attribute assignment makes the transformation correct";
+        return R;
+      }
+      IndicatorSet = std::move(P.Indicators);
+      Phi.push_back(std::move(P.MuA));
     }
-    Phi.push_back(std::move(MuA));
   }
 
   // Optimal assignment relative to the written attributes (Section 6.3):

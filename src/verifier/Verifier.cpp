@@ -3,12 +3,28 @@
 // Part of the alive-cpp project.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Refinement checking, serial and parallel. The workload decomposes into
+/// independent jobs at (type assignment × refinement condition) granularity:
+/// every job owns a private TermContext (the hash-consed DAG is
+/// per-context, so workers share no mutable term state) and a private
+/// solver, and deposits its outcome in a pre-sized slot. The verdict is
+/// folded out of the slots in canonical (serial) order, so verdicts,
+/// counterexamples, query counts and reported stats are bit-identical to
+/// the serial path. A definitive failure cancels sibling jobs that come
+/// *later* in canonical order — earlier jobs always finish, which is what
+/// keeps the fold deterministic.
+///
+//===----------------------------------------------------------------------===//
 
 #include "verifier/Verifier.h"
 
 #include "smt/Printer.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace alive;
 using namespace alive::ir;
@@ -84,6 +100,276 @@ std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
 } // namespace verifier
 } // namespace alive
 
+namespace {
+
+/// Cache-wrapped solver for verification queries.
+std::unique_ptr<Solver> makeVerifySolver(const VerifyConfig &Cfg) {
+  std::unique_ptr<Solver> S = makeSolver(Cfg);
+  if (Cfg.Cache)
+    S = createCachingSolver(std::move(S), Cfg.Cache);
+  return S;
+}
+
+struct Check {
+  FailureKind Kind;
+  TermRef Negated; ///< ψ ∧ ¬X — satisfiable means broken
+};
+
+/// The refinement conditions of Sections 3.1.2/3.3.2 for one encoded
+/// assignment, in their canonical order. Note: building the memory check
+/// issues final-byte reads, which may extend the Ackermann axiom set —
+/// gather Enc.memoryAxioms() only after this returns.
+std::vector<Check> buildChecks(TermContext &Ctx, Encoder &Enc,
+                               const Transform &T) {
+  const ValueSem &Src = Enc.srcRootSem();
+  const ValueSem &Tgt = Enc.tgtRootSem();
+  TermRef Psi =
+      Ctx.mkAnd({Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
+
+  std::vector<Check> Checks;
+  // Condition 1: ψ ⇒ δ̄.
+  Checks.push_back(
+      {FailureKind::TargetUndefined, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.Defined))});
+  // Condition 2: ψ ⇒ ρ̄.
+  Checks.push_back(
+      {FailureKind::TargetPoison, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.PoisonFree))});
+  // Condition 3: ψ ⇒ ι = ι̅ (roots with a value; a store/unreachable
+  // root has none and is covered by conditions 1 and 4).
+  if (Src.Val && Tgt.Val &&
+      T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
+    Checks.push_back({FailureKind::ValueMismatch,
+                      Ctx.mkAnd(Psi, Ctx.mkNe(Src.Val, Tgt.Val))});
+  // Condition 4: equal final memories at every index.
+  if (Enc.hasMemory()) {
+    TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
+    TermRef Diff = Ctx.mkNe(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx));
+    Checks.push_back(
+        {FailureKind::MemoryMismatch,
+         Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree,
+                    Diff})});
+  }
+  return Checks;
+}
+
+/// Conjoins the memory consistency axioms and universally quantifies the
+/// source-side undef variables (existential in the original condition,
+/// hence universal in its negation).
+TermRef finalizeQuery(TermContext &Ctx, Encoder &Enc, TermRef MemAxioms,
+                      TermRef Negated) {
+  TermRef Query = Ctx.mkAnd(MemAxioms, Negated);
+  if (!Enc.srcUndefs().empty())
+    Query = Ctx.mkForall(Enc.srcUndefs(), Query);
+  return Query;
+}
+
+std::string unknownMessage(FailureKind Kind, const std::string &Reason,
+                           UnknownReason Why, const SolverStats &Stats) {
+  return "solver gave up on " + std::string(failureKindName(Kind)) + ": " +
+         Reason + " [" + unknownReasonName(Why) + "] (" + Stats.str() + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Serial path
+//===----------------------------------------------------------------------===//
+
+VerifyResult
+verifySerial(const Transform &T, const VerifyConfig &Cfg,
+             const std::vector<typing::TypeAssignment> &Assignments) {
+  VerifyResult R;
+  auto Solver = makeVerifySolver(Cfg);
+
+  for (const auto &Types : Assignments) {
+    ++R.NumTypeAssignments;
+    TermContext Ctx;
+    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+    if (Status S = Enc.encode(); !S.ok()) {
+      R.V = Verdict::EncodeError;
+      R.Message = S.message();
+      return R;
+    }
+
+    std::vector<Check> Checks = buildChecks(Ctx, Enc, T);
+
+    // Ackermann consistency of the eager memory encoding. The final-byte
+    // reads above may add axioms, so gather them last.
+    TermRef MemAxioms = Enc.memoryAxioms();
+
+    for (const Check &C : Checks) {
+      TermRef Query = finalizeQuery(Ctx, Enc, MemAxioms, C.Negated);
+      CheckResult CR = Solver->check(Query);
+      ++R.NumQueries;
+      if (CR.isUnknown()) {
+        R.V = Verdict::Unknown;
+        R.WhyUnknown = CR.Why;
+        R.Stats = Solver->stats();
+        R.Message = unknownMessage(C.Kind, CR.Reason, CR.Why, R.Stats);
+        return R;
+      }
+      if (CR.isSat()) {
+        R.V = Verdict::Incorrect;
+        R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
+                                    Cfg.Encoding.PtrWidth);
+        R.Stats = Solver->stats();
+        return R;
+      }
+    }
+  }
+
+  R.V = Verdict::Correct;
+  R.Stats = Solver->stats();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel path
+//===----------------------------------------------------------------------===//
+
+/// An assignment has at most four refinement conditions; condition indexes
+/// beyond an encoding's actual check count are no-op jobs.
+constexpr size_t MaxChecksPerAssignment = 4;
+
+struct JobSlot {
+  enum class State : uint8_t {
+    Skipped, ///< never ran (after a decisive failure, or cancelled)
+    Unsat,   ///< condition holds
+    Sat,     ///< counterexample found
+    Unknown,
+    EncodeErr,
+    NotApplicable, ///< condition index beyond this encoding's checks
+  };
+  State St = State::Skipped;
+  FailureKind Kind{};
+  std::optional<CounterExample> CEX;
+  UnknownReason Why = UnknownReason::None;
+  std::string Reason; ///< Unknown reason text, or the encode error
+  SolverStats Stats;  ///< this job's solver accounting
+  unsigned Queries = 0;
+};
+
+/// Lowers \p First to \p Idx if it is smaller (atomic min).
+void markDecisive(std::atomic<size_t> &First, size_t Idx) {
+  size_t Cur = First.load(std::memory_order_acquire);
+  while (Idx < Cur &&
+         !First.compare_exchange_weak(Cur, Idx, std::memory_order_acq_rel))
+    ;
+}
+
+VerifyResult
+verifyParallel(const Transform &T, const VerifyConfig &Cfg, unsigned Jobs,
+               const std::vector<typing::TypeAssignment> &Assignments) {
+  const size_t NumSlots = Assignments.size() * MaxChecksPerAssignment;
+  std::vector<JobSlot> Slots(NumSlots);
+  // The smallest job index with a definitive failure (Sat / Unknown /
+  // encode error). Jobs later in canonical order than this are skipped —
+  // the serial path would never have reached them. Jobs *earlier* always
+  // run, so the eventual minimum is exactly the serial stopping point.
+  std::atomic<size_t> FirstDecisive{NumSlots};
+
+  support::ThreadPool Pool(Jobs, Cfg.Limits.Cancel);
+  for (size_t Idx = 0; Idx != NumSlots; ++Idx) {
+    Pool.submit([&, Idx] {
+      JobSlot &Slot = Slots[Idx];
+      if (Idx > FirstDecisive.load(std::memory_order_acquire))
+        return; // stays Skipped
+      const auto &Types = Assignments[Idx / MaxChecksPerAssignment];
+      const size_t CheckIdx = Idx % MaxChecksPerAssignment;
+
+      TermContext Ctx; // worker-private: terms never cross threads
+      Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+      if (Status S = Enc.encode(); !S.ok()) {
+        Slot.Reason = S.message();
+        Slot.St = JobSlot::State::EncodeErr;
+        markDecisive(FirstDecisive, Idx);
+        return;
+      }
+      std::vector<Check> Checks = buildChecks(Ctx, Enc, T);
+      if (CheckIdx >= Checks.size()) {
+        Slot.St = JobSlot::State::NotApplicable;
+        return;
+      }
+      TermRef MemAxioms = Enc.memoryAxioms();
+      TermRef Query =
+          finalizeQuery(Ctx, Enc, MemAxioms, Checks[CheckIdx].Negated);
+
+      auto Solver = makeVerifySolver(Cfg);
+      CheckResult CR = Solver->check(Query);
+      Slot.Queries = 1;
+      Slot.Stats = Solver->stats();
+      Slot.Kind = Checks[CheckIdx].Kind;
+      if (CR.isUnknown()) {
+        Slot.Why = CR.Why;
+        Slot.Reason = CR.Reason;
+        Slot.St = JobSlot::State::Unknown;
+        markDecisive(FirstDecisive, Idx);
+      } else if (CR.isSat()) {
+        Slot.CEX = buildCounterExample(Checks[CheckIdx].Kind, Enc, CR.M, T,
+                                       Types, Cfg.Encoding.PtrWidth);
+        Slot.St = JobSlot::State::Sat;
+        markDecisive(FirstDecisive, Idx);
+      } else {
+        Slot.St = JobSlot::State::Unsat;
+      }
+    });
+  }
+  Pool.wait();
+
+  // Fold the slots in canonical order; the first definitive failure
+  // reproduces the serial early-return, including which stats it had
+  // accumulated by that point.
+  VerifyResult R;
+  SolverStats Acc;
+  for (size_t Idx = 0; Idx != NumSlots; ++Idx) {
+    JobSlot &Slot = Slots[Idx];
+    const size_t AI = Idx / MaxChecksPerAssignment;
+    switch (Slot.St) {
+    case JobSlot::State::NotApplicable:
+      continue;
+    case JobSlot::State::Unsat:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      continue;
+    case JobSlot::State::EncodeErr:
+      R.V = Verdict::EncodeError;
+      R.Message = Slot.Reason;
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Unknown:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      R.V = Verdict::Unknown;
+      R.WhyUnknown = Slot.Why;
+      R.Stats = Acc;
+      R.Message = unknownMessage(Slot.Kind, Slot.Reason, Slot.Why, R.Stats);
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Sat:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      R.V = Verdict::Incorrect;
+      R.CEX = std::move(Slot.CEX);
+      R.Stats = Acc;
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Skipped:
+      // No decisive slot precedes it (we would have returned), so the
+      // pool dropped it: external cancellation.
+      R.V = Verdict::Unknown;
+      R.WhyUnknown = UnknownReason::Cancelled;
+      R.Stats = Acc;
+      R.Message = "verification cancelled [cancelled] (" + Acc.str() + ")";
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    }
+  }
+
+  R.V = Verdict::Correct;
+  R.Stats = Acc;
+  R.NumTypeAssignments = static_cast<unsigned>(Assignments.size());
+  return R;
+}
+
+} // namespace
+
 VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
   VerifyResult R;
 
@@ -102,84 +388,9 @@ VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
     return R;
   }
 
-  auto Solver = makeSolver(Cfg);
-
-  for (const auto &Types : Assignments.get()) {
-    ++R.NumTypeAssignments;
-    TermContext Ctx;
-    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
-    if (Status S = Enc.encode(); !S.ok()) {
-      R.V = Verdict::EncodeError;
-      R.Message = S.message();
-      return R;
-    }
-
-    const ValueSem &Src = Enc.srcRootSem();
-    const ValueSem &Tgt = Enc.tgtRootSem();
-    TermRef Psi = Ctx.mkAnd(
-        {Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
-
-    struct Check {
-      FailureKind Kind;
-      TermRef Negated; ///< ψ ∧ ¬X — satisfiable means broken
-    };
-    std::vector<Check> Checks;
-    // Condition 1: ψ ⇒ δ̄.
-    Checks.push_back(
-        {FailureKind::TargetUndefined, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.Defined))});
-    // Condition 2: ψ ⇒ ρ̄.
-    Checks.push_back(
-        {FailureKind::TargetPoison, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.PoisonFree))});
-    // Condition 3: ψ ⇒ ι = ι̅ (roots with a value; a store/unreachable
-    // root has none and is covered by conditions 1 and 4).
-    if (Src.Val && Tgt.Val &&
-        T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
-      Checks.push_back({FailureKind::ValueMismatch,
-                        Ctx.mkAnd(Psi, Ctx.mkNe(Src.Val, Tgt.Val))});
-    // Condition 4: equal final memories at every index.
-    if (Enc.hasMemory()) {
-      TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
-      TermRef Diff =
-          Ctx.mkNe(Enc.srcFinalByte(Idx), Enc.tgtFinalByte(Idx));
-      Checks.push_back(
-          {FailureKind::MemoryMismatch,
-           Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree,
-                      Diff})});
-    }
-
-    // Ackermann consistency of the eager memory encoding. The final-byte
-    // reads above may add axioms, so gather them last.
-    TermRef MemAxioms = Enc.memoryAxioms();
-
-    for (const Check &C : Checks) {
-      // Source-side undef values are existential in the original
-      // condition, hence universally quantified in its negation.
-      TermRef Query = Ctx.mkAnd(MemAxioms, C.Negated);
-      if (!Enc.srcUndefs().empty())
-        Query = Ctx.mkForall(Enc.srcUndefs(), Query);
-      CheckResult CR = Solver->check(Query);
-      ++R.NumQueries;
-      if (CR.isUnknown()) {
-        R.V = Verdict::Unknown;
-        R.WhyUnknown = CR.Why;
-        R.Stats = Solver->stats();
-        R.Message = "solver gave up on " +
-                    std::string(failureKindName(C.Kind)) + ": " + CR.Reason +
-                    " [" + unknownReasonName(CR.Why) + "] (" +
-                    R.Stats.str() + ")";
-        return R;
-      }
-      if (CR.isSat()) {
-        R.V = Verdict::Incorrect;
-        R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
-                                    Cfg.Encoding.PtrWidth);
-        R.Stats = Solver->stats();
-        return R;
-      }
-    }
-  }
-
-  R.V = Verdict::Correct;
-  R.Stats = Solver->stats();
-  return R;
+  unsigned Jobs =
+      Cfg.Jobs ? Cfg.Jobs : support::ThreadPool::defaultConcurrency();
+  if (Jobs > 1)
+    return verifyParallel(T, Cfg, Jobs, Assignments.get());
+  return verifySerial(T, Cfg, Assignments.get());
 }

@@ -17,10 +17,12 @@
 #define ALIVE_VERIFIER_VERIFIER_H
 
 #include "semantics/VCGen.h"
+#include "smt/QueryCache.h"
 #include "smt/Solver.h"
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -47,6 +49,16 @@ struct VerifyConfig {
   /// verifier timeout.
   smt::ResourceLimits Limits;
   bool UseZ3TypeEnum = false; ///< paper-style SMT type enumeration
+  /// Worker threads for the (type assignment × refinement condition) job
+  /// fan-out. 1 runs the exact serial path; 0 means hardware concurrency.
+  /// Verdicts, counterexamples and query counts are identical either way:
+  /// results land in canonically ordered slots and the first failure in
+  /// serial order decides, regardless of completion order.
+  unsigned Jobs = 1;
+  /// Optional shared verdict cache. When set, every solver (serial or
+  /// parallel, across transforms sharing the cache) memoizes Sat/Unsat
+  /// answers keyed by the canonical structure of the query DAG.
+  std::shared_ptr<smt::QueryCache> Cache;
   /// Test hook: when set, the verifier and attribute inference obtain
   /// their solvers from this factory instead of Backend — used to wrap
   /// backends in fault injectors and prove Unknown-path soundness.

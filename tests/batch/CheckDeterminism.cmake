@@ -1,0 +1,36 @@
+# Asserts that alivec's report is bit-for-bit reproducible and independent
+# of the worker count: the corpus is run three times each with --jobs=1 and
+# --jobs=8, and every run must produce the same exit code and the same
+# output (verdict lines, counterexample bindings, summary tallies) after
+# masking the wall-clock field of the batch summary.
+#
+#   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" -P CheckDeterminism.cmake
+
+set(Baseline "")
+set(BaselineCode "")
+foreach(Jobs 1 8)
+  foreach(Run RANGE 1 3)
+    execute_process(COMMAND ${ALIVEC} ${ARGS} --jobs=${Jobs}
+                    RESULT_VARIABLE Code
+                    OUTPUT_VARIABLE Out
+                    ERROR_VARIABLE Err)
+    # The elapsed-time field is the one legitimate nondeterminism.
+    string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+    if(Baseline STREQUAL "" AND BaselineCode STREQUAL "")
+      set(Baseline "${Out}")
+      set(BaselineCode "${Code}")
+      message(STATUS "baseline (jobs=1): exit ${Code}\n${Out}")
+    else()
+      if(NOT Code STREQUAL BaselineCode)
+        message(FATAL_ERROR "--jobs=${Jobs} run ${Run}: exit code ${Code} "
+                            "!= baseline ${BaselineCode}")
+      endif()
+      if(NOT Out STREQUAL Baseline)
+        message(FATAL_ERROR "--jobs=${Jobs} run ${Run}: output differs from "
+                            "the jobs=1 baseline\n"
+                            "---- got ----\n${Out}\n"
+                            "---- expected ----\n${Baseline}")
+      endif()
+    endif()
+  endforeach()
+endforeach()

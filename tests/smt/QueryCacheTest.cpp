@@ -1,0 +1,206 @@
+//===- tests/smt/QueryCacheTest.cpp - verdict cache tests -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memoizing query cache: canonical-key equality across TermContexts,
+/// key sensitivity to every structural difference, LRU eviction accounting,
+/// the CachingSolver decorator (hit/miss counting, model rebinding,
+/// Unknown-never-cached), and a multi-threaded hammer for the tsan preset.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/QueryCache.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+TermRef buildQuery(TermContext &Ctx, unsigned Width, const char *VarName,
+                   uint64_t K) {
+  TermRef X = Ctx.mkVar(VarName, Sort::bv(Width));
+  // (x + K) == 2*K, satisfied by x == K.
+  return Ctx.mkEq(Ctx.mkBVAdd(X, Ctx.mkBV(Width, K)),
+                  Ctx.mkBV(Width, 2 * K));
+}
+
+TEST(QueryCacheKeyTest, IdenticalAcrossContexts) {
+  TermContext A, B;
+  EXPECT_EQ(canonicalQueryKey(buildQuery(A, 8, "x", 5)),
+            canonicalQueryKey(buildQuery(B, 8, "x", 5)));
+}
+
+TEST(QueryCacheKeyTest, SensitiveToStructure) {
+  TermContext Ctx;
+  std::string Base = canonicalQueryKey(buildQuery(Ctx, 8, "x", 5));
+  // Different width, variable name, and constant each change the key.
+  EXPECT_NE(Base, canonicalQueryKey(buildQuery(Ctx, 16, "x", 5)));
+  EXPECT_NE(Base, canonicalQueryKey(buildQuery(Ctx, 8, "y", 5)));
+  EXPECT_NE(Base, canonicalQueryKey(buildQuery(Ctx, 8, "x", 6)));
+}
+
+TEST(QueryCacheKeyTest, OperandOrderMatters) {
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  TermRef Y = Ctx.mkVar("y", Sort::bv(8));
+  EXPECT_NE(canonicalQueryKey(Ctx.mkBVSub(X, Y)),
+            canonicalQueryKey(Ctx.mkBVSub(Y, X)));
+}
+
+TEST(QueryCacheKeyTest, SharedSubtermsSerializeOnce) {
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("some_long_variable_name", Sort::bv(32));
+  TermRef Sum = Ctx.mkBVAdd(X, X);
+  TermRef Q = Ctx.mkEq(Ctx.mkBVMul(Sum, Sum), X);
+  std::string Key = canonicalQueryKey(Q);
+  // The DAG references shared nodes by id: the long name appears once.
+  size_t First = Key.find("some_long_variable_name");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Key.find("some_long_variable_name", First + 1),
+            std::string::npos);
+}
+
+TEST(QueryCacheTest, InsertLookupRoundTrip) {
+  QueryCache Cache;
+  QueryCache::Entry In;
+  In.IsSat = true;
+  In.Model.push_back({"x", false, false, APInt(8, 5)});
+  Cache.insert("k1", In);
+
+  QueryCache::Entry Out;
+  ASSERT_TRUE(Cache.lookup("k1", Out));
+  EXPECT_TRUE(Out.IsSat);
+  ASSERT_EQ(Out.Model.size(), 1u);
+  EXPECT_EQ(Out.Model[0].Name, "x");
+  EXPECT_EQ(Out.Model[0].BVVal.getZExtValue(), 5u);
+
+  EXPECT_FALSE(Cache.lookup("k2", Out));
+  QueryCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(QueryCacheTest, LRUEvictionCountsAndBounds) {
+  // One shard, capacity 4: inserting 10 distinct keys must evict 6,
+  // keeping the most recent 4.
+  QueryCache Cache(/*MaxEntries=*/4, /*ShardCount=*/1);
+  for (int I = 0; I != 10; ++I)
+    Cache.insert("key" + std::to_string(I), QueryCache::Entry{});
+  QueryCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 6u);
+  EXPECT_EQ(S.Entries, 4u);
+  QueryCache::Entry E;
+  EXPECT_FALSE(Cache.lookup("key0", E));
+  EXPECT_TRUE(Cache.lookup("key9", E));
+}
+
+TEST(QueryCacheTest, LookupRefreshesRecency) {
+  QueryCache Cache(/*MaxEntries=*/2, /*ShardCount=*/1);
+  Cache.insert("a", QueryCache::Entry{});
+  Cache.insert("b", QueryCache::Entry{});
+  QueryCache::Entry E;
+  ASSERT_TRUE(Cache.lookup("a", E)); // a is now most recent
+  Cache.insert("c", QueryCache::Entry{});
+  EXPECT_TRUE(Cache.lookup("a", E));
+  EXPECT_FALSE(Cache.lookup("b", E)); // b was the LRU victim
+}
+
+TEST(QueryCacheTest, ClearEmptiesEveryShard) {
+  QueryCache Cache;
+  for (int I = 0; I != 100; ++I)
+    Cache.insert("key" + std::to_string(I), QueryCache::Entry{});
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+TEST(CachingSolverTest, SecondIdenticalQueryHitsAndRebindsModel) {
+  auto Cache = std::make_shared<QueryCache>();
+
+  TermContext A;
+  auto S1 = createCachingSolver(createBitBlastSolver(), Cache);
+  TermRef QA = buildQuery(A, 8, "x", 5);
+  CheckResult R1 = S1->check(QA);
+  ASSERT_TRUE(R1.isSat());
+  EXPECT_EQ(R1.M.getBVOrZero(A.mkVar("x", Sort::bv(8))).getZExtValue(), 5u);
+  EXPECT_EQ(Cache->stats().Hits, 0u);
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+
+  // A fresh context and fresh solver: the identical formula must hit, and
+  // the stored model must rebind onto the new context's variables.
+  TermContext B;
+  auto S2 = createCachingSolver(createBitBlastSolver(), Cache);
+  TermRef QB = buildQuery(B, 8, "x", 5);
+  CheckResult R2 = S2->check(QB);
+  ASSERT_TRUE(R2.isSat());
+  EXPECT_EQ(R2.M.getBVOrZero(B.mkVar("x", Sort::bv(8))).getZExtValue(), 5u);
+  EXPECT_EQ(Cache->stats().Hits, 1u);
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+
+  // The decorator's own stats count both checks as answered queries.
+  EXPECT_EQ(S2->stats().Queries, 1u);
+  EXPECT_EQ(S2->stats().SatAnswers, 1u);
+}
+
+TEST(CachingSolverTest, UnsatVerdictsAreMemoized) {
+  auto Cache = std::make_shared<QueryCache>();
+  auto S = createCachingSolver(createBitBlastSolver(), Cache);
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  TermRef Q = Ctx.mkAnd(Ctx.mkBVUlt(X, Ctx.mkBV(8, 3)),
+                        Ctx.mkBVUlt(Ctx.mkBV(8, 7), X));
+  EXPECT_TRUE(S->check(Q).isUnsat());
+  EXPECT_TRUE(S->check(Q).isUnsat());
+  EXPECT_EQ(Cache->stats().Hits, 1u);
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+}
+
+TEST(CachingSolverTest, UnknownIsNeverCached) {
+  auto Cache = std::make_shared<QueryCache>();
+  FaultPlan Plan;
+  Plan.UnknownRate = 1.0; // every inner query gives up
+  auto S = createCachingSolver(
+      createFaultInjectingSolver(createBitBlastSolver(), Plan), Cache);
+  TermContext Ctx;
+  TermRef Q = buildQuery(Ctx, 8, "x", 5);
+  EXPECT_TRUE(S->check(Q).isUnknown());
+  EXPECT_TRUE(S->check(Q).isUnknown());
+  // Both checks missed; a later retry with a healthy solver must re-solve.
+  QueryCacheStats St = Cache->stats();
+  EXPECT_EQ(St.Hits, 0u);
+  EXPECT_EQ(St.Misses, 2u);
+  EXPECT_EQ(St.Entries, 0u);
+}
+
+TEST(CachingSolverTest, ConcurrentHammerIsRaceFree) {
+  // Eight workers, private contexts and solvers, a shared cache, and a
+  // small key space so hits, misses, evictions, and racing inserts all
+  // happen. Run under the tsan preset to validate the sharded locking.
+  auto Cache = std::make_shared<QueryCache>(/*MaxEntries=*/64,
+                                            /*ShardCount=*/4);
+  std::atomic<unsigned> SatCount{0};
+  support::ThreadPool::parallelFor(8, 64, [&](size_t I) {
+    TermContext Ctx;
+    auto S = createCachingSolver(createBitBlastSolver(), Cache);
+    TermRef Q = buildQuery(Ctx, 8, "x", 1 + (I % 7));
+    CheckResult R = S->check(Q);
+    ASSERT_TRUE(R.isSat());
+    // Every answer — cached or fresh — must carry the unique model.
+    TermRef X = Ctx.mkVar("x", Sort::bv(8));
+    ASSERT_EQ(R.M.getBVOrZero(X).getZExtValue(), 1 + (I % 7));
+    SatCount.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(SatCount.load(), 64u);
+  QueryCacheStats S = Cache->stats();
+  EXPECT_EQ(S.Hits + S.Misses, 64u);
+  EXPECT_GE(S.Hits, 64u - 7u * 8u); // at most one miss per key per racer
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- tests/verifier/ParallelVerifyTest.cpp - parallel engine parity ------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel verification engine's core contract: for any Jobs value,
+/// the verdict, counterexample, query count, type-assignment count, and
+/// solver statistics are identical to the serial path. Also checks that a
+/// shared QueryCache actually hits, that attribute inference agrees across
+/// job counts, and that Unknown outcomes stay deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+VerifyConfig baseConfig() {
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 8;
+  return Cfg;
+}
+
+std::unique_ptr<ir::Transform> parse(const std::string &Text) {
+  auto R = parser::parseTransform(Text);
+  EXPECT_TRUE(R.ok()) << R.message();
+  return R.ok() ? std::move(R.get()) : nullptr;
+}
+
+/// Asserts the full result equivalence the engine promises: everything the
+/// user can observe — including solver accounting — matches bit for bit.
+void expectSameResult(const VerifyResult &Serial, const VerifyResult &Par,
+                      const std::string &Label) {
+  EXPECT_EQ(Serial.V, Par.V) << Label;
+  EXPECT_EQ(Serial.NumTypeAssignments, Par.NumTypeAssignments) << Label;
+  EXPECT_EQ(Serial.NumQueries, Par.NumQueries) << Label;
+  EXPECT_EQ(Serial.WhyUnknown, Par.WhyUnknown) << Label;
+  EXPECT_EQ(Serial.Message, Par.Message) << Label;
+  EXPECT_EQ(Serial.CEX.has_value(), Par.CEX.has_value()) << Label;
+  if (Serial.CEX && Par.CEX) {
+    EXPECT_EQ(Serial.CEX->str(), Par.CEX->str()) << Label;
+  }
+  // The SolverStats regression check: aggregation across workers must
+  // reproduce the serial counters exactly (same queries, same answers,
+  // same unknown reasons), not just approximately.
+  EXPECT_EQ(Serial.Stats.str(), Par.Stats.str()) << Label;
+}
+
+// Small mixed set: correct, incorrect (with CEX), and multi-assignment.
+const char *const CorrectXform = "%1 = xor %x, -1\n"
+                                 "%2 = add %1, C\n"
+                                 "=>\n"
+                                 "%2 = sub C-1, %x\n";
+const char *const IncorrectXform = "%1 = add %x, 1\n"
+                                   "%2 = icmp sgt %1, %x\n"
+                                   "=>\n"
+                                   "%2 = true\n";
+
+TEST(ParallelVerifyTest, CorrectTransformParity) {
+  auto T = parse(CorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  VerifyResult Serial = verify(*T, Cfg);
+  ASSERT_EQ(Serial.V, Verdict::Correct) << Serial.Message;
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    Cfg.Jobs = Jobs;
+    expectSameResult(Serial, verify(*T, Cfg),
+                     "jobs=" + std::to_string(Jobs));
+  }
+}
+
+TEST(ParallelVerifyTest, CounterexampleParity) {
+  auto T = parse(IncorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  VerifyResult Serial = verify(*T, Cfg);
+  ASSERT_EQ(Serial.V, Verdict::Incorrect);
+  ASSERT_TRUE(Serial.CEX.has_value());
+  for (unsigned Jobs : {2u, 8u}) {
+    Cfg.Jobs = Jobs;
+    VerifyResult Par = verify(*T, Cfg);
+    // The parallel engine may find a counterexample in a *later* type
+    // assignment first; determinism demands it reports the serial one.
+    expectSameResult(Serial, Par, "jobs=" + std::to_string(Jobs));
+  }
+}
+
+TEST(ParallelVerifyTest, FullBugCorpusParity) {
+  // Every Figure 8 bug and its fixed variant: verdicts, counterexample
+  // text, and query counts must agree between jobs=1 and jobs=8.
+  VerifyConfig Cfg = baseConfig();
+  for (const corpus::CorpusEntry &E : corpus::bugEntries()) {
+    auto R = parser::parseTransforms(E.Text);
+    ASSERT_TRUE(R.ok()) << E.Name << ": " << R.message();
+    for (const auto &T : R.get()) {
+      Cfg.Jobs = 1;
+      VerifyResult Serial = verify(*T, Cfg);
+      Cfg.Jobs = 8;
+      expectSameResult(Serial, verify(*T, Cfg), E.Name);
+    }
+  }
+}
+
+TEST(ParallelVerifyTest, RepeatedParallelRunsAreDeterministic) {
+  auto T = parse(IncorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  Cfg.Jobs = 8;
+  VerifyResult First = verify(*T, Cfg);
+  for (int I = 0; I != 2; ++I)
+    expectSameResult(First, verify(*T, Cfg), "run " + std::to_string(I));
+}
+
+TEST(ParallelVerifyTest, SharedCacheHitsAcrossTransforms) {
+  // Two verifications of the same transformation through one cache: the
+  // second run's queries should all hit.
+  auto T = parse(CorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  Cfg.Cache = std::make_shared<smt::QueryCache>();
+
+  VerifyResult R1 = verify(*T, Cfg);
+  ASSERT_EQ(R1.V, Verdict::Correct) << R1.Message;
+  auto AfterFirst = Cfg.Cache->stats();
+  EXPECT_GT(AfterFirst.Misses, 0u);
+
+  VerifyResult R2 = verify(*T, Cfg);
+  auto AfterSecond = Cfg.Cache->stats();
+  EXPECT_EQ(AfterSecond.Misses, AfterFirst.Misses)
+      << "second run should be fully cached";
+  EXPECT_GT(AfterSecond.Hits, 0u);
+  expectSameResult(R1, R2, "cached re-run");
+
+  // And the cache must not perturb parity either.
+  Cfg.Jobs = 4;
+  expectSameResult(R1, verify(*T, Cfg), "cached parallel");
+}
+
+TEST(ParallelVerifyTest, CacheDoesNotChangeVerdicts) {
+  VerifyConfig Plain = baseConfig();
+  VerifyConfig Cached = baseConfig();
+  Cached.Cache = std::make_shared<smt::QueryCache>();
+  Cached.Jobs = 4;
+  for (const char *Text : {CorrectXform, IncorrectXform}) {
+    auto T = parse(Text);
+    ASSERT_TRUE(T);
+    VerifyResult A = verify(*T, Plain);
+    VerifyResult B = verify(*T, Cached);
+    EXPECT_EQ(A.V, B.V);
+    EXPECT_EQ(A.CEX.has_value(), B.CEX.has_value());
+    if (A.CEX && B.CEX) {
+      EXPECT_EQ(A.CEX->str(), B.CEX->str());
+    }
+  }
+  EXPECT_GT(Cached.Cache->stats().Hits + Cached.Cache->stats().Misses, 0u);
+}
+
+TEST(ParallelVerifyTest, DeterministicUnknownParity) {
+  // A deliberately starved native-only run: the conflict budget makes the
+  // solver give up deterministically, and the parallel path must report
+  // the same Unknown (same reason, same message) as the serial one.
+  auto T = parse(CorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.Types.Widths = {16};
+  Cfg.Limits.ConflictBudget = 1;
+  VerifyResult Serial = verify(*T, Cfg);
+  Cfg.Jobs = 8;
+  VerifyResult Par = verify(*T, Cfg);
+  expectSameResult(Serial, Par, "starved run");
+}
+
+TEST(ParallelVerifyTest, JobsZeroMeansHardwareConcurrency) {
+  auto T = parse(CorrectXform);
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  VerifyResult Serial = verify(*T, Cfg);
+  Cfg.Jobs = 0; // auto
+  expectSameResult(Serial, verify(*T, Cfg), "jobs=0");
+}
+
+TEST(ParallelAttrInferTest, InferredFlagsMatchSerial) {
+  // Attribute inference fans out over type assignments; the final Φ is a
+  // conjunction, so pruning order cannot change the inferred flags.
+  auto T = parse("%1 = add %x, 1\n"
+                 "%2 = icmp sgt %1, %x\n"
+                 "=>\n"
+                 "%2 = true\n");
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  AttrInferenceResult Serial = inferAttributes(*T, Cfg);
+  ASSERT_TRUE(Serial.Feasible) << Serial.Message;
+  for (unsigned Jobs : {2u, 8u}) {
+    Cfg.Jobs = Jobs;
+    AttrInferenceResult Par = inferAttributes(*T, Cfg);
+    EXPECT_EQ(Serial.Feasible, Par.Feasible);
+    EXPECT_EQ(Serial.SrcFlags, Par.SrcFlags) << "jobs=" << Jobs;
+    EXPECT_EQ(Serial.TgtFlags, Par.TgtFlags) << "jobs=" << Jobs;
+  }
+}
+
+TEST(ParallelAttrInferTest, InfeasibleAgreesAcrossJobs) {
+  // sdiv by zero in the target cannot be fixed by any flag placement.
+  auto T = parse("%1 = add %x, %x\n"
+                 "=>\n"
+                 "%1 = shl %x, 1\n");
+  ASSERT_TRUE(T);
+  VerifyConfig Cfg = baseConfig();
+  AttrInferenceResult Serial = inferAttributes(*T, Cfg);
+  Cfg.Jobs = 8;
+  AttrInferenceResult Par = inferAttributes(*T, Cfg);
+  EXPECT_EQ(Serial.Feasible, Par.Feasible);
+  EXPECT_EQ(Serial.SrcFlags, Par.SrcFlags);
+  EXPECT_EQ(Serial.TgtFlags, Par.TgtFlags);
+}
+
+} // namespace

@@ -17,16 +17,22 @@
 ///   --widths=4,8,16     type widths to enumerate (default 4,8)
 ///   --backend=hybrid|z3|bitblast
 ///   --memory=ite|array
+///   --jobs=N            worker threads over transformations (default:
+///                       hardware concurrency; 1 restores the serial path)
 ///   --deadline-ms=N     wall-clock budget per solver query (all backends)
 ///   --conflicts=N       CDCL conflict budget per query
 ///   --max-learned-mb=N  learned-clause memory cap per query
 ///   --fail-fast         stop at the first non-correct transformation
+///   --no-cache          disable the memoizing query cache
+///   --cache-stats       print cache hit/miss/eviction counts in the summary
 ///
 /// Batch runs are fault-isolated: a transformation that fails to parse,
 /// hits a resource limit, or crashes its pipeline stage is reported on its
-/// own status line and the run continues. Ctrl-C cancels the in-flight
-/// solver query cooperatively and finishes with the summary. The aggregate
-/// exit code is:
+/// own status line and the run continues. With --jobs=N transformations are
+/// verified concurrently by a worker pool, but results are printed strictly
+/// in input order, so the report (and exit code) is byte-identical to a
+/// serial run. Ctrl-C cancels the in-flight solver queries cooperatively
+/// and finishes with the summary. The aggregate exit code is:
 ///
 ///   0  every transformation verified correct (infer: feasible)
 ///   1  at least one transformation is incorrect / infeasible
@@ -40,13 +46,18 @@
 
 #include "codegen/CodeGen.h"
 #include "parser/Parser.h"
+#include "support/ThreadPool.h"
 #include "verifier/Verifier.h"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 using namespace alive;
@@ -61,10 +72,14 @@ void usage() {
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
                "  --memory=ite|array\n"
+               "  --jobs=N               worker threads over transformations\n"
+               "                         (default: hardware concurrency)\n"
                "  --deadline-ms=N        per-query wall-clock budget\n"
                "  --conflicts=N          per-query CDCL conflict budget\n"
                "  --max-learned-mb=N     per-query learned-clause cap\n"
                "  --fail-fast            stop at first non-correct result\n"
+               "  --no-cache             disable the memoizing query cache\n"
+               "  --cache-stats          print query-cache counters\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
                "            3 unknown/resource-limited, 4 faulted\n");
 }
@@ -78,6 +93,23 @@ std::string flagsToString(unsigned Flags) {
   if (Flags & ir::AttrExact)
     S += " exact";
   return S.empty() ? " (none)" : S;
+}
+
+/// printf into a std::string (batch output is buffered per transformation
+/// so parallel workers can compute results out of order while the report
+/// still prints strictly in input order).
+std::string format(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  va_list Ap2;
+  va_copy(Ap2, Ap);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Ap);
+  va_end(Ap);
+  std::string S(N > 0 ? static_cast<size_t>(N) : 0, '\0');
+  if (N > 0)
+    std::vsnprintf(S.data(), S.size() + 1, Fmt, Ap2);
+  va_end(Ap2);
+  return S;
 }
 
 /// One "Name:"-delimited region of the input file. Parsed independently so
@@ -180,6 +212,105 @@ uint64_t parseNum(const std::string &Opt, const std::string &Text) {
   std::exit(2);
 }
 
+/// One unit of batch work: a parsed transformation, or a parse error
+/// standing in for the region that failed.
+struct WorkItem {
+  std::string Label;
+  std::unique_ptr<ir::Transform> T; ///< null when parsing failed
+  std::string ParseError;
+};
+
+/// A worker's result for one item, formatted but not yet printed.
+struct ItemResult {
+  Outcome O = Outcome::Correct;
+  smt::UnknownReason Why = smt::UnknownReason::None;
+  std::string Out;           ///< stdout payload (status line / report)
+  std::string Err;           ///< stderr payload (codegen diagnostics)
+  bool EmitCodegen = false;  ///< verified correct in codegen mode
+  bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
+  bool Done = false;
+};
+
+/// Runs one transformation through \p Mode. Pure function of the item and
+/// config: safe to call from any worker thread. Codegen emission itself is
+/// deferred to the printer so apply_N numbering follows input order.
+ItemResult processItem(const std::string &Mode, const WorkItem &Item,
+                       const VerifyConfig &Cfg) {
+  ItemResult R;
+  const std::string &Name = Item.Label;
+  if (!Item.T) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s PARSE ERROR: %s\n", Name.c_str(),
+                   Item.ParseError.c_str());
+    return R;
+  }
+  try {
+    if (Mode == "print") {
+      R.Out = format("%s\n", Item.T->str().c_str());
+    } else if (Mode == "verify") {
+      VerifyResult VR = verify(*Item.T, Cfg);
+      switch (VR.V) {
+      case Verdict::Correct:
+        R.Out = format("%-32s correct (%u type assignments, %u queries)\n",
+                       Name.c_str(), VR.NumTypeAssignments, VR.NumQueries);
+        break;
+      case Verdict::Incorrect:
+        R.O = Outcome::Incorrect;
+        R.Out = format("%-32s INCORRECT\n%s\n", Name.c_str(),
+                       VR.CEX ? VR.CEX->str().c_str() : "");
+        break;
+      case Verdict::Unknown:
+        R.O = Outcome::Unknown;
+        R.Why = VR.WhyUnknown;
+        R.Out = format("%-32s unknown: %s\n", Name.c_str(),
+                       VR.Message.c_str());
+        break;
+      case Verdict::TypeError:
+      case Verdict::EncodeError:
+        R.O = Outcome::Faulted;
+        R.Out = format("%-32s ERROR: %s\n", Name.c_str(), VR.Message.c_str());
+        break;
+      }
+    } else if (Mode == "infer") {
+      AttrInferenceResult IR = inferAttributes(*Item.T, Cfg);
+      if (!IR.Feasible) {
+        R.O = IR.WhyUnknown != smt::UnknownReason::None ? Outcome::Unknown
+                                                        : Outcome::Incorrect;
+        R.Why = IR.WhyUnknown;
+        R.Out = format("%-32s infeasible: %s\n", Name.c_str(),
+                       IR.Message.c_str());
+      } else {
+        R.Out = format("%s:\n", Name.c_str());
+        for (const auto &[I, Flags] : IR.SrcFlags)
+          R.Out += format("  source %-8s needs%s\n", I.c_str(),
+                          flagsToString(Flags).c_str());
+        for (const auto &[I, Flags] : IR.TgtFlags)
+          R.Out += format("  target %-8s may carry%s\n", I.c_str(),
+                          flagsToString(Flags).c_str());
+      }
+    } else if (Mode == "codegen") {
+      VerifyResult VR = verify(*Item.T, Cfg);
+      if (!VR.isCorrect()) {
+        R.O = VR.V == Verdict::Incorrect ? Outcome::Incorrect
+              : VR.V == Verdict::Unknown ? Outcome::Unknown
+                                         : Outcome::Faulted;
+        R.Why = VR.WhyUnknown;
+        R.Err = format("// %s failed verification; no code generated\n",
+                       Name.c_str());
+      } else {
+        R.EmitCodegen = true;
+      }
+    }
+  } catch (const std::exception &Ex) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s INTERNAL ERROR: %s\n", Name.c_str(), Ex.what());
+  } catch (...) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s INTERNAL ERROR: unknown exception\n", Name.c_str());
+  }
+  return R;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -188,10 +319,18 @@ int main(int argc, char **argv) {
     return 2;
   }
   std::string Mode = argv[1];
+  if (Mode != "verify" && Mode != "infer" && Mode != "codegen" &&
+      Mode != "print") {
+    usage();
+    return 2;
+  }
   std::string Path;
   VerifyConfig Cfg;
   Cfg.Types.Widths = {4, 8};
   bool FailFast = false;
+  bool UseCache = true;
+  bool PrintCacheStats = false;
+  unsigned Jobs = support::ThreadPool::defaultConcurrency();
 
   for (int I = 2; I != argc; ++I) {
     std::string Arg = argv[I];
@@ -216,6 +355,12 @@ int main(int argc, char **argv) {
       Cfg.Encoding.Memory = semantics::MemoryEncoding::ArrayTheory;
     } else if (Arg == "--memory=ite") {
       Cfg.Encoding.Memory = semantics::MemoryEncoding::EagerIte;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Jobs = static_cast<unsigned>(parseNum("--jobs", Arg.substr(7)));
+      if (!Jobs) {
+        std::fprintf(stderr, "error: --jobs needs at least one worker\n");
+        return 2;
+      }
     } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
       Cfg.Limits.DeadlineMs =
           static_cast<unsigned>(parseNum("--deadline-ms", Arg.substr(14)));
@@ -227,6 +372,10 @@ int main(int argc, char **argv) {
           parseNum("--max-learned-mb", Arg.substr(17)) * 1024 * 1024;
     } else if (Arg == "--fail-fast") {
       FailFast = true;
+    } else if (Arg == "--no-cache") {
+      UseCache = false;
+    } else if (Arg == "--cache-stats") {
+      PrintCacheStats = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       usage();
@@ -251,6 +400,39 @@ int main(int argc, char **argv) {
   std::signal(SIGINT, onSigInt);
   Cfg.Limits.Cancel = &GInterrupt;
 
+  std::shared_ptr<smt::QueryCache> Cache;
+  if (UseCache) {
+    Cache = std::make_shared<smt::QueryCache>();
+    Cfg.Cache = Cache;
+  }
+
+  // Flatten the fault-isolated chunks into one ordered work list.
+  std::vector<WorkItem> Items;
+  for (Chunk &C : splitCorpus(Buf.str())) {
+    auto Parsed = parser::parseTransforms(C.Text);
+    if (!Parsed.ok()) {
+      WorkItem W;
+      W.Label = C.Label;
+      W.ParseError = Parsed.message();
+      Items.push_back(std::move(W));
+      continue;
+    }
+    for (auto &T : Parsed.get()) {
+      WorkItem W;
+      W.Label = T->Name.empty() ? C.Label : T->Name;
+      W.T = std::move(T);
+      Items.push_back(std::move(W));
+    }
+  }
+
+  // A single transformation cannot be sharded across the batch pool, but
+  // its type assignments and refinement conditions can: hand the workers
+  // to the verifier instead.
+  if (Items.size() <= 1 && Jobs > 1) {
+    Cfg.Jobs = Jobs;
+    Jobs = 1;
+  }
+
   Tally Sum;
   unsigned Emitted = 0;
   const auto BatchStart = std::chrono::steady_clock::now();
@@ -274,129 +456,110 @@ int main(int argc, char **argv) {
                       Sum.UnknownBy[I]);
       std::printf("\n");
     }
+    if (PrintCacheStats && Cache)
+      std::printf("     query cache: %s\n", Cache->stats().str().c_str());
     if (Sum.Cancelled)
       std::printf("     run cancelled by SIGINT; remaining transforms "
                   "skipped\n");
     return Sum.exitCode();
   };
 
-  std::vector<Chunk> Chunks = splitCorpus(Buf.str());
+  // Historically print mode skips the batch summary on normal completion
+  // (but not on a fail-fast early return).
+  auto FinishFinal = [&](unsigned Total) {
+    if (Mode == "print")
+      return Sum.of(Outcome::Faulted) ? 4 : 0;
+    return Finish(Total);
+  };
+
+  // Prints one finished result and updates the tally; returns false when
+  // the batch should stop (fail-fast).
+  auto Emit = [&](ItemResult &R, const WorkItem &Item) {
+    if (!R.Out.empty())
+      std::fputs(R.Out.c_str(), stdout);
+    if (!R.Err.empty())
+      std::fputs(R.Err.c_str(), stderr);
+    if (R.EmitCodegen) {
+      auto Cpp = codegen::emitCppFunction(*Item.T,
+                                          "apply_" + std::to_string(++Emitted));
+      if (Cpp.ok())
+        std::printf("%s\n", Cpp.get().c_str());
+      else {
+        R.O = Outcome::Faulted;
+        std::fprintf(stderr, "// %s: %s\n", Item.Label.c_str(),
+                     Cpp.message().c_str());
+      }
+    }
+    if (R.O == Outcome::Unknown)
+      ++Sum.UnknownBy[static_cast<unsigned>(R.Why)];
+    Sum.add(R.O);
+    return !(FailFast && R.O != Outcome::Correct);
+  };
+
   unsigned Total = 0;
 
-  for (const Chunk &C : Chunks) {
-    if (GInterrupt.isCancelled()) {
-      Sum.Cancelled = true;
-      break;
-    }
-    auto Parsed = parser::parseTransforms(C.Text);
-    if (!Parsed.ok()) {
-      ++Total;
-      Sum.add(Outcome::Faulted);
-      std::printf("%-32s PARSE ERROR: %s\n", C.Label.c_str(),
-                  Parsed.message().c_str());
-      if (FailFast)
-        return Finish(Total);
-      continue;
-    }
-
-    for (const auto &T : Parsed.get()) {
+  if (Jobs <= 1) {
+    // Serial path: compute and print one item at a time, lazily — exactly
+    // the historical behavior (fail-fast and SIGINT stop further work).
+    for (const WorkItem &Item : Items) {
       if (GInterrupt.isCancelled()) {
         Sum.Cancelled = true;
         break;
       }
       ++Total;
-      std::string Name = T->Name.empty() ? C.Label : T->Name;
-      Outcome O = Outcome::Correct;
-
-      try {
-        if (Mode == "print") {
-          std::printf("%s\n", T->str().c_str());
-        } else if (Mode == "verify") {
-          VerifyResult R = verify(*T, Cfg);
-          switch (R.V) {
-          case Verdict::Correct:
-            std::printf("%-32s correct (%u type assignments, %u queries)\n",
-                        Name.c_str(), R.NumTypeAssignments, R.NumQueries);
-            break;
-          case Verdict::Incorrect:
-            O = Outcome::Incorrect;
-            std::printf("%-32s INCORRECT\n%s\n", Name.c_str(),
-                        R.CEX ? R.CEX->str().c_str() : "");
-            break;
-          case Verdict::Unknown:
-            O = Outcome::Unknown;
-            ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
-            std::printf("%-32s unknown: %s\n", Name.c_str(),
-                        R.Message.c_str());
-            break;
-          case Verdict::TypeError:
-          case Verdict::EncodeError:
-            O = Outcome::Faulted;
-            std::printf("%-32s ERROR: %s\n", Name.c_str(),
-                        R.Message.c_str());
-            break;
-          }
-        } else if (Mode == "infer") {
-          AttrInferenceResult R = inferAttributes(*T, Cfg);
-          if (!R.Feasible) {
-            O = R.WhyUnknown != smt::UnknownReason::None
-                    ? Outcome::Unknown
-                    : Outcome::Incorrect;
-            if (O == Outcome::Unknown)
-              ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
-            std::printf("%-32s infeasible: %s\n", Name.c_str(),
-                        R.Message.c_str());
-          } else {
-            std::printf("%s:\n", Name.c_str());
-            for (const auto &[I, Flags] : R.SrcFlags)
-              std::printf("  source %-8s needs%s\n", I.c_str(),
-                          flagsToString(Flags).c_str());
-            for (const auto &[I, Flags] : R.TgtFlags)
-              std::printf("  target %-8s may carry%s\n", I.c_str(),
-                          flagsToString(Flags).c_str());
-          }
-        } else if (Mode == "codegen") {
-          VerifyResult R = verify(*T, Cfg);
-          if (!R.isCorrect()) {
-            O = R.V == Verdict::Incorrect ? Outcome::Incorrect
-                : R.V == Verdict::Unknown ? Outcome::Unknown
-                                          : Outcome::Faulted;
-            if (O == Outcome::Unknown)
-              ++Sum.UnknownBy[static_cast<unsigned>(R.WhyUnknown)];
-            std::fprintf(stderr,
-                         "// %s failed verification; no code generated\n",
-                         Name.c_str());
-          } else {
-            auto Cpp = codegen::emitCppFunction(
-                *T, "apply_" + std::to_string(++Emitted));
-            if (Cpp.ok())
-              std::printf("%s\n", Cpp.get().c_str());
-            else {
-              O = Outcome::Faulted;
-              std::fprintf(stderr, "// %s: %s\n", Name.c_str(),
-                           Cpp.message().c_str());
-            }
-          }
-        } else {
-          usage();
-          return 2;
-        }
-      } catch (const std::exception &Ex) {
-        O = Outcome::Faulted;
-        std::printf("%-32s INTERNAL ERROR: %s\n", Name.c_str(), Ex.what());
-      } catch (...) {
-        O = Outcome::Faulted;
-        std::printf("%-32s INTERNAL ERROR: unknown exception\n",
-                    Name.c_str());
-      }
-
-      Sum.add(O);
-      if (FailFast && O != Outcome::Correct)
+      ItemResult R = processItem(Mode, Item, Cfg);
+      if (!Emit(R, Item))
         return Finish(Total);
     }
+    return FinishFinal(Total);
   }
 
-  if (Mode == "print")
-    return Sum.of(Outcome::Faulted) ? 4 : 0;
-  return Finish(Total);
+  // Parallel path: a worker pool computes results out of order; the main
+  // thread prints them strictly in input order, so the report is identical
+  // to a serial run. Workers check the stop/cancel flags at job start, so
+  // fail-fast and SIGINT drop not-yet-started work.
+  std::vector<ItemResult> Results(Items.size());
+  std::mutex ResultsMutex;
+  std::condition_variable ResultsCV;
+  std::atomic<bool> Stop{false};
+  bool FailedFast = false;
+
+  support::ThreadPool Pool(Jobs);
+  for (size_t I = 0; I != Items.size(); ++I) {
+    Pool.submit([&, I] {
+      ItemResult R;
+      if (Stop.load(std::memory_order_acquire) || GInterrupt.isCancelled())
+        R.Skipped = true;
+      else
+        R = processItem(Mode, Items[I], Cfg);
+      {
+        std::lock_guard<std::mutex> L(ResultsMutex);
+        Results[I] = std::move(R);
+        Results[I].Done = true;
+      }
+      ResultsCV.notify_all();
+    });
+  }
+
+  for (size_t I = 0; I != Items.size(); ++I) {
+    {
+      std::unique_lock<std::mutex> L(ResultsMutex);
+      ResultsCV.wait(L, [&] { return Results[I].Done; });
+    }
+    if (Results[I].Skipped) {
+      if (GInterrupt.isCancelled())
+        Sum.Cancelled = true;
+      break;
+    }
+    ++Total;
+    if (!Emit(Results[I], Items[I])) {
+      FailedFast = true;
+      Stop.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  Stop.store(true, std::memory_order_release);
+  Pool.cancelPending();
+  Pool.wait();
+  return FailedFast ? Finish(Total) : FinishFinal(Total);
 }
