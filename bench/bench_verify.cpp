@@ -18,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <fstream>
 
@@ -75,6 +76,8 @@ void runVerify(benchmark::State &State, const char *Text,
   State.counters["escalations"] = static_cast<double>(Total.Escalations);
   State.counters["z3_fallbacks"] =
       static_cast<double>(Total.FragmentFallbacks);
+  State.counters["statically_discharged"] =
+      static_cast<double>(Total.StaticallyDischarged);
 }
 
 /// One timed sweep over every case with \p Jobs workers fanned out over the
@@ -82,11 +85,13 @@ void runVerify(benchmark::State &State, const char *Text,
 /// itself runs serially). Returns wall milliseconds and fills \p Verdicts
 /// in case order.
 double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
-                   std::vector<Verdict> &Verdicts) {
+                   std::vector<Verdict> &Verdicts, bool StaticFilter = true,
+                   uint64_t *Discharged = nullptr) {
   VerifyConfig Cfg;
   Cfg.Types.Widths = {4, 8};
   Cfg.Types.MaxAssignments = 8;
   Cfg.Cache = std::move(Cache);
+  Cfg.StaticFilter = StaticFilter;
 
   std::vector<std::unique_ptr<ir::Transform>> Parsed;
   for (const NamedTransform &C : Cases) {
@@ -95,10 +100,15 @@ double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
       Parsed.push_back(std::move(P.get()));
   }
   Verdicts.assign(Parsed.size(), Verdict::Unknown);
+  std::atomic<uint64_t> Skipped{0};
   auto T0 = std::chrono::steady_clock::now();
   support::ThreadPool::parallelFor(Jobs, Parsed.size(), [&](size_t I) {
-    Verdicts[I] = verify(*Parsed[I], Cfg).V;
+    VerifyResult R = verify(*Parsed[I], Cfg);
+    Verdicts[I] = R.V;
+    Skipped += R.Stats.StaticallyDischarged;
   });
+  if (Discharged)
+    *Discharged = Skipped.load();
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - T0)
       .count();
@@ -115,13 +125,22 @@ void writeBenchJson(const char *Path) {
     std::vector<Verdict> Ignore;
     sweepCorpus(1, nullptr, Ignore);
   }
-  double SerialMs = sweepCorpus(1, nullptr, SerialVerdicts);
+  uint64_t Discharged = 0;
+  double SerialMs = sweepCorpus(1, nullptr, SerialVerdicts, true,
+                                &Discharged);
 
   unsigned Jobs = 4;
   auto Cache = std::make_shared<smt::QueryCache>();
   double ParallelMs = sweepCorpus(Jobs, Cache, ParallelVerdicts);
 
-  bool Match = SerialVerdicts == ParallelVerdicts;
+  // A/B the abstract-interpretation pre-filter: same corpus, serial, with
+  // the filter disabled. Verdicts must agree; the wall-time delta is what
+  // the discharged queries would have cost.
+  std::vector<Verdict> UnfilteredVerdicts;
+  double UnfilteredMs = sweepCorpus(1, nullptr, UnfilteredVerdicts, false);
+
+  bool Match = SerialVerdicts == ParallelVerdicts &&
+               SerialVerdicts == UnfilteredVerdicts;
   smt::QueryCacheStats CS = Cache->stats();
 
   std::ofstream Out(Path);
@@ -138,7 +157,10 @@ void writeBenchJson(const char *Path) {
                 "  \"cache_hits\": %llu,\n"
                 "  \"cache_misses\": %llu,\n"
                 "  \"cache_evictions\": %llu,\n"
-                "  \"cache_hit_rate\": %.4f\n"
+                "  \"cache_hit_rate\": %.4f,\n"
+                "  \"statically_discharged\": %llu,\n"
+                "  \"no_filter_ms\": %.2f,\n"
+                "  \"filter_saved_ms\": %.2f\n"
                 "}\n",
                 std::size(Cases), Jobs,
                 support::ThreadPool::defaultConcurrency(), SerialMs,
@@ -146,11 +168,14 @@ void writeBenchJson(const char *Path) {
                 Match ? "true" : "false",
                 static_cast<unsigned long long>(CS.Hits),
                 static_cast<unsigned long long>(CS.Misses),
-                static_cast<unsigned long long>(CS.Evictions), CS.hitRate());
+                static_cast<unsigned long long>(CS.Evictions), CS.hitRate(),
+                static_cast<unsigned long long>(Discharged),
+                UnfilteredMs, UnfilteredMs - SerialMs);
   Out << Buf;
   std::printf("wrote %s (serial %.1f ms, parallel %.1f ms at jobs=%u, "
-              "verdicts %s, cache %s)\n",
-              Path, SerialMs, ParallelMs, Jobs,
+              "no-filter %.1f ms, %llu discharged, verdicts %s, cache %s)\n",
+              Path, SerialMs, ParallelMs, Jobs, UnfilteredMs,
+              static_cast<unsigned long long>(Discharged),
               Match ? "match" : "MISMATCH", CS.str().c_str());
 }
 

@@ -1,0 +1,595 @@
+//===- analysis/AbstractInterp.cpp - dataflow over templates ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterp.h"
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+
+//===----------------------------------------------------------------------===//
+// Constant-expression evaluation
+//===----------------------------------------------------------------------===//
+
+std::optional<APInt> analysis::evalLiteralConstExpr(const ConstExpr *E,
+                                                    unsigned Width) {
+  using CE = ConstExpr;
+  switch (E->getKind()) {
+  case CE::Kind::Literal:
+    return APInt(Width, static_cast<uint64_t>(E->getLiteral()));
+  case CE::Kind::SymRef:
+    return std::nullopt;
+  case CE::Kind::Unary: {
+    auto A = evalLiteralConstExpr(E->getArg(0), Width);
+    if (!A)
+      return std::nullopt;
+    return E->getUnaryOp() == CE::UnaryOp::Neg ? A->neg() : A->notOp();
+  }
+  case CE::Kind::Binary: {
+    auto A = evalLiteralConstExpr(E->getArg(0), Width);
+    auto B = evalLiteralConstExpr(E->getArg(1), Width);
+    if (!A || !B)
+      return std::nullopt;
+    switch (E->getBinaryOp()) {
+    case CE::BinaryOp::Add:
+      return A->add(*B);
+    case CE::BinaryOp::Sub:
+      return A->sub(*B);
+    case CE::BinaryOp::Mul:
+      return A->mul(*B);
+    // Division by zero (and INT_MIN / -1) makes the encoder emit a
+    // definedness side condition rather than a value; refuse to fold so
+    // the query still reaches the solver.
+    case CE::BinaryOp::SDiv:
+      if (B->isZero() || (A->isSignedMinValue() && B->isAllOnes()))
+        return std::nullopt;
+      return A->sdiv(*B);
+    case CE::BinaryOp::UDiv:
+      if (B->isZero())
+        return std::nullopt;
+      return A->udiv(*B);
+    case CE::BinaryOp::SRem:
+      if (B->isZero() || (A->isSignedMinValue() && B->isAllOnes()))
+        return std::nullopt;
+      return A->srem(*B);
+    case CE::BinaryOp::URem:
+      if (B->isZero())
+        return std::nullopt;
+      return A->urem(*B);
+    // APInt's shifts already implement the SMT bit-vector semantics for
+    // oversized amounts (shl/lshr give 0, ashr fills with the sign).
+    case CE::BinaryOp::Shl:
+      return A->shl(*B);
+    case CE::BinaryOp::LShr:
+      return A->lshr(*B);
+    case CE::BinaryOp::AShr:
+      return A->ashr(*B);
+    case CE::BinaryOp::And:
+      return A->andOp(*B);
+    case CE::BinaryOp::Or:
+      return A->orOp(*B);
+    case CE::BinaryOp::Xor:
+      return A->xorOp(*B);
+    }
+    return std::nullopt;
+  }
+  case CE::Kind::Call: {
+    if (E->getValueArg()) // width(%x): needs the type assignment
+      return std::nullopt;
+    switch (E->getBuiltin()) {
+    case CE::Builtin::Width:
+      return std::nullopt;
+    case CE::Builtin::Log2: {
+      auto A = evalLiteralConstExpr(E->getArg(0), Width);
+      if (!A)
+        return std::nullopt;
+      // Index of the highest set bit; the encoder's ite chain yields 0
+      // for a zero argument.
+      if (A->isZero())
+        return APInt(Width, 0);
+      return APInt(Width, Width - 1 - A->countLeadingZeros());
+    }
+    case CE::Builtin::Abs: {
+      auto A = evalLiteralConstExpr(E->getArg(0), Width);
+      if (!A)
+        return std::nullopt;
+      return A->abs();
+    }
+    case CE::Builtin::UMax:
+    case CE::Builtin::UMin:
+    case CE::Builtin::SMax:
+    case CE::Builtin::SMin: {
+      auto A = evalLiteralConstExpr(E->getArg(0), Width);
+      auto B = evalLiteralConstExpr(E->getArg(1), Width);
+      if (!A || !B)
+        return std::nullopt;
+      switch (E->getBuiltin()) {
+      case CE::Builtin::UMax:
+        return A->ugt(*B) ? *A : *B;
+      case CE::Builtin::UMin:
+        return A->ult(*B) ? *A : *B;
+      case CE::Builtin::SMax:
+        return A->sgt(*B) ? *A : *B;
+      default:
+        return A->slt(*B) ? *A : *B;
+      }
+    }
+    // The encoder evaluates every sub-expression at the context width, so
+    // the explicit resizes are no-ops.
+    case CE::Builtin::ZExt:
+    case CE::Builtin::SExt:
+    case CE::Builtin::Trunc:
+      return evalLiteralConstExpr(E->getArg(0), Width);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin predicate evaluation (mirrors Predicates.cpp exactProperty)
+//===----------------------------------------------------------------------===//
+
+bool analysis::evalPredicateOnConstants(PredKind K,
+                                        const std::vector<APInt> &Args) {
+  assert(!Args.empty() && K != PredKind::OneUse);
+  unsigned W = Args[0].getWidth();
+  APInt A0 = Args[0];
+  // The encoder resizes a second argument to the first one's width
+  // (zero-extend when narrower, low-bits extract when wider).
+  APInt A1(W, 0);
+  if (Args.size() > 1) {
+    A1 = Args[1].getWidth() < W ? Args[1].zext(W)
+         : Args[1].getWidth() > W ? Args[1].trunc(W)
+                                  : Args[1];
+  }
+
+  bool Ov = false;
+  switch (K) {
+  case PredKind::IsPowerOf2:
+    return !A0.isZero() && A0.andOp(A0.sub(APInt(W, 1))).isZero();
+  case PredKind::IsPowerOf2OrZero:
+    return A0.andOp(A0.sub(APInt(W, 1))).isZero();
+  case PredKind::IsSignBit:
+    return A0.isSignedMinValue();
+  case PredKind::IsShiftedMask: {
+    APInt Filled = A0.orOp(A0.sub(APInt(W, 1)));
+    return !A0.isZero() &&
+           Filled.add(APInt(W, 1)).andOp(Filled).isZero();
+  }
+  case PredKind::MaskedValueIsZero:
+    return A0.andOp(A1).isZero();
+  case PredKind::CannotBeNegative:
+    return !A0.isNegative();
+  case PredKind::WillNotOverflowSignedAdd:
+    A0.saddOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowUnsignedAdd:
+    A0.uaddOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowSignedSub:
+    A0.ssubOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowUnsignedSub:
+    A0.usubOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowSignedMul:
+    A0.smulOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowUnsignedMul:
+    A0.umulOverflow(A1, Ov);
+    return !Ov;
+  case PredKind::WillNotOverflowSignedShl:
+    return A1.ult(APInt(W, W)) && A0.shl(A1).ashr(A1) == A0;
+  case PredKind::WillNotOverflowUnsignedShl:
+    return A1.ult(APInt(W, W)) && A0.shl(A1).lshr(A1) == A0;
+  case PredKind::OneUse:
+    return false; // no semantic property; callers must not rely on this
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Forward pass
+//===----------------------------------------------------------------------===//
+
+AbstractInterp::AbstractInterp(const Transform &T, WidthFn WidthOf)
+    : T(T), WidthOf(std::move(WidthOf)) {}
+
+const AbstractValue *AbstractInterp::factOf(const Value *V) {
+  auto It = Facts.find(V);
+  if (It != Facts.end())
+    return &It->second;
+  unsigned W = WidthOf(V);
+  if (W == 0) // pointer/void/unknown: nothing tracked
+    return nullptr;
+  AbstractValue AV = AbstractValue::top(W);
+  if (const auto *CV = dyn_cast<ConstExprValue>(V)) {
+    if (auto C = evalLiteralConstExpr(CV->getExpr(), W))
+      AV = AbstractValue::constant(*C);
+  }
+  // Inputs, abstract constants, undef, and (out-of-order) instructions
+  // stay at top.
+  return &Facts.emplace(V, std::move(AV)).first->second;
+}
+
+/// Three-valued comparison outcome derived from the operand facts:
+/// 1 = always true, 0 = always false, -1 = unknown.
+static int decideICmp(ICmpCond C, const AbstractValue &L,
+                      const AbstractValue &R) {
+  APInt LUMin = L.CR.umin(), LUMax = L.CR.umax();
+  APInt RUMin = R.CR.umin(), RUMax = R.CR.umax();
+  APInt LSMin = L.CR.smin(), LSMax = L.CR.smax();
+  APInt RSMin = R.CR.smin(), RSMax = R.CR.smax();
+
+  auto neverEqual = [&] {
+    // A bit one side has known 0 and the other known 1, or disjoint
+    // extrema in either ordering.
+    if (!L.KB.Ones.andOp(R.KB.Zeros).isZero() ||
+        !L.KB.Zeros.andOp(R.KB.Ones).isZero())
+      return true;
+    if (LUMax.ult(RUMin) || RUMax.ult(LUMin))
+      return true;
+    if (LSMax.slt(RSMin) || RSMax.slt(LSMin))
+      return true;
+    return false;
+  };
+  auto alwaysEqual = [&] {
+    APInt A(1, 0), B(1, 0);
+    return L.isConstant(A) && R.isConstant(B) && A == B;
+  };
+
+  switch (C) {
+  case ICmpCond::EQ:
+    if (alwaysEqual())
+      return 1;
+    if (neverEqual())
+      return 0;
+    return -1;
+  case ICmpCond::NE:
+    if (neverEqual())
+      return 1;
+    if (alwaysEqual())
+      return 0;
+    return -1;
+  case ICmpCond::ULT:
+    if (LUMax.ult(RUMin))
+      return 1;
+    if (LUMin.uge(RUMax))
+      return 0;
+    return -1;
+  case ICmpCond::ULE:
+    if (LUMax.ule(RUMin))
+      return 1;
+    if (LUMin.ugt(RUMax))
+      return 0;
+    return -1;
+  case ICmpCond::UGT:
+    if (LUMin.ugt(RUMax))
+      return 1;
+    if (LUMax.ule(RUMin))
+      return 0;
+    return -1;
+  case ICmpCond::UGE:
+    if (LUMin.uge(RUMax))
+      return 1;
+    if (LUMax.ult(RUMin))
+      return 0;
+    return -1;
+  case ICmpCond::SLT:
+    if (LSMax.slt(RSMin))
+      return 1;
+    if (LSMin.sge(RSMax))
+      return 0;
+    return -1;
+  case ICmpCond::SLE:
+    if (LSMax.sle(RSMin))
+      return 1;
+    if (LSMin.sgt(RSMax))
+      return 0;
+    return -1;
+  case ICmpCond::SGT:
+    if (LSMin.sgt(RSMax))
+      return 1;
+    if (LSMax.sle(RSMin))
+      return 0;
+    return -1;
+  case ICmpCond::SGE:
+    if (LSMin.sge(RSMax))
+      return 1;
+    if (LSMax.slt(RSMin))
+      return 0;
+    return -1;
+  }
+  return -1;
+}
+
+AbstractValue AbstractInterp::evalInstr(const Instr *I, unsigned W) {
+  switch (I->getKind()) {
+  case ValueKind::BinOp: {
+    const auto *B = cast<BinOp>(I);
+    const AbstractValue *L = factOf(B->getLHS());
+    const AbstractValue *R = factOf(B->getRHS());
+    if (!L || !R || L->width() != W || R->width() != W)
+      return AbstractValue::top(W);
+    // The poison flags constrain definedness, not the wrapped value, so
+    // they are ignored here.
+    AbstractValue Out(W);
+    Out.KB = KnownBits::binOp(B->getOpcode(), L->KB, R->KB);
+    Out.CR = ConstantRange::binOp(B->getOpcode(), L->CR, R->CR);
+    return Out;
+  }
+  case ValueKind::ICmp: {
+    const auto *C = cast<ICmp>(I);
+    const AbstractValue *L = factOf(C->getLHS());
+    const AbstractValue *R = factOf(C->getRHS());
+    if (!L || !R || L->width() != R->width())
+      return AbstractValue::top(1);
+    int D = decideICmp(C->getCond(), *L, *R);
+    if (D < 0)
+      return AbstractValue::top(1);
+    return AbstractValue::constant(APInt(1, D ? 1 : 0));
+  }
+  case ValueKind::Select: {
+    const auto *S = cast<Select>(I);
+    const AbstractValue *C = factOf(S->getCondition());
+    const AbstractValue *TV = factOf(S->getTrueValue());
+    const AbstractValue *FV = factOf(S->getFalseValue());
+    if (!TV || !FV || TV->width() != W || FV->width() != W)
+      return AbstractValue::top(W);
+    APInt CC(1, 0);
+    if (C && C->isConstant(CC))
+      return CC.isZero() ? *FV : *TV;
+    AbstractValue Out(W);
+    Out.KB = TV->KB.join(FV->KB);
+    Out.CR = TV->CR.join(FV->CR);
+    return Out;
+  }
+  case ValueKind::Conv: {
+    const auto *Cv = cast<Conv>(I);
+    const AbstractValue *S = factOf(Cv->getSrc());
+    if (!S)
+      return AbstractValue::top(W);
+    unsigned SW = S->width();
+    AbstractValue Out(W);
+    switch (Cv->getOpcode()) {
+    case ConvOpcode::ZExt:
+      if (SW >= W)
+        return AbstractValue::top(W);
+      Out.KB = S->KB.zext(W);
+      Out.CR = S->CR.zext(W);
+      return Out;
+    case ConvOpcode::SExt:
+      if (SW >= W)
+        return AbstractValue::top(W);
+      Out.KB = S->KB.sext(W);
+      Out.CR = S->CR.sext(W);
+      return Out;
+    case ConvOpcode::Trunc:
+      if (SW <= W)
+        return AbstractValue::top(W);
+      Out.KB = S->KB.trunc(W);
+      Out.CR = S->CR.trunc(W);
+      return Out;
+    // The encoder models the pointer casts and bitcast as
+    // zero-extend-or-extract to the destination width.
+    case ConvOpcode::BitCast:
+    case ConvOpcode::PtrToInt:
+    case ConvOpcode::IntToPtr:
+      Out.KB = S->KB.zextOrTrunc(W);
+      Out.CR = S->CR.zextOrTrunc(W);
+      return Out;
+    }
+    return AbstractValue::top(W);
+  }
+  case ValueKind::Copy: {
+    const AbstractValue *S = factOf(cast<Copy>(I)->getSrc());
+    if (S && S->width() == W)
+      return *S;
+    return AbstractValue::top(W);
+  }
+  default: // memory operations, unreachable: no value fact
+    return AbstractValue::top(W);
+  }
+}
+
+void AbstractInterp::run() {
+  for (const std::vector<Instr *> *List : {&T.src(), &T.tgt()}) {
+    for (const Instr *I : *List) {
+      unsigned W = WidthOf(I);
+      if (W == 0)
+        continue;
+      AbstractValue AV = evalInstr(I, W);
+      AV.refine();
+      Facts.insert_or_assign(I, std::move(AV));
+    }
+  }
+}
+
+const AbstractValue *AbstractInterp::get(const Value *V) const {
+  auto It = Facts.find(V);
+  return It == Facts.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Demanded bits (backward, source side only)
+//===----------------------------------------------------------------------===//
+
+void AbstractInterp::addDemanded(const Value *V, const APInt &D) {
+  auto It = Demanded.find(V);
+  if (It == Demanded.end())
+    Demanded.emplace(V, D);
+  else
+    It->second = It->second.orOp(D);
+}
+
+/// Mask of the low bits up to and including the highest demanded bit:
+/// carries/borrows in add, sub, and mul only propagate upward.
+static APInt lowDemandMask(const APInt &D) {
+  unsigned W = D.getWidth();
+  if (D.isZero())
+    return D;
+  unsigned HighestBit = W - D.countLeadingZeros(); // 1-based index
+  if (HighestBit >= W)
+    return APInt::getAllOnes(W);
+  return APInt::getAllOnes(W).lshr(APInt(W, W - HighestBit));
+}
+
+void AbstractInterp::demandOperands(const Instr *I, const APInt &D) {
+  unsigned W = D.getWidth();
+  auto demandAll = [&](const Value *V) {
+    unsigned VW = WidthOf(V);
+    if (VW)
+      addDemanded(V, APInt::getAllOnes(VW));
+  };
+
+  switch (I->getKind()) {
+  case ValueKind::BinOp: {
+    const auto *B = cast<BinOp>(I);
+    const Value *L = B->getLHS(), *R = B->getRHS();
+    const AbstractValue *LF = get(L), *RF = get(R);
+    switch (B->getOpcode()) {
+    case BinOpcode::And:
+      // A bit the other side holds at 0 cannot influence the result.
+      addDemanded(L, RF ? D.andOp(RF->KB.Zeros.notOp()) : D);
+      addDemanded(R, LF ? D.andOp(LF->KB.Zeros.notOp()) : D);
+      return;
+    case BinOpcode::Or:
+      addDemanded(L, RF ? D.andOp(RF->KB.Ones.notOp()) : D);
+      addDemanded(R, LF ? D.andOp(LF->KB.Ones.notOp()) : D);
+      return;
+    case BinOpcode::Xor:
+      addDemanded(L, D);
+      addDemanded(R, D);
+      return;
+    case BinOpcode::Add:
+    case BinOpcode::Sub:
+    case BinOpcode::Mul: {
+      APInt M = lowDemandMask(D);
+      addDemanded(L, M);
+      addDemanded(R, M);
+      return;
+    }
+    case BinOpcode::Shl:
+    case BinOpcode::LShr:
+    case BinOpcode::AShr: {
+      APInt C(W, 0);
+      const AbstractValue *Amt = get(R);
+      if (Amt && Amt->isConstant(C) && C.getZExtValue() < W) {
+        APInt DL(W, 0);
+        if (B->getOpcode() == BinOpcode::Shl) {
+          DL = D.lshr(C);
+        } else {
+          DL = D.shl(C);
+          // ashr replicates the sign bit into the vacated positions.
+          if (B->getOpcode() == BinOpcode::AShr && !C.isZero() &&
+              !D.lshr(APInt(W, W - C.getZExtValue())).isZero())
+            DL = DL.orOp(APInt::getSignedMinValue(W));
+        }
+        addDemanded(L, DL);
+        demandAll(R);
+        return;
+      }
+      demandAll(L);
+      demandAll(R);
+      return;
+    }
+    default: // division/remainder: every bit matters (incl. definedness)
+      demandAll(L);
+      demandAll(R);
+      return;
+    }
+  }
+  case ValueKind::Select: {
+    const auto *S = cast<Select>(I);
+    demandAll(S->getCondition());
+    addDemanded(S->getTrueValue(), D);
+    addDemanded(S->getFalseValue(), D);
+    return;
+  }
+  case ValueKind::Copy:
+    addDemanded(cast<Copy>(I)->getSrc(), D);
+    return;
+  case ValueKind::Conv: {
+    const auto *Cv = cast<Conv>(I);
+    const Value *S = Cv->getSrc();
+    unsigned SW = WidthOf(S);
+    if (!SW) {
+      return;
+    }
+    if (SW < W) {
+      // Widening: low bits map through; sext also reads the sign bit for
+      // any demanded high bit.
+      APInt DS = D.trunc(SW);
+      if (Cv->getOpcode() == ConvOpcode::SExt &&
+          !D.lshr(APInt(W, SW)).isZero())
+        DS = DS.orOp(APInt::getSignedMinValue(SW));
+      addDemanded(S, DS);
+    } else if (SW > W) {
+      addDemanded(S, D.zext(SW));
+    } else {
+      addDemanded(S, D);
+    }
+    return;
+  }
+  default: // icmp, memory ops: demand everything from every operand
+    for (const Value *Op : I->operands())
+      demandAll(Op);
+    return;
+  }
+}
+
+void AbstractInterp::runDemanded() {
+  if (Facts.empty())
+    run();
+  Demanded.clear();
+  // Every source value starts at "nothing demanded"; values never reached
+  // from the root keep that (their bits provably cannot matter).
+  for (const Instr *I : T.src()) {
+    unsigned W = WidthOf(I);
+    if (W)
+      Demanded.emplace(I, APInt(W, 0));
+    for (const Value *Op : I->operands()) {
+      unsigned OW = WidthOf(Op);
+      if (OW)
+        Demanded.emplace(Op, APInt(OW, 0));
+    }
+  }
+  const Instr *Root = T.getSrcRoot();
+  if (!Root)
+    return;
+  unsigned RW = WidthOf(Root);
+  if (RW)
+    addDemanded(Root, APInt::getAllOnes(RW));
+  // The list is in definition order, so one reverse sweep propagates all
+  // demands across the DAG.
+  for (auto It = T.src().rbegin(); It != T.src().rend(); ++It) {
+    const Instr *I = *It;
+    auto DIt = Demanded.find(I);
+    if (DIt == Demanded.end()) {
+      // Void result (e.g. store): operands still execute.
+      if (isa<Store>(I) || isa<Load>(I) || isa<Alloca>(I) || isa<GEP>(I))
+        for (const Value *Op : I->operands()) {
+          unsigned OW = WidthOf(Op);
+          if (OW)
+            addDemanded(Op, APInt::getAllOnes(OW));
+        }
+      continue;
+    }
+    if (!DIt->second.isZero() || isa<Store>(I))
+      demandOperands(I, DIt->second);
+  }
+}
+
+APInt AbstractInterp::demandedBits(const Value *V) const {
+  auto It = Demanded.find(V);
+  if (It != Demanded.end())
+    return It->second;
+  unsigned W = WidthOf(V);
+  return APInt::getAllOnes(W ? W : 1);
+}

@@ -1,0 +1,135 @@
+//===- analysis/AbstractInterp.h - dataflow over templates ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward abstract interpreter over a Transform's source and target
+/// DAGs under one concrete type assignment, carrying a KnownBits mask and
+/// a ConstantRange per value, plus a demanded-bits style backward pass
+/// from the source root. Facts describe the value component (iota) of the
+/// paper's semantics for *defined* executions: an execution the semantics
+/// leaves undefined (division by zero, oversized shift) satisfies every
+/// fact vacuously, which matches how the verifier's refinement conditions
+/// guard value equations with definedness. Inputs, abstract constants, and
+/// undef concretize to top; the analysis never assumes a precondition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_ANALYSIS_ABSTRACTINTERP_H
+#define ALIVE_ANALYSIS_ABSTRACTINTERP_H
+
+#include "analysis/ConstantRange.h"
+#include "analysis/KnownBits.h"
+#include "ir/Precondition.h"
+#include "ir/Transform.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace alive {
+namespace analysis {
+
+/// The product domain: a value satisfies both components.
+struct AbstractValue {
+  KnownBits KB;
+  ConstantRange CR;
+
+  AbstractValue() : KB(1), CR(1) {}
+  explicit AbstractValue(unsigned Width)
+      : KB(KnownBits::top(Width)), CR(ConstantRange::full(Width)) {}
+
+  static AbstractValue top(unsigned Width) { return AbstractValue(Width); }
+  static AbstractValue constant(const APInt &C) {
+    AbstractValue V;
+    V.KB = KnownBits::constant(C);
+    V.CR = ConstantRange::singleton(C);
+    return V;
+  }
+
+  unsigned width() const { return KB.width(); }
+
+  bool isConstant(APInt &Out) const {
+    if (KB.isConstant()) {
+      Out = KB.constantValue();
+      return true;
+    }
+    if (CR.isSingleton()) {
+      Out = CR.singletonValue();
+      return true;
+    }
+    return false;
+  }
+
+  bool nonZero() const { return KB.nonZero() || !CR.containsZero(); }
+
+  bool contains(const APInt &V) const {
+    return KB.contains(V) && CR.contains(V);
+  }
+
+  /// Exchanges information between the two components (the KnownBits
+  /// unsigned hull tightens the range and vice versa is skipped: masks
+  /// from ranges are rarely profitable).
+  void refine() {
+    ConstantRange FromKB =
+        ConstantRange::fromUnsignedBounds(KB.minValue(), KB.maxValue());
+    if (CR.isFull())
+      CR = FromKB;
+  }
+};
+
+/// Evaluates a constant expression built only from literals at \p Width,
+/// mirroring the SMT encoding bit for bit (literals wrap to the width,
+/// zext/sext/trunc are no-ops, log2(0) = 0). Returns nullopt when the
+/// expression references an abstract constant, a register, or divides by
+/// zero (where the encoder emits a definedness side condition instead of
+/// a value).
+std::optional<APInt> evalLiteralConstExpr(const ir::ConstExpr *E,
+                                                   unsigned Width);
+
+/// Concretely evaluates a builtin predicate's exact property formula
+/// (semantics/Predicates.cpp) on constant arguments. PredKind::OneUse has
+/// no semantic property and must not be passed.
+bool evalPredicateOnConstants(ir::PredKind K,
+                              const std::vector<APInt> &Args);
+
+class AbstractInterp {
+public:
+  /// \p WidthOf maps a value to its integer bit width under the current
+  /// type assignment, or 0 for pointers/void/unknown (no facts tracked).
+  using WidthFn = std::function<unsigned(const ir::Value *)>;
+
+  AbstractInterp(const ir::Transform &T, WidthFn WidthOf);
+
+  /// Forward pass over source then target instruction lists. Shared
+  /// operands (inputs, constants, source temporaries referenced by the
+  /// target) carry a single fact, matching the encoder's term sharing.
+  void run();
+
+  /// Fact for \p V, or nullptr when none is tracked.
+  const AbstractValue *get(const ir::Value *V) const;
+
+  /// Backward demanded-bits pass from the source root over the source
+  /// list: a cleared bit means the root's value provably does not depend
+  /// on that bit of \p V in any defined execution.
+  void runDemanded();
+  APInt demandedBits(const ir::Value *V) const;
+
+private:
+  const AbstractValue *factOf(const ir::Value *V);
+  AbstractValue evalInstr(const ir::Instr *I, unsigned W);
+  void demandOperands(const ir::Instr *I, const APInt &D);
+  void addDemanded(const ir::Value *V, const APInt &D);
+
+  const ir::Transform &T;
+  WidthFn WidthOf;
+  std::map<const ir::Value *, AbstractValue> Facts;
+  std::map<const ir::Value *, APInt> Demanded;
+};
+
+} // namespace analysis
+} // namespace alive
+
+#endif // ALIVE_ANALYSIS_ABSTRACTINTERP_H

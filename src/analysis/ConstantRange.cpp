@@ -1,0 +1,289 @@
+//===- analysis/ConstantRange.cpp - wrapped interval transfer fns ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstantRange.h"
+
+using namespace alive;
+using namespace alive::analysis;
+
+
+// The set is an arc on the 2^W circle; an arc that misses an ordering's
+// minimum (maximum) point cannot cross that ordering's wrap edge, so its
+// extremum is simply the matching endpoint.
+APInt ConstantRange::umin() const {
+  if (Full || containsZero())
+    return APInt(width(), 0);
+  return Lo;
+}
+
+APInt ConstantRange::umax() const {
+  if (Full || contains(APInt::getMaxValue(width())))
+    return APInt::getMaxValue(width());
+  return Hi.sub(APInt(width(), 1));
+}
+
+APInt ConstantRange::smin() const {
+  if (Full || contains(APInt::getSignedMinValue(width())))
+    return APInt::getSignedMinValue(width());
+  return Lo;
+}
+
+APInt ConstantRange::smax() const {
+  if (Full || contains(APInt::getSignedMaxValue(width())))
+    return APInt::getSignedMaxValue(width());
+  return Hi.sub(APInt(width(), 1));
+}
+
+ConstantRange ConstantRange::join(const ConstantRange &O) const {
+  unsigned W = width();
+  if (Full || O.Full)
+    return full(W);
+  // Keep it simple and sound: take the unsigned hull unless both ranges
+  // are wrapped (then the wrapped hull).
+  if (isWrapped() != O.isWrapped())
+    return full(W);
+  APInt NLo = Lo.ult(O.Lo) ? Lo : O.Lo;
+  APInt NHiLast = umax().ugt(O.umax()) ? umax() : O.umax();
+  if (isWrapped()) {
+    // Both wrap: hull of [Lo, Hi) and [OLo, OHi) with Hi,OHi < Lo,OLo.
+    APInt NHi = Hi.ugt(O.Hi) ? Hi : O.Hi;
+    APInt WLo = Lo.ult(O.Lo) ? Lo : O.Lo;
+    if (NHi.uge(WLo))
+      return full(W);
+    return ConstantRange(WLo, NHi);
+  }
+  APInt NHi = NHiLast.add(APInt(W, 1));
+  if (NHi == NLo)
+    return full(W);
+  return ConstantRange(NLo, NHi);
+}
+
+/// Builds [Min, Max] as a range, degrading to full on an inverted pair.
+ConstantRange ConstantRange::fromUnsignedBounds(const APInt &Min,
+                                                const APInt &Max) {
+  unsigned W = Min.getWidth();
+  if (Min.ugt(Max))
+    return full(W);
+  if (Min.isZero() && Max.isAllOnes())
+    return full(W);
+  return ConstantRange(Min, Max.add(APInt(W, 1)));
+}
+
+namespace {
+
+/// Non-wrapped unsigned view of a range, or nullopt when wrapped/full.
+struct UBounds {
+  APInt Min, Max;
+};
+
+bool unsignedBounds(const ConstantRange &R, UBounds &B) {
+  if (R.isFull() || R.isWrapped())
+    return false;
+  B.Min = R.umin();
+  B.Max = R.umax();
+  return true;
+}
+
+} // namespace
+
+ConstantRange ConstantRange::binOp(ir::BinOpcode Op, const ConstantRange &L,
+                                   const ConstantRange &R) {
+  using ir::BinOpcode;
+  unsigned W = L.width();
+
+  // Singletons fold exactly (guarding the partial operations).
+  if (L.isSingleton() && R.isSingleton()) {
+    APInt A = L.singletonValue(), B = R.singletonValue();
+    switch (Op) {
+    case BinOpcode::Add:
+      return singleton(A.add(B));
+    case BinOpcode::Sub:
+      return singleton(A.sub(B));
+    case BinOpcode::Mul:
+      return singleton(A.mul(B));
+    case BinOpcode::UDiv:
+      if (!B.isZero())
+        return singleton(A.udiv(B));
+      break;
+    case BinOpcode::SDiv:
+      if (!B.isZero() && !(A.isSignedMinValue() && B.isAllOnes()))
+        return singleton(A.sdiv(B));
+      break;
+    case BinOpcode::URem:
+      if (!B.isZero())
+        return singleton(A.urem(B));
+      break;
+    case BinOpcode::SRem:
+      if (!B.isZero() && !(A.isSignedMinValue() && B.isAllOnes()))
+        return singleton(A.srem(B));
+      break;
+    case BinOpcode::Shl:
+      if (B.getZExtValue() < W)
+        return singleton(A.shl(B));
+      break;
+    case BinOpcode::LShr:
+      if (B.getZExtValue() < W)
+        return singleton(A.lshr(B));
+      break;
+    case BinOpcode::AShr:
+      if (B.getZExtValue() < W)
+        return singleton(A.ashr(B));
+      break;
+    case BinOpcode::And:
+      return singleton(A.andOp(B));
+    case BinOpcode::Or:
+      return singleton(A.orOp(B));
+    case BinOpcode::Xor:
+      return singleton(A.xorOp(B));
+    }
+    return full(W);
+  }
+
+  UBounds A, B;
+  bool HasA = unsignedBounds(L, A), HasB = unsignedBounds(R, B);
+
+  switch (Op) {
+  case BinOpcode::Add: {
+    if (!HasA || !HasB)
+      return full(W);
+    // No unsigned overflow on the max sum -> interval arithmetic is exact.
+    bool Ov = false;
+    APInt MaxSum = A.Max.uaddOverflow(B.Max, Ov);
+    if (Ov)
+      return full(W);
+    return fromUnsignedBounds(A.Min.add(B.Min), MaxSum);
+  }
+  case BinOpcode::Sub: {
+    if (!HasA || !HasB)
+      return full(W);
+    if (A.Min.ult(B.Max)) // the min difference could wrap below zero
+      return full(W);
+    return fromUnsignedBounds(A.Min.sub(B.Max), A.Max.sub(B.Min));
+  }
+  case BinOpcode::Mul: {
+    if (!HasA || !HasB)
+      return full(W);
+    bool Ov = false;
+    APInt MaxProd = A.Max.umulOverflow(B.Max, Ov);
+    if (Ov)
+      return full(W);
+    return fromUnsignedBounds(A.Min.mul(B.Min), MaxProd);
+  }
+  case BinOpcode::UDiv: {
+    if (!HasA)
+      return full(W);
+    // Quotient <= dividend even for an unknown (non-zero) divisor.
+    APInt DivMin(W, 1);
+    if (HasB && !B.Min.isZero())
+      DivMin = B.Min;
+    return fromUnsignedBounds(APInt(W, 0), A.Max.udiv(DivMin));
+  }
+  case BinOpcode::URem: {
+    // Remainder < divisor (for defined executions).
+    if (HasB && !B.Max.isZero())
+      return fromUnsignedBounds(APInt(W, 0),
+                                B.Max.sub(APInt(W, 1)));
+    if (HasA)
+      return fromUnsignedBounds(APInt(W, 0), A.Max);
+    return full(W);
+  }
+  case BinOpcode::LShr: {
+    if (!HasA)
+      return full(W);
+    APInt ShMin(W, 0);
+    if (HasB && B.Min.getZExtValue() < W)
+      ShMin = B.Min;
+    return fromUnsignedBounds(APInt(W, 0), A.Max.lshr(ShMin));
+  }
+  case BinOpcode::Shl: {
+    if (!HasA || !HasB || B.Max.getZExtValue() >= W)
+      return full(W);
+    bool Ov = false;
+    APInt MaxShifted = A.Max.ushlOverflow(B.Max, Ov);
+    if (Ov)
+      return full(W);
+    return fromUnsignedBounds(A.Min.shl(B.Min), MaxShifted);
+  }
+  case BinOpcode::And: {
+    // x & y <= min(max(x), max(y)).
+    APInt Cap = APInt::getMaxValue(W);
+    if (HasA)
+      Cap = A.Max;
+    if (HasB && B.Max.ult(Cap))
+      Cap = B.Max;
+    if (Cap.isAllOnes())
+      return full(W);
+    return fromUnsignedBounds(APInt(W, 0), Cap);
+  }
+  case BinOpcode::Or: {
+    // x | y >= max(min(x), min(y)); stay below 2^ceil(bits) - 1.
+    if (!HasA || !HasB)
+      return full(W);
+    unsigned Bits = W - std::min(A.Max.countLeadingZeros(),
+                                 B.Max.countLeadingZeros());
+    APInt Min = A.Min.ugt(B.Min) ? A.Min : B.Min;
+    APInt Max = Bits >= W ? APInt::getMaxValue(W)
+                          : APInt(W, (1ULL << Bits) - 1);
+    return fromUnsignedBounds(Min, Max);
+  }
+  case BinOpcode::Xor: {
+    if (!HasA || !HasB)
+      return full(W);
+    unsigned Bits = W - std::min(A.Max.countLeadingZeros(),
+                                 B.Max.countLeadingZeros());
+    APInt Max = Bits >= W ? APInt::getMaxValue(W)
+                          : APInt(W, (1ULL << Bits) - 1);
+    return fromUnsignedBounds(APInt(W, 0), Max);
+  }
+  case BinOpcode::SDiv:
+  case BinOpcode::SRem:
+  case BinOpcode::AShr:
+    return full(W);
+  }
+  return full(W);
+}
+
+ConstantRange ConstantRange::zext(unsigned NewWidth) const {
+  unsigned W = width();
+  if (Full || isWrapped())
+    return fromUnsignedBounds(APInt(NewWidth, 0),
+                              APInt::getMaxValue(W).zext(NewWidth));
+  return fromUnsignedBounds(umin().zext(NewWidth), umax().zext(NewWidth));
+}
+
+ConstantRange ConstantRange::sext(unsigned NewWidth) const {
+  unsigned W = width();
+  APInt Min = smin(), Max = smax();
+  if (Full || Min == APInt::getSignedMinValue(W) ||
+      Max == APInt::getSignedMaxValue(W)) {
+    // Hull of all sign-extended W-bit values, as a wrapped range
+    // [sext(min), sext(max)+1).
+    return ConstantRange(
+        APInt::getSignedMinValue(W).sext(NewWidth),
+        APInt::getSignedMaxValue(W).sext(NewWidth).add(
+            APInt(NewWidth, 1)));
+  }
+  return ConstantRange(Min.sext(NewWidth),
+                       Max.sext(NewWidth).add(APInt(NewWidth, 1)));
+}
+
+ConstantRange ConstantRange::trunc(unsigned NewWidth) const {
+  if (Full || isWrapped())
+    return full(NewWidth);
+  // Exact only when the whole interval fits the narrow width.
+  if (umax().ult(APInt(width(), 1).shl(APInt(width(), NewWidth))) ||
+      NewWidth == width())
+    return fromUnsignedBounds(umin().trunc(NewWidth),
+                              umax().trunc(NewWidth));
+  return full(NewWidth);
+}
+
+std::string ConstantRange::str() const {
+  if (Full)
+    return "full";
+  return "[" + std::to_string(Lo.getZExtValue()) + "," +
+         std::to_string(Hi.getZExtValue()) + ")";
+}

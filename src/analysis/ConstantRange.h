@@ -1,0 +1,98 @@
+//===- analysis/ConstantRange.h - wrapped interval lattice ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constant-range abstract domain: a wrapped (possibly wrapping past
+/// the unsigned maximum) half-open interval [Lo, Hi) of fixed-width
+/// values. Complements KnownBits: ranges track magnitudes (divisor != 0,
+/// shift amount < width) that bit masks cannot. Transfer functions give up
+/// to the full set rather than ever excluding a reachable value, so every
+/// fact is sound for the SMT pre-filter to act on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_ANALYSIS_CONSTANTRANGE_H
+#define ALIVE_ANALYSIS_CONSTANTRANGE_H
+
+#include "ir/Instr.h"
+#include "support/APInt.h"
+
+namespace alive {
+namespace analysis {
+
+class ConstantRange {
+public:
+  /// Full set of the given width.
+  explicit ConstantRange(unsigned Width)
+      : Lo(Width, 0), Hi(Width, 0), Full(true) {}
+  /// Singleton {C}, as the wrapped interval [C, C+1).
+  explicit ConstantRange(const APInt &C)
+      : Lo(C), Hi(C.add(APInt(C.getWidth(), 1))), Full(false) {}
+  /// Half-open [Lo, Hi); Lo == Hi denotes the full set.
+  ConstantRange(APInt Lo, APInt Hi)
+      : Lo(std::move(Lo)), Hi(std::move(Hi)) {
+    Full = this->Lo == this->Hi;
+  }
+
+  static ConstantRange full(unsigned Width) { return ConstantRange(Width); }
+  static ConstantRange singleton(const APInt &C) {
+    return ConstantRange(C);
+  }
+
+  unsigned width() const { return Lo.getWidth(); }
+  bool isFull() const { return Full; }
+  bool isWrapped() const { return !Full && Hi.ult(Lo); }
+
+  bool contains(const APInt &V) const {
+    if (Full)
+      return true;
+    return V.sub(Lo).ult(Hi.sub(Lo));
+  }
+
+  bool isSingleton() const {
+    return !Full && Hi.sub(Lo) == APInt(width(), 1);
+  }
+  APInt singletonValue() const { return Lo; }
+
+  /// Unsigned extrema of the set.
+  APInt umin() const;
+  APInt umax() const;
+  /// Signed extrema of the set.
+  APInt smin() const;
+  APInt smax() const;
+
+  bool containsZero() const {
+    return contains(APInt(width(), 0));
+  }
+
+  ConstantRange join(const ConstantRange &O) const;
+
+  // Transfer functions. Conservative: may return a superset.
+  static ConstantRange binOp(ir::BinOpcode Op, const ConstantRange &L,
+                             const ConstantRange &R);
+  ConstantRange zext(unsigned NewWidth) const;
+  ConstantRange sext(unsigned NewWidth) const;
+  ConstantRange trunc(unsigned NewWidth) const;
+  ConstantRange zextOrTrunc(unsigned NewWidth) const {
+    return NewWidth >= width() ? zext(NewWidth) : trunc(NewWidth);
+  }
+
+  /// The tightest range implied by a known-bits fact (unsigned
+  /// [min, max] of the mask-compatible values).
+  static ConstantRange fromUnsignedBounds(const APInt &Min,
+                                          const APInt &Max);
+
+  std::string str() const;
+
+private:
+  APInt Lo, Hi;
+  bool Full = false;
+};
+
+} // namespace analysis
+} // namespace alive
+
+#endif // ALIVE_ANALYSIS_CONSTANTRANGE_H

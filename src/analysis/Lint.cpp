@@ -1,0 +1,402 @@
+//===- analysis/Lint.cpp - template diagnostics ----------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/AbstractInterp.h"
+#include "ir/Instr.h"
+#include "ir/Precondition.h"
+#include "typing/TypeConstraints.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+
+const char *analysis::lintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::UnusedSourceInstr:
+    return "unused-source-instr";
+  case LintKind::UnusedTargetInstr:
+    return "unused-target-instr";
+  case LintKind::MissingRoot:
+    return "missing-root";
+  case LintKind::TautologyPrecond:
+    return "tautology-precondition";
+  case LintKind::ContradictionPrecond:
+    return "contradiction-precondition";
+  case LintKind::RedundantAttr:
+    return "redundant-attribute";
+  case LintKind::ConstExprUB:
+    return "constexpr-ub";
+  case LintKind::WidthInconsistent:
+    return "width-inconsistent";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Widths a literal-only precondition clause is probed at; a verdict is
+/// reported only when it is uniform across all of them (literals wrap to
+/// the context width, so e.g. IsPowerOf2(6) is width-dependent).
+const unsigned ProbeWidths[] = {1, 4, 8, 16, 32, 64};
+
+class Linter {
+public:
+  explicit Linter(const Transform &T) : T(T) {}
+
+  std::vector<LintDiagnostic> run() {
+    checkRoots();
+    checkUnused();
+    checkPrecondition();
+    checkRedundantAttrs();
+    checkConstExprUB();
+    checkWidths();
+    std::stable_sort(Diags.begin(), Diags.end(),
+                     [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                       if (A.Loc.Line != B.Loc.Line)
+                         return A.Loc.Line < B.Loc.Line;
+                       return A.Loc.Col < B.Loc.Col;
+                     });
+    return std::move(Diags);
+  }
+
+private:
+  void diag(LintKind K, SourceLoc L, std::string Msg) {
+    Diags.push_back({K, L, std::move(Msg)});
+  }
+
+  /// The literal behind a plain literal operand (no symbolic parts), or
+  /// nullopt. Used for the redundant-attribute sufficient conditions,
+  /// which only fire on width-stable values like 0 and 1.
+  static std::optional<int64_t> litOperand(const Value *V) {
+    const auto *CEV = dyn_cast<ConstExprValue>(V);
+    if (!CEV || CEV->getExpr()->getKind() != ConstExpr::Kind::Literal)
+      return std::nullopt;
+    return CEV->getExpr()->getLiteral();
+  }
+
+  // --- structural checks (finalize() re-derived, with locations) --------
+
+  void checkRoots() {
+    if (T.src().empty() || T.tgt().empty()) {
+      diag(LintKind::MissingRoot, SourceLoc{},
+           T.src().empty() ? "source template is empty"
+                           : "target template is empty");
+      return;
+    }
+    const Instr *SrcRoot = T.src().back();
+    if (SrcRoot->getName().empty())
+      return; // void root: any target shape is allowed
+    const Instr *Redef = nullptr;
+    for (const Instr *I : T.tgt())
+      if (I->getName() == SrcRoot->getName())
+        Redef = I;
+    if (!Redef) {
+      diag(LintKind::MissingRoot, T.tgt().back()->getLoc(),
+           "target never defines the root variable " + SrcRoot->getName());
+    } else if (Redef != T.tgt().back()) {
+      diag(LintKind::MissingRoot, Redef->getLoc(),
+           "the root " + SrcRoot->getName() +
+               " must be the last target definition");
+    }
+  }
+
+  void checkUnused() {
+    if (T.src().empty() || T.tgt().empty())
+      return;
+    const Instr *SrcRoot = T.src().back();
+    const Instr *TgtRoot = T.tgt().back();
+    for (const Instr *I : T.tgt())
+      if (!SrcRoot->getName().empty() && I->getName() == SrcRoot->getName())
+        TgtRoot = I;
+
+    std::set<std::string> SrcNames, TgtNames;
+    for (const Instr *I : T.src())
+      if (!I->getName().empty())
+        SrcNames.insert(I->getName());
+    for (const Instr *I : T.tgt())
+      if (!I->getName().empty())
+        TgtNames.insert(I->getName());
+
+    const auto &Src = T.src();
+    for (size_t I = 0; I != Src.size(); ++I) {
+      const Instr *Def = Src[I];
+      if (Def == SrcRoot || Def->getName().empty())
+        continue;
+      bool Used = false;
+      for (size_t J = I + 1; J != Src.size() && !Used; ++J)
+        for (const Value *Op : Src[J]->operands())
+          Used |= Op == static_cast<const Value *>(Def);
+      if (!Used && !TgtNames.count(Def->getName()))
+        diag(LintKind::UnusedSourceInstr, Def->getLoc(),
+             "source temporary " + Def->getName() +
+                 " is never used nor overwritten");
+    }
+
+    const auto &Tgt = T.tgt();
+    for (size_t I = 0; I != Tgt.size(); ++I) {
+      const Instr *Def = Tgt[I];
+      if (Def == TgtRoot || Def->getName().empty())
+        continue;
+      bool Used = false;
+      for (size_t J = I + 1; J != Tgt.size() && !Used; ++J)
+        for (const Value *Op : Tgt[J]->operands())
+          Used |= Op == static_cast<const Value *>(Def);
+      if (!Used && !SrcNames.count(Def->getName()))
+        diag(LintKind::UnusedTargetInstr, Def->getLoc(),
+             "target temporary " + Def->getName() +
+                 " is never used and overwrites nothing");
+    }
+  }
+
+  // --- precondition checks ----------------------------------------------
+
+  /// Tri-state evaluation of one Cmp clause at one width: nullopt when a
+  /// side is not literal-only.
+  static std::optional<bool> evalCmpAt(const Precond *P, unsigned W) {
+    auto L = evalLiteralConstExpr(P->getCmpLHS(), W);
+    auto R = evalLiteralConstExpr(P->getCmpRHS(), W);
+    if (!L || !R)
+      return std::nullopt;
+    switch (P->getCmpOp()) {
+    case Precond::CmpOp::EQ:
+      return L->eq(*R);
+    case Precond::CmpOp::NE:
+      return !L->eq(*R);
+    case Precond::CmpOp::ULT:
+      return L->ult(*R);
+    case Precond::CmpOp::ULE:
+      return L->ule(*R);
+    case Precond::CmpOp::UGT:
+      return L->ugt(*R);
+    case Precond::CmpOp::UGE:
+      return L->uge(*R);
+    case Precond::CmpOp::SLT:
+      return L->slt(*R);
+    case Precond::CmpOp::SLE:
+      return L->sle(*R);
+    case Precond::CmpOp::SGT:
+      return L->sgt(*R);
+    case Precond::CmpOp::SGE:
+      return L->sge(*R);
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<bool> evalBuiltinAt(const Precond *P, unsigned W) {
+    if (P->getPred() == PredKind::OneUse)
+      return std::nullopt; // profitability hint, no semantic content
+    std::vector<APInt> Args;
+    for (const Value *V : P->getArgs()) {
+      const auto *CEV = dyn_cast<ConstExprValue>(V);
+      if (!CEV)
+        return std::nullopt;
+      auto C = evalLiteralConstExpr(CEV->getExpr(), W);
+      if (!C)
+        return std::nullopt;
+      Args.push_back(*C);
+    }
+    return evalPredicateOnConstants(P->getPred(), Args);
+  }
+
+  /// Probes one literal-only leaf clause across ProbeWidths; reports only
+  /// a width-uniform verdict.
+  void checkClause(const Precond *P) {
+    bool AllTrue = true, AllFalse = true, Any = false;
+    for (unsigned W : ProbeWidths) {
+      std::optional<bool> V = P->getKind() == Precond::Kind::Cmp
+                                  ? evalCmpAt(P, W)
+                                  : evalBuiltinAt(P, W);
+      if (!V)
+        return;
+      Any = true;
+      AllTrue &= *V;
+      AllFalse &= !*V;
+    }
+    if (!Any)
+      return;
+    if (AllTrue)
+      diag(LintKind::TautologyPrecond, P->getLoc(),
+           "precondition clause is always true: " + P->str());
+    else if (AllFalse)
+      diag(LintKind::ContradictionPrecond, P->getLoc(),
+           "precondition clause is always false: " + P->str());
+  }
+
+  void walkPrecond(const Precond *P) {
+    switch (P->getKind()) {
+    case Precond::Kind::True:
+      return;
+    case Precond::Kind::Not:
+    case Precond::Kind::And:
+    case Precond::Kind::Or:
+      for (unsigned I = 0; I != P->getNumChildren(); ++I)
+        walkPrecond(P->getChild(I));
+      return;
+    case Precond::Kind::Cmp:
+    case Precond::Kind::Builtin:
+      checkClause(P);
+      return;
+    }
+  }
+
+  void checkPrecondition() { walkPrecond(&T.getPrecondition()); }
+
+  // --- redundant attributes ---------------------------------------------
+
+  void checkRedundantAttrs() {
+    auto Check = [&](const Instr *I) {
+      const auto *B = dyn_cast<BinOp>(I);
+      if (!B || B->getFlags() == 0)
+        return;
+      auto L = litOperand(B->getLHS());
+      auto R = litOperand(B->getRHS());
+      auto Redundant = [&](const char *Flag, const std::string &Why) {
+        diag(LintKind::RedundantAttr, I->getLoc(),
+             std::string("attribute '") + Flag + "' on " + I->getName() +
+                 " is redundant: " + Why);
+      };
+      switch (B->getOpcode()) {
+      case BinOpcode::Add:
+      case BinOpcode::Sub: {
+        bool Neutral = (R && *R == 0) ||
+                       (B->getOpcode() == BinOpcode::Add && L && *L == 0);
+        if (!Neutral)
+          return;
+        if (B->getFlags() & AttrNSW)
+          Redundant("nsw", "adding or subtracting 0 cannot wrap");
+        if (B->getFlags() & AttrNUW)
+          Redundant("nuw", "adding or subtracting 0 cannot wrap");
+        return;
+      }
+      case BinOpcode::Mul: {
+        bool Neutral = (R && (*R == 0 || *R == 1)) ||
+                       (L && (*L == 0 || *L == 1));
+        if (!Neutral)
+          return;
+        if (B->getFlags() & AttrNSW)
+          Redundant("nsw", "multiplying by 0 or 1 cannot wrap");
+        if (B->getFlags() & AttrNUW)
+          Redundant("nuw", "multiplying by 0 or 1 cannot wrap");
+        return;
+      }
+      case BinOpcode::Shl: {
+        if (!(R && *R == 0))
+          return;
+        if (B->getFlags() & AttrNSW)
+          Redundant("nsw", "shifting by 0 cannot wrap");
+        if (B->getFlags() & AttrNUW)
+          Redundant("nuw", "shifting by 0 cannot wrap");
+        return;
+      }
+      case BinOpcode::UDiv:
+      case BinOpcode::SDiv:
+        if ((B->getFlags() & AttrExact) && R && *R == 1)
+          Redundant("exact", "division by 1 leaves no remainder");
+        return;
+      case BinOpcode::LShr:
+      case BinOpcode::AShr:
+        if ((B->getFlags() & AttrExact) && R && *R == 0)
+          Redundant("exact", "shifting by 0 discards no bits");
+        return;
+      default:
+        return;
+      }
+    };
+    for (const Instr *I : T.src())
+      Check(I);
+    for (const Instr *I : T.tgt())
+      Check(I);
+  }
+
+  // --- constant-expression UB -------------------------------------------
+
+  /// True when some div/rem node in \p E has a divisor that is
+  /// literal-only and evaluates to zero (literal 0 is zero at every
+  /// width; width-dependent zeros are not reported).
+  static bool dividesByZero(const ConstExpr *E) {
+    if (E->getKind() == ConstExpr::Kind::Binary) {
+      switch (E->getBinaryOp()) {
+      case ConstExpr::BinaryOp::UDiv:
+      case ConstExpr::BinaryOp::SDiv:
+      case ConstExpr::BinaryOp::URem:
+      case ConstExpr::BinaryOp::SRem: {
+        auto D8 = evalLiteralConstExpr(E->getArg(1), 8);
+        auto D32 = evalLiteralConstExpr(E->getArg(1), 32);
+        if (D8 && D32 && D8->isZero() && D32->isZero())
+          return true;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    if (E->getKind() != ConstExpr::Kind::SymRef &&
+        E->getKind() != ConstExpr::Kind::Literal)
+      for (unsigned I = 0; I != E->getNumArgs(); ++I)
+        if (dividesByZero(E->getArg(I)))
+          return true;
+    return false;
+  }
+
+  void walkPrecondExprs(const Precond *P) {
+    switch (P->getKind()) {
+    case Precond::Kind::Not:
+    case Precond::Kind::And:
+    case Precond::Kind::Or:
+      for (unsigned I = 0; I != P->getNumChildren(); ++I)
+        walkPrecondExprs(P->getChild(I));
+      return;
+    case Precond::Kind::Cmp:
+      if (dividesByZero(P->getCmpLHS()) || dividesByZero(P->getCmpRHS()))
+        diag(LintKind::ConstExprUB, P->getLoc(),
+             "constant expression divides by zero");
+      return;
+    default:
+      return;
+    }
+  }
+
+  void checkConstExprUB() {
+    for (const auto &V : T.pool()) {
+      const auto *CEV = dyn_cast<ConstExprValue>(V.get());
+      if (CEV && dividesByZero(CEV->getExpr()))
+        diag(LintKind::ConstExprUB, V->getLoc(),
+             "constant expression divides by zero");
+    }
+    walkPrecondExprs(&T.getPrecondition());
+  }
+
+  // --- width consistency ------------------------------------------------
+
+  void checkWidths() {
+    if (T.src().empty() || T.tgt().empty())
+      return;
+    auto Sys = typing::TypeConstraintSystem::fromTransform(T);
+    typing::TypeEnumConfig Cfg;
+    Cfg.Widths = {1, 4, 8, 16, 32, 64};
+    Cfg.MaxAssignments = 1;
+    auto R = typing::enumerateTypesNative(Sys, Cfg);
+    if (R.ok() && R.get().empty())
+      diag(LintKind::WidthInconsistent, T.src().back()->getLoc(),
+           "no feasible type assignment exists for this template");
+  }
+
+  const Transform &T;
+  std::vector<LintDiagnostic> Diags;
+};
+
+} // namespace
+
+std::vector<LintDiagnostic> analysis::lintTransform(const Transform &T) {
+  return Linter(T).run();
+}

@@ -1,0 +1,57 @@
+//===- analysis/Lint.h - template diagnostics -------------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static diagnostics over a parsed (possibly lenient) transform: template
+/// hygiene defects the verifier itself would either reject opaquely or
+/// silently tolerate. Every check is purely syntactic/abstract — no solver
+/// is involved — and each diagnostic carries the source location of the
+/// offending construct so drivers can print file:line:col messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_ANALYSIS_LINT_H
+#define ALIVE_ANALYSIS_LINT_H
+
+#include "ir/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace analysis {
+
+enum class LintKind {
+  UnusedSourceInstr,   ///< source temporary never used nor overwritten
+  UnusedTargetInstr,   ///< target temporary never used, overwrites nothing
+  MissingRoot,         ///< target does not (re)define the source root
+  TautologyPrecond,    ///< literal precondition clause is always true
+  ContradictionPrecond,///< literal precondition clause is always false
+  RedundantAttr,       ///< nsw/nuw/exact provably implied by an operand
+  ConstExprUB,         ///< constant expression divides by literal zero
+  WidthInconsistent,   ///< no feasible type assignment exists
+};
+
+/// Stable kebab-case tag printed after each diagnostic, e.g.
+/// "[unused-source-instr]".
+const char *lintKindName(LintKind K);
+
+struct LintDiagnostic {
+  LintKind Kind;
+  ir::SourceLoc Loc;
+  std::string Message;
+};
+
+/// Runs every lint check over \p T. The transform may have been parsed
+/// leniently (roots resolved best-effort, finalize() skipped); the
+/// structural checks re-derive finalize()'s verdicts with locations.
+/// Diagnostics come back ordered by source location.
+std::vector<LintDiagnostic> lintTransform(const ir::Transform &T);
+
+} // namespace analysis
+} // namespace alive
+
+#endif // ALIVE_ANALYSIS_LINT_H

@@ -1,0 +1,386 @@
+//===- analysis/StaticFilter.cpp - sound SMT pre-filter --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticFilter.h"
+
+#include "analysis/AbstractInterp.h"
+
+#include <set>
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+
+namespace {
+
+bool isMemoryOrUnreachable(const Value *V) {
+  switch (V->getKind()) {
+  case ValueKind::Alloca:
+  case ValueKind::GEP:
+  case ValueKind::Load:
+  case ValueKind::Store:
+  case ValueKind::Unreachable:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Every value the root's semantics flows through (definedness and poison
+/// propagate through all operands, including shared source temporaries).
+void collectReachable(const Value *V, std::set<const Value *> &Out) {
+  if (!V || !Out.insert(V).second)
+    return;
+  if (const auto *I = dyn_cast<Instr>(V))
+    for (const Value *Op : I->operands())
+      collectReachable(Op, Out);
+}
+
+/// True when the expression contains no division/remainder anywhere, i.e.
+/// its encoding carries no definedness side condition.
+bool constExprDivisionFree(const ConstExpr *E) {
+  if (E->getKind() == ConstExpr::Kind::Binary) {
+    switch (E->getBinaryOp()) {
+    case ConstExpr::BinaryOp::SDiv:
+    case ConstExpr::BinaryOp::UDiv:
+    case ConstExpr::BinaryOp::SRem:
+    case ConstExpr::BinaryOp::URem:
+      return false;
+    default:
+      break;
+    }
+  }
+  for (unsigned I = 0, N = E->getNumArgs(); I != N; ++I)
+    if (!constExprDivisionFree(E->getArg(I)))
+      return false;
+  return true;
+}
+
+/// The value provably never takes \p C.
+bool cannotBe(const AbstractValue &AV, const APInt &C) {
+  return !AV.contains(C);
+}
+
+/// δ of one instruction provably holds for every valuation (Table 1).
+bool provablyDefined(const Instr *I, unsigned W, AbstractInterp &AI,
+                     const std::function<unsigned(const Value *)> &WidthOf) {
+  const auto *B = dyn_cast<BinOp>(I);
+  if (!B)
+    return true; // icmp/select/conv/copy carry no δ of their own
+  const AbstractValue *L = AI.get(B->getLHS());
+  const AbstractValue *R = AI.get(B->getRHS());
+  switch (B->getOpcode()) {
+  case BinOpcode::UDiv:
+  case BinOpcode::URem:
+    return R && R->nonZero();
+  case BinOpcode::SDiv:
+  case BinOpcode::SRem: {
+    if (!R || !R->nonZero())
+      return false;
+    // Additionally rule out INT_MIN / -1.
+    if (cannotBe(*R, APInt::getAllOnes(W)))
+      return true;
+    return L && cannotBe(*L, APInt::getSignedMinValue(W));
+  }
+  case BinOpcode::Shl:
+  case BinOpcode::LShr:
+  case BinOpcode::AShr:
+    if (!R)
+      return false;
+    return R->CR.umax().ult(APInt(W, W)) ||
+           R->KB.maxValue().ult(APInt(W, W));
+  default:
+    return true;
+  }
+  (void)WidthOf;
+}
+
+/// ρ of one flagged instruction provably holds for every valuation
+/// (Table 2). Conservative per-flag sufficient conditions.
+bool provablyPoisonFree(const BinOp *B, unsigned W, AbstractInterp &AI) {
+  unsigned Flags = B->getFlags();
+  if (!Flags)
+    return true;
+  const AbstractValue *L = AI.get(B->getLHS());
+  const AbstractValue *R = AI.get(B->getRHS());
+  if (!L || !R)
+    return false;
+
+  APInt SMinW = APInt::getSignedMinValue(W);
+  APInt SMaxW = APInt::getSignedMaxValue(W);
+
+  // All wider-arithmetic checks need W+1 (or 2W) bits to fit APInt's
+  // 64-bit backing store.
+  auto fitsSigned = [&](const APInt &Lo, const APInt &Hi) {
+    unsigned XW = Lo.getWidth();
+    return Lo.sge(SMinW.sext(XW)) && Hi.sle(SMaxW.sext(XW));
+  };
+
+  switch (B->getOpcode()) {
+  case BinOpcode::Add: {
+    if (W >= 64)
+      return false;
+    if (Flags & AttrNSW) {
+      APInt Lo = L->CR.smin().sext(W + 1).add(R->CR.smin().sext(W + 1));
+      APInt Hi = L->CR.smax().sext(W + 1).add(R->CR.smax().sext(W + 1));
+      if (!fitsSigned(Lo, Hi))
+        return false;
+    }
+    if (Flags & AttrNUW) {
+      APInt Hi = L->CR.umax().zext(W + 1).add(R->CR.umax().zext(W + 1));
+      if (Hi.ugt(APInt::getMaxValue(W).zext(W + 1)))
+        return false;
+    }
+    return true;
+  }
+  case BinOpcode::Sub: {
+    if (Flags & AttrNSW) {
+      if (W >= 64)
+        return false;
+      APInt Lo = L->CR.smin().sext(W + 1).sub(R->CR.smax().sext(W + 1));
+      APInt Hi = L->CR.smax().sext(W + 1).sub(R->CR.smin().sext(W + 1));
+      if (!fitsSigned(Lo, Hi))
+        return false;
+    }
+    if (Flags & AttrNUW) {
+      if (!L->CR.umin().uge(R->CR.umax()))
+        return false;
+    }
+    return true;
+  }
+  case BinOpcode::Mul: {
+    if (W > 32) // the 2W-bit product must fit 64 bits
+      return false;
+    if (Flags & AttrNSW) {
+      // Extremal products of the signed bounds, evaluated at 2W bits.
+      APInt Cands[4] = {
+          L->CR.smin().sext(2 * W).mul(R->CR.smin().sext(2 * W)),
+          L->CR.smin().sext(2 * W).mul(R->CR.smax().sext(2 * W)),
+          L->CR.smax().sext(2 * W).mul(R->CR.smin().sext(2 * W)),
+          L->CR.smax().sext(2 * W).mul(R->CR.smax().sext(2 * W))};
+      APInt Lo = Cands[0], Hi = Cands[0];
+      for (const APInt &C : Cands) {
+        if (C.slt(Lo))
+          Lo = C;
+        if (C.sgt(Hi))
+          Hi = C;
+      }
+      if (!fitsSigned(Lo, Hi))
+        return false;
+    }
+    if (Flags & AttrNUW) {
+      APInt Hi = L->CR.umax().zext(2 * W).mul(R->CR.umax().zext(2 * W));
+      if (Hi.ugt(APInt::getMaxValue(W).zext(2 * W)))
+        return false;
+    }
+    return true;
+  }
+  case BinOpcode::Shl: {
+    APInt C(W, 0);
+    if (!R->isConstant(C) || C.getZExtValue() >= W)
+      return false;
+    unsigned Sh = static_cast<unsigned>(C.getZExtValue());
+    unsigned LZ = L->KB.minLeadingZeros();
+    if ((Flags & AttrNSW) && LZ <= Sh)
+      return false; // need the top Sh+1 bits known zero
+    if ((Flags & AttrNUW) && LZ < Sh)
+      return false;
+    return true;
+  }
+  case BinOpcode::UDiv:
+  case BinOpcode::SDiv: {
+    // exact: the division loses no bits. Provable for a constant
+    // power-of-two divisor when the dividend has enough trailing zeros.
+    APInt C(W, 0);
+    if (!R->isConstant(C) || !C.isPowerOf2())
+      return false;
+    unsigned K = C.countTrailingZeros();
+    return L->KB.minTrailingZeros() >= K;
+  }
+  case BinOpcode::LShr:
+  case BinOpcode::AShr: {
+    APInt C(W, 0);
+    if (!R->isConstant(C) || C.getZExtValue() >= W)
+      return false;
+    return L->KB.minTrailingZeros() >= C.getZExtValue();
+  }
+  default:
+    return false;
+  }
+}
+
+/// Structural identity of the value components ι: two DAGs whose encoded
+/// Val terms are necessarily equal. Shared leaves (inputs, constants,
+/// source temporaries) compare by pointer; a textual `undef` re-homed per
+/// side never compares equal; memory values are handled by the caller's
+/// global bail-out.
+bool valueEqual(const Value *A, const Value *B,
+                const std::function<unsigned(const Value *)> &WidthOf) {
+  // ι of a copy is its operand's ι.
+  while (const auto *C = dyn_cast<Copy>(A))
+    A = C->getSrc();
+  while (const auto *C = dyn_cast<Copy>(B))
+    B = C->getSrc();
+  if (isa<UndefValue>(A) || isa<UndefValue>(B))
+    return false;
+  if (A == B)
+    return true;
+  if (A->getKind() != B->getKind() || WidthOf(A) != WidthOf(B) ||
+      WidthOf(A) == 0)
+    return false;
+  switch (A->getKind()) {
+  case ValueKind::ConstVal: {
+    // Identical expression trees encode to identical terms (abstract
+    // constants are shared by name across sides).
+    const ConstExpr *EA = cast<ConstExprValue>(A)->getExpr();
+    const ConstExpr *EB = cast<ConstExprValue>(B)->getExpr();
+    std::function<bool(const ConstExpr *, const ConstExpr *)> Eq =
+        [&](const ConstExpr *X, const ConstExpr *Y) {
+          if (X->getKind() != Y->getKind() ||
+              X->getNumArgs() != Y->getNumArgs())
+            return false;
+          switch (X->getKind()) {
+          case ConstExpr::Kind::Literal:
+            if (X->getLiteral() != Y->getLiteral())
+              return false;
+            break;
+          case ConstExpr::Kind::SymRef:
+            if (X->getSymName() != Y->getSymName())
+              return false;
+            break;
+          case ConstExpr::Kind::Unary:
+            if (X->getUnaryOp() != Y->getUnaryOp())
+              return false;
+            break;
+          case ConstExpr::Kind::Binary:
+            if (X->getBinaryOp() != Y->getBinaryOp())
+              return false;
+            break;
+          case ConstExpr::Kind::Call:
+            if (X->getBuiltin() != Y->getBuiltin() ||
+                X->getValueArg() != Y->getValueArg())
+              return false;
+            break;
+          }
+          for (unsigned I = 0, N = X->getNumArgs(); I != N; ++I)
+            if (!Eq(X->getArg(I), Y->getArg(I)))
+              return false;
+          return true;
+        };
+    return Eq(EA, EB);
+  }
+  case ValueKind::BinOp: {
+    const auto *BA = cast<BinOp>(A), *BB = cast<BinOp>(B);
+    // nsw/nuw/exact constrain poison, not the wrapped value.
+    return BA->getOpcode() == BB->getOpcode() &&
+           valueEqual(BA->getLHS(), BB->getLHS(), WidthOf) &&
+           valueEqual(BA->getRHS(), BB->getRHS(), WidthOf);
+  }
+  case ValueKind::ICmp: {
+    const auto *CA = cast<ICmp>(A), *CB = cast<ICmp>(B);
+    return CA->getCond() == CB->getCond() &&
+           valueEqual(CA->getLHS(), CB->getLHS(), WidthOf) &&
+           valueEqual(CA->getRHS(), CB->getRHS(), WidthOf);
+  }
+  case ValueKind::Select: {
+    const auto *SA = cast<Select>(A), *SB = cast<Select>(B);
+    return valueEqual(SA->getCondition(), SB->getCondition(), WidthOf) &&
+           valueEqual(SA->getTrueValue(), SB->getTrueValue(), WidthOf) &&
+           valueEqual(SA->getFalseValue(), SB->getFalseValue(), WidthOf);
+  }
+  case ValueKind::Conv: {
+    const auto *VA = cast<Conv>(A), *VB = cast<Conv>(B);
+    return VA->getOpcode() == VB->getOpcode() &&
+           WidthOf(VA->getSrc()) == WidthOf(VB->getSrc()) &&
+           valueEqual(VA->getSrc(), VB->getSrc(), WidthOf);
+  }
+  default:
+    // Distinct inputs/constants/memory values: not provably equal.
+    return false;
+  }
+}
+
+} // namespace
+
+RefinementFacts analysis::analyzeRefinement(const Transform &T,
+                                            const typing::TypeAssignment &Types,
+                                            unsigned PtrWidth) {
+  (void)PtrWidth;
+  RefinementFacts F;
+  const Instr *SrcRoot = T.getSrcRoot();
+  const Instr *TgtRoot = T.getTgtRoot();
+  if (!SrcRoot || !TgtRoot)
+    return F;
+
+  // Memory and unreachable interact with sequencing (SeqDefined, final
+  // memory states); the filter does not model them at all.
+  for (const std::vector<Instr *> *List : {&T.src(), &T.tgt()})
+    for (const Instr *I : *List)
+      if (isMemoryOrUnreachable(I))
+        return F;
+
+  auto WidthOf = [&Types](const Value *V) -> unsigned {
+    TypeVar TV = V->getTypeVar();
+    if (TV >= Types.size())
+      return 0;
+    const Type &Ty = Types[TV];
+    return Ty.isInt() ? Ty.getIntWidth() : 0;
+  };
+
+  AbstractInterp AI(T, WidthOf);
+  AI.run();
+
+  std::set<const Value *> Reachable;
+  collectReachable(TgtRoot, Reachable);
+
+  // Condition 1: every reachable computation is defined for every
+  // valuation, so ¬δ̄ is unsatisfiable.
+  bool AllDefined = true;
+  // Condition 2: every reachable flagged instruction provably keeps its
+  // nsw/nuw/exact promise, so ¬ρ̄ is unsatisfiable.
+  bool AllPoisonFree = true;
+  for (const Value *V : Reachable) {
+    unsigned W = WidthOf(V);
+    if (const auto *CV = dyn_cast<ConstExprValue>(V)) {
+      if (W == 0 || (!evalLiteralConstExpr(CV->getExpr(), W).has_value() &&
+                     !constExprDivisionFree(CV->getExpr())))
+        AllDefined = false;
+      continue;
+    }
+    const auto *I = dyn_cast<Instr>(V);
+    if (!I)
+      continue;
+    if (W == 0) {
+      // Pointer-typed instruction we cannot reason about.
+      AllDefined = AllPoisonFree = false;
+      continue;
+    }
+    if (!provablyDefined(I, W, AI, WidthOf))
+      AllDefined = false;
+    if (const auto *B = dyn_cast<BinOp>(I))
+      if (!provablyPoisonFree(B, W, AI))
+        AllPoisonFree = false;
+  }
+  F.TargetDefined = AllDefined;
+  F.TargetPoisonFree = AllPoisonFree;
+
+  // Condition 3: ι = ι̅ for every valuation — structurally identical DAGs
+  // over shared leaves, or both roots folding to the same constant.
+  if (SrcRoot->getName() == TgtRoot->getName()) {
+    if (valueEqual(SrcRoot, TgtRoot, WidthOf)) {
+      F.ValuesEqual = true;
+    } else {
+      const AbstractValue *SF = AI.get(SrcRoot);
+      const AbstractValue *TF = AI.get(TgtRoot);
+      APInt CA(1, 0), CB(1, 0);
+      if (SF && TF && SF->isConstant(CA) && TF->isConstant(CB) &&
+          CA.getWidth() == CB.getWidth() && CA == CB)
+        F.ValuesEqual = true;
+    }
+  }
+  return F;
+}

@@ -1,0 +1,53 @@
+//===- analysis/StaticFilter.h - sound SMT pre-filter -----------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier's abstract pre-pass: for one transformation under one
+/// concrete type assignment, tries to prove individual refinement
+/// conditions (Sections 3.1.2) directly from the KnownBits/ConstantRange
+/// facts, so the corresponding SMT queries never reach a solver. Every
+/// `true` below means the negated refinement query is UNSAT for *every*
+/// input, constant, and undef valuation — preconditions are ignored
+/// (dropping conjuncts from ψ only weakens the claim being proved), so a
+/// discharge is sound regardless of `Pre:`. Anything short of a proof
+/// stays `false` and falls through to the solver; the filter can therefore
+/// never flip a verdict, only skip queries whose answer is forced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_ANALYSIS_STATICFILTER_H
+#define ALIVE_ANALYSIS_STATICFILTER_H
+
+#include "ir/Transform.h"
+#include "typing/TypeConstraints.h"
+
+namespace alive {
+namespace analysis {
+
+/// Which refinement conditions the abstract domains proved to hold for
+/// every valuation. A set flag licenses skipping that condition's query.
+struct RefinementFacts {
+  bool TargetDefined = false;    ///< condition 1: δ̄ always holds
+  bool TargetPoisonFree = false; ///< condition 2: ρ̄ always holds
+  bool ValuesEqual = false;      ///< condition 3: ι = ι̅ always holds
+
+  unsigned dischargeable() const {
+    return (TargetDefined ? 1u : 0) + (TargetPoisonFree ? 1u : 0) +
+           (ValuesEqual ? 1u : 0);
+  }
+};
+
+/// Runs the abstract interpreter over \p T under \p Types and derives the
+/// provable refinement facts. Conservative on anything involving memory:
+/// a transform touching load/store/alloca/gep/unreachable gets no facts.
+RefinementFacts analyzeRefinement(const ir::Transform &T,
+                                  const typing::TypeAssignment &Types,
+                                  unsigned PtrWidth);
+
+} // namespace analysis
+} // namespace alive
+
+#endif // ALIVE_ANALYSIS_STATICFILTER_H

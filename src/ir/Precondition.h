@@ -124,6 +124,10 @@ public:
 
   bool isTrue() const { return K == Kind::True; }
 
+  /// Where this precondition node was parsed from.
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   std::string str() const;
 
 private:
@@ -135,6 +139,7 @@ private:
   std::unique_ptr<ConstExpr> CmpLHS, CmpRHS;
   PredKind Pred = PredKind::IsPowerOf2;
   std::vector<Value *> Args;
+  SourceLoc Loc;
 };
 
 } // namespace ir

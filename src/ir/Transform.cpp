@@ -31,6 +31,15 @@ std::vector<Instr *> Transform::tgtOverwrites() const {
   return Out;
 }
 
+void Transform::resolveRootsLenient() {
+  SrcRoot = Src.empty() ? nullptr : Src.back();
+  TgtRoot = Tgt.empty() ? nullptr : Tgt.back();
+  if (SrcRoot && TgtRoot && !SrcRoot->getName().empty())
+    for (Instr *I : Tgt)
+      if (I->getName() == SrcRoot->getName())
+        TgtRoot = I;
+}
+
 Status Transform::finalize() {
   if (Src.empty())
     return Status::error("transform '" + Name + "' has an empty source");

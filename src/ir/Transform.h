@@ -89,6 +89,13 @@ public:
   ///    source instruction.
   Status finalize();
 
+  /// Best-effort root resolution without the well-formedness checks of
+  /// finalize(): SrcRoot is the last source definition, TgtRoot the target
+  /// definition of the same name (last target instruction otherwise). Used
+  /// by the lint pass so it can inspect defective transforms that
+  /// finalize() would reject.
+  void resolveRootsLenient();
+
   /// Renders the transformation in Alive surface syntax.
   std::string str() const;
 

@@ -24,6 +24,19 @@
 namespace alive {
 namespace ir {
 
+/// A line/column position in the .opt file a node was parsed from.
+/// Line 0 means "unknown" (programmatically built transforms). Columns are
+/// 1-based like the lexer's.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
 /// Discriminator for the Value hierarchy (LLVM-style hand-rolled RTTI).
 enum class ValueKind {
   Input,     ///< input variable %x
@@ -55,6 +68,11 @@ public:
 
   bool isInstr() const { return K >= ValueKind::BinOp; }
 
+  /// Where the value's defining occurrence was parsed from (invalid for
+  /// programmatically built transforms).
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   /// Renders the value in operand position (%x, C1, 3333, C-1, undef).
   virtual std::string operandStr() const { return Name; }
 
@@ -64,6 +82,7 @@ protected:
   ValueKind K;
   std::string Name;
   TypeVar TyVar = 0;
+  SourceLoc Loc;
 };
 
 /// An input variable of the transformation (universally quantified).

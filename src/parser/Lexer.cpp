@@ -18,7 +18,10 @@ static bool isIdentChar(char C) {
   return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
 }
 
-Lexer::Lexer(std::string In) : Input(std::move(In)) { run(); }
+Lexer::Lexer(std::string In, unsigned FirstLine)
+    : FirstLine(FirstLine), Input(std::move(In)) {
+  run();
+}
 
 void Lexer::addTok(TokKind K, unsigned Line, unsigned Col, std::string Text,
                    int64_t Val) {
@@ -33,7 +36,7 @@ void Lexer::addTok(TokKind K, unsigned Line, unsigned Col, std::string Text,
 
 void Lexer::run() {
   size_t I = 0, N = Input.size();
-  unsigned Line = 1, LineStart = 0;
+  unsigned Line = FirstLine, LineStart = 0;
   auto Col = [&](size_t Pos) { return static_cast<unsigned>(Pos - LineStart + 1); };
 
   while (I < N) {

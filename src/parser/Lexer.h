@@ -79,8 +79,10 @@ struct Token {
 class Lexer {
 public:
   /// Tokenizes \p Input. On a lexical error, emits an Eof token and sets
-  /// the error message retrievable via getError().
-  explicit Lexer(std::string Input);
+  /// the error message retrievable via getError(). \p FirstLine numbers
+  /// the buffer's first line, so chunks cut out of a larger file (batch
+  /// mode) report absolute file positions.
+  explicit Lexer(std::string Input, unsigned FirstLine = 1);
 
   const std::vector<Token> &tokens() const { return Toks; }
   const std::string &getError() const { return Error; }
@@ -91,6 +93,7 @@ private:
   void addTok(TokKind K, unsigned Line, unsigned Col, std::string Text = "",
               int64_t Val = 0);
 
+  unsigned FirstLine = 1;
   std::string Input;
   std::vector<Token> Toks;
   std::string Error;

@@ -19,7 +19,8 @@ namespace {
 /// Internal recursive-descent parser over the token stream.
 class ParserImpl {
 public:
-  explicit ParserImpl(const std::vector<Token> &Toks) : Toks(Toks) {}
+  ParserImpl(const std::vector<Token> &Toks, bool Lenient)
+      : Toks(Toks), Lenient(Lenient) {}
 
   Result<std::vector<std::unique_ptr<Transform>>> parseAll() {
     std::vector<std::unique_ptr<Transform>> Out;
@@ -58,8 +59,11 @@ private:
   }
 
   Status err(const std::string &Msg) const {
-    return Status::error("line " + std::to_string(cur().Line) + ": " + Msg);
+    return Status::error("line " + std::to_string(cur().Line) + ":" +
+                         std::to_string(cur().Col) + ": " + Msg);
   }
+
+  SourceLoc loc() const { return SourceLoc{cur().Line, cur().Col}; }
 
   // --- Top level -------------------------------------------------------------
 
@@ -121,8 +125,11 @@ private:
       skipNewlines();
     }
 
-    if (Status S = T->finalize(); !S.ok())
+    if (Lenient) {
+      T->resolveRootsLenient();
+    } else if (Status S = T->finalize(); !S.ok()) {
       return Result<std::unique_ptr<Transform>>(S);
+    }
     return Result<std::unique_ptr<Transform>>(std::move(Tr));
   }
 
@@ -449,11 +456,13 @@ private:
       return L;
     PC Acc = L.take();
     while (Pos < End && at(TokKind::OrOr)) {
+      SourceLoc OpLoc = loc();
       eat();
       auto R = parsePrecondAnd(End);
       if (!R.ok())
         return R;
       Acc = Precond::mkOr(std::move(Acc), R.take());
+      Acc->setLoc(OpLoc);
     }
     return Result<PC>(std::move(Acc));
   }
@@ -464,27 +473,33 @@ private:
       return L;
     PC Acc = L.take();
     while (Pos < End && at(TokKind::AndAnd)) {
+      SourceLoc OpLoc = loc();
       eat();
       auto R = parsePrecondUnary(End);
       if (!R.ok())
         return R;
       Acc = Precond::mkAnd(std::move(Acc), R.take());
+      Acc->setLoc(OpLoc);
     }
     return Result<PC>(std::move(Acc));
   }
 
   Result<PC> parsePrecondUnary(size_t End) {
     if (at(TokKind::Bang)) {
+      SourceLoc BangLoc = loc();
       eat();
       auto A = parsePrecondUnary(End);
       if (!A.ok())
         return A;
-      return Precond::mkNot(A.take());
+      auto N = Precond::mkNot(A.take());
+      N->setLoc(BangLoc);
+      return Result<PC>(std::move(N));
     }
     // Built-in predicate application.
     if (at(TokKind::Ident)) {
       PredKind PK;
       if (isPredName(cur().Text, PK)) {
+        SourceLoc PredLoc = loc();
         std::string Id = eat().Text;
         if (!accept(TokKind::LParen))
           return Result<PC>(err("expected '(' after " + Id));
@@ -505,7 +520,9 @@ private:
           return Result<PC>(err(Id + " expects " +
                                 std::to_string(predKindArity(PK)) +
                                 " argument(s)"));
-        return Precond::mkBuiltin(PK, std::move(Args));
+        auto B = Precond::mkBuiltin(PK, std::move(Args));
+        B->setLoc(PredLoc);
+        return Result<PC>(std::move(B));
       }
     }
     // Parenthesized precondition vs. parenthesized constant expression:
@@ -528,6 +545,7 @@ private:
   }
 
   Result<PC> tryParseCmp(size_t End) {
+    SourceLoc CmpLoc = loc();
     auto L = parsePredCE();
     if (!L.ok())
       return Result<PC>(L.status());
@@ -537,7 +555,9 @@ private:
     auto R = parsePredCE();
     if (!R.ok())
       return Result<PC>(R.status());
-    return Precond::mkCmp(Op, L.take(), R.take());
+    auto C = Precond::mkCmp(Op, L.take(), R.take());
+    C->setLoc(CmpLoc);
+    return Result<PC>(std::move(C));
   }
 
   /// Constant expression inside a precondition; registers are allowed as
@@ -568,20 +588,24 @@ private:
     return It == Scope.end() ? nullptr : It->second;
   }
 
-  ConstantSymbol *getOrCreateConstSym(const std::string &Name) {
+  ConstantSymbol *getOrCreateConstSym(const std::string &Name,
+                                      SourceLoc L = {}) {
     auto It = Consts.find(Name);
     if (It != Consts.end())
       return It->second;
     ConstantSymbol *C = T->create<ConstantSymbol>(Name);
+    C->setLoc(L);
     Consts.emplace(Name, C);
     return C;
   }
 
-  Value *wrapConstExpr(CE E) {
+  Value *wrapConstExpr(CE E, SourceLoc L = {}) {
     // A bare reference to an abstract constant is the constant itself.
     if (E->getKind() == ConstExpr::Kind::SymRef)
-      return getOrCreateConstSym(E->getSymName());
-    return T->create<ConstExprValue>(E->str(), std::move(E));
+      return getOrCreateConstSym(E->getSymName(), L);
+    Value *V = T->create<ConstExprValue>(E->str(), std::move(E));
+    V->setLoc(L);
+    return V;
   }
 
   /// Parses one operand with an optional leading type annotation.
@@ -596,6 +620,7 @@ private:
       HasAnnot = true;
     }
     Value *V = nullptr;
+    SourceLoc OpLoc = loc();
     if (at(TokKind::Reg)) {
       std::string Name = eat().Text;
       V = lookupValue(Name);
@@ -604,21 +629,24 @@ private:
           return Result<Value *>(
               err("target references unknown value " + Name));
         V = T->create<InputVar>(Name);
+        V->setLoc(OpLoc);
         Scope.emplace(Name, V);
       }
     } else if (atIdent("undef")) {
       eat();
       V = T->create<UndefValue>("undef#" + std::to_string(UndefCounter++));
+      V->setLoc(OpLoc);
     } else if (atIdent("true") || atIdent("false")) {
       bool B = eat().Text == "true";
       V = T->create<ConstExprValue>(B ? "true" : "false",
                                     ConstExpr::literal(B ? 1 : 0));
+      V->setLoc(OpLoc);
       T->fixType(V, Type::intTy(1));
     } else {
       auto E = parseCEOr();
       if (!E.ok())
         return Result<Value *>(E.status());
-      V = wrapConstExpr(E.take());
+      V = wrapConstExpr(E.take(), OpLoc);
     }
     if (HasAnnot)
       T->fixType(V, Annot);
@@ -676,6 +704,7 @@ private:
   }
 
   void define(const std::string &Name, Instr *I) {
+    I->setLoc(StmtLoc);
     Scope[Name] = I; // overwrites any earlier binding (target overwrite)
     if (InSource)
       T->appendSrc(I);
@@ -684,9 +713,11 @@ private:
   }
 
   Status parseStatement() {
+    StmtLoc = loc();
     if (atIdent("unreachable")) {
       eat();
       Instr *I = T->create<Unreachable>("");
+      I->setLoc(StmtLoc);
       if (InSource)
         T->appendSrc(I);
       else
@@ -704,6 +735,7 @@ private:
       if (!P.ok())
         return P.status();
       Instr *I = T->create<Store>("", V.get(), P.get());
+      I->setLoc(StmtLoc);
       if (InSource)
         T->appendSrc(I);
       else
@@ -927,18 +959,25 @@ private:
   std::map<std::string, ConstantSymbol *> Consts;
   std::map<std::string, Value *> Scope;
   bool InSource = true;
+  bool Lenient = false;
   unsigned UndefCounter = 0;
+  SourceLoc StmtLoc;
 };
 
 } // namespace
 
 Result<std::vector<std::unique_ptr<Transform>>>
 parser::parseTransforms(const std::string &Input) {
-  Lexer Lex(Input);
+  return parseTransforms(Input, ParseOptions{});
+}
+
+Result<std::vector<std::unique_ptr<Transform>>>
+parser::parseTransforms(const std::string &Input, const ParseOptions &Opts) {
+  Lexer Lex(Input, Opts.FirstLine);
   if (Lex.hadError())
     return Result<std::vector<std::unique_ptr<Transform>>>::error(
         Lex.getError());
-  ParserImpl P(Lex.tokens());
+  ParserImpl P(Lex.tokens(), Opts.Lenient);
   return P.parseAll();
 }
 

@@ -33,9 +33,23 @@
 namespace alive {
 namespace parser {
 
+/// Parse-time knobs (diagnostics and lint support).
+struct ParseOptions {
+  /// Absolute line number of Input's first line, so chunks cut out of a
+  /// larger file report file positions rather than chunk positions.
+  unsigned FirstLine = 1;
+  /// Skip the strict well-formedness checks of Transform::finalize() and
+  /// resolve roots best-effort instead. The lint pass uses this to inspect
+  /// transforms that finalize() would reject (and report the defects
+  /// itself, with locations).
+  bool Lenient = false;
+};
+
 /// Parses every transformation in \p Input.
 Result<std::vector<std::unique_ptr<ir::Transform>>>
 parseTransforms(const std::string &Input);
+Result<std::vector<std::unique_ptr<ir::Transform>>>
+parseTransforms(const std::string &Input, const ParseOptions &Opts);
 
 /// Parses exactly one transformation.
 Result<std::unique_ptr<ir::Transform>>

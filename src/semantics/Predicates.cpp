@@ -15,6 +15,8 @@
 
 #include "semantics/VCGen.h"
 
+#include "analysis/AbstractInterp.h"
+
 using namespace alive;
 using namespace alive::ir;
 using namespace alive::smt;
@@ -204,6 +206,30 @@ private:
       ArgTerms.push_back(S.Val);
       AllConst &= isa<ConstantSymbol>(A) || isa<ConstExprValue>(A);
     }
+    // Abstract evaluation: a predicate whose arguments are all literal
+    // constant expressions folds to a Boolean constant. The concrete
+    // evaluator mirrors exactProperty (including the arity-2 resize
+    // below), so the folded value equals what the solver would derive.
+    if (P.getPred() != PredKind::OneUse) {
+      std::vector<APInt> ConstArgs;
+      bool AllLit = true;
+      for (size_t I = 0; I != P.getArgs().size() && AllLit; ++I) {
+        const auto *CEV = dyn_cast<ConstExprValue>(P.getArgs()[I]);
+        std::optional<APInt> C;
+        if (CEV)
+          C = analysis::evalLiteralConstExpr(
+              CEV->getExpr(), ArgTerms[I]->getSort().getWidth());
+        if (C)
+          ConstArgs.push_back(*C);
+        else
+          AllLit = false;
+      }
+      if (AllLit)
+        return analysis::evalPredicateOnConstants(P.getPred(), ConstArgs)
+                   ? Ctx.mkTrue()
+                   : Ctx.mkFalse();
+    }
+
     // Arity-2 predicates compare same-width values; resize the second
     // argument if typing left it at a different width.
     if (ArgTerms.size() == 2) {

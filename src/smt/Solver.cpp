@@ -62,6 +62,8 @@ std::string SolverStats::str() const {
     S += " fragment-fallbacks=" + std::to_string(FragmentFallbacks);
   if (FaultsInjected)
     S += " faults-injected=" + std::to_string(FaultsInjected);
+  if (StaticallyDischarged)
+    S += " statically-discharged=" + std::to_string(StaticallyDischarged);
   return S;
 }
 

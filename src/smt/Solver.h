@@ -120,6 +120,9 @@ struct SolverStats {
   uint64_t FragmentFallbacks = 0; ///< sent straight to Z3 (non-QF_BV)
   // FaultInjectingSolver only:
   uint64_t FaultsInjected = 0;
+  // Set by the verifier, not by solvers: refinement checks proven by the
+  // abstract-interpretation pre-filter, whose queries never ran.
+  uint64_t StaticallyDischarged = 0;
 
   uint64_t unknowns(UnknownReason R) const {
     return UnknownBy[static_cast<unsigned>(R)];
@@ -137,6 +140,7 @@ struct SolverStats {
     Escalations += O.Escalations;
     FragmentFallbacks += O.FragmentFallbacks;
     FaultsInjected += O.FaultsInjected;
+    StaticallyDischarged += O.StaticallyDischarged;
   }
 
   /// Compact rendering, e.g.

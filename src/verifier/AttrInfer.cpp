@@ -20,6 +20,7 @@
 
 #include "verifier/Verifier.h"
 
+#include "analysis/StaticFilter.h"
 #include "smt/Printer.h"
 #include "support/ThreadPool.h"
 
@@ -86,6 +87,7 @@ struct AssignmentProbe {
   Mu MuA;
   std::vector<IndicatorInfo> Indicators;
   unsigned Queries = 0;
+  bool Discharged = false; ///< proved by the abstract pre-filter, no query
   bool EncodeOk = true;
   std::string EncodeMessage;
   UnknownReason Why = UnknownReason::None;
@@ -115,6 +117,22 @@ AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
   for (const AttrIndicator &AI : Enc.attrIndicators())
     P.Indicators.push_back({AI.Var->getName(), AI.InSource, AI.Flag,
                             AI.I->getName(), AI.I->getFlags()});
+
+  // With no attribute indicators the probe degenerates to one validity
+  // query over the refinement conditions; when the abstract pre-filter
+  // proves all three (which implies no memory condition — memory
+  // transforms get no facts), the solver would necessarily answer Sat and
+  // the enumeration would yield exactly one empty cube. Reproduce that
+  // result without the query.
+  if (Cfg.StaticFilter && P.Indicators.empty()) {
+    analysis::RefinementFacts Facts =
+        analysis::analyzeRefinement(T, Types, Cfg.Encoding.PtrWidth);
+    if (Facts.TargetDefined && Facts.TargetPoisonFree && Facts.ValuesEqual) {
+      P.MuA.push_back({});
+      P.Discharged = true;
+      return P;
+    }
+  }
 
   const ValueSem &Src = Enc.srcRootSem();
   const ValueSem &Tgt = Enc.tgtRootSem();
@@ -248,6 +266,7 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
         });
     for (AssignmentProbe &P : Probes) {
       R.NumQueries += P.Queries;
+      R.StaticallyDischarged += P.Discharged ? 1 : 0;
       if (!P.EncodeOk) {
         R.Message = P.EncodeMessage;
         return R;
@@ -269,6 +288,7 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     for (const auto &Types : TypeSets) {
       AssignmentProbe P = probeAssignment(T, Cfg, Types, *Solver, &Phi);
       R.NumQueries += P.Queries;
+      R.StaticallyDischarged += P.Discharged ? 1 : 0;
       if (!P.EncodeOk) {
         R.Message = P.EncodeMessage;
         return R;

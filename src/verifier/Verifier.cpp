@@ -20,6 +20,7 @@
 
 #include "verifier/Verifier.h"
 
+#include "analysis/StaticFilter.h"
 #include "smt/Printer.h"
 #include "support/ThreadPool.h"
 
@@ -168,6 +169,21 @@ std::string unknownMessage(FailureKind Kind, const std::string &Reason,
          Reason + " [" + unknownReasonName(Why) + "] (" + Stats.str() + ")";
 }
 
+/// True when the abstract pre-filter proved this check's query UNSAT, so
+/// the solver call can be skipped without affecting the verdict.
+bool dischargedByFacts(const analysis::RefinementFacts &F, FailureKind K) {
+  switch (K) {
+  case FailureKind::TargetUndefined:
+    return F.TargetDefined;
+  case FailureKind::TargetPoison:
+    return F.TargetPoisonFree;
+  case FailureKind::ValueMismatch:
+    return F.ValuesEqual;
+  default:
+    return false;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Serial path
 //===----------------------------------------------------------------------===//
@@ -177,6 +193,7 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
              const std::vector<typing::TypeAssignment> &Assignments) {
   VerifyResult R;
   auto Solver = makeVerifySolver(Cfg);
+  uint64_t Discharged = 0;
 
   for (const auto &Types : Assignments) {
     ++R.NumTypeAssignments;
@@ -190,11 +207,19 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
 
     std::vector<Check> Checks = buildChecks(Ctx, Enc, T);
 
+    analysis::RefinementFacts Facts;
+    if (Cfg.StaticFilter)
+      Facts = analysis::analyzeRefinement(T, Types, Cfg.Encoding.PtrWidth);
+
     // Ackermann consistency of the eager memory encoding. The final-byte
     // reads above may add axioms, so gather them last.
     TermRef MemAxioms = Enc.memoryAxioms();
 
     for (const Check &C : Checks) {
+      if (dischargedByFacts(Facts, C.Kind)) {
+        ++Discharged;
+        continue;
+      }
       TermRef Query = finalizeQuery(Ctx, Enc, MemAxioms, C.Negated);
       CheckResult CR = Solver->check(Query);
       ++R.NumQueries;
@@ -202,6 +227,7 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
         R.V = Verdict::Unknown;
         R.WhyUnknown = CR.Why;
         R.Stats = Solver->stats();
+        R.Stats.StaticallyDischarged = Discharged;
         R.Message = unknownMessage(C.Kind, CR.Reason, CR.Why, R.Stats);
         return R;
       }
@@ -210,6 +236,7 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
         R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
                                     Cfg.Encoding.PtrWidth);
         R.Stats = Solver->stats();
+        R.Stats.StaticallyDischarged = Discharged;
         return R;
       }
     }
@@ -217,6 +244,7 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
 
   R.V = Verdict::Correct;
   R.Stats = Solver->stats();
+  R.Stats.StaticallyDischarged = Discharged;
   return R;
 }
 
@@ -285,6 +313,17 @@ verifyParallel(const Transform &T, const VerifyConfig &Cfg, unsigned Jobs,
       std::vector<Check> Checks = buildChecks(Ctx, Enc, T);
       if (CheckIdx >= Checks.size()) {
         Slot.St = JobSlot::State::NotApplicable;
+        return;
+      }
+      if (Cfg.StaticFilter &&
+          dischargedByFacts(analysis::analyzeRefinement(
+                                T, Types, Cfg.Encoding.PtrWidth),
+                            Checks[CheckIdx].Kind)) {
+        // The pre-filter is purely structural, so serial and parallel runs
+        // discharge exactly the same checks: the fold below accumulates
+        // this slot like any other Unsat, with zero queries.
+        Slot.Stats.StaticallyDischarged = 1;
+        Slot.St = JobSlot::State::Unsat;
         return;
       }
       TermRef MemAxioms = Enc.memoryAxioms();

@@ -63,6 +63,12 @@ struct VerifyConfig {
   /// their solvers from this factory instead of Backend — used to wrap
   /// backends in fault injectors and prove Unknown-path soundness.
   std::function<std::unique_ptr<smt::Solver>()> SolverFactory;
+  /// Abstract-interpretation pre-filter: skip refinement queries the
+  /// KnownBits/ConstantRange domains prove UNSAT (counted in
+  /// SolverStats::StaticallyDischarged). Sound: a discharged check is one
+  /// whose query answer is forced, so verdicts never change — only query
+  /// counts do. `--no-static-filter` clears this for A/B comparisons.
+  bool StaticFilter = true;
 };
 
 /// Overall verdict for a transformation.
@@ -131,6 +137,10 @@ struct AttrInferenceResult {
   /// Optimal flags per instruction name ("%r" -> AttrNSW|...).
   std::map<std::string, unsigned> SrcFlags, TgtFlags;
   unsigned NumQueries = 0;
+  /// Per-assignment probes the abstract pre-filter proved outright (no
+  /// attribute indicators and all refinement conditions forced), so their
+  /// quantified query never ran. Never affects the inferred flags.
+  uint64_t StaticallyDischarged = 0;
   /// Why inference gave up, when it did (solver resource exhaustion).
   smt::UnknownReason WhyUnknown = smt::UnknownReason::None;
   std::string Message;

@@ -1,0 +1,46 @@
+# Golden-output test for `alivec lint`: every seeded-defect file in the
+# corpus directory must reproduce its .expected sibling byte-for-byte, and
+# the exit code must be 1 exactly when the expected output is non-empty
+# (0 for the clean file).
+#
+#   cmake -DALIVEC=<path> -DCORPUS=<dir with *.opt + *.expected>
+#         -P CheckLint.cmake
+#
+# alivec is invoked from inside CORPUS with a bare file name so the
+# locations in the goldens stay machine-independent.
+
+file(GLOB Opts RELATIVE ${CORPUS} ${CORPUS}/*.opt)
+list(SORT Opts)
+if(Opts STREQUAL "")
+  message(FATAL_ERROR "no .opt files under ${CORPUS}")
+endif()
+
+foreach(Opt IN LISTS Opts)
+  string(REGEX REPLACE "\\.opt$" ".expected" Golden "${Opt}")
+  if(NOT EXISTS ${CORPUS}/${Golden})
+    message(FATAL_ERROR "${Opt}: missing golden file ${Golden}")
+  endif()
+  file(READ ${CORPUS}/${Golden} Want)
+
+  execute_process(COMMAND ${ALIVEC} lint ${Opt}
+                  WORKING_DIRECTORY ${CORPUS}
+                  RESULT_VARIABLE Code
+                  OUTPUT_VARIABLE Out
+                  ERROR_VARIABLE Err)
+
+  if(Want STREQUAL "")
+    set(WantCode 0)
+  else()
+    set(WantCode 1)
+  endif()
+  if(NOT Code STREQUAL WantCode)
+    message(FATAL_ERROR "${Opt}: expected exit ${WantCode}, got '${Code}'\n"
+                        "stdout:\n${Out}\nstderr:\n${Err}")
+  endif()
+  if(NOT Out STREQUAL Want)
+    message(FATAL_ERROR "${Opt}: lint output differs from ${Golden}\n"
+                        "---- got ----\n${Out}"
+                        "---- expected ----\n${Want}")
+  endif()
+  message(STATUS "${Opt}: ok (exit ${Code})")
+endforeach()

@@ -1,0 +1,38 @@
+# Asserts that the abstract-interpretation pre-filter never changes what
+# the verifier reports: the same run with and without --no-static-filter
+# must produce identical exit codes and identical output once the fields
+# the filter is allowed to change are masked — query counts, the
+# wall-clock, and the "static filter: N queries discharged" summary line.
+# Verdicts, counterexample bindings and tallies must match byte-for-byte.
+#
+#   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" -P CheckParity.cmake
+
+function(normalize Var)
+  set(Out "${${Var}}")
+  string(REGEX REPLACE "[0-9]+ quer(y|ies)" "Q queries" Out "${Out}")
+  string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*static filter:[^\n]*\n" "" Out "${Out}")
+  set(${Var} "${Out}" PARENT_SCOPE)
+endfunction()
+
+execute_process(COMMAND ${ALIVEC} ${ARGS}
+                RESULT_VARIABLE CodeOn OUTPUT_VARIABLE OutOn
+                ERROR_VARIABLE ErrOn)
+execute_process(COMMAND ${ALIVEC} ${ARGS} --no-static-filter
+                RESULT_VARIABLE CodeOff OUTPUT_VARIABLE OutOff
+                ERROR_VARIABLE ErrOff)
+
+message(STATUS "filter on: exit ${CodeOn}; filter off: exit ${CodeOff}")
+if(NOT CodeOn STREQUAL CodeOff)
+  message(FATAL_ERROR "exit code changed: ${CodeOn} (filter on) vs "
+                      "${CodeOff} (--no-static-filter)")
+endif()
+
+normalize(OutOn)
+normalize(OutOff)
+if(NOT OutOn STREQUAL OutOff)
+  message(FATAL_ERROR "verdicts differ between filter on and off\n"
+                      "---- filter on ----\n${OutOn}\n"
+                      "---- filter off ----\n${OutOff}")
+endif()
+message(STATUS "outputs identical after masking query counts")

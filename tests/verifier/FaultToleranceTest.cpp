@@ -61,6 +61,9 @@ VerifyConfig faultyConfig(const FaultPlan &P) {
   Cfg.SolverFactory = [P] {
     return createFaultInjectingSolver(createHybridSolver(), P);
   };
+  // The fault plans fire on query ordinals; keep every refinement check
+  // reaching the solver so the schedules stay as written.
+  Cfg.StaticFilter = false;
   return Cfg;
 }
 

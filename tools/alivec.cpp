@@ -12,6 +12,7 @@
 ///   alivec infer   file.opt   infer optimal nsw/nuw/exact placement
 ///   alivec codegen file.opt   emit InstCombine-style C++ for correct ones
 ///   alivec print   file.opt   parse and pretty-print
+///   alivec lint    file.opt   static diagnostics only, no solver
 ///
 /// Options:
 ///   --widths=4,8,16     type widths to enumerate (default 4,8)
@@ -25,6 +26,14 @@
 ///   --fail-fast         stop at the first non-correct transformation
 ///   --no-cache          disable the memoizing query cache
 ///   --cache-stats       print cache hit/miss/eviction counts in the summary
+///   --lint              alias for the lint mode (usable as a flag)
+///   --no-static-filter  disable the abstract-interpretation SMT pre-filter
+///
+/// Lint mode parses leniently and prints one `file:line:col: severity:
+/// message [kind]` diagnostic per defect; its exit code is 0 for a clean
+/// file, 1 when anything was flagged. Verify runs also surface lint
+/// warnings, on stderr, so template hygiene problems show up without a
+/// separate pass.
 ///
 /// Batch runs are fault-isolated: a transformation that fails to parse,
 /// hits a resource limit, or crashes its pipeline stage is reported on its
@@ -44,6 +53,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "codegen/CodeGen.h"
 #include "parser/Parser.h"
 #include "support/ThreadPool.h"
@@ -67,7 +77,7 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: alivec <verify|infer|codegen|print> [options] "
+               "usage: alivec <verify|infer|codegen|print|lint> [options] "
                "<file.opt>\n"
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
@@ -80,8 +90,11 @@ void usage() {
                "  --fail-fast            stop at first non-correct result\n"
                "  --no-cache             disable the memoizing query cache\n"
                "  --cache-stats          print query-cache counters\n"
+               "  --lint                 run the lint mode\n"
+               "  --no-static-filter     disable the abstract SMT pre-filter\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
-               "            3 unknown/resource-limited, 4 faulted\n");
+               "            3 unknown/resource-limited, 4 faulted\n"
+               "lint mode: 0 clean, 1 diagnostics reported, 2 usage error\n");
 }
 
 std::string flagsToString(unsigned Flags) {
@@ -177,6 +190,7 @@ enum class Outcome { Correct, Incorrect, Unknown, Faulted };
 struct Tally {
   unsigned Count[4] = {0, 0, 0, 0};
   unsigned UnknownBy[smt::NumUnknownReasons] = {};
+  uint64_t Discharged = 0; ///< queries the static pre-filter proved away
   bool Cancelled = false;
 
   void add(Outcome O) { ++Count[static_cast<unsigned>(O)]; }
@@ -218,14 +232,43 @@ struct WorkItem {
   std::string Label;
   std::unique_ptr<ir::Transform> T; ///< null when parsing failed
   std::string ParseError;
+  std::string LintErr; ///< pre-formatted lint warnings (verify mode stderr)
 };
+
+/// Parse errors read "line L:C: msg"; reshape to "file:L:C: severity: msg"
+/// so editors can jump to them. Falls back to prefixing the path.
+std::string locatedMessage(const std::string &Path, const char *Severity,
+                           const std::string &Msg) {
+  unsigned L = 0, C = 0;
+  int Consumed = 0;
+  if (std::sscanf(Msg.c_str(), "line %u:%u:%n", &L, &C, &Consumed) == 2 &&
+      Consumed > 0) {
+    std::string Rest = Msg.substr(static_cast<size_t>(Consumed));
+    if (!Rest.empty() && Rest[0] == ' ')
+      Rest.erase(0, 1);
+    return format("%s:%u:%u: %s: %s", Path.c_str(), L, C, Severity,
+                  Rest.c_str());
+  }
+  return format("%s: %s: %s", Path.c_str(), Severity, Msg.c_str());
+}
+
+/// Formats \p T's lint diagnostics as "file:line:col: warning: ..." lines.
+std::string lintReport(const std::string &Path, const ir::Transform &T) {
+  std::string Out;
+  for (const analysis::LintDiagnostic &D : analysis::lintTransform(T))
+    Out += format("%s:%u:%u: warning: %s [%s]\n", Path.c_str(), D.Loc.Line,
+                  D.Loc.Col, D.Message.c_str(),
+                  analysis::lintKindName(D.Kind));
+  return Out;
+}
 
 /// A worker's result for one item, formatted but not yet printed.
 struct ItemResult {
   Outcome O = Outcome::Correct;
   smt::UnknownReason Why = smt::UnknownReason::None;
   std::string Out;           ///< stdout payload (status line / report)
-  std::string Err;           ///< stderr payload (codegen diagnostics)
+  std::string Err;           ///< stderr payload (codegen/lint diagnostics)
+  uint64_t Discharged = 0;   ///< queries skipped by the static pre-filter
   bool EmitCodegen = false;  ///< verified correct in codegen mode
   bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
   bool Done = false;
@@ -248,7 +291,9 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
     if (Mode == "print") {
       R.Out = format("%s\n", Item.T->str().c_str());
     } else if (Mode == "verify") {
+      R.Err = Item.LintErr;
       VerifyResult VR = verify(*Item.T, Cfg);
+      R.Discharged = VR.Stats.StaticallyDischarged;
       switch (VR.V) {
       case Verdict::Correct:
         R.Out = format("%-32s correct (%u type assignments, %u queries)\n",
@@ -273,6 +318,7 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
       }
     } else if (Mode == "infer") {
       AttrInferenceResult IR = inferAttributes(*Item.T, Cfg);
+      R.Discharged = IR.StaticallyDischarged;
       if (!IR.Feasible) {
         R.O = IR.WhyUnknown != smt::UnknownReason::None ? Outcome::Unknown
                                                         : Outcome::Incorrect;
@@ -290,6 +336,7 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
       }
     } else if (Mode == "codegen") {
       VerifyResult VR = verify(*Item.T, Cfg);
+      R.Discharged = VR.Stats.StaticallyDischarged;
       if (!VR.isCorrect()) {
         R.O = VR.V == Verdict::Incorrect ? Outcome::Incorrect
               : VR.V == Verdict::Unknown ? Outcome::Unknown
@@ -319,8 +366,12 @@ int main(int argc, char **argv) {
     return 2;
   }
   std::string Mode = argv[1];
-  if (Mode != "verify" && Mode != "infer" && Mode != "codegen" &&
-      Mode != "print") {
+  int FirstOpt = 2;
+  if (Mode == "--lint") {
+    // `alivec --lint file.opt` is accepted alongside `alivec lint file.opt`.
+    Mode = "lint";
+  } else if (Mode != "verify" && Mode != "infer" && Mode != "codegen" &&
+             Mode != "print" && Mode != "lint") {
     usage();
     return 2;
   }
@@ -332,7 +383,7 @@ int main(int argc, char **argv) {
   bool PrintCacheStats = false;
   unsigned Jobs = support::ThreadPool::defaultConcurrency();
 
-  for (int I = 2; I != argc; ++I) {
+  for (int I = FirstOpt; I != argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--widths=", 0) == 0) {
       Cfg.Types.Widths.clear();
@@ -376,6 +427,10 @@ int main(int argc, char **argv) {
       UseCache = false;
     } else if (Arg == "--cache-stats") {
       PrintCacheStats = true;
+    } else if (Arg == "--lint") {
+      Mode = "lint";
+    } else if (Arg == "--no-static-filter") {
+      Cfg.StaticFilter = false;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       usage();
@@ -397,6 +452,31 @@ int main(int argc, char **argv) {
   std::stringstream Buf;
   Buf << In.rdbuf();
 
+  if (Mode == "lint") {
+    // No solver, no worker pool: parse each region leniently (so defects
+    // finalize() would reject still get located diagnostics) and print
+    // everything the analysis flags.
+    unsigned NumDiags = 0;
+    for (Chunk &C : splitCorpus(Buf.str())) {
+      parser::ParseOptions PO;
+      PO.FirstLine = C.FirstLine;
+      PO.Lenient = true;
+      auto Parsed = parser::parseTransforms(C.Text, PO);
+      if (!Parsed.ok()) {
+        ++NumDiags;
+        std::printf("%s [parse-error]\n",
+                    locatedMessage(Path, "error", Parsed.message()).c_str());
+        continue;
+      }
+      for (auto &T : Parsed.get()) {
+        std::string Report = lintReport(Path, *T);
+        NumDiags += Report.empty() ? 0 : 1;
+        std::fputs(Report.c_str(), stdout);
+      }
+    }
+    return NumDiags ? 1 : 0;
+  }
+
   std::signal(SIGINT, onSigInt);
   Cfg.Limits.Cancel = &GInterrupt;
 
@@ -406,10 +486,14 @@ int main(int argc, char **argv) {
     Cfg.Cache = Cache;
   }
 
-  // Flatten the fault-isolated chunks into one ordered work list.
+  // Flatten the fault-isolated chunks into one ordered work list. Chunks
+  // carry their absolute first line so parse errors and lint warnings
+  // point into the file, not into the chunk.
   std::vector<WorkItem> Items;
   for (Chunk &C : splitCorpus(Buf.str())) {
-    auto Parsed = parser::parseTransforms(C.Text);
+    parser::ParseOptions PO;
+    PO.FirstLine = C.FirstLine;
+    auto Parsed = parser::parseTransforms(C.Text, PO);
     if (!Parsed.ok()) {
       WorkItem W;
       W.Label = C.Label;
@@ -420,6 +504,8 @@ int main(int argc, char **argv) {
     for (auto &T : Parsed.get()) {
       WorkItem W;
       W.Label = T->Name.empty() ? C.Label : T->Name;
+      if (Mode == "verify")
+        W.LintErr = lintReport(Path, *T);
       W.T = std::move(T);
       Items.push_back(std::move(W));
     }
@@ -458,6 +544,9 @@ int main(int argc, char **argv) {
     }
     if (PrintCacheStats && Cache)
       std::printf("     query cache: %s\n", Cache->stats().str().c_str());
+    if (Sum.Discharged)
+      std::printf("     static filter: %llu queries discharged\n",
+                  static_cast<unsigned long long>(Sum.Discharged));
     if (Sum.Cancelled)
       std::printf("     run cancelled by SIGINT; remaining transforms "
                   "skipped\n");
@@ -492,6 +581,7 @@ int main(int argc, char **argv) {
     }
     if (R.O == Outcome::Unknown)
       ++Sum.UnknownBy[static_cast<unsigned>(R.Why)];
+    Sum.Discharged += R.Discharged;
     Sum.add(R.O);
     return !(FailFast && R.O != Outcome::Correct);
   };
