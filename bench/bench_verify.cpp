@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <mutex>
 
 using namespace alive;
 using namespace alive::verifier;
@@ -86,12 +87,14 @@ void runVerify(benchmark::State &State, const char *Text,
 /// in case order.
 double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
                    std::vector<Verdict> &Verdicts, bool StaticFilter = true,
-                   uint64_t *Discharged = nullptr) {
+                   uint64_t *Discharged = nullptr, bool Incremental = true,
+                   smt::SolverStats *Solver = nullptr) {
   VerifyConfig Cfg;
   Cfg.Types.Widths = {4, 8};
   Cfg.Types.MaxAssignments = 8;
   Cfg.Cache = std::move(Cache);
   Cfg.StaticFilter = StaticFilter;
+  Cfg.Incremental = Incremental;
 
   std::vector<std::unique_ptr<ir::Transform>> Parsed;
   for (const NamedTransform &C : Cases) {
@@ -101,11 +104,16 @@ double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
   }
   Verdicts.assign(Parsed.size(), Verdict::Unknown);
   std::atomic<uint64_t> Skipped{0};
+  std::mutex SolverMu;
   auto T0 = std::chrono::steady_clock::now();
   support::ThreadPool::parallelFor(Jobs, Parsed.size(), [&](size_t I) {
     VerifyResult R = verify(*Parsed[I], Cfg);
     Verdicts[I] = R.V;
     Skipped += R.Stats.StaticallyDischarged;
+    if (Solver) {
+      std::lock_guard<std::mutex> Lock(SolverMu);
+      Solver->merge(R.Stats);
+    }
   });
   if (Discharged)
     *Discharged = Skipped.load();
@@ -139,12 +147,24 @@ void writeBenchJson(const char *Path) {
   std::vector<Verdict> UnfilteredVerdicts;
   double UnfilteredMs = sweepCorpus(1, nullptr, UnfilteredVerdicts, false);
 
+  // A/B the incremental query plan: same corpus, serial, filter off (so
+  // every refinement check reaches the solver), once on warm sessions and
+  // once on the --no-incremental one-shot fallback. Verdicts must agree;
+  // the reuse counter proves the sessions actually stayed warm.
+  std::vector<Verdict> IncVerdicts, OneShotVerdicts;
+  smt::SolverStats IncSolver;
+  double IncrementalMs = sweepCorpus(1, nullptr, IncVerdicts, false, nullptr,
+                                     true, &IncSolver);
+  double OneShotMs =
+      sweepCorpus(1, nullptr, OneShotVerdicts, false, nullptr, false);
+
   bool Match = SerialVerdicts == ParallelVerdicts &&
-               SerialVerdicts == UnfilteredVerdicts;
+               SerialVerdicts == UnfilteredVerdicts &&
+               SerialVerdicts == IncVerdicts && IncVerdicts == OneShotVerdicts;
   smt::QueryCacheStats CS = Cache->stats();
 
   std::ofstream Out(Path);
-  char Buf[512];
+  char Buf[1024];
   std::snprintf(Buf, sizeof(Buf),
                 "{\n"
                 "  \"corpus_cases\": %zu,\n"
@@ -160,7 +180,10 @@ void writeBenchJson(const char *Path) {
                 "  \"cache_hit_rate\": %.4f,\n"
                 "  \"statically_discharged\": %llu,\n"
                 "  \"no_filter_ms\": %.2f,\n"
-                "  \"filter_saved_ms\": %.2f\n"
+                "  \"filter_saved_ms\": %.2f,\n"
+                "  \"incremental_ms\": %.2f,\n"
+                "  \"oneshot_ms\": %.2f,\n"
+                "  \"incremental_reuses\": %llu\n"
                 "}\n",
                 std::size(Cases), Jobs,
                 support::ThreadPool::defaultConcurrency(), SerialMs,
@@ -170,11 +193,16 @@ void writeBenchJson(const char *Path) {
                 static_cast<unsigned long long>(CS.Misses),
                 static_cast<unsigned long long>(CS.Evictions), CS.hitRate(),
                 static_cast<unsigned long long>(Discharged),
-                UnfilteredMs, UnfilteredMs - SerialMs);
+                UnfilteredMs, UnfilteredMs - SerialMs, IncrementalMs,
+                OneShotMs,
+                static_cast<unsigned long long>(IncSolver.IncrementalReuses));
   Out << Buf;
   std::printf("wrote %s (serial %.1f ms, parallel %.1f ms at jobs=%u, "
-              "no-filter %.1f ms, %llu discharged, verdicts %s, cache %s)\n",
-              Path, SerialMs, ParallelMs, Jobs, UnfilteredMs,
+              "no-filter %.1f ms, incremental %.1f ms vs one-shot %.1f ms "
+              "(%llu reuses), %llu discharged, verdicts %s, cache %s)\n",
+              Path, SerialMs, ParallelMs, Jobs, UnfilteredMs, IncrementalMs,
+              OneShotMs,
+              static_cast<unsigned long long>(IncSolver.IncrementalReuses),
               static_cast<unsigned long long>(Discharged),
               Match ? "match" : "MISMATCH", CS.str().c_str());
 }

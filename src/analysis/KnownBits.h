@@ -1,18 +1,16 @@
-//===- analysis/KnownBits.h - known-zero/one bit lattice --------*- C++ -*-===//
+//===- analysis/KnownBits.h - known-bits domain for templates ---*- C++ -*-===//
 //
 // Part of the alive-cpp project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The known-bits abstract domain over template values: two disjoint masks
-/// recording the bits every concretization has clear (Zeros) respectively
-/// set (Ones). Transfer functions mirror the operational semantics of
-/// Section 3.1 (the value component iota only; definedness and poison are
-/// handled by the consumers). All functions are conservative: a bit is
-/// claimed only when it holds for every defined concrete execution, which
-/// is what lets the verifier skip an SMT query on the strength of a fact
-/// from this domain.
+/// The template-side view of the shared known-bits domain
+/// (support/KnownBits.h): the abstract interpreter tracks the value
+/// component iota of Section 3.1 only — definedness and poison are handled
+/// by the consumers. This header re-exports the domain into
+/// alive::analysis and pulls in the ir opcode type that
+/// KnownBits::binOp's dispatch (implemented in this library) needs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,98 +18,12 @@
 #define ALIVE_ANALYSIS_KNOWNBITS_H
 
 #include "ir/Instr.h"
-#include "support/APInt.h"
+#include "support/KnownBits.h"
 
 namespace alive {
 namespace analysis {
 
-/// Known-bits fact for one value of a fixed bit width.
-struct KnownBits {
-  APInt Zeros; ///< bits known to be 0 in every concretization
-  APInt Ones;  ///< bits known to be 1 in every concretization
-
-  KnownBits() = default;
-  explicit KnownBits(unsigned Width)
-      : Zeros(Width, 0), Ones(Width, 0) {}
-
-  unsigned width() const { return Zeros.getWidth(); }
-
-  static KnownBits top(unsigned Width) { return KnownBits(Width); }
-  static KnownBits constant(const APInt &C) {
-    KnownBits K(C.getWidth());
-    K.Ones = C;
-    K.Zeros = C.notOp();
-    return K;
-  }
-
-  /// Every bit known: the fact denotes exactly one value.
-  bool isConstant() const { return Zeros.orOp(Ones).isAllOnes(); }
-  APInt constantValue() const { return Ones; }
-
-  bool isTop() const { return Zeros.isZero() && Ones.isZero(); }
-
-  /// True when \p V is compatible with the known bits (the soundness
-  /// predicate the differential test checks: V in gamma(this)).
-  bool contains(const APInt &V) const {
-    return V.andOp(Zeros).isZero() && V.notOp().andOp(Ones).isZero();
-  }
-
-  APInt minValue() const { return Ones; }
-  APInt maxValue() const { return Zeros.notOp(); }
-
-  bool nonZero() const { return !Ones.isZero(); }
-  bool signBitZero() const { return Zeros.isNegative(); }
-  bool signBitOne() const { return Ones.isNegative(); }
-
-  /// Number of low bits known zero in every concretization.
-  unsigned minTrailingZeros() const {
-    return Zeros.notOp().countTrailingZeros();
-  }
-  /// Number of high bits known zero in every concretization.
-  unsigned minLeadingZeros() const {
-    return Zeros.notOp().countLeadingZeros();
-  }
-
-  /// Join (union of concretizations): keep only agreeing bits.
-  KnownBits join(const KnownBits &O) const {
-    KnownBits K(width());
-    K.Zeros = Zeros.andOp(O.Zeros);
-    K.Ones = Ones.andOp(O.Ones);
-    return K;
-  }
-
-  // --- Transfer functions (value semantics of each opcode) ----------------
-
-  static KnownBits addOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits subOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits mulOp(const KnownBits &L, const KnownBits &R);
-  /// udiv/urem facts hold only for executions where the divisor is
-  /// non-zero (undefined executions satisfy everything vacuously).
-  static KnownBits udivOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits uremOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits sdivOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits sremOp(const KnownBits &L, const KnownBits &R);
-  /// Shift facts hold only for executions where the amount is < width.
-  static KnownBits shlOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits lshrOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits ashrOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits andOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits orOp(const KnownBits &L, const KnownBits &R);
-  static KnownBits xorOp(const KnownBits &L, const KnownBits &R);
-
-  static KnownBits binOp(ir::BinOpcode Op, const KnownBits &L,
-                         const KnownBits &R);
-
-  KnownBits zext(unsigned NewWidth) const;
-  KnownBits sext(unsigned NewWidth) const;
-  KnownBits trunc(unsigned NewWidth) const;
-  /// The encoder's ptrtoint/inttoptr/bitcast rule: zext or truncate.
-  KnownBits zextOrTrunc(unsigned NewWidth) const {
-    return NewWidth >= width() ? zext(NewWidth) : trunc(NewWidth);
-  }
-
-  std::string str() const;
-};
+using alive::KnownBits;
 
 } // namespace analysis
 } // namespace alive

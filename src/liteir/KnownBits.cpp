@@ -3,63 +3,26 @@
 // Part of the alive-cpp project.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lite-IR walk over defining instructions. The per-opcode bit
+/// arithmetic lives in the shared domain (support/KnownBits.cpp); this
+/// file only maps lite-IR opcodes onto those transfer functions and
+/// handles the constructs the template side does not have (select, icmp).
+///
+//===----------------------------------------------------------------------===//
 
 #include "liteir/KnownBits.h"
 
 using namespace alive;
 using namespace alive::lite;
 
-namespace {
-
-/// Known bits of an addition: a ripple analysis with a tri-state carry.
-/// The sum bit at position i is known when both addend bits and the
-/// incoming carry are known; the outgoing carry is known zero when at
-/// most one of the three inputs can be one, and known one when at least
-/// two are known one (the majority function's monotone bounds).
-KnownBits addKnown(const KnownBits &A, const KnownBits &B, bool CarryIn) {
-  unsigned W = A.getWidth();
-  KnownBits Out(W);
-  uint64_t AZ = A.Zeros.getZExtValue(), AO = A.Ones.getZExtValue();
-  uint64_t BZ = B.Zeros.getZExtValue(), BO = B.Ones.getZExtValue();
-  uint64_t OutZ = 0, OutO = 0;
-  bool CZero = !CarryIn, COne = CarryIn;
-  for (unsigned I = 0; I != W; ++I) {
-    bool AZk = (AZ >> I) & 1, AOk = (AO >> I) & 1;
-    bool BZk = (BZ >> I) & 1, BOk = (BO >> I) & 1;
-    if ((AZk || AOk) && (BZk || BOk) && (CZero || COne)) {
-      unsigned Sum = unsigned(AOk) + unsigned(BOk) + unsigned(COne);
-      if (Sum & 1)
-        OutO |= 1ULL << I;
-      else
-        OutZ |= 1ULL << I;
-      CZero = Sum < 2;
-      COne = Sum >= 2;
-      continue;
-    }
-    // Majority bounds on the outgoing carry.
-    unsigned MayBeOne = unsigned(!AZk) + unsigned(!BZk) + unsigned(!CZero);
-    unsigned KnownOne = unsigned(AOk) + unsigned(BOk) + unsigned(COne);
-    bool NextCZero = MayBeOne <= 1;
-    bool NextCOne = KnownOne >= 2;
-    CZero = NextCZero;
-    COne = NextCOne;
-  }
-  Out.Zeros = APInt(W, OutZ);
-  Out.Ones = APInt(W, OutO);
-  return Out;
-}
-
-} // namespace
-
 KnownBits lite::computeKnownBits(const LValue *V, unsigned Depth) {
   unsigned W = V->getWidth();
   KnownBits Out(W);
 
-  if (const auto *C = dyn_cast<ConstantInt>(V)) {
-    Out.Ones = C->getValue();
-    Out.Zeros = C->getValue().notOp();
-    return Out;
-  }
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return KnownBits::constant(C->getValue());
   const auto *I = dyn_cast<Instruction>(V);
   if (!I || Depth == 0)
     return Out; // arguments and undef: nothing known
@@ -69,137 +32,36 @@ KnownBits lite::computeKnownBits(const LValue *V, unsigned Depth) {
   };
 
   switch (I->getOpcode()) {
-  case Opcode::And: {
-    KnownBits A = Op(0), B = Op(1);
-    Out.Ones = A.Ones.andOp(B.Ones);
-    Out.Zeros = A.Zeros.orOp(B.Zeros);
-    return Out;
-  }
-  case Opcode::Or: {
-    KnownBits A = Op(0), B = Op(1);
-    Out.Ones = A.Ones.orOp(B.Ones);
-    Out.Zeros = A.Zeros.andOp(B.Zeros);
-    return Out;
-  }
-  case Opcode::Xor: {
-    KnownBits A = Op(0), B = Op(1);
-    APInt Known = A.known().andOp(B.known());
-    APInt Val = A.Ones.xorOp(B.Ones).andOp(Known);
-    Out.Ones = Val;
-    Out.Zeros = Known.andOp(Val.notOp());
-    return Out;
-  }
+  case Opcode::And:
+    return KnownBits::andOp(Op(0), Op(1));
+  case Opcode::Or:
+    return KnownBits::orOp(Op(0), Op(1));
+  case Opcode::Xor:
+    return KnownBits::xorOp(Op(0), Op(1));
   case Opcode::Add:
-    return addKnown(Op(0), Op(1), /*CarryIn=*/false);
-  case Opcode::Sub: {
-    // a - b == a + ~b + 1.
-    KnownBits B = Op(1);
-    std::swap(B.Zeros, B.Ones);
-    return addKnown(Op(0), B, /*CarryIn=*/true);
-  }
-  case Opcode::Shl: {
-    const auto *Amt = dyn_cast<ConstantInt>(I->getOperand(1));
-    if (!Amt || Amt->getValue().getZExtValue() >= W)
-      return Out;
-    KnownBits A = Op(0);
-    APInt S = Amt->getValue();
-    Out.Ones = A.Ones.shl(S);
-    // Shifted-in low bits are zero.
-    Out.Zeros = A.Zeros.shl(S).orOp(
-        APInt::getAllOnes(W).lshr(APInt(W, W - S.getZExtValue()))
-    );
-    return Out;
-  }
-  case Opcode::LShr: {
-    const auto *Amt = dyn_cast<ConstantInt>(I->getOperand(1));
-    if (!Amt || Amt->getValue().getZExtValue() >= W)
-      return Out;
-    KnownBits A = Op(0);
-    APInt S = Amt->getValue();
-    Out.Ones = A.Ones.lshr(S);
-    // Shifted-in high bits are zero.
-    APInt HighZeros =
-        S.isZero() ? APInt(W, 0)
-                   : APInt::getAllOnes(W).shl(APInt(W, W - S.getZExtValue()));
-    Out.Zeros = A.Zeros.lshr(S).orOp(HighZeros);
-    return Out;
-  }
-  case Opcode::AShr: {
-    const auto *Amt = dyn_cast<ConstantInt>(I->getOperand(1));
-    if (!Amt || Amt->getValue().getZExtValue() >= W)
-      return Out;
-    KnownBits A = Op(0);
-    APInt S = Amt->getValue();
-    // The sign bit replicates: known high bits only if the sign is known.
-    Out.Ones = A.Ones.lshr(S);
-    Out.Zeros = A.Zeros.lshr(S);
-    if (A.isNonNegative())
-      Out.Zeros = Out.Zeros.orOp(
-          S.isZero() ? APInt(W, 0)
-                     : APInt::getAllOnes(W).shl(
-                           APInt(W, W - S.getZExtValue())));
-    else if (A.isNegative())
-      Out.Ones = Out.Ones.orOp(
-          S.isZero() ? APInt(W, 0)
-                     : APInt::getAllOnes(W).shl(
-                           APInt(W, W - S.getZExtValue())));
-    return Out;
-  }
-  case Opcode::URem: {
-    // x urem 2^k keeps only the low k bits.
-    const auto *C = dyn_cast<ConstantInt>(I->getOperand(1));
-    if (C && C->getValue().isPowerOf2()) {
-      KnownBits A = Op(0);
-      APInt Mask = C->getValue().sub(APInt(W, 1));
-      Out.Ones = A.Ones.andOp(Mask);
-      Out.Zeros = A.Zeros.andOp(Mask).orOp(Mask.notOp());
-    }
-    return Out;
-  }
-  case Opcode::UDiv: {
-    // Dividing by 2^k clears the top k bits.
-    const auto *C = dyn_cast<ConstantInt>(I->getOperand(1));
-    if (C && C->getValue().isPowerOf2()) {
-      unsigned K = C->getValue().logBase2();
-      if (K > 0)
-        Out.Zeros =
-            APInt::getAllOnes(W).shl(APInt(W, W - K));
-    }
-    return Out;
-  }
-  case Opcode::ZExt: {
-    unsigned SrcW = I->getOperand(0)->getWidth();
-    KnownBits A = Op(0);
-    Out.Ones = A.Ones.zext(W);
-    Out.Zeros = A.Zeros.zext(W).orOp(
-        APInt::getAllOnes(W).shl(APInt(W, SrcW)));
-    return Out;
-  }
-  case Opcode::SExt: {
-    unsigned SrcW = I->getOperand(0)->getWidth();
-    KnownBits A = Op(0);
-    Out.Ones = A.Ones.zext(W);
-    Out.Zeros = A.Zeros.zext(W);
-    APInt HighMask = APInt::getAllOnes(W).shl(APInt(W, SrcW));
-    if (A.isNonNegative())
-      Out.Zeros = Out.Zeros.orOp(HighMask);
-    else if (A.isNegative())
-      Out.Ones = Out.Ones.orOp(HighMask);
-    return Out;
-  }
-  case Opcode::Trunc: {
-    KnownBits A = Op(0);
-    Out.Ones = A.Ones.trunc(W);
-    Out.Zeros = A.Zeros.trunc(W);
-    return Out;
-  }
-  case Opcode::Select: {
-    KnownBits T = computeKnownBits(I->getOperand(1), Depth - 1);
-    KnownBits E = computeKnownBits(I->getOperand(2), Depth - 1);
-    Out.Ones = T.Ones.andOp(E.Ones);
-    Out.Zeros = T.Zeros.andOp(E.Zeros);
-    return Out;
-  }
+    return KnownBits::addOp(Op(0), Op(1));
+  case Opcode::Sub:
+    return KnownBits::subOp(Op(0), Op(1));
+  case Opcode::Shl:
+    return KnownBits::shlOp(Op(0), Op(1));
+  case Opcode::LShr:
+    return KnownBits::lshrOp(Op(0), Op(1));
+  case Opcode::AShr:
+    return KnownBits::ashrOp(Op(0), Op(1));
+  case Opcode::URem:
+    return KnownBits::uremOp(Op(0), Op(1));
+  case Opcode::UDiv:
+    return KnownBits::udivOp(Op(0), Op(1));
+  case Opcode::ZExt:
+    return Op(0).zext(W);
+  case Opcode::SExt:
+    return Op(0).sext(W);
+  case Opcode::Trunc:
+    return Op(0).trunc(W);
+  case Opcode::Select:
+    // Either arm may be chosen: keep the agreeing bits.
+    return computeKnownBits(I->getOperand(1), Depth - 1)
+        .join(computeKnownBits(I->getOperand(2), Depth - 1));
   case Opcode::ICmp:
     // Result is i1; nothing known about which way it goes.
     return Out;

@@ -17,48 +17,23 @@
 /// known; unknown bits carry no information. This one-sidedness is what
 /// the verifier's side-constraint encoding of Section 3.1.1 models.
 ///
+/// The fact type itself is the shared known-bits domain
+/// (support/KnownBits.h) — the same lattice the template-side abstract
+/// interpreter uses — re-exported here; this library adds only the walk
+/// over lite-IR defining instructions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIVE_LITEIR_KNOWNBITS_H
 #define ALIVE_LITEIR_KNOWNBITS_H
 
 #include "liteir/LiteIR.h"
+#include "support/KnownBits.h"
 
 namespace alive {
 namespace lite {
 
-/// Bit-level facts about a value: Zeros has a 1 for every bit known to be
-/// 0, Ones has a 1 for every bit known to be 1. The two masks are always
-/// disjoint.
-struct KnownBits {
-  APInt Zeros;
-  APInt Ones;
-
-  explicit KnownBits(unsigned Width = 1)
-      : Zeros(Width, 0), Ones(Width, 0) {}
-
-  unsigned getWidth() const { return Zeros.getWidth(); }
-  bool isConstant() const {
-    return Zeros.orOp(Ones).isAllOnes();
-  }
-  APInt getConstant() const {
-    assert(isConstant() && "value not fully known");
-    return Ones;
-  }
-  /// Bits known either way.
-  APInt known() const { return Zeros.orOp(Ones); }
-
-  bool isNonNegative() const {
-    return Zeros.lshr(APInt(getWidth(), getWidth() - 1)).isOne();
-  }
-  bool isNegative() const {
-    return Ones.lshr(APInt(getWidth(), getWidth() - 1)).isOne();
-  }
-  /// True when `V & Mask == 0` is guaranteed.
-  bool maskedValueIsZero(const APInt &Mask) const {
-    return Mask.andOp(Zeros) == Mask;
-  }
-};
+using alive::KnownBits;
 
 /// Computes known bits for \p V, recursing through its defining
 /// instructions up to \p Depth levels (LLVM uses a depth limit of 6).

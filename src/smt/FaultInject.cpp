@@ -62,7 +62,12 @@ public:
     if (Plan.UnknownRate > 0 && Rng.nextUnit() < Plan.UnknownRate)
       return inject("injected pre-emptive unknown");
 
+    SolverStats Before = Inner->stats();
     CheckResult R = Inner->check(Assertion);
+    SolverStats D = Inner->stats().deltaSince(Before);
+    Stats.Escalations += D.Escalations;
+    Stats.FragmentFallbacks += D.FragmentFallbacks;
+    Stats.ColdStarts += D.ColdStarts;
     if (!R.isUnknown() && Plan.DowngradeRate > 0 &&
         Rng.nextUnit() < Plan.DowngradeRate)
       return inject("injected downgrade of a " +

@@ -45,12 +45,12 @@ public:
         return CheckResult::unknown(
             UnknownReason::UnsupportedFragment,
             "query outside QF_BV and Z3 fallback disabled");
-      return Z3->check(Assertion);
+      return checkRung(*Z3, Assertion);
     }
 
     CheckResult R;
     if (Probe) {
-      R = Probe->check(Assertion);
+      R = checkRung(*Probe, Assertion);
       if (!R.isUnknown())
         return R;
       if (cannotRecover(R.Why))
@@ -58,14 +58,14 @@ public:
       ++Stats.Escalations;
     }
 
-    R = Full->check(Assertion);
+    R = checkRung(*Full, Assertion);
     if (!R.isUnknown())
       return R;
     if (cannotRecover(R.Why) || !Z3)
       return R;
     ++Stats.Escalations;
 
-    return Z3->check(Assertion);
+    return checkRung(*Z3, Assertion);
   }
 
   std::string name() const override {
@@ -79,6 +79,15 @@ public:
   }
 
 private:
+  /// Runs one rung and folds its decorator-invisible counters (each rung
+  /// instantiates a fresh backend per query) into the ladder's stats.
+  CheckResult checkRung(Solver &Rung, TermRef Assertion) {
+    SolverStats Before = Rung.stats();
+    CheckResult R = Rung.check(Assertion);
+    Stats.ColdStarts += Rung.stats().deltaSince(Before).ColdStarts;
+    return R;
+  }
+
   /// A cancelled query must not be retried on a higher rung: the caller
   /// asked for the whole check to stop, not for more effort.
   static bool cannotRecover(UnknownReason R) {

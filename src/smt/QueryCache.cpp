@@ -210,6 +210,7 @@ public:
     std::string Key = canonicalQueryKey(Assertion);
     QueryCache::Entry E;
     if (Cache->lookup(Key, E)) {
+      ServedFromCache = true; // counted as a CacheHit, not a Query
       CheckResult R;
       if (!E.IsSat) {
         R.Status = CheckStatus::Unsat;
@@ -238,10 +239,12 @@ public:
     CheckResult R = Inner->check(Assertion);
     // Surface the decorator-invisible counters (this decorator's own
     // query/answer counts are maintained by Solver::check).
-    const SolverStats &After = Inner->stats();
-    Stats.Escalations += After.Escalations - Before.Escalations;
-    Stats.FragmentFallbacks += After.FragmentFallbacks - Before.FragmentFallbacks;
-    Stats.FaultsInjected += After.FaultsInjected - Before.FaultsInjected;
+    SolverStats D = Inner->stats().deltaSince(Before);
+    Stats.Escalations += D.Escalations;
+    Stats.FragmentFallbacks += D.FragmentFallbacks;
+    Stats.FaultsInjected += D.FaultsInjected;
+    Stats.IncrementalReuses += D.IncrementalReuses;
+    Stats.ColdStarts += D.ColdStarts;
 
     if (R.isUnknown())
       return R; // never memoize a give-up; a retry may have more budget

@@ -1,0 +1,422 @@
+//===- smt/Session.cpp - session base, ladder, cache, one-shot ------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend-independent session machinery: the check() accounting wrapper,
+/// the OneShotSession adapter (the --no-incremental oracle), the
+/// GuardedSession escalation ladder over warm sub-sessions, and the
+/// CachingSession verdict memoizer. The backend sessions live next to
+/// their one-shot counterparts (bitblast/BitBlastSession.cpp,
+/// z3/Z3Session.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Session.h"
+
+#include "smt/Printer.h"
+#include "smt/QueryCache.h"
+#include "smt/bitblast/BitBlaster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace alive;
+using namespace alive::smt;
+
+SolverSession::~SolverSession() = default;
+
+CheckResult SolverSession::check(const std::vector<TermRef> &Assumptions,
+                                 const ResourceLimits *Override) {
+  ServedFromCache = false;
+  WarmReuse = false;
+  CheckResult R = checkImpl(Assumptions, Override);
+  if (ServedFromCache)
+    ++Stats.CacheHits;
+  else if (WarmReuse)
+    ++Stats.IncrementalReuses;
+  else
+    ++Stats.Queries;
+  switch (R.Status) {
+  case CheckStatus::Sat:
+    ++Stats.SatAnswers;
+    break;
+  case CheckStatus::Unsat:
+    ++Stats.UnsatAnswers;
+    break;
+  case CheckStatus::Unknown:
+    ++Stats.UnknownAnswers;
+    ++Stats.UnknownBy[static_cast<unsigned>(R.Why)];
+    break;
+  }
+  return R;
+}
+
+namespace {
+
+/// Runs every check as an independent one-shot query: conjoin the live
+/// assertion frames with the assumptions and hand the result to the inner
+/// Solver. This is the semantic reference the incremental sessions are
+/// differentially tested against, and the engine behind --no-incremental.
+class OneShotSession final : public SolverSession {
+public:
+  OneShotSession(TermContext &Ctx, std::unique_ptr<Solver> Inner)
+      : Ctx(Ctx), Inner(std::move(Inner)) {
+    Frames.emplace_back();
+  }
+
+  void add(TermRef T) override { Frames.back().push_back(T); }
+  void push() override { Frames.emplace_back(); }
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    Frames.pop_back();
+  }
+
+  std::string name() const override {
+    return "oneshot(" + Inner->name() + ")";
+  }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    (void)Override; // one-shot backends carry their own limits
+    std::vector<TermRef> Conj;
+    for (const auto &F : Frames)
+      Conj.insert(Conj.end(), F.begin(), F.end());
+    Conj.insert(Conj.end(), Assumptions.begin(), Assumptions.end());
+    TermRef Query = Conj.empty() ? Ctx.mkTrue() : Ctx.mkAnd(Conj);
+
+    SolverStats Before = Inner->stats();
+    CheckResult R = Inner->check(Query);
+    SolverStats D = Inner->stats().deltaSince(Before);
+    Stats.Escalations += D.Escalations;
+    Stats.FragmentFallbacks += D.FragmentFallbacks;
+    Stats.FaultsInjected += D.FaultsInjected;
+    Stats.ColdStarts += D.ColdStarts;
+    if (D.CacheHits)
+      ServedFromCache = true;
+    return R;
+  }
+
+private:
+  TermContext &Ctx;
+  std::unique_ptr<Solver> Inner;
+  std::vector<std::vector<TermRef>> Frames;
+};
+
+/// The escalation ladder over warm sessions: probe-budget native check,
+/// full-budget native check, then Z3 — all against persistent backends, so
+/// an escalated query still benefits from every clause learned below it.
+/// The Z3 session is materialized lazily (most workloads never escalate)
+/// by replaying the live assertion frames, then kept in sync with
+/// add/push/pop.
+class GuardedSession final : public SolverSession {
+public:
+  explicit GuardedSession(const EscalationConfig &Cfg)
+      : Cfg(Cfg), Native(createBitBlastSession(Cfg.Full)) {
+    Frames.emplace_back();
+  }
+
+  void add(TermRef T) override {
+    Frame &F = Frames.back();
+    F.Terms.push_back(T);
+    if (!BitBlaster::supports(T))
+      ++F.Unsupported;
+    Native->add(T);
+    if (Z3)
+      Z3->add(T);
+  }
+
+  void push() override {
+    Frames.emplace_back();
+    Native->push();
+    if (Z3)
+      Z3->push();
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    Frames.pop_back();
+    Native->pop();
+    if (Z3)
+      Z3->pop();
+  }
+
+  std::string name() const override {
+    std::string N = "guarded-session(";
+    if (Cfg.UseProbe)
+      N += "bitblast-probe,";
+    N += "bitblast";
+    if (Cfg.UseZ3Fallback)
+      N += ",z3";
+    return N + ")";
+  }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    bool NativeOK = true;
+    for (const Frame &F : Frames)
+      if (F.Unsupported)
+        NativeOK = false;
+    if (NativeOK)
+      for (TermRef A : Assumptions)
+        if (!BitBlaster::supports(A))
+          NativeOK = false;
+
+    // A check's cost class is decided by whether any backend had to cold
+    // start while answering it; a ladder that stays warm on every rung it
+    // touched is a reuse.
+    ColdDelta = 0;
+
+    if (!NativeOK) {
+      ++Stats.FragmentFallbacks;
+      if (!Cfg.UseZ3Fallback)
+        return CheckResult::unknown(
+            UnknownReason::UnsupportedFragment,
+            "session state outside QF_BV and Z3 fallback disabled");
+      ensureZ3();
+      return finish(runRung(*Z3, Assumptions, Override));
+    }
+
+    CheckResult R;
+    if (Cfg.UseProbe && !Override) {
+      R = runRung(*Native, Assumptions, &Cfg.Probe);
+      if (!R.isUnknown())
+        return finish(R);
+      if (cannotRecover(R.Why))
+        return finish(R);
+      ++Stats.Escalations;
+    }
+
+    // The native session's own default budget is Cfg.Full; a caller
+    // Override replaces it for this check.
+    R = runRung(*Native, Assumptions, Override);
+    if (!R.isUnknown())
+      return finish(R);
+    if (cannotRecover(R.Why) || !Cfg.UseZ3Fallback)
+      return finish(R);
+    ++Stats.Escalations;
+
+    ensureZ3();
+    return finish(runRung(*Z3, Assumptions, Override));
+  }
+
+private:
+  struct Frame {
+    std::vector<TermRef> Terms;
+    unsigned Unsupported = 0;
+  };
+
+  CheckResult runRung(SolverSession &S, const std::vector<TermRef> &Assumptions,
+                      const ResourceLimits *Override) {
+    SolverStats Before = S.stats();
+    CheckResult R = S.check(Assumptions, Override);
+    ColdDelta += S.stats().deltaSince(Before).ColdStarts;
+    return R;
+  }
+
+  CheckResult finish(CheckResult R) {
+    Stats.ColdStarts += ColdDelta;
+    WarmReuse = ColdDelta == 0;
+    return R;
+  }
+
+  /// A cancelled query must not be retried on a higher rung: the caller
+  /// asked for the whole check to stop, not for more effort.
+  static bool cannotRecover(UnknownReason R) {
+    return R == UnknownReason::Cancelled;
+  }
+
+  void ensureZ3() {
+    if (Z3)
+      return;
+    Z3 = createZ3Session(Cfg.Z3TimeoutMs);
+    bool First = true;
+    for (const Frame &F : Frames) {
+      if (!First)
+        Z3->push();
+      First = false;
+      for (TermRef T : F.Terms)
+        Z3->add(T);
+    }
+  }
+
+  EscalationConfig Cfg;
+  std::unique_ptr<SolverSession> Native;
+  std::unique_ptr<SolverSession> Z3;
+  std::vector<Frame> Frames;
+  uint64_t ColdDelta = 0;
+};
+
+/// Memoizes session verdicts. The key serializes every live assertion
+/// scope (in stack order) plus the assumption set, so two lookups collide
+/// exactly when the full session state and the question asked are
+/// structurally identical — the same exactness guarantee as the one-shot
+/// CachingSolver, whose keys use a distinct prefix so the two key spaces
+/// never alias inside a shared QueryCache.
+class CachingSession final : public SolverSession {
+public:
+  CachingSession(std::unique_ptr<SolverSession> Inner,
+                 std::shared_ptr<QueryCache> Cache)
+      : Inner(std::move(Inner)), Cache(std::move(Cache)) {
+    Frames.emplace_back();
+  }
+
+  void add(TermRef T) override {
+    Frame &F = Frames.back();
+    F.Key += canonicalQueryKey(T);
+    F.Key += '\x1d';
+    F.Terms.push_back(T);
+    Inner->add(T);
+  }
+
+  void push() override {
+    Frames.emplace_back();
+    Inner->push();
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    Frames.pop_back();
+    Inner->pop();
+  }
+
+  std::string name() const override {
+    return "caching-session(" + Inner->name() + ")";
+  }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    std::string Key = "S|";
+    for (const Frame &F : Frames) {
+      Key += F.Key;
+      Key += '\x1e';
+    }
+    Key += "A|";
+    for (TermRef A : Assumptions) {
+      Key += canonicalQueryKey(A);
+      Key += '\x1d';
+    }
+
+    QueryCache::Entry E;
+    if (Cache->lookup(Key, E)) {
+      ServedFromCache = true;
+      CheckResult R;
+      if (!E.IsSat) {
+        R.Status = CheckStatus::Unsat;
+        return R;
+      }
+      R.Status = CheckStatus::Sat;
+      // Rebind the name-keyed stored model onto this session's live free
+      // variables (key equality implies name-identical free variables).
+      std::unordered_map<std::string, TermRef> ByName;
+      for (TermRef V : liveFreeVars(Assumptions))
+        ByName.emplace(V->getName(), V);
+      for (const QueryCache::ModelBinding &B : E.Model) {
+        auto It = ByName.find(B.Name);
+        if (It == ByName.end())
+          continue;
+        if (B.IsBool)
+          R.M.setBool(It->second, B.BoolVal);
+        else
+          R.M.setBV(It->second, B.BVVal);
+      }
+      return R;
+    }
+
+    SolverStats Before = Inner->stats();
+    CheckResult R = Inner->check(Assumptions, Override);
+    SolverStats D = Inner->stats().deltaSince(Before);
+    Stats.Escalations += D.Escalations;
+    Stats.FragmentFallbacks += D.FragmentFallbacks;
+    Stats.FaultsInjected += D.FaultsInjected;
+    Stats.ColdStarts += D.ColdStarts;
+    if (D.IncrementalReuses)
+      WarmReuse = true;
+
+    if (R.isSat() || R.isUnsat()) {
+      QueryCache::Entry NewE;
+      NewE.IsSat = R.isSat();
+      if (R.isSat()) {
+        for (TermRef V : liveFreeVars(Assumptions)) {
+          QueryCache::ModelBinding B;
+          B.Name = V->getName();
+          if (V->getSort().isBool()) {
+            auto Val = R.M.getBool(V);
+            if (!Val)
+              continue;
+            B.IsBool = true;
+            B.BoolVal = *Val;
+          } else if (V->getSort().isBitVec()) {
+            auto Val = R.M.getBV(V);
+            if (!Val)
+              continue;
+            B.BVVal = *Val;
+          } else {
+            continue; // array-sorted inputs have no scalar binding
+          }
+          NewE.Model.push_back(std::move(B));
+        }
+      }
+      Cache->insert(Key, std::move(NewE));
+    }
+    return R;
+  }
+
+private:
+  struct Frame {
+    std::string Key;
+    std::vector<TermRef> Terms;
+  };
+
+  /// Free variables of every live assertion plus the assumptions, deduped.
+  std::vector<TermRef>
+  liveFreeVars(const std::vector<TermRef> &Assumptions) const {
+    std::vector<TermRef> Out;
+    auto Collect = [&](TermRef T) {
+      for (TermRef V : collectFreeVars(T))
+        Out.push_back(V);
+    };
+    for (const Frame &F : Frames)
+      for (TermRef T : F.Terms)
+        Collect(T);
+    for (TermRef A : Assumptions)
+      Collect(A);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
+
+  std::unique_ptr<SolverSession> Inner;
+  std::shared_ptr<QueryCache> Cache;
+  std::vector<Frame> Frames;
+};
+
+} // namespace
+
+std::unique_ptr<SolverSession>
+smt::createGuardedSession(const EscalationConfig &Cfg) {
+  return std::make_unique<GuardedSession>(Cfg);
+}
+
+std::unique_ptr<SolverSession> smt::createHybridSession(unsigned TimeoutMs) {
+  EscalationConfig Cfg;
+  Cfg.Z3TimeoutMs = TimeoutMs;
+  return std::make_unique<GuardedSession>(Cfg);
+}
+
+std::unique_ptr<SolverSession>
+smt::createOneShotSession(TermContext &Ctx, std::unique_ptr<Solver> Inner) {
+  return std::make_unique<OneShotSession>(Ctx, std::move(Inner));
+}
+
+std::unique_ptr<SolverSession>
+smt::createCachingSession(std::unique_ptr<SolverSession> Inner,
+                          std::shared_ptr<QueryCache> Cache) {
+  return std::make_unique<CachingSession>(std::move(Inner), std::move(Cache));
+}

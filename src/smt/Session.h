@@ -1,0 +1,148 @@
+//===- smt/Session.h - incremental solving sessions -------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental solving interface. A SolverSession holds a persistent
+/// solving context — a warm CDCL clause database for the native backend, a
+/// live z3::solver for Z3 — across many related satisfiability checks, so
+/// the verifier can encode a type assignment's common prefix (ι, δ, ρ,
+/// preconditions, memory axioms) once and discharge each refinement
+/// condition as a small delta instead of re-encoding and re-solving the
+/// whole formula per check (the paper's workload issues hundreds to
+/// thousands of such closely-related queries per transformation).
+///
+/// The interface mirrors SMT-LIB incremental commands:
+///
+///  * add(T)  — assert a formula in the current scope,
+///  * push()/pop() — open/close an assertion scope,
+///  * check(assumptions) — satisfiability of the conjunction of all live
+///    assertions and the given assumption literals. Unsat is relative to
+///    the assumptions; the session stays usable afterwards.
+///
+/// Implementations:
+///
+///  * BitBlastSession (smt/bitblast) — persistent SatSolver + Tseitin
+///    encoder. Scoped assertions are guarded by selector literals
+///    ((¬s ∨ L) clauses; pop retires s with a unit clause), assumptions
+///    ride on sat::SatSolver::solveUnderAssumptions, and learned clauses
+///    survive across checks (sound: they derive from problem clauses
+///    alone — see DESIGN.md §10).
+///  * Z3Session (smt/z3) — one z3::context + z3::solver with native
+///    push/pop and assumption-vector checks.
+///  * GuardedSession — the escalation ladder over warm sessions: native
+///    probe budget → native full budget → lazily materialized Z3 session
+///    (replayed from the live assertion frames).
+///  * CachingSession — memoizes check() verdicts in a QueryCache keyed by
+///    the stacked assertion scopes plus the assumption set.
+///  * OneShotSession — adapter running every check as an independent
+///    one-shot Solver query over the conjunction of live assertions; the
+///    --no-incremental fallback and the differential-testing oracle.
+///
+/// Accounting: the non-virtual check() wrapper classifies every call as a
+/// cold Query (a fresh backend had to be instantiated), an
+/// IncrementalReuse (answered on a warm session), or a CacheHit, and
+/// tallies answers exactly like Solver::check so reports stay comparable
+/// across the incremental and one-shot pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SESSION_H
+#define ALIVE_SMT_SESSION_H
+
+#include "smt/Solver.h"
+
+#include <memory>
+#include <vector>
+
+namespace alive {
+namespace smt {
+
+class QueryCache;
+
+/// An incremental satisfiability session over our term language.
+class SolverSession {
+public:
+  virtual ~SolverSession();
+
+  /// Asserts \p T (a Bool-sorted term) in the current scope. Terms added
+  /// at the root scope persist for the session's lifetime; terms added
+  /// after a push() are retracted by the matching pop().
+  virtual void add(TermRef T) = 0;
+
+  /// Opens a new assertion scope.
+  virtual void push() = 0;
+
+  /// Closes the innermost scope, retracting every add() since its push().
+  virtual void pop() = 0;
+
+  /// Checks satisfiability of all live assertions conjoined with
+  /// \p Assumptions (Bool-sorted terms). An Unsat answer is relative to
+  /// the assumptions — the session remains usable. \p Override, when
+  /// non-null, replaces the session's default resource budgets for this
+  /// one check (the probe rung of an escalation ladder, attribute
+  /// inference's cheap trial solves). Updates stats().
+  CheckResult check(const std::vector<TermRef> &Assumptions = {},
+                    const ResourceLimits *Override = nullptr);
+
+  /// Human-readable session kind (for benchmark labels).
+  virtual std::string name() const = 0;
+
+  /// Query/answer accounting. Queries counts cold checks only; warm-session
+  /// answers land in IncrementalReuses and cache-served ones in CacheHits.
+  const SolverStats &stats() const { return Stats; }
+
+protected:
+  /// Backend hook. Must set WarmReuse when the answer was computed on an
+  /// already-started backend, or ServedFromCache when it came from a cache;
+  /// leaving both false makes check() count a cold Query.
+  virtual CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                                const ResourceLimits *Override) = 0;
+
+  SolverStats Stats;
+  bool ServedFromCache = false;
+  bool WarmReuse = false;
+};
+
+/// Creates a native incremental session (QF_BV only). \p Limits is the
+/// default per-check budget; adds outside the fragment poison the enclosing
+/// scope, turning checks into Unknown(UnsupportedFragment) until popped.
+std::unique_ptr<SolverSession>
+createBitBlastSession(const ResourceLimits &Limits = {});
+
+/// Creates a Z3-backed session (full theory support). \p TimeoutMs of 0
+/// means no per-check limit; a check's Override DeadlineMs takes precedence.
+std::unique_ptr<SolverSession> createZ3Session(unsigned TimeoutMs = 0);
+
+/// Creates the escalating session: native probe budget → native full
+/// budget → Z3, all warm. Scopes holding non-QF_BV assertions (and checks
+/// with non-QF_BV assumptions) route straight to the Z3 rung, which is
+/// materialized lazily by replaying the live assertion frames.
+std::unique_ptr<SolverSession>
+createGuardedSession(const EscalationConfig &Cfg = {});
+
+/// Guarded session with default budgets and \p TimeoutMs on the Z3 rung —
+/// the session counterpart of createHybridSolver.
+std::unique_ptr<SolverSession> createHybridSession(unsigned TimeoutMs = 0);
+
+/// Creates the non-incremental adapter: each check conjoins the live
+/// assertions and assumptions (in \p Ctx) and runs \p Inner once. Every
+/// check is a cold solve by construction. The resource Override is ignored
+/// — one-shot backends carry their own limits.
+std::unique_ptr<SolverSession> createOneShotSession(TermContext &Ctx,
+                                                    std::unique_ptr<Solver> Inner);
+
+/// Wraps \p Inner in a verdict memoizer: the key covers every live
+/// assertion scope plus the assumption set, so a hit can never alias two
+/// distinct session states. Only Sat/Unsat answers are cached; hits count
+/// as CacheHits, misses forward to \p Inner.
+std::unique_ptr<SolverSession>
+createCachingSession(std::unique_ptr<SolverSession> Inner,
+                     std::shared_ptr<QueryCache> Cache);
+
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_SESSION_H

@@ -64,12 +64,22 @@ std::string SolverStats::str() const {
     S += " faults-injected=" + std::to_string(FaultsInjected);
   if (StaticallyDischarged)
     S += " statically-discharged=" + std::to_string(StaticallyDischarged);
+  if (IncrementalReuses)
+    S += " incremental-reuses=" + std::to_string(IncrementalReuses);
+  if (CacheHits)
+    S += " cache-hits=" + std::to_string(CacheHits);
+  if (ColdStarts)
+    S += " cold-starts=" + std::to_string(ColdStarts);
   return S;
 }
 
 CheckResult Solver::check(TermRef Assertion) {
+  ServedFromCache = false;
   CheckResult R = checkImpl(Assertion);
-  ++Stats.Queries;
+  if (ServedFromCache)
+    ++Stats.CacheHits;
+  else
+    ++Stats.Queries;
   switch (R.Status) {
   case CheckStatus::Sat:
     ++Stats.SatAnswers;

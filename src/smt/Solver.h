@@ -123,6 +123,14 @@ struct SolverStats {
   // Set by the verifier, not by solvers: refinement checks proven by the
   // abstract-interpretation pre-filter, whose queries never ran.
   uint64_t StaticallyDischarged = 0;
+  // Incremental-session accounting. Queries counts *cold* checks only:
+  // a session check answered on a warm clause database / Z3 context is an
+  // IncrementalReuse, and an answer served from a QueryCache is a CacheHit
+  // — neither inflates Queries, so the counter keeps meaning "how many
+  // fresh solves did the workload pay for".
+  uint64_t IncrementalReuses = 0; ///< checks answered by a warm session
+  uint64_t CacheHits = 0;         ///< answers served from a QueryCache
+  uint64_t ColdStarts = 0;        ///< fresh solver/context instantiations
 
   uint64_t unknowns(UnknownReason R) const {
     return UnknownBy[static_cast<unsigned>(R)];
@@ -141,6 +149,30 @@ struct SolverStats {
     FragmentFallbacks += O.FragmentFallbacks;
     FaultsInjected += O.FaultsInjected;
     StaticallyDischarged += O.StaticallyDischarged;
+    IncrementalReuses += O.IncrementalReuses;
+    CacheHits += O.CacheHits;
+    ColdStarts += O.ColdStarts;
+  }
+
+  /// The element-wise difference against an earlier snapshot of the same
+  /// stats object — how decorators and per-check accounting attribute work
+  /// done by a shared inner solver/session to one call.
+  SolverStats deltaSince(const SolverStats &Before) const {
+    SolverStats D;
+    D.Queries = Queries - Before.Queries;
+    D.SatAnswers = SatAnswers - Before.SatAnswers;
+    D.UnsatAnswers = UnsatAnswers - Before.UnsatAnswers;
+    D.UnknownAnswers = UnknownAnswers - Before.UnknownAnswers;
+    for (unsigned I = 0; I != NumUnknownReasons; ++I)
+      D.UnknownBy[I] = UnknownBy[I] - Before.UnknownBy[I];
+    D.Escalations = Escalations - Before.Escalations;
+    D.FragmentFallbacks = FragmentFallbacks - Before.FragmentFallbacks;
+    D.FaultsInjected = FaultsInjected - Before.FaultsInjected;
+    D.StaticallyDischarged = StaticallyDischarged - Before.StaticallyDischarged;
+    D.IncrementalReuses = IncrementalReuses - Before.IncrementalReuses;
+    D.CacheHits = CacheHits - Before.CacheHits;
+    D.ColdStarts = ColdStarts - Before.ColdStarts;
+    return D;
   }
 
   /// Compact rendering, e.g.
@@ -172,6 +204,10 @@ protected:
   virtual CheckResult checkImpl(TermRef Assertion) = 0;
 
   SolverStats Stats;
+  /// Set by a caching decorator's checkImpl when the answer came from the
+  /// query cache: check() then counts the call under CacheHits instead of
+  /// Queries (a hit costs no solve).
+  bool ServedFromCache = false;
 };
 
 /// Creates the Z3-backed solver. \p TimeoutMs of 0 means no limit.

@@ -1,0 +1,188 @@
+//===- smt/bitblast/BitBlastSession.cpp - incremental native session ------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native incremental session: one persistent sat::SatSolver and
+/// BitBlaster shared by every check. Root-scope assertions go into the
+/// clause database directly; each push() allocates a selector variable s,
+/// scoped assertions become (¬s ∨ L) with L the assertion's Tseitin
+/// literal, checks assume the selectors of all live scopes, and pop()
+/// retires a scope with the unit clause ¬s (permanently satisfying its
+/// guarded clauses). Assumption terms are encoded to literals on demand —
+/// sound because the Tseitin gates are bi-directional equivalences — and
+/// passed to solveUnderAssumptions, so learned clauses and variable
+/// activities persist across the whole session (see DESIGN.md §10 for the
+/// retention soundness argument).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+#include "smt/Session.h"
+#include "smt/bitblast/BitBlaster.h"
+#include "smt/sat/SatSolver.h"
+
+#include <cassert>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+class BitBlastSession final : public SolverSession {
+public:
+  explicit BitBlastSession(const ResourceLimits &Limits)
+      : Limits(Limits), Blaster(Sat) {
+    Frames.emplace_back();
+  }
+
+  void add(TermRef T) override {
+    Frame &F = Frames.back();
+    if (!BitBlaster::supports(T)) {
+      // Poison the scope instead of failing: checks report
+      // Unknown(UnsupportedFragment) until this frame is popped, which is
+      // how the guarded ladder learns to route around the native rung.
+      ++F.Unsupported;
+      return;
+    }
+    armEncodeInterrupt();
+    try {
+      if (F.HasSelector) {
+        sat::Lit L = Blaster.literalFor(T);
+        Sat.addClause(~F.Selector, L);
+      } else {
+        Blaster.assertTerm(T);
+      }
+      for (TermRef V : collectFreeVars(T))
+        F.Vars.push_back(V);
+    } catch (const Interrupted &I) {
+      F.Broken = I.Reason;
+    }
+  }
+
+  void push() override {
+    Frames.emplace_back();
+    Frames.back().HasSelector = true;
+    Frames.back().Selector = sat::Lit(Sat.newVar(), false);
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    if (Frames.back().HasSelector)
+      Sat.addClause(~Frames.back().Selector);
+    Frames.pop_back();
+  }
+
+  std::string name() const override { return "bitblast-session"; }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    for (const Frame &F : Frames) {
+      if (F.Unsupported)
+        return CheckResult::unknown(
+            UnknownReason::UnsupportedFragment,
+            "session holds assertions outside the QF_BV fragment");
+      if (F.Broken != UnknownReason::None)
+        return CheckResult::unknown(
+            F.Broken, std::string(unknownReasonName(F.Broken)) +
+                          " during bit-blasting of a session assertion");
+    }
+    for (TermRef A : Assumptions)
+      if (!BitBlaster::supports(A))
+        return CheckResult::unknown(UnknownReason::UnsupportedFragment,
+                                    "assumption outside the QF_BV fragment");
+
+    if (Started)
+      WarmReuse = true;
+    else {
+      Started = true;
+      ++Stats.ColdStarts;
+    }
+
+    const ResourceLimits &L = Override ? *Override : Limits;
+    const bool HasDeadline = L.DeadlineMs != 0;
+    const auto Deadline = L.deadlineFromNow();
+
+    std::vector<sat::Lit> Assume;
+    for (const Frame &F : Frames)
+      if (F.HasSelector)
+        Assume.push_back(F.Selector);
+    Blaster.setInterrupt(HasDeadline, Deadline, L.Cancel);
+    try {
+      for (TermRef A : Assumptions)
+        Assume.push_back(Blaster.literalFor(A));
+    } catch (const Interrupted &I) {
+      return CheckResult::unknown(I.Reason,
+                                  std::string(unknownReasonName(I.Reason)) +
+                                      " during bit-blasting");
+    }
+
+    sat::SearchLimits SL;
+    SL.ConflictBudget = L.ConflictBudget;
+    SL.PropagationBudget = L.PropagationBudget;
+    SL.LearnedBytesBudget = L.LearnedBytesBudget;
+    SL.HasDeadline = HasDeadline;
+    SL.Deadline = Deadline;
+    SL.Cancel = L.Cancel;
+
+    CheckResult R;
+    switch (Sat.solveUnderAssumptions(Assume, SL)) {
+    case sat::SatResult::Sat: {
+      R.Status = CheckStatus::Sat;
+      auto Read = [&](TermRef V) {
+        if (V->getSort().isBool())
+          R.M.setBool(V, Blaster.readBool(V));
+        else
+          R.M.setBV(V, Blaster.readBV(V));
+      };
+      for (const Frame &F : Frames)
+        for (TermRef V : F.Vars)
+          Read(V);
+      for (TermRef A : Assumptions)
+        for (TermRef V : collectFreeVars(A))
+          Read(V);
+      return R;
+    }
+    case sat::SatResult::Unsat:
+      R.Status = CheckStatus::Unsat;
+      return R;
+    case sat::SatResult::Unknown:
+      return CheckResult::unknown(mapSatStopReason(Sat.stopReason()),
+                                  describeSatStop(Sat.stopReason()));
+    }
+    return R;
+  }
+
+private:
+  struct Frame {
+    sat::Lit Selector;
+    bool HasSelector = false;
+    unsigned Unsupported = 0;
+    UnknownReason Broken = UnknownReason::None;
+    std::vector<TermRef> Vars; ///< free vars of this frame's assertions
+  };
+
+  /// Arms the encoder's cooperative interrupt with this session's default
+  /// budget — add() has no per-call Override, so the session limits govern
+  /// encode-time work.
+  void armEncodeInterrupt() {
+    Blaster.setInterrupt(Limits.DeadlineMs != 0, Limits.deadlineFromNow(),
+                         Limits.Cancel);
+  }
+
+  ResourceLimits Limits;
+  sat::SatSolver Sat;
+  BitBlaster Blaster; // must follow Sat: encodes into it
+  std::vector<Frame> Frames;
+  bool Started = false;
+};
+
+} // namespace
+
+std::unique_ptr<SolverSession>
+smt::createBitBlastSession(const ResourceLimits &Limits) {
+  return std::make_unique<BitBlastSession>(Limits);
+}

@@ -31,6 +31,7 @@ public:
     const bool HasDeadline = Limits.DeadlineMs != 0;
     const auto Deadline = Limits.deadlineFromNow();
 
+    ++Stats.ColdStarts; // fresh CDCL instance per one-shot query
     sat::SatSolver Sat;
     BitBlaster Blaster(Sat);
     Blaster.setInterrupt(HasDeadline, Deadline, Limits.Cancel);
@@ -66,8 +67,8 @@ public:
       R.Status = CheckStatus::Unsat;
       return R;
     case sat::SatResult::Unknown:
-      return CheckResult::unknown(mapStopReason(Sat.stopReason()),
-                                  describeStop(Sat.stopReason()));
+      return CheckResult::unknown(mapSatStopReason(Sat.stopReason()),
+                                  describeSatStop(Sat.stopReason()));
     }
     return R;
   }
@@ -75,42 +76,6 @@ public:
   std::string name() const override { return "bitblast"; }
 
 private:
-  static UnknownReason mapStopReason(sat::StopReason R) {
-    switch (R) {
-    case sat::StopReason::Conflicts:
-      return UnknownReason::ConflictBudget;
-    case sat::StopReason::Propagations:
-      return UnknownReason::PropagationBudget;
-    case sat::StopReason::Memory:
-      return UnknownReason::MemoryBudget;
-    case sat::StopReason::Deadline:
-      return UnknownReason::Deadline;
-    case sat::StopReason::Cancelled:
-      return UnknownReason::Cancelled;
-    case sat::StopReason::None:
-      break;
-    }
-    return UnknownReason::Backend;
-  }
-
-  static std::string describeStop(sat::StopReason R) {
-    switch (R) {
-    case sat::StopReason::Conflicts:
-      return "conflict budget exhausted";
-    case sat::StopReason::Propagations:
-      return "propagation budget exhausted";
-    case sat::StopReason::Memory:
-      return "learned-clause memory cap exceeded";
-    case sat::StopReason::Deadline:
-      return "deadline exceeded during CDCL search";
-    case sat::StopReason::Cancelled:
-      return "cancelled during CDCL search";
-    case sat::StopReason::None:
-      break;
-    }
-    return "CDCL search gave up";
-  }
-
   ResourceLimits Limits;
 };
 

@@ -491,6 +491,47 @@ void BitBlaster::assertTerm(TermRef T) {
   S.addClause(encodeBool(T));
 }
 
+Lit BitBlaster::literalFor(TermRef T) {
+  assert(T->getSort().isBool() && "guard literal must be boolean");
+  return encodeBool(T);
+}
+
+UnknownReason smt::mapSatStopReason(sat::StopReason R) {
+  switch (R) {
+  case sat::StopReason::Conflicts:
+    return UnknownReason::ConflictBudget;
+  case sat::StopReason::Propagations:
+    return UnknownReason::PropagationBudget;
+  case sat::StopReason::Memory:
+    return UnknownReason::MemoryBudget;
+  case sat::StopReason::Deadline:
+    return UnknownReason::Deadline;
+  case sat::StopReason::Cancelled:
+    return UnknownReason::Cancelled;
+  case sat::StopReason::None:
+    break;
+  }
+  return UnknownReason::Backend;
+}
+
+std::string smt::describeSatStop(sat::StopReason R) {
+  switch (R) {
+  case sat::StopReason::Conflicts:
+    return "conflict budget exhausted";
+  case sat::StopReason::Propagations:
+    return "propagation budget exhausted";
+  case sat::StopReason::Memory:
+    return "learned-clause memory cap exceeded";
+  case sat::StopReason::Deadline:
+    return "deadline exceeded during CDCL search";
+  case sat::StopReason::Cancelled:
+    return "cancelled during CDCL search";
+  case sat::StopReason::None:
+    break;
+  }
+  return "CDCL search gave up";
+}
+
 APInt BitBlaster::readBV(TermRef Var) const {
   auto It = BVCache.find(Var);
   unsigned W = Var->getSort().getWidth();

@@ -28,6 +28,12 @@
 namespace alive {
 namespace smt {
 
+/// Maps the SAT core's stop reason onto the structured UnknownReason codes
+/// (shared by the one-shot BitBlastSolver and the incremental session).
+UnknownReason mapSatStopReason(sat::StopReason R);
+/// Human-readable rendering of a SAT-core stop for Unknown results.
+std::string describeSatStop(sat::StopReason R);
+
 /// Lowers terms into a sat::SatSolver instance.
 class BitBlaster {
 public:
@@ -53,6 +59,15 @@ public:
   /// Encodes \p T (Bool sort) and asserts it. Throws smt::Interrupted if an
   /// armed deadline/cancellation fires mid-encode.
   void assertTerm(TermRef T);
+
+  /// Encodes \p T (Bool sort) WITHOUT asserting it and returns the Tseitin
+  /// literal equivalent to it. The emitted gate clauses are bi-directional
+  /// equivalences, so the literal can be used as a scope selector guard
+  /// ((¬s ∨ L) clauses) or passed as an assumption to
+  /// sat::SatSolver::solveUnderAssumptions — assuming the literal is
+  /// equisatisfiable with asserting the formula. Throws smt::Interrupted
+  /// like assertTerm.
+  sat::Lit literalFor(TermRef T);
 
   /// After a Sat result, reads back the value of a bitvector variable.
   APInt readBV(TermRef Var) const;

@@ -96,7 +96,9 @@ void SatSolver::attachClause(int CIdx) {
 }
 
 bool SatSolver::addClause(std::vector<Lit> Clause) {
-  assert(TrailLims.empty() && "clauses must be added at decision level 0");
+  // Clauses join the database at decision level 0; an incremental caller may
+  // add them after a solve left the trail extended, so unwind first.
+  backtrack(0);
   if (Unsatisfiable)
     return false;
 
@@ -392,7 +394,38 @@ SatResult SatSolver::solve(uint64_t ConflictBudget) {
 }
 
 SatResult SatSolver::solve(const SearchLimits &Limits) {
+  return solveUnderAssumptions({}, Limits);
+}
+
+void SatSolver::analyzeFinal(Lit A) {
+  LastCore.clear();
+  LastCore.push_back(A);
+  if (TrailLims.empty())
+    return; // falsified by level-0 propagation alone: core is {A}
+  SeenBuf[A.var()] = true;
+  for (size_t I = Trail.size(); I > static_cast<size_t>(TrailLims[0]); --I) {
+    Var X = Trail[I - 1].var();
+    if (!SeenBuf[X])
+      continue;
+    if (Reason[X] == -1) {
+      // A decision above TrailLims[0] during assumption establishment is
+      // itself an earlier assumption; it enters the core as assumed.
+      LastCore.push_back(Trail[I - 1]);
+    } else {
+      const Clause &C = Clauses[Reason[X]];
+      for (Lit Q : C.Lits)
+        if (Q.var() != X && Level[Q.var()] > 0)
+          SeenBuf[Q.var()] = true;
+    }
+    SeenBuf[X] = false;
+  }
+  SeenBuf[A.var()] = false;
+}
+
+SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions,
+                                           const SearchLimits &Limits) {
   LastStop = StopReason::None;
+  LastCore.clear();
   auto GiveUp = [this](StopReason R) {
     LastStop = R;
     return SatResult::Unknown;
@@ -401,6 +434,9 @@ SatResult SatSolver::solve(const SearchLimits &Limits) {
   // during encoding); honor it before doing any work.
   if (StopReason R = pollInterrupts(Limits); R != StopReason::None)
     return GiveUp(R);
+  // A previous call may have left the trail extended (Sat leaves the full
+  // model in place); re-solves always restart from the root level.
+  backtrack(0);
   if (Unsatisfiable)
     return SatResult::Unsat;
   if (propagate() != -1) {
@@ -473,15 +509,37 @@ SatResult SatSolver::solve(const SearchLimits &Limits) {
       }
       continue;
     }
-    // No conflict: decide.
+    // No conflict: establish any pending assumptions as pseudo-decisions
+    // (restarts drop them; this loop rebuilds the prefix), then decide.
     if (++DecisionsSincePoll >= 256) {
       DecisionsSincePoll = 0;
       if (StopReason R = pollInterrupts(Limits); R != StopReason::None)
         return GiveUp(R);
     }
-    Lit Next = pickBranchLit();
-    if (Next == Lit())
-      return SatResult::Sat; // fully assigned
+    Lit Next = Lit();
+    while (TrailLims.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLims.size()];
+      LBool V = value(A);
+      if (V == LBool::True) {
+        // Already implied: push an empty level so decision level continues
+        // to track the assumption index.
+        TrailLims.push_back(static_cast<int>(Trail.size()));
+        continue;
+      }
+      if (V == LBool::False) {
+        // Unsat relative to the assumptions only — the database stays
+        // satisfiable, so Unsatisfiable is NOT set.
+        analyzeFinal(A);
+        return SatResult::Unsat;
+      }
+      Next = A;
+      break;
+    }
+    if (Next == Lit()) {
+      Next = pickBranchLit();
+      if (Next == Lit())
+        return SatResult::Sat; // fully assigned
+    }
     ++Decisions;
     TrailLims.push_back(static_cast<int>(Trail.size()));
     enqueue(Next, -1);

@@ -117,6 +117,28 @@ public:
   /// interrupt lands within a small constant factor of the deadline.
   SatResult solve(const SearchLimits &Limits);
 
+  /// Incremental entry point: solves the clause database under the given
+  /// assumption literals, treated as pseudo-decisions at the first decision
+  /// levels. Unsat here means "unsat under these assumptions" — it does NOT
+  /// mark the solver permanently unsatisfiable, and conflictCore() then
+  /// holds the subset of assumptions the final conflict depends on. Learned
+  /// clauses are retained across calls: they are derived by resolution from
+  /// the problem clauses alone (assumptions enter the search as decisions,
+  /// never as premises), so every learned clause stays valid for any future
+  /// assumption set over the same database.
+  SatResult solveUnderAssumptions(const std::vector<Lit> &Assumptions,
+                                  const SearchLimits &Limits);
+
+  /// After solveUnderAssumptions() returns Unsat while the database itself
+  /// is still satisfiable: the failed-assumption core, a subset A' of the
+  /// assumptions such that (clauses ∧ A') is unsatisfiable. Empty when the
+  /// database is unconditionally unsat.
+  const std::vector<Lit> &conflictCore() const { return LastCore; }
+
+  /// True once the clause database is unsatisfiable regardless of
+  /// assumptions (an empty clause was derived at decision level 0).
+  bool unsatisfiable() const { return Unsatisfiable; }
+
   /// Why the last solve() returned Unknown (StopReason::None otherwise).
   StopReason stopReason() const { return LastStop; }
 
@@ -186,6 +208,13 @@ private:
   bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }
 
   std::vector<bool> SeenBuf;
+
+  /// Final-conflict analysis (MiniSat's analyzeFinal): \p A is an assumption
+  /// found false while establishing the assumption prefix. Walks the trail
+  /// backwards through reason clauses and fills LastCore with the earlier
+  /// assumption decisions (plus \p A itself) that the falsification rests on.
+  void analyzeFinal(Lit A);
+  std::vector<Lit> LastCore;
 
   /// Deadline/cancellation poll from inside the search. Returns the stop
   /// reason when an external limit fired, StopReason::None otherwise.

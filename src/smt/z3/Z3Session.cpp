@@ -1,0 +1,153 @@
+//===- smt/z3/Z3Session.cpp - incremental Z3 session ----------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Z3-backed incremental session: one persistent z3::context +
+/// z3::solver shared by every check. add/push/pop map onto the solver's
+/// native scoped assertion stack, and assumption terms are lowered to a
+/// z3::expr_vector for check(assumptions) — Z3's own assumption-based
+/// solving, so lemmas learned inside the solver survive across checks.
+/// Handles the full theory (quantifiers, arrays); it is the warm
+/// counterpart of the one-shot Z3Solver and the top rung of
+/// GuardedSession's ladder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+#include "smt/Session.h"
+#include "smt/z3/Z3Lowering.h"
+
+#include <cassert>
+
+#include <z3++.h>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+class Z3Session final : public SolverSession {
+public:
+  explicit Z3Session(unsigned TimeoutMs)
+      : TimeoutMs(TimeoutMs), Lower(C), S(C) {
+    Frames.emplace_back();
+  }
+
+  void add(TermRef T) override {
+    Frame &F = Frames.back();
+    try {
+      S.add(Lower.lower(T));
+      for (TermRef V : collectFreeVars(T))
+        F.Vars.push_back(V);
+    } catch (const z3::exception &Ex) {
+      // Poison the scope: checks report Unknown until it is popped.
+      F.Broken = std::string("z3 error: ") + Ex.msg();
+    }
+  }
+
+  void push() override {
+    S.push();
+    Frames.emplace_back();
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    S.pop();
+    Frames.pop_back();
+  }
+
+  std::string name() const override { return "z3-session"; }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    for (const Frame &F : Frames)
+      if (!F.Broken.empty())
+        return CheckResult::unknown(UnknownReason::Backend, F.Broken);
+
+    if (Started)
+      WarmReuse = true;
+    else {
+      Started = true;
+      ++Stats.ColdStarts;
+    }
+
+    CheckResult R;
+    try {
+      // Z3 treats 0xFFFFFFFF as "no timeout"; a per-check Override deadline
+      // takes precedence over the session default. Reset every check since
+      // params persist on the solver.
+      unsigned Ms = TimeoutMs;
+      if (Override && Override->DeadlineMs)
+        Ms = Override->DeadlineMs;
+      z3::params P(C);
+      P.set("timeout", Ms ? Ms : 4294967295u);
+      S.set(P);
+
+      z3::expr_vector Assume(C);
+      for (TermRef A : Assumptions)
+        Assume.push_back(Lower.lower(A));
+
+      switch (S.check(Assume)) {
+      case z3::sat: {
+        R.Status = CheckStatus::Sat;
+        z3::model M = S.get_model();
+        auto Read = [&](TermRef V) {
+          z3::expr Val = M.eval(Lower.lower(V), /*model_completion=*/true);
+          if (V->getSort().isBool()) {
+            R.M.setBool(V, Val.is_true());
+          } else if (V->getSort().isBitVec()) {
+            uint64_t U = 0;
+            if (Val.is_numeral_u64(U))
+              R.M.setBV(V, APInt(V->getSort().getWidth(), U));
+          }
+          // Array-sorted inputs are reported indirectly through the loads
+          // that observe them; no scalar value to record.
+        };
+        for (const Frame &F : Frames)
+          for (TermRef V : F.Vars)
+            Read(V);
+        for (TermRef A : Assumptions)
+          for (TermRef V : collectFreeVars(A))
+            Read(V);
+        return R;
+      }
+      case z3::unsat:
+        R.Status = CheckStatus::Unsat;
+        return R;
+      case z3::unknown:
+        R.Status = CheckStatus::Unknown;
+        R.Reason = S.reason_unknown();
+        R.Why = classifyZ3Reason(R.Reason);
+        return R;
+      }
+    } catch (const z3::exception &Ex) {
+      R.Status = CheckStatus::Unknown;
+      R.Reason = std::string("z3 error: ") + Ex.msg();
+      R.Why = UnknownReason::Backend;
+    }
+    return R;
+  }
+
+private:
+  struct Frame {
+    std::vector<TermRef> Vars; ///< free vars of this frame's assertions
+    std::string Broken;        ///< non-empty: an add() failed in this scope
+  };
+
+  unsigned TimeoutMs;
+  z3::context C;
+  Z3Lowering Lower; // must follow C
+  z3::solver S;     // must follow C
+  std::vector<Frame> Frames;
+  bool Started = false;
+};
+
+} // namespace
+
+std::unique_ptr<SolverSession> smt::createZ3Session(unsigned TimeoutMs) {
+  return std::make_unique<Z3Session>(TimeoutMs);
+}

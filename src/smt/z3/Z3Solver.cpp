@@ -14,8 +14,7 @@
 
 #include "smt/Printer.h"
 #include "smt/Solver.h"
-
-#include <unordered_map>
+#include "smt/z3/Z3Lowering.h"
 
 #include <z3++.h>
 
@@ -24,162 +23,13 @@ using namespace alive::smt;
 
 namespace {
 
-class Z3Lowering {
-public:
-  explicit Z3Lowering(z3::context &C) : C(C) {}
-
-  z3::sort lowerSort(const Sort &S) {
-    switch (S.getKind()) {
-    case Sort::Kind::Bool:
-      return C.bool_sort();
-    case Sort::Kind::BitVec:
-      return C.bv_sort(S.getWidth());
-    case Sort::Kind::Array:
-      return C.array_sort(C.bv_sort(S.getIndexWidth()),
-                          C.bv_sort(S.getElementWidth()));
-    }
-    assert(false && "bad sort");
-    return C.bool_sort();
-  }
-
-  z3::expr lower(TermRef T) {
-    auto It = Cache.find(T);
-    if (It != Cache.end())
-      return It->second;
-    z3::expr E = lowerUncached(T);
-    Cache.emplace(T, E);
-    return E;
-  }
-
-private:
-  z3::expr lowerUncached(TermRef T) {
-    switch (T->getKind()) {
-    case TermKind::ConstBool:
-      return C.bool_val(T->getBoolValue());
-    case TermKind::ConstBV:
-      return C.bv_val(static_cast<uint64_t>(T->getBVValue().getZExtValue()),
-                      T->getBVValue().getWidth());
-    case TermKind::Var:
-      return C.constant(T->getName().c_str(), lowerSort(T->getSort()));
-    case TermKind::Not:
-      return !lower(T->getOperand(0));
-    case TermKind::And: {
-      z3::expr_vector V(C);
-      for (TermRef Op : T->operands())
-        V.push_back(lower(Op));
-      return z3::mk_and(V);
-    }
-    case TermKind::Or: {
-      z3::expr_vector V(C);
-      for (TermRef Op : T->operands())
-        V.push_back(lower(Op));
-      return z3::mk_or(V);
-    }
-    case TermKind::Xor:
-      return lower(T->getOperand(0)) != lower(T->getOperand(1));
-    case TermKind::Implies:
-      return z3::implies(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::Eq:
-      return lower(T->getOperand(0)) == lower(T->getOperand(1));
-    case TermKind::Ite:
-      return z3::ite(lower(T->getOperand(0)), lower(T->getOperand(1)),
-                     lower(T->getOperand(2)));
-    case TermKind::BVNeg:
-      return -lower(T->getOperand(0));
-    case TermKind::BVNot:
-      return ~lower(T->getOperand(0));
-    case TermKind::BVAdd:
-      return lower(T->getOperand(0)) + lower(T->getOperand(1));
-    case TermKind::BVSub:
-      return lower(T->getOperand(0)) - lower(T->getOperand(1));
-    case TermKind::BVMul:
-      return lower(T->getOperand(0)) * lower(T->getOperand(1));
-    case TermKind::BVUDiv:
-      return z3::udiv(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVSDiv:
-      return lower(T->getOperand(0)) / lower(T->getOperand(1));
-    case TermKind::BVURem:
-      return z3::urem(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVSRem:
-      return z3::srem(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVShl:
-      return z3::shl(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVLShr:
-      return z3::lshr(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVAShr:
-      return z3::ashr(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVAnd:
-      return lower(T->getOperand(0)) & lower(T->getOperand(1));
-    case TermKind::BVOr:
-      return lower(T->getOperand(0)) | lower(T->getOperand(1));
-    case TermKind::BVXor:
-      return lower(T->getOperand(0)) ^ lower(T->getOperand(1));
-    case TermKind::BVUlt:
-      return z3::ult(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVUle:
-      return z3::ule(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVSlt:
-      return lower(T->getOperand(0)) < lower(T->getOperand(1));
-    case TermKind::BVSle:
-      return lower(T->getOperand(0)) <= lower(T->getOperand(1));
-    case TermKind::BVConcat:
-      return z3::concat(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::BVExtract:
-      return lower(T->getOperand(0))
-          .extract(T->getExtractHi(), T->getExtractLo());
-    case TermKind::BVZext:
-      return z3::zext(lower(T->getOperand(0)),
-                      T->getSort().getWidth() -
-                          T->getOperand(0)->getSort().getWidth());
-    case TermKind::BVSext:
-      return z3::sext(lower(T->getOperand(0)),
-                      T->getSort().getWidth() -
-                          T->getOperand(0)->getSort().getWidth());
-    case TermKind::ArraySelect:
-      return z3::select(lower(T->getOperand(0)), lower(T->getOperand(1)));
-    case TermKind::ArrayStore:
-      return z3::store(lower(T->getOperand(0)), lower(T->getOperand(1)),
-                       lower(T->getOperand(2)));
-    case TermKind::Forall:
-    case TermKind::Exists: {
-      z3::expr_vector Bound(C);
-      for (unsigned I = 0, E = T->getNumOperands() - 1; I != E; ++I)
-        Bound.push_back(lower(T->getOperand(I)));
-      z3::expr Body = lower(T->getOperand(T->getNumOperands() - 1));
-      return T->getKind() == TermKind::Forall ? z3::forall(Bound, Body)
-                                              : z3::exists(Bound, Body);
-    }
-    }
-    assert(false && "unhandled term kind in Z3 lowering");
-    return C.bool_val(false);
-  }
-
-  z3::context &C;
-  std::unordered_map<TermRef, z3::expr> Cache;
-};
-
-/// Maps Z3's free-text reason_unknown onto our structured codes so the
-/// escalation ladder and the verifier can account for Z3 give-ups the same
-/// way as native ones.
-UnknownReason classifyZ3Reason(const std::string &Reason) {
-  if (Reason.find("timeout") != std::string::npos ||
-      Reason.find("canceled") != std::string::npos ||
-      Reason.find("cancelled") != std::string::npos ||
-      Reason.find("interrupted") != std::string::npos ||
-      Reason.find("resource") != std::string::npos)
-    return UnknownReason::Deadline;
-  if (Reason.find("memout") != std::string::npos ||
-      Reason.find("memory") != std::string::npos)
-    return UnknownReason::MemoryBudget;
-  return UnknownReason::Backend;
-}
-
 class Z3Solver final : public Solver {
 public:
   explicit Z3Solver(unsigned TimeoutMs) : TimeoutMs(TimeoutMs) {}
 
   CheckResult checkImpl(TermRef Assertion) override {
     CheckResult R;
+    ++Stats.ColdStarts; // fresh Z3 context per one-shot query
     try {
       z3::context C;
       Z3Lowering Lower(C);

@@ -1,0 +1,246 @@
+//===- support/KnownBits.cpp - known-bits transfer functions ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/KnownBits.h"
+
+#include <algorithm>
+
+using namespace alive;
+
+/// Carry-aware known bits of L + R + carry (the classic ripple analysis:
+/// a result bit is known when both operand bits and the incoming carry bit
+/// are known).
+static KnownBits computeForAddCarry(const KnownBits &L, const KnownBits &R,
+                                    bool CarryZero, bool CarryOne) {
+  unsigned W = L.width();
+  APInt PossibleSumZero = L.maxValue().add(R.maxValue())
+                              .add(APInt(W, CarryZero ? 0 : 1));
+  APInt PossibleSumOne =
+      L.minValue().add(R.minValue()).add(APInt(W, CarryOne ? 1 : 0));
+
+  APInt CarryKnownZero =
+      PossibleSumZero.xorOp(L.Zeros).xorOp(R.Zeros).notOp();
+  APInt CarryKnownOne = PossibleSumOne.xorOp(L.Ones).xorOp(R.Ones);
+
+  APInt LKnown = L.Zeros.orOp(L.Ones);
+  APInt RKnown = R.Zeros.orOp(R.Ones);
+  APInt CarryKnown = CarryKnownZero.orOp(CarryKnownOne);
+  APInt Known = LKnown.andOp(RKnown).andOp(CarryKnown);
+
+  KnownBits Out(W);
+  Out.Zeros = PossibleSumZero.notOp().andOp(Known);
+  Out.Ones = PossibleSumOne.andOp(Known);
+  return Out;
+}
+
+KnownBits KnownBits::addOp(const KnownBits &L, const KnownBits &R) {
+  return computeForAddCarry(L, R, /*CarryZero=*/true, /*CarryOne=*/false);
+}
+
+KnownBits KnownBits::subOp(const KnownBits &L, const KnownBits &R) {
+  // L - R = L + ~R + 1: complementing swaps the masks.
+  KnownBits NotR(R.width());
+  NotR.Zeros = R.Ones;
+  NotR.Ones = R.Zeros;
+  return computeForAddCarry(L, NotR, /*CarryZero=*/false, /*CarryOne=*/true);
+}
+
+KnownBits KnownBits::mulOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (L.isConstant() && R.isConstant())
+    return constant(L.constantValue().mul(R.constantValue()));
+  KnownBits Out(W);
+  // The product's trailing zeros are at least the sum of the operands'.
+  unsigned TZ = std::min(W, L.minTrailingZeros() + R.minTrailingZeros());
+  if (TZ == W)
+    return constant(APInt(W, 0));
+  Out.Zeros = APInt::getAllOnes(W).lshr(APInt(W, W - TZ));
+  // An a-bit operand times a b-bit operand fits in a+b bits.
+  unsigned BitsL = W - L.minLeadingZeros();
+  unsigned BitsR = W - R.minLeadingZeros();
+  if (BitsL + BitsR < W) {
+    unsigned HighZeros = W - (BitsL + BitsR);
+    Out.Zeros = Out.Zeros.orOp(
+        APInt::getAllOnes(W).shl(APInt(W, W - HighZeros)));
+  }
+  return Out;
+}
+
+KnownBits KnownBits::udivOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (L.isConstant() && R.isConstant() && !R.constantValue().isZero())
+    return constant(L.constantValue().udiv(R.constantValue()));
+  // Quotient <= dividend: leading zeros are preserved; dividing by 2^k
+  // additionally clears the top k bits.
+  KnownBits Out(W);
+  unsigned LZ = L.minLeadingZeros();
+  if (R.isConstant() && R.constantValue().isPowerOf2())
+    LZ = std::max(LZ, R.constantValue().logBase2());
+  if (LZ > 0)
+    Out.Zeros = APInt::getAllOnes(W).shl(APInt(W, W - LZ));
+  return Out;
+}
+
+KnownBits KnownBits::uremOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (L.isConstant() && R.isConstant() && !R.constantValue().isZero())
+    return constant(L.constantValue().urem(R.constantValue()));
+  KnownBits Out(W);
+  if (R.isConstant() && R.constantValue().isPowerOf2()) {
+    // x urem 2^k == x & (2^k - 1).
+    APInt Mask = R.constantValue().sub(APInt(W, 1));
+    Out.Zeros = L.Zeros.orOp(Mask.notOp());
+    Out.Ones = L.Ones.andOp(Mask);
+    return Out;
+  }
+  // Remainder < divisor <= max(divisor) and remainder <= dividend.
+  unsigned LZ = std::max(L.minLeadingZeros(), R.minLeadingZeros());
+  if (LZ > 0)
+    Out.Zeros = APInt::getAllOnes(W).shl(APInt(W, W - LZ));
+  return Out;
+}
+
+KnownBits KnownBits::sdivOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (L.isConstant() && R.isConstant() && !R.constantValue().isZero() &&
+      !(L.constantValue().isSignedMinValue() &&
+        R.constantValue().isAllOnes()))
+    return constant(L.constantValue().sdiv(R.constantValue()));
+  return top(W);
+}
+
+KnownBits KnownBits::sremOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (L.isConstant() && R.isConstant() && !R.constantValue().isZero() &&
+      !(L.constantValue().isSignedMinValue() &&
+        R.constantValue().isAllOnes()))
+    return constant(L.constantValue().srem(R.constantValue()));
+  KnownBits Out(W);
+  // srem's sign follows the dividend; a non-negative dividend gives a
+  // non-negative remainder.
+  if (L.signBitZero())
+    Out.Zeros = APInt::getSignedMinValue(W);
+  return Out;
+}
+
+KnownBits KnownBits::shlOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (R.isConstant()) {
+    uint64_t Sh = R.constantValue().getZExtValue();
+    if (Sh >= W) // undefined execution; any fact is vacuously sound
+      return top(W);
+    APInt ShAmt(W, Sh);
+    KnownBits Out(W);
+    Out.Zeros = L.Zeros.shl(ShAmt).orOp(
+        APInt::getAllOnes(W).lshr(APInt(W, W - Sh)));
+    Out.Ones = L.Ones.shl(ShAmt);
+    return Out;
+  }
+  // Unknown amount: shifting left can only add trailing zeros.
+  KnownBits Out(W);
+  unsigned TZ = L.minTrailingZeros();
+  if (TZ > 0)
+    Out.Zeros = APInt::getAllOnes(W).lshr(APInt(W, W - TZ));
+  return Out;
+}
+
+KnownBits KnownBits::lshrOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (R.isConstant()) {
+    uint64_t Sh = R.constantValue().getZExtValue();
+    if (Sh >= W)
+      return top(W);
+    APInt ShAmt(W, Sh);
+    KnownBits Out(W);
+    Out.Zeros = L.Zeros.lshr(ShAmt);
+    if (Sh > 0)
+      Out.Zeros = Out.Zeros.orOp(APInt::getAllOnes(W).shl(APInt(W, W - Sh)));
+    Out.Ones = L.Ones.lshr(ShAmt);
+    return Out;
+  }
+  KnownBits Out(W);
+  unsigned LZ = L.minLeadingZeros();
+  if (LZ > 0)
+    Out.Zeros = APInt::getAllOnes(W).shl(APInt(W, W - LZ));
+  return Out;
+}
+
+KnownBits KnownBits::ashrOp(const KnownBits &L, const KnownBits &R) {
+  unsigned W = L.width();
+  if (R.isConstant()) {
+    uint64_t Sh = R.constantValue().getZExtValue();
+    if (Sh >= W)
+      return top(W);
+    APInt ShAmt(W, Sh);
+    KnownBits Out(W);
+    Out.Zeros = L.Zeros.ashr(ShAmt);
+    Out.Ones = L.Ones.ashr(ShAmt);
+    return Out;
+  }
+  KnownBits Out(W);
+  // The sign bit is replicated, so a known sign survives any shift.
+  if (L.signBitZero()) {
+    unsigned LZ = L.minLeadingZeros();
+    Out.Zeros = APInt::getAllOnes(W).shl(APInt(W, W - LZ));
+  } else if (L.signBitOne()) {
+    Out.Ones = APInt::getSignedMinValue(W);
+  }
+  return Out;
+}
+
+KnownBits KnownBits::andOp(const KnownBits &L, const KnownBits &R) {
+  KnownBits Out(L.width());
+  Out.Ones = L.Ones.andOp(R.Ones);
+  Out.Zeros = L.Zeros.orOp(R.Zeros);
+  return Out;
+}
+
+KnownBits KnownBits::orOp(const KnownBits &L, const KnownBits &R) {
+  KnownBits Out(L.width());
+  Out.Ones = L.Ones.orOp(R.Ones);
+  Out.Zeros = L.Zeros.andOp(R.Zeros);
+  return Out;
+}
+
+KnownBits KnownBits::xorOp(const KnownBits &L, const KnownBits &R) {
+  KnownBits Out(L.width());
+  Out.Ones = L.Ones.andOp(R.Zeros).orOp(L.Zeros.andOp(R.Ones));
+  Out.Zeros = L.Zeros.andOp(R.Zeros).orOp(L.Ones.andOp(R.Ones));
+  return Out;
+}
+
+KnownBits KnownBits::zext(unsigned NewWidth) const {
+  KnownBits Out(NewWidth);
+  Out.Ones = Ones.zext(NewWidth);
+  // The new high bits are all known zero.
+  Out.Zeros = Zeros.zext(NewWidth).orOp(
+      APInt::getAllOnes(NewWidth).shl(APInt(NewWidth, width())));
+  return Out;
+}
+
+KnownBits KnownBits::sext(unsigned NewWidth) const {
+  KnownBits Out(NewWidth);
+  Out.Ones = Ones.sext(NewWidth);
+  Out.Zeros = Zeros.sext(NewWidth);
+  return Out;
+}
+
+KnownBits KnownBits::trunc(unsigned NewWidth) const {
+  KnownBits Out(NewWidth);
+  Out.Ones = Ones.trunc(NewWidth);
+  Out.Zeros = Zeros.trunc(NewWidth);
+  return Out;
+}
+
+std::string KnownBits::str() const {
+  std::string S;
+  for (unsigned I = width(); I-- > 0;) {
+    bool Z = Zeros.lshr(APInt(width(), I)).getZExtValue() & 1;
+    bool O = Ones.lshr(APInt(width(), I)).getZExtValue() & 1;
+    S += Z ? '0' : (O ? '1' : '?');
+  }
+  return S;
+}

@@ -1,0 +1,143 @@
+//===- support/KnownBits.h - known-zero/one bit lattice ---------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The known-bits abstract domain: two disjoint masks recording the bits
+/// every concretization has clear (Zeros) respectively set (Ones). This is
+/// the one shared definition behind both consumers — the template-side
+/// abstract interpreter (analysis/) that pre-filters SMT refinement
+/// queries, and the lite-IR dataflow analysis (liteir/) that backs the
+/// rewrite engine's MaskedValueIsZero / CannotBeNegative predicates.
+///
+/// All transfer functions are conservative: a bit is claimed only when it
+/// holds for every defined concrete execution. Facts about partial
+/// operations (division, shifts) hold only for the executions where the
+/// operation is defined; undefined executions satisfy any claim vacuously.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_KNOWNBITS_H
+#define ALIVE_SUPPORT_KNOWNBITS_H
+
+#include "support/APInt.h"
+
+#include <cassert>
+
+namespace alive {
+
+namespace ir {
+enum class BinOpcode; // ir/Instr.h
+}
+
+/// Known-bits fact for one value of a fixed bit width.
+struct KnownBits {
+  APInt Zeros; ///< bits known to be 0 in every concretization
+  APInt Ones;  ///< bits known to be 1 in every concretization
+
+  KnownBits() = default;
+  explicit KnownBits(unsigned Width) : Zeros(Width, 0), Ones(Width, 0) {}
+
+  unsigned width() const { return Zeros.getWidth(); }
+  unsigned getWidth() const { return width(); }
+
+  static KnownBits top(unsigned Width) { return KnownBits(Width); }
+  static KnownBits constant(const APInt &C) {
+    KnownBits K(C.getWidth());
+    K.Ones = C;
+    K.Zeros = C.notOp();
+    return K;
+  }
+
+  /// Bits known either way.
+  APInt known() const { return Zeros.orOp(Ones); }
+
+  /// Every bit known: the fact denotes exactly one value.
+  bool isConstant() const { return known().isAllOnes(); }
+  APInt constantValue() const { return Ones; }
+  APInt getConstant() const {
+    assert(isConstant() && "value not fully known");
+    return Ones;
+  }
+
+  bool isTop() const { return Zeros.isZero() && Ones.isZero(); }
+
+  /// True when \p V is compatible with the known bits (the soundness
+  /// predicate the differential tests check: V in gamma(this)).
+  bool contains(const APInt &V) const {
+    return V.andOp(Zeros).isZero() && V.notOp().andOp(Ones).isZero();
+  }
+
+  APInt minValue() const { return Ones; }
+  APInt maxValue() const { return Zeros.notOp(); }
+
+  bool nonZero() const { return !Ones.isZero(); }
+  bool signBitZero() const { return Zeros.isNegative(); }
+  bool signBitOne() const { return Ones.isNegative(); }
+  bool isNonNegative() const { return signBitZero(); }
+  bool isNegative() const { return signBitOne(); }
+
+  /// True when `V & Mask == 0` is guaranteed.
+  bool maskedValueIsZero(const APInt &Mask) const {
+    return Mask.andOp(Zeros) == Mask;
+  }
+
+  /// Number of low bits known zero in every concretization.
+  unsigned minTrailingZeros() const {
+    return Zeros.notOp().countTrailingZeros();
+  }
+  /// Number of high bits known zero in every concretization.
+  unsigned minLeadingZeros() const {
+    return Zeros.notOp().countLeadingZeros();
+  }
+
+  /// Join (union of concretizations): keep only agreeing bits.
+  KnownBits join(const KnownBits &O) const {
+    KnownBits K(width());
+    K.Zeros = Zeros.andOp(O.Zeros);
+    K.Ones = Ones.andOp(O.Ones);
+    return K;
+  }
+
+  // --- Transfer functions (value semantics of each opcode) ----------------
+
+  static KnownBits addOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits subOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits mulOp(const KnownBits &L, const KnownBits &R);
+  /// udiv/urem facts hold only for executions where the divisor is
+  /// non-zero (undefined executions satisfy everything vacuously).
+  static KnownBits udivOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits uremOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits sdivOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits sremOp(const KnownBits &L, const KnownBits &R);
+  /// Shift facts hold only for executions where the amount is < width.
+  static KnownBits shlOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits lshrOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits ashrOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits andOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits orOp(const KnownBits &L, const KnownBits &R);
+  static KnownBits xorOp(const KnownBits &L, const KnownBits &R);
+
+  /// Dispatch on the template IR's binary opcode. Declared here so the
+  /// domain has one complete interface, but defined in alive_analysis
+  /// (analysis/KnownBits.cpp), which owns the ir dependency; support
+  /// itself sees only the forward-declared enum.
+  static KnownBits binOp(ir::BinOpcode Op, const KnownBits &L,
+                         const KnownBits &R);
+
+  KnownBits zext(unsigned NewWidth) const;
+  KnownBits sext(unsigned NewWidth) const;
+  KnownBits trunc(unsigned NewWidth) const;
+  /// The encoder's ptrtoint/inttoptr/bitcast rule: zext or truncate.
+  KnownBits zextOrTrunc(unsigned NewWidth) const {
+    return NewWidth >= width() ? zext(NewWidth) : trunc(NewWidth);
+  }
+
+  std::string str() const;
+};
+
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_KNOWNBITS_H

@@ -41,6 +41,31 @@ smt::ResourceLimits effectiveLimits(const VerifyConfig &Cfg);
 
 namespace {
 
+/// Session for the quantified enumeration phase (∃F ∀I ∃U structure: Z3,
+/// unless a test hook supplies its own).
+std::unique_ptr<SolverSession> makeInferSession(const VerifyConfig &Cfg,
+                                                TermContext &Ctx) {
+  if (Cfg.SessionFactory)
+    return Cfg.SessionFactory(Ctx);
+  if (Cfg.SolverFactory)
+    return createOneShotSession(Ctx, Cfg.SolverFactory());
+  return createZ3Session(effectiveLimits(Cfg).DeadlineMs);
+}
+
+/// Session for the purely Boolean optimization phase (native backend).
+std::unique_ptr<SolverSession> makeBoolSession(const VerifyConfig &Cfg,
+                                               TermContext &Ctx) {
+  if (Cfg.SessionFactory)
+    return Cfg.SessionFactory(Ctx);
+  if (Cfg.SolverFactory)
+    return createOneShotSession(Ctx, Cfg.SolverFactory());
+  return createBitBlastSession(effectiveLimits(Cfg));
+}
+
+} // namespace
+
+namespace {
+
 /// One literal of a cube: indicator variable name and required polarity.
 struct CubeLit {
   std::string Name;
@@ -92,6 +117,9 @@ struct AssignmentProbe {
   std::string EncodeMessage;
   UnknownReason Why = UnknownReason::None;
   std::string UnknownMessage;
+  /// Solver accounting for this probe (incremental plan: the session's;
+  /// one-shot plan: filled by the caller from its solver).
+  SolverStats Stats;
 
   bool failed() const { return !EncodeOk || Why != UnknownReason::None; }
 };
@@ -103,9 +131,17 @@ struct AssignmentProbe {
 /// candidate probes pass null and enumerate independently, which yields the
 /// same final conjunction Φ (cubes a seed would have pruned are exactly the
 /// ones the cross-assignment conjunction eliminates anyway).
+///
+/// \p OneShot selects the query plan: non-null runs the legacy loop (each
+/// iteration re-sends the growing conjunction to the one-shot solver);
+/// null builds an incremental session, asserts Φ-so-far and the quantified
+/// body once, and adds only the blocking clause per iteration — one cold
+/// start per assignment instead of one per model. The enumerated cube set
+/// is the same either way: blocking clauses force models apart regardless
+/// of how the conjunction reached the solver.
 AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
                                 const typing::TypeAssignment &Types,
-                                Solver &Solver, const std::vector<Mu> *Seed) {
+                                Solver *OneShot, const std::vector<Mu> *Seed) {
   AssignmentProbe P;
   TermContext Ctx;
   Encoder Enc(Ctx, T, Types, Cfg.Encoding);
@@ -164,15 +200,32 @@ AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
   TermRef Quantified = Ctx.mkForall(UVars, Body);
 
   // Enumerate the models of Φ ∧ c over the indicator variables.
+  std::unique_ptr<SolverSession> Session;
+  SolverStats Before;
+  if (OneShot) {
+    Before = OneShot->stats();
+  } else {
+    Session = makeInferSession(Cfg, Ctx);
+    if (Seed)
+      Session->add(buildPhi(Ctx, *Seed));
+    Session->add(Quantified);
+  }
+  auto Account = [&] {
+    P.Stats = Session ? Session->stats()
+                      : OneShot->stats().deltaSince(Before);
+  };
   TermRef F = Seed ? Ctx.mkAnd(buildPhi(Ctx, *Seed), Quantified) : Quantified;
   for (;;) {
-    CheckResult CR = Solver.check(F);
+    CheckResult CR = OneShot ? OneShot->check(F) : Session->check();
     ++P.Queries;
     if (CR.isUnknown()) {
       P.Why = CR.Why;
       P.UnknownMessage = "solver gave up during attribute inference: " +
                          CR.Reason + " [" + unknownReasonName(CR.Why) +
-                         "] (" + Solver.stats().str() + ")";
+                         "] (" +
+                         (OneShot ? OneShot->stats() : Session->stats()).str() +
+                         ")";
+      Account();
       return P;
     }
     if (CR.isUnsat())
@@ -188,11 +241,16 @@ AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
         B.push_back({AI.Var->getName(), false});
     }
     P.MuA.push_back(B);
-    F = Ctx.mkAnd(F, Ctx.mkNot(buildCube(Ctx, B)));
+    TermRef Block = Ctx.mkNot(buildCube(Ctx, B));
+    if (OneShot)
+      F = Ctx.mkAnd(F, Block);
+    else
+      Session->add(Block);
     // An empty cube covers every assignment: μ is already everything.
     if (B.empty())
       break;
   }
+  Account();
   return P;
 }
 
@@ -260,13 +318,19 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     std::vector<AssignmentProbe> Probes(TypeSets.size());
     support::ThreadPool::parallelFor(
         Jobs, TypeSets.size(), [&](size_t I) {
+          if (Cfg.Incremental) {
+            Probes[I] = probeAssignment(T, Cfg, TypeSets[I], /*OneShot=*/nullptr,
+                                        /*Seed=*/nullptr);
+            return;
+          }
           auto Solver = makeInferSolver(Cfg);
-          Probes[I] =
-              probeAssignment(T, Cfg, TypeSets[I], *Solver, /*Seed=*/nullptr);
+          Probes[I] = probeAssignment(T, Cfg, TypeSets[I], Solver.get(),
+                                      /*Seed=*/nullptr);
         });
     for (AssignmentProbe &P : Probes) {
       R.NumQueries += P.Queries;
       R.StaticallyDischarged += P.Discharged ? 1 : 0;
+      R.Stats.merge(P.Stats);
       if (!P.EncodeOk) {
         R.Message = P.EncodeMessage;
         return R;
@@ -284,11 +348,17 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     }
     IndicatorSet = std::move(Probes.back().Indicators);
   } else {
-    auto Solver = makeInferSolver(Cfg);
+    // One-shot: a single solver carries every assignment's queries.
+    // Incremental: one warm session per assignment (terms cannot outlive
+    // the per-assignment TermContext), seeded with the Φ learned so far.
+    std::unique_ptr<Solver> Shared;
+    if (!Cfg.Incremental)
+      Shared = makeInferSolver(Cfg);
     for (const auto &Types : TypeSets) {
-      AssignmentProbe P = probeAssignment(T, Cfg, Types, *Solver, &Phi);
+      AssignmentProbe P = probeAssignment(T, Cfg, Types, Shared.get(), &Phi);
       R.NumQueries += P.Queries;
       R.StaticallyDischarged += P.Discharged ? 1 : 0;
+      R.Stats.merge(P.Stats);
       if (!P.EncodeOk) {
         R.Message = P.EncodeMessage;
         return R;
@@ -314,20 +384,63 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
   //    source at its written flags.
   TermContext Ctx;
   TermRef F = buildPhi(Ctx, Phi);
-  auto Boolean = Cfg.SolverFactory
-                     ? Cfg.SolverFactory()
-                     : createBitBlastSolver(effectiveLimits(Cfg));
+
+  // The incremental plan asserts Φ once on a warm session and walks the
+  // attribute lattice with push/pop scopes (the side pin) and assumption
+  // flips (the per-indicator trials); decided literals join the clause
+  // database so later trials reuse everything learned. The one-shot plan
+  // re-sends the growing conjunction to a fresh solver per query. Both
+  // walk the same decision sequence, so the inferred flags are identical.
+  std::unique_ptr<SolverSession> BoolSession;
+  std::unique_ptr<Solver> BoolSolver;
+  if (Cfg.Incremental) {
+    BoolSession = makeBoolSession(Cfg, Ctx);
+    BoolSession->add(F);
+  } else {
+    BoolSolver = Cfg.SolverFactory ? Cfg.SolverFactory()
+                                   : createBitBlastSolver(effectiveLimits(Cfg));
+  }
 
   // Any Unknown during the Boolean optimization phase aborts inference:
   // guessing a flag whose feasibility was not proven could report an
   // unsafe attribute placement as Feasible.
   UnknownReason BoolUnknown = UnknownReason::None;
-  auto CheckB = [&](TermRef Q) {
-    CheckResult CR = Boolean->check(Q);
+  auto Note = [&](CheckResult CR) {
     ++R.NumQueries;
     if (CR.isUnknown() && BoolUnknown == UnknownReason::None)
       BoolUnknown = CR.Why;
     return CR;
+  };
+
+  TermRef Acc = F; // one-shot plan: the accumulated conjunction
+  auto BeginScope = [&](TermRef Pin) {
+    if (BoolSession) {
+      BoolSession->push();
+      if (!Pin->isTrue())
+        BoolSession->add(Pin);
+    } else {
+      Acc = Ctx.mkAnd(F, Pin);
+    }
+  };
+  auto EndScope = [&] {
+    if (BoolSession)
+      BoolSession->pop();
+  };
+  auto CheckSanity = [&] {
+    return Note(BoolSession ? BoolSession->check() : BoolSolver->check(Acc));
+  };
+  auto CheckTrial = [&](TermRef Lit) {
+    return Note(BoolSession ? BoolSession->check({Lit})
+                            : BoolSolver->check(Ctx.mkAnd(Acc, Lit)));
+  };
+  auto Decide = [&](TermRef Lit) {
+    if (BoolSession)
+      BoolSession->add(Lit);
+    else
+      Acc = Ctx.mkAnd(Acc, Lit);
+  };
+  auto BoolStats = [&]() -> const SolverStats & {
+    return BoolSession ? BoolSession->stats() : BoolSolver->stats();
   };
 
   auto VarOf = [&](const IndicatorInfo &AI) {
@@ -347,29 +460,31 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
 
   // Greedily optimize one side while the other is pinned at its written
   // flags; prefer OFF for source and ON for target indicators.
-  auto Optimize = [&](bool Source, TermRef Base,
+  auto Optimize = [&](bool Source, TermRef Pin,
                       std::map<std::string, unsigned> &Out) -> bool {
-    CheckResult Sanity = CheckB(Base);
-    if (!Sanity.isSat())
-      return false;
-    TermRef Acc = Base;
-    for (const IndicatorInfo &AI : IndicatorSet) {
-      if (AI.InSource != Source)
-        continue;
-      bool Prefer = !Source;
-      TermRef V = VarOf(AI);
-      TermRef Try = Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V));
-      CheckResult CR = CheckB(Try);
-      if (CR.isUnknown())
-        return false; // resolved below via BoolUnknown
-      bool Val = CR.isSat() ? Prefer : !Prefer;
-      Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
-      if (Val)
-        Out[AI.InstrName] |= AI.Flag;
-      else
-        Out.try_emplace(AI.InstrName, 0u);
-    }
-    return true;
+    BeginScope(Pin);
+    bool Ok = [&] {
+      if (!CheckSanity().isSat())
+        return false;
+      for (const IndicatorInfo &AI : IndicatorSet) {
+        if (AI.InSource != Source)
+          continue;
+        bool Prefer = !Source;
+        TermRef V = VarOf(AI);
+        CheckResult CR = CheckTrial(Prefer ? V : Ctx.mkNot(V));
+        if (CR.isUnknown())
+          return false; // resolved below via BoolUnknown
+        bool Val = CR.isSat() ? Prefer : !Prefer;
+        Decide(Val ? V : Ctx.mkNot(V));
+        if (Val)
+          Out[AI.InstrName] |= AI.Flag;
+        else
+          Out.try_emplace(AI.InstrName, 0u);
+      }
+      return true;
+    }();
+    EndScope();
+    return Ok;
   };
 
   auto GiveUp = [&] {
@@ -379,17 +494,16 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     R.WhyUnknown = BoolUnknown;
     R.Message = std::string("solver gave up during attribute optimization"
                             " [") +
-                unknownReasonName(BoolUnknown) + "] (" +
-                Boolean->stats().str() + ")";
+                unknownReasonName(BoolUnknown) + "] (" + BoolStats().str() +
+                ")";
+    R.Stats.merge(BoolStats());
     return R;
   };
 
-  bool SrcOk = Optimize(/*Source=*/true, Ctx.mkAnd(F, PinSide(false)),
-                        R.SrcFlags);
+  bool SrcOk = Optimize(/*Source=*/true, PinSide(false), R.SrcFlags);
   if (BoolUnknown != UnknownReason::None)
     return GiveUp();
-  bool TgtOk = Optimize(/*Source=*/false, Ctx.mkAnd(F, PinSide(true)),
-                        R.TgtFlags);
+  bool TgtOk = Optimize(/*Source=*/false, PinSide(true), R.TgtFlags);
   if (BoolUnknown != UnknownReason::None)
     return GiveUp();
   if (!SrcOk || !TgtOk) {
@@ -398,14 +512,15 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
     // minimize source attributes.
     R.SrcFlags.clear();
     R.TgtFlags.clear();
-    CheckResult Any = CheckB(F);
+    BeginScope(Ctx.mkTrue());
+    CheckResult Any = CheckSanity();
     if (Any.isUnknown())
       return GiveUp();
     if (!Any.isSat()) {
       R.Message = "no attribute assignment makes the transformation correct";
+      R.Stats.merge(BoolStats());
       return R;
     }
-    TermRef Acc = F;
     for (bool Source : {false, true}) {
       std::map<std::string, unsigned> &Out =
           Source ? R.SrcFlags : R.TgtFlags;
@@ -414,17 +529,19 @@ AttrInferenceResult verifier::inferAttributes(const Transform &T,
           continue;
         bool Prefer = !Source;
         TermRef V = VarOf(AI);
-        CheckResult CR = CheckB(Ctx.mkAnd(Acc, Prefer ? V : Ctx.mkNot(V)));
+        CheckResult CR = CheckTrial(Prefer ? V : Ctx.mkNot(V));
         if (CR.isUnknown())
           return GiveUp();
         bool Val = CR.isSat() ? Prefer : !Prefer;
-        Acc = Ctx.mkAnd(Acc, Val ? V : Ctx.mkNot(V));
+        Decide(Val ? V : Ctx.mkNot(V));
         if (Val)
           Out[AI.InstrName] |= AI.Flag;
       }
     }
+    EndScope();
   }
 
   R.Feasible = true;
+  R.Stats.merge(BoolStats());
   return R;
 }

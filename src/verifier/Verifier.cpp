@@ -71,6 +71,23 @@ smt::ResourceLimits effectiveLimits(const VerifyConfig &Cfg) {
   return L;
 }
 
+/// Escalation ladder budgets shared by the one-shot and incremental plans:
+/// probe with a fraction of the budgets, then the full native budget, then
+/// Z3 under the same wall clock.
+static EscalationConfig makeEscalation(const ResourceLimits &L) {
+  EscalationConfig E;
+  E.Full = L;
+  E.Probe = L;
+  if (L.ConflictBudget)
+    E.Probe.ConflictBudget = std::max<uint64_t>(1, L.ConflictBudget / 10);
+  else
+    E.Probe.ConflictBudget = 2000;
+  if (L.DeadlineMs)
+    E.Probe.DeadlineMs = std::max(1u, L.DeadlineMs / 10);
+  E.Z3TimeoutMs = L.DeadlineMs;
+  return E;
+}
+
 std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
   if (Cfg.SolverFactory)
     return Cfg.SolverFactory();
@@ -83,19 +100,33 @@ std::unique_ptr<Solver> makeSolver(const VerifyConfig &Cfg) {
   case BackendKind::Hybrid:
     break;
   }
-  // Escalation ladder: probe with a fraction of the budgets, then the full
-  // native budget, then Z3 under the same wall clock.
-  EscalationConfig E;
-  E.Full = L;
-  E.Probe = L;
-  if (L.ConflictBudget)
-    E.Probe.ConflictBudget = std::max<uint64_t>(1, L.ConflictBudget / 10);
-  else
-    E.Probe.ConflictBudget = 2000;
-  if (L.DeadlineMs)
-    E.Probe.DeadlineMs = std::max(1u, L.DeadlineMs / 10);
-  E.Z3TimeoutMs = L.DeadlineMs;
-  return createGuardedSolver(E);
+  return createGuardedSolver(makeEscalation(L));
+}
+
+std::unique_ptr<SolverSession> makeSession(const VerifyConfig &Cfg,
+                                           TermContext &Ctx) {
+  std::unique_ptr<SolverSession> S;
+  if (Cfg.SessionFactory) {
+    S = Cfg.SessionFactory(Ctx);
+  } else if (Cfg.SolverFactory) {
+    S = createOneShotSession(Ctx, Cfg.SolverFactory());
+  } else {
+    ResourceLimits L = effectiveLimits(Cfg);
+    switch (Cfg.Backend) {
+    case BackendKind::Z3:
+      S = createZ3Session(L.DeadlineMs);
+      break;
+    case BackendKind::BitBlast:
+      S = createBitBlastSession(L);
+      break;
+    case BackendKind::Hybrid:
+      S = createGuardedSession(makeEscalation(L));
+      break;
+    }
+  }
+  if (Cfg.Cache)
+    S = createCachingSession(std::move(S), Cfg.Cache);
+  return S;
 }
 
 } // namespace verifier
@@ -114,6 +145,10 @@ std::unique_ptr<Solver> makeVerifySolver(const VerifyConfig &Cfg) {
 struct Check {
   FailureKind Kind;
   TermRef Negated; ///< ψ ∧ ¬X — satisfiable means broken
+  /// The ¬X delta alone. The incremental plan asserts ψ (and the memory
+  /// axioms) once per session and discharges each condition by passing
+  /// ¬X as an assumption — semantically the same query as Negated.
+  TermRef NotX;
 };
 
 /// The refinement conditions of Sections 3.1.2/3.3.2 for one encoded
@@ -121,25 +156,29 @@ struct Check {
 /// issues final-byte reads, which may extend the Ackermann axiom set —
 /// gather Enc.memoryAxioms() only after this returns.
 std::vector<Check> buildChecks(TermContext &Ctx, Encoder &Enc,
-                               const Transform &T) {
+                               const Transform &T, TermRef *PsiOut = nullptr) {
   const ValueSem &Src = Enc.srcRootSem();
   const ValueSem &Tgt = Enc.tgtRootSem();
   TermRef Psi =
       Ctx.mkAnd({Enc.phi(), Src.Defined, Src.PoisonFree, Enc.alpha()});
+  if (PsiOut)
+    *PsiOut = Psi;
 
   std::vector<Check> Checks;
   // Condition 1: ψ ⇒ δ̄.
+  TermRef NotDef = Ctx.mkNot(Tgt.Defined);
   Checks.push_back(
-      {FailureKind::TargetUndefined, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.Defined))});
+      {FailureKind::TargetUndefined, Ctx.mkAnd(Psi, NotDef), NotDef});
   // Condition 2: ψ ⇒ ρ̄.
-  Checks.push_back(
-      {FailureKind::TargetPoison, Ctx.mkAnd(Psi, Ctx.mkNot(Tgt.PoisonFree))});
+  TermRef NotPF = Ctx.mkNot(Tgt.PoisonFree);
+  Checks.push_back({FailureKind::TargetPoison, Ctx.mkAnd(Psi, NotPF), NotPF});
   // Condition 3: ψ ⇒ ι = ι̅ (roots with a value; a store/unreachable
   // root has none and is covered by conditions 1 and 4).
   if (Src.Val && Tgt.Val &&
-      T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
-    Checks.push_back({FailureKind::ValueMismatch,
-                      Ctx.mkAnd(Psi, Ctx.mkNe(Src.Val, Tgt.Val))});
+      T.getSrcRoot()->getName() == T.getTgtRoot()->getName()) {
+    TermRef Ne = Ctx.mkNe(Src.Val, Tgt.Val);
+    Checks.push_back({FailureKind::ValueMismatch, Ctx.mkAnd(Psi, Ne), Ne});
+  }
   // Condition 4: equal final memories at every index.
   if (Enc.hasMemory()) {
     TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
@@ -147,7 +186,8 @@ std::vector<Check> buildChecks(TermContext &Ctx, Encoder &Enc,
     Checks.push_back(
         {FailureKind::MemoryMismatch,
          Ctx.mkAnd({Enc.phi(), Enc.alpha(), Src.Defined, Src.PoisonFree,
-                    Diff})});
+                    Diff}),
+         Diff});
   }
   return Checks;
 }
@@ -249,6 +289,131 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental query plan
+//===----------------------------------------------------------------------===//
+
+/// Discharges one refinement condition on a warm session. Quantifier-free
+/// assignments have the common prefix (memory axioms ∧ ψ) asserted once by
+/// the caller and pass ¬X as an assumption; quantified assignments
+/// (source-side undef) push the full one-shot query onto the warm context
+/// and pop it afterwards — the ∀ binds across the whole conjunction, so
+/// there is no prefix to split out, but solver-internal state still
+/// carries over.
+CheckResult checkOnSession(SolverSession &Session, TermContext &Ctx,
+                           Encoder &Enc, TermRef MemAxioms, const Check &C,
+                           bool Quantified) {
+  if (!Quantified)
+    return Session.check({C.NotX});
+  Session.push();
+  Session.add(finalizeQuery(Ctx, Enc, MemAxioms, C.Negated));
+  CheckResult CR = Session.check();
+  Session.pop();
+  return CR;
+}
+
+/// Asserts the assignment's shared prefix on a fresh session (quantifier-
+/// free plan only; quantified assignments keep the session empty and use
+/// push/check/pop).
+void seedSession(SolverSession &Session, TermRef MemAxioms, TermRef Psi,
+                 bool Quantified) {
+  if (Quantified)
+    return;
+  if (!MemAxioms->isTrue())
+    Session.add(MemAxioms);
+  if (!Psi->isTrue())
+    Session.add(Psi);
+}
+
+/// Counterexamples are byte-identical under either plan: a Sat answer from
+/// a warm session is re-solved as the exact legacy one-shot query on a
+/// fresh solver, whose model the report is built from (a warm clause
+/// database is free to return a different — equally valid — satisfying
+/// assignment). The re-solve's accounting is merged into \p Acc; on a
+/// flaked re-solve (fault injection, budget exhaustion) the session's own
+/// model is still a genuine counterexample, so fall back to it.
+Model canonicalModel(const VerifyConfig &Cfg, TermContext &Ctx, Encoder &Enc,
+                     TermRef MemAxioms, const Check &C, CheckResult &&CR,
+                     SolverStats &Acc) {
+  auto Solver = makeVerifySolver(Cfg);
+  CheckResult Legacy =
+      Solver->check(finalizeQuery(Ctx, Enc, MemAxioms, C.Negated));
+  Acc.merge(Solver->stats());
+  if (Legacy.isSat())
+    return std::move(Legacy.M);
+  return std::move(CR.M);
+}
+
+VerifyResult verifySerialIncremental(
+    const Transform &T, const VerifyConfig &Cfg,
+    const std::vector<typing::TypeAssignment> &Assignments) {
+  VerifyResult R;
+  SolverStats Acc;
+  uint64_t Discharged = 0;
+
+  for (const auto &Types : Assignments) {
+    ++R.NumTypeAssignments;
+    TermContext Ctx;
+    Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+    if (Status S = Enc.encode(); !S.ok()) {
+      R.V = Verdict::EncodeError;
+      R.Message = S.message();
+      return R;
+    }
+
+    TermRef Psi = nullptr;
+    std::vector<Check> Checks = buildChecks(Ctx, Enc, T, &Psi);
+
+    analysis::RefinementFacts Facts;
+    if (Cfg.StaticFilter)
+      Facts = analysis::analyzeRefinement(T, Types, Cfg.Encoding.PtrWidth);
+
+    // Ackermann consistency of the eager memory encoding. The final-byte
+    // reads above may add axioms, so gather them last.
+    TermRef MemAxioms = Enc.memoryAxioms();
+    const bool Quantified = !Enc.srcUndefs().empty();
+
+    auto Session = makeSession(Cfg, Ctx);
+    seedSession(*Session, MemAxioms, Psi, Quantified);
+
+    for (const Check &C : Checks) {
+      if (dischargedByFacts(Facts, C.Kind)) {
+        ++Discharged;
+        continue;
+      }
+      CheckResult CR =
+          checkOnSession(*Session, Ctx, Enc, MemAxioms, C, Quantified);
+      ++R.NumQueries;
+      if (CR.isUnknown()) {
+        Acc.merge(Session->stats());
+        R.V = Verdict::Unknown;
+        R.WhyUnknown = CR.Why;
+        R.Stats = Acc;
+        R.Stats.StaticallyDischarged = Discharged;
+        R.Message = unknownMessage(C.Kind, CR.Reason, CR.Why, R.Stats);
+        return R;
+      }
+      if (CR.isSat()) {
+        Acc.merge(Session->stats());
+        Model M =
+            canonicalModel(Cfg, Ctx, Enc, MemAxioms, C, std::move(CR), Acc);
+        R.V = Verdict::Incorrect;
+        R.CEX = buildCounterExample(C.Kind, Enc, M, T, Types,
+                                    Cfg.Encoding.PtrWidth);
+        R.Stats = Acc;
+        R.Stats.StaticallyDischarged = Discharged;
+        return R;
+      }
+    }
+    Acc.merge(Session->stats());
+  }
+
+  R.V = Verdict::Correct;
+  R.Stats = Acc;
+  R.Stats.StaticallyDischarged = Discharged;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
 // Parallel path
 //===----------------------------------------------------------------------===//
 
@@ -280,6 +445,65 @@ void markDecisive(std::atomic<size_t> &First, size_t Idx) {
   while (Idx < Cur &&
          !First.compare_exchange_weak(Cur, Idx, std::memory_order_acq_rel))
     ;
+}
+
+/// Folds the slots in canonical order; the first definitive failure
+/// reproduces the serial early-return, including which stats it had
+/// accumulated by that point. Shared by the per-check one-shot fan-out and
+/// the per-assignment incremental fan-out — both deposit the same slot
+/// shape.
+VerifyResult foldSlots(std::vector<JobSlot> &Slots, size_t NumAssignments) {
+  VerifyResult R;
+  SolverStats Acc;
+  const size_t NumSlots = Slots.size();
+  for (size_t Idx = 0; Idx != NumSlots; ++Idx) {
+    JobSlot &Slot = Slots[Idx];
+    const size_t AI = Idx / MaxChecksPerAssignment;
+    switch (Slot.St) {
+    case JobSlot::State::NotApplicable:
+      continue;
+    case JobSlot::State::Unsat:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      continue;
+    case JobSlot::State::EncodeErr:
+      R.V = Verdict::EncodeError;
+      R.Message = Slot.Reason;
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Unknown:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      R.V = Verdict::Unknown;
+      R.WhyUnknown = Slot.Why;
+      R.Stats = Acc;
+      R.Message = unknownMessage(Slot.Kind, Slot.Reason, Slot.Why, R.Stats);
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Sat:
+      Acc.merge(Slot.Stats);
+      R.NumQueries += Slot.Queries;
+      R.V = Verdict::Incorrect;
+      R.CEX = std::move(Slot.CEX);
+      R.Stats = Acc;
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    case JobSlot::State::Skipped:
+      // No decisive slot precedes it (we would have returned), so the
+      // pool dropped it: external cancellation.
+      R.V = Verdict::Unknown;
+      R.WhyUnknown = UnknownReason::Cancelled;
+      R.Stats = Acc;
+      R.Message = "verification cancelled [cancelled] (" + Acc.str() + ")";
+      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
+      return R;
+    }
+  }
+
+  R.V = Verdict::Correct;
+  R.Stats = Acc;
+  R.NumTypeAssignments = static_cast<unsigned>(NumAssignments);
+  return R;
 }
 
 VerifyResult
@@ -352,59 +576,92 @@ verifyParallel(const Transform &T, const VerifyConfig &Cfg, unsigned Jobs,
   }
   Pool.wait();
 
-  // Fold the slots in canonical order; the first definitive failure
-  // reproduces the serial early-return, including which stats it had
-  // accumulated by that point.
-  VerifyResult R;
-  SolverStats Acc;
-  for (size_t Idx = 0; Idx != NumSlots; ++Idx) {
-    JobSlot &Slot = Slots[Idx];
-    const size_t AI = Idx / MaxChecksPerAssignment;
-    switch (Slot.St) {
-    case JobSlot::State::NotApplicable:
-      continue;
-    case JobSlot::State::Unsat:
-      Acc.merge(Slot.Stats);
-      R.NumQueries += Slot.Queries;
-      continue;
-    case JobSlot::State::EncodeErr:
-      R.V = Verdict::EncodeError;
-      R.Message = Slot.Reason;
-      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
-      return R;
-    case JobSlot::State::Unknown:
-      Acc.merge(Slot.Stats);
-      R.NumQueries += Slot.Queries;
-      R.V = Verdict::Unknown;
-      R.WhyUnknown = Slot.Why;
-      R.Stats = Acc;
-      R.Message = unknownMessage(Slot.Kind, Slot.Reason, Slot.Why, R.Stats);
-      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
-      return R;
-    case JobSlot::State::Sat:
-      Acc.merge(Slot.Stats);
-      R.NumQueries += Slot.Queries;
-      R.V = Verdict::Incorrect;
-      R.CEX = std::move(Slot.CEX);
-      R.Stats = Acc;
-      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
-      return R;
-    case JobSlot::State::Skipped:
-      // No decisive slot precedes it (we would have returned), so the
-      // pool dropped it: external cancellation.
-      R.V = Verdict::Unknown;
-      R.WhyUnknown = UnknownReason::Cancelled;
-      R.Stats = Acc;
-      R.Message = "verification cancelled [cancelled] (" + Acc.str() + ")";
-      R.NumTypeAssignments = static_cast<unsigned>(AI + 1);
-      return R;
-    }
-  }
+  return foldSlots(Slots, Assignments.size());
+}
 
-  R.V = Verdict::Correct;
-  R.Stats = Acc;
-  R.NumTypeAssignments = static_cast<unsigned>(Assignments.size());
-  return R;
+/// The incremental fan-out: jobs at type-assignment granularity, each with
+/// a worker-private warm session. Every check's cost is attributed to its
+/// own (assignment × condition) slot via a stats delta, so foldSlots sees
+/// the same shape as the per-check one-shot fan-out and the verdict /
+/// counterexample / query-count fold stays canonical.
+VerifyResult verifyParallelIncremental(
+    const Transform &T, const VerifyConfig &Cfg, unsigned Jobs,
+    const std::vector<typing::TypeAssignment> &Assignments) {
+  const size_t NumSlots = Assignments.size() * MaxChecksPerAssignment;
+  std::vector<JobSlot> Slots(NumSlots);
+  std::atomic<size_t> FirstDecisive{NumSlots};
+
+  support::ThreadPool Pool(Jobs, Cfg.Limits.Cancel);
+  for (size_t AI = 0; AI != Assignments.size(); ++AI) {
+    Pool.submit([&, AI] {
+      const size_t Base = AI * MaxChecksPerAssignment;
+      if (Base > FirstDecisive.load(std::memory_order_acquire))
+        return; // whole assignment is after a decisive failure: Skipped
+      const auto &Types = Assignments[AI];
+
+      TermContext Ctx; // worker-private: terms never cross threads
+      Encoder Enc(Ctx, T, Types, Cfg.Encoding);
+      if (Status S = Enc.encode(); !S.ok()) {
+        Slots[Base].Reason = S.message();
+        Slots[Base].St = JobSlot::State::EncodeErr;
+        markDecisive(FirstDecisive, Base);
+        return;
+      }
+      TermRef Psi = nullptr;
+      std::vector<Check> Checks = buildChecks(Ctx, Enc, T, &Psi);
+      analysis::RefinementFacts Facts;
+      if (Cfg.StaticFilter)
+        Facts = analysis::analyzeRefinement(T, Types, Cfg.Encoding.PtrWidth);
+      TermRef MemAxioms = Enc.memoryAxioms();
+      const bool Quantified = !Enc.srcUndefs().empty();
+
+      auto Session = makeSession(Cfg, Ctx);
+      seedSession(*Session, MemAxioms, Psi, Quantified);
+
+      for (size_t CheckIdx = 0; CheckIdx != MaxChecksPerAssignment;
+           ++CheckIdx) {
+        JobSlot &Slot = Slots[Base + CheckIdx];
+        if (CheckIdx >= Checks.size()) {
+          Slot.St = JobSlot::State::NotApplicable;
+          continue;
+        }
+        if (Base + CheckIdx > FirstDecisive.load(std::memory_order_acquire))
+          return; // stays Skipped — the fold stops before reaching it
+        const Check &C = Checks[CheckIdx];
+        if (dischargedByFacts(Facts, C.Kind)) {
+          Slot.Stats.StaticallyDischarged = 1;
+          Slot.St = JobSlot::State::Unsat;
+          continue;
+        }
+        SolverStats Before = Session->stats();
+        CheckResult CR =
+            checkOnSession(*Session, Ctx, Enc, MemAxioms, C, Quantified);
+        Slot.Queries = 1;
+        Slot.Stats = Session->stats().deltaSince(Before);
+        Slot.Kind = C.Kind;
+        if (CR.isUnknown()) {
+          Slot.Why = CR.Why;
+          Slot.Reason = CR.Reason;
+          Slot.St = JobSlot::State::Unknown;
+          markDecisive(FirstDecisive, Base + CheckIdx);
+          return; // the serial plan would not run this assignment further
+        }
+        if (CR.isSat()) {
+          Model M = canonicalModel(Cfg, Ctx, Enc, MemAxioms, C, std::move(CR),
+                                   Slot.Stats);
+          Slot.CEX = buildCounterExample(C.Kind, Enc, M, T, Types,
+                                         Cfg.Encoding.PtrWidth);
+          Slot.St = JobSlot::State::Sat;
+          markDecisive(FirstDecisive, Base + CheckIdx);
+          return;
+        }
+        Slot.St = JobSlot::State::Unsat;
+      }
+    });
+  }
+  Pool.wait();
+
+  return foldSlots(Slots, Assignments.size());
 }
 
 } // namespace
@@ -429,6 +686,11 @@ VerifyResult verifier::verify(const Transform &T, const VerifyConfig &Cfg) {
 
   unsigned Jobs =
       Cfg.Jobs ? Cfg.Jobs : support::ThreadPool::defaultConcurrency();
+  if (Cfg.Incremental) {
+    if (Jobs > 1)
+      return verifyParallelIncremental(T, Cfg, Jobs, Assignments.get());
+    return verifySerialIncremental(T, Cfg, Assignments.get());
+  }
   if (Jobs > 1)
     return verifyParallel(T, Cfg, Jobs, Assignments.get());
   return verifySerial(T, Cfg, Assignments.get());

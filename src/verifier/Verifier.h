@@ -18,6 +18,7 @@
 
 #include "semantics/VCGen.h"
 #include "smt/QueryCache.h"
+#include "smt/Session.h"
 #include "smt/Solver.h"
 
 #include <functional>
@@ -61,8 +62,24 @@ struct VerifyConfig {
   std::shared_ptr<smt::QueryCache> Cache;
   /// Test hook: when set, the verifier and attribute inference obtain
   /// their solvers from this factory instead of Backend — used to wrap
-  /// backends in fault injectors and prove Unknown-path soundness.
+  /// backends in fault injectors and prove Unknown-path soundness. Under
+  /// the incremental plan the factory's solvers run behind a OneShotSession
+  /// adapter, so every check is still an independent inner query.
   std::function<std::unique_ptr<smt::Solver>()> SolverFactory;
+  /// Test hook for the incremental plan: when set, per-assignment sessions
+  /// come from this factory (receiving the assignment's TermContext)
+  /// instead of Backend. Takes precedence over SolverFactory.
+  std::function<std::unique_ptr<smt::SolverSession>(smt::TermContext &)>
+      SessionFactory;
+  /// Incremental query plan (the default): one solving session per type
+  /// assignment encodes the common prefix (preconditions, source
+  /// definedness/poison-freedom, the Ackermann memory axioms) once and
+  /// discharges each refinement condition as an assumption-guarded delta
+  /// on the warm session; quantified queries reuse the warm context via
+  /// push/check/pop. Verdicts, counterexamples and NumQueries are
+  /// identical to the one-shot plan (`alivec --no-incremental`); solver
+  /// work shifts from Queries to IncrementalReuses.
+  bool Incremental = true;
   /// Abstract-interpretation pre-filter: skip refinement queries the
   /// KnownBits/ConstantRange domains prove UNSAT (counted in
   /// SolverStats::StaticallyDischarged). Sound: a discharged check is one
@@ -144,6 +161,11 @@ struct AttrInferenceResult {
   /// Why inference gave up, when it did (solver resource exhaustion).
   smt::UnknownReason WhyUnknown = smt::UnknownReason::None;
   std::string Message;
+  /// Aggregate solver accounting across the whole inference (enumeration
+  /// and Boolean optimization). ColdStarts is the headline number: the
+  /// incremental plan re-solves the lattice walk on warm sessions and
+  /// issues strictly fewer cold solver starts than the one-shot plan.
+  smt::SolverStats Stats;
 
   /// True when the inferred target flags strictly exceed the flags
   /// written in \p T's target (a strengthened postcondition, §6.3).

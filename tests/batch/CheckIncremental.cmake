@@ -1,0 +1,52 @@
+# Asserts that the incremental query plan never changes what alivec
+# reports: the same run with and without --no-incremental must produce
+# identical exit codes and identical output once the only fields the plan
+# is allowed to change are masked — the wall-clock and the "solver: ..."
+# accounting line (cold queries vs incremental reuses legitimately
+# differ). Everything else, including per-transform query counts,
+# verdicts, counterexample bindings, inferred attributes and the summary
+# tallies, must match byte-for-byte.
+#
+#   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" -P CheckIncremental.cmake
+#
+# Additionally asserts the incremental run actually reuses warm sessions:
+# its solver line must report a non-zero "incremental reuses" count, and
+# the one-shot run must report zero.
+
+function(normalize Var)
+  set(Out "${${Var}}")
+  string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*solver:[^\n]*\n" "" Out "${Out}")
+  set(${Var} "${Out}" PARENT_SCOPE)
+endfunction()
+
+execute_process(COMMAND ${ALIVEC} ${ARGS}
+                RESULT_VARIABLE CodeInc OUTPUT_VARIABLE OutInc
+                ERROR_VARIABLE ErrInc)
+execute_process(COMMAND ${ALIVEC} ${ARGS} --no-incremental
+                RESULT_VARIABLE CodeOne OUTPUT_VARIABLE OutOne
+                ERROR_VARIABLE ErrOne)
+
+message(STATUS "incremental: exit ${CodeInc}; one-shot: exit ${CodeOne}")
+if(NOT CodeInc STREQUAL CodeOne)
+  message(FATAL_ERROR "exit code changed: ${CodeInc} (incremental) vs "
+                      "${CodeOne} (--no-incremental)")
+endif()
+
+if(NOT OutInc MATCHES "solver:[^\n]* ([1-9][0-9]*) incremental reuses")
+  message(FATAL_ERROR "incremental run reported no warm-session reuses\n"
+                      "${OutInc}")
+endif()
+if(OutOne MATCHES "solver:[^\n]* ([1-9][0-9]*) incremental reuses")
+  message(FATAL_ERROR "--no-incremental run reported warm-session reuses\n"
+                      "${OutOne}")
+endif()
+
+normalize(OutInc)
+normalize(OutOne)
+if(NOT OutInc STREQUAL OutOne)
+  message(FATAL_ERROR "reports differ between incremental and one-shot\n"
+                      "---- incremental ----\n${OutInc}\n"
+                      "---- --no-incremental ----\n${OutOne}")
+endif()
+message(STATUS "outputs identical after masking wall-clock and solver line")

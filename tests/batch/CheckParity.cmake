@@ -2,8 +2,9 @@
 # the verifier reports: the same run with and without --no-static-filter
 # must produce identical exit codes and identical output once the fields
 # the filter is allowed to change are masked — query counts, the
-# wall-clock, and the "static filter: N queries discharged" summary line.
-# Verdicts, counterexample bindings and tallies must match byte-for-byte.
+# wall-clock, and the "static filter: N queries discharged" and
+# "solver: ..." accounting lines of the summary. Verdicts, counterexample
+# bindings and tallies must match byte-for-byte.
 #
 #   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" -P CheckParity.cmake
 
@@ -12,6 +13,7 @@ function(normalize Var)
   string(REGEX REPLACE "[0-9]+ quer(y|ies)" "Q queries" Out "${Out}")
   string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
   string(REGEX REPLACE "[^\n]*static filter:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*solver:[^\n]*\n" "" Out "${Out}")
   set(${Var} "${Out}" PARENT_SCOPE)
 endfunction()
 

@@ -144,8 +144,10 @@ TEST(CachingSolverTest, SecondIdenticalQueryHitsAndRebindsModel) {
   EXPECT_EQ(Cache->stats().Hits, 1u);
   EXPECT_EQ(Cache->stats().Misses, 1u);
 
-  // The decorator's own stats count both checks as answered queries.
-  EXPECT_EQ(S2->stats().Queries, 1u);
+  // Distinct accounting: the served answer is a CacheHit, not a fresh
+  // solve — Queries keeps meaning "cold solves paid for".
+  EXPECT_EQ(S2->stats().Queries, 0u);
+  EXPECT_EQ(S2->stats().CacheHits, 1u);
   EXPECT_EQ(S2->stats().SatAnswers, 1u);
 }
 

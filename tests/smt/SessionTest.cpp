@@ -1,0 +1,406 @@
+//===- tests/smt/SessionTest.cpp - incremental session semantics ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assumption-semantics contract behind the incremental query plan,
+/// checked differentially and randomized:
+///
+///  * SAT level — solveUnderAssumptions(A) must agree with a fresh solver
+///    that holds A as unit clauses; Unsat-under-assumptions must never
+///    mark the database unsatisfiable; the failed-assumption core must be
+///    a genuine unsat subset.
+///  * Session level — for every backend, check(Assumptions) on a warm
+///    session must agree with a cold one-shot solve of the conjunction of
+///    all live assertions and the assumptions; push/pop must scope
+///    assertions exactly; stats must classify cold queries, warm re-solves
+///    (IncrementalReuses) and cache hits distinctly.
+///  * Fault injection — an inner solver downgraded to Unknown propagates
+///    Unknown (never a fabricated verdict) through the session adapters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+#include "smt/QueryCache.h"
+#include "smt/Session.h"
+#include "smt/Solver.h"
+#include "smt/sat/SatSolver.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// SAT level
+// --------------------------------------------------------------------------
+
+/// Random 3-CNF with a planted solution (so instances are satisfiable
+/// under the empty assumption set but random assumption sets still hit
+/// both verdicts).
+struct RandomCnf {
+  unsigned NumVars;
+  std::vector<std::vector<sat::Lit>> Clauses;
+};
+
+RandomCnf makeCnf(std::mt19937_64 &Rng, unsigned NumVars, unsigned NumClauses) {
+  RandomCnf C;
+  C.NumVars = NumVars;
+  std::vector<bool> Planted(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V)
+    Planted[V] = Rng() & 1;
+  for (unsigned I = 0; I != NumClauses; ++I) {
+    std::vector<sat::Lit> Cl;
+    for (unsigned K = 0; K != 3; ++K) {
+      auto V = static_cast<sat::Var>(Rng() % NumVars);
+      Cl.push_back(sat::Lit(V, Rng() & 1));
+    }
+    // Force one literal to agree with the planted model.
+    auto V = static_cast<sat::Var>(Rng() % NumVars);
+    Cl.push_back(sat::Lit(V, /*Negated=*/Planted[V] ? false : true));
+    C.Clauses.push_back(std::move(Cl));
+  }
+  return C;
+}
+
+void loadCnf(sat::SatSolver &S, const RandomCnf &C) {
+  for (unsigned V = 0; V != C.NumVars; ++V)
+    S.newVar();
+  for (const auto &Cl : C.Clauses)
+    S.addClause(Cl);
+}
+
+TEST(SatAssumptionTest, RandomDifferentialAgainstFreshSolve) {
+  std::mt19937_64 Rng(0xA11CE);
+  for (unsigned Round = 0; Round != 60; ++Round) {
+    RandomCnf C = makeCnf(Rng, 12, 40);
+    sat::SatSolver Warm;
+    loadCnf(Warm, C);
+    // Many assumption sets against ONE warm solver (learned clauses are
+    // retained across calls) — each must match a fresh solver that holds
+    // the same assumptions as unit clauses.
+    for (unsigned Trial = 0; Trial != 8; ++Trial) {
+      std::vector<sat::Lit> Assume;
+      unsigned N = Rng() % 5;
+      for (unsigned K = 0; K != N; ++K)
+        Assume.push_back(
+            sat::Lit(static_cast<sat::Var>(Rng() % C.NumVars), Rng() & 1));
+      sat::SatResult Got =
+          Warm.solveUnderAssumptions(Assume, sat::SearchLimits());
+
+      sat::SatSolver Fresh;
+      loadCnf(Fresh, C);
+      bool Trivial = false;
+      for (sat::Lit A : Assume)
+        Trivial = !Fresh.addClause(A) || Trivial;
+      sat::SatResult Want =
+          Trivial ? sat::SatResult::Unsat : Fresh.solve();
+      EXPECT_EQ(Got, Want) << "round " << Round << " trial " << Trial;
+
+      // Unsat under assumptions must not poison the database: the planted
+      // model keeps the clause set itself satisfiable.
+      EXPECT_FALSE(Warm.unsatisfiable());
+      if (Got == sat::SatResult::Unsat) {
+        // The failed-assumption core must itself be unsat with the clauses.
+        sat::SatSolver CoreCheck;
+        loadCnf(CoreCheck, C);
+        bool CoreTrivial = false;
+        for (sat::Lit A : Warm.conflictCore())
+          CoreTrivial = !CoreCheck.addClause(A) || CoreTrivial;
+        EXPECT_TRUE(CoreTrivial ||
+                    CoreCheck.solve() == sat::SatResult::Unsat);
+      }
+    }
+    // After everything, the empty assumption set still finds the planted
+    // (or some) model.
+    EXPECT_EQ(Warm.solveUnderAssumptions({}, sat::SearchLimits()),
+              sat::SatResult::Sat);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Session level
+// --------------------------------------------------------------------------
+
+class SessionBackendTest : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<SolverSession> makeSession() {
+    std::string Name = GetParam();
+    if (Name == "z3")
+      return createZ3Session();
+    if (Name == "bitblast")
+      return createBitBlastSession();
+    if (Name == "guarded")
+      return createGuardedSession();
+    if (Name == "oneshot")
+      return createOneShotSession(Ctx, createHybridSolver());
+    return createHybridSession();
+  }
+
+  TermContext Ctx;
+};
+
+TEST_P(SessionBackendTest, UnsatUnderAssumptionsIsNotSticky) {
+  auto S = makeSession();
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  S->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 5)));
+  EXPECT_TRUE(S->check({Ctx.mkBVUgt(X, Ctx.mkBV(8, 10))}).isUnsat());
+  // The same warm session must still answer Sat without that assumption.
+  CheckResult R = S->check({Ctx.mkEq(X, Ctx.mkBV(8, 3))});
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.M.getBVOrZero(X).getZExtValue(), 3u);
+  EXPECT_TRUE(S->check().isSat());
+}
+
+TEST_P(SessionBackendTest, PushPopScopesAssertions) {
+  auto S = makeSession();
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  S->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 100)));
+  S->push();
+  S->add(Ctx.mkBVUgt(X, Ctx.mkBV(8, 200)));
+  EXPECT_TRUE(S->check().isUnsat());
+  S->pop();
+  EXPECT_TRUE(S->check().isSat());
+  // Nested scopes.
+  S->push();
+  S->add(Ctx.mkEq(X, Ctx.mkBV(8, 7)));
+  S->push();
+  S->add(Ctx.mkEq(X, Ctx.mkBV(8, 9)));
+  EXPECT_TRUE(S->check().isUnsat());
+  S->pop();
+  CheckResult R = S->check();
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.M.getBVOrZero(X).getZExtValue(), 7u);
+  S->pop();
+}
+
+TEST_P(SessionBackendTest, RandomDifferentialAgainstOneShot) {
+  std::mt19937_64 Rng(0xBEEF ^ std::hash<std::string>{}(GetParam()));
+  for (unsigned Round = 0; Round != 12; ++Round) {
+    TermContext C;
+    auto S = [&]() -> std::unique_ptr<SolverSession> {
+      std::string Name = GetParam();
+      if (Name == "z3")
+        return createZ3Session();
+      if (Name == "bitblast")
+        return createBitBlastSession();
+      if (Name == "guarded")
+        return createGuardedSession();
+      if (Name == "oneshot")
+        return createOneShotSession(C, createHybridSolver());
+      return createHybridSession();
+    }();
+
+    const unsigned W = 6;
+    std::vector<TermRef> Vars;
+    for (unsigned V = 0; V != 3; ++V)
+      Vars.push_back(C.mkVar("v" + std::to_string(V), Sort::bv(W)));
+    auto RandomAtom = [&] {
+      TermRef A = Vars[Rng() % Vars.size()];
+      TermRef B = Rng() & 1
+                      ? Vars[Rng() % Vars.size()]
+                      : C.mkBV(W, Rng() % (1u << W));
+      switch (Rng() % 4) {
+      case 0:
+        return C.mkEq(A, B);
+      case 1:
+        return C.mkBVUlt(A, B);
+      case 2:
+        return C.mkBVUle(C.mkBVAnd(A, C.mkBV(W, Rng() % (1u << W))), B);
+      default:
+        return C.mkNe(C.mkBVAdd(A, B), C.mkBV(W, Rng() % (1u << W)));
+      }
+    };
+
+    // A base of root assertions plus one scoped layer, then several
+    // assumption sets against the same warm session.
+    std::vector<TermRef> Live;
+    for (unsigned I = 0, N = 1 + Rng() % 3; I != N; ++I) {
+      TermRef T = RandomAtom();
+      Live.push_back(T);
+      S->add(T);
+    }
+    S->push();
+    for (unsigned I = 0, N = Rng() % 2; I != N; ++I) {
+      TermRef T = RandomAtom();
+      Live.push_back(T);
+      S->add(T);
+    }
+    for (unsigned Trial = 0; Trial != 6; ++Trial) {
+      std::vector<TermRef> Assume;
+      for (unsigned I = 0, N = Rng() % 3; I != N; ++I)
+        Assume.push_back(RandomAtom());
+
+      CheckResult Got = S->check(Assume);
+
+      std::vector<TermRef> All = Live;
+      All.insert(All.end(), Assume.begin(), Assume.end());
+      auto Reference = createHybridSolver();
+      CheckResult Want = Reference->check(C.mkAnd(All));
+
+      ASSERT_FALSE(Got.isUnknown())
+          << GetParam() << " round " << Round << ": " << Got.Reason;
+      ASSERT_FALSE(Want.isUnknown());
+      EXPECT_EQ(Got.isSat(), Want.isSat())
+          << GetParam() << " round " << Round << " trial " << Trial;
+
+      // A Sat model from the warm session must actually satisfy the query:
+      // substitute and re-check with the model pinned.
+      if (Got.isSat()) {
+        std::vector<TermRef> Pinned = All;
+        for (TermRef V : Vars)
+          Pinned.push_back(C.mkEq(V, C.mkBV(W, Got.M.getBVOrZero(V)
+                                                   .getZExtValue())));
+        EXPECT_TRUE(Reference->check(C.mkAnd(Pinned)).isSat())
+            << GetParam() << ": model does not satisfy the query";
+      }
+    }
+    S->pop();
+  }
+}
+
+TEST_P(SessionBackendTest, StatsClassifyColdWarmDistinctly) {
+  auto S = makeSession();
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  S->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 50)));
+  EXPECT_TRUE(S->check().isSat());
+  EXPECT_EQ(S->stats().Queries, 1u);
+  EXPECT_EQ(S->stats().IncrementalReuses, 0u);
+
+  EXPECT_TRUE(S->check({Ctx.mkEq(X, Ctx.mkBV(8, 7))}).isSat());
+  EXPECT_TRUE(S->check({Ctx.mkBVUgt(X, Ctx.mkBV(8, 60))}).isUnsat());
+  // The one-shot adapter never re-uses a warm solver; every true session
+  // must classify the re-solves as IncrementalReuses, not new Queries.
+  if (std::string(GetParam()) == "oneshot") {
+    EXPECT_EQ(S->stats().Queries, 3u);
+    EXPECT_EQ(S->stats().IncrementalReuses, 0u);
+  } else {
+    EXPECT_EQ(S->stats().Queries, 1u);
+    EXPECT_EQ(S->stats().IncrementalReuses, 2u);
+  }
+  EXPECT_EQ(S->stats().SatAnswers, 2u);
+  EXPECT_EQ(S->stats().UnsatAnswers, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SessionBackendTest,
+                         ::testing::Values("z3", "bitblast", "guarded",
+                                           "hybrid", "oneshot"));
+
+// --------------------------------------------------------------------------
+// Unknown propagation under fault injection
+// --------------------------------------------------------------------------
+
+TEST(SessionFaultTest, OneShotAdapterPropagatesInjectedUnknown) {
+  TermContext Ctx;
+  FaultPlan Plan;
+  Plan.Seed = 7;
+  Plan.UnknownRate = 1.0;
+  auto S = createOneShotSession(
+      Ctx, createFaultInjectingSolver(createHybridSolver(), Plan));
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  S->add(Ctx.mkEq(X, Ctx.mkBV(8, 1)));
+  CheckResult R = S->check();
+  EXPECT_TRUE(R.isUnknown());
+  EXPECT_EQ(S->stats().UnknownAnswers, 1u);
+}
+
+TEST(SessionFaultTest, InjectedDowngradeNeverFabricatesAVerdict) {
+  // DowngradeRate flips genuine Sat/Unsat answers to Unknown with some
+  // probability: across a run the session must only ever report the true
+  // verdict or Unknown, never the opposite verdict.
+  TermContext Ctx;
+  FaultPlan Plan;
+  Plan.Seed = 11;
+  Plan.DowngradeRate = 0.5;
+  auto S = createOneShotSession(
+      Ctx, createFaultInjectingSolver(createHybridSolver(), Plan));
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+  S->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 5)));
+  for (unsigned I = 0; I != 20; ++I) {
+    CheckResult Sat = S->check({Ctx.mkEq(X, Ctx.mkBV(8, 2))});
+    EXPECT_FALSE(Sat.isUnsat());
+    CheckResult Unsat = S->check({Ctx.mkEq(X, Ctx.mkBV(8, 200))});
+    EXPECT_FALSE(Unsat.isSat());
+  }
+  EXPECT_GT(S->stats().UnknownAnswers, 0u);
+  EXPECT_GT(S->stats().SatAnswers + S->stats().UnsatAnswers, 0u);
+}
+
+TEST(SessionFaultTest, NativeSessionHonorsPerCheckOverride) {
+  // An absurdly small conflict budget forces Unknown on a hard query; the
+  // session stays usable and the next (easy) check still answers.
+  auto S = createBitBlastSession();
+  TermContext Ctx;
+  const unsigned W = 24;
+  TermRef A = Ctx.mkVar("a", Sort::bv(W));
+  TermRef B = Ctx.mkVar("b", Sort::bv(W));
+  // Factoring-flavored instance: a * b == constant with both factors
+  // non-trivial — hard enough to blow a 1-conflict budget.
+  S->add(Ctx.mkEq(Ctx.mkBVMul(A, B), Ctx.mkBV(W, 0x45F9DB)));
+  S->add(Ctx.mkBVUgt(A, Ctx.mkBV(W, 1)));
+  S->add(Ctx.mkBVUgt(B, Ctx.mkBV(W, 1)));
+  ResourceLimits Tiny;
+  Tiny.ConflictBudget = 1;
+  CheckResult R = S->check({}, &Tiny);
+  ASSERT_TRUE(R.isUnknown());
+  EXPECT_EQ(R.Why, UnknownReason::ConflictBudget);
+
+  // The session survives the budgeted Unknown: pinning one factor makes
+  // the next check easy again.
+  EXPECT_FALSE(S->check({Ctx.mkEq(A, Ctx.mkBV(W, 3))}).isUnknown());
+}
+
+// --------------------------------------------------------------------------
+// Caching sessions
+// --------------------------------------------------------------------------
+
+TEST(CachingSessionTest, SecondSessionHitsSharedCache) {
+  auto Cache = std::make_shared<QueryCache>();
+  for (unsigned Pass = 0; Pass != 2; ++Pass) {
+    TermContext Ctx;
+    auto S = createCachingSession(createBitBlastSession(), Cache);
+    TermRef X = Ctx.mkVar("x", Sort::bv(8));
+    S->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 5)));
+    CheckResult R = S->check({Ctx.mkEq(X, Ctx.mkBV(8, 3))});
+    ASSERT_TRUE(R.isSat());
+    EXPECT_EQ(R.M.getBVOrZero(X).getZExtValue(), 3u);
+    EXPECT_TRUE(S->check({Ctx.mkEq(X, Ctx.mkBV(8, 9))}).isUnsat());
+    if (Pass == 0) {
+      EXPECT_EQ(S->stats().CacheHits, 0u);
+      EXPECT_EQ(S->stats().Queries + S->stats().IncrementalReuses, 2u);
+    } else {
+      // A brand-new context re-encodes the same canonical queries: both
+      // answers (and the Sat model, rebound onto the new vars) come from
+      // the shared cache.
+      EXPECT_EQ(S->stats().CacheHits, 2u);
+      EXPECT_EQ(S->stats().Queries, 0u);
+    }
+  }
+}
+
+TEST(CachingSessionTest, ScopedAssertionsChangeTheKey) {
+  // The same assumption under different live scopes must not alias: a
+  // cached Unsat for (x<5, x==9) must not answer (x<15, x==9).
+  auto Cache = std::make_shared<QueryCache>();
+  TermContext Ctx;
+  TermRef X = Ctx.mkVar("x", Sort::bv(8));
+
+  auto S1 = createCachingSession(createBitBlastSession(), Cache);
+  S1->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 5)));
+  EXPECT_TRUE(S1->check({Ctx.mkEq(X, Ctx.mkBV(8, 9))}).isUnsat());
+
+  auto S2 = createCachingSession(createBitBlastSession(), Cache);
+  S2->add(Ctx.mkBVUlt(X, Ctx.mkBV(8, 15)));
+  CheckResult R = S2->check({Ctx.mkEq(X, Ctx.mkBV(8, 9))});
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.M.getBVOrZero(X).getZExtValue(), 9u);
+  EXPECT_EQ(S2->stats().CacheHits, 0u);
+}
+
+} // namespace

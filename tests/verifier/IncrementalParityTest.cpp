@@ -1,0 +1,99 @@
+//===- tests/verifier/IncrementalParityTest.cpp - plan equivalence --------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental (session-based) query plan and the one-shot fallback
+/// (`Cfg.Incremental = false`, alivec's --no-incremental) must be
+/// observationally identical: same verdicts, same counterexample
+/// renderings, same inferred attributes. The only permitted differences
+/// are in the solver accounting — and there the incremental plan must
+/// actually be incremental: warm-session reuses present, and strictly
+/// fewer cold solver starts on the attribute-inference lattice walk.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::verifier;
+
+namespace {
+
+VerifyConfig planConfig(bool Incremental) {
+  VerifyConfig Cfg;
+  Cfg.Types.Widths = {4, 8};
+  Cfg.Types.MaxAssignments = 8;
+  // No static pre-filter: every refinement check must reach the solver so
+  // the two plans are compared on real queries, not on shared shortcuts.
+  Cfg.StaticFilter = false;
+  Cfg.Incremental = Incremental;
+  return Cfg;
+}
+
+const char *const Corpus[] = {
+    // Correct (Section 1 intro).
+    "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n",
+    // Correct with a precondition.
+    "Pre: isPowerOf2(C)\n%r = udiv %x, C\n=>\n%r = lshr %x, log2(C)\n",
+    // Incorrect (Figure 8 style): must produce the same counterexample.
+    "%a = add %x, %x\n=>\n%a = shl %x, 2\n",
+    // Incorrect flag placement: nsw does not survive the rewrite.
+    "%1 = add %x, 1\n=>\n%1 = add nsw %x, 1\n",
+};
+
+TEST(IncrementalParityTest, VerifyVerdictsAndCounterexamplesMatch) {
+  for (const char *Text : Corpus) {
+    auto P = parser::parseTransform(Text);
+    ASSERT_TRUE(P.ok()) << P.message();
+    VerifyResult Inc = verify(*P.get(), planConfig(true));
+    VerifyResult One = verify(*P.get(), planConfig(false));
+
+    EXPECT_EQ(Inc.V, One.V) << Text;
+    EXPECT_EQ(Inc.NumTypeAssignments, One.NumTypeAssignments) << Text;
+    EXPECT_EQ(Inc.NumQueries, One.NumQueries) << Text;
+    ASSERT_EQ(Inc.CEX.has_value(), One.CEX.has_value()) << Text;
+    if (Inc.CEX)
+      EXPECT_EQ(Inc.CEX->str(), One.CEX->str()) << Text;
+    // The fallback never reuses a warm session.
+    EXPECT_EQ(One.Stats.IncrementalReuses, 0u) << Text;
+  }
+}
+
+TEST(IncrementalParityTest, InferredAttributesMatch) {
+  // Section 3.4's running example: the source add's nsw is inferable.
+  auto P = parser::parseTransform(
+      "%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  AttrInferenceResult Inc = inferAttributes(*P.get(), planConfig(true));
+  AttrInferenceResult One = inferAttributes(*P.get(), planConfig(false));
+
+  EXPECT_EQ(Inc.Feasible, One.Feasible);
+  EXPECT_EQ(Inc.SrcFlags, One.SrcFlags);
+  EXPECT_EQ(Inc.TgtFlags, One.TgtFlags);
+
+  // The acceptance criterion: the lattice walk runs on warm sessions, so
+  // the incremental plan pays strictly fewer cold solver starts.
+  EXPECT_GT(Inc.Stats.IncrementalReuses, 0u);
+  EXPECT_LT(Inc.Stats.ColdStarts, One.Stats.ColdStarts);
+  EXPECT_EQ(One.Stats.IncrementalReuses, 0u);
+}
+
+TEST(IncrementalParityTest, InfeasibleInferenceMatches) {
+  // No attribute assignment can make doubling equal shifting by two.
+  auto P = parser::parseTransform("%a = add %x, %x\n=>\n%a = shl %x, 2\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  AttrInferenceResult Inc = inferAttributes(*P.get(), planConfig(true));
+  AttrInferenceResult One = inferAttributes(*P.get(), planConfig(false));
+  EXPECT_EQ(Inc.Feasible, One.Feasible);
+  EXPECT_FALSE(Inc.Feasible);
+  EXPECT_EQ(Inc.SrcFlags, One.SrcFlags);
+  EXPECT_EQ(Inc.TgtFlags, One.TgtFlags);
+}
+
+} // namespace

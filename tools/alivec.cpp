@@ -28,6 +28,9 @@
 ///   --cache-stats       print cache hit/miss/eviction counts in the summary
 ///   --lint              alias for the lint mode (usable as a flag)
 ///   --no-static-filter  disable the abstract-interpretation SMT pre-filter
+///   --no-incremental    one-shot query plan: a fresh solver per refinement
+///                       query instead of warm per-assignment sessions;
+///                       verdicts and reports are byte-identical
 ///
 /// Lint mode parses leniently and prints one `file:line:col: severity:
 /// message [kind]` diagnostic per defect; its exit code is 0 for a clean
@@ -92,6 +95,8 @@ void usage() {
                "  --cache-stats          print query-cache counters\n"
                "  --lint                 run the lint mode\n"
                "  --no-static-filter     disable the abstract SMT pre-filter\n"
+               "  --no-incremental       one-shot solver per query (no warm\n"
+               "                         session reuse); identical reports\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
                "            3 unknown/resource-limited, 4 faulted\n"
                "lint mode: 0 clean, 1 diagnostics reported, 2 usage error\n");
@@ -190,7 +195,8 @@ enum class Outcome { Correct, Incorrect, Unknown, Faulted };
 struct Tally {
   unsigned Count[4] = {0, 0, 0, 0};
   unsigned UnknownBy[smt::NumUnknownReasons] = {};
-  uint64_t Discharged = 0; ///< queries the static pre-filter proved away
+  uint64_t Discharged = 0;  ///< queries the static pre-filter proved away
+  smt::SolverStats Solver;  ///< aggregate solver accounting for the batch
   bool Cancelled = false;
 
   void add(Outcome O) { ++Count[static_cast<unsigned>(O)]; }
@@ -269,6 +275,7 @@ struct ItemResult {
   std::string Out;           ///< stdout payload (status line / report)
   std::string Err;           ///< stderr payload (codegen/lint diagnostics)
   uint64_t Discharged = 0;   ///< queries skipped by the static pre-filter
+  smt::SolverStats Stats;    ///< this item's solver accounting
   bool EmitCodegen = false;  ///< verified correct in codegen mode
   bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
   bool Done = false;
@@ -294,6 +301,7 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
       R.Err = Item.LintErr;
       VerifyResult VR = verify(*Item.T, Cfg);
       R.Discharged = VR.Stats.StaticallyDischarged;
+      R.Stats = VR.Stats;
       switch (VR.V) {
       case Verdict::Correct:
         R.Out = format("%-32s correct (%u type assignments, %u queries)\n",
@@ -319,6 +327,7 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
     } else if (Mode == "infer") {
       AttrInferenceResult IR = inferAttributes(*Item.T, Cfg);
       R.Discharged = IR.StaticallyDischarged;
+      R.Stats = IR.Stats;
       if (!IR.Feasible) {
         R.O = IR.WhyUnknown != smt::UnknownReason::None ? Outcome::Unknown
                                                         : Outcome::Incorrect;
@@ -337,6 +346,7 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
     } else if (Mode == "codegen") {
       VerifyResult VR = verify(*Item.T, Cfg);
       R.Discharged = VR.Stats.StaticallyDischarged;
+      R.Stats = VR.Stats;
       if (!VR.isCorrect()) {
         R.O = VR.V == Verdict::Incorrect ? Outcome::Incorrect
               : VR.V == Verdict::Unknown ? Outcome::Unknown
@@ -431,6 +441,8 @@ int main(int argc, char **argv) {
       Mode = "lint";
     } else if (Arg == "--no-static-filter") {
       Cfg.StaticFilter = false;
+    } else if (Arg == "--no-incremental") {
+      Cfg.Incremental = false;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       usage();
@@ -542,6 +554,14 @@ int main(int argc, char **argv) {
                       Sum.UnknownBy[I]);
       std::printf("\n");
     }
+    if (Sum.Solver.Queries || Sum.Solver.IncrementalReuses ||
+        Sum.Solver.CacheHits)
+      std::printf("     solver: %llu cold queries | %llu incremental reuses "
+                  "| %llu cache hits | %llu cold starts\n",
+                  static_cast<unsigned long long>(Sum.Solver.Queries),
+                  static_cast<unsigned long long>(Sum.Solver.IncrementalReuses),
+                  static_cast<unsigned long long>(Sum.Solver.CacheHits),
+                  static_cast<unsigned long long>(Sum.Solver.ColdStarts));
     if (PrintCacheStats && Cache)
       std::printf("     query cache: %s\n", Cache->stats().str().c_str());
     if (Sum.Discharged)
@@ -582,6 +602,7 @@ int main(int argc, char **argv) {
     if (R.O == Outcome::Unknown)
       ++Sum.UnknownBy[static_cast<unsigned>(R.Why)];
     Sum.Discharged += R.Discharged;
+    Sum.Solver.merge(R.Stats);
     Sum.add(R.O);
     return !(FailFast && R.O != Outcome::Correct);
   };
