@@ -1,0 +1,273 @@
+//===- bench/bench_service.cpp - verification service benchmarks --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the alived service layer buys (and costs):
+///   - cold vs warm persistent-store batch verification: a warm store
+///     replays every report without issuing a single cold solver query;
+///   - daemon round-trip latency percentiles over a unix socket (the
+///     editor-integration number: protocol + dispatch + warm replay);
+///   - request coalescing under concurrent identical clients.
+/// Writes the acceptance numbers to BENCH_service.json and registers the
+/// round-trip case as a google-benchmark for --benchmark_filter runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+/// The bench_verify case corpus as one alivec-style batch file, so the
+/// store numbers reflect a whole-corpus run rather than one transform.
+const char *Corpus =
+    "Name: bitwise\n"
+    "%a = and %x, C1\n%r = and %a, C2\n=>\n%r = and %x, C1 & C2\n\n"
+    "Name: arith_nsw\n"
+    "%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true\n\n"
+    "Name: shift\n"
+    "%s = shl nsw %x, C\n%r = ashr %s, C\n=>\n%r = %x\n\n"
+    "Name: muldiv\n"
+    "Pre: isPowerOf2(C)\n%r = udiv %x, C\n=>\n%r = lshr %x, log2(C)\n\n"
+    "Name: select\n"
+    "%c = icmp ne %x, 0\n%r = select %c, %x, 0\n=>\n%r = %x\n\n"
+    "Name: memory\n"
+    "store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v\n";
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+std::string tempDir(const char *Stem) {
+  std::string Templ = std::string("/tmp/") + Stem + "-XXXXXX";
+  std::vector<char> Buf(Templ.begin(), Templ.end());
+  Buf.push_back('\0');
+  if (!::mkdtemp(Buf.data()))
+    return {};
+  return Buf.data();
+}
+
+void removeStore(const std::string &Dir) {
+  std::remove((Dir + "/store.log").c_str());
+  std::remove((Dir + "/store.idx").c_str());
+  ::rmdir(Dir.c_str());
+}
+
+BatchOutcome runCorpus(std::shared_ptr<ResultStore> Store) {
+  auto Opts = parseBatchOptions("verify", {});
+  return runBatch(Opts.get(), "<bench>", Corpus, std::move(Store), nullptr);
+}
+
+struct ServiceNumbers {
+  double ColdMs = 0, WarmMs = 0, ReopenWarmMs = 0;
+  uint64_t ColdQueries = 0, WarmQueries = 0;
+  uint64_t WarmReportHits = 0;
+  double P50 = 0, P90 = 0, P99 = 0;
+  uint64_t Coalesced = 0, CoalesceTotal = 0;
+};
+
+/// Cold vs warm store over the corpus, including a reopen (fresh process
+/// image simulated by a fresh ResultStore over the same directory).
+void benchStore(ServiceNumbers &N) {
+  std::string Dir = tempDir("alive-bench-store");
+  {
+    auto Store = ResultStore::open(Dir);
+    auto T0 = std::chrono::steady_clock::now();
+    BatchOutcome Cold = runCorpus(std::shared_ptr<ResultStore>(Store.take()));
+    N.ColdMs = msSince(T0);
+    N.ColdQueries = Cold.Solver.Queries;
+  }
+  {
+    auto Store = ResultStore::open(Dir);
+    std::shared_ptr<ResultStore> S(Store.take());
+    auto T0 = std::chrono::steady_clock::now();
+    BatchOutcome Warm = runCorpus(S);
+    N.ReopenWarmMs = msSince(T0);
+    // Same store object again: the pure replay path.
+    T0 = std::chrono::steady_clock::now();
+    Warm = runCorpus(S);
+    N.WarmMs = msSince(T0);
+    N.WarmQueries = Warm.Solver.Queries;
+    N.WarmReportHits = Warm.ReportHits;
+  }
+  removeStore(Dir);
+}
+
+/// Round-trip latency against a warm in-process server: protocol framing,
+/// dispatch, coalescing lookup, store replay. Exact percentiles from the
+/// sample vector (the service Histogram's bucket bounds are too coarse
+/// for a benchmark report).
+void benchLatency(ServiceNumbers &N) {
+  std::string Dir = tempDir("alive-bench-latency");
+  auto Store = ResultStore::open(Dir);
+  ServerConfig Cfg;
+  Cfg.SocketPath = "/tmp/alive-bench-" + std::to_string(::getpid()) + ".sock";
+  Server Srv(std::move(Cfg), std::shared_ptr<ResultStore>(Store.take()));
+  if (!Srv.start().ok())
+    return;
+  std::thread Runner([&] { Srv.run(); });
+
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<bench>";
+  R.Text = Corpus;
+  (void)callServer(Srv.socketPath(), R); // populate the store
+
+  constexpr unsigned Samples = 60;
+  std::vector<double> Ms;
+  Ms.reserve(Samples);
+  for (unsigned I = 0; I != Samples; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto Resp = callServer(Srv.socketPath(), R);
+    if (Resp.ok())
+      Ms.push_back(msSince(T0));
+  }
+  std::sort(Ms.begin(), Ms.end());
+  auto Pct = [&](double Q) {
+    if (Ms.empty())
+      return 0.0;
+    size_t I = static_cast<size_t>(Q * (Ms.size() - 1));
+    return Ms[I];
+  };
+  N.P50 = Pct(0.50);
+  N.P90 = Pct(0.90);
+  N.P99 = Pct(0.99);
+
+  Srv.requestStop();
+  Runner.join();
+  removeStore(Dir);
+}
+
+void benchCoalescing(ServiceNumbers &N) {
+  ServerConfig Cfg;
+  Cfg.SocketPath =
+      "/tmp/alive-bench-co-" + std::to_string(::getpid()) + ".sock";
+  Server Srv(std::move(Cfg), nullptr);
+  if (!Srv.start().ok())
+    return;
+  std::thread Runner([&] { Srv.run(); });
+  std::string Sock = Srv.socketPath();
+
+  constexpr unsigned Clients = 12, Rounds = 3;
+  std::vector<std::thread> Pool;
+  for (unsigned C = 0; C != Clients; ++C)
+    Pool.emplace_back([&] {
+      Request R;
+      R.Verb = "verify";
+      R.Path = "<bench>";
+      R.Text = Corpus;
+      R.Opts = {"--no-cache"};
+      for (unsigned I = 0; I != Rounds; ++I)
+        (void)callServer(Sock, R);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  N.Coalesced = Srv.metrics().counter("requests_coalesced_total").value();
+  N.CoalesceTotal = Srv.metrics().counter("requests_verify_total").value();
+  Srv.requestStop();
+  Runner.join();
+}
+
+void writeBenchJson(const char *Path) {
+  ServiceNumbers N;
+  benchStore(N);
+  benchLatency(N);
+  benchCoalescing(N);
+
+  double CoalesceRate =
+      N.CoalesceTotal ? static_cast<double>(N.Coalesced) / N.CoalesceTotal
+                      : 0.0;
+  std::ofstream Out(Path);
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "  \"cold_ms\": %.2f,\n"
+      "  \"warm_reopen_ms\": %.2f,\n"
+      "  \"warm_ms\": %.2f,\n"
+      "  \"cold_queries\": %llu,\n"
+      "  \"warm_queries\": %llu,\n"
+      "  \"warm_report_hits\": %llu,\n"
+      "  \"warm_zero_cold_queries\": %s,\n"
+      "  \"roundtrip_p50_ms\": %.3f,\n"
+      "  \"roundtrip_p90_ms\": %.3f,\n"
+      "  \"roundtrip_p99_ms\": %.3f,\n"
+      "  \"coalesced_requests\": %llu,\n"
+      "  \"coalesce_total_requests\": %llu,\n"
+      "  \"coalesce_hit_rate\": %.4f\n"
+      "}\n",
+      N.ColdMs, N.ReopenWarmMs, N.WarmMs,
+      static_cast<unsigned long long>(N.ColdQueries),
+      static_cast<unsigned long long>(N.WarmQueries),
+      static_cast<unsigned long long>(N.WarmReportHits),
+      N.WarmQueries == 0 ? "true" : "false", N.P50, N.P90, N.P99,
+      static_cast<unsigned long long>(N.Coalesced),
+      static_cast<unsigned long long>(N.CoalesceTotal), CoalesceRate);
+  Out << Buf;
+  std::printf("wrote %s (cold %.1f ms / warm %.1f ms, reopen %.1f ms, "
+              "warm queries %llu, round trip p50 %.2f ms p99 %.2f ms, "
+              "coalesced %llu/%llu = %.0f%%)\n",
+              Path, N.ColdMs, N.WarmMs, N.ReopenWarmMs,
+              static_cast<unsigned long long>(N.WarmQueries), N.P50, N.P99,
+              static_cast<unsigned long long>(N.Coalesced),
+              static_cast<unsigned long long>(N.CoalesceTotal),
+              100.0 * CoalesceRate);
+}
+
+/// google-benchmark wrapper: one warm round trip per iteration against a
+/// live in-process daemon.
+void roundTrip(benchmark::State &State) {
+  std::string Dir = tempDir("alive-bench-rt");
+  auto Store = ResultStore::open(Dir);
+  ServerConfig Cfg;
+  Cfg.SocketPath =
+      "/tmp/alive-bench-rt-" + std::to_string(::getpid()) + ".sock";
+  Server Srv(std::move(Cfg), std::shared_ptr<ResultStore>(Store.take()));
+  if (!Srv.start().ok()) {
+    State.SkipWithError("server start failed");
+    return;
+  }
+  std::thread Runner([&] { Srv.run(); });
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<bench>";
+  R.Text = Corpus;
+  (void)callServer(Srv.socketPath(), R);
+  for (auto _ : State) {
+    auto Resp = callServer(Srv.socketPath(), R);
+    benchmark::DoNotOptimize(Resp);
+  }
+  Srv.requestStop();
+  Runner.join();
+  removeStore(Dir);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  writeBenchJson("BENCH_service.json");
+  benchmark::RegisterBenchmark("service/roundtrip_warm", roundTrip);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,673 @@
+//===- service/BatchRunner.cpp - reusable alivec batch pipeline -----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BatchRunner.h"
+
+#include "analysis/Lint.h"
+#include "codegen/CodeGen.h"
+#include "parser/Parser.h"
+#include "support/ThreadPool.h"
+#include "verifier/ReportIO.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+using namespace alive;
+using namespace alive::service;
+using namespace alive::verifier;
+
+namespace {
+
+std::string flagsToString(unsigned Flags) {
+  std::string S;
+  if (Flags & ir::AttrNSW)
+    S += " nsw";
+  if (Flags & ir::AttrNUW)
+    S += " nuw";
+  if (Flags & ir::AttrExact)
+    S += " exact";
+  return S.empty() ? " (none)" : S;
+}
+
+/// printf into a std::string (batch output is buffered per transformation
+/// so parallel workers can compute results out of order while the report
+/// still prints strictly in input order).
+std::string format(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  va_list Ap2;
+  va_copy(Ap2, Ap);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Ap);
+  va_end(Ap);
+  std::string S(N > 0 ? static_cast<size_t>(N) : 0, '\0');
+  if (N > 0)
+    std::vsnprintf(S.data(), S.size() + 1, Fmt, Ap2);
+  va_end(Ap2);
+  return S;
+}
+
+/// One "Name:"-delimited region of the input file. Parsed independently so
+/// a syntax error in one transformation cannot abort the batch.
+struct Chunk {
+  std::string Text;
+  std::string Label; ///< the Name: header text, or a line-number fallback
+  unsigned FirstLine = 1;
+};
+
+bool hasContent(const std::string &S) {
+  std::istringstream In(S);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Pos = Line.find_first_not_of(" \t\r");
+    if (Pos != std::string::npos && Line[Pos] != ';')
+      return true;
+  }
+  return false;
+}
+
+std::vector<Chunk> splitCorpus(const std::string &Text) {
+  std::vector<Chunk> Chunks;
+  Chunk Cur;
+  bool CurHasHeader = false;
+  unsigned LineNo = 0;
+
+  auto Flush = [&] {
+    if (hasContent(Cur.Text)) {
+      if (Cur.Label.empty())
+        Cur.Label = "<line " + std::to_string(Cur.FirstLine) + ">";
+      Chunks.push_back(Cur);
+    }
+    Cur = Chunk();
+    Cur.FirstLine = LineNo + 1;
+    CurHasHeader = false;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    bool IsHeader = Line.rfind("Name:", 0) == 0;
+    if (IsHeader) {
+      // A new header always opens a new chunk; comments and blank lines
+      // seen since the last transformation travel with the new one.
+      if (CurHasHeader || hasContent(Cur.Text))
+        Flush();
+      CurHasHeader = true;
+      std::string Name = Line.substr(5);
+      size_t B = Name.find_first_not_of(" \t");
+      Cur.Label = B == std::string::npos ? Name : Name.substr(B);
+      if (Cur.Text.empty())
+        Cur.FirstLine = LineNo + 1;
+    }
+    Cur.Text += Line + "\n";
+    ++LineNo;
+  }
+  Flush();
+  return Chunks;
+}
+
+/// Per-transformation outcome category for the batch summary.
+enum class Outcome { Correct, Incorrect, Unknown, Faulted };
+
+struct Tally {
+  unsigned Count[4] = {0, 0, 0, 0};
+  unsigned UnknownBy[smt::NumUnknownReasons] = {};
+  uint64_t Discharged = 0;  ///< queries the static pre-filter proved away
+  smt::SolverStats Solver;  ///< aggregate solver accounting for the batch
+  bool Cancelled = false;
+
+  void add(Outcome O) { ++Count[static_cast<unsigned>(O)]; }
+  unsigned of(Outcome O) const { return Count[static_cast<unsigned>(O)]; }
+
+  int exitCode() const {
+    if (of(Outcome::Incorrect))
+      return 1;
+    if (of(Outcome::Faulted))
+      return 4;
+    if (of(Outcome::Unknown))
+      return 3;
+    return 0;
+  }
+};
+
+/// One unit of batch work: a parsed transformation, or a parse error
+/// standing in for the region that failed.
+struct WorkItem {
+  std::string Label;
+  std::unique_ptr<ir::Transform> T; ///< null when parsing failed
+  std::string ParseError;
+  std::string LintErr; ///< pre-formatted lint warnings (verify mode stderr)
+};
+
+/// Parse errors read "line L:C: msg"; reshape to "file:L:C: severity: msg"
+/// so editors can jump to them. Falls back to prefixing the path.
+std::string locatedMessage(const std::string &Path, const char *Severity,
+                           const std::string &Msg) {
+  unsigned L = 0, C = 0;
+  int Consumed = 0;
+  if (std::sscanf(Msg.c_str(), "line %u:%u:%n", &L, &C, &Consumed) == 2 &&
+      Consumed > 0) {
+    std::string Rest = Msg.substr(static_cast<size_t>(Consumed));
+    if (!Rest.empty() && Rest[0] == ' ')
+      Rest.erase(0, 1);
+    return format("%s:%u:%u: %s: %s", Path.c_str(), L, C, Severity,
+                  Rest.c_str());
+  }
+  return format("%s: %s: %s", Path.c_str(), Severity, Msg.c_str());
+}
+
+/// Formats \p T's lint diagnostics as "file:line:col: warning: ..." lines.
+std::string lintReport(const std::string &Path, const ir::Transform &T) {
+  std::string Out;
+  for (const analysis::LintDiagnostic &D : analysis::lintTransform(T))
+    Out += format("%s:%u:%u: warning: %s [%s]\n", Path.c_str(), D.Loc.Line,
+                  D.Loc.Col, D.Message.c_str(),
+                  analysis::lintKindName(D.Kind));
+  return Out;
+}
+
+/// A worker's result for one item, formatted but not yet printed.
+struct ItemResult {
+  Outcome O = Outcome::Correct;
+  smt::UnknownReason Why = smt::UnknownReason::None;
+  std::string Out;           ///< stdout payload (status line / report)
+  std::string Err;           ///< stderr payload (codegen/lint diagnostics)
+  uint64_t Discharged = 0;   ///< queries skipped by the static pre-filter
+  smt::SolverStats Stats;    ///< this item's solver accounting
+  bool EmitCodegen = false;  ///< verified correct in codegen mode
+  bool FromStore = false;    ///< whole report replayed from the store
+  bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
+  bool Done = false;
+};
+
+/// Renders a verification result exactly as alivec prints it — shared
+/// between fresh runs and store replays so the bytes cannot drift.
+void renderVerify(const std::string &Name, const VerifyResult &VR,
+                  ItemResult &R) {
+  R.Discharged = VR.Stats.StaticallyDischarged;
+  switch (VR.V) {
+  case Verdict::Correct:
+    R.Out = format("%-32s correct (%u type assignments, %u queries)\n",
+                   Name.c_str(), VR.NumTypeAssignments, VR.NumQueries);
+    break;
+  case Verdict::Incorrect:
+    R.O = Outcome::Incorrect;
+    R.Out = format("%-32s INCORRECT\n%s\n", Name.c_str(),
+                   VR.CEX ? VR.CEX->str().c_str() : "");
+    break;
+  case Verdict::Unknown:
+    R.O = Outcome::Unknown;
+    R.Why = VR.WhyUnknown;
+    R.Out = format("%-32s unknown: %s\n", Name.c_str(), VR.Message.c_str());
+    break;
+  case Verdict::TypeError:
+  case Verdict::EncodeError:
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s ERROR: %s\n", Name.c_str(), VR.Message.c_str());
+    break;
+  }
+}
+
+void renderInfer(const std::string &Name, const AttrInferenceResult &IR,
+                 ItemResult &R) {
+  R.Discharged = IR.StaticallyDischarged;
+  if (!IR.Feasible) {
+    R.O = IR.WhyUnknown != smt::UnknownReason::None ? Outcome::Unknown
+                                                    : Outcome::Incorrect;
+    R.Why = IR.WhyUnknown;
+    R.Out = format("%-32s infeasible: %s\n", Name.c_str(),
+                   IR.Message.c_str());
+  } else {
+    R.Out = format("%s:\n", Name.c_str());
+    for (const auto &[I, Flags] : IR.SrcFlags)
+      R.Out += format("  source %-8s needs%s\n", I.c_str(),
+                      flagsToString(Flags).c_str());
+    for (const auto &[I, Flags] : IR.TgtFlags)
+      R.Out += format("  target %-8s may carry%s\n", I.c_str(),
+                      flagsToString(Flags).c_str());
+  }
+}
+
+void renderCodegenVerdict(const std::string &Name, const VerifyResult &VR,
+                          ItemResult &R) {
+  R.Discharged = VR.Stats.StaticallyDischarged;
+  if (!VR.isCorrect()) {
+    R.O = VR.V == Verdict::Incorrect ? Outcome::Incorrect
+          : VR.V == Verdict::Unknown ? Outcome::Unknown
+                                     : Outcome::Faulted;
+    R.Why = VR.WhyUnknown;
+    R.Err = format("// %s failed verification; no code generated\n",
+                   Name.c_str());
+  } else {
+    R.EmitCodegen = true;
+  }
+}
+
+/// Runs one transformation through \p Mode. Pure function of the item and
+/// config: safe to call from any worker thread. When a store is attached,
+/// verify/infer/codegen first try a whole-report replay — codegen shares
+/// the "verify" key, since it needs the same verdict. Codegen emission
+/// itself is deferred to the printer so apply_N numbering follows input
+/// order.
+ItemResult processItem(const std::string &Mode, const WorkItem &Item,
+                       const VerifyConfig &Cfg, ResultStore *Store) {
+  ItemResult R;
+  const std::string &Name = Item.Label;
+  if (!Item.T) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s PARSE ERROR: %s\n", Name.c_str(),
+                   Item.ParseError.c_str());
+    return R;
+  }
+  try {
+    if (Mode == "print") {
+      R.Out = format("%s\n", Item.T->str().c_str());
+    } else if (Mode == "verify" || Mode == "codegen") {
+      if (Mode == "verify")
+        R.Err = Item.LintErr;
+      std::string Key, Bytes;
+      if (Store) {
+        Key = reportKey(*Item.T, Cfg, "verify");
+        if (Store->lookupReport(Key, Bytes)) {
+          if (auto VR = deserializeVerifyResult(Bytes)) {
+            R.FromStore = true;
+            if (Mode == "verify")
+              renderVerify(Name, *VR, R);
+            else
+              renderCodegenVerdict(Name, *VR, R);
+            return R;
+          }
+        }
+      }
+      VerifyResult VR = verify(*Item.T, Cfg);
+      R.Stats = VR.Stats;
+      if (Mode == "verify")
+        renderVerify(Name, VR, R);
+      else
+        renderCodegenVerdict(Name, VR, R);
+      if (Store)
+        if (auto Ser = serializeVerifyResult(VR))
+          Store->insertReport(Key, *Ser);
+    } else if (Mode == "infer") {
+      std::string Key, Bytes;
+      if (Store) {
+        Key = reportKey(*Item.T, Cfg, "infer");
+        if (Store->lookupReport(Key, Bytes)) {
+          if (auto IR = deserializeAttrResult(Bytes)) {
+            R.FromStore = true;
+            renderInfer(Name, *IR, R);
+            return R;
+          }
+        }
+      }
+      AttrInferenceResult IR = inferAttributes(*Item.T, Cfg);
+      R.Stats = IR.Stats;
+      renderInfer(Name, IR, R);
+      if (Store)
+        if (auto Ser = serializeAttrResult(IR))
+          Store->insertReport(Key, *Ser);
+    }
+  } catch (const std::exception &Ex) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s INTERNAL ERROR: %s\n", Name.c_str(), Ex.what());
+  } catch (...) {
+    R.O = Outcome::Faulted;
+    R.Out = format("%-32s INTERNAL ERROR: unknown exception\n", Name.c_str());
+  }
+  return R;
+}
+
+BatchOutcome runLint(const std::string &Path, const std::string &Text) {
+  // No solver, no worker pool: parse each region leniently (so defects
+  // finalize() would reject still get located diagnostics) and print
+  // everything the analysis flags.
+  BatchOutcome Res;
+  unsigned NumDiags = 0;
+  for (Chunk &C : splitCorpus(Text)) {
+    parser::ParseOptions PO;
+    PO.FirstLine = C.FirstLine;
+    PO.Lenient = true;
+    auto Parsed = parser::parseTransforms(C.Text, PO);
+    if (!Parsed.ok()) {
+      ++NumDiags;
+      Res.Out +=
+          locatedMessage(Path, "error", Parsed.message()) + " [parse-error]\n";
+      continue;
+    }
+    for (auto &T : Parsed.get()) {
+      std::string Report = lintReport(Path, *T);
+      NumDiags += Report.empty() ? 0 : 1;
+      Res.Out += Report;
+    }
+  }
+  Res.Exit = NumDiags ? 1 : 0;
+  return Res;
+}
+
+bool parseNumOpt(const std::string &Text, uint64_t &Out) {
+  try {
+    size_t Used = 0;
+    Out = std::stoull(Text, &Used);
+    return Used == Text.size();
+  } catch (const std::exception &) {
+    return false;
+  }
+}
+
+} // namespace
+
+Result<BatchOptions>
+service::parseBatchOptions(const std::string &Mode,
+                           const std::vector<std::string> &Opts) {
+  BatchOptions O;
+  O.Mode = Mode;
+  if (O.Mode != "verify" && O.Mode != "infer" && O.Mode != "codegen" &&
+      O.Mode != "print" && O.Mode != "lint")
+    return Result<BatchOptions>::error("unknown mode '" + Mode + "'");
+  O.Cfg.Types.Widths = {4, 8};
+
+  auto Num = [](const std::string &Opt, const std::string &Text,
+                uint64_t &Out) -> Status {
+    if (parseNumOpt(Text, Out))
+      return Status::success();
+    return Status::error("error: " + Opt + " expects a number, got '" +
+                         Text + "'");
+  };
+
+  for (const std::string &Arg : Opts) {
+    uint64_t N = 0;
+    if (Arg.rfind("--widths=", 0) == 0) {
+      O.Cfg.Types.Widths.clear();
+      std::stringstream SS(Arg.substr(9));
+      std::string W;
+      while (std::getline(SS, W, ',')) {
+        if (Status S = Num("--widths", W, N); !S.ok())
+          return S;
+        O.Cfg.Types.Widths.push_back(static_cast<unsigned>(N));
+      }
+      if (O.Cfg.Types.Widths.empty())
+        return Result<BatchOptions>::error(
+            "error: --widths needs at least one width");
+    } else if (Arg == "--backend=z3") {
+      O.Cfg.Backend = BackendKind::Z3;
+    } else if (Arg == "--backend=bitblast") {
+      O.Cfg.Backend = BackendKind::BitBlast;
+    } else if (Arg == "--backend=hybrid") {
+      O.Cfg.Backend = BackendKind::Hybrid;
+    } else if (Arg == "--memory=array") {
+      O.Cfg.Encoding.Memory = semantics::MemoryEncoding::ArrayTheory;
+    } else if (Arg == "--memory=ite") {
+      O.Cfg.Encoding.Memory = semantics::MemoryEncoding::EagerIte;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (Status S = Num("--jobs", Arg.substr(7), N); !S.ok())
+        return S;
+      if (!N)
+        return Result<BatchOptions>::error(
+            "error: --jobs needs at least one worker");
+      O.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (Status S = Num("--deadline-ms", Arg.substr(14), N); !S.ok())
+        return S;
+      O.Cfg.Limits.DeadlineMs = static_cast<unsigned>(N);
+      O.Cfg.TimeoutMs = O.Cfg.Limits.DeadlineMs;
+    } else if (Arg.rfind("--conflicts=", 0) == 0) {
+      if (Status S = Num("--conflicts", Arg.substr(12), N); !S.ok())
+        return S;
+      O.Cfg.Limits.ConflictBudget = N;
+    } else if (Arg.rfind("--max-learned-mb=", 0) == 0) {
+      if (Status S = Num("--max-learned-mb", Arg.substr(17), N); !S.ok())
+        return S;
+      O.Cfg.Limits.LearnedBytesBudget = N * 1024 * 1024;
+    } else if (Arg == "--fail-fast") {
+      O.FailFast = true;
+    } else if (Arg == "--no-cache") {
+      O.UseCache = false;
+    } else if (Arg == "--cache-stats") {
+      O.PrintCacheStats = true;
+    } else if (Arg == "--lint") {
+      O.Mode = "lint";
+    } else if (Arg == "--no-static-filter") {
+      O.Cfg.StaticFilter = false;
+    } else if (Arg == "--no-incremental") {
+      O.Cfg.Incremental = false;
+    } else if (Arg.rfind("--store=", 0) == 0) {
+      O.StoreDir = Arg.substr(8);
+      if (O.StoreDir.empty())
+        return Result<BatchOptions>::error(
+            "error: --store needs a directory");
+    } else if (Arg.rfind("--remote=", 0) == 0) {
+      O.Remote = Arg.substr(9);
+      if (O.Remote.empty())
+        return Result<BatchOptions>::error(
+            "error: --remote needs a socket address");
+    } else {
+      return Result<BatchOptions>::error("unknown option " + Arg);
+    }
+  }
+  return O;
+}
+
+BatchOutcome service::runBatch(const BatchOptions &Opts,
+                               const std::string &Path,
+                               const std::string &Text,
+                               std::shared_ptr<ResultStore> Store,
+                               smt::Cancellation *Cancel) {
+  const std::string &Mode = Opts.Mode;
+  if (Mode == "lint")
+    return runLint(Path, Text);
+
+  BatchOutcome Res;
+  VerifyConfig Cfg = Opts.Cfg;
+  Cfg.Limits.Cancel = Cancel;
+  unsigned Jobs =
+      Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultConcurrency();
+
+  std::shared_ptr<smt::QueryCache> Cache;
+  if (Opts.UseCache) {
+    Cache = std::make_shared<smt::QueryCache>();
+    Cfg.Cache = Cache;
+  }
+  Cfg.Store = Store; // query-level tier; report tier is handled here
+
+  // Flatten the fault-isolated chunks into one ordered work list. Chunks
+  // carry their absolute first line so parse errors and lint warnings
+  // point into the file, not into the chunk.
+  std::vector<WorkItem> Items;
+  for (Chunk &C : splitCorpus(Text)) {
+    parser::ParseOptions PO;
+    PO.FirstLine = C.FirstLine;
+    auto Parsed = parser::parseTransforms(C.Text, PO);
+    if (!Parsed.ok()) {
+      WorkItem W;
+      W.Label = C.Label;
+      W.ParseError = Parsed.message();
+      Items.push_back(std::move(W));
+      continue;
+    }
+    for (auto &T : Parsed.get()) {
+      WorkItem W;
+      W.Label = T->Name.empty() ? C.Label : T->Name;
+      if (Mode == "verify")
+        W.LintErr = lintReport(Path, *T);
+      W.T = std::move(T);
+      Items.push_back(std::move(W));
+    }
+  }
+
+  // A single transformation cannot be sharded across the batch pool, but
+  // its type assignments and refinement conditions can: hand the workers
+  // to the verifier instead.
+  if (Items.size() <= 1 && Jobs > 1) {
+    Cfg.Jobs = Jobs;
+    Jobs = 1;
+  }
+
+  Tally Sum;
+  unsigned Emitted = 0;
+  const auto BatchStart = std::chrono::steady_clock::now();
+
+  auto Finish = [&](unsigned Total) {
+    const double Ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - BatchStart)
+            .count();
+    Res.Out += format("---- batch summary: %u transforms | %u correct | "
+                      "%u incorrect | %u unknown | %u faulted | %.1f ms "
+                      "----\n",
+                      Total, Sum.of(Outcome::Correct),
+                      Sum.of(Outcome::Incorrect), Sum.of(Outcome::Unknown),
+                      Sum.of(Outcome::Faulted), Ms);
+    if (Sum.of(Outcome::Unknown)) {
+      Res.Out += format("     unknown reasons:");
+      for (unsigned I = 0; I != smt::NumUnknownReasons; ++I)
+        if (Sum.UnknownBy[I])
+          Res.Out += format(" %s=%u",
+                            smt::unknownReasonName(
+                                static_cast<smt::UnknownReason>(I)),
+                            Sum.UnknownBy[I]);
+      Res.Out += "\n";
+    }
+    if (Sum.Solver.Queries || Sum.Solver.IncrementalReuses ||
+        Sum.Solver.CacheHits || Sum.Solver.StoreHits)
+      Res.Out += format(
+          "     solver: %llu cold queries | %llu incremental reuses "
+          "| %llu cache hits | %llu store hits | %llu cold starts\n",
+          static_cast<unsigned long long>(Sum.Solver.Queries),
+          static_cast<unsigned long long>(Sum.Solver.IncrementalReuses),
+          static_cast<unsigned long long>(Sum.Solver.CacheHits),
+          static_cast<unsigned long long>(Sum.Solver.StoreHits),
+          static_cast<unsigned long long>(Sum.Solver.ColdStarts));
+    if (Opts.PrintCacheStats && Cache)
+      Res.Out += format("     query cache: %s\n", Cache->stats().str().c_str());
+    if (Opts.PrintCacheStats && Store)
+      Res.Out += format(
+          "     result store: %llu report hits | %llu report misses | "
+          "%llu entries\n",
+          static_cast<unsigned long long>(Res.ReportHits),
+          static_cast<unsigned long long>(Res.ReportMisses),
+          static_cast<unsigned long long>(Store->stats().QueryEntries +
+                                          Store->stats().ReportEntries));
+    if (Sum.Discharged)
+      Res.Out += format("     static filter: %llu queries discharged\n",
+                        static_cast<unsigned long long>(Sum.Discharged));
+    if (Sum.Cancelled)
+      Res.Out += format("     run cancelled by SIGINT; remaining transforms "
+                        "skipped\n");
+    Res.Exit = Sum.exitCode();
+    Res.Solver = Sum.Solver;
+    return Res;
+  };
+
+  // Historically print mode skips the batch summary on normal completion
+  // (but not on a fail-fast early return).
+  auto FinishFinal = [&](unsigned Total) {
+    if (Mode == "print") {
+      Res.Exit = Sum.of(Outcome::Faulted) ? 4 : 0;
+      Res.Solver = Sum.Solver;
+      return Res;
+    }
+    return Finish(Total);
+  };
+
+  // Folds one finished result into the report and tally; returns false
+  // when the batch should stop (fail-fast).
+  auto Emit = [&](ItemResult &R, const WorkItem &Item) {
+    Res.Out += R.Out;
+    Res.Err += R.Err;
+    if (R.EmitCodegen) {
+      auto Cpp = codegen::emitCppFunction(*Item.T,
+                                          "apply_" + std::to_string(++Emitted));
+      if (Cpp.ok())
+        Res.Out += format("%s\n", Cpp.get().c_str());
+      else {
+        R.O = Outcome::Faulted;
+        Res.Err += format("// %s: %s\n", Item.Label.c_str(),
+                          Cpp.message().c_str());
+      }
+    }
+    if (R.O == Outcome::Unknown)
+      ++Sum.UnknownBy[static_cast<unsigned>(R.Why)];
+    Sum.Discharged += R.Discharged;
+    Sum.Solver.merge(R.Stats);
+    Sum.add(R.O);
+    if (Store && Item.T && Mode != "print")
+      (R.FromStore ? Res.ReportHits : Res.ReportMisses) += 1;
+    return !(Opts.FailFast && R.O != Outcome::Correct);
+  };
+
+  auto IsCancelled = [&] { return Cancel && Cancel->isCancelled(); };
+
+  unsigned Total = 0;
+
+  if (Jobs <= 1) {
+    // Serial path: compute and print one item at a time, lazily — exactly
+    // the historical behavior (fail-fast and SIGINT stop further work).
+    for (const WorkItem &Item : Items) {
+      if (IsCancelled()) {
+        Sum.Cancelled = true;
+        break;
+      }
+      ++Total;
+      ItemResult R = processItem(Mode, Item, Cfg, Store.get());
+      if (!Emit(R, Item))
+        return Finish(Total);
+    }
+    return FinishFinal(Total);
+  }
+
+  // Parallel path: a worker pool computes results out of order; the main
+  // thread prints them strictly in input order, so the report is identical
+  // to a serial run. Workers check the stop/cancel flags at job start, so
+  // fail-fast and SIGINT drop not-yet-started work.
+  std::vector<ItemResult> Results(Items.size());
+  std::mutex ResultsMutex;
+  std::condition_variable ResultsCV;
+  std::atomic<bool> Stop{false};
+  bool FailedFast = false;
+
+  support::ThreadPool Pool(Jobs);
+  for (size_t I = 0; I != Items.size(); ++I) {
+    Pool.submit([&, I] {
+      ItemResult R;
+      if (Stop.load(std::memory_order_acquire) || IsCancelled())
+        R.Skipped = true;
+      else
+        R = processItem(Mode, Items[I], Cfg, Store.get());
+      {
+        std::lock_guard<std::mutex> L(ResultsMutex);
+        Results[I] = std::move(R);
+        Results[I].Done = true;
+      }
+      ResultsCV.notify_all();
+    });
+  }
+
+  for (size_t I = 0; I != Items.size(); ++I) {
+    {
+      std::unique_lock<std::mutex> L(ResultsMutex);
+      ResultsCV.wait(L, [&] { return Results[I].Done; });
+    }
+    if (Results[I].Skipped) {
+      if (IsCancelled())
+        Sum.Cancelled = true;
+      break;
+    }
+    ++Total;
+    if (!Emit(Results[I], Items[I])) {
+      FailedFast = true;
+      Stop.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  Stop.store(true, std::memory_order_release);
+  Pool.cancelPending();
+  Pool.wait();
+  return FailedFast ? Finish(Total) : FinishFinal(Total);
+}

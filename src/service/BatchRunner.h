@@ -1,0 +1,82 @@
+//===- service/BatchRunner.h - reusable alivec batch pipeline ---*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alivec batch pipeline as a library: option parsing, corpus
+/// splitting, fault-isolated per-transformation processing (serial or via
+/// a worker pool, printed strictly in input order), and the batch summary,
+/// all writing into strings instead of stdio. The alivec tool and the
+/// alived server are both thin shells over runBatch(), which is what makes
+/// `alivec --remote` byte-identical to a local run: the daemon executes
+/// the very same code over the very same reparsed options.
+///
+/// When a persistent ResultStore is attached, verify/infer/codegen items
+/// are short-circuited through whole-report lookups (verifier/ReportIO)
+/// before any solver work, and definitive reports are written back on
+/// completion — a warm store replays a full corpus without issuing a
+/// single cold solver query. Query-level verdicts additionally flow
+/// through the store via VerifyConfig::Store for partial reuse when the
+/// whole report misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_BATCHRUNNER_H
+#define ALIVE_SERVICE_BATCHRUNNER_H
+
+#include "service/ResultStore.h"
+#include "support/Status.h"
+#include "verifier/Verifier.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace service {
+
+/// Everything `alivec <mode> [options]` configures, parsed and validated.
+struct BatchOptions {
+  std::string Mode; ///< verify | infer | codegen | print | lint
+  verifier::VerifyConfig Cfg;
+  bool FailFast = false;
+  bool UseCache = true;
+  bool PrintCacheStats = false;
+  unsigned Jobs = 0; ///< 0 = hardware concurrency (resolved by caller)
+  std::string StoreDir; ///< --store=DIR; the caller opens the store
+  std::string Remote;   ///< --remote=SOCK; consumed by the client shell
+};
+
+/// Parses alivec option strings (everything but the mode word and file
+/// path). Unknown options and malformed numbers are errors (the CLI maps
+/// them to exit code 2). The server calls this on the forwarded `opts`
+/// array, so client and server agree on semantics by construction.
+Result<BatchOptions> parseBatchOptions(const std::string &Mode,
+                                       const std::vector<std::string> &Opts);
+
+/// A finished batch: the exact bytes alivec would have printed, plus the
+/// aggregate accounting the service folds into its metrics.
+struct BatchOutcome {
+  int Exit = 0;
+  std::string Out;
+  std::string Err;
+  smt::SolverStats Solver; ///< batch-aggregate solver accounting
+  uint64_t ReportHits = 0;   ///< whole reports replayed from the store
+  uint64_t ReportMisses = 0; ///< items that had to be computed
+};
+
+/// Runs one corpus through the batch pipeline. \p Path is the display name
+/// used in diagnostics; \p Text is the corpus content. \p Store may be
+/// null (no persistent tier). \p Cancel may be null; when set it is polled
+/// cooperatively exactly like alivec's SIGINT handler.
+BatchOutcome runBatch(const BatchOptions &Opts, const std::string &Path,
+                      const std::string &Text,
+                      std::shared_ptr<ResultStore> Store,
+                      smt::Cancellation *Cancel);
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_BATCHRUNNER_H

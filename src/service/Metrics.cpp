@@ -1,0 +1,114 @@
+//===- service/Metrics.cpp - service observability registry ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace alive;
+using namespace alive::service;
+using support::json::Value;
+
+const std::vector<double> &Histogram::defaultBoundsMs() {
+  static const std::vector<double> Bounds = {1,   2,    5,    10,   20,
+                                             50,  100,  200,  500,  1000,
+                                             2000, 5000, 10000};
+  return Bounds;
+}
+
+Histogram::Histogram(std::vector<double> BoundsMs)
+    : Bounds(std::move(BoundsMs)), Buckets(Bounds.size() + 1) {}
+
+void Histogram::observe(double Ms) {
+  size_t I = std::lower_bound(Bounds.begin(), Bounds.end(), Ms) -
+             Bounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  SumUs.fetch_add(static_cast<uint64_t>(std::max(0.0, Ms) * 1000.0),
+                  std::memory_order_relaxed);
+}
+
+double Histogram::sumMs() const {
+  return static_cast<double>(SumUs.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+double Histogram::quantileMs(double Q) const {
+  uint64_t Total = N.load(std::memory_order_relaxed);
+  if (Total == 0)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * Total));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I != Buckets.size(); ++I) {
+    Seen += Buckets[I].load(std::memory_order_relaxed);
+    if (Seen >= Rank)
+      return I < Bounds.size() ? Bounds[I] : Bounds.back() * 2;
+  }
+  return Bounds.back() * 2;
+}
+
+Value Histogram::snapshot() const {
+  Value O = Value::object();
+  O.set("count", Value(count()));
+  O.set("sum_ms", Value(sumMs()));
+  Value BucketArr = Value::array();
+  for (size_t I = 0; I != Buckets.size(); ++I) {
+    Value B = Value::object();
+    B.set("le_ms", I < Bounds.size() ? Value(Bounds[I])
+                                     : Value(std::string("inf")));
+    B.set("n", Value(Buckets[I].load(std::memory_order_relaxed)));
+    BucketArr.push(std::move(B));
+  }
+  O.set("buckets", std::move(BucketArr));
+  O.set("p50_ms", Value(quantileMs(0.50)));
+  O.set("p90_ms", Value(quantileMs(0.90)));
+  O.set("p99_ms", Value(quantileMs(0.99)));
+  return O;
+}
+
+Counter &Metrics::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Metrics::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Metrics::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+Value Metrics::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  Value Root = Value::object();
+  Value C = Value::object();
+  for (const auto &[Name, Ctr] : Counters)
+    C.set(Name, Value(Ctr->value()));
+  Root.set("counters", std::move(C));
+  Value G = Value::object();
+  for (const auto &[Name, Gg] : Gauges)
+    G.set(Name, Value(Gg->value()));
+  Root.set("gauges", std::move(G));
+  Value H = Value::object();
+  for (const auto &[Name, Hist] : Histograms)
+    H.set(Name, Hist->snapshot());
+  Root.set("histograms", std::move(H));
+  return Root;
+}

@@ -1,0 +1,106 @@
+//===- service/Metrics.h - service observability registry -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight metrics for the verification service: named counters,
+/// gauges, and fixed-bucket latency histograms, all lock-free on the hot
+/// path (each instrument is a std::atomic the caller holds a reference
+/// to). The registry renders a deterministic JSON snapshot for the `stats`
+/// protocol verb and the --metrics-dump file.
+///
+/// Instruments are created up front (registration takes a lock) and then
+/// touched without one; names are sorted in the snapshot so two dumps of
+/// the same state are byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_METRICS_H
+#define ALIVE_SERVICE_METRICS_H
+
+#include "support/JSON.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace service {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Point-in-time level (queue depth, active connections).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Latency histogram over fixed millisecond buckets. Buckets are
+/// cumulative-friendly: observe() lands a sample in the first bucket whose
+/// upper bound is >= the sample; the last bucket is unbounded.
+class Histogram {
+public:
+  /// Upper bounds in milliseconds: 1, 2, 5, 10, ..., 10000, +inf.
+  static const std::vector<double> &defaultBoundsMs();
+
+  explicit Histogram(std::vector<double> BoundsMs = defaultBoundsMs());
+
+  void observe(double Ms);
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sumMs() const;
+
+  /// Approximate quantile (0 <= Q <= 1) from the bucket counts: returns
+  /// the upper bound of the bucket holding the Q-th sample.
+  double quantileMs(double Q) const;
+
+  support::json::Value snapshot() const;
+
+private:
+  std::vector<double> Bounds; ///< ascending; implicit +inf after the last
+  std::vector<std::atomic<uint64_t>> Buckets; ///< Bounds.size() + 1 slots
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> SumUs{0}; ///< integral microseconds, atomic-friendly
+};
+
+/// Registry of named instruments. Register once, touch lock-free.
+class Metrics {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with all
+  /// names sorted (std::map iteration order).
+  support::json::Value snapshot() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_METRICS_H

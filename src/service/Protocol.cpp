@@ -1,0 +1,179 @@
+//===- service/Protocol.cpp - alived wire protocol ------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+using support::json::Value;
+
+namespace {
+
+Status writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead of
+    // killing the process, so the library works regardless of the host's
+    // SIGPIPE disposition (the in-process server and tests set none).
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(std::string("socket write: ") +
+                           std::strerror(errno));
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+/// Reads exactly \p Len bytes. \p AtStart lets the caller treat EOF on the
+/// first byte as a clean close rather than a torn frame.
+Status readAll(int Fd, char *Data, size_t Len, bool AtStart, bool &SawEof) {
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(Fd, Data + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(std::string("socket read: ") +
+                           std::strerror(errno));
+    }
+    if (N == 0) {
+      SawEof = true;
+      if (AtStart && Got == 0)
+        return Status::success();
+      return Status::error("connection closed mid-frame");
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Status service::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return Status::error("frame exceeds 64 MB limit");
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Hdr[4] = {static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
+                 static_cast<char>(Len >> 8), static_cast<char>(Len)};
+  if (Status S = writeAll(Fd, Hdr, 4); !S.ok())
+    return S;
+  return writeAll(Fd, Payload.data(), Payload.size());
+}
+
+Status service::readFrame(int Fd, std::string &Payload, bool &SawEof) {
+  SawEof = false;
+  char Hdr[4];
+  if (Status S = readAll(Fd, Hdr, 4, /*AtStart=*/true, SawEof); !S.ok())
+    return S;
+  if (SawEof) {
+    Payload.clear();
+    return Status::success();
+  }
+  uint32_t Len = (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[0])) << 24) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[1])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[2])) << 8) |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Hdr[3]));
+  if (Len > MaxFrameBytes)
+    return Status::error("peer announced oversize frame (" +
+                         std::to_string(Len) + " bytes)");
+  Payload.assign(Len, '\0');
+  if (Len == 0)
+    return Status::success();
+  return readAll(Fd, Payload.data(), Len, /*AtStart=*/false, SawEof);
+}
+
+Status service::writeMessage(int Fd, const Value &V) {
+  return writeFrame(Fd, V.str());
+}
+
+Result<Value> service::readMessage(int Fd, bool &SawEof) {
+  std::string Payload;
+  if (Status S = readFrame(Fd, Payload, SawEof); !S.ok())
+    return S;
+  if (SawEof)
+    return Value(); // callers check SawEof before touching the value
+  return support::json::parse(Payload);
+}
+
+Value Request::toJson() const {
+  Value O = Value::object();
+  O.set("id", Value(Id));
+  O.set("verb", Value(Verb));
+  if (!Path.empty())
+    O.set("path", Value(Path));
+  if (!Text.empty())
+    O.set("text", Value(Text));
+  if (!Opts.empty()) {
+    Value A = Value::array();
+    for (const std::string &Opt : Opts)
+      A.push(Value(Opt));
+    O.set("opts", std::move(A));
+  }
+  return O;
+}
+
+Result<Request> Request::fromJson(const Value &V) {
+  if (!V.isObject())
+    return Result<Request>::error("request is not a JSON object");
+  Request R;
+  R.Id = V.get("id").asUInt();
+  const Value &Verb = V.get("verb");
+  if (!Verb.isString() || Verb.asString().empty())
+    return Result<Request>::error("request has no \"verb\"");
+  R.Verb = Verb.asString();
+  R.Path = V.get("path").asString();
+  R.Text = V.get("text").asString();
+  const Value &Opts = V.get("opts");
+  if (!Opts.isNull() && !Opts.isArray())
+    return Result<Request>::error("request \"opts\" is not an array");
+  for (const Value &Opt : Opts.elements()) {
+    if (!Opt.isString())
+      return Result<Request>::error("request option is not a string");
+    R.Opts.push_back(Opt.asString());
+  }
+  return R;
+}
+
+Value Response::toJson() const {
+  Value O = Value::object();
+  O.set("id", Value(Id));
+  O.set("status", Value(StatusStr));
+  O.set("exit", Value(Exit));
+  if (!Out.empty())
+    O.set("out", Value(Out));
+  if (!Err.empty())
+    O.set("err", Value(Err));
+  if (!Stats.isNull())
+    O.set("stats", Stats);
+  return O;
+}
+
+Result<Response> Response::fromJson(const Value &V) {
+  if (!V.isObject())
+    return Result<Response>::error("response is not a JSON object");
+  Response R;
+  R.Id = V.get("id").asUInt();
+  const Value &St = V.get("status");
+  if (!St.isString())
+    return Result<Response>::error("response has no \"status\"");
+  R.StatusStr = St.asString();
+  if (R.StatusStr != "ok" && R.StatusStr != "busy" && R.StatusStr != "error")
+    return Result<Response>::error("response status \"" + R.StatusStr +
+                                   "\" is not ok|busy|error");
+  R.Exit = static_cast<int>(V.get("exit").asInt());
+  R.Out = V.get("out").asString();
+  R.Err = V.get("err").asString();
+  R.Stats = V.get("stats");
+  return R;
+}

@@ -1,0 +1,95 @@
+//===- service/Protocol.h - alived wire protocol ----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alived client/server protocol: length-prefixed JSON frames over a
+/// stream socket.
+///
+/// Framing: each message is a u32 big-endian byte length followed by that
+/// many bytes of compact JSON. Frames above MaxFrameBytes (64 MB) are
+/// rejected — a peer announcing one is broken or hostile, and the
+/// connection is dropped rather than the allocation attempted.
+///
+/// Grammar (all fields optional unless noted):
+///
+///   request  := { "id": uint,          // echoed in the response
+///                 "verb": string,      // required: verify | infer | lint
+///                                      //   | stats | shutdown
+///                 "path": string,      // display name for the input
+///                 "text": string,      // transform corpus text (verify /
+///                                      //   infer / lint)
+///                 "opts": [string...] }// raw alivec option strings; the
+///                                      //   server reparses them with the
+///                                      //   same parser the CLI uses
+///
+///   response := { "id": uint,          // echoed from the request
+///                 "status": string,    // required: ok | busy | error
+///                 "exit": int,         // alivec-compatible exit code
+///                 "out": string,       // verbatim stdout of the run
+///                 "err": string,       // verbatim stderr of the run
+///                 "stats": object }    // stats verb / --cache-stats data
+///
+/// "busy" is the load-shedding reply: the queue was full and the request
+/// was not admitted; the client may retry or fall back to local
+/// verification. Unknown verbs and malformed JSON produce "error".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_PROTOCOL_H
+#define ALIVE_SERVICE_PROTOCOL_H
+
+#include "support/JSON.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace service {
+
+/// Upper bound on a single frame's payload.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+struct Request {
+  uint64_t Id = 0;
+  std::string Verb;
+  std::string Path;
+  std::string Text;
+  std::vector<std::string> Opts;
+
+  support::json::Value toJson() const;
+  /// Fail-closed: missing/mistyped "verb" is an error.
+  static Result<Request> fromJson(const support::json::Value &V);
+};
+
+struct Response {
+  uint64_t Id = 0;
+  std::string StatusStr = "ok"; ///< "ok" | "busy" | "error"
+  int Exit = 0;
+  std::string Out;
+  std::string Err;
+  support::json::Value Stats; ///< null unless the verb produced stats
+
+  support::json::Value toJson() const;
+  static Result<Response> fromJson(const support::json::Value &V);
+};
+
+/// Blocking frame I/O on a connected stream socket. Both retry on EINTR
+/// and handle short reads/writes. readFrame distinguishes clean EOF
+/// (peer closed between frames) via \p SawEof from mid-frame truncation,
+/// which is an error.
+Status writeFrame(int Fd, const std::string &Payload);
+Status readFrame(int Fd, std::string &Payload, bool &SawEof);
+
+/// Frame + JSON composition helpers.
+Status writeMessage(int Fd, const support::json::Value &V);
+Result<support::json::Value> readMessage(int Fd, bool &SawEof);
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_PROTOCOL_H

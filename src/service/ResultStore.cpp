@@ -1,0 +1,384 @@
+//===- service/ResultStore.cpp - persistent verdict/report store ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultStore.h"
+
+#include "support/ByteIO.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::support;
+using namespace alive::service;
+
+namespace {
+
+constexpr char LogMagic[8] = {'A', 'L', 'V', 'S', 'T', 'O', 'R', 'E'};
+constexpr char IdxMagic[8] = {'A', 'L', 'V', 'I', 'N', 'D', 'E', 'X'};
+constexpr uint32_t FormatVersion = 1;
+constexpr size_t HeaderSize = sizeof(LogMagic) + 4;
+/// Records per index snapshot interval: bounds replay work after a crash
+/// without paying a snapshot per insert.
+constexpr uint64_t FlushInterval = 256;
+/// A record longer than this is treated as corruption, not data — keeps a
+/// flipped length field from allocating gigabytes during replay.
+constexpr uint32_t MaxRecordBytes = 1u << 30;
+
+std::string headerBytes() {
+  std::string H(LogMagic, sizeof(LogMagic));
+  appendU32(H, FormatVersion);
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Query-entry value codec
+//===----------------------------------------------------------------------===//
+
+std::string service::encodeQueryEntry(const smt::QueryCache::Entry &E) {
+  std::string Out;
+  appendU8(Out, E.IsSat ? 1 : 0);
+  appendU32(Out, static_cast<uint32_t>(E.Model.size()));
+  for (const smt::QueryCache::ModelBinding &B : E.Model) {
+    appendBytes(Out, B.Name);
+    appendU8(Out, B.IsBool ? 1 : 0);
+    appendU8(Out, B.BoolVal ? 1 : 0);
+    // Bool bindings carry a default-constructed APInt; record width 0.
+    appendU32(Out, B.IsBool ? 0 : B.BVVal.getWidth());
+    appendU64(Out, B.IsBool ? 0 : B.BVVal.getZExtValue());
+  }
+  return Out;
+}
+
+bool service::decodeQueryEntry(std::string_view Bytes,
+                               smt::QueryCache::Entry &Out) {
+  ByteReader R(Bytes);
+  Out.IsSat = R.readU8() != 0;
+  uint32_t N = R.readU32();
+  Out.Model.clear();
+  for (uint32_t I = 0; R.ok() && I != N; ++I) {
+    smt::QueryCache::ModelBinding B;
+    B.Name = std::string(R.readBytes());
+    B.IsBool = R.readU8() != 0;
+    B.BoolVal = R.readU8() != 0;
+    uint32_t Width = R.readU32();
+    uint64_t Value = R.readU64();
+    if (!R.ok())
+      return false;
+    if (!B.IsBool) {
+      if (Width == 0 || Width > 64)
+        return false;
+      B.BVVal = APInt(Width, Value);
+    }
+    Out.Model.push_back(std::move(B));
+  }
+  return R.ok() && R.atEnd();
+}
+
+//===----------------------------------------------------------------------===//
+// Store lifecycle
+//===----------------------------------------------------------------------===//
+
+std::string ResultStore::Stats::str() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "queries: hits=%llu misses=%llu entries=%llu | "
+                "reports: hits=%llu misses=%llu entries=%llu | "
+                "log=%llu bytes, %llu dropped",
+                static_cast<unsigned long long>(QueryHits),
+                static_cast<unsigned long long>(QueryMisses),
+                static_cast<unsigned long long>(QueryEntries),
+                static_cast<unsigned long long>(ReportHits),
+                static_cast<unsigned long long>(ReportMisses),
+                static_cast<unsigned long long>(ReportEntries),
+                static_cast<unsigned long long>(LogBytes),
+                static_cast<unsigned long long>(DroppedRecords));
+  return Buf;
+}
+
+Result<std::unique_ptr<ResultStore>>
+ResultStore::open(const std::string &Dir) {
+  if (Status S = ensureDirectory(Dir); !S.ok())
+    return S;
+  std::unique_ptr<ResultStore> Store(new ResultStore(Dir));
+  if (Status S = Store->openFiles(); !S.ok())
+    return S;
+  uint64_t Covered = 0;
+  if (Status S = Store->loadIndex(Covered); !S.ok()) {
+    // A bad index is recoverable state, not an error: replay everything.
+    Covered = 0;
+    Store->Queries.clear();
+    Store->Reports.clear();
+  }
+  Store->replayLog(Covered);
+  return Result<std::unique_ptr<ResultStore>>(std::move(Store));
+}
+
+ResultStore::~ResultStore() {
+  flush();
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Status ResultStore::openFiles() {
+  std::string LogPath = Dir + "/store.log";
+  Fd = ::open(LogPath.c_str(), O_RDWR | O_CREAT, 0644);
+  if (Fd < 0)
+    return Status::error("cannot open '" + LogPath + "': " +
+                         std::strerror(errno));
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (End < 0)
+    return Status::error("cannot seek '" + LogPath + "'");
+  if (End == 0) {
+    std::string H = headerBytes();
+    if (::write(Fd, H.data(), H.size()) != static_cast<ssize_t>(H.size()))
+      return Status::error("cannot write header of '" + LogPath + "'");
+    End = static_cast<off_t>(H.size());
+  } else if (static_cast<size_t>(End) < HeaderSize) {
+    // A crash before the header finished: start the file over.
+    if (::ftruncate(Fd, 0) != 0 || ::lseek(Fd, 0, SEEK_SET) != 0)
+      return Status::error("cannot reset torn '" + LogPath + "'");
+    std::string H = headerBytes();
+    if (::write(Fd, H.data(), H.size()) != static_cast<ssize_t>(H.size()))
+      return Status::error("cannot write header of '" + LogPath + "'");
+    End = static_cast<off_t>(H.size());
+  } else {
+    char Hdr[HeaderSize];
+    if (::pread(Fd, Hdr, HeaderSize, 0) != static_cast<ssize_t>(HeaderSize) ||
+        std::memcmp(Hdr, LogMagic, sizeof(LogMagic)) != 0)
+      return Status::error("'" + LogPath + "' is not a result-store log");
+    ByteReader R(std::string_view(Hdr + sizeof(LogMagic), 4));
+    if (uint32_t V = R.readU32(); V != FormatVersion)
+      return Status::error("'" + LogPath + "' has unsupported version " +
+                           std::to_string(V));
+  }
+  LogEnd = static_cast<uint64_t>(End);
+  return Status::success();
+}
+
+Status ResultStore::loadIndex(uint64_t &Covered) {
+  Covered = 0;
+  auto Content = readFile(Dir + "/store.idx");
+  if (!Content.ok())
+    return Status::success(); // no snapshot: replay the whole log
+  const std::string &Buf = Content.get();
+  if (Buf.size() < sizeof(IdxMagic) + 4 + 4 ||
+      std::memcmp(Buf.data(), IdxMagic, sizeof(IdxMagic)) != 0)
+    return Status::error("bad index magic");
+  // Trailing CRC covers everything before it.
+  std::string_view Body(Buf.data(), Buf.size() - 4);
+  ByteReader Tail(std::string_view(Buf.data() + Buf.size() - 4, 4));
+  if (crc32(Body) != Tail.readU32())
+    return Status::error("index CRC mismatch");
+
+  ByteReader R(Body);
+  for (size_t I = 0; I != sizeof(IdxMagic); ++I)
+    R.readU8();
+  if (R.readU32() != FormatVersion)
+    return Status::error("index version mismatch");
+  uint64_t CoveredBytes = R.readU64();
+  if (CoveredBytes < HeaderSize || CoveredBytes > LogEnd)
+    return Status::error("index covers unknown log state");
+  uint64_t NumEntries = R.readU64();
+  for (uint64_t I = 0; R.ok() && I != NumEntries; ++I) {
+    uint8_t Kind = R.readU8();
+    std::string Key(R.readBytes());
+    Slot S;
+    S.Offset = R.readU64();
+    S.Len = R.readU32();
+    if (!R.ok() || S.Offset + S.Len > CoveredBytes)
+      return Status::error("index entry out of range");
+    if (Kind == 'Q')
+      Queries[std::move(Key)] = S;
+    else if (Kind == 'R')
+      Reports[std::move(Key)] = S;
+    else
+      return Status::error("index entry of unknown kind");
+  }
+  if (!R.ok() || !R.atEnd())
+    return Status::error("truncated index");
+  Covered = CoveredBytes;
+  IndexedBytes = CoveredBytes;
+  return Status::success();
+}
+
+void ResultStore::replayLog(uint64_t From) {
+  if (From < HeaderSize)
+    From = HeaderSize;
+  uint64_t Pos = From;
+  while (Pos < LogEnd) {
+    char Fixed[8];
+    if (LogEnd - Pos < 8 ||
+        ::pread(Fd, Fixed, 8, static_cast<off_t>(Pos)) != 8)
+      break; // torn fixed header
+    ByteReader FR(std::string_view(Fixed, 8));
+    uint32_t Len = FR.readU32();
+    uint32_t Crc = FR.readU32();
+    if (Len > MaxRecordBytes || LogEnd - Pos - 8 < Len)
+      break; // impossible length or torn payload
+    std::string Payload(Len, '\0');
+    if (Len &&
+        ::pread(Fd, Payload.data(), Len, static_cast<off_t>(Pos + 8)) !=
+            static_cast<ssize_t>(Len))
+      break;
+    if (crc32(Payload) != Crc) {
+      ++Counters.DroppedRecords;
+      break; // corrupted record: everything after it is suspect too
+    }
+    ByteReader R(Payload);
+    uint8_t Kind = R.readU8();
+    std::string Key(R.readBytes());
+    std::string_view Value = R.readBytes();
+    if (!R.ok() || !R.atEnd() || (Kind != 'Q' && Kind != 'R')) {
+      ++Counters.DroppedRecords;
+      break;
+    }
+    Slot S;
+    // Value bytes start after kind byte + key length prefix + key + value
+    // length prefix.
+    S.Offset = Pos + 8 + 1 + 4 + Key.size() + 4;
+    S.Len = static_cast<uint32_t>(Value.size());
+    if (Kind == 'Q')
+      Queries[std::move(Key)] = S;
+    else
+      Reports[std::move(Key)] = S;
+    Pos += 8 + Len;
+  }
+  if (Pos < LogEnd) {
+    // Drop the torn/corrupt tail so future appends start from a clean
+    // record boundary. Failure to truncate is not fatal — the bad tail
+    // will simply be re-detected (and overwritten) next time.
+    if (::ftruncate(Fd, static_cast<off_t>(Pos)) == 0)
+      LogEnd = Pos;
+    else
+      LogEnd = Pos; // append from the validated boundary regardless
+    ++Counters.DroppedRecords;
+  }
+}
+
+Status ResultStore::writeIndexLocked() {
+  std::string Out(IdxMagic, sizeof(IdxMagic));
+  appendU32(Out, FormatVersion);
+  appendU64(Out, LogEnd);
+  appendU64(Out, Queries.size() + Reports.size());
+  auto Append = [&Out](char Kind,
+                       const std::unordered_map<std::string, Slot> &Map) {
+    for (const auto &[Key, S] : Map) {
+      appendU8(Out, static_cast<uint8_t>(Kind));
+      appendBytes(Out, Key);
+      appendU64(Out, S.Offset);
+      appendU32(Out, S.Len);
+    }
+  };
+  Append('Q', Queries);
+  Append('R', Reports);
+  appendU32(Out, crc32(Out));
+  Status S = writeFileAtomic(Dir + "/store.idx", Out);
+  if (S.ok()) {
+    IndexedBytes = LogEnd;
+    UnflushedRecords = 0;
+  }
+  return S;
+}
+
+Status ResultStore::flush() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (IndexedBytes == LogEnd && UnflushedRecords == 0)
+    return Status::success();
+  return writeIndexLocked();
+}
+
+bool ResultStore::readValue(const Slot &S, std::string &Out) const {
+  Out.assign(S.Len, '\0');
+  return S.Len == 0 ||
+         ::pread(Fd, Out.data(), S.Len, static_cast<off_t>(S.Offset)) ==
+             static_cast<ssize_t>(S.Len);
+}
+
+void ResultStore::append(char Kind, const std::string &Key,
+                         std::string_view Value) {
+  std::string Payload;
+  appendU8(Payload, static_cast<uint8_t>(Kind));
+  appendBytes(Payload, Key);
+  appendBytes(Payload, Value);
+  std::string Record;
+  appendU32(Record, static_cast<uint32_t>(Payload.size()));
+  appendU32(Record, crc32(Payload));
+  Record += Payload;
+
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Map = Kind == 'Q' ? Queries : Reports;
+  if (Map.count(Key))
+    return; // first answer wins, same as the in-memory cache
+  if (::pwrite(Fd, Record.data(), Record.size(),
+               static_cast<off_t>(LogEnd)) !=
+      static_cast<ssize_t>(Record.size()))
+    return; // a failed append loses one entry, never corrupts the log
+  Slot S;
+  S.Offset = LogEnd + 8 + 1 + 4 + Key.size() + 4;
+  S.Len = static_cast<uint32_t>(Value.size());
+  LogEnd += Record.size();
+  Map.emplace(Key, S);
+  ++Counters.InsertedRecords;
+  if (++UnflushedRecords >= FlushInterval)
+    writeIndexLocked();
+}
+
+bool ResultStore::lookupQuery(const std::string &Key,
+                              smt::QueryCache::Entry &Out) {
+  std::string Value;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Queries.find(Key);
+    if (It == Queries.end() || !readValue(It->second, Value)) {
+      ++Counters.QueryMisses;
+      return false;
+    }
+  }
+  if (!decodeQueryEntry(Value, Out)) {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Counters.QueryMisses;
+    return false;
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  ++Counters.QueryHits;
+  return true;
+}
+
+void ResultStore::insertQuery(const std::string &Key,
+                              const smt::QueryCache::Entry &E) {
+  append('Q', Key, encodeQueryEntry(E));
+}
+
+bool ResultStore::lookupReport(const std::string &Key, std::string &Out) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Reports.find(Key);
+  if (It == Reports.end() || !readValue(It->second, Out)) {
+    ++Counters.ReportMisses;
+    return false;
+  }
+  ++Counters.ReportHits;
+  return true;
+}
+
+void ResultStore::insertReport(const std::string &Key,
+                               std::string_view Bytes) {
+  append('R', Key, Bytes);
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  Stats S = Counters;
+  S.QueryEntries = Queries.size();
+  S.ReportEntries = Reports.size();
+  S.LogBytes = LogEnd;
+  return S;
+}

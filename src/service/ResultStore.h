@@ -1,0 +1,132 @@
+//===- service/ResultStore.h - persistent verdict/report store --*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable tier of the verification cache hierarchy: a
+/// content-addressed on-disk store holding both solver-query verdicts
+/// (smt::VerdictStore — the same keys and name-keyed model entries as the
+/// in-memory QueryCache) and whole-transform verification reports
+/// (verifier/ReportIO byte images), so a warm service re-serves yesterday's
+/// work instead of re-solving it.
+///
+/// On-disk layout, in the store directory:
+///
+///   store.log — append-only record log:
+///       "ALVSTORE" magic, u32 version, then records of
+///       u32 payload-length | u32 CRC-32(payload) | payload
+///       where payload = u8 kind ('Q' query / 'R' report)
+///                     | u32-prefixed key bytes | u32-prefixed value bytes.
+///   store.idx — crash-recovery snapshot (whole file CRC-checked,
+///       replaced atomically via write-then-rename): the log byte count it
+///       covers plus every key -> (value offset, length) it indexes.
+///
+/// Crash safety: the log is only ever appended; a torn tail (partial
+/// record, bad CRC) is detected on open, truncated away, and counted —
+/// never served. The index is advisory: if missing, stale, or corrupt,
+/// open() falls back to replaying the log from the last covered byte (or
+/// from the header), so the pair (log, idx) survives a crash at any point
+/// with at most the unsynced tail lost. Values are read back via pread on
+/// lookup; only keys and offsets stay resident.
+///
+/// All methods are thread-safe (one mutex — the store sits behind the
+/// in-memory cache tier, so contention is rare by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_RESULTSTORE_H
+#define ALIVE_SERVICE_RESULTSTORE_H
+
+#include "smt/QueryCache.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace alive {
+namespace service {
+
+class ResultStore final : public smt::VerdictStore {
+public:
+  struct Stats {
+    uint64_t QueryHits = 0;
+    uint64_t QueryMisses = 0;
+    uint64_t ReportHits = 0;
+    uint64_t ReportMisses = 0;
+    uint64_t QueryEntries = 0;
+    uint64_t ReportEntries = 0;
+    uint64_t InsertedRecords = 0; ///< appended by this process
+    uint64_t DroppedRecords = 0;  ///< torn/corrupt tail records discarded
+    uint64_t LogBytes = 0;
+
+    /// "queries: hits=.. misses=.. entries=.. | reports: hits=.. ..."
+    std::string str() const;
+  };
+
+  /// Opens (creating if needed) the store in directory \p Dir, recovering
+  /// from any crash-torn state as described above.
+  static Result<std::unique_ptr<ResultStore>> open(const std::string &Dir);
+
+  ~ResultStore() override;
+
+  ResultStore(const ResultStore &) = delete;
+  ResultStore &operator=(const ResultStore &) = delete;
+
+  // smt::VerdictStore — solver-query verdicts.
+  bool lookupQuery(const std::string &Key,
+                   smt::QueryCache::Entry &Out) override;
+  void insertQuery(const std::string &Key,
+                   const smt::QueryCache::Entry &E) override;
+
+  // Whole-transform reports (opaque ReportIO byte images).
+  bool lookupReport(const std::string &Key, std::string &Out);
+  void insertReport(const std::string &Key, std::string_view Bytes);
+
+  /// Rewrites the index snapshot to cover the whole log. Also runs on
+  /// destruction; call explicitly at service checkpoints.
+  Status flush();
+
+  Stats stats() const;
+
+  const std::string &directory() const { return Dir; }
+
+private:
+  explicit ResultStore(std::string Dir) : Dir(std::move(Dir)) {}
+
+  struct Slot {
+    uint64_t Offset = 0; ///< value bytes within store.log
+    uint32_t Len = 0;
+  };
+
+  Status openFiles();
+  Status loadIndex(uint64_t &Covered);
+  void replayLog(uint64_t From);
+  Status writeIndexLocked();
+  bool readValue(const Slot &S, std::string &Out) const;
+  void append(char Kind, const std::string &Key, std::string_view Value);
+
+  std::string Dir;
+  int Fd = -1;
+  uint64_t LogEnd = 0; ///< append position == validated log size
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Slot> Queries;
+  std::unordered_map<std::string, Slot> Reports;
+  uint64_t IndexedBytes = 0;   ///< log bytes covered by store.idx on disk
+  uint64_t UnflushedRecords = 0;
+  mutable Stats Counters;
+};
+
+/// Serialized form of a query-cache entry (the 'Q' record value).
+std::string encodeQueryEntry(const smt::QueryCache::Entry &E);
+bool decodeQueryEntry(std::string_view Bytes, smt::QueryCache::Entry &Out);
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_RESULTSTORE_H

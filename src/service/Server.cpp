@@ -1,0 +1,469 @@
+//===- service/Server.cpp - the alived verification server ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "support/ByteIO.h"
+#include "support/ThreadPool.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+using support::json::Value;
+
+namespace {
+
+Status makeListener(int Fd, const char *What) {
+  if (::listen(Fd, 64) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return Status::error(std::string("listen(") + What +
+                         "): " + std::strerror(E));
+  }
+  return Status::success();
+}
+
+/// The coalescing key: two requests share a result exactly when the server
+/// would compute identical bytes for both. The display path is excluded —
+/// it only decorates lint/parse diagnostics, so it must match too for
+/// byte-sharing; include it to stay correct.
+std::string coalesceKey(const Request &R) {
+  std::string K = R.Verb;
+  K += '\x1f';
+  K += R.Path;
+  K += '\x1f';
+  for (const std::string &Opt : R.Opts) {
+    K += Opt;
+    K += '\x1e';
+  }
+  K += '\x1f';
+  K += R.Text;
+  return K;
+}
+
+} // namespace
+
+Server::Server(ServerConfig C, std::shared_ptr<ResultStore> S)
+    : Cfg(std::move(C)), Store(std::move(S)) {
+  if (!Cfg.Workers)
+    Cfg.Workers = support::ThreadPool::defaultConcurrency();
+}
+
+Server::~Server() {
+  requestStop();
+  {
+    std::unique_lock<std::mutex> L(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    ConnCV.wait(L, [&] { return LiveConns == 0; });
+  }
+  if (UnixFd >= 0)
+    ::close(UnixFd);
+  if (TcpFd >= 0)
+    ::close(TcpFd);
+  if (!Cfg.SocketPath.empty())
+    ::unlink(Cfg.SocketPath.c_str());
+}
+
+Status Server::start() {
+  if (Cfg.SocketPath.empty() && !Cfg.TcpPort)
+    return Status::error("server needs a unix socket path or a TCP port");
+
+  if (!Cfg.SocketPath.empty()) {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Cfg.SocketPath.size() >= sizeof(Addr.sun_path))
+      return Status::error("socket path too long: " + Cfg.SocketPath);
+    std::strncpy(Addr.sun_path, Cfg.SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    UnixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (UnixFd < 0)
+      return Status::error(std::string("socket(unix): ") +
+                           std::strerror(errno));
+    ::unlink(Cfg.SocketPath.c_str()); // replace a stale socket file
+    if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      int E = errno;
+      ::close(UnixFd);
+      UnixFd = -1;
+      return Status::error("bind(" + Cfg.SocketPath +
+                           "): " + std::strerror(E));
+    }
+    if (Status S = makeListener(UnixFd, "unix"); !S.ok()) {
+      UnixFd = -1;
+      return S;
+    }
+  }
+
+  if (Cfg.TcpPort) {
+    TcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpFd < 0)
+      return Status::error(std::string("socket(tcp): ") +
+                           std::strerror(errno));
+    int One = 1;
+    ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Cfg.TcpPort));
+    // Loopback only: alived is a local accelerator, not a network service.
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      int E = errno;
+      ::close(TcpFd);
+      TcpFd = -1;
+      return Status::error("bind(tcp:" + std::to_string(Cfg.TcpPort) +
+                           "): " + std::strerror(E));
+    }
+    if (Status S = makeListener(TcpFd, "tcp"); !S.ok()) {
+      TcpFd = -1;
+      return S;
+    }
+  }
+  return Status::success();
+}
+
+void Server::run() {
+  pollfd Fds[2];
+  nfds_t N = 0;
+  if (UnixFd >= 0)
+    Fds[N++] = {UnixFd, POLLIN, 0};
+  if (TcpFd >= 0)
+    Fds[N++] = {TcpFd, POLLIN, 0};
+
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    if (DumpFlag.exchange(false, std::memory_order_acq_rel))
+      writeMetricsDump();
+    // A finite poll interval bounds how long a stop request can go
+    // unnoticed; signal handlers only set atomics.
+    int R = ::poll(Fds, N, 200);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (R == 0)
+      continue;
+    for (nfds_t I = 0; I != N; ++I) {
+      if (!(Fds[I].revents & POLLIN))
+        continue;
+      int Conn = ::accept(Fds[I].fd, nullptr, nullptr);
+      if (Conn < 0)
+        continue;
+      M.counter("connections_total").inc();
+      M.gauge("connections_active").add(1);
+      {
+        std::lock_guard<std::mutex> L(ConnMu);
+        ConnFds.insert(Conn);
+        ++LiveConns;
+      }
+      std::thread([this, Conn] { handleConnection(Conn); }).detach();
+    }
+  }
+
+  // Unblock any connection thread parked in read() or in the admission
+  // queue, then wait for them all to drain.
+  StopCancel.cancel();
+  AdmitCV.notify_all();
+  {
+    std::unique_lock<std::mutex> L(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    ConnCV.wait(L, [&] { return LiveConns == 0; });
+  }
+  if (Store)
+    Store->flush();
+  if (!Cfg.MetricsDump.empty())
+    writeMetricsDump();
+}
+
+void Server::handleConnection(int Fd) {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    bool SawEof = false;
+    auto Msg = readMessage(Fd, SawEof);
+    if (SawEof || !Msg.ok())
+      break;
+    Response Resp;
+    auto Req = Request::fromJson(Msg.get());
+    if (!Req.ok()) {
+      Resp.StatusStr = "error";
+      Resp.Exit = 2;
+      Resp.Err = Req.message() + "\n";
+      M.counter("requests_malformed_total").inc();
+    } else {
+      auto T0 = std::chrono::steady_clock::now();
+      Resp = dispatch(Req.get());
+      M.histogram("request_latency_ms")
+          .observe(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count());
+    }
+    if (!writeMessage(Fd, Resp.toJson()).ok())
+      break;
+    // A served shutdown verb stops the server after the reply is on the
+    // wire, so the client sees a clean "ok".
+    if (Req.ok() && Req.get().Verb == "shutdown") {
+      requestStop();
+      break;
+    }
+  }
+  ::close(Fd);
+  M.gauge("connections_active").add(-1);
+  // The LiveConns decrement releases ~Server(), so it must be this thread's
+  // last touch of the object — notify while holding ConnMu, which the
+  // destructor's wait cannot re-acquire until we are done here.
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    ConnFds.erase(Fd);
+    --LiveConns;
+    ConnCV.notify_all();
+  }
+}
+
+Response Server::dispatch(const Request &R) {
+  M.counter("requests_total").inc();
+  M.counter("requests_" + R.Verb + "_total").inc();
+
+  if (R.Verb == "stats")
+    return statsResponse(R.Id);
+  if (R.Verb == "shutdown") {
+    Response Resp;
+    Resp.Id = R.Id;
+    return Resp;
+  }
+  if (R.Verb == "verify" || R.Verb == "infer" || R.Verb == "codegen" ||
+      R.Verb == "print" || R.Verb == "lint")
+    return runBatchVerb(R);
+
+  Response Resp;
+  Resp.Id = R.Id;
+  Resp.StatusStr = "error";
+  Resp.Exit = 2;
+  Resp.Err = "unknown verb '" + R.Verb + "'\n";
+  return Resp;
+}
+
+Response Server::runBatchVerb(const Request &R) {
+  Response Resp;
+  Resp.Id = R.Id;
+
+  auto Opts = parseBatchOptions(R.Verb, R.Opts);
+  if (!Opts.ok()) {
+    Resp.StatusStr = "error";
+    Resp.Exit = 2;
+    Resp.Err = Opts.message() + "\n";
+    return Resp;
+  }
+
+  // Coalescing: if an identical request is already executing, ride along
+  // on its result instead of competing for a worker slot.
+  std::string Key = coalesceKey(R);
+  std::promise<std::shared_ptr<BatchOutcome>> Mine;
+  bool Leader = false;
+  std::shared_future<std::shared_ptr<BatchOutcome>> Shared;
+  {
+    std::lock_guard<std::mutex> L(CoalesceMu);
+    auto It = InFlight.find(Key);
+    if (It == InFlight.end()) {
+      Leader = true;
+      Shared = Mine.get_future().share();
+      InFlight.emplace(Key, Shared);
+    } else {
+      Shared = It->second;
+    }
+  }
+  if (!Leader) {
+    M.counter("requests_coalesced_total").inc();
+    std::shared_ptr<BatchOutcome> Out = Shared.get();
+    if (!Out) {
+      Resp.StatusStr = "busy";
+      Resp.Exit = 3;
+      Resp.Err = "server busy; request not admitted\n";
+      return Resp;
+    }
+    Resp.Exit = Out->Exit;
+    Resp.Out = Out->Out;
+    Resp.Err = Out->Err;
+    return Resp;
+  }
+
+  // Admission control. The leader publishes a null outcome when shed, so
+  // coalesced followers turn into "busy" too instead of hanging.
+  bool Admitted = false;
+  {
+    std::unique_lock<std::mutex> L(AdmitMu);
+    if (Active < Cfg.Workers) {
+      ++Active;
+      Admitted = true;
+    } else if (Queued < Cfg.QueueLimit) {
+      ++Queued;
+      M.gauge("queue_depth").set(Queued);
+      AdmitCV.wait(L, [&] {
+        return Active < Cfg.Workers ||
+               StopFlag.load(std::memory_order_acquire);
+      });
+      --Queued;
+      M.gauge("queue_depth").set(Queued);
+      if (Active < Cfg.Workers &&
+          !StopFlag.load(std::memory_order_acquire)) {
+        ++Active;
+        Admitted = true;
+      }
+    }
+  }
+
+  std::shared_ptr<BatchOutcome> Out;
+  if (Admitted) {
+    Out = std::make_shared<BatchOutcome>(
+        runBatch(Opts.get(), R.Path.empty() ? "<remote>" : R.Path, R.Text,
+                 Store, &StopCancel));
+    {
+      std::lock_guard<std::mutex> L(AdmitMu);
+      --Active;
+    }
+    AdmitCV.notify_one();
+    {
+      std::lock_guard<std::mutex> L(RollupMu);
+      Rollup.merge(Out->Solver);
+      RollupReportHits += Out->ReportHits;
+      RollupReportMisses += Out->ReportMisses;
+    }
+  } else {
+    M.counter("requests_shed_total").inc();
+  }
+
+  {
+    std::lock_guard<std::mutex> L(CoalesceMu);
+    InFlight.erase(Key);
+  }
+  Mine.set_value(Out);
+
+  if (!Out) {
+    Resp.StatusStr = "busy";
+    Resp.Exit = 3;
+    Resp.Err = "server busy; request not admitted\n";
+    return Resp;
+  }
+  Resp.Exit = Out->Exit;
+  Resp.Out = Out->Out;
+  Resp.Err = Out->Err;
+  return Resp;
+}
+
+support::json::Value Server::metricsSnapshot() {
+  Value Root = M.snapshot();
+  Value Solver = Value::object();
+  {
+    std::lock_guard<std::mutex> L(RollupMu);
+    Solver.set("cold_queries", Value(Rollup.Queries));
+    Solver.set("incremental_reuses", Value(Rollup.IncrementalReuses));
+    Solver.set("cache_hits", Value(Rollup.CacheHits));
+    Solver.set("store_hits", Value(Rollup.StoreHits));
+    Solver.set("cold_starts", Value(Rollup.ColdStarts));
+    Solver.set("report_hits", Value(RollupReportHits));
+    Solver.set("report_misses", Value(RollupReportMisses));
+  }
+  Root.set("solver", std::move(Solver));
+  if (Store) {
+    ResultStore::Stats S = Store->stats();
+    Value St = Value::object();
+    St.set("query_hits", Value(S.QueryHits));
+    St.set("query_misses", Value(S.QueryMisses));
+    St.set("report_hits", Value(S.ReportHits));
+    St.set("report_misses", Value(S.ReportMisses));
+    St.set("query_entries", Value(S.QueryEntries));
+    St.set("report_entries", Value(S.ReportEntries));
+    St.set("inserted_records", Value(S.InsertedRecords));
+    St.set("dropped_records", Value(S.DroppedRecords));
+    St.set("log_bytes", Value(S.LogBytes));
+    Root.set("store", std::move(St));
+  }
+  return Root;
+}
+
+Response Server::statsResponse(uint64_t Id) {
+  Response Resp;
+  Resp.Id = Id;
+  Resp.Stats = metricsSnapshot();
+  return Resp;
+}
+
+void Server::writeMetricsDump() {
+  if (Cfg.MetricsDump.empty())
+    return;
+  support::writeFileAtomic(Cfg.MetricsDump, metricsSnapshot().str(2) + "\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Client side
+//===----------------------------------------------------------------------===//
+
+Result<Response> service::callServer(const std::string &Address,
+                                     const Request &R) {
+  int Fd = -1;
+  if (Address.rfind("tcp:", 0) == 0) {
+    uint64_t Port = 0;
+    try {
+      Port = std::stoull(Address.substr(4));
+    } catch (const std::exception &) {
+    }
+    if (!Port || Port > 65535)
+      return Result<Response>::error("bad TCP address '" + Address + "'");
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return Result<Response>::error(std::string("socket: ") +
+                                     std::strerror(errno));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      int E = errno;
+      ::close(Fd);
+      return Result<Response>::error("connect(" + Address +
+                                     "): " + std::strerror(E));
+    }
+  } else {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Address.size() >= sizeof(Addr.sun_path))
+      return Result<Response>::error("socket path too long: " + Address);
+    std::strncpy(Addr.sun_path, Address.c_str(), sizeof(Addr.sun_path) - 1);
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return Result<Response>::error(std::string("socket: ") +
+                                     std::strerror(errno));
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      int E = errno;
+      ::close(Fd);
+      return Result<Response>::error("connect(" + Address +
+                                     "): " + std::strerror(E));
+    }
+  }
+
+  if (Status S = writeMessage(Fd, R.toJson()); !S.ok()) {
+    ::close(Fd);
+    return S;
+  }
+  bool SawEof = false;
+  auto Msg = readMessage(Fd, SawEof);
+  ::close(Fd);
+  if (!Msg.ok())
+    return Msg.status();
+  if (SawEof)
+    return Result<Response>::error("server closed the connection");
+  return Response::fromJson(Msg.get());
+}

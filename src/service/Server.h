@@ -1,0 +1,143 @@
+//===- service/Server.h - the alived verification server -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alived server: accepts length-prefixed JSON requests (see
+/// Protocol.h) on a unix-domain socket and/or a TCP loopback port and runs
+/// them through the shared BatchRunner pipeline.
+///
+/// Concurrency model: one thread per connection (clients are few — editors
+/// and CI runners), with admission control in front of the batch pipeline:
+/// at most Workers requests execute at once; up to QueueLimit more may
+/// wait; beyond that the server sheds load with a "busy" response instead
+/// of queueing unboundedly, and the client falls back to local
+/// verification. Identical in-flight requests (same verb, options, and
+/// corpus text) are coalesced: followers wait for the leader's result and
+/// share its bytes rather than re-verifying.
+///
+/// Shutdown is cooperative: requestStop() (safe from a signal handler —
+/// it only sets atomics) wakes the poll-based accept loop, open
+/// connections are shut down, in-flight solver queries are cancelled, the
+/// store is flushed, and run() returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_SERVER_H
+#define ALIVE_SERVICE_SERVER_H
+
+#include "service/BatchRunner.h"
+#include "service/Metrics.h"
+#include "service/Protocol.h"
+#include "service/ResultStore.h"
+#include "smt/Solver.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alive {
+namespace service {
+
+struct ServerConfig {
+  std::string SocketPath;   ///< unix-domain socket; empty = none
+  unsigned TcpPort = 0;     ///< loopback TCP port; 0 = none
+  unsigned Workers = 0;     ///< concurrent requests; 0 = hw concurrency
+  unsigned QueueLimit = 16; ///< waiting requests admitted before "busy"
+  std::string MetricsDump;  ///< JSON snapshot path written on stop/SIGUSR1
+};
+
+class Server {
+public:
+  Server(ServerConfig Cfg, std::shared_ptr<ResultStore> Store);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on the configured endpoints. After this returns
+  /// success a client can connect (even before run() is entered), which is
+  /// what lets the daemon parent exit as soon as the address is ready.
+  Status start();
+
+  /// Accept/dispatch loop; returns after requestStop(). Flushes the store
+  /// and writes the metrics dump (if configured) on the way out.
+  void run();
+
+  /// Signal-safe stop request: sets atomics only; run() notices within
+  /// one poll interval.
+  void requestStop() { StopFlag.store(true, std::memory_order_release); }
+
+  /// Signal-safe metrics-dump request (SIGUSR1).
+  void requestMetricsDump() {
+    DumpFlag.store(true, std::memory_order_release);
+  }
+
+  Metrics &metrics() { return M; }
+
+  const std::string &socketPath() const { return Cfg.SocketPath; }
+
+private:
+  void handleConnection(int Fd);
+  Response dispatch(const Request &R);
+  Response runBatchVerb(const Request &R);
+  Response statsResponse(uint64_t Id);
+  support::json::Value metricsSnapshot();
+  void writeMetricsDump();
+
+  ServerConfig Cfg;
+  std::shared_ptr<ResultStore> Store;
+  Metrics M;
+
+  int UnixFd = -1;
+  int TcpFd = -1;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> DumpFlag{false};
+
+  // Admission control (see file comment).
+  std::mutex AdmitMu;
+  std::condition_variable AdmitCV;
+  unsigned Active = 0;
+  unsigned Queued = 0;
+
+  // Request coalescing: key -> the leader's shared result.
+  std::mutex CoalesceMu;
+  std::map<std::string, std::shared_future<std::shared_ptr<BatchOutcome>>>
+      InFlight;
+
+  // Connection bookkeeping so stop can unblock reads and wait for the
+  // detached per-connection threads to drain.
+  std::mutex ConnMu;
+  std::condition_variable ConnCV;
+  std::set<int> ConnFds;
+  unsigned LiveConns = 0;
+
+  // Solver-stats roll-up across all completed requests (for `stats`).
+  std::mutex RollupMu;
+  smt::SolverStats Rollup;
+  uint64_t RollupReportHits = 0;
+  uint64_t RollupReportMisses = 0;
+
+  smt::Cancellation StopCancel; ///< cancels in-flight queries on stop
+};
+
+/// One round trip to a server: connect to \p Address ("tcp:PORT" for TCP
+/// loopback, anything else is a unix socket path), send \p R, read the
+/// response. Errors cover unreachable sockets, protocol violations, and
+/// oversize frames — the caller decides whether to fall back to local
+/// execution.
+Result<Response> callServer(const std::string &Address, const Request &R);
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_SERVER_H

@@ -195,10 +195,65 @@ void QueryCache::clear() {
 }
 
 //===----------------------------------------------------------------------===//
-// CachingSolver
+// CachingSolver / PersistentCachingSolver
 //===----------------------------------------------------------------------===//
 
 namespace {
+
+/// Rebinds a stored name-keyed entry onto \p Assertion's free variables.
+/// The canonical key matched exactly, so the free-variable names and sorts
+/// are identical to the run that populated the entry; names absent from
+/// the stored model were unconstrained there too.
+CheckResult entryToResult(const QueryCache::Entry &E, TermRef Assertion) {
+  CheckResult R;
+  if (!E.IsSat) {
+    R.Status = CheckStatus::Unsat;
+    return R;
+  }
+  R.Status = CheckStatus::Sat;
+  std::unordered_map<std::string, const QueryCache::ModelBinding *> ByName;
+  for (const QueryCache::ModelBinding &B : E.Model)
+    ByName.emplace(B.Name, &B);
+  for (TermRef V : collectFreeVars(Assertion)) {
+    auto It = ByName.find(V->getName());
+    if (It == ByName.end())
+      continue;
+    if (It->second->IsBool)
+      R.M.setBool(V, It->second->BoolVal);
+    else
+      R.M.setBV(V, It->second->BVVal);
+  }
+  return R;
+}
+
+/// Packs a definitive answer into the context-independent entry form.
+/// Pre: !R.isUnknown().
+QueryCache::Entry resultToEntry(const CheckResult &R, TermRef Assertion) {
+  QueryCache::Entry NE;
+  NE.IsSat = R.isSat();
+  if (R.isSat()) {
+    for (TermRef V : collectFreeVars(Assertion)) {
+      QueryCache::ModelBinding B;
+      B.Name = V->getName();
+      if (V->getSort().isBool()) {
+        auto BV = R.M.getBool(V);
+        if (!BV)
+          continue;
+        B.IsBool = true;
+        B.BoolVal = *BV;
+      } else if (V->getSort().isBitVec()) {
+        auto BV = R.M.getBV(V);
+        if (!BV)
+          continue;
+        B.BVVal = *BV;
+      } else {
+        continue; // array-sorted inputs carry no scalar model value
+      }
+      NE.Model.push_back(std::move(B));
+    }
+  }
+  return NE;
+}
 
 class CachingSolver final : public Solver {
 public:
@@ -211,28 +266,7 @@ public:
     QueryCache::Entry E;
     if (Cache->lookup(Key, E)) {
       ServedFromCache = true; // counted as a CacheHit, not a Query
-      CheckResult R;
-      if (!E.IsSat) {
-        R.Status = CheckStatus::Unsat;
-        return R;
-      }
-      R.Status = CheckStatus::Sat;
-      // Rebind the stored model by name onto this query's free variables.
-      // The canonical key matched exactly, so the free-variable names and
-      // sorts are identical to the run that populated the entry.
-      std::unordered_map<std::string, const QueryCache::ModelBinding *> ByName;
-      for (const QueryCache::ModelBinding &B : E.Model)
-        ByName.emplace(B.Name, &B);
-      for (TermRef V : collectFreeVars(Assertion)) {
-        auto It = ByName.find(V->getName());
-        if (It == ByName.end())
-          continue; // unconstrained in the original model too
-        if (It->second->IsBool)
-          R.M.setBool(V, It->second->BoolVal);
-        else
-          R.M.setBV(V, It->second->BVVal);
-      }
-      return R;
+      return entryToResult(E, Assertion);
     }
 
     SolverStats Before = Inner->stats();
@@ -245,34 +279,15 @@ public:
     Stats.FaultsInjected += D.FaultsInjected;
     Stats.IncrementalReuses += D.IncrementalReuses;
     Stats.ColdStarts += D.ColdStarts;
+    // A miss here answered by the inner persistent store is this check's
+    // cost class: the counters stay mutually exclusive.
+    if (D.StoreHits)
+      ServedFromStore = true;
 
     if (R.isUnknown())
       return R; // never memoize a give-up; a retry may have more budget
 
-    QueryCache::Entry NE;
-    NE.IsSat = R.isSat();
-    if (R.isSat()) {
-      for (TermRef V : collectFreeVars(Assertion)) {
-        QueryCache::ModelBinding B;
-        B.Name = V->getName();
-        if (V->getSort().isBool()) {
-          auto BV = R.M.getBool(V);
-          if (!BV)
-            continue;
-          B.IsBool = true;
-          B.BoolVal = *BV;
-        } else if (V->getSort().isBitVec()) {
-          auto BV = R.M.getBV(V);
-          if (!BV)
-            continue;
-          B.BVVal = *BV;
-        } else {
-          continue; // array-sorted inputs carry no scalar model value
-        }
-        NE.Model.push_back(std::move(B));
-      }
-    }
-    Cache->insert(Key, std::move(NE));
+    Cache->insert(Key, resultToEntry(R, Assertion));
     return R;
   }
 
@@ -283,10 +298,63 @@ private:
   std::shared_ptr<QueryCache> Cache;
 };
 
+/// The durable twin of CachingSolver: same keys, same entry form, but
+/// backed by a VerdictStore that outlives the process. Hits flag
+/// ServedFromStore so the base wrapper counts them under StoreHits.
+class PersistentCachingSolver final : public Solver {
+public:
+  PersistentCachingSolver(std::unique_ptr<Solver> Inner,
+                          std::shared_ptr<VerdictStore> Store)
+      : Inner(std::move(Inner)), Store(std::move(Store)) {}
+
+  CheckResult checkImpl(TermRef Assertion) override {
+    std::string Key = canonicalQueryKey(Assertion);
+    QueryCache::Entry E;
+    if (Store->lookupQuery(Key, E)) {
+      ServedFromStore = true;
+      return entryToResult(E, Assertion);
+    }
+
+    SolverStats Before = Inner->stats();
+    CheckResult R = Inner->check(Assertion);
+    SolverStats D = Inner->stats().deltaSince(Before);
+    Stats.Escalations += D.Escalations;
+    Stats.FragmentFallbacks += D.FragmentFallbacks;
+    Stats.FaultsInjected += D.FaultsInjected;
+    Stats.IncrementalReuses += D.IncrementalReuses;
+    Stats.ColdStarts += D.ColdStarts;
+    if (D.CacheHits)
+      ServedFromCache = true;
+
+    if (R.isUnknown())
+      return R;
+
+    Store->insertQuery(Key, resultToEntry(R, Assertion));
+    return R;
+  }
+
+  std::string name() const override {
+    return "stored(" + Inner->name() + ")";
+  }
+
+private:
+  std::unique_ptr<Solver> Inner;
+  std::shared_ptr<VerdictStore> Store;
+};
+
 } // namespace
+
+VerdictStore::~VerdictStore() = default;
 
 std::unique_ptr<Solver>
 smt::createCachingSolver(std::unique_ptr<Solver> Inner,
                          std::shared_ptr<QueryCache> Cache) {
   return std::make_unique<CachingSolver>(std::move(Inner), std::move(Cache));
+}
+
+std::unique_ptr<Solver>
+smt::createPersistentCachingSolver(std::unique_ptr<Solver> Inner,
+                                   std::shared_ptr<VerdictStore> Store) {
+  return std::make_unique<PersistentCachingSolver>(std::move(Inner),
+                                                   std::move(Store));
 }

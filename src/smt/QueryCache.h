@@ -109,6 +109,34 @@ private:
 std::unique_ptr<Solver> createCachingSolver(std::unique_ptr<Solver> Inner,
                                             std::shared_ptr<QueryCache> Cache);
 
+/// A durable verdict store: the persistence interface behind the in-memory
+/// QueryCache, implemented by service::ResultStore (append-only log +
+/// index on disk). Keys are the same canonical serializations the
+/// QueryCache uses, values the same name-keyed entries, so an answer can
+/// migrate freely between the two tiers. Implementations must be
+/// thread-safe and must never fabricate entries: a corrupted or torn
+/// record reads as a miss. Defined here (not in service/) so solver
+/// decorators can depend on the interface without a dependency cycle.
+class VerdictStore {
+public:
+  virtual ~VerdictStore();
+
+  /// True on hit; fills \p Out.
+  virtual bool lookupQuery(const std::string &Key,
+                           QueryCache::Entry &Out) = 0;
+  virtual void insertQuery(const std::string &Key,
+                           const QueryCache::Entry &E) = 0;
+};
+
+/// Decorator: serves Sat/Unsat verdicts from a persistent \p Store and
+/// writes misses back. Hits count under SolverStats::StoreHits (never
+/// Queries or CacheHits — the counters stay mutually exclusive). Layer an
+/// in-memory createCachingSolver *outside* this decorator so hot keys stop
+/// paying the store lookup. Unknowns are neither stored nor served.
+std::unique_ptr<Solver>
+createPersistentCachingSolver(std::unique_ptr<Solver> Inner,
+                              std::shared_ptr<VerdictStore> Store);
+
 } // namespace smt
 } // namespace alive
 

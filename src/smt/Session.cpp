@@ -32,10 +32,13 @@ SolverSession::~SolverSession() = default;
 CheckResult SolverSession::check(const std::vector<TermRef> &Assumptions,
                                  const ResourceLimits *Override) {
   ServedFromCache = false;
+  ServedFromStore = false;
   WarmReuse = false;
   CheckResult R = checkImpl(Assumptions, Override);
   if (ServedFromCache)
     ++Stats.CacheHits;
+  else if (ServedFromStore)
+    ++Stats.StoreHits;
   else if (WarmReuse)
     ++Stats.IncrementalReuses;
   else
@@ -98,6 +101,8 @@ protected:
     Stats.ColdStarts += D.ColdStarts;
     if (D.CacheHits)
       ServedFromCache = true;
+    else if (D.StoreHits)
+      ServedFromStore = true;
     return R;
   }
 
@@ -252,17 +257,15 @@ private:
   uint64_t ColdDelta = 0;
 };
 
-/// Memoizes session verdicts. The key serializes every live assertion
-/// scope (in stack order) plus the assumption set, so two lookups collide
-/// exactly when the full session state and the question asked are
-/// structurally identical — the same exactness guarantee as the one-shot
-/// CachingSolver, whose keys use a distinct prefix so the two key spaces
-/// never alias inside a shared QueryCache.
-class CachingSession final : public SolverSession {
+/// Shared machinery of the two memoizing session decorators (in-memory
+/// CachingSession, durable PersistentCachingSession): the scope-stack +
+/// assumption-set key, the live-free-variable walk, and the name-keyed
+/// entry pack/unpack. Both decorators use the *same* key format, so an
+/// answer computed under either tier is addressable by the other.
+class MemoizingSessionBase : public SolverSession {
 public:
-  CachingSession(std::unique_ptr<SolverSession> Inner,
-                 std::shared_ptr<QueryCache> Cache)
-      : Inner(std::move(Inner)), Cache(std::move(Cache)) {
+  explicit MemoizingSessionBase(std::unique_ptr<SolverSession> Inner)
+      : Inner(std::move(Inner)) {
     Frames.emplace_back();
   }
 
@@ -285,13 +288,19 @@ public:
     Inner->pop();
   }
 
-  std::string name() const override {
-    return "caching-session(" + Inner->name() + ")";
-  }
-
 protected:
-  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
-                        const ResourceLimits *Override) override {
+  struct Frame {
+    std::string Key;
+    std::vector<TermRef> Terms;
+  };
+
+  /// Serializes every live assertion scope (in stack order) plus the
+  /// assumption set, so two lookups collide exactly when the full session
+  /// state and the question asked are structurally identical — the same
+  /// exactness guarantee as the one-shot CachingSolver, whose keys use a
+  /// distinct prefix so the two key spaces never alias inside a shared
+  /// QueryCache.
+  std::string stateKey(const std::vector<TermRef> &Assumptions) const {
     std::string Key = "S|";
     for (const Frame &F : Frames) {
       Key += F.Key;
@@ -302,33 +311,68 @@ protected:
       Key += canonicalQueryKey(A);
       Key += '\x1d';
     }
+    return Key;
+  }
 
-    QueryCache::Entry E;
-    if (Cache->lookup(Key, E)) {
-      ServedFromCache = true;
-      CheckResult R;
-      if (!E.IsSat) {
-        R.Status = CheckStatus::Unsat;
-        return R;
-      }
-      R.Status = CheckStatus::Sat;
-      // Rebind the name-keyed stored model onto this session's live free
-      // variables (key equality implies name-identical free variables).
-      std::unordered_map<std::string, TermRef> ByName;
-      for (TermRef V : liveFreeVars(Assumptions))
-        ByName.emplace(V->getName(), V);
-      for (const QueryCache::ModelBinding &B : E.Model) {
-        auto It = ByName.find(B.Name);
-        if (It == ByName.end())
-          continue;
-        if (B.IsBool)
-          R.M.setBool(It->second, B.BoolVal);
-        else
-          R.M.setBV(It->second, B.BVVal);
-      }
+  /// Rebinds the name-keyed stored model onto this session's live free
+  /// variables (key equality implies name-identical free variables).
+  CheckResult entryToResult(const QueryCache::Entry &E,
+                            const std::vector<TermRef> &Assumptions) const {
+    CheckResult R;
+    if (!E.IsSat) {
+      R.Status = CheckStatus::Unsat;
       return R;
     }
+    R.Status = CheckStatus::Sat;
+    std::unordered_map<std::string, TermRef> ByName;
+    for (TermRef V : liveFreeVars(Assumptions))
+      ByName.emplace(V->getName(), V);
+    for (const QueryCache::ModelBinding &B : E.Model) {
+      auto It = ByName.find(B.Name);
+      if (It == ByName.end())
+        continue;
+      if (B.IsBool)
+        R.M.setBool(It->second, B.BoolVal);
+      else
+        R.M.setBV(It->second, B.BVVal);
+    }
+    return R;
+  }
 
+  /// Packs a definitive answer. Pre: !R.isUnknown().
+  QueryCache::Entry
+  resultToEntry(const CheckResult &R,
+                const std::vector<TermRef> &Assumptions) const {
+    QueryCache::Entry NewE;
+    NewE.IsSat = R.isSat();
+    if (R.isSat()) {
+      for (TermRef V : liveFreeVars(Assumptions)) {
+        QueryCache::ModelBinding B;
+        B.Name = V->getName();
+        if (V->getSort().isBool()) {
+          auto Val = R.M.getBool(V);
+          if (!Val)
+            continue;
+          B.IsBool = true;
+          B.BoolVal = *Val;
+        } else if (V->getSort().isBitVec()) {
+          auto Val = R.M.getBV(V);
+          if (!Val)
+            continue;
+          B.BVVal = *Val;
+        } else {
+          continue; // array-sorted inputs have no scalar binding
+        }
+        NewE.Model.push_back(std::move(B));
+      }
+    }
+    return NewE;
+  }
+
+  /// Runs the inner session and folds its decorator-invisible counters
+  /// into ours, classifying this check's cost by what the inner tier did.
+  CheckResult checkInner(const std::vector<TermRef> &Assumptions,
+                         const ResourceLimits *Override) {
     SolverStats Before = Inner->stats();
     CheckResult R = Inner->check(Assumptions, Override);
     SolverStats D = Inner->stats().deltaSince(Before);
@@ -336,44 +380,18 @@ protected:
     Stats.FragmentFallbacks += D.FragmentFallbacks;
     Stats.FaultsInjected += D.FaultsInjected;
     Stats.ColdStarts += D.ColdStarts;
-    if (D.IncrementalReuses)
+    if (D.CacheHits)
+      ServedFromCache = true;
+    else if (D.StoreHits)
+      ServedFromStore = true;
+    else if (D.IncrementalReuses)
       WarmReuse = true;
-
-    if (R.isSat() || R.isUnsat()) {
-      QueryCache::Entry NewE;
-      NewE.IsSat = R.isSat();
-      if (R.isSat()) {
-        for (TermRef V : liveFreeVars(Assumptions)) {
-          QueryCache::ModelBinding B;
-          B.Name = V->getName();
-          if (V->getSort().isBool()) {
-            auto Val = R.M.getBool(V);
-            if (!Val)
-              continue;
-            B.IsBool = true;
-            B.BoolVal = *Val;
-          } else if (V->getSort().isBitVec()) {
-            auto Val = R.M.getBV(V);
-            if (!Val)
-              continue;
-            B.BVVal = *Val;
-          } else {
-            continue; // array-sorted inputs have no scalar binding
-          }
-          NewE.Model.push_back(std::move(B));
-        }
-      }
-      Cache->insert(Key, std::move(NewE));
-    }
     return R;
   }
 
-private:
-  struct Frame {
-    std::string Key;
-    std::vector<TermRef> Terms;
-  };
+  std::unique_ptr<SolverSession> Inner;
 
+private:
   /// Free variables of every live assertion plus the assumptions, deduped.
   std::vector<TermRef>
   liveFreeVars(const std::vector<TermRef> &Assumptions) const {
@@ -392,9 +410,68 @@ private:
     return Out;
   }
 
-  std::unique_ptr<SolverSession> Inner;
-  std::shared_ptr<QueryCache> Cache;
   std::vector<Frame> Frames;
+};
+
+/// Memoizes session verdicts in the in-memory QueryCache.
+class CachingSession final : public MemoizingSessionBase {
+public:
+  CachingSession(std::unique_ptr<SolverSession> Inner,
+                 std::shared_ptr<QueryCache> Cache)
+      : MemoizingSessionBase(std::move(Inner)), Cache(std::move(Cache)) {}
+
+  std::string name() const override {
+    return "caching-session(" + Inner->name() + ")";
+  }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    std::string Key = stateKey(Assumptions);
+    QueryCache::Entry E;
+    if (Cache->lookup(Key, E)) {
+      ServedFromCache = true;
+      return entryToResult(E, Assumptions);
+    }
+    CheckResult R = checkInner(Assumptions, Override);
+    if (R.isSat() || R.isUnsat())
+      Cache->insert(Key, resultToEntry(R, Assumptions));
+    return R;
+  }
+
+private:
+  std::shared_ptr<QueryCache> Cache;
+};
+
+/// Memoizes session verdicts in a persistent VerdictStore — the same keys
+/// and entry form as CachingSession, but the answers outlive the process.
+class PersistentCachingSession final : public MemoizingSessionBase {
+public:
+  PersistentCachingSession(std::unique_ptr<SolverSession> Inner,
+                           std::shared_ptr<VerdictStore> Store)
+      : MemoizingSessionBase(std::move(Inner)), Store(std::move(Store)) {}
+
+  std::string name() const override {
+    return "stored-session(" + Inner->name() + ")";
+  }
+
+protected:
+  CheckResult checkImpl(const std::vector<TermRef> &Assumptions,
+                        const ResourceLimits *Override) override {
+    std::string Key = stateKey(Assumptions);
+    QueryCache::Entry E;
+    if (Store->lookupQuery(Key, E)) {
+      ServedFromStore = true;
+      return entryToResult(E, Assumptions);
+    }
+    CheckResult R = checkInner(Assumptions, Override);
+    if (R.isSat() || R.isUnsat())
+      Store->insertQuery(Key, resultToEntry(R, Assumptions));
+    return R;
+  }
+
+private:
+  std::shared_ptr<VerdictStore> Store;
 };
 
 } // namespace
@@ -419,4 +496,11 @@ std::unique_ptr<SolverSession>
 smt::createCachingSession(std::unique_ptr<SolverSession> Inner,
                           std::shared_ptr<QueryCache> Cache) {
   return std::make_unique<CachingSession>(std::move(Inner), std::move(Cache));
+}
+
+std::unique_ptr<SolverSession>
+smt::createPersistentCachingSession(std::unique_ptr<SolverSession> Inner,
+                                    std::shared_ptr<VerdictStore> Store) {
+  return std::make_unique<PersistentCachingSession>(std::move(Inner),
+                                                    std::move(Store));
 }

@@ -61,6 +61,7 @@ namespace alive {
 namespace smt {
 
 class QueryCache;
+class VerdictStore;
 
 /// An incremental satisfiability session over our term language.
 class SolverSession {
@@ -103,6 +104,7 @@ protected:
 
   SolverStats Stats;
   bool ServedFromCache = false;
+  bool ServedFromStore = false;
   bool WarmReuse = false;
 };
 
@@ -141,6 +143,17 @@ std::unique_ptr<SolverSession> createOneShotSession(TermContext &Ctx,
 std::unique_ptr<SolverSession>
 createCachingSession(std::unique_ptr<SolverSession> Inner,
                      std::shared_ptr<QueryCache> Cache);
+
+/// The durable counterpart of createCachingSession: verdicts are served
+/// from (and written back to) a persistent VerdictStore under the same
+/// scope-stack + assumption-set keys, so an answer computed in one process
+/// is a StoreHit in the next. Layer an in-memory CachingSession *outside*
+/// this decorator; its hits then shadow the store lookup and the counters
+/// stay mutually exclusive (CacheHits > StoreHits > IncrementalReuses >
+/// Queries by priority). Unknowns are neither stored nor served.
+std::unique_ptr<SolverSession>
+createPersistentCachingSession(std::unique_ptr<SolverSession> Inner,
+                               std::shared_ptr<VerdictStore> Store);
 
 } // namespace smt
 } // namespace alive

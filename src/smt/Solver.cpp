@@ -68,6 +68,8 @@ std::string SolverStats::str() const {
     S += " incremental-reuses=" + std::to_string(IncrementalReuses);
   if (CacheHits)
     S += " cache-hits=" + std::to_string(CacheHits);
+  if (StoreHits)
+    S += " store-hits=" + std::to_string(StoreHits);
   if (ColdStarts)
     S += " cold-starts=" + std::to_string(ColdStarts);
   return S;
@@ -75,9 +77,12 @@ std::string SolverStats::str() const {
 
 CheckResult Solver::check(TermRef Assertion) {
   ServedFromCache = false;
+  ServedFromStore = false;
   CheckResult R = checkImpl(Assertion);
   if (ServedFromCache)
     ++Stats.CacheHits;
+  else if (ServedFromStore)
+    ++Stats.StoreHits;
   else
     ++Stats.Queries;
   switch (R.Status) {

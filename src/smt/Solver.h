@@ -130,6 +130,7 @@ struct SolverStats {
   // fresh solves did the workload pay for".
   uint64_t IncrementalReuses = 0; ///< checks answered by a warm session
   uint64_t CacheHits = 0;         ///< answers served from a QueryCache
+  uint64_t StoreHits = 0;         ///< answers served from a persistent store
   uint64_t ColdStarts = 0;        ///< fresh solver/context instantiations
 
   uint64_t unknowns(UnknownReason R) const {
@@ -151,6 +152,7 @@ struct SolverStats {
     StaticallyDischarged += O.StaticallyDischarged;
     IncrementalReuses += O.IncrementalReuses;
     CacheHits += O.CacheHits;
+    StoreHits += O.StoreHits;
     ColdStarts += O.ColdStarts;
   }
 
@@ -171,6 +173,7 @@ struct SolverStats {
     D.StaticallyDischarged = StaticallyDischarged - Before.StaticallyDischarged;
     D.IncrementalReuses = IncrementalReuses - Before.IncrementalReuses;
     D.CacheHits = CacheHits - Before.CacheHits;
+    D.StoreHits = StoreHits - Before.StoreHits;
     D.ColdStarts = ColdStarts - Before.ColdStarts;
     return D;
   }
@@ -208,6 +211,11 @@ protected:
   /// query cache: check() then counts the call under CacheHits instead of
   /// Queries (a hit costs no solve).
   bool ServedFromCache = false;
+  /// Set by a persistent-store decorator's checkImpl when the answer came
+  /// from the on-disk store: counted under StoreHits. The in-memory cache
+  /// takes precedence (ServedFromCache wins), keeping the counters
+  /// mutually exclusive.
+  bool ServedFromStore = false;
 };
 
 /// Creates the Z3-backed solver. \p TimeoutMs of 0 means no limit.

@@ -1,0 +1,152 @@
+//===- support/ByteIO.cpp - byte serialization and file helpers ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteIO.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace alive {
+namespace support {
+
+void appendU8(std::string &Out, uint8_t V) {
+  Out.push_back(static_cast<char>(V));
+}
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void appendBytes(std::string &Out, std::string_view Bytes) {
+  appendU32(Out, static_cast<uint32_t>(Bytes.size()));
+  Out.append(Bytes.data(), Bytes.size());
+}
+
+bool ByteReader::take(size_t N) {
+  if (Failed || N > Buf.size() - Pos) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::readU8() {
+  if (!take(1))
+    return 0;
+  return static_cast<uint8_t>(Buf[Pos++]);
+}
+
+uint32_t ByteReader::readU32() {
+  if (!take(4))
+    return 0;
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  Pos += 4;
+  return V;
+}
+
+uint64_t ByteReader::readU64() {
+  if (!take(8))
+    return 0;
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  Pos += 8;
+  return V;
+}
+
+std::string_view ByteReader::readBytes() {
+  uint32_t Len = readU32();
+  if (!take(Len))
+    return {};
+  std::string_view S = Buf.substr(Pos, Len);
+  Pos += Len;
+  return S;
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (unsigned K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t crc32(std::string_view Bytes) {
+  static const Crc32Table Table;
+  uint32_t C = 0xFFFFFFFFu;
+  for (char Ch : Bytes)
+    C = Table.T[(C ^ static_cast<uint8_t>(Ch)) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+Result<std::string> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::error("cannot open '" + Path + "': " +
+                         std::strerror(errno));
+  std::string Content;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  bool Err = std::ferror(F);
+  std::fclose(F);
+  if (Err)
+    return Status::error("read error on '" + Path + "'");
+  return Content;
+}
+
+Status writeFileAtomic(const std::string &Path, std::string_view Content) {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot create '" + Tmp + "': " +
+                         std::strerror(errno));
+  bool Ok = Content.empty() ||
+            std::fwrite(Content.data(), 1, Content.size(), F) ==
+                Content.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Status::error("write error on '" + Tmp + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error("cannot rename '" + Tmp + "' to '" + Path + "': " +
+                         std::strerror(errno));
+  }
+  return Status::success();
+}
+
+Status ensureDirectory(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST)
+    return Status::success();
+  return Status::error("cannot create directory '" + Path + "': " +
+                       std::strerror(errno));
+}
+
+} // namespace support
+} // namespace alive

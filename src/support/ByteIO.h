@@ -1,0 +1,81 @@
+//===- support/ByteIO.h - byte serialization and file helpers ---*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level serialization primitives for the persistent result store and
+/// the service wire protocol: fixed little-endian integer encode/decode, a
+/// bounds-checked reader that fails closed (a truncated or corrupted buffer
+/// can never read past its end or crash), CRC-32 for record checksums, and
+/// filesystem helpers including the write-then-rename atomic replace used
+/// for crash-safe index snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_BYTEIO_H
+#define ALIVE_SUPPORT_BYTEIO_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace alive {
+namespace support {
+
+/// Appends \p V little-endian.
+void appendU8(std::string &Out, uint8_t V);
+void appendU32(std::string &Out, uint32_t V);
+void appendU64(std::string &Out, uint64_t V);
+/// Appends a u32 length prefix followed by the raw bytes.
+void appendBytes(std::string &Out, std::string_view Bytes);
+
+/// Sequential bounds-checked decoder over a byte buffer. Every read either
+/// succeeds or trips the fail flag and returns a zero value; once failed,
+/// all subsequent reads fail too. Callers check ok() once at the end
+/// instead of guarding every field.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Buf) : Buf(Buf) {}
+
+  uint8_t readU8();
+  uint32_t readU32();
+  uint64_t readU64();
+  /// Reads a u32 length prefix and that many bytes.
+  std::string_view readBytes();
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == Buf.size(); }
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return Buf.size() - Pos; }
+
+private:
+  bool take(size_t N);
+
+  std::string_view Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of \p Bytes.
+uint32_t crc32(std::string_view Bytes);
+
+/// Reads the whole file into a string. Distinguishes "missing" (error
+/// mentioning the path) from I/O failure only via the message.
+Result<std::string> readFile(const std::string &Path);
+
+/// Replaces \p Path atomically: writes \p Content to "<Path>.tmp" and
+/// renames over the target, so readers observe either the old or the new
+/// file, never a torn write.
+Status writeFileAtomic(const std::string &Path, std::string_view Content);
+
+/// mkdir -p for a single directory level (the store directory).
+Status ensureDirectory(const std::string &Path);
+
+} // namespace support
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_BYTEIO_H

@@ -1,0 +1,485 @@
+//===- support/JSON.cpp - minimal JSON value, parser, writer --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alive {
+namespace support {
+namespace json {
+
+int64_t Value::asInt(int64_t Default) const {
+  switch (K) {
+  case Kind::Int:
+    return IntVal;
+  case Kind::UInt:
+    return UIntVal <= INT64_MAX ? static_cast<int64_t>(UIntVal) : Default;
+  case Kind::Double:
+    return static_cast<int64_t>(DoubleVal);
+  default:
+    return Default;
+  }
+}
+
+uint64_t Value::asUInt(uint64_t Default) const {
+  switch (K) {
+  case Kind::UInt:
+    return UIntVal;
+  case Kind::Int:
+    return IntVal >= 0 ? static_cast<uint64_t>(IntVal) : Default;
+  case Kind::Double:
+    return DoubleVal >= 0 ? static_cast<uint64_t>(DoubleVal) : Default;
+  default:
+    return Default;
+  }
+}
+
+double Value::asDouble(double Default) const {
+  switch (K) {
+  case Kind::Int:
+    return static_cast<double>(IntVal);
+  case Kind::UInt:
+    return static_cast<double>(UIntVal);
+  case Kind::Double:
+    return DoubleVal;
+  default:
+    return Default;
+  }
+}
+
+void Value::set(std::string Key, Value V) {
+  for (auto &[K2, V2] : Members)
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return;
+    }
+  Members.emplace_back(std::move(Key), std::move(V));
+}
+
+const Value *Value::find(std::string_view Key) const {
+  for (const auto &[K2, V2] : Members)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+const Value &Value::get(std::string_view Key) const {
+  static const Value Null;
+  const Value *V = find(Key);
+  return V ? *V : Null;
+}
+
+std::string quote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0xFF);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+void Value::write(std::string &Out, unsigned Indent, unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (!Indent)
+      return;
+    Out.push_back('\n');
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    break;
+  case Kind::Int: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(IntVal));
+    Out += Buf;
+    break;
+  }
+  case Kind::UInt: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(UIntVal));
+    Out += Buf;
+    break;
+  }
+  case Kind::Double: {
+    if (std::isfinite(DoubleVal)) {
+      // %.17g round-trips any double; trailing precision noise is fine
+      // because the same value always prints the same bytes.
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleVal);
+      Out += Buf;
+    } else {
+      Out += "null";
+    }
+    break;
+  }
+  case Kind::String:
+    Out += quote(Str);
+    break;
+  case Kind::Array: {
+    if (Elems.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out.push_back('[');
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Newline(Depth + 1);
+      Elems[I].write(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out.push_back(']');
+    break;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out.push_back('{');
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Newline(Depth + 1);
+      Out += quote(Members[I].first);
+      Out.push_back(':');
+      if (Indent)
+        Out.push_back(' ');
+      Members[I].second.write(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+std::string Value::str(unsigned Indent) const {
+  std::string Out;
+  write(Out, Indent, 0);
+  if (Indent)
+    Out.push_back('\n');
+  return Out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Result<Value> run() {
+    Value V;
+    if (!parseValue(V))
+      return fail();
+    skipWs();
+    if (Pos != Text.size())
+      return Status::error("json: trailing characters at offset " +
+                           std::to_string(Pos));
+    return V;
+  }
+
+private:
+  Status fail() {
+    return Status::error("json: parse error at offset " +
+                         std::to_string(Pos) +
+                         (Err.empty() ? "" : ": " + Err));
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool lit(std::string_view S) {
+    if (Text.substr(Pos, S.size()) != S)
+      return false;
+    Pos += S.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      Err = "unexpected end of input";
+      return false;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (lit("null")) {
+        Out = Value();
+        return true;
+      }
+      break;
+    case 't':
+      if (lit("true")) {
+        Out = Value(true);
+        return true;
+      }
+      break;
+    case 'f':
+      if (lit("false")) {
+        Out = Value(false);
+        return true;
+      }
+      break;
+    case '"': {
+      std::string S;
+      if (parseString(S)) {
+        Out = Value(std::move(S));
+        return true;
+      }
+      return false;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber(Out);
+      break;
+    }
+    Err = "unexpected character";
+    return false;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"')) {
+      Err = "expected string";
+      return false;
+    }
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        for (unsigned I = 0; I != 4; ++I) {
+          if (Pos >= Text.size()) {
+            Err = "truncated \\u escape";
+            return false;
+          }
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else {
+            Err = "bad \\u escape";
+            return false;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by our writer; decode them as-is if seen).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        Err = "bad escape";
+        return false;
+      }
+    }
+    Err = "unterminated string";
+    return false;
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    bool Neg = Pos < Text.size() && Text[Pos] == '-';
+    if (Neg)
+      ++Pos;
+    bool IsFloat = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C >= '0' && C <= '9') {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        IsFloat = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string Tok(Text.substr(Start, Pos - Start));
+    if (Tok.empty() || Tok == "-") {
+      Err = "bad number";
+      return false;
+    }
+    if (!IsFloat) {
+      errno = 0;
+      if (Neg) {
+        long long V = std::strtoll(Tok.c_str(), nullptr, 10);
+        if (errno == 0) {
+          Out = Value(static_cast<int64_t>(V));
+          return true;
+        }
+      } else {
+        unsigned long long V = std::strtoull(Tok.c_str(), nullptr, 10);
+        if (errno == 0) {
+          Out = Value(static_cast<uint64_t>(V));
+          return true;
+        }
+      }
+      // Overflows a 64-bit integer: fall through to double.
+    }
+    Out = Value(std::strtod(Tok.c_str(), nullptr));
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    eat('[');
+    Out = Value::array();
+    skipWs();
+    if (eat(']'))
+      return true;
+    for (;;) {
+      Value Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.push(std::move(Elem));
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return true;
+      Err = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    eat('{');
+    Out = Value::object();
+    skipWs();
+    if (eat('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!eat(':')) {
+        Err = "expected ':'";
+        return false;
+      }
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.set(std::move(Key), std::move(V));
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return true;
+      Err = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+Result<Value> parse(std::string_view Text) { return Parser(Text).run(); }
+
+} // namespace json
+} // namespace support
+} // namespace alive

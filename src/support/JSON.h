@@ -1,0 +1,123 @@
+//===- support/JSON.h - minimal JSON value, parser, writer ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON library for the service wire protocol and
+/// metrics snapshots. Objects preserve insertion order and the writer is
+/// fully deterministic (no hash iteration, fixed number formatting), so a
+/// message serialized twice is byte-identical — the property the service
+/// parity tests lean on. Integers survive the round trip exactly up to
+/// 64 bits; only values written as doubles go through floating point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_JSON_H
+#define ALIVE_SUPPORT_JSON_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alive {
+namespace support {
+namespace json {
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, UInt, Double, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  Value(std::nullptr_t) : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Bool), BoolVal(B) {}
+  Value(int V) : K(Kind::Int), IntVal(V) {}
+  Value(int64_t V) : K(Kind::Int), IntVal(V) {}
+  Value(uint64_t V) : K(Kind::UInt), UIntVal(V) {}
+  Value(double V) : K(Kind::Double), DoubleVal(V) {}
+  Value(const char *S) : K(Kind::String), Str(S) {}
+  Value(std::string S) : K(Kind::String), Str(std::move(S)) {}
+  Value(std::string_view S) : K(Kind::String), Str(S) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::UInt || K == Kind::Double;
+  }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? BoolVal : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const;
+  uint64_t asUInt(uint64_t Default = 0) const;
+  double asDouble(double Default = 0) const;
+  const std::string &asString() const {
+    static const std::string Empty;
+    return K == Kind::String ? Str : Empty;
+  }
+
+  // Array access.
+  const std::vector<Value> &elements() const { return Elems; }
+  void push(Value V) { Elems.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Array ? Elems.size() : Members.size();
+  }
+
+  // Object access. set() replaces an existing key in place (order kept);
+  // find() returns null for a missing key so lookups chain safely.
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+  void set(std::string Key, Value V);
+  const Value *find(std::string_view Key) const;
+  /// find() with a null fallback: get("x").asInt() is safe on any shape.
+  const Value &get(std::string_view Key) const;
+
+  /// Serializes deterministically. \p Indent > 0 pretty-prints with that
+  /// many spaces per level; 0 emits the compact wire form.
+  std::string str(unsigned Indent = 0) const;
+
+private:
+  void write(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  uint64_t UIntVal = 0;
+  double DoubleVal = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<Value> parse(std::string_view Text);
+
+/// Escapes \p S as a JSON string literal including the quotes.
+std::string quote(std::string_view S);
+
+} // namespace json
+} // namespace support
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_JSON_H

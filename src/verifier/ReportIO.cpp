@@ -1,0 +1,220 @@
+//===- verifier/ReportIO.cpp - durable report serialization ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/ReportIO.h"
+
+#include "support/ByteIO.h"
+
+using namespace alive;
+using namespace alive::support;
+using namespace alive::verifier;
+
+namespace {
+
+// Record version tags. Bump on any layout change: a mismatched version
+// reads as a miss and the report is recomputed, never misparsed.
+constexpr uint8_t VerifyTag = 'V';
+constexpr uint8_t AttrTag = 'A';
+constexpr uint8_t Version = 1;
+
+void appendBinding(std::string &Out, const CounterExample::Binding &B) {
+  appendBytes(Out, B.Name);
+  appendBytes(Out, B.TypeStr);
+  appendU32(Out, B.Value.getWidth());
+  appendU64(Out, B.Value.getZExtValue());
+}
+
+bool readBinding(ByteReader &R, CounterExample::Binding &B) {
+  B.Name = std::string(R.readBytes());
+  B.TypeStr = std::string(R.readBytes());
+  uint32_t Width = R.readU32();
+  uint64_t Value = R.readU64();
+  if (!R.ok() || Width == 0 || Width > 64)
+    return false;
+  B.Value = APInt(Width, Value);
+  return true;
+}
+
+void appendOptionalAPInt(std::string &Out, const std::optional<APInt> &V) {
+  appendU8(Out, V ? 1 : 0);
+  if (V) {
+    appendU32(Out, V->getWidth());
+    appendU64(Out, V->getZExtValue());
+  }
+}
+
+bool readOptionalAPInt(ByteReader &R, std::optional<APInt> &Out) {
+  if (!R.readU8()) {
+    Out.reset();
+    return R.ok();
+  }
+  uint32_t Width = R.readU32();
+  uint64_t Value = R.readU64();
+  if (!R.ok() || Width == 0 || Width > 64)
+    return false;
+  Out = APInt(Width, Value);
+  return true;
+}
+
+} // namespace
+
+std::string verifier::reportKey(const ir::Transform &T,
+                                const VerifyConfig &Cfg,
+                                const std::string &Mode) {
+  // Every knob that can alter the printed report goes into the
+  // fingerprint; knobs with a byte-identity contract (Jobs, Incremental)
+  // and pure resource budgets are excluded by design — see the header.
+  std::string K = "R|";
+  K += Mode;
+  K += "|w=";
+  for (unsigned W : Cfg.Types.Widths) {
+    K += std::to_string(W);
+    K += ',';
+  }
+  K += ";max=" + std::to_string(Cfg.Types.MaxAssignments);
+  K += ";tptr=" + std::to_string(Cfg.Types.PtrWidth);
+  K += ";enum=" + std::to_string(Cfg.UseZ3TypeEnum ? 1 : 0);
+  K += ";backend=" + std::to_string(static_cast<unsigned>(Cfg.Backend));
+  K += ";mem=" + std::to_string(static_cast<unsigned>(Cfg.Encoding.Memory));
+  K += ";eptr=" + std::to_string(Cfg.Encoding.PtrWidth);
+  K += ";filter=" + std::to_string(Cfg.StaticFilter ? 1 : 0);
+  K += '|';
+  K += T.str();
+  return K;
+}
+
+std::optional<std::string>
+verifier::serializeVerifyResult(const VerifyResult &R) {
+  if (R.V != Verdict::Correct && R.V != Verdict::Incorrect)
+    return std::nullopt; // give-ups and faults must be retried, not replayed
+  std::string Out;
+  appendU8(Out, VerifyTag);
+  appendU8(Out, Version);
+  appendU8(Out, R.V == Verdict::Correct ? 0 : 1);
+  appendU32(Out, R.NumTypeAssignments);
+  appendU32(Out, R.NumQueries);
+  // Replaying the static-filter tally keeps the batch summary's
+  // "static filter: N queries discharged" line byte-identical.
+  appendU64(Out, R.Stats.StaticallyDischarged);
+  appendBytes(Out, R.Message);
+  appendU8(Out, R.CEX ? 1 : 0);
+  if (R.CEX) {
+    const CounterExample &C = *R.CEX;
+    appendU8(Out, static_cast<uint8_t>(C.Kind));
+    appendBytes(Out, C.RootName);
+    appendBytes(Out, C.RootTypeStr);
+    // Ordered arrays, preserving declaration order — the Figure-5 printer
+    // walks bindings in this order, so replay is byte-identical.
+    appendU32(Out, static_cast<uint32_t>(C.Inputs.size()));
+    for (const CounterExample::Binding &B : C.Inputs)
+      appendBinding(Out, B);
+    appendU32(Out, static_cast<uint32_t>(C.Intermediates.size()));
+    for (const CounterExample::Binding &B : C.Intermediates)
+      appendBinding(Out, B);
+    appendOptionalAPInt(Out, C.SourceValue);
+    appendOptionalAPInt(Out, C.TargetValue);
+  }
+  return Out;
+}
+
+std::optional<VerifyResult>
+verifier::deserializeVerifyResult(std::string_view Bytes) {
+  ByteReader R(Bytes);
+  if (R.readU8() != VerifyTag || R.readU8() != Version)
+    return std::nullopt;
+  VerifyResult VR;
+  uint8_t V = R.readU8();
+  if (V > 1)
+    return std::nullopt;
+  VR.V = V == 0 ? Verdict::Correct : Verdict::Incorrect;
+  VR.NumTypeAssignments = R.readU32();
+  VR.NumQueries = R.readU32();
+  VR.Stats.StaticallyDischarged = R.readU64();
+  VR.Message = std::string(R.readBytes());
+  if (R.readU8()) {
+    CounterExample C;
+    uint8_t Kind = R.readU8();
+    if (Kind > static_cast<uint8_t>(FailureKind::MemoryMismatch))
+      return std::nullopt;
+    C.Kind = static_cast<FailureKind>(Kind);
+    C.RootName = std::string(R.readBytes());
+    C.RootTypeStr = std::string(R.readBytes());
+    uint32_t NumInputs = R.readU32();
+    for (uint32_t I = 0; R.ok() && I != NumInputs; ++I) {
+      CounterExample::Binding B;
+      if (!readBinding(R, B))
+        return std::nullopt;
+      C.Inputs.push_back(std::move(B));
+    }
+    uint32_t NumInter = R.readU32();
+    for (uint32_t I = 0; R.ok() && I != NumInter; ++I) {
+      CounterExample::Binding B;
+      if (!readBinding(R, B))
+        return std::nullopt;
+      C.Intermediates.push_back(std::move(B));
+    }
+    if (!readOptionalAPInt(R, C.SourceValue) ||
+        !readOptionalAPInt(R, C.TargetValue))
+      return std::nullopt;
+    VR.CEX = std::move(C);
+  }
+  if (!R.ok() || !R.atEnd())
+    return std::nullopt;
+  return VR;
+}
+
+std::optional<std::string>
+verifier::serializeAttrResult(const AttrInferenceResult &R) {
+  if (R.WhyUnknown != smt::UnknownReason::None)
+    return std::nullopt; // a resource-limited give-up must be retried
+  std::string Out;
+  appendU8(Out, AttrTag);
+  appendU8(Out, Version);
+  appendU8(Out, R.Feasible ? 1 : 0);
+  appendU32(Out, R.NumQueries);
+  appendU64(Out, R.StaticallyDischarged);
+  appendBytes(Out, R.Message);
+  // std::map iterates name-sorted: deterministic bytes for the same maps.
+  appendU32(Out, static_cast<uint32_t>(R.SrcFlags.size()));
+  for (const auto &[Name, Flags] : R.SrcFlags) {
+    appendBytes(Out, Name);
+    appendU32(Out, Flags);
+  }
+  appendU32(Out, static_cast<uint32_t>(R.TgtFlags.size()));
+  for (const auto &[Name, Flags] : R.TgtFlags) {
+    appendBytes(Out, Name);
+    appendU32(Out, Flags);
+  }
+  return Out;
+}
+
+std::optional<AttrInferenceResult>
+verifier::deserializeAttrResult(std::string_view Bytes) {
+  ByteReader R(Bytes);
+  if (R.readU8() != AttrTag || R.readU8() != Version)
+    return std::nullopt;
+  AttrInferenceResult AR;
+  AR.Feasible = R.readU8() != 0;
+  AR.NumQueries = R.readU32();
+  AR.StaticallyDischarged = R.readU64();
+  AR.Stats.StaticallyDischarged = AR.StaticallyDischarged;
+  AR.Message = std::string(R.readBytes());
+  uint32_t NumSrc = R.readU32();
+  for (uint32_t I = 0; R.ok() && I != NumSrc; ++I) {
+    std::string Name(R.readBytes());
+    uint32_t Flags = R.readU32();
+    AR.SrcFlags.emplace(std::move(Name), Flags);
+  }
+  uint32_t NumTgt = R.readU32();
+  for (uint32_t I = 0; R.ok() && I != NumTgt; ++I) {
+    std::string Name(R.readBytes());
+    uint32_t Flags = R.readU32();
+    AR.TgtFlags.emplace(std::move(Name), Flags);
+  }
+  if (!R.ok() || !R.atEnd())
+    return std::nullopt;
+  return AR;
+}

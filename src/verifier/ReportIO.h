@@ -1,0 +1,74 @@
+//===- verifier/ReportIO.h - durable report serialization -------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed serialization of whole-transform verification reports
+/// for the persistent result store: a VerifyResult (verdict + Figure-5
+/// counterexample bindings) or an AttrInferenceResult (inferred flag maps)
+/// round-trips through a compact byte form such that a report replayed
+/// from the store prints byte-identically to a fresh run.
+///
+/// Keys are the transformation's own canonical text (ir::Transform::str())
+/// plus a fingerprint of every configuration knob that can change the
+/// *printed* report — mode, type widths, assignment cap, enumerator,
+/// backend, memory encoding, pointer width, and the static filter (it
+/// changes NumQueries). Knobs with a byte-identity contract across their
+/// settings (Jobs, Incremental — see DESIGN.md §8/§10) are deliberately
+/// excluded so a report computed under any of them serves all of them.
+/// Resource budgets are also excluded: only definitive results are stored,
+/// and a definitive verdict is budget-independent.
+///
+/// Counterexample bindings are serialized as *ordered arrays* preserving
+/// the declaration order buildCounterExample emits (the Figure-5 printer
+/// walks them in order), and inferred-flag maps as name-sorted pairs
+/// (std::map order) — both deterministic, so serializing the same report
+/// twice yields the same bytes.
+///
+/// Deserialization is fail-closed: any truncated, corrupted, or
+/// version-mismatched payload returns failure and the caller re-verifies.
+/// Unknown / TypeError / EncodeError results are rejected by the
+/// serializers — a give-up must be retried, never replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_VERIFIER_REPORTIO_H
+#define ALIVE_VERIFIER_REPORTIO_H
+
+#include "verifier/Verifier.h"
+
+#include <optional>
+#include <string>
+
+namespace alive {
+namespace verifier {
+
+/// The store key for \p T's report under \p Cfg in \p Mode ("verify" or
+/// "infer"). Two invocations get the same key exactly when they are
+/// guaranteed to print the same report.
+std::string reportKey(const ir::Transform &T, const VerifyConfig &Cfg,
+                      const std::string &Mode);
+
+/// Serializes a definitive verification report. Returns nullopt for
+/// verdicts that must not be stored (Unknown, TypeError, EncodeError).
+std::optional<std::string> serializeVerifyResult(const VerifyResult &R);
+
+/// Parses a stored report; nullopt on any corruption or version mismatch.
+/// The counterexample's TypeAssignment is not round-tripped (the printer
+/// never reads it) — only the printable fields are.
+std::optional<VerifyResult> deserializeVerifyResult(std::string_view Bytes);
+
+/// Serializes a definitive inference report. Returns nullopt when the
+/// result is a resource-limited give-up (WhyUnknown set).
+std::optional<std::string>
+serializeAttrResult(const AttrInferenceResult &R);
+
+std::optional<AttrInferenceResult>
+deserializeAttrResult(std::string_view Bytes);
+
+} // namespace verifier
+} // namespace alive
+
+#endif // ALIVE_VERIFIER_REPORTIO_H

@@ -124,6 +124,8 @@ std::unique_ptr<SolverSession> makeSession(const VerifyConfig &Cfg,
       break;
     }
   }
+  if (Cfg.Store)
+    S = createPersistentCachingSession(std::move(S), Cfg.Store);
   if (Cfg.Cache)
     S = createCachingSession(std::move(S), Cfg.Cache);
   return S;
@@ -134,9 +136,13 @@ std::unique_ptr<SolverSession> makeSession(const VerifyConfig &Cfg,
 
 namespace {
 
-/// Cache-wrapped solver for verification queries.
+/// Cache-wrapped solver for verification queries. Same tiering as
+/// makeSession: in-memory cache outermost, persistent store next, backend
+/// innermost.
 std::unique_ptr<Solver> makeVerifySolver(const VerifyConfig &Cfg) {
   std::unique_ptr<Solver> S = makeSolver(Cfg);
+  if (Cfg.Store)
+    S = createPersistentCachingSolver(std::move(S), Cfg.Store);
   if (Cfg.Cache)
     S = createCachingSolver(std::move(S), Cfg.Cache);
   return S;

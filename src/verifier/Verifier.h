@@ -60,6 +60,13 @@ struct VerifyConfig {
   /// parallel, across transforms sharing the cache) memoizes Sat/Unsat
   /// answers keyed by the canonical structure of the query DAG.
   std::shared_ptr<smt::QueryCache> Cache;
+  /// Optional persistent verdict store (service::ResultStore). When set,
+  /// solvers and sessions additionally serve Sat/Unsat answers from — and
+  /// write misses back to — the durable store, under the same canonical
+  /// keys as Cache. Layering: Cache shadows Store shadows the backend, so
+  /// a check is counted once as CacheHit, StoreHit, IncrementalReuse or
+  /// cold Query, never twice.
+  std::shared_ptr<smt::VerdictStore> Store;
   /// Test hook: when set, the verifier and attribute inference obtain
   /// their solvers from this factory instead of Backend — used to wrap
   /// backends in fault injectors and prove Unknown-path soundness. Under

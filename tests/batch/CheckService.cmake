@@ -1,0 +1,147 @@
+# End-to-end daemon parity: starts a daemonized alived on a fresh unix
+# socket with a fresh persistent store, then asserts
+#   1. `alivec --remote` output is byte-identical to a local run for every
+#      corpus (after masking wall-clock and the solver accounting lines),
+#      with matching exit codes — and that the remote path really was
+#      taken, not the local fallback;
+#   2. a warm rerun of the whole corpus set issues zero new cold solver
+#      queries (the store replays every report), observed via the stats
+#      verb;
+#   3. `alivec shutdown --remote` stops the daemon cleanly and the socket
+#      stops accepting.
+#
+#   cmake -DALIVEC=<path> -DALIVED=<path> "-DFILES=a.opt;b.opt"
+#         -P CheckService.cmake
+
+string(RANDOM LENGTH 8 ALPHABET abcdefghijklmnopqrstuvwxyz0123456789 Tag)
+# /tmp keeps the socket path under the sockaddr_un 108-byte limit even in
+# deeply nested build trees.
+set(Sock "/tmp/alive-svc-${Tag}.sock")
+set(Scratch "/tmp/alive-svc-${Tag}")
+file(MAKE_DIRECTORY "${Scratch}")
+
+function(cleanup)
+  execute_process(COMMAND ${ALIVEC} shutdown --remote=${Sock}
+                  OUTPUT_QUIET ERROR_QUIET)
+  file(REMOVE_RECURSE "${Scratch}")
+  file(REMOVE "${Sock}")
+endfunction()
+
+function(fail Msg)
+  cleanup()
+  message(FATAL_ERROR "${Msg}")
+endfunction()
+
+# Masks the fields a remote round trip is allowed to change: wall-clock
+# and the solver/cache/store accounting lines (cold-vs-warm runs differ
+# there by design; verdict bytes must not).
+function(normalize Var)
+  set(Out "${${Var}}")
+  string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*solver:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*query cache:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*result store:[^\n]*\n" "" Out "${Out}")
+  set(${Var} "${Out}" PARENT_SCOPE)
+endfunction()
+
+# Fetches a counter out of the stats verb's JSON (integer values only).
+function(daemon_stat Key Var)
+  execute_process(COMMAND ${ALIVEC} stats --remote=${Sock}
+                  RESULT_VARIABLE Code OUTPUT_VARIABLE Out
+                  ERROR_VARIABLE Err)
+  if(NOT Code EQUAL 0)
+    fail("stats verb failed (exit ${Code}): ${Err}")
+  endif()
+  string(REGEX MATCH "\"${Key}\": ([0-9]+)" _ "${Out}")
+  if(NOT CMAKE_MATCH_1)
+    if(NOT "${CMAKE_MATCH_1}" STREQUAL "0")
+      fail("stats output has no \"${Key}\" counter:\n${Out}")
+    endif()
+  endif()
+  set(${Var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+execute_process(COMMAND ${ALIVED} --daemonize --socket=${Sock}
+                        --store=${Scratch}/store --log=${Scratch}/alived.log
+                RESULT_VARIABLE Code ERROR_VARIABLE Err)
+if(NOT Code EQUAL 0)
+  fail("alived failed to start (exit ${Code}): ${Err}")
+endif()
+message(STATUS "daemon listening on ${Sock}")
+
+# -- 1. remote vs local byte parity, cold store ---------------------------
+foreach(File ${FILES})
+  execute_process(COMMAND ${ALIVEC} verify --remote=${Sock} ${File}
+                  RESULT_VARIABLE RCode OUTPUT_VARIABLE ROut
+                  ERROR_VARIABLE RErr)
+  if(RErr MATCHES "verifying locally")
+    fail("remote run of ${File} fell back to local:\n${RErr}")
+  endif()
+  execute_process(COMMAND ${ALIVEC} verify ${File}
+                  RESULT_VARIABLE LCode OUTPUT_VARIABLE LOut
+                  ERROR_VARIABLE LErr)
+  if(NOT RCode STREQUAL LCode)
+    fail("${File}: exit ${RCode} (remote) vs ${LCode} (local)")
+  endif()
+  normalize(ROut)
+  normalize(LOut)
+  if(NOT ROut STREQUAL LOut)
+    fail("${File}: remote output differs from local\n"
+         "---- remote ----\n${ROut}\n---- local ----\n${LOut}")
+  endif()
+  if(NOT RErr STREQUAL LErr)
+    fail("${File}: remote stderr differs from local\n"
+         "---- remote ----\n${RErr}\n---- local ----\n${LErr}")
+  endif()
+  message(STATUS "${File}: remote == local (exit ${RCode})")
+endforeach()
+
+# -- 2. warm store: the rerun must add zero cold solver queries -----------
+daemon_stat("cold_queries" ColdBefore)
+daemon_stat("report_hits" HitsBefore)
+foreach(File ${FILES})
+  execute_process(COMMAND ${ALIVEC} verify --remote=${Sock} ${File}
+                  RESULT_VARIABLE RCode OUTPUT_VARIABLE ROut
+                  ERROR_VARIABLE RErr)
+  if(RErr MATCHES "verifying locally")
+    fail("warm remote run of ${File} fell back to local:\n${RErr}")
+  endif()
+endforeach()
+daemon_stat("cold_queries" ColdAfter)
+daemon_stat("report_hits" HitsAfter)
+if(NOT ColdAfter EQUAL ColdBefore)
+  fail("warm rerun issued cold solver queries: "
+       "${ColdBefore} before, ${ColdAfter} after")
+endif()
+if(NOT HitsAfter GREATER HitsBefore)
+  fail("warm rerun did not replay stored reports: "
+       "report_hits ${HitsBefore} -> ${HitsAfter}")
+endif()
+message(STATUS "warm rerun: 0 new cold queries, "
+               "report hits ${HitsBefore} -> ${HitsAfter}")
+
+# -- 3. clean shutdown ----------------------------------------------------
+execute_process(COMMAND ${ALIVEC} shutdown --remote=${Sock}
+                RESULT_VARIABLE Code OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Code EQUAL 0)
+  fail("shutdown verb failed (exit ${Code}): ${Err}")
+endif()
+# The server replies before stopping; give the poll loop a moment, then
+# the socket must be gone (the daemon unlinks it on the way out).
+foreach(Try RANGE 20)
+  if(NOT EXISTS "${Sock}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+endforeach()
+if(EXISTS "${Sock}")
+  fail("daemon did not remove its socket after shutdown")
+endif()
+execute_process(COMMAND ${ALIVEC} stats --remote=${Sock}
+                RESULT_VARIABLE Code OUTPUT_QUIET ERROR_QUIET)
+if(Code EQUAL 0)
+  fail("daemon still answering after shutdown")
+endif()
+message(STATUS "daemon shut down cleanly")
+
+file(REMOVE_RECURSE "${Scratch}")

@@ -1,0 +1,180 @@
+//===- tests/service/ProtocolTest.cpp - wire protocol tests ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alived wire protocol: JSON round trips for Request/Response,
+/// fail-closed decoding of malformed messages, frame I/O over a socket
+/// pair (short reads, clean EOF vs torn frame), oversize-frame rejection,
+/// and the JSON library's determinism/edge cases the protocol leans on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+using support::json::Value;
+
+namespace {
+
+TEST(ProtocolJsonTest, RequestRoundTrip) {
+  Request In;
+  In.Id = 42;
+  In.Verb = "verify";
+  In.Path = "file.opt";
+  In.Text = "Name: t\n%r = add %x, 0\n=>\n%r = %x\n";
+  In.Opts = {"--widths=4,8", "--no-cache"};
+
+  auto Out = Request::fromJson(In.toJson());
+  ASSERT_TRUE(Out.ok()) << Out.message();
+  EXPECT_EQ(Out.get().Id, 42u);
+  EXPECT_EQ(Out.get().Verb, "verify");
+  EXPECT_EQ(Out.get().Path, "file.opt");
+  EXPECT_EQ(Out.get().Text, In.Text);
+  EXPECT_EQ(Out.get().Opts, In.Opts);
+}
+
+TEST(ProtocolJsonTest, ResponseRoundTrip) {
+  Response In;
+  In.Id = 7;
+  In.StatusStr = "ok";
+  In.Exit = 3;
+  In.Out = "line one\nline two\n";
+  In.Err = "warning\n";
+  Value S = Value::object();
+  S.set("hits", Value(uint64_t(9)));
+  In.Stats = S;
+
+  auto Out = Response::fromJson(In.toJson());
+  ASSERT_TRUE(Out.ok()) << Out.message();
+  EXPECT_EQ(Out.get().Id, 7u);
+  EXPECT_EQ(Out.get().Exit, 3);
+  EXPECT_EQ(Out.get().Out, In.Out);
+  EXPECT_EQ(Out.get().Err, In.Err);
+  EXPECT_EQ(Out.get().Stats.get("hits").asUInt(), 9u);
+}
+
+TEST(ProtocolJsonTest, FailClosed) {
+  // No verb.
+  EXPECT_FALSE(Request::fromJson(Value::object()).ok());
+  // Verb of the wrong type.
+  Value V = Value::object();
+  V.set("verb", Value(uint64_t(5)));
+  EXPECT_FALSE(Request::fromJson(V).ok());
+  // Opts not an array.
+  V = Value::object();
+  V.set("verb", Value("verify"));
+  V.set("opts", Value("--jobs=2"));
+  EXPECT_FALSE(Request::fromJson(V).ok());
+  // Non-string option.
+  V = Value::object();
+  V.set("verb", Value("verify"));
+  Value Opts = Value::array();
+  Opts.push(Value(uint64_t(1)));
+  V.set("opts", std::move(Opts));
+  EXPECT_FALSE(Request::fromJson(V).ok());
+  // Not an object at all.
+  EXPECT_FALSE(Request::fromJson(Value("verify")).ok());
+  // Response with a made-up status.
+  V = Value::object();
+  V.set("status", Value("maybe"));
+  EXPECT_FALSE(Response::fromJson(V).ok());
+  // Response without status.
+  EXPECT_FALSE(Response::fromJson(Value::object()).ok());
+}
+
+TEST(ProtocolFrameTest, RoundTripOverSocketPair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+
+  // Include NUL bytes and a large-ish payload to exercise short reads.
+  std::string Payload = "hello\0world";
+  Payload.resize(11);
+  Payload += std::string(256 * 1024, 'x');
+  std::thread Writer([&] {
+    ASSERT_TRUE(writeFrame(Fds[0], Payload).ok());
+    ASSERT_TRUE(writeFrame(Fds[0], "").ok()); // empty frame is legal
+    ::close(Fds[0]);
+  });
+  std::string Got;
+  bool SawEof = false;
+  ASSERT_TRUE(readFrame(Fds[1], Got, SawEof).ok());
+  EXPECT_FALSE(SawEof);
+  EXPECT_EQ(Got, Payload);
+  ASSERT_TRUE(readFrame(Fds[1], Got, SawEof).ok());
+  EXPECT_TRUE(Got.empty());
+  EXPECT_FALSE(SawEof);
+  // The peer closed: the next read is a clean EOF, not an error.
+  ASSERT_TRUE(readFrame(Fds[1], Got, SawEof).ok());
+  EXPECT_TRUE(SawEof);
+  Writer.join();
+  ::close(Fds[1]);
+}
+
+TEST(ProtocolFrameTest, MidFrameEofIsError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // A header promising 100 bytes followed by only 3.
+  const char Torn[] = {0, 0, 0, 100, 'a', 'b', 'c'};
+  ASSERT_EQ(::write(Fds[0], Torn, sizeof(Torn)),
+            static_cast<ssize_t>(sizeof(Torn)));
+  ::close(Fds[0]);
+  std::string Got;
+  bool SawEof = false;
+  EXPECT_FALSE(readFrame(Fds[1], Got, SawEof).ok());
+  ::close(Fds[1]);
+}
+
+TEST(ProtocolFrameTest, OversizeFrameRejected) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // Header announcing 1 GB: must be rejected before any allocation, and
+  // without reading the (nonexistent) payload.
+  const unsigned char Hdr[] = {0x40, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::write(Fds[0], Hdr, 4), 4);
+  std::string Got;
+  bool SawEof = false;
+  EXPECT_FALSE(readFrame(Fds[1], Got, SawEof).ok());
+  // Sender side: a payload over the cap is refused locally.
+  EXPECT_FALSE(
+      writeFrame(Fds[0], std::string(MaxFrameBytes + 1, 'x')).ok());
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(ProtocolJsonTest, EdgeCaseStringsSurvive) {
+  // The corpus text travels as a JSON string: control characters,
+  // quotes, backslashes, and UTF-8 must round-trip exactly.
+  Request In;
+  In.Verb = "lint";
+  In.Text = "quote \" backslash \\ newline \n tab \t bell \x07 utf8 \xC3\xA9";
+  auto Parsed = support::json::parse(In.toJson().str());
+  ASSERT_TRUE(Parsed.ok()) << Parsed.message();
+  auto Out = Request::fromJson(Parsed.get());
+  ASSERT_TRUE(Out.ok());
+  EXPECT_EQ(Out.get().Text, In.Text);
+}
+
+TEST(ProtocolJsonTest, DeterministicSerialization) {
+  Request In;
+  In.Id = 1;
+  In.Verb = "verify";
+  In.Opts = {"--jobs=2", "--no-cache"};
+  In.Text = "body";
+  EXPECT_EQ(In.toJson().str(), In.toJson().str());
+  // Round-tripping through parse+serialize is a fixpoint.
+  auto Parsed = support::json::parse(In.toJson().str());
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_EQ(Parsed.get().str(), In.toJson().str());
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+//===- tests/service/ResultStoreTest.cpp - persistent store tests ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent result store: query-entry codec round trips, write →
+/// reopen → lookup durability (via the index snapshot and via raw log
+/// replay), crash-recovery from torn and corrupted tails (self-heal by
+/// dropping the tail, never crash or misreport), a seeded fuzz round trip
+/// over random entries, and a multi-threaded hammer for the tsan preset.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultStore.h"
+
+#include "support/ByteIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+/// A fresh store directory under the system temp dir, removed on scope
+/// exit (best effort — a failed test may leave it for inspection).
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/alive-store-test-XXXXXX";
+    Path = ::mkdtemp(Buf) ? Buf : "";
+    EXPECT_FALSE(Path.empty());
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    std::remove((Path + "/store.log").c_str());
+    std::remove((Path + "/store.idx").c_str());
+    ::rmdir(Path.c_str());
+  }
+};
+
+smt::QueryCache::Entry makeEntry(bool Sat, unsigned Width, uint64_t V) {
+  smt::QueryCache::Entry E;
+  E.IsSat = Sat;
+  if (Sat) {
+    E.Model.push_back({"x", false, false, APInt(Width, V)});
+    E.Model.push_back({"flag", true, true, APInt()});
+  }
+  return E;
+}
+
+void expectEntryEq(const smt::QueryCache::Entry &A,
+                   const smt::QueryCache::Entry &B) {
+  EXPECT_EQ(A.IsSat, B.IsSat);
+  ASSERT_EQ(A.Model.size(), B.Model.size());
+  for (size_t I = 0; I != A.Model.size(); ++I) {
+    EXPECT_EQ(A.Model[I].Name, B.Model[I].Name);
+    EXPECT_EQ(A.Model[I].IsBool, B.Model[I].IsBool);
+    EXPECT_EQ(A.Model[I].BoolVal, B.Model[I].BoolVal);
+    if (!A.Model[I].IsBool) {
+      EXPECT_EQ(A.Model[I].BVVal.getWidth(), B.Model[I].BVVal.getWidth());
+      EXPECT_EQ(A.Model[I].BVVal.getZExtValue(),
+                B.Model[I].BVVal.getZExtValue());
+    }
+  }
+}
+
+TEST(QueryEntryCodecTest, RoundTrip) {
+  smt::QueryCache::Entry In = makeEntry(true, 32, 0xDEADBEEF);
+  smt::QueryCache::Entry Out;
+  ASSERT_TRUE(decodeQueryEntry(encodeQueryEntry(In), Out));
+  expectEntryEq(In, Out);
+
+  smt::QueryCache::Entry Unsat = makeEntry(false, 0, 0);
+  ASSERT_TRUE(decodeQueryEntry(encodeQueryEntry(Unsat), Out));
+  expectEntryEq(Unsat, Out);
+}
+
+TEST(QueryEntryCodecTest, FailClosed) {
+  smt::QueryCache::Entry Out;
+  EXPECT_FALSE(decodeQueryEntry("", Out));
+  std::string Bytes = encodeQueryEntry(makeEntry(true, 16, 7));
+  // Truncations at every prefix length must fail, never crash.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(
+        decodeQueryEntry(std::string_view(Bytes.data(), Len), Out));
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(decodeQueryEntry(Bytes + "x", Out));
+}
+
+TEST(ResultStoreTest, InsertLookupReopen) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok()) << Opened.message();
+    auto &S = *Opened.get();
+    S.insertQuery("q1", makeEntry(true, 8, 42));
+    S.insertQuery("q2", makeEntry(false, 0, 0));
+    S.insertReport("r1", "report-bytes-1");
+    smt::QueryCache::Entry E;
+    ASSERT_TRUE(S.lookupQuery("q1", E));
+    expectEntryEq(makeEntry(true, 8, 42), E);
+    EXPECT_FALSE(S.lookupQuery("missing", E));
+    std::string R;
+    ASSERT_TRUE(S.lookupReport("r1", R));
+    EXPECT_EQ(R, "report-bytes-1");
+    ASSERT_TRUE(S.flush().ok());
+  }
+  // Reopen via the index snapshot.
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok()) << Reopened.message();
+  auto &S = *Reopened.get();
+  smt::QueryCache::Entry E;
+  ASSERT_TRUE(S.lookupQuery("q1", E));
+  expectEntryEq(makeEntry(true, 8, 42), E);
+  ASSERT_TRUE(S.lookupQuery("q2", E));
+  EXPECT_FALSE(E.IsSat);
+  std::string R;
+  ASSERT_TRUE(S.lookupReport("r1", R));
+  EXPECT_EQ(R, "report-bytes-1");
+  EXPECT_EQ(S.stats().QueryEntries, 2u);
+  EXPECT_EQ(S.stats().ReportEntries, 1u);
+}
+
+TEST(ResultStoreTest, ReplaysLogWithoutIndex) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok());
+    Opened.get()->insertQuery("q", makeEntry(true, 4, 9));
+    Opened.get()->insertReport("r", "bytes");
+    // No flush: destruction writes the index; delete it to force replay.
+  }
+  ASSERT_EQ(std::remove((Dir.Path + "/store.idx").c_str()), 0);
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok()) << Reopened.message();
+  smt::QueryCache::Entry E;
+  ASSERT_TRUE(Reopened.get()->lookupQuery("q", E));
+  std::string R;
+  ASSERT_TRUE(Reopened.get()->lookupReport("r", R));
+  EXPECT_EQ(R, "bytes");
+}
+
+TEST(ResultStoreTest, TruncatedTailSelfHeals) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok());
+    Opened.get()->insertQuery("keep", makeEntry(true, 8, 1));
+    Opened.get()->insertQuery("torn", makeEntry(true, 8, 2));
+  }
+  std::remove((Dir.Path + "/store.idx").c_str());
+  // Chop bytes off the end of the log: the torn record must be dropped,
+  // the intact one served, at every truncation point.
+  auto Full = support::readFile(Dir.Path + "/store.log");
+  ASSERT_TRUE(Full.ok());
+  const std::string &Log = Full.get();
+  for (size_t Cut = 1; Cut <= 8; ++Cut) {
+    ASSERT_TRUE(support::writeFileAtomic(
+                    Dir.Path + "/store.log",
+                    std::string_view(Log.data(), Log.size() - Cut))
+                    .ok());
+    auto Reopened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Reopened.ok()) << "cut=" << Cut;
+    smt::QueryCache::Entry E;
+    EXPECT_TRUE(Reopened.get()->lookupQuery("keep", E)) << "cut=" << Cut;
+    EXPECT_FALSE(Reopened.get()->lookupQuery("torn", E)) << "cut=" << Cut;
+    EXPECT_GE(Reopened.get()->stats().DroppedRecords, 1u);
+  }
+}
+
+TEST(ResultStoreTest, CorruptedRecordDropsTail) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok());
+    Opened.get()->insertQuery("first", makeEntry(true, 8, 1));
+    Opened.get()->insertQuery("second", makeEntry(true, 8, 2));
+  }
+  std::remove((Dir.Path + "/store.idx").c_str());
+  auto Full = support::readFile(Dir.Path + "/store.log");
+  ASSERT_TRUE(Full.ok());
+  std::string Log = Full.get();
+  // Flip one payload byte in the last record (the log tail) — its CRC
+  // fails, it is dropped, and the first record still serves.
+  Log[Log.size() - 3] ^= 0x5A;
+  ASSERT_TRUE(support::writeFileAtomic(Dir.Path + "/store.log", Log).ok());
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok());
+  smt::QueryCache::Entry E;
+  EXPECT_TRUE(Reopened.get()->lookupQuery("first", E));
+  EXPECT_FALSE(Reopened.get()->lookupQuery("second", E));
+  EXPECT_GE(Reopened.get()->stats().DroppedRecords, 1u);
+}
+
+TEST(ResultStoreTest, RejectsForeignFile) {
+  TempDir Dir;
+  ASSERT_TRUE(support::writeFileAtomic(Dir.Path + "/store.log",
+                                       "this is not a store log at all")
+                  .ok());
+  EXPECT_FALSE(ResultStore::open(Dir.Path).ok());
+}
+
+TEST(ResultStoreTest, StaleIndexFallsBackToReplay) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok());
+    Opened.get()->insertQuery("a", makeEntry(false, 0, 0));
+  }
+  // Corrupt the index: open must ignore it and rebuild from the log.
+  ASSERT_TRUE(
+      support::writeFileAtomic(Dir.Path + "/store.idx", "garbage").ok());
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok());
+  smt::QueryCache::Entry E;
+  EXPECT_TRUE(Reopened.get()->lookupQuery("a", E));
+}
+
+TEST(ResultStoreTest, FirstInsertWins) {
+  TempDir Dir;
+  auto Opened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Opened.ok());
+  Opened.get()->insertReport("k", "original");
+  Opened.get()->insertReport("k", "overwrite-attempt");
+  std::string R;
+  ASSERT_TRUE(Opened.get()->lookupReport("k", R));
+  EXPECT_EQ(R, "original");
+}
+
+TEST(ResultStoreFuzzTest, SeededRoundTrip) {
+  TempDir Dir;
+  std::mt19937_64 Rng(0xA11CE5EED);
+  std::vector<std::pair<std::string, smt::QueryCache::Entry>> Queries;
+  std::vector<std::pair<std::string, std::string>> Reports;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok());
+    auto &S = *Opened.get();
+    for (unsigned I = 0; I != 300; ++I) {
+      std::string Key = "q" + std::to_string(Rng());
+      smt::QueryCache::Entry E;
+      E.IsSat = Rng() & 1;
+      if (E.IsSat) {
+        unsigned NumBindings = Rng() % 4;
+        for (unsigned B = 0; B != NumBindings; ++B) {
+          unsigned Width = 1 + Rng() % 64;
+          uint64_t Mask =
+              Width == 64 ? ~0ull : ((1ull << Width) - 1);
+          if (Rng() & 1)
+            E.Model.push_back({"b" + std::to_string(B), true,
+                               static_cast<bool>(Rng() & 1), APInt()});
+          else
+            E.Model.push_back({"v" + std::to_string(B), false, false,
+                               APInt(Width, Rng() & Mask)});
+        }
+      }
+      S.insertQuery(Key, E);
+      Queries.emplace_back(std::move(Key), std::move(E));
+    }
+    for (unsigned I = 0; I != 150; ++I) {
+      std::string Key = "r" + std::to_string(Rng());
+      std::string Value(Rng() % 512, '\0');
+      for (char &C : Value)
+        C = static_cast<char>(Rng());
+      S.insertReport(Key, Value);
+      Reports.emplace_back(std::move(Key), std::move(Value));
+    }
+  }
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok());
+  auto &S = *Reopened.get();
+  for (const auto &[Key, Want] : Queries) {
+    smt::QueryCache::Entry Got;
+    ASSERT_TRUE(S.lookupQuery(Key, Got)) << Key;
+    expectEntryEq(Want, Got);
+  }
+  for (const auto &[Key, Want] : Reports) {
+    std::string Got;
+    ASSERT_TRUE(S.lookupReport(Key, Got)) << Key;
+    EXPECT_EQ(Got, Want);
+  }
+}
+
+TEST(ResultStoreTest, ConcurrentHammer) {
+  TempDir Dir;
+  auto Opened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Opened.ok());
+  auto &S = *Opened.get();
+  constexpr unsigned Threads = 8, PerThread = 200;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&S, T] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        // Half the keys are shared across threads to exercise the
+        // first-insert-wins path under contention.
+        std::string Key =
+            (I & 1) ? "shared" + std::to_string(I)
+                    : "t" + std::to_string(T) + "-" + std::to_string(I);
+        S.insertQuery(Key, makeEntry(true, 16, I));
+        smt::QueryCache::Entry E;
+        EXPECT_TRUE(S.lookupQuery(Key, E));
+        S.insertReport("rep-" + Key, "value");
+        std::string R;
+        EXPECT_TRUE(S.lookupReport("rep-" + Key, R));
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  // Every key readable after the storm, and the shared ones exactly once.
+  EXPECT_EQ(S.stats().QueryEntries,
+            Threads * PerThread / 2 + PerThread / 2);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/service/ServerTest.cpp - alived server tests -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alived server run in-process: request/response smoke parity against
+/// a direct runBatch call, concurrent clients hammering one server (verdict
+/// parity plus coalescing of identical in-flight requests), deterministic
+/// load shedding with a saturated single-worker queue, the TCP loopback
+/// listener, the stats verb, and the shutdown verb stopping run().
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+const char *GoodCorpus = "Name: double-negate\n"
+                         "%a = xor %x, -1\n"
+                         "%r = xor %a, -1\n"
+                         "=>\n"
+                         "%r = %x\n";
+
+const char *BuggyCorpus = "Name: bad-shift\n"
+                          "%r = shl %x, 1\n"
+                          "=>\n"
+                          "%r = mul %x, 3\n";
+
+/// A verification that keeps a worker busy long enough to observe
+/// queue-full shedding: 32-bit multiplication distributivity through the
+/// bit-blaster takes seconds; the test never waits for it — the server is
+/// stopped underneath it and the in-flight query cancels cooperatively.
+const char *SlowCorpus = "Name: slow-mul-distrib\n"
+                         "%m1 = mul %x, %a\n"
+                         "%m2 = mul %x, %b\n"
+                         "%r = add %m1, %m2\n"
+                         "=>\n"
+                         "%s = add %a, %b\n"
+                         "%r = mul %x, %s\n";
+
+/// An in-process server on a fresh unix socket; run() executes on a
+/// background thread until the fixture stops it.
+struct ServerFixture {
+  std::string Socket;
+  std::unique_ptr<Server> Srv;
+  std::thread Runner;
+
+  explicit ServerFixture(ServerConfig Cfg = {},
+                         std::shared_ptr<ResultStore> Store = nullptr) {
+    Socket = "/tmp/alive-server-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(reinterpret_cast<uintptr_t>(this) & 0xFFFF) +
+             ".sock";
+    Cfg.SocketPath = Socket;
+    Srv = std::make_unique<Server>(std::move(Cfg), std::move(Store));
+    Status S = Srv->start();
+    EXPECT_TRUE(S.ok()) << S.message();
+    Runner = std::thread([this] { Srv->run(); });
+  }
+
+  ~ServerFixture() {
+    Srv->requestStop();
+    Runner.join();
+    Srv.reset();
+  }
+
+  Result<Response> call(const std::string &Verb, const std::string &Text,
+                        std::vector<std::string> Opts = {}) {
+    Request R;
+    R.Verb = Verb;
+    R.Path = "<test>";
+    R.Text = Text;
+    R.Opts = std::move(Opts);
+    return callServer(Socket, R);
+  }
+};
+
+TEST(ServerTest, SmokeParityWithLocalRun) {
+  ServerFixture F;
+  auto Resp = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "ok");
+  EXPECT_EQ(Resp.get().Exit, 0);
+
+  auto Opts = parseBatchOptions("verify", {});
+  ASSERT_TRUE(Opts.ok());
+  BatchOutcome Local =
+      runBatch(Opts.get(), "<test>", GoodCorpus, nullptr, nullptr);
+  // Bytes must match modulo the wall-clock field of the summary.
+  auto Mask = [](std::string S) {
+    size_t Pos = 0;
+    while ((Pos = S.find(" ms ----", Pos)) != std::string::npos) {
+      size_t Start = S.rfind("| ", Pos);
+      EXPECT_NE(Start, std::string::npos);
+      if (Start == std::string::npos)
+        break;
+      S.replace(Start + 2, Pos - Start - 2, "X");
+      Pos = Start + 11; // resume past the masked "| X ms ----"
+    }
+    return S;
+  };
+  EXPECT_EQ(Mask(Resp.get().Out), Mask(Local.Out));
+  EXPECT_EQ(Resp.get().Err, Local.Err);
+  EXPECT_EQ(Local.Exit, 0);
+}
+
+TEST(ServerTest, IncorrectVerdictAndExitCode) {
+  ServerFixture F;
+  auto Resp = F.call("verify", BuggyCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().Exit, 1);
+  EXPECT_NE(Resp.get().Out.find("INCORRECT"), std::string::npos);
+}
+
+TEST(ServerTest, LintVerb) {
+  ServerFixture F;
+  auto Resp = F.call("lint", GoodCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().Exit, 0);
+}
+
+TEST(ServerTest, BadOptionsAreAnError) {
+  ServerFixture F;
+  auto Resp = F.call("verify", GoodCorpus, {"--frobnicate"});
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "error");
+  EXPECT_EQ(Resp.get().Exit, 2);
+}
+
+TEST(ServerTest, UnknownVerbIsAnError) {
+  ServerFixture F;
+  auto Resp = F.call("transmogrify", GoodCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "error");
+}
+
+TEST(ServerTest, ConcurrentClientsVerdictParity) {
+  ServerFixture F;
+  constexpr unsigned Clients = 8;
+  std::vector<std::string> Outs(Clients);
+  std::vector<int> Exits(Clients, -1);
+  std::vector<std::thread> Pool;
+  for (unsigned I = 0; I != Clients; ++I)
+    Pool.emplace_back([&, I] {
+      // Identical requests: eligible for coalescing, and every client
+      // must still get the full, correct bytes.
+      auto Resp = F.call("verify", GoodCorpus, {"--no-cache"});
+      if (Resp.ok() && Resp.get().StatusStr == "ok") {
+        Outs[I] = Resp.get().Out;
+        Exits[I] = Resp.get().Exit;
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  for (unsigned I = 0; I != Clients; ++I) {
+    EXPECT_EQ(Exits[I], 0) << "client " << I;
+    EXPECT_EQ(Outs[I].empty(), false) << "client " << I;
+  }
+  // All verdict lines identical (timing in the summary may differ between
+  // the leader's bytes and an independently computed run, but coalesced
+  // followers share the leader's bytes verbatim).
+  for (unsigned I = 1; I != Clients; ++I)
+    EXPECT_EQ(Outs[I].substr(0, Outs[I].find("----")),
+              Outs[0].substr(0, Outs[0].find("----")));
+}
+
+TEST(ServerTest, DeterministicLoadShed) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueLimit = 0; // no waiting room: second distinct request is shed
+  ServerFixture F(std::move(Cfg));
+
+  std::thread Slow([&] {
+    // Occupies the only worker; cancelled when the fixture stops the
+    // server, so the test never waits out the multi-second query.
+    (void)F.call("verify", SlowCorpus,
+                 {"--widths=32", "--backend=bitblast", "--no-static-filter"});
+  });
+  // Give the slow request time to be admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto Resp = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "busy");
+  EXPECT_EQ(F.Srv->metrics().counter("requests_shed_total").value(), 1u);
+
+  F.Srv->requestStop(); // cancels the in-flight slow query
+  Slow.join();
+}
+
+TEST(ServerTest, TcpLoopback) {
+  ServerConfig Cfg;
+  // A port derived from the pid keeps parallel ctest invocations apart.
+  unsigned Port = 20000 + (::getpid() % 20000);
+  Cfg.TcpPort = Port;
+  ServerFixture F(std::move(Cfg));
+  Request R;
+  R.Verb = "verify";
+  R.Text = GoodCorpus;
+  auto Resp = callServer("tcp:" + std::to_string(Port), R);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().Exit, 0);
+}
+
+TEST(ServerTest, StatsVerbReportsCounters) {
+  ServerFixture F;
+  ASSERT_TRUE(F.call("verify", GoodCorpus).ok());
+  auto Resp = F.call("stats", "");
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  const auto &Stats = Resp.get().Stats;
+  ASSERT_TRUE(Stats.isObject());
+  EXPECT_GE(Stats.get("counters").get("requests_verify_total").asUInt(), 1u);
+  EXPECT_GE(Stats.get("counters").get("requests_total").asUInt(), 2u);
+  EXPECT_TRUE(Stats.get("solver").isObject());
+  EXPECT_GE(Stats.get("histograms")
+                .get("request_latency_ms")
+                .get("count")
+                .asUInt(),
+            1u);
+}
+
+TEST(ServerTest, StoreMakesSecondRunWarm) {
+  char Buf[] = "/tmp/alive-server-store-XXXXXX";
+  ASSERT_NE(::mkdtemp(Buf), nullptr);
+  std::string Dir = Buf;
+  {
+    auto Store = ResultStore::open(Dir);
+    ASSERT_TRUE(Store.ok()) << Store.message();
+    ServerFixture F({}, std::shared_ptr<ResultStore>(Store.take()));
+    auto Cold = F.call("verify", GoodCorpus);
+    ASSERT_TRUE(Cold.ok());
+    auto S1 = F.call("stats", "");
+    ASSERT_TRUE(S1.ok());
+    uint64_t ColdQueries = S1.get().Stats.get("solver").get("cold_queries").asUInt();
+
+    auto Warm = F.call("verify", GoodCorpus);
+    ASSERT_TRUE(Warm.ok());
+    auto S2 = F.call("stats", "");
+    ASSERT_TRUE(S2.ok());
+    // The warm run replays the whole report: zero new cold queries.
+    EXPECT_EQ(S2.get().Stats.get("solver").get("cold_queries").asUInt(),
+              ColdQueries);
+    EXPECT_GE(S2.get().Stats.get("solver").get("report_hits").asUInt(), 1u);
+    // Verdict lines identical between cold and warm.
+    EXPECT_EQ(Warm.get().Out.substr(0, Warm.get().Out.find("----")),
+              Cold.get().Out.substr(0, Cold.get().Out.find("----")));
+  }
+  std::remove((Dir + "/store.log").c_str());
+  std::remove((Dir + "/store.idx").c_str());
+  ::rmdir(Dir.c_str());
+}
+
+TEST(ServerTest, ShutdownVerbStopsRun) {
+  std::string Socket = "/tmp/alive-server-shutdown-" +
+                       std::to_string(::getpid()) + ".sock";
+  ServerConfig Cfg;
+  Cfg.SocketPath = Socket;
+  Server Srv(std::move(Cfg), nullptr);
+  ASSERT_TRUE(Srv.start().ok());
+  std::thread Runner([&] { Srv.run(); });
+  Request R;
+  R.Verb = "shutdown";
+  auto Resp = callServer(Socket, R);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "ok");
+  Runner.join(); // run() must return on its own after the verb
+}
+
+} // namespace

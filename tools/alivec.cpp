@@ -13,6 +13,8 @@
 ///   alivec codegen file.opt   emit InstCombine-style C++ for correct ones
 ///   alivec print   file.opt   parse and pretty-print
 ///   alivec lint    file.opt   static diagnostics only, no solver
+///   alivec stats              query a daemon (requires --remote)
+///   alivec shutdown           stop a daemon (requires --remote)
 ///
 /// Options:
 ///   --widths=4,8,16     type widths to enumerate (default 4,8)
@@ -31,20 +33,20 @@
 ///   --no-incremental    one-shot query plan: a fresh solver per refinement
 ///                       query instead of warm per-assignment sessions;
 ///                       verdicts and reports are byte-identical
+///   --store=DIR         persistent result store: replay verdicts and whole
+///                       reports recorded by earlier runs, record new ones
+///   --remote=SOCK       send the run to an alived daemon (unix socket
+///                       path, or tcp:PORT for the loopback listener) and
+///                       print its bytes; falls back to local verification
+///                       with a warning when the daemon is unreachable
 ///
-/// Lint mode parses leniently and prints one `file:line:col: severity:
-/// message [kind]` diagnostic per defect; its exit code is 0 for a clean
-/// file, 1 when anything was flagged. Verify runs also surface lint
-/// warnings, on stderr, so template hygiene problems show up without a
-/// separate pass.
+/// The whole batch pipeline lives in service::runBatch (shared with the
+/// alived server, which is what makes --remote byte-identical to a local
+/// run); this file only parses the command line, loads the file, picks
+/// local or remote execution, and prints the result.
 ///
-/// Batch runs are fault-isolated: a transformation that fails to parse,
-/// hits a resource limit, or crashes its pipeline stage is reported on its
-/// own status line and the run continues. With --jobs=N transformations are
-/// verified concurrently by a worker pool, but results are printed strictly
-/// in input order, so the report (and exit code) is byte-identical to a
-/// serial run. Ctrl-C cancels the in-flight solver queries cooperatively
-/// and finishes with the summary. The aggregate exit code is:
+/// Batch behavior, exit codes, fault isolation, --jobs determinism, and
+/// SIGINT handling are unchanged — see service/BatchRunner.h:
 ///
 ///   0  every transformation verified correct (infer: feasible)
 ///   1  at least one transformation is incorrect / infeasible
@@ -56,25 +58,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Lint.h"
-#include "codegen/CodeGen.h"
-#include "parser/Parser.h"
-#include "support/ThreadPool.h"
-#include "verifier/Verifier.h"
+#include "service/BatchRunner.h"
+#include "service/Server.h"
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <csignal>
-#include <cstdarg>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 using namespace alive;
-using namespace alive::verifier;
+using namespace alive::service;
 
 namespace {
 
@@ -82,6 +75,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: alivec <verify|infer|codegen|print|lint> [options] "
                "<file.opt>\n"
+               "       alivec <stats|shutdown> --remote=SOCK\n"
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
                "  --memory=ite|array\n"
@@ -97,365 +91,86 @@ void usage() {
                "  --no-static-filter     disable the abstract SMT pre-filter\n"
                "  --no-incremental       one-shot solver per query (no warm\n"
                "                         session reuse); identical reports\n"
+               "  --store=DIR            persistent result store directory\n"
+               "  --remote=SOCK          run on an alived daemon (falls back\n"
+               "                         to local if unreachable)\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
                "            3 unknown/resource-limited, 4 faulted\n"
                "lint mode: 0 clean, 1 diagnostics reported, 2 usage error\n");
 }
 
-std::string flagsToString(unsigned Flags) {
-  std::string S;
-  if (Flags & ir::AttrNSW)
-    S += " nsw";
-  if (Flags & ir::AttrNUW)
-    S += " nuw";
-  if (Flags & ir::AttrExact)
-    S += " exact";
-  return S.empty() ? " (none)" : S;
-}
-
-/// printf into a std::string (batch output is buffered per transformation
-/// so parallel workers can compute results out of order while the report
-/// still prints strictly in input order).
-std::string format(const char *Fmt, ...) {
-  va_list Ap;
-  va_start(Ap, Fmt);
-  va_list Ap2;
-  va_copy(Ap2, Ap);
-  int N = std::vsnprintf(nullptr, 0, Fmt, Ap);
-  va_end(Ap);
-  std::string S(N > 0 ? static_cast<size_t>(N) : 0, '\0');
-  if (N > 0)
-    std::vsnprintf(S.data(), S.size() + 1, Fmt, Ap2);
-  va_end(Ap2);
-  return S;
-}
-
-/// One "Name:"-delimited region of the input file. Parsed independently so
-/// a syntax error in one transformation cannot abort the batch.
-struct Chunk {
-  std::string Text;
-  std::string Label; ///< the Name: header text, or a line-number fallback
-  unsigned FirstLine = 1;
-};
-
-bool hasContent(const std::string &S) {
-  std::istringstream In(S);
-  std::string Line;
-  while (std::getline(In, Line)) {
-    size_t Pos = Line.find_first_not_of(" \t\r");
-    if (Pos != std::string::npos && Line[Pos] != ';')
-      return true;
-  }
-  return false;
-}
-
-std::vector<Chunk> splitCorpus(const std::string &Text) {
-  std::vector<Chunk> Chunks;
-  Chunk Cur;
-  bool CurHasHeader = false;
-  unsigned LineNo = 0;
-
-  auto Flush = [&] {
-    if (hasContent(Cur.Text)) {
-      if (Cur.Label.empty())
-        Cur.Label = "<line " + std::to_string(Cur.FirstLine) + ">";
-      Chunks.push_back(Cur);
-    }
-    Cur = Chunk();
-    Cur.FirstLine = LineNo + 1;
-    CurHasHeader = false;
-  };
-
-  std::istringstream In(Text);
-  std::string Line;
-  while (std::getline(In, Line)) {
-    bool IsHeader = Line.rfind("Name:", 0) == 0;
-    if (IsHeader) {
-      // A new header always opens a new chunk; comments and blank lines
-      // seen since the last transformation travel with the new one.
-      if (CurHasHeader || hasContent(Cur.Text))
-        Flush();
-      CurHasHeader = true;
-      std::string Name = Line.substr(5);
-      size_t B = Name.find_first_not_of(" \t");
-      Cur.Label = B == std::string::npos ? Name : Name.substr(B);
-      if (Cur.Text.empty())
-        Cur.FirstLine = LineNo + 1;
-    }
-    Cur.Text += Line + "\n";
-    ++LineNo;
-  }
-  Flush();
-  return Chunks;
-}
-
-/// Per-transformation outcome category for the batch summary.
-enum class Outcome { Correct, Incorrect, Unknown, Faulted };
-
-struct Tally {
-  unsigned Count[4] = {0, 0, 0, 0};
-  unsigned UnknownBy[smt::NumUnknownReasons] = {};
-  uint64_t Discharged = 0;  ///< queries the static pre-filter proved away
-  smt::SolverStats Solver;  ///< aggregate solver accounting for the batch
-  bool Cancelled = false;
-
-  void add(Outcome O) { ++Count[static_cast<unsigned>(O)]; }
-  unsigned of(Outcome O) const { return Count[static_cast<unsigned>(O)]; }
-
-  int exitCode() const {
-    if (of(Outcome::Incorrect))
-      return 1;
-    if (of(Outcome::Faulted))
-      return 4;
-    if (of(Outcome::Unknown))
-      return 3;
-    return 0;
-  }
-};
-
 smt::Cancellation GInterrupt;
 
 void onSigInt(int) { GInterrupt.cancel(); }
 
-// Parses the numeric payload of --opt=N, exiting with the usage code on
-// garbage or overflow instead of letting std::stoull abort the process.
-uint64_t parseNum(const std::string &Opt, const std::string &Text) {
-  try {
-    size_t Used = 0;
-    uint64_t V = std::stoull(Text, &Used);
-    if (Used == Text.size())
-      return V;
-  } catch (const std::exception &) {
+/// Runs a control verb (stats/shutdown) against a daemon; these have no
+/// corpus and never fall back to local execution.
+int runControlVerb(const std::string &Verb, const std::string &Remote) {
+  if (Remote.empty()) {
+    std::fprintf(stderr, "error: %s requires --remote=SOCK\n", Verb.c_str());
+    return 2;
   }
-  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Opt.c_str(),
-               Text.c_str());
-  std::exit(2);
-}
-
-/// One unit of batch work: a parsed transformation, or a parse error
-/// standing in for the region that failed.
-struct WorkItem {
-  std::string Label;
-  std::unique_ptr<ir::Transform> T; ///< null when parsing failed
-  std::string ParseError;
-  std::string LintErr; ///< pre-formatted lint warnings (verify mode stderr)
-};
-
-/// Parse errors read "line L:C: msg"; reshape to "file:L:C: severity: msg"
-/// so editors can jump to them. Falls back to prefixing the path.
-std::string locatedMessage(const std::string &Path, const char *Severity,
-                           const std::string &Msg) {
-  unsigned L = 0, C = 0;
-  int Consumed = 0;
-  if (std::sscanf(Msg.c_str(), "line %u:%u:%n", &L, &C, &Consumed) == 2 &&
-      Consumed > 0) {
-    std::string Rest = Msg.substr(static_cast<size_t>(Consumed));
-    if (!Rest.empty() && Rest[0] == ' ')
-      Rest.erase(0, 1);
-    return format("%s:%u:%u: %s: %s", Path.c_str(), L, C, Severity,
-                  Rest.c_str());
+  Request Req;
+  Req.Verb = Verb;
+  auto Resp = callServer(Remote, Req);
+  if (!Resp.ok()) {
+    std::fprintf(stderr, "error: %s\n", Resp.message().c_str());
+    return 2;
   }
-  return format("%s: %s: %s", Path.c_str(), Severity, Msg.c_str());
-}
-
-/// Formats \p T's lint diagnostics as "file:line:col: warning: ..." lines.
-std::string lintReport(const std::string &Path, const ir::Transform &T) {
-  std::string Out;
-  for (const analysis::LintDiagnostic &D : analysis::lintTransform(T))
-    Out += format("%s:%u:%u: warning: %s [%s]\n", Path.c_str(), D.Loc.Line,
-                  D.Loc.Col, D.Message.c_str(),
-                  analysis::lintKindName(D.Kind));
-  return Out;
-}
-
-/// A worker's result for one item, formatted but not yet printed.
-struct ItemResult {
-  Outcome O = Outcome::Correct;
-  smt::UnknownReason Why = smt::UnknownReason::None;
-  std::string Out;           ///< stdout payload (status line / report)
-  std::string Err;           ///< stderr payload (codegen/lint diagnostics)
-  uint64_t Discharged = 0;   ///< queries skipped by the static pre-filter
-  smt::SolverStats Stats;    ///< this item's solver accounting
-  bool EmitCodegen = false;  ///< verified correct in codegen mode
-  bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
-  bool Done = false;
-};
-
-/// Runs one transformation through \p Mode. Pure function of the item and
-/// config: safe to call from any worker thread. Codegen emission itself is
-/// deferred to the printer so apply_N numbering follows input order.
-ItemResult processItem(const std::string &Mode, const WorkItem &Item,
-                       const VerifyConfig &Cfg) {
-  ItemResult R;
-  const std::string &Name = Item.Label;
-  if (!Item.T) {
-    R.O = Outcome::Faulted;
-    R.Out = format("%-32s PARSE ERROR: %s\n", Name.c_str(),
-                   Item.ParseError.c_str());
-    return R;
-  }
-  try {
-    if (Mode == "print") {
-      R.Out = format("%s\n", Item.T->str().c_str());
-    } else if (Mode == "verify") {
-      R.Err = Item.LintErr;
-      VerifyResult VR = verify(*Item.T, Cfg);
-      R.Discharged = VR.Stats.StaticallyDischarged;
-      R.Stats = VR.Stats;
-      switch (VR.V) {
-      case Verdict::Correct:
-        R.Out = format("%-32s correct (%u type assignments, %u queries)\n",
-                       Name.c_str(), VR.NumTypeAssignments, VR.NumQueries);
-        break;
-      case Verdict::Incorrect:
-        R.O = Outcome::Incorrect;
-        R.Out = format("%-32s INCORRECT\n%s\n", Name.c_str(),
-                       VR.CEX ? VR.CEX->str().c_str() : "");
-        break;
-      case Verdict::Unknown:
-        R.O = Outcome::Unknown;
-        R.Why = VR.WhyUnknown;
-        R.Out = format("%-32s unknown: %s\n", Name.c_str(),
-                       VR.Message.c_str());
-        break;
-      case Verdict::TypeError:
-      case Verdict::EncodeError:
-        R.O = Outcome::Faulted;
-        R.Out = format("%-32s ERROR: %s\n", Name.c_str(), VR.Message.c_str());
-        break;
-      }
-    } else if (Mode == "infer") {
-      AttrInferenceResult IR = inferAttributes(*Item.T, Cfg);
-      R.Discharged = IR.StaticallyDischarged;
-      R.Stats = IR.Stats;
-      if (!IR.Feasible) {
-        R.O = IR.WhyUnknown != smt::UnknownReason::None ? Outcome::Unknown
-                                                        : Outcome::Incorrect;
-        R.Why = IR.WhyUnknown;
-        R.Out = format("%-32s infeasible: %s\n", Name.c_str(),
-                       IR.Message.c_str());
-      } else {
-        R.Out = format("%s:\n", Name.c_str());
-        for (const auto &[I, Flags] : IR.SrcFlags)
-          R.Out += format("  source %-8s needs%s\n", I.c_str(),
-                          flagsToString(Flags).c_str());
-        for (const auto &[I, Flags] : IR.TgtFlags)
-          R.Out += format("  target %-8s may carry%s\n", I.c_str(),
-                          flagsToString(Flags).c_str());
-      }
-    } else if (Mode == "codegen") {
-      VerifyResult VR = verify(*Item.T, Cfg);
-      R.Discharged = VR.Stats.StaticallyDischarged;
-      R.Stats = VR.Stats;
-      if (!VR.isCorrect()) {
-        R.O = VR.V == Verdict::Incorrect ? Outcome::Incorrect
-              : VR.V == Verdict::Unknown ? Outcome::Unknown
-                                         : Outcome::Faulted;
-        R.Why = VR.WhyUnknown;
-        R.Err = format("// %s failed verification; no code generated\n",
-                       Name.c_str());
-      } else {
-        R.EmitCodegen = true;
-      }
-    }
-  } catch (const std::exception &Ex) {
-    R.O = Outcome::Faulted;
-    R.Out = format("%-32s INTERNAL ERROR: %s\n", Name.c_str(), Ex.what());
-  } catch (...) {
-    R.O = Outcome::Faulted;
-    R.Out = format("%-32s INTERNAL ERROR: unknown exception\n", Name.c_str());
-  }
-  return R;
+  if (!Resp.get().Out.empty())
+    std::fputs(Resp.get().Out.c_str(), stdout);
+  if (!Resp.get().Err.empty())
+    std::fputs(Resp.get().Err.c_str(), stderr);
+  if (!Resp.get().Stats.isNull())
+    std::printf("%s\n", Resp.get().Stats.str(2).c_str());
+  return Resp.get().StatusStr == "ok" ? Resp.get().Exit : 2;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     usage();
     return 2;
   }
   std::string Mode = argv[1];
-  int FirstOpt = 2;
-  if (Mode == "--lint") {
-    // `alivec --lint file.opt` is accepted alongside `alivec lint file.opt`.
-    Mode = "lint";
-  } else if (Mode != "verify" && Mode != "infer" && Mode != "codegen" &&
-             Mode != "print" && Mode != "lint") {
+  if (Mode == "--lint")
+    Mode = "lint"; // `alivec --lint file.opt` alias
+
+  // Split the remaining arguments into option strings and the file path.
+  // The raw option list is kept verbatim: in remote mode it is forwarded
+  // to the daemon (minus the client-only --remote/--store), which reparses
+  // it with the same parser — agreement by construction.
+  std::vector<std::string> Opts;
+  std::string Path;
+  for (int I = 2; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--", 0) == 0)
+      Opts.push_back(std::move(Arg));
+    else
+      Path = std::move(Arg);
+  }
+
+  if (Mode == "stats" || Mode == "shutdown") {
+    std::string Remote;
+    for (const std::string &Opt : Opts)
+      if (Opt.rfind("--remote=", 0) == 0)
+        Remote = Opt.substr(9);
+    return runControlVerb(Mode, Remote);
+  }
+
+  auto Parsed = parseBatchOptions(Mode, Opts);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "%s\n", Parsed.message().c_str());
     usage();
     return 2;
   }
-  std::string Path;
-  VerifyConfig Cfg;
-  Cfg.Types.Widths = {4, 8};
-  bool FailFast = false;
-  bool UseCache = true;
-  bool PrintCacheStats = false;
-  unsigned Jobs = support::ThreadPool::defaultConcurrency();
+  BatchOptions Options = Parsed.take();
 
-  for (int I = FirstOpt; I != argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--widths=", 0) == 0) {
-      Cfg.Types.Widths.clear();
-      std::stringstream SS(Arg.substr(9));
-      std::string W;
-      while (std::getline(SS, W, ','))
-        Cfg.Types.Widths.push_back(
-            static_cast<unsigned>(parseNum("--widths", W)));
-      if (Cfg.Types.Widths.empty()) {
-        std::fprintf(stderr, "error: --widths needs at least one width\n");
-        return 2;
-      }
-    } else if (Arg == "--backend=z3") {
-      Cfg.Backend = BackendKind::Z3;
-    } else if (Arg == "--backend=bitblast") {
-      Cfg.Backend = BackendKind::BitBlast;
-    } else if (Arg == "--backend=hybrid") {
-      Cfg.Backend = BackendKind::Hybrid;
-    } else if (Arg == "--memory=array") {
-      Cfg.Encoding.Memory = semantics::MemoryEncoding::ArrayTheory;
-    } else if (Arg == "--memory=ite") {
-      Cfg.Encoding.Memory = semantics::MemoryEncoding::EagerIte;
-    } else if (Arg.rfind("--jobs=", 0) == 0) {
-      Jobs = static_cast<unsigned>(parseNum("--jobs", Arg.substr(7)));
-      if (!Jobs) {
-        std::fprintf(stderr, "error: --jobs needs at least one worker\n");
-        return 2;
-      }
-    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
-      Cfg.Limits.DeadlineMs =
-          static_cast<unsigned>(parseNum("--deadline-ms", Arg.substr(14)));
-      Cfg.TimeoutMs = Cfg.Limits.DeadlineMs;
-    } else if (Arg.rfind("--conflicts=", 0) == 0) {
-      Cfg.Limits.ConflictBudget = parseNum("--conflicts", Arg.substr(12));
-    } else if (Arg.rfind("--max-learned-mb=", 0) == 0) {
-      Cfg.Limits.LearnedBytesBudget =
-          parseNum("--max-learned-mb", Arg.substr(17)) * 1024 * 1024;
-    } else if (Arg == "--fail-fast") {
-      FailFast = true;
-    } else if (Arg == "--no-cache") {
-      UseCache = false;
-    } else if (Arg == "--cache-stats") {
-      PrintCacheStats = true;
-    } else if (Arg == "--lint") {
-      Mode = "lint";
-    } else if (Arg == "--no-static-filter") {
-      Cfg.StaticFilter = false;
-    } else if (Arg == "--no-incremental") {
-      Cfg.Incremental = false;
-    } else if (Arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
-      usage();
-      return 2;
-    } else {
-      Path = Arg;
-    }
-  }
   if (Path.empty()) {
     usage();
     return 2;
   }
-
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
@@ -463,214 +178,50 @@ int main(int argc, char **argv) {
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
+  std::string Text = Buf.str();
 
-  if (Mode == "lint") {
-    // No solver, no worker pool: parse each region leniently (so defects
-    // finalize() would reject still get located diagnostics) and print
-    // everything the analysis flags.
-    unsigned NumDiags = 0;
-    for (Chunk &C : splitCorpus(Buf.str())) {
-      parser::ParseOptions PO;
-      PO.FirstLine = C.FirstLine;
-      PO.Lenient = true;
-      auto Parsed = parser::parseTransforms(C.Text, PO);
-      if (!Parsed.ok()) {
-        ++NumDiags;
-        std::printf("%s [parse-error]\n",
-                    locatedMessage(Path, "error", Parsed.message()).c_str());
-        continue;
-      }
-      for (auto &T : Parsed.get()) {
-        std::string Report = lintReport(Path, *T);
-        NumDiags += Report.empty() ? 0 : 1;
-        std::fputs(Report.c_str(), stdout);
-      }
+  if (!Options.Remote.empty()) {
+    Request Req;
+    Req.Verb = Options.Mode; // after --lint flag rewriting
+    Req.Path = Path;
+    Req.Text = Text;
+    for (const std::string &Opt : Opts)
+      if (Opt.rfind("--remote=", 0) != 0 && Opt.rfind("--store=", 0) != 0)
+        Req.Opts.push_back(Opt);
+    auto Resp = callServer(Options.Remote, Req);
+    if (Resp.ok() && Resp.get().StatusStr == "ok") {
+      std::fputs(Resp.get().Out.c_str(), stdout);
+      std::fputs(Resp.get().Err.c_str(), stderr);
+      return Resp.get().Exit;
     }
-    return NumDiags ? 1 : 0;
+    // Unreachable daemon or shed load: the answer still matters more than
+    // where it is computed. Warn and verify locally.
+    std::string Why = Resp.ok() ? Resp.get().Err : Resp.message();
+    while (!Why.empty() && Why.back() == '\n')
+      Why.pop_back();
+    std::fprintf(stderr, "warning: remote %s (%s); verifying locally\n",
+                 Resp.ok() ? "server busy" : "unreachable", Why.c_str());
   }
 
-  std::signal(SIGINT, onSigInt);
-  Cfg.Limits.Cancel = &GInterrupt;
-
-  std::shared_ptr<smt::QueryCache> Cache;
-  if (UseCache) {
-    Cache = std::make_shared<smt::QueryCache>();
-    Cfg.Cache = Cache;
+  std::shared_ptr<ResultStore> Store;
+  if (!Options.StoreDir.empty()) {
+    auto Opened = ResultStore::open(Options.StoreDir);
+    if (!Opened.ok()) {
+      std::fprintf(stderr, "error: cannot open store: %s\n",
+                   Opened.message().c_str());
+      return 2;
+    }
+    Store = std::move(Opened.take());
   }
 
-  // Flatten the fault-isolated chunks into one ordered work list. Chunks
-  // carry their absolute first line so parse errors and lint warnings
-  // point into the file, not into the chunk.
-  std::vector<WorkItem> Items;
-  for (Chunk &C : splitCorpus(Buf.str())) {
-    parser::ParseOptions PO;
-    PO.FirstLine = C.FirstLine;
-    auto Parsed = parser::parseTransforms(C.Text, PO);
-    if (!Parsed.ok()) {
-      WorkItem W;
-      W.Label = C.Label;
-      W.ParseError = Parsed.message();
-      Items.push_back(std::move(W));
-      continue;
-    }
-    for (auto &T : Parsed.get()) {
-      WorkItem W;
-      W.Label = T->Name.empty() ? C.Label : T->Name;
-      if (Mode == "verify")
-        W.LintErr = lintReport(Path, *T);
-      W.T = std::move(T);
-      Items.push_back(std::move(W));
-    }
+  smt::Cancellation *Cancel = nullptr;
+  if (Options.Mode != "lint") {
+    std::signal(SIGINT, onSigInt);
+    Cancel = &GInterrupt;
   }
 
-  // A single transformation cannot be sharded across the batch pool, but
-  // its type assignments and refinement conditions can: hand the workers
-  // to the verifier instead.
-  if (Items.size() <= 1 && Jobs > 1) {
-    Cfg.Jobs = Jobs;
-    Jobs = 1;
-  }
-
-  Tally Sum;
-  unsigned Emitted = 0;
-  const auto BatchStart = std::chrono::steady_clock::now();
-
-  auto Finish = [&](unsigned Total) {
-    const double Ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - BatchStart)
-            .count();
-    std::printf("---- batch summary: %u transforms | %u correct | "
-                "%u incorrect | %u unknown | %u faulted | %.1f ms ----\n",
-                Total, Sum.of(Outcome::Correct), Sum.of(Outcome::Incorrect),
-                Sum.of(Outcome::Unknown), Sum.of(Outcome::Faulted), Ms);
-    if (Sum.of(Outcome::Unknown)) {
-      std::printf("     unknown reasons:");
-      for (unsigned I = 0; I != smt::NumUnknownReasons; ++I)
-        if (Sum.UnknownBy[I])
-          std::printf(" %s=%u",
-                      smt::unknownReasonName(
-                          static_cast<smt::UnknownReason>(I)),
-                      Sum.UnknownBy[I]);
-      std::printf("\n");
-    }
-    if (Sum.Solver.Queries || Sum.Solver.IncrementalReuses ||
-        Sum.Solver.CacheHits)
-      std::printf("     solver: %llu cold queries | %llu incremental reuses "
-                  "| %llu cache hits | %llu cold starts\n",
-                  static_cast<unsigned long long>(Sum.Solver.Queries),
-                  static_cast<unsigned long long>(Sum.Solver.IncrementalReuses),
-                  static_cast<unsigned long long>(Sum.Solver.CacheHits),
-                  static_cast<unsigned long long>(Sum.Solver.ColdStarts));
-    if (PrintCacheStats && Cache)
-      std::printf("     query cache: %s\n", Cache->stats().str().c_str());
-    if (Sum.Discharged)
-      std::printf("     static filter: %llu queries discharged\n",
-                  static_cast<unsigned long long>(Sum.Discharged));
-    if (Sum.Cancelled)
-      std::printf("     run cancelled by SIGINT; remaining transforms "
-                  "skipped\n");
-    return Sum.exitCode();
-  };
-
-  // Historically print mode skips the batch summary on normal completion
-  // (but not on a fail-fast early return).
-  auto FinishFinal = [&](unsigned Total) {
-    if (Mode == "print")
-      return Sum.of(Outcome::Faulted) ? 4 : 0;
-    return Finish(Total);
-  };
-
-  // Prints one finished result and updates the tally; returns false when
-  // the batch should stop (fail-fast).
-  auto Emit = [&](ItemResult &R, const WorkItem &Item) {
-    if (!R.Out.empty())
-      std::fputs(R.Out.c_str(), stdout);
-    if (!R.Err.empty())
-      std::fputs(R.Err.c_str(), stderr);
-    if (R.EmitCodegen) {
-      auto Cpp = codegen::emitCppFunction(*Item.T,
-                                          "apply_" + std::to_string(++Emitted));
-      if (Cpp.ok())
-        std::printf("%s\n", Cpp.get().c_str());
-      else {
-        R.O = Outcome::Faulted;
-        std::fprintf(stderr, "// %s: %s\n", Item.Label.c_str(),
-                     Cpp.message().c_str());
-      }
-    }
-    if (R.O == Outcome::Unknown)
-      ++Sum.UnknownBy[static_cast<unsigned>(R.Why)];
-    Sum.Discharged += R.Discharged;
-    Sum.Solver.merge(R.Stats);
-    Sum.add(R.O);
-    return !(FailFast && R.O != Outcome::Correct);
-  };
-
-  unsigned Total = 0;
-
-  if (Jobs <= 1) {
-    // Serial path: compute and print one item at a time, lazily — exactly
-    // the historical behavior (fail-fast and SIGINT stop further work).
-    for (const WorkItem &Item : Items) {
-      if (GInterrupt.isCancelled()) {
-        Sum.Cancelled = true;
-        break;
-      }
-      ++Total;
-      ItemResult R = processItem(Mode, Item, Cfg);
-      if (!Emit(R, Item))
-        return Finish(Total);
-    }
-    return FinishFinal(Total);
-  }
-
-  // Parallel path: a worker pool computes results out of order; the main
-  // thread prints them strictly in input order, so the report is identical
-  // to a serial run. Workers check the stop/cancel flags at job start, so
-  // fail-fast and SIGINT drop not-yet-started work.
-  std::vector<ItemResult> Results(Items.size());
-  std::mutex ResultsMutex;
-  std::condition_variable ResultsCV;
-  std::atomic<bool> Stop{false};
-  bool FailedFast = false;
-
-  support::ThreadPool Pool(Jobs);
-  for (size_t I = 0; I != Items.size(); ++I) {
-    Pool.submit([&, I] {
-      ItemResult R;
-      if (Stop.load(std::memory_order_acquire) || GInterrupt.isCancelled())
-        R.Skipped = true;
-      else
-        R = processItem(Mode, Items[I], Cfg);
-      {
-        std::lock_guard<std::mutex> L(ResultsMutex);
-        Results[I] = std::move(R);
-        Results[I].Done = true;
-      }
-      ResultsCV.notify_all();
-    });
-  }
-
-  for (size_t I = 0; I != Items.size(); ++I) {
-    {
-      std::unique_lock<std::mutex> L(ResultsMutex);
-      ResultsCV.wait(L, [&] { return Results[I].Done; });
-    }
-    if (Results[I].Skipped) {
-      if (GInterrupt.isCancelled())
-        Sum.Cancelled = true;
-      break;
-    }
-    ++Total;
-    if (!Emit(Results[I], Items[I])) {
-      FailedFast = true;
-      Stop.store(true, std::memory_order_release);
-      break;
-    }
-  }
-  Stop.store(true, std::memory_order_release);
-  Pool.cancelPending();
-  Pool.wait();
-  return FailedFast ? Finish(Total) : FinishFinal(Total);
+  BatchOutcome Out = runBatch(Options, Path, Text, Store, Cancel);
+  std::fputs(Out.Out.c_str(), stdout);
+  std::fputs(Out.Err.c_str(), stderr);
+  return Out.Exit;
 }

@@ -1,0 +1,195 @@
+//===- tools/alived.cpp - the Alive verification daemon -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived verification service: keeps the persistent result store and
+/// the solver warm across invocations, so editors and CI runs pay the
+/// process-startup and cold-solver cost once instead of per call.
+///
+///   alived --socket=/path/to.sock [options]
+///
+/// Options:
+///   --socket=PATH        unix-domain socket to listen on
+///   --tcp=PORT           additionally listen on 127.0.0.1:PORT
+///   --store=DIR          persistent result store directory
+///   --workers=N          concurrent requests (default: hw concurrency)
+///   --queue-limit=N      waiting requests before shedding (default 16)
+///   --metrics-dump=FILE  write a JSON metrics snapshot on SIGUSR1 and on
+///                        shutdown
+///   --daemonize          fork to the background once listening (the
+///                        parent exits 0 only after bind/listen succeeded,
+///                        so a follow-up client cannot race the socket)
+///   --log=FILE           append daemon diagnostics to FILE (with
+///                        --daemonize; default /dev/null)
+///
+/// Signals: SIGTERM/SIGINT stop the server gracefully (store flushed,
+/// in-flight queries cancelled); SIGUSR1 dumps metrics. Handlers only set
+/// atomic flags — the poll-based accept loop notices within 200 ms.
+///
+/// Clients: `alivec --remote=PATH ...` (or `--remote=tcp:PORT`), plus the
+/// stats/shutdown verbs via `alivec stats|shutdown --remote=PATH`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+Server *GServer = nullptr;
+
+void onStopSignal(int) {
+  if (GServer)
+    GServer->requestStop();
+}
+
+void onUsr1(int) {
+  if (GServer)
+    GServer->requestMetricsDump();
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: alived --socket=PATH [options]\n"
+               "  --socket=PATH        unix-domain socket to listen on\n"
+               "  --tcp=PORT           also listen on 127.0.0.1:PORT\n"
+               "  --store=DIR          persistent result store directory\n"
+               "  --workers=N          concurrent requests\n"
+               "  --queue-limit=N      queue slots before shedding load\n"
+               "  --metrics-dump=FILE  JSON snapshot on SIGUSR1/shutdown\n"
+               "  --daemonize          background once listening\n"
+               "  --log=FILE           daemon log file (with --daemonize)\n");
+}
+
+bool parseNum(const char *Opt, const std::string &Text, uint64_t &Out) {
+  try {
+    size_t Used = 0;
+    Out = std::stoull(Text, &Used);
+    if (Used == Text.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Opt,
+               Text.c_str());
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerConfig Cfg;
+  std::string StoreDir;
+  std::string LogFile;
+  bool Daemonize = false;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    uint64_t N = 0;
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Cfg.SocketPath = Arg.substr(9);
+    } else if (Arg.rfind("--tcp=", 0) == 0) {
+      if (!parseNum("--tcp", Arg.substr(6), N) || !N || N > 65535) {
+        usage();
+        return 2;
+      }
+      Cfg.TcpPort = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--store=", 0) == 0) {
+      StoreDir = Arg.substr(8);
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      if (!parseNum("--workers", Arg.substr(10), N) || !N) {
+        usage();
+        return 2;
+      }
+      Cfg.Workers = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--queue-limit=", 0) == 0) {
+      if (!parseNum("--queue-limit", Arg.substr(14), N)) {
+        usage();
+        return 2;
+      }
+      Cfg.QueueLimit = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--metrics-dump=", 0) == 0) {
+      Cfg.MetricsDump = Arg.substr(15);
+    } else if (Arg == "--daemonize") {
+      Daemonize = true;
+    } else if (Arg.rfind("--log=", 0) == 0) {
+      LogFile = Arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (Cfg.SocketPath.empty() && !Cfg.TcpPort) {
+    usage();
+    return 2;
+  }
+
+  std::shared_ptr<ResultStore> Store;
+  if (!StoreDir.empty()) {
+    auto Opened = ResultStore::open(StoreDir);
+    if (!Opened.ok()) {
+      std::fprintf(stderr, "error: cannot open store: %s\n",
+                   Opened.message().c_str());
+      return 2;
+    }
+    Store = std::move(Opened.take());
+  }
+
+  Server Srv(std::move(Cfg), Store);
+  if (Status S = Srv.start(); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 2;
+  }
+
+  if (Daemonize) {
+    // The sockets are already bound and listening, so once the parent
+    // exits 0 a client can connect immediately — no readiness handshake
+    // needed. The child keeps the listening fds across fork.
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "error: fork: %s\n", std::strerror(errno));
+      return 2;
+    }
+    if (Pid > 0)
+      ::_exit(0); // parent: address is live, hand off to the child.
+                  // _exit skips destructors — ~Server would otherwise
+                  // unlink the socket file out from under the child.
+    ::setsid();
+    const char *Sink = LogFile.empty() ? "/dev/null" : LogFile.c_str();
+    int Fd = ::open(Sink, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (Fd >= 0) {
+      ::dup2(Fd, STDOUT_FILENO);
+      ::dup2(Fd, STDERR_FILENO);
+      if (Fd > STDERR_FILENO)
+        ::close(Fd);
+    }
+    int Null = ::open("/dev/null", O_RDONLY);
+    if (Null >= 0) {
+      ::dup2(Null, STDIN_FILENO);
+      if (Null > STDERR_FILENO)
+        ::close(Null);
+    }
+  }
+
+  GServer = &Srv;
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGUSR1, onUsr1);
+  std::signal(SIGPIPE, SIG_IGN); // a dying client must not kill the server
+
+  Srv.run();
+  GServer = nullptr;
+  return 0;
+}
