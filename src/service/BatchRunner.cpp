@@ -9,6 +9,7 @@
 #include "analysis/Lint.h"
 #include "codegen/CodeGen.h"
 #include "parser/Parser.h"
+#include "service/RemoteClient.h"
 #include "support/ThreadPool.h"
 #include "verifier/ReportIO.h"
 
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 using namespace alive;
 using namespace alive::service;
@@ -447,6 +449,18 @@ service::parseBatchOptions(const std::string &Mode,
       if (O.Remote.empty())
         return Result<BatchOptions>::error(
             "error: --remote needs a socket address");
+    } else if (Arg.rfind("--retry=", 0) == 0) {
+      if (Status S = Num("--retry", Arg.substr(8), N); !S.ok())
+        return S;
+      O.Retries = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--request-deadline-ms=", 0) == 0) {
+      if (Status S = Num("--request-deadline-ms", Arg.substr(22), N);
+          !S.ok())
+        return S;
+      if (!N)
+        return Result<BatchOptions>::error(
+            "error: --request-deadline-ms needs a positive budget");
+      O.RequestDeadlineMs = N;
     } else {
       return Result<BatchOptions>::error("unknown option " + Arg);
     }
@@ -558,7 +572,7 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
       Res.Out += format("     static filter: %llu queries discharged\n",
                         static_cast<unsigned long long>(Sum.Discharged));
     if (Sum.Cancelled)
-      Res.Out += format("     run cancelled by SIGINT; remaining transforms "
+      Res.Out += format("     run cancelled; remaining transforms "
                         "skipped\n");
     Res.Exit = Sum.exitCode();
     Res.Solver = Sum.Solver;
@@ -670,4 +684,106 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
   Pool.cancelPending();
   Pool.wait();
   return FailedFast ? Finish(Total) : FinishFinal(Total);
+}
+
+BatchOutcome service::runBatchClient(const BatchOptions &Opts,
+                                     const std::vector<std::string> &ForwardOpts,
+                                     const std::string &Path,
+                                     const std::string &Text,
+                                     smt::Cancellation *Cancel) {
+  // The end-to-end budget spans the remote attempt AND any local
+  // fallback: a caller that asked for an answer within N ms gets one
+  // answer attempt, not one per transport.
+  const bool HasDeadline = Opts.RequestDeadlineMs != 0;
+  const auto Deadline =
+      HasDeadline ? std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Opts.RequestDeadlineMs)
+                  : std::chrono::steady_clock::time_point::max();
+
+  std::string FallbackReason;
+  if (!Opts.Remote.empty()) {
+    RemoteClientConfig CC;
+    CC.Address = Opts.Remote;
+    CC.MaxRetries = Opts.Retries;
+    RemoteClient Client(CC);
+
+    Request Req;
+    Req.Verb = Opts.Mode;
+    Req.Path = Path;
+    Req.Text = Text;
+    Req.Opts = ForwardOpts;
+    Req.DeadlineMs = Opts.RequestDeadlineMs;
+
+    auto Resp = Client.call(Req);
+    if (Resp.ok() &&
+        (Resp.get().StatusStr == "ok" || Resp.get().StatusStr == "timeout")) {
+      // "ok" is the answer; "timeout" is also final — the budget is spent,
+      // re-running locally would miss the same deadline.
+      BatchOutcome Out;
+      Out.Exit = Resp.get().Exit;
+      Out.Out = Resp.get().Out;
+      Out.Err = Resp.get().Err;
+      Out.DeadlineExceeded = Resp.get().StatusStr == "timeout";
+      return Out;
+    }
+    // Unreachable, exhausted retries, breaker open, shed load, or a
+    // server-side error: the answer still matters more than where it is
+    // computed. One warning for the whole batch, then verify locally.
+    FallbackReason = Resp.ok() ? Resp.get().Err : Resp.message();
+    while (!FallbackReason.empty() && FallbackReason.back() == '\n')
+      FallbackReason.pop_back();
+    if (FallbackReason.empty())
+      FallbackReason = Client.lastError();
+  }
+
+  std::shared_ptr<ResultStore> Store;
+  if (!Opts.StoreDir.empty()) {
+    // Opened only now: while the daemon was reachable it held the store
+    // lock, and a successful remote run never needed a local store.
+    auto Opened = ResultStore::open(Opts.StoreDir);
+    if (!Opened.ok()) {
+      BatchOutcome Out;
+      Out.Exit = 2;
+      Out.Err = "error: cannot open store: " + Opened.message() + "\n";
+      return Out;
+    }
+    Store = std::move(Opened.take());
+  }
+
+  // Honor what is left of the end-to-end budget locally: a watchdog
+  // cancels the run through the same token SIGINT uses.
+  smt::Cancellation LocalCancel;
+  smt::Cancellation *Eff = Cancel;
+  if (HasDeadline && !Eff)
+    Eff = &LocalCancel;
+  std::atomic<bool> Done{false};
+  std::thread Watchdog;
+  if (HasDeadline)
+    Watchdog = std::thread([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= Deadline) {
+          Eff->cancel();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+
+  BatchOutcome Out = runBatch(Opts, Path, Text, Store, Eff);
+  Done.store(true, std::memory_order_release);
+  if (Watchdog.joinable())
+    Watchdog.join();
+  if (HasDeadline && std::chrono::steady_clock::now() >= Deadline)
+    Out.DeadlineExceeded = true;
+
+  if (!FallbackReason.empty()) {
+    Out.Err = "warning: remote failed (" + FallbackReason +
+              "); verifying locally\n" + Out.Err;
+    // The summary records why this run's bytes came from here and not
+    // from the daemon — chaos tests key on this line.
+    if (Opts.Mode != "print" || Out.Exit != 0)
+      Out.Out +=
+          "     remote: fell back to local (" + FallbackReason + ")\n";
+  }
+  return Out;
 }

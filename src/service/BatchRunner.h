@@ -47,6 +47,8 @@ struct BatchOptions {
   unsigned Jobs = 0; ///< 0 = hardware concurrency (resolved by caller)
   std::string StoreDir; ///< --store=DIR; the caller opens the store
   std::string Remote;   ///< --remote=SOCK; consumed by the client shell
+  unsigned Retries = 2; ///< --retry=N; remote attempts after the first
+  uint64_t RequestDeadlineMs = 0; ///< --request-deadline-ms=N; end-to-end
 };
 
 /// Parses alivec option strings (everything but the mode word and file
@@ -65,6 +67,10 @@ struct BatchOutcome {
   smt::SolverStats Solver; ///< batch-aggregate solver accounting
   uint64_t ReportHits = 0;   ///< whole reports replayed from the store
   uint64_t ReportMisses = 0; ///< items that had to be computed
+  /// The run was cancelled because its end-to-end deadline expired (set by
+  /// the server's watchdog, never by runBatch itself); the output is
+  /// partial and the client gets a structured "timeout".
+  bool DeadlineExceeded = false;
 };
 
 /// Runs one corpus through the batch pipeline. \p Path is the display name
@@ -75,6 +81,23 @@ BatchOutcome runBatch(const BatchOptions &Opts, const std::string &Path,
                       const std::string &Text,
                       std::shared_ptr<ResultStore> Store,
                       smt::Cancellation *Cancel);
+
+/// The client-side shell around runBatch: when Opts.Remote is set, sends
+/// the corpus through the resilient RemoteClient (bounded retries with
+/// backoff, circuit breaker — see RemoteClient.h), forwarding
+/// \p ForwardOpts and Opts.RequestDeadlineMs on the wire. A structured
+/// "timeout" response is returned as-is (exit 3) — re-running locally
+/// would miss the same deadline. Any other remote failure falls back to a
+/// local run with exactly one warning on stderr and a
+/// "remote: fell back to local (reason)" note in the batch summary.
+/// The persistent store (Opts.StoreDir) is opened lazily, only when the
+/// run actually executes locally — the daemon owns the store lock while
+/// it is alive. A set RequestDeadlineMs also bounds the local run: the
+/// remaining budget cancels it through \p Cancel semantics.
+BatchOutcome runBatchClient(const BatchOptions &Opts,
+                            const std::vector<std::string> &ForwardOpts,
+                            const std::string &Path, const std::string &Text,
+                            smt::Cancellation *Cancel);
 
 } // namespace service
 } // namespace alive

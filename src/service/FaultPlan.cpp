@@ -1,0 +1,356 @@
+//===- service/FaultPlan.cpp - service-stack fault injection --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/FaultPlan.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+std::atomic<FaultPlan *> GActivePlan{nullptr};
+
+constexpr const char *PointNames[NumFaultPoints] = {
+    "sock-read",  "sock-write",  "sock-connect", "store-append",
+    "store-index", "store-fsync", "store-read",   "worker-start",
+};
+
+constexpr const char *KindNames[] = {
+    "none", "short", "eintr", "reset", "hang", "enospc", "torn", "fail",
+};
+
+} // namespace
+
+const char *service::faultPointName(FaultPoint P) {
+  unsigned I = static_cast<unsigned>(P);
+  return I < NumFaultPoints ? PointNames[I] : "?";
+}
+
+const char *service::faultKindName(FaultKind K) {
+  unsigned I = static_cast<unsigned>(K);
+  return I < sizeof(KindNames) / sizeof(KindNames[0]) ? KindNames[I] : "?";
+}
+
+FaultPlan::FaultPlan(uint64_t Seed) : RngState(Seed) {}
+
+uint64_t FaultPlan::nextRand() {
+  // splitmix64, same generator as smt's FaultInjectingSolver: tiny,
+  // deterministic, portable.
+  uint64_t Z = (RngState += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void FaultPlan::script(FaultPoint P, FaultKind K, uint64_t After,
+                       uint64_t Times, unsigned DelayMs) {
+  Rule R;
+  R.K = K;
+  R.After = After;
+  R.Times = Times;
+  R.DelayMs = DelayMs;
+  Points[static_cast<unsigned>(P)].Rules.push_back(R);
+}
+
+void FaultPlan::rate(FaultPoint P, FaultKind K, double Rate,
+                     unsigned DelayMs) {
+  Rule R;
+  R.K = K;
+  R.Rate = Rate;
+  R.DelayMs = DelayMs;
+  Points[static_cast<unsigned>(P)].Rules.push_back(R);
+}
+
+FaultAction FaultPlan::next(FaultPoint P) {
+  PointState &S = Points[static_cast<unsigned>(P)];
+  uint64_t Hit = S.Hits.fetch_add(1, std::memory_order_relaxed);
+  FaultAction A;
+  // Later rules win: scan in reverse so a test can append an override.
+  for (auto It = S.Rules.rbegin(); It != S.Rules.rend(); ++It) {
+    const Rule &R = *It;
+    if (R.Rate >= 0) {
+      double Draw;
+      {
+        std::lock_guard<std::mutex> L(RngMu);
+        Draw = (nextRand() >> 11) * 0x1.0p-53;
+      }
+      if (Draw >= R.Rate)
+        continue;
+    } else if (Hit < R.After || Hit - R.After >= R.Times) {
+      continue;
+    }
+    A.Kind = R.K;
+    A.DelayMs = R.DelayMs;
+    break;
+  }
+  if (A)
+    S.Injected.fetch_add(1, std::memory_order_relaxed);
+  return A;
+}
+
+uint64_t FaultPlan::hits(FaultPoint P) const {
+  return Points[static_cast<unsigned>(P)].Hits.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultPlan::injected(FaultPoint P) const {
+  return Points[static_cast<unsigned>(P)].Injected.load(
+      std::memory_order_relaxed);
+}
+
+FaultPlan *FaultPlan::active() {
+  return GActivePlan.load(std::memory_order_acquire);
+}
+
+void FaultPlan::install(FaultPlan *P) {
+  GActivePlan.store(P, std::memory_order_release);
+}
+
+FaultAction service::faultAt(FaultPoint P) {
+  FaultPlan *Plan = FaultPlan::active();
+  return Plan ? Plan->next(P) : FaultAction{};
+}
+
+//===----------------------------------------------------------------------===//
+// Spec parsing (--chaos= / ALIVE_CHAOS)
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<FaultPlan>> FaultPlan::parse(const std::string &Spec,
+                                                    uint64_t Seed) {
+  auto Plan = std::make_unique<FaultPlan>(Seed);
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Clause.empty())
+      continue;
+
+    size_t Eq = Clause.find('=');
+    if (Eq == std::string::npos)
+      return Result<std::unique_ptr<FaultPlan>>::error(
+          "chaos clause '" + Clause + "' has no '='");
+    std::string PointStr = Clause.substr(0, Eq);
+    std::string Rest = Clause.substr(Eq + 1);
+
+    int Point = -1;
+    for (unsigned I = 0; I != NumFaultPoints; ++I)
+      if (PointStr == PointNames[I])
+        Point = static_cast<int>(I);
+    if (Point < 0)
+      return Result<std::unique_ptr<FaultPlan>>::error(
+          "unknown chaos point '" + PointStr + "'");
+
+    // kind[@after][xTimes][~delayMs] or kind%rate[~delayMs]
+    size_t KindEnd = Rest.find_first_of("@x~%");
+    std::string KindStr = Rest.substr(0, KindEnd);
+    int Kind = -1;
+    for (unsigned I = 1; I != sizeof(KindNames) / sizeof(KindNames[0]); ++I)
+      if (KindStr == KindNames[I])
+        Kind = static_cast<int>(I);
+    if (Kind < 0)
+      return Result<std::unique_ptr<FaultPlan>>::error(
+          "unknown chaos kind '" + KindStr + "'");
+
+    uint64_t After = 0, Times = ~0ULL;
+    unsigned DelayMs = 0;
+    double Rate = -1;
+    size_t P2 = KindEnd;
+    while (P2 != std::string::npos && P2 < Rest.size()) {
+      char Tag = Rest[P2];
+      size_t NumEnd = Rest.find_first_of("@x~%", P2 + 1);
+      std::string Num = Rest.substr(
+          P2 + 1, NumEnd == std::string::npos ? NumEnd : NumEnd - P2 - 1);
+      try {
+        size_t Used = 0;
+        if (Tag == '@')
+          After = std::stoull(Num, &Used);
+        else if (Tag == 'x')
+          Times = std::stoull(Num, &Used);
+        else if (Tag == '~')
+          DelayMs = static_cast<unsigned>(std::stoul(Num, &Used));
+        else if (Tag == '%')
+          Rate = std::stod(Num, &Used);
+        if (Used != Num.size())
+          throw std::invalid_argument(Num);
+      } catch (const std::exception &) {
+        return Result<std::unique_ptr<FaultPlan>>::error(
+            "bad chaos number '" + Num + "' in clause '" + Clause + "'");
+      }
+      P2 = NumEnd;
+    }
+    if (Rate >= 0) {
+      if (Rate <= 0 || Rate > 1)
+        return Result<std::unique_ptr<FaultPlan>>::error(
+            "chaos rate must be in (0, 1] in clause '" + Clause + "'");
+      Plan->rate(static_cast<FaultPoint>(Point),
+                 static_cast<FaultKind>(Kind), Rate, DelayMs);
+    } else {
+      Plan->script(static_cast<FaultPoint>(Point),
+                   static_cast<FaultKind>(Kind), After, Times, DelayMs);
+    }
+  }
+  return Result<std::unique_ptr<FaultPlan>>(std::move(Plan));
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos-aware syscall wrappers
+//===----------------------------------------------------------------------===//
+
+void service::chaosHang(unsigned Ms, const smt::Cancellation *C) {
+  auto End = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(Ms);
+  while (std::chrono::steady_clock::now() < End) {
+    if (C && C->isCancelled())
+      return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+ssize_t service::chaosRead(int Fd, void *Buf, size_t Len) {
+  if (FaultAction A = faultAt(FaultPoint::SockRead)) {
+    switch (A.Kind) {
+    case FaultKind::ShortIO:
+      Len = Len > 1 ? 1 : Len;
+      break;
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    case FaultKind::ConnReset:
+      errno = ECONNRESET;
+      return -1;
+    case FaultKind::Fail:
+      errno = EIO;
+      return -1;
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::read(Fd, Buf, Len);
+}
+
+ssize_t service::chaosSend(int Fd, const void *Buf, size_t Len, int Flags) {
+  if (FaultAction A = faultAt(FaultPoint::SockWrite)) {
+    switch (A.Kind) {
+    case FaultKind::ShortIO:
+      Len = Len > 1 ? 1 : Len;
+      break;
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    case FaultKind::ConnReset:
+      errno = ECONNRESET;
+      return -1;
+    case FaultKind::Fail:
+      errno = EPIPE;
+      return -1;
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::send(Fd, Buf, Len, Flags);
+}
+
+int service::chaosConnect(int Fd, const ::sockaddr *Addr,
+                          unsigned AddrLen) {
+  if (FaultAction A = faultAt(FaultPoint::SockConnect)) {
+    switch (A.Kind) {
+    case FaultKind::Fail:
+      errno = ECONNREFUSED;
+      return -1;
+    case FaultKind::ConnReset:
+      errno = ECONNRESET;
+      return -1;
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::connect(Fd, Addr, AddrLen);
+}
+
+ssize_t service::chaosPwrite(int Fd, const void *Buf, size_t Len,
+                             int64_t Off) {
+  if (FaultAction A = faultAt(FaultPoint::StoreAppend)) {
+    switch (A.Kind) {
+    case FaultKind::Enospc:
+      errno = ENOSPC;
+      return -1;
+    case FaultKind::Fail:
+      errno = EIO;
+      return -1;
+    case FaultKind::TornWrite: {
+      // Half the record reaches the disk; the caller sees a short count.
+      // This is the on-disk state a crash mid-append leaves behind.
+      size_t Half = Len / 2;
+      ssize_t N = ::pwrite(Fd, Buf, Half, static_cast<off_t>(Off));
+      return N < 0 ? N : N;
+    }
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::pwrite(Fd, Buf, Len, static_cast<off_t>(Off));
+}
+
+ssize_t service::chaosPread(int Fd, void *Buf, size_t Len, int64_t Off) {
+  if (FaultAction A = faultAt(FaultPoint::StoreRead)) {
+    switch (A.Kind) {
+    case FaultKind::Fail:
+      errno = EIO;
+      return -1;
+    case FaultKind::ShortIO:
+      Len = Len > 1 ? 1 : Len;
+      break;
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::pread(Fd, Buf, Len, static_cast<off_t>(Off));
+}
+
+int service::chaosFsync(int Fd) {
+  if (FaultAction A = faultAt(FaultPoint::StoreFsync)) {
+    switch (A.Kind) {
+    case FaultKind::Fail:
+    case FaultKind::Enospc:
+      errno = A.Kind == FaultKind::Enospc ? ENOSPC : EIO;
+      return -1;
+    case FaultKind::Hang:
+      chaosHang(A.DelayMs, nullptr);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::fsync(Fd);
+}

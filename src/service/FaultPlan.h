@@ -1,0 +1,188 @@
+//===- service/FaultPlan.h - service-stack fault injection ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the whole service stack, extending the
+/// methodology of smt::createFaultInjectingSolver (PR 1) from the solver to
+/// everything around it: socket I/O, the persistent result store, and the
+/// server's worker loop. Every injection point is named and individually
+/// addressable, so a test (or a chaos scenario passed to `alived --chaos=`)
+/// can script "the 3rd socket read returns ECONNRESET" or "every store
+/// append fails with ENOSPC" and then assert the precise degraded behavior:
+/// fail-closed decoding, retry/fallback on the client, read-only store
+/// degradation, watchdog timeouts.
+///
+/// Faults come in two flavors, both deterministic:
+///  * scripted — inject kind K at point P starting with the Nth hit, for M
+///    consecutive hits (the workhorse for unit tests);
+///  * rated — inject with probability R per hit from a seeded splitmix64
+///    stream (soak scenarios; the same seed reproduces the same faults).
+///
+/// The plan is installed process-globally (an atomic pointer); when none is
+/// installed the chaos wrappers are single-branch pass-throughs, so the
+/// production hot path pays one predictable load per syscall. Scripting
+/// must finish before install(): rules are immutable while active.
+///
+/// Spec grammar for `alived --chaos=` / the ALIVE_CHAOS environment
+/// variable — comma-separated clauses:
+///
+///   point=kind[@after][xTimes][~delayMs]     scripted
+///   point=kind%rate[~delayMs]                rated (0 < rate <= 1)
+///
+/// e.g. "sock-read=reset@2x1,store-append=enospc" injects one ECONNRESET
+/// on the third socket read and makes every store append fail with ENOSPC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_FAULTPLAN_H
+#define ALIVE_SERVICE_FAULTPLAN_H
+
+#include "smt/ResourceLimits.h"
+#include "support/Status.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+struct sockaddr;
+
+namespace alive {
+namespace service {
+
+/// Every place the service stack consults the fault plan. Names (for specs
+/// and test assertions) come from faultPointName().
+enum class FaultPoint : unsigned {
+  SockRead = 0, ///< protocol-frame read() calls (client and server)
+  SockWrite,    ///< protocol-frame send() calls
+  SockConnect,  ///< client connect() calls
+  StoreAppend,  ///< ResultStore record pwrite()
+  StoreIndex,   ///< ResultStore index snapshot replace
+  StoreFsync,   ///< ResultStore log fsync() on flush
+  StoreRead,    ///< ResultStore value pread()
+  WorkerStart,  ///< server worker about to run an admitted batch
+};
+constexpr unsigned NumFaultPoints = 8;
+
+const char *faultPointName(FaultPoint P);
+
+/// What to inject. Which kinds are meaningful depends on the point; the
+/// chaos wrappers document the mapping (e.g. TornWrite only applies to
+/// StoreAppend, ConnReset only to socket I/O).
+enum class FaultKind : uint8_t {
+  None = 0,
+  ShortIO,   ///< transfer only one byte (exercises short-read/write loops)
+  Eintr,     ///< fail with EINTR (exercises retry loops)
+  ConnReset, ///< fail with ECONNRESET
+  Hang,      ///< sleep DelayMs, then proceed normally
+  Enospc,    ///< fail with ENOSPC (store degradation trigger)
+  TornWrite, ///< write only half the bytes, report the short count
+  Fail,      ///< generic failure (EIO / ECONNREFUSED at connect)
+};
+
+const char *faultKindName(FaultKind K);
+
+struct FaultAction {
+  FaultKind Kind = FaultKind::None;
+  unsigned DelayMs = 0; ///< Hang duration
+  explicit operator bool() const { return Kind != FaultKind::None; }
+};
+
+class FaultPlan {
+public:
+  explicit FaultPlan(uint64_t Seed = 0x5eedULL);
+
+  /// Scripts: at point \p P, starting with hit number \p After (0-based),
+  /// inject \p K for \p Times consecutive hits. Later rules win ties.
+  void script(FaultPoint P, FaultKind K, uint64_t After = 0,
+              uint64_t Times = ~0ULL, unsigned DelayMs = 0);
+
+  /// Rated: inject \p K at \p P with probability \p Rate per hit, drawn
+  /// from the plan's seeded stream.
+  void rate(FaultPoint P, FaultKind K, double Rate, unsigned DelayMs = 0);
+
+  /// Consumes one hit at \p P and returns the scheduled action (None when
+  /// nothing fires). Thread-safe.
+  FaultAction next(FaultPoint P);
+
+  uint64_t hits(FaultPoint P) const;
+  uint64_t injected(FaultPoint P) const;
+
+  /// Parses the --chaos / ALIVE_CHAOS spec grammar (see file comment).
+  static Result<std::unique_ptr<FaultPlan>> parse(const std::string &Spec,
+                                                  uint64_t Seed = 0x5eedULL);
+
+  /// The process-global active plan (null = chaos off).
+  static FaultPlan *active();
+  /// Installs \p P as the active plan (null uninstalls). The caller keeps
+  /// ownership and must keep \p P alive while installed.
+  static void install(FaultPlan *P);
+
+private:
+  struct Rule {
+    FaultKind K = FaultKind::None;
+    uint64_t After = 0;
+    uint64_t Times = ~0ULL;
+    unsigned DelayMs = 0;
+    double Rate = -1; ///< < 0 means scripted, not rated
+  };
+  struct PointState {
+    std::vector<Rule> Rules;
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Injected{0};
+  };
+
+  std::array<PointState, NumFaultPoints> Points;
+  std::mutex RngMu;
+  uint64_t RngState;
+
+  uint64_t nextRand(); ///< splitmix64 under RngMu
+};
+
+/// RAII plan for tests: installs on construction, uninstalls on scope exit.
+class ScopedFaultPlan {
+public:
+  explicit ScopedFaultPlan(uint64_t Seed = 0x5eedULL) : Plan(Seed) {
+    FaultPlan::install(&Plan);
+  }
+  ~ScopedFaultPlan() { FaultPlan::install(nullptr); }
+
+  ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+  ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+  FaultPlan *operator->() { return &Plan; }
+  FaultPlan &plan() { return Plan; }
+
+private:
+  FaultPlan Plan;
+};
+
+/// Consults the active plan at \p P (None when chaos is off).
+FaultAction faultAt(FaultPoint P);
+
+/// Chaos-aware syscall wrappers — exact pass-throughs when no fault is
+/// scheduled. Hang sleeps then proceeds; error kinds set errno and return
+/// the syscall's failure value without touching the fd.
+ssize_t chaosRead(int Fd, void *Buf, size_t Len);
+ssize_t chaosSend(int Fd, const void *Buf, size_t Len, int Flags);
+int chaosConnect(int Fd, const ::sockaddr *Addr, unsigned AddrLen);
+ssize_t chaosPwrite(int Fd, const void *Buf, size_t Len, int64_t Off);
+ssize_t chaosPread(int Fd, void *Buf, size_t Len, int64_t Off);
+int chaosFsync(int Fd);
+
+/// Cancellable sleep used by Hang injections on cancellation-aware paths
+/// (the server worker): sleeps up to \p Ms, polling \p C every few
+/// milliseconds, returning early once cancelled. \p C may be null.
+void chaosHang(unsigned Ms, const smt::Cancellation *C);
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_FAULTPLAN_H

@@ -6,6 +6,8 @@
 
 #include "service/Protocol.h"
 
+#include "service/FaultPlan.h"
+
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
@@ -22,7 +24,8 @@ Status writeAll(int Fd, const char *Data, size_t Len) {
     // MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead of
     // killing the process, so the library works regardless of the host's
     // SIGPIPE disposition (the in-process server and tests set none).
-    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    // chaosSend is a pass-through unless a fault plan is installed.
+    ssize_t N = chaosSend(Fd, Data, Len, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -40,7 +43,7 @@ Status writeAll(int Fd, const char *Data, size_t Len) {
 Status readAll(int Fd, char *Data, size_t Len, bool AtStart, bool &SawEof) {
   size_t Got = 0;
   while (Got < Len) {
-    ssize_t N = ::read(Fd, Data + Got, Len - Got);
+    ssize_t N = chaosRead(Fd, Data + Got, Len - Got);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -120,6 +123,8 @@ Value Request::toJson() const {
       A.push(Value(Opt));
     O.set("opts", std::move(A));
   }
+  if (DeadlineMs)
+    O.set("deadline_ms", Value(DeadlineMs));
   return O;
 }
 
@@ -142,6 +147,10 @@ Result<Request> Request::fromJson(const Value &V) {
       return Result<Request>::error("request option is not a string");
     R.Opts.push_back(Opt.asString());
   }
+  const Value &Deadline = V.get("deadline_ms");
+  if (!Deadline.isNull() && !Deadline.isNumber())
+    return Result<Request>::error("request \"deadline_ms\" is not a number");
+  R.DeadlineMs = Deadline.asUInt();
   return R;
 }
 
@@ -168,9 +177,10 @@ Result<Response> Response::fromJson(const Value &V) {
   if (!St.isString())
     return Result<Response>::error("response has no \"status\"");
   R.StatusStr = St.asString();
-  if (R.StatusStr != "ok" && R.StatusStr != "busy" && R.StatusStr != "error")
+  if (R.StatusStr != "ok" && R.StatusStr != "busy" &&
+      R.StatusStr != "error" && R.StatusStr != "timeout")
     return Result<Response>::error("response status \"" + R.StatusStr +
-                                   "\" is not ok|busy|error");
+                                   "\" is not ok|busy|error|timeout");
   R.Exit = static_cast<int>(V.get("exit").asInt());
   R.Out = V.get("out").asString();
   R.Err = V.get("err").asString();

@@ -21,12 +21,16 @@
 ///                 "path": string,      // display name for the input
 ///                 "text": string,      // transform corpus text (verify /
 ///                                      //   infer / lint)
-///                 "opts": [string...] }// raw alivec option strings; the
+///                 "opts": [string...], // raw alivec option strings; the
 ///                                      //   server reparses them with the
 ///                                      //   same parser the CLI uses
+///                 "deadline_ms": uint }// end-to-end budget measured from
+///                                      //   the moment the server reads
+///                                      //   the frame; 0/absent = none
 ///
 ///   response := { "id": uint,          // echoed from the request
 ///                 "status": string,    // required: ok | busy | error
+///                                      //   | timeout
 ///                 "exit": int,         // alivec-compatible exit code
 ///                 "out": string,       // verbatim stdout of the run
 ///                 "err": string,       // verbatim stderr of the run
@@ -34,7 +38,11 @@
 ///
 /// "busy" is the load-shedding reply: the queue was full and the request
 /// was not admitted; the client may retry or fall back to local
-/// verification. Unknown verbs and malformed JSON produce "error".
+/// verification. "timeout" means the request's deadline_ms expired while
+/// queued or mid-run: the worker was cancelled, the slot freed, and the
+/// partial result discarded — the client must treat the run as unfinished
+/// but the connection stays usable. Unknown verbs and malformed JSON
+/// produce "error".
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +68,7 @@ struct Request {
   std::string Path;
   std::string Text;
   std::vector<std::string> Opts;
+  uint64_t DeadlineMs = 0; ///< end-to-end budget; 0 = none
 
   support::json::Value toJson() const;
   /// Fail-closed: missing/mistyped "verb" is an error.
@@ -68,7 +77,7 @@ struct Request {
 
 struct Response {
   uint64_t Id = 0;
-  std::string StatusStr = "ok"; ///< "ok" | "busy" | "error"
+  std::string StatusStr = "ok"; ///< "ok" | "busy" | "error" | "timeout"
   int Exit = 0;
   std::string Out;
   std::string Err;

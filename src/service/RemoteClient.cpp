@@ -1,0 +1,92 @@
+//===- service/RemoteClient.cpp - resilient alived client -----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RemoteClient.h"
+
+#include "service/Server.h"
+
+#include <thread>
+
+using namespace alive;
+using namespace alive::service;
+
+RemoteClient::RemoteClient(RemoteClientConfig C)
+    : Cfg(std::move(C)), RngState(Cfg.JitterSeed) {}
+
+uint64_t RemoteClient::nextRand() {
+  // splitmix64 — deterministic jitter so chaos runs replay exactly.
+  uint64_t Z = (RngState += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+bool RemoteClient::isTransientStatus(const std::string &StatusStr) {
+  // "busy" is load shedding — the server told us to come back. "error"
+  // and "timeout" are definitive answers about this request; repeating
+  // them buys nothing.
+  return StatusStr == "busy";
+}
+
+void RemoteClient::noteFailure() {
+  ++ConsecutiveFailures;
+  if (State == Breaker::HalfOpen ||
+      (State == Breaker::Closed &&
+       ConsecutiveFailures >= Cfg.BreakerThreshold)) {
+    State = Breaker::Open;
+    OpenedAt = std::chrono::steady_clock::now();
+    ++Stats.BreakerTrips;
+  }
+}
+
+void RemoteClient::noteSuccess() {
+  ConsecutiveFailures = 0;
+  State = Breaker::Closed;
+}
+
+Result<Response> RemoteClient::call(const Request &R) {
+  ++Stats.Calls;
+
+  if (State == Breaker::Open) {
+    auto Elapsed = std::chrono::steady_clock::now() - OpenedAt;
+    if (Elapsed < std::chrono::milliseconds(Cfg.CooldownMs)) {
+      ++Stats.BreakerRefusals;
+      LastError = "circuit breaker open";
+      return Result<Response>::error(LastError);
+    }
+    State = Breaker::HalfOpen; // one probe may pass
+  }
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    ++Stats.Attempts;
+    auto Res = callServer(Cfg.Address, R);
+    if (Res.ok()) {
+      const Response &Resp = Res.get();
+      if (Resp.StatusStr == "timeout")
+        ++Stats.Timeouts;
+      if (!isTransientStatus(Resp.StatusStr)) {
+        noteSuccess(); // the server is alive and answering
+        return Res;
+      }
+      LastError = "server busy";
+    } else {
+      LastError = Res.message();
+    }
+
+    // Transient failure. A half-open probe gets no second chance — it
+    // either closes the breaker or re-opens it.
+    if (State == Breaker::HalfOpen || Attempt >= Cfg.MaxRetries) {
+      noteFailure();
+      return Result<Response>::error(LastError);
+    }
+    ++Stats.Retries;
+    unsigned Backoff = Cfg.BackoffBaseMs << Attempt;
+    unsigned Jitter = Backoff ? static_cast<unsigned>(nextRand() % Backoff)
+                              : 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Backoff + Jitter));
+  }
+}

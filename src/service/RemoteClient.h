@@ -1,0 +1,103 @@
+//===- service/RemoteClient.h - resilient alived client --------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-side resilience layer between `alivec --remote` and
+/// callServer(): bounded retries with exponential backoff + jitter on
+/// transient failures, and a circuit breaker that trips to local fallback
+/// after consecutive failures instead of hammering a dead daemon once per
+/// request for a whole batch.
+///
+/// Error classification:
+///  * transient — connect/frame/transport errors and "busy" responses:
+///    the daemon may be restarting or momentarily loaded; retrying can
+///    succeed. Retried up to MaxRetries times, sleeping
+///    BackoffBaseMs * 2^attempt plus deterministic jitter between tries.
+///  * terminal — "error" and "timeout" responses: the server answered
+///    definitively; retrying would re-do the same work (or re-miss the
+///    same deadline). Returned to the caller immediately.
+///
+/// Breaker state machine: Closed (normal) counts consecutive transient
+/// failures; at BreakerThreshold it Opens, and every call is refused
+/// locally (no connect attempted) until CooldownMs passes. Then HalfOpen
+/// lets exactly one probe through: success closes the breaker, failure
+/// re-opens it for another cooldown. Counters for every decision are kept
+/// for the caller to fold into metrics/summary lines.
+///
+/// The class is not thread-safe; a batch drives it from one thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SERVICE_REMOTECLIENT_H
+#define ALIVE_SERVICE_REMOTECLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Status.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace alive {
+namespace service {
+
+struct RemoteClientConfig {
+  std::string Address;        ///< "tcp:PORT" or a unix socket path
+  unsigned MaxRetries = 2;    ///< extra attempts after the first
+  unsigned BackoffBaseMs = 20;
+  unsigned BreakerThreshold = 3; ///< consecutive failures to trip
+  unsigned CooldownMs = 1000;    ///< open -> half-open delay
+  uint64_t JitterSeed = 0x5eedULL;
+};
+
+class RemoteClient {
+public:
+  enum class Breaker { Closed, Open, HalfOpen };
+
+  struct Counters {
+    uint64_t Calls = 0;       ///< call() invocations
+    uint64_t Attempts = 0;    ///< actual wire round trips
+    uint64_t Retries = 0;     ///< re-attempts after a transient failure
+    uint64_t Timeouts = 0;    ///< "timeout" responses received
+    uint64_t BreakerTrips = 0;  ///< Closed/HalfOpen -> Open transitions
+    uint64_t BreakerRefusals = 0; ///< calls refused while Open
+  };
+
+  explicit RemoteClient(RemoteClientConfig Cfg);
+
+  /// One request with the full retry/breaker policy applied. An error
+  /// result means the remote path is exhausted for this request and the
+  /// caller should fall back to local execution.
+  Result<Response> call(const Request &R);
+
+  Breaker breakerState() const { return State; }
+  const Counters &counters() const { return Stats; }
+
+  /// Why the last call() returned an error ("circuit breaker open", or
+  /// the final transport error) — for the once-per-batch fallback warning.
+  const std::string &lastError() const { return LastError; }
+
+  /// True when \p StatusStr classifies as transient (retry may help).
+  static bool isTransientStatus(const std::string &StatusStr);
+
+private:
+  uint64_t nextRand();
+  void noteFailure();
+  void noteSuccess();
+
+  RemoteClientConfig Cfg;
+  Breaker State = Breaker::Closed;
+  unsigned ConsecutiveFailures = 0;
+  std::chrono::steady_clock::time_point OpenedAt;
+  Counters Stats;
+  std::string LastError;
+  uint64_t RngState;
+};
+
+} // namespace service
+} // namespace alive
+
+#endif // ALIVE_SERVICE_REMOTECLIENT_H

@@ -6,12 +6,14 @@
 
 #include "service/ResultStore.h"
 
+#include "service/FaultPlan.h"
 #include "support/ByteIO.h"
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 using namespace alive;
@@ -101,7 +103,14 @@ std::string ResultStore::Stats::str() const {
                 static_cast<unsigned long long>(ReportEntries),
                 static_cast<unsigned long long>(LogBytes),
                 static_cast<unsigned long long>(DroppedRecords));
-  return Buf;
+  std::string Out = Buf;
+  if (ReadOnly || DegradedWrites) {
+    std::snprintf(Buf, sizeof(Buf), ", %llu degraded%s",
+                  static_cast<unsigned long long>(DegradedWrites),
+                  ReadOnly ? " (read-only)" : "");
+    Out += Buf;
+  }
+  return Out;
 }
 
 Result<std::unique_ptr<ResultStore>>
@@ -134,6 +143,13 @@ Status ResultStore::openFiles() {
   if (Fd < 0)
     return Status::error("cannot open '" + LogPath + "': " +
                          std::strerror(errno));
+  // One writer per directory: a second daemon (or an alivec --store run
+  // racing a daemon) would interleave appends and corrupt each other's
+  // index coverage. The advisory lock lives as long as the fd.
+  if (::flock(Fd, LOCK_EX | LOCK_NB) != 0)
+    return Status::error("'" + LogPath +
+                         "' is locked by another process (another alived "
+                         "or alivec --store is using this directory)");
   off_t End = ::lseek(Fd, 0, SEEK_END);
   if (End < 0)
     return Status::error("cannot seek '" + LogPath + "'");
@@ -265,6 +281,12 @@ void ResultStore::replayLog(uint64_t From) {
 }
 
 Status ResultStore::writeIndexLocked() {
+  if (FaultAction A = faultAt(FaultPoint::StoreIndex)) {
+    if (A.Kind == FaultKind::Hang)
+      chaosHang(A.DelayMs, nullptr);
+    else
+      return Status::error("injected index-snapshot fault");
+  }
   std::string Out(IdxMagic, sizeof(IdxMagic));
   appendU32(Out, FormatVersion);
   appendU64(Out, LogEnd);
@@ -293,13 +315,28 @@ Status ResultStore::flush() {
   std::lock_guard<std::mutex> L(Mu);
   if (IndexedBytes == LogEnd && UnflushedRecords == 0)
     return Status::success();
+  // Make the log durable before the index claims to cover it. A failed
+  // fsync means appended bytes may not survive a crash: degrade to
+  // read-only (served state stays correct, further inserts go to the
+  // overlay) instead of treating it as fatal.
+  if (!Degraded && Fd >= 0 && chaosFsync(Fd) != 0) {
+    Degraded = true;
+    return Status::error(std::string("store fsync: ") +
+                         std::strerror(errno) +
+                         "; store degraded to read-only");
+  }
   return writeIndexLocked();
+}
+
+bool ResultStore::readOnly() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Degraded;
 }
 
 bool ResultStore::readValue(const Slot &S, std::string &Out) const {
   Out.assign(S.Len, '\0');
   return S.Len == 0 ||
-         ::pread(Fd, Out.data(), S.Len, static_cast<off_t>(S.Offset)) ==
+         chaosPread(Fd, Out.data(), S.Len, static_cast<int64_t>(S.Offset)) ==
              static_cast<ssize_t>(S.Len);
 }
 
@@ -316,20 +353,36 @@ void ResultStore::append(char Kind, const std::string &Key,
 
   std::lock_guard<std::mutex> L(Mu);
   auto &Map = Kind == 'Q' ? Queries : Reports;
-  if (Map.count(Key))
+  auto &Mem = Kind == 'Q' ? MemQueries : MemReports;
+  if (Map.count(Key) || Mem.count(Key))
     return; // first answer wins, same as the in-memory cache
-  if (::pwrite(Fd, Record.data(), Record.size(),
-               static_cast<off_t>(LogEnd)) !=
-      static_cast<ssize_t>(Record.size()))
-    return; // a failed append loses one entry, never corrupts the log
-  Slot S;
-  S.Offset = LogEnd + 8 + 1 + 4 + Key.size() + 4;
-  S.Len = static_cast<uint32_t>(Value.size());
-  LogEnd += Record.size();
-  Map.emplace(Key, S);
-  ++Counters.InsertedRecords;
-  if (++UnflushedRecords >= FlushInterval)
-    writeIndexLocked();
+  if (!Degraded) {
+    errno = 0;
+    ssize_t N = chaosPwrite(Fd, Record.data(), Record.size(),
+                            static_cast<int64_t>(LogEnd));
+    if (N == static_cast<ssize_t>(Record.size())) {
+      Slot S;
+      S.Offset = LogEnd + 8 + 1 + 4 + Key.size() + 4;
+      S.Len = static_cast<uint32_t>(Value.size());
+      LogEnd += Record.size();
+      Map.emplace(Key, S);
+      ++Counters.InsertedRecords;
+      if (++UnflushedRecords >= FlushInterval)
+        writeIndexLocked();
+      return;
+    }
+    // Scrub a torn partial record so the on-disk log stays a clean
+    // sequence of whole records (replay would drop it, but the next
+    // append must not start mid-garbage).
+    if (N > 0)
+      ::ftruncate(Fd, static_cast<off_t>(LogEnd));
+    // Disk full is an operating condition, not a crash: flip to
+    // read-only and keep serving. Other errors retry on the next insert.
+    if (errno == ENOSPC)
+      Degraded = true;
+  }
+  Mem.emplace(Key, std::string(Value));
+  ++Counters.DegradedWrites;
 }
 
 bool ResultStore::lookupQuery(const std::string &Key,
@@ -338,7 +391,11 @@ bool ResultStore::lookupQuery(const std::string &Key,
   {
     std::lock_guard<std::mutex> L(Mu);
     auto It = Queries.find(Key);
-    if (It == Queries.end() || !readValue(It->second, Value)) {
+    if (It != Queries.end() && readValue(It->second, Value)) {
+      // fall through to decode
+    } else if (auto MI = MemQueries.find(Key); MI != MemQueries.end()) {
+      Value = MI->second;
+    } else {
       ++Counters.QueryMisses;
       return false;
     }
@@ -361,12 +418,17 @@ void ResultStore::insertQuery(const std::string &Key,
 bool ResultStore::lookupReport(const std::string &Key, std::string &Out) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = Reports.find(Key);
-  if (It == Reports.end() || !readValue(It->second, Out)) {
-    ++Counters.ReportMisses;
-    return false;
+  if (It != Reports.end() && readValue(It->second, Out)) {
+    ++Counters.ReportHits;
+    return true;
   }
-  ++Counters.ReportHits;
-  return true;
+  if (auto MI = MemReports.find(Key); MI != MemReports.end()) {
+    Out = MI->second;
+    ++Counters.ReportHits;
+    return true;
+  }
+  ++Counters.ReportMisses;
+  return false;
 }
 
 void ResultStore::insertReport(const std::string &Key,
@@ -377,8 +439,9 @@ void ResultStore::insertReport(const std::string &Key,
 ResultStore::Stats ResultStore::stats() const {
   std::lock_guard<std::mutex> L(Mu);
   Stats S = Counters;
-  S.QueryEntries = Queries.size();
-  S.ReportEntries = Reports.size();
+  S.QueryEntries = Queries.size() + MemQueries.size();
+  S.ReportEntries = Reports.size() + MemReports.size();
   S.LogBytes = LogEnd;
+  S.ReadOnly = Degraded;
   return S;
 }

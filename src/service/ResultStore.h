@@ -31,6 +31,14 @@
 /// with at most the unsynced tail lost. Values are read back via pread on
 /// lookup; only keys and offsets stay resident.
 ///
+/// Write failures are an operating condition, never fatal: ENOSPC on
+/// append (or a failed fsync at flush) degrades the store to read-only —
+/// existing entries keep being served from disk, new inserts land in an
+/// in-memory overlay that is consulted by lookups and counted in stats,
+/// and the process keeps running. An advisory exclusive flock on
+/// store.log guarantees a single writer per directory; a second opener
+/// gets a clear error instead of interleaved appends.
+///
 /// All methods are thread-safe (one mutex — the store sits behind the
 /// in-memory cache tier, so contention is rare by construction).
 ///
@@ -62,7 +70,9 @@ public:
     uint64_t ReportEntries = 0;
     uint64_t InsertedRecords = 0; ///< appended by this process
     uint64_t DroppedRecords = 0;  ///< torn/corrupt tail records discarded
+    uint64_t DegradedWrites = 0;  ///< inserts kept only in memory
     uint64_t LogBytes = 0;
+    bool ReadOnly = false; ///< log no longer writable (ENOSPC/fsync)
 
     /// "queries: hits=.. misses=.. entries=.. | reports: hits=.. ..."
     std::string str() const;
@@ -93,6 +103,9 @@ public:
 
   Stats stats() const;
 
+  /// True once a write failure degraded the store (see file comment).
+  bool readOnly() const;
+
   const std::string &directory() const { return Dir; }
 
 private:
@@ -117,6 +130,11 @@ private:
   mutable std::mutex Mu;
   std::unordered_map<std::string, Slot> Queries;
   std::unordered_map<std::string, Slot> Reports;
+  /// Degraded-mode overlay: inserts that could not reach the log live
+  /// here (whole values, not offsets) and are served like disk entries.
+  std::unordered_map<std::string, std::string> MemQueries;
+  std::unordered_map<std::string, std::string> MemReports;
+  bool Degraded = false;
   uint64_t IndexedBytes = 0;   ///< log bytes covered by store.idx on disk
   uint64_t UnflushedRecords = 0;
   mutable Stats Counters;

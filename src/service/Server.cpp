@@ -6,6 +6,7 @@
 
 #include "service/Server.h"
 
+#include "service/FaultPlan.h"
 #include "support/ByteIO.h"
 #include "support/ThreadPool.h"
 
@@ -48,8 +49,28 @@ std::string coalesceKey(const Request &R) {
     K += '\x1e';
   }
   K += '\x1f';
+  // The deadline is part of the key: a follower must not inherit a
+  // leader whose budget is shorter (or longer) than its own.
+  K += std::to_string(R.DeadlineMs);
+  K += '\x1f';
   K += R.Text;
   return K;
+}
+
+/// True when the client hung up: an error/hup condition, or a pending
+/// zero-byte read (half-close) with nothing buffered. A pipelined second
+/// request shows POLLIN with data and is not a hang-up.
+bool peerGone(int Fd) {
+  pollfd P{Fd, POLLIN, 0};
+  if (::poll(&P, 1, 0) <= 0)
+    return false;
+  if (P.revents & (POLLHUP | POLLERR | POLLNVAL))
+    return true;
+  if (P.revents & POLLIN) {
+    char C;
+    return ::recv(Fd, &C, 1, MSG_PEEK | MSG_DONTWAIT) == 0;
+  }
+  return false;
 }
 
 } // namespace
@@ -62,6 +83,8 @@ Server::Server(ServerConfig C, std::shared_ptr<ResultStore> S)
 
 Server::~Server() {
   requestStop();
+  requestStop(); // escalate: destruction cannot wait out a drain grace
+  cancelAllWatches();
   {
     std::unique_lock<std::mutex> L(ConnMu);
     for (int Fd : ConnFds)
@@ -134,7 +157,47 @@ Status Server::start() {
   return Status::success();
 }
 
+void Server::addWatch(const std::shared_ptr<ReqWatch> &W) {
+  std::lock_guard<std::mutex> L(WatchMu);
+  Watches.push_back(W);
+}
+
+void Server::removeWatch(const ReqWatch *W) {
+  std::lock_guard<std::mutex> L(WatchMu);
+  for (auto It = Watches.begin(); It != Watches.end(); ++It)
+    if (It->get() == W) {
+      Watches.erase(It);
+      return;
+    }
+}
+
+void Server::cancelAllWatches() {
+  std::lock_guard<std::mutex> L(WatchMu);
+  for (auto &W : Watches)
+    W->Cancel.cancel();
+}
+
+void Server::watchdogLoop() {
+  while (!WatchdogStop.load(std::memory_order_acquire)) {
+    auto Now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> L(WatchMu);
+      for (auto &W : Watches) {
+        if (W->Expired.load(std::memory_order_acquire) || Now < W->Deadline)
+          continue;
+        W->Expired.store(true, std::memory_order_release);
+        W->Cancel.cancel();
+        M.counter("requests_deadline_cancelled_total").inc();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
 void Server::run() {
+  WatchdogStop.store(false, std::memory_order_release);
+  std::thread Watchdog([this] { watchdogLoop(); });
+
   pollfd Fds[2];
   nfds_t N = 0;
   if (UnixFd >= 0)
@@ -172,9 +235,27 @@ void Server::run() {
     }
   }
 
-  // Unblock any connection thread parked in read() or in the admission
-  // queue, then wait for them all to drain.
-  StopCancel.cancel();
+  // Graceful drain. Accepting has stopped (the loop above exited); wake
+  // queued requests so they answer "busy", half-close every connection so
+  // idle reader threads see EOF while busy workers can still put their
+  // response on the wire, then give in-flight work the grace window.
+  AdmitCV.notify_all();
+  {
+    std::unique_lock<std::mutex> L(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RD);
+    auto GraceEnd = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(Cfg.DrainGraceMs);
+    while (LiveConns != 0 &&
+           !HardStopFlag.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < GraceEnd)
+      ConnCV.wait_for(L, std::chrono::milliseconds(50));
+  }
+
+  // Hard phase: whatever outlived the grace (or a second SIGTERM) gets
+  // its queries cancelled and its socket fully shut; workers notice the
+  // token within one solver poll and the threads drain.
+  cancelAllWatches();
   AdmitCV.notify_all();
   {
     std::unique_lock<std::mutex> L(ConnMu);
@@ -182,6 +263,8 @@ void Server::run() {
       ::shutdown(Fd, SHUT_RDWR);
     ConnCV.wait(L, [&] { return LiveConns == 0; });
   }
+  WatchdogStop.store(true, std::memory_order_release);
+  Watchdog.join();
   if (Store)
     Store->flush();
   if (!Cfg.MetricsDump.empty())
@@ -203,14 +286,18 @@ void Server::handleConnection(int Fd) {
       M.counter("requests_malformed_total").inc();
     } else {
       auto T0 = std::chrono::steady_clock::now();
-      Resp = dispatch(Req.get());
+      Resp = dispatch(Req.get(), Fd);
       M.histogram("request_latency_ms")
           .observe(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - T0)
                        .count());
     }
-    if (!writeMessage(Fd, Resp.toJson()).ok())
+    if (!writeMessage(Fd, Resp.toJson()).ok()) {
+      // The client vanished mid-response (EPIPE/reset). The work is done
+      // and accounted; dropping the bytes is the client's loss only.
+      M.counter("responses_failed_total").inc();
       break;
+    }
     // A served shutdown verb stops the server after the reply is on the
     // wire, so the client sees a clean "ok".
     if (Req.ok() && Req.get().Verb == "shutdown") {
@@ -231,7 +318,7 @@ void Server::handleConnection(int Fd) {
   }
 }
 
-Response Server::dispatch(const Request &R) {
+Response Server::dispatch(const Request &R, int ConnFd) {
   M.counter("requests_total").inc();
   M.counter("requests_" + R.Verb + "_total").inc();
 
@@ -244,7 +331,7 @@ Response Server::dispatch(const Request &R) {
   }
   if (R.Verb == "verify" || R.Verb == "infer" || R.Verb == "codegen" ||
       R.Verb == "print" || R.Verb == "lint")
-    return runBatchVerb(R);
+    return runBatchVerb(R, ConnFd);
 
   Response Resp;
   Resp.Id = R.Id;
@@ -254,9 +341,32 @@ Response Server::dispatch(const Request &R) {
   return Resp;
 }
 
-Response Server::runBatchVerb(const Request &R) {
+Response Server::runBatchVerb(const Request &R, int ConnFd) {
   Response Resp;
   Resp.Id = R.Id;
+
+  // The end-to-end budget starts now — queueing, coalescing, and solver
+  // time all count against it.
+  const bool HasDeadline = R.DeadlineMs != 0;
+  const auto Deadline =
+      HasDeadline ? std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(R.DeadlineMs)
+                  : std::chrono::steady_clock::time_point::max();
+
+  auto TimeoutResp = [&]() -> Response & {
+    M.counter("requests_timeout_total").inc();
+    Resp.StatusStr = "timeout";
+    Resp.Exit = 3;
+    Resp.Err = "deadline exceeded (" + std::to_string(R.DeadlineMs) +
+               " ms); request cancelled\n";
+    return Resp;
+  };
+  auto BusyResp = [&]() -> Response & {
+    Resp.StatusStr = "busy";
+    Resp.Exit = 3;
+    Resp.Err = "server busy; request not admitted\n";
+    return Resp;
+  };
 
   auto Opts = parseBatchOptions(R.Verb, R.Opts);
   if (!Opts.ok()) {
@@ -267,7 +377,8 @@ Response Server::runBatchVerb(const Request &R) {
   }
 
   // Coalescing: if an identical request is already executing, ride along
-  // on its result instead of competing for a worker slot.
+  // on its result instead of competing for a worker slot. The deadline is
+  // part of the key, so every follower shares the leader's budget.
   std::string Key = coalesceKey(R);
   std::promise<std::shared_ptr<BatchOutcome>> Mine;
   bool Leader = false;
@@ -285,13 +396,14 @@ Response Server::runBatchVerb(const Request &R) {
   }
   if (!Leader) {
     M.counter("requests_coalesced_total").inc();
+    if (HasDeadline &&
+        Shared.wait_until(Deadline) != std::future_status::ready)
+      return TimeoutResp();
     std::shared_ptr<BatchOutcome> Out = Shared.get();
-    if (!Out) {
-      Resp.StatusStr = "busy";
-      Resp.Exit = 3;
-      Resp.Err = "server busy; request not admitted\n";
-      return Resp;
-    }
+    if (!Out)
+      return BusyResp();
+    if (Out->DeadlineExceeded)
+      return TimeoutResp();
     Resp.Exit = Out->Exit;
     Resp.Out = Out->Out;
     Resp.Err = Out->Err;
@@ -299,8 +411,10 @@ Response Server::runBatchVerb(const Request &R) {
   }
 
   // Admission control. The leader publishes a null outcome when shed, so
-  // coalesced followers turn into "busy" too instead of hanging.
-  bool Admitted = false;
+  // coalesced followers turn into "busy" too instead of hanging. While
+  // queued the leader keeps an eye on its own deadline and on the client:
+  // work whose caller hung up must not consume a slot when one frees.
+  bool Admitted = false, TimedOut = false, Abandoned = false;
   {
     std::unique_lock<std::mutex> L(AdmitMu);
     if (Active < Cfg.Workers) {
@@ -309,13 +423,24 @@ Response Server::runBatchVerb(const Request &R) {
     } else if (Queued < Cfg.QueueLimit) {
       ++Queued;
       M.gauge("queue_depth").set(Queued);
-      AdmitCV.wait(L, [&] {
-        return Active < Cfg.Workers ||
-               StopFlag.load(std::memory_order_acquire);
-      });
+      for (;;) {
+        if (Active < Cfg.Workers || StopFlag.load(std::memory_order_acquire))
+          break;
+        auto Now = std::chrono::steady_clock::now();
+        if (Now >= Deadline) {
+          TimedOut = true;
+          break;
+        }
+        if (peerGone(ConnFd)) {
+          Abandoned = true;
+          break;
+        }
+        auto Tick = Now + std::chrono::milliseconds(50);
+        AdmitCV.wait_until(L, Deadline < Tick ? Deadline : Tick);
+      }
       --Queued;
       M.gauge("queue_depth").set(Queued);
-      if (Active < Cfg.Workers &&
+      if (!TimedOut && !Abandoned && Active < Cfg.Workers &&
           !StopFlag.load(std::memory_order_acquire)) {
         ++Active;
         Admitted = true;
@@ -325,20 +450,72 @@ Response Server::runBatchVerb(const Request &R) {
 
   std::shared_ptr<BatchOutcome> Out;
   if (Admitted) {
-    Out = std::make_shared<BatchOutcome>(
-        runBatch(Opts.get(), R.Path.empty() ? "<remote>" : R.Path, R.Text,
-                 Store, &StopCancel));
+    BatchOptions BO = Opts.get();
+    auto Watch = std::make_shared<ReqWatch>();
+    Watch->Deadline = Deadline;
+    bool ExpiredInQueue = false;
+    if (HasDeadline) {
+      // Clamp the per-query budget to what is left of the end-to-end one,
+      // so the solver gives up in time for the watchdog not to fire.
+      auto RemainMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Deadline - std::chrono::steady_clock::now())
+                          .count();
+      if (RemainMs <= 0) {
+        ExpiredInQueue = true;
+      } else {
+        auto Remain = static_cast<unsigned>(RemainMs);
+        if (!BO.Cfg.Limits.DeadlineMs || BO.Cfg.Limits.DeadlineMs > Remain)
+          BO.Cfg.Limits.DeadlineMs = Remain;
+        if (!BO.Cfg.TimeoutMs || BO.Cfg.TimeoutMs > Remain)
+          BO.Cfg.TimeoutMs = Remain;
+      }
+    }
+    if (ExpiredInQueue) {
+      Out = std::make_shared<BatchOutcome>();
+      Out->DeadlineExceeded = true;
+      Out->Exit = 3;
+    } else {
+      addWatch(Watch);
+      if (FaultAction A = faultAt(FaultPoint::WorkerStart)) {
+        if (A.Kind == FaultKind::Hang)
+          chaosHang(A.DelayMs, &Watch->Cancel);
+        else
+          Out = std::make_shared<BatchOutcome>();
+      }
+      if (Out) { // injected worker failure (non-hang kinds)
+        Out->Exit = 4;
+        Out->Err = "injected worker fault\n";
+      } else {
+        Out = std::make_shared<BatchOutcome>(
+            runBatch(BO, R.Path.empty() ? "<remote>" : R.Path, R.Text,
+                     Store, &Watch->Cancel));
+        // Past-deadline results are discarded even if the clamped solver
+        // limits wound the batch down before the watchdog had to fire:
+        // the client was promised an answer-or-timeout by its deadline,
+        // and a partial "unknown" arriving late is not that answer.
+        Out->DeadlineExceeded =
+            Watch->Expired.load(std::memory_order_acquire) ||
+            (HasDeadline && std::chrono::steady_clock::now() >= Deadline);
+      }
+      removeWatch(Watch.get());
+    }
     {
       std::lock_guard<std::mutex> L(AdmitMu);
       --Active;
     }
     AdmitCV.notify_one();
-    {
+    if (!Out->DeadlineExceeded) {
       std::lock_guard<std::mutex> L(RollupMu);
       Rollup.merge(Out->Solver);
       RollupReportHits += Out->ReportHits;
       RollupReportMisses += Out->ReportMisses;
     }
+  } else if (TimedOut) {
+    Out = std::make_shared<BatchOutcome>();
+    Out->DeadlineExceeded = true;
+    Out->Exit = 3;
+  } else if (Abandoned) {
+    M.counter("requests_abandoned_total").inc();
   } else {
     M.counter("requests_shed_total").inc();
   }
@@ -349,12 +526,10 @@ Response Server::runBatchVerb(const Request &R) {
   }
   Mine.set_value(Out);
 
-  if (!Out) {
-    Resp.StatusStr = "busy";
-    Resp.Exit = 3;
-    Resp.Err = "server busy; request not admitted\n";
-    return Resp;
-  }
+  if (!Out)
+    return BusyResp(); // shed, or abandoned (nobody reads this reply)
+  if (Out->DeadlineExceeded)
+    return TimeoutResp();
   Resp.Exit = Out->Exit;
   Resp.Out = Out->Out;
   Resp.Err = Out->Err;
@@ -428,8 +603,8 @@ Result<Response> service::callServer(const std::string &Address,
     Addr.sin_family = AF_INET;
     Addr.sin_port = htons(static_cast<uint16_t>(Port));
     Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-        0) {
+    if (chaosConnect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) != 0) {
       int E = errno;
       ::close(Fd);
       return Result<Response>::error("connect(" + Address +
@@ -445,8 +620,8 @@ Result<Response> service::callServer(const std::string &Address,
     if (Fd < 0)
       return Result<Response>::error(std::string("socket: ") +
                                      std::strerror(errno));
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-        0) {
+    if (chaosConnect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) != 0) {
       int E = errno;
       ::close(Fd);
       return Result<Response>::error("connect(" + Address +

@@ -18,10 +18,22 @@
 /// corpus text) are coalesced: followers wait for the leader's result and
 /// share its bytes rather than re-verifying.
 ///
-/// Shutdown is cooperative: requestStop() (safe from a signal handler —
-/// it only sets atomics) wakes the poll-based accept loop, open
-/// connections are shut down, in-flight solver queries are cancelled, the
-/// store is flushed, and run() returns.
+/// Deadlines: a request carrying deadline_ms is watched end to end. The
+/// budget starts when the frame is read; waiting in the admission queue,
+/// waiting on a coalesced leader, and solver time all count against it. A
+/// watchdog thread cancels workers stuck past their deadline through the
+/// per-request cancellation token, the slot is freed, and the client gets
+/// a structured "timeout" response instead of a wedged connection.
+///
+/// Shutdown is crash-only and two-phase. The first requestStop() (safe
+/// from a signal handler — it only sets atomics) begins a graceful drain:
+/// the accept loop exits, connections are half-closed (SHUT_RD, so idle
+/// readers see EOF while busy workers can still deliver responses), and
+/// in-flight work gets DrainGraceMs to finish. A second requestStop() —
+/// or the grace expiring — escalates to a hard stop: every in-flight
+/// query is cancelled and the sockets fully shut. Either way the store is
+/// flushed and run() returns; kill -9 at any point is recovered by the
+/// store's own crash-safety (see ResultStore.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +47,7 @@
 #include "smt/Solver.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <map>
@@ -53,6 +66,7 @@ struct ServerConfig {
   unsigned TcpPort = 0;     ///< loopback TCP port; 0 = none
   unsigned Workers = 0;     ///< concurrent requests; 0 = hw concurrency
   unsigned QueueLimit = 16; ///< waiting requests admitted before "busy"
+  unsigned DrainGraceMs = 5000; ///< graceful-drain window before hard stop
   std::string MetricsDump;  ///< JSON snapshot path written on stop/SIGUSR1
 };
 
@@ -74,8 +88,13 @@ public:
   void run();
 
   /// Signal-safe stop request: sets atomics only; run() notices within
-  /// one poll interval.
-  void requestStop() { StopFlag.store(true, std::memory_order_release); }
+  /// one poll interval. The first call starts a graceful drain; calling
+  /// again (a second SIGTERM) escalates to a hard stop that cancels
+  /// in-flight work immediately.
+  void requestStop() {
+    if (StopFlag.exchange(true, std::memory_order_acq_rel))
+      HardStopFlag.store(true, std::memory_order_release);
+  }
 
   /// Signal-safe metrics-dump request (SIGUSR1).
   void requestMetricsDump() {
@@ -87,12 +106,25 @@ public:
   const std::string &socketPath() const { return Cfg.SocketPath; }
 
 private:
+  /// One watched in-flight request: the watchdog cancels the token once
+  /// the deadline passes and marks it expired so the worker can tell a
+  /// deadline cancel from a shutdown cancel.
+  struct ReqWatch {
+    smt::Cancellation Cancel;
+    std::chrono::steady_clock::time_point Deadline;
+    std::atomic<bool> Expired{false};
+  };
+
   void handleConnection(int Fd);
-  Response dispatch(const Request &R);
-  Response runBatchVerb(const Request &R);
+  Response dispatch(const Request &R, int ConnFd);
+  Response runBatchVerb(const Request &R, int ConnFd);
   Response statsResponse(uint64_t Id);
   support::json::Value metricsSnapshot();
   void writeMetricsDump();
+  void watchdogLoop();
+  void addWatch(const std::shared_ptr<ReqWatch> &W);
+  void removeWatch(const ReqWatch *W);
+  void cancelAllWatches();
 
   ServerConfig Cfg;
   std::shared_ptr<ResultStore> Store;
@@ -101,7 +133,9 @@ private:
   int UnixFd = -1;
   int TcpFd = -1;
   std::atomic<bool> StopFlag{false};
+  std::atomic<bool> HardStopFlag{false};
   std::atomic<bool> DumpFlag{false};
+  std::atomic<bool> WatchdogStop{false};
 
   // Admission control (see file comment).
   std::mutex AdmitMu;
@@ -127,7 +161,11 @@ private:
   uint64_t RollupReportHits = 0;
   uint64_t RollupReportMisses = 0;
 
-  smt::Cancellation StopCancel; ///< cancels in-flight queries on stop
+  // Deadline watchdog: every admitted request registers here; the
+  // watchdog thread (started by run()) cancels expired entries, and the
+  // hard-stop path cancels them all.
+  std::mutex WatchMu;
+  std::vector<std::shared_ptr<ReqWatch>> Watches;
 };
 
 /// One round trip to a server: connect to \p Address ("tcp:PORT" for TCP

@@ -1,0 +1,198 @@
+# Crash-only recovery under real violence: a daemonized alived is killed
+# with SIGKILL mid-batch, and the whole stack must degrade exactly as
+# designed —
+#   1. the in-flight `alivec --remote` run notices the dead daemon, warns
+#      exactly once, records the reason in the batch summary, and finishes
+#      locally with a correct verdict;
+#   2. a fresh daemon on the same store directory recovers the log (torn
+#      tails scrubbed, flock released by the kernel) and replays the
+#      seeded corpus byte-identically with zero new cold solver queries;
+#   3. scripted connection faults (--chaos) are absorbed by the client's
+#      retry loop without ever falling back to local;
+#   4. the recovered daemon still shuts down cleanly.
+#
+#   cmake -DALIVEC=<path> -DALIVED=<path> -DFILE=<fast.opt>
+#         -DSLOW=<slow.opt> -P CheckChaos.cmake
+
+string(RANDOM LENGTH 8 ALPHABET abcdefghijklmnopqrstuvwxyz0123456789 Tag)
+set(Sock "/tmp/alive-chaos-${Tag}.sock")
+set(Scratch "/tmp/alive-chaos-${Tag}")
+set(Pid "${Scratch}/alived.pid")
+file(MAKE_DIRECTORY "${Scratch}")
+
+function(cleanup)
+  execute_process(COMMAND ${ALIVEC} shutdown --remote=${Sock}
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(EXISTS "${Pid}")
+    file(READ "${Pid}" P)
+    string(STRIP "${P}" P)
+    execute_process(COMMAND kill -9 ${P} OUTPUT_QUIET ERROR_QUIET)
+  endif()
+  file(REMOVE_RECURSE "${Scratch}")
+  file(REMOVE "${Sock}")
+endfunction()
+
+function(fail Msg)
+  cleanup()
+  message(FATAL_ERROR "${Msg}")
+endfunction()
+
+# Same masking CheckService uses: wall-clock and accounting lines may
+# differ between runs; verdict bytes must not.
+function(normalize Var)
+  set(Out "${${Var}}")
+  string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*solver:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*query cache:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*result store:[^\n]*\n" "" Out "${Out}")
+  set(${Var} "${Out}" PARENT_SCOPE)
+endfunction()
+
+function(daemon_stat Key Var)
+  execute_process(COMMAND ${ALIVEC} stats --remote=${Sock}
+                  RESULT_VARIABLE Code OUTPUT_VARIABLE Out
+                  ERROR_VARIABLE Err)
+  if(NOT Code EQUAL 0)
+    fail("stats verb failed (exit ${Code}): ${Err}")
+  endif()
+  string(REGEX MATCH "\"${Key}\": ([0-9]+)" _ "${Out}")
+  if(NOT CMAKE_MATCH_1)
+    if(NOT "${CMAKE_MATCH_1}" STREQUAL "0")
+      fail("stats output has no \"${Key}\" counter:\n${Out}")
+    endif()
+  endif()
+  set(${Var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+function(start_daemon)
+  execute_process(COMMAND ${ALIVED} --daemonize --socket=${Sock}
+                          --store=${Scratch}/store --pidfile=${Pid}
+                          --log=${Scratch}/alived.log ${ARGN}
+                  RESULT_VARIABLE Code ERROR_VARIABLE Err)
+  if(NOT Code EQUAL 0)
+    fail("alived failed to start (exit ${Code}): ${Err}")
+  endif()
+endfunction()
+
+# -- seed: one clean remote run fills the store ---------------------------
+start_daemon()
+execute_process(COMMAND ${ALIVEC} verify --remote=${Sock} ${FILE}
+                RESULT_VARIABLE SeedCode OUTPUT_VARIABLE SeedOut
+                ERROR_VARIABLE SeedErr)
+if(SeedErr MATCHES "verifying locally")
+  fail("seed run fell back to local:\n${SeedErr}")
+endif()
+message(STATUS "store seeded over ${Sock} (exit ${SeedCode})")
+
+# -- 1. kill -9 mid-batch: client warns once and finishes locally ---------
+file(READ "${Pid}" DaemonPid)
+string(STRIP "${DaemonPid}" DaemonPid)
+# The slow corpus keeps the daemon busy for seconds; the kill lands while
+# the batch is mid-solve. The orphaned client must retry, give up, warn,
+# and produce its verdict locally (the per-query deadline keeps the local
+# leg quick).
+execute_process(
+  COMMAND sh -c "${ALIVEC} verify --remote=${Sock} --backend=bitblast \
+--widths=32 --deadline-ms=2500 ${SLOW} \
+> '${Scratch}/kill.out' 2> '${Scratch}/kill.err'; echo $? > '${Scratch}/kill.code'"
+  RESULT_VARIABLE ShCode
+  COMMAND sh -c "sleep 0.7; kill -9 ${DaemonPid}")
+if(NOT ShCode EQUAL 0)
+  fail("mid-batch kill harness failed (exit ${ShCode})")
+endif()
+file(READ "${Scratch}/kill.out" KillOut)
+file(READ "${Scratch}/kill.err" KillErr)
+file(READ "${Scratch}/kill.code" KillCode)
+string(STRIP "${KillCode}" KillCode)
+if(NOT KillErr MATCHES "verifying locally")
+  fail("client did not fall back after the kill\nstderr:\n${KillErr}")
+endif()
+string(REGEX MATCHALL "verifying locally" WarnCount "${KillErr}")
+list(LENGTH WarnCount WarnCount)
+if(NOT WarnCount EQUAL 1)
+  fail("expected exactly one fallback warning, got ${WarnCount}:\n${KillErr}")
+endif()
+if(NOT KillOut MATCHES "remote: fell back to local")
+  fail("batch summary does not record the fallback reason:\n${KillOut}")
+endif()
+if(NOT KillOut MATCHES "batch summary")
+  fail("local fallback produced no batch summary:\n${KillOut}")
+endif()
+if(NOT KillCode MATCHES "^[0134]$")
+  fail("fallback run exited ${KillCode}; expected a verdict code")
+endif()
+message(STATUS "kill -9 mid-batch: one warning, local verdict, exit ${KillCode}")
+
+# -- 2. restart on the same store: recovery + byte-identical replay -------
+start_daemon()
+daemon_stat("cold_queries" ColdBefore)
+execute_process(COMMAND ${ALIVEC} verify --remote=${Sock} ${FILE}
+                RESULT_VARIABLE WarmCode OUTPUT_VARIABLE WarmOut
+                ERROR_VARIABLE WarmErr)
+if(WarmErr MATCHES "verifying locally")
+  fail("post-recovery run fell back to local:\n${WarmErr}")
+endif()
+if(NOT WarmCode STREQUAL SeedCode)
+  fail("recovery replay exit ${WarmCode}; seed run exited ${SeedCode}")
+endif()
+normalize(WarmOut)
+normalize(SeedOut)
+if(NOT WarmOut STREQUAL SeedOut)
+  fail("recovery replay differs from the seeded run\n"
+       "---- seeded ----\n${SeedOut}\n---- replay ----\n${WarmOut}")
+endif()
+daemon_stat("cold_queries" ColdAfter)
+if(NOT ColdAfter EQUAL ColdBefore)
+  fail("recovery replay issued cold solver queries (${ColdBefore} -> "
+       "${ColdAfter}): the recovered store did not serve the corpus")
+endif()
+daemon_stat("report_hits" ReportHits)
+if(NOT ReportHits GREATER 0)
+  fail("recovery replay had no store report hits")
+endif()
+message(STATUS "recovered store: byte-identical replay, 0 cold queries")
+
+# -- 3. scripted connection faults are absorbed by client retries ---------
+execute_process(COMMAND ${ALIVEC} shutdown --remote=${Sock}
+                RESULT_VARIABLE Code OUTPUT_QUIET ERROR_QUIET)
+if(NOT Code EQUAL 0)
+  fail("pre-chaos shutdown failed (exit ${Code})")
+endif()
+foreach(Try RANGE 20)
+  if(NOT EXISTS "${Sock}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+endforeach()
+# One connection dies mid-request (the server's 2nd frame read resets);
+# the client's retry must land on a healthy connection with no fallback.
+start_daemon(--chaos=sock-read=reset@1x1)
+execute_process(COMMAND ${ALIVEC} verify --remote=${Sock} ${FILE}
+                RESULT_VARIABLE ChaosCode OUTPUT_VARIABLE ChaosOut
+                ERROR_VARIABLE ChaosErr)
+if(ChaosErr MATCHES "verifying locally")
+  fail("retry did not absorb the injected connection fault:\n${ChaosErr}")
+endif()
+if(NOT ChaosCode STREQUAL SeedCode)
+  fail("run under chaos exited ${ChaosCode}; expected ${SeedCode}")
+endif()
+message(STATUS "injected connection reset absorbed by client retry")
+
+# -- 4. the recovered daemon still dies cleanly ---------------------------
+execute_process(COMMAND ${ALIVEC} shutdown --remote=${Sock}
+                RESULT_VARIABLE Code OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Code EQUAL 0)
+  fail("shutdown verb failed (exit ${Code}): ${Err}")
+endif()
+foreach(Try RANGE 20)
+  if(NOT EXISTS "${Sock}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+endforeach()
+if(EXISTS "${Sock}")
+  fail("daemon did not remove its socket after shutdown")
+endif()
+message(STATUS "recovered daemon shut down cleanly")
+
+file(REMOVE_RECURSE "${Scratch}")

@@ -1,0 +1,198 @@
+//===- tests/service/ProtocolFuzzTest.cpp - frame decoder fuzzing ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded mutation fuzzing of the wire-protocol decoder: a valid frame is
+/// corrupted (bit flips, truncation, length lies, oversize announcements,
+/// random garbage) and fed through readFrame + JSON parse +
+/// Request/Response::fromJson. The decoder must always fail closed —
+/// return an error or a validated message, never crash, hang, or
+/// over-allocate. Deterministic seeds keep failures replayable; the same
+/// corpus runs under asan/ubsan and tsan via the preset filters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+uint64_t GRng;
+
+uint64_t nextRand() {
+  uint64_t Z = (GRng += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// A length-prefixed frame as writeFrame would put it on the wire.
+std::string encodeFrame(const std::string &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  std::string Out;
+  Out.push_back(static_cast<char>(Len >> 24));
+  Out.push_back(static_cast<char>(Len >> 16));
+  Out.push_back(static_cast<char>(Len >> 8));
+  Out.push_back(static_cast<char>(Len));
+  Out += Payload;
+  return Out;
+}
+
+std::string validRequestPayload() {
+  Request R;
+  R.Id = 7;
+  R.Verb = "verify";
+  R.Path = "fuzz.opt";
+  R.Text = "Name: t\n%r = add %x, 0\n=>\n%r = %x\n";
+  R.Opts = {"--widths=4,8", "--no-cache"};
+  R.DeadlineMs = 1234;
+  return R.toJson().str();
+}
+
+/// Feeds \p Wire to the reader end of a socketpair and decodes it the
+/// exact way the server does: readFrame, JSON parse, fromJson. Whatever
+/// happens must be a clean success or a clean error.
+void decodeOneWire(const std::string &Wire) {
+  int Socks[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Socks), 0);
+  // Writer thread not needed: fuzz frames are far below socket buffers.
+  if (!Wire.empty()) {
+    ASSERT_EQ(::send(Socks[1], Wire.data(), Wire.size(), 0),
+              static_cast<ssize_t>(Wire.size()));
+  }
+  ::shutdown(Socks[1], SHUT_WR); // no more bytes: truncation is visible
+
+  std::string Payload;
+  bool SawEof = false;
+  Status S = readFrame(Socks[0], Payload, SawEof);
+  if (S.ok() && !SawEof) {
+    auto Json = support::json::parse(Payload);
+    if (Json.ok()) {
+      // Either decode may reject; neither may crash or accept garbage
+      // silently — fromJson validates types fail-closed.
+      (void)Request::fromJson(Json.get());
+      (void)Response::fromJson(Json.get());
+    }
+  }
+  ::close(Socks[0]);
+  ::close(Socks[1]);
+}
+
+TEST(ProtocolFuzzTest, SeededFrameMutations) {
+  const std::string Base = encodeFrame(validRequestPayload());
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    GRng = Seed;
+    for (int Iter = 0; Iter != 128; ++Iter) {
+      std::string Wire = Base;
+      switch (nextRand() % 5) {
+      case 0: // bit flips anywhere, header included
+        for (unsigned I = 0, N = 1 + nextRand() % 8; I != N; ++I)
+          Wire[nextRand() % Wire.size()] ^=
+              static_cast<char>(1u << (nextRand() % 8));
+        break;
+      case 1: // truncate mid-header or mid-payload
+        Wire.resize(nextRand() % Wire.size());
+        break;
+      case 2: { // length field lies (both directions)
+        uint32_t Lie = static_cast<uint32_t>(nextRand());
+        Wire[0] = static_cast<char>(Lie >> 24);
+        Wire[1] = static_cast<char>(Lie >> 16);
+        Wire[2] = static_cast<char>(Lie >> 8);
+        Wire[3] = static_cast<char>(Lie);
+        break;
+      }
+      case 3: { // splice random garbage into the payload
+        size_t At = 4 + nextRand() % (Wire.size() - 4);
+        size_t Len = 1 + nextRand() % 16;
+        std::string Junk;
+        for (size_t I = 0; I != Len; ++I)
+          Junk.push_back(static_cast<char>(nextRand()));
+        Wire.insert(At, Junk); // length field now lies short
+        break;
+      }
+      case 4: // duplicate-frame tail: decoder must stop at frame one
+        Wire += Base.substr(0, nextRand() % Base.size());
+        break;
+      }
+      decodeOneWire(Wire);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, OversizeAnnouncementRejectedWithoutAllocation) {
+  // A header claiming >64 MB must be refused before any payload read;
+  // the test would OOM or wedge if the decoder tried to honor it.
+  std::string Wire = encodeFrame("");
+  uint32_t Huge = MaxFrameBytes + 1;
+  Wire[0] = static_cast<char>(Huge >> 24);
+  Wire[1] = static_cast<char>(Huge >> 16);
+  Wire[2] = static_cast<char>(Huge >> 8);
+  Wire[3] = static_cast<char>(Huge);
+
+  int Socks[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Socks), 0);
+  ASSERT_EQ(::send(Socks[1], Wire.data(), Wire.size(), 0),
+            static_cast<ssize_t>(Wire.size()));
+  std::string Payload;
+  bool SawEof = false;
+  Status S = readFrame(Socks[0], Payload, SawEof);
+  EXPECT_FALSE(S.ok());
+  ::close(Socks[0]);
+  ::close(Socks[1]);
+}
+
+TEST(ProtocolFuzzTest, TruncatedFrameIsErrorNotEof) {
+  // 4-byte header promising 100 bytes, then the peer goes away: that is a
+  // torn frame (error), distinct from a clean EOF between frames.
+  std::string Wire = encodeFrame(std::string(100, 'x')).substr(0, 40);
+  int Socks[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Socks), 0);
+  ASSERT_EQ(::send(Socks[1], Wire.data(), Wire.size(), 0),
+            static_cast<ssize_t>(Wire.size()));
+  ::shutdown(Socks[1], SHUT_WR);
+  std::string Payload;
+  bool SawEof = false;
+  EXPECT_FALSE(readFrame(Socks[0], Payload, SawEof).ok());
+
+  // And the clean-EOF case for contrast: no bytes at all.
+  int Socks2[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Socks2), 0);
+  ::shutdown(Socks2[1], SHUT_WR);
+  SawEof = false;
+  EXPECT_TRUE(readFrame(Socks2[0], Payload, SawEof).ok());
+  EXPECT_TRUE(SawEof);
+  ::close(Socks[0]);
+  ::close(Socks[1]);
+  ::close(Socks2[0]);
+  ::close(Socks2[1]);
+}
+
+TEST(ProtocolFuzzTest, PureGarbageStreams) {
+  for (uint64_t Seed = 10; Seed != 14; ++Seed) {
+    GRng = Seed;
+    for (int Iter = 0; Iter != 64; ++Iter) {
+      std::string Wire;
+      size_t Len = nextRand() % 256;
+      for (size_t I = 0; I != Len; ++I)
+        Wire.push_back(static_cast<char>(nextRand()));
+      // Keep announced lengths sane so the valid-looking prefix case
+      // still terminates quickly (oversize rejection has its own test).
+      if (Wire.size() >= 4)
+        Wire[0] = Wire[1] = 0;
+      decodeOneWire(Wire);
+    }
+  }
+}
+
+} // namespace

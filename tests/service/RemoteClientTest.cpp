@@ -1,0 +1,165 @@
+//===- tests/service/RemoteClientTest.cpp - resilient client tests --------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry/backoff/circuit-breaker client: transient-vs-terminal status
+/// classification, bounded retries on transport failure, breaker trip at
+/// the consecutive-failure threshold, fast-fail refusals while open,
+/// half-open probing after the cooldown (one failure re-opens, one success
+/// closes), and recovery against a live in-process server with scripted
+/// connect faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/RemoteClient.h"
+
+#include "service/FaultPlan.h"
+#include "service/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+using namespace alive::service;
+
+namespace {
+
+/// A client config tuned for test speed: single-digit-ms backoff, short
+/// cooldown, deterministic jitter.
+RemoteClientConfig fastConfig(const std::string &Address) {
+  RemoteClientConfig C;
+  C.Address = Address;
+  C.MaxRetries = 1;
+  C.BackoffBaseMs = 1;
+  C.BreakerThreshold = 2;
+  C.CooldownMs = 50;
+  return C;
+}
+
+std::string deadAddress() {
+  return "/tmp/alive-remote-client-dead-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+TEST(RemoteClientTest, TransientStatusClassification) {
+  EXPECT_TRUE(RemoteClient::isTransientStatus("busy"));
+  EXPECT_FALSE(RemoteClient::isTransientStatus("ok"));
+  EXPECT_FALSE(RemoteClient::isTransientStatus("error"));
+  EXPECT_FALSE(RemoteClient::isTransientStatus("timeout"));
+}
+
+TEST(RemoteClientTest, RetriesAreBoundedAndCounted) {
+  RemoteClient Client(fastConfig(deadAddress()));
+  Request R;
+  R.Verb = "stats";
+  auto Resp = Client.call(R);
+  EXPECT_FALSE(Resp.ok());
+  EXPECT_EQ(Client.counters().Calls, 1u);
+  EXPECT_EQ(Client.counters().Attempts, 2u); // first try + MaxRetries=1
+  EXPECT_EQ(Client.counters().Retries, 1u);
+  // One failed call is below BreakerThreshold=2: still closed.
+  EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Closed);
+}
+
+TEST(RemoteClientTest, BreakerTripsRefusesAndHalfOpens) {
+  RemoteClient Client(fastConfig(deadAddress()));
+  Request R;
+  R.Verb = "stats";
+  EXPECT_FALSE(Client.call(R).ok()); // failure 1
+  EXPECT_FALSE(Client.call(R).ok()); // failure 2: trips
+  EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Open);
+  EXPECT_EQ(Client.counters().BreakerTrips, 1u);
+
+  // While open and inside the cooldown, calls are refused without ever
+  // touching the network.
+  uint64_t AttemptsBefore = Client.counters().Attempts;
+  auto Refused = Client.call(R);
+  EXPECT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.message(), "circuit breaker open");
+  EXPECT_EQ(Client.lastError(), "circuit breaker open");
+  EXPECT_EQ(Client.counters().BreakerRefusals, 1u);
+  EXPECT_EQ(Client.counters().Attempts, AttemptsBefore);
+
+  // After the cooldown one probe goes out; it fails, so the breaker
+  // re-opens immediately (no retry burst from half-open).
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(Client.call(R).ok());
+  EXPECT_EQ(Client.counters().Attempts, AttemptsBefore + 1);
+  EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Open);
+  EXPECT_EQ(Client.counters().BreakerTrips, 2u);
+}
+
+TEST(RemoteClientTest, HalfOpenSuccessClosesBreaker) {
+  // A live server, but the first connects are scripted to fail: the
+  // breaker trips on real transport errors, then the probe succeeds once
+  // the fault window is exhausted and the breaker closes again.
+  std::string Socket = "/tmp/alive-remote-client-live-" +
+                       std::to_string(::getpid()) + ".sock";
+  ServerConfig Cfg;
+  Cfg.SocketPath = Socket;
+  Server Srv(std::move(Cfg), nullptr);
+  ASSERT_TRUE(Srv.start().ok());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    ScopedFaultPlan Plan;
+    // MaxRetries=1 → two connects per call; two calls exhaust the window.
+    Plan->script(FaultPoint::SockConnect, FaultKind::Fail, 0, 4);
+
+    RemoteClient Client(fastConfig(Socket));
+    Request R;
+    R.Verb = "stats";
+    EXPECT_FALSE(Client.call(R).ok());
+    EXPECT_FALSE(Client.call(R).ok());
+    EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Open);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    auto Resp = Client.call(R); // half-open probe, faults exhausted
+    ASSERT_TRUE(Resp.ok()) << Resp.message();
+    EXPECT_EQ(Resp.get().StatusStr, "ok");
+    EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Closed);
+
+    // Once closed, traffic flows normally again.
+    EXPECT_TRUE(Client.call(R).ok());
+  }
+
+  Srv.requestStop();
+  Srv.requestStop(); // escalate past the drain grace for prompt teardown
+  Runner.join();
+}
+
+TEST(RemoteClientTest, TerminalStatusesDoNotRetry) {
+  std::string Socket = "/tmp/alive-remote-client-term-" +
+                       std::to_string(::getpid()) + ".sock";
+  ServerConfig Cfg;
+  Cfg.SocketPath = Socket;
+  Server Srv(std::move(Cfg), nullptr);
+  ASSERT_TRUE(Srv.start().ok());
+  std::thread Runner([&] { Srv.run(); });
+
+  RemoteClient Client(fastConfig(Socket));
+  Request R;
+  R.Verb = "verify";
+  R.Text = "Name: t\n%r = add %x, 0\n=>\n%r = %x\n";
+  R.Opts = {"--frobnicate"}; // server answers a terminal "error"
+  auto Resp = Client.call(R);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "error");
+  EXPECT_EQ(Client.counters().Attempts, 1u); // no retry of a real answer
+  EXPECT_EQ(Client.counters().Retries, 0u);
+  // A definitive answer proves the server is healthy: breaker stays
+  // closed and the consecutive-failure streak resets.
+  EXPECT_EQ(Client.breakerState(), RemoteClient::Breaker::Closed);
+
+  Srv.requestStop();
+  Srv.requestStop();
+  Runner.join();
+}
+
+} // namespace

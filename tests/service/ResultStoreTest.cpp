@@ -15,6 +15,7 @@
 
 #include "service/ResultStore.h"
 
+#include "service/FaultPlan.h"
 #include "support/ByteIO.h"
 
 #include <gtest/gtest.h>
@@ -234,6 +235,150 @@ TEST(ResultStoreTest, FirstInsertWins) {
   std::string R;
   ASSERT_TRUE(Opened.get()->lookupReport("k", R));
   EXPECT_EQ(R, "original");
+}
+
+TEST(ResultStoreTest, FlockExcludesSecondOpener) {
+  TempDir Dir;
+  auto First = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(First.ok()) << First.message();
+  // Same process, second fd: flock is per-open-file-description, so this
+  // models a second daemon or a racing `alivec --store` exactly.
+  auto Second = ResultStore::open(Dir.Path);
+  ASSERT_FALSE(Second.ok());
+  EXPECT_NE(Second.message().find("locked by another process"),
+            std::string::npos);
+  // Releasing the first holder frees the directory.
+  First.get().reset();
+  auto Third = ResultStore::open(Dir.Path);
+  EXPECT_TRUE(Third.ok()) << Third.message();
+}
+
+TEST(ResultStoreTest, EnospcDegradesToReadOnlyOverlay) {
+  TempDir Dir;
+  auto Opened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Opened.ok()) << Opened.message();
+  auto &S = *Opened.get();
+  S.insertReport("on-disk", "disk-bytes");
+  EXPECT_FALSE(S.readOnly());
+
+  ScopedFaultPlan Plan;
+  Plan->script(FaultPoint::StoreAppend, FaultKind::Enospc);
+  // Disk full is an operating condition: the insert is served from the
+  // in-memory overlay and counted, never an error or a crash.
+  S.insertReport("in-memory", "mem-bytes");
+  EXPECT_TRUE(S.readOnly());
+  std::string V;
+  ASSERT_TRUE(S.lookupReport("in-memory", V));
+  EXPECT_EQ(V, "mem-bytes");
+  ASSERT_TRUE(S.lookupReport("on-disk", V)); // disk entries still served
+  EXPECT_EQ(V, "disk-bytes");
+
+  // Further inserts skip the dead disk entirely.
+  uint64_t Hits = Plan->hits(FaultPoint::StoreAppend);
+  S.insertQuery("q-mem", makeEntry(true, 8, 1));
+  EXPECT_EQ(Plan->hits(FaultPoint::StoreAppend), Hits); // no pwrite tried
+  smt::QueryCache::Entry E;
+  ASSERT_TRUE(S.lookupQuery("q-mem", E));
+
+  ResultStore::Stats St = S.stats();
+  EXPECT_TRUE(St.ReadOnly);
+  EXPECT_EQ(St.DegradedWrites, 2u);
+  EXPECT_EQ(St.ReportEntries, 2u); // overlay counts in entry totals
+  EXPECT_NE(St.str().find("degraded (read-only)"), std::string::npos);
+}
+
+TEST(ResultStoreTest, FsyncFailureDegradesOnFlush) {
+  TempDir Dir;
+  auto Opened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Opened.ok()) << Opened.message();
+  auto &S = *Opened.get();
+  S.insertReport("r1", "bytes");
+  {
+    ScopedFaultPlan Plan;
+    Plan->script(FaultPoint::StoreFsync, FaultKind::Enospc, 0, 1);
+    Status F = S.flush();
+    EXPECT_FALSE(F.ok());
+    EXPECT_NE(F.message().find("degraded to read-only"), std::string::npos);
+  }
+  EXPECT_TRUE(S.readOnly());
+  // Served state stays correct; new inserts land in the overlay.
+  S.insertReport("r2", "more");
+  std::string V;
+  ASSERT_TRUE(S.lookupReport("r1", V));
+  ASSERT_TRUE(S.lookupReport("r2", V));
+  EXPECT_EQ(V, "more");
+}
+
+TEST(ResultStoreTest, TornAppendIsScrubbedNotCorrupting) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok()) << Opened.message();
+    auto &S = *Opened.get();
+    S.insertReport("before", "aaaa");
+    {
+      ScopedFaultPlan Plan;
+      Plan->script(FaultPoint::StoreAppend, FaultKind::TornWrite, 0, 1);
+      S.insertReport("torn", "bbbb"); // half lands, then gets truncated
+    }
+    // The torn record went to the overlay; the log stayed a clean record
+    // sequence, so the next disk append is readable.
+    S.insertReport("after", "cccc");
+    std::string V;
+    ASSERT_TRUE(S.lookupReport("torn", V));
+    EXPECT_EQ(V, "bbbb");
+    ASSERT_TRUE(S.lookupReport("after", V));
+    EXPECT_EQ(V, "cccc");
+    EXPECT_EQ(S.stats().DegradedWrites, 1u);
+    EXPECT_FALSE(S.readOnly()); // a torn write is not disk-full
+  }
+  // Reopen: zero corrupted entries; the overlay entry is gone (it was
+  // never durable), both disk neighbors replay intact.
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok()) << Reopened.message();
+  auto &S = *Reopened.get();
+  std::string V;
+  ASSERT_TRUE(S.lookupReport("before", V));
+  EXPECT_EQ(V, "aaaa");
+  ASSERT_TRUE(S.lookupReport("after", V));
+  EXPECT_EQ(V, "cccc");
+  EXPECT_FALSE(S.lookupReport("torn", V));
+  EXPECT_EQ(S.stats().DroppedRecords, 0u);
+}
+
+TEST(ResultStoreTest, ReadFaultFallsBackToMissNotCrash) {
+  TempDir Dir;
+  auto Opened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Opened.ok()) << Opened.message();
+  auto &S = *Opened.get();
+  S.insertReport("r1", "bytes");
+  ScopedFaultPlan Plan;
+  Plan->script(FaultPoint::StoreRead, FaultKind::Fail, 0, 1);
+  std::string V;
+  EXPECT_FALSE(S.lookupReport("r1", V)); // injected EIO: clean miss
+  ASSERT_TRUE(S.lookupReport("r1", V));  // next read is fine again
+  EXPECT_EQ(V, "bytes");
+}
+
+TEST(ResultStoreTest, IndexSnapshotFaultIsRecoverable) {
+  TempDir Dir;
+  {
+    auto Opened = ResultStore::open(Dir.Path);
+    ASSERT_TRUE(Opened.ok()) << Opened.message();
+    auto &S = *Opened.get();
+    S.insertReport("r1", "bytes");
+    {
+      ScopedFaultPlan Plan;
+      Plan->script(FaultPoint::StoreIndex, FaultKind::Fail, 0, 1);
+      EXPECT_FALSE(S.flush().ok()); // snapshot failed; log is intact
+    }
+    ASSERT_TRUE(S.flush().ok()); // retried snapshot succeeds
+  }
+  auto Reopened = ResultStore::open(Dir.Path);
+  ASSERT_TRUE(Reopened.ok()) << Reopened.message();
+  std::string V;
+  ASSERT_TRUE(Reopened.get()->lookupReport("r1", V));
+  EXPECT_EQ(V, "bytes");
 }
 
 TEST(ResultStoreFuzzTest, SeededRoundTrip) {

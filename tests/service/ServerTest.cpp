@@ -13,11 +13,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "service/FaultPlan.h"
 #include "service/Server.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
 #include <unistd.h>
 
@@ -69,6 +72,10 @@ struct ServerFixture {
   }
 
   ~ServerFixture() {
+    // Two stops escalate graceful drain to a hard stop: fixtures tear
+    // down promptly even with in-flight work (drain behavior has its own
+    // dedicated tests).
+    Srv->requestStop();
     Srv->requestStop();
     Runner.join();
     Srv.reset();
@@ -194,7 +201,8 @@ TEST(ServerTest, DeterministicLoadShed) {
   EXPECT_EQ(Resp.get().StatusStr, "busy");
   EXPECT_EQ(F.Srv->metrics().counter("requests_shed_total").value(), 1u);
 
-  F.Srv->requestStop(); // cancels the in-flight slow query
+  F.Srv->requestStop(); // begin draining
+  F.Srv->requestStop(); // escalate: cancels the in-flight slow query
   Slow.join();
 }
 
@@ -258,6 +266,212 @@ TEST(ServerTest, StoreMakesSecondRunWarm) {
   std::remove((Dir + "/store.log").c_str());
   std::remove((Dir + "/store.idx").c_str());
   ::rmdir(Dir.c_str());
+}
+
+/// Raw connected socket to the fixture's unix listener, for tests that
+/// need to misbehave at the transport level (disconnect mid-protocol).
+int rawConnect(const std::string &Socket) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Socket.c_str());
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  return Fd;
+}
+
+TEST(ServerTest, DeadlineExpiryMidRunIsStructuredTimeout) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  ServerFixture F(std::move(Cfg));
+
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<test>";
+  R.Text = SlowCorpus;
+  R.Opts = {"--widths=32", "--backend=bitblast", "--no-static-filter"};
+  R.DeadlineMs = 300; // the bit-blasted query takes seconds
+  auto Start = std::chrono::steady_clock::now();
+  auto Resp = callServer(F.Socket, R);
+  auto WaitedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  // A structured timeout on the same connection — not a hang, not a
+  // dropped connection, not "busy".
+  EXPECT_EQ(Resp.get().StatusStr, "timeout");
+  EXPECT_EQ(Resp.get().Exit, 3);
+  EXPECT_NE(Resp.get().Err.find("deadline exceeded"), std::string::npos);
+  EXPECT_LT(WaitedMs, 5000); // answered near the deadline, not solver time
+  EXPECT_GE(F.Srv->metrics().counter("requests_timeout_total").value(), 1u);
+
+  // The watchdog freed the only worker slot: a normal request on a fresh
+  // connection must be admitted and answered.
+  auto OK = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(OK.ok()) << OK.message();
+  EXPECT_EQ(OK.get().StatusStr, "ok");
+  EXPECT_EQ(OK.get().Exit, 0);
+}
+
+TEST(ServerTest, WatchdogCancelsStuckWorker) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  ServerFixture F(std::move(Cfg));
+
+  // A worker wedged where solver limits cannot reach it: the injected
+  // hang sleeps 5 s unless the watchdog's cancellation token fires.
+  ScopedFaultPlan Plan;
+  Plan->script(FaultPoint::WorkerStart, FaultKind::Hang, 0, 1,
+               /*DelayMs=*/5000);
+
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<test>";
+  R.Text = GoodCorpus;
+  R.DeadlineMs = 200;
+  auto Start = std::chrono::steady_clock::now();
+  auto Resp = callServer(F.Socket, R);
+  auto WaitedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "timeout");
+  // Answered when the watchdog fired, not when the hang ran out.
+  EXPECT_LT(WaitedMs, 3000);
+  EXPECT_GE(
+      F.Srv->metrics().counter("requests_deadline_cancelled_total").value(),
+      1u);
+}
+
+TEST(ServerTest, DeadlineExpiryWhileQueuedIsTimeout) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueLimit = 4; // room to wait — this request queues, not sheds
+  ServerFixture F(std::move(Cfg));
+
+  std::thread Slow([&] {
+    (void)F.call("verify", SlowCorpus,
+                 {"--widths=32", "--backend=bitblast", "--no-static-filter"});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<test>";
+  R.Text = GoodCorpus;
+  R.DeadlineMs = 250; // expires while still waiting for the busy worker
+  auto Resp = callServer(F.Socket, R);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().StatusStr, "timeout");
+  EXPECT_EQ(Resp.get().Exit, 3);
+
+  F.Srv->requestStop();
+  F.Srv->requestStop();
+  Slow.join();
+}
+
+TEST(ServerTest, MidQueueDisconnectIsAbandonedNotRun) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueLimit = 4;
+  ServerFixture F(std::move(Cfg));
+
+  std::thread Slow([&] {
+    (void)F.call("verify", SlowCorpus,
+                 {"--widths=32", "--backend=bitblast", "--no-static-filter"});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Queue a request, then vanish before it is admitted. The server must
+  // notice the dead peer, drop the work unrun, and keep serving.
+  int Fd = rawConnect(F.Socket);
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<test>";
+  R.Text = BuggyCorpus; // distinct text: not coalesced with anything
+  ASSERT_TRUE(writeMessage(Fd, R.toJson()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::close(Fd);
+
+  // The queue scan runs on a 50 ms tick; give it a few.
+  for (int I = 0; I != 40; ++I) {
+    if (F.Srv->metrics().counter("requests_abandoned_total").value() >= 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(F.Srv->metrics().counter("requests_abandoned_total").value(), 1u);
+
+  F.Srv->requestStop();
+  F.Srv->requestStop();
+  Slow.join();
+
+  // At most the courtesy reply to the dead socket failed; the connection
+  // thread survived it either way (Slow got its answer above).
+  EXPECT_LE(F.Srv->metrics().counter("responses_failed_total").value(), 1u);
+}
+
+TEST(ServerTest, MidResponseDisconnectDoesNotKillServer) {
+  ServerFixture F;
+
+  // Send a request, then close without reading the response: the server's
+  // write hits EPIPE/ECONNRESET. It must count the failure and live on.
+  int Fd = rawConnect(F.Socket);
+  Request R;
+  R.Verb = "verify";
+  R.Path = "<test>";
+  R.Text = GoodCorpus;
+  ASSERT_TRUE(writeMessage(Fd, R.toJson()).ok());
+  ::close(Fd);
+
+  for (int I = 0; I != 100; ++I) {
+    if (F.Srv->metrics().counter("responses_failed_total").value() >= 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Either the write failed (counted) or the kernel buffered the response
+  // before noticing; in both cases the next client must be served.
+  auto OK = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(OK.ok()) << OK.message();
+  EXPECT_EQ(OK.get().StatusStr, "ok");
+}
+
+TEST(ServerTest, GracefulDrainDeliversInFlightResponse) {
+  ServerConfig Cfg;
+  Cfg.DrainGraceMs = 5000;
+  ServerFixture F(std::move(Cfg));
+
+  // Make the request measurably slow without burning solver time: the
+  // worker-start hook sleeps 400 ms before the batch runs.
+  ScopedFaultPlan Plan;
+  Plan->script(FaultPoint::WorkerStart, FaultKind::Hang, 0, 1,
+               /*DelayMs=*/400);
+
+  Result<Response> Got = Status::error("not called");
+  std::thread Client([&] { Got = F.call("verify", GoodCorpus); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // First stop: graceful. The in-flight request must still complete and
+  // its response must still be delivered before run() returns.
+  F.Srv->requestStop();
+  Client.join();
+  ASSERT_TRUE(Got.ok()) << Got.message();
+  EXPECT_EQ(Got.get().StatusStr, "ok");
+  EXPECT_EQ(Got.get().Exit, 0);
+}
+
+TEST(ServerTest, WorkerStartFaultInjection) {
+  ServerFixture F;
+  ScopedFaultPlan Plan;
+  Plan->script(FaultPoint::WorkerStart, FaultKind::Fail, 0, 1);
+  auto Resp = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(Resp.ok()) << Resp.message();
+  EXPECT_EQ(Resp.get().Exit, 4);
+  EXPECT_NE(Resp.get().Err.find("injected worker fault"), std::string::npos);
+  // The injected fault consumed the one scripted hit; service recovers.
+  auto OK = F.call("verify", GoodCorpus);
+  ASSERT_TRUE(OK.ok()) << OK.message();
+  EXPECT_EQ(OK.get().Exit, 0);
 }
 
 TEST(ServerTest, ShutdownVerbStopsRun) {

@@ -39,6 +39,13 @@
 ///                       path, or tcp:PORT for the loopback listener) and
 ///                       print its bytes; falls back to local verification
 ///                       with a warning when the daemon is unreachable
+///   --retry=N           remote attempts after the first before falling
+///                       back (default 2; exponential backoff + jitter,
+///                       circuit breaker — see service/RemoteClient.h)
+///   --request-deadline-ms=N
+///                       end-to-end budget for the whole request: queue
+///                       wait, solver time, and any local fallback all
+///                       count; a miss is a structured timeout (exit 3)
 ///
 /// The whole batch pipeline lives in service::runBatch (shared with the
 /// alived server, which is what makes --remote byte-identical to a local
@@ -59,6 +66,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/BatchRunner.h"
+#include "service/RemoteClient.h"
 #include "service/Server.h"
 
 #include <csignal>
@@ -94,6 +102,8 @@ void usage() {
                "  --store=DIR            persistent result store directory\n"
                "  --remote=SOCK          run on an alived daemon (falls back\n"
                "                         to local if unreachable)\n"
+               "  --retry=N              remote retries before local fallback\n"
+               "  --request-deadline-ms=N  end-to-end request budget\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
                "            3 unknown/resource-limited, 4 faulted\n"
                "lint mode: 0 clean, 1 diagnostics reported, 2 usage error\n");
@@ -104,15 +114,21 @@ smt::Cancellation GInterrupt;
 void onSigInt(int) { GInterrupt.cancel(); }
 
 /// Runs a control verb (stats/shutdown) against a daemon; these have no
-/// corpus and never fall back to local execution.
-int runControlVerb(const std::string &Verb, const std::string &Remote) {
+/// corpus and never fall back to local execution (but they do retry
+/// transient transport failures like everything else remote).
+int runControlVerb(const std::string &Verb, const std::string &Remote,
+                   unsigned Retries) {
   if (Remote.empty()) {
     std::fprintf(stderr, "error: %s requires --remote=SOCK\n", Verb.c_str());
     return 2;
   }
+  RemoteClientConfig CC;
+  CC.Address = Remote;
+  CC.MaxRetries = Retries;
+  RemoteClient Client(CC);
   Request Req;
   Req.Verb = Verb;
-  auto Resp = callServer(Remote, Req);
+  auto Resp = Client.call(Req);
   if (!Resp.ok()) {
     std::fprintf(stderr, "error: %s\n", Resp.message().c_str());
     return 2;
@@ -153,10 +169,14 @@ int main(int argc, char **argv) {
 
   if (Mode == "stats" || Mode == "shutdown") {
     std::string Remote;
-    for (const std::string &Opt : Opts)
+    unsigned Retries = 2;
+    for (const std::string &Opt : Opts) {
       if (Opt.rfind("--remote=", 0) == 0)
         Remote = Opt.substr(9);
-    return runControlVerb(Mode, Remote);
+      else if (Opt.rfind("--retry=", 0) == 0)
+        Retries = static_cast<unsigned>(std::atoi(Opt.c_str() + 8));
+    }
+    return runControlVerb(Mode, Remote, Retries);
   }
 
   auto Parsed = parseBatchOptions(Mode, Opts);
@@ -180,39 +200,14 @@ int main(int argc, char **argv) {
   Buf << In.rdbuf();
   std::string Text = Buf.str();
 
-  if (!Options.Remote.empty()) {
-    Request Req;
-    Req.Verb = Options.Mode; // after --lint flag rewriting
-    Req.Path = Path;
-    Req.Text = Text;
-    for (const std::string &Opt : Opts)
-      if (Opt.rfind("--remote=", 0) != 0 && Opt.rfind("--store=", 0) != 0)
-        Req.Opts.push_back(Opt);
-    auto Resp = callServer(Options.Remote, Req);
-    if (Resp.ok() && Resp.get().StatusStr == "ok") {
-      std::fputs(Resp.get().Out.c_str(), stdout);
-      std::fputs(Resp.get().Err.c_str(), stderr);
-      return Resp.get().Exit;
-    }
-    // Unreachable daemon or shed load: the answer still matters more than
-    // where it is computed. Warn and verify locally.
-    std::string Why = Resp.ok() ? Resp.get().Err : Resp.message();
-    while (!Why.empty() && Why.back() == '\n')
-      Why.pop_back();
-    std::fprintf(stderr, "warning: remote %s (%s); verifying locally\n",
-                 Resp.ok() ? "server busy" : "unreachable", Why.c_str());
-  }
-
-  std::shared_ptr<ResultStore> Store;
-  if (!Options.StoreDir.empty()) {
-    auto Opened = ResultStore::open(Options.StoreDir);
-    if (!Opened.ok()) {
-      std::fprintf(stderr, "error: cannot open store: %s\n",
-                   Opened.message().c_str());
-      return 2;
-    }
-    Store = std::move(Opened.take());
-  }
+  // Client-only options stay here; everything else is forwarded verbatim
+  // for the daemon to reparse with the same parser.
+  std::vector<std::string> Forward;
+  for (const std::string &Opt : Opts)
+    if (Opt.rfind("--remote=", 0) != 0 && Opt.rfind("--store=", 0) != 0 &&
+        Opt.rfind("--retry=", 0) != 0 &&
+        Opt.rfind("--request-deadline-ms=", 0) != 0)
+      Forward.push_back(Opt);
 
   smt::Cancellation *Cancel = nullptr;
   if (Options.Mode != "lint") {
@@ -220,7 +215,10 @@ int main(int argc, char **argv) {
     Cancel = &GInterrupt;
   }
 
-  BatchOutcome Out = runBatch(Options, Path, Text, Store, Cancel);
+  // runBatchClient handles the remote round trip (retries, breaker,
+  // deadline), the once-per-batch fallback warning, and the lazy store
+  // open for local execution.
+  BatchOutcome Out = runBatchClient(Options, Forward, Path, Text, Cancel);
   std::fputs(Out.Out.c_str(), stdout);
   std::fputs(Out.Err.c_str(), stderr);
   return Out.Exit;

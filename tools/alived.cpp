@@ -24,16 +24,27 @@
 ///                        so a follow-up client cannot race the socket)
 ///   --log=FILE           append daemon diagnostics to FILE (with
 ///                        --daemonize; default /dev/null)
+///   --pidfile=FILE       write the serving process's pid (the child's,
+///                        with --daemonize) once it is listening; chaos
+///                        harnesses use this to kill -9 the right process
+///   --drain-grace-ms=N   how long a graceful stop waits for in-flight
+///                        work before hard-cancelling (default 5000)
+///   --chaos=SPEC         install a fault-injection plan (see
+///                        service/FaultPlan.h for the grammar); the
+///                        ALIVE_CHAOS environment variable is an
+///                        equivalent, lower-precedence spelling
 ///
-/// Signals: SIGTERM/SIGINT stop the server gracefully (store flushed,
-/// in-flight queries cancelled); SIGUSR1 dumps metrics. Handlers only set
-/// atomic flags — the poll-based accept loop notices within 200 ms.
+/// Signals: the first SIGTERM/SIGINT stops the server gracefully (drain
+/// in-flight work, flush the store); a second one hard-stops it (in-flight
+/// queries cancelled). SIGUSR1 dumps metrics. Handlers only set atomic
+/// flags — the poll-based accept loop notices within 200 ms.
 ///
 /// Clients: `alivec --remote=PATH ...` (or `--remote=tcp:PORT`), plus the
 /// stats/shutdown verbs via `alivec stats|shutdown --remote=PATH`.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "service/FaultPlan.h"
 #include "service/Server.h"
 
 #include <csignal>
@@ -70,7 +81,11 @@ void usage() {
                "  --queue-limit=N      queue slots before shedding load\n"
                "  --metrics-dump=FILE  JSON snapshot on SIGUSR1/shutdown\n"
                "  --daemonize          background once listening\n"
-               "  --log=FILE           daemon log file (with --daemonize)\n");
+               "  --log=FILE           daemon log file (with --daemonize)\n"
+               "  --pidfile=FILE       write serving pid once listening\n"
+               "  --drain-grace-ms=N   graceful-stop drain window\n"
+               "  --chaos=SPEC         fault-injection plan (also via the\n"
+               "                       ALIVE_CHAOS environment variable)\n");
 }
 
 bool parseNum(const char *Opt, const std::string &Text, uint64_t &Out) {
@@ -92,7 +107,12 @@ int main(int argc, char **argv) {
   ServerConfig Cfg;
   std::string StoreDir;
   std::string LogFile;
+  std::string PidFile;
+  std::string ChaosSpec;
   bool Daemonize = false;
+
+  if (const char *Env = std::getenv("ALIVE_CHAOS"))
+    ChaosSpec = Env;
 
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
@@ -125,6 +145,16 @@ int main(int argc, char **argv) {
       Daemonize = true;
     } else if (Arg.rfind("--log=", 0) == 0) {
       LogFile = Arg.substr(6);
+    } else if (Arg.rfind("--pidfile=", 0) == 0) {
+      PidFile = Arg.substr(10);
+    } else if (Arg.rfind("--drain-grace-ms=", 0) == 0) {
+      if (!parseNum("--drain-grace-ms", Arg.substr(17), N)) {
+        usage();
+        return 2;
+      }
+      Cfg.DrainGraceMs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--chaos=", 0) == 0) {
+      ChaosSpec = Arg.substr(8); // overrides ALIVE_CHAOS
     } else {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       usage();
@@ -134,6 +164,19 @@ int main(int argc, char **argv) {
   if (Cfg.SocketPath.empty() && !Cfg.TcpPort) {
     usage();
     return 2;
+  }
+
+  // The plan must outlive the server; a static keeps it valid until exit.
+  static std::unique_ptr<FaultPlan> Chaos;
+  if (!ChaosSpec.empty()) {
+    auto Parsed = FaultPlan::parse(ChaosSpec);
+    if (!Parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", Parsed.message().c_str());
+      return 2;
+    }
+    Chaos = std::move(Parsed.take());
+    FaultPlan::install(Chaos.get());
+    std::fprintf(stderr, "chaos: plan installed (%s)\n", ChaosSpec.c_str());
   }
 
   std::shared_ptr<ResultStore> Store;
@@ -180,6 +223,19 @@ int main(int argc, char **argv) {
       ::dup2(Null, STDIN_FILENO);
       if (Null > STDERR_FILENO)
         ::close(Null);
+    }
+  }
+
+  // Written after the fork so the file always names the serving process —
+  // the one a chaos harness wants to kill -9.
+  if (!PidFile.empty()) {
+    if (std::FILE *F = std::fopen(PidFile.c_str(), "w")) {
+      std::fprintf(F, "%ld\n", static_cast<long>(::getpid()));
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "error: cannot write pidfile %s\n",
+                   PidFile.c_str());
+      return 2; // ~Server hard-stops and unlinks the socket
     }
   }
 
