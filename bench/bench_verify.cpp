@@ -12,15 +12,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "corpus/Corpus.h"
 #include "parser/Parser.h"
 #include "support/ThreadPool.h"
 #include "verifier/Verifier.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <mutex>
 
 using namespace alive;
@@ -122,6 +125,59 @@ double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
       .count();
 }
 
+/// Recorded pre-PR baseline for the native sweep below: the same serial
+/// width-4 sweep of the 324-opt corpus, measured at the growth seed (the
+/// commit before the solver-performance PR) on the reference machine —
+/// 285 ms one-shot, and 305 ms with `--incremental` (warm sessions were a
+/// net LOSS before selector-aware clause GC). The speedup field divides
+/// this recorded number; it is the honest "how much faster did the solver
+/// get" figure, because the blocker-literal watch lists, learned-clause
+/// minimization, and arena clause database are always on and cannot be
+/// re-measured by clearing flags. The flags-off sweep is still run live —
+/// it checks verdict parity and provides the machine-independent >=1.0
+/// gate for CheckPerf.cmake.
+constexpr double RecordedBaselineOneshotMs = 285.0;
+
+/// One serial sweep of the full Section 6.1 corpus (324 entries) through
+/// the native bit-blast backend at width 4. \p Features toggles the
+/// flag-gated solver layers: CNF preprocessing (--no-preprocess) and
+/// structural AIG rewriting + word-level polynomial normalization
+/// (--no-rewrite). \p Incremental picks between warm sessions and the
+/// --no-incremental one-shot plan — split out because the one-shot plan
+/// is where the full preprocessor (including blocked-clause elimination)
+/// runs unconditionally; warm sessions gate inprocessing on accumulated
+/// conflicts and may legitimately never trigger it.
+double sweepNativeCorpus(bool Features, bool Incremental,
+                         std::vector<Verdict> &Verdicts,
+                         smt::SolverStats *Solver = nullptr) {
+  VerifyConfig Cfg;
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.Types.Widths = {4};
+  Cfg.Types.MaxAssignments = 4;
+  Cfg.StaticFilter = false; // measure the solver, not the pre-filter
+  Cfg.Incremental = Incremental;
+  Cfg.Limits.Preprocess = Features;
+  Cfg.Limits.Rewrite = Features;
+
+  std::vector<std::unique_ptr<ir::Transform>> Parsed;
+  for (const corpus::CorpusEntry &E : corpus::fullCorpus()) {
+    auto P = corpus::parseEntry(E);
+    if (P.ok())
+      Parsed.push_back(std::move(P.get()));
+  }
+  Verdicts.assign(Parsed.size(), Verdict::Unknown);
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Parsed.size(); ++I) {
+    VerifyResult R = verify(*Parsed[I], Cfg);
+    Verdicts[I] = R.V;
+    if (Solver)
+      Solver->merge(R.Stats);
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
 /// The parallel-engine acceptance report: serial vs parallel wall time over
 /// the case corpus plus query-cache counters, as machine-readable JSON.
 void writeBenchJson(const char *Path) {
@@ -150,21 +206,70 @@ void writeBenchJson(const char *Path) {
   // A/B the incremental query plan: same corpus, serial, filter off (so
   // every refinement check reaches the solver), once on warm sessions and
   // once on the --no-incremental one-shot fallback. Verdicts must agree;
-  // the reuse counter proves the sessions actually stayed warm.
+  // the reuse counter proves the sessions actually stayed warm. Timed
+  // comparisons take the best of three repetitions: these sweeps run in
+  // tens of milliseconds, where a single scheduler hiccup is larger than
+  // the effect being measured, and min-of-N is the standard estimator for
+  // the noise-free cost.
+  const auto BestOf3 = [](const std::function<double()> &F) {
+    double Best = F();
+    for (int I = 0; I != 2; ++I)
+      Best = std::min(Best, F());
+    return Best;
+  };
   std::vector<Verdict> IncVerdicts, OneShotVerdicts;
   smt::SolverStats IncSolver;
-  double IncrementalMs = sweepCorpus(1, nullptr, IncVerdicts, false, nullptr,
-                                     true, &IncSolver);
-  double OneShotMs =
-      sweepCorpus(1, nullptr, OneShotVerdicts, false, nullptr, false);
+  double IncrementalMs = BestOf3([&] {
+    IncSolver = {};
+    return sweepCorpus(1, nullptr, IncVerdicts, false, nullptr, true,
+                       &IncSolver);
+  });
+  double OneShotMs = BestOf3([&] {
+    return sweepCorpus(1, nullptr, OneShotVerdicts, false, nullptr, false);
+  });
+
+  // The native-backend acceptance sweep: the full 324-opt Section 6.1
+  // corpus through the bit-blast backend, every performance feature on,
+  // against the live flags-off configuration (no preprocessing, no
+  // rewriting, one-shot plan). Verdicts must agree.
+  std::vector<Verdict> NativeVerdicts, NativeOneShotVerdicts,
+      BaselineVerdicts;
+  smt::SolverStats NativeSolver, NativeOneShotSolver;
+  {
+    std::vector<Verdict> Ignore;
+    sweepNativeCorpus(true, true, Ignore); // warm-up
+  }
+  double NativeMs = BestOf3([&] {
+    NativeSolver = {};
+    return sweepNativeCorpus(true, true, NativeVerdicts, &NativeSolver);
+  });
+  // Features on but one-shot plan: this is the configuration that runs
+  // the full preprocessor (BVE + subsumption + BCE) on every sizable
+  // query, so its counters are the ones reported below.
+  double NativeOneShotMs = BestOf3([&] {
+    NativeOneShotSolver = {};
+    return sweepNativeCorpus(true, false, NativeOneShotVerdicts,
+                             &NativeOneShotSolver);
+  });
+  double FlagsOffMs = BestOf3([&] {
+    return sweepNativeCorpus(false, false, BaselineVerdicts);
+  });
 
   bool Match = SerialVerdicts == ParallelVerdicts &&
                SerialVerdicts == UnfilteredVerdicts &&
-               SerialVerdicts == IncVerdicts && IncVerdicts == OneShotVerdicts;
+               SerialVerdicts == IncVerdicts &&
+               IncVerdicts == OneShotVerdicts &&
+               NativeVerdicts == NativeOneShotVerdicts &&
+               NativeVerdicts == BaselineVerdicts;
   smt::QueryCacheStats CS = Cache->stats();
+  const double RewritePct =
+      NativeSolver.RewriteGateCalls
+          ? 100.0 * static_cast<double>(NativeSolver.RewriteSavedGates) /
+                static_cast<double>(NativeSolver.RewriteGateCalls)
+          : 0.0;
 
   std::ofstream Out(Path);
-  char Buf[1024];
+  char Buf[2048];
   std::snprintf(Buf, sizeof(Buf),
                 "{\n"
                 "  \"corpus_cases\": %zu,\n"
@@ -183,7 +288,18 @@ void writeBenchJson(const char *Path) {
                 "  \"filter_saved_ms\": %.2f,\n"
                 "  \"incremental_ms\": %.2f,\n"
                 "  \"oneshot_ms\": %.2f,\n"
-                "  \"incremental_reuses\": %llu\n"
+                "  \"incremental_reuses\": %llu,\n"
+                "  \"native_corpus_cases\": %zu,\n"
+                "  \"native_ms\": %.2f,\n"
+                "  \"native_oneshot_ms\": %.2f,\n"
+                "  \"native_flags_off_ms\": %.2f,\n"
+                "  \"native_vs_flags_off_speedup\": %.3f,\n"
+                "  \"native_recorded_baseline_ms\": %.2f,\n"
+                "  \"native_vs_baseline_speedup\": %.3f,\n"
+                "  \"preprocess_ms\": %llu,\n"
+                "  \"eliminated_vars\": %llu,\n"
+                "  \"subsumed_clauses\": %llu,\n"
+                "  \"rewrite_node_reduction_pct\": %.2f\n"
                 "}\n",
                 std::size(Cases), Jobs,
                 support::ThreadPool::defaultConcurrency(), SerialMs,
@@ -195,16 +311,32 @@ void writeBenchJson(const char *Path) {
                 static_cast<unsigned long long>(Discharged),
                 UnfilteredMs, UnfilteredMs - SerialMs, IncrementalMs,
                 OneShotMs,
-                static_cast<unsigned long long>(IncSolver.IncrementalReuses));
+                static_cast<unsigned long long>(IncSolver.IncrementalReuses),
+                corpus::fullCorpus().size(), NativeMs, NativeOneShotMs,
+                FlagsOffMs, NativeMs > 0 ? FlagsOffMs / NativeMs : 0.0,
+                RecordedBaselineOneshotMs,
+                NativeMs > 0 ? RecordedBaselineOneshotMs / NativeMs : 0.0,
+                static_cast<unsigned long long>(
+                    NativeOneShotSolver.PreprocessUs / 1000),
+                static_cast<unsigned long long>(
+                    NativeOneShotSolver.EliminatedVars),
+                static_cast<unsigned long long>(
+                    NativeOneShotSolver.SubsumedClauses),
+                RewritePct);
   Out << Buf;
   std::printf("wrote %s (serial %.1f ms, parallel %.1f ms at jobs=%u, "
               "no-filter %.1f ms, incremental %.1f ms vs one-shot %.1f ms "
-              "(%llu reuses), %llu discharged, verdicts %s, cache %s)\n",
+              "(%llu reuses), %llu discharged, native corpus %.1f ms vs "
+              "flags-off %.1f ms (%.2fx) vs recorded baseline %.1f ms "
+              "(%.2fx, rewrite -%.1f%% gates), verdicts %s, cache %s)\n",
               Path, SerialMs, ParallelMs, Jobs, UnfilteredMs, IncrementalMs,
               OneShotMs,
               static_cast<unsigned long long>(IncSolver.IncrementalReuses),
-              static_cast<unsigned long long>(Discharged),
-              Match ? "match" : "MISMATCH", CS.str().c_str());
+              static_cast<unsigned long long>(Discharged), NativeMs,
+              FlagsOffMs, NativeMs > 0 ? FlagsOffMs / NativeMs : 0.0,
+              RecordedBaselineOneshotMs,
+              NativeMs > 0 ? RecordedBaselineOneshotMs / NativeMs : 0.0,
+              RewritePct, Match ? "match" : "MISMATCH", CS.str().c_str());
 }
 
 } // namespace

@@ -431,6 +431,10 @@ service::parseBatchOptions(const std::string &Mode,
       O.FailFast = true;
     } else if (Arg == "--no-cache") {
       O.UseCache = false;
+    } else if (Arg == "--no-preprocess") {
+      O.Cfg.Limits.Preprocess = false;
+    } else if (Arg == "--no-rewrite") {
+      O.Cfg.Limits.Rewrite = false;
     } else if (Arg == "--cache-stats") {
       O.PrintCacheStats = true;
     } else if (Arg == "--lint") {
@@ -485,7 +489,10 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
 
   std::shared_ptr<smt::QueryCache> Cache;
   if (Opts.UseCache) {
-    Cache = std::make_shared<smt::QueryCache>();
+    // Shard count follows the worker count so per-shard lock contention
+    // stays flat as --jobs grows (each shard is cache-line padded).
+    Cache = std::make_shared<smt::QueryCache>(
+        /*MaxEntries=*/1 << 16, smt::QueryCache::shardCountForJobs(Jobs));
     Cfg.Cache = Cache;
   }
   Cfg.Store = Store; // query-level tier; report tier is handled here
@@ -548,16 +555,35 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
                             Sum.UnknownBy[I]);
       Res.Out += "\n";
     }
+    if (Cache)
+      Sum.Solver.CacheContention = Cache->stats().Contention;
     if (Sum.Solver.Queries || Sum.Solver.IncrementalReuses ||
-        Sum.Solver.CacheHits || Sum.Solver.StoreHits)
+        Sum.Solver.CacheHits || Sum.Solver.StoreHits) {
       Res.Out += format(
           "     solver: %llu cold queries | %llu incremental reuses "
-          "| %llu cache hits | %llu store hits | %llu cold starts\n",
+          "| %llu cache hits | %llu store hits | %llu cold starts",
           static_cast<unsigned long long>(Sum.Solver.Queries),
           static_cast<unsigned long long>(Sum.Solver.IncrementalReuses),
           static_cast<unsigned long long>(Sum.Solver.CacheHits),
           static_cast<unsigned long long>(Sum.Solver.StoreHits),
           static_cast<unsigned long long>(Sum.Solver.ColdStarts));
+      // The contention count is timing-dependent, so only the explicit
+      // diagnostics flag prints it — the default summary stays
+      // byte-reproducible across runs and worker counts.
+      if (Opts.PrintCacheStats)
+        Res.Out += format(" | %llu cache contention",
+                          static_cast<unsigned long long>(
+                              Sum.Solver.CacheContention));
+      Res.Out += "\n";
+    }
+    if (Opts.PrintCacheStats)
+      Res.Out += format(
+          "     preprocess: %llu ms | %llu eliminated vars | %llu subsumed "
+          "clauses | %llu rewrite-saved gates\n",
+          static_cast<unsigned long long>(Sum.Solver.PreprocessUs / 1000),
+          static_cast<unsigned long long>(Sum.Solver.EliminatedVars),
+          static_cast<unsigned long long>(Sum.Solver.SubsumedClauses),
+          static_cast<unsigned long long>(Sum.Solver.RewriteSavedGates));
     if (Opts.PrintCacheStats && Cache)
       Res.Out += format("     query cache: %s\n", Cache->stats().str().c_str());
     if (Opts.PrintCacheStats && Store)

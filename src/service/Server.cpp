@@ -550,6 +550,16 @@ support::json::Value Server::metricsSnapshot() {
     Solver.set("report_misses", Value(RollupReportMisses));
   }
   Root.set("solver", std::move(Solver));
+  {
+    Value Pre = Value::object();
+    std::lock_guard<std::mutex> L(RollupMu);
+    Pre.set("preprocess_ms", Value(Rollup.PreprocessUs / 1000));
+    Pre.set("eliminated_vars", Value(Rollup.EliminatedVars));
+    Pre.set("subsumed_clauses", Value(Rollup.SubsumedClauses));
+    Pre.set("rewrite_saved_gates", Value(Rollup.RewriteSavedGates));
+    Pre.set("cache_contention", Value(Rollup.CacheContention));
+    Root.set("preprocess", std::move(Pre));
+  }
   if (Store) {
     ResultStore::Stats S = Store->stats();
     Value St = Value::object();

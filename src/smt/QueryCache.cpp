@@ -106,15 +106,19 @@ std::string QueryCacheStats::str() const {
   char Buf[160];
   std::snprintf(Buf, sizeof(Buf),
                 "hits=%llu misses=%llu evictions=%llu entries=%llu "
-                "hit-rate=%.1f%%",
+                "hit-rate=%.1f%% contention=%llu",
                 static_cast<unsigned long long>(Hits),
                 static_cast<unsigned long long>(Misses),
                 static_cast<unsigned long long>(Evictions),
-                static_cast<unsigned long long>(Entries), hitRate() * 100.0);
+                static_cast<unsigned long long>(Entries), hitRate() * 100.0,
+                static_cast<unsigned long long>(Contention));
   return Buf;
 }
 
-struct QueryCache::Shard {
+/// Aligned and padded to a cache line so the mutex of one shard never
+/// false-shares with its neighbours' hot LRU state — with jobs-scaled
+/// shard counts the shards are adjacent heap allocations.
+struct alignas(64) QueryCache::Shard {
   std::mutex M;
   /// LRU order, most recent at the front; map values point into it.
   std::list<std::string> Recency;
@@ -141,9 +145,18 @@ QueryCache::Shard &QueryCache::shardFor(const std::string &Key) {
   return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
 }
 
+std::unique_lock<std::mutex> QueryCache::lockShard(Shard &S) {
+  std::unique_lock<std::mutex> L(S.M, std::try_to_lock);
+  if (!L.owns_lock()) {
+    Contention.fetch_add(1, std::memory_order_relaxed);
+    L.lock();
+  }
+  return L;
+}
+
 bool QueryCache::lookup(const std::string &Key, Entry &Out) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> L(S.M);
+  auto L = lockShard(S);
   auto It = S.Map.find(Key);
   if (It == S.Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -157,7 +170,7 @@ bool QueryCache::lookup(const std::string &Key, Entry &Out) {
 
 void QueryCache::insert(const std::string &Key, Entry E) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> L(S.M);
+  auto L = lockShard(S);
   auto It = S.Map.find(Key);
   if (It != S.Map.end()) {
     // Raced with another worker solving the same query; keep the first
@@ -179,6 +192,7 @@ QueryCacheStats QueryCache::stats() const {
   R.Hits = Hits.load(std::memory_order_relaxed);
   R.Misses = Misses.load(std::memory_order_relaxed);
   R.Evictions = Evictions.load(std::memory_order_relaxed);
+  R.Contention = Contention.load(std::memory_order_relaxed);
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> L(S->M);
     R.Entries += S->Map.size();

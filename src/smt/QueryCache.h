@@ -52,7 +52,8 @@ struct QueryCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
-  uint64_t Entries = 0; ///< currently resident
+  uint64_t Entries = 0;    ///< currently resident
+  uint64_t Contention = 0; ///< lock acquisitions that had to wait
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -65,8 +66,17 @@ struct QueryCacheStats {
 class QueryCache {
 public:
   /// \p MaxEntries bounds the total resident entries (split evenly over
-  /// \p ShardCount shards, each evicting least-recently-used first).
+  /// \p ShardCount shards, each evicting least-recently-used first). Each
+  /// shard's mutex and LRU state live on their own cache lines, so size
+  /// ShardCount to the worker count (see shardCountForJobs) to keep
+  /// contention — counted in stats().Contention — near zero.
   explicit QueryCache(size_t MaxEntries = 1 << 16, unsigned ShardCount = 16);
+
+  /// Shard count sized for \p Jobs concurrent workers: 4× oversubscribed
+  /// (so two hot keys rarely collide) with the default 16 as the floor.
+  static unsigned shardCountForJobs(unsigned Jobs) {
+    return Jobs > 4 ? 4 * Jobs : 16;
+  }
   ~QueryCache();
 
   QueryCache(const QueryCache &) = delete;
@@ -95,9 +105,14 @@ private:
   struct Shard;
   Shard &shardFor(const std::string &Key);
 
+  /// Locks the shard, counting the acquisition under Contention when the
+  /// lock was held by another worker at first try.
+  std::unique_lock<std::mutex> lockShard(Shard &S);
+
   size_t PerShardCap;
   std::vector<std::unique_ptr<Shard>> Shards;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+  mutable std::atomic<uint64_t> Contention{0};
 };
 
 /// Decorator: memoizes the inner solver's Sat/Unsat verdicts (and models)

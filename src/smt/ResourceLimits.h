@@ -70,6 +70,12 @@ struct ResourceLimits {
   uint64_t LearnedBytesBudget = 0;///< live learned-clause memory cap
   const Cancellation *Cancel = nullptr; ///< not owned
 
+  // Native-backend performance features. On by default; the --no-preprocess
+  // and --no-rewrite flags clear them (verdicts are identical either way —
+  // these only trade encoding/solve time).
+  bool Preprocess = true; ///< CNF preprocessing before/while solving
+  bool Rewrite = true;    ///< structural AIG rewriting before Tseitin
+
   bool unlimited() const {
     return !DeadlineMs && !ConflictBudget && !PropagationBudget &&
            !LearnedBytesBudget && !Cancel;

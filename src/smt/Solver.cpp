@@ -72,6 +72,16 @@ std::string SolverStats::str() const {
     S += " store-hits=" + std::to_string(StoreHits);
   if (ColdStarts)
     S += " cold-starts=" + std::to_string(ColdStarts);
+  if (PreprocessUs)
+    S += " preprocess-ms=" + std::to_string(PreprocessUs / 1000);
+  if (EliminatedVars)
+    S += " eliminated-vars=" + std::to_string(EliminatedVars);
+  if (SubsumedClauses)
+    S += " subsumed-clauses=" + std::to_string(SubsumedClauses);
+  if (RewriteSavedGates)
+    S += " rewrite-saved-gates=" + std::to_string(RewriteSavedGates);
+  if (CacheContention)
+    S += " cache-contention=" + std::to_string(CacheContention);
   return S;
 }
 

@@ -132,6 +132,16 @@ struct SolverStats {
   uint64_t CacheHits = 0;         ///< answers served from a QueryCache
   uint64_t StoreHits = 0;         ///< answers served from a persistent store
   uint64_t ColdStarts = 0;        ///< fresh solver/context instantiations
+  // Native-backend performance layer (bitblast solver/session only):
+  // CNF preprocessing counters mirrored out of sat::SimplifyStats, and gate
+  // savings from the structural AIG rewriter.
+  uint64_t PreprocessUs = 0;      ///< wall time inside the CNF preprocessor
+  uint64_t EliminatedVars = 0;    ///< variables removed by elimination
+  uint64_t SubsumedClauses = 0;   ///< clauses removed by (self-)subsumption
+  uint64_t RewriteGateCalls = 0;  ///< gate requests seen by the AIG layer
+  uint64_t RewriteSavedGates = 0; ///< gate requests folded or hash-shared
+  // Sharded QueryCache contention (lock acquisitions that had to wait):
+  uint64_t CacheContention = 0;
 
   uint64_t unknowns(UnknownReason R) const {
     return UnknownBy[static_cast<unsigned>(R)];
@@ -154,6 +164,12 @@ struct SolverStats {
     CacheHits += O.CacheHits;
     StoreHits += O.StoreHits;
     ColdStarts += O.ColdStarts;
+    PreprocessUs += O.PreprocessUs;
+    EliminatedVars += O.EliminatedVars;
+    SubsumedClauses += O.SubsumedClauses;
+    RewriteGateCalls += O.RewriteGateCalls;
+    RewriteSavedGates += O.RewriteSavedGates;
+    CacheContention += O.CacheContention;
   }
 
   /// The element-wise difference against an earlier snapshot of the same
@@ -175,6 +191,12 @@ struct SolverStats {
     D.CacheHits = CacheHits - Before.CacheHits;
     D.StoreHits = StoreHits - Before.StoreHits;
     D.ColdStarts = ColdStarts - Before.ColdStarts;
+    D.PreprocessUs = PreprocessUs - Before.PreprocessUs;
+    D.EliminatedVars = EliminatedVars - Before.EliminatedVars;
+    D.SubsumedClauses = SubsumedClauses - Before.SubsumedClauses;
+    D.RewriteGateCalls = RewriteGateCalls - Before.RewriteGateCalls;
+    D.RewriteSavedGates = RewriteSavedGates - Before.RewriteSavedGates;
+    D.CacheContention = CacheContention - Before.CacheContention;
     return D;
   }
 

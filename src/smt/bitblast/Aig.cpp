@@ -1,0 +1,237 @@
+//===- smt/bitblast/Aig.cpp - structurally hashed gate graph --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/bitblast/Aig.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace alive;
+using namespace alive::smt;
+using namespace alive::smt::aig;
+
+Aig::Aig(bool RewriteEnabled) : Rewrite(RewriteEnabled) {
+  Nodes.push_back(
+      {NodeKind::ConstTrue, Edge(), Edge(), Edge(), sat::Lit(), false});
+}
+
+Edge Aig::mkLeaf(sat::Lit L) {
+  uint32_t N = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({NodeKind::Leaf, Edge(), Edge(), Edge(), L, true});
+  return Edge::make(N, false);
+}
+
+uint32_t Aig::newNode(NodeKind K, Edge A, Edge B, Edge C) {
+  uint32_t N = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({K, A, B, C, sat::Lit(), false});
+  ++Stats.NodesCreated;
+  return N;
+}
+
+Edge Aig::getNode(NodeKind K, Edge A, Edge B, Edge C) {
+  if (!Rewrite)
+    return Edge::make(newNode(K, A, B, C), false);
+  NodeKey Key{static_cast<uint32_t>(K), A.code(), B.code(), C.code()};
+  auto It = Hash.find(Key);
+  if (It != Hash.end()) {
+    ++Stats.HashHits;
+    return Edge::make(It->second, false);
+  }
+  uint32_t N = newNode(K, A, B, C);
+  Hash.emplace(Key, N);
+  return Edge::make(N, false);
+}
+
+Edge Aig::mkAnd(Edge A, Edge B) {
+  ++Stats.GateCalls;
+  // Constant and trivial folds (these also exist in the direct encoder, so
+  // they stay active with rewriting off).
+  if (A == falseEdge() || B == falseEdge() || A == ~B) {
+    ++Stats.Folds;
+    return falseEdge();
+  }
+  if (A == trueEdge() || A == B) {
+    ++Stats.Folds;
+    return B;
+  }
+  if (B == trueEdge()) {
+    ++Stats.Folds;
+    return A;
+  }
+  if (Rewrite) {
+    // Two-level rules against an And operand (both orientations):
+    //   x & (x & y)    = x & y        (containment)
+    //   x & (~x & y)   = false        (conflict)
+    //   x & ~(x & y)   = x & ~y       (substitution)
+    //   x & ~(~x & y)  = x            (subsumption)
+    auto TwoLevel = [&](Edge X, Edge Y, Edge &Out) {
+      Edge P = Y.plain();
+      if (kind(P.node()) != NodeKind::And)
+        return false;
+      Edge C0 = child0(P.node()), C1 = child1(P.node());
+      if (!Y.complemented()) {
+        if (C0 == X || C1 == X) {
+          Out = Y; // containment: Y already includes X
+          return true;
+        }
+        if (C0 == ~X || C1 == ~X) {
+          Out = falseEdge();
+          return true;
+        }
+      } else {
+        if (C0 == ~X || C1 == ~X) {
+          Out = X; // subsumption: ~(~x & y) = x | ~y ⊇ x
+          return true;
+        }
+        if (C0 == X) {
+          Out = mkAnd(X, ~C1);
+          return true;
+        }
+        if (C1 == X) {
+          Out = mkAnd(X, ~C0);
+          return true;
+        }
+      }
+      return false;
+    };
+    Edge Out;
+    if (TwoLevel(A, B, Out) || TwoLevel(B, A, Out)) {
+      ++Stats.Folds;
+      return Out;
+    }
+    // Canonical operand order for the hash.
+    if (B.code() < A.code())
+      std::swap(A, B);
+  }
+  return getNode(NodeKind::And, A, B, Edge());
+}
+
+Edge Aig::mkXor(Edge A, Edge B) {
+  ++Stats.GateCalls;
+  if (A == falseEdge()) {
+    ++Stats.Folds;
+    return B;
+  }
+  if (B == falseEdge()) {
+    ++Stats.Folds;
+    return A;
+  }
+  if (A == trueEdge()) {
+    ++Stats.Folds;
+    return ~B;
+  }
+  if (B == trueEdge()) {
+    ++Stats.Folds;
+    return ~A;
+  }
+  if (A == B) {
+    ++Stats.Folds;
+    return falseEdge();
+  }
+  if (A == ~B) {
+    ++Stats.Folds;
+    return trueEdge();
+  }
+  // Hoist complements out: Xor(~a, b) = ~Xor(a, b). Children are stored
+  // plain; the result carries the combined complement.
+  bool Compl = A.complemented() != B.complemented();
+  Edge PA = A.plain(), PB = B.plain();
+  if (Rewrite) {
+    // Two-level cancellation: Xor(x, Xor(x, y)) = y.
+    auto Cancel = [&](Edge X, Edge Y, Edge &Out) {
+      if (kind(Y.node()) != NodeKind::Xor)
+        return false;
+      Edge C0 = child0(Y.node()), C1 = child1(Y.node());
+      if (C0 == X) {
+        Out = C1;
+        return true;
+      }
+      if (C1 == X) {
+        Out = C0;
+        return true;
+      }
+      return false;
+    };
+    Edge Out;
+    if (Cancel(PA, PB, Out) || Cancel(PB, PA, Out)) {
+      ++Stats.Folds;
+      return Compl ? ~Out : Out;
+    }
+    if (PB.code() < PA.code())
+      std::swap(PA, PB);
+  }
+  Edge R = getNode(NodeKind::Xor, PA, PB, Edge());
+  return Compl ? ~R : R;
+}
+
+Edge Aig::mkMux(Edge Sel, Edge T, Edge E) {
+  ++Stats.GateCalls;
+  if (Sel == trueEdge() || T == E) {
+    ++Stats.Folds;
+    return T;
+  }
+  if (Sel == falseEdge()) {
+    ++Stats.Folds;
+    return E;
+  }
+  if (T == trueEdge() && E == falseEdge()) {
+    ++Stats.Folds;
+    return Sel;
+  }
+  if (T == falseEdge() && E == trueEdge()) {
+    ++Stats.Folds;
+    return ~Sel;
+  }
+  if (Rewrite) {
+    // Mux specializations that reduce to a single And/Xor gate; the
+    // recursive constructors may fold further.
+    if (T == ~E) {
+      ++Stats.Folds;
+      return ~mkXor(Sel, T); // s ? t : ~t == xnor(s, t)
+    }
+    if (T == trueEdge()) {
+      ++Stats.Folds;
+      return mkOr(Sel, E);
+    }
+    if (T == falseEdge()) {
+      ++Stats.Folds;
+      return mkAnd(~Sel, E);
+    }
+    if (E == trueEdge()) {
+      ++Stats.Folds;
+      return mkOr(~Sel, T);
+    }
+    if (E == falseEdge()) {
+      ++Stats.Folds;
+      return mkAnd(Sel, T);
+    }
+    if (Sel == T) {
+      ++Stats.Folds;
+      return mkOr(Sel, E); // s ? s : e
+    }
+    if (Sel == ~T) {
+      ++Stats.Folds;
+      return mkAnd(~Sel, E); // s ? ~s : e
+    }
+    if (Sel == E) {
+      ++Stats.Folds;
+      return mkAnd(Sel, T); // s ? t : s
+    }
+    if (Sel == ~E) {
+      ++Stats.Folds;
+      return mkOr(~Sel, T); // s ? t : ~s
+    }
+    // Canonicalize: plain selector (swap branches), plain then-edge
+    // (complement the output).
+    if (Sel.complemented()) {
+      Sel = ~Sel;
+      std::swap(T, E);
+    }
+    if (T.complemented())
+      return ~getNode(NodeKind::Mux, Sel, ~T, ~E);
+  }
+  return getNode(NodeKind::Mux, Sel, T, E);
+}

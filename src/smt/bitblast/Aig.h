@@ -1,0 +1,164 @@
+//===- smt/bitblast/Aig.h - structurally hashed gate graph ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An AIG-style gate graph sitting between the word-level circuits and the
+/// Tseitin encoder. Edges carry complement bits, nodes are And/Xor/Mux over
+/// edges (not a pure and-inverter graph: keeping Xor and Mux as first-class
+/// kinds preserves their compact 4-clause Tseitin encodings), and every
+/// constructor routes through constant folding, a set of two-level local
+/// rewrite rules (absorption, containment, substitution, mux
+/// specialization), and a structural hash table — so shared and redundant
+/// subcircuits collapse before a single clause is emitted. The graph itself
+/// is solver-free; the BitBlaster walks cones and emits CNF, caching a
+/// SAT literal per node so incremental sessions re-encode nothing.
+///
+/// With rewriting disabled (--no-rewrite) the constructors keep only the
+/// constant folds the direct encoder always had and allocate a fresh node
+/// per gate call, reproducing the unhashed encoding for differential
+/// testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_BITBLAST_AIG_H
+#define ALIVE_SMT_BITBLAST_AIG_H
+
+#include "smt/sat/SatSolver.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+namespace smt {
+namespace aig {
+
+/// A reference to a node with a complement bit, encoded as 2*node+compl —
+/// the same trick as sat::Lit. Node 0 is the constant TRUE, so the plain
+/// edge 0 is true and its complement 1 is false.
+class Edge {
+public:
+  Edge() : Code(0) {}
+
+  static Edge make(uint32_t Node, bool Compl) {
+    Edge E;
+    E.Code = 2 * Node + (Compl ? 1 : 0);
+    return E;
+  }
+  static Edge fromCode(uint32_t Code) {
+    Edge E;
+    E.Code = Code;
+    return E;
+  }
+
+  uint32_t node() const { return Code >> 1; }
+  bool complemented() const { return Code & 1; }
+  uint32_t code() const { return Code; }
+  Edge operator~() const { return fromCode(Code ^ 1); }
+  Edge plain() const { return fromCode(Code & ~1u); }
+
+  bool operator==(const Edge &RHS) const { return Code == RHS.Code; }
+  bool operator!=(const Edge &RHS) const { return Code != RHS.Code; }
+
+private:
+  uint32_t Code;
+};
+
+inline Edge trueEdge() { return Edge::fromCode(0); }
+inline Edge falseEdge() { return Edge::fromCode(1); }
+
+enum class NodeKind : uint8_t {
+  ConstTrue, ///< node 0 only
+  Leaf,      ///< an input: bound to a SAT variable at creation time
+  And,       ///< A & B (complements in the child edges)
+  Xor,       ///< A ^ B (children stored plain; complements hoisted out)
+  Mux,       ///< A ? B : C (selector and then-edge stored plain)
+};
+
+/// Construction counters. The node-reduction percentage reported by the
+/// benches is (GateCalls - NodesCreated) / GateCalls: the fraction of gate
+/// requests answered without growing the graph.
+struct AigStats {
+  uint64_t GateCalls = 0;    ///< mkAnd/mkXor/mkMux invocations
+  uint64_t Folds = 0;        ///< answered by constant/rule folding
+  uint64_t HashHits = 0;     ///< answered by the structural hash table
+  uint64_t NodesCreated = 0; ///< fresh nodes allocated (excl. leaves)
+};
+
+class Aig {
+public:
+  explicit Aig(bool RewriteEnabled = true);
+
+  /// Creates an input node bound to SAT literal \p L (normally a fresh,
+  /// plain variable literal).
+  Edge mkLeaf(sat::Lit L);
+
+  Edge mkAnd(Edge A, Edge B);
+  Edge mkOr(Edge A, Edge B) { return ~mkAnd(~A, ~B); }
+  Edge mkXor(Edge A, Edge B);
+  Edge mkMux(Edge Sel, Edge T, Edge E);
+
+  // --- Node introspection (for the Tseitin walk and the tests) -----------
+  NodeKind kind(uint32_t Node) const { return Nodes[Node].Kind; }
+  Edge child0(uint32_t Node) const { return Nodes[Node].A; }
+  Edge child1(uint32_t Node) const { return Nodes[Node].B; }
+  Edge child2(uint32_t Node) const { return Nodes[Node].C; }
+  sat::Lit leafLit(uint32_t Node) const { return Nodes[Node].CachedLit; }
+
+  /// The persistent node -> SAT literal Tseitin cache. A cached literal is
+  /// only valid while its variable survives preprocessing; the BitBlaster
+  /// re-materializes nodes whose variable was eliminated.
+  bool hasLit(uint32_t Node) const { return Nodes[Node].HasLit; }
+  sat::Lit cachedLit(uint32_t Node) const { return Nodes[Node].CachedLit; }
+  void setCachedLit(uint32_t Node, sat::Lit L) {
+    Nodes[Node].CachedLit = L;
+    Nodes[Node].HasLit = true;
+  }
+
+  size_t numNodes() const { return Nodes.size(); }
+  const AigStats &stats() const { return Stats; }
+  bool rewriteEnabled() const { return Rewrite; }
+
+private:
+  struct Node {
+    NodeKind Kind;
+    Edge A, B, C;
+    sat::Lit CachedLit;
+    bool HasLit = false;
+  };
+
+  struct NodeKey {
+    uint32_t K, A, B, C;
+    bool operator==(const NodeKey &R) const {
+      return K == R.K && A == R.A && B == R.B && C == R.C;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &Key) const {
+      uint64_t H = Key.K;
+      for (uint64_t W : {Key.A, Key.B, Key.C}) {
+        H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+        H *= 0xff51afd7ed558ccdULL;
+      }
+      return static_cast<size_t>(H ^ (H >> 33));
+    }
+  };
+
+  uint32_t newNode(NodeKind K, Edge A, Edge B, Edge C);
+  /// Hash-consed allocation (fresh allocation when rewriting is off).
+  Edge getNode(NodeKind K, Edge A, Edge B, Edge C);
+
+  bool Rewrite;
+  std::vector<Node> Nodes;
+  std::unordered_map<NodeKey, uint32_t, NodeKeyHash> Hash;
+  AigStats Stats;
+};
+
+} // namespace aig
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_BITBLAST_AIG_H

@@ -34,7 +34,11 @@ namespace {
 class BitBlastSession final : public SolverSession {
 public:
   explicit BitBlastSession(const ResourceLimits &Limits)
-      : Limits(Limits), Blaster(Sat) {
+      : Limits(Limits),
+        Blaster(Sat, Limits.Rewrite, /*FreezeLeaves=*/true) {
+    // Leaves are frozen because a later frame may re-mention any term
+    // variable; the preprocessor must never eliminate one out from under a
+    // future addClause.
     Frames.emplace_back();
   }
 
@@ -66,12 +70,26 @@ public:
     Frames.emplace_back();
     Frames.back().HasSelector = true;
     Frames.back().Selector = sat::Lit(Sat.newVar(), false);
+    // Selectors appear in assumption sets and future guard clauses: the
+    // preprocessor must treat them as permanent.
+    Sat.setFrozen(Frames.back().Selector.var(), true);
   }
 
   void pop() override {
     assert(Frames.size() > 1 && "pop without matching push");
-    if (Frames.back().HasSelector)
+    if (Frames.back().HasSelector) {
       Sat.addClause(~Frames.back().Selector);
+      // Selector-aware garbage collection: the unit ¬s permanently
+      // satisfies every (¬s ∨ …) clause of the retired scope, and
+      // simplify() frees them (and any learned clauses watching them)
+      // instead of letting the database grow monotonically — the main
+      // source of the incremental-slower-than-oneshot regression. Tiny
+      // databases skip the sweep: below the one-shot preprocessing
+      // threshold the walk over the watch lists costs more than the
+      // handful of clauses it would reclaim.
+      if (Sat.numClauses() >= 192)
+        Sat.simplify();
+    }
     Frames.pop_back();
   }
 
@@ -112,8 +130,13 @@ protected:
         Assume.push_back(F.Selector);
     Blaster.setInterrupt(HasDeadline, Deadline, L.Cancel);
     try {
-      for (TermRef A : Assumptions)
-        Assume.push_back(Blaster.literalFor(A));
+      for (TermRef A : Assumptions) {
+        sat::Lit AL = Blaster.literalFor(A);
+        // Assumption literals must survive preprocessing: assuming an
+        // eliminated variable would constrain nothing.
+        Sat.setFrozen(AL.var(), true);
+        Assume.push_back(AL);
+      }
     } catch (const Interrupted &I) {
       return CheckResult::unknown(I.Reason,
                                   std::string(unknownReasonName(I.Reason)) +
@@ -127,6 +150,39 @@ protected:
     SL.HasDeadline = HasDeadline;
     SL.Deadline = Deadline;
     SL.Cancel = L.Cancel;
+
+    if (L.Preprocess) {
+      // Inprocessing, amortized: rerun the (equivalence-preserving subset
+      // of the) preprocessor once the database has grown meaningfully
+      // since the last pass. Blocked-clause elimination stays off — future
+      // frames may add clauses that BCE's model-reconstruction flips would
+      // falsify (see Preprocessor.h). The search limits pass the deadline
+      // down so a stale inprocessing trigger cannot eat the check budget.
+      // Tiny databases are skipped for the same reason as the one-shot
+      // gate: below a couple hundred clauses a subsumption/elimination
+      // sweep costs more than the search it would save. The conflict gate
+      // is the session-specific half of that argument: a verifier spawns
+      // many short-lived sessions whose every check closes by propagation
+      // alone, and preprocessing those is pure per-session overhead — so
+      // inprocess only once the session has demonstrably burned search
+      // effort since the last pass.
+      unsigned NC = Sat.numClauses();
+      if (NC >= 192 &&
+          NC > LastPreprocessClauses + LastPreprocessClauses / 4 + 64 &&
+          Sat.numConflicts() >= LastPreprocessConflicts + 64) {
+        Sat.preprocess(/*FormulaComplete=*/false, &SL);
+        LastPreprocessClauses = Sat.numClauses();
+        LastPreprocessConflicts = Sat.numConflicts();
+      }
+    }
+    const sat::SimplifyStats &SS = Sat.simplifyStats();
+    Stats.PreprocessUs = SS.PreprocessUs;
+    Stats.EliminatedVars = SS.EliminatedVars;
+    Stats.SubsumedClauses =
+        SS.SubsumedClauses + SS.StrengthenedClauses + SS.BlockedClauses;
+    const aig::AigStats &AS = Blaster.rewriteStats();
+    Stats.RewriteGateCalls = AS.GateCalls;
+    Stats.RewriteSavedGates = AS.GateCalls - AS.NodesCreated;
 
     CheckResult R;
     switch (Sat.solveUnderAssumptions(Assume, SL)) {
@@ -178,6 +234,8 @@ private:
   BitBlaster Blaster; // must follow Sat: encodes into it
   std::vector<Frame> Frames;
   bool Started = false;
+  unsigned LastPreprocessClauses = 0;
+  uint64_t LastPreprocessConflicts = 0;
 };
 
 } // namespace

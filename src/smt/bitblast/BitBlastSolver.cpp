@@ -33,7 +33,7 @@ public:
 
     ++Stats.ColdStarts; // fresh CDCL instance per one-shot query
     sat::SatSolver Sat;
-    BitBlaster Blaster(Sat);
+    BitBlaster Blaster(Sat, Limits.Rewrite);
     Blaster.setInterrupt(HasDeadline, Deadline, Limits.Cancel);
     try {
       Blaster.assertTerm(Assertion);
@@ -42,7 +42,6 @@ public:
                                   std::string(unknownReasonName(I.Reason)) +
                                       " during bit-blasting");
     }
-
     sat::SearchLimits SL;
     SL.ConflictBudget = Limits.ConflictBudget;
     SL.PropagationBudget = Limits.PropagationBudget;
@@ -50,6 +49,26 @@ public:
     SL.HasDeadline = HasDeadline;
     SL.Deadline = Deadline;
     SL.Cancel = Limits.Cancel;
+
+    if (Limits.Preprocess && Sat.numClauses() >= 192) {
+      // One-shot solve: the formula is complete, so the full technique set
+      // (including blocked-clause elimination) applies. Unsat here is a
+      // final verdict — the preprocessor only removes models it can rebuild.
+      // Tiny databases are excluded: below a few hundred clauses the CDCL
+      // search beats the cost of extracting, simplifying, and rebuilding
+      // the clause database, so preprocessing is pure overhead there. The
+      // limits hand the deadline down so a large query's preprocessing
+      // cannot consume the whole wall-clock budget.
+      Sat.preprocess(/*FormulaComplete=*/true, &SL);
+    }
+    const sat::SimplifyStats &SS = Sat.simplifyStats();
+    Stats.PreprocessUs += SS.PreprocessUs;
+    Stats.EliminatedVars += SS.EliminatedVars;
+    Stats.SubsumedClauses += SS.SubsumedClauses + SS.StrengthenedClauses +
+                             SS.BlockedClauses;
+    const aig::AigStats &AS = Blaster.rewriteStats();
+    Stats.RewriteGateCalls += AS.GateCalls;
+    Stats.RewriteSavedGates += AS.GateCalls - AS.NodesCreated;
 
     CheckResult R;
     switch (Sat.solve(SL)) {

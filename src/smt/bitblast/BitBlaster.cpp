@@ -6,17 +6,24 @@
 
 #include "smt/bitblast/BitBlaster.h"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 using namespace alive;
 using namespace alive::smt;
 using sat::Lit;
+using Edge = aig::Edge;
 
-BitBlaster::BitBlaster(sat::SatSolver &S) : S(S) {
-  // A dedicated always-true literal lets constants flow through gate
-  // constructors uniformly.
+BitBlaster::BitBlaster(sat::SatSolver &S, bool RewriteEnabled,
+                       bool FreezeLeaves)
+    : S(S), G(RewriteEnabled), Rewrite(RewriteEnabled),
+      FreezeLeaves(FreezeLeaves) {
+  // A dedicated always-true literal backs the constant node, letting
+  // constants flow through model readback and guard clauses uniformly.
   TrueLit = Lit(S.newVar(), /*Negated=*/false);
   S.addClause(TrueLit);
+  G.setCachedLit(aig::trueEdge().node(), TrueLit);
 }
 
 bool BitBlaster::supports(TermRef T) {
@@ -38,93 +45,40 @@ bool BitBlaster::supports(TermRef T) {
 
 // --- Gates ------------------------------------------------------------------
 
-Lit BitBlaster::mkAndGate(Lit A, Lit B) {
-  if (A == litFalse() || B == litFalse())
-    return litFalse();
-  if (A == litTrue())
-    return B;
-  if (B == litTrue())
-    return A;
-  if (A == B)
-    return A;
-  if (A == ~B)
-    return litFalse();
-  Lit O(S.newVar(), false);
-  S.addClause(~O, A);
-  S.addClause(~O, B);
-  S.addClause(O, ~A, ~B);
-  return O;
-}
-
-Lit BitBlaster::mkOrGate(Lit A, Lit B) { return ~mkAndGate(~A, ~B); }
-
-Lit BitBlaster::mkXorGate(Lit A, Lit B) {
-  if (A == litFalse())
-    return B;
-  if (B == litFalse())
-    return A;
-  if (A == litTrue())
-    return ~B;
-  if (B == litTrue())
-    return ~A;
-  if (A == B)
-    return litFalse();
-  if (A == ~B)
-    return litTrue();
-  Lit O(S.newVar(), false);
-  S.addClause(~O, A, B);
-  S.addClause(~O, ~A, ~B);
-  S.addClause(O, ~A, B);
-  S.addClause(O, A, ~B);
-  return O;
-}
-
-Lit BitBlaster::mkMuxGate(Lit Sel, Lit T, Lit E) {
-  if (Sel == litTrue())
-    return T;
-  if (Sel == litFalse())
-    return E;
-  if (T == E)
-    return T;
-  if (T == litTrue() && E == litFalse())
-    return Sel;
-  if (T == litFalse() && E == litTrue())
-    return ~Sel;
-  Lit O(S.newVar(), false);
-  S.addClause(~Sel, ~T, O);
-  S.addClause(~Sel, T, ~O);
-  S.addClause(Sel, ~E, O);
-  S.addClause(Sel, E, ~O);
-  return O;
-}
-
-Lit BitBlaster::mkAndChain(const std::vector<Lit> &Ls) {
-  Lit Acc = litTrue();
-  for (Lit L : Ls)
+Edge BitBlaster::mkAndChain(const std::vector<Edge> &Ls) {
+  Edge Acc = litTrue();
+  for (Edge L : Ls)
     Acc = mkAndGate(Acc, L);
   return Acc;
 }
 
-Lit BitBlaster::mkOrChain(const std::vector<Lit> &Ls) {
-  Lit Acc = litFalse();
-  for (Lit L : Ls)
+Edge BitBlaster::mkOrChain(const std::vector<Edge> &Ls) {
+  Edge Acc = litFalse();
+  for (Edge L : Ls)
     Acc = mkOrGate(Acc, L);
   return Acc;
 }
 
-void BitBlaster::fullAdder(Lit A, Lit B, Lit Cin, Lit &Sum, Lit &Cout) {
-  Lit AxB = mkXorGate(A, B);
+void BitBlaster::fullAdder(Edge A, Edge B, Edge Cin, Edge &Sum, Edge &Cout) {
+  Edge AxB = mkXorGate(A, B);
   Sum = mkXorGate(AxB, Cin);
   // Cout = (A & B) | (Cin & (A ^ B)) — the majority function.
   Cout = mkOrGate(mkAndGate(A, B), mkAndGate(Cin, AxB));
 }
 
+Edge BitBlaster::mkLeaf() {
+  Lit L(S.newVar(), false);
+  if (FreezeLeaves)
+    S.setFrozen(L.var(), true);
+  return G.mkLeaf(L);
+}
+
 // --- Word-level circuits ------------------------------------------------------
 
-BitBlaster::Bits BitBlaster::addBits(const Bits &A, const Bits &B, Lit Cin) {
+BitBlaster::Bits BitBlaster::addBits(const Bits &A, const Bits &B, Edge Cin) {
   assert(A.size() == B.size());
   Bits Out(A.size(), litFalse());
-  Lit Carry = Cin;
+  Edge Carry = Cin;
   for (size_t I = 0; I != A.size(); ++I)
     fullAdder(A[I], B[I], Carry, Out[I], Carry);
   return Out;
@@ -190,7 +144,7 @@ void BitBlaster::udivuremBits(const Bits &A, const Bits &B, Bits &Quot,
     // Trial subtraction D = R - B (as W+1-bit add of NegB).
     Bits D = addBits(R, NegB, litFalse());
     // R >= B iff the subtraction did not borrow iff D's sign bit is 0.
-    Lit Ge = ~D[W];
+    Edge Ge = ~D[W];
     Quot[Step] = Ge;
     R = muxBits(Ge, D, R);
   }
@@ -199,7 +153,7 @@ void BitBlaster::udivuremBits(const Bits &A, const Bits &B, Bits &Quot,
     Rem[I] = R[I];
 }
 
-BitBlaster::Bits BitBlaster::muxBits(Lit Sel, const Bits &T, const Bits &E) {
+BitBlaster::Bits BitBlaster::muxBits(Edge Sel, const Bits &T, const Bits &E) {
   assert(T.size() == E.size());
   Bits Out(T.size());
   for (size_t I = 0; I != T.size(); ++I)
@@ -208,7 +162,7 @@ BitBlaster::Bits BitBlaster::muxBits(Lit Sel, const Bits &T, const Bits &E) {
 }
 
 BitBlaster::Bits BitBlaster::shiftBits(const Bits &A, const Bits &Amount,
-                                       bool Left, Lit Fill) {
+                                       bool Left, Edge Fill) {
   // Logarithmic barrel shifter over the low bits of the shift amount, with
   // an overflow detector for amounts >= width (which must produce the fill).
   size_t W = A.size();
@@ -234,10 +188,10 @@ BitBlaster::Bits BitBlaster::shiftBits(const Bits &A, const Bits &Amount,
   // Amount >= W when any amount bit at position >= Stages is set, or the
   // low Stages bits encode a value >= W (only possible when W is not a
   // power of two).
-  std::vector<Lit> OverflowBits;
+  std::vector<Edge> OverflowBits;
   for (size_t I = Stages; I != Amount.size(); ++I)
     OverflowBits.push_back(Amount[I]);
-  Lit Overflow = mkOrChain(OverflowBits);
+  Edge Overflow = mkOrChain(OverflowBits);
   if ((W & (W - 1)) != 0) {
     // Compare the low Stages bits against W.
     Bits Low(Stages), WBits(Stages);
@@ -251,28 +205,28 @@ BitBlaster::Bits BitBlaster::shiftBits(const Bits &A, const Bits &Amount,
   return muxBits(Overflow, FillVec, Cur);
 }
 
-Lit BitBlaster::ultBits(const Bits &A, const Bits &B) {
+Edge BitBlaster::ultBits(const Bits &A, const Bits &B) {
   // Ripple comparison from the least significant bit:
   // lt_i = (~a_i & b_i) | ((a_i == b_i) & lt_{i-1})
-  Lit Lt = litFalse();
+  Edge Lt = litFalse();
   for (size_t I = 0; I != A.size(); ++I) {
-    Lit AiLtBi = mkAndGate(~A[I], B[I]);
-    Lit EqI = mkXnorGate(A[I], B[I]);
+    Edge AiLtBi = mkAndGate(~A[I], B[I]);
+    Edge EqI = mkXnorGate(A[I], B[I]);
     Lt = mkOrGate(AiLtBi, mkAndGate(EqI, Lt));
   }
   return Lt;
 }
 
-Lit BitBlaster::sltBits(const Bits &A, const Bits &B) {
+Edge BitBlaster::sltBits(const Bits &A, const Bits &B) {
   size_t W = A.size();
-  Lit SA = A[W - 1], SB = B[W - 1];
-  Lit U = ultBits(A, B);
+  Edge SA = A[W - 1], SB = B[W - 1];
+  Edge U = ultBits(A, B);
   // Signs differ: A < B iff A is negative. Signs equal: unsigned compare.
   return mkMuxGate(mkXorGate(SA, SB), SA, U);
 }
 
-Lit BitBlaster::eqBits(const Bits &A, const Bits &B) {
-  std::vector<Lit> Eqs;
+Edge BitBlaster::eqBits(const Bits &A, const Bits &B) {
+  std::vector<Edge> Eqs;
   for (size_t I = 0; I != A.size(); ++I)
     Eqs.push_back(mkXnorGate(A[I], B[I]));
   return mkAndChain(Eqs);
@@ -280,32 +234,32 @@ Lit BitBlaster::eqBits(const Bits &A, const Bits &B) {
 
 // --- Term encoders ------------------------------------------------------------
 
-Lit BitBlaster::encodeBool(TermRef T) {
+Edge BitBlaster::encodeBool(TermRef T) {
   auto It = BoolCache.find(T);
   if (It != BoolCache.end())
     return It->second;
 
   checkInterrupt();
-  Lit Out;
+  Edge Out;
   switch (T->getKind()) {
   case TermKind::ConstBool:
     Out = T->getBoolValue() ? litTrue() : litFalse();
     break;
   case TermKind::Var:
-    Out = Lit(S.newVar(), false);
+    Out = mkLeaf();
     break;
   case TermKind::Not:
     Out = ~encodeBool(T->getOperand(0));
     break;
   case TermKind::And: {
-    std::vector<Lit> Ls;
+    std::vector<Edge> Ls;
     for (TermRef Op : T->operands())
       Ls.push_back(encodeBool(Op));
     Out = mkAndChain(Ls);
     break;
   }
   case TermKind::Or: {
-    std::vector<Lit> Ls;
+    std::vector<Edge> Ls;
     for (TermRef Op : T->operands())
       Ls.push_back(encodeBool(Op));
     Out = mkOrChain(Ls);
@@ -367,10 +321,13 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
   }
   case TermKind::Var:
     for (unsigned I = 0; I != W; ++I)
-      Out[I] = Lit(S.newVar(), false);
+      Out[I] = mkLeaf();
     break;
   case TermKind::BVNeg:
-    Out = negBits(encodeBV(T->getOperand(0)));
+    if (Rewrite && W <= 64)
+      Out = encodePoly(T);
+    else
+      Out = negBits(encodeBV(T->getOperand(0)));
     break;
   case TermKind::BVNot: {
     const Bits &A = encodeBV(T->getOperand(0));
@@ -379,20 +336,36 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
     break;
   }
   case TermKind::BVAdd:
-    Out = addBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
-                  litFalse());
+  case TermKind::BVSub:
+    if (Rewrite && W <= 64) {
+      Out = encodePoly(T);
+    } else if (T->getKind() == TermKind::BVAdd) {
+      Out = addBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
+                    litFalse());
+    } else {
+      Bits A = encodeBV(T->getOperand(0));
+      Bits B = encodeBV(T->getOperand(1));
+      for (Edge &L : B)
+        L = ~L;
+      Out = addBits(A, B, litTrue());
+    }
     break;
-  case TermKind::BVSub: {
-    Bits A = encodeBV(T->getOperand(0));
-    Bits B = encodeBV(T->getOperand(1));
-    for (Lit &L : B)
-      L = ~L;
-    Out = addBits(A, B, litTrue());
-    break;
-  }
-  case TermKind::BVMul:
+  case TermKind::BVMul: {
+    if (Rewrite && W <= 64) {
+      // When the expansion caps left this exact product atomic, encodePoly
+      // would bounce straight back here — build the raw multiplier then.
+      const Poly &P = polyOf(T);
+      bool Atomic = P.Terms.size() == 1 && P.Terms.begin()->second == 1 &&
+                    P.Terms.begin()->first.size() == 1 &&
+                    SeqTerm[P.Terms.begin()->first[0]] == T;
+      if (!Atomic) {
+        Out = encodePoly(T);
+        break;
+      }
+    }
     Out = mulBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)));
     break;
+  }
   case TermKind::BVUDiv:
   case TermKind::BVURem: {
     Bits Quot, Rem;
@@ -406,13 +379,13 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
     // SMT-LIB definition: operate on magnitudes, then fix the sign.
     Bits A = encodeBV(T->getOperand(0));
     Bits B = encodeBV(T->getOperand(1));
-    Lit SA = A[W - 1], SB = B[W - 1];
+    Edge SA = A[W - 1], SB = B[W - 1];
     Bits MagA = muxBits(SA, negBits(A), A);
     Bits MagB = muxBits(SB, negBits(B), B);
     Bits Quot, Rem;
     udivuremBits(MagA, MagB, Quot, Rem);
     if (T->getKind() == TermKind::BVSDiv) {
-      Lit NegQ = mkXorGate(SA, SB);
+      Edge NegQ = mkXorGate(SA, SB);
       Out = muxBits(NegQ, negBits(Quot), Quot);
     } else {
       Out = muxBits(SA, negBits(Rem), Rem);
@@ -420,8 +393,14 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
     break;
   }
   case TermKind::BVShl:
-    Out = shiftBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
-                    /*Left=*/true, litFalse());
+    // A constant shift amount is a power-of-two scaling: the polynomial
+    // form unifies it with the mul/add spellings of the same computation.
+    if (Rewrite && W <= 64 &&
+        T->getOperand(1)->getKind() == TermKind::ConstBV)
+      Out = encodePoly(T);
+    else
+      Out = shiftBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
+                      /*Left=*/true, litFalse());
     break;
   case TermKind::BVLShr:
     Out = shiftBits(encodeBV(T->getOperand(0)), encodeBV(T->getOperand(1)),
@@ -436,6 +415,10 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
   case TermKind::BVAnd:
   case TermKind::BVOr:
   case TermKind::BVXor: {
+    if (Rewrite && W <= 64) {
+      Out = encodeBitwiseChain(T);
+      break;
+    }
     const Bits A = encodeBV(T->getOperand(0));
     const Bits B = encodeBV(T->getOperand(1));
     for (unsigned I = 0; I != W; ++I) {
@@ -449,7 +432,7 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
     break;
   }
   case TermKind::Ite: {
-    Lit Sel = encodeBool(T->getOperand(0));
+    Edge Sel = encodeBool(T->getOperand(0));
     Out = muxBits(Sel, encodeBV(T->getOperand(1)), encodeBV(T->getOperand(2)));
     break;
   }
@@ -486,14 +469,352 @@ const BitBlaster::Bits &BitBlaster::encodeBV(TermRef T) {
   return BVCache.emplace(T, std::move(Out)).first->second;
 }
 
+// --- Associative-commutative chain normalization ------------------------------
+
+unsigned BitBlaster::seqOf(TermRef T) {
+  auto It = EncodeSeq.emplace(T, NextSeq);
+  if (It.second) {
+    SeqTerm.push_back(T);
+    ++NextSeq;
+  }
+  return It.first->second;
+}
+
+BitBlaster::Bits BitBlaster::constBits(uint64_t V, unsigned W) const {
+  Bits Out(W, litFalse());
+  for (unsigned I = 0; I != W && I != 64; ++I)
+    if ((V >> I) & 1)
+      Out[I] = litTrue();
+  return Out;
+}
+
+namespace {
+/// Monomial-count and degree caps for distributive expansion: past these a
+/// product is kept atomic. Generous for peephole-sized terms, tiny for the
+/// adversarial case (expanding (a+b)(c+d)(e+f)... is exponential).
+constexpr size_t MaxPolyTerms = 16;
+constexpr size_t MaxPolyDegree = 6;
+} // namespace
+
+void BitBlaster::polyAddScaled(Poly &Dst, const Poly &Src, uint64_t Scale) {
+  for (const auto &KV : Src.Terms) {
+    uint64_t &C = Dst.Terms[KV.first];
+    C += KV.second * Scale;
+    if (C == 0)
+      Dst.Terms.erase(KV.first); // exact cancellation: x + y - y drops y
+  }
+}
+
+bool BitBlaster::polyMul(const Poly &A, const Poly &B, Poly &Out) {
+  Out.Terms.clear();
+  for (const auto &KA : A.Terms)
+    for (const auto &KB : B.Terms) {
+      std::vector<unsigned> Mono;
+      Mono.reserve(KA.first.size() + KB.first.size());
+      std::merge(KA.first.begin(), KA.first.end(), KB.first.begin(),
+                 KB.first.end(), std::back_inserter(Mono));
+      if (Mono.size() > MaxPolyDegree)
+        return false;
+      uint64_t &C = Out.Terms[Mono];
+      C += KA.second * KB.second;
+      if (C == 0)
+        Out.Terms.erase(Mono);
+      if (Out.Terms.size() > MaxPolyTerms)
+        return false;
+    }
+  return true;
+}
+
+const BitBlaster::Poly &BitBlaster::polyOf(TermRef T) {
+  auto Found = PolyCache.find(T);
+  if (Found != PolyCache.end())
+    return Found->second;
+
+  Poly P;
+  switch (T->getKind()) {
+  case TermKind::BVAdd:
+    P = polyOf(T->getOperand(0));
+    polyAddScaled(P, polyOf(T->getOperand(1)), 1);
+    break;
+  case TermKind::BVSub:
+    P = polyOf(T->getOperand(0));
+    polyAddScaled(P, polyOf(T->getOperand(1)), ~0ull); // -1 mod 2^64
+    break;
+  case TermKind::BVNeg:
+    polyAddScaled(P, polyOf(T->getOperand(0)), ~0ull);
+    break;
+  case TermKind::ConstBV: {
+    uint64_t V = T->getBVValue().getZExtValue();
+    if (V != 0)
+      P.Terms[{}] = V;
+    break;
+  }
+  case TermKind::BVMul: {
+    Poly A = polyOf(T->getOperand(0));
+    Poly B = polyOf(T->getOperand(1));
+    if (!polyMul(A, B, P)) {
+      P.Terms.clear();
+      P.Terms[{seqOf(T)}] = 1; // too wide to expand: keep the product atomic
+    }
+    break;
+  }
+  case TermKind::BVShl:
+    // x << k == x * 2^k mod 2^W for a constant k; folding it into the
+    // coefficient unifies the shift/add/mul spellings of the same scaling.
+    if (T->getOperand(1)->getKind() == TermKind::ConstBV) {
+      uint64_t K = T->getOperand(1)->getBVValue().getZExtValue();
+      polyAddScaled(P, polyOf(T->getOperand(0)),
+                    K < 64 ? (1ull << K) : 0);
+      break;
+    }
+    P.Terms[{seqOf(T)}] = 1;
+    break;
+  default:
+    P.Terms[{seqOf(T)}] = 1;
+    break;
+  }
+  return PolyCache.emplace(T, std::move(P)).first->second;
+}
+
+BitBlaster::Bits BitBlaster::encodePoly(TermRef T) {
+  unsigned W = T->getSort().getWidth();
+  uint64_t Mask = W >= 64 ? ~0ull : ((1ull << W) - 1);
+  const Poly &P = polyOf(T);
+
+  uint64_t Const = 0;
+  Bits Acc;
+  bool Have = false;
+  // std::map iteration order over seq vectors is deterministic and shared
+  // by both sides of a miter, so equal polynomials emit identical circuits.
+  for (const auto &KV : P.Terms) {
+    uint64_t C = KV.second & Mask;
+    if (KV.first.empty() || C == 0) {
+      Const += C;
+      continue;
+    }
+    Bits Prod;
+    bool HaveP = false;
+    for (unsigned Sq : KV.first) {
+      const Bits &B = encodeBV(SeqTerm[Sq]);
+      Prod = HaveP ? mulBits(Prod, B) : B;
+      HaveP = true;
+    }
+    // A mostly-ones coefficient (e.g. -1) is cheaper emitted as the
+    // complement of the positive product plus a +1 carried into the
+    // constant: -m == ~m + 1.
+    uint64_t NegC = (0 - C) & Mask;
+    bool Negated = __builtin_popcountll(NegC) < __builtin_popcountll(C);
+    uint64_t Mag = Negated ? NegC : C;
+    if (Mag != 1)
+      Prod = mulBits(Prod, constBits(Mag, W)); // const rows fold to shifts
+    if (Negated) {
+      for (Edge &E : Prod)
+        E = ~E;
+      Const += 1;
+    }
+    Acc = Have ? addBits(Acc, Prod, litFalse()) : Prod;
+    Have = true;
+  }
+  Const &= Mask;
+  if (!Have)
+    return constBits(Const, W);
+  if (Const != 0)
+    Acc = addBits(Acc, constBits(Const, W), litFalse());
+  return Acc;
+}
+
+void BitBlaster::flattenBitwise(TermRef T, TermKind K,
+                                std::vector<TermRef> &Ops, uint64_t &Const) {
+  if (T->getKind() == K) {
+    flattenBitwise(T->getOperand(0), K, Ops, Const);
+    flattenBitwise(T->getOperand(1), K, Ops, Const);
+    return;
+  }
+  if (T->getKind() == TermKind::ConstBV) {
+    uint64_t V = T->getBVValue().getZExtValue();
+    if (K == TermKind::BVAnd)
+      Const &= V;
+    else if (K == TermKind::BVOr)
+      Const |= V;
+    else
+      Const ^= V;
+    return;
+  }
+  if (K == TermKind::BVXor && T->getKind() == TermKind::BVNot) {
+    // ~x == x ^ 1...1: the complement moves into the constant, so x ^ ~x
+    // cancels by parity like any duplicated xor operand.
+    Const ^= ~0ull;
+    flattenBitwise(T->getOperand(0), K, Ops, Const);
+    return;
+  }
+  seqOf(T);
+  Ops.push_back(T);
+}
+
+BitBlaster::Bits BitBlaster::encodeBitwiseChain(TermRef T) {
+  TermKind K = T->getKind();
+  unsigned W = T->getSort().getWidth();
+  uint64_t Mask = W >= 64 ? ~0ull : ((1ull << W) - 1);
+  std::vector<TermRef> Ops;
+  uint64_t Const = K == TermKind::BVAnd ? Mask : 0;
+  flattenBitwise(T, K, Ops, Const);
+  Const &= Mask;
+
+  // And/Or are idempotent (duplicates collapse); Xor cancels by parity.
+  std::unordered_map<TermRef, int> Count;
+  for (TermRef Op : Ops)
+    ++Count[Op];
+  std::vector<std::pair<unsigned, TermRef>> Order;
+  std::unordered_set<TermRef> Present;
+  for (const auto &KV : Count) {
+    if (K == TermKind::BVXor && KV.second % 2 == 0)
+      continue;
+    Order.push_back({seqOf(KV.first), KV.first});
+    Present.insert(KV.first);
+  }
+  // A complemented pair absorbs And/Or chains outright.
+  if (K != TermKind::BVXor)
+    for (TermRef Op : Present)
+      if (Op->getKind() == TermKind::BVNot &&
+          Present.count(Op->getOperand(0)))
+        return constBits(K == TermKind::BVAnd ? 0 : Mask, W);
+  if (K == TermKind::BVAnd && Const == 0)
+    return constBits(0, W);
+  if (K == TermKind::BVOr && Const == Mask)
+    return constBits(Mask, W);
+  std::sort(Order.begin(), Order.end());
+
+  Bits Acc;
+  bool Have = false;
+  for (const auto &SK : Order) {
+    const Bits &B = encodeBV(SK.second);
+    if (!Have) {
+      Acc = B;
+      Have = true;
+      continue;
+    }
+    for (unsigned I = 0; I != W; ++I)
+      Acc[I] = K == TermKind::BVAnd   ? mkAndGate(Acc[I], B[I])
+               : K == TermKind::BVOr  ? mkOrGate(Acc[I], B[I])
+                                      : mkXorGate(Acc[I], B[I]);
+  }
+  if (!Have)
+    return constBits(Const, W);
+  // Fold the constant in last; the gate constructors erase identity bits.
+  bool Identity = (K == TermKind::BVAnd && Const == Mask) ||
+                  (K != TermKind::BVAnd && Const == 0);
+  if (!Identity) {
+    Bits CB = constBits(Const, W);
+    for (unsigned I = 0; I != W; ++I)
+      Acc[I] = K == TermKind::BVAnd   ? mkAndGate(Acc[I], CB[I])
+               : K == TermKind::BVOr  ? mkOrGate(Acc[I], CB[I])
+                                      : mkXorGate(Acc[I], CB[I]);
+  }
+  return Acc;
+}
+
+// --- Tseitin emission ---------------------------------------------------------
+
+bool BitBlaster::nodeReady(uint32_t Node) const {
+  if (!G.hasLit(Node))
+    return false;
+  // A leaf IS its variable — even an eliminated one stays the right name
+  // for model readback (the reconstruction stack rebinds it). Internal
+  // nodes with an eliminated variable must be re-materialized before their
+  // literal can appear in new clauses.
+  aig::NodeKind K = G.kind(Node);
+  if (K == aig::NodeKind::Leaf || K == aig::NodeKind::ConstTrue)
+    return true;
+  return !S.isEliminated(G.cachedLit(Node).var());
+}
+
+Lit BitBlaster::childLit(Edge E) const {
+  Lit L = G.cachedLit(E.node());
+  return E.complemented() ? ~L : L;
+}
+
+void BitBlaster::emitNode(uint32_t Node) {
+  checkInterrupt();
+  Lit O(S.newVar(), false);
+  switch (G.kind(Node)) {
+  case aig::NodeKind::And: {
+    Lit A = childLit(G.child0(Node)), B = childLit(G.child1(Node));
+    S.addClause(~O, A);
+    S.addClause(~O, B);
+    S.addClause(O, ~A, ~B);
+    break;
+  }
+  case aig::NodeKind::Xor: {
+    Lit A = childLit(G.child0(Node)), B = childLit(G.child1(Node));
+    S.addClause(~O, A, B);
+    S.addClause(~O, ~A, ~B);
+    S.addClause(O, ~A, B);
+    S.addClause(O, A, ~B);
+    break;
+  }
+  case aig::NodeKind::Mux: {
+    Lit Sel = childLit(G.child0(Node)), T = childLit(G.child1(Node)),
+        E = childLit(G.child2(Node));
+    S.addClause(~Sel, ~T, O);
+    S.addClause(~Sel, T, ~O);
+    S.addClause(Sel, ~E, O);
+    S.addClause(Sel, E, ~O);
+    break;
+  }
+  default:
+    assert(false && "emitting a leaf or constant node");
+  }
+  G.setCachedLit(Node, O);
+}
+
+Lit BitBlaster::litOf(Edge E) {
+  if (!nodeReady(E.node())) {
+    // Iterative post-order over the cone: a node is emitted only once all
+    // of its children carry usable literals.
+    std::vector<uint32_t> Stack{E.node()};
+    while (!Stack.empty()) {
+      uint32_t N = Stack.back();
+      if (nodeReady(N)) {
+        Stack.pop_back();
+        continue;
+      }
+      bool ChildrenReady = true;
+      auto Need = [&](Edge C) {
+        if (!nodeReady(C.node())) {
+          Stack.push_back(C.node());
+          ChildrenReady = false;
+        }
+      };
+      switch (G.kind(N)) {
+      case aig::NodeKind::Mux:
+        Need(G.child2(N));
+        [[fallthrough]];
+      case aig::NodeKind::And:
+      case aig::NodeKind::Xor:
+        Need(G.child0(N));
+        Need(G.child1(N));
+        break;
+      default:
+        assert(false && "leaf without a literal");
+      }
+      if (!ChildrenReady)
+        continue;
+      emitNode(N);
+      Stack.pop_back();
+    }
+  }
+  Lit L = G.cachedLit(E.node());
+  return E.complemented() ? ~L : L;
+}
+
 void BitBlaster::assertTerm(TermRef T) {
   assert(T->getSort().isBool() && "assertion must be boolean");
-  S.addClause(encodeBool(T));
+  S.addClause(litOf(encodeBool(T)));
 }
 
 Lit BitBlaster::literalFor(TermRef T) {
   assert(T->getSort().isBool() && "guard literal must be boolean");
-  return encodeBool(T);
+  return litOf(encodeBool(T));
 }
 
 UnknownReason smt::mapSatStopReason(sat::StopReason R) {
@@ -532,6 +853,35 @@ std::string smt::describeSatStop(sat::StopReason R) {
   return "CDCL search gave up";
 }
 
+bool BitBlaster::evalEdge(Edge E) const {
+  uint32_t N = E.node();
+  bool B;
+  switch (G.kind(N)) {
+  case aig::NodeKind::ConstTrue:
+    B = true;
+    break;
+  case aig::NodeKind::Leaf: {
+    Lit L = G.leafLit(N);
+    B = S.modelValue(L.var()) != L.negated();
+    break;
+  }
+  default:
+    if (G.hasLit(N)) {
+      Lit L = G.cachedLit(N);
+      B = S.modelValue(L.var()) != L.negated();
+    } else if (G.kind(N) == aig::NodeKind::Mux) {
+      B = evalEdge(G.child0(N)) ? evalEdge(G.child1(N))
+                                : evalEdge(G.child2(N));
+    } else if (G.kind(N) == aig::NodeKind::Xor) {
+      B = evalEdge(G.child0(N)) != evalEdge(G.child1(N));
+    } else {
+      B = evalEdge(G.child0(N)) && evalEdge(G.child1(N));
+    }
+    break;
+  }
+  return B != E.complemented();
+}
+
 APInt BitBlaster::readBV(TermRef Var) const {
   auto It = BVCache.find(Var);
   unsigned W = Var->getSort().getWidth();
@@ -539,11 +889,8 @@ APInt BitBlaster::readBV(TermRef Var) const {
     return APInt(W, 0); // unconstrained
   uint64_t V = 0;
   // APInt carries at most 64 value bits; bits above 63 are dropped.
-  for (unsigned I = 0; I != W && I != 64; ++I) {
-    const Lit &L = It->second[I];
-    bool B = S.modelValue(L.var()) != L.negated();
-    V |= static_cast<uint64_t>(B) << I;
-  }
+  for (unsigned I = 0; I != W && I != 64; ++I)
+    V |= static_cast<uint64_t>(evalEdge(It->second[I])) << I;
   return APInt(W, V);
 }
 
@@ -551,5 +898,5 @@ bool BitBlaster::readBool(TermRef Var) const {
   auto It = BoolCache.find(Var);
   if (It == BoolCache.end())
     return false;
-  return S.modelValue(It->second.var()) != It->second.negated();
+  return evalEdge(It->second);
 }

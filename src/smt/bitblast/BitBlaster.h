@@ -5,12 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tseitin-encodes quantifier-free bitvector terms into CNF for the native
-/// CDCL solver. Word-level operators become gate networks: ripple-carry
-/// adders, shift-add multipliers, restoring dividers (matching SMT-LIB's
-/// total division semantics), and logarithmic barrel shifters. Terms are
-/// cached by node identity, so DAG sharing in the input produces shared
-/// gates in the output.
+/// Lowers quantifier-free bitvector terms to CNF for the native CDCL solver
+/// in two stages. Word-level operators are first expanded into an AIG-style
+/// gate graph (see Aig.h): ripple-carry adders, shift-add multipliers,
+/// restoring dividers (matching SMT-LIB's total division semantics), and
+/// logarithmic barrel shifters, all built from And/Xor/Mux edges that pass
+/// through structural hashing and two-level rewriting so shared and
+/// redundant subcircuits collapse before encoding. Asserted cones are then
+/// Tseitin-encoded on demand, one SAT literal per graph node, and the
+/// node -> literal cache is persistent: an incremental session re-encodes
+/// only the part of a new frame's cone it has never seen (nodes whose
+/// variable was eliminated by the preprocessor are transparently
+/// re-materialized with a fresh variable).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +25,11 @@
 
 #include "smt/ResourceLimits.h"
 #include "smt/Term.h"
+#include "smt/bitblast/Aig.h"
 #include "smt/sat/SatSolver.h"
 
 #include <chrono>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +45,13 @@ std::string describeSatStop(sat::StopReason R);
 /// Lowers terms into a sat::SatSolver instance.
 class BitBlaster {
 public:
-  explicit BitBlaster(sat::SatSolver &S);
+  /// \p RewriteEnabled toggles structural hashing and the two-level rewrite
+  /// rules (--no-rewrite sets it false; constant folding stays on either
+  /// way). \p FreezeLeaves marks every input variable frozen in the solver
+  /// — required by incremental sessions, where a later frame may mention a
+  /// term variable the preprocessor would otherwise eliminate.
+  explicit BitBlaster(sat::SatSolver &S, bool RewriteEnabled = true,
+                      bool FreezeLeaves = false);
 
   /// True iff \p T is inside the supported fragment (no quantifiers, no
   /// array theory anywhere in the DAG).
@@ -45,9 +59,10 @@ public:
 
   /// Arms cooperative interruption: encoding polls the deadline and the
   /// cancellation token at circuit-construction checkpoints (wide
-  /// multiplier/divider rows, term entry) and throws smt::Interrupted when
-  /// either fires. Without this, a very wide query could burn the whole
-  /// wall-clock budget before the SAT search even starts.
+  /// multiplier/divider rows, term entry, CNF emission) and throws
+  /// smt::Interrupted when either fires. Without this, a very wide query
+  /// could burn the whole wall-clock budget before the SAT search even
+  /// starts.
   void setInterrupt(bool HasDeadline,
                     std::chrono::steady_clock::time_point Deadline,
                     const Cancellation *Cancel) {
@@ -74,46 +89,110 @@ public:
   /// After a Sat result, reads back the value of a boolean variable.
   bool readBool(TermRef Var) const;
 
-private:
-  using Lit = sat::Lit;
-  using Bits = std::vector<Lit>;
+  /// Gate-graph construction counters (hash hits, folds, nodes created).
+  const aig::AigStats &rewriteStats() const { return G.stats(); }
 
-  // Gate constructors with constant short-circuiting.
-  Lit litTrue() const { return TrueLit; }
-  Lit litFalse() const { return ~TrueLit; }
-  Lit mkAndGate(Lit A, Lit B);
-  Lit mkOrGate(Lit A, Lit B);
-  Lit mkXorGate(Lit A, Lit B);
-  Lit mkXnorGate(Lit A, Lit B) { return ~mkXorGate(A, B); }
-  Lit mkMuxGate(Lit Sel, Lit T, Lit E);
-  Lit mkAndChain(const std::vector<Lit> &Ls);
-  Lit mkOrChain(const std::vector<Lit> &Ls);
-  void fullAdder(Lit A, Lit B, Lit Cin, Lit &Sum, Lit &Cout);
+private:
+  using Edge = aig::Edge;
+  using Bits = std::vector<Edge>;
+
+  // Gate constructors (constant folding and rewriting live in the graph).
+  Edge litTrue() const { return aig::trueEdge(); }
+  Edge litFalse() const { return aig::falseEdge(); }
+  Edge mkAndGate(Edge A, Edge B) { return G.mkAnd(A, B); }
+  Edge mkOrGate(Edge A, Edge B) { return G.mkOr(A, B); }
+  Edge mkXorGate(Edge A, Edge B) { return G.mkXor(A, B); }
+  Edge mkXnorGate(Edge A, Edge B) { return ~G.mkXor(A, B); }
+  Edge mkMuxGate(Edge Sel, Edge T, Edge E) { return G.mkMux(Sel, T, E); }
+  Edge mkAndChain(const std::vector<Edge> &Ls);
+  Edge mkOrChain(const std::vector<Edge> &Ls);
+  void fullAdder(Edge A, Edge B, Edge Cin, Edge &Sum, Edge &Cout);
 
   // Word-level circuits. All operate on little-endian bit vectors
   // (index 0 = least significant bit).
-  Bits addBits(const Bits &A, const Bits &B, Lit Cin);
+  Bits addBits(const Bits &A, const Bits &B, Edge Cin);
   Bits negBits(const Bits &A);
   Bits mulBits(const Bits &A, const Bits &B);
   void udivuremBits(const Bits &A, const Bits &B, Bits &Quot, Bits &Rem);
-  Bits muxBits(Lit Sel, const Bits &T, const Bits &E);
-  Bits shiftBits(const Bits &A, const Bits &Amount, bool Left, Lit Fill);
-  Lit ultBits(const Bits &A, const Bits &B);
-  Lit sltBits(const Bits &A, const Bits &B);
-  Lit eqBits(const Bits &A, const Bits &B);
+  Bits muxBits(Edge Sel, const Bits &T, const Bits &E);
+  Bits shiftBits(const Bits &A, const Bits &Amount, bool Left, Edge Fill);
+  Edge ultBits(const Bits &A, const Bits &B);
+  Edge sltBits(const Bits &A, const Bits &B);
+  Edge eqBits(const Bits &A, const Bits &B);
 
   // Term encoders (cached).
-  Lit encodeBool(TermRef T);
+  Edge encodeBool(TermRef T);
   const Bits &encodeBV(TermRef T);
+  Edge mkLeaf();
+
+  // --- Word-level normalization (rewrite mode only) ----------------------
+  // Arithmetic terms are normalized into a polynomial over Z/2^W before any
+  // circuit is built: add/sub/neg/mul chains (and shifts by a constant)
+  // flatten into a coefficient-per-monomial form, with capped distributive
+  // expansion of products of sums. Both sides of a refinement miter
+  // therefore encode syntactically different but algebraically equal terms
+  // — (p+C1)+C2 versus p+(C1+C2), or a*b + c*b versus (a+c)*b — into the
+  // SAME AIG edges, and the equivalence collapses structurally instead of
+  // costing the SAT search thousands of carry-chain conflicts. x+y-y
+  // cancels to x in the coefficient arithmetic, symbolically. Applies to
+  // widths <= 64, where uint64_t coefficient arithmetic is exact mod 2^W.
+  //
+  // Monomials are keyed by the sorted first-visit numbers of their factors
+  // (seqOf), which are identical for every association/commutation order of
+  // the same operands — and deterministic, unlike pointer order.
+  struct Poly {
+    /// sorted factor-seq multiset -> coefficient (mod 2^64; the encoder
+    /// masks to the width at emission). The empty monomial is the constant
+    /// term.
+    std::map<std::vector<unsigned>, uint64_t> Terms;
+  };
+  unsigned seqOf(TermRef T);
+  Bits constBits(uint64_t V, unsigned W) const;
+  /// Dst += Src * Scale (coefficient arithmetic mod 2^64).
+  static void polyAddScaled(Poly &Dst, const Poly &Src, uint64_t Scale);
+  /// Out = A * B with distributive expansion. Returns false when the
+  /// product exceeds the monomial-count or degree caps — the caller then
+  /// keeps the original product term atomic.
+  static bool polyMul(const Poly &A, const Poly &B, Poly &Out);
+  const Poly &polyOf(TermRef T);
+  /// Emits the polynomial normal form of an arithmetic term: one shared
+  /// product circuit per monomial, constant coefficients folded, negative
+  /// coefficients emitted as complement-plus-carry.
+  Bits encodePoly(TermRef T);
+  void flattenBitwise(TermRef T, TermKind K, std::vector<TermRef> &Ops,
+                      uint64_t &Const);
+  Bits encodeBitwiseChain(TermRef T);
+
+  // --- Tseitin emission over the gate graph ------------------------------
+  /// Returns a SAT literal equivalent to \p E, materializing the cone's
+  /// nodes as needed (one fresh variable plus defining clauses per node).
+  sat::Lit litOf(Edge E);
+  /// True when the node has a usable cached literal: present and not
+  /// eliminated by the preprocessor (leaves are always usable — they ARE
+  /// the variable).
+  bool nodeReady(uint32_t Node) const;
+  /// Emits the defining clauses of \p Node (children must be ready).
+  void emitNode(uint32_t Node);
+  sat::Lit childLit(Edge E) const;
+  /// Evaluates \p E in the solver's model: through the cached literal when
+  /// the node was encoded, structurally over children otherwise.
+  bool evalEdge(Edge E) const;
 
   /// Throttled interrupt poll; throws smt::Interrupted when armed and
   /// fired. Called at term entry and inside wide-circuit loops.
   void checkInterrupt();
 
   sat::SatSolver &S;
-  Lit TrueLit;
-  std::unordered_map<TermRef, Lit> BoolCache;
+  aig::Aig G;
+  bool Rewrite;
+  bool FreezeLeaves;
+  sat::Lit TrueLit;
+  std::unordered_map<TermRef, Edge> BoolCache;
   std::unordered_map<TermRef, Bits> BVCache;
+  std::unordered_map<TermRef, unsigned> EncodeSeq; ///< first-visit numbering
+  std::vector<TermRef> SeqTerm;                    ///< inverse of EncodeSeq
+  std::unordered_map<TermRef, Poly> PolyCache;
+  unsigned NextSeq = 0;
 
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline{};

@@ -1,0 +1,103 @@
+//===- smt/sat/Dimacs.cpp - DIMACS CNF import/export ----------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/sat/Dimacs.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace alive;
+using namespace alive::sat;
+
+std::string alive::sat::writeDimacs(const DimacsFormula &F) {
+  std::string Out;
+  Out += "p cnf " + std::to_string(F.NumVars) + " " +
+         std::to_string(F.Clauses.size()) + "\n";
+  for (const std::vector<Lit> &C : F.Clauses) {
+    for (Lit L : C) {
+      int Name = L.var() + 1;
+      Out += std::to_string(L.negated() ? -Name : Name);
+      Out += ' ';
+    }
+    Out += "0\n";
+  }
+  return Out;
+}
+
+bool alive::sat::parseDimacs(const std::string &Text, DimacsFormula &F,
+                             std::string &Error) {
+  F.NumVars = 0;
+  F.Clauses.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawHeader = false;
+  int DeclaredClauses = 0;
+  std::vector<Lit> Pending;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == 'c')
+      continue;
+    if (Line[0] == 'p') {
+      std::istringstream Header(Line);
+      std::string P, Fmt;
+      if (!(Header >> P >> Fmt >> F.NumVars >> DeclaredClauses) ||
+          Fmt != "cnf" || F.NumVars < 0 || DeclaredClauses < 0) {
+        Error = "malformed problem line: " + Line;
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (!SawHeader) {
+      Error = "clause before 'p cnf' header";
+      return false;
+    }
+    std::istringstream Body(Line);
+    long Name;
+    while (Body >> Name) {
+      if (Name == 0) {
+        F.Clauses.push_back(Pending);
+        Pending.clear();
+        continue;
+      }
+      long Abs = Name < 0 ? -Name : Name;
+      if (Abs > F.NumVars) {
+        Error = "literal " + std::to_string(Name) + " out of range (" +
+                std::to_string(F.NumVars) + " vars declared)";
+        return false;
+      }
+      Pending.push_back(Lit(static_cast<Var>(Abs - 1), Name < 0));
+    }
+    if (!Body.eof()) {
+      Error = "non-numeric token in clause line: " + Line;
+      return false;
+    }
+  }
+  if (!SawHeader) {
+    Error = "missing 'p cnf' header";
+    return false;
+  }
+  if (!Pending.empty()) {
+    Error = "unterminated clause (missing trailing 0)";
+    return false;
+  }
+  if (static_cast<int>(F.Clauses.size()) != DeclaredClauses) {
+    Error = "clause count mismatch: header declares " +
+            std::to_string(DeclaredClauses) + ", found " +
+            std::to_string(F.Clauses.size());
+    return false;
+  }
+  return true;
+}
+
+bool alive::sat::loadDimacs(const DimacsFormula &F, SatSolver &S) {
+  while (S.numVars() < static_cast<unsigned>(F.NumVars))
+    S.newVar();
+  bool Ok = true;
+  for (const std::vector<Lit> &C : F.Clauses)
+    Ok = S.addClause(C) && Ok;
+  return Ok;
+}

@@ -1,0 +1,51 @@
+//===- smt/sat/Dimacs.h - DIMACS CNF import/export --------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal DIMACS CNF reader/writer. Used by the SAT-level test suites to
+/// round-trip generated formulas and to dump solver inputs for external
+/// cross-checking; deliberately string-based (no iostream state) so tests
+/// can assert byte-exact output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SAT_DIMACS_H
+#define ALIVE_SMT_SAT_DIMACS_H
+
+#include "smt/sat/SatSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace sat {
+
+/// A CNF formula in memory: \p NumVars variables (DIMACS names 1..NumVars
+/// map to Var 0..NumVars-1) and a list of clauses.
+struct DimacsFormula {
+  int NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+};
+
+/// Renders \p F in DIMACS format: a "p cnf V C" header followed by one
+/// zero-terminated clause per line.
+std::string writeDimacs(const DimacsFormula &F);
+
+/// Parses DIMACS text. Accepts "c" comment lines, requires a "p cnf" header,
+/// and tolerates clauses spanning lines. Returns false and fills \p Error on
+/// malformed input (missing header, literal out of range, unterminated
+/// clause).
+bool parseDimacs(const std::string &Text, DimacsFormula &F,
+                 std::string &Error);
+
+/// Loads \p F into \p S: allocates variables up to F.NumVars and adds every
+/// clause. Returns false if the formula is trivially unsatisfiable.
+bool loadDimacs(const DimacsFormula &F, SatSolver &S);
+
+} // namespace sat
+} // namespace alive
+
+#endif // ALIVE_SMT_SAT_DIMACS_H

@@ -1,0 +1,565 @@
+//===- smt/sat/Preprocessor.cpp - CNF pre-/inprocessing -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/sat/Preprocessor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace alive;
+using namespace alive::sat;
+
+Preprocessor::Preprocessor(SatSolver &S, const PreprocessConfig &Cfg,
+                           const SearchLimits *Limits)
+    : S(S), Cfg(Cfg), Limits(Limits) {}
+
+bool Preprocessor::interrupted() {
+  if (Interrupted)
+    return true;
+  if (!Limits || (!Limits->Cancel && !Limits->HasDeadline))
+    return false;
+  // Throttle the clock read; callers poll from per-clause/per-variable scan
+  // loops where a syscall-per-iteration would dominate the pass itself.
+  if (PollCountdown-- != 0)
+    return false;
+  PollCountdown = 256;
+  if (Limits->Cancel && Limits->Cancel->isCancelled())
+    Interrupted = true;
+  else if (Limits->HasDeadline &&
+           std::chrono::steady_clock::now() >= Limits->Deadline)
+    Interrupted = true;
+  return Interrupted;
+}
+
+uint64_t Preprocessor::signature(const std::vector<Lit> &Lits) {
+  // Variable-based (polarity-blind) bits: the subset prefilter must accept
+  // the one-flip case of self-subsuming resolution, where a literal of C
+  // occurs complemented in D and a literal-code signature would reject the
+  // pair outright.
+  uint64_t Sig = 0;
+  for (Lit L : Lits)
+    Sig |= 1ULL << (static_cast<unsigned>(L.var()) & 63);
+  return Sig;
+}
+
+static bool clauseHas(const std::vector<Lit> &Sorted, Lit L) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), L,
+                            [](Lit A, Lit B) { return A.code() < B.code(); });
+}
+
+// --- Extraction and rebuild -------------------------------------------------
+
+bool Preprocessor::extract() {
+  S.backtrack(0);
+  if (S.Unsatisfiable)
+    return false;
+  if (S.propagate() != CRefUndef) {
+    S.Unsatisfiable = true;
+    return false;
+  }
+  auto Pull = [&](const std::vector<CRef> &List, std::vector<PClause> &Out,
+                  bool Learned) {
+    for (CRef C : List) {
+      uint32_t Size = S.clauseSize(C);
+      PClause P;
+      P.Learned = Learned;
+      if (Learned) {
+        P.Act = S.clauseActivity(C);
+        P.Lbd = S.clauseLbd(C);
+      }
+      bool Satisfied = false;
+      for (uint32_t I = 0; I != Size && !Satisfied; ++I) {
+        Lit L = S.clauseLit(C, I);
+        LBool V = value(L);
+        if (V == LBool::True)
+          Satisfied = true;
+        else if (V == LBool::Undef)
+          P.Lits.push_back(L);
+      }
+      if (Satisfied)
+        continue;
+      assert(P.Lits.size() >= 2 && "root propagation left a pending unit");
+      std::sort(P.Lits.begin(), P.Lits.end(),
+                [](Lit A, Lit B) { return A.code() < B.code(); });
+      P.Sig = signature(P.Lits);
+      Out.push_back(std::move(P));
+    }
+  };
+  Pull(S.ProblemList, Cls, /*Learned=*/false);
+  Pull(S.LearnedList, LearnedCls, /*Learned=*/true);
+  NormalizedTrail = S.Trail.size();
+  return true;
+}
+
+bool Preprocessor::rebuild() {
+  for (auto &WList : S.Watches)
+    WList.clear();
+  S.Arena.clear();
+  S.WastedWords = 0;
+  S.ProblemList.clear();
+  S.LearnedList.clear();
+  S.LearnedLiveBytes = 0;
+  S.NumProblemClauses = 0;
+  // Forget reasons for the root trail: the clauses they referenced are gone.
+  for (Lit L : S.Trail)
+    S.Reason[L.var()] = CRefUndef;
+
+  std::vector<Lit> Tmp;
+  auto Push = [&](const PClause &P) -> bool {
+    Tmp.clear();
+    bool Satisfied = false;
+    for (Lit L : P.Lits) {
+      LBool V = value(L);
+      if (V == LBool::True) {
+        Satisfied = true;
+        break;
+      }
+      if (V == LBool::Undef)
+        Tmp.push_back(L);
+    }
+    if (Satisfied)
+      return true;
+    if (Tmp.empty()) {
+      S.Unsatisfiable = true;
+      return false;
+    }
+    if (!P.Learned)
+      ++S.NumProblemClauses;
+    if (Tmp.size() == 1) {
+      S.enqueue(Tmp[0], CRefUndef);
+      return true;
+    }
+    CRef C = S.allocClause(Tmp, P.Learned, P.Lbd);
+    if (P.Learned) {
+      S.setClauseActivity(C, P.Act);
+      S.LearnedList.push_back(C);
+      S.LearnedLiveBytes += S.clauseBytes(C);
+    } else {
+      S.ProblemList.push_back(C);
+    }
+    S.attachClause(C);
+    return true;
+  };
+
+  for (const PClause &P : Cls) {
+    if (P.Dead)
+      continue;
+    if (!Push(P))
+      return false;
+  }
+  for (const PClause &P : LearnedCls) {
+    if (P.Dead)
+      continue;
+    // A learned clause over an eliminated variable is implied by the old
+    // database but meaningless in the new one; drop it.
+    bool TouchesElim = false;
+    for (Lit L : P.Lits)
+      if (S.ElimV[L.var()]) {
+        TouchesElim = true;
+        break;
+      }
+    if (TouchesElim)
+      continue;
+    if (!Push(P))
+      return false;
+  }
+  if (S.propagate() != CRefUndef) {
+    S.Unsatisfiable = true;
+    return false;
+  }
+  return true;
+}
+
+// --- Occurrence lists -------------------------------------------------------
+
+void Preprocessor::buildOccurrences() {
+  Occ.assign(2 * S.numVars(), {});
+  for (int I = 0, E = static_cast<int>(Cls.size()); I != E; ++I)
+    occInsert(I);
+}
+
+void Preprocessor::occInsert(int ClauseIdx) {
+  for (Lit L : Cls[ClauseIdx].Lits)
+    Occ[L.code()].push_back(ClauseIdx);
+}
+
+// --- Derived units ----------------------------------------------------------
+
+bool Preprocessor::assertUnit(Lit L) {
+  LBool V = value(L);
+  if (V == LBool::True)
+    return true;
+  if (V == LBool::False) {
+    S.Unsatisfiable = true;
+    return false;
+  }
+  // The solver's watches still cover the original arena clauses, which are
+  // logically weaker than (or equal to) the working set — propagating over
+  // them only ever derives implied literals.
+  S.enqueue(L, CRefUndef);
+  if (S.propagate() != CRefUndef) {
+    S.Unsatisfiable = true;
+    return false;
+  }
+  return true;
+}
+
+bool Preprocessor::normalizeClauses() {
+  while (NormalizedTrail < S.Trail.size()) {
+    NormalizedTrail = S.Trail.size();
+    for (PClause &P : Cls) {
+      if (P.Dead)
+        continue;
+      bool Touched = false, Satisfied = false;
+      for (Lit L : P.Lits) {
+        LBool V = value(L);
+        if (V == LBool::True) {
+          Satisfied = true;
+          break;
+        }
+        if (V == LBool::False)
+          Touched = true;
+      }
+      if (Satisfied) {
+        P.Dead = true;
+        continue;
+      }
+      if (!Touched)
+        continue;
+      size_t Keep = 0;
+      for (Lit L : P.Lits)
+        if (value(L) == LBool::Undef)
+          P.Lits[Keep++] = L;
+      P.Lits.resize(Keep);
+      P.Sig = signature(P.Lits);
+      Changed = true;
+      if (P.Lits.empty()) {
+        S.Unsatisfiable = true;
+        return false;
+      }
+      if (P.Lits.size() == 1) {
+        P.Dead = true;
+        if (!assertUnit(P.Lits[0]))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- Subsumption + self-subsuming resolution --------------------------------
+
+int Preprocessor::subsumes(const PClause &C, const PClause &D,
+                           Lit &Flipped) const {
+  if (C.Lits.size() > D.Lits.size() || (C.Sig & ~D.Sig) != 0)
+    return -1;
+  int Flips = 0;
+  for (Lit L : C.Lits) {
+    if (clauseHas(D.Lits, L))
+      continue;
+    if (clauseHas(D.Lits, ~L)) {
+      if (++Flips > 1)
+        return -1;
+      Flipped = L;
+      continue;
+    }
+    return -1;
+  }
+  return Flips;
+}
+
+bool Preprocessor::subsumptionPass() {
+  constexpr size_t MaxClauseSize = 24, MaxOccScan = 600;
+  for (int I = 0, E = static_cast<int>(Cls.size()); I != E; ++I) {
+    if (interrupted())
+      return true; // every prefix of the pass is equivalence-preserving
+    if (Cls[I].Dead || Cls[I].Lits.size() > MaxClauseSize)
+      continue;
+    // Scan candidates through every literal's occurrence lists: same
+    // polarity for subsumption, complement polarity for self-subsuming
+    // resolution. The signature prefilter rejects most pairs in O(1).
+    for (size_t LI = 0; LI != Cls[I].Lits.size(); ++LI) {
+      Lit L = Cls[I].Lits[LI];
+      for (int Side = 0; Side != 2; ++Side) {
+        const std::vector<int> &List = Occ[(Side ? ~L : L).code()];
+        if (List.size() > MaxOccScan)
+          continue;
+        for (int J : List) {
+          if (J == I || Cls[J].Dead || Cls[I].Dead)
+            continue;
+          Lit Flipped;
+          int R = subsumes(Cls[I], Cls[J], Flipped);
+          if (R == 0) {
+            Cls[J].Dead = true;
+            ++S.SimpStats.SubsumedClauses;
+            Changed = true;
+          } else if (R == 1) {
+            // Resolving C and D on Flipped yields D \ {~Flipped}: strengthen
+            // D in place.
+            PClause &D = Cls[J];
+            D.Lits.erase(std::remove(D.Lits.begin(), D.Lits.end(), ~Flipped),
+                         D.Lits.end());
+            D.Sig = signature(D.Lits);
+            ++S.SimpStats.StrengthenedClauses;
+            Changed = true;
+            if (D.Lits.size() == 1) {
+              D.Dead = true;
+              if (!assertUnit(D.Lits[0]) || !normalizeClauses())
+                return false;
+            } else if (D.Lits.empty()) {
+              S.Unsatisfiable = true;
+              return false;
+            }
+          }
+        }
+      }
+      if (Cls[I].Dead)
+        break;
+    }
+  }
+  return true;
+}
+
+// --- Blocked-clause elimination ---------------------------------------------
+
+bool Preprocessor::blockedClausePass() {
+  constexpr size_t MaxClauseSize = 24, MaxOccScan = 600;
+  for (PClause &C : Cls) {
+    if (interrupted())
+      return true;
+    if (C.Dead || C.Lits.size() > MaxClauseSize)
+      continue;
+    for (Lit L : C.Lits) {
+      if (S.FrozenV[L.var()] || value(L) != LBool::Undef)
+        continue;
+      const std::vector<int> &Against = Occ[(~L).code()];
+      if (Against.size() > MaxOccScan)
+        continue;
+      bool Blocked = true;
+      for (int J : Against) {
+        const PClause &D = Cls[J];
+        if (D.Dead || !clauseHas(D.Lits, ~L))
+          continue;
+        // The resolvent on L is tautological iff some other literal of C
+        // appears complemented in D.
+        bool Tauto = false;
+        for (Lit M : C.Lits) {
+          if (M == L)
+            continue;
+          if (clauseHas(D.Lits, ~M)) {
+            Tauto = true;
+            break;
+          }
+        }
+        if (!Tauto) {
+          Blocked = false;
+          break;
+        }
+      }
+      if (Blocked) {
+        // Every resolvent with the rest of the formula is a tautology, so a
+        // model of the formula minus C can always be repaired by flipping L;
+        // record C for reconstruction and drop it.
+        S.pushExtendRecord(C.Lits, L);
+        C.Dead = true;
+        ++S.SimpStats.BlockedClauses;
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+// --- Bounded variable elimination -------------------------------------------
+
+bool Preprocessor::eliminatePass() {
+  std::vector<int> Pos, Neg;
+  std::vector<Lit> Resolvent;
+  std::vector<std::vector<Lit>> Resolvents;
+  for (Var V = 0, E = static_cast<Var>(S.numVars()); V != E; ++V) {
+    if (interrupted())
+      return true; // committed eliminations are already fully recorded
+    if (S.FrozenV[V] || S.ElimV[V] || S.Assigns[V] != LBool::Undef)
+      continue;
+    Lit PL(V, false), NL(V, true);
+    auto Gather = [&](Lit L, std::vector<int> &Out) {
+      Out.clear();
+      for (int J : Occ[L.code()]) {
+        if (Cls[J].Dead || !clauseHas(Cls[J].Lits, L))
+          continue;
+        if (Cls[J].Lits.size() > Cfg.ElimClauseLimit)
+          return false; // too wide to resolve economically
+        Out.push_back(J);
+        if (Out.size() > Cfg.ElimOccLimit)
+          return false;
+      }
+      return true;
+    };
+    if (!Gather(PL, Pos) || !Gather(NL, Neg))
+      continue;
+    if (Pos.empty() && Neg.empty())
+      continue; // variable absent from the problem clauses; leave it be
+
+    // Build all non-tautological resolvents; bail out on growth.
+    Resolvents.clear();
+    bool TooMany = false;
+    for (int PI : Pos) {
+      for (int NI : Neg) {
+        Resolvent.clear();
+        bool Tauto = false;
+        for (Lit L : Cls[PI].Lits)
+          if (L != PL)
+            Resolvent.push_back(L);
+        for (Lit L : Cls[NI].Lits) {
+          if (L == NL)
+            continue;
+          if (clauseHas(Cls[PI].Lits, ~L)) {
+            Tauto = true;
+            break;
+          }
+          if (!clauseHas(Cls[PI].Lits, L))
+            Resolvent.push_back(L);
+        }
+        if (Tauto)
+          continue;
+        std::sort(Resolvent.begin(), Resolvent.end(),
+                  [](Lit A, Lit B) { return A.code() < B.code(); });
+        Resolvents.push_back(Resolvent);
+        if (Resolvents.size() > Pos.size() + Neg.size()) {
+          TooMany = true;
+          break;
+        }
+      }
+      if (TooMany)
+        break;
+    }
+    if (TooMany)
+      continue;
+
+    // Commit: record the smaller polarity's clauses (plus the opposite
+    // default unit) for model reconstruction, drop every clause of V, add
+    // the resolvents.
+    const std::vector<int> &Side = Pos.size() <= Neg.size() ? Pos : Neg;
+    Lit Pivot = Pos.size() <= Neg.size() ? PL : NL;
+    for (int J : Side)
+      S.pushExtendRecord(Cls[J].Lits, Pivot);
+    S.pushExtendRecord({~Pivot}, ~Pivot);
+    for (int J : Pos)
+      Cls[J].Dead = true;
+    for (int J : Neg)
+      Cls[J].Dead = true;
+    S.ElimV[V] = 1;
+    S.heapRemove(V);
+    ++S.SimpStats.EliminatedVars;
+    Changed = true;
+
+    for (std::vector<Lit> &R : Resolvents) {
+      if (R.empty()) {
+        S.Unsatisfiable = true;
+        return false;
+      }
+      if (R.size() == 1) {
+        if (!assertUnit(R[0]) || !normalizeClauses())
+          return false;
+        continue;
+      }
+      PClause P;
+      P.Lits = std::move(R);
+      P.Sig = signature(P.Lits);
+      Cls.push_back(std::move(P));
+      occInsert(static_cast<int>(Cls.size()) - 1);
+    }
+  }
+  return true;
+}
+
+// --- Failed-literal probing -------------------------------------------------
+
+bool Preprocessor::probePass() {
+  // Probe variables that occur in binary clauses — the cheap, high-yield
+  // candidates: a failed probe there immediately shortens a clause.
+  std::vector<char> Candidate(S.numVars(), 0);
+  unsigned Count = 0;
+  for (CRef C : S.ProblemList) {
+    if (S.clauseSize(C) != 2)
+      continue;
+    for (uint32_t I = 0; I != 2 && Count < Cfg.ProbeLimit; ++I) {
+      Var V = S.clauseLit(C, I).var();
+      if (!Candidate[V] && !S.ElimV[V]) {
+        Candidate[V] = 1;
+        ++Count;
+      }
+    }
+  }
+  for (Var V = 0, E = static_cast<Var>(S.numVars()); V != E; ++V) {
+    if (interrupted())
+      return true; // derived units are already on the root trail
+    if (!Candidate[V] || S.Assigns[V] != LBool::Undef)
+      continue;
+    for (int Sign = 0; Sign != 2; ++Sign) {
+      Lit L(V, Sign != 0);
+      if (value(L) != LBool::Undef)
+        break; // a prior probe fixed the variable
+      S.TrailLims.push_back(static_cast<int>(S.Trail.size()));
+      S.enqueue(L, CRefUndef);
+      bool Conflict = S.propagate() != CRefUndef;
+      S.backtrack(0);
+      if (Conflict) {
+        ++S.SimpStats.FailedLiterals;
+        if (!assertUnit(~L))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- Pipeline ---------------------------------------------------------------
+
+bool Preprocessor::run() {
+  if (!extract())
+    return false;
+  buildOccurrences();
+  for (unsigned Round = 0; Round != Cfg.MaxRounds && !Interrupted; ++Round) {
+    Changed = false;
+    if (!normalizeClauses())
+      return false;
+    if (Cfg.Subsume && !subsumptionPass())
+      return false;
+    if (Cfg.Blocked && !blockedClausePass())
+      return false;
+    if (Cfg.VarElim && !eliminatePass())
+      return false;
+    if (!Changed)
+      break;
+  }
+  if (!rebuild())
+    return false;
+  if (Cfg.Probe && !Interrupted && !probePass())
+    return false;
+  // Probing may have fixed variables; sweep the satisfied clauses out.
+  return S.simplify();
+}
+
+// --- SatSolver entry point --------------------------------------------------
+
+bool alive::sat::SatSolver::preprocess(bool FormulaComplete,
+                                       const SearchLimits *Limits) {
+  auto Start = std::chrono::steady_clock::now();
+  PreprocessConfig Cfg;
+  Cfg.Blocked = FormulaComplete;
+  Preprocessor P(*this, Cfg, Limits);
+  bool Ok = P.run();
+  if (!Ok)
+    Unsatisfiable = true;
+  SimpStats.PreprocessUs += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  return Ok;
+}

@@ -1,0 +1,124 @@
+//===- smt/sat/Preprocessor.h - CNF pre-/inprocessing -----------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SatELite-style clause-database simplification for the native CDCL core:
+/// clause subsumption and self-subsuming resolution over occurrence lists
+/// with 64-bit signature prefiltering, bounded variable elimination with a
+/// model-reconstruction stack, blocked-clause elimination (one-shot solves
+/// only), and failed-literal probing. The preprocessor extracts the clause
+/// database, simplifies the copy to a fixpoint, then rebuilds the solver's
+/// arena compactly — so a preprocessing pass doubles as a full garbage
+/// collection.
+///
+/// Soundness contract (see DESIGN.md §13): frozen variables — scope
+/// selectors and anything a caller may still mention in future clauses or
+/// assumption sets — are never chosen as elimination or blocking pivots.
+/// Every removed-but-not-implied clause (eliminated variable groups,
+/// blocked clauses) is pushed onto the solver's reconstruction stack, and
+/// SatSolver::extendModel replays it backwards after each Sat answer, so
+/// modelValue() always describes a model of the original formula.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_SAT_PREPROCESSOR_H
+#define ALIVE_SMT_SAT_PREPROCESSOR_H
+
+#include "smt/sat/SatSolver.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alive {
+namespace sat {
+
+/// Tuning knobs for one preprocess() pass. The defaults keep worst-case
+/// work linear-ish in the database size; they are deliberately conservative
+/// because the verifier calls this on every one-shot query.
+struct PreprocessConfig {
+  bool Subsume = true;     ///< subsumption + self-subsuming resolution
+  bool VarElim = true;     ///< bounded variable elimination
+  bool Blocked = true;     ///< blocked-clause elimination (complete formulas)
+  bool Probe = true;       ///< failed-literal probing
+  unsigned MaxRounds = 3;  ///< fixpoint rounds over the technique pipeline
+  unsigned ElimOccLimit = 10;   ///< max occurrences per polarity for BVE
+  unsigned ElimClauseLimit = 16; ///< max clause size touched by BVE
+  unsigned ProbeLimit = 2048;   ///< max probed literals per pass
+};
+
+/// One-shot worker over a SatSolver's clause database. Constructed and run
+/// by SatSolver::preprocess(); not reusable.
+class Preprocessor {
+public:
+  /// \p Limits, when given, supplies a deadline and cancellation token that
+  /// the passes poll; on interrupt the pipeline stops early at a safe
+  /// (equivalence-preserving) boundary instead of running to fixpoint.
+  Preprocessor(SatSolver &S, const PreprocessConfig &Cfg,
+               const SearchLimits *Limits = nullptr);
+
+  /// Runs the pipeline. Returns false when the database is proved
+  /// unsatisfiable (the solver is marked unsatisfiable as well).
+  bool run();
+
+private:
+  struct PClause {
+    std::vector<Lit> Lits; ///< sorted by literal code
+    uint64_t Sig = 0;      ///< bitwise abstraction for subset prefilter
+    float Act = 0;
+    uint32_t Lbd = 0;
+    bool Learned = false;
+    bool Dead = false;
+  };
+
+  static uint64_t signature(const std::vector<Lit> &Lits);
+  LBool value(Lit L) const { return S.value(L); }
+
+  /// Extracts the live clause database into Cls, stripping root-satisfied
+  /// clauses and root-false literals. Returns false on conflict.
+  bool extract();
+  /// Writes the surviving clauses back into a freshly compacted solver
+  /// arena and re-propagates. Returns false on conflict.
+  bool rebuild();
+
+  void buildOccurrences();
+  void occInsert(int ClauseIdx);
+
+  /// Subsumption check with one allowed flip: returns 0 when \p C subsumes
+  /// \p D outright, 1 when it subsumes with exactly literal \p Flipped
+  /// negated in D (self-subsuming resolution), -1 otherwise.
+  int subsumes(const PClause &C, const PClause &D, Lit &Flipped) const;
+  bool subsumptionPass();
+  bool blockedClausePass();
+  bool eliminatePass();
+  bool probePass();
+
+  /// Derived-unit handling: enqueues \p L at the root level of the solver
+  /// (whose watches still cover the original clauses) and re-normalizes the
+  /// extracted clause set against the grown root trail. Returns false on
+  /// conflict.
+  bool assertUnit(Lit L);
+  bool normalizeClauses();
+
+  /// Throttled deadline/cancellation poll (a clock read every few hundred
+  /// calls). Once it fires it stays fired for this run.
+  bool interrupted();
+
+  SatSolver &S;
+  PreprocessConfig Cfg;
+  const SearchLimits *Limits;
+  unsigned PollCountdown = 0;
+  bool Interrupted = false;
+  std::vector<PClause> Cls;        ///< problem clauses (learned kept aside)
+  std::vector<PClause> LearnedCls;
+  std::vector<std::vector<int>> Occ; ///< live problem occurrences per lit code
+  size_t NormalizedTrail = 0;      ///< root-trail prefix already applied
+  bool Changed = false;            ///< any simplification applied this round
+};
+
+} // namespace sat
+} // namespace alive
+
+#endif // ALIVE_SMT_SAT_PREPROCESSOR_H

@@ -8,9 +8,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <unordered_map>
 
 using namespace alive;
 using namespace alive::sat;
+
+namespace {
+/// Header flag for clauses whose arena words are dead (awaiting GC). Kept
+/// out of the public tier/LBD bit ranges.
+constexpr uint32_t FlagDead = 1u << 4;
+} // namespace
 
 SatSolver::SatSolver() = default;
 
@@ -20,11 +28,13 @@ Var SatSolver::newVar() {
   Assigns.push_back(LBool::Undef);
   Phase.push_back(false);
   Level.push_back(0);
-  Reason.push_back(-1);
+  Reason.push_back(CRefUndef);
   Watches.emplace_back();
   Watches.emplace_back();
   SeenBuf.push_back(false);
   HeapPos.push_back(-1);
+  FrozenV.push_back(0);
+  ElimV.push_back(0);
   heapInsert(V);
   return V;
 }
@@ -37,6 +47,21 @@ void SatSolver::heapInsert(Var V) {
   HeapPos[V] = static_cast<int>(Heap.size());
   Heap.push_back(V);
   heapSiftUp(HeapPos[V]);
+}
+
+void SatSolver::heapRemove(Var V) {
+  int Idx = HeapPos[V];
+  if (Idx == -1)
+    return;
+  HeapPos[V] = -1;
+  Var Last = Heap.back();
+  Heap.pop_back();
+  if (Idx != static_cast<int>(Heap.size())) {
+    Heap[Idx] = Last;
+    HeapPos[Last] = Idx;
+    heapSiftDown(Idx);
+    heapSiftUp(HeapPos[Last]);
+  }
 }
 
 Var SatSolver::heapPopMax() {
@@ -86,13 +111,109 @@ void SatSolver::heapSiftDown(int Idx) {
   HeapPos[V] = Idx;
 }
 
+// --- Arena clause storage -------------------------------------------------
+
+float SatSolver::clauseActivity(CRef C) const {
+  float A;
+  std::memcpy(&A, &Arena[C + 2], sizeof(float));
+  return A;
+}
+
+void SatSolver::setClauseActivity(CRef C, float A) {
+  std::memcpy(&Arena[C + 2], &A, sizeof(float));
+}
+
+void SatSolver::setClauseTierLbd(CRef C, Tier T, uint32_t Lbd) {
+  uint32_t F = Arena[C + 1];
+  F &= ~TierMask;
+  F &= (1u << LbdShift) - 1; // clear old LBD
+  if (Lbd > 0xFFFFFFu)
+    Lbd = 0xFFFFFFu;
+  Arena[C + 1] = F | (static_cast<uint32_t>(T) << TierShift) |
+                 (Lbd << LbdShift);
+}
+
+CRef SatSolver::allocClause(const std::vector<Lit> &Lits, bool Learned,
+                            uint32_t Lbd) {
+  CRef C = static_cast<CRef>(Arena.size());
+  Arena.push_back(static_cast<uint32_t>(Lits.size()));
+  Arena.push_back(Learned ? FlagLearned : 0);
+  Arena.push_back(0); // activity
+  for (Lit L : Lits)
+    Arena.push_back(static_cast<uint32_t>(L.code()));
+  if (Learned) {
+    // LBD decides the retention tier: glue clauses (LBD <= 2) are kept
+    // forever, medium clauses survive while they stay useful, the rest are
+    // fair game for the next reduction.
+    Tier T = Lbd <= 2 ? TierCore : (Lbd <= 6 ? TierMid : TierLocal);
+    setClauseTierLbd(C, T, Lbd);
+  }
+  return C;
+}
+
+void SatSolver::freeClause(CRef C) {
+  assert(!(Arena[C + 1] & FlagDead) && "double free");
+  Arena[C + 1] |= FlagDead;
+  WastedWords += HeaderWords + clauseSize(C);
+  if (clauseLearned(C))
+    LearnedLiveBytes -= std::min<uint64_t>(LearnedLiveBytes, clauseBytes(C));
+}
+
+void SatSolver::maybeGarbageCollect() {
+  if (WastedWords * 4 > Arena.size() && WastedWords > 4096)
+    garbageCollect();
+}
+
+void SatSolver::garbageCollect() {
+  std::vector<uint32_t> NewArena;
+  NewArena.reserve(Arena.size() - WastedWords);
+  std::unordered_map<CRef, CRef> Remap;
+  Remap.reserve(ProblemList.size() + LearnedList.size());
+  auto Move = [&](CRef C) {
+    CRef N = static_cast<CRef>(NewArena.size());
+    uint32_t Words = HeaderWords + clauseSize(C);
+    NewArena.insert(NewArena.end(), Arena.begin() + C,
+                    Arena.begin() + C + Words);
+    Remap.emplace(C, N);
+    return N;
+  };
+  for (CRef &C : ProblemList)
+    C = Move(C);
+  for (CRef &C : LearnedList)
+    C = Move(C);
+  Arena = std::move(NewArena);
+  WastedWords = 0;
+  for (auto &WList : Watches)
+    for (Watcher &W : WList) {
+      auto It = Remap.find(W.Clause & ~WatchBinFlag);
+      assert(It != Remap.end() && "watcher on a dead clause survived GC");
+      W.Clause = It->second | (W.Clause & WatchBinFlag);
+    }
+  for (CRef &R : Reason) {
+    if (R == CRefUndef)
+      continue;
+    auto It = Remap.find(R);
+    R = It == Remap.end() ? CRefUndef : It->second;
+  }
+}
+
 // --- Clause management ----------------------------------------------------
 
-void SatSolver::attachClause(int CIdx) {
-  Clause &C = Clauses[CIdx];
-  assert(C.Lits.size() >= 2 && "attaching a short clause");
-  Watches[(~C.Lits[0]).code()].push_back({CIdx, C.Lits[1]});
-  Watches[(~C.Lits[1]).code()].push_back({CIdx, C.Lits[0]});
+void SatSolver::attachClause(CRef C) {
+  assert(clauseSize(C) >= 2 && "attaching a short clause");
+  Lit L0 = clauseLit(C, 0), L1 = clauseLit(C, 1);
+  CRef Tag = clauseSize(C) == 2 ? (C | WatchBinFlag) : C;
+  Watches[(~L0).code()].push_back({Tag, L1});
+  Watches[(~L1).code()].push_back({Tag, L0});
+}
+
+void SatSolver::rebuildWatches() {
+  for (auto &WList : Watches)
+    WList.clear();
+  for (CRef C : ProblemList)
+    attachClause(C);
+  for (CRef C : LearnedList)
+    attachClause(C);
 }
 
 bool SatSolver::addClause(std::vector<Lit> Clause) {
@@ -109,6 +230,7 @@ bool SatSolver::addClause(std::vector<Lit> Clause) {
   std::vector<Lit> Simplified;
   for (size_t I = 0; I != Clause.size(); ++I) {
     Lit L = Clause[I];
+    assert(!isEliminated(L.var()) && "clause over an eliminated variable");
     if (I + 1 < Clause.size() && Clause[I + 1] == ~L)
       return true; // tautology: always satisfied
     if (!Simplified.empty() && Simplified.back() == L)
@@ -128,29 +250,30 @@ bool SatSolver::addClause(std::vector<Lit> Clause) {
   ++NumProblemClauses;
   if (Simplified.size() == 1) {
     if (value(Simplified[0]) == LBool::Undef)
-      enqueue(Simplified[0], -1);
-    if (propagate() != -1)
+      enqueue(Simplified[0], CRefUndef);
+    if (propagate() != CRefUndef)
       Unsatisfiable = true;
     return !Unsatisfiable;
   }
-  Clauses.push_back({std::move(Simplified), /*Learned=*/false, 0.0});
-  attachClause(static_cast<int>(Clauses.size()) - 1);
+  CRef C = allocClause(Simplified, /*Learned=*/false, 0);
+  ProblemList.push_back(C);
+  attachClause(C);
   return true;
 }
 
 // --- Assignment and propagation -------------------------------------------
 
-void SatSolver::enqueue(Lit L, int ReasonIdx) {
+void SatSolver::enqueue(Lit L, CRef ReasonRef) {
   assert(value(L) == LBool::Undef && "enqueue of assigned literal");
   Var V = L.var();
   Assigns[V] = L.negated() ? LBool::False : LBool::True;
   Phase[V] = !L.negated();
   Level[V] = static_cast<int>(TrailLims.size());
-  Reason[V] = ReasonIdx;
+  Reason[V] = ReasonRef;
   Trail.push_back(L);
 }
 
-int SatSolver::propagate() {
+CRef SatSolver::propagate() {
   while (PropHead < Trail.size()) {
     Lit P = Trail[PropHead++];
     ++Propagations;
@@ -158,28 +281,49 @@ int SatSolver::propagate() {
     size_t Keep = 0;
     for (size_t I = 0; I != WList.size(); ++I) {
       Watcher W = WList[I];
-      // Fast path: the blocker literal is already true.
-      if (value(W.Blocker) == LBool::True) {
+      // Fast path: the blocker literal is already true — no clause memory
+      // is touched at all.
+      LBool BlockerVal = value(W.Blocker);
+      if (BlockerVal == LBool::True) {
         WList[Keep++] = W;
         continue;
       }
-      Clause &C = Clauses[W.ClauseIdx];
+      if (W.Clause & WatchBinFlag) {
+        // Binary clause: the blocker is the other literal, so the watcher
+        // alone decides — unit or conflicting, still no arena access.
+        CRef C = W.Clause & ~WatchBinFlag;
+        WList[Keep++] = W;
+        if (BlockerVal == LBool::False) {
+          for (size_t K = I + 1; K != WList.size(); ++K)
+            WList[Keep++] = WList[K];
+          WList.resize(Keep);
+          PropHead = Trail.size();
+          return C;
+        }
+        enqueue(W.Blocker, C);
+        continue;
+      }
+      CRef C = W.Clause;
+      uint32_t *Lits = &Arena[C + HeaderWords];
       // Normalize so the false literal (~P) sits at slot 1.
-      Lit NotP = ~P;
-      if (C.Lits[0] == NotP)
-        std::swap(C.Lits[0], C.Lits[1]);
-      assert(C.Lits[1] == NotP && "watch list out of sync");
+      uint32_t NotP = static_cast<uint32_t>((~P).code());
+      if (Lits[0] == NotP)
+        std::swap(Lits[0], Lits[1]);
+      assert(Lits[1] == NotP && "watch list out of sync");
       // First literal true => clause satisfied.
-      if (value(C.Lits[0]) == LBool::True) {
-        WList[Keep++] = {W.ClauseIdx, C.Lits[0]};
+      Lit First = Lit::fromCode(static_cast<int>(Lits[0]));
+      if (value(First) == LBool::True) {
+        WList[Keep++] = {C, First};
         continue;
       }
       // Search for a new literal to watch.
       bool Moved = false;
-      for (size_t K = 2; K != C.Lits.size(); ++K) {
-        if (value(C.Lits[K]) != LBool::False) {
-          std::swap(C.Lits[1], C.Lits[K]);
-          Watches[(~C.Lits[1]).code()].push_back({W.ClauseIdx, C.Lits[0]});
+      uint32_t Size = Arena[C];
+      for (uint32_t K = 2; K != Size; ++K) {
+        Lit LK = Lit::fromCode(static_cast<int>(Lits[K]));
+        if (value(LK) != LBool::False) {
+          std::swap(Lits[1], Lits[K]);
+          Watches[(~LK).code()].push_back({C, First});
           Moved = true;
           break;
         }
@@ -188,25 +332,25 @@ int SatSolver::propagate() {
         continue;
       // Clause is unit or conflicting.
       WList[Keep++] = W;
-      if (value(C.Lits[0]) == LBool::False) {
+      if (value(First) == LBool::False) {
         // Conflict: restore the remaining watchers and report.
         for (size_t K = I + 1; K != WList.size(); ++K)
           WList[Keep++] = WList[K];
         WList.resize(Keep);
         PropHead = Trail.size();
-        return W.ClauseIdx;
+        return C;
       }
-      enqueue(C.Lits[0], W.ClauseIdx);
+      enqueue(First, C);
     }
     WList.resize(Keep);
   }
-  return -1;
+  return CRefUndef;
 }
 
 // --- Conflict analysis (first UIP) ----------------------------------------
 
-void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
-                        int &BackLevel) {
+void SatSolver::analyze(CRef Conflict, std::vector<Lit> &Learned,
+                        int &BackLevel, uint32_t &Lbd) {
   Learned.clear();
   Learned.push_back(Lit()); // slot for the asserting literal
   int CurLevel = static_cast<int>(TrailLims.size());
@@ -214,18 +358,20 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
   Lit P;
   bool HaveP = false;
   size_t TrailIdx = Trail.size();
-  int CIdx = ConflictIdx;
+  CRef C = Conflict;
 
   std::vector<Var> ToClear;
   do {
-    assert(CIdx != -1 && "no reason clause during analysis");
-    Clause &C = Clauses[CIdx];
-    if (C.Learned)
-      bumpClause(CIdx);
-    for (size_t I = HaveP ? 1 : 0; I != C.Lits.size(); ++I) {
-      Lit Q = C.Lits[I];
+    assert(C != CRefUndef && "no reason clause during analysis");
+    if (clauseLearned(C))
+      bumpClause(C);
+    uint32_t Size = clauseSize(C);
+    for (uint32_t I = 0; I != Size; ++I) {
+      Lit Q = clauseLit(C, I);
       Var V = Q.var();
-      if (SeenBuf[V] || Level[V] == 0)
+      // Skip the asserted literal itself: for binary reasons found through
+      // the watcher fast path it is not necessarily at slot 0.
+      if ((HaveP && V == P.var()) || SeenBuf[V] || Level[V] == 0)
         continue;
       SeenBuf[V] = true;
       ToClear.push_back(V);
@@ -242,10 +388,21 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
     } while (!SeenBuf[P.var()]);
     HaveP = true;
     SeenBuf[P.var()] = false;
-    CIdx = Reason[P.var()];
+    C = Reason[P.var()];
     --Counter;
   } while (Counter > 0);
   Learned[0] = ~P;
+
+  // Conflict-clause minimization (MiniSat's ccmin): drop every literal
+  // whose negation is implied by the remaining clause — i.e. its reason
+  // antecedents are all marked seen, transitively. Removed literals keep
+  // their seen mark: they stay implied by the survivors, so later
+  // redundancy checks may still lean on them.
+  size_t Out = 1;
+  for (size_t I = 1; I < Learned.size(); ++I)
+    if (!litRedundant(Learned[I], ToClear))
+      Learned[Out++] = Learned[I];
+  Learned.resize(Out);
 
   // Compute the backtrack level: highest level among the other literals.
   BackLevel = 0;
@@ -259,8 +416,58 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
   if (Learned.size() > 1)
     std::swap(Learned[1], Learned[MaxIdx]);
 
+  // LBD (literal block distance): the number of distinct decision levels in
+  // the learned clause — the Glucose quality measure driving retention.
+  Lbd = 0;
+  for (Lit L : Learned) {
+    int Lv = Level[L.var()];
+    bool Seen = false;
+    for (Lit Prev : Learned) {
+      if (Prev == L)
+        break;
+      if (Level[Prev.var()] == Lv) {
+        Seen = true;
+        break;
+      }
+    }
+    if (!Seen)
+      ++Lbd;
+  }
+
   for (Var V : ToClear)
     SeenBuf[V] = false;
+}
+
+bool SatSolver::litRedundant(Lit L, std::vector<Var> &ToClear) {
+  if (Reason[L.var()] == CRefUndef)
+    return false; // a decision (or assumption) can never be dropped
+  MinimizeStack.clear();
+  MinimizeStack.push_back(L);
+  // Marks added during this probe are provisional: on failure they must be
+  // unwound, because "seen" promises "in the clause or proven redundant".
+  size_t MarkStart = ToClear.size();
+  while (!MinimizeStack.empty()) {
+    Lit P = MinimizeStack.back();
+    MinimizeStack.pop_back();
+    CRef C = Reason[P.var()];
+    uint32_t Size = clauseSize(C);
+    for (uint32_t I = 0; I != Size; ++I) {
+      Lit Q = clauseLit(C, I);
+      Var V = Q.var();
+      if (V == P.var() || SeenBuf[V] || Level[V] == 0)
+        continue;
+      if (Reason[V] == CRefUndef) {
+        for (size_t K = MarkStart; K != ToClear.size(); ++K)
+          SeenBuf[ToClear[K]] = false;
+        ToClear.resize(MarkStart);
+        return false;
+      }
+      SeenBuf[V] = true;
+      ToClear.push_back(V);
+      MinimizeStack.push_back(Q);
+    }
+  }
+  return true;
 }
 
 void SatSolver::backtrack(int TargetLevel) {
@@ -270,8 +477,9 @@ void SatSolver::backtrack(int TargetLevel) {
   for (size_t I = Trail.size(); I > Bound; --I) {
     Var V = Trail[I - 1].var();
     Assigns[V] = LBool::Undef;
-    Reason[V] = -1;
-    heapInsert(V);
+    Reason[V] = CRefUndef;
+    if (!ElimV[V])
+      heapInsert(V);
   }
   Trail.resize(Bound);
   TrailLims.resize(TargetLevel);
@@ -283,7 +491,7 @@ void SatSolver::backtrack(int TargetLevel) {
 Lit SatSolver::pickBranchLit() {
   while (!Heap.empty()) {
     Var V = heapPopMax();
-    if (Assigns[V] == LBool::Undef)
+    if (Assigns[V] == LBool::Undef && !ElimV[V])
       return Lit(V, !Phase[V]);
   }
   return Lit(); // all assigned
@@ -300,15 +508,16 @@ void SatSolver::bumpVar(Var V) {
     heapSiftUp(HeapPos[V]);
 }
 
-void SatSolver::bumpClause(int CIdx) {
-  Clause &C = Clauses[CIdx];
-  C.Activity += ClauseInc;
-  if (C.Activity > 1e20) {
-    for (Clause &Cl : Clauses)
-      if (Cl.Learned)
-        Cl.Activity *= 1e-20;
+void SatSolver::bumpClause(CRef C) {
+  Arena[C + 1] |= FlagTouched;
+  float A = clauseActivity(C) + static_cast<float>(ClauseInc);
+  if (A > 1e20f) {
+    for (CRef L : LearnedList)
+      setClauseActivity(L, clauseActivity(L) * 1e-20f);
     ClauseInc *= 1e-20;
+    A = clauseActivity(C) + static_cast<float>(ClauseInc);
   }
+  setClauseActivity(C, A);
 }
 
 void SatSolver::decayActivities() {
@@ -316,47 +525,125 @@ void SatSolver::decayActivities() {
   ClauseInc /= 0.999;
 }
 
-void SatSolver::reduceLearned() {
-  // Delete the less active half of the learned clauses, except clauses that
-  // are currently the reason for an assignment.
-  std::vector<int> LearnedIdx;
-  for (int I = 0, E = static_cast<int>(Clauses.size()); I != E; ++I)
-    if (Clauses[I].Learned)
-      LearnedIdx.push_back(I);
-  if (LearnedIdx.size() < 64)
-    return;
-  std::sort(LearnedIdx.begin(), LearnedIdx.end(), [&](int A, int B) {
-    return Clauses[A].Activity < Clauses[B].Activity;
-  });
-  std::vector<bool> Locked(Clauses.size(), false);
-  for (Lit L : Trail)
-    if (Reason[L.var()] != -1)
-      Locked[Reason[L.var()]] = true;
+bool SatSolver::clauseLocked(CRef C) const {
+  // The implied literal of a binary reason may sit at either slot (the
+  // watcher fast path never normalizes the arena), so check both.
+  Lit First = clauseLit(C, 0);
+  if (value(First) == LBool::True && Reason[First.var()] == C)
+    return true;
+  if (clauseSize(C) != 2)
+    return false;
+  Lit Second = clauseLit(C, 1);
+  return value(Second) == LBool::True && Reason[Second.var()] == C;
+}
 
-  std::vector<bool> Dead(Clauses.size(), false);
-  for (size_t I = 0; I != LearnedIdx.size() / 2; ++I) {
-    int CIdx = LearnedIdx[I];
-    if (!Locked[CIdx] && Clauses[CIdx].Lits.size() > 2) {
-      Dead[CIdx] = true;
-      LearnedLiveBytes -=
-          sizeof(Clause) + Clauses[CIdx].Lits.capacity() * sizeof(Lit);
-    }
+void SatSolver::reduceLearned() {
+  if (LearnedList.size() < 64)
+    return;
+  // Tier maintenance: mid-tier clauses that went unused since the last
+  // reduction fall to the local tier; local clauses that participated in a
+  // recent conflict climb to mid. Core (glue) clauses are permanent.
+  std::vector<CRef> Local;
+  for (CRef C : LearnedList) {
+    Tier T = clauseTier(C);
+    bool Touched = Arena[C + 1] & FlagTouched;
+    Arena[C + 1] &= ~FlagTouched;
+    if (T == TierMid && !Touched)
+      setClauseTierLbd(C, TierLocal, clauseLbd(C));
+    else if (T == TierLocal && Touched)
+      setClauseTierLbd(C, TierMid, clauseLbd(C));
+    if (clauseTier(C) == TierLocal)
+      Local.push_back(C);
   }
-  // Detach dead clauses from the watch lists; keep slots (no compaction) so
-  // clause indices stay stable.
+  if (Local.size() < 32)
+    return;
+  std::sort(Local.begin(), Local.end(), [&](CRef A, CRef B) {
+    return clauseActivity(A) < clauseActivity(B);
+  });
+
+  size_t Freed = 0;
+  for (size_t I = 0; I != Local.size() / 2; ++I) {
+    CRef C = Local[I];
+    if (clauseLocked(C) || clauseSize(C) <= 2)
+      continue;
+    freeClause(C);
+    ++Freed;
+  }
+  if (!Freed)
+    return;
+  // Detach dead clauses from the watch lists and the learned list.
   for (auto &WList : Watches) {
     size_t Keep = 0;
     for (const Watcher &W : WList)
-      if (!Dead[W.ClauseIdx])
+      if (!(Arena[(W.Clause & ~WatchBinFlag) + 1] & FlagDead))
         WList[Keep++] = W;
     WList.resize(Keep);
   }
-  for (size_t I = 0; I != Clauses.size(); ++I)
-    if (Dead[I]) {
-      Clauses[I].Lits.clear();
-      Clauses[I].Lits.shrink_to_fit();
-      Clauses[I].Learned = false; // tombstone
+  size_t Keep = 0;
+  for (CRef C : LearnedList)
+    if (!(Arena[C + 1] & FlagDead))
+      LearnedList[Keep++] = C;
+  LearnedList.resize(Keep);
+  maybeGarbageCollect();
+}
+
+// --- Level-0 simplification ------------------------------------------------
+
+bool SatSolver::simplify() {
+  backtrack(0);
+  if (Unsatisfiable)
+    return false;
+  if (propagate() != CRefUndef) {
+    Unsatisfiable = true;
+    return false;
+  }
+  // Root-level assignments make their reason clauses removable; analysis
+  // never walks level-0 reasons, so forgetting them is safe.
+  for (Lit L : Trail)
+    Reason[L.var()] = CRefUndef;
+
+  auto Sweep = [&](std::vector<CRef> &List, bool Learned) {
+    size_t Keep = 0;
+    for (CRef C : List) {
+      uint32_t Size = clauseSize(C);
+      bool Satisfied = false;
+      uint32_t Live = 0;
+      for (uint32_t I = 0; I != Size && !Satisfied; ++I) {
+        LBool V = value(clauseLit(C, I));
+        if (V == LBool::True)
+          Satisfied = true;
+        else if (V == LBool::Undef)
+          ++Live;
+      }
+      if (Satisfied) {
+        freeClause(C);
+        ++SimpStats.SimplifyRemoved;
+        if (!Learned && NumProblemClauses)
+          --NumProblemClauses;
+        continue;
+      }
+      if (Live != Size) {
+        // Strip root-false literals in place; the clause keeps its arena
+        // slot and the trailing words become garbage.
+        assert(Live >= 2 && "propagation left a unit clause unsimplified");
+        uint32_t Out = 0;
+        for (uint32_t I = 0; I != Size; ++I) {
+          Lit L = clauseLit(C, I);
+          if (value(L) == LBool::Undef)
+            setClauseLit(C, Out++, L);
+        }
+        Arena[C] = Live;
+        WastedWords += Size - Live;
+      }
+      List[Keep++] = C;
     }
+    List.resize(Keep);
+  };
+  Sweep(ProblemList, /*Learned=*/false);
+  Sweep(LearnedList, /*Learned=*/true);
+  rebuildWatches();
+  maybeGarbageCollect();
+  return true;
 }
 
 uint64_t SatSolver::luby(uint64_t I) {
@@ -372,6 +659,47 @@ uint64_t SatSolver::luby(uint64_t I) {
     I = I % Size;
   }
   return 1ULL << Seq;
+}
+
+// --- Model extension --------------------------------------------------------
+
+void SatSolver::pushExtendRecord(const std::vector<Lit> &Lits, Lit Pivot) {
+  ExtendStack.push_back(static_cast<uint32_t>(Pivot.code()));
+  uint32_t Count = 1;
+  for (Lit L : Lits)
+    if (L != Pivot) {
+      ExtendStack.push_back(static_cast<uint32_t>(L.code()));
+      ++Count;
+    }
+  ExtendStack.push_back(Count);
+}
+
+void SatSolver::extendModel() {
+  Model.assign(Assigns.begin(), Assigns.end());
+  for (LBool &V : Model)
+    if (V == LBool::Undef)
+      V = LBool::False;
+  // Replay eliminations newest-first: each record is a clause of the
+  // original formula whose satisfaction may rest on its pivot variable.
+  // Because every resolvent of the eliminated variable is satisfied by the
+  // current partial model, at most one polarity's clauses can be falsified,
+  // and flipping the pivot repairs them without breaking anything replayed
+  // so far (the SatELite/MiniSat reconstruction argument).
+  size_t I = ExtendStack.size();
+  while (I > 0) {
+    uint32_t Count = ExtendStack[--I];
+    size_t Start = I - Count;
+    bool Satisfied = false;
+    for (size_t K = Start; K != I && !Satisfied; ++K) {
+      Lit L = Lit::fromCode(static_cast<int>(ExtendStack[K]));
+      Satisfied = (Model[L.var()] == LBool::True) != L.negated();
+    }
+    if (!Satisfied) {
+      Lit Pivot = Lit::fromCode(static_cast<int>(ExtendStack[Start]));
+      Model[Pivot.var()] = Pivot.negated() ? LBool::False : LBool::True;
+    }
+    I = Start;
+  }
 }
 
 // --- Main CDCL loop ---------------------------------------------------------
@@ -407,15 +735,18 @@ void SatSolver::analyzeFinal(Lit A) {
     Var X = Trail[I - 1].var();
     if (!SeenBuf[X])
       continue;
-    if (Reason[X] == -1) {
+    if (Reason[X] == CRefUndef) {
       // A decision above TrailLims[0] during assumption establishment is
       // itself an earlier assumption; it enters the core as assumed.
       LastCore.push_back(Trail[I - 1]);
     } else {
-      const Clause &C = Clauses[Reason[X]];
-      for (Lit Q : C.Lits)
+      CRef C = Reason[X];
+      uint32_t Size = clauseSize(C);
+      for (uint32_t K = 0; K != Size; ++K) {
+        Lit Q = clauseLit(C, K);
         if (Q.var() != X && Level[Q.var()] > 0)
           SeenBuf[Q.var()] = true;
+      }
     }
     SeenBuf[X] = false;
   }
@@ -439,7 +770,7 @@ SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions,
   backtrack(0);
   if (Unsatisfiable)
     return SatResult::Unsat;
-  if (propagate() != -1) {
+  if (propagate() != CRefUndef) {
     Unsatisfiable = true;
     return SatResult::Unsat;
   }
@@ -460,11 +791,11 @@ SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions,
 
   std::vector<Lit> Learned;
   for (;;) {
-    int ConflictIdx = propagate();
+    CRef Conflict = propagate();
     if (Limits.PropagationBudget &&
         Propagations - StartProps >= Limits.PropagationBudget)
       return GiveUp(StopReason::Propagations);
-    if (ConflictIdx != -1) {
+    if (Conflict != CRefUndef) {
       ++Conflicts;
       if (TrailLims.empty()) {
         Unsatisfiable = true;
@@ -485,17 +816,18 @@ SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions,
         }
       }
       int BackLevel;
-      analyze(ConflictIdx, Learned, BackLevel);
+      uint32_t Lbd;
+      analyze(Conflict, Learned, BackLevel, Lbd);
       backtrack(BackLevel);
       if (Learned.size() == 1) {
-        enqueue(Learned[0], -1);
+        enqueue(Learned[0], CRefUndef);
       } else {
-        Clauses.push_back({Learned, /*Learned=*/true, ClauseInc});
-        int CIdx = static_cast<int>(Clauses.size()) - 1;
-        LearnedLiveBytes +=
-            sizeof(Clause) + Clauses[CIdx].Lits.capacity() * sizeof(Lit);
-        attachClause(CIdx);
-        enqueue(Learned[0], CIdx);
+        CRef C = allocClause(Learned, /*Learned=*/true, Lbd);
+        setClauseActivity(C, static_cast<float>(ClauseInc));
+        LearnedList.push_back(C);
+        LearnedLiveBytes += clauseBytes(C);
+        attachClause(C);
+        enqueue(Learned[0], C);
       }
       decayActivities();
       if (Conflicts - ConflictsAtRestart >= RestartLimit) {
@@ -537,11 +869,13 @@ SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions,
     }
     if (Next == Lit()) {
       Next = pickBranchLit();
-      if (Next == Lit())
-        return SatResult::Sat; // fully assigned
+      if (Next == Lit()) {
+        extendModel();
+        return SatResult::Sat; // all decision variables assigned
+      }
     }
     ++Decisions;
     TrailLims.push_back(static_cast<int>(Trail.size()));
-    enqueue(Next, -1);
+    enqueue(Next, CRefUndef);
   }
 }

@@ -8,10 +8,21 @@
 /// A from-scratch CDCL SAT solver in the MiniSat lineage: two-watched-
 /// literal propagation, first-UIP conflict analysis with clause learning,
 /// VSIDS-style decision heuristic with phase saving, Luby restarts, and
-/// activity-based deletion of learned clauses. It is the decision procedure
-/// underneath the native bit-blasting backend (see smt/bitblast), which is
-/// this reproduction's substitute for the paper's use of Z3 on
+/// tiered (LBD-based) deletion of learned clauses. Clauses live in a single
+/// arena indexed by 32-bit references — header and literals inline, watch
+/// lists carrying blocker literals — so propagation walks contiguous memory
+/// instead of chasing per-clause heap allocations. It is the decision
+/// procedure underneath the native bit-blasting backend (see smt/bitblast),
+/// which is this reproduction's substitute for the paper's use of Z3 on
 /// quantifier-free queries.
+///
+/// The companion Preprocessor (Preprocessor.h) simplifies the clause
+/// database in place (variable elimination, subsumption, blocked clauses,
+/// failed literals). Eliminated variables are rebound after every Sat
+/// answer through a model-reconstruction stack, so modelValue() is always
+/// the value in a model of the *original* formula; frozen variables
+/// (assumption and selector variables) are never eliminated and may safely
+/// appear in clauses or assumptions added after preprocessing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,6 +94,24 @@ struct SearchLimits {
   const smt::Cancellation *Cancel = nullptr; ///< not owned
 };
 
+/// Counters from the in-place clause-database simplifier (Preprocessor) and
+/// the solver's own level-0 garbage collection. Monotonic over the
+/// solver's lifetime.
+struct SimplifyStats {
+  uint64_t EliminatedVars = 0;    ///< variables removed by elimination
+  uint64_t SubsumedClauses = 0;   ///< clauses deleted by subsumption
+  uint64_t StrengthenedClauses = 0; ///< self-subsuming resolutions applied
+  uint64_t BlockedClauses = 0;    ///< clauses removed as blocked
+  uint64_t FailedLiterals = 0;    ///< level-0 units found by probing
+  uint64_t PreprocessUs = 0;      ///< wall time spent preprocessing (µs)
+  uint64_t SimplifyRemoved = 0;   ///< satisfied clauses collected by simplify()
+};
+
+/// A reference to a clause in the arena (a word offset). 32 bits keep
+/// watcher entries at 8 bytes, two per cache line pair with the blocker.
+using CRef = uint32_t;
+constexpr CRef CRefUndef = 0xFFFFFFFFu;
+
 /// CDCL solver. Usage: newVar() for every variable, addClause() for the
 /// CNF, then solve(); on Sat, modelValue() reads the assignment.
 class SatSolver {
@@ -94,6 +123,9 @@ public:
 
   unsigned numVars() const { return static_cast<unsigned>(Activity.size()); }
   unsigned numClauses() const { return NumProblemClauses; }
+  unsigned numLearnedClauses() const {
+    return static_cast<unsigned>(LearnedList.size());
+  }
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
@@ -147,19 +179,109 @@ public:
   uint64_t learnedBytes() const;
 
   /// The value of \p V in the satisfying assignment (valid after Sat).
+  /// Variables removed by the preprocessor read through the reconstruction
+  /// stack, so the answer is always a model of the original formula.
   bool modelValue(Var V) const {
-    return Assigns[V] == LBool::True;
+    return V < static_cast<Var>(Model.size()) && Model[V] == LBool::True;
   }
 
-private:
-  struct Clause {
-    std::vector<Lit> Lits;
-    bool Learned = false;
-    double Activity = 0;
-  };
+  // --- Preprocessing interface (see Preprocessor.h) -----------------------
 
+  /// Runs the clause-database preprocessor (variable elimination,
+  /// subsumption, self-subsuming resolution, blocked clauses, failed-
+  /// literal probing) at decision level 0. Frozen variables are never
+  /// eliminated. Returns false when preprocessing proves the database
+  /// unsatisfiable. Safe to call repeatedly (inprocessing): learned
+  /// clauses mentioning an eliminated variable are dropped — they are
+  /// implied by the problem clauses, never premises.
+  ///
+  /// \p FormulaComplete asserts that no further clauses will ever join the
+  /// database. Only then is blocked-clause elimination enabled: BCE is
+  /// satisfiability-preserving but not equivalence-preserving, so a clause
+  /// added later could be falsified by the model-reconstruction flip of a
+  /// blocking literal. Incremental sessions pass false and keep the
+  /// equivalence-preserving techniques only.
+  ///
+  /// \p Limits carries the caller's deadline and cancellation token (search
+  /// budgets are ignored here). The preprocessor polls them between passes
+  /// and inside the scan loops; on interrupt it stops simplifying at the
+  /// next safe boundary and rebuilds what it has — every partial result is
+  /// equivalence-preserved, so the caller proceeds straight to solve().
+  bool preprocess(bool FormulaComplete = true,
+                  const SearchLimits *Limits = nullptr);
+
+  /// Marks \p V as frozen: it may appear in future clauses and assumption
+  /// sets, so the preprocessor must not eliminate it or remove clauses
+  /// blocked on it.
+  void setFrozen(Var V, bool Freeze) { FrozenV[V] = Freeze; }
+  bool isFrozen(Var V) const { return FrozenV[V] != 0; }
+
+  /// True when the preprocessor substituted \p V out of the database.
+  /// Callers that hand literals to addClause()/solveUnderAssumptions()
+  /// after preprocessing must not use eliminated variables (the
+  /// bit-blaster re-materializes such cached literals instead).
+  bool isEliminated(Var V) const { return ElimV[V] != 0; }
+
+  /// Level-0 garbage collection: removes clauses satisfied by the root
+  /// trail (e.g. the (¬s ∨ …) group of a retired scope selector once the
+  /// unit ¬s lands), strips root-false literals, and compacts the arena.
+  /// Called by the incremental session on pop(). Returns false when the
+  /// database is unsatisfiable.
+  bool simplify();
+
+  /// Counters from preprocess()/simplify() over this solver's lifetime.
+  const SimplifyStats &simplifyStats() const { return SimpStats; }
+
+private:
+  friend class Preprocessor;
+
+  // --- Arena clause storage ----------------------------------------------
+  //
+  // A clause is [Size | Flags | Activity | Lit0 … LitN-1] — four-byte words
+  // laid out inline, addressed by CRef (word offset into Arena). Flags pack
+  // the learned bit, the retention tier, a touched bit, and the LBD.
+  enum Tier : uint32_t { TierProblem = 0, TierCore = 1, TierMid = 2,
+                         TierLocal = 3 };
+  static constexpr uint32_t FlagLearned = 1u << 0;
+  static constexpr uint32_t FlagTouched = 1u << 3;
+  static constexpr uint32_t TierShift = 1, TierMask = 3u << 1;
+  static constexpr uint32_t LbdShift = 8;
+  static constexpr unsigned HeaderWords = 3;
+
+  uint32_t clauseSize(CRef C) const { return Arena[C]; }
+  uint32_t clauseFlags(CRef C) const { return Arena[C + 1]; }
+  Tier clauseTier(CRef C) const {
+    return static_cast<Tier>((Arena[C + 1] & TierMask) >> TierShift);
+  }
+  bool clauseLearned(CRef C) const { return Arena[C + 1] & FlagLearned; }
+  uint32_t clauseLbd(CRef C) const { return Arena[C + 1] >> LbdShift; }
+  float clauseActivity(CRef C) const;
+  void setClauseActivity(CRef C, float A);
+  Lit clauseLit(CRef C, uint32_t I) const {
+    return Lit::fromCode(static_cast<int>(Arena[C + HeaderWords + I]));
+  }
+  void setClauseLit(CRef C, uint32_t I, Lit L) {
+    Arena[C + HeaderWords + I] = static_cast<uint32_t>(L.code());
+  }
+  void setClauseTierLbd(CRef C, Tier T, uint32_t Lbd);
+  CRef allocClause(const std::vector<Lit> &Lits, bool Learned, uint32_t Lbd);
+  void freeClause(CRef C);
+  uint64_t clauseBytes(CRef C) const {
+    return (HeaderWords + clauseSize(C)) * sizeof(uint32_t);
+  }
+  /// Compacts the arena when enough words are dead, remapping every
+  /// watcher, reason, and clause-list reference.
+  void garbageCollect();
+  void maybeGarbageCollect();
+
+  /// Watch-list entry. For clauses of size two the blocker IS the other
+  /// literal, and WatchBinFlag is set in Clause: propagation then resolves
+  /// the clause entirely from the watcher — satisfied, unit, or conflicting
+  /// — without touching the arena, and the watcher never migrates. The flag
+  /// bit is well clear of real arena offsets (2^31 words = 8 GiB).
+  static constexpr CRef WatchBinFlag = 0x80000000u;
   struct Watcher {
-    int ClauseIdx;
+    CRef Clause;
     Lit Blocker;
   };
 
@@ -171,24 +293,39 @@ private:
     return B ? LBool::True : LBool::False;
   }
 
-  void attachClause(int CIdx);
-  void enqueue(Lit L, int ReasonIdx);
-  int propagate(); // returns conflicting clause index or -1
-  void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel);
+  void attachClause(CRef C);
+  void rebuildWatches();
+  void enqueue(Lit L, CRef ReasonRef);
+  CRef propagate(); // returns conflicting clause or CRefUndef
+  void analyze(CRef Conflict, std::vector<Lit> &Learned, int &BackLevel,
+               uint32_t &Lbd);
+  /// Conflict-clause minimization: true when \p L is implied by the other
+  /// literals of the clause being learned (its reason antecedents are all
+  /// marked seen, transitively), so it can be dropped.
+  bool litRedundant(Lit L, std::vector<Var> &ToClear);
   void backtrack(int Level);
   Lit pickBranchLit();
   void bumpVar(Var V);
-  void bumpClause(int CIdx);
+  void bumpClause(CRef C);
   void decayActivities();
   void reduceLearned();
+  bool clauseLocked(CRef C) const;
+  /// Builds Model from the trail and replays the reconstruction stack so
+  /// eliminated variables get values satisfying their original clauses.
+  void extendModel();
   static uint64_t luby(uint64_t I);
 
-  std::vector<Clause> Clauses;
+  std::vector<uint32_t> Arena;
+  uint64_t WastedWords = 0; ///< dead words awaiting garbageCollect()
+  std::vector<CRef> ProblemList; ///< live problem clauses (size >= 2)
+  std::vector<CRef> LearnedList; ///< live learned clauses
+
   std::vector<std::vector<Watcher>> Watches; // indexed by literal code
   std::vector<LBool> Assigns;
+  std::vector<LBool> Model;      // extended assignment of the last Sat
   std::vector<bool> Phase;       // saved polarity per variable
   std::vector<int> Level;        // decision level per variable
-  std::vector<int> Reason;       // clause index that implied the var, or -1
+  std::vector<CRef> Reason;      // clause that implied the var, or CRefUndef
   std::vector<Lit> Trail;
   std::vector<int> TrailLims;    // trail positions of decision levels
   size_t PropHead = 0;
@@ -202,12 +339,14 @@ private:
   std::vector<Var> Heap;
   std::vector<int> HeapPos;
   void heapInsert(Var V);
+  void heapRemove(Var V);
   Var heapPopMax();
   void heapSiftUp(int Idx);
   void heapSiftDown(int Idx);
   bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }
 
   std::vector<bool> SeenBuf;
+  std::vector<Lit> MinimizeStack; ///< litRedundant DFS scratch
 
   /// Final-conflict analysis (MiniSat's analyzeFinal): \p A is an assumption
   /// found false while establishing the assumption prefix. Walks the trail
@@ -220,11 +359,23 @@ private:
   /// reason when an external limit fired, StopReason::None otherwise.
   StopReason pollInterrupts(const SearchLimits &Limits) const;
 
+  // Preprocessing state (written by the Preprocessor friend).
+  std::vector<char> FrozenV;
+  std::vector<char> ElimV;
+  /// Model-reconstruction stack: records of [pivot, lit…, count] appended
+  /// at elimination/blocking time and replayed backwards by extendModel().
+  /// The pivot literal sits at the record's start; a record is "satisfied"
+  /// when any of its literals holds in the partial model, and the pivot is
+  /// flipped to true otherwise.
+  std::vector<uint32_t> ExtendStack;
+  void pushExtendRecord(const std::vector<Lit> &Lits, Lit Pivot);
+
   unsigned NumProblemClauses = 0;
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
   uint64_t LearnedLiveBytes = 0;
   StopReason LastStop = StopReason::None;
   bool Unsatisfiable = false;
+  SimplifyStats SimpStats;
 };
 
 } // namespace sat

@@ -230,6 +230,34 @@ bool dischargedByFacts(const analysis::RefinementFacts &F, FailureKind K) {
   }
 }
 
+/// Counterexamples are byte-identical under every plan and flag setting:
+/// a Sat answer — from a warm session, a preprocessed one-shot solver, or
+/// a rewritten encoding — is re-solved as the exact legacy one-shot query
+/// on a fresh solver pinned to the *canonical* configuration (no CNF
+/// preprocessing, no AIG rewriting, no caches), whose model the report is
+/// built from. A warm clause database, an extended preprocessor model, or
+/// a restructured circuit is free to return a different — equally valid —
+/// satisfying assignment; the pinned re-solve collapses them all to one.
+/// The re-solve's accounting is merged into \p Acc; on a flaked re-solve
+/// (fault injection, budget exhaustion) the caller's own model is still a
+/// genuine counterexample, so fall back to it.
+Model canonicalModel(const VerifyConfig &Cfg, TermContext &Ctx, Encoder &Enc,
+                     TermRef MemAxioms, const Check &C, CheckResult &&CR,
+                     SolverStats &Acc) {
+  VerifyConfig Canon = Cfg;
+  Canon.Limits.Preprocess = false;
+  Canon.Limits.Rewrite = false;
+  Canon.Cache = nullptr;
+  Canon.Store = nullptr;
+  auto Solver = makeVerifySolver(Canon);
+  CheckResult Legacy =
+      Solver->check(finalizeQuery(Ctx, Enc, MemAxioms, C.Negated));
+  Acc.merge(Solver->stats());
+  if (Legacy.isSat())
+    return std::move(Legacy.M);
+  return std::move(CR.M);
+}
+
 //===----------------------------------------------------------------------===//
 // Serial path
 //===----------------------------------------------------------------------===//
@@ -278,10 +306,13 @@ verifySerial(const Transform &T, const VerifyConfig &Cfg,
         return R;
       }
       if (CR.isSat()) {
+        SolverStats Acc = Solver->stats();
+        Model M =
+            canonicalModel(Cfg, Ctx, Enc, MemAxioms, C, std::move(CR), Acc);
         R.V = Verdict::Incorrect;
-        R.CEX = buildCounterExample(C.Kind, Enc, CR.M, T, Types,
+        R.CEX = buildCounterExample(C.Kind, Enc, M, T, Types,
                                     Cfg.Encoding.PtrWidth);
-        R.Stats = Solver->stats();
+        R.Stats = Acc;
         R.Stats.StaticallyDischarged = Discharged;
         return R;
       }
@@ -328,25 +359,6 @@ void seedSession(SolverSession &Session, TermRef MemAxioms, TermRef Psi,
     Session.add(MemAxioms);
   if (!Psi->isTrue())
     Session.add(Psi);
-}
-
-/// Counterexamples are byte-identical under either plan: a Sat answer from
-/// a warm session is re-solved as the exact legacy one-shot query on a
-/// fresh solver, whose model the report is built from (a warm clause
-/// database is free to return a different — equally valid — satisfying
-/// assignment). The re-solve's accounting is merged into \p Acc; on a
-/// flaked re-solve (fault injection, budget exhaustion) the session's own
-/// model is still a genuine counterexample, so fall back to it.
-Model canonicalModel(const VerifyConfig &Cfg, TermContext &Ctx, Encoder &Enc,
-                     TermRef MemAxioms, const Check &C, CheckResult &&CR,
-                     SolverStats &Acc) {
-  auto Solver = makeVerifySolver(Cfg);
-  CheckResult Legacy =
-      Solver->check(finalizeQuery(Ctx, Enc, MemAxioms, C.Negated));
-  Acc.merge(Solver->stats());
-  if (Legacy.isSat())
-    return std::move(Legacy.M);
-  return std::move(CR.M);
 }
 
 VerifyResult verifySerialIncremental(
@@ -571,7 +583,9 @@ verifyParallel(const Transform &T, const VerifyConfig &Cfg, unsigned Jobs,
         Slot.St = JobSlot::State::Unknown;
         markDecisive(FirstDecisive, Idx);
       } else if (CR.isSat()) {
-        Slot.CEX = buildCounterExample(Checks[CheckIdx].Kind, Enc, CR.M, T,
+        Model M = canonicalModel(Cfg, Ctx, Enc, MemAxioms, Checks[CheckIdx],
+                                 std::move(CR), Slot.Stats);
+        Slot.CEX = buildCounterExample(Checks[CheckIdx].Kind, Enc, M, T,
                                        Types, Cfg.Encoding.PtrWidth);
         Slot.St = JobSlot::State::Sat;
         markDecisive(FirstDecisive, Idx);

@@ -1,12 +1,20 @@
-# Asserts that the abstract-interpretation pre-filter never changes what
-# the verifier reports: the same run with and without --no-static-filter
-# must produce identical exit codes and identical output once the fields
-# the filter is allowed to change are masked — query counts, the
-# wall-clock, and the "static filter: N queries discharged" and
-# "solver: ..." accounting lines of the summary. Verdicts, counterexample
-# bindings and tallies must match byte-for-byte.
+# Asserts that an optional acceleration layer never changes what the
+# verifier reports: the same run with and without the opt-out FLAG must
+# produce identical exit codes and identical output once the fields the
+# layer is allowed to change are masked — query counts, the wall-clock,
+# and the "static filter:", "solver:" and "preprocess:" accounting lines
+# of the summary. Verdicts, counterexample bindings and tallies must
+# match byte-for-byte. FLAG defaults to the abstract-interpretation
+# pre-filter's opt-out; the same contract gates --no-preprocess and
+# --no-rewrite (a CNF or AIG simplification that flips a verdict is a
+# soundness bug, not an optimization).
 #
-#   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" -P CheckParity.cmake
+#   cmake -DALIVEC=<path> "-DARGS=verify;file.opt" \
+#         [-DFLAG=--no-preprocess] -P CheckParity.cmake
+
+if(NOT FLAG)
+  set(FLAG --no-static-filter)
+endif()
 
 function(normalize Var)
   set(Out "${${Var}}")
@@ -14,27 +22,28 @@ function(normalize Var)
   string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
   string(REGEX REPLACE "[^\n]*static filter:[^\n]*\n" "" Out "${Out}")
   string(REGEX REPLACE "[^\n]*solver:[^\n]*\n" "" Out "${Out}")
+  string(REGEX REPLACE "[^\n]*preprocess:[^\n]*\n" "" Out "${Out}")
   set(${Var} "${Out}" PARENT_SCOPE)
 endfunction()
 
 execute_process(COMMAND ${ALIVEC} ${ARGS}
                 RESULT_VARIABLE CodeOn OUTPUT_VARIABLE OutOn
                 ERROR_VARIABLE ErrOn)
-execute_process(COMMAND ${ALIVEC} ${ARGS} --no-static-filter
+execute_process(COMMAND ${ALIVEC} ${ARGS} ${FLAG}
                 RESULT_VARIABLE CodeOff OUTPUT_VARIABLE OutOff
                 ERROR_VARIABLE ErrOff)
 
-message(STATUS "filter on: exit ${CodeOn}; filter off: exit ${CodeOff}")
+message(STATUS "feature on: exit ${CodeOn}; ${FLAG}: exit ${CodeOff}")
 if(NOT CodeOn STREQUAL CodeOff)
-  message(FATAL_ERROR "exit code changed: ${CodeOn} (filter on) vs "
-                      "${CodeOff} (--no-static-filter)")
+  message(FATAL_ERROR "exit code changed: ${CodeOn} (feature on) vs "
+                      "${CodeOff} (${FLAG})")
 endif()
 
 normalize(OutOn)
 normalize(OutOff)
 if(NOT OutOn STREQUAL OutOff)
-  message(FATAL_ERROR "verdicts differ between filter on and off\n"
-                      "---- filter on ----\n${OutOn}\n"
-                      "---- filter off ----\n${OutOff}")
+  message(FATAL_ERROR "verdicts differ between feature on and ${FLAG}\n"
+                      "---- feature on ----\n${OutOn}\n"
+                      "---- ${FLAG} ----\n${OutOff}")
 endif()
 message(STATUS "outputs identical after masking query counts")

@@ -1,0 +1,64 @@
+# Solver performance regression gate. Runs the bench_verify acceptance
+# sweeps (the google-benchmark cases themselves are filtered out, so only
+# the JSON-writing corpus sweeps execute) and asserts the two properties
+# the solver-performance work must never lose:
+#
+#   1. incremental_ms <= oneshot_ms — warm sessions must not be slower
+#      than one-shot solving on the case corpus. This was a real
+#      regression once (selector clauses accumulated forever), and the
+#      gate keeps it fixed.
+#   2. native_vs_flags_off_speedup >= 1.0 — preprocessing + rewriting +
+#      warm sessions together must not lose to the flags-off
+#      configuration on the 324-opt corpus. The flags-off comparison is
+#      machine-independent (both sides run live on the same host), unlike
+#      the recorded-baseline speedup also present in the JSON.
+#   3. verdicts_match — every A/B sweep in the report returned identical
+#      verdicts; a speedup that changes answers is a soundness bug, not a
+#      win.
+#
+# Both timing gates compare best-of-3 measurements (bench_verify does the
+# repetition), and the margins demanded are deliberately generous — equal
+# or better, not "X% better" — so scheduler noise on loaded CI machines
+# cannot flake the test. Skipped entirely under sanitizers: instrumented
+# timing has no relation to production performance (the test registration
+# in tests/CMakeLists.txt handles that).
+#
+#   cmake -DBENCH=<path-to-bench_verify> -DWORKDIR=<dir> -P CheckPerf.cmake
+
+execute_process(COMMAND ${BENCH} --benchmark_filter=NONE
+                WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE Code OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Code EQUAL 0)
+  message(FATAL_ERROR "bench_verify failed (exit ${Code})\n${Out}\n${Err}")
+endif()
+
+file(READ ${WORKDIR}/BENCH_verify.json Json)
+
+function(extract Key Var)
+  string(REGEX MATCH "\"${Key}\": ([0-9.]+|true|false)" _ "${Json}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "BENCH_verify.json has no field '${Key}':\n${Json}")
+  endif()
+  set(${Var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+extract("incremental_ms" IncrementalMs)
+extract("oneshot_ms" OneshotMs)
+extract("native_vs_flags_off_speedup" Speedup)
+extract("verdicts_match" Match)
+
+message(STATUS "incremental ${IncrementalMs} ms vs one-shot ${OneshotMs} ms; "
+               "native speedup ${Speedup}x; verdicts_match=${Match}")
+
+if(IncrementalMs GREATER OneshotMs)
+  message(FATAL_ERROR "incremental plan regressed: ${IncrementalMs} ms > "
+                      "${OneshotMs} ms one-shot")
+endif()
+if(Speedup LESS 1.0)
+  message(FATAL_ERROR "native solver features are a net loss: "
+                      "${Speedup}x vs the flags-off configuration")
+endif()
+if(NOT Match STREQUAL "true")
+  message(FATAL_ERROR "A/B sweeps disagreed on verdicts — see BENCH_verify.json")
+endif()
+message(STATUS "performance gates hold")

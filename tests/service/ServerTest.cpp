@@ -41,16 +41,25 @@ const char *BuggyCorpus = "Name: bad-shift\n"
                           "%r = mul %x, 3\n";
 
 /// A verification that keeps a worker busy long enough to observe
-/// queue-full shedding: 32-bit multiplication distributivity through the
-/// bit-blaster takes seconds; the test never waits for it — the server is
-/// stopped underneath it and the in-flight query cancels cooperatively.
-const char *SlowCorpus = "Name: slow-mul-distrib\n"
-                         "%m1 = mul %x, %a\n"
-                         "%m2 = mul %x, %b\n"
-                         "%r = add %m1, %m2\n"
+/// queue-full shedding: x^7 re-associated exceeds the bit-blaster's
+/// polynomial-normalization degree cap, so both sides stay atomic 32-bit
+/// multiplier circuits and the miter takes seconds; the test never waits
+/// for it — the server is stopped underneath it and the in-flight query
+/// cancels cooperatively.
+const char *SlowCorpus = "Name: slow-mul-assoc\n"
+                         "%m1 = mul %x, %x\n"
+                         "%m2 = mul %m1, %x\n"
+                         "%m3 = mul %m2, %x\n"
+                         "%m4 = mul %m3, %x\n"
+                         "%m5 = mul %m4, %x\n"
+                         "%r = mul %m5, %x\n"
                          "=>\n"
-                         "%s = add %a, %b\n"
-                         "%r = mul %x, %s\n";
+                         "%n1 = mul %x, %x\n"
+                         "%n2 = mul %x, %n1\n"
+                         "%n3 = mul %x, %n2\n"
+                         "%n4 = mul %x, %n3\n"
+                         "%n5 = mul %x, %n4\n"
+                         "%r = mul %x, %n5\n";
 
 /// An in-process server on a fresh unix socket; run() executes on a
 /// background thread until the fixture stops it.

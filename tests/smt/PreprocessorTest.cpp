@@ -1,0 +1,293 @@
+//===- tests/smt/PreprocessorTest.cpp - CNF preprocessing soundness ----------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preprocessor may only change the clause database in ways the solver
+/// can undo: every Sat answer must extend to a model of the ORIGINAL
+/// formula, Unsat must stay Unsat, and frozen variables must survive
+/// elimination so later clauses and assumption sets stay meaningful. This
+/// file checks the contract three ways: DIMACS round-trip units for the
+/// test helpers themselves, targeted units per technique, and a seeded
+/// random-CNF differential suite comparing a preprocessed solver against a
+/// virgin one on the same formula — including model validation against the
+/// original clauses and assumption solving over frozen variables after
+/// preprocessing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/sat/Dimacs.h"
+#include "smt/sat/SatSolver.h"
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+using namespace alive::sat;
+
+namespace {
+
+// --- DIMACS helpers ----------------------------------------------------------
+
+TEST(DimacsTest, WriteProducesCanonicalText) {
+  DimacsFormula F;
+  F.NumVars = 3;
+  F.Clauses.push_back({Lit(0, false), Lit(1, true)});
+  F.Clauses.push_back({Lit(2, false)});
+  EXPECT_EQ(writeDimacs(F), "p cnf 3 2\n1 -2 0\n3 0\n");
+}
+
+TEST(DimacsTest, ParseRoundTripsAndToleratesNoise) {
+  const char *Text = "c a comment\n"
+                     "p cnf 4 3\n"
+                     "1 -2 0\n"
+                     "c interior comment\n"
+                     "3\n4 0\n" // clause spanning lines
+                     "-1 -4 0\n";
+  DimacsFormula F;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs(Text, F, Error)) << Error;
+  EXPECT_EQ(F.NumVars, 4);
+  ASSERT_EQ(F.Clauses.size(), 3u);
+  EXPECT_EQ(F.Clauses[1], (std::vector<Lit>{Lit(2, false), Lit(3, false)}));
+  // Write-then-parse is the identity on the parsed form.
+  DimacsFormula F2;
+  ASSERT_TRUE(parseDimacs(writeDimacs(F), F2, Error)) << Error;
+  EXPECT_EQ(F.NumVars, F2.NumVars);
+  EXPECT_EQ(F.Clauses, F2.Clauses);
+}
+
+TEST(DimacsTest, ParseRejectsMalformedInput) {
+  DimacsFormula F;
+  std::string Error;
+  EXPECT_FALSE(parseDimacs("1 2 0\n", F, Error)); // missing header
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n3 0\n", F, Error)); // out of range
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n1 2\n", F, Error)); // unterminated
+}
+
+// --- Random CNF generation ---------------------------------------------------
+
+/// A random k-SAT-ish formula near the satisfiability threshold, with a
+/// mixture of clause widths so subsumption/SSR/BVE all find work.
+DimacsFormula randomCnf(std::mt19937 &Rng, int NumVars, int NumClauses) {
+  DimacsFormula F;
+  F.NumVars = NumVars;
+  std::uniform_int_distribution<int> VarD(0, NumVars - 1);
+  std::uniform_int_distribution<int> LenD(1, 4);
+  for (int C = 0; C != NumClauses; ++C) {
+    int Len = LenD(Rng);
+    std::vector<Lit> Clause;
+    for (int I = 0; I != Len; ++I)
+      Clause.push_back(Lit(VarD(Rng), Rng() & 1));
+    F.Clauses.push_back(std::move(Clause));
+  }
+  return F;
+}
+
+/// Evaluates \p F under the solver's extended model.
+bool modelSatisfies(const DimacsFormula &F, const SatSolver &S) {
+  for (const auto &Clause : F.Clauses) {
+    bool Sat = false;
+    for (Lit L : Clause)
+      if (S.modelValue(L.var()) != L.negated()) {
+        Sat = true;
+        break;
+      }
+    if (!Sat)
+      return false;
+  }
+  return true;
+}
+
+// --- Targeted technique units ------------------------------------------------
+
+TEST(PreprocessorTest, EliminationRebuildsModelOfOriginalFormula) {
+  // x <-> (a & b) with x otherwise unconstrained: x is a perfect BVE pivot.
+  SatSolver S;
+  Var X = S.newVar(), A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(X, true), Lit(A, false));
+  S.addClause(Lit(X, true), Lit(B, false));
+  S.addClause(Lit(X, false), Lit(A, true), Lit(B, true));
+  S.addClause(Lit(A, false)); // force a
+  S.addClause(Lit(B, false)); // force b
+  ASSERT_TRUE(S.preprocess(/*FormulaComplete=*/true));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  // The definition clauses are gone from the database, but the model must
+  // still bind the pivot consistently: a & b forced true => x true.
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(X));
+}
+
+TEST(PreprocessorTest, SubsumptionRemovesWeakerClauses) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.setFrozen(A, true);
+  S.setFrozen(B, true);
+  S.setFrozen(C, true); // keep BVE out of the way; test subsumption alone
+  S.addClause(Lit(A, false), Lit(B, false));
+  S.addClause(Lit(A, false), Lit(B, false), Lit(C, false)); // subsumed
+  S.addClause(Lit(A, false), Lit(B, false), Lit(C, true));  // subsumed
+  ASSERT_TRUE(S.preprocess(/*FormulaComplete=*/true));
+  EXPECT_EQ(S.numClauses(), 1u);
+  EXPECT_GE(S.simplifyStats().SubsumedClauses, 2u);
+}
+
+TEST(PreprocessorTest, SelfSubsumingResolutionStrengthens) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  for (Var V : {A, B, C})
+    S.setFrozen(V, true);
+  // (a | b) and (a | ~b | c): SSR strengthens the second to (a | c).
+  S.addClause(Lit(A, false), Lit(B, false));
+  S.addClause(Lit(A, false), Lit(B, true), Lit(C, false));
+  ASSERT_TRUE(S.preprocess(/*FormulaComplete=*/true));
+  EXPECT_GE(S.simplifyStats().StrengthenedClauses, 1u);
+  // Strengthening must not change the formula's meaning: force ~a; then b
+  // propagates from (a | b) and c from the strengthened (a | c).
+  S.addClause(Lit(A, true));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(PreprocessorTest, UnsatDatabaseDetected) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(A, false), Lit(B, false));
+  S.addClause(Lit(A, false), Lit(B, true));
+  S.addClause(Lit(A, true), Lit(B, false));
+  S.addClause(Lit(A, true), Lit(B, true));
+  // Either preprocessing itself derives the conflict or the solve after
+  // it does; both must agree the database is unsat.
+  if (S.preprocess(/*FormulaComplete=*/true))
+    EXPECT_EQ(S.solve(), SatResult::Unsat);
+  else
+    EXPECT_TRUE(S.unsatisfiable());
+}
+
+TEST(PreprocessorTest, FrozenVariablesSurviveElimination) {
+  SatSolver S;
+  Var X = S.newVar(), A = S.newVar(), B = S.newVar();
+  S.setFrozen(X, true);
+  S.addClause(Lit(X, true), Lit(A, false));
+  S.addClause(Lit(X, false), Lit(B, false));
+  ASSERT_TRUE(S.preprocess(/*FormulaComplete=*/false));
+  EXPECT_FALSE(S.isEliminated(X));
+  // The frozen variable must still be constrainable afterwards.
+  ASSERT_TRUE(S.addClause(Lit(X, false)));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(X));
+  EXPECT_TRUE(S.modelValue(A));
+}
+
+TEST(PreprocessorTest, InprocessingKeepsAssumptionSolvingSound) {
+  // An incremental session: preprocess mid-stream (FormulaComplete=false),
+  // then solve under assumptions over frozen variables. Unsat under one
+  // assumption set must not poison satisfiable ones.
+  SatSolver S;
+  Var X = S.newVar(), A = S.newVar(), B = S.newVar();
+  S.setFrozen(X, true);
+  S.setFrozen(B, true); // b gets a clause after preprocessing
+  S.addClause(Lit(X, true), Lit(A, false)); // x -> a
+  S.addClause(Lit(A, true), Lit(B, false)); // a -> b
+  ASSERT_TRUE(S.preprocess(/*FormulaComplete=*/false));
+  SearchLimits L;
+  ASSERT_EQ(S.solveUnderAssumptions({Lit(X, false)}, L), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  // Now forbid b and assume x: a is forced, hence b — conflict with ~b.
+  S.addClause(Lit(B, true));
+  ASSERT_EQ(S.solveUnderAssumptions({Lit(X, false)}, L), SatResult::Unsat);
+  EXPECT_FALSE(S.unsatisfiable());
+  ASSERT_EQ(S.conflictCore().size(), 1u);
+  EXPECT_EQ(S.conflictCore()[0], Lit(X, false));
+  // And without the assumption the database is still satisfiable.
+  ASSERT_EQ(S.solveUnderAssumptions({}, L), SatResult::Sat);
+  EXPECT_FALSE(S.modelValue(X));
+}
+
+// --- Seeded random-CNF differential suite ------------------------------------
+
+class PreprocessDifferentialTest : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(PreprocessDifferentialTest, PreprocessedAgreesWithVirginSolver) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  for (int Round = 0; Round != 8; ++Round) {
+    int NumVars = 8 + static_cast<int>(Rng() % 25);
+    int NumClauses = NumVars * 3 + static_cast<int>(Rng() % NumVars);
+    DimacsFormula F = randomCnf(Rng, NumVars, NumClauses);
+
+    SatSolver Virgin, Pre;
+    bool VOk = loadDimacs(F, Virgin);
+    bool POk = loadDimacs(F, Pre);
+    ASSERT_EQ(VOk, POk);
+    bool PAlive = POk && Pre.preprocess(/*FormulaComplete=*/true);
+
+    SatResult VR = VOk ? Virgin.solve() : SatResult::Unsat;
+    SatResult PR = PAlive ? Pre.solve() : SatResult::Unsat;
+    ASSERT_EQ(VR, PR) << "seed " << GetParam() << " round " << Round << "\n"
+                      << writeDimacs(F);
+    if (PR == SatResult::Sat) {
+      // The reconstructed model must satisfy the ORIGINAL formula, not
+      // just the simplified database.
+      EXPECT_TRUE(modelSatisfies(F, Pre))
+          << "seed " << GetParam() << " round " << Round << "\n"
+          << writeDimacs(F);
+      EXPECT_TRUE(modelSatisfies(F, Virgin));
+    }
+  }
+}
+
+TEST_P(PreprocessDifferentialTest, FrozenAssumptionSolvingMatchesVirgin) {
+  std::mt19937 Rng(GetParam() * 104729 + 7);
+  for (int Round = 0; Round != 6; ++Round) {
+    int NumVars = 10 + static_cast<int>(Rng() % 20);
+    DimacsFormula F = randomCnf(Rng, NumVars, NumVars * 2);
+
+    // Freeze a random subset and preprocess; the virgin solver never
+    // preprocesses. Both then answer the same assumption sets.
+    SatSolver Virgin, Pre;
+    if (!loadDimacs(F, Virgin) || !loadDimacs(F, Pre))
+      continue; // trivially unsat either way; covered by the other test
+    std::vector<Var> Frozen;
+    for (int V = 0; V != NumVars; ++V)
+      if (Rng() % 3 == 0) {
+        Pre.setFrozen(V, true);
+        Frozen.push_back(V);
+      }
+    if (!Pre.preprocess(/*FormulaComplete=*/false)) {
+      EXPECT_EQ(Virgin.solve(), SatResult::Unsat) << writeDimacs(F);
+      continue;
+    }
+    for (Var V : Frozen)
+      ASSERT_FALSE(Pre.isEliminated(V));
+
+    SearchLimits L;
+    for (int Set = 0; Set != 4; ++Set) {
+      std::vector<Lit> Assume;
+      for (Var V : Frozen)
+        if (Rng() % 2)
+          Assume.push_back(Lit(V, Rng() & 1));
+      SatResult VR = Virgin.solveUnderAssumptions(Assume, L);
+      SatResult PR = Pre.solveUnderAssumptions(Assume, L);
+      ASSERT_EQ(VR, PR) << "seed " << GetParam() << " round " << Round
+                        << " set " << Set << "\n" << writeDimacs(F);
+      if (PR == SatResult::Sat) {
+        EXPECT_TRUE(modelSatisfies(F, Pre)) << writeDimacs(F);
+        for (Lit A : Assume)
+          EXPECT_EQ(Pre.modelValue(A.var()), !A.negated());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessDifferentialTest,
+                         ::testing::Range(1u, 13u));
+
+} // namespace

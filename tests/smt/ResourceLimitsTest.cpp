@@ -26,15 +26,37 @@ using namespace alive::smt;
 
 namespace {
 
-/// Distributivity at width W: x*a + x*b != x*(a+b). Unsatisfiable, but
-/// multiplier equivalence is exponentially hard for CDCL, so at wide
-/// bitwidths this query reliably outlives any small budget.
+/// A primality proof in disguise: x*y == P with P prime, both factors
+/// pinned below 2^(W/2) (so the product cannot wrap mod 2^W) and both
+/// != 1. Unsatisfiable at every width, but proving it means refuting
+/// every candidate factor pair through a bit-blasted multiplier —
+/// exponentially hard for CDCL, so the query reliably outlives any small
+/// budget yet closes instantly once the budget is lifted at tiny widths.
+/// Factoring is deliberate: the word-level polynomial normalizer keeps
+/// x*y atomic (nothing to distribute or cancel), so no amount of term
+/// rewriting collapses the search the way it does for add/mul
+/// distributivity miters. The prime scales with W so each width stays
+/// hard relative to the budgets the tests hand out — and stays meaningful
+/// after truncation to W bits.
 TermRef hardQuery(TermContext &Ctx, unsigned W) {
   TermRef X = Ctx.mkVar("hq_x", Sort::bv(W));
-  TermRef A = Ctx.mkVar("hq_a", Sort::bv(W));
-  TermRef B = Ctx.mkVar("hq_b", Sort::bv(W));
-  return Ctx.mkNe(Ctx.mkBVAdd(Ctx.mkBVMul(X, A), Ctx.mkBVMul(X, B)),
-                  Ctx.mkBVMul(X, Ctx.mkBVAdd(A, B)));
+  TermRef Y = Ctx.mkVar("hq_y", Sort::bv(W));
+  uint64_t P;
+  if (W >= 64)
+    P = 2305843009213693951ull; // 2^61-1 (Mersenne)
+  else if (W >= 32)
+    P = 2147483647ull; // 2^31-1 (Mersenne)
+  else if (W >= 8)
+    P = 127ull; // 2^7-1 (Mersenne)
+  else
+    P = 2ull; // width 4: x*y==2 with x,y in {0,2,3} — unsat, needs branching
+  TermRef One = Ctx.mkBV(APInt(W, 1));
+  TermRef ZeroHi = Ctx.mkBV(APInt(W / 2, 0));
+  return Ctx.mkAnd(
+      {Ctx.mkEq(Ctx.mkBVMul(X, Y), Ctx.mkBV(APInt(W, P))),
+       Ctx.mkEq(Ctx.mkExtract(X, W - 1, W / 2), ZeroHi),
+       Ctx.mkEq(Ctx.mkExtract(Y, W - 1, W / 2), ZeroHi),
+       Ctx.mkNe(X, One), Ctx.mkNe(Y, One)});
 }
 
 double runMs(const std::function<void()> &F) {
@@ -206,7 +228,7 @@ TEST(GuardedSolverTest, ProbeEscalatesToFullBudget) {
   E.Full.ConflictBudget = 0;  // full native rung is unlimited
   E.UseZ3Fallback = false;
   auto S = createGuardedSolver(E);
-  // Width 4 distributivity: too hard for one conflict, fine for a full run.
+  // Width-4 primality: too hard for one conflict, fine for a full run.
   CheckResult R = S->check(hardQuery(Ctx, 4));
   EXPECT_TRUE(R.isUnsat()) << R.Reason;
   EXPECT_GE(S->stats().Escalations, 1u);

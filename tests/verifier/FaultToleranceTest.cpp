@@ -39,12 +39,22 @@ const char *BuggyOpt = "%a = sdiv %X, C\n"
                        "%r = sdiv %X, -C\n";
 
 // Needs >1 solver query per width and is exponentially hard at width 32.
-const char *SlowOpt = "%m1 = mul %x, %a\n"
-                      "%m2 = mul %x, %b\n"
-                      "%r = add %m1, %m2\n"
+// x^7 associated two different ways: the product's degree exceeds the
+// bit-blaster's polynomial-normalization cap, so both sides stay atomic
+// multiplier circuits and CDCL faces a multiplier-commutativity miter.
+const char *SlowOpt = "%m1 = mul %x, %x\n"
+                      "%m2 = mul %m1, %x\n"
+                      "%m3 = mul %m2, %x\n"
+                      "%m4 = mul %m3, %x\n"
+                      "%m5 = mul %m4, %x\n"
+                      "%r = mul %m5, %x\n"
                       "=>\n"
-                      "%s = add %a, %b\n"
-                      "%r = mul %x, %s\n";
+                      "%n1 = mul %x, %x\n"
+                      "%n2 = mul %x, %n1\n"
+                      "%n3 = mul %x, %n2\n"
+                      "%n4 = mul %x, %n3\n"
+                      "%n5 = mul %x, %n4\n"
+                      "%r = mul %x, %n5\n";
 
 std::unique_ptr<ir::Transform> parse(const char *Text) {
   auto R = parser::parseTransform(Text);

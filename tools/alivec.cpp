@@ -27,7 +27,12 @@
 ///   --max-learned-mb=N  learned-clause memory cap per query
 ///   --fail-fast         stop at the first non-correct transformation
 ///   --no-cache          disable the memoizing query cache
-///   --cache-stats       print cache hit/miss/eviction counts in the summary
+///   --no-preprocess     disable CNF preprocessing in the native solver
+///                       (verdicts and reports are byte-identical)
+///   --no-rewrite        disable structural AIG rewriting before Tseitin
+///                       (verdicts and reports are byte-identical)
+///   --cache-stats       print cache hit/miss/eviction counts plus the
+///                       preprocess/rewrite accounting in the summary
 ///   --lint              alias for the lint mode (usable as a flag)
 ///   --no-static-filter  disable the abstract-interpretation SMT pre-filter
 ///   --no-incremental    one-shot query plan: a fresh solver per refinement
@@ -94,7 +99,10 @@ void usage() {
                "  --max-learned-mb=N     per-query learned-clause cap\n"
                "  --fail-fast            stop at first non-correct result\n"
                "  --no-cache             disable the memoizing query cache\n"
-               "  --cache-stats          print query-cache counters\n"
+               "  --no-preprocess        disable native CNF preprocessing\n"
+               "  --no-rewrite           disable structural AIG rewriting\n"
+               "  --cache-stats          print query-cache and preprocess\n"
+               "                         counters\n"
                "  --lint                 run the lint mode\n"
                "  --no-static-filter     disable the abstract SMT pre-filter\n"
                "  --no-incremental       one-shot solver per query (no warm\n"
