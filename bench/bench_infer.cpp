@@ -1,0 +1,226 @@
+//===- bench/bench_infer.cpp - precondition-inference sweep ----------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sweeps the full 324-opt corpus through the precondition-inference
+/// engine and records the outcome mix, the weakenings it finds in real
+/// InstCombine patterns, and the solver accounting (inference lives or
+/// dies by warm-session reuse: every candidate is an assumption-guarded
+/// delta on one seeded session). Writes BENCH_infer.json, then runs
+/// google-benchmark latency cases over the seeded inference corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "infer/InferPre.h"
+#include "parser/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace alive;
+
+namespace {
+
+/// The seeded inference corpus (opts/infer/preconditions.opt), inlined
+/// the way bench_verify inlines its cases so the binary runs from any
+/// directory.
+struct NamedTransform {
+  const char *Name;
+  const char *Text;
+};
+
+const NamedTransform SeededCases[] = {
+    {"urem_pow2", "Pre: isPowerOf2(C)\n%r = urem %x, C\n=>\n"
+                  "%r = and %x, C - 1\n"},
+    {"and_add_to_or", "Pre: C1 == 8 && C2 == 7\n%a = and %x, C1\n"
+                      "%r = add %a, C2\n=>\n%r = or %a, C2\n"},
+    {"udiv_pow2", "%r = udiv %x, C\n=>\n%r = lshr %x, log2(C)\n"},
+    {"sub_identity", "Pre: C == 0\n%r = sub %x, C\n=>\n%r = %x\n"},
+    {"shl_identity", "Pre: C u< 4\n%r = shl %x, C\n=>\n%r = shl %x, C\n"},
+};
+
+infer::InferOptions makeOptions() {
+  infer::InferOptions IO;
+  // The same learning configuration the golden ctest pins: the native
+  // backend (models feed the learner; only bit-blast model bytes are
+  // machine-stable) at the standard bench widths.
+  IO.Cfg.Backend = verifier::BackendKind::BitBlast;
+  IO.Cfg.Types.Widths = {4, 8};
+  IO.Cfg.Types.MaxAssignments = 8;
+  return IO;
+}
+
+/// Minimal JSON string escape; preconditions render from a fixed grammar
+/// but quoting costs nothing.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void writeBenchJson(const char *Path) {
+  const auto &Corpus = corpus::fullCorpus();
+  infer::InferOptions IO = makeOptions();
+
+  uint64_t Inferred = 0, Unchanged = 0, Incorrect = 0, Unsupported = 0,
+           GiveUp = 0, Weakened = 0, Strengthened = 0, Candidates = 0,
+           Accepts = 0, Rejects = 0, Examples = 0;
+  smt::SolverStats Solver;
+  struct Weakening {
+    std::string Name, From, To;
+  };
+  std::vector<Weakening> Weakenings;
+
+  auto T0 = std::chrono::steady_clock::now();
+  for (const corpus::CorpusEntry &E : Corpus) {
+    auto P = corpus::parseEntry(E);
+    if (!P.ok())
+      continue;
+    infer::InferPreResult R = infer::inferPrecondition(*P.get(), IO);
+    Candidates += R.CandidatesTried;
+    Accepts += R.VerifierAccepts;
+    Rejects += R.VerifierRejects;
+    Examples += R.ExamplesGenerated;
+    Solver.merge(R.Stats);
+    switch (R.Status) {
+    case infer::InferStatus::Inferred:
+      ++Inferred;
+      if (R.Weakened && R.Verified) {
+        ++Weakened;
+        if (Weakenings.size() < 8)
+          Weakenings.push_back({std::string(E.File) + "/" + E.Name,
+                                R.OriginalPre, R.InferredPre});
+      }
+      if (R.Strengthened)
+        ++Strengthened;
+      break;
+    case infer::InferStatus::Unchanged:
+      ++Unchanged;
+      break;
+    case infer::InferStatus::Incorrect:
+      ++Incorrect;
+      break;
+    case infer::InferStatus::Unsupported:
+      ++Unsupported;
+      break;
+    case infer::InferStatus::GiveUp:
+      ++GiveUp;
+      break;
+    }
+  }
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+
+  std::ofstream Out(Path);
+  char Buf[2048];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "  \"corpus_cases\": %zu,\n"
+      "  \"sweep_ms\": %.1f,\n"
+      "  \"budget_ms_per_transform\": %u,\n"
+      "  \"inferred\": %llu,\n"
+      "  \"unchanged\": %llu,\n"
+      "  \"incorrect\": %llu,\n"
+      "  \"unsupported\": %llu,\n"
+      "  \"gave_up\": %llu,\n"
+      "  \"weakened\": %llu,\n"
+      "  \"strengthened\": %llu,\n"
+      "  \"candidates_tried\": %llu,\n"
+      "  \"verifier_accepts\": %llu,\n"
+      "  \"verifier_rejects\": %llu,\n"
+      "  \"examples_generated\": %llu,\n"
+      "  \"cold_queries\": %llu,\n"
+      "  \"incremental_reuses\": %llu,\n"
+      "  \"session_reuse_rate\": %.3f,\n",
+      Corpus.size(), WallMs, IO.BudgetMs,
+      static_cast<unsigned long long>(Inferred),
+      static_cast<unsigned long long>(Unchanged),
+      static_cast<unsigned long long>(Incorrect),
+      static_cast<unsigned long long>(Unsupported),
+      static_cast<unsigned long long>(GiveUp),
+      static_cast<unsigned long long>(Weakened),
+      static_cast<unsigned long long>(Strengthened),
+      static_cast<unsigned long long>(Candidates),
+      static_cast<unsigned long long>(Accepts),
+      static_cast<unsigned long long>(Rejects),
+      static_cast<unsigned long long>(Examples),
+      static_cast<unsigned long long>(Solver.Queries),
+      static_cast<unsigned long long>(Solver.IncrementalReuses),
+      (Solver.Queries + Solver.IncrementalReuses)
+          ? static_cast<double>(Solver.IncrementalReuses) /
+                static_cast<double>(Solver.Queries + Solver.IncrementalReuses)
+          : 0.0);
+  Out << Buf;
+  Out << "  \"weakenings\": [\n";
+  for (size_t I = 0; I != Weakenings.size(); ++I) {
+    const Weakening &W = Weakenings[I];
+    Out << "    {\"name\": \"" << jsonEscape(W.Name) << "\", \"from\": \""
+        << jsonEscape(W.From) << "\", \"to\": \"" << jsonEscape(W.To)
+        << "\"}" << (I + 1 != Weakenings.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+
+  std::printf("wrote %s (%zu cases in %.1f ms: %llu inferred, %llu "
+              "unchanged, %llu weakened, %llu unsupported, %llu gave up; "
+              "%llu warm reuses over %llu cold queries)\n",
+              Path, Corpus.size(), WallMs,
+              static_cast<unsigned long long>(Inferred),
+              static_cast<unsigned long long>(Unchanged),
+              static_cast<unsigned long long>(Weakened),
+              static_cast<unsigned long long>(Unsupported),
+              static_cast<unsigned long long>(GiveUp),
+              static_cast<unsigned long long>(Solver.IncrementalReuses),
+              static_cast<unsigned long long>(Solver.Queries));
+}
+
+void runInfer(benchmark::State &State, const char *Text) {
+  auto P = parser::parseTransform(Text);
+  if (!P.ok()) {
+    State.SkipWithError(P.message().c_str());
+    return;
+  }
+  infer::InferOptions IO = makeOptions();
+  uint64_t Candidates = 0, Reuses = 0, Examples = 0;
+  for (auto _ : State) {
+    infer::InferPreResult R = infer::inferPrecondition(*P.get(), IO);
+    benchmark::DoNotOptimize(R.Status);
+    Candidates = R.CandidatesTried;
+    Reuses = R.Stats.IncrementalReuses;
+    Examples = R.ExamplesGenerated;
+  }
+  State.counters["candidates"] = static_cast<double>(Candidates);
+  State.counters["warm_reuses"] = static_cast<double>(Reuses);
+  State.counters["examples"] = static_cast<double>(Examples);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  writeBenchJson("BENCH_infer.json");
+  for (const NamedTransform &C : SeededCases) {
+    std::string Name = std::string("infer_pre/") + C.Name + "/bitblast/w4_8";
+    benchmark::RegisterBenchmark(Name.c_str(),
+                                 [&C](benchmark::State &S) {
+                                   runInfer(S, C.Text);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,6 +38,10 @@ const char *analysis::lintKindName(LintKind K) {
     return "constexpr-ub";
   case LintKind::WidthInconsistent:
     return "width-inconsistent";
+  case LintKind::UndefinedNamePrecond:
+    return "undefined-name-in-precondition";
+  case LintKind::PrecondWeakenable:
+    return "precondition-weakenable";
   }
   return "unknown";
 }
@@ -57,6 +61,7 @@ public:
     checkRoots();
     checkUnused();
     checkPrecondition();
+    checkPrecondNames();
     checkRedundantAttrs();
     checkConstExprUB();
     checkWidths();
@@ -250,6 +255,84 @@ private:
   }
 
   void checkPrecondition() { walkPrecond(&T.getPrecondition()); }
+
+  // --- undefined names in the precondition ------------------------------
+
+  /// Abstract-constant names mentioned by \p E, including the value
+  /// argument of width()-style calls.
+  static void collectExprConsts(const ConstExpr *E,
+                                std::set<std::string> &Out) {
+    if (E->getKind() == ConstExpr::Kind::SymRef) {
+      Out.insert(E->getSymName());
+      return;
+    }
+    if (E->getKind() == ConstExpr::Kind::Call && E->getValueArg())
+      if (const auto *CS = dyn_cast<ConstantSymbol>(E->getValueArg()))
+        Out.insert(CS->getName());
+    for (unsigned I = 0; I != E->getNumArgs(); ++I)
+      collectExprConsts(E->getArg(I), Out);
+  }
+
+  /// Registers in a precondition resolve against the source scope at parse
+  /// time, so only abstract constants can be conjured out of thin air: the
+  /// parser silently creates a fresh ConstantSymbol for any identifier the
+  /// templates never bound. Such a constant is an unconstrained fresh
+  /// input to the verifier — almost always a typo — so flag every
+  /// precondition leaf that mentions one, once per name.
+  void checkPrecondNames() {
+    std::set<std::string> Bound;
+    for (const Instr *I : T.src()) {
+      if (!I->getName().empty())
+        Bound.insert(I->getName());
+      for (const Value *Op : I->operands()) {
+        if (isa<InputVar>(Op) || isa<ConstantSymbol>(Op))
+          Bound.insert(Op->getName());
+        else if (const auto *CEV = dyn_cast<ConstExprValue>(Op))
+          collectExprConsts(CEV->getExpr(), Bound);
+      }
+    }
+    std::set<std::string> Reported;
+    walkPrecondNames(&T.getPrecondition(), Bound, Reported);
+  }
+
+  void walkPrecondNames(const Precond *P, const std::set<std::string> &Bound,
+                        std::set<std::string> &Reported) {
+    auto Report = [&](const std::set<std::string> &Names) {
+      for (const std::string &N : Names)
+        if (!Bound.count(N) && Reported.insert(N).second)
+          diag(LintKind::UndefinedNamePrecond, P->getLoc(),
+               "precondition references " + N +
+                   ", which the source never binds");
+    };
+    switch (P->getKind()) {
+    case Precond::Kind::True:
+      return;
+    case Precond::Kind::Not:
+    case Precond::Kind::And:
+    case Precond::Kind::Or:
+      for (unsigned I = 0; I != P->getNumChildren(); ++I)
+        walkPrecondNames(P->getChild(I), Bound, Reported);
+      return;
+    case Precond::Kind::Cmp: {
+      std::set<std::string> Names;
+      collectExprConsts(P->getCmpLHS(), Names);
+      collectExprConsts(P->getCmpRHS(), Names);
+      Report(Names);
+      return;
+    }
+    case Precond::Kind::Builtin: {
+      std::set<std::string> Names;
+      for (const Value *A : P->getArgs()) {
+        if (isa<ConstantSymbol>(A))
+          Names.insert(A->getName());
+        else if (const auto *CEV = dyn_cast<ConstExprValue>(A))
+          collectExprConsts(CEV->getExpr(), Names);
+      }
+      Report(Names);
+      return;
+    }
+    }
+  }
 
   // --- redundant attributes ---------------------------------------------
 

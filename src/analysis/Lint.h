@@ -33,10 +33,14 @@ enum class LintKind {
   RedundantAttr,       ///< nsw/nuw/exact provably implied by an operand
   ConstExprUB,         ///< constant expression divides by literal zero
   WidthInconsistent,   ///< no feasible type assignment exists
+  UndefinedNamePrecond,///< precondition names a constant the source never binds
+  PrecondWeakenable,   ///< parsed precondition strictly stronger than inferred
 };
 
 /// Stable kebab-case tag printed after each diagnostic, e.g.
-/// "[unused-source-instr]".
+/// "[unused-source-instr]". PrecondWeakenable is never produced by
+/// lintTransform itself — it needs the solver-backed inference engine —
+/// but its tag lives here so every diagnostic name has one home.
 const char *lintKindName(LintKind K);
 
 struct LintDiagnostic {

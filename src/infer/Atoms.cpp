@@ -1,0 +1,198 @@
+//===- infer/Atoms.cpp - candidate predicate atoms -------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Atoms.h"
+
+#include "analysis/AbstractInterp.h"
+
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::infer;
+
+namespace {
+
+void pushAtom(std::vector<Atom> &Out, std::set<std::string> &Seen,
+              std::unique_ptr<Precond> P, bool NeedsInputs = false,
+              bool Negatable = true) {
+  Atom A;
+  A.Str = P->str();
+  if (!Seen.insert(A.Str).second)
+    return;
+  A.P = std::move(P);
+  A.NeedsInputs = NeedsInputs;
+  A.Negatable = Negatable;
+  Out.push_back(std::move(A));
+}
+
+std::unique_ptr<ConstExpr> sym(const std::string &Name) {
+  return ConstExpr::symRef(Name);
+}
+
+/// Whether \p V may appear as a builtin-predicate argument: the encoder
+/// homes arguments on the source side, so target temporaries are out.
+bool usableAsArg(const Transform &T, const Value *V) {
+  if (isa<InputVar>(V) || isa<ConstantSymbol>(V) || isa<ConstExprValue>(V))
+    return true;
+  if (const auto *I = dyn_cast<Instr>(V))
+    for (const Instr *S : T.src())
+      if (S == I)
+        return true;
+  return false;
+}
+
+} // namespace
+
+std::vector<Atom> infer::enumerateAtoms(const Transform &T,
+                                        const typing::TypeAssignment &Types,
+                                        unsigned PtrWidth) {
+  std::vector<Atom> Out;
+  std::set<std::string> Seen;
+  auto WidthOf = [&](const Value *V) -> unsigned {
+    return Types[V->getTypeVar()].widthBits(PtrWidth);
+  };
+
+  std::vector<Value *> Consts;
+  for (const auto &V : T.pool())
+    if (isa<ConstantSymbol>(V.get()))
+      Consts.push_back(V.get());
+
+  // Unary builtin and comparison atoms per abstract constant.
+  for (Value *C : Consts) {
+    for (PredKind K :
+         {PredKind::IsPowerOf2, PredKind::IsPowerOf2OrZero,
+          PredKind::IsSignBit, PredKind::IsShiftedMask,
+          PredKind::CannotBeNegative})
+      pushAtom(Out, Seen, Precond::mkBuiltin(K, {C}));
+    const std::string &N = C->getName();
+    pushAtom(Out, Seen,
+             Precond::mkCmp(Precond::CmpOp::EQ, sym(N), ConstExpr::literal(0)));
+    pushAtom(Out, Seen,
+             Precond::mkCmp(Precond::CmpOp::EQ, sym(N), ConstExpr::literal(1)));
+    pushAtom(Out, Seen, Precond::mkCmp(Precond::CmpOp::SGT, sym(N),
+                                       ConstExpr::literal(0)));
+    pushAtom(Out, Seen, Precond::mkCmp(Precond::CmpOp::SLT, sym(N),
+                                       ConstExpr::literal(0)));
+  }
+
+  // Pairwise constant relations.
+  for (size_t I = 0; I != Consts.size(); ++I)
+    for (size_t J = I + 1; J != Consts.size(); ++J) {
+      Value *A = Consts[I], *B = Consts[J];
+      pushAtom(Out, Seen,
+               Precond::mkBuiltin(PredKind::MaskedValueIsZero, {A, B}));
+      pushAtom(Out, Seen,
+               Precond::mkBuiltin(PredKind::MaskedValueIsZero, {B, A}));
+      pushAtom(Out, Seen,
+               Precond::mkBuiltin(PredKind::WillNotOverflowSignedAdd, {A, B}));
+      pushAtom(Out, Seen, Precond::mkBuiltin(
+                              PredKind::WillNotOverflowUnsignedAdd, {A, B}));
+      pushAtom(Out, Seen,
+               Precond::mkCmp(Precond::CmpOp::ULT, sym(A->getName()),
+                              sym(B->getName())));
+      pushAtom(Out, Seen,
+               Precond::mkCmp(Precond::CmpOp::ULT, sym(B->getName()),
+                              sym(A->getName())));
+    }
+
+  // Shift-amount bounds: a constant in shift-amount position suggests
+  // `C u< width(%x)` — width() keeps the atom valid at every bit width,
+  // unlike a literal bound.
+  auto ScanShifts = [&](const std::vector<Instr *> &List) {
+    for (const Instr *I : List) {
+      const auto *B = dyn_cast<BinOp>(I);
+      if (!B)
+        continue;
+      switch (B->getOpcode()) {
+      case BinOpcode::Shl:
+      case BinOpcode::LShr:
+      case BinOpcode::AShr:
+        break;
+      default:
+        continue;
+      }
+      if (isa<ConstantSymbol>(B->getRHS()))
+        pushAtom(Out, Seen,
+                 Precond::mkCmp(Precond::CmpOp::ULT,
+                                sym(B->getRHS()->getName()),
+                                ConstExpr::callOnValue(ConstExpr::Builtin::Width,
+                                                       B->getLHS())));
+    }
+  };
+  ScanShifts(T.src());
+  ScanShifts(T.tgt());
+
+  // Demanded-bits facts: when the backward pass proves only the low k
+  // bits of a constant reach the source root, `C u< 2^k` pins the
+  // undemanded bits without changing source behavior — the classic shape
+  // of a weakest precondition over a masked constant.
+  {
+    analysis::AbstractInterp AI(T, WidthOf);
+    AI.run();
+    AI.runDemanded();
+    for (Value *C : Consts) {
+      unsigned W = WidthOf(C);
+      if (!W)
+        continue;
+      APInt D = AI.demandedBits(C);
+      // Low-mask demanded sets only; k in [1, W-1] and 2^k representable
+      // as a positive literal.
+      if (D.isAllOnes() || D.isZero() || !D.add(APInt(W, 1)).isPowerOf2())
+        continue;
+      unsigned K = D.countPopulation();
+      if (K >= 63)
+        continue;
+      pushAtom(Out, Seen,
+               Precond::mkCmp(Precond::CmpOp::ULT, sym(C->getName()),
+                              ConstExpr::literal(int64_t(1) << K)));
+    }
+  }
+
+  // Register no-wrap atoms: a target instruction carrying nsw/nuw wants
+  // the matching WillNotOverflow* fact over its operands. These are
+  // must-analysis reads (for-all swept inputs) and not negatable.
+  for (const Instr *I : T.tgt()) {
+    const auto *B = dyn_cast<BinOp>(I);
+    if (!B || (!B->hasNSW() && !B->hasNUW()))
+      continue;
+    if (!usableAsArg(T, B->getLHS()) || !usableAsArg(T, B->getRHS()))
+      continue;
+    PredKind Signed, Unsigned;
+    switch (B->getOpcode()) {
+    case BinOpcode::Add:
+      Signed = PredKind::WillNotOverflowSignedAdd;
+      Unsigned = PredKind::WillNotOverflowUnsignedAdd;
+      break;
+    case BinOpcode::Sub:
+      Signed = PredKind::WillNotOverflowSignedSub;
+      Unsigned = PredKind::WillNotOverflowUnsignedSub;
+      break;
+    case BinOpcode::Mul:
+      Signed = PredKind::WillNotOverflowSignedMul;
+      Unsigned = PredKind::WillNotOverflowUnsignedMul;
+      break;
+    case BinOpcode::Shl:
+      Signed = PredKind::WillNotOverflowSignedShl;
+      Unsigned = PredKind::WillNotOverflowUnsignedShl;
+      break;
+    default:
+      continue;
+    }
+    bool Registers =
+        !isa<ConstantSymbol>(B->getLHS()) || !isa<ConstantSymbol>(B->getRHS());
+    if (B->hasNSW())
+      pushAtom(Out, Seen,
+               Precond::mkBuiltin(Signed, {B->getLHS(), B->getRHS()}),
+               /*NeedsInputs=*/Registers, /*Negatable=*/!Registers);
+    if (B->hasNUW())
+      pushAtom(Out, Seen,
+               Precond::mkBuiltin(Unsigned, {B->getLHS(), B->getRHS()}),
+               /*NeedsInputs=*/Registers, /*Negatable=*/!Registers);
+  }
+
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- infer/Atoms.h - candidate predicate atoms ----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the candidate predicate atoms the precondition learner
+/// combines: the builtin vocabulary from Predicates.cpp applied to the
+/// transform's abstract constants, comparisons against distinguished
+/// values, pairwise constant relations, and atoms derived from static
+/// facts — shift-amount bounds (`C u< width(%x)` for a constant in shift
+/// position) and demanded-bits upper bounds (`C u< 2^k` when the backward
+/// pass proves only the low k bits of C reach the source root). Atoms
+/// over register arguments (the `add nsw` family on target instructions)
+/// carry NeedsInputs and are read with must-analysis semantics: true only
+/// when the property holds for every swept input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_ATOMS_H
+#define ALIVE_INFER_ATOMS_H
+
+#include "ir/Transform.h"
+#include "typing/TypeConstraints.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace infer {
+
+/// One candidate atom. P's builtin arguments point into the transform's
+/// value pool, so an Atom must not outlive its transform.
+struct Atom {
+  std::unique_ptr<ir::Precond> P;
+  /// Cached rendering (stable identity for dedup and reporting).
+  std::string Str;
+  /// Truth depends on input-variable values (register arguments); such
+  /// atoms are evaluated for-all-inputs, the must-analysis reading.
+  bool NeedsInputs = false;
+  /// Whether the negated literal may appear in a learned formula. Atoms
+  /// encoded one-sidedly over registers are not negatable: assuming the
+  /// negation of `p => property` constrains nothing.
+  bool Negatable = true;
+};
+
+/// Deterministic atom enumeration for \p T at the learning assignment
+/// \p Types. Order is reproducible run to run: per-constant unary atoms
+/// in pool order, then pairwise atoms, then static-fact and register
+/// atoms in instruction order.
+std::vector<Atom> enumerateAtoms(const ir::Transform &T,
+                                 const typing::TypeAssignment &Types,
+                                 unsigned PtrWidth = 32);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_ATOMS_H

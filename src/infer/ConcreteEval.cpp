@@ -1,0 +1,588 @@
+//===- infer/ConcreteEval.cpp - concrete transform execution ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/ConcreteEval.h"
+
+#include "analysis/AbstractInterp.h"
+
+#include <functional>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::infer;
+
+namespace {
+
+/// Shared constant-expression evaluator: like analysis::evalLiteralConstExpr
+/// but with an environment for abstract constants and an optional width
+/// oracle for width(%x). \p Defined is cleared on division by zero (the
+/// encoder's side condition); the value returned alongside is arbitrary.
+std::optional<APInt>
+evalCE(const ConstExpr *E, unsigned Width,
+       const std::map<std::string, APInt> &Env,
+       const std::function<std::optional<unsigned>(const Value *)> &WidthOf,
+       bool &Defined) {
+  using CE = ConstExpr;
+  switch (E->getKind()) {
+  case CE::Kind::Literal:
+    return APInt(Width, static_cast<uint64_t>(E->getLiteral()));
+  case CE::Kind::SymRef: {
+    auto It = Env.find(E->getSymName());
+    if (It == Env.end())
+      return std::nullopt;
+    // The encoder resizes a constant referenced at a foreign width
+    // (zero-extend when narrower, low-bits extract when wider).
+    return It->second.zextOrTrunc(Width);
+  }
+  case CE::Kind::Unary: {
+    auto A = evalCE(E->getArg(0), Width, Env, WidthOf, Defined);
+    if (!A)
+      return std::nullopt;
+    return E->getUnaryOp() == CE::UnaryOp::Neg ? A->neg() : A->notOp();
+  }
+  case CE::Kind::Binary: {
+    auto A = evalCE(E->getArg(0), Width, Env, WidthOf, Defined);
+    auto B = evalCE(E->getArg(1), Width, Env, WidthOf, Defined);
+    if (!A || !B)
+      return std::nullopt;
+    switch (E->getBinaryOp()) {
+    case CE::BinaryOp::Add:
+      return A->add(*B);
+    case CE::BinaryOp::Sub:
+      return A->sub(*B);
+    case CE::BinaryOp::Mul:
+      return A->mul(*B);
+    case CE::BinaryOp::SDiv:
+      if (B->isZero() || (A->isSignedMinValue() && B->isAllOnes())) {
+        Defined = false;
+        return APInt(Width, 0);
+      }
+      return A->sdiv(*B);
+    case CE::BinaryOp::UDiv:
+      if (B->isZero()) {
+        Defined = false;
+        return APInt(Width, 0);
+      }
+      return A->udiv(*B);
+    case CE::BinaryOp::SRem:
+      if (B->isZero() || (A->isSignedMinValue() && B->isAllOnes())) {
+        Defined = false;
+        return APInt(Width, 0);
+      }
+      return A->srem(*B);
+    case CE::BinaryOp::URem:
+      if (B->isZero()) {
+        Defined = false;
+        return APInt(Width, 0);
+      }
+      return A->urem(*B);
+    // APInt's shifts already implement the SMT bit-vector semantics for
+    // oversized amounts (shl/lshr give 0, ashr fills with the sign).
+    case CE::BinaryOp::Shl:
+      return A->shl(*B);
+    case CE::BinaryOp::LShr:
+      return A->lshr(*B);
+    case CE::BinaryOp::AShr:
+      return A->ashr(*B);
+    case CE::BinaryOp::And:
+      return A->andOp(*B);
+    case CE::BinaryOp::Or:
+      return A->orOp(*B);
+    case CE::BinaryOp::Xor:
+      return A->xorOp(*B);
+    }
+    return std::nullopt;
+  }
+  case CE::Kind::Call: {
+    CE::Builtin Fn = E->getBuiltin();
+    if (Fn == CE::Builtin::Width) {
+      const Value *Arg = E->getValueArg();
+      if (!Arg)
+        return std::nullopt;
+      auto W = WidthOf(Arg);
+      if (!W)
+        return std::nullopt;
+      return APInt(Width, *W);
+    }
+    if (E->getValueArg())
+      return std::nullopt;
+    auto A = evalCE(E->getArg(0), Width, Env, WidthOf, Defined);
+    if (!A)
+      return std::nullopt;
+    switch (Fn) {
+    case CE::Builtin::Log2:
+      // Index of the highest set bit; the encoder's ite chain yields 0
+      // for a zero argument.
+      if (A->isZero())
+        return APInt(Width, 0);
+      return APInt(Width, Width - 1 - A->countLeadingZeros());
+    case CE::Builtin::Abs:
+      return A->abs();
+    case CE::Builtin::UMax:
+    case CE::Builtin::UMin:
+    case CE::Builtin::SMax:
+    case CE::Builtin::SMin: {
+      auto B = evalCE(E->getArg(1), Width, Env, WidthOf, Defined);
+      if (!B)
+        return std::nullopt;
+      switch (Fn) {
+      case CE::Builtin::UMax:
+        return A->ugt(*B) ? *A : *B;
+      case CE::Builtin::UMin:
+        return A->ult(*B) ? *A : *B;
+      case CE::Builtin::SMax:
+        return A->sgt(*B) ? *A : *B;
+      default:
+        return A->slt(*B) ? *A : *B;
+      }
+    }
+    case CE::Builtin::ZExt:
+    case CE::Builtin::SExt:
+    case CE::Builtin::Trunc:
+      // Already evaluated at the context width, like the encoder.
+      return *A;
+    case CE::Builtin::Width:
+      break;
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<APInt> ConcreteEval::evalConstExpr(const ConstExpr *E,
+                                                 unsigned Width,
+                                                 bool &Defined) {
+  return evalCE(E, Width, Env,
+                [this](const Value *V) -> std::optional<unsigned> {
+                  return widthOf(V);
+                },
+                Defined);
+}
+
+std::optional<ExecVal> ConcreteEval::evalBinOp(const BinOp *I) {
+  auto A = eval(I->getLHS());
+  auto B = eval(I->getRHS());
+  if (!A || !B)
+    return std::nullopt;
+  unsigned W = widthOf(I);
+
+  ExecVal Out;
+  Out.UB = A->UB || B->UB;
+  Out.Poison = A->Poison || B->Poison;
+  APInt L = A->Val.zextOrTrunc(W), R = B->Val.zextOrTrunc(W);
+  APInt Zero(W, 0);
+
+  // Table 1: definedness. The value is only computed once division is
+  // known defined — APInt's division asserts on the undefined cases.
+  switch (I->getOpcode()) {
+  case BinOpcode::UDiv:
+  case BinOpcode::URem:
+    if (R.isZero()) {
+      Out.UB = true;
+      Out.Val = Zero;
+      return Out;
+    }
+    break;
+  case BinOpcode::SDiv:
+  case BinOpcode::SRem:
+    if (R.isZero() || (L.isSignedMinValue() && R.isAllOnes())) {
+      Out.UB = true;
+      Out.Val = Zero;
+      return Out;
+    }
+    break;
+  case BinOpcode::Shl:
+  case BinOpcode::LShr:
+  case BinOpcode::AShr:
+    if (!R.ult(APInt(W, W))) {
+      Out.UB = true;
+      Out.Val = Zero;
+      return Out;
+    }
+    break;
+  default:
+    break;
+  }
+
+  bool OvS = false, OvU = false;
+  switch (I->getOpcode()) {
+  case BinOpcode::Add:
+    Out.Val = L.saddOverflow(R, OvS);
+    L.uaddOverflow(R, OvU);
+    break;
+  case BinOpcode::Sub:
+    Out.Val = L.ssubOverflow(R, OvS);
+    L.usubOverflow(R, OvU);
+    break;
+  case BinOpcode::Mul:
+    Out.Val = L.smulOverflow(R, OvS);
+    L.umulOverflow(R, OvU);
+    break;
+  case BinOpcode::UDiv:
+    Out.Val = L.udiv(R);
+    break;
+  case BinOpcode::SDiv:
+    Out.Val = L.sdiv(R);
+    break;
+  case BinOpcode::URem:
+    Out.Val = L.urem(R);
+    break;
+  case BinOpcode::SRem:
+    Out.Val = L.srem(R);
+    break;
+  case BinOpcode::Shl:
+    Out.Val = L.shl(R);
+    // Table 2's shl conditions: (a << b) >> b == a, arithmetic for nsw
+    // and logical for nuw.
+    OvS = Out.Val.ashr(R) != L;
+    OvU = Out.Val.lshr(R) != L;
+    break;
+  case BinOpcode::LShr:
+    Out.Val = L.lshr(R);
+    break;
+  case BinOpcode::AShr:
+    Out.Val = L.ashr(R);
+    break;
+  case BinOpcode::And:
+    Out.Val = L.andOp(R);
+    break;
+  case BinOpcode::Or:
+    Out.Val = L.orOp(R);
+    break;
+  case BinOpcode::Xor:
+    Out.Val = L.xorOp(R);
+    break;
+  }
+
+  // Table 2: poison.
+  if (I->hasNSW() && OvS)
+    Out.Poison = true;
+  if (I->hasNUW() && OvU)
+    Out.Poison = true;
+  if (I->isExact()) {
+    switch (I->getOpcode()) {
+    case BinOpcode::UDiv:
+    case BinOpcode::SDiv:
+      if (Out.Val.mul(R) != L)
+        Out.Poison = true;
+      break;
+    case BinOpcode::LShr:
+    case BinOpcode::AShr:
+      if (Out.Val.shl(R) != L)
+        Out.Poison = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return Out;
+}
+
+std::optional<ExecVal> ConcreteEval::evalInstr(const Instr *I) {
+  switch (I->getKind()) {
+  case ValueKind::BinOp:
+    return evalBinOp(cast<BinOp>(I));
+  case ValueKind::ICmp: {
+    const auto *C = cast<ICmp>(I);
+    auto A = eval(C->getLHS());
+    auto B = eval(C->getRHS());
+    if (!A || !B)
+      return std::nullopt;
+    unsigned W = widthOf(C->getLHS());
+    APInt L = A->Val.zextOrTrunc(W), R = B->Val.zextOrTrunc(W);
+    bool V = false;
+    switch (C->getCond()) {
+    case ICmpCond::EQ:
+      V = L == R;
+      break;
+    case ICmpCond::NE:
+      V = L != R;
+      break;
+    case ICmpCond::UGT:
+      V = L.ugt(R);
+      break;
+    case ICmpCond::UGE:
+      V = L.uge(R);
+      break;
+    case ICmpCond::ULT:
+      V = L.ult(R);
+      break;
+    case ICmpCond::ULE:
+      V = L.ule(R);
+      break;
+    case ICmpCond::SGT:
+      V = L.sgt(R);
+      break;
+    case ICmpCond::SGE:
+      V = L.sge(R);
+      break;
+    case ICmpCond::SLT:
+      V = L.slt(R);
+      break;
+    case ICmpCond::SLE:
+      V = L.sle(R);
+      break;
+    }
+    ExecVal Out;
+    Out.UB = A->UB || B->UB;
+    Out.Poison = A->Poison || B->Poison;
+    Out.Val = APInt(1, V ? 1 : 0);
+    return Out;
+  }
+  case ValueKind::Select: {
+    const auto *Sel = cast<Select>(I);
+    auto C = eval(Sel->getCondition());
+    auto TV = eval(Sel->getTrueValue());
+    auto FV = eval(Sel->getFalseValue());
+    if (!C || !TV || !FV)
+      return std::nullopt;
+    ExecVal Out;
+    // Definedness and poison flow strictly through all operands, matching
+    // the encoder.
+    Out.UB = C->UB || TV->UB || FV->UB;
+    Out.Poison = C->Poison || TV->Poison || FV->Poison;
+    unsigned W = widthOf(I);
+    Out.Val = (C->Val.isZero() ? FV->Val : TV->Val).zextOrTrunc(W);
+    return Out;
+  }
+  case ValueKind::Conv: {
+    const auto *Cv = cast<Conv>(I);
+    auto A = eval(Cv->getSrc());
+    if (!A)
+      return std::nullopt;
+    unsigned WOut = widthOf(I);
+    ExecVal Out;
+    Out.UB = A->UB;
+    Out.Poison = A->Poison;
+    switch (Cv->getOpcode()) {
+    case ConvOpcode::ZExt:
+      Out.Val = A->Val.zextOrTrunc(WOut);
+      break;
+    case ConvOpcode::SExt:
+      Out.Val = A->Val.sextOrTrunc(WOut);
+      break;
+    case ConvOpcode::Trunc:
+      Out.Val = A->Val.zextOrTrunc(WOut);
+      break;
+    case ConvOpcode::BitCast:
+      Out.Val = A->Val; // same width by typing
+      break;
+    case ConvOpcode::PtrToInt:
+    case ConvOpcode::IntToPtr:
+      return std::nullopt; // pointers are outside the fragment
+    }
+    return Out;
+  }
+  case ValueKind::Copy:
+    return eval(cast<Copy>(I)->getSrc());
+  default:
+    return std::nullopt; // memory instructions, unreachable
+  }
+}
+
+std::optional<ExecVal> ConcreteEval::eval(const Value *V) {
+  auto It = Cache.find(V);
+  if (It != Cache.end())
+    return It->second;
+
+  std::optional<ExecVal> Out;
+  switch (V->getKind()) {
+  case ValueKind::Input:
+  case ValueKind::ConstSym: {
+    auto EIt = Env.find(V->getName());
+    if (EIt == Env.end())
+      return std::nullopt;
+    ExecVal E;
+    E.Val = EIt->second.zextOrTrunc(widthOf(V));
+    Out = E;
+    break;
+  }
+  case ValueKind::ConstVal: {
+    bool Defined = true;
+    auto R = evalConstExpr(cast<ConstExprValue>(V)->getExpr(), widthOf(V),
+                           Defined);
+    if (!R)
+      return std::nullopt;
+    ExecVal E;
+    E.UB = !Defined;
+    E.Val = *R;
+    Out = E;
+    break;
+  }
+  case ValueKind::Undef:
+    return std::nullopt; // per-occurrence freedom needs the solver
+  default:
+    Out = evalInstr(cast<Instr>(V));
+    break;
+  }
+
+  if (Out)
+    Cache.emplace(V, *Out);
+  return Out;
+}
+
+bool infer::isConcretelyEvaluable(const Transform &T) {
+  auto InstrOK = [](const Instr *I) {
+    switch (I->getKind()) {
+    case ValueKind::BinOp:
+    case ValueKind::ICmp:
+    case ValueKind::Select:
+    case ValueKind::Copy:
+      break;
+    case ValueKind::Conv: {
+      ConvOpcode Op = cast<Conv>(I)->getOpcode();
+      if (Op == ConvOpcode::PtrToInt || Op == ConvOpcode::IntToPtr)
+        return false;
+      break;
+    }
+    default:
+      return false;
+    }
+    for (const Value *Op : I->operands())
+      if (isa<UndefValue>(Op))
+        return false;
+    return true;
+  };
+  if (!T.getSrcRoot() || !T.getTgtRoot())
+    return false;
+  for (const Instr *I : T.src())
+    if (!InstrOK(I))
+      return false;
+  for (const Instr *I : T.tgt())
+    if (!InstrOK(I))
+      return false;
+  return true;
+}
+
+std::optional<bool>
+infer::evalPrecondConcrete(const Precond &P,
+                           const std::map<std::string, APInt> &Env,
+                           ConcreteEval *Eval) {
+  switch (P.getKind()) {
+  case Precond::Kind::True:
+    return true;
+  case Precond::Kind::Not: {
+    auto A = evalPrecondConcrete(*P.getChild(0), Env, Eval);
+    if (!A)
+      return std::nullopt;
+    return !*A;
+  }
+  case Precond::Kind::And: {
+    bool Unknown = false;
+    for (unsigned I = 0; I != P.getNumChildren(); ++I) {
+      auto A = evalPrecondConcrete(*P.getChild(I), Env, Eval);
+      if (!A)
+        Unknown = true;
+      else if (!*A)
+        return false;
+    }
+    if (Unknown)
+      return std::nullopt;
+    return true;
+  }
+  case Precond::Kind::Or: {
+    bool Unknown = false;
+    for (unsigned I = 0; I != P.getNumChildren(); ++I) {
+      auto A = evalPrecondConcrete(*P.getChild(I), Env, Eval);
+      if (!A)
+        Unknown = true;
+      else if (*A)
+        return true;
+    }
+    if (Unknown)
+      return std::nullopt;
+    return false;
+  }
+  case Precond::Kind::Cmp: {
+    // Width of the first referenced abstract constant, 32 for pure-literal
+    // comparisons — the encoder's cmpWidth rule.
+    std::vector<std::string> Syms;
+    P.getCmpLHS()->collectSymRefs(Syms);
+    P.getCmpRHS()->collectSymRefs(Syms);
+    unsigned W = 32;
+    if (!Syms.empty()) {
+      auto It = Env.find(Syms[0]);
+      if (It == Env.end())
+        return std::nullopt;
+      W = It->second.getWidth();
+    }
+    bool Defined = true;
+    auto WidthOf =
+        [Eval](const ir::Value *V) -> std::optional<unsigned> {
+      if (!Eval)
+        return std::nullopt;
+      return Eval->widthOf(V);
+    };
+    auto L = evalCE(P.getCmpLHS(), W, Env, WidthOf, Defined);
+    auto R = evalCE(P.getCmpRHS(), W, Env, WidthOf, Defined);
+    if (!L || !R)
+      return std::nullopt;
+    // A comparison whose constant expression is undefined cannot enable
+    // the transformation.
+    if (!Defined)
+      return false;
+    switch (P.getCmpOp()) {
+    case Precond::CmpOp::EQ:
+      return *L == *R;
+    case Precond::CmpOp::NE:
+      return *L != *R;
+    case Precond::CmpOp::ULT:
+      return L->ult(*R);
+    case Precond::CmpOp::ULE:
+      return L->ule(*R);
+    case Precond::CmpOp::UGT:
+      return L->ugt(*R);
+    case Precond::CmpOp::UGE:
+      return L->uge(*R);
+    case Precond::CmpOp::SLT:
+      return L->slt(*R);
+    case Precond::CmpOp::SLE:
+      return L->sle(*R);
+    case Precond::CmpOp::SGT:
+      return L->sgt(*R);
+    case Precond::CmpOp::SGE:
+      return L->sge(*R);
+    }
+    return std::nullopt;
+  }
+  case Precond::Kind::Builtin: {
+    if (P.getPred() == PredKind::OneUse)
+      return std::nullopt; // structural, no concrete meaning
+    std::vector<APInt> Args;
+    for (const Value *A : P.getArgs()) {
+      if (const auto *CS = dyn_cast<ConstantSymbol>(A)) {
+        auto It = Env.find(CS->getName());
+        if (It == Env.end())
+          return std::nullopt;
+        Args.push_back(It->second);
+      } else if (const auto *CEV = dyn_cast<ConstExprValue>(A)) {
+        if (!Eval)
+          return std::nullopt;
+        bool Defined = true;
+        auto V = Eval->evalConstExpr(CEV->getExpr(),
+                                     Eval->widthOf(CEV), Defined);
+        if (!V)
+          return std::nullopt;
+        if (!Defined)
+          return false;
+        Args.push_back(*V);
+      } else {
+        if (!Eval)
+          return std::nullopt;
+        auto V = Eval->eval(A);
+        if (!V || V->UB)
+          return std::nullopt;
+        Args.push_back(V->Val);
+      }
+    }
+    return analysis::evalPredicateOnConstants(P.getPred(), Args);
+  }
+  }
+  return std::nullopt;
+}

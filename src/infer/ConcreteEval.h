@@ -1,0 +1,100 @@
+//===- infer/ConcreteEval.h - concrete transform execution ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for the pure integer fragment of the Alive IR
+/// (binop / icmp / select / conv / copy and constant expressions), used by
+/// the precondition-inference engine to label examples: given concrete
+/// values for every input variable and abstract constant, execute both
+/// templates and observe undefined behavior, poison, and the root value.
+/// The semantics mirror the SMT encoding in semantics/VCGen.cpp (Tables 1
+/// and 2) operation for operation — divisions by zero and oversized shift
+/// amounts are undefined behavior, nsw/nuw/exact violations are poison —
+/// so a concrete refinement violation is always a genuine counterexample
+/// at that width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_CONCRETEEVAL_H
+#define ALIVE_INFER_CONCRETEEVAL_H
+
+#include "ir/Transform.h"
+#include "typing/TypeConstraints.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace alive {
+namespace infer {
+
+/// Concrete state of one evaluated value. A value whose evaluation hit
+/// undefined behavior has UB set (Val is then meaningless); a poisoned
+/// value still carries its bits, matching the SMT encoding where ι is
+/// total and δ/ρ are side conditions.
+struct ExecVal {
+  bool UB = false;
+  bool Poison = false;
+  APInt Val;
+};
+
+/// Concrete evaluator for one transform under one type assignment. The
+/// environment maps input-variable and abstract-constant names to values
+/// of the widths the assignment gives them.
+class ConcreteEval {
+public:
+  ConcreteEval(const ir::Transform &T, const typing::TypeAssignment &Types,
+               const std::map<std::string, APInt> &Env, unsigned PtrWidth = 32)
+      : T(T), Types(Types), Env(Env), PtrWidth(PtrWidth) {}
+
+  /// Evaluates \p V (memoized). Returns nullopt for constructs outside the
+  /// supported fragment (memory instructions, undef, pointer casts) or for
+  /// names missing from the environment.
+  std::optional<ExecVal> eval(const ir::Value *V);
+
+  /// Evaluates a constant expression at \p Width. \p Defined is cleared
+  /// when the expression itself is undefined (divides by zero); the
+  /// returned value is then meaningless. Returns nullopt only for
+  /// unsupported constructs or unbound symbols.
+  std::optional<APInt> evalConstExpr(const ir::ConstExpr *E, unsigned Width,
+                                     bool &Defined);
+
+  unsigned widthOf(const ir::Value *V) const {
+    return Types[V->getTypeVar()].widthBits(PtrWidth);
+  }
+
+private:
+  std::optional<ExecVal> evalInstr(const ir::Instr *I);
+  std::optional<ExecVal> evalBinOp(const ir::BinOp *I);
+
+  const ir::Transform &T;
+  const typing::TypeAssignment &Types;
+  const std::map<std::string, APInt> &Env;
+  unsigned PtrWidth;
+  std::map<const ir::Value *, ExecVal> Cache;
+};
+
+/// True when every instruction of \p T is inside the fragment ConcreteEval
+/// supports (no memory, no unreachable, no pointer casts) and no operand
+/// is an undef occurrence. Transforms outside the fragment are reported
+/// as unsupported by the inference engine rather than mislabeled.
+bool isConcretelyEvaluable(const ir::Transform &T);
+
+/// Evaluates a precondition over constant values. Returns nullopt when
+/// the formula's truth cannot be decided from \p Env alone: it mentions
+/// hasOneUse (structural), references a register missing from the
+/// environment, or divides by zero inside a builtin argument. When
+/// \p Eval is non-null, register arguments (inputs, source temporaries)
+/// are evaluated through it; otherwise only abstract constants and
+/// constant expressions are decidable.
+std::optional<bool> evalPrecondConcrete(const ir::Precond &P,
+                                        const std::map<std::string, APInt> &Env,
+                                        ConcreteEval *Eval);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_CONCRETEEVAL_H

@@ -1,0 +1,197 @@
+//===- infer/Examples.cpp - example generation for inference ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Examples.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::infer;
+
+std::vector<APInt> infer::specialValues(unsigned Width) {
+  std::vector<APInt> Out;
+  std::set<uint64_t> Seen;
+  auto Push = [&](APInt V) {
+    if (Seen.insert(V.getZExtValue()).second)
+      Out.push_back(V);
+  };
+  Push(APInt(Width, 0));
+  Push(APInt(Width, 1));
+  Push(APInt::getAllOnes(Width));
+  Push(APInt::getSignedMinValue(Width));
+  Push(APInt::getSignedMaxValue(Width));
+  Push(APInt(Width, 2));
+  return Out;
+}
+
+ExampleGen::ExampleGen(const Transform &T, const typing::TypeAssignment &Types,
+                       unsigned PtrWidth)
+    : T(T), Types(Types), PtrWidth(PtrWidth) {
+  // Condition 3 (root-value equality) only applies when source and target
+  // name the same root, mirroring the verifier's buildChecks.
+  RootsComparable = T.getSrcRoot() && T.getTgtRoot() &&
+                    T.getSrcRoot()->getName() == T.getTgtRoot()->getName();
+  for (Value *V : T.inputs()) {
+    unsigned W = Types[V->getTypeVar()].widthBits(PtrWidth);
+    if (isa<ConstantSymbol>(V))
+      ConstSyms.emplace_back(V->getName(), W);
+    else
+      Inputs.emplace_back(V->getName(), W);
+  }
+}
+
+namespace {
+
+/// Deterministic tuples over a vector of widths: the full cross product
+/// when it has at most \p Cap points, otherwise special-value tuples plus
+/// fixed-seed random fill (deduplicated, at most \p Cap tuples).
+std::vector<std::vector<APInt>>
+enumerateTuples(const std::vector<unsigned> &Widths, unsigned Cap,
+                uint64_t Seed) {
+  std::vector<std::vector<APInt>> Out;
+  if (Widths.empty()) {
+    Out.push_back({});
+    return Out;
+  }
+
+  double Space = 1.0;
+  for (unsigned W : Widths)
+    Space *= std::min<double>(1ull << std::min(W, 63u), 1e18);
+
+  if (Space <= Cap) {
+    std::vector<uint64_t> Idx(Widths.size(), 0);
+    for (;;) {
+      std::vector<APInt> Tuple;
+      for (size_t I = 0; I != Widths.size(); ++I)
+        Tuple.push_back(APInt(Widths[I], Idx[I]));
+      Out.push_back(std::move(Tuple));
+      size_t I = 0;
+      for (; I != Widths.size(); ++I) {
+        if (++Idx[I] < (1ull << Widths[I]))
+          break;
+        Idx[I] = 0;
+      }
+      if (I == Widths.size())
+        break;
+    }
+    return Out;
+  }
+
+  std::set<std::vector<uint64_t>> Seen;
+  auto Push = [&](std::vector<APInt> Tuple) {
+    std::vector<uint64_t> Key;
+    for (const APInt &V : Tuple)
+      Key.push_back(V.getZExtValue());
+    if (Seen.insert(std::move(Key)).second)
+      Out.push_back(std::move(Tuple));
+  };
+
+  // Special-value cross product first, itself capped: diagonal-major order
+  // so the all-zeros / all-ones corners always appear.
+  std::vector<std::vector<APInt>> Specials;
+  for (unsigned W : Widths)
+    Specials.push_back(specialValues(W));
+  std::vector<size_t> Idx(Widths.size(), 0);
+  while (Out.size() < Cap) {
+    std::vector<APInt> Tuple;
+    for (size_t I = 0; I != Widths.size(); ++I)
+      Tuple.push_back(Specials[I][Idx[I]]);
+    Push(std::move(Tuple));
+    size_t I = 0;
+    for (; I != Widths.size(); ++I) {
+      if (++Idx[I] < Specials[I].size())
+        break;
+      Idx[I] = 0;
+    }
+    if (I == Widths.size())
+      break;
+  }
+
+  DetRand R(Seed);
+  unsigned Attempts = 0;
+  while (Out.size() < Cap && Attempts++ < Cap * 8) {
+    std::vector<APInt> Tuple;
+    for (unsigned W : Widths)
+      Tuple.push_back(APInt(W, R.next()));
+    Push(std::move(Tuple));
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<std::map<std::string, APInt>>
+ExampleGen::sampleConstSpace(unsigned Max) {
+  std::vector<unsigned> Widths;
+  for (const auto &[Name, W] : ConstSyms)
+    Widths.push_back(W);
+  std::vector<std::map<std::string, APInt>> Out;
+  for (auto &Tuple : enumerateTuples(Widths, Max, /*Seed=*/0x5eed0001)) {
+    std::map<std::string, APInt> Env;
+    for (size_t I = 0; I != ConstSyms.size(); ++I)
+      Env.emplace(ConstSyms[I].first, Tuple[I]);
+    Out.push_back(std::move(Env));
+  }
+  return Out;
+}
+
+const std::vector<std::vector<APInt>> &ExampleGen::inputSweep() {
+  if (!InputTuplesReady) {
+    std::vector<unsigned> Widths;
+    for (const auto &[Name, W] : Inputs)
+      Widths.push_back(W);
+    InputTuples = enumerateTuples(Widths, /*Cap=*/256, /*Seed=*/0x5eed0002);
+    InputTuplesReady = true;
+  }
+  return InputTuples;
+}
+
+std::optional<bool>
+ExampleGen::isPositive(const std::map<std::string, APInt> &Consts) {
+  for (const auto &Tuple : inputSweep()) {
+    std::map<std::string, APInt> Env = Consts;
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Env.emplace(Inputs[I].first, Tuple[I]);
+    ConcreteEval CE(T, Types, Env, PtrWidth);
+    auto S = CE.eval(T.getSrcRoot());
+    if (!S)
+      return std::nullopt;
+    if (S->UB || S->Poison)
+      continue; // vacuous: conditions 1-3 hold trivially
+    auto G = CE.eval(T.getTgtRoot());
+    if (!G)
+      return std::nullopt;
+    if (G->UB || G->Poison)
+      return false;
+    if (RootsComparable && G->Val != S->Val)
+      return false;
+  }
+  return true;
+}
+
+std::optional<bool>
+ExampleGen::holdsOnAllInputs(const Precond &P,
+                             const std::map<std::string, APInt> &Consts) {
+  bool First = true;
+  for (const auto &Tuple : inputSweep()) {
+    std::map<std::string, APInt> Env = Consts;
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Env.emplace(Inputs[I].first, Tuple[I]);
+    ConcreteEval CE(T, Types, Env, PtrWidth);
+    auto V = evalPrecondConcrete(P, Env, &CE);
+    if (!V)
+      return std::nullopt;
+    if (!*V)
+      return false;
+    // Constant-only formulas are input-independent; one trip decides them.
+    if (First && Inputs.empty())
+      return true;
+    First = false;
+  }
+  return true;
+}

@@ -1,0 +1,110 @@
+//===- infer/Examples.h - example generation for inference ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates and labels the concrete examples the precondition learner
+/// works from. An example is an assignment of values to the transform's
+/// abstract constants; it is *positive* when the rewrite is a refinement
+/// for every (swept) choice of input-variable values at the learning type
+/// assignment, and *negative* when some input exhibits a violation —
+/// target UB, target poison, or a root-value mismatch. Source UB or
+/// poison makes an input vacuous (the refinement conditions hold
+/// trivially), exactly as in the verification condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_EXAMPLES_H
+#define ALIVE_INFER_EXAMPLES_H
+
+#include "infer/ConcreteEval.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alive {
+namespace infer {
+
+/// One labeled example: values for every abstract constant.
+struct Example {
+  std::map<std::string, APInt> Consts;
+  bool Positive = false;
+};
+
+/// Sweeps the constant and input spaces of one transform at one type
+/// assignment. Enumeration is exhaustive when the space is small and a
+/// deterministic sample (special values first, then a fixed-seed LCG)
+/// otherwise, so repeated runs see identical examples.
+class ExampleGen {
+public:
+  ExampleGen(const ir::Transform &T, const typing::TypeAssignment &Types,
+             unsigned PtrWidth = 32);
+
+  /// Abstract constants (pool order) with their widths.
+  const std::vector<std::pair<std::string, unsigned>> &consts() const {
+    return ConstSyms;
+  }
+  /// Input variables (pool order) with their widths.
+  const std::vector<std::pair<std::string, unsigned>> &inputVars() const {
+    return Inputs;
+  }
+
+  /// Deterministic sample of the abstract-constant space: exhaustive when
+  /// it has at most \p Max points, special values + pseudo-random combos
+  /// otherwise (deduplicated, at most \p Max entries).
+  std::vector<std::map<std::string, APInt>> sampleConstSpace(unsigned Max);
+
+  /// Labels one constant assignment by sweeping the input space. Returns
+  /// nullopt when evaluation left the supported fragment.
+  std::optional<bool> isPositive(const std::map<std::string, APInt> &Consts);
+
+  /// Evaluates \p P under every swept input extension of \p Consts:
+  /// true when it holds for all of them (the must-analysis reading used
+  /// for register-argument atoms), false when some input refutes it,
+  /// nullopt when undecidable. Constant-only formulas need one trip.
+  std::optional<bool>
+  holdsOnAllInputs(const ir::Precond &P,
+                   const std::map<std::string, APInt> &Consts);
+
+private:
+  /// Deterministic sweep over the input-variable space (exhaustive up to
+  /// an internal cap, sampled beyond it). Cached after the first call.
+  const std::vector<std::vector<APInt>> &inputSweep();
+
+  const ir::Transform &T;
+  const typing::TypeAssignment &Types;
+  unsigned PtrWidth;
+  bool RootsComparable;
+  std::vector<std::pair<std::string, unsigned>> ConstSyms;
+  std::vector<std::pair<std::string, unsigned>> Inputs;
+  std::vector<std::vector<APInt>> InputTuples;
+  bool InputTuplesReady = false;
+};
+
+/// Deterministic pseudo-random stream (splitmix-style) used by the
+/// samplers; exposed for the differential predicate tests.
+class DetRand {
+public:
+  explicit DetRand(uint64_t Seed) : S(Seed) {}
+  uint64_t next() {
+    S += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = S;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t S;
+};
+
+/// The deterministic per-width special values every sampler seeds with:
+/// 0, 1, all-ones, signed min, signed max, 2 (deduplicated per width).
+std::vector<APInt> specialValues(unsigned Width);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_EXAMPLES_H

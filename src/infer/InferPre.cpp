@@ -1,0 +1,433 @@
+//===- infer/InferPre.cpp - precondition inference -------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/InferPre.h"
+
+#include "infer/Atoms.h"
+#include "infer/Examples.h"
+#include "infer/Learner.h"
+#include "semantics/Predicates.h"
+#include "semantics/VCGen.h"
+#include "smt/Session.h"
+#include "typing/TypeConstraints.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::infer;
+using namespace alive::smt;
+using namespace alive::semantics;
+using verifier::VerifyConfig;
+
+namespace alive {
+namespace verifier {
+// Implemented in Verifier.cpp, shared with AttrInfer.cpp and here.
+std::unique_ptr<smt::SolverSession> makeSession(const VerifyConfig &Cfg,
+                                                smt::TermContext &Ctx);
+} // namespace verifier
+} // namespace alive
+
+const char *infer::inferStatusName(InferStatus S) {
+  switch (S) {
+  case InferStatus::Inferred:
+    return "inferred";
+  case InferStatus::Unchanged:
+    return "unchanged";
+  case InferStatus::Incorrect:
+    return "incorrect";
+  case InferStatus::Unsupported:
+    return "unsupported";
+  case InferStatus::GiveUp:
+    return "give-up";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Builds the Precond tree for a learned CNF formula over \p Atoms.
+std::unique_ptr<Precond> buildPrecond(const Formula &F,
+                                      const std::vector<const Atom *> &Atoms) {
+  if (F.empty())
+    return Precond::mkTrue();
+  std::unique_ptr<Precond> Conj;
+  for (const Clause &C : F) {
+    std::unique_ptr<Precond> Disj;
+    for (Lit L : C) {
+      auto P = Atoms[L.Atom]->P->clone();
+      if (L.Neg)
+        P = Precond::mkNot(std::move(P));
+      Disj = Disj ? Precond::mkOr(std::move(Disj), std::move(P))
+                  : std::move(P);
+    }
+    Conj = Conj ? Precond::mkAnd(std::move(Conj), std::move(Disj))
+                : std::move(Disj);
+  }
+  return Conj;
+}
+
+/// Truth of \p A on the example with constants \p Consts.
+std::optional<bool> atomTruth(const Atom &A, const Transform &T,
+                              const typing::TypeAssignment &Types,
+                              unsigned PtrWidth, ExampleGen &EG,
+                              const std::map<std::string, APInt> &Consts) {
+  if (A.NeedsInputs)
+    return EG.holdsOnAllInputs(*A.P, Consts);
+  ConcreteEval CE(T, Types, Consts, PtrWidth);
+  return evalPrecondConcrete(*A.P, Consts, &CE);
+}
+
+std::vector<uint64_t> constsKey(const std::map<std::string, APInt> &Consts) {
+  std::vector<uint64_t> Key;
+  for (const auto &[Name, V] : Consts)
+    Key.push_back(V.getZExtValue());
+  return Key;
+}
+
+/// Compares the two preconditions pointwise over the sampled constant
+/// space. Samples where either side is undecidable (hasOneUse, unbound
+/// names) are skipped; if every sample is skipped the pair is reported
+/// incomparable (both flags false).
+void compareStrength(const Precond &Orig, const Precond &Cand,
+                     ExampleGen &EG,
+                     std::vector<std::map<std::string, APInt>> &Samples,
+                     bool &Weakened, bool &Strengthened) {
+  bool OrigNotCand = false, CandNotOrig = false;
+  for (const auto &Consts : Samples) {
+    auto O = EG.holdsOnAllInputs(Orig, Consts);
+    auto C = EG.holdsOnAllInputs(Cand, Consts);
+    if (!O || !C)
+      continue;
+    if (*O && !*C)
+      OrigNotCand = true;
+    if (*C && !*O)
+      CandNotOrig = true;
+  }
+  Weakened = CandNotOrig && !OrigNotCand;
+  Strengthened = OrigNotCand && !CandNotOrig;
+}
+
+} // namespace
+
+InferPreResult infer::inferPrecondition(Transform &T,
+                                        const InferOptions &Opts) {
+  InferPreResult R;
+  R.OriginalPre = T.getPrecondition().str();
+
+  const auto Start = Clock::now();
+  auto Expired = [&] {
+    return Opts.BudgetMs &&
+           std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - Start)
+                   .count() >= (int64_t)Opts.BudgetMs;
+  };
+
+  if (!isConcretelyEvaluable(T)) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = "outside the concrete fragment (memory, undef, or "
+                "pointer casts)";
+    return R;
+  }
+
+  auto Sys = typing::TypeConstraintSystem::fromTransform(T);
+  auto TypesR = typing::enumerateTypesNative(Sys, Opts.Cfg.Types);
+  if (!TypesR.ok() || TypesR.get().empty()) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = TypesR.ok() ? "no feasible type assignment"
+                            : TypesR.message();
+    return R;
+  }
+  const typing::TypeAssignment &LT = TypesR.get()[0];
+  unsigned PtrWidth = Opts.Cfg.Encoding.PtrWidth;
+
+  std::vector<Atom> Atoms = enumerateAtoms(T, LT, PtrWidth);
+  if (Atoms.empty()) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = "no candidate atoms (no abstract constants)";
+    return R;
+  }
+
+  // Phase 1: label an initial example set by concrete execution.
+  ExampleGen EG(T, LT, PtrWidth);
+  auto Samples = EG.sampleConstSpace(Opts.MaxExamples);
+  std::vector<Example> Ex;
+  std::set<std::vector<uint64_t>> SeenEx;
+  for (auto &Consts : Samples) {
+    auto Label = EG.isPositive(Consts);
+    if (!Label)
+      continue;
+    SeenEx.insert(constsKey(Consts));
+    Ex.push_back({Consts, *Label});
+  }
+  if (Ex.empty()) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = "could not label any examples";
+    return R;
+  }
+
+  // Atom truth columns; atoms undecidable on some example are dropped.
+  std::vector<const Atom *> Active;
+  std::vector<std::vector<char>> Truth;
+  for (const Atom &A : Atoms) {
+    std::vector<char> Col;
+    bool Decidable = true;
+    for (const Example &E : Ex) {
+      auto V = atomTruth(A, T, LT, PtrWidth, EG, E.Consts);
+      if (!V) {
+        Decidable = false;
+        break;
+      }
+      Col.push_back(*V);
+    }
+    if (Decidable) {
+      Active.push_back(&A);
+      Truth.push_back(std::move(Col));
+    }
+  }
+
+  // Phase 2: one warm session holding the phi-free verification prefix.
+  // Candidate clauses ride in as assumptions, so every check after the
+  // first reuses the session's clause database (IncrementalReuses).
+  auto OrigPre = T.takePrecondition();
+  struct PreRestorer {
+    Transform &T;
+    std::unique_ptr<Precond> &P;
+    ~PreRestorer() { T.setPrecondition(std::move(P)); }
+  } Restorer{T, OrigPre};
+
+  TermContext Ctx;
+  Encoder Enc(Ctx, T, LT, Opts.Cfg.Encoding);
+  if (Status S = Enc.encode(); !S.ok()) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = S.message();
+    return R;
+  }
+  if (Enc.hasMemory() || !Enc.srcUndefs().empty() ||
+      !Enc.tgtUndefs().empty()) {
+    R.Status = InferStatus::Unsupported;
+    R.Message = "memory or undef encoding outside the inference fragment";
+    return R;
+  }
+
+  const ValueSem &Src = Enc.srcRootSem();
+  const ValueSem &Tgt = Enc.tgtRootSem();
+  std::vector<TermRef> NotXs;
+  NotXs.push_back(Ctx.mkNot(Tgt.Defined));
+  NotXs.push_back(Ctx.mkNot(Tgt.PoisonFree));
+  if (Src.Val && Tgt.Val &&
+      T.getSrcRoot()->getName() == T.getTgtRoot()->getName())
+    NotXs.push_back(Ctx.mkNe(Src.Val, Tgt.Val));
+
+  auto Session = verifier::makeSession(Opts.Cfg, Ctx);
+  Session->add(Ctx.mkAnd({Src.Defined, Src.PoisonFree, Enc.alpha()}));
+
+  std::unique_ptr<Precond> Accepted;
+  bool BudgetHit = false;
+
+  for (unsigned Round = 0; Round != Opts.MaxRounds && !Accepted; ++Round) {
+    if ((BudgetHit = Expired()))
+      break;
+
+    // (Re-)learn from the current example set.
+    LearnMatrix Full;
+    Full.Truth = Truth;
+    for (const Atom *A : Active)
+      Full.Negatable.push_back(A->Negatable);
+    for (const Example &E : Ex)
+      Full.Positive.push_back(E.Positive);
+    std::vector<unsigned> Kept = usefulAtoms(Full);
+    LearnMatrix M;
+    std::vector<const Atom *> KeptAtoms;
+    for (unsigned A : Kept) {
+      M.Truth.push_back(Full.Truth[A]);
+      M.Negatable.push_back(Full.Negatable[A]);
+      KeptAtoms.push_back(Active[A]);
+    }
+    M.Positive = Full.Positive;
+    std::vector<Formula> Candidates = learnCandidates(M, Opts.MaxCandidates);
+    if (Candidates.empty())
+      break; // vocabulary cannot separate the examples
+
+    bool NewExample = false;
+    for (const Formula &F : Candidates) {
+      if ((BudgetHit = Expired()))
+        break;
+      ++R.CandidatesTried;
+      auto CandP = buildPrecond(F, KeptAtoms);
+
+      std::vector<TermRef> Side;
+      auto CT = encodePrecondition(Enc, Ctx, *CandP, Side);
+      if (!CT.ok()) {
+        ++R.VerifierRejects;
+        continue;
+      }
+      for (TermRef S : Side)
+        Session->add(S);
+
+      bool Rejected = false;
+      std::optional<std::map<std::string, APInt>> CexConsts;
+      for (TermRef NotX : NotXs) {
+        CheckResult CR = Session->check({CT.get(), NotX});
+        if (CR.isUnsat())
+          continue;
+        Rejected = true;
+        if (CR.isSat()) {
+          // Counterexample at the learning assignment: read the abstract
+          // constants back from the model as a new negative example.
+          std::map<std::string, APInt> Consts;
+          for (const auto &[V, Term] : Enc.inputTerms())
+            if (isa<ConstantSymbol>(V))
+              Consts.emplace(V->getName(), CR.M.getBVOrZero(Term));
+          CexConsts = std::move(Consts);
+        }
+        break;
+      }
+      if (Rejected) {
+        ++R.VerifierRejects;
+        if (CexConsts) {
+          auto Key = constsKey(*CexConsts);
+          auto Found = SeenEx.find(Key);
+          if (Found == SeenEx.end()) {
+            SeenEx.insert(Key);
+            Ex.push_back({*CexConsts, false});
+          } else {
+            // The sampler may have mislabeled this point positive when
+            // the swept inputs missed the violation; the solver's
+            // witness wins.
+            bool Flipped = false;
+            for (Example &E : Ex)
+              if (constsKey(E.Consts) == Key && E.Positive) {
+                E.Positive = false;
+                Flipped = true;
+              }
+            if (!Flipped)
+              continue; // duplicate negative: try the next candidate
+          }
+          for (size_t A = 0; A != Active.size(); ++A) {
+            if (Truth[A].size() == Ex.size())
+              continue; // already extended (flip path)
+            auto V = atomTruth(*Active[A], T, LT, PtrWidth, EG,
+                               Ex.back().Consts);
+            // Undecidable on the new point: pin to false rather than
+            // dropping the whole column mid-round.
+            Truth[A].push_back(V.value_or(false));
+          }
+          NewExample = true;
+          break; // re-learn with the enlarged example set
+        }
+        continue; // Unknown or modelless Sat: next candidate
+      }
+
+      // Consistent at the learning assignment. Final gate: the full
+      // multi-width Verifier must prove the transform under this Pre:.
+      T.setPrecondition(CandP->clone());
+      verifier::VerifyResult VR = verifier::verify(T, Opts.Cfg);
+      T.setPrecondition(Precond::mkTrue());
+      R.Stats.merge(VR.Stats);
+      if (VR.V == verifier::Verdict::Correct) {
+        ++R.VerifierAccepts;
+        Accepted = std::move(CandP);
+        break;
+      }
+      ++R.VerifierRejects;
+      // Incorrect at another width or Unknown: the candidate is dead, but
+      // its counterexample lives at a different type assignment, so it
+      // cannot feed the learner. Move on.
+    }
+    if (!NewExample && !Accepted)
+      break; // candidates exhausted without progress
+  }
+
+  R.Stats.merge(Session->stats());
+  R.ExamplesGenerated += Ex.size();
+  for (const Example &E : Ex)
+    (E.Positive ? R.PositiveExamples : R.NegativeExamples)++;
+
+  if (Accepted) {
+    R.InferredPre = Accepted->str();
+    R.Verified = true;
+    compareStrength(*OrigPre, *Accepted, EG, Samples, R.Weakened,
+                    R.Strengthened);
+    if (R.InferredPre == R.OriginalPre ||
+        (!R.Weakened && !R.Strengthened && OrigPre->isTrue()))
+      R.Status = InferStatus::Unchanged;
+    else if (!R.Weakened && !R.Strengthened && Accepted->isTrue())
+      // Original was a tautology over the samples and `true` verified:
+      // semantically unchanged even though the rendering differs.
+      R.Status = InferStatus::Unchanged;
+    else
+      R.Status = InferStatus::Inferred;
+    return R;
+  }
+
+  if (BudgetHit) {
+    R.Status = InferStatus::GiveUp;
+    R.WhyUnknown = UnknownReason::Deadline;
+    R.Message = "inference budget exhausted";
+    return R;
+  }
+
+  // No candidate survived: fall back to classifying the parsed Pre:.
+  // (Restorer has not fired yet; reinstall explicitly for the verify.)
+  T.setPrecondition(OrigPre->clone());
+  verifier::VerifyResult VR = verifier::verify(T, Opts.Cfg);
+  T.setPrecondition(Precond::mkTrue());
+  R.Stats.merge(VR.Stats);
+  switch (VR.V) {
+  case verifier::Verdict::Correct:
+    R.Status = InferStatus::Unchanged;
+    R.InferredPre = R.OriginalPre;
+    R.Verified = true;
+    break;
+  case verifier::Verdict::Incorrect:
+    R.Status = InferStatus::Incorrect;
+    R.Message = VR.CEX ? VR.CEX->str() : "counterexample found";
+    break;
+  default:
+    R.Status = InferStatus::GiveUp;
+    R.WhyUnknown = VR.WhyUnknown;
+    R.Message = VR.Message.empty() ? "no consistent candidate found"
+                                   : VR.Message;
+    break;
+  }
+  return R;
+}
+
+std::string infer::renderInferPre(const std::string &Name,
+                                  const InferPreResult &R) {
+  char Head[64];
+  std::snprintf(Head, sizeof(Head), "%-32s ", Name.c_str());
+  std::string Out = Head;
+  switch (R.Status) {
+  case InferStatus::Inferred:
+    Out += "pre: " + R.InferredPre;
+    if (R.Weakened)
+      Out += " (weakened from: " + R.OriginalPre + ")";
+    else if (R.Strengthened)
+      Out += " (strengthened from: " + R.OriginalPre + ")";
+    else
+      Out += " (was: " + R.OriginalPre + ")";
+    break;
+  case InferStatus::Unchanged:
+    Out += "pre: " + R.OriginalPre + " (unchanged)";
+    break;
+  case InferStatus::Incorrect:
+    Out += "incorrect: unsound under parsed precondition";
+    break;
+  case InferStatus::Unsupported:
+    Out += "unsupported: " + R.Message;
+    break;
+  case InferStatus::GiveUp:
+    Out += "unknown: " + R.Message;
+    break;
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- infer/InferPre.h - precondition inference ----------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The precondition-inference engine (in the spirit of ALIVE-INFER):
+/// labels concrete examples by executing both templates, learns a Boolean
+/// combination of candidate atoms consistent with the labels, validates
+/// each candidate as an assumption-guarded delta on one warm solver
+/// session (counterexample models feed back as negative examples), and
+/// only reports a precondition after the full multi-width Verifier has
+/// proven the transform Sound under it. Nothing the solver has not
+/// accepted is ever emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_INFERPRE_H
+#define ALIVE_INFER_INFERPRE_H
+
+#include "ir/Transform.h"
+#include "verifier/Verifier.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alive {
+namespace infer {
+
+enum class InferStatus {
+  Inferred,    ///< a verified precondition different from the parsed one
+  Unchanged,   ///< the parsed precondition is already the weakest found
+  Incorrect,   ///< the transform is unsound even under its parsed Pre:
+  Unsupported, ///< outside the inference fragment (memory, undef, ...)
+  GiveUp,      ///< budget exhausted or solver Unknown
+};
+
+const char *inferStatusName(InferStatus S);
+
+struct InferOptions {
+  verifier::VerifyConfig Cfg;
+  /// Wall-clock budget for the whole inference of one transform; 0 means
+  /// no budget.
+  unsigned BudgetMs = 10000;
+  /// Cap on labeled examples from the initial constant-space sample.
+  unsigned MaxExamples = 64;
+  /// Cap on candidates per learner round.
+  unsigned MaxCandidates = 24;
+  /// Cap on CEGIS rounds (each adds at least one negative example).
+  unsigned MaxRounds = 16;
+};
+
+struct InferPreResult {
+  InferStatus Status = InferStatus::Unsupported;
+  std::string OriginalPre; ///< rendering of the parsed Pre:
+  std::string InferredPre; ///< rendering of the accepted Pre: (if any)
+  /// Strictly weaker / stronger than the parsed precondition on the
+  /// sampled constant space. Both false: equivalent or incomparable.
+  bool Weakened = false;
+  bool Strengthened = false;
+  /// The emitted precondition passed the full Verifier in this run.
+  bool Verified = false;
+  uint64_t CandidatesTried = 0;
+  uint64_t VerifierAccepts = 0;
+  uint64_t VerifierRejects = 0;
+  uint64_t ExamplesGenerated = 0;
+  uint64_t PositiveExamples = 0;
+  uint64_t NegativeExamples = 0;
+  smt::SolverStats Stats;
+  smt::UnknownReason WhyUnknown = smt::UnknownReason::None;
+  std::string Message;
+};
+
+/// Infers the weakest expressible precondition for \p T. The transform's
+/// parsed precondition is restored before returning regardless of the
+/// outcome; the result carries renderings only.
+InferPreResult inferPrecondition(ir::Transform &T, const InferOptions &Opts);
+
+/// One batch-report line for a transform (no trailing newline). Counts
+/// and timings are deliberately excluded so the output is byte-stable
+/// across machines; they surface in the batch summary instead.
+std::string renderInferPre(const std::string &Name, const InferPreResult &R);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_INFERPRE_H

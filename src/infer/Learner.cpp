@@ -1,0 +1,246 @@
+//===- infer/Learner.cpp - Boolean formula learning ------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Learner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace alive;
+using namespace alive::infer;
+
+bool infer::formulaValue(const LearnMatrix &M, const Formula &F, size_t E) {
+  for (const Clause &C : F) {
+    bool Any = false;
+    for (Lit L : C)
+      if (litValue(M, L, E)) {
+        Any = true;
+        break;
+      }
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+std::vector<unsigned> infer::usefulAtoms(const LearnMatrix &M) {
+  std::vector<unsigned> Kept;
+  std::set<std::vector<char>> Seen;
+  for (unsigned A = 0; A != M.Truth.size(); ++A) {
+    const auto &Col = M.Truth[A];
+    bool AnyT = false, AnyF = false;
+    for (char V : Col)
+      (V ? AnyT : AnyF) = true;
+    if (!AnyT || !AnyF)
+      continue; // constant column: no discriminating power
+    std::vector<char> Negated(Col.size());
+    for (size_t I = 0; I != Col.size(); ++I)
+      Negated[I] = !Col[I];
+    if (Seen.count(Col) || (M.Negatable[A] && Seen.count(Negated)))
+      continue;
+    Seen.insert(Col);
+    Kept.push_back(A);
+  }
+  return Kept;
+}
+
+namespace {
+
+struct CandidateSet {
+  const LearnMatrix &M;
+  unsigned Max;
+  std::vector<Formula> Out;
+  std::map<std::vector<char>, size_t> Signatures; ///< signature → Out index
+
+  CandidateSet(const LearnMatrix &M, unsigned Max) : M(M), Max(Max) {}
+
+  bool full() const { return Out.size() >= Max; }
+
+  static size_t litCount(const Formula &F) {
+    size_t N = 0;
+    for (const Clause &C : F)
+      N += C.size();
+    return N;
+  }
+
+  /// Admits \p F when it is consistent with the labels and not
+  /// truth-equivalent to an earlier candidate. A truth-equivalent but
+  /// syntactically smaller formula replaces the earlier one in place:
+  /// `isPowerOf2(C) || C == 0` and `isPowerOf2OrZero(C)` carry the same
+  /// evidence, and the single literal is the better precondition to print.
+  void tryAdd(Formula F) {
+    std::vector<char> Sig(M.Positive.size());
+    for (size_t E = 0; E != M.Positive.size(); ++E) {
+      bool V = formulaValue(M, F, E);
+      if (V != (M.Positive[E] != 0))
+        return;
+      Sig[E] = V;
+    }
+    auto It = Signatures.find(Sig);
+    if (It != Signatures.end()) {
+      if (litCount(F) < litCount(Out[It->second]))
+        Out[It->second] = std::move(F);
+      return;
+    }
+    if (full())
+      return;
+    Signatures.emplace(std::move(Sig), Out.size());
+    Out.push_back(std::move(F));
+  }
+};
+
+} // namespace
+
+std::vector<Formula> infer::learnCandidates(const LearnMatrix &M,
+                                            unsigned MaxCandidates) {
+  CandidateSet CS(M, MaxCandidates);
+  size_t NumEx = M.Positive.size();
+  bool AnyNegative = false;
+  for (char P : M.Positive)
+    if (!P)
+      AnyNegative = true;
+
+  // Weakest candidate first: `true` needs no evidence beyond the absence
+  // of negatives.
+  if (!AnyNegative) {
+    CS.tryAdd({});
+    return CS.Out;
+  }
+
+  // Literal universe in deterministic order: positive polarity first.
+  std::vector<Lit> Lits;
+  for (unsigned A = 0; A != M.Truth.size(); ++A) {
+    Lits.push_back({A, false});
+    if (M.Negatable[A])
+      Lits.push_back({A, true});
+  }
+
+  auto SafeOnPositives = [&](Lit L) {
+    for (size_t E = 0; E != NumEx; ++E)
+      if (M.Positive[E] && !litValue(M, L, E))
+        return false;
+    return true;
+  };
+
+  // Two-literal disjunctions are weaker than either literal alone, so
+  // they come before single literals.
+  for (size_t I = 0; I != Lits.size() && !CS.full(); ++I)
+    for (size_t J = I + 1; J != Lits.size() && !CS.full(); ++J) {
+      if (Lits[J].Atom == Lits[I].Atom)
+        continue; // a ∨ ¬a is `true`; caught above when consistent
+      CS.tryAdd({{Lits[I], Lits[J]}});
+    }
+
+  for (Lit L : Lits) {
+    if (CS.full())
+      break;
+    CS.tryAdd({{L}});
+  }
+
+  // Two-literal conjunctions.
+  for (size_t I = 0; I != Lits.size() && !CS.full(); ++I)
+    for (size_t J = I + 1; J != Lits.size() && !CS.full(); ++J) {
+      if (Lits[J].Atom == Lits[I].Atom)
+        continue;
+      CS.tryAdd({{Lits[I]}, {Lits[J]}});
+    }
+
+  // Greedy conjunctive cover: among literals true on every positive,
+  // repeatedly take the one excluding the most still-uncovered negatives.
+  {
+    std::vector<Lit> Safe;
+    for (Lit L : Lits)
+      if (SafeOnPositives(L))
+        Safe.push_back(L);
+    std::vector<char> Covered(NumEx, 0);
+    Formula F;
+    for (;;) {
+      size_t Best = Safe.size(), BestGain = 0;
+      for (size_t I = 0; I != Safe.size(); ++I) {
+        size_t Gain = 0;
+        for (size_t E = 0; E != NumEx; ++E)
+          if (!M.Positive[E] && !Covered[E] && !litValue(M, Safe[I], E))
+            ++Gain;
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          Best = I;
+        }
+      }
+      if (Best == Safe.size())
+        break;
+      F.push_back({Safe[Best]});
+      for (size_t E = 0; E != NumEx; ++E)
+        if (!M.Positive[E] && !litValue(M, Safe[Best], E))
+          Covered[E] = 1;
+      bool AllCovered = true;
+      for (size_t E = 0; E != NumEx; ++E)
+        if (!M.Positive[E] && !Covered[E])
+          AllCovered = false;
+      if (AllCovered) {
+        CS.tryAdd(F);
+        break;
+      }
+      if (F.size() >= 4)
+        break;
+    }
+  }
+
+  // CNF cover with two-literal clauses: each clause must hold on every
+  // positive; a clause excludes a negative when both its literals are
+  // false there. Greedy cover of the negatives.
+  {
+    std::vector<Clause> SafeClauses;
+    for (size_t I = 0; I != Lits.size(); ++I)
+      for (size_t J = I + 1; J != Lits.size(); ++J) {
+        if (Lits[J].Atom == Lits[I].Atom)
+          continue;
+        Clause C{Lits[I], Lits[J]};
+        bool Safe = true;
+        for (size_t E = 0; E != NumEx && Safe; ++E)
+          if (M.Positive[E] && !litValue(M, C[0], E) && !litValue(M, C[1], E))
+            Safe = false;
+        if (Safe)
+          SafeClauses.push_back(std::move(C));
+      }
+    std::vector<char> Covered(NumEx, 0);
+    Formula F;
+    for (;;) {
+      size_t Best = SafeClauses.size(), BestGain = 0;
+      for (size_t I = 0; I != SafeClauses.size(); ++I) {
+        size_t Gain = 0;
+        for (size_t E = 0; E != NumEx; ++E)
+          if (!M.Positive[E] && !Covered[E] &&
+              !litValue(M, SafeClauses[I][0], E) &&
+              !litValue(M, SafeClauses[I][1], E))
+            ++Gain;
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          Best = I;
+        }
+      }
+      if (Best == SafeClauses.size())
+        break;
+      const Clause &C = SafeClauses[Best];
+      F.push_back(C);
+      for (size_t E = 0; E != NumEx; ++E)
+        if (!M.Positive[E] && !litValue(M, C[0], E) && !litValue(M, C[1], E))
+          Covered[E] = 1;
+      bool AllCovered = true;
+      for (size_t E = 0; E != NumEx; ++E)
+        if (!M.Positive[E] && !Covered[E])
+          AllCovered = false;
+      if (AllCovered) {
+        CS.tryAdd(F);
+        break;
+      }
+      if (F.size() >= 4)
+        break;
+    }
+  }
+
+  return CS.Out;
+}

@@ -1,0 +1,75 @@
+//===- infer/Learner.h - Boolean formula learning ---------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PIE-style Boolean learning over a fixed atom vocabulary: given each
+/// atom's truth value on every labeled example, propose CNF formulas
+/// consistent with the labels (true on all positives, false on all
+/// negatives), ordered weakest first so the first solver-validated
+/// candidate is the weakest sound precondition the vocabulary expresses.
+/// Per-atom utility pruning (constant and duplicate truth columns) keeps
+/// the search small; candidates are deduplicated by their truth signature
+/// over the example set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_LEARNER_H
+#define ALIVE_INFER_LEARNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alive {
+namespace infer {
+
+/// A literal over the (pruned) atom vocabulary.
+struct Lit {
+  unsigned Atom;
+  bool Neg;
+};
+
+/// A disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// A conjunction of clauses; the empty formula is `true`.
+using Formula = std::vector<Clause>;
+
+/// The learner's view of the examples: Truth[a][e] is atom a's value on
+/// example e, Positive[e] the label, Negatable[a] whether ¬a may appear
+/// in a formula.
+struct LearnMatrix {
+  std::vector<std::vector<char>> Truth;
+  std::vector<char> Negatable;
+  std::vector<char> Positive;
+};
+
+/// Truth of one literal / formula on one example.
+inline bool litValue(const LearnMatrix &M, Lit L, std::size_t E) {
+  bool V = M.Truth[L.Atom][E] != 0;
+  return L.Neg ? !V : V;
+}
+bool formulaValue(const LearnMatrix &M, const Formula &F, std::size_t E);
+
+/// Consistent candidates, weakest first (`true`, two-literal clauses,
+/// single literals, two-literal conjunctions, greedy conjunctive cover,
+/// two-literal-clause CNF cover), deduplicated by truth signature — the
+/// syntactically smallest representative of each signature survives — at
+/// most \p MaxCandidates entries.
+std::vector<Formula> learnCandidates(const LearnMatrix &M,
+                                     unsigned MaxCandidates);
+
+/// Utility pruning: indices of atoms worth keeping — truth column not
+/// constant across examples and not a duplicate of an earlier kept
+/// column (or its negation, when the later atom is negatable anyway).
+/// With no negative examples every column is constant-true-compatible,
+/// so the caller should special-case the trivial `true` answer first.
+std::vector<unsigned> usefulAtoms(const LearnMatrix &M);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_LEARNER_H

@@ -1,0 +1,71 @@
+//===- infer/ReportIO.cpp - durable inference reports ----------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/ReportIO.h"
+
+#include "support/ByteIO.h"
+
+using namespace alive;
+using namespace alive::infer;
+using namespace alive::support;
+
+namespace {
+
+constexpr uint8_t InferPreTag = 'P';
+constexpr uint8_t Version = 1;
+
+} // namespace
+
+std::optional<std::string>
+infer::serializeInferPreResult(const InferPreResult &R) {
+  if (R.Status == InferStatus::GiveUp)
+    return std::nullopt; // budget-dependent: retry, never replay
+  std::string Out;
+  appendU8(Out, InferPreTag);
+  appendU8(Out, Version);
+  appendU8(Out, static_cast<uint8_t>(R.Status));
+  appendU8(Out, (R.Weakened ? 1 : 0) | (R.Strengthened ? 2 : 0) |
+                    (R.Verified ? 4 : 0));
+  appendBytes(Out, R.OriginalPre);
+  appendBytes(Out, R.InferredPre);
+  appendBytes(Out, R.Message);
+  appendU64(Out, R.CandidatesTried);
+  appendU64(Out, R.VerifierAccepts);
+  appendU64(Out, R.VerifierRejects);
+  appendU64(Out, R.ExamplesGenerated);
+  appendU64(Out, R.PositiveExamples);
+  appendU64(Out, R.NegativeExamples);
+  return Out;
+}
+
+std::optional<InferPreResult>
+infer::deserializeInferPreResult(std::string_view Bytes) {
+  ByteReader Rd(Bytes);
+  if (Rd.readU8() != InferPreTag || Rd.readU8() != Version)
+    return std::nullopt;
+  InferPreResult R;
+  uint8_t Status = Rd.readU8();
+  if (Status > static_cast<uint8_t>(InferStatus::GiveUp) ||
+      Status == static_cast<uint8_t>(InferStatus::GiveUp))
+    return std::nullopt;
+  R.Status = static_cast<InferStatus>(Status);
+  uint8_t Flags = Rd.readU8();
+  R.Weakened = Flags & 1;
+  R.Strengthened = Flags & 2;
+  R.Verified = Flags & 4;
+  R.OriginalPre = std::string(Rd.readBytes());
+  R.InferredPre = std::string(Rd.readBytes());
+  R.Message = std::string(Rd.readBytes());
+  R.CandidatesTried = Rd.readU64();
+  R.VerifierAccepts = Rd.readU64();
+  R.VerifierRejects = Rd.readU64();
+  R.ExamplesGenerated = Rd.readU64();
+  R.PositiveExamples = Rd.readU64();
+  R.NegativeExamples = Rd.readU64();
+  if (!Rd.ok() || !Rd.atEnd())
+    return std::nullopt;
+  return R;
+}

@@ -1,0 +1,40 @@
+//===- infer/ReportIO.h - durable inference reports -------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of precondition-inference reports for the persistent
+/// result store, following the verifier's ReportIO contract: only
+/// definitive outcomes are stored (a budget give-up must be retried),
+/// deserialization is fail-closed, and a replayed report renders
+/// byte-identically to a fresh run. Keys come from verifier::reportKey
+/// with mode "infer-pre".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_INFER_REPORTIO_H
+#define ALIVE_INFER_REPORTIO_H
+
+#include "infer/InferPre.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace alive {
+namespace infer {
+
+/// Serializes a definitive inference report; nullopt for GiveUp results.
+std::optional<std::string> serializeInferPreResult(const InferPreResult &R);
+
+/// Parses a stored report; nullopt on corruption or version mismatch.
+/// Solver statistics are not round-tripped — a replayed report costs no
+/// solves, and the batch summary accounts it as a report hit.
+std::optional<InferPreResult> deserializeInferPreResult(std::string_view Bytes);
+
+} // namespace infer
+} // namespace alive
+
+#endif // ALIVE_INFER_REPORTIO_H

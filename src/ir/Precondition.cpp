@@ -75,6 +75,21 @@ bool ir::predKindIsApproximate(PredKind K) {
   }
 }
 
+std::unique_ptr<Precond> Precond::clone() const {
+  auto P = std::unique_ptr<Precond>(new Precond(K));
+  for (const auto &C : Children)
+    P->Children.push_back(C->clone());
+  P->Op = Op;
+  if (CmpLHS)
+    P->CmpLHS = CmpLHS->clone();
+  if (CmpRHS)
+    P->CmpRHS = CmpRHS->clone();
+  P->Pred = Pred;
+  P->Args = Args;
+  P->Loc = Loc;
+  return P;
+}
+
 std::string Precond::str() const {
   switch (K) {
   case Kind::True:

@@ -124,6 +124,11 @@ public:
 
   bool isTrue() const { return K == Kind::True; }
 
+  /// Deep copy. Constant expressions are cloned; builtin arguments stay
+  /// shallow (they point into the owning transform's value pool), so the
+  /// clone is only meaningful while that transform is alive.
+  std::unique_ptr<Precond> clone() const;
+
   /// Where this precondition node was parsed from.
   SourceLoc getLoc() const { return Loc; }
   void setLoc(SourceLoc L) { Loc = L; }

@@ -49,6 +49,14 @@ public:
 
   void setPrecondition(std::unique_ptr<Precond> P) { Pre = std::move(P); }
   const Precond &getPrecondition() const { return *Pre; }
+  /// Detaches the precondition, leaving `true` in its place. The inference
+  /// engine uses this to encode a transform with phi factored out so each
+  /// candidate clause can ride in as a solver assumption.
+  std::unique_ptr<Precond> takePrecondition() {
+    auto P = std::move(Pre);
+    Pre = Precond::mkTrue();
+    return P;
+  }
 
   void appendSrc(Instr *I) { Src.push_back(I); }
   void appendTgt(Instr *I) { Tgt.push_back(I); }

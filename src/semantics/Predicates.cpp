@@ -13,9 +13,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "semantics/VCGen.h"
+#include "semantics/Predicates.h"
 
 #include "analysis/AbstractInterp.h"
+#include "semantics/VCGen.h"
 
 using namespace alive;
 using namespace alive::ir;
@@ -23,6 +24,77 @@ using namespace alive::smt;
 
 namespace alive {
 namespace semantics {
+
+namespace {
+
+TermRef noWrapSigned(TermContext &Ctx, TermRef X, TermRef Y, TermKind Op,
+                     unsigned Extra) {
+  unsigned W = X->getSort().getWidth();
+  TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkSext(X, W + Extra),
+                             Ctx.mkSext(Y, W + Extra));
+  return Ctx.mkEq(Wide, Ctx.mkSext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+}
+
+TermRef noWrapUnsigned(TermContext &Ctx, TermRef X, TermRef Y, TermKind Op,
+                       unsigned Extra) {
+  unsigned W = X->getSort().getWidth();
+  TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkZext(X, W + Extra),
+                             Ctx.mkZext(Y, W + Extra));
+  return Ctx.mkEq(Wide, Ctx.mkZext(Ctx.mkBVBin(Op, X, Y), W + Extra));
+}
+
+} // namespace
+
+TermRef predicateProperty(TermContext &Ctx, PredKind K,
+                          const std::vector<TermRef> &A) {
+  unsigned W = A[0]->getSort().getWidth();
+  TermRef Zero = Ctx.mkBV(W, 0);
+  TermRef One = Ctx.mkBV(W, 1);
+  switch (K) {
+  case PredKind::IsPowerOf2:
+    return Ctx.mkAnd(
+        Ctx.mkNe(A[0], Zero),
+        Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero));
+  case PredKind::IsPowerOf2OrZero:
+    return Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero);
+  case PredKind::IsSignBit:
+    return Ctx.mkEq(A[0], Ctx.mkBV(APInt::getSignedMinValue(W)));
+  case PredKind::IsShiftedMask: {
+    // Fill the trailing zeros, then require a low mask: contiguous ones.
+    TermRef V = Ctx.mkBVOr(A[0], Ctx.mkBVSub(A[0], One));
+    return Ctx.mkAnd(
+        Ctx.mkNe(A[0], Zero),
+        Ctx.mkEq(Ctx.mkBVAnd(Ctx.mkBVAdd(V, One), V), Zero));
+  }
+  case PredKind::MaskedValueIsZero:
+    return Ctx.mkEq(Ctx.mkBVAnd(A[0], A[1]), Zero);
+  case PredKind::CannotBeNegative:
+    return Ctx.mkBVSge(A[0], Zero);
+  case PredKind::WillNotOverflowSignedAdd:
+    return noWrapSigned(Ctx, A[0], A[1], TermKind::BVAdd, 1);
+  case PredKind::WillNotOverflowUnsignedAdd:
+    return noWrapUnsigned(Ctx, A[0], A[1], TermKind::BVAdd, 1);
+  case PredKind::WillNotOverflowSignedSub:
+    return noWrapSigned(Ctx, A[0], A[1], TermKind::BVSub, 1);
+  case PredKind::WillNotOverflowUnsignedSub:
+    return noWrapUnsigned(Ctx, A[0], A[1], TermKind::BVSub, 1);
+  case PredKind::WillNotOverflowSignedMul:
+    return noWrapSigned(Ctx, A[0], A[1], TermKind::BVMul, W);
+  case PredKind::WillNotOverflowUnsignedMul:
+    return noWrapUnsigned(Ctx, A[0], A[1], TermKind::BVMul, W);
+  case PredKind::WillNotOverflowSignedShl:
+    return Ctx.mkAnd(
+        Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
+        Ctx.mkEq(Ctx.mkBVAShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
+  case PredKind::WillNotOverflowUnsignedShl:
+    return Ctx.mkAnd(
+        Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
+        Ctx.mkEq(Ctx.mkBVLShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
+  case PredKind::OneUse:
+    return nullptr; // purely structural: no semantic property
+  }
+  return nullptr;
+}
 
 /// Friend of Encoder: encodes Precond trees using the encoder's value and
 /// constant-expression machinery.
@@ -134,70 +206,6 @@ private:
     return Ctx.mkAnd(Def, Cmp);
   }
 
-  /// The mathematically exact property a predicate reports.
-  TermRef exactProperty(PredKind K, const std::vector<TermRef> &A) {
-    unsigned W = A[0]->getSort().getWidth();
-    TermRef Zero = Ctx.mkBV(W, 0);
-    TermRef One = Ctx.mkBV(W, 1);
-    switch (K) {
-    case PredKind::IsPowerOf2:
-      return Ctx.mkAnd(
-          Ctx.mkNe(A[0], Zero),
-          Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero));
-    case PredKind::IsPowerOf2OrZero:
-      return Ctx.mkEq(Ctx.mkBVAnd(A[0], Ctx.mkBVSub(A[0], One)), Zero);
-    case PredKind::IsSignBit:
-      return Ctx.mkEq(A[0], Ctx.mkBV(APInt::getSignedMinValue(W)));
-    case PredKind::IsShiftedMask: {
-      // Fill the trailing zeros, then require a low mask: contiguous ones.
-      TermRef V = Ctx.mkBVOr(A[0], Ctx.mkBVSub(A[0], One));
-      return Ctx.mkAnd(
-          Ctx.mkNe(A[0], Zero),
-          Ctx.mkEq(Ctx.mkBVAnd(Ctx.mkBVAdd(V, One), V), Zero));
-    }
-    case PredKind::MaskedValueIsZero:
-      return Ctx.mkEq(Ctx.mkBVAnd(A[0], A[1]), Zero);
-    case PredKind::CannotBeNegative:
-      return Ctx.mkBVSge(A[0], Zero);
-    case PredKind::WillNotOverflowSignedAdd:
-      return noWrapSigned(A[0], A[1], TermKind::BVAdd, 1);
-    case PredKind::WillNotOverflowUnsignedAdd:
-      return noWrapUnsigned(A[0], A[1], TermKind::BVAdd, 1);
-    case PredKind::WillNotOverflowSignedSub:
-      return noWrapSigned(A[0], A[1], TermKind::BVSub, 1);
-    case PredKind::WillNotOverflowUnsignedSub:
-      return noWrapUnsigned(A[0], A[1], TermKind::BVSub, 1);
-    case PredKind::WillNotOverflowSignedMul:
-      return noWrapSigned(A[0], A[1], TermKind::BVMul, W);
-    case PredKind::WillNotOverflowUnsignedMul:
-      return noWrapUnsigned(A[0], A[1], TermKind::BVMul, W);
-    case PredKind::WillNotOverflowSignedShl:
-      return Ctx.mkAnd(
-          Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
-          Ctx.mkEq(Ctx.mkBVAShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
-    case PredKind::WillNotOverflowUnsignedShl:
-      return Ctx.mkAnd(
-          Ctx.mkBVUlt(A[1], Ctx.mkBV(W, W)),
-          Ctx.mkEq(Ctx.mkBVLShr(Ctx.mkBVShl(A[0], A[1]), A[1]), A[0]));
-    case PredKind::OneUse:
-      return nullptr; // purely structural: no semantic property
-    }
-    return nullptr;
-  }
-
-  TermRef noWrapSigned(TermRef X, TermRef Y, TermKind Op, unsigned Extra) {
-    unsigned W = X->getSort().getWidth();
-    TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkSext(X, W + Extra),
-                               Ctx.mkSext(Y, W + Extra));
-    return Ctx.mkEq(Wide, Ctx.mkSext(Ctx.mkBVBin(Op, X, Y), W + Extra));
-  }
-  TermRef noWrapUnsigned(TermRef X, TermRef Y, TermKind Op, unsigned Extra) {
-    unsigned W = X->getSort().getWidth();
-    TermRef Wide = Ctx.mkBVBin(Op, Ctx.mkZext(X, W + Extra),
-                               Ctx.mkZext(Y, W + Extra));
-    return Ctx.mkEq(Wide, Ctx.mkZext(Ctx.mkBVBin(Op, X, Y), W + Extra));
-  }
-
   Result<TermRef> encodeBuiltin(const Precond &P) {
     std::vector<TermRef> ArgTerms;
     bool AllConst = true;
@@ -241,7 +249,7 @@ private:
         ArgTerms[1] = Ctx.mkExtract(ArgTerms[1], W0 - 1, 0);
     }
 
-    TermRef Property = exactProperty(P.getPred(), ArgTerms);
+    TermRef Property = predicateProperty(Ctx, P.getPred(), ArgTerms);
     if (!Property) {
       // hasOneUse(): no semantics, unconstrained Boolean.
       return Ctx.mkFreshVar("oneuse", Sort::boolSort());

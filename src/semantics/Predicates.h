@@ -1,0 +1,50 @@
+//===- semantics/Predicates.h - builtin predicate semantics -----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT-level semantics of the builtin precondition predicates
+/// (Section 3.1.1), exposed separately from the Encoder so that the
+/// differential tests and the precondition-inference engine can build a
+/// predicate's exact property over arbitrary terms without constructing a
+/// full verification condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SEMANTICS_PREDICATES_H
+#define ALIVE_SEMANTICS_PREDICATES_H
+
+#include "ir/Precondition.h"
+#include "smt/Term.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace alive {
+namespace semantics {
+
+class Encoder;
+
+/// The mathematically exact property predicate \p K reports over \p Args.
+/// Arity-1 predicates read Args[0]; arity-2 predicates compare same-width
+/// values, so the caller must resize Args[1] to Args[0]'s width first
+/// (zero-extend when narrower, low-bits extract when wider — the resize
+/// the encoder and analysis::evalPredicateOnConstants both apply).
+/// Returns nullptr for hasOneUse(), which has no semantic property.
+smt::TermRef predicateProperty(smt::TermContext &Ctx, ir::PredKind K,
+                               const std::vector<smt::TermRef> &Args);
+
+/// Encodes a full precondition tree using the encoder's value and
+/// constant-expression machinery. Must-analysis predicates over
+/// non-constant arguments append one-sided `p => property` implications
+/// to \p SideConstraints; the caller asserts those alongside the result.
+Result<smt::TermRef> encodePrecondition(Encoder &E, smt::TermContext &Ctx,
+                                        const ir::Precond &P,
+                                        std::vector<smt::TermRef> &SideConstraints);
+
+} // namespace semantics
+} // namespace alive
+
+#endif // ALIVE_SEMANTICS_PREDICATES_H

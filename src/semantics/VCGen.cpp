@@ -6,21 +6,14 @@
 
 #include "semantics/VCGen.h"
 
+#include "semantics/Predicates.h"
+
 #include <set>
 
 using namespace alive;
 using namespace alive::ir;
 using namespace alive::smt;
 using namespace alive::semantics;
-
-// Implemented in Predicates.cpp.
-namespace alive {
-namespace semantics {
-Result<TermRef> encodePrecondition(Encoder &E, smt::TermContext &Ctx,
-                                   const ir::Precond &P,
-                                   std::vector<TermRef> &SideConstraints);
-} // namespace semantics
-} // namespace alive
 
 Encoder::Encoder(TermContext &Ctx, const Transform &T,
                  const typing::TypeAssignment &Types,

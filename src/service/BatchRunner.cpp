@@ -8,6 +8,8 @@
 
 #include "analysis/Lint.h"
 #include "codegen/CodeGen.h"
+#include "infer/InferPre.h"
+#include "infer/ReportIO.h"
 #include "parser/Parser.h"
 #include "service/RemoteClient.h"
 #include "support/ThreadPool.h"
@@ -187,6 +189,12 @@ struct ItemResult {
   bool FromStore = false;    ///< whole report replayed from the store
   bool Skipped = false;      ///< never processed (cancel / fail-fast stop)
   bool Done = false;
+  /// Precondition-inference accounting (infer-pre mode only).
+  uint64_t InferCandidates = 0;
+  uint64_t InferAccepts = 0;
+  uint64_t InferRejects = 0;
+  uint64_t InferExamples = 0;
+  uint64_t InferWeakened = 0;
 };
 
 /// Renders a verification result exactly as alivec prints it — shared
@@ -237,6 +245,36 @@ void renderInfer(const std::string &Name, const AttrInferenceResult &IR,
   }
 }
 
+/// Renders a precondition-inference result and maps it onto the batch
+/// outcome categories. Shared between fresh runs and store replays.
+void renderInferPre(const std::string &Name, const infer::InferPreResult &PR,
+                    ItemResult &R) {
+  R.Out = infer::renderInferPre(Name, PR) + "\n";
+  R.InferCandidates = PR.CandidatesTried;
+  R.InferAccepts = PR.VerifierAccepts;
+  R.InferRejects = PR.VerifierRejects;
+  R.InferExamples = PR.ExamplesGenerated;
+  R.InferWeakened = PR.Weakened && PR.Verified ? 1 : 0;
+  switch (PR.Status) {
+  case infer::InferStatus::Inferred:
+  case infer::InferStatus::Unchanged:
+    break; // Outcome::Correct
+  case infer::InferStatus::Incorrect:
+    R.O = Outcome::Incorrect;
+    break;
+  case infer::InferStatus::Unsupported:
+    R.O = Outcome::Unknown;
+    R.Why = smt::UnknownReason::UnsupportedFragment;
+    break;
+  case infer::InferStatus::GiveUp:
+    R.O = Outcome::Unknown;
+    R.Why = PR.WhyUnknown != smt::UnknownReason::None
+                ? PR.WhyUnknown
+                : smt::UnknownReason::Deadline;
+    break;
+  }
+}
+
 void renderCodegenVerdict(const std::string &Name, const VerifyResult &VR,
                           ItemResult &R) {
   R.Discharged = VR.Stats.StaticallyDischarged;
@@ -258,9 +296,10 @@ void renderCodegenVerdict(const std::string &Name, const VerifyResult &VR,
 /// the "verify" key, since it needs the same verdict. Codegen emission
 /// itself is deferred to the printer so apply_N numbering follows input
 /// order.
-ItemResult processItem(const std::string &Mode, const WorkItem &Item,
+ItemResult processItem(const BatchOptions &Opts, const WorkItem &Item,
                        const VerifyConfig &Cfg, ResultStore *Store) {
   ItemResult R;
+  const std::string &Mode = Opts.Mode;
   const std::string &Name = Item.Label;
   if (!Item.T) {
     R.O = Outcome::Faulted;
@@ -315,6 +354,30 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
       if (Store)
         if (auto Ser = serializeAttrResult(IR))
           Store->insertReport(Key, *Ser);
+    } else if (Mode == "infer-pre") {
+      std::string Key, Bytes;
+      if (Store) {
+        Key = reportKey(*Item.T, Cfg, "infer-pre");
+        if (Store->lookupReport(Key, Bytes)) {
+          if (auto PR = infer::deserializeInferPreResult(Bytes)) {
+            R.FromStore = true;
+            renderInferPre(Name, *PR, R);
+            return R;
+          }
+        }
+      }
+      // inferPrecondition temporarily swaps the parsed Pre: out of the
+      // transform and restores it before returning, so the item stays
+      // reusable; each item is only ever processed by one worker.
+      infer::InferOptions IO;
+      IO.Cfg = Cfg;
+      IO.BudgetMs = Opts.InferBudgetMs;
+      infer::InferPreResult PR = infer::inferPrecondition(*Item.T, IO);
+      R.Stats = PR.Stats;
+      renderInferPre(Name, PR, R);
+      if (Store)
+        if (auto Ser = infer::serializeInferPreResult(PR))
+          Store->insertReport(Key, *Ser);
     }
   } catch (const std::exception &Ex) {
     R.O = Outcome::Faulted;
@@ -326,10 +389,14 @@ ItemResult processItem(const std::string &Mode, const WorkItem &Item,
   return R;
 }
 
-BatchOutcome runLint(const std::string &Path, const std::string &Text) {
-  // No solver, no worker pool: parse each region leniently (so defects
-  // finalize() would reject still get located diagnostics) and print
-  // everything the analysis flags.
+BatchOutcome runLint(const BatchOptions &Opts, const std::string &Path,
+                     const std::string &Text) {
+  // No worker pool: parse each region leniently (so defects finalize()
+  // would reject still get located diagnostics) and print everything the
+  // analysis flags. The base checks never touch a solver; --weakenable
+  // additionally runs the precondition-inference engine over every
+  // strictly-parseable transform and flags a Pre: the solver proved
+  // strictly stronger than necessary.
   BatchOutcome Res;
   unsigned NumDiags = 0;
   for (Chunk &C : splitCorpus(Text)) {
@@ -347,6 +414,40 @@ BatchOutcome runLint(const std::string &Path, const std::string &Text) {
       std::string Report = lintReport(Path, *T);
       NumDiags += Report.empty() ? 0 : 1;
       Res.Out += Report;
+    }
+    if (!Opts.Weakenable)
+      continue;
+    // The lenient pool is unsuitable for encoding; re-parse strictly and
+    // skip regions that do not finalize (their defects are already
+    // reported above).
+    parser::ParseOptions Strict;
+    Strict.FirstLine = C.FirstLine;
+    auto StrictParsed = parser::parseTransforms(C.Text, Strict);
+    if (!StrictParsed.ok())
+      continue;
+    for (auto &T : StrictParsed.get()) {
+      if (T->getPrecondition().isTrue())
+        continue; // nothing to weaken
+      infer::InferOptions IO;
+      IO.Cfg = Opts.Cfg;
+      IO.BudgetMs = Opts.InferBudgetMs;
+      infer::InferPreResult PR = infer::inferPrecondition(*T, IO);
+      Res.InferCandidates += PR.CandidatesTried;
+      Res.InferAccepts += PR.VerifierAccepts;
+      Res.InferRejects += PR.VerifierRejects;
+      Res.InferExamples += PR.ExamplesGenerated;
+      if (PR.Status != infer::InferStatus::Inferred || !PR.Weakened ||
+          !PR.Verified)
+        continue;
+      ++Res.InferWeakened;
+      ++NumDiags;
+      ir::SourceLoc Loc = T->getPrecondition().getLoc();
+      Res.Out += format(
+          "%s:%u:%u: warning: precondition '%s' is stronger than needed; "
+          "'%s' suffices [%s]\n",
+          Path.c_str(), Loc.Line, Loc.Col, PR.OriginalPre.c_str(),
+          PR.InferredPre.c_str(),
+          analysis::lintKindName(analysis::LintKind::PrecondWeakenable));
     }
   }
   Res.Exit = NumDiags ? 1 : 0;
@@ -370,8 +471,8 @@ service::parseBatchOptions(const std::string &Mode,
                            const std::vector<std::string> &Opts) {
   BatchOptions O;
   O.Mode = Mode;
-  if (O.Mode != "verify" && O.Mode != "infer" && O.Mode != "codegen" &&
-      O.Mode != "print" && O.Mode != "lint")
+  if (O.Mode != "verify" && O.Mode != "infer" && O.Mode != "infer-pre" &&
+      O.Mode != "codegen" && O.Mode != "print" && O.Mode != "lint")
     return Result<BatchOptions>::error("unknown mode '" + Mode + "'");
   O.Cfg.Types.Widths = {4, 8};
 
@@ -439,6 +540,15 @@ service::parseBatchOptions(const std::string &Mode,
       O.PrintCacheStats = true;
     } else if (Arg == "--lint") {
       O.Mode = "lint";
+    } else if (Arg == "--weakenable") {
+      O.Weakenable = true;
+    } else if (Arg.rfind("--infer-budget-ms=", 0) == 0) {
+      if (Status S = Num("--infer-budget-ms", Arg.substr(18), N); !S.ok())
+        return S;
+      if (!N)
+        return Result<BatchOptions>::error(
+            "error: --infer-budget-ms needs a positive budget");
+      O.InferBudgetMs = static_cast<unsigned>(N);
     } else if (Arg == "--no-static-filter") {
       O.Cfg.StaticFilter = false;
     } else if (Arg == "--no-incremental") {
@@ -479,7 +589,7 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
                                smt::Cancellation *Cancel) {
   const std::string &Mode = Opts.Mode;
   if (Mode == "lint")
-    return runLint(Path, Text);
+    return runLint(Opts, Path, Text);
 
   BatchOutcome Res;
   VerifyConfig Cfg = Opts.Cfg;
@@ -594,6 +704,15 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
           static_cast<unsigned long long>(Res.ReportMisses),
           static_cast<unsigned long long>(Store->stats().QueryEntries +
                                           Store->stats().ReportEntries));
+    if (Mode == "infer-pre")
+      Res.Out += format(
+          "     infer: %llu candidates | %llu accepted | %llu rejected "
+          "| %llu examples | %llu weakened\n",
+          static_cast<unsigned long long>(Res.InferCandidates),
+          static_cast<unsigned long long>(Res.InferAccepts),
+          static_cast<unsigned long long>(Res.InferRejects),
+          static_cast<unsigned long long>(Res.InferExamples),
+          static_cast<unsigned long long>(Res.InferWeakened));
     if (Sum.Discharged)
       Res.Out += format("     static filter: %llu queries discharged\n",
                         static_cast<unsigned long long>(Sum.Discharged));
@@ -637,6 +756,11 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
     Sum.Discharged += R.Discharged;
     Sum.Solver.merge(R.Stats);
     Sum.add(R.O);
+    Res.InferCandidates += R.InferCandidates;
+    Res.InferAccepts += R.InferAccepts;
+    Res.InferRejects += R.InferRejects;
+    Res.InferExamples += R.InferExamples;
+    Res.InferWeakened += R.InferWeakened;
     if (Store && Item.T && Mode != "print")
       (R.FromStore ? Res.ReportHits : Res.ReportMisses) += 1;
     return !(Opts.FailFast && R.O != Outcome::Correct);
@@ -655,7 +779,7 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
         break;
       }
       ++Total;
-      ItemResult R = processItem(Mode, Item, Cfg, Store.get());
+      ItemResult R = processItem(Opts, Item, Cfg, Store.get());
       if (!Emit(R, Item))
         return Finish(Total);
     }
@@ -679,7 +803,7 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
       if (Stop.load(std::memory_order_acquire) || IsCancelled())
         R.Skipped = true;
       else
-        R = processItem(Mode, Items[I], Cfg, Store.get());
+        R = processItem(Opts, Items[I], Cfg, Store.get());
       {
         std::lock_guard<std::mutex> L(ResultsMutex);
         Results[I] = std::move(R);

@@ -39,7 +39,7 @@ namespace service {
 
 /// Everything `alivec <mode> [options]` configures, parsed and validated.
 struct BatchOptions {
-  std::string Mode; ///< verify | infer | codegen | print | lint
+  std::string Mode; ///< verify | infer | infer-pre | codegen | print | lint
   verifier::VerifyConfig Cfg;
   bool FailFast = false;
   bool UseCache = true;
@@ -49,6 +49,10 @@ struct BatchOptions {
   std::string Remote;   ///< --remote=SOCK; consumed by the client shell
   unsigned Retries = 2; ///< --retry=N; remote attempts after the first
   uint64_t RequestDeadlineMs = 0; ///< --request-deadline-ms=N; end-to-end
+  unsigned InferBudgetMs = 10000; ///< --infer-budget-ms=N; per-transform
+                                  ///< precondition-inference wall budget
+  bool Weakenable = false; ///< --weakenable; lint also runs the inference
+                           ///< engine and flags over-strong preconditions
 };
 
 /// Parses alivec option strings (everything but the mode word and file
@@ -67,6 +71,14 @@ struct BatchOutcome {
   smt::SolverStats Solver; ///< batch-aggregate solver accounting
   uint64_t ReportHits = 0;   ///< whole reports replayed from the store
   uint64_t ReportMisses = 0; ///< items that had to be computed
+  /// Precondition-inference accounting (infer-pre mode and --weakenable
+  /// lint runs only; zero otherwise). The daemon folds these into its
+  /// metrics registry.
+  uint64_t InferCandidates = 0; ///< candidate formulas sent to the solver
+  uint64_t InferAccepts = 0;    ///< candidates the verifier proved sound
+  uint64_t InferRejects = 0;    ///< candidates refuted or abandoned
+  uint64_t InferExamples = 0;   ///< concrete examples generated
+  uint64_t InferWeakened = 0;   ///< transforms whose Pre: got weaker
   /// The run was cancelled because its end-to-end deadline expired (set by
   /// the server's watchdog, never by runBatch itself); the output is
   /// partial and the client gets a structured "timeout".

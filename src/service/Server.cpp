@@ -329,8 +329,8 @@ Response Server::dispatch(const Request &R, int ConnFd) {
     Resp.Id = R.Id;
     return Resp;
   }
-  if (R.Verb == "verify" || R.Verb == "infer" || R.Verb == "codegen" ||
-      R.Verb == "print" || R.Verb == "lint")
+  if (R.Verb == "verify" || R.Verb == "infer" || R.Verb == "infer-pre" ||
+      R.Verb == "codegen" || R.Verb == "print" || R.Verb == "lint")
     return runBatchVerb(R, ConnFd);
 
   Response Resp;
@@ -486,9 +486,15 @@ Response Server::runBatchVerb(const Request &R, int ConnFd) {
         Out->Exit = 4;
         Out->Err = "injected worker fault\n";
       } else {
+        auto RunStart = std::chrono::steady_clock::now();
         Out = std::make_shared<BatchOutcome>(
             runBatch(BO, R.Path.empty() ? "<remote>" : R.Path, R.Text,
                      Store, &Watch->Cancel));
+        if (R.Verb == "infer-pre")
+          M.histogram("infer_pre_latency_ms")
+              .observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - RunStart)
+                           .count());
         // Past-deadline results are discarded even if the clamped solver
         // limits wound the batch down before the watchdog had to fire:
         // the client was promised an answer-or-timeout by its deadline,
@@ -509,6 +515,14 @@ Response Server::runBatchVerb(const Request &R, int ConnFd) {
       Rollup.merge(Out->Solver);
       RollupReportHits += Out->ReportHits;
       RollupReportMisses += Out->ReportMisses;
+    }
+    if (!Out->DeadlineExceeded &&
+        (Out->InferCandidates || Out->InferExamples || Out->InferWeakened)) {
+      M.counter("infer_pre_candidates_total").inc(Out->InferCandidates);
+      M.counter("infer_pre_accepts_total").inc(Out->InferAccepts);
+      M.counter("infer_pre_rejects_total").inc(Out->InferRejects);
+      M.counter("infer_pre_examples_total").inc(Out->InferExamples);
+      M.counter("infer_pre_weakened_total").inc(Out->InferWeakened);
     }
   } else if (TimedOut) {
     Out = std::make_shared<BatchOutcome>();

@@ -1,0 +1,48 @@
+# Golden-output test for `alivec infer-pre`: the seeded corpus of over-,
+# under-, and exactly-constrained transformations must reproduce its
+# golden report byte-for-byte once the wall-clock field is masked. The
+# golden pins the exact inferred clause per transform (every one of which
+# the engine re-verified Sound before printing), the solver accounting,
+# and the inference counters, so any drift in the example generator, the
+# learner's candidate ordering, or the session plan shows up as a diff.
+#
+#   cmake -DALIVEC=<path> -DCORPUS=<file.opt> -DGOLDEN=<file.expected>
+#         -P CheckInferPre.cmake
+#
+# The run pins --jobs=1 and the bit-blast backend: inference feeds solver
+# models back into the learner as counterexamples, and only the native
+# backend guarantees model bytes that are reproducible across machines.
+#
+# Additionally asserts the acceptance criteria that do not reduce to a
+# byte diff: the inference inner loop must report warm-session reuse
+# (IncrementalReuses > 0 — candidates are checked as assumption-guarded
+# deltas on one seeded session, never via fresh cold solvers), and at
+# least one precondition must have been genuinely weakened.
+
+file(READ ${GOLDEN} Want)
+
+execute_process(COMMAND ${ALIVEC} infer-pre --jobs=1 --backend=bitblast
+                        ${CORPUS}
+                RESULT_VARIABLE Code
+                OUTPUT_VARIABLE Out
+                ERROR_VARIABLE Err)
+
+if(NOT Code STREQUAL "0")
+  message(FATAL_ERROR "infer-pre exited ${Code}\nstdout:\n${Out}\n"
+                      "stderr:\n${Err}")
+endif()
+
+if(NOT Out MATCHES "solver:[^\n]* ([1-9][0-9]*) incremental reuses")
+  message(FATAL_ERROR "inference reported no warm-session reuses\n${Out}")
+endif()
+if(NOT Out MATCHES "infer:[^\n]* ([1-9][0-9]*) weakened")
+  message(FATAL_ERROR "inference weakened no preconditions\n${Out}")
+endif()
+
+string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+if(NOT Out STREQUAL Want)
+  message(FATAL_ERROR "infer-pre output differs from ${GOLDEN}\n"
+                      "---- got ----\n${Out}"
+                      "---- expected ----\n${Want}")
+endif()
+message(STATUS "infer-pre golden ok (exit 0, warm reuses, weakened > 0)")

@@ -1,0 +1,51 @@
+# Strict-warnings lint gate: re-front-ends the analysis / semantics /
+# inference sources (the layers that grow diagnostics) with the project
+# warning set promoted to errors, so a new warning fails ctest instead of
+# scrolling past in the build log. This is the per-run slice of the full
+# `lint` CMake preset (build-lint: ALIVE_WERROR=ON + compile_commands for
+# run-clang-tidy); the preset rebuilds everything, the gate keeps the
+# default suite honest between preset runs.
+#
+#   cmake -DCXX=<compiler> -DSRC=<repo root> "-DDIRS=<dir;dir;...>"
+#         -P CheckStrictWarnings.cmake
+#
+# When clang-tidy is installed the same files also run through the repo
+# .clang-tidy (WarningsAsErrors promotes its override-hygiene check);
+# absent clang-tidy the gate still enforces -Werror and says so.
+
+set(Flags -std=c++20 -fsyntax-only -Wall -Wextra -Wno-unused-parameter
+          -Werror -I ${SRC}/src)
+
+set(Files "")
+foreach(Dir ${DIRS})
+  file(GLOB DirFiles ${SRC}/${Dir}/*.cpp)
+  list(APPEND Files ${DirFiles})
+endforeach()
+list(LENGTH Files N)
+if(N EQUAL 0)
+  message(FATAL_ERROR "strict-warnings gate matched no sources under ${DIRS}")
+endif()
+
+foreach(F ${Files})
+  execute_process(COMMAND ${CXX} ${Flags} ${F}
+                  RESULT_VARIABLE Code ERROR_VARIABLE Err)
+  if(NOT Code STREQUAL "0")
+    message(FATAL_ERROR "-Werror front-end failed on ${F}:\n${Err}")
+  endif()
+endforeach()
+message(STATUS "strict warnings ok: ${N} sources clean under -Werror")
+
+find_program(CLANG_TIDY NAMES clang-tidy clang-tidy-18 clang-tidy-17)
+if(CLANG_TIDY)
+  foreach(F ${Files})
+    execute_process(COMMAND ${CLANG_TIDY} --quiet ${F} -- ${Flags}
+                    RESULT_VARIABLE Code OUTPUT_VARIABLE Out
+                    ERROR_VARIABLE Err)
+    if(NOT Code STREQUAL "0")
+      message(FATAL_ERROR "clang-tidy failed on ${F}:\n${Out}\n${Err}")
+    endif()
+  endforeach()
+  message(STATUS "clang-tidy ok: ${N} sources clean")
+else()
+  message(STATUS "clang-tidy not installed; -Werror gate only")
+endif()

@@ -1,0 +1,127 @@
+//===- tests/infer/LearnerTest.cpp - Boolean learner unit tests ------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the PIE-style Boolean learner: utility pruning of the
+/// atom vocabulary, weakest-first candidate ordering, and the
+/// truth-signature deduplication that keeps the syntactically smallest
+/// representative (so `isPowerOf2OrZero(C)` is printed instead of the
+/// equivalent `isPowerOf2(C) || C == 0`).
+///
+//===----------------------------------------------------------------------===//
+
+#include "infer/Learner.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive::infer;
+
+namespace {
+
+LearnMatrix makeMatrix(std::vector<std::vector<char>> Truth,
+                       std::vector<char> Positive,
+                       std::vector<char> Negatable = {}) {
+  LearnMatrix M;
+  M.Truth = std::move(Truth);
+  M.Positive = std::move(Positive);
+  M.Negatable = Negatable.empty() ? std::vector<char>(M.Truth.size(), 0)
+                                  : std::move(Negatable);
+  return M;
+}
+
+TEST(Learner, EmptyFormulaIsTrue) {
+  LearnMatrix M = makeMatrix({{1, 0}}, {1, 1});
+  EXPECT_TRUE(formulaValue(M, {}, 0));
+  EXPECT_TRUE(formulaValue(M, {}, 1));
+}
+
+TEST(Learner, FormulaValueCNF) {
+  // (A0 ∨ A1) ∧ ¬A2 over three examples.
+  LearnMatrix M = makeMatrix({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, {1, 1, 0},
+                             {1, 1, 1});
+  Formula F{{{0, false}, {1, false}}, {{2, true}}};
+  EXPECT_TRUE(formulaValue(M, F, 0));
+  EXPECT_TRUE(formulaValue(M, F, 1));
+  EXPECT_FALSE(formulaValue(M, F, 2)); // both clauses fail there
+}
+
+TEST(Learner, NoNegativesLearnsTrue) {
+  LearnMatrix M = makeMatrix({{1, 0, 1}}, {1, 1, 1});
+  auto Cands = learnCandidates(M, 8);
+  ASSERT_EQ(Cands.size(), 1u);
+  EXPECT_TRUE(Cands[0].empty()) << "weakest candidate must be `true`";
+}
+
+TEST(Learner, UsefulAtomsPrunesConstantColumns) {
+  // A0 constant-true, A1 constant-false: neither discriminates.
+  LearnMatrix M = makeMatrix({{1, 1, 1}, {0, 0, 0}, {1, 0, 1}}, {1, 0, 1});
+  auto Kept = usefulAtoms(M);
+  ASSERT_EQ(Kept.size(), 1u);
+  EXPECT_EQ(Kept[0], 2u);
+}
+
+TEST(Learner, UsefulAtomsPrunesDuplicateColumns) {
+  // A1 duplicates A0; A2 is A0's negation and negatable, so it adds no
+  // new literal either. A3 is A0's negation but NOT negatable — its
+  // positive polarity is genuinely new.
+  LearnMatrix M = makeMatrix({{1, 0, 1}, {1, 0, 1}, {0, 1, 0}, {0, 1, 0}},
+                             {1, 0, 1}, {0, 0, 1, 0});
+  auto Kept = usefulAtoms(M);
+  ASSERT_EQ(Kept.size(), 2u);
+  EXPECT_EQ(Kept[0], 0u);
+  EXPECT_EQ(Kept[1], 3u);
+}
+
+TEST(Learner, LearnsSingleLiteral) {
+  // A0 matches the labels exactly; A1 does not.
+  LearnMatrix M = makeMatrix({{1, 1, 0}, {1, 0, 0}}, {1, 1, 0});
+  auto Cands = learnCandidates(M, 8);
+  ASSERT_EQ(Cands.size(), 1u);
+  ASSERT_EQ(Cands[0].size(), 1u);
+  ASSERT_EQ(Cands[0][0].size(), 1u);
+  EXPECT_EQ(Cands[0][0][0].Atom, 0u);
+  EXPECT_FALSE(Cands[0][0][0].Neg);
+}
+
+TEST(Learner, SmallestRepresentativeReplacesDisjunction) {
+  // A1 ∨ A2 is consistent and enumerated before single literals, but A0
+  // alone carries the same truth column — the learner must hand back the
+  // one-literal form, not the equivalent two-literal disjunction.
+  LearnMatrix M = makeMatrix({{1, 1, 0}, {1, 0, 0}, {0, 1, 0}}, {1, 1, 0});
+  auto Cands = learnCandidates(M, 8);
+  ASSERT_EQ(Cands.size(), 1u);
+  ASSERT_EQ(Cands[0].size(), 1u) << "expected a single clause";
+  ASSERT_EQ(Cands[0][0].size(), 1u) << "expected a single literal";
+  EXPECT_EQ(Cands[0][0][0].Atom, 0u);
+}
+
+TEST(Learner, LearnsTwoLiteralConjunction) {
+  // Neither atom alone matches the labels; their conjunction does, and no
+  // disjunction can (it would cover a negative).
+  LearnMatrix M = makeMatrix({{1, 1, 0, 1}, {1, 0, 1, 1}}, {1, 0, 0, 1});
+  auto Cands = learnCandidates(M, 8);
+  ASSERT_EQ(Cands.size(), 1u);
+  ASSERT_EQ(Cands[0].size(), 2u) << "expected two singleton clauses";
+  EXPECT_EQ(Cands[0][0].size(), 1u);
+  EXPECT_EQ(Cands[0][1].size(), 1u);
+  EXPECT_EQ(Cands[0][0][0].Atom, 0u);
+  EXPECT_EQ(Cands[0][1][0].Atom, 1u);
+}
+
+TEST(Learner, NegatedLiteralNeedsNegatableFlag) {
+  // Labels are exactly ¬A0. Only learnable when A0 is negatable.
+  LearnMatrix Blocked = makeMatrix({{0, 1}}, {1, 0}, {0});
+  EXPECT_TRUE(learnCandidates(Blocked, 8).empty());
+
+  LearnMatrix Allowed = makeMatrix({{0, 1}}, {1, 0}, {1});
+  auto Cands = learnCandidates(Allowed, 8);
+  ASSERT_EQ(Cands.size(), 1u);
+  ASSERT_EQ(Cands[0].size(), 1u);
+  ASSERT_EQ(Cands[0][0].size(), 1u);
+  EXPECT_TRUE(Cands[0][0][0].Neg);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/infer/PredicateDiffTest.cpp - predicate differentials ---------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests pinning the two implementations of every builtin
+/// precondition predicate to each other: the concrete evaluator
+/// (analysis::evalPredicateOnConstants, used by the static pre-filter and
+/// the inference engine's example labeler) and the SMT property
+/// (semantics::predicateProperty, used by the verification condition).
+/// A divergence here means inference can learn a predicate the verifier
+/// reads differently — the exact bug class the engine's "re-verify every
+/// candidate" rule exists to stop, so we also catch it at the source.
+///
+/// Coverage: exhaustive at widths 1–8 for arity-1 predicates, exhaustive
+/// at widths 1–4 and deterministically sampled at 5–8 for arity-2, the
+/// mixed-width second-argument resize path, and a solver-level
+/// equivalence check (property XOR truth-table is Unsat) that exercises
+/// the bit-blast pipeline rather than the model evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterp.h"
+#include "infer/Examples.h"
+#include "semantics/Predicates.h"
+#include "smt/Solver.h"
+#include "smt/Term.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::smt;
+using ir::PredKind;
+
+namespace {
+
+/// Every semantic builtin predicate (OneUse is purely structural: it has
+/// no property and evalPredicateOnConstants must never see it).
+const PredKind SemanticKinds[] = {
+    PredKind::IsPowerOf2,
+    PredKind::IsPowerOf2OrZero,
+    PredKind::IsSignBit,
+    PredKind::IsShiftedMask,
+    PredKind::MaskedValueIsZero,
+    PredKind::WillNotOverflowSignedAdd,
+    PredKind::WillNotOverflowUnsignedAdd,
+    PredKind::WillNotOverflowSignedSub,
+    PredKind::WillNotOverflowUnsignedSub,
+    PredKind::WillNotOverflowSignedMul,
+    PredKind::WillNotOverflowUnsignedMul,
+    PredKind::WillNotOverflowSignedShl,
+    PredKind::WillNotOverflowUnsignedShl,
+    PredKind::CannotBeNegative,
+};
+
+/// The resize the encoder applies to an arity-2 second argument before
+/// predicateProperty sees it: same width as the first argument,
+/// zero-extend when narrower, low-bits extract when wider.
+APInt resizeArg(const APInt &B, unsigned W) { return B.zextOrTrunc(W); }
+
+/// Truth of predicateProperty on concrete arguments via the model
+/// evaluator (an empty model evaluates a closed term).
+bool propertyTruth(PredKind K, const std::vector<APInt> &Args) {
+  TermContext Ctx;
+  std::vector<TermRef> Terms;
+  Terms.push_back(Ctx.mkBV(Args[0]));
+  for (size_t I = 1; I != Args.size(); ++I)
+    Terms.push_back(Ctx.mkBV(resizeArg(Args[I], Args[0].getWidth())));
+  TermRef P = semantics::predicateProperty(Ctx, K, Terms);
+  EXPECT_NE(P, nullptr);
+  return Model().evalBool(P);
+}
+
+void expectAgree(PredKind K, const std::vector<APInt> &Args) {
+  bool Eval = analysis::evalPredicateOnConstants(K, Args);
+  bool Smt = propertyTruth(K, Args);
+  ASSERT_EQ(Eval, Smt) << ir::predKindName(K) << " diverges on "
+                       << Args[0].toString()
+                       << (Args.size() > 1 ? " / " + Args[1].toString() : "")
+                       << " at width " << Args[0].getWidth()
+                       << ": evaluator=" << Eval << " smt=" << Smt;
+}
+
+TEST(PredicateDiff, Arity1ExhaustiveWidths1To8) {
+  for (PredKind K : SemanticKinds) {
+    if (ir::predKindArity(K) != 1)
+      continue;
+    for (unsigned W = 1; W <= 8; ++W)
+      for (uint64_t V = 0; V != (1ULL << W); ++V)
+        expectAgree(K, {APInt(W, V)});
+  }
+}
+
+TEST(PredicateDiff, Arity2ExhaustiveWidths1To4) {
+  for (PredKind K : SemanticKinds) {
+    if (ir::predKindArity(K) != 2)
+      continue;
+    for (unsigned W = 1; W <= 4; ++W)
+      for (uint64_t A = 0; A != (1ULL << W); ++A)
+        for (uint64_t B = 0; B != (1ULL << W); ++B)
+          expectAgree(K, {APInt(W, A), APInt(W, B)});
+  }
+}
+
+TEST(PredicateDiff, Arity2SampledWidths5To8) {
+  for (PredKind K : SemanticKinds) {
+    if (ir::predKindArity(K) != 2)
+      continue;
+    for (unsigned W = 5; W <= 8; ++W) {
+      // Special values crossed with each other, then a fixed-seed sample
+      // of the remaining space — the same sampling discipline the
+      // example generator uses, so runs are reproducible.
+      auto Specials = infer::specialValues(W);
+      for (const APInt &A : Specials)
+        for (const APInt &B : Specials)
+          expectAgree(K, {A, B});
+      infer::DetRand Rand(0x9d1f00d5u + W);
+      for (unsigned I = 0; I != 128; ++I)
+        expectAgree(K, {APInt(W, Rand.next()), APInt(W, Rand.next())});
+    }
+  }
+}
+
+/// The evaluator resizes a mismatched second argument itself; the SMT
+/// side is handed the resized term by the encoder. Both must land on the
+/// same value, including the wider-than-first truncation direction.
+TEST(PredicateDiff, Arity2MixedWidthResize) {
+  for (PredKind K : SemanticKinds) {
+    if (ir::predKindArity(K) != 2)
+      continue;
+    for (unsigned W1 = 1; W1 <= 8; ++W1)
+      for (unsigned W2 = 1; W2 <= 8; ++W2) {
+        if (W1 == W2)
+          continue;
+        for (const APInt &A : infer::specialValues(W1))
+          for (const APInt &B : infer::specialValues(W2))
+            expectAgree(K, {A, B});
+        infer::DetRand Rand(0xb00b1e5u + W1 * 8 + W2);
+        for (unsigned I = 0; I != 32; ++I)
+          expectAgree(K, {APInt(W1, Rand.next()), APInt(W2, Rand.next())});
+      }
+  }
+}
+
+/// Solver-level differential: the property formula over free variables
+/// must be logically equivalent to the evaluator's truth table. Unlike
+/// the model-evaluator tests above, this runs the property through the
+/// real bit-blast pipeline (Tseitin + CDCL), so an encoding bug that the
+/// structural evaluator happens to mirror still gets caught.
+TEST(PredicateDiff, SolverEquivalenceWidth4) {
+  const unsigned W = 4;
+  for (PredKind K : SemanticKinds) {
+    unsigned Arity = ir::predKindArity(K);
+    TermContext Ctx;
+    TermRef X = Ctx.mkVar("x", Sort::bv(W));
+    TermRef Y = Ctx.mkVar("y", Sort::bv(W));
+    std::vector<TermRef> Args{X};
+    if (Arity == 2)
+      Args.push_back(Y);
+    TermRef Prop = semantics::predicateProperty(Ctx, K, Args);
+    ASSERT_NE(Prop, nullptr);
+
+    // Truth table as a disjunction of point constraints.
+    std::vector<TermRef> TruePoints;
+    for (uint64_t A = 0; A != (1ULL << W); ++A) {
+      if (Arity == 1) {
+        if (analysis::evalPredicateOnConstants(K, {APInt(W, A)}))
+          TruePoints.push_back(Ctx.mkEq(X, Ctx.mkBV(W, A)));
+        continue;
+      }
+      for (uint64_t B = 0; B != (1ULL << W); ++B)
+        if (analysis::evalPredicateOnConstants(K, {APInt(W, A), APInt(W, B)}))
+          TruePoints.push_back(Ctx.mkAnd(Ctx.mkEq(X, Ctx.mkBV(W, A)),
+                                         Ctx.mkEq(Y, Ctx.mkBV(W, B))));
+    }
+    TermRef Table = Ctx.mkOr(TruePoints);
+    TermRef Mismatch = Ctx.mkOr(Ctx.mkAnd(Prop, Ctx.mkNot(Table)),
+                                Ctx.mkAnd(Ctx.mkNot(Prop), Table));
+    auto Solver = createBitBlastSolver();
+    CheckResult R = Solver->check(Mismatch);
+    ASSERT_TRUE(R.isUnsat())
+        << ir::predKindName(K) << ": property and truth table differ"
+        << (R.isSat() ? " (model found)" : " (solver unknown)");
+  }
+}
+
+TEST(PredicateDiff, OneUseHasNoProperty) {
+  TermContext Ctx;
+  std::vector<TermRef> Args{Ctx.mkBV(8, 1)};
+  EXPECT_EQ(semantics::predicateProperty(Ctx, PredKind::OneUse, Args), nullptr);
+}
+
+} // namespace

@@ -10,9 +10,11 @@
 ///
 ///   alivec verify  file.opt   verify every transformation in the file
 ///   alivec infer   file.opt   infer optimal nsw/nuw/exact placement
+///   alivec infer-pre file.opt infer the weakest provable precondition
 ///   alivec codegen file.opt   emit InstCombine-style C++ for correct ones
 ///   alivec print   file.opt   parse and pretty-print
-///   alivec lint    file.opt   static diagnostics only, no solver
+///   alivec lint    file.opt   static diagnostics only, no solver (add
+///                             --weakenable to also flag over-strong Pre:)
 ///   alivec stats              query a daemon (requires --remote)
 ///   alivec shutdown           stop a daemon (requires --remote)
 ///
@@ -34,6 +36,11 @@
 ///   --cache-stats       print cache hit/miss/eviction counts plus the
 ///                       preprocess/rewrite accounting in the summary
 ///   --lint              alias for the lint mode (usable as a flag)
+///   --weakenable        lint also runs the precondition-inference engine
+///                       and flags a Pre: that is provably stronger than
+///                       necessary ([precondition-weakenable])
+///   --infer-budget-ms=N wall-clock budget per transformation for
+///                       precondition inference (default 10000)
 ///   --no-static-filter  disable the abstract-interpretation SMT pre-filter
 ///   --no-incremental    one-shot query plan: a fresh solver per refinement
 ///                       query instead of warm per-assignment sessions;
@@ -86,8 +93,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: alivec <verify|infer|codegen|print|lint> [options] "
-               "<file.opt>\n"
+               "usage: alivec <verify|infer|infer-pre|codegen|print|lint> "
+               "[options] <file.opt>\n"
                "       alivec <stats|shutdown> --remote=SOCK\n"
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
@@ -104,6 +111,9 @@ void usage() {
                "  --cache-stats          print query-cache and preprocess\n"
                "                         counters\n"
                "  --lint                 run the lint mode\n"
+               "  --weakenable           lint: also flag preconditions the\n"
+               "                         inference engine can weaken\n"
+               "  --infer-budget-ms=N    per-transform inference budget\n"
                "  --no-static-filter     disable the abstract SMT pre-filter\n"
                "  --no-incremental       one-shot solver per query (no warm\n"
                "                         session reuse); identical reports\n"
