@@ -125,6 +125,58 @@ double sweepCorpus(unsigned Jobs, std::shared_ptr<smt::QueryCache> Cache,
       .count();
 }
 
+/// The floating-point acceptance corpus: LifeJacket-style identities over
+/// the softfloat circuits, pinned to half so the golden-corpus ctest and
+/// this sweep measure the same circuits the solver proves facts about.
+/// Every entry is a verified-correct transform; a verdict other than
+/// Correct flips verdicts_match in the JSON.
+const NamedTransform FPCases[] = {
+    {"fadd_negzero", "%r = fadd half %x, -0.0\n=>\n%r = %x\n"},
+    {"fadd_zero_nsz", "%r = fadd nsz half %x, 0.0\n=>\n%r = %x\n"},
+    {"fsub_zero", "%r = fsub half %x, 0.0\n=>\n%r = %x\n"},
+    {"fmul_one", "%r = fmul half %x, 1.0\n=>\n%r = %x\n"},
+    {"fmul_negone", "%r = fmul half %x, -1.0\n=>\n%r = fsub -0.0, %x\n"},
+    {"fadd_self", "%r = fadd half %x, %x\n=>\n%r = fmul %x, 2.0\n"},
+    {"fsub_self_nnan", "%r = fsub nnan half %x, %x\n=>\n%r = 0.0\n"},
+    {"fmul_commute", "%r = fmul half %x, %y\n=>\n%r = fmul %y, %x\n"},
+    {"fmul_zero_fast",
+     "%r = fmul nnan ninf nsz half %x, 0.0\n=>\n%r = 0.0\n"},
+    {"fcmp_olt_swap", "%r = fcmp olt half %x, %y\n=>\n%r = fcmp ogt %y, %x\n"},
+    {"fcmp_uno_self", "%c = fcmp uno half %x, %x\n=>\n%c = fcmp uno %x, 0.0\n"},
+    {"fcmp_one_self", "%c = fcmp one half %x, %x\n=>\n%c = false\n"},
+};
+
+/// One serial sweep of the FP corpus through the native bit-blast backend
+/// (the softfloat circuits feed both backends, but only the native one
+/// reports the rewrite accounting used for fp_rewrite_node_reduction_pct).
+/// The static filter is off: FP analysis is sound-Top, so leaving it on
+/// would only measure the bail-out.
+double sweepFPCorpus(std::vector<Verdict> &Verdicts,
+                     smt::SolverStats *Solver = nullptr) {
+  VerifyConfig Cfg;
+  Cfg.Backend = BackendKind::BitBlast;
+  Cfg.Types.MaxAssignments = 4;
+  Cfg.StaticFilter = false;
+
+  std::vector<std::unique_ptr<ir::Transform>> Parsed;
+  for (const NamedTransform &C : FPCases) {
+    auto P = parser::parseTransform(C.Text);
+    if (P.ok())
+      Parsed.push_back(std::move(P.get()));
+  }
+  Verdicts.assign(Parsed.size(), Verdict::Unknown);
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Parsed.size(); ++I) {
+    VerifyResult R = verify(*Parsed[I], Cfg);
+    Verdicts[I] = R.V;
+    if (Solver)
+      Solver->merge(R.Stats);
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
 /// Recorded pre-PR baseline for the native sweep below: the same serial
 /// width-4 sweep of the 324-opt corpus, measured at the growth seed (the
 /// commit before the solver-performance PR) on the reference machine —
@@ -193,7 +245,13 @@ void writeBenchJson(const char *Path) {
   double SerialMs = sweepCorpus(1, nullptr, SerialVerdicts, true,
                                 &Discharged);
 
-  unsigned Jobs = 4;
+  // Four workers is the sweep's nominal shape, but asking for more
+  // threads than the machine has cores only measures oversubscription —
+  // clamp to hardware concurrency (and never below one). Both numbers go
+  // into the JSON so a report from a 2-core CI box is readable as such.
+  const unsigned JobsRequested = 4;
+  const unsigned HW = std::max(1u, support::ThreadPool::defaultConcurrency());
+  const unsigned Jobs = std::min(JobsRequested, HW);
   auto Cache = std::make_shared<smt::QueryCache>();
   double ParallelMs = sweepCorpus(Jobs, Cache, ParallelVerdicts);
 
@@ -255,7 +313,31 @@ void writeBenchJson(const char *Path) {
     return sweepNativeCorpus(false, false, BaselineVerdicts);
   });
 
-  bool Match = SerialVerdicts == ParallelVerdicts &&
+  // The FP acceptance sweep: the softfloat corpus through the native
+  // backend. Every case is a known-correct transform, so the verdicts
+  // fold into the global match flag; the rewrite percentage reports how
+  // much of the FP circuits the AIG layer eliminates before CNF.
+  std::vector<Verdict> FPVerdicts;
+  smt::SolverStats FPSolver;
+  {
+    std::vector<Verdict> Ignore;
+    sweepFPCorpus(Ignore); // warm-up
+  }
+  double FPMs = BestOf3([&] {
+    FPSolver = {};
+    return sweepFPCorpus(FPVerdicts, &FPSolver);
+  });
+  bool FPAllCorrect =
+      !FPVerdicts.empty() &&
+      std::all_of(FPVerdicts.begin(), FPVerdicts.end(),
+                  [](Verdict V) { return V == Verdict::Correct; });
+  const double FPRewritePct =
+      FPSolver.RewriteGateCalls
+          ? 100.0 * static_cast<double>(FPSolver.RewriteSavedGates) /
+                static_cast<double>(FPSolver.RewriteGateCalls)
+          : 0.0;
+
+  bool Match = FPAllCorrect && SerialVerdicts == ParallelVerdicts &&
                SerialVerdicts == UnfilteredVerdicts &&
                SerialVerdicts == IncVerdicts &&
                IncVerdicts == OneShotVerdicts &&
@@ -274,6 +356,8 @@ void writeBenchJson(const char *Path) {
                 "{\n"
                 "  \"corpus_cases\": %zu,\n"
                 "  \"jobs\": %u,\n"
+                "  \"jobs_requested\": %u,\n"
+                "  \"jobs_effective\": %u,\n"
                 "  \"hardware_concurrency\": %u,\n"
                 "  \"serial_ms\": %.2f,\n"
                 "  \"parallel_ms\": %.2f,\n"
@@ -299,9 +383,12 @@ void writeBenchJson(const char *Path) {
                 "  \"preprocess_ms\": %llu,\n"
                 "  \"eliminated_vars\": %llu,\n"
                 "  \"subsumed_clauses\": %llu,\n"
-                "  \"rewrite_node_reduction_pct\": %.2f\n"
+                "  \"rewrite_node_reduction_pct\": %.2f,\n"
+                "  \"fp_corpus_cases\": %zu,\n"
+                "  \"fp_ms\": %.2f,\n"
+                "  \"fp_rewrite_node_reduction_pct\": %.2f\n"
                 "}\n",
-                std::size(Cases), Jobs,
+                std::size(Cases), Jobs, JobsRequested, Jobs,
                 support::ThreadPool::defaultConcurrency(), SerialMs,
                 ParallelMs, ParallelMs > 0 ? SerialMs / ParallelMs : 0.0,
                 Match ? "true" : "false",
@@ -322,13 +409,14 @@ void writeBenchJson(const char *Path) {
                     NativeOneShotSolver.EliminatedVars),
                 static_cast<unsigned long long>(
                     NativeOneShotSolver.SubsumedClauses),
-                RewritePct);
+                RewritePct, std::size(FPCases), FPMs, FPRewritePct);
   Out << Buf;
   std::printf("wrote %s (serial %.1f ms, parallel %.1f ms at jobs=%u, "
               "no-filter %.1f ms, incremental %.1f ms vs one-shot %.1f ms "
               "(%llu reuses), %llu discharged, native corpus %.1f ms vs "
               "flags-off %.1f ms (%.2fx) vs recorded baseline %.1f ms "
-              "(%.2fx, rewrite -%.1f%% gates), verdicts %s, cache %s)\n",
+              "(%.2fx, rewrite -%.1f%% gates), fp corpus %zu cases %.1f ms "
+              "(rewrite -%.1f%% gates), verdicts %s, cache %s)\n",
               Path, SerialMs, ParallelMs, Jobs, UnfilteredMs, IncrementalMs,
               OneShotMs,
               static_cast<unsigned long long>(IncSolver.IncrementalReuses),
@@ -336,7 +424,8 @@ void writeBenchJson(const char *Path) {
               FlagsOffMs, NativeMs > 0 ? FlagsOffMs / NativeMs : 0.0,
               RecordedBaselineOneshotMs,
               NativeMs > 0 ? RecordedBaselineOneshotMs / NativeMs : 0.0,
-              RewritePct, Match ? "match" : "MISMATCH", CS.str().c_str());
+              RewritePct, std::size(FPCases), FPMs, FPRewritePct,
+              Match ? "match" : "MISMATCH", CS.str().c_str());
 }
 
 } // namespace
@@ -363,6 +452,18 @@ int main(int argc, char **argv) {
                                    runVerify(S, C.Text, BackendKind::Hybrid,
                                              {16, 32});
                                  });
+  }
+  // The FP corpus through both softfloat consumers; the cases pin their
+  // own width (half), so the width list only feeds the i1 fcmp results.
+  for (const NamedTransform &C : FPCases) {
+    for (auto [BName, B] : {std::pair{"bitblast", BackendKind::BitBlast},
+                            std::pair{"z3", BackendKind::Z3}}) {
+      std::string Name = std::string("verify/fp/") + C.Name + "/" + BName;
+      benchmark::RegisterBenchmark(Name.c_str(),
+                                   [&C, B = B](benchmark::State &S) {
+                                     runVerify(S, C.Text, B, {4, 8});
+                                   });
+    }
   }
   // Resource-governed verification: a deadline turns the exponentially
   // hard wide-multiplier case into a bounded Unknown. Measures the cost

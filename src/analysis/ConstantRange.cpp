@@ -138,6 +138,11 @@ ConstantRange ConstantRange::binOp(ir::BinOpcode Op, const ConstantRange &L,
       return singleton(A.orOp(B));
     case BinOpcode::Xor:
       return singleton(A.xorOp(B));
+    case BinOpcode::FAdd:
+    case BinOpcode::FSub:
+    case BinOpcode::FMul:
+      // IEEE bit patterns are not integer-foldable here.
+      break;
     }
     return full(W);
   }
@@ -241,6 +246,9 @@ ConstantRange ConstantRange::binOp(ir::BinOpcode Op, const ConstantRange &L,
   case BinOpcode::SDiv:
   case BinOpcode::SRem:
   case BinOpcode::AShr:
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+  case BinOpcode::FMul:
     return full(W);
   }
   return full(W);

@@ -46,6 +46,11 @@ KnownBits KnownBits::binOp(ir::BinOpcode Op, const KnownBits &L,
     return orOp(L, R);
   case BinOpcode::Xor:
     return xorOp(L, R);
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+  case BinOpcode::FMul:
+    // The integer domain says nothing about IEEE bit patterns.
+    return top(L.width());
   }
   return top(L.width());
 }

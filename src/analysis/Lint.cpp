@@ -12,6 +12,7 @@
 #include "typing/TypeConstraints.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <set>
 
@@ -42,6 +43,8 @@ const char *analysis::lintKindName(LintKind K) {
     return "undefined-name-in-precondition";
   case LintKind::PrecondWeakenable:
     return "precondition-weakenable";
+  case LintKind::FPAlwaysPoison:
+    return "fp-always-poison";
   }
   return "unknown";
 }
@@ -63,6 +66,7 @@ public:
     checkPrecondition();
     checkPrecondNames();
     checkRedundantAttrs();
+    checkFPFlags();
     checkConstExprUB();
     checkWidths();
     std::stable_sort(Diags.begin(), Diags.end(),
@@ -393,6 +397,65 @@ private:
         return;
       default:
         return;
+      }
+    };
+    for (const Instr *I : T.src())
+      Check(I);
+    for (const Instr *I : T.tgt())
+      Check(I);
+  }
+
+  // --- floating-point fast-math hygiene ---------------------------------
+
+  /// The literal behind a plain FP-literal operand, or nullopt.
+  static std::optional<double> fpLitOperand(const Value *V) {
+    const auto *C = dyn_cast<ConstantFP>(V);
+    if (!C)
+      return std::nullopt;
+    return C->getValue();
+  }
+
+  /// nnan (ninf) promises neither operand nor result is a NaN (infinity);
+  /// a literal NaN (infinity) operand breaks the promise on every input,
+  /// so the instruction is unconditionally poison. Separately, nnan turns
+  /// the ord/uno predicates into constants: whenever the comparison is not
+  /// poison, neither operand is NaN, so ord is true and uno is false.
+  void checkFPFlags() {
+    auto CheckOps = [&](const Instr *I, unsigned Flags, const Value *LHS,
+                        const Value *RHS) {
+      auto L = fpLitOperand(LHS);
+      auto R = fpLitOperand(RHS);
+      if ((Flags & AttrNNan) &&
+          ((L && std::isnan(*L)) || (R && std::isnan(*R))))
+        diag(LintKind::FPAlwaysPoison, I->getLoc(),
+             "'nnan' with a literal NaN operand makes " + I->getName() +
+                 " unconditionally poison");
+      if ((Flags & AttrNInf) &&
+          ((L && std::isinf(*L)) || (R && std::isinf(*R))))
+        diag(LintKind::FPAlwaysPoison, I->getLoc(),
+             "'ninf' with a literal infinity operand makes " + I->getName() +
+                 " unconditionally poison");
+    };
+    auto Check = [&](const Instr *I) {
+      if (const auto *B = dyn_cast<BinOp>(I)) {
+        if (binOpIsFP(B->getOpcode()) && B->getFlags() != 0)
+          CheckOps(B, B->getFlags(), B->getLHS(), B->getRHS());
+        return;
+      }
+      const auto *C = dyn_cast<FCmp>(I);
+      if (!C)
+        return;
+      if (C->getFlags() != 0)
+        CheckOps(C, C->getFlags(), C->getLHS(), C->getRHS());
+      if (C->getFlags() & AttrNNan) {
+        if (C->getCond() == FCmpCond::ORD)
+          diag(LintKind::RedundantAttr, C->getLoc(),
+               "attribute 'nnan' on " + C->getName() +
+                   " makes 'fcmp ord' trivially true");
+        else if (C->getCond() == FCmpCond::UNO)
+          diag(LintKind::RedundantAttr, C->getLoc(),
+               "attribute 'nnan' on " + C->getName() +
+                   " makes 'fcmp uno' trivially false");
       }
     };
     for (const Instr *I : T.src())

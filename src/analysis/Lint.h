@@ -35,6 +35,7 @@ enum class LintKind {
   WidthInconsistent,   ///< no feasible type assignment exists
   UndefinedNamePrecond,///< precondition names a constant the source never binds
   PrecondWeakenable,   ///< parsed precondition strictly stronger than inferred
+  FPAlwaysPoison,      ///< fast-math flag contradicts a literal FP operand
 };
 
 /// Stable kebab-case tag printed after each diagnostic, e.g.

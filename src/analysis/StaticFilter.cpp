@@ -323,6 +323,21 @@ RefinementFacts analysis::analyzeRefinement(const Transform &T,
       if (isMemoryOrUnreachable(I))
         return F;
 
+  // Floating-point values live outside the integer abstract domains, and
+  // fcmp/fadd fast-math flags carry poison conditions (nnan/ninf) the
+  // filter cannot discharge: any FP construct anywhere makes every fact
+  // Top. (Without this, an `fcmp nnan` would leak TargetPoisonFree — only
+  // BinOps are inspected below.)
+  for (const auto &VPtr : T.pool()) {
+    const Value *V = VPtr.get();
+    if (V->getKind() == ValueKind::ConstFP ||
+        V->getKind() == ValueKind::FCmp)
+      return F;
+    if (const auto *B = dyn_cast<BinOp>(V))
+      if (binOpIsFP(B->getOpcode()))
+        return F;
+  }
+
   auto WidthOf = [&Types](const Value *V) -> unsigned {
     TypeVar TV = V->getTypeVar();
     if (TV >= Types.size())

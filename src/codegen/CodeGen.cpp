@@ -57,6 +57,12 @@ const char *matcherName(BinOpcode Op) {
     return "m_Or";
   case BinOpcode::Xor:
     return "m_Xor";
+  case BinOpcode::FAdd:
+    return "m_FAdd";
+  case BinOpcode::FSub:
+    return "m_FSub";
+  case BinOpcode::FMul:
+    return "m_FMul";
   }
   return "?";
 }
@@ -89,6 +95,12 @@ const char *liteOpcodeExpr(BinOpcode Op) {
     return "Opcode::Or";
   case BinOpcode::Xor:
     return "Opcode::Xor";
+  case BinOpcode::FAdd:
+    return "Opcode::FAdd";
+  case BinOpcode::FSub:
+    return "Opcode::FSub";
+  case BinOpcode::FMul:
+    return "Opcode::FMul";
   }
   return "?";
 }
@@ -108,6 +120,12 @@ std::string flagsExpr(unsigned Flags) {
     Add("LFNUW");
   if (Flags & AttrExact)
     Add("LFExact");
+  if (Flags & AttrNNan)
+    Add("LFNNan");
+  if (Flags & AttrNInf)
+    Add("LFNInf");
+  if (Flags & AttrNSZ)
+    Add("LFNSZ");
   return S;
 }
 
@@ -192,6 +210,11 @@ public:
 
 private:
   bool supported(const Instr *I) const {
+    // FP literal operands would need runtime bit-pattern conversion in the
+    // emitted matcher; reject them (fcmp likewise, pending an FCmpPat).
+    for (const Value *Op : I->operands())
+      if (isa<ConstantFP>(Op))
+        return false;
     switch (I->getKind()) {
     case ValueKind::BinOp:
     case ValueKind::ICmp:

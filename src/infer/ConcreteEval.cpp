@@ -7,6 +7,7 @@
 #include "infer/ConcreteEval.h"
 
 #include "analysis/AbstractInterp.h"
+#include "support/FloatFormat.h"
 
 #include <functional>
 
@@ -178,6 +179,24 @@ std::optional<ExecVal> ConcreteEval::evalBinOp(const BinOp *I) {
   APInt L = A->Val.zextOrTrunc(W), R = B->Val.zextOrTrunc(W);
   APInt Zero(W, 0);
 
+  // FP arithmetic: never UB; nnan/ninf promise NaN/Inf-free operands and
+  // result (the encoder's semantics), nsz introduces no poison.
+  if (binOpIsFP(I->getOpcode())) {
+    fp::Format F = fp::Format::fromWidth(W);
+    uint64_t X = L.getZExtValue(), Y = R.getZExtValue();
+    uint64_t Bits = I->getOpcode() == BinOpcode::FAdd   ? fp::add(F, X, Y)
+                    : I->getOpcode() == BinOpcode::FSub ? fp::sub(F, X, Y)
+                                                        : fp::mul(F, X, Y);
+    if (I->hasNNan() &&
+        (fp::isNaN(F, X) || fp::isNaN(F, Y) || fp::isNaN(F, Bits)))
+      Out.Poison = true;
+    if (I->hasNInf() &&
+        (fp::isInf(F, X) || fp::isInf(F, Y) || fp::isInf(F, Bits)))
+      Out.Poison = true;
+    Out.Val = APInt(W, Bits);
+    return Out;
+  }
+
   // Table 1: definedness. The value is only computed once division is
   // known defined — APInt's division asserts on the undefined cases.
   switch (I->getOpcode()) {
@@ -258,6 +277,10 @@ std::optional<ExecVal> ConcreteEval::evalBinOp(const BinOp *I) {
   case BinOpcode::Xor:
     Out.Val = L.xorOp(R);
     break;
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+  case BinOpcode::FMul:
+    break; // handled above
   }
 
   // Table 2: poison.
@@ -332,6 +355,28 @@ std::optional<ExecVal> ConcreteEval::evalInstr(const Instr *I) {
     ExecVal Out;
     Out.UB = A->UB || B->UB;
     Out.Poison = A->Poison || B->Poison;
+    Out.Val = APInt(1, V ? 1 : 0);
+    return Out;
+  }
+  case ValueKind::FCmp: {
+    const auto *C = cast<FCmp>(I);
+    auto A = eval(C->getLHS());
+    auto B = eval(C->getRHS());
+    if (!A || !B)
+      return std::nullopt;
+    fp::Format F = fp::Format::fromWidth(widthOf(C->getLHS()));
+    uint64_t L = A->Val.zextOrTrunc(F.width()).getZExtValue();
+    uint64_t R = B->Val.zextOrTrunc(F.width()).getZExtValue();
+    ExecVal Out;
+    Out.UB = A->UB || B->UB;
+    Out.Poison = A->Poison || B->Poison;
+    // nnan/ninf are operand-only promises on fcmp (the i1 result cannot
+    // be NaN or Inf).
+    if (C->hasNNan() && (fp::isNaN(F, L) || fp::isNaN(F, R)))
+      Out.Poison = true;
+    if (C->hasNInf() && (fp::isInf(F, L) || fp::isInf(F, R)))
+      Out.Poison = true;
+    bool V = fp::cmp(F, static_cast<fp::Pred>(C->getCond()), L, R);
     Out.Val = APInt(1, V ? 1 : 0);
     return Out;
   }
@@ -415,6 +460,14 @@ std::optional<ExecVal> ConcreteEval::eval(const Value *V) {
     Out = E;
     break;
   }
+  case ValueKind::ConstFP: {
+    fp::Format F = fp::Format::fromWidth(widthOf(V));
+    ExecVal E;
+    E.Val = APInt(F.width(),
+                  fp::doubleToBits(F, cast<ConstantFP>(V)->getValue()));
+    Out = E;
+    break;
+  }
   case ValueKind::Undef:
     return std::nullopt; // per-occurrence freedom needs the solver
   default:
@@ -432,6 +485,7 @@ bool infer::isConcretelyEvaluable(const Transform &T) {
     switch (I->getKind()) {
     case ValueKind::BinOp:
     case ValueKind::ICmp:
+    case ValueKind::FCmp:
     case ValueKind::Select:
     case ValueKind::Copy:
       break;

@@ -6,6 +6,9 @@
 
 #include "infer/Examples.h"
 
+#include "ir/Instr.h"
+#include "support/FloatFormat.h"
+
 #include <algorithm>
 #include <set>
 
@@ -123,6 +126,25 @@ enumerateTuples(const std::vector<unsigned> &Widths, unsigned Cap,
   return Out;
 }
 
+/// Concrete mirror of Encoder::rootsEquivalent: FP roots treat every NaN
+/// payload as one abstract value, and an nsz source root identifies the
+/// two zeros. Everything else compares bit for bit.
+bool rootValuesEqual(const Transform &T, const typing::TypeAssignment &Types,
+                     unsigned PtrWidth, const APInt &S, const APInt &G) {
+  if (S == G)
+    return true;
+  const Value *Root = T.getSrcRoot();
+  const Type &Ty = Types[Root->getTypeVar()];
+  if (!Ty.isFP())
+    return false;
+  fp::Format F = fp::Format::fromWidth(Ty.widthBits(PtrWidth));
+  uint64_t X = S.getZExtValue(), Y = G.getZExtValue();
+  if (fp::isNaN(F, X) && fp::isNaN(F, Y))
+    return true;
+  const auto *B = dyn_cast<BinOp>(Root);
+  return B && B->hasNSZ() && fp::isZero(F, X) && fp::isZero(F, Y);
+}
+
 } // namespace
 
 std::vector<std::map<std::string, APInt>>
@@ -168,7 +190,8 @@ ExampleGen::isPositive(const std::map<std::string, APInt> &Consts) {
       return std::nullopt;
     if (G->UB || G->Poison)
       return false;
-    if (RootsComparable && G->Val != S->Val)
+    if (RootsComparable &&
+        !rootValuesEqual(T, Types, PtrWidth, S->Val, G->Val))
       return false;
   }
   return true;

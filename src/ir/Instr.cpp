@@ -39,9 +39,28 @@ const char *ir::binOpcodeName(BinOpcode Op) {
     return "or";
   case BinOpcode::Xor:
     return "xor";
+  case BinOpcode::FAdd:
+    return "fadd";
+  case BinOpcode::FSub:
+    return "fsub";
+  case BinOpcode::FMul:
+    return "fmul";
   }
   return "?";
 }
+
+bool ir::binOpIsFP(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+  case BinOpcode::FMul:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::binOpSupportsFastMath(BinOpcode Op) { return binOpIsFP(Op); }
 
 bool ir::binOpSupportsWrapFlags(BinOpcode Op) {
   switch (Op) {
@@ -93,6 +112,44 @@ const char *ir::icmpCondName(ICmpCond C) {
   return "?";
 }
 
+const char *ir::fcmpCondName(FCmpCond C) {
+  switch (C) {
+  case FCmpCond::False:
+    return "false";
+  case FCmpCond::OEQ:
+    return "oeq";
+  case FCmpCond::OGT:
+    return "ogt";
+  case FCmpCond::OGE:
+    return "oge";
+  case FCmpCond::OLT:
+    return "olt";
+  case FCmpCond::OLE:
+    return "ole";
+  case FCmpCond::ONE:
+    return "one";
+  case FCmpCond::ORD:
+    return "ord";
+  case FCmpCond::UEQ:
+    return "ueq";
+  case FCmpCond::UGT:
+    return "ugt";
+  case FCmpCond::UGE:
+    return "uge";
+  case FCmpCond::ULT:
+    return "ult";
+  case FCmpCond::ULE:
+    return "ule";
+  case FCmpCond::UNE:
+    return "une";
+  case FCmpCond::UNO:
+    return "uno";
+  case FCmpCond::True:
+    return "true";
+  }
+  return "?";
+}
+
 const char *ir::convOpcodeName(ConvOpcode Op) {
   switch (Op) {
   case ConvOpcode::ZExt:
@@ -119,11 +176,29 @@ std::string BinOp::str() const {
     S += " nuw";
   if (isExact())
     S += " exact";
+  if (hasNNan())
+    S += " nnan";
+  if (hasNInf())
+    S += " ninf";
+  if (hasNSZ())
+    S += " nsz";
   return S + " " + getLHS()->operandStr() + ", " + getRHS()->operandStr();
 }
 
 std::string ICmp::str() const {
   return Name + " = icmp " + std::string(icmpCondName(Cond)) + " " +
+         getLHS()->operandStr() + ", " + getRHS()->operandStr();
+}
+
+std::string FCmp::str() const {
+  std::string S = Name + " = fcmp";
+  if (hasNNan())
+    S += " nnan";
+  if (hasNInf())
+    S += " ninf";
+  if (Flags & AttrNSZ)
+    S += " nsz";
+  return S + " " + std::string(fcmpCondName(Cond)) + " " +
          getLHS()->operandStr() + ", " + getRHS()->operandStr();
 }
 

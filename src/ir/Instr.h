@@ -51,7 +51,8 @@ protected:
   std::vector<Value *> Operands;
 };
 
-/// Binary integer operation opcodes (Figure 1's binop).
+/// Binary operation opcodes (Figure 1's binop, plus the IEEE-754
+/// LifeJacket extension fadd/fsub/fmul).
 enum class BinOpcode {
   Add,
   Sub,
@@ -66,14 +67,23 @@ enum class BinOpcode {
   And,
   Or,
   Xor,
+  FAdd,
+  FSub,
+  FMul,
 };
 
-/// Instruction attributes that weaken behavior (Section 2.4).
+/// Instruction attributes that weaken behavior (Section 2.4). The
+/// fast-math flags nnan/ninf/nsz mirror LLVM: nnan and ninf make NaN /
+/// infinity operands or results poison, nsz relaxes the sign of zero
+/// results (a refinement relaxation, not a poison source).
 enum AttrFlags : unsigned {
   AttrNone = 0,
   AttrNSW = 1 << 0,   ///< no signed wrap
   AttrNUW = 1 << 1,   ///< no unsigned wrap
   AttrExact = 1 << 2, ///< division/shift must be lossless
+  AttrNNan = 1 << 3,  ///< no NaNs: NaN in or out is poison
+  AttrNInf = 1 << 4,  ///< no infinities: Inf in or out is poison
+  AttrNSZ = 1 << 5,   ///< no signed zeros: -0.0 and +0.0 interchangeable
 };
 
 const char *binOpcodeName(BinOpcode Op);
@@ -82,8 +92,12 @@ const char *binOpcodeName(BinOpcode Op);
 bool binOpSupportsWrapFlags(BinOpcode Op);
 /// True if \p Op may carry exact (udiv, sdiv, lshr, ashr).
 bool binOpSupportsExact(BinOpcode Op);
+/// True for the floating-point opcodes (fadd, fsub, fmul).
+bool binOpIsFP(BinOpcode Op);
+/// True if \p Op may carry fast-math flags (the FP opcodes).
+bool binOpSupportsFastMath(BinOpcode Op);
 
-/// An integer binary operation: `%d = add nsw %a, %b`.
+/// A binary operation: `%d = add nsw %a, %b` or `%d = fadd nnan %a, %b`.
 class BinOp final : public Instr {
 public:
   BinOp(std::string Name, BinOpcode Op, Value *LHS, Value *RHS,
@@ -97,6 +111,9 @@ public:
   bool hasNSW() const { return Flags & AttrNSW; }
   bool hasNUW() const { return Flags & AttrNUW; }
   bool isExact() const { return Flags & AttrExact; }
+  bool hasNNan() const { return Flags & AttrNNan; }
+  bool hasNInf() const { return Flags & AttrNInf; }
+  bool hasNSZ() const { return Flags & AttrNSZ; }
 
   Value *getLHS() const { return getOperand(0); }
   Value *getRHS() const { return getOperand(1); }
@@ -135,6 +152,58 @@ public:
 
 private:
   ICmpCond Cond;
+};
+
+/// Comparison predicates for fcmp. The o-prefixed predicates are ordered
+/// (false when either operand is NaN), the u-prefixed ones unordered (true
+/// when either operand is NaN); ord/uno test orderedness alone.
+enum class FCmpCond {
+  False,
+  OEQ,
+  OGT,
+  OGE,
+  OLT,
+  OLE,
+  ONE,
+  ORD,
+  UEQ,
+  UGT,
+  UGE,
+  ULT,
+  ULE,
+  UNE,
+  UNO,
+  True,
+};
+
+const char *fcmpCondName(FCmpCond C);
+
+/// `%c = fcmp olt %a, %b` — always yields i1; operands are FP. May carry
+/// fast-math flags like an FP binop.
+class FCmp final : public Instr {
+public:
+  FCmp(std::string Name, FCmpCond Cond, Value *LHS, Value *RHS,
+       unsigned Flags = AttrNone)
+      : Instr(ValueKind::FCmp, std::move(Name), {LHS, RHS}), Cond(Cond),
+        Flags(Flags) {}
+
+  FCmpCond getCond() const { return Cond; }
+  unsigned getFlags() const { return Flags; }
+  void setFlags(unsigned F) { Flags = F; }
+  bool hasNNan() const { return Flags & AttrNNan; }
+  bool hasNInf() const { return Flags & AttrNInf; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  std::string str() const override;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::FCmp;
+  }
+
+private:
+  FCmpCond Cond;
+  unsigned Flags;
 };
 
 /// `%r = select %c, %a, %b`.

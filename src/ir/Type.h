@@ -17,6 +17,7 @@
 #define ALIVE_IR_TYPE_H
 
 #include <cassert>
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -27,7 +28,7 @@ namespace ir {
 /// types are shared).
 class Type {
 public:
-  enum class Kind { Int, Ptr, Array, Void };
+  enum class Kind { Int, Ptr, Array, Void, Half, Float, Double };
 
   Type() : K(Kind::Void) {}
 
@@ -52,14 +53,38 @@ public:
     return T;
   }
   static Type voidTy() { return Type(); }
+  static Type halfTy() {
+    Type T;
+    T.K = Kind::Half;
+    return T;
+  }
+  static Type floatTy() {
+    Type T;
+    T.K = Kind::Float;
+    return T;
+  }
+  static Type doubleTy() {
+    Type T;
+    T.K = Kind::Double;
+    return T;
+  }
+  /// The FP type of a given total bit width (16/32/64).
+  static Type fpTyFromWidth(unsigned Width) {
+    assert((Width == 16 || Width == 32 || Width == 64) &&
+           "unsupported FP width");
+    return Width == 16 ? halfTy() : Width == 32 ? floatTy() : doubleTy();
+  }
 
   Kind getKind() const { return K; }
   bool isInt() const { return K == Kind::Int; }
   bool isPtr() const { return K == Kind::Ptr; }
   bool isArray() const { return K == Kind::Array; }
   bool isVoid() const { return K == Kind::Void; }
-  /// First-class types can be instruction results (FC = I ∪ P).
-  bool isFirstClass() const { return isInt() || isPtr(); }
+  bool isFP() const {
+    return K == Kind::Half || K == Kind::Float || K == Kind::Double;
+  }
+  /// First-class types can be instruction results (FC = I ∪ P ∪ FP).
+  bool isFirstClass() const { return isInt() || isPtr() || isFP(); }
 
   unsigned getIntWidth() const {
     assert(isInt() && "not an integer type");
@@ -74,11 +99,17 @@ public:
     return *Elem;
   }
 
-  /// The width(.) function from Figure 3: bit width of an integer, or the
-  /// pointer width for pointers.
+  /// The width(.) function from Figure 3: bit width of an integer or FP
+  /// value, or the pointer width for pointers.
   unsigned widthBits(unsigned PtrWidth) const {
     if (isInt())
       return Width;
+    if (K == Kind::Half)
+      return 16;
+    if (K == Kind::Float)
+      return 32;
+    if (K == Kind::Double)
+      return 64;
     assert(isPtr() && "width of a non-first-class type");
     return PtrWidth;
   }
@@ -96,6 +127,9 @@ public:
       return false;
     switch (K) {
     case Kind::Void:
+    case Kind::Half:
+    case Kind::Float:
+    case Kind::Double:
       return true;
     case Kind::Int:
       return Width == RHS.Width;
@@ -108,10 +142,35 @@ public:
   }
   bool operator!=(const Type &RHS) const { return !(*this == RHS); }
 
+  /// Structural hash, consistent with operator==.
+  size_t hash() const {
+    size_t H = static_cast<size_t>(K) * 0x9e3779b97f4a7c15ULL;
+    switch (K) {
+    case Kind::Void:
+    case Kind::Half:
+    case Kind::Float:
+    case Kind::Double:
+      return H;
+    case Kind::Int:
+      return H ^ (static_cast<size_t>(Width) << 8);
+    case Kind::Ptr:
+      return H ^ (Elem->hash() * 31);
+    case Kind::Array:
+      return H ^ (static_cast<size_t>(Width) << 8) ^ (Elem->hash() * 31);
+    }
+    return H;
+  }
+
   std::string str() const {
     switch (K) {
     case Kind::Void:
       return "void";
+    case Kind::Half:
+      return "half";
+    case Kind::Float:
+      return "float";
+    case Kind::Double:
+      return "double";
     case Kind::Int:
       return "i" + std::to_string(Width);
     case Kind::Ptr:

@@ -42,10 +42,12 @@ enum class ValueKind {
   Input,     ///< input variable %x
   ConstSym,  ///< abstract constant C1
   ConstVal,  ///< constant expression operand (literal or compound)
+  ConstFP,   ///< floating-point literal such as 0.5 or -0.0
   Undef,     ///< one textual occurrence of `undef`
   // Instructions:
   BinOp,
   ICmp,
+  FCmp,
   Select,
   Conv,
   Alloca,
@@ -126,6 +128,30 @@ public:
 
 private:
   std::unique_ptr<ConstExpr> Expr;
+};
+
+/// A floating-point literal operand such as `0.5`, `-0.0` or `1.5e2`.
+/// Holds the host-double value plus the exact source spelling so printing
+/// round-trips byte-identically; the encoder converts the double to the
+/// operand's concrete format (half/float/double) per the type assignment.
+class ConstantFP final : public Value {
+public:
+  ConstantFP(std::string Spelling, double Val)
+      : Value(ValueKind::ConstFP, Spelling), Val(Val),
+        Spelling(std::move(Spelling)) {}
+
+  double getValue() const { return Val; }
+  const std::string &getSpelling() const { return Spelling; }
+
+  std::string operandStr() const override { return Spelling; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstFP;
+  }
+
+private:
+  double Val;
+  std::string Spelling;
 };
 
 /// One textual occurrence of `undef`. Every occurrence is a distinct

@@ -6,6 +6,8 @@
 
 #include "liteir/Interp.h"
 
+#include "support/FloatFormat.h"
+
 #include <map>
 #include <random>
 
@@ -132,6 +134,41 @@ private:
         break;
       }
       return RtValue::of(APInt(1, R));
+    }
+
+    if (I.getOpcode() == Opcode::FCmp) {
+      if (A.Poison || B.Poison)
+        return RtValue::poison(1);
+      fp::Format F = fp::Format::fromWidth(I.getOperand(0)->getWidth());
+      uint64_t X = A.V.getZExtValue(), Y = B.V.getZExtValue();
+      // nnan/ninf are operand-level promises here — the i1 result cannot
+      // itself be a NaN or infinity.
+      if (I.hasNNan() && (fp::isNaN(F, X) || fp::isNaN(F, Y)))
+        return RtValue::poison(1);
+      if (I.hasNInf() && (fp::isInf(F, X) || fp::isInf(F, Y)))
+        return RtValue::poison(1);
+      bool R = fp::cmp(F, static_cast<fp::Pred>(I.getFPredicate()), X, Y);
+      return RtValue::of(APInt(1, R));
+    }
+
+    if (isFPOp(I.getOpcode())) {
+      // FP arithmetic is never UB; nnan/ninf promise NaN/Inf-free
+      // operands *and* result (mirroring the verifier's encoding), nsz is
+      // a refinement relaxation and introduces no poison.
+      if (A.Poison || B.Poison)
+        return RtValue::poison(W);
+      fp::Format F = fp::Format::fromWidth(W);
+      uint64_t X = A.V.getZExtValue(), Y = B.V.getZExtValue();
+      uint64_t R = I.getOpcode() == Opcode::FAdd   ? fp::add(F, X, Y)
+                   : I.getOpcode() == Opcode::FSub ? fp::sub(F, X, Y)
+                                                   : fp::mul(F, X, Y);
+      if (I.hasNNan() &&
+          (fp::isNaN(F, X) || fp::isNaN(F, Y) || fp::isNaN(F, R)))
+        return RtValue::poison(W);
+      if (I.hasNInf() &&
+          (fp::isInf(F, X) || fp::isInf(F, Y) || fp::isInf(F, R)))
+        return RtValue::poison(W);
+      return RtValue::of(APInt(W, R));
     }
 
     // Table 1: definedness — checked on concrete operand *values*, so a

@@ -6,6 +6,8 @@
 
 #include "liteir/LiteIR.h"
 
+#include "support/FloatFormat.h"
+
 #include <algorithm>
 
 using namespace alive;
@@ -74,6 +76,76 @@ const char *lite::opcodeName(Opcode Op) {
     return "sext";
   case Opcode::Trunc:
     return "trunc";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FCmp:
+    return "fcmp";
+  }
+  return "?";
+}
+
+const char *lite::fpredName(FPred P) {
+  switch (P) {
+  case FPred::False:
+    return "false";
+  case FPred::OEQ:
+    return "oeq";
+  case FPred::OGT:
+    return "ogt";
+  case FPred::OGE:
+    return "oge";
+  case FPred::OLT:
+    return "olt";
+  case FPred::OLE:
+    return "ole";
+  case FPred::ONE:
+    return "one";
+  case FPred::ORD:
+    return "ord";
+  case FPred::UEQ:
+    return "ueq";
+  case FPred::UGT:
+    return "ugt";
+  case FPred::UGE:
+    return "uge";
+  case FPred::ULT:
+    return "ult";
+  case FPred::ULE:
+    return "ule";
+  case FPred::UNE:
+    return "une";
+  case FPred::UNO:
+    return "uno";
+  case FPred::True:
+    return "true";
+  }
+  return "?";
+}
+
+bool lite::isFPOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FCmp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *lite::fpTypeName(unsigned Width) {
+  switch (Width) {
+  case 16:
+    return "half";
+  case 32:
+    return "float";
+  case 64:
+    return "double";
   }
   return "?";
 }
@@ -107,6 +179,7 @@ const char *lite::predName(Pred P) {
 bool lite::isBinaryOp(Opcode Op) {
   switch (Op) {
   case Opcode::ICmp:
+  case Opcode::FCmp:
   case Opcode::Select:
   case Opcode::ZExt:
   case Opcode::SExt:
@@ -147,19 +220,34 @@ std::string Instruction::str() const {
          getOperand(0)->operandStr() + ", " + getOperand(1)->operandStr();
     return S;
   }
-  S += opcodeName(Op);
+  std::string Flags;
   if (hasNSW())
-    S += " nsw";
+    Flags += " nsw";
   if (hasNUW())
-    S += " nuw";
+    Flags += " nuw";
   if (isExact())
-    S += " exact";
+    Flags += " exact";
+  if (hasNNan())
+    Flags += " nnan";
+  if (hasNInf())
+    Flags += " ninf";
+  if (hasNSZ())
+    Flags += " nsz";
+  if (Op == Opcode::FCmp) {
+    S += "fcmp" + Flags + " " + fpredName(FP) + " " +
+         fpTypeName(getOperand(0)->getWidth()) + " " +
+         getOperand(0)->operandStr() + ", " + getOperand(1)->operandStr();
+    return S;
+  }
+  S += opcodeName(Op);
+  S += Flags;
   if (Op == Opcode::ZExt || Op == Opcode::SExt || Op == Opcode::Trunc) {
     S += " i" + std::to_string(getOperand(0)->getWidth()) + " " +
          getOperand(0)->operandStr() + " to i" + std::to_string(getWidth());
     return S;
   }
-  S += " i" + std::to_string(getWidth());
+  S += isFPOp(Op) ? " " + std::string(fpTypeName(getWidth()))
+                  : " i" + std::to_string(getWidth());
   for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
     S += std::string(I ? "," : "") + " " + getOperand(I)->operandStr();
   return S;
@@ -225,6 +313,16 @@ Instruction *Function::createICmp(Pred P, LValue *L, LValue *R,
   return I;
 }
 
+Instruction *Function::createFCmp(FPred P, LValue *L, LValue *R,
+                                  unsigned Flags, std::string Name) {
+  assert(L->getWidth() == R->getWidth());
+  Instruction *I = insert(nullptr, Opcode::FCmp, 1, {L, R}, Flags, Pred::EQ);
+  I->FP = P;
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return I;
+}
+
 Instruction *Function::createSelect(LValue *C, LValue *T, LValue *E,
                                     std::string Name) {
   assert(C->getWidth() == 1 && T->getWidth() == E->getWidth());
@@ -255,6 +353,14 @@ Instruction *Function::insertBinOpBefore(Instruction *Before, Opcode Op,
 Instruction *Function::insertICmpBefore(Instruction *Before, Pred P,
                                         LValue *L, LValue *R) {
   return insert(Before, Opcode::ICmp, 1, {L, R}, LFNone, P);
+}
+
+Instruction *Function::insertFCmpBefore(Instruction *Before, FPred P,
+                                        LValue *L, LValue *R,
+                                        unsigned Flags) {
+  Instruction *I = insert(Before, Opcode::FCmp, 1, {L, R}, Flags, Pred::EQ);
+  I->FP = P;
+  return I;
 }
 
 Instruction *Function::insertSelectBefore(Instruction *Before, LValue *C,
@@ -303,6 +409,16 @@ Status Function::verify() const {
         return Status::error("function " + Name + ": %" + I->getName() +
                              " uses a value before its definition");
     }
+    // Flag legality: fast-math only on FP opcodes, wrap/exact only on
+    // integer ones.
+    if (!isFPOp(I->getOpcode()) &&
+        (I->getFlags() & (LFNNan | LFNInf | LFNSZ)))
+      return Status::error("function " + Name + ": fast-math flags on %" +
+                           I->getName());
+    if (isFPOp(I->getOpcode()) &&
+        (I->getFlags() & (LFNSW | LFNUW | LFExact)))
+      return Status::error("function " + Name +
+                           ": integer flags on FP op %" + I->getName());
     // Width checks.
     switch (I->getOpcode()) {
     case Opcode::ICmp:
@@ -310,6 +426,22 @@ Status Function::verify() const {
           I->getOperand(0)->getWidth() != I->getOperand(1)->getWidth())
         return Status::error("function " + Name + ": malformed icmp %" +
                              I->getName());
+      break;
+    case Opcode::FCmp:
+      if (I->getWidth() != 1 ||
+          I->getOperand(0)->getWidth() != I->getOperand(1)->getWidth() ||
+          !fp::Format::isFPWidth(I->getOperand(0)->getWidth()))
+        return Status::error("function " + Name + ": malformed fcmp %" +
+                             I->getName());
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+      if (!fp::Format::isFPWidth(I->getWidth()) ||
+          I->getWidth() != I->getOperand(0)->getWidth() ||
+          I->getWidth() != I->getOperand(1)->getWidth())
+        return Status::error("function " + Name +
+                             ": malformed FP binop %" + I->getName());
       break;
     case Opcode::Select:
       if (I->getOperand(0)->getWidth() != 1 ||

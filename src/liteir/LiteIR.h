@@ -108,7 +108,10 @@ public:
   }
 };
 
-/// Instruction opcodes: the Figure 1 integer subset.
+/// Instruction opcodes: the Figure 1 integer subset plus the LifeJacket
+/// floating-point extension. FP values are IEEE bit patterns carried at
+/// the value's width (16 = half, 32 = float, 64 = double); the opcode is
+/// what reinterprets the bits.
 enum class Opcode {
   Add,
   Sub,
@@ -128,22 +131,56 @@ enum class Opcode {
   ZExt,
   SExt,
   Trunc,
+  FAdd,
+  FSub,
+  FMul,
+  FCmp,
 };
 
 /// icmp predicates.
 enum class Pred { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE };
 
-/// nsw/nuw/exact flag bits (shared values with ir::AttrFlags).
+/// fcmp predicates — the 16 LLVM conditions, in ir::FCmpCond order.
+enum class FPred {
+  False,
+  OEQ,
+  OGT,
+  OGE,
+  OLT,
+  OLE,
+  ONE,
+  ORD,
+  UEQ,
+  UGT,
+  UGE,
+  ULT,
+  ULE,
+  UNE,
+  UNO,
+  True,
+};
+
+/// nsw/nuw/exact and fast-math flag bits (shared values with
+/// ir::AttrFlags).
 enum LFlags : unsigned {
   LFNone = 0,
   LFNSW = 1 << 0,
   LFNUW = 1 << 1,
   LFExact = 1 << 2,
+  LFNNan = 1 << 3,
+  LFNInf = 1 << 4,
+  LFNSZ = 1 << 5,
 };
 
 const char *opcodeName(Opcode Op);
 const char *predName(Pred P);
+const char *fpredName(FPred P);
 bool isBinaryOp(Opcode Op);
+/// True for fadd/fsub/fmul/fcmp — the opcodes whose operands are IEEE bit
+/// patterns and which accept fast-math flags.
+bool isFPOp(Opcode Op);
+/// "half"/"float"/"double" for an FP value width.
+const char *fpTypeName(unsigned Width);
 
 /// An SSA instruction. Owned by its Function, in program order.
 class Instruction final : public LValue {
@@ -154,9 +191,16 @@ public:
   bool hasNSW() const { return Flags & LFNSW; }
   bool hasNUW() const { return Flags & LFNUW; }
   bool isExact() const { return Flags & LFExact; }
+  bool hasNNan() const { return Flags & LFNNan; }
+  bool hasNInf() const { return Flags & LFNInf; }
+  bool hasNSZ() const { return Flags & LFNSZ; }
   Pred getPredicate() const {
     assert(Op == Opcode::ICmp);
     return P;
+  }
+  FPred getFPredicate() const {
+    assert(Op == Opcode::FCmp);
+    return FP;
   }
 
   unsigned getNumOperands() const {
@@ -193,6 +237,7 @@ private:
   Opcode Op;
   unsigned Flags;
   Pred P;
+  FPred FP = FPred::False;
   std::vector<LValue *> Operands;
 };
 
@@ -214,6 +259,8 @@ public:
                            unsigned Flags = LFNone, std::string Name = "");
   Instruction *createICmp(Pred P, LValue *L, LValue *R,
                           std::string Name = "");
+  Instruction *createFCmp(FPred P, LValue *L, LValue *R,
+                          unsigned Flags = LFNone, std::string Name = "");
   Instruction *createSelect(LValue *C, LValue *T, LValue *E,
                             std::string Name = "");
   Instruction *createCast(Opcode Op, LValue *V, unsigned DstWidth,
@@ -224,6 +271,8 @@ public:
                                  LValue *R, unsigned Flags = LFNone);
   Instruction *insertICmpBefore(Instruction *Before, Pred P, LValue *L,
                                 LValue *R);
+  Instruction *insertFCmpBefore(Instruction *Before, FPred P, LValue *L,
+                                LValue *R, unsigned Flags = LFNone);
   Instruction *insertSelectBefore(Instruction *Before, LValue *C, LValue *T,
                                   LValue *E);
   Instruction *insertCastBefore(Instruction *Before, Opcode Op, LValue *V,

@@ -116,6 +116,9 @@ ALIVE_DEFINE_BINOP_MATCHER(m_AShr, Opcode::AShr)
 ALIVE_DEFINE_BINOP_MATCHER(m_And, Opcode::And)
 ALIVE_DEFINE_BINOP_MATCHER(m_Or, Opcode::Or)
 ALIVE_DEFINE_BINOP_MATCHER(m_Xor, Opcode::Xor)
+ALIVE_DEFINE_BINOP_MATCHER(m_FAdd, Opcode::FAdd)
+ALIVE_DEFINE_BINOP_MATCHER(m_FSub, Opcode::FSub)
+ALIVE_DEFINE_BINOP_MATCHER(m_FMul, Opcode::FMul)
 #undef ALIVE_DEFINE_BINOP_MATCHER
 
 /// Matches `xor %x, -1` — LLVM's m_Not.

@@ -67,6 +67,24 @@ bool parseIntType(const std::string &S, unsigned &Width) {
   return Width >= 1 && Width <= 64;
 }
 
+/// iN or an FP keyword; FP values travel as bit patterns at the format's
+/// width.
+bool parseAnyType(const std::string &S, unsigned &Width) {
+  if (S == "half") {
+    Width = 16;
+    return true;
+  }
+  if (S == "float") {
+    Width = 32;
+    return true;
+  }
+  if (S == "double") {
+    Width = 64;
+    return true;
+  }
+  return parseIntType(S, Width);
+}
+
 struct Parser {
   std::map<std::string, LValue *> Names;
   std::unique_ptr<Function> F;
@@ -132,6 +150,12 @@ struct Parser {
         Flags |= LFNUW;
       else if (L.accept("exact"))
         Flags |= LFExact;
+      else if (L.accept("nnan"))
+        Flags |= LFNNan;
+      else if (L.accept("ninf"))
+        Flags |= LFNInf;
+      else if (L.accept("nsz"))
+        Flags |= LFNSZ;
       else
         break;
     }
@@ -143,17 +167,25 @@ struct Parser {
         {"srem", Opcode::SRem}, {"shl", Opcode::Shl},
         {"lshr", Opcode::LShr}, {"ashr", Opcode::AShr},
         {"and", Opcode::And},   {"or", Opcode::Or},
-        {"xor", Opcode::Xor}};
+        {"xor", Opcode::Xor},   {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul}};
     static const std::map<std::string, Pred> Preds = {
         {"eq", Pred::EQ},   {"ne", Pred::NE},   {"ugt", Pred::UGT},
         {"uge", Pred::UGE}, {"ult", Pred::ULT}, {"ule", Pred::ULE},
         {"sgt", Pred::SGT}, {"sge", Pred::SGE}, {"slt", Pred::SLT},
         {"sle", Pred::SLE}};
+    static const std::map<std::string, FPred> FPreds = {
+        {"false", FPred::False}, {"oeq", FPred::OEQ}, {"ogt", FPred::OGT},
+        {"oge", FPred::OGE},     {"olt", FPred::OLT}, {"ole", FPred::OLE},
+        {"one", FPred::ONE},     {"ord", FPred::ORD}, {"ueq", FPred::UEQ},
+        {"ugt", FPred::UGT},     {"uge", FPred::UGE}, {"ult", FPred::ULT},
+        {"ule", FPred::ULE},     {"une", FPred::UNE}, {"uno", FPred::UNO},
+        {"true", FPred::True}};
 
     Instruction *I = nullptr;
     if (auto It = BinOps.find(Op); It != BinOps.end()) {
       unsigned W;
-      if (!parseIntType(L.next(), W))
+      if (!parseAnyType(L.next(), W))
         return fail("expected a type in " + Op);
       LValue *A = operand(L, W);
       if (!A || !L.accept(","))
@@ -162,6 +194,20 @@ struct Parser {
       if (!B)
         return false;
       I = F->createBinOp(It->second, A, B, Flags);
+    } else if (Op == "fcmp") {
+      auto PIt = FPreds.find(L.next());
+      if (PIt == FPreds.end())
+        return fail("bad fcmp predicate");
+      unsigned W;
+      if (!parseAnyType(L.next(), W))
+        return fail("expected a type in fcmp");
+      LValue *A = operand(L, W);
+      if (!A || !L.accept(","))
+        return fail("malformed fcmp");
+      LValue *B = operand(L, W);
+      if (!B)
+        return false;
+      I = F->createFCmp(PIt->second, A, B, Flags);
     } else if (Op == "icmp") {
       auto PIt = Preds.find(L.next());
       if (PIt == Preds.end())

@@ -7,6 +7,7 @@
 #include "parser/Lexer.h"
 
 #include <cctype>
+#include <cstdlib>
 
 using namespace alive;
 using namespace alive::parser;
@@ -101,6 +102,37 @@ void Lexer::run() {
         while (J < N && std::isdigit(static_cast<unsigned char>(Input[J]))) {
           Val = Val * 10 + (Input[J] - '0');
           ++J;
+        }
+        // A floating-point literal: digits '.' digits, with an optional
+        // e[+-]digits exponent. The '.' must be followed by a digit so a
+        // hypothetical trailing period stays an error, not a silent FP.
+        if (J + 1 < N && Input[J] == '.' &&
+            std::isdigit(static_cast<unsigned char>(Input[J + 1]))) {
+          size_t K = J + 1;
+          while (K < N && std::isdigit(static_cast<unsigned char>(Input[K])))
+            ++K;
+          if (K < N && (Input[K] == 'e' || Input[K] == 'E')) {
+            size_t Ex = K + 1;
+            if (Ex < N && (Input[Ex] == '+' || Input[Ex] == '-'))
+              ++Ex;
+            if (Ex < N && std::isdigit(static_cast<unsigned char>(Input[Ex]))) {
+              ++Ex;
+              while (Ex < N &&
+                     std::isdigit(static_cast<unsigned char>(Input[Ex])))
+                ++Ex;
+              K = Ex;
+            }
+          }
+          std::string Spelling = Input.substr(I, K - I);
+          Token T;
+          T.Kind = TokKind::FPLit;
+          T.Text = Spelling;
+          T.FPVal = std::strtod(Spelling.c_str(), nullptr);
+          T.Line = TokLine;
+          T.Col = TokCol;
+          Toks.push_back(std::move(T));
+          I = K;
+          continue;
         }
       }
       addTok(TokKind::Int, TokLine, TokCol, "", Val);

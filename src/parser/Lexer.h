@@ -28,6 +28,7 @@ enum class TokKind {
   Ident,    ///< bare identifier: opcodes, predicates, C1, i8, undef...
   Reg,      ///< %name (text excludes the sigil)
   Int,      ///< integer literal
+  FPLit,    ///< floating-point literal (spelling in Text, value in FPVal)
   Comma,
   Equals,
   Arrow,    ///< =>
@@ -71,6 +72,7 @@ struct Token {
   TokKind Kind = TokKind::Eof;
   std::string Text;  ///< identifier/register text or Name: payload
   int64_t IntVal = 0;
+  double FPVal = 0.0; ///< value of a FPLit token
   unsigned Line = 0; ///< 1-based source line (for diagnostics)
   unsigned Col = 0;
 };

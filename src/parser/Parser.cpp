@@ -8,6 +8,8 @@
 
 #include "parser/Lexer.h"
 
+#include <cmath>
+#include <limits>
 #include <map>
 
 using namespace alive;
@@ -135,13 +137,16 @@ private:
 
   // --- Types ------------------------------------------------------------------
 
-  /// True when the current token begins a type (iN, [N x ty], with '*'s).
+  /// True when the current token begins a type (iN, half/float/double,
+  /// [N x ty], with '*'s).
   bool atType() const {
     if (at(TokKind::LBracket))
       return true;
     if (!at(TokKind::Ident))
       return false;
     const std::string &S = cur().Text;
+    if (S == "half" || S == "float" || S == "double")
+      return true;
     if (S.size() < 2 || S[0] != 'i')
       return false;
     for (size_t I = 1; I != S.size(); ++I)
@@ -152,6 +157,27 @@ private:
 
   Result<Type> parseType() {
     Type Base;
+    if (at(TokKind::Ident) && cur().Text == "half") {
+      eat();
+      Base = Type::halfTy();
+      while (accept(TokKind::Star))
+        Base = Type::ptrTy(Base);
+      return Base;
+    }
+    if (at(TokKind::Ident) && cur().Text == "float") {
+      eat();
+      Base = Type::floatTy();
+      while (accept(TokKind::Star))
+        Base = Type::ptrTy(Base);
+      return Base;
+    }
+    if (at(TokKind::Ident) && cur().Text == "double") {
+      eat();
+      Base = Type::doubleTy();
+      while (accept(TokKind::Star))
+        Base = Type::ptrTy(Base);
+      return Base;
+    }
     if (accept(TokKind::LBracket)) {
       if (!at(TokKind::Int))
         return Result<Type>(err("expected array length"));
@@ -636,6 +662,25 @@ private:
       eat();
       V = T->create<UndefValue>("undef#" + std::to_string(UndefCounter++));
       V->setLoc(OpLoc);
+    } else if (at(TokKind::FPLit) ||
+               (at(TokKind::Minus) && Toks[Pos + 1].Kind == TokKind::FPLit)) {
+      bool Neg = accept(TokKind::Minus);
+      Token FT = eat();
+      std::string Spelling = (Neg ? "-" : "") + FT.Text;
+      V = T->create<ConstantFP>(Spelling, Neg ? -FT.FPVal : FT.FPVal);
+      V->setLoc(OpLoc);
+    } else if (atIdent("nan")) {
+      eat();
+      V = T->create<ConstantFP>("nan", std::nan(""));
+      V->setLoc(OpLoc);
+    } else if (atIdent("inf") ||
+               (at(TokKind::Minus) && Toks[Pos + 1].Kind == TokKind::Ident &&
+                Toks[Pos + 1].Text == "inf")) {
+      bool Neg = accept(TokKind::Minus);
+      eat();
+      double Inf = std::numeric_limits<double>::infinity();
+      V = T->create<ConstantFP>(Neg ? "-inf" : "inf", Neg ? -Inf : Inf);
+      V->setLoc(OpLoc);
     } else if (atIdent("true") || atIdent("false")) {
       bool B = eat().Text == "true";
       V = T->create<ConstExprValue>(B ? "true" : "false",
@@ -663,7 +708,8 @@ private:
         {"srem", BinOpcode::SRem}, {"shl", BinOpcode::Shl},
         {"lshr", BinOpcode::LShr}, {"ashr", BinOpcode::AShr},
         {"and", BinOpcode::And},   {"or", BinOpcode::Or},
-        {"xor", BinOpcode::Xor},
+        {"xor", BinOpcode::Xor},   {"fadd", BinOpcode::FAdd},
+        {"fsub", BinOpcode::FSub}, {"fmul", BinOpcode::FMul},
     };
     for (const auto &[Name, B] : Map)
       if (S == Name) {
@@ -773,6 +819,10 @@ private:
         eat();
         return parseICmp(Name);
       }
+      if (Id == "fcmp") {
+        eat();
+        return parseFCmp(Name);
+      }
       if (Id == "select") {
         eat();
         return parseSelect(Name);
@@ -802,7 +852,9 @@ private:
     return expectEol();
   }
 
-  Status parseBinOp(const std::string &Name, BinOpcode Op) {
+  /// Parses any run of instruction attributes (wrap flags, exact,
+  /// fast-math flags), in any order.
+  unsigned parseAttrFlags() {
     unsigned Flags = AttrNone;
     for (;;) {
       if (atIdent("nsw")) {
@@ -814,15 +866,33 @@ private:
       } else if (atIdent("exact")) {
         eat();
         Flags |= AttrExact;
+      } else if (atIdent("nnan")) {
+        eat();
+        Flags |= AttrNNan;
+      } else if (atIdent("ninf")) {
+        eat();
+        Flags |= AttrNInf;
+      } else if (atIdent("nsz")) {
+        eat();
+        Flags |= AttrNSZ;
       } else {
         break;
       }
     }
+    return Flags;
+  }
+
+  Status parseBinOp(const std::string &Name, BinOpcode Op) {
+    unsigned Flags = parseAttrFlags();
     if ((Flags & (AttrNSW | AttrNUW)) && !binOpSupportsWrapFlags(Op))
       return err(std::string(binOpcodeName(Op)) +
                  " does not support nsw/nuw");
     if ((Flags & AttrExact) && !binOpSupportsExact(Op))
       return err(std::string(binOpcodeName(Op)) + " does not support exact");
+    if ((Flags & (AttrNNan | AttrNInf | AttrNSZ)) &&
+        !binOpSupportsFastMath(Op))
+      return err(std::string(binOpcodeName(Op)) +
+                 " does not support fast-math flags");
 
     Type Annot;
     bool HasAnnot = false;
@@ -882,6 +952,47 @@ private:
     if (!R.ok())
       return R.status();
     Instr *I = T->create<ICmp>(Name, Cond, L.get(), R.get());
+    T->fixType(I, Type::intTy(1));
+    define(Name, I);
+    return expectEol();
+  }
+
+  bool isFCmpCond(const std::string &S, FCmpCond &C) const {
+    static const std::pair<const char *, FCmpCond> Map[] = {
+        {"false", FCmpCond::False}, {"oeq", FCmpCond::OEQ},
+        {"ogt", FCmpCond::OGT},     {"oge", FCmpCond::OGE},
+        {"olt", FCmpCond::OLT},     {"ole", FCmpCond::OLE},
+        {"one", FCmpCond::ONE},     {"ord", FCmpCond::ORD},
+        {"ueq", FCmpCond::UEQ},     {"ugt", FCmpCond::UGT},
+        {"uge", FCmpCond::UGE},     {"ult", FCmpCond::ULT},
+        {"ule", FCmpCond::ULE},     {"une", FCmpCond::UNE},
+        {"uno", FCmpCond::UNO},     {"true", FCmpCond::True},
+    };
+    for (const auto &[Name, FC] : Map)
+      if (S == Name) {
+        C = FC;
+        return true;
+      }
+    return false;
+  }
+
+  Status parseFCmp(const std::string &Name) {
+    unsigned Flags = parseAttrFlags();
+    if (Flags & (AttrNSW | AttrNUW | AttrExact))
+      return err("fcmp does not support nsw/nuw/exact");
+    FCmpCond Cond = FCmpCond::OEQ;
+    if (!at(TokKind::Ident) || !isFCmpCond(cur().Text, Cond))
+      return err("expected an fcmp condition");
+    eat();
+    auto L = parseOperand();
+    if (!L.ok())
+      return L.status();
+    if (!accept(TokKind::Comma))
+      return err("expected ',' in fcmp");
+    auto R = parseOperand();
+    if (!R.ok())
+      return R.status();
+    Instr *I = T->create<FCmp>(Name, Cond, L.get(), R.get(), Flags);
     T->fixType(I, Type::intTy(1));
     define(Name, I);
     return expectEol();

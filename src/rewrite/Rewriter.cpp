@@ -7,6 +7,7 @@
 #include "rewrite/Rewriter.h"
 
 #include "liteir/KnownBits.h"
+#include "support/FloatFormat.h"
 
 using namespace alive;
 using namespace alive::ir;
@@ -43,8 +44,19 @@ lt::Opcode liteOpcode(BinOpcode Op) {
     return lt::Opcode::Or;
   case BinOpcode::Xor:
     return lt::Opcode::Xor;
+  case BinOpcode::FAdd:
+    return lt::Opcode::FAdd;
+  case BinOpcode::FSub:
+    return lt::Opcode::FSub;
+  case BinOpcode::FMul:
+    return lt::Opcode::FMul;
   }
   return lt::Opcode::Add;
+}
+
+// Both enums list the 16 conditions in the same order.
+lt::FPred liteFPred(FCmpCond C) {
+  return static_cast<lt::FPred>(C);
 }
 
 lt::Pred litePred(ICmpCond C) {
@@ -82,11 +94,16 @@ struct Rewriter::Bindings {
 
 Rewriter::Rewriter(const Transform &T) : T(T) {
   for (const auto &[TV, Ty] : T.fixedTypes()) {
-    if (!Ty.isInt())
+    unsigned W;
+    if (Ty.isInt())
+      W = Ty.getIntWidth();
+    else if (Ty.isFP())
+      W = Ty.widthBits(0); // FP widths never involve the pointer width
+    else
       continue;
     for (const auto &V : T.pool())
       if (V->getTypeVar() == TV)
-        FixedWidth[V.get()] = Ty.getIntWidth();
+        FixedWidth[V.get()] = W;
   }
 }
 
@@ -259,6 +276,18 @@ bool Rewriter::matchValue(const Value *Pat, lt::LValue *V,
     B.Values.emplace(Pat, V);
     return true;
   }
+  case ValueKind::ConstFP: {
+    // FP literals live in lite IR as ConstantInt bit patterns.
+    const auto *C = lt::dyn_cast<lt::ConstantInt>(V);
+    if (!C || !fp::Format::isFPWidth(C->getWidth()))
+      return false;
+    fp::Format Fmt = fp::Format::fromWidth(C->getWidth());
+    if (C->getValue().getZExtValue() !=
+        fp::doubleToBits(Fmt, cast<ConstantFP>(Pat)->getValue()))
+      return false;
+    B.Values.emplace(Pat, V);
+    return true;
+  }
   case ValueKind::Undef:
     return lt::isa<lt::UndefValue>(V);
   default:
@@ -292,6 +321,19 @@ bool Rewriter::matchValue(const Value *Pat, lt::LValue *V,
     const auto *P = cast<ICmp>(Pat);
     if (I->getOpcode() != lt::Opcode::ICmp ||
         I->getPredicate() != litePred(P->getCond()))
+      return false;
+    if (!matchValue(P->getLHS(), I->getOperand(0), B) ||
+        !matchValue(P->getRHS(), I->getOperand(1), B))
+      return false;
+    break;
+  }
+  case ValueKind::FCmp: {
+    const auto *P = cast<FCmp>(Pat);
+    if (I->getOpcode() != lt::Opcode::FCmp ||
+        I->getFPredicate() != liteFPred(P->getCond()))
+      return false;
+    // The pattern's fast-math flags must all be present.
+    if ((I->getFlags() & P->getFlags()) != P->getFlags())
       return false;
     if (!matchValue(P->getLHS(), I->getOperand(0), B) ||
         !matchValue(P->getRHS(), I->getOperand(1), B))
@@ -563,6 +605,17 @@ lt::LValue *Rewriter::materialize(const Value *Pat, lt::Function &F,
       return nullptr;
     return F.getConstant(V);
   }
+  case ValueKind::ConstFP: {
+    unsigned W = Before->getWidth();
+    auto FW = FixedWidth.find(Pat);
+    if (FW != FixedWidth.end())
+      W = FW->second;
+    if (!fp::Format::isFPWidth(W))
+      return nullptr;
+    fp::Format Fmt = fp::Format::fromWidth(W);
+    return F.getConstant(APInt(
+        W, fp::doubleToBits(Fmt, cast<ConstantFP>(Pat)->getValue())));
+  }
   case ValueKind::Undef: {
     auto FW = FixedWidth.find(Pat);
     return F.getUndef(FW != FixedWidth.end() ? FW->second
@@ -604,6 +657,13 @@ lt::LValue *Rewriter::materialize(const Value *Pat, lt::Function &F,
         if (const auto *CE = dyn_cast<ConstExprValue>(Src)) {
           if (!evalCE(CE->getExpr(), W, B, V))
             return nullptr;
+        } else if (const auto *CF = dyn_cast<ConstantFP>(Src)) {
+          // Re-encode the FP literal at the new format; a raw bit
+          // truncation would corrupt it.
+          if (!fp::Format::isFPWidth(W))
+            return nullptr;
+          V = APInt(W, fp::doubleToBits(fp::Format::fromWidth(W),
+                                        CF->getValue()));
         } else {
           V = C->getValue().zextOrTrunc(W);
         }
@@ -621,6 +681,15 @@ lt::LValue *Rewriter::materialize(const Value *Pat, lt::Function &F,
     New = F.insertICmpBefore(Before, litePred(cast<ICmp>(I)->getCond()),
                              Ops[0], Ops[1]);
     break;
+  case ValueKind::FCmp: {
+    const auto *P = cast<FCmp>(I);
+    if (Ops[0]->getWidth() != Ops[1]->getWidth() ||
+        !fp::Format::isFPWidth(Ops[0]->getWidth()))
+      return nullptr;
+    New = F.insertFCmpBefore(Before, liteFPred(P->getCond()), Ops[0],
+                             Ops[1], P->getFlags());
+    break;
+  }
   case ValueKind::Select:
     New = F.insertSelectBefore(Before, Ops[0], Ops[1], Ops[2]);
     break;

@@ -7,6 +7,8 @@
 #include "semantics/VCGen.h"
 
 #include "semantics/Predicates.h"
+#include "smt/bitblast/SoftFloat.h"
+#include "support/FloatFormat.h"
 
 #include <set>
 
@@ -253,6 +255,15 @@ ValueSem Encoder::encodeValue(const Value *V, Side &S) {
     Out.Defined = Out.PoisonFree = True;
     break;
   }
+  case ValueKind::ConstFP: {
+    // The literal's host-double value is rounded once to the operand's
+    // concrete format under this type assignment.
+    fp::Format F = fp::Format::fromWidth(widthOf(V));
+    uint64_t Bits = fp::doubleToBits(F, cast<ConstantFP>(V)->getValue());
+    Out.Val = Ctx.mkBV(APInt(F.width(), Bits));
+    Out.Defined = Out.PoisonFree = True;
+    break;
+  }
   default:
     Out = encodeInstr(cast<Instr>(V), *Home);
     break;
@@ -292,11 +303,64 @@ static TermKind binOpTermKind(BinOpcode Op) {
     return TermKind::BVOr;
   case BinOpcode::Xor:
     return TermKind::BVXor;
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+  case BinOpcode::FMul:
+    assert(false && "FP opcodes use the softfloat encoding");
+    return TermKind::BVAdd;
   }
   return TermKind::BVAdd;
 }
 
+ValueSem Encoder::encodeFPBinOp(const BinOp *I, Side &S) {
+  ValueSem A = encodeValue(I->getLHS(), S);
+  ValueSem B = encodeValue(I->getRHS(), S);
+  fp::Format F = fp::Format::fromWidth(widthOf(I));
+  TermRef L = A.Val, R = B.Val;
+
+  ValueSem Out;
+  switch (I->getOpcode()) {
+  case BinOpcode::FAdd:
+    Out.Val = softfloat::fpAdd(Ctx, F, L, R);
+    break;
+  case BinOpcode::FSub:
+    Out.Val = softfloat::fpSub(Ctx, F, L, R);
+    break;
+  default:
+    Out.Val = softfloat::fpMul(Ctx, F, L, R);
+    break;
+  }
+
+  // FP arithmetic never triggers undefined behavior; the fast-math flags
+  // nnan/ninf introduce poison exactly like nsw does for add (Table 2
+  // extended): a NaN/Inf operand *or result* poisons the value. They are
+  // applied as written — never guarded by inference indicators, since
+  // weakening a transform by adding fast-math flags changes which inputs
+  // exist rather than which inputs wrap (see AttrInfer).
+  TermRef OwnPoison = Ctx.mkTrue();
+  if (I->getFlags() & AttrNNan)
+    OwnPoison = Ctx.mkAnd(
+        OwnPoison,
+        Ctx.mkNot(Ctx.mkOr({softfloat::isNaN(Ctx, F, L),
+                            softfloat::isNaN(Ctx, F, R),
+                            softfloat::isNaN(Ctx, F, Out.Val)})));
+  if (I->getFlags() & AttrNInf)
+    OwnPoison = Ctx.mkAnd(
+        OwnPoison,
+        Ctx.mkNot(Ctx.mkOr({softfloat::isInf(Ctx, F, L),
+                            softfloat::isInf(Ctx, F, R),
+                            softfloat::isInf(Ctx, F, Out.Val)})));
+  // nsz is not a poison source; it relaxes root equality instead (see
+  // rootsEquivalent).
+
+  Out.Defined = Ctx.mkAnd({A.Defined, B.Defined, S.SeqDefined});
+  Out.PoisonFree = Ctx.mkAnd({OwnPoison, A.PoisonFree, B.PoisonFree});
+  return Out;
+}
+
 ValueSem Encoder::encodeBinOp(const BinOp *I, Side &S) {
+  if (binOpIsFP(I->getOpcode()))
+    return encodeFPBinOp(I, S);
   ValueSem A = encodeValue(I->getLHS(), S);
   ValueSem B = encodeValue(I->getRHS(), S);
   unsigned W = widthOf(I);
@@ -451,6 +515,31 @@ ValueSem Encoder::encodeInstr(const Instr *I, Side &S) {
     Out.Val = Ctx.mkIte(Cmp, Ctx.mkBV(1, 1), Ctx.mkBV(1, 0));
     Out.Defined = Ctx.mkAnd({A.Defined, B.Defined, S.SeqDefined});
     Out.PoisonFree = Ctx.mkAnd(A.PoisonFree, B.PoisonFree);
+    return Out;
+  }
+  case ValueKind::FCmp: {
+    const auto *C = cast<FCmp>(I);
+    ValueSem A = encodeValue(C->getLHS(), S);
+    ValueSem B = encodeValue(C->getRHS(), S);
+    fp::Format F = fp::Format::fromWidth(widthOf(C->getLHS()));
+    // fp::Pred mirrors ir::FCmpCond member for member.
+    TermRef Cmp = softfloat::fpCmp(
+        Ctx, F, static_cast<fp::Pred>(C->getCond()), A.Val, B.Val);
+    // The i1 result cannot itself be NaN/Inf, so the fast-math flags
+    // poison on operands only.
+    TermRef OwnPoison = Ctx.mkTrue();
+    if (C->getFlags() & AttrNNan)
+      OwnPoison = Ctx.mkAnd(OwnPoison,
+                            Ctx.mkNot(Ctx.mkOr(softfloat::isNaN(Ctx, F, A.Val),
+                                               softfloat::isNaN(Ctx, F, B.Val))));
+    if (C->getFlags() & AttrNInf)
+      OwnPoison = Ctx.mkAnd(OwnPoison,
+                            Ctx.mkNot(Ctx.mkOr(softfloat::isInf(Ctx, F, A.Val),
+                                               softfloat::isInf(Ctx, F, B.Val))));
+    ValueSem Out;
+    Out.Val = Ctx.mkIte(Cmp, Ctx.mkBV(1, 1), Ctx.mkBV(1, 0));
+    Out.Defined = Ctx.mkAnd({A.Defined, B.Defined, S.SeqDefined});
+    Out.PoisonFree = Ctx.mkAnd({OwnPoison, A.PoisonFree, B.PoisonFree});
     return Out;
   }
   case ValueKind::Select: {
@@ -715,6 +804,27 @@ Status Encoder::encode(bool Infer) {
       }
   }
   return Status::success();
+}
+
+TermRef Encoder::rootsEquivalent(TermRef SrcVal, TermRef TgtVal) {
+  TermRef Eq = Ctx.mkEq(SrcVal, TgtVal);
+  const Value *Root = T.getSrcRoot();
+  const Type &Ty = Types[Root->getTypeVar()];
+  if (!Ty.isFP())
+    return Eq;
+  fp::Format F = fp::Format::fromWidth(Ty.widthBits(Cfg.PtrWidth));
+  // All NaN payloads are one abstract value: a source root that computes a
+  // (canonical) NaN is refined by any NaN the target returns, including a
+  // passed-through input NaN with a different payload.
+  TermRef Equiv = Ctx.mkOr(Eq, Ctx.mkAnd(softfloat::isNaN(Ctx, F, SrcVal),
+                                         softfloat::isNaN(Ctx, F, TgtVal)));
+  // nsz on the source root: the result's zero sign is unspecified, so a
+  // zero of either sign refines a zero source.
+  const auto *B = dyn_cast<BinOp>(Root);
+  if (B && (B->getFlags() & AttrNSZ))
+    Equiv = Ctx.mkOr(Equiv, Ctx.mkAnd(softfloat::isZero(Ctx, F, SrcVal),
+                                      softfloat::isZero(Ctx, F, TgtVal)));
+  return Equiv;
 }
 
 TermRef Encoder::memoryAxioms() const { return Ctx.mkAnd(*Mem.Axioms); }

@@ -141,6 +141,13 @@ public:
   /// use the configured pointer width).
   unsigned widthOf(const ir::Value *V) const;
 
+  /// Root-result equivalence for refinement condition 3. Integer and
+  /// pointer roots compare bit for bit. FP roots treat all NaN payloads as
+  /// one abstract value, and when the *source* root carries nsz, zeros of
+  /// either sign as interchangeable (nsz is a refinement relaxation, not a
+  /// poison source — Section 2.4 extended per LifeJacket).
+  smt::TermRef rootsEquivalent(smt::TermRef SrcVal, smt::TermRef TgtVal);
+
 private:
   friend class PrecondEncoder;
 
@@ -148,6 +155,7 @@ private:
   ValueSem encodeValue(const ir::Value *V, Side &S);
   ValueSem encodeInstr(const ir::Instr *I, Side &S);
   ValueSem encodeBinOp(const ir::BinOp *I, Side &S);
+  ValueSem encodeFPBinOp(const ir::BinOp *I, Side &S);
   ValueSem encodeMemoryInstr(const ir::Instr *I, Side &S);
   Result<smt::TermRef> encodeConstExpr(const ir::ConstExpr *E, unsigned Width,
                                        smt::TermRef &DefinedOut);

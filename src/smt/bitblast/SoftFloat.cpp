@@ -1,0 +1,508 @@
+//===- smt/bitblast/SoftFloat.cpp - FP as bitvector circuits ---------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// One generic circuit, two interpretations. The algorithms below are
+// written against a small "ops" algebra (constants, add/sub/mul, shifts,
+// extract/concat/zext, comparisons, ite). Instantiated with TermOps the
+// algebra builds hash-consed Term DAGs for the solver backends;
+// instantiated with ConcOps it evaluates the identical structure on
+// concrete bit patterns. Keeping a single definition is what makes the
+// exhaustive half-precision differential tests meaningful: they certify
+// the very circuit the solver reasons about, not a lookalike.
+//
+// Width discipline: every value is at most 64 bits wide so the Simplify
+// constant folder (whose APInt caps at 64 bits) can fold any subterm. The
+// double multiply splits each 53-bit significand into 32/21-bit limbs and
+// carries the 106-bit product as a (Hi, Lo) pair of 64-bit words.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/bitblast/SoftFloat.h"
+
+#include <cassert>
+
+using namespace alive;
+using namespace alive::smt;
+using namespace alive::smt::softfloat;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Ops policies
+//===----------------------------------------------------------------------===//
+
+/// Builds Term DAGs. V is a bitvector term, B a Bool term.
+struct TermOps {
+  using V = TermRef;
+  using B = TermRef;
+  TermContext &C;
+
+  V bv(unsigned W, uint64_t Val) { return C.mkBV(APInt(W, Val)); }
+  V add(V A, V B2) { return C.mkBVAdd(A, B2); }
+  V sub(V A, V B2) { return C.mkBVSub(A, B2); }
+  V mul(V A, V B2) { return C.mkBVMul(A, B2); }
+  V band(V A, V B2) { return C.mkBVAnd(A, B2); }
+  V bor(V A, V B2) { return C.mkBVOr(A, B2); }
+  V shl(V A, V Amt) { return C.mkBVShl(A, Amt); }
+  V lshr(V A, V Amt) { return C.mkBVLShr(A, Amt); }
+  V zext(V A, unsigned W) { return C.mkZext(A, W); }
+  V extract(V A, unsigned Hi, unsigned Lo) { return C.mkExtract(A, Hi, Lo); }
+  V concat(V Hi, V Lo) { return C.mkConcat(Hi, Lo); }
+  V ite(B Cond, V T, V E) { return C.mkIte(Cond, T, E); }
+  unsigned width(V A) { return A->getSort().getWidth(); }
+
+  B eq(V A, V B2) { return C.mkEq(A, B2); }
+  B ne(V A, V B2) { return C.mkNe(A, B2); }
+  B ult(V A, V B2) { return C.mkBVUlt(A, B2); }
+  B ule(V A, V B2) { return C.mkBVUle(A, B2); }
+  B slt(V A, V B2) { return C.mkBVSlt(A, B2); }
+  B and2(B A, B B2) { return C.mkAnd(A, B2); }
+  B or2(B A, B B2) { return C.mkOr(A, B2); }
+  B xor2(B A, B B2) { return C.mkXor(A, B2); }
+  B not1(B A) { return C.mkNot(A); }
+  B bite(B Cond, B T, B E) { return C.mkIte(Cond, T, E); }
+  B btrue() { return C.mkTrue(); }
+  B bfalse() { return C.mkFalse(); }
+};
+
+/// Evaluates the same circuit on concrete bits. V carries its width so
+/// masking matches bitvector semantics exactly.
+struct ConcOps {
+  struct V {
+    uint64_t Val;
+    unsigned W;
+  };
+  using B = bool;
+
+  static uint64_t maskOf(unsigned W) {
+    return W >= 64 ? ~0ull : (1ull << W) - 1;
+  }
+  V bv(unsigned W, uint64_t Val) { return {Val & maskOf(W), W}; }
+  V add(V A, V B2) { return bv(A.W, A.Val + B2.Val); }
+  V sub(V A, V B2) { return bv(A.W, A.Val - B2.Val); }
+  V mul(V A, V B2) { return bv(A.W, A.Val * B2.Val); }
+  V band(V A, V B2) { return bv(A.W, A.Val & B2.Val); }
+  V bor(V A, V B2) { return bv(A.W, A.Val | B2.Val); }
+  V shl(V A, V Amt) {
+    return Amt.Val >= A.W ? bv(A.W, 0) : bv(A.W, A.Val << Amt.Val);
+  }
+  V lshr(V A, V Amt) {
+    return Amt.Val >= A.W ? bv(A.W, 0) : bv(A.W, A.Val >> Amt.Val);
+  }
+  V zext(V A, unsigned W) { return {A.Val, W}; }
+  V extract(V A, unsigned Hi, unsigned Lo) {
+    return bv(Hi - Lo + 1, A.Val >> Lo);
+  }
+  V concat(V Hi, V Lo) { return {(Hi.Val << Lo.W) | Lo.Val, Hi.W + Lo.W}; }
+  V ite(B Cond, V T, V E) { return Cond ? T : E; }
+  unsigned width(V A) { return A.W; }
+
+  static int64_t toSigned(V A) {
+    if (A.W >= 64)
+      return static_cast<int64_t>(A.Val);
+    uint64_t SignBit = 1ull << (A.W - 1);
+    return static_cast<int64_t>((A.Val ^ SignBit)) -
+           static_cast<int64_t>(SignBit);
+  }
+  B eq(V A, V B2) { return A.Val == B2.Val; }
+  B ne(V A, V B2) { return A.Val != B2.Val; }
+  B ult(V A, V B2) { return A.Val < B2.Val; }
+  B ule(V A, V B2) { return A.Val <= B2.Val; }
+  B slt(V A, V B2) { return toSigned(A) < toSigned(B2); }
+  B and2(B A, B B2) { return A && B2; }
+  B or2(B A, B B2) { return A || B2; }
+  B xor2(B A, B B2) { return A != B2; }
+  B not1(B A) { return !A; }
+  B bite(B Cond, B T, B E) { return Cond ? T : E; }
+  B btrue() { return true; }
+  B bfalse() { return false; }
+};
+
+//===----------------------------------------------------------------------===//
+// The generic circuit
+//===----------------------------------------------------------------------===//
+
+template <typename O> class Circuit {
+  using V = typename O::V;
+  using B = typename O::B;
+
+  O &Op;
+  const fp::Format F;
+  const unsigned W, E, M, P;  // total, exponent, significand, precision
+  const unsigned WS;          // working significand width: P + 4 (G/R/S + carry)
+  const unsigned WE;          // exponent working width: E + 2 (signed headroom)
+  const int Bias;
+  const uint64_t MaxExp;      // all-ones exponent field
+
+public:
+  Circuit(O &Op, fp::Format F)
+      : Op(Op), F(F), W(F.width()), E(F.ExpBits), M(F.SigBits), P(M + 1),
+        WS(P + 4), WE(E + 2), Bias(F.bias()), MaxExp(F.maxExpField()) {}
+
+  // --- field access ---
+  B sign(V X) { return bit(X, W - 1); }
+  V expF(V X) { return Op.extract(X, W - 2, M); }
+  V fracF(V X) { return Op.extract(X, M - 1, 0); }
+  B bit(V X, unsigned I) {
+    return Op.eq(Op.extract(X, I, I), Op.bv(1, 1));
+  }
+
+  B isNaN(V X) {
+    return Op.and2(Op.eq(expF(X), Op.bv(E, MaxExp)),
+                   Op.ne(fracF(X), Op.bv(M, 0)));
+  }
+  B isInf(V X) {
+    return Op.and2(Op.eq(expF(X), Op.bv(E, MaxExp)),
+                   Op.eq(fracF(X), Op.bv(M, 0)));
+  }
+  B isZero(V X) {
+    return Op.and2(Op.eq(expF(X), Op.bv(E, 0)), Op.eq(fracF(X), Op.bv(M, 0)));
+  }
+
+  V pack(B Sign, V Exp, V Frac) {
+    V S1 = Op.ite(Sign, Op.bv(1, 1), Op.bv(1, 0));
+    return Op.concat(Op.concat(S1, Exp), Frac);
+  }
+  V qNaN() { return Op.bv(W, fp::canonicalNaN(F)); }
+  V signedInf(B Sign) { return pack(Sign, Op.bv(E, MaxExp), Op.bv(M, 0)); }
+  V signedZero(B Sign) { return pack(Sign, Op.bv(E, 0), Op.bv(M, 0)); }
+
+  // Effective (biased) exponent: subnormals live at exponent 1.
+  V expEff(V X) {
+    V Ex = expF(X);
+    return Op.ite(Op.eq(Ex, Op.bv(E, 0)), Op.bv(E, 1), Ex);
+  }
+  // P-bit significand with the hidden bit materialized.
+  V sigWithHidden(V X) {
+    V Hidden = Op.ite(Op.ne(expF(X), Op.bv(E, 0)), Op.bv(1, 1), Op.bv(1, 0));
+    return Op.concat(Hidden, fracF(X));
+  }
+
+  /// Number of leading zeros of the WS-bit value \p S, as a WE-bit value
+  /// (WS when S == 0). Plain priority encoder; the AIG rewriter collapses
+  /// it when S is concrete.
+  V nlz(V S) {
+    V R = Op.bv(WE, WS);
+    for (unsigned I = 0; I < WS; ++I)
+      R = Op.ite(bit(S, I), Op.bv(WE, WS - 1 - I), R);
+    return R;
+  }
+
+  /// Rounds and packs. \p S is a WS-bit significand whose hidden-bit
+  /// position for biased exponent \p EBase (WE bits, >= 1) is bit P+2;
+  /// bits 2..0 are guard/round/sticky and any shifted-out sticky has been
+  /// OR'd into bit 0. S == 0 yields +0 (exact cancellation under RNE).
+  V normRound(B Sign, V S, V EBase) {
+    // Carry: the sum overflowed into bit P+3; shift right one, folding the
+    // dropped bit into sticky.
+    B Carry = bit(S, P + 3);
+    V S1 = Op.ite(Carry,
+                  Op.bor(Op.lshr(S, Op.bv(WS, 1)), Op.band(S, Op.bv(WS, 1))),
+                  S);
+    V E1 = Op.ite(Carry, Op.add(EBase, Op.bv(WE, 1)), EBase);
+    // Normalize left, but never below biased exponent 1 (subnormals stay
+    // put). After the carry fix bit P+3 is clear, so NLZ >= 1.
+    V Lz = nlz(S1);
+    V Ls0 = Op.sub(Lz, Op.bv(WE, 1));
+    V EM1 = Op.sub(E1, Op.bv(WE, 1));
+    V Ls = Op.ite(Op.ule(Ls0, EM1), Ls0, EM1);
+    V S2 = Op.shl(S1, Op.zext(Ls, WS));
+    V E2 = Op.sub(E1, Ls);
+    // Round to nearest, ties to even. L = bit 3, G = bit 2, sticky below.
+    B G = bit(S2, 2);
+    B RS = Op.ne(Op.extract(S2, 1, 0), Op.bv(2, 0));
+    B L = bit(S2, 3);
+    B RoundUp = Op.and2(G, Op.or2(RS, L));
+    V Kept = Op.extract(S2, P + 3, 3); // P+1 bits, top bit clear
+    V Sr = Op.add(Op.zext(Kept, P + 2),
+                  Op.ite(RoundUp, Op.bv(P + 2, 1), Op.bv(P + 2, 0)));
+    // Rounding carry: 1.11..1 became 10.0..0 — representable one exponent
+    // up with an all-zero fraction.
+    B RCarry = bit(Sr, P);
+    V Sf = Op.ite(RCarry, Op.bv(P + 2, 1ull << (P - 1)), Sr);
+    V E3 = Op.ite(RCarry, Op.add(E2, Op.bv(WE, 1)), E2);
+    B Hidden = bit(Sf, P - 1);
+    B Ovf = Op.and2(Hidden, Op.ule(Op.bv(WE, MaxExp), E3));
+    V ExpOut = Op.ite(Hidden, Op.extract(E3, E - 1, 0), Op.bv(E, 0));
+    V Packed = pack(Sign, ExpOut, Op.extract(Sf, M - 1, 0));
+    V R = Op.ite(Ovf, signedInf(Sign), Packed);
+    return Op.ite(Op.eq(S, Op.bv(WS, 0)), Op.bv(W, 0), R);
+  }
+
+  /// Both operands finite, neither zero (specials already peeled off).
+  V addNormal(V A, V Bv) {
+    B Sa = sign(A), Sb = sign(Bv);
+    // Magnitude order: IEEE magnitude order is unsigned order on the
+    // non-sign bits. On a tie keep A so exact cancellation yields +0.
+    V MagA = Op.extract(A, W - 2, 0), MagB = Op.extract(Bv, W - 2, 0);
+    B Swap = Op.ult(MagA, MagB);
+    V Ex = Op.ite(Swap, expEff(Bv), expEff(A));
+    V Ey = Op.ite(Swap, expEff(A), expEff(Bv));
+    V Sx = Op.ite(Swap, sigWithHidden(Bv), sigWithHidden(A));
+    V Sy = Op.ite(Swap, sigWithHidden(A), sigWithHidden(Bv));
+    B SignX = Op.bite(Swap, Sb, Sa);
+    B EffSub = Op.xor2(Sa, Sb);
+    // Align the smaller significand; shifts beyond P+3 are pure sticky.
+    V D = Op.sub(Ex, Ey);
+    V DCap = Op.ite(Op.ule(D, Op.bv(E, P + 3)), D, Op.bv(E, P + 3));
+    V Dw = Op.zext(DCap, WS);
+    V SX = Op.shl(Op.zext(Sx, WS), Op.bv(WS, 3));
+    V SYFull = Op.shl(Op.zext(Sy, WS), Op.bv(WS, 3));
+    V Shifted = Op.lshr(SYFull, Dw);
+    B Sticky = Op.ne(Op.shl(Shifted, Dw), SYFull);
+    V StickyV = Op.ite(Sticky, Op.bv(WS, 1), Op.bv(WS, 0));
+    // Addition: sum + sticky-in-bit-0. Subtraction: the lost tail borrows
+    // one ulp-of-grid from the difference, and the remainder keeps the
+    // result strictly between grid points — representable as (diff - 1)
+    // with sticky OR'd back in.
+    V SAdd = Op.bor(Op.add(SX, Shifted), StickyV);
+    V SSub = Op.bor(Op.sub(Op.sub(SX, Shifted), StickyV), StickyV);
+    V S = Op.ite(EffSub, SSub, SAdd);
+    return normRound(SignX, S, Op.zext(Ex, WE));
+  }
+
+  V fpAdd(V A, V Bv) {
+    B Na = isNaN(A), Nb = isNaN(Bv);
+    B Ia = isInf(A), Ib = isInf(Bv);
+    B Za = isZero(A), Zb = isZero(Bv);
+    B Sa = sign(A), Sb = sign(Bv);
+    V Normal = addNormal(A, Bv);
+    // zero + zero: +0 unless both are -0 (RNE). zero + x: x bit-exact.
+    V ResZ = Op.ite(Za, Op.ite(Zb, signedZero(Op.and2(Sa, Sb)), Bv),
+                    Op.ite(Zb, A, Normal));
+    // Inf + (-Inf) is invalid; otherwise infinity dominates.
+    V ResI = Op.ite(Ia, Op.ite(Op.and2(Ib, Op.xor2(Sa, Sb)), qNaN(), A),
+                    Op.ite(Ib, Bv, ResZ));
+    return Op.ite(Op.or2(Na, Nb), qNaN(), ResI);
+  }
+
+  V flipSign(V A) { return pack(Op.not1(sign(A)), expF(A), fracF(A)); }
+
+  V fpSub(V A, V Bv) { return fpAdd(A, flipSign(Bv)); }
+
+  /// Normalizes a P-bit significand: shifts left until the hidden-bit
+  /// position is set, reporting the shift amount (WE bits). Binary shifts.
+  void normalizeSig(V &Sig, V &Adj) {
+    Adj = Op.bv(WE, 0);
+    for (unsigned K = 32; K >= 1; K /= 2) {
+      if (K >= P)
+        continue;
+      B TopZero = Op.eq(Op.extract(Sig, P - 1, P - K), Op.bv(K, 0));
+      Sig = Op.ite(TopZero, Op.shl(Sig, Op.bv(P, K)), Sig);
+      Adj = Op.ite(TopZero, Op.add(Adj, Op.bv(WE, K)), Adj);
+    }
+  }
+
+  /// Both operands finite and nonzero. Computes the full 2P-bit product,
+  /// reduces it to the WS-bit rounding form, and hands off to normRound.
+  V mulNormal(V A, V Bv) {
+    B SOut = Op.xor2(sign(A), sign(Bv));
+    V SigA = sigWithHidden(A), SigB = sigWithHidden(Bv);
+    V AdjA, AdjB;
+    normalizeSig(SigA, AdjA);
+    normalizeSig(SigB, AdjB);
+    // Biased product exponent, signed with headroom; subnormal inputs pull
+    // it below 1 and the extra pre-shift pushes the result grid back up.
+    V Ea = Op.sub(Op.zext(expEff(A), WE), AdjA);
+    V Eb = Op.sub(Op.zext(expEff(Bv), WE), AdjB);
+    V EProd = Op.sub(Op.add(Ea, Eb), Op.bv(WE, static_cast<uint64_t>(Bias)));
+    B Sub1 = Op.slt(EProd, Op.bv(WE, 1));
+    V Extra0 = Op.ite(Sub1, Op.sub(Op.bv(WE, 1), EProd), Op.bv(WE, 0));
+    // Cap the pre-shift at P+3: past that the true magnitude is below half
+    // the least subnormal, the remaining bits are pure sticky, and the
+    // capped shift amount stays strictly below every working width.
+    V ExtraCap = Op.bv(WE, P + 3);
+    V Extra = Op.ite(Op.ule(Extra0, ExtraCap), Extra0, ExtraCap);
+    V EBase = Op.ite(Sub1, Op.bv(WE, 1), EProd);
+    // Total right shift bringing the product onto the WS-bit grid.
+    V Sh = Op.add(Op.bv(WE, M - 3), Extra);
+
+    V S;
+    if (2 * P <= 64) {
+      // Single multiply fits: half (22 bits) and float (48 bits).
+      unsigned WP = 2 * P;
+      V Prod = Op.mul(Op.zext(SigA, WP), Op.zext(SigB, WP));
+      V ShW = Op.zext(Sh, WP);
+      V Big = Op.lshr(Prod, ShW);
+      B Sticky = Op.ne(Op.shl(Big, ShW), Prod);
+      // Prod >> Sh < 2^(P+4) because Sh >= M-3.
+      V S0 = Op.extract(Big, P + 3, 0);
+      S = Op.bor(S0, Op.ite(Sticky, Op.bv(WS, 1), Op.bv(WS, 0)));
+    } else {
+      // Double: 53x53 -> 106 bits via 32/21-bit limbs in 64-bit words.
+      V AL = Op.zext(Op.extract(SigA, 31, 0), 64);
+      V AH = Op.zext(Op.extract(SigA, P - 1, 32), 64);
+      V BL = Op.zext(Op.extract(SigB, 31, 0), 64);
+      V BH = Op.zext(Op.extract(SigB, P - 1, 32), 64);
+      V T0 = Op.mul(AL, BL); // exact: 32+32 bits
+      V T1 = Op.mul(AH, BL); // exact: 21+32 bits
+      V T2 = Op.mul(AL, BH);
+      V T3 = Op.mul(AH, BH); // exact: 42 bits
+      V Mid = Op.add(T1, T2);
+      V Lo = Op.add(T0, Op.shl(Mid, Op.bv(64, 32)));
+      B C1 = Op.ult(Lo, T0);
+      V Hi = Op.add(Op.add(T3, Op.lshr(Mid, Op.bv(64, 32))),
+                    Op.ite(C1, Op.bv(64, 1), Op.bv(64, 0)));
+      // Shift the (Hi:Lo) pair right by Sh (49..105), sticky-preserving.
+      V ShW = Op.zext(Sh, 64);
+      B ShGE64 = Op.ule(Op.bv(WE, 64), Sh);
+      V ShM64 = Op.sub(ShW, Op.bv(64, 64));
+      V Inv = Op.sub(Op.bv(64, 64), ShW); // in 1..15 when Sh < 64
+      V LoPart = Op.bor(Op.lshr(Lo, ShW), Op.shl(Hi, Inv));
+      V HiPart = Op.lshr(Hi, ShM64);
+      V Big = Op.ite(ShGE64, HiPart, LoPart);
+      B StickyLo = Op.ne(Op.shl(Op.lshr(Lo, ShW), ShW), Lo);
+      B StickyHi = Op.or2(
+          Op.ne(Lo, Op.bv(64, 0)),
+          Op.ne(Op.shl(Op.lshr(Hi, ShM64), ShM64), Hi));
+      B Sticky = Op.bite(ShGE64, StickyHi, StickyLo);
+      V S0 = Op.extract(Big, P + 3, 0); // < 2^57 since Sh >= 49
+      S = Op.bor(S0, Op.ite(Sticky, Op.bv(WS, 1), Op.bv(WS, 0)));
+    }
+    return normRound(SOut, S, EBase);
+  }
+
+  V fpMul(V A, V Bv) {
+    B Na = isNaN(A), Nb = isNaN(Bv);
+    B Ia = isInf(A), Ib = isInf(Bv);
+    B Za = isZero(A), Zb = isZero(Bv);
+    B SOut = Op.xor2(sign(A), sign(Bv));
+    B AnyNaN = Op.or2(Na, Nb);
+    B InfTimesZero = Op.or2(Op.and2(Ia, Zb), Op.and2(Ib, Za));
+    V Normal = mulNormal(A, Bv);
+    V ResZ = Op.ite(Op.or2(Za, Zb), signedZero(SOut), Normal);
+    V ResI = Op.ite(Op.or2(Ia, Ib), signedInf(SOut), ResZ);
+    return Op.ite(Op.or2(AnyNaN, InfTimesZero), qNaN(), ResI);
+  }
+
+  B fpCmp(fp::Pred Pr, V A, V Bv) {
+    B Uno = Op.or2(isNaN(A), isNaN(Bv));
+    B Ord = Op.not1(Uno);
+    B BothZero = Op.and2(isZero(A), isZero(Bv));
+    B Eq = Op.or2(Op.eq(A, Bv), BothZero);
+    // Ordered less-than on sign/magnitude: differing signs compare by
+    // sign unless both are zeros; same sign compares magnitudes, flipped
+    // when both are negative.
+    B Sa = sign(A), Sb = sign(Bv);
+    V MagA = Op.extract(A, W - 2, 0), MagB = Op.extract(Bv, W - 2, 0);
+    B Lt = Op.bite(Op.xor2(Sa, Sb), Op.and2(Sa, Op.not1(BothZero)),
+                   Op.bite(Sa, Op.ult(MagB, MagA), Op.ult(MagA, MagB)));
+    B Gt = Op.and2(Op.not1(Lt), Op.not1(Eq));
+    switch (Pr) {
+    case fp::Pred::False:
+      return Op.bfalse();
+    case fp::Pred::OEQ:
+      return Op.and2(Ord, Eq);
+    case fp::Pred::OGT:
+      return Op.and2(Ord, Gt);
+    case fp::Pred::OGE:
+      return Op.and2(Ord, Op.not1(Lt));
+    case fp::Pred::OLT:
+      return Op.and2(Ord, Lt);
+    case fp::Pred::OLE:
+      return Op.and2(Ord, Op.not1(Gt));
+    case fp::Pred::ONE:
+      return Op.and2(Ord, Op.not1(Eq));
+    case fp::Pred::ORD:
+      return Ord;
+    case fp::Pred::UEQ:
+      return Op.or2(Uno, Eq);
+    case fp::Pred::UGT:
+      return Op.or2(Uno, Gt);
+    case fp::Pred::UGE:
+      return Op.or2(Uno, Op.not1(Lt));
+    case fp::Pred::ULT:
+      return Op.or2(Uno, Lt);
+    case fp::Pred::ULE:
+      return Op.or2(Uno, Op.not1(Gt));
+    case fp::Pred::UNE:
+      return Op.or2(Uno, Op.not1(Eq));
+    case fp::Pred::UNO:
+      return Uno;
+    case fp::Pred::True:
+      return Op.btrue();
+    }
+    return Op.bfalse();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Term-level entry points
+//===----------------------------------------------------------------------===//
+
+TermRef softfloat::fpAdd(TermContext &C, fp::Format F, TermRef A, TermRef B) {
+  assert(A->getSort().getWidth() == F.width() && "operand width mismatch");
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).fpAdd(A, B);
+}
+
+TermRef softfloat::fpSub(TermContext &C, fp::Format F, TermRef A, TermRef B) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).fpSub(A, B);
+}
+
+TermRef softfloat::fpMul(TermContext &C, fp::Format F, TermRef A, TermRef B) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).fpMul(A, B);
+}
+
+TermRef softfloat::fpCmp(TermContext &C, fp::Format F, fp::Pred P, TermRef A,
+                         TermRef B) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).fpCmp(P, A, B);
+}
+
+TermRef softfloat::isNaN(TermContext &C, fp::Format F, TermRef V) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).isNaN(V);
+}
+
+TermRef softfloat::isInf(TermContext &C, fp::Format F, TermRef V) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).isInf(V);
+}
+
+TermRef softfloat::isZero(TermContext &C, fp::Format F, TermRef V) {
+  TermOps Op{C};
+  return Circuit<TermOps>(Op, F).isZero(V);
+}
+
+TermRef softfloat::canonicalNaN(TermContext &C, fp::Format F) {
+  return C.mkBV(APInt(F.width(), fp::canonicalNaN(F)));
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete entry points (the same circuit on raw bits)
+//===----------------------------------------------------------------------===//
+
+uint64_t softfloat::fpAddBits(fp::Format F, uint64_t A, uint64_t B) {
+  ConcOps Op;
+  return Circuit<ConcOps>(Op, F)
+      .fpAdd(Op.bv(F.width(), A), Op.bv(F.width(), B))
+      .Val;
+}
+
+uint64_t softfloat::fpSubBits(fp::Format F, uint64_t A, uint64_t B) {
+  ConcOps Op;
+  return Circuit<ConcOps>(Op, F)
+      .fpSub(Op.bv(F.width(), A), Op.bv(F.width(), B))
+      .Val;
+}
+
+uint64_t softfloat::fpMulBits(fp::Format F, uint64_t A, uint64_t B) {
+  ConcOps Op;
+  return Circuit<ConcOps>(Op, F)
+      .fpMul(Op.bv(F.width(), A), Op.bv(F.width(), B))
+      .Val;
+}
+
+bool softfloat::fpCmpBits(fp::Format F, fp::Pred P, uint64_t A, uint64_t B) {
+  ConcOps Op;
+  return Circuit<ConcOps>(Op, F).fpCmp(P, Op.bv(F.width(), A),
+                                       Op.bv(F.width(), B));
+}

@@ -1,0 +1,62 @@
+//===- smt/bitblast/SoftFloat.h - FP as bitvector circuits ------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LifeJacket-style softfloat encoding: IEEE-754 fadd/fsub/fmul/fcmp are
+/// built as pure bitvector circuits over the existing Term language, so
+/// both the native bit-blasting backend and the Z3 lowering consume them
+/// unchanged — no FPA theory is required. Rounding is round-to-nearest-even
+/// and every NaN result is the canonical quiet NaN (the single-NaN
+/// abstraction shared with support/FloatFormat).
+///
+/// Every circuit keeps all intermediate widths at or below 64 bits; the
+/// 106-bit double multiply runs on two 64-bit limbs. The same generic
+/// circuit is also instantiated over concrete uint64_t bits (the *Bits
+/// entry points) so differential tests can compare, bit for bit, the exact
+/// structure the solver sees against the host's IEEE hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SMT_BITBLAST_SOFTFLOAT_H
+#define ALIVE_SMT_BITBLAST_SOFTFLOAT_H
+
+#include "smt/Term.h"
+#include "support/FloatFormat.h"
+
+namespace alive {
+namespace smt {
+namespace softfloat {
+
+/// IEEE arithmetic on W-bit bitvector terms; results are W-bit terms.
+TermRef fpAdd(TermContext &C, fp::Format F, TermRef A, TermRef B);
+TermRef fpSub(TermContext &C, fp::Format F, TermRef A, TermRef B);
+TermRef fpMul(TermContext &C, fp::Format F, TermRef A, TermRef B);
+
+/// fcmp predicate on W-bit terms; result is a Bool term.
+TermRef fpCmp(TermContext &C, fp::Format F, fp::Pred P, TermRef A, TermRef B);
+
+/// Classification predicates (Bool terms), used for the nnan/ninf poison
+/// conditions and the nsz root-equality relaxation.
+TermRef isNaN(TermContext &C, fp::Format F, TermRef V);
+TermRef isInf(TermContext &C, fp::Format F, TermRef V);
+TermRef isZero(TermContext &C, fp::Format F, TermRef V);
+
+/// The canonical quiet NaN as a W-bit constant term.
+TermRef canonicalNaN(TermContext &C, fp::Format F);
+
+/// Concrete instantiations of the *same* circuits on raw bit patterns.
+/// These exist purely so tests can check circuit == host IEEE semantics
+/// exhaustively at half precision without a solver in the loop.
+uint64_t fpAddBits(fp::Format F, uint64_t A, uint64_t B);
+uint64_t fpSubBits(fp::Format F, uint64_t A, uint64_t B);
+uint64_t fpMulBits(fp::Format F, uint64_t A, uint64_t B);
+bool fpCmpBits(fp::Format F, fp::Pred P, uint64_t A, uint64_t B);
+
+} // namespace softfloat
+} // namespace smt
+} // namespace alive
+
+#endif // ALIVE_SMT_BITBLAST_SOFTFLOAT_H

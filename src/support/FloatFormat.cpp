@@ -1,0 +1,249 @@
+//===- support/FloatFormat.cpp - IEEE-754 binary formats -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FloatFormat.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+using namespace alive;
+using namespace alive::fp;
+
+Format Format::fromWidth(unsigned W) {
+  switch (W) {
+  case 16:
+    return {5, 10};
+  case 32:
+    return {8, 23};
+  case 64:
+    return {11, 52};
+  }
+  assert(false && "not an FP width (16/32/64)");
+  return {5, 10};
+}
+
+static uint64_t expField(Format F, uint64_t Bits) {
+  return (Bits >> F.SigBits) & F.maxExpField();
+}
+static uint64_t sigField(Format F, uint64_t Bits) { return Bits & F.sigMask(); }
+
+bool fp::isNaN(Format F, uint64_t Bits) {
+  return expField(F, Bits) == F.maxExpField() && sigField(F, Bits) != 0;
+}
+bool fp::isInf(Format F, uint64_t Bits) {
+  return expField(F, Bits) == F.maxExpField() && sigField(F, Bits) == 0;
+}
+bool fp::isZero(Format F, uint64_t Bits) {
+  return (Bits & ~F.signMask() & F.valueMask()) == 0;
+}
+bool fp::signBit(Format F, uint64_t Bits) { return (Bits & F.signMask()) != 0; }
+
+uint64_t fp::canonicalNaN(Format F) {
+  return (F.maxExpField() << F.SigBits) | (1ull << (F.SigBits - 1));
+}
+uint64_t fp::posInf(Format F) { return F.maxExpField() << F.SigBits; }
+uint64_t fp::negInf(Format F) { return posInf(F) | F.signMask(); }
+
+static double doubleFromBits64(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+static uint64_t bits64FromDouble(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+static float floatFromBits32(uint64_t Bits) {
+  uint32_t B32 = static_cast<uint32_t>(Bits);
+  float Fl;
+  std::memcpy(&Fl, &B32, sizeof(Fl));
+  return Fl;
+}
+static uint64_t bits32FromFloat(float Fl) {
+  uint32_t B32;
+  std::memcpy(&B32, &Fl, sizeof(B32));
+  return B32;
+}
+
+double fp::bitsToDouble(Format F, uint64_t Bits) {
+  if (F.width() == 64)
+    return doubleFromBits64(Bits);
+  if (F.width() == 32)
+    return static_cast<double>(floatFromBits32(Bits));
+  // half: build the exact value. Subnormals have an effective exponent of
+  // emin with no hidden bit.
+  bool Neg = signBit(F, Bits);
+  uint64_t E = expField(F, Bits), M = sigField(F, Bits);
+  double V;
+  if (E == F.maxExpField())
+    V = M ? std::nan("") : std::numeric_limits<double>::infinity();
+  else if (E == 0)
+    V = std::ldexp(static_cast<double>(M), 1 - F.bias() - (int)F.SigBits);
+  else
+    V = std::ldexp(static_cast<double>(M | (1ull << F.SigBits)),
+                   (int)E - F.bias() - (int)F.SigBits);
+  return Neg ? -V : V;
+}
+
+/// RNE double->half, one rounding. The double input is treated as exact.
+static uint64_t doubleToHalf(double D) {
+  const uint64_t B = bits64FromDouble(D);
+  const uint64_t S = (B >> 63) << 15;
+  if (std::isnan(D))
+    return 0x7E00;
+  if (std::isinf(D))
+    return S | 0x7C00;
+  if ((B & ~(1ull << 63)) == 0)
+    return S; // +-0
+  const int EF = static_cast<int>((B >> 52) & 0x7FF);
+  if (EF == 0)
+    return S; // double subnormal: far below half's 2^-24 ulp, rounds to 0
+  const int E = EF - 1023; // unbiased exponent of the leading bit
+  const uint64_t Sig = (B & ((1ull << 52) - 1)) | (1ull << 52); // 53 bits
+  // Grid exponent of the result's ulp: normals round at 2^(E-10),
+  // subnormals (E < -14) all round at half's fixed 2^-24 grid.
+  const int Q = (E >= -14) ? E - 10 : -24;
+  // Value = Sig * 2^(E-52); shift right so one grid unit == 1.
+  const int Sh = Q - E + 52; // 42 for normals, larger when subnormal
+  if (Sh > 62)
+    return S; // magnitude < 2^-9 * grid: rounds to zero
+  const uint64_t IPart = Sig >> Sh;
+  const uint64_t Rem = Sig & ((1ull << Sh) - 1);
+  const uint64_t Half = 1ull << (Sh - 1);
+  uint64_t R = IPart + ((Rem > Half || (Rem == Half && (IPart & 1))) ? 1 : 0);
+  if (Q == -24) {
+    // Subnormal grid; R == 1024 has carried into the smallest normal,
+    // which packs correctly as exponent field 1, fraction 0.
+    return S | R;
+  }
+  int EOut = E;
+  if (R == (1ull << 11)) { // rounding carried: 11.111..1 -> 100.00..0
+    R >>= 1;
+    ++EOut;
+  }
+  if (EOut > 15)
+    return S | 0x7C00; // overflow -> Inf under RNE
+  return S | (static_cast<uint64_t>(EOut + 15) << 10) | (R & 0x3FF);
+}
+
+uint64_t fp::doubleToBits(Format F, double D) {
+  if (std::isnan(D))
+    return canonicalNaN(F);
+  if (F.width() == 64)
+    return bits64FromDouble(D);
+  if (F.width() == 32)
+    return bits32FromFloat(static_cast<float>(D)); // host RNE, one rounding
+  return doubleToHalf(D);
+}
+
+static uint64_t canonicalize(Format F, uint64_t Bits) {
+  return isNaN(F, Bits) ? canonicalNaN(F) : (Bits & F.valueMask());
+}
+
+uint64_t fp::add(Format F, uint64_t A, uint64_t B) {
+  if (F.width() == 64)
+    return canonicalize(
+        F, bits64FromDouble(doubleFromBits64(A) + doubleFromBits64(B)));
+  if (F.width() == 32)
+    return canonicalize(
+        F, bits32FromFloat(floatFromBits32(A) + floatFromBits32(B)));
+  // Exact in double: two 11-bit significands span at most ~41 bits.
+  return doubleToBits(F, bitsToDouble(F, A) + bitsToDouble(F, B));
+}
+
+uint64_t fp::sub(Format F, uint64_t A, uint64_t B) {
+  if (F.width() == 64)
+    return canonicalize(
+        F, bits64FromDouble(doubleFromBits64(A) - doubleFromBits64(B)));
+  if (F.width() == 32)
+    return canonicalize(
+        F, bits32FromFloat(floatFromBits32(A) - floatFromBits32(B)));
+  return doubleToBits(F, bitsToDouble(F, A) - bitsToDouble(F, B));
+}
+
+uint64_t fp::mul(Format F, uint64_t A, uint64_t B) {
+  if (F.width() == 64)
+    return canonicalize(
+        F, bits64FromDouble(doubleFromBits64(A) * doubleFromBits64(B)));
+  if (F.width() == 32)
+    return canonicalize(
+        F, bits32FromFloat(floatFromBits32(A) * floatFromBits32(B)));
+  // Exact in double: the 22-bit product is far inside 53 bits.
+  return doubleToBits(F, bitsToDouble(F, A) * bitsToDouble(F, B));
+}
+
+bool fp::unordered(Format F, uint64_t A, uint64_t B) {
+  return isNaN(F, A) || isNaN(F, B);
+}
+bool fp::cmpEq(Format F, uint64_t A, uint64_t B) {
+  return bitsToDouble(F, A) == bitsToDouble(F, B); // -0 == +0, NaN != NaN
+}
+bool fp::cmpLt(Format F, uint64_t A, uint64_t B) {
+  return bitsToDouble(F, A) < bitsToDouble(F, B);
+}
+
+bool fp::cmp(Format F, Pred P, uint64_t A, uint64_t B) {
+  const bool Uno = unordered(F, A, B);
+  const bool Eq = !Uno && cmpEq(F, A, B);
+  const bool Lt = !Uno && cmpLt(F, A, B);
+  const bool Gt = !Uno && !Eq && !Lt;
+  switch (P) {
+  case Pred::False:
+    return false;
+  case Pred::OEQ:
+    return Eq;
+  case Pred::OGT:
+    return Gt;
+  case Pred::OGE:
+    return Gt || Eq;
+  case Pred::OLT:
+    return Lt;
+  case Pred::OLE:
+    return Lt || Eq;
+  case Pred::ONE:
+    return Lt || Gt;
+  case Pred::ORD:
+    return !Uno;
+  case Pred::UEQ:
+    return Uno || Eq;
+  case Pred::UGT:
+    return Uno || Gt;
+  case Pred::UGE:
+    return Uno || Gt || Eq;
+  case Pred::ULT:
+    return Uno || Lt;
+  case Pred::ULE:
+    return Uno || Lt || Eq;
+  case Pred::UNE:
+    return Uno || !Eq;
+  case Pred::UNO:
+    return Uno;
+  case Pred::True:
+    return true;
+  }
+  return false;
+}
+
+std::string fp::bitsToString(Format F, uint64_t Bits) {
+  char Hex[32];
+  std::snprintf(Hex, sizeof(Hex), "0x%0*llX", F.width() / 4,
+                static_cast<unsigned long long>(Bits & F.valueMask()));
+  std::string Val;
+  if (isNaN(F, Bits))
+    Val = "nan";
+  else if (isInf(F, Bits))
+    Val = signBit(F, Bits) ? "-inf" : "inf";
+  else {
+    char Num[64];
+    std::snprintf(Num, sizeof(Num), "%g", bitsToDouble(F, Bits));
+    Val = Num;
+  }
+  return std::string(Hex) + " (" + Val + ")";
+}

@@ -1,0 +1,113 @@
+//===- support/FloatFormat.h - IEEE-754 binary formats ----------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side concrete IEEE-754 semantics for the three FP sorts (half,
+/// float, double) the LifeJacket extension supports. All values travel as
+/// raw bit patterns in a uint64_t; arithmetic is round-to-nearest-even and
+/// every NaN result is canonicalized to the quiet NaN with an empty
+/// payload, matching the single-NaN abstraction of the softfloat SMT
+/// circuits (smt/bitblast/SoftFloat). The lite interpreter and the
+/// concrete evaluator both route through this file so a single definition
+/// of the semantics is shared with the solver.
+///
+/// half arithmetic is computed exactly in double (the exact sum/product of
+/// two 11-bit significands fits in 53 bits) and rounded once by a manual
+/// double->half conversion; float and double use the host's SSE IEEE
+/// arithmetic directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_SUPPORT_FLOATFORMAT_H
+#define ALIVE_SUPPORT_FLOATFORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace alive {
+namespace fp {
+
+/// Static parameters of a binary interchange format.
+struct Format {
+  unsigned ExpBits;    ///< exponent field width E
+  unsigned SigBits;    ///< trailing significand field width M
+  unsigned width() const { return 1 + ExpBits + SigBits; }
+  unsigned prec() const { return SigBits + 1; } ///< precision p incl. hidden
+  int bias() const { return (1 << (ExpBits - 1)) - 1; }
+  uint64_t maxExpField() const { return (1ull << ExpBits) - 1; }
+  uint64_t sigMask() const { return (1ull << SigBits) - 1; }
+  uint64_t signMask() const { return 1ull << (width() - 1); }
+  uint64_t valueMask() const {
+    return width() == 64 ? ~0ull : (1ull << width()) - 1;
+  }
+
+  /// The three supported widths: 16 -> half, 32 -> float, 64 -> double.
+  static Format fromWidth(unsigned W);
+  static bool isFPWidth(unsigned W) { return W == 16 || W == 32 || W == 64; }
+};
+
+/// Bit-pattern classification.
+bool isNaN(Format F, uint64_t Bits);
+bool isInf(Format F, uint64_t Bits);
+bool isZero(Format F, uint64_t Bits); ///< +0.0 or -0.0
+bool signBit(Format F, uint64_t Bits);
+
+/// The canonical quiet NaN (sign 0, all-ones exponent, significand MSB
+/// set, rest zero): 0x7E00 / 0x7FC00000 / 0x7FF8000000000000.
+uint64_t canonicalNaN(Format F);
+uint64_t posInf(Format F);
+uint64_t negInf(Format F);
+
+/// Exact widening of a bit pattern to the host double's value. NaN maps
+/// to a host NaN, infinities to host infinities.
+double bitsToDouble(Format F, uint64_t Bits);
+
+/// Rounds a host double to \p F with round-to-nearest-even; overflow goes
+/// to infinity, any NaN to the canonical quiet NaN. Used both for literal
+/// conversion and as the final rounding step of half arithmetic.
+uint64_t doubleToBits(Format F, double D);
+
+/// IEEE arithmetic at format \p F, RNE, canonical-NaN outputs.
+uint64_t add(Format F, uint64_t A, uint64_t B);
+uint64_t sub(Format F, uint64_t A, uint64_t B);
+uint64_t mul(Format F, uint64_t A, uint64_t B);
+
+/// fcmp predicates, in the same order as ir::FCmpCond / the lite IR FPred
+/// so the enums can be mapped by index.
+enum class Pred {
+  False,
+  OEQ,
+  OGT,
+  OGE,
+  OLT,
+  OLE,
+  ONE,
+  ORD,
+  UEQ,
+  UGT,
+  UGE,
+  ULT,
+  ULE,
+  UNE,
+  UNO,
+  True,
+};
+
+/// Evaluates an fcmp predicate on two bit patterns.
+bool cmp(Format F, Pred P, uint64_t A, uint64_t B);
+
+/// Primitive relations, exposed for reuse (e.g. nsz root equality).
+bool unordered(Format F, uint64_t A, uint64_t B); ///< either is NaN
+bool cmpEq(Format F, uint64_t A, uint64_t B);     ///< ordered ==, -0 == +0
+bool cmpLt(Format F, uint64_t A, uint64_t B);     ///< ordered <
+
+/// Renders a bit pattern as "0x8000 (-0)" for counterexample output.
+std::string bitsToString(Format F, uint64_t Bits);
+
+} // namespace fp
+} // namespace alive
+
+#endif // ALIVE_SUPPORT_FLOATFORMAT_H

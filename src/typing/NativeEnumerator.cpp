@@ -46,7 +46,7 @@ private:
   std::vector<unsigned> Parent;
 };
 
-enum class ClassKind { Unknown, Int, Ptr, Void };
+enum class ClassKind { Unknown, Int, Ptr, Void, FP };
 
 struct ClassInfo {
   ClassKind Kind = ClassKind::Unknown;
@@ -110,6 +110,9 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
     case K::IsPtr:
       setKind(CA, ClassKind::Ptr);
       break;
+    case K::IsFP:
+      setKind(CA, ClassKind::FP);
+      break;
     case K::IsVoid:
       setKind(CA, ClassKind::Void);
       break;
@@ -139,6 +142,11 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
         break;
       case Type::Kind::Void:
         setKind(CA, ClassKind::Void);
+        break;
+      case Type::Kind::Half:
+      case Type::Kind::Float:
+      case Type::Kind::Double:
+        setKind(CA, ClassKind::FP);
         break;
       case Type::Kind::Array:
         // Arrays only occur behind pointers in our fragment.
@@ -216,6 +224,12 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
       Cls[A].Infeasible = true;
       continue;
     }
+    // Bitcast stays integer/pointer-only (satisfies() agrees): the memory
+    // encoder has no FP bit-reinterpretation story yet.
+    if (Cls[A].Kind == ClassKind::FP) {
+      Cls[A].Infeasible = true;
+      continue;
+    }
     if (Cls[A].Kind == ClassKind::Int)
       Rels.push_back({A, B, /*Strict=*/false});
   }
@@ -236,6 +250,8 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
       Pinned[C] = static_cast<int>(CI.FixedTy->getIntWidth());
       if (ForcedWidth[C] != -1 && ForcedWidth[C] != Pinned[C])
         return std::vector<TypeAssignment>{};
+    } else if (CI.FixedTy && CI.FixedTy->isFP()) {
+      Pinned[C] = static_cast<int>(CI.FixedTy->widthBits(0));
     } else if (ForcedWidth[C] != -1) {
       Pinned[C] = ForcedWidth[C];
     } else if (CI.Kind == ClassKind::Ptr &&
@@ -256,8 +272,15 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
     if (Pinned[C] >= 0)
       Width[C] = static_cast<unsigned>(Pinned[C]);
 
+  // Integer classes draw from Config.Widths; FP classes from the FP sort
+  // widths (16/32/64). Both in ascending order so small types come first.
   std::vector<unsigned> SortedWidths = Config.Widths;
   std::sort(SortedWidths.begin(), SortedWidths.end());
+  std::vector<unsigned> SortedFPWidths = Config.FPWidths;
+  std::sort(SortedFPWidths.begin(), SortedFPWidths.end());
+  auto widthsFor = [&](unsigned C) -> const std::vector<unsigned> & {
+    return Cls[C].Kind == ClassKind::FP ? SortedFPWidths : SortedWidths;
+  };
 
   auto relsHold = [&](size_t AssignedUpTo) {
     // Check every relation whose classes are both pinned or assigned.
@@ -292,6 +315,8 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
         ClassTy[C] = Type::voidTy();
       else if (CI.Kind == ClassKind::Int)
         ClassTy[C] = Type::intTy(Width[C]);
+      else if (CI.Kind == ClassKind::FP)
+        ClassTy[C] = Type::fpTyFromWidth(Width[C]);
     }
     for (unsigned C = 0; C != NumClasses; ++C) {
       const ClassInfo &CI = Cls[C];
@@ -320,7 +345,8 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
   for (;;) {
     if (Out.size() >= Config.MaxAssignments)
       break;
-    if (Choice[Depth] >= SortedWidths.size()) {
+    const std::vector<unsigned> &Ws = widthsFor(Order[Depth]);
+    if (Choice[Depth] >= Ws.size()) {
       if (Depth == 0)
         break;
       Choice[Depth] = 0;
@@ -328,7 +354,7 @@ typing::enumerateTypesNative(const TypeConstraintSystem &Sys,
       ++Choice[Depth];
       continue;
     }
-    Width[Order[Depth]] = SortedWidths[Choice[Depth]];
+    Width[Order[Depth]] = Ws[Choice[Depth]];
     if (!relsHold(Depth + 1)) {
       ++Choice[Depth];
       continue;

@@ -47,9 +47,14 @@ TypeConstraintSystem TypeConstraintSystem::fromTransform(const Transform &T) {
     case ValueKind::Undef:
       Sys.add(mk(K::IsInt, R));
       break;
+    case ValueKind::ConstFP:
+      Sys.add(mk(K::IsFP, R));
+      break;
     case ValueKind::BinOp: {
       const auto *I = cast<BinOp>(V);
-      Sys.add(mk(K::IsInt, R));
+      // FP opcodes type at an FP sort; every integer opcode stays IsInt,
+      // so `udiv float` and friends are type errors, not encodings.
+      Sys.add(mk(binOpIsFP(I->getOpcode()) ? K::IsFP : K::IsInt, R));
       Sys.add(mk(K::Same, R, I->getLHS()->getTypeVar()));
       Sys.add(mk(K::Same, R, I->getRHS()->getTypeVar()));
       break;
@@ -63,6 +68,14 @@ TypeConstraintSystem TypeConstraintSystem::fromTransform(const Transform &T) {
       // integers (pointer comparisons never appear in the InstCombine
       // corpus we reproduce — see DESIGN.md).
       Sys.add(mk(K::IsInt, I->getLHS()->getTypeVar()));
+      break;
+    }
+    case ValueKind::FCmp: {
+      const auto *I = cast<FCmp>(V);
+      Sys.add(mkFixed(K::Fixed, R, Type::intTy(1)));
+      Sys.add(mk(K::Same, I->getLHS()->getTypeVar(),
+                 I->getRHS()->getTypeVar()));
+      Sys.add(mk(K::IsFP, I->getLHS()->getTypeVar()));
       break;
     }
     case ValueKind::Select: {
@@ -249,6 +262,10 @@ bool TypeConstraintSystem::satisfies(const TypeAssignment &A,
       break;
     case K::IsPtr:
       if (!TA.isPtr())
+        return false;
+      break;
+    case K::IsFP:
+      if (!TA.isFP())
         return false;
       break;
     case K::IsIntOrPtr:

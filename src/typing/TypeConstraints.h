@@ -30,6 +30,7 @@ struct TypeConstraint {
   enum class Kind {
     IsInt,        ///< A is an integer type
     IsPtr,        ///< A is a pointer type
+    IsFP,         ///< A is a floating-point type (half/float/double)
     IsIntOrPtr,   ///< A ∈ I ∪ P (icmp operands)
     Same,         ///< type(A) == type(B)
     WidthLT,      ///< both Int and width(A) < width(B)  (t <: t')
@@ -54,10 +55,19 @@ using TypeAssignment = std::vector<ir::Type>;
 /// 1..64 per class is supported but tests default to a sampled width set.
 struct TypeEnumConfig {
   std::vector<unsigned> Widths = {4, 8, 16, 32};
+  /// FP sorts enumerated for IsFP-constrained variables, by width
+  /// (16 = half, 32 = float, 64 = double).
+  std::vector<unsigned> FPWidths = {16, 32, 64};
   unsigned PtrWidth = 32;          ///< pointer width in bits
   unsigned MaxAssignments = 24;    ///< cap on enumerated assignments
   bool isAllowedWidth(unsigned W) const {
     for (unsigned X : Widths)
+      if (X == W)
+        return true;
+    return false;
+  }
+  bool isAllowedFPWidth(unsigned W) const {
+    for (unsigned X : FPWidths)
       if (X == W)
         return true;
     return false;

@@ -27,6 +27,7 @@ namespace {
 constexpr int KindInt = 0;
 constexpr int KindPtr = 1;
 constexpr int KindVoid = 2;
+constexpr int KindFP = 3; // width 16/32/64 selects half/float/double
 } // namespace
 
 Result<std::vector<TypeAssignment>>
@@ -57,7 +58,7 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
       if (Con.K == K::Same)
         Parent[Find(Con.A)] = Find(Con.B);
     std::vector<bool> WidthExempt(N, false), PointeeExempt(N, false);
-    std::vector<bool> MayPtr(N, false), MayVoid(N, false);
+    std::vector<bool> MayPtr(N, false), MayVoid(N, false), MayFP(N, false);
     for (const TypeConstraint &Con : Sys.constraints()) {
       if (Con.K == K::Fixed) {
         WidthExempt[Find(Con.A)] = true;
@@ -65,7 +66,11 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
           MayPtr[Find(Con.A)] = true;
         if (Con.FixedTy.isVoid())
           MayVoid[Find(Con.A)] = true;
+        if (Con.FixedTy.isFP())
+          MayFP[Find(Con.A)] = true;
       }
+      if (Con.K == K::IsFP)
+        MayFP[Find(Con.A)] = true;
       if (Con.K == K::FixedPointee || Con.K == K::PointeeIs)
         PointeeExempt[Find(Con.A)] = true;
       if (Con.K == K::IsPtr || Con.K == K::FixedPointee ||
@@ -94,26 +99,37 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
       Kind.push_back(C.int_const(("k" + std::to_string(I)).c_str()));
       Width.push_back(C.int_const(("w" + std::to_string(I)).c_str()));
       PointeeW.push_back(C.int_const(("p" + std::to_string(I)).c_str()));
-      S.add(Kind[I] >= KindInt && Kind[I] <= KindVoid);
+      S.add(Kind[I] >= KindInt && Kind[I] <= KindFP);
       // Enumeration policy (matching the native enumerator): a class never
-      // forced toward pointers or void defaults to Int rather than
+      // forced toward pointers, void, or FP defaults to Int rather than
       // multiplying the assignment space.
-      if (!MayPtr[Find(I)] && !MayVoid[Find(I)])
+      if (!MayPtr[Find(I)] && !MayVoid[Find(I)] && !MayFP[Find(I)]) {
         S.add(Kind[I] == KindInt);
-      else if (!MayPtr[Find(I)])
-        S.add(Kind[I] != KindPtr);
+      } else {
+        if (!MayPtr[Find(I)])
+          S.add(Kind[I] != KindPtr);
+        if (!MayFP[Find(I)])
+          S.add(Kind[I] != KindFP);
+      }
 
       // Width domains: any allowed width; pointer/void widths pinned to 0
-      // and their pointee width constrained instead.
+      // and their pointee width constrained instead. FP widths come from
+      // the separate FP sort domain.
       z3::expr WidthOk = C.bool_val(false);
       z3::expr PtrWOk = C.bool_val(false);
+      z3::expr FPWOk = C.bool_val(false);
       for (unsigned W : Config.Widths) {
         WidthOk = WidthOk || Width[I] == static_cast<int>(W);
         PtrWOk = PtrWOk || PointeeW[I] == static_cast<int>(W);
       }
-      if (!WidthExempt[Find(I)])
+      for (unsigned W : Config.FPWidths)
+        FPWOk = FPWOk || Width[I] == static_cast<int>(W);
+      if (!WidthExempt[Find(I)]) {
         S.add(z3::implies(Kind[I] == KindInt, WidthOk));
-      S.add(z3::implies(Kind[I] != KindInt, Width[I] == 0));
+        S.add(z3::implies(Kind[I] == KindFP, FPWOk));
+      }
+      S.add(z3::implies(Kind[I] != KindInt && Kind[I] != KindFP,
+                        Width[I] == 0));
       if (!PointeeExempt[Find(I)])
         S.add(z3::implies(Kind[I] == KindPtr, PtrWOk));
       S.add(z3::implies(Kind[I] != KindPtr, PointeeW[I] == 0));
@@ -136,6 +152,12 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
       case Type::Kind::Void:
         S.add(Kind[V] == KindVoid);
         break;
+      case Type::Kind::Half:
+      case Type::Kind::Float:
+      case Type::Kind::Double:
+        S.add(Kind[V] == KindFP &&
+              Width[V] == static_cast<int>(T.widthBits(0)));
+        break;
       case Type::Kind::Array:
         Supported = false;
         break;
@@ -155,6 +177,9 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
       case K::IsIntOrPtr:
         S.add(Kind[A] == KindInt || Kind[A] == KindPtr);
         break;
+      case K::IsFP:
+        S.add(Kind[A] == KindFP);
+        break;
       case K::IsVoid:
         S.add(Kind[A] == KindVoid);
         break;
@@ -167,7 +192,10 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
               Width[A] < Width[B]);
         break;
       case K::WidthEQ:
-        S.add(Kind[A] == Kind[B] && Kind[A] != KindVoid);
+        // Bitcast stays integer/pointer-only (satisfies() agrees): the
+        // memory encoder has no FP bit-reinterpretation story yet.
+        S.add(Kind[A] == Kind[B] && Kind[A] != KindVoid &&
+              Kind[A] != KindFP);
         S.add(z3::implies(Kind[A] == KindInt, Width[A] == Width[B]));
         break;
       case K::Fixed:
@@ -203,6 +231,8 @@ typing::enumerateTypesZ3(const TypeConstraintSystem &Sys,
           Asg[I] = Type::intTy(static_cast<unsigned>(WV));
         else if (KV == KindPtr)
           Asg[I] = Type::ptrTy(Type::intTy(static_cast<unsigned>(PV)));
+        else if (KV == KindFP)
+          Asg[I] = Type::fpTyFromWidth(static_cast<unsigned>(WV));
         else
           Asg[I] = Type::voidTy();
         Block = Block || Kind[I] != M.eval(Kind[I], true) ||

@@ -177,7 +177,8 @@ AssignmentProbe probeAssignment(const Transform &T, const VerifyConfig &Cfg,
   std::vector<TermRef> Conds{Ctx.mkImplies(Psi, Tgt.Defined),
                              Ctx.mkImplies(Psi, Tgt.PoisonFree)};
   if (Src.Val && Tgt.Val)
-    Conds.push_back(Ctx.mkImplies(Psi, Ctx.mkEq(Src.Val, Tgt.Val)));
+    Conds.push_back(
+        Ctx.mkImplies(Psi, Enc.rootsEquivalent(Src.Val, Tgt.Val)));
   if (Enc.hasMemory()) {
     TermRef Idx = Ctx.mkFreshVar("idx", Sort::bv(Enc.getPtrWidth()));
     Conds.push_back(Ctx.mkImplies(

@@ -6,6 +6,8 @@
 
 #include "verifier/Verifier.h"
 
+#include "support/FloatFormat.h"
+
 using namespace alive;
 using namespace alive::ir;
 using namespace alive::smt;
@@ -73,6 +75,19 @@ CounterExample buildCounterExample(FailureKind Kind, const Encoder &Enc,
 } // namespace verifier
 } // namespace alive
 
+/// FP-typed values decode as IEEE bit patterns ("0x8000 (-0)"); everything
+/// else keeps the integer "0xF (15, -1)" rendering. The type string is the
+/// discriminator — FP sorts print as their keyword.
+static std::string valueStr(const std::string &TypeStr, const APInt &V) {
+  unsigned FPW = TypeStr == "half"     ? 16
+                 : TypeStr == "float"  ? 32
+                 : TypeStr == "double" ? 64
+                                       : 0;
+  if (FPW)
+    return fp::bitsToString(fp::Format::fromWidth(FPW), V.getZExtValue());
+  return V.toString();
+}
+
 std::string CounterExample::str() const {
   // Figure 5's format:
   //   ERROR: Mismatch in values of i4 %r
@@ -85,17 +100,19 @@ std::string CounterExample::str() const {
                   RootTypeStr + " " + RootName + "\n";
   S += "Example:\n";
   for (const Binding &B : Inputs)
-    S += B.Name + " " + B.TypeStr + " = " + B.Value.toString() + "\n";
+    S += B.Name + " " + B.TypeStr + " = " + valueStr(B.TypeStr, B.Value) +
+         "\n";
   for (const Binding &B : Intermediates)
-    S += B.Name + " " + B.TypeStr + " = " + B.Value.toString() + "\n";
+    S += B.Name + " " + B.TypeStr + " = " + valueStr(B.TypeStr, B.Value) +
+         "\n";
   if (SourceValue)
-    S += "Source value: " + SourceValue->toString() + "\n";
+    S += "Source value: " + valueStr(RootTypeStr, *SourceValue) + "\n";
   else
     S += "Source value: (not evaluable)\n";
   switch (Kind) {
   case FailureKind::ValueMismatch:
     if (TargetValue)
-      S += "Target value: " + TargetValue->toString() + "\n";
+      S += "Target value: " + valueStr(RootTypeStr, *TargetValue) + "\n";
     break;
   case FailureKind::TargetUndefined:
     S += "Target value: undefined behavior\n";

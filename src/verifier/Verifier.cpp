@@ -178,11 +178,13 @@ std::vector<Check> buildChecks(TermContext &Ctx, Encoder &Enc,
   // Condition 2: ψ ⇒ ρ̄.
   TermRef NotPF = Ctx.mkNot(Tgt.PoisonFree);
   Checks.push_back({FailureKind::TargetPoison, Ctx.mkAnd(Psi, NotPF), NotPF});
-  // Condition 3: ψ ⇒ ι = ι̅ (roots with a value; a store/unreachable
-  // root has none and is covered by conditions 1 and 4).
+  // Condition 3: ψ ⇒ ι ≡ ι̅ (roots with a value; a store/unreachable
+  // root has none and is covered by conditions 1 and 4). Equivalence is
+  // bit equality, weakened for FP roots by the single-NaN abstraction and
+  // the source root's nsz flag (see Encoder::rootsEquivalent).
   if (Src.Val && Tgt.Val &&
       T.getSrcRoot()->getName() == T.getTgtRoot()->getName()) {
-    TermRef Ne = Ctx.mkNe(Src.Val, Tgt.Val);
+    TermRef Ne = Ctx.mkNot(Enc.rootsEquivalent(Src.Val, Tgt.Val));
     Checks.push_back({FailureKind::ValueMismatch, Ctx.mkAnd(Psi, Ne), Ne});
   }
   // Condition 4: equal final memories at every index.

@@ -1,0 +1,53 @@
+# Golden-output test for the floating-point corpus: every *.opt under the
+# corpus directory is verified with the native bit-blast backend (the only
+# backend whose counterexample bytes are reproducible across machines) and
+# must reproduce its .expected sibling byte-for-byte once the wall-clock
+# field is masked. The goldens pin the verdicts, the counterexample bit
+# patterns (e.g. the 0x8000 (-0) witness for a missing nsz), and the
+# solver accounting, so drift in the softfloat circuits, the FMF poison
+# conditions, or the NaN/zero root-equality relaxation shows up as a diff.
+#
+#   cmake -DALIVEC=<path> -DCORPUS=<dir with *.opt + *.expected>
+#         -P CheckFPGolden.cmake
+#
+# The expected exit code is derived from the golden itself: 1 exactly when
+# it records an INCORRECT verdict, 0 otherwise. Lint warnings go to stderr
+# and are deliberately not part of the golden.
+
+file(GLOB Opts RELATIVE ${CORPUS} ${CORPUS}/*.opt)
+list(SORT Opts)
+if(Opts STREQUAL "")
+  message(FATAL_ERROR "no .opt files under ${CORPUS}")
+endif()
+
+foreach(Opt IN LISTS Opts)
+  string(REGEX REPLACE "\\.opt$" ".expected" Golden "${Opt}")
+  if(NOT EXISTS ${CORPUS}/${Golden})
+    message(FATAL_ERROR "${Opt}: missing golden file ${Golden}")
+  endif()
+  file(READ ${CORPUS}/${Golden} Want)
+
+  execute_process(COMMAND ${ALIVEC} verify --backend=bitblast --jobs=1 ${Opt}
+                  WORKING_DIRECTORY ${CORPUS}
+                  RESULT_VARIABLE Code
+                  OUTPUT_VARIABLE Out
+                  ERROR_VARIABLE Err)
+
+  if(Want MATCHES "INCORRECT")
+    set(WantCode 1)
+  else()
+    set(WantCode 0)
+  endif()
+  if(NOT Code STREQUAL WantCode)
+    message(FATAL_ERROR "${Opt}: expected exit ${WantCode}, got '${Code}'\n"
+                        "stdout:\n${Out}\nstderr:\n${Err}")
+  endif()
+
+  string(REGEX REPLACE "[0-9.]+ ms" "X ms" Out "${Out}")
+  if(NOT Out STREQUAL Want)
+    message(FATAL_ERROR "${Opt}: verify output differs from ${Golden}\n"
+                        "---- got ----\n${Out}"
+                        "---- expected ----\n${Want}")
+  endif()
+  message(STATUS "${Opt}: ok (exit ${Code})")
+endforeach()

@@ -58,6 +58,97 @@ TEST(TypeTest, Equality) {
   EXPECT_NE(Type::ptrTy(Type::intTy(8)), Type::intTy(8));
 }
 
+TEST(TypeTest, FPConstruction) {
+  Type H = Type::halfTy(), F = Type::floatTy(), D = Type::doubleTy();
+  for (const Type &T : {H, F, D}) {
+    EXPECT_TRUE(T.isFP());
+    EXPECT_FALSE(T.isInt());
+    EXPECT_TRUE(T.isFirstClass());
+  }
+  EXPECT_EQ(H.str(), "half");
+  EXPECT_EQ(F.str(), "float");
+  EXPECT_EQ(D.str(), "double");
+  EXPECT_EQ(H.widthBits(32), 16u);
+  EXPECT_EQ(F.widthBits(32), 32u);
+  EXPECT_EQ(D.widthBits(32), 64u);
+  EXPECT_EQ(Type::fpTyFromWidth(16), H);
+  EXPECT_EQ(Type::fpTyFromWidth(32), F);
+  EXPECT_EQ(Type::fpTyFromWidth(64), D);
+}
+
+TEST(TypeTest, FPEqualityAcrossKinds) {
+  // Every pair of distinct kinds must compare unequal, including the FP
+  // kinds against each other and against same-width integers.
+  std::vector<Type> Kinds = {
+      Type::intTy(16),  Type::intTy(32), Type::halfTy(),
+      Type::floatTy(),  Type::doubleTy(), Type::voidTy(),
+      Type::ptrTy(Type::floatTy()), Type::arrayTy(4, Type::halfTy())};
+  for (size_t I = 0; I != Kinds.size(); ++I)
+    for (size_t J = 0; J != Kinds.size(); ++J) {
+      if (I == J)
+        EXPECT_EQ(Kinds[I], Kinds[J]);
+      else
+        EXPECT_NE(Kinds[I], Kinds[J]) << Kinds[I].str() << " vs "
+                                      << Kinds[J].str();
+    }
+  // half != i16 even though both are 16 bits wide.
+  EXPECT_EQ(Type::halfTy().widthBits(32), Type::intTy(16).widthBits(32));
+  EXPECT_NE(Type::halfTy(), Type::intTy(16));
+}
+
+TEST(TypeTest, FPPointersAndArrays) {
+  Type PF = Type::ptrTy(Type::floatTy());
+  EXPECT_TRUE(PF.isPtr());
+  EXPECT_EQ(PF.getElemType(), Type::floatTy());
+  EXPECT_EQ(PF.str(), "float*");
+  EXPECT_EQ(PF, Type::ptrTy(Type::floatTy()));
+  EXPECT_NE(PF, Type::ptrTy(Type::doubleTy()));
+  EXPECT_NE(PF, Type::ptrTy(Type::intTy(32)));
+
+  Type AH = Type::arrayTy(4, Type::halfTy());
+  EXPECT_TRUE(AH.isArray());
+  EXPECT_EQ(AH.str(), "[4 x half]");
+  EXPECT_EQ(AH, Type::arrayTy(4, Type::halfTy()));
+  EXPECT_NE(AH, Type::arrayTy(8, Type::halfTy()));
+  EXPECT_NE(AH, Type::arrayTy(4, Type::floatTy()));
+  EXPECT_NE(AH, Type::arrayTy(4, Type::intTy(16)));
+  // Allocation sizes follow the bit widths.
+  EXPECT_EQ(Type::halfTy().allocSizeBytes(32), 2u);
+  EXPECT_EQ(Type::doubleTy().allocSizeBytes(32), 8u);
+  EXPECT_EQ(AH.allocSizeBytes(32), 8u);
+}
+
+TEST(TypeTest, HashConsistentWithEquality) {
+  // hash() must agree with == (equal values hash equal) and should
+  // separate the kinds that most plausibly collide: same-width int/FP,
+  // pointers to each, and arrays of each.
+  std::vector<Type> Distinct = {
+      Type::intTy(16),
+      Type::intTy(32),
+      Type::intTy(64),
+      Type::halfTy(),
+      Type::floatTy(),
+      Type::doubleTy(),
+      Type::voidTy(),
+      Type::ptrTy(Type::halfTy()),
+      Type::ptrTy(Type::floatTy()),
+      Type::ptrTy(Type::doubleTy()),
+      Type::ptrTy(Type::intTy(16)),
+      Type::ptrTy(Type::ptrTy(Type::floatTy())),
+      Type::arrayTy(4, Type::halfTy()),
+      Type::arrayTy(4, Type::floatTy()),
+      Type::arrayTy(4, Type::intTy(16)),
+      Type::arrayTy(2, Type::doubleTy())};
+  for (const Type &T : Distinct) {
+    Type Copy = T;
+    EXPECT_EQ(Copy.hash(), T.hash()) << T.str();
+  }
+  for (size_t I = 0; I != Distinct.size(); ++I)
+    for (size_t J = I + 1; J != Distinct.size(); ++J)
+      EXPECT_NE(Distinct[I].hash(), Distinct[J].hash())
+          << Distinct[I].str() << " collides with " << Distinct[J].str();
+}
+
 TEST(ConstExprTest, PrintAndClone) {
   // (C1 | C2) - 1
   auto E = ConstExpr::binary(
@@ -208,6 +299,40 @@ TEST(InstrTest, AttributeLegality) {
   EXPECT_TRUE(binOpSupportsExact(BinOpcode::LShr));
   EXPECT_TRUE(binOpSupportsExact(BinOpcode::SDiv));
   EXPECT_FALSE(binOpSupportsExact(BinOpcode::And));
+}
+
+TEST(InstrTest, FPPrinting) {
+  Transform T;
+  auto *X = T.create<InputVar>("%x");
+  auto *Y = T.create<InputVar>("%y");
+  EXPECT_EQ(T.create<BinOp>("%a", BinOpcode::FAdd, X, Y)->str(),
+            "%a = fadd %x, %y");
+  EXPECT_EQ(T.create<BinOp>("%b", BinOpcode::FSub, X, Y,
+                            AttrNNan | AttrNInf | AttrNSZ)
+                ->str(),
+            "%b = fsub nnan ninf nsz %x, %y");
+  EXPECT_EQ(T.create<BinOp>("%m", BinOpcode::FMul, X, Y, AttrNSZ)->str(),
+            "%m = fmul nsz %x, %y");
+  EXPECT_EQ(T.create<FCmp>("%c", FCmpCond::OLE, X, Y)->str(),
+            "%c = fcmp ole %x, %y");
+  EXPECT_EQ(T.create<FCmp>("%d", FCmpCond::UNO, X, Y, AttrNNan)->str(),
+            "%d = fcmp nnan uno %x, %y");
+  auto *C = T.create<ConstantFP>("-0.0", -0.0);
+  EXPECT_EQ(T.create<BinOp>("%n", BinOpcode::FSub, C, X)->str(),
+            "%n = fsub -0.0, %x");
+}
+
+TEST(InstrTest, FPAttributeLegality) {
+  EXPECT_TRUE(binOpIsFP(BinOpcode::FAdd));
+  EXPECT_TRUE(binOpIsFP(BinOpcode::FSub));
+  EXPECT_TRUE(binOpIsFP(BinOpcode::FMul));
+  EXPECT_FALSE(binOpIsFP(BinOpcode::Add));
+  EXPECT_FALSE(binOpIsFP(BinOpcode::Mul));
+  EXPECT_TRUE(binOpSupportsFastMath(BinOpcode::FAdd));
+  EXPECT_FALSE(binOpSupportsFastMath(BinOpcode::Add));
+  // FP opcodes take neither wrap flags nor exact.
+  EXPECT_FALSE(binOpSupportsWrapFlags(BinOpcode::FAdd));
+  EXPECT_FALSE(binOpSupportsExact(BinOpcode::FMul));
 }
 
 } // namespace

@@ -69,6 +69,70 @@ TEST(ReaderTest, Errors) {
 }
 
 // Print → parse → print is a fixpoint, and the reparsed function behaves
+TEST(ReaderTest, FPInstructions) {
+  // FP values travel as bit patterns at the value's width; the FP type
+  // name in the text pins the width (half=16, float=32, double=64).
+  auto R = parseFunction("define i1 @h(i16 %x, i16 %y) {\n"
+                         "  %a = fadd nnan half %x, %y\n"
+                         "  %m = fmul nsz half %a, %x\n"
+                         "  %c = fcmp ninf olt half %m, %y\n"
+                         "  ret i1 %c\n"
+                         "}\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  const Function &F = *R.get();
+  EXPECT_EQ(F.body()[0]->getOpcode(), Opcode::FAdd);
+  EXPECT_TRUE(F.body()[0]->hasNNan());
+  EXPECT_EQ(F.body()[0]->getWidth(), 16u);
+  EXPECT_TRUE(F.body()[1]->hasNSZ());
+  EXPECT_EQ(F.body()[2]->getOpcode(), Opcode::FCmp);
+  EXPECT_EQ(F.body()[2]->getFPredicate(), FPred::OLT);
+  EXPECT_TRUE(F.body()[2]->hasNInf());
+  EXPECT_EQ(F.body()[2]->getWidth(), 1u);
+
+  // Print -> parse -> print must be a fixpoint.
+  std::string Printed = F.str();
+  auto R2 = parseFunction(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.message() << "\n" << Printed;
+  EXPECT_EQ(R2.get()->str(), Printed);
+}
+
+TEST(ReaderTest, FPInterpretation) {
+  // 1.0 + 1.0 at half: 0x3C00 + 0x3C00 == 0x4000 (2.0).
+  auto R = parseFunction("define i16 @f(i16 %x, i16 %y) {\n"
+                         "  %r = fadd half %x, %y\n"
+                         "  ret i16 %r\n"
+                         "}\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  ExecResult E = interpret(*R.get(), {APInt(16, 0x3C00), APInt(16, 0x3C00)},
+                           /*Seed=*/0);
+  ASSERT_FALSE(E.UB);
+  ASSERT_FALSE(E.Poison);
+  EXPECT_EQ(E.Value, APInt(16, 0x4000));
+
+  // nnan: a NaN operand makes the result poison instead of a value.
+  auto R2 = parseFunction("define i16 @g(i16 %x) {\n"
+                          "  %r = fadd nnan half %x, %x\n"
+                          "  ret i16 %r\n"
+                          "}\n");
+  ASSERT_TRUE(R2.ok()) << R2.message();
+  ExecResult P = interpret(*R2.get(), {APInt(16, 0x7E00)}, /*Seed=*/0);
+  EXPECT_TRUE(P.Poison);
+  EXPECT_FALSE(P.UB);
+}
+
+TEST(ReaderTest, FPFlagLegality) {
+  // Integer flags on FP ops and fast-math flags on integer ops are both
+  // verifier errors surfaced through the reader.
+  EXPECT_FALSE(parseFunction("define i16 @f(i16 %x) {\n"
+                             "  %r = fadd nsw half %x, %x\n"
+                             "  ret i16 %r\n}\n")
+                   .ok());
+  EXPECT_FALSE(parseFunction("define i8 @f(i8 %x) {\n"
+                             "  %r = add nnan i8 %x, %x\n"
+                             "  ret i8 %r\n}\n")
+                   .ok());
+}
+
 // identically under the interpreter.
 class ReaderRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
 

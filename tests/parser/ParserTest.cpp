@@ -228,4 +228,101 @@ TEST(ParserTest, RoundTripPrinting) {
   EXPECT_EQ(R2.get()->str(), Printed);
 }
 
+TEST(ParserTest, FPInstructions) {
+  auto R = parseTransform("%a = fadd nnan half %x, 0.0\n"
+                          "%r = fmul nsz %a, -1.0\n"
+                          "=>\n"
+                          "%r = fsub ninf -0.0, %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  const Transform &T = *R.get();
+  auto *A = dyn_cast<BinOp>(T.src()[0]);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getOpcode(), BinOpcode::FAdd);
+  EXPECT_TRUE(A->hasNNan());
+  EXPECT_FALSE(A->hasNSZ());
+  EXPECT_EQ(A->str(), "%a = fadd nnan %x, 0.0");
+  EXPECT_EQ(T.src()[1]->str(), "%r = fmul nsz %a, -1.0");
+  EXPECT_EQ(T.tgt()[0]->str(), "%r = fsub ninf -0.0, %x");
+}
+
+TEST(ParserTest, FCmpPredicatesAndLiterals) {
+  auto R = parseTransform("%c = fcmp nnan ult %x, nan\n"
+                          "%r = select %c, inf, -inf\n"
+                          "=>\n"
+                          "%r = select %c, inf, -inf\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto *C = dyn_cast<FCmp>(R.get()->src()[0]);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getCond(), FCmpCond::ULT);
+  EXPECT_TRUE(C->hasNNan());
+  EXPECT_EQ(C->str(), "%c = fcmp nnan ult %x, nan");
+}
+
+TEST(ParserTest, ErrorIntegerFlagsOnFP) {
+  EXPECT_FALSE(parseTransform("%r = fadd nsw %x, %y\n=>\n%r = %x\n").ok());
+  EXPECT_FALSE(parseTransform("%r = fcmp exact oeq %x, %y\n=>\n%r = true\n")
+                   .ok());
+}
+
+TEST(ParserTest, ErrorFastMathFlagsOnInt) {
+  EXPECT_FALSE(parseTransform("%r = add nnan %x, %y\n=>\n%r = %x\n").ok());
+  EXPECT_FALSE(parseTransform("%r = shl nsz %x, %y\n=>\n%r = %x\n").ok());
+}
+
+// Print -> reparse -> print must be a fixpoint for EVERY instruction form
+// the IR has: all binary opcodes with every legal flag set (wrap flags,
+// exact, and all eight fast-math subsets), every icmp and fcmp predicate,
+// conversions, select, memory ops, and FP literal spellings.
+TEST(ParserTest, RoundTripEveryInstr) {
+  std::vector<std::string> Snippets;
+  auto Bin = [&](const std::string &Op, const std::string &Flags,
+                 const std::string &Ops) {
+    Snippets.push_back("%r = " + Op + (Flags.empty() ? "" : " " + Flags) +
+                       " " + Ops + "\n=>\n%r = %x\n");
+  };
+  for (const char *Op : {"add", "sub", "mul", "shl"})
+    for (const char *F : {"", "nsw", "nuw", "nsw nuw"})
+      Bin(Op, F, "%x, %y");
+  for (const char *Op : {"udiv", "sdiv", "urem", "srem", "and", "or", "xor"})
+    Bin(Op, "", "%x, %y");
+  for (const char *Op : {"udiv", "sdiv", "lshr", "ashr"})
+    Bin(Op, "exact", "%x, %y");
+  // All eight fast-math subsets on each FP opcode, printed in canonical
+  // nnan/ninf/nsz order.
+  for (const char *Op : {"fadd", "fsub", "fmul"})
+    for (const char *F :
+         {"", "nnan", "ninf", "nsz", "nnan ninf", "nnan nsz", "ninf nsz",
+          "nnan ninf nsz"})
+      Bin(Op, F, "%x, %y");
+  Bin("fadd", "", "%x, 1.5");
+  Bin("fsub", "", "-0.0, %x");
+  Bin("fmul", "nnan", "%x, nan");
+  Bin("fadd", "ninf", "%x, -inf");
+  for (const char *C : {"eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge",
+                        "slt", "sle"})
+    Snippets.push_back(std::string("%c = icmp ") + C +
+                       " %x, %y\n=>\n%c = icmp " + C + " %y, %x\n");
+  for (const char *C : {"oeq", "ogt", "oge", "olt", "ole", "one", "ord",
+                        "ueq", "ugt", "uge", "ult", "ule", "une", "uno"})
+    for (const char *F : {"", "nnan", "nnan ninf"})
+      Snippets.push_back(std::string("%c = fcmp ") + F +
+                         (*F ? " " : "") + C + " %x, %y\n=>\n%c = fcmp " + C +
+                         " %y, %x\n");
+  for (const char *Op : {"zext", "sext", "trunc"})
+    Snippets.push_back(std::string("%r = ") + Op + " %x\n=>\n%r = " + Op +
+                       " %x\n");
+  Snippets.push_back("%r = select %c, %x, %y\n=>\n%r = select %c, %y, %x\n");
+  Snippets.push_back("store %v, %p\n%r = load %p\n=>\nstore %v, %p\n"
+                     "%r = %v\n");
+
+  for (const std::string &S : Snippets) {
+    auto R = parseTransform(S);
+    ASSERT_TRUE(R.ok()) << R.message() << "\nsnippet:\n" << S;
+    std::string Printed = R.get()->str();
+    auto R2 = parseTransform(Printed);
+    ASSERT_TRUE(R2.ok()) << R2.message() << "\nprinted:\n" << Printed;
+    EXPECT_EQ(R2.get()->str(), Printed) << "snippet:\n" << S;
+  }
+}
+
 } // namespace

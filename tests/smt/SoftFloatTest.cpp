@@ -1,0 +1,266 @@
+//===- tests/smt/SoftFloatTest.cpp - softfloat circuit differential tests ----===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests of the softfloat bitvector circuits against the
+/// host-side IEEE reference in support/FloatFormat. The *Bits entry points
+/// instantiate the exact circuit structure the solver sees over concrete
+/// uint64_t bits, so agreement here is agreement about what gets proved.
+///
+/// Half precision is swept exhaustively along one axis: every one of the
+/// 65536 right operands against a deterministic set of left operands that
+/// covers all special values, both zeros, subnormals, exponent boundaries,
+/// and fixed-seed random fill. Float and double are sampled with the same
+/// fixed seed (a full sweep is impossible; the circuits are format-generic
+/// so half already pins the structure).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/bitblast/SoftFloat.h"
+#include "support/FloatFormat.h"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+/// xorshift64* — deterministic, seed-stable across platforms.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+/// Deterministic operand set: specials, both zeros, smallest/largest
+/// subnormal, exponent-boundary values, NaN payload variants, and random
+/// fill up to \p N values, all masked to the format width.
+std::vector<uint64_t> interestingValues(fp::Format F, size_t N) {
+  std::vector<uint64_t> Out;
+  auto Push = [&](uint64_t V) { Out.push_back(V & F.valueMask()); };
+  Push(0);                            // +0
+  Push(F.signMask());                 // -0
+  Push(fp::posInf(F));
+  Push(fp::negInf(F));
+  Push(fp::canonicalNaN(F));
+  Push(fp::canonicalNaN(F) | 1);      // NaN with a payload
+  Push(fp::canonicalNaN(F) | F.signMask()); // negative NaN
+  Push(1);                            // smallest subnormal
+  Push(F.sigMask());                  // largest subnormal
+  Push(F.sigMask() + 1);              // smallest normal
+  Push(fp::posInf(F) - 1);            // largest finite
+  Push(static_cast<uint64_t>(F.bias()) << F.SigBits);          // 1.0
+  Push((static_cast<uint64_t>(F.bias()) << F.SigBits) | F.signMask()); // -1.0
+  Push(static_cast<uint64_t>(F.bias() + 1) << F.SigBits);      // 2.0
+  Push((static_cast<uint64_t>(F.bias()) << F.SigBits) | 1);    // 1.0+ulp
+  Rng R(0x50f7f10a7ULL + F.width());
+  while (Out.size() < N)
+    Push(R.next());
+  return Out;
+}
+
+const char *opName(int Op) {
+  return Op == 0 ? "fadd" : Op == 1 ? "fsub" : "fmul";
+}
+
+uint64_t circuitOp(int Op, fp::Format F, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case 0:
+    return softfloat::fpAddBits(F, A, B);
+  case 1:
+    return softfloat::fpSubBits(F, A, B);
+  default:
+    return softfloat::fpMulBits(F, A, B);
+  }
+}
+
+uint64_t referenceOp(int Op, fp::Format F, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case 0:
+    return fp::add(F, A, B);
+  case 1:
+    return fp::sub(F, A, B);
+  default:
+    return fp::mul(F, A, B);
+  }
+}
+
+/// Compares circuit vs reference for one (op, a, b); on mismatch fails
+/// with the bit patterns. Kept out of gtest's EXPECT macros on the hot
+/// path — tens of millions of passing comparisons must stay cheap.
+bool checkOne(int Op, fp::Format F, uint64_t A, uint64_t B) {
+  uint64_t C = circuitOp(Op, F, A, B);
+  uint64_t R = referenceOp(Op, F, A, B);
+  if (C == R)
+    return true;
+  ADD_FAILURE() << opName(Op) << " w" << F.width() << ": a="
+                << fp::bitsToString(F, A) << " b=" << fp::bitsToString(F, B)
+                << " circuit=" << fp::bitsToString(F, C)
+                << " reference=" << fp::bitsToString(F, R);
+  return false;
+}
+
+TEST(SoftFloatDiff, HalfArithExhaustiveRows) {
+  fp::Format F = fp::Format::fromWidth(16);
+  std::vector<uint64_t> Lhs = interestingValues(F, 96);
+  for (int Op = 0; Op != 3; ++Op)
+    for (uint64_t A : Lhs)
+      for (uint64_t B = 0; B != 0x10000; ++B)
+        if (!checkOne(Op, F, A, B))
+          return; // one witness is enough; don't spam 65k failures
+}
+
+TEST(SoftFloatDiff, HalfArithRandomPairs) {
+  fp::Format F = fp::Format::fromWidth(16);
+  Rng R(0xba5eba11);
+  for (int I = 0; I != 200000; ++I) {
+    uint64_t A = R.next() & F.valueMask(), B = R.next() & F.valueMask();
+    for (int Op = 0; Op != 3; ++Op)
+      if (!checkOne(Op, F, A, B))
+        return;
+  }
+}
+
+TEST(SoftFloatDiff, HalfCmpAllPredicates) {
+  fp::Format F = fp::Format::fromWidth(16);
+  std::vector<uint64_t> Vals = interestingValues(F, 192);
+  for (unsigned P = 0; P != 16; ++P) {
+    auto Pred = static_cast<fp::Pred>(P);
+    for (uint64_t A : Vals)
+      for (uint64_t B : Vals) {
+        bool C = softfloat::fpCmpBits(F, Pred, A, B);
+        bool R = fp::cmp(F, Pred, A, B);
+        if (C != R) {
+          ADD_FAILURE() << "fcmp pred#" << P << ": a="
+                        << fp::bitsToString(F, A)
+                        << " b=" << fp::bitsToString(F, B) << " circuit=" << C
+                        << " reference=" << R;
+          return;
+        }
+      }
+  }
+}
+
+TEST(SoftFloatDiff, HalfCmpExhaustiveRowsOltUeq) {
+  fp::Format F = fp::Format::fromWidth(16);
+  std::vector<uint64_t> Lhs = interestingValues(F, 32);
+  for (auto Pred : {fp::Pred::OLT, fp::Pred::UEQ})
+    for (uint64_t A : Lhs)
+      for (uint64_t B = 0; B != 0x10000; ++B) {
+        bool C = softfloat::fpCmpBits(F, Pred, A, B);
+        bool R = fp::cmp(F, Pred, A, B);
+        if (C != R) {
+          ADD_FAILURE() << "fcmp: a=" << fp::bitsToString(F, A)
+                        << " b=" << fp::bitsToString(F, B) << " circuit=" << C
+                        << " reference=" << R;
+          return;
+        }
+      }
+}
+
+TEST(SoftFloatDiff, FloatSampled) {
+  fp::Format F = fp::Format::fromWidth(32);
+  std::vector<uint64_t> Specials = interestingValues(F, 64);
+  for (int Op = 0; Op != 3; ++Op)
+    for (uint64_t A : Specials)
+      for (uint64_t B : Specials)
+        if (!checkOne(Op, F, A, B))
+          return;
+  Rng R(0xf10a7);
+  for (int I = 0; I != 100000; ++I) {
+    uint64_t A = R.next() & F.valueMask(), B = R.next() & F.valueMask();
+    for (int Op = 0; Op != 3; ++Op)
+      if (!checkOne(Op, F, A, B))
+        return;
+    bool C = softfloat::fpCmpBits(F, fp::Pred::OLE, A, B);
+    ASSERT_EQ(C, fp::cmp(F, fp::Pred::OLE, A, B));
+  }
+}
+
+TEST(SoftFloatDiff, DoubleSampled) {
+  fp::Format F = fp::Format::fromWidth(64);
+  std::vector<uint64_t> Specials = interestingValues(F, 64);
+  for (int Op = 0; Op != 3; ++Op)
+    for (uint64_t A : Specials)
+      for (uint64_t B : Specials)
+        if (!checkOne(Op, F, A, B))
+          return;
+  Rng R(0xd0b1e);
+  for (int I = 0; I != 100000; ++I) {
+    uint64_t A = R.next(), B = R.next();
+    for (int Op = 0; Op != 3; ++Op)
+      if (!checkOne(Op, F, A, B))
+        return;
+    bool C = softfloat::fpCmpBits(F, fp::Pred::UGT, A, B);
+    ASSERT_EQ(C, fp::cmp(F, fp::Pred::UGT, A, B));
+  }
+}
+
+/// Every NaN the circuits produce must be the canonical quiet NaN — the
+/// refinement encoding's single-NaN abstraction depends on it.
+TEST(SoftFloatDiff, NaNResultsAreCanonical) {
+  for (unsigned W : {16u, 32u, 64u}) {
+    fp::Format F = fp::Format::fromWidth(W);
+    std::vector<uint64_t> Vals = interestingValues(F, 128);
+    for (int Op = 0; Op != 3; ++Op)
+      for (uint64_t A : Vals)
+        for (uint64_t B : Vals) {
+          uint64_t C = circuitOp(Op, F, A, B);
+          if (fp::isNaN(F, C)) {
+            ASSERT_EQ(C, fp::canonicalNaN(F))
+                << opName(Op) << " w" << W << " produced a non-canonical NaN"
+                << " from a=" << fp::bitsToString(F, A)
+                << " b=" << fp::bitsToString(F, B);
+          }
+        }
+  }
+}
+
+/// The reference semantics itself: spot-check hand-computed cases so the
+/// differential tests aren't comparing two copies of the same bug.
+TEST(SoftFloatDiff, ReferenceAnchors) {
+  fp::Format H = fp::Format::fromWidth(16);
+  // 1.0 + 1.0 = 2.0 : 0x3C00 + 0x3C00 = 0x4000
+  EXPECT_EQ(fp::add(H, 0x3C00, 0x3C00), 0x4000u);
+  // -0.0 + 0.0 = +0.0 (RNE: opposite-sign zero sum is +0)
+  EXPECT_EQ(fp::add(H, 0x8000, 0x0000), 0x0000u);
+  // -0.0 + -0.0 = -0.0
+  EXPECT_EQ(fp::add(H, 0x8000, 0x8000), 0x8000u);
+  // 0.0 - -0.0 = +0.0 ; -0.0 - 0.0 = -0.0
+  EXPECT_EQ(fp::sub(H, 0x0000, 0x8000), 0x0000u);
+  EXPECT_EQ(fp::sub(H, 0x8000, 0x0000), 0x8000u);
+  // inf - inf = canonical NaN
+  EXPECT_EQ(fp::sub(H, fp::posInf(H), fp::posInf(H)), fp::canonicalNaN(H));
+  // inf * 0 = canonical NaN
+  EXPECT_EQ(fp::mul(H, fp::posInf(H), 0x0000), fp::canonicalNaN(H));
+  // -1.0 * 0.0 = -0.0
+  EXPECT_EQ(fp::mul(H, 0xBC00, 0x0000), 0x8000u);
+  // 65504 (max half) + 32 rounds to inf: 0x7BFF + 0x5000
+  EXPECT_EQ(fp::add(H, 0x7BFF, 0x5000), fp::posInf(H));
+  // Subnormal arithmetic: smallest subnormal + itself doubles exactly.
+  EXPECT_EQ(fp::add(H, 0x0001, 0x0001), 0x0002u);
+  // NaN != NaN under OEQ, but UEQ holds; ORD fails, UNO holds.
+  uint64_t N = fp::canonicalNaN(H);
+  EXPECT_FALSE(fp::cmp(H, fp::Pred::OEQ, N, N));
+  EXPECT_TRUE(fp::cmp(H, fp::Pred::UEQ, N, N));
+  EXPECT_FALSE(fp::cmp(H, fp::Pred::ORD, N, 0x3C00));
+  EXPECT_TRUE(fp::cmp(H, fp::Pred::UNO, N, 0x3C00));
+  // -0.0 == +0.0 ordered.
+  EXPECT_TRUE(fp::cmp(H, fp::Pred::OEQ, 0x8000, 0x0000));
+  EXPECT_FALSE(fp::cmp(H, fp::Pred::OLT, 0x8000, 0x0000));
+}
+
+} // namespace

@@ -136,6 +136,94 @@ TEST(TypingTest, MemoryTyping) {
   EXPECT_EQ(As.get()[0][T.getSrcRoot()->getTypeVar()], Type::intTy(8));
 }
 
+TEST(TypingTest, FPEnumeratesAllThreeFormats) {
+  auto R = parse("%r = fadd %x, %y\n=>\n%r = fadd %y, %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  // One unified FP class: half, float, double (never an integer width).
+  ASSERT_EQ(As.get().size(), 3u);
+  std::vector<std::string> Roots;
+  const Transform &T = *R.get();
+  for (const auto &A : As.get()) {
+    EXPECT_TRUE(A[T.getSrcRoot()->getTypeVar()].isFP());
+    Roots.push_back(A[T.getSrcRoot()->getTypeVar()].str());
+    EXPECT_TRUE(Sys.satisfies(A, Cfg.PtrWidth));
+  }
+  std::sort(Roots.begin(), Roots.end());
+  EXPECT_EQ(Roots, (std::vector<std::string>{"double", "float", "half"}));
+}
+
+TEST(TypingTest, FPAnnotationPinsOneFormat) {
+  auto R = parse("%r = fmul half %x, 1.0\n=>\n%r = %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  ASSERT_EQ(As.get().size(), 1u);
+  EXPECT_EQ(As.get()[0][R.get()->getSrcRoot()->getTypeVar()],
+            Type::halfTy());
+}
+
+TEST(TypingTest, FCmpOperandsFPResultI1) {
+  auto R = parse("%c = fcmp olt %x, %y\n=>\n%c = fcmp ogt %y, %x\n");
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+  TypeEnumConfig Cfg;
+  auto As = enumerateTypesNative(Sys, Cfg);
+  ASSERT_TRUE(As.ok()) << As.message();
+  ASSERT_EQ(As.get().size(), 3u);
+  const Transform &T = *R.get();
+  for (const auto &A : As.get()) {
+    EXPECT_EQ(A[T.getSrcRoot()->getTypeVar()], Type::intTy(1));
+    EXPECT_TRUE(A[T.getSrcRoot()->getOperand(0)->getTypeVar()].isFP());
+  }
+}
+
+// Integer-only opcodes must never type over FP operands: `udiv float` is
+// a type error (no feasible assignment), and an FP literal poisons an
+// integer class the same way.
+TEST(TypingTest, IntOpcodesRejectFPOperands) {
+  const char *Cases[] = {
+      "%r = udiv float %x, %y\n=>\n%r = %x\n",
+      "%r = add double %x, %y\n=>\n%r = add %y, %x\n",
+      "%r = and half %x, %y\n=>\n%r = and %y, %x\n",
+      "%r = add %x, 1.5\n=>\n%r = %x\n",
+      "%c = icmp eq float %x, %y\n=>\n%c = icmp eq %y, %x\n",
+      "%s = shl float %x, %y\n=>\n%s = shl %y, %x\n",
+  };
+  for (const char *Text : Cases) {
+    auto R = parse(Text);
+    ASSERT_TRUE(R.ok()) << R.message() << "\n" << Text;
+    auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+    auto As = enumerateTypesNative(Sys, TypeEnumConfig());
+    ASSERT_TRUE(As.ok()) << As.message();
+    EXPECT_TRUE(As.get().empty()) << "expected a type error for:\n" << Text;
+  }
+}
+
+// ... and FP opcodes must never type over integers (or pointers).
+TEST(TypingTest, FPOpcodesRejectIntOperands) {
+  const char *Cases[] = {
+      "%r = fadd i8 %x, %y\n=>\n%r = fadd %y, %x\n",
+      "%r = fmul i32 %x, %y\n=>\n%r = fmul %y, %x\n",
+      "%c = fcmp oeq i16 %x, %y\n=>\n%c = fcmp oeq %y, %x\n",
+      "%r = fadd %x, 1\n=>\n%r = %x\n",
+  };
+  for (const char *Text : Cases) {
+    auto R = parse(Text);
+    if (!R.ok())
+      continue; // rejecting in the parser is fine too
+    auto Sys = TypeConstraintSystem::fromTransform(*R.get());
+    auto As = enumerateTypesNative(Sys, TypeEnumConfig());
+    ASSERT_TRUE(As.ok()) << As.message();
+    EXPECT_TRUE(As.get().empty()) << "expected a type error for:\n" << Text;
+  }
+}
+
 // Cross-check the two enumerators on a family of transforms.
 class EnumeratorAgreementTest : public ::testing::TestWithParam<const char *> {
 };
@@ -163,7 +251,11 @@ INSTANTIATE_TEST_SUITE_P(
         "%c = icmp eq %x, %y\n=>\n%c = icmp ule %x, %y\n",
         "%r = select %c, %x, %y\n=>\n%r = select %c, %x, %y\n",
         "%p = alloca i8, 4\n%r = load %p\n=>\n%r = load %p\n",
-        "%1 = add i8 %x, 3\n=>\n%1 = add %x, 3\n"));
+        "%1 = add i8 %x, 3\n=>\n%1 = add %x, 3\n",
+        "%r = fadd %x, %y\n=>\n%r = fadd %y, %x\n",
+        "%r = fmul half %x, 1.0\n=>\n%r = %x\n",
+        "%c = fcmp uno %x, %x\n=>\n%c = fcmp uno %x, 0.0\n",
+        "%a = fsub -0.0, %x\n%r = fsub -0.0, %a\n=>\n%r = %x\n"));
 
 // Every enumerated assignment must satisfy the constraint system.
 TEST(TypingTest, EnumeratedAssignmentsSatisfyConstraints) {
