@@ -45,6 +45,8 @@ const char *analysis::lintKindName(LintKind K) {
     return "precondition-weakenable";
   case LintKind::FPAlwaysPoison:
     return "fp-always-poison";
+  case LintKind::RedundantTransform:
+    return "redundant-transform";
   }
   return "unknown";
 }

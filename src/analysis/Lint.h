@@ -36,12 +36,15 @@ enum class LintKind {
   UndefinedNamePrecond,///< precondition names a constant the source never binds
   PrecondWeakenable,   ///< parsed precondition strictly stronger than inferred
   FPAlwaysPoison,      ///< fast-math flag contradicts a literal FP operand
+  RedundantTransform,  ///< subsumed by another transform in the same batch
 };
 
 /// Stable kebab-case tag printed after each diagnostic, e.g.
-/// "[unused-source-instr]". PrecondWeakenable is never produced by
-/// lintTransform itself — it needs the solver-backed inference engine —
-/// but its tag lives here so every diagnostic name has one home.
+/// "[unused-source-instr]". PrecondWeakenable and RedundantTransform are
+/// never produced by lintTransform itself — the first needs the
+/// solver-backed inference engine, the second compares transforms across
+/// a whole batch — but their tags live here so every diagnostic name has
+/// one home.
 const char *lintKindName(LintKind K);
 
 struct LintDiagnostic {

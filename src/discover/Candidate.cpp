@@ -1,0 +1,475 @@
+//===- discover/Candidate.cpp - canonical candidate keys --------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "discover/Candidate.h"
+
+#include "ir/Instr.h"
+#include "ir/Precondition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace alive;
+using namespace alive::discover;
+using namespace alive::ir;
+
+namespace {
+
+/// Commutative integer and FP operations (FP addition/multiplication
+/// commute on values; NaN payload differences are below the semantics'
+/// resolution).
+bool isCommutative(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+  case BinOpcode::Mul:
+  case BinOpcode::And:
+  case BinOpcode::Or:
+  case BinOpcode::Xor:
+  case BinOpcode::FAdd:
+  case BinOpcode::FMul:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isSymmetric(ICmpCond C) { return C == ICmpCond::EQ || C == ICmpCond::NE; }
+
+bool isSymmetric(FCmpCond C) {
+  switch (C) {
+  case FCmpCond::OEQ:
+  case FCmpCond::ONE:
+  case FCmpCond::ORD:
+  case FCmpCond::UEQ:
+  case FCmpCond::UNE:
+  case FCmpCond::UNO:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One serialized subtree: the flag-free form, the flagged form, and the
+/// attribute words collected in traversal order of the *sorted* tree, so
+/// two transforms with equal Plain strings have aligned Flags vectors.
+struct SerOut {
+  std::string Plain;
+  std::string Flagged;
+  std::vector<unsigned> Flags;
+
+  void append(const SerOut &O) {
+    Plain += O.Plain;
+    Flagged += O.Flagged;
+    Flags.insert(Flags.end(), O.Flags.begin(), O.Flags.end());
+  }
+  void lit(const std::string &S) {
+    Plain += S;
+    Flagged += S;
+  }
+  bool operator<(const SerOut &O) const {
+    if (Plain != O.Plain)
+      return Plain < O.Plain;
+    return Flagged < O.Flagged;
+  }
+};
+
+/// Serializes values, constant expressions, and preconditions under one
+/// renaming of input variables and abstract constants.
+class Walker {
+public:
+  explicit Walker(const std::map<std::string, unsigned> &Rename)
+      : Rename(Rename) {}
+
+  SerOut ser(const Value *V) {
+    SerOut Out;
+    if (!V) {
+      Out.lit("<null>");
+      return Out;
+    }
+    switch (V->getKind()) {
+    case ValueKind::Input:
+      Out.lit("v" + mapped(V->getName()));
+      return Out;
+    case ValueKind::ConstSym:
+      Out.lit("c" + mapped(V->getName()));
+      return Out;
+    case ValueKind::ConstVal:
+      Out.lit("k(");
+      Out.append(serExpr(cast<ConstExprValue>(V)->getExpr()));
+      Out.lit(")");
+      return Out;
+    case ValueKind::ConstFP:
+      Out.lit("f(" + cast<ConstantFP>(V)->getSpelling() + ")");
+      return Out;
+    case ValueKind::Undef:
+      Out.lit("undef");
+      return Out;
+    case ValueKind::BinOp: {
+      const auto *B = cast<BinOp>(V);
+      SerOut L = ser(B->getLHS()), R = ser(B->getRHS());
+      if (isCommutative(B->getOpcode()) && R < L)
+        std::swap(L, R);
+      Out.lit(std::string("(") + binOpcodeName(B->getOpcode()));
+      flags(Out, B->getFlags());
+      Out.lit(" ");
+      Out.append(L);
+      Out.lit(" ");
+      Out.append(R);
+      Out.lit(")");
+      return Out;
+    }
+    case ValueKind::ICmp: {
+      const auto *C = cast<ICmp>(V);
+      SerOut L = ser(C->getLHS()), R = ser(C->getRHS());
+      if (isSymmetric(C->getCond()) && R < L)
+        std::swap(L, R);
+      Out.lit(std::string("(icmp ") + icmpCondName(C->getCond()) + " ");
+      Out.append(L);
+      Out.lit(" ");
+      Out.append(R);
+      Out.lit(")");
+      return Out;
+    }
+    case ValueKind::FCmp: {
+      const auto *C = cast<FCmp>(V);
+      SerOut L = ser(C->getLHS()), R = ser(C->getRHS());
+      if (isSymmetric(C->getCond()) && R < L)
+        std::swap(L, R);
+      Out.lit(std::string("(fcmp ") + fcmpCondName(C->getCond()));
+      flags(Out, C->getFlags());
+      Out.lit(" ");
+      Out.append(L);
+      Out.lit(" ");
+      Out.append(R);
+      Out.lit(")");
+      return Out;
+    }
+    case ValueKind::Select: {
+      const auto *S = cast<Select>(V);
+      Out.lit("(select ");
+      Out.append(ser(S->getCondition()));
+      Out.lit(" ");
+      Out.append(ser(S->getTrueValue()));
+      Out.lit(" ");
+      Out.append(ser(S->getFalseValue()));
+      Out.lit(")");
+      return Out;
+    }
+    case ValueKind::Conv: {
+      const auto *C = cast<Conv>(V);
+      Out.lit(std::string("(") + convOpcodeName(C->getOpcode()) + " ");
+      Out.append(ser(C->getSrc()));
+      Out.lit(")");
+      return Out;
+    }
+    case ValueKind::Copy:
+      // Copies are transparent: `%r = %x` computes %x.
+      return ser(cast<Copy>(V)->getSrc());
+    default: {
+      // Memory operations and unreachable: generic positional form.
+      const auto *I = cast<Instr>(V);
+      Out.lit("(op" + std::to_string(static_cast<int>(V->getKind())));
+      for (const Value *Op : I->operands()) {
+        Out.lit(" ");
+        Out.append(ser(Op));
+      }
+      Out.lit(")");
+      return Out;
+    }
+    }
+  }
+
+  SerOut serExpr(const ConstExpr *E) {
+    SerOut Out;
+    if (!E) {
+      Out.lit("<null>");
+      return Out;
+    }
+    switch (E->getKind()) {
+    case ConstExpr::Kind::Literal:
+      Out.lit(std::to_string(E->getLiteral()));
+      return Out;
+    case ConstExpr::Kind::SymRef:
+      Out.lit("c" + mapped(E->getSymName()));
+      return Out;
+    case ConstExpr::Kind::Unary:
+      Out.lit(E->getUnaryOp() == ConstExpr::UnaryOp::Neg ? "(neg " : "(not ");
+      Out.append(serExpr(E->getArg(0)));
+      Out.lit(")");
+      return Out;
+    case ConstExpr::Kind::Binary: {
+      SerOut L = serExpr(E->getArg(0)), R = serExpr(E->getArg(1));
+      ConstExpr::BinaryOp Op = E->getBinaryOp();
+      bool Comm = Op == ConstExpr::BinaryOp::Add ||
+                  Op == ConstExpr::BinaryOp::Mul ||
+                  Op == ConstExpr::BinaryOp::And ||
+                  Op == ConstExpr::BinaryOp::Or ||
+                  Op == ConstExpr::BinaryOp::Xor;
+      if (Comm && R < L)
+        std::swap(L, R);
+      Out.lit(std::string("(") + ConstExpr::binaryOpName(Op) + " ");
+      Out.append(L);
+      Out.lit(" ");
+      Out.append(R);
+      Out.lit(")");
+      return Out;
+    }
+    case ConstExpr::Kind::Call: {
+      Out.lit(std::string("(") + ConstExpr::builtinName(E->getBuiltin()));
+      if (const Value *V = E->getValueArg()) {
+        Out.lit(" ");
+        Out.append(ser(V));
+      }
+      for (unsigned I = 0, N = E->getNumArgs(); I != N; ++I) {
+        Out.lit(" ");
+        Out.append(serExpr(E->getArg(I)));
+      }
+      Out.lit(")");
+      return Out;
+    }
+    }
+    Out.lit("<expr>");
+    return Out;
+  }
+
+  /// Flattens top-level conjunctions and serializes each conjunct; the
+  /// caller sorts the result. `true` flattens to no conjuncts.
+  void serPre(const Precond *P, std::vector<std::string> &Out) {
+    if (!P || P->isTrue())
+      return;
+    if (P->getKind() == Precond::Kind::And) {
+      for (unsigned I = 0, N = P->getNumChildren(); I != N; ++I)
+        serPre(P->getChild(I), Out);
+      return;
+    }
+    Out.push_back(serPreNode(P).Flagged);
+  }
+
+private:
+  SerOut serPreNode(const Precond *P) {
+    SerOut Out;
+    switch (P->getKind()) {
+    case Precond::Kind::True:
+      Out.lit("true");
+      return Out;
+    case Precond::Kind::Not:
+      Out.lit("(not ");
+      Out.append(serPreNode(P->getChild(0)));
+      Out.lit(")");
+      return Out;
+    case Precond::Kind::And:
+    case Precond::Kind::Or: {
+      std::vector<std::string> Parts;
+      for (unsigned I = 0, N = P->getNumChildren(); I != N; ++I)
+        Parts.push_back(serPreNode(P->getChild(I)).Flagged);
+      std::sort(Parts.begin(), Parts.end());
+      Out.lit(P->getKind() == Precond::Kind::And ? "(and" : "(or");
+      for (const std::string &S : Parts)
+        Out.lit(" " + S);
+      Out.lit(")");
+      return Out;
+    }
+    case Precond::Kind::Cmp: {
+      SerOut L = serExpr(P->getCmpLHS()), R = serExpr(P->getCmpRHS());
+      Precond::CmpOp Op = P->getCmpOp();
+      if ((Op == Precond::CmpOp::EQ || Op == Precond::CmpOp::NE) && R < L)
+        std::swap(L, R);
+      Out.lit("(cmp" + std::to_string(static_cast<int>(Op)) + " ");
+      Out.append(L);
+      Out.lit(" ");
+      Out.append(R);
+      Out.lit(")");
+      return Out;
+    }
+    case Precond::Kind::Builtin: {
+      Out.lit(std::string("(") + predKindName(P->getPred()));
+      for (const Value *V : P->getArgs()) {
+        Out.lit(" ");
+        Out.append(ser(V));
+      }
+      Out.lit(")");
+      return Out;
+    }
+    }
+    Out.lit("<pre>");
+    return Out;
+  }
+
+  void flags(SerOut &Out, unsigned F) {
+    Out.Plain += "#";
+    Out.Flags.push_back(F);
+    if (F)
+      Out.Flagged += "!" + std::to_string(F);
+  }
+
+  std::string mapped(const std::string &Name) {
+    auto It = Rename.find(Name);
+    if (It != Rename.end())
+      return std::to_string(It->second);
+    // Unrenamed name (more inputs than the permutation cap covers):
+    // fall back to the spelling, still deterministic.
+    return "?" + Name;
+  }
+
+  const std::map<std::string, unsigned> &Rename;
+};
+
+/// Serializes the whole transform under \p Rename. Source = root
+/// expression plus any source instruction not reachable from it (memory
+/// effects), in program order; likewise for the target.
+CanonicalForm serialize(const ir::Transform &T,
+                        const std::map<std::string, unsigned> &Rename) {
+  Walker W(Rename);
+  CanonicalForm Out;
+
+  std::set<const Value *> Reach;
+  auto markReach = [&Reach](const Value *V, auto &&Self) -> void {
+    if (!V || !Reach.insert(V).second)
+      return;
+    if (const auto *I = dyn_cast<Instr>(V))
+      for (const Value *Op : I->operands())
+        Self(Op, Self);
+  };
+
+  SerOut Src;
+  if (const Instr *Root = T.getSrcRoot()) {
+    markReach(Root, markReach);
+    Src = W.ser(Root);
+  }
+  for (const Instr *I : T.src())
+    if (!Reach.count(I)) {
+      Src.lit(";");
+      Src.append(W.ser(I));
+    }
+
+  Reach.clear();
+  SerOut Tgt;
+  if (const Instr *Root = T.getTgtRoot()) {
+    markReach(Root, markReach);
+    Tgt = W.ser(Root);
+  }
+  for (const Instr *I : T.tgt())
+    if (!Reach.count(I)) {
+      Tgt.lit(";");
+      Tgt.append(W.ser(I));
+    }
+
+  Out.SrcPlain = std::move(Src.Plain);
+  Out.Src = std::move(Src.Flagged);
+  Out.SrcFlags = std::move(Src.Flags);
+  Out.Tgt = std::move(Tgt.Flagged);
+  W.serPre(&T.getPrecondition(), Out.PreConjuncts);
+  std::sort(Out.PreConjuncts.begin(), Out.PreConjuncts.end());
+  return Out;
+}
+
+/// The minimization order: flag-free source first so transforms that
+/// differ only in attributes/target/precondition pick structurally
+/// aligned renamings, then the flagged source, target, precondition.
+bool lessForm(const CanonicalForm &A, const CanonicalForm &B) {
+  if (A.SrcPlain != B.SrcPlain)
+    return A.SrcPlain < B.SrcPlain;
+  if (A.Src != B.Src)
+    return A.Src < B.Src;
+  if (A.Tgt != B.Tgt)
+    return A.Tgt < B.Tgt;
+  return A.PreConjuncts < B.PreConjuncts;
+}
+
+} // namespace
+
+std::string CanonicalForm::preKey() const {
+  std::string S;
+  for (const std::string &C : PreConjuncts) {
+    if (!S.empty())
+      S += " && ";
+    S += C;
+  }
+  return S;
+}
+
+CanonicalForm discover::canonicalize(const ir::Transform &T) {
+  // Partition the inputs into variables and abstract constants; each
+  // class is renamed independently (a variable can never alias a
+  // constant symbol).
+  std::vector<std::string> Vars, Syms;
+  for (const Value *V : T.inputs()) {
+    if (V->getKind() == ValueKind::Input)
+      Vars.push_back(V->getName());
+    else if (V->getKind() == ValueKind::ConstSym)
+      Syms.push_back(V->getName());
+  }
+
+  // Permuting all renamings is factorial; cap the searched classes and
+  // fall back to declaration order beyond (still deterministic, merely
+  // missing some alpha collisions for very wide transforms).
+  constexpr size_t MaxVars = 4, MaxSyms = 3;
+  std::vector<unsigned> VP(Vars.size()), SP(Syms.size());
+  for (size_t I = 0; I != VP.size(); ++I)
+    VP[I] = static_cast<unsigned>(I);
+  for (size_t I = 0; I != SP.size(); ++I)
+    SP[I] = static_cast<unsigned>(I);
+  bool PermuteVars = Vars.size() <= MaxVars && Vars.size() > 1;
+  bool PermuteSyms = Syms.size() <= MaxSyms && Syms.size() > 1;
+
+  CanonicalForm Best;
+  bool HaveBest = false;
+  auto tryRenaming = [&] {
+    std::map<std::string, unsigned> Rename;
+    for (size_t I = 0; I != Vars.size(); ++I)
+      Rename[Vars[I]] = VP[I];
+    for (size_t I = 0; I != Syms.size(); ++I)
+      Rename[Syms[I]] = SP[I];
+    CanonicalForm F = serialize(T, Rename);
+    if (!HaveBest || lessForm(F, Best)) {
+      Best = std::move(F);
+      HaveBest = true;
+    }
+  };
+
+  do {
+    do {
+      tryRenaming();
+    } while (PermuteSyms && std::next_permutation(SP.begin(), SP.end()));
+  } while (PermuteVars && std::next_permutation(VP.begin(), VP.end()));
+  if (!HaveBest)
+    tryRenaming();
+  return Best;
+}
+
+std::string discover::canonicalPairKey(const ir::Transform &T) {
+  return canonicalize(T).pairKey();
+}
+
+bool discover::subsumes(const CanonicalForm &A, const CanonicalForm &B) {
+  if (A.SrcPlain != B.SrcPlain)
+    return false;
+  // A's pattern must demand no attribute B's pattern does not: per
+  // aligned node, A's flag word must be a subset of B's.
+  if (A.SrcFlags.size() != B.SrcFlags.size())
+    return false;
+  for (size_t I = 0; I != A.SrcFlags.size(); ++I)
+    if (A.SrcFlags[I] & ~B.SrcFlags[I])
+      return false;
+  // A's precondition must be equal or weaker: every conjunct of A must
+  // appear in B (true = empty set is weakest).
+  for (const std::string &C : A.PreConjuncts)
+    if (!std::binary_search(B.PreConjuncts.begin(), B.PreConjuncts.end(), C))
+      return false;
+  return true;
+}
+
+std::string discover::discoverReportKey(const CanonicalForm &C,
+                                        const std::vector<unsigned> &Widths) {
+  std::string Key = "alive-discover:v1\n";
+  Key += C.pairKey();
+  Key += "\npre:" + C.preKey();
+  Key += "\nwidths:";
+  for (unsigned W : Widths)
+    Key += std::to_string(W) + ",";
+  return Key;
+}

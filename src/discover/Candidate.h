@@ -1,0 +1,87 @@
+//===- discover/Candidate.h - canonical candidate keys ----------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical serialization and subsumption for discovery candidates. Two
+/// transforms that differ only by value names (alpha renaming) or by the
+/// operand order of commutative operations must collapse to the same key,
+/// so the enumerator's dedup stage and the ResultStore's content
+/// addressing both see one candidate where the surface syntax has many
+/// (see DESIGN.md §17). Canonicalization picks, over all renamings of the
+/// input variables and abstract constants (capped — see the .cpp), the
+/// lexicographically least serialization with commutative operands
+/// sorted; keys are therefore total functions of the transform's
+/// structure, independent of how it was spelled.
+///
+/// Subsumption is the redundancy order used to rank and dedup emitted
+/// finds and by the `redundant-transform` lint: A subsumes B when A's
+/// source pattern matches everything B's does (same flag-free canonical
+/// source, A's per-node attribute requirements a subset of B's) and A's
+/// precondition is syntactically equal or weaker (B's conjunct set
+/// contains A's). The check is conservative: it never claims subsumption
+/// that does not hold, but may miss semantic subsumption the syntax
+/// hides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_DISCOVER_CANDIDATE_H
+#define ALIVE_DISCOVER_CANDIDATE_H
+
+#include "ir/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace alive {
+namespace discover {
+
+/// The canonical form of one transform, computed under a single renaming
+/// that minimizes (SrcPlain, Src, Tgt, Pre) lexicographically.
+struct CanonicalForm {
+  /// Flag-free canonical source serialization (attributes masked).
+  std::string SrcPlain;
+  /// Canonical source with attributes rendered inline.
+  std::string Src;
+  /// Canonical target with attributes rendered inline.
+  std::string Tgt;
+  /// Attribute word of each source operation, in canonical traversal
+  /// order (aligned between transforms with equal SrcPlain).
+  std::vector<unsigned> SrcFlags;
+  /// Canonical precondition conjuncts, sorted; empty means `true`.
+  std::vector<std::string> PreConjuncts;
+
+  /// Source and target joined — the dedup / content-address key.
+  std::string pairKey() const { return Src + " => " + Tgt; }
+  /// Precondition conjuncts joined (empty string means `true`).
+  std::string preKey() const;
+};
+
+/// Computes the canonical form of \p T. Roots must be resolved (finalize
+/// or resolveRootsLenient); tolerates defective transforms by serializing
+/// whatever roots exist.
+CanonicalForm canonicalize(const ir::Transform &T);
+
+/// Convenience: canonicalize(T).pairKey().
+std::string canonicalPairKey(const ir::Transform &T);
+
+/// True when a transform with canonical form \p A fires on every
+/// instruction a transform with form \p B fires on, under a precondition
+/// no stronger than B's — i.e. B is redundant in any batch that already
+/// contains A.
+bool subsumes(const CanonicalForm &A, const CanonicalForm &B);
+
+/// The ResultStore key for a discovery verdict: canonical pair key +
+/// precondition + a fingerprint of the verification widths, so commuted
+/// and alpha-renamed enumerations of the same candidate replay one stored
+/// verdict. \p Widths must be the exact width set the verdict was (or
+/// will be) computed under.
+std::string discoverReportKey(const CanonicalForm &C,
+                              const std::vector<unsigned> &Widths);
+
+} // namespace discover
+} // namespace alive
+
+#endif // ALIVE_DISCOVER_CANDIDATE_H

@@ -1,0 +1,438 @@
+//===- discover/Discover.cpp - the discovery sweep driver -------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "discover/Discover.h"
+
+#include "corpus/Corpus.h"
+#include "discover/Candidate.h"
+#include "infer/InferPre.h"
+#include "parser/Parser.h"
+#include "support/ThreadPool.h"
+#include "verifier/ReportIO.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+using namespace alive;
+using namespace alive::discover;
+
+namespace {
+
+/// Per-candidate pipeline state. Items are processed in parallel but
+/// aggregated strictly in enumeration order, so every counter and every
+/// output byte is independent of scheduling.
+struct Item {
+  CandidateSpec Spec;
+  std::unique_ptr<ir::Transform> T;
+  CanonicalForm Form;
+  enum class Stage {
+    Pending,
+    Untypeable,
+    AbstractKilled,
+    DiffKilled,
+    Vacuous,
+    Solver,
+  } Stage = Stage::Pending;
+  verifier::Verdict V = verifier::Verdict::Unknown;
+  bool Replayed = false;
+  /// Generalized variant (abstracted constants + inferred Pre), when the
+  /// upgrade succeeded.
+  std::unique_ptr<ir::Transform> Gen;
+};
+
+/// Store-backed verification: replay the whole report when the store has
+/// it, otherwise verify and write the (definitive) result back. \p Cfg
+/// must already carry \p Widths in Types.Widths — the key fingerprints
+/// them so sweep and final proofs never alias.
+verifier::VerifyResult confirm(const ir::Transform &T, const CanonicalForm &F,
+                               const verifier::VerifyConfig &Cfg,
+                               const std::vector<unsigned> &Widths,
+                               ReportStore *Store, std::mutex &StoreMu,
+                               bool &Replayed) {
+  Replayed = false;
+  std::string Key = discoverReportKey(F, Widths);
+  if (Store) {
+    std::string Bytes;
+    bool Hit;
+    {
+      std::lock_guard<std::mutex> L(StoreMu);
+      Hit = Store->lookupReport(Key, Bytes);
+    }
+    if (Hit)
+      if (auto R = verifier::deserializeVerifyResult(Bytes)) {
+        Replayed = true;
+        return *R;
+      }
+  }
+  verifier::VerifyResult R = verifier::verify(T, Cfg);
+  if (Store)
+    if (auto Bytes = verifier::serializeVerifyResult(R)) {
+      std::lock_guard<std::mutex> L(StoreMu);
+      Store->insertReport(Key, *Bytes);
+    }
+  return R;
+}
+
+/// First feasible typing with every integer class at \p Width.
+std::optional<typing::TypeAssignment>
+typeAtWidth(const typing::TypeConstraintSystem &Sys, unsigned Width,
+            unsigned PtrWidth) {
+  typing::TypeEnumConfig TEC;
+  TEC.Widths = {Width};
+  TEC.PtrWidth = PtrWidth;
+  TEC.MaxAssignments = 1;
+  auto R = typing::enumerateTypesNative(Sys, TEC);
+  if (!R.ok() || R.get().empty())
+    return std::nullopt;
+  return R.get()[0];
+}
+
+const char GenPayloadMagic[] = "alive-discover-gen:v1\n";
+
+/// Upgrades a Correct concrete find to its constant-abstracted family:
+/// re-materialize with symbols for the literals, infer the weakest
+/// verified precondition, and re-parse the composed text. Outcomes are
+/// cached in the store (text on success, a fail marker otherwise) so a
+/// resumed sweep never re-runs the CEGIS loop.
+std::unique_ptr<ir::Transform>
+generalizeFind(const Item &It, const DiscoverOptions &Opts, ReportStore *Store,
+               std::mutex &StoreMu) {
+  std::string Key = std::string("alive-discover:gen:v1\n") +
+                    discoverReportKey(It.Form, Opts.Cfg.Types.Widths);
+  if (Store) {
+    std::string Bytes;
+    bool Hit;
+    {
+      std::lock_guard<std::mutex> L(StoreMu);
+      Hit = Store->lookupReport(Key, Bytes);
+    }
+    if (Hit && Bytes.rfind(GenPayloadMagic, 0) == 0) {
+      std::string Body = Bytes.substr(sizeof(GenPayloadMagic) - 1);
+      if (Body == "!fail")
+        return nullptr;
+      auto P = parser::parseTransform(Body);
+      if (P.ok())
+        return P.take();
+      // Corrupt payload: fall through and recompute.
+    }
+  }
+
+  std::unique_ptr<ir::Transform> Out;
+  auto GR = materialize(It.Spec, /*Generalize=*/true);
+  if (GR.ok()) {
+    std::unique_ptr<ir::Transform> GT = GR.take();
+    infer::InferOptions IO;
+    IO.Cfg = Opts.Cfg;
+    IO.BudgetMs = Opts.InferBudgetMs;
+    infer::InferPreResult R = infer::inferPrecondition(*GT, IO);
+    std::string Text;
+    if (R.Status == infer::InferStatus::Unchanged) {
+      // `true` is already the weakest precondition: the family is
+      // universally correct.
+      Text = GT->str();
+    } else if (R.Status == infer::InferStatus::Inferred && R.Verified &&
+               !R.InferredPre.empty()) {
+      Text = "Pre: " + R.InferredPre + "\n" + GT->str();
+    }
+    if (!Text.empty()) {
+      auto P = parser::parseTransform(Text);
+      if (P.ok())
+        Out = P.take();
+    }
+  }
+
+  if (Store) {
+    std::string Bytes = GenPayloadMagic;
+    Bytes += Out ? Out->str() : std::string("!fail");
+    std::lock_guard<std::mutex> L(StoreMu);
+    Store->insertReport(Key, Bytes);
+  }
+  return Out;
+}
+
+std::string renderSummary(const DiscoverCounters &C, const EnumStats &ES,
+                          bool Cancelled) {
+  std::ostringstream OS;
+  OS << "---- discover summary ----\n";
+  if (Cancelled)
+    OS << "cancelled: sweep interrupted; nothing emitted\n";
+  OS << "enumerated=" << C.Enumerated
+     << " materialize_failed=" << C.MaterializeFailed
+     << " duplicates=" << C.Duplicates << " unique=" << C.Unique
+     << (ES.Truncated ? " (truncated)" : "") << "\n";
+  OS << "untypeable=" << C.Untypeable
+     << " abstract_killed=" << C.AbstractKilled
+     << " diff_killed=" << C.DiffKilled << " vacuous=" << C.Vacuous << "\n";
+  OS << "solver_bound=" << C.SolverBound << " replayed=" << C.Replayed
+     << " fresh=" << C.Fresh << " correct=" << C.Correct
+     << " incorrect=" << C.Incorrect << " unknown=" << C.Unknown << "\n";
+  OS << "generalized=" << C.Generalized
+     << " generalize_failed=" << C.GeneralizeFailed << "\n";
+  OS << "seed_duplicates=" << C.SeedDuplicates << " subsumed=" << C.Subsumed
+     << " final_rejected=" << C.FinalRejected << " emitted=" << C.Emitted
+     << "\n";
+  if (C.Unique) {
+    uint64_t Killed =
+        C.Untypeable + C.AbstractKilled + C.DiffKilled + C.Vacuous;
+    OS << "pre-solver kill rate: " << (Killed * 100 / C.Unique) << "% ("
+       << Killed << " of " << C.Unique << " unique candidates)\n";
+  }
+  return OS.str();
+}
+
+} // namespace
+
+DiscoverResult discover::runDiscover(const DiscoverOptions &Opts,
+                                     ReportStore *Store,
+                                     smt::Cancellation *Cancel) {
+  DiscoverResult Res;
+  DiscoverCounters &C = Res.Counters;
+  std::mutex StoreMu;
+
+  auto Cancelled = [&] { return Cancel && Cancel->isCancelled(); };
+
+  // Per-candidate solver runs stay serial; the fan-out is across
+  // candidates.
+  verifier::VerifyConfig SweepCfg = Opts.Cfg;
+  SweepCfg.Jobs = 1;
+  verifier::VerifyConfig FinalCfg = SweepCfg;
+  FinalCfg.Types.Widths = Opts.FinalWidths;
+
+  // Stage 1: enumerate, materialize, and fold canonical duplicates. First
+  // occurrence wins, which keeps the kept set (and everything downstream)
+  // deterministic.
+  EnumStats ES;
+  std::vector<CandidateSpec> Specs = enumerateCandidates(Opts.Enum, &ES);
+  C.Enumerated = Specs.size();
+
+  std::vector<Item> Items;
+  std::set<std::string> SeenKeys;
+  for (CandidateSpec &Spec : Specs) {
+    if (Cancelled())
+      break;
+    auto TR = materialize(Spec);
+    if (!TR.ok()) {
+      ++C.MaterializeFailed;
+      continue;
+    }
+    Item It;
+    It.Spec = std::move(Spec);
+    It.T = TR.take();
+    It.Form = canonicalize(*It.T);
+    if (!SeenKeys.insert(It.Form.pairKey()).second) {
+      ++C.Duplicates;
+      continue;
+    }
+    Items.push_back(std::move(It));
+  }
+  C.Unique = Items.size();
+
+  // Stage 2 (parallel): typing, abstract refutation, differential
+  // testing, then solver confirmation with store replay. Each worker
+  // writes only its own slot.
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultConcurrency();
+  support::ThreadPool::parallelFor(Jobs, Items.size(), [&](size_t I) {
+    Item &It = Items[I];
+    if (Cancelled())
+      return;
+    auto Sys = typing::TypeConstraintSystem::fromTransform(*It.T);
+    auto Feasible = typing::enumerateTypesNative(Sys, SweepCfg.Types);
+    if (!Feasible.ok() || Feasible.get().empty()) {
+      It.Stage = Item::Stage::Untypeable;
+      return;
+    }
+    if (auto Types =
+            typeAtWidth(Sys, Opts.Funnel.ExhaustiveWidth, Opts.Funnel.PtrWidth))
+      if (abstractRefutes(*It.T, *Types, Opts.Funnel.PtrWidth)) {
+        It.Stage = Item::Stage::AbstractKilled;
+        return;
+      }
+    switch (differentialTest(*It.T, Sys, Opts.Funnel)) {
+    case DiffVerdict::Refuted:
+      It.Stage = Item::Stage::DiffKilled;
+      return;
+    case DiffVerdict::Vacuous:
+      It.Stage = Item::Stage::Vacuous;
+      return;
+    case DiffVerdict::Survive:
+    case DiffVerdict::Unsupported:
+      break;
+    }
+    It.Stage = Item::Stage::Solver;
+    if (Cancelled())
+      return;
+    verifier::VerifyResult R = confirm(*It.T, It.Form, SweepCfg,
+                                       SweepCfg.Types.Widths, Store, StoreMu,
+                                       It.Replayed);
+    It.V = R.V;
+  });
+
+  if (Cancelled()) {
+    Res.Exit = 3;
+    Res.Summary = renderSummary(C, ES, /*Cancelled=*/true);
+    return Res;
+  }
+
+  // Aggregate in enumeration order.
+  std::vector<Item *> Finds;
+  for (Item &It : Items) {
+    switch (It.Stage) {
+    case Item::Stage::Pending:
+    case Item::Stage::Untypeable:
+      ++C.Untypeable;
+      continue;
+    case Item::Stage::AbstractKilled:
+      ++C.AbstractKilled;
+      continue;
+    case Item::Stage::DiffKilled:
+      ++C.DiffKilled;
+      continue;
+    case Item::Stage::Vacuous:
+      ++C.Vacuous;
+      continue;
+    case Item::Stage::Solver:
+      break;
+    }
+    ++C.SolverBound;
+    ++(It.Replayed ? C.Replayed : C.Fresh);
+    switch (It.V) {
+    case verifier::Verdict::Correct:
+      ++C.Correct;
+      Finds.push_back(&It);
+      break;
+    case verifier::Verdict::Incorrect:
+      ++C.Incorrect;
+      break;
+    default:
+      ++C.Unknown;
+      break;
+    }
+  }
+
+  // Stage 3 (serial): generalize each find — abstract the constants and
+  // infer the weakest precondition for the family.
+  for (Item *It : Finds) {
+    if (Cancelled())
+      break;
+    if (!Opts.Generalize || !isGeneralizable(It->Spec))
+      continue;
+    It->Gen = generalizeFind(*It, Opts, Store, StoreMu);
+    ++(It->Gen ? C.Generalized : C.GeneralizeFailed);
+  }
+  if (Cancelled()) {
+    Res.Exit = 3;
+    Res.Summary = renderSummary(C, ES, /*Cancelled=*/true);
+    return Res;
+  }
+
+  // Stage 4: novelty against the seed corpus — exact canonical matches
+  // and seed transforms that subsume the find both disqualify it.
+  std::set<std::string> SeedKeys;
+  std::vector<CanonicalForm> SeedForms;
+  for (const corpus::CorpusEntry &E : corpus::fullCorpus()) {
+    auto P = corpus::parseEntry(E);
+    if (!P.ok())
+      continue;
+    CanonicalForm F = canonicalize(*P.get());
+    SeedKeys.insert(F.pairKey());
+    SeedForms.push_back(std::move(F));
+  }
+
+  struct Emit {
+    Item *It;
+    ir::Transform *T; ///< the transform to emit (generalized or concrete)
+    CanonicalForm Form;
+    int Saving;
+  };
+  std::vector<Emit> Pending;
+  for (Item *It : Finds) {
+    ir::Transform *T = It->Gen ? It->Gen.get() : It->T.get();
+    CanonicalForm F = canonicalize(*T);
+    bool Seed = SeedKeys.count(F.pairKey()) != 0;
+    for (size_t I = 0; !Seed && I != SeedForms.size(); ++I)
+      Seed = subsumes(SeedForms[I], F);
+    if (Seed) {
+      ++C.SeedDuplicates;
+      continue;
+    }
+    Pending.push_back(Emit{It, T, std::move(F),
+                           static_cast<int>(It->Spec.SrcInstrs) -
+                               static_cast<int>(It->Spec.TgtInstrs)});
+  }
+
+  // Stage 5: rank — larger instruction saving first, generalized families
+  // before one-off concrete finds, canonical key as the deterministic
+  // tie-break.
+  std::stable_sort(Pending.begin(), Pending.end(),
+                   [](const Emit &A, const Emit &B) {
+                     if (A.Saving != B.Saving)
+                       return A.Saving > B.Saving;
+                     bool AG = A.It->Gen != nullptr, BG = B.It->Gen != nullptr;
+                     if (AG != BG)
+                       return AG;
+                     return A.Form.pairKey() < B.Form.pairKey();
+                   });
+
+  // Stage 6: drop finds subsumed by an already-kept (higher-ranked) find,
+  // then re-prove each survivor at the full final width set before it may
+  // be emitted. A generalized find that fails the final proof falls back
+  // to its concrete form.
+  std::vector<Emit> Kept;
+  for (Emit &E : Pending) {
+    if (Cancelled())
+      break;
+    bool Redundant = false;
+    for (const Emit &K : Kept)
+      if (subsumes(K.Form, E.Form)) {
+        Redundant = true;
+        break;
+      }
+    if (Redundant) {
+      ++C.Subsumed;
+      continue;
+    }
+    bool Accepted = false;
+    for (int Try = 0; Try != 2 && !Accepted; ++Try) {
+      if (Try == 1) {
+        if (!E.It->Gen || E.T == E.It->T.get())
+          break; // no concrete fallback distinct from the first attempt
+        E.T = E.It->T.get();
+        E.Form = canonicalize(*E.T);
+      }
+      bool Replayed = false;
+      verifier::VerifyResult R = confirm(*E.T, E.Form, FinalCfg,
+                                         Opts.FinalWidths, Store, StoreMu,
+                                         Replayed);
+      ++(Replayed ? C.Replayed : C.Fresh);
+      Accepted = R.V == verifier::Verdict::Correct;
+    }
+    if (!Accepted) {
+      ++C.FinalRejected;
+      continue;
+    }
+    Kept.push_back(std::move(E));
+  }
+  if (Cancelled()) {
+    Res.Exit = 3;
+    Res.Summary = renderSummary(C, ES, /*Cancelled=*/true);
+    return Res;
+  }
+
+  // Stage 7: name and render in rank order.
+  std::string Out;
+  for (size_t I = 0; I != Kept.size(); ++I) {
+    Kept[I].T->Name = "discovered-" + std::to_string(I + 1);
+    if (!Out.empty())
+      Out += "\n";
+    Out += Kept[I].T->str();
+  }
+  C.Emitted = Kept.size();
+  Res.OptText = std::move(Out);
+  Res.Summary = renderSummary(C, ES, /*Cancelled=*/false);
+  return Res;
+}

@@ -1,0 +1,111 @@
+//===- discover/Discover.h - the discovery sweep driver ---------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization discovery engine (DESIGN.md §17): enumerate a bounded
+/// candidate space, dedup by canonical form, run the pre-solver funnel
+/// (abstract interpretation, then differential testing), confirm the
+/// survivors with the full Verifier, generalize concrete finds by
+/// abstracting their constants and inferring the weakest precondition,
+/// and emit a ranked `.opt` file of novel verified transformations.
+///
+/// Every solver verdict is content-addressed in the attached report store,
+/// so a killed sweep resumes with zero re-verification: the pipeline is
+/// fully deterministic (no clocks, no unseeded randomness, results
+/// aggregated in enumeration order), which makes the resumed run's stdout
+/// byte-identical to an uninterrupted one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_DISCOVER_DISCOVER_H
+#define ALIVE_DISCOVER_DISCOVER_H
+
+#include "discover/Enumerate.h"
+#include "discover/Funnel.h"
+#include "verifier/Verifier.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace alive {
+namespace discover {
+
+/// Durable verdict storage, as much of it as discovery needs. The concrete
+/// implementation adapts service::ResultStore (the dependency points this
+/// way so discover does not link the service layer).
+class ReportStore {
+public:
+  virtual ~ReportStore() = default;
+  /// Returns true and fills \p Out when \p Key has a stored payload.
+  virtual bool lookupReport(const std::string &Key, std::string &Out) = 0;
+  virtual void insertReport(const std::string &Key,
+                            std::string_view Bytes) = 0;
+};
+
+struct DiscoverOptions {
+  EnumOptions Enum;
+  /// Solver configuration for the sweep. Types.Widths is the *sweep*
+  /// width set (default {4, 8} — cheap confirmation; the emitted set is
+  /// re-proven at FinalWidths).
+  verifier::VerifyConfig Cfg;
+  /// Widths of the final re-verification every emitted transform passes.
+  std::vector<unsigned> FinalWidths = {4, 8, 16, 32};
+  unsigned Jobs = 1; ///< worker threads for the per-candidate fan-out
+  /// Abstract the constants of each concrete find and infer the weakest
+  /// precondition for the family (the InferPre CEGIS loop).
+  bool Generalize = true;
+  unsigned InferBudgetMs = 3000; ///< per-find generalization budget
+  FunnelConfig Funnel;
+};
+
+/// Funnel accounting, reported stage by stage so the kill rates are
+/// visible (BENCH_discover.json graphs these).
+struct DiscoverCounters {
+  uint64_t Enumerated = 0;     ///< candidate pairs out of the enumerator
+  uint64_t MaterializeFailed = 0;
+  uint64_t Duplicates = 0;     ///< canonical-form collisions (commuted,
+                               ///< alpha-renamed) folded pre-funnel
+  uint64_t Unique = 0;         ///< distinct candidates entering the funnel
+  uint64_t Untypeable = 0;     ///< no feasible type assignment
+  uint64_t AbstractKilled = 0; ///< refuted by KnownBits/ConstantRange
+  uint64_t DiffKilled = 0;     ///< refuted by concrete execution
+  uint64_t Vacuous = 0;        ///< no defined source execution
+  uint64_t SolverBound = 0;    ///< survivors handed to the verifier
+  uint64_t Replayed = 0;       ///< verdicts served from the report store
+  uint64_t Fresh = 0;          ///< verdicts computed this run
+  uint64_t Correct = 0;
+  uint64_t Incorrect = 0;
+  uint64_t Unknown = 0;        ///< solver give-ups (never stored)
+  uint64_t Generalized = 0;    ///< finds upgraded to symbolic constants
+  uint64_t GeneralizeFailed = 0;
+  uint64_t SeedDuplicates = 0; ///< finds already in (or subsumed by) the
+                               ///< seed corpus
+  uint64_t Subsumed = 0;       ///< finds subsumed by a stronger find
+  uint64_t FinalRejected = 0;  ///< failed the FinalWidths re-proof
+  uint64_t Emitted = 0;        ///< transforms in the output
+};
+
+struct DiscoverResult {
+  /// 0 = sweep completed; 3 = cancelled (partial, nothing emitted).
+  int Exit = 0;
+  /// The ranked `.opt` output — the only bytes that belong on stdout
+  /// (resumed runs must reproduce them byte for byte).
+  std::string OptText;
+  /// Human-readable funnel summary (stderr).
+  std::string Summary;
+  DiscoverCounters Counters;
+};
+
+/// Runs one discovery sweep. \p Store may be null (no resumability);
+/// \p Cancel may be null; when set it is polled per candidate.
+DiscoverResult runDiscover(const DiscoverOptions &Opts, ReportStore *Store,
+                           smt::Cancellation *Cancel);
+
+} // namespace discover
+} // namespace alive
+
+#endif // ALIVE_DISCOVER_DISCOVER_H

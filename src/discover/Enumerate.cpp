@@ -1,0 +1,533 @@
+//===- discover/Enumerate.cpp - candidate template enumeration --------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "discover/Enumerate.h"
+
+#include "corpus/Corpus.h"
+#include "liteir/IRGen.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+using namespace alive;
+using namespace alive::discover;
+
+namespace {
+
+const ir::BinOpcode IntOps[] = {
+    ir::BinOpcode::Add, ir::BinOpcode::Sub,  ir::BinOpcode::Mul,
+    ir::BinOpcode::And, ir::BinOpcode::Or,   ir::BinOpcode::Xor,
+    ir::BinOpcode::Shl, ir::BinOpcode::LShr, ir::BinOpcode::AShr,
+};
+const int64_t Lits[] = {0, 1, -1, 2};
+
+const ir::BinOpcode FPOps[] = {ir::BinOpcode::FAdd, ir::BinOpcode::FSub,
+                               ir::BinOpcode::FMul};
+const struct {
+  const char *Spell;
+  double Val;
+} FLits[] = {{"0.0", 0.0}, {"-0.0", -0.0}, {"1.0", 1.0}, {"2.0", 2.0}};
+const unsigned FPFlagSets[] = {
+    0, ir::AttrNSZ, ir::AttrNNan | ir::AttrNInf | ir::AttrNSZ};
+
+bool isCommutative(ir::BinOpcode Op) {
+  switch (Op) {
+  case ir::BinOpcode::Add:
+  case ir::BinOpcode::Mul:
+  case ir::BinOpcode::And:
+  case ir::BinOpcode::Or:
+  case ir::BinOpcode::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Frequency model mined from the workload generator and the seed corpus
+/// (normalized to [0, 1] per table).
+struct IdiomModel {
+  std::map<ir::BinOpcode, double> OpW;
+  std::map<int64_t, double> LitW;
+
+  void normalize() {
+    double M = 0;
+    for (auto &KV : OpW)
+      M = std::max(M, KV.second);
+    if (M > 0)
+      for (auto &KV : OpW)
+        KV.second /= M;
+    M = 0;
+    for (auto &KV : LitW)
+      M = std::max(M, KV.second);
+    if (M > 0)
+      for (auto &KV : LitW)
+        KV.second /= M;
+  }
+};
+
+std::optional<ir::BinOpcode> mapLiteOpcode(lite::Opcode Op) {
+  switch (Op) {
+  case lite::Opcode::Add:
+    return ir::BinOpcode::Add;
+  case lite::Opcode::Sub:
+    return ir::BinOpcode::Sub;
+  case lite::Opcode::Mul:
+    return ir::BinOpcode::Mul;
+  case lite::Opcode::And:
+    return ir::BinOpcode::And;
+  case lite::Opcode::Or:
+    return ir::BinOpcode::Or;
+  case lite::Opcode::Xor:
+    return ir::BinOpcode::Xor;
+  case lite::Opcode::Shl:
+    return ir::BinOpcode::Shl;
+  case lite::Opcode::LShr:
+    return ir::BinOpcode::LShr;
+  case lite::Opcode::AShr:
+    return ir::BinOpcode::AShr;
+  default:
+    return std::nullopt;
+  }
+}
+
+IdiomModel mineIdioms(unsigned Seeds) {
+  IdiomModel M;
+  // The workload generator: what shapes does compiled-looking code
+  // contain?
+  lite::IRGenConfig Cfg;
+  for (unsigned S = 0; S != Seeds; ++S) {
+    auto F = lite::generateFunction(S, Cfg);
+    for (const auto &I : F->body()) {
+      if (auto Op = mapLiteOpcode(I->getOpcode()))
+        M.OpW[*Op] += 1;
+      for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K)
+        if (const auto *C = lite::dyn_cast<lite::ConstantInt>(I->getOperand(K)))
+          if (C->getValue().getWidth() <= 64) {
+            int64_t V = C->getValue().getSExtValue();
+            if (V >= -2 && V <= 2)
+              M.LitW[V] += 1;
+          }
+    }
+  }
+  // The seed corpus: what shapes do human-written peepholes match?
+  for (const corpus::CorpusEntry &E : corpus::fullCorpus()) {
+    auto T = corpus::parseEntry(E);
+    if (!T.ok())
+      continue;
+    for (const ir::Instr *I : T.get()->src()) {
+      const auto *B = ir::dyn_cast<ir::BinOp>(I);
+      if (!B)
+        continue;
+      M.OpW[B->getOpcode()] += 1;
+      for (const ir::Value *Op : B->operands())
+        if (const auto *CV = ir::dyn_cast<ir::ConstExprValue>(Op))
+          if (CV->getExpr()->getKind() == ir::ConstExpr::Kind::Literal) {
+            int64_t V = CV->getExpr()->getLiteral();
+            if (V >= -2 && V <= 2)
+              M.LitW[V] += 1;
+          }
+    }
+  }
+  M.normalize();
+  return M;
+}
+
+double scoreTree(const std::vector<TreeNode> &Nodes, const IdiomModel &M) {
+  double S = 0;
+  for (const TreeNode &N : Nodes) {
+    if (N.K == TreeNode::Op) {
+      S += 1;
+      auto It = M.OpW.find(N.Opc);
+      if (It != M.OpW.end())
+        S += It->second;
+    } else if (N.K == TreeNode::Lit) {
+      auto It = M.LitW.find(N.LitVal);
+      if (It != M.LitW.end())
+        S += It->second;
+    }
+  }
+  return S;
+}
+
+/// A source template plus its priority; targets are generated on demand.
+struct SourceTemplate {
+  std::vector<TreeNode> Nodes;
+  int Root = -1;
+  unsigned Instrs = 0;
+  bool UsesY = false;
+  bool FP = false;
+  double Score = 0;
+  size_t Index = 0;
+};
+
+int addNode(std::vector<TreeNode> &Ns, TreeNode N) {
+  Ns.push_back(N);
+  return static_cast<int>(Ns.size()) - 1;
+}
+TreeNode varX() { return TreeNode{}; }
+TreeNode varY() {
+  TreeNode N;
+  N.K = TreeNode::VarY;
+  return N;
+}
+TreeNode lit(int64_t V) {
+  TreeNode N;
+  N.K = TreeNode::Lit;
+  N.LitVal = V;
+  return N;
+}
+TreeNode flit(const char *Spell, double V) {
+  TreeNode N;
+  N.K = TreeNode::FLit;
+  N.FSpell = Spell;
+  N.FVal = V;
+  return N;
+}
+
+/// Builds op(a, b) from two leaf nodes.
+std::vector<TreeNode> leafOp(ir::BinOpcode Op, unsigned Flags, TreeNode A,
+                             TreeNode B, int &Root) {
+  std::vector<TreeNode> Ns;
+  int L = addNode(Ns, A), R = addNode(Ns, B);
+  TreeNode N;
+  N.K = TreeNode::Op;
+  N.Opc = Op;
+  N.Flags = Flags;
+  N.L = L;
+  N.R = R;
+  Root = addNode(Ns, N);
+  return Ns;
+}
+
+/// The ten depth-1 integer operand shapes for one opcode: (x,K)*4,
+/// (K,x)*4, (x,x), (x,y). Commuted literal shapes are enumerated on
+/// purpose — the canonicalization stage deduplicates them, and the dedup
+/// counter is how the sweep proves the collapse works.
+void appendS1Shapes(ir::BinOpcode Op, unsigned Flags,
+                    const std::function<void(std::vector<TreeNode>, int, bool)>
+                        &Emit) {
+  int Root;
+  for (int64_t V : Lits) {
+    auto Ns = leafOp(Op, Flags, varX(), lit(V), Root);
+    Emit(std::move(Ns), Root, false);
+  }
+  for (int64_t V : Lits) {
+    auto Ns = leafOp(Op, Flags, lit(V), varX(), Root);
+    Emit(std::move(Ns), Root, false);
+  }
+  {
+    auto Ns = leafOp(Op, Flags, varX(), varX(), Root);
+    Emit(std::move(Ns), Root, false);
+  }
+  {
+    auto Ns = leafOp(Op, Flags, varX(), varY(), Root);
+    Emit(std::move(Ns), Root, true);
+  }
+}
+
+std::vector<SourceTemplate> buildSources(const EnumOptions &Opts,
+                                         const IdiomModel &M) {
+  std::vector<SourceTemplate> Sources;
+  auto emit = [&](std::vector<TreeNode> Ns, int Root, bool UsesY, bool FP,
+                  unsigned Instrs) {
+    SourceTemplate S;
+    S.Nodes = std::move(Ns);
+    S.Root = Root;
+    S.Instrs = Instrs;
+    S.UsesY = UsesY;
+    S.FP = FP;
+    S.Score = scoreTree(S.Nodes, M);
+    S.Index = Sources.size();
+    Sources.push_back(std::move(S));
+  };
+
+  // Depth 1, no flags.
+  for (ir::BinOpcode Op : IntOps)
+    appendS1Shapes(Op, 0, [&](std::vector<TreeNode> Ns, int Root,
+                              bool UsesY) {
+      emit(std::move(Ns), Root, UsesY, false, 1);
+    });
+  // Depth 1, nsw / nuw variants for the wrapping opcodes: sources whose
+  // unflagged sibling subsumes them, exercising the subsumption ranking.
+  for (ir::BinOpcode Op : IntOps) {
+    if (!ir::binOpSupportsWrapFlags(Op))
+      continue;
+    for (unsigned F : {ir::AttrNSW, ir::AttrNUW})
+      appendS1Shapes(Op, static_cast<unsigned>(F),
+                     [&](std::vector<TreeNode> Ns, int Root, bool UsesY) {
+                       emit(std::move(Ns), Root, UsesY, false, 1);
+                     });
+  }
+
+  // Depth 2: outer(inner, z) and outer(z, inner) for every unflagged
+  // depth-1 inner, z in {x} ∪ literals.
+  if (Opts.Depth >= 2) {
+    std::vector<std::pair<std::vector<TreeNode>, std::pair<int, bool>>> Inner;
+    for (ir::BinOpcode Op : IntOps)
+      appendS1Shapes(Op, 0, [&](std::vector<TreeNode> Ns, int Root,
+                                bool UsesY) {
+        Inner.emplace_back(std::move(Ns), std::make_pair(Root, UsesY));
+      });
+    std::vector<TreeNode> ZLeaves;
+    ZLeaves.push_back(varX());
+    for (int64_t V : Lits)
+      ZLeaves.push_back(lit(V));
+    for (const auto &In : Inner) {
+      for (ir::BinOpcode Op2 : IntOps) {
+        for (const TreeNode &Z : ZLeaves) {
+          for (int Order = 0; Order != 2; ++Order) {
+            std::vector<TreeNode> Ns = In.first;
+            int InnerRoot = In.second.first;
+            int ZIdx = addNode(Ns, Z);
+            TreeNode N;
+            N.K = TreeNode::Op;
+            N.Opc = Op2;
+            N.L = Order ? ZIdx : InnerRoot;
+            N.R = Order ? InnerRoot : ZIdx;
+            int Root = addNode(Ns, N);
+            emit(std::move(Ns), Root, In.second.second, false, 2);
+          }
+        }
+      }
+    }
+  }
+
+  // The FP space, behind the flag: depth 1 only, fast-math flag subsets.
+  if (Opts.FP) {
+    for (ir::BinOpcode Op : FPOps)
+      for (unsigned F : FPFlagSets) {
+        int Root;
+        for (const auto &FL : FLits) {
+          auto Ns = leafOp(Op, F, varX(), flit(FL.Spell, FL.Val), Root);
+          emit(std::move(Ns), Root, false, true, 1);
+          Ns = leafOp(Op, F, flit(FL.Spell, FL.Val), varX(), Root);
+          emit(std::move(Ns), Root, false, true, 1);
+        }
+        auto Ns = leafOp(Op, F, varX(), varX(), Root);
+        emit(std::move(Ns), Root, false, true, 1);
+      }
+  }
+  return Sources;
+}
+
+/// Targets for one source, cheapest first. Returns the target list as
+/// (nodes, root, instr-count) triples.
+struct TargetTemplate {
+  std::vector<TreeNode> Nodes;
+  int Root = -1;
+  unsigned Instrs = 0;
+};
+
+std::vector<TargetTemplate> buildTargets(const SourceTemplate &S) {
+  std::vector<TargetTemplate> Out;
+  auto leaf = [&](TreeNode N) {
+    TargetTemplate T;
+    T.Root = addNode(T.Nodes, N);
+    Out.push_back(std::move(T));
+  };
+  leaf(varX());
+  if (S.UsesY)
+    leaf(varY());
+  if (S.FP) {
+    for (const auto &FL : FLits)
+      leaf(flit(FL.Spell, FL.Val));
+    return Out;
+  }
+  for (int64_t V : Lits)
+    leaf(lit(V));
+  if (S.Instrs < 2)
+    return Out;
+  // One-operation targets for two-operation sources. For commutative
+  // opcodes only one literal order is emitted (the commuted twin is the
+  // same candidate after canonicalization, and here we know it).
+  auto op1 = [&](ir::BinOpcode Op, TreeNode A, TreeNode B) {
+    TargetTemplate T;
+    int Root;
+    T.Nodes = leafOp(Op, 0, A, B, Root);
+    T.Root = Root;
+    T.Instrs = 1;
+    Out.push_back(std::move(T));
+  };
+  for (ir::BinOpcode Op : IntOps) {
+    for (int64_t V : Lits) {
+      op1(Op, varX(), lit(V));
+      if (!isCommutative(Op))
+        op1(Op, lit(V), varX());
+    }
+    op1(Op, varX(), varX());
+    if (S.UsesY) {
+      op1(Op, varX(), varY());
+      if (!isCommutative(Op))
+        op1(Op, varY(), varX());
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<CandidateSpec>
+discover::enumerateCandidates(const EnumOptions &Opts, EnumStats *Stats) {
+  IdiomModel M = mineIdioms(Opts.IdiomSeeds);
+  std::vector<SourceTemplate> Sources = buildSources(Opts, M);
+  // Priority: smaller sources first (identities are the cheapest wins),
+  // then mined score, then enumeration order for determinism.
+  std::stable_sort(Sources.begin(), Sources.end(),
+                   [](const SourceTemplate &A, const SourceTemplate &B) {
+                     if (A.Instrs != B.Instrs)
+                       return A.Instrs < B.Instrs;
+                     if (A.Score != B.Score)
+                       return A.Score > B.Score;
+                     return A.Index < B.Index;
+                   });
+
+  std::vector<std::vector<TargetTemplate>> Targets(Sources.size());
+  size_t MaxTargets = 0;
+  for (size_t I = 0; I != Sources.size(); ++I) {
+    Targets[I] = buildTargets(Sources[I]);
+    MaxTargets = std::max(MaxTargets, Targets[I].size());
+  }
+
+  std::vector<CandidateSpec> Pairs;
+  bool Truncated = false;
+  // Round-robin over target ranks: every source gets its cheap targets
+  // before any source gets an expensive one, so a Limit cap cuts depth,
+  // not breadth.
+  for (size_t Rank = 0; Rank != MaxTargets && !Truncated; ++Rank) {
+    for (size_t I = 0; I != Sources.size(); ++I) {
+      if (Rank >= Targets[I].size())
+        continue;
+      if (Opts.Limit && Pairs.size() >= Opts.Limit) {
+        Truncated = true;
+        break;
+      }
+      const SourceTemplate &S = Sources[I];
+      const TargetTemplate &T = Targets[I][Rank];
+      CandidateSpec C;
+      C.Src = S.Nodes;
+      C.SrcRoot = S.Root;
+      C.Tgt = T.Nodes;
+      C.TgtRoot = T.Root;
+      C.SrcInstrs = S.Instrs;
+      C.TgtInstrs = T.Instrs;
+      C.Score = S.Score;
+      C.FP = S.FP;
+      Pairs.push_back(std::move(C));
+    }
+  }
+
+  if (Stats) {
+    Stats->Sources = Sources.size();
+    Stats->Pairs = Pairs.size();
+    Stats->Truncated = Truncated;
+  }
+  return Pairs;
+}
+
+namespace {
+
+/// Shared state while materializing one spec into a Transform.
+struct Builder {
+  ir::Transform &T;
+  bool Generalize;
+  ir::Value *X = nullptr, *Y = nullptr;
+  std::map<int64_t, ir::Value *> LitSyms;
+  unsigned NextSym = 1;
+  unsigned NextTmp = 1;
+
+  ir::Value *leaf(const TreeNode &N) {
+    switch (N.K) {
+    case TreeNode::VarX:
+      if (!X)
+        X = T.create<ir::InputVar>("%x");
+      return X;
+    case TreeNode::VarY:
+      if (!Y)
+        Y = T.create<ir::InputVar>("%y");
+      return Y;
+    case TreeNode::Lit: {
+      if (Generalize) {
+        auto It = LitSyms.find(N.LitVal);
+        if (It != LitSyms.end())
+          return It->second;
+        ir::Value *S =
+            T.create<ir::ConstantSymbol>("C" + std::to_string(NextSym++));
+        LitSyms[N.LitVal] = S;
+        return S;
+      }
+      return T.create<ir::ConstExprValue>(std::to_string(N.LitVal),
+                                          ir::ConstExpr::literal(N.LitVal));
+    }
+    case TreeNode::FLit:
+      return T.create<ir::ConstantFP>(N.FSpell, N.FVal);
+    case TreeNode::Op:
+      break;
+    }
+    return nullptr;
+  }
+
+  /// Post-order build; \p IsRoot names the node %r, inner ops %tN.
+  ir::Value *build(const std::vector<TreeNode> &Nodes, int Idx, bool IsRoot,
+                   bool IsSrc) {
+    const TreeNode &N = Nodes[static_cast<size_t>(Idx)];
+    if (N.K != TreeNode::Op) {
+      ir::Value *V = leaf(N);
+      if (!IsRoot)
+        return V;
+      // A leaf target becomes an explicit copy: `%r = %x`.
+      auto *C = T.create<ir::Copy>("%r", V);
+      if (IsSrc)
+        T.appendSrc(C);
+      else
+        T.appendTgt(C);
+      return C;
+    }
+    ir::Value *L = build(Nodes, N.L, false, IsSrc);
+    ir::Value *R = build(Nodes, N.R, false, IsSrc);
+    std::string Name =
+        IsRoot ? std::string("%r") : "%t" + std::to_string(NextTmp++);
+    auto *B = T.create<ir::BinOp>(Name, N.Opc, L, R, N.Flags);
+    if (IsSrc)
+      T.appendSrc(B);
+    else
+      T.appendTgt(B);
+    return B;
+  }
+};
+
+} // namespace
+
+bool discover::isGeneralizable(const CandidateSpec &Spec) {
+  bool AnyLit = false;
+  std::map<int64_t, bool> SrcLits;
+  for (const TreeNode &N : Spec.Src)
+    if (N.K == TreeNode::Lit) {
+      AnyLit = true;
+      SrcLits[N.LitVal] = true;
+    }
+  if (!AnyLit)
+    return false;
+  for (const TreeNode &N : Spec.Tgt)
+    if (N.K == TreeNode::Lit && !SrcLits.count(N.LitVal))
+      return false;
+  return true;
+}
+
+Result<std::unique_ptr<ir::Transform>>
+discover::materialize(const CandidateSpec &Spec, bool Generalize) {
+  auto T = std::make_unique<ir::Transform>();
+  Builder B{*T, Generalize, nullptr, nullptr, {}, 1, 1};
+  // Build the source first so symbol numbering follows source order and
+  // the target reuses the same value objects.
+  B.build(Spec.Src, Spec.SrcRoot, true, true);
+  B.build(Spec.Tgt, Spec.TgtRoot, true, false);
+  Status S = T->finalize();
+  if (!S.ok())
+    return Result<std::unique_ptr<ir::Transform>>::error(S.message());
+  return Result<std::unique_ptr<ir::Transform>>(std::move(T));
+}

@@ -1,0 +1,98 @@
+//===- discover/Enumerate.h - candidate template enumeration ----*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded enumeration of candidate transformations: source expression
+/// DAGs over the integer fragment (add/sub/mul/and/or/xor/shl/lshr/ashr,
+/// up to two operations, operands drawn from input variables and the
+/// literal pool {0, 1, -1, 2}, optional nsw/nuw on single-operation
+/// sources) paired with strictly cheaper targets — a leaf (variable or
+/// literal) for any source, additionally a single operation for
+/// two-operation sources. A small FP space (fadd/fsub/fmul over {0.0,
+/// -0.0, 1.0, 2.0} with fast-math flag subsets) is enumerated behind a
+/// flag; discovery defaults to integer-only.
+///
+/// Candidates come out in priority order: smaller sources first, then by
+/// an idiom score mined from the lite-IR workload generator and the seed
+/// corpus (opcode and literal frequency), so a truncated sweep spends its
+/// budget on the shapes real code exhibits. Pairing is round-robin over
+/// targets so a cap explores cheap targets for every source before
+/// expensive targets for any. Everything is deterministic: no clocks, no
+/// unseeded randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_DISCOVER_ENUMERATE_H
+#define ALIVE_DISCOVER_ENUMERATE_H
+
+#include "ir/Transform.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace alive {
+namespace discover {
+
+/// One node of a candidate expression template (a tiny binary tree; -1
+/// marks an absent child).
+struct TreeNode {
+  enum Kind { VarX, VarY, Lit, FLit, Op } K = VarX;
+  int64_t LitVal = 0;           ///< Kind::Lit payload
+  const char *FSpell = nullptr; ///< Kind::FLit spelling ("0.0", ...)
+  double FVal = 0;              ///< Kind::FLit value
+  ir::BinOpcode Opc = ir::BinOpcode::Add;
+  unsigned Flags = 0;
+  int L = -1, R = -1;
+};
+
+/// One enumerated candidate: source and target expression templates plus
+/// the mined priority score.
+struct CandidateSpec {
+  std::vector<TreeNode> Src;
+  int SrcRoot = -1;
+  std::vector<TreeNode> Tgt;
+  int TgtRoot = -1;
+  unsigned SrcInstrs = 0;
+  unsigned TgtInstrs = 0;
+  double Score = 0;
+  bool FP = false;
+};
+
+struct EnumOptions {
+  unsigned Depth = 2;         ///< max source operations (1 or 2)
+  uint64_t Limit = 20000;     ///< cap on enumerated pairs (0 = unbounded)
+  bool FP = false;            ///< include the FP candidate space
+  unsigned IdiomSeeds = 32;   ///< lite-IR functions mined for the score
+};
+
+struct EnumStats {
+  uint64_t Sources = 0; ///< distinct source templates built
+  uint64_t Pairs = 0;   ///< pairs emitted (after the Limit cap)
+  bool Truncated = false;
+};
+
+/// Enumerates the candidate space in priority order.
+std::vector<CandidateSpec> enumerateCandidates(const EnumOptions &Opts,
+                                               EnumStats *Stats = nullptr);
+
+/// Builds the ir::Transform for a spec (finalized, precondition `true`).
+/// When \p Generalize is true, every integer literal is replaced by an
+/// abstract constant symbol — one symbol per distinct literal value — to
+/// form the family the precondition-inference engine generalizes.
+Result<std::unique_ptr<ir::Transform>> materialize(const CandidateSpec &Spec,
+                                                   bool Generalize = false);
+
+/// True when \p Spec can be generalized: it has at least one integer
+/// literal and every target literal value also occurs in the source (a
+/// target-only literal would become an unbound symbol).
+bool isGeneralizable(const CandidateSpec &Spec);
+
+} // namespace discover
+} // namespace alive
+
+#endif // ALIVE_DISCOVER_ENUMERATE_H

@@ -1,0 +1,192 @@
+//===- discover/Funnel.cpp - candidate filter stages ------------------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "discover/Funnel.h"
+
+#include "analysis/AbstractInterp.h"
+#include "infer/ConcreteEval.h"
+#include "infer/Examples.h"
+
+using namespace alive;
+using namespace alive::discover;
+
+bool discover::abstractRefutes(const ir::Transform &T,
+                               const typing::TypeAssignment &Types,
+                               unsigned PtrWidth) {
+  const ir::Instr *SrcRoot = T.getSrcRoot();
+  const ir::Instr *TgtRoot = T.getTgtRoot();
+  if (!SrcRoot || !TgtRoot)
+    return false;
+  // The FP opcodes carry no integer facts (every transfer is top); skip
+  // the pass entirely rather than pay for a vacuous run.
+  if (const auto *B = ir::dyn_cast<ir::BinOp>(SrcRoot))
+    if (ir::binOpIsFP(B->getOpcode()))
+      return false;
+
+  analysis::AbstractInterp AI(T, [&](const ir::Value *V) -> unsigned {
+    ir::TypeVar TV = V->getTypeVar();
+    if (static_cast<size_t>(TV) >= Types.size())
+      return 0;
+    const ir::Type &Ty = Types[TV];
+    return Ty.isInt() ? Ty.widthBits(PtrWidth) : 0;
+  });
+  AI.run();
+
+  const analysis::AbstractValue *S = AI.get(SrcRoot);
+  const analysis::AbstractValue *G = AI.get(TgtRoot);
+  if (!S || !G || S->width() != G->width())
+    return false;
+
+  // Distinct constants can never agree.
+  APInt SC(1, 0), GC(1, 0);
+  if (S->isConstant(SC) && G->isConstant(GC) && SC.ne(GC))
+    return true;
+  // A bit known zero on one side and known one on the other conflicts on
+  // every defined execution.
+  APInt Conflict = S->KB.Zeros.andOp(G->KB.Ones).orOp(
+      S->KB.Ones.andOp(G->KB.Zeros));
+  if (!Conflict.isZero())
+    return true;
+  // Disjoint unwrapped unsigned ranges.
+  if (!S->CR.isFull() && !G->CR.isFull() && !S->CR.isWrapped() &&
+      !G->CR.isWrapped() &&
+      (S->CR.umax().ult(G->CR.umin()) || G->CR.umax().ult(S->CR.umin())))
+    return true;
+  return false;
+}
+
+namespace {
+
+/// Runs every environment in \p Envs; updates the agree/violate counts.
+/// Returns false on an unsupported construct (caller reports
+/// Unsupported).
+bool runEnvs(const ir::Transform &T, const typing::TypeAssignment &Types,
+             const std::vector<std::map<std::string, APInt>> &Envs,
+             unsigned PtrWidth, uint64_t &Defined, bool &Violation) {
+  for (const auto &Env : Envs) {
+    infer::ConcreteEval CE(T, Types, Env, PtrWidth);
+    auto S = CE.eval(T.getSrcRoot());
+    if (!S)
+      return false;
+    if (S->UB || S->Poison)
+      continue; // vacuous input: anything refines it
+    auto G = CE.eval(T.getTgtRoot());
+    if (!G)
+      return false;
+    ++Defined;
+    if (G->UB || G->Poison || G->Val.ne(S->Val)) {
+      Violation = true;
+      return true;
+    }
+  }
+  return true;
+}
+
+/// First feasible typing of \p Sys with every integer class at \p Width.
+std::optional<typing::TypeAssignment>
+typeAtWidth(const typing::TypeConstraintSystem &Sys, unsigned Width,
+            unsigned PtrWidth) {
+  typing::TypeEnumConfig TEC;
+  TEC.Widths = {Width};
+  TEC.PtrWidth = PtrWidth;
+  TEC.MaxAssignments = 1;
+  auto R = typing::enumerateTypesNative(Sys, TEC);
+  if (!R.ok() || R.get().empty())
+    return std::nullopt;
+  return R.get()[0];
+}
+
+} // namespace
+
+DiffVerdict discover::differentialTest(const ir::Transform &T,
+                                       const typing::TypeConstraintSystem &Sys,
+                                       const FunnelConfig &Cfg) {
+  if (!T.getSrcRoot() || !T.getTgtRoot())
+    return DiffVerdict::Unsupported;
+  if (!infer::isConcretelyEvaluable(T))
+    return DiffVerdict::Unsupported;
+
+  std::vector<const ir::Value *> Inputs;
+  for (const ir::Value *V : T.inputs())
+    Inputs.push_back(V);
+
+  uint64_t Defined = 0;
+  bool Violation = false;
+  bool AnyWidth = false;
+
+  // Exhaustive pass at the small width.
+  if (auto Types = typeAtWidth(Sys, Cfg.ExhaustiveWidth, Cfg.PtrWidth)) {
+    AnyWidth = true;
+    std::vector<unsigned> Widths;
+    uint64_t Total = 1;
+    for (const ir::Value *V : Inputs) {
+      unsigned W = (*Types)[V->getTypeVar()].widthBits(Cfg.PtrWidth);
+      Widths.push_back(W);
+      if (W >= 32 || (Total << W) < Total)
+        Total = Cfg.MaxExhaustive + 1;
+      else
+        Total <<= W;
+    }
+    std::vector<std::map<std::string, APInt>> Envs;
+    if (Total <= Cfg.MaxExhaustive) {
+      for (uint64_t Tuple = 0; Tuple != Total; ++Tuple) {
+        std::map<std::string, APInt> Env;
+        uint64_t Rest = Tuple;
+        for (size_t I = 0; I != Inputs.size(); ++I) {
+          uint64_t Mask = (1ULL << Widths[I]) - 1;
+          Env[Inputs[I]->getName()] = APInt(Widths[I], Rest & Mask);
+          Rest >>= Widths[I];
+        }
+        Envs.push_back(std::move(Env));
+      }
+    } else {
+      infer::DetRand Rand(0xa11cedec0de0000ULL + Cfg.ExhaustiveWidth);
+      for (unsigned S = 0; S != Cfg.Samples; ++S) {
+        std::map<std::string, APInt> Env;
+        for (size_t I = 0; I != Inputs.size(); ++I)
+          Env[Inputs[I]->getName()] =
+              APInt(Widths[I], Rand.next() & ((1ULL << Widths[I]) - 1));
+        Envs.push_back(std::move(Env));
+      }
+    }
+    if (!runEnvs(T, *Types, Envs, Cfg.PtrWidth, Defined, Violation))
+      return DiffVerdict::Unsupported;
+    if (Violation)
+      return DiffVerdict::Refuted;
+  }
+
+  // Sampled pass at the larger width (catches width-dependent constants
+  // like the sign bit that width 4 can alias).
+  if (auto Types = typeAtWidth(Sys, Cfg.SampleWidth, Cfg.PtrWidth)) {
+    AnyWidth = true;
+    std::vector<std::map<std::string, APInt>> Envs;
+    infer::DetRand Rand(0xa11cedec0de0001ULL + Cfg.SampleWidth);
+    for (unsigned S = 0; S != Cfg.Samples; ++S) {
+      std::map<std::string, APInt> Env;
+      for (const ir::Value *V : Inputs) {
+        unsigned W = (*Types)[V->getTypeVar()].widthBits(Cfg.PtrWidth);
+        uint64_t Mask = W >= 64 ? ~0ULL : ((1ULL << W) - 1);
+        // Bias every third sample toward the corner values that break
+        // identities (0, -1, sign bit).
+        uint64_t Raw = Rand.next();
+        if (S % 3 == 0) {
+          const uint64_t Corners[] = {0, ~0ULL, 1ULL << (W - 1), 1, 2};
+          Raw = Corners[Raw % 5];
+        }
+        Env[V->getName()] = APInt(W, Raw & Mask);
+      }
+      Envs.push_back(std::move(Env));
+    }
+    if (!runEnvs(T, *Types, Envs, Cfg.PtrWidth, Defined, Violation))
+      return DiffVerdict::Unsupported;
+    if (Violation)
+      return DiffVerdict::Refuted;
+  }
+
+  if (!AnyWidth)
+    return DiffVerdict::Unsupported;
+  return Defined ? DiffVerdict::Survive : DiffVerdict::Vacuous;
+}

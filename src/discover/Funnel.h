@@ -1,0 +1,72 @@
+//===- discover/Funnel.h - candidate filter stages --------------*- C++ -*-===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-solver filter stages of the discovery funnel (DESIGN.md §17).
+/// Both stages obey the funnel invariant: a filter may only *drop*
+/// candidates, never admit one past the verifier — every survivor is
+/// still solver-proven before emission, so filter bugs cost recall, not
+/// soundness.
+///
+/// Stage "abstract": run the KnownBits × ConstantRange interpreter over
+/// source and target at one small-width typing and refute candidates
+/// whose root facts are disjoint (distinct constants, conflicting known
+/// bits, disjoint unsigned ranges). The facts hold for every defined
+/// non-poison execution, so a conflict means any such execution
+/// mismatches — the candidate is either refutable or vacuous, and either
+/// way not worth solver time.
+///
+/// Stage "differential": concretely execute both templates with
+/// infer::ConcreteEval over the exhaustive width-4 input space and a
+/// sampled width-8 space. A defined, non-poison source paired with a UB,
+/// poison, or differing target is a genuine counterexample at a width the
+/// verifier would also enumerate. Candidates with no defined source
+/// execution at all are dropped as vacuous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE_DISCOVER_FUNNEL_H
+#define ALIVE_DISCOVER_FUNNEL_H
+
+#include "ir/Transform.h"
+#include "typing/TypeConstraints.h"
+
+namespace alive {
+namespace discover {
+
+struct FunnelConfig {
+  /// Width whose full input space is enumerated (2^(w·inputs) tuples,
+  /// capped by MaxExhaustive).
+  unsigned ExhaustiveWidth = 4;
+  /// Width tested with deterministic pseudo-random samples.
+  unsigned SampleWidth = 8;
+  unsigned MaxExhaustive = 4096;
+  unsigned Samples = 64;
+  unsigned PtrWidth = 32;
+};
+
+/// True when the abstract interpretation of \p T at \p Types proves the
+/// source and target roots can never agree on a defined execution.
+bool abstractRefutes(const ir::Transform &T,
+                     const typing::TypeAssignment &Types, unsigned PtrWidth);
+
+enum class DiffVerdict {
+  Survive,     ///< at least one agreeing defined execution, no violation
+  Refuted,     ///< concrete counterexample found
+  Vacuous,     ///< source UB/poison on every tested input
+  Unsupported, ///< outside the interpreter's fragment — solver decides
+};
+
+/// Differential testing of \p T under the funnel widths. \p Sys must be
+/// the transform's own constraint system (used to type each width).
+DiffVerdict differentialTest(const ir::Transform &T,
+                             const typing::TypeConstraintSystem &Sys,
+                             const FunnelConfig &Cfg);
+
+} // namespace discover
+} // namespace alive
+
+#endif // ALIVE_DISCOVER_FUNNEL_H

@@ -6,6 +6,8 @@
 
 #include "liteir/IRGen.h"
 
+#include "support/FloatFormat.h"
+
 #include <random>
 
 using namespace alive;
@@ -25,7 +27,11 @@ public:
       Pool.push_back(F->addArgument(W, "a" + std::to_string(I)));
     }
     while (countInstrs() < Cfg.NumInstrs) {
-      if (pick(100) < Cfg.IdiomPercent)
+      // The FP check is short-circuited so a zero FPPercent draws no
+      // randomness: historical seeds keep their exact output.
+      if (Cfg.FPPercent && pick(100) < Cfg.FPPercent)
+        emitFP();
+      else if (pick(100) < Cfg.IdiomPercent)
         emitIdiom();
       else
         emitRandom();
@@ -149,6 +155,48 @@ private:
       auto *Cmp = F->createICmp(Pred::ULT, X, Y);
       define(Cmp);
       define(F->createSelect(Cmp, X, Y));
+      break;
+    }
+    }
+  }
+
+  /// FP shapes front-ends emit constantly: identity-ish arithmetic that
+  /// only folds under specific fast-math flags, plus ordered compares.
+  /// Values are IEEE bit patterns at the value's width (lite IR is
+  /// untyped), so integer pool values can flow in like a bitcast would.
+  void emitFP() {
+    unsigned W = Cfg.FPWidths[pick(Cfg.FPWidths.size())];
+    fp::Format Fmt = fp::Format::fromWidth(W);
+    auto FConst = [&](double D) {
+      return F->getConstant(APInt(W, fp::doubleToBits(Fmt, D)));
+    };
+    LValue *A = valueOf(W);
+    unsigned Flags = LFNone;
+    if (pick(3) == 0)
+      Flags |= LFNSZ;
+    if (pick(4) == 0)
+      Flags |= LFNNan | LFNInf;
+    switch (pick(5)) {
+    case 0: // x + 0.0 (foldable only under nsz)
+      define(F->createBinOp(Opcode::FAdd, A, FConst(0.0), Flags));
+      break;
+    case 1: // x * 1.0 (exact identity)
+      define(F->createBinOp(Opcode::FMul, A, FConst(1.0), Flags));
+      break;
+    case 2: // x - x (zero only under nnan+ninf)
+      define(F->createBinOp(Opcode::FSub, A, A, Flags));
+      break;
+    case 3: { // random arithmetic
+      static const Opcode FOps[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+      LValue *B = pick(2) ? valueOf(W) : FConst(pick(2) ? 2.0 : 0.5);
+      define(F->createBinOp(FOps[pick(3)], A, B, Flags));
+      break;
+    }
+    default: { // ordered compare with an integer consumer for the i1
+      LValue *B = valueOf(W);
+      auto *Cmp = F->createFCmp(FPred::OLT, A, B, Flags);
+      define(Cmp);
+      define(F->createCast(Opcode::ZExt, Cmp, W));
       break;
     }
     }

@@ -32,6 +32,14 @@ struct IRGenConfig {
   /// Probability (percent) that the next emission is an idiom template
   /// rather than a uniformly random instruction.
   unsigned IdiomPercent = 45;
+  /// Probability (percent) that the next emission is a floating-point
+  /// shape (fadd/fsub/fmul/fcmp with sampled fast-math flags). Defaults
+  /// to 0, which leaves the generator integer-only AND byte-identical to
+  /// its historical output for any seed — the FP branch never consumes
+  /// randomness unless enabled.
+  unsigned FPPercent = 0;
+  /// Widths for FP emissions; must be IEEE widths (16/32/64).
+  std::vector<unsigned> FPWidths = {32, 64};
 };
 
 /// Generates one function deterministically from \p Seed.

@@ -8,6 +8,8 @@
 
 #include "analysis/Lint.h"
 #include "codegen/CodeGen.h"
+#include "discover/Candidate.h"
+#include "discover/Discover.h"
 #include "infer/InferPre.h"
 #include "infer/ReportIO.h"
 #include "parser/Parser.h"
@@ -399,6 +401,9 @@ BatchOutcome runLint(const BatchOptions &Opts, const std::string &Path,
   // strictly stronger than necessary.
   BatchOutcome Res;
   unsigned NumDiags = 0;
+  /// Strictly-parsed transforms from the whole batch, for the
+  /// cross-transform redundancy pass below.
+  std::vector<std::unique_ptr<ir::Transform>> Batch;
   for (Chunk &C : splitCorpus(Text)) {
     parser::ParseOptions PO;
     PO.FirstLine = C.FirstLine;
@@ -415,17 +420,58 @@ BatchOutcome runLint(const BatchOptions &Opts, const std::string &Path,
       NumDiags += Report.empty() ? 0 : 1;
       Res.Out += Report;
     }
-    if (!Opts.Weakenable)
-      continue;
-    // The lenient pool is unsuitable for encoding; re-parse strictly and
-    // skip regions that do not finalize (their defects are already
-    // reported above).
+    // The lenient pool is unsuitable for canonicalization/encoding;
+    // re-parse strictly and skip regions that do not finalize (their
+    // defects are already reported above).
     parser::ParseOptions Strict;
     Strict.FirstLine = C.FirstLine;
     auto StrictParsed = parser::parseTransforms(C.Text, Strict);
     if (!StrictParsed.ok())
       continue;
-    for (auto &T : StrictParsed.get()) {
+    for (auto &T : StrictParsed.get())
+      Batch.push_back(std::move(T));
+  }
+
+  // Redundancy pass: within the batch, a transformation whose canonical
+  // source matches an earlier-or-more-general one and whose precondition
+  // is equal or stronger is dead weight — the subsuming transform already
+  // fires everywhere it would (the same checker the discovery engine uses
+  // for ranking dedup). Mutually-subsuming duplicates flag the later one.
+  if (Batch.size() > 1) {
+    std::vector<discover::CanonicalForm> Forms;
+    Forms.reserve(Batch.size());
+    for (auto &T : Batch)
+      Forms.push_back(discover::canonicalize(*T));
+    for (size_t B = 0; B != Batch.size(); ++B) {
+      for (size_t A = 0; A != Batch.size(); ++A) {
+        if (A == B || !discover::subsumes(Forms[A], Forms[B]))
+          continue;
+        if (discover::subsumes(Forms[B], Forms[A]) && A > B)
+          continue; // identical pair: only the later one is redundant
+        ++NumDiags;
+        ir::SourceLoc Loc;
+        if (const ir::Instr *Root = Batch[B]->getSrcRoot())
+          Loc = Root->getLoc();
+        std::string AName = Batch[A]->Name.empty()
+                                ? "<line " + std::to_string(
+                                      Batch[A]->getSrcRoot()
+                                          ? Batch[A]->getSrcRoot()->getLoc().Line
+                                          : 0) + ">"
+                                : Batch[A]->Name;
+        std::string BName =
+            Batch[B]->Name.empty() ? "<unnamed>" : Batch[B]->Name;
+        Res.Out += format(
+            "%s:%u:%u: warning: transformation '%s' is subsumed by '%s' "
+            "(same source, equal-or-weaker precondition) [%s]\n",
+            Path.c_str(), Loc.Line, Loc.Col, BName.c_str(), AName.c_str(),
+            analysis::lintKindName(analysis::LintKind::RedundantTransform));
+        break; // one diagnostic per redundant transform
+      }
+    }
+  }
+
+  if (Opts.Weakenable) {
+    for (auto &T : Batch) {
       if (T->getPrecondition().isTrue())
         continue; // nothing to weaken
       infer::InferOptions IO;
@@ -454,6 +500,74 @@ BatchOutcome runLint(const BatchOptions &Opts, const std::string &Path,
   return Res;
 }
 
+/// discover::ReportStore over the service's persistent store (the discover
+/// library cannot link the service layer, so the dependency is inverted
+/// through this adapter). ResultStore is internally locked — safe to call
+/// from discovery workers.
+class DiscoverStoreAdapter : public discover::ReportStore {
+public:
+  explicit DiscoverStoreAdapter(ResultStore &S) : S(S) {}
+  bool lookupReport(const std::string &Key, std::string &Out) override {
+    return S.lookupReport(Key, Out);
+  }
+  void insertReport(const std::string &Key, std::string_view Bytes) override {
+    S.insertReport(Key, Bytes);
+  }
+
+private:
+  ResultStore &S;
+};
+
+/// discover mode: no corpus file — the candidate space is enumerated, not
+/// read. stdout carries only the ranked .opt output (byte-identical across
+/// resumed runs); the funnel summary goes to stderr.
+BatchOutcome runDiscoverMode(const BatchOptions &Opts,
+                             std::shared_ptr<ResultStore> Store,
+                             smt::Cancellation *Cancel) {
+  BatchOutcome Res;
+  discover::DiscoverOptions DO;
+  DO.Enum.Depth = Opts.DiscoverDepth;
+  DO.Enum.Limit = Opts.DiscoverLimit;
+  DO.Enum.FP = Opts.DiscoverFP;
+  DO.Enum.IdiomSeeds = Opts.DiscoverSeeds;
+  DO.Cfg = Opts.Cfg;
+  DO.Cfg.Limits.Cancel = Cancel;
+  DO.FinalWidths = Opts.DiscoverFinalWidths;
+  DO.Jobs = Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultConcurrency();
+  DO.Generalize = Opts.DiscoverGeneralize;
+  DO.InferBudgetMs = Opts.InferBudgetMs;
+  std::shared_ptr<smt::QueryCache> Cache;
+  if (Opts.UseCache) {
+    Cache = std::make_shared<smt::QueryCache>(
+        /*MaxEntries=*/1 << 16, smt::QueryCache::shardCountForJobs(DO.Jobs));
+    DO.Cfg.Cache = Cache;
+  }
+  DO.Cfg.Store = Store; // query-level tier; whole reports via the adapter
+
+  const auto Start = std::chrono::steady_clock::now();
+  std::unique_ptr<DiscoverStoreAdapter> Adapter;
+  if (Store)
+    Adapter = std::make_unique<DiscoverStoreAdapter>(*Store);
+  discover::DiscoverResult R =
+      discover::runDiscover(DO, Adapter.get(), Cancel);
+  const double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  Res.Exit = R.Exit;
+  Res.Out = R.OptText;
+  Res.Err = R.Summary + format("wall: %.1f ms\n", Ms);
+  Res.ReportHits = R.Counters.Replayed;
+  Res.ReportMisses = R.Counters.Fresh;
+  Res.DiscEnumerated = R.Counters.Enumerated;
+  Res.DiscUnique = R.Counters.Unique;
+  Res.DiscSolverBound = R.Counters.SolverBound;
+  Res.DiscReplayed = R.Counters.Replayed;
+  Res.DiscFresh = R.Counters.Fresh;
+  Res.DiscEmitted = R.Counters.Emitted;
+  return Res;
+}
+
 bool parseNumOpt(const std::string &Text, uint64_t &Out) {
   try {
     size_t Used = 0;
@@ -472,7 +586,8 @@ service::parseBatchOptions(const std::string &Mode,
   BatchOptions O;
   O.Mode = Mode;
   if (O.Mode != "verify" && O.Mode != "infer" && O.Mode != "infer-pre" &&
-      O.Mode != "codegen" && O.Mode != "print" && O.Mode != "lint")
+      O.Mode != "codegen" && O.Mode != "print" && O.Mode != "lint" &&
+      O.Mode != "discover")
     return Result<BatchOptions>::error("unknown mode '" + Mode + "'");
   O.Cfg.Types.Widths = {4, 8};
 
@@ -567,6 +682,37 @@ service::parseBatchOptions(const std::string &Mode,
       if (Status S = Num("--retry", Arg.substr(8), N); !S.ok())
         return S;
       O.Retries = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--depth=", 0) == 0) {
+      if (Status S = Num("--depth", Arg.substr(8), N); !S.ok())
+        return S;
+      if (!N || N > 2)
+        return Result<BatchOptions>::error(
+            "error: --depth supports 1 or 2 source operations");
+      O.DiscoverDepth = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--limit=", 0) == 0) {
+      if (Status S = Num("--limit", Arg.substr(8), N); !S.ok())
+        return S;
+      O.DiscoverLimit = N;
+    } else if (Arg == "--fp") {
+      O.DiscoverFP = true;
+    } else if (Arg.rfind("--seeds=", 0) == 0) {
+      if (Status S = Num("--seeds", Arg.substr(8), N); !S.ok())
+        return S;
+      O.DiscoverSeeds = static_cast<unsigned>(N);
+    } else if (Arg == "--no-generalize") {
+      O.DiscoverGeneralize = false;
+    } else if (Arg.rfind("--final-widths=", 0) == 0) {
+      O.DiscoverFinalWidths.clear();
+      std::stringstream SS(Arg.substr(15));
+      std::string W;
+      while (std::getline(SS, W, ',')) {
+        if (Status S = Num("--final-widths", W, N); !S.ok())
+          return S;
+        O.DiscoverFinalWidths.push_back(static_cast<unsigned>(N));
+      }
+      if (O.DiscoverFinalWidths.empty())
+        return Result<BatchOptions>::error(
+            "error: --final-widths needs at least one width");
     } else if (Arg.rfind("--request-deadline-ms=", 0) == 0) {
       if (Status S = Num("--request-deadline-ms", Arg.substr(22), N);
           !S.ok())
@@ -590,6 +736,8 @@ BatchOutcome service::runBatch(const BatchOptions &Opts,
   const std::string &Mode = Opts.Mode;
   if (Mode == "lint")
     return runLint(Opts, Path, Text);
+  if (Mode == "discover")
+    return runDiscoverMode(Opts, Store, Cancel);
 
   BatchOutcome Res;
   VerifyConfig Cfg = Opts.Cfg;

@@ -40,6 +40,7 @@ namespace service {
 /// Everything `alivec <mode> [options]` configures, parsed and validated.
 struct BatchOptions {
   std::string Mode; ///< verify | infer | infer-pre | codegen | print | lint
+                    ///< | discover
   verifier::VerifyConfig Cfg;
   bool FailFast = false;
   bool UseCache = true;
@@ -53,6 +54,14 @@ struct BatchOptions {
                                   ///< precondition-inference wall budget
   bool Weakenable = false; ///< --weakenable; lint also runs the inference
                            ///< engine and flags over-strong preconditions
+  /// Discovery-mode knobs (discover/Discover.h). Sweep widths ride in
+  /// Cfg.Types.Widths (the shared {4, 8} default).
+  unsigned DiscoverDepth = 2;      ///< --depth=N; max source operations
+  uint64_t DiscoverLimit = 20000;  ///< --limit=N; candidate-pair cap
+  bool DiscoverFP = false;         ///< --fp; include the FP space
+  unsigned DiscoverSeeds = 32;     ///< --seeds=N; lite-IR idiom functions
+  bool DiscoverGeneralize = true;  ///< cleared by --no-generalize
+  std::vector<unsigned> DiscoverFinalWidths = {4, 8, 16, 32};
 };
 
 /// Parses alivec option strings (everything but the mode word and file
@@ -79,6 +88,13 @@ struct BatchOutcome {
   uint64_t InferRejects = 0;    ///< candidates refuted or abandoned
   uint64_t InferExamples = 0;   ///< concrete examples generated
   uint64_t InferWeakened = 0;   ///< transforms whose Pre: got weaker
+  /// Discovery accounting (discover mode only; zero otherwise).
+  uint64_t DiscEnumerated = 0;  ///< candidate pairs enumerated
+  uint64_t DiscUnique = 0;      ///< distinct candidates after dedup
+  uint64_t DiscSolverBound = 0; ///< funnel survivors sent to the solver
+  uint64_t DiscReplayed = 0;    ///< solver verdicts replayed from the store
+  uint64_t DiscFresh = 0;       ///< solver verdicts computed this run
+  uint64_t DiscEmitted = 0;     ///< novel verified transforms emitted
   /// The run was cancelled because its end-to-end deadline expired (set by
   /// the server's watchdog, never by runBatch itself); the output is
   /// partial and the client gets a structured "timeout".

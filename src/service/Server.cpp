@@ -330,7 +330,8 @@ Response Server::dispatch(const Request &R, int ConnFd) {
     return Resp;
   }
   if (R.Verb == "verify" || R.Verb == "infer" || R.Verb == "infer-pre" ||
-      R.Verb == "codegen" || R.Verb == "print" || R.Verb == "lint")
+      R.Verb == "codegen" || R.Verb == "print" || R.Verb == "lint" ||
+      R.Verb == "discover")
     return runBatchVerb(R, ConnFd);
 
   Response Resp;
@@ -495,6 +496,11 @@ Response Server::runBatchVerb(const Request &R, int ConnFd) {
               .observe(std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - RunStart)
                            .count());
+        if (R.Verb == "discover")
+          M.histogram("discover_latency_ms")
+              .observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - RunStart)
+                           .count());
         // Past-deadline results are discarded even if the clamped solver
         // limits wound the batch down before the watchdog had to fire:
         // the client was promised an answer-or-timeout by its deadline,
@@ -523,6 +529,14 @@ Response Server::runBatchVerb(const Request &R, int ConnFd) {
       M.counter("infer_pre_rejects_total").inc(Out->InferRejects);
       M.counter("infer_pre_examples_total").inc(Out->InferExamples);
       M.counter("infer_pre_weakened_total").inc(Out->InferWeakened);
+    }
+    if (!Out->DeadlineExceeded && (Out->DiscEnumerated || Out->DiscEmitted)) {
+      M.counter("discover_enumerated_total").inc(Out->DiscEnumerated);
+      M.counter("discover_unique_total").inc(Out->DiscUnique);
+      M.counter("discover_solver_bound_total").inc(Out->DiscSolverBound);
+      M.counter("discover_replayed_total").inc(Out->DiscReplayed);
+      M.counter("discover_fresh_total").inc(Out->DiscFresh);
+      M.counter("discover_emitted_total").inc(Out->DiscEmitted);
     }
   } else if (TimedOut) {
     Out = std::make_shared<BatchOutcome>();

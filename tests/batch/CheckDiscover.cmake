@@ -1,0 +1,129 @@
+# Discovery-sweep resumability: the content-addressed verdict store must
+# make a killed sweep resumable with no lost proof work —
+#   1. a cold sweep on a fresh store emits >= 10 verified transforms, all
+#      solver work fresh (nothing replayed);
+#   2. the same sweep on a second store is killed mid-run (ALIVE_CHAOS
+#      hangs store appends after the 25th, the harness timeout delivers
+#      the kill), leaving a partially filled store behind;
+#   3. restarting on the killed store replays the verdicts that survived,
+#      verifies strictly fewer transforms fresh than the cold run, and
+#      still produces byte-identical stdout;
+#   4. a rerun on the completed cold store replays everything — zero
+#      fresh verifications — and reproduces the cold stdout bytes.
+#
+#   cmake -DALIVEC=<path> -DWORKDIR=<dir> -P CheckDiscover.cmake
+#
+# The sweep is pinned small (--limit=600 --jobs=2 --final-widths=4,8
+# --no-generalize) so the cold leg runs in seconds; generalization is off
+# because its CEGIS loop has a wall-clock budget, and budget-dependent
+# output would break the byte-identity assertions across machine speeds.
+
+string(RANDOM LENGTH 8 ALPHABET abcdefghijklmnopqrstuvwxyz0123456789 Tag)
+set(Scratch "${WORKDIR}/discover-${Tag}")
+file(MAKE_DIRECTORY "${Scratch}/cold.store" "${Scratch}/killed.store")
+
+set(Args discover --limit=600 --jobs=2 --final-widths=4,8 --no-generalize)
+
+function(fail Msg)
+  file(REMOVE_RECURSE "${Scratch}")
+  message(FATAL_ERROR "${Msg}")
+endfunction()
+
+function(counter Text Key Var)
+  string(REGEX MATCH "${Key}=([0-9]+)" _ "${Text}")
+  if("${CMAKE_MATCH_1}" STREQUAL "")
+    fail("summary has no ${Key}= counter:\n${Text}")
+  endif()
+  set(${Var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+# -- 1. cold sweep on a fresh store ---------------------------------------
+execute_process(COMMAND ${ALIVEC} ${Args} --store=${Scratch}/cold.store
+                RESULT_VARIABLE ColdCode OUTPUT_VARIABLE ColdOut
+                ERROR_VARIABLE ColdErr)
+if(NOT ColdCode EQUAL 0)
+  fail("cold sweep failed (exit ${ColdCode}):\n${ColdErr}")
+endif()
+string(REGEX MATCHALL "Name: discovered-" Finds "${ColdOut}")
+list(LENGTH Finds Finds)
+if(Finds LESS 10)
+  fail("cold sweep emitted only ${Finds} transforms; expected >= 10")
+endif()
+# A cold run still replays: the final re-proof re-asks the sweep's
+# verdicts when the width sets coincide (they do here), and those hits
+# come off the store. What matters is that the fresh work is nonzero and
+# the warm rerun later replays all of it.
+counter("${ColdErr}" "fresh" ColdFresh)
+counter("${ColdErr}" "replayed" ColdReplayed)
+if(NOT ColdFresh GREATER 0)
+  fail("cold sweep recorded no fresh verifications")
+endif()
+message(STATUS "cold sweep: ${Finds} transforms, ${ColdFresh} fresh verdicts")
+
+# -- 2. kill a sweep mid-run ----------------------------------------------
+# Every store append from the 26th on hangs for 600s; the 20s timeout
+# kills the stalled process, leaving the first ~25 appended records (and
+# whatever the recovery scrubber keeps of the torn tail) on disk. The
+# `exec` matters: the kill must land on alivec itself, not a wrapper,
+# or the orphaned sweep keeps holding the store lock.
+string(REPLACE ";" " " ArgStr "${Args}")
+execute_process(COMMAND sh -c
+                  "ALIVE_CHAOS='store-append=hang@25~600000' \
+exec '${ALIVEC}' ${ArgStr} --store='${Scratch}/killed.store'"
+                RESULT_VARIABLE KillCode OUTPUT_VARIABLE KillOut
+                ERROR_VARIABLE KillErr TIMEOUT 20)
+if(NOT KillErr MATCHES "chaos: plan installed")
+  fail("chaos plan was not installed:\n${KillErr}")
+endif()
+if(KillCode EQUAL 0)
+  fail("sweep was supposed to hang and be killed, but finished cleanly")
+endif()
+message(STATUS "mid-run kill delivered (result: ${KillCode})")
+
+# -- 3. resume on the killed store ----------------------------------------
+execute_process(COMMAND ${ALIVEC} ${Args} --store=${Scratch}/killed.store
+                RESULT_VARIABLE ResumeCode OUTPUT_VARIABLE ResumeOut
+                ERROR_VARIABLE ResumeErr)
+if(NOT ResumeCode EQUAL 0)
+  fail("resume on the killed store failed (exit ${ResumeCode}):\n${ResumeErr}")
+endif()
+counter("${ResumeErr}" "fresh" ResumeFresh)
+counter("${ResumeErr}" "replayed" ResumeReplayed)
+if(NOT ResumeReplayed GREATER 0)
+  fail("resume replayed nothing: the killed store lost every verdict")
+endif()
+if(NOT ResumeFresh LESS ColdFresh)
+  fail("resume verified ${ResumeFresh} fresh (cold run: ${ColdFresh}); "
+       "the surviving records were not reused")
+endif()
+if(NOT ResumeOut STREQUAL ColdOut)
+  fail("resumed sweep output differs from the cold sweep\n"
+       "---- cold ----\n${ColdOut}\n---- resumed ----\n${ResumeOut}")
+endif()
+message(STATUS
+    "resume: ${ResumeReplayed} replayed, ${ResumeFresh} fresh, stdout identical")
+
+# -- 4. warm rerun on the completed store: zero re-verification -----------
+execute_process(COMMAND ${ALIVEC} ${Args} --store=${Scratch}/cold.store
+                RESULT_VARIABLE WarmCode OUTPUT_VARIABLE WarmOut
+                ERROR_VARIABLE WarmErr)
+if(NOT WarmCode EQUAL 0)
+  fail("warm rerun failed (exit ${WarmCode}):\n${WarmErr}")
+endif()
+counter("${WarmErr}" "fresh" WarmFresh)
+counter("${WarmErr}" "replayed" WarmReplayed)
+if(NOT WarmFresh EQUAL 0)
+  fail("warm rerun issued ${WarmFresh} fresh verifications; expected 0")
+endif()
+math(EXPR ColdTotal "${ColdFresh} + ${ColdReplayed}")
+if(NOT WarmReplayed EQUAL ColdTotal)
+  fail("warm rerun replayed ${WarmReplayed} verdicts; cold run answered "
+       "${ColdTotal}")
+endif()
+if(NOT WarmOut STREQUAL ColdOut)
+  fail("warm rerun output differs from the cold sweep\n"
+       "---- cold ----\n${ColdOut}\n---- warm ----\n${WarmOut}")
+endif()
+message(STATUS "warm rerun: 0 fresh, ${WarmReplayed} replayed, bytes stable")
+
+file(REMOVE_RECURSE "${Scratch}")

@@ -1,0 +1,270 @@
+//===- tests/discover/DiscoverTest.cpp - discovery engine tests -------------===//
+//
+// Part of the alive-cpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "discover/Candidate.h"
+#include "discover/Discover.h"
+#include "discover/Enumerate.h"
+#include "discover/Funnel.h"
+#include "liteir/IRGen.h"
+#include "parser/Parser.h"
+#include "typing/TypeConstraints.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace alive;
+using namespace alive::discover;
+
+namespace {
+
+std::unique_ptr<ir::Transform> parse(const std::string &Text) {
+  auto R = parser::parseTransform(Text);
+  EXPECT_TRUE(R.ok()) << R.message() << "\n" << Text;
+  return R.ok() ? R.take() : nullptr;
+}
+
+// The candidate-key fix the store dedup depends on: commuted operands of
+// commutative operations and alpha-renamed value names must produce the
+// SAME canonical pair key, or resumability re-verifies (and re-emits)
+// trivial variants.
+TEST(CandidateKey, CommutedOperandsCollide) {
+  auto A = parse("%r = add %x, 1\n=>\n%r = %x\n");
+  auto B = parse("%r = add 1, %x\n=>\n%r = %x\n");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(canonicalPairKey(*A), canonicalPairKey(*B));
+}
+
+TEST(CandidateKey, AlphaRenamedValuesCollide) {
+  auto A = parse("%t = and %x, %y\n%r = or %t, %x\n=>\n%r = %x\n");
+  auto B = parse("%q = and %b, %a\n%s = or %q, %b\n=>\n%s = %b\n");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(canonicalPairKey(*A), canonicalPairKey(*B));
+}
+
+TEST(CandidateKey, RenamedConstantSymbolsCollide) {
+  auto A = parse("%r = shl %x, C1\n=>\n%r = mul %x, (1 << C1)\n");
+  auto B = parse("%s = shl %y, C2\n=>\n%s = mul %y, (1 << C2)\n");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(canonicalPairKey(*A), canonicalPairKey(*B));
+}
+
+TEST(CandidateKey, DifferentShapesDiffer) {
+  auto A = parse("%r = add %x, 1\n=>\n%r = %x\n");
+  auto B = parse("%r = add %x, 2\n=>\n%r = %x\n");
+  auto C = parse("%r = sub %x, 1\n=>\n%r = %x\n");
+  ASSERT_TRUE(A && B && C);
+  EXPECT_NE(canonicalPairKey(*A), canonicalPairKey(*B));
+  EXPECT_NE(canonicalPairKey(*A), canonicalPairKey(*C));
+}
+
+TEST(CandidateKey, ReportKeyFingerprintsWidths) {
+  auto A = parse("%r = add %x, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(A);
+  CanonicalForm F = canonicalize(*A);
+  EXPECT_NE(discoverReportKey(F, {4, 8}), discoverReportKey(F, {4, 8, 16}));
+}
+
+// Subsumption: same canonical source, equal-or-weaker precondition.
+TEST(Subsumption, WeakerPreconditionSubsumes) {
+  auto Gen = parse("%r = shl %x, C1\n=>\n%r = mul %x, (1 << C1)\n");
+  auto Narrow =
+      parse("Pre: C2 != 0\n%s = shl %y, C2\n=>\n%s = mul %y, (1 << C2)\n");
+  ASSERT_TRUE(Gen && Narrow);
+  CanonicalForm FG = canonicalize(*Gen), FN = canonicalize(*Narrow);
+  EXPECT_TRUE(subsumes(FG, FN));
+  EXPECT_FALSE(subsumes(FN, FG));
+}
+
+TEST(Subsumption, FewerFlagsSubsume) {
+  auto Plain = parse("%r = add %x, 0\n=>\n%r = %x\n");
+  auto Flagged = parse("%r = add nsw %x, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(Plain && Flagged);
+  CanonicalForm FP = canonicalize(*Plain), FF = canonicalize(*Flagged);
+  EXPECT_TRUE(subsumes(FP, FF));
+  EXPECT_FALSE(subsumes(FF, FP));
+}
+
+TEST(Subsumption, DifferentSourcesNever) {
+  auto A = parse("%r = add %x, 0\n=>\n%r = %x\n");
+  auto B = parse("%r = or %x, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(A && B);
+  EXPECT_FALSE(subsumes(canonicalize(*A), canonicalize(*B)));
+  EXPECT_FALSE(subsumes(canonicalize(*B), canonicalize(*A)));
+}
+
+TEST(Enumerate, DeterministicAndBounded) {
+  EnumOptions O;
+  O.Limit = 400;
+  EnumStats S1, S2;
+  auto A = enumerateCandidates(O, &S1);
+  auto B = enumerateCandidates(O, &S2);
+  EXPECT_LE(A.size(), 400u);
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(S1.Pairs, S2.Pairs);
+  for (size_t I = 0; I != A.size(); ++I) {
+    auto TA = materialize(A[I]), TB = materialize(B[I]);
+    ASSERT_TRUE(TA.ok() && TB.ok());
+    EXPECT_EQ(TA.get()->str(), TB.get()->str());
+  }
+}
+
+typing::TypeAssignment typeAt(const ir::Transform &T, unsigned Width) {
+  auto Sys = typing::TypeConstraintSystem::fromTransform(T);
+  typing::TypeEnumConfig TEC;
+  TEC.Widths = {Width};
+  TEC.MaxAssignments = 1;
+  auto R = typing::enumerateTypesNative(Sys, TEC);
+  EXPECT_TRUE(R.ok() && !R.get().empty());
+  return R.get()[0];
+}
+
+// or %x, 1 forces the low bit to one; and %x, 6 forces it to zero — the
+// known-bits conflict refutes without any concrete execution.
+TEST(Funnel, AbstractRefutesKnownBitsConflict) {
+  auto T = parse("%r = or %x, 1\n=>\n%r = and %x, 6\n");
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(abstractRefutes(*T, typeAt(*T, 4), 32));
+}
+
+TEST(Funnel, AbstractAcceptsIdentity) {
+  auto T = parse("%r = add %x, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(T);
+  EXPECT_FALSE(abstractRefutes(*T, typeAt(*T, 4), 32));
+}
+
+TEST(Funnel, DifferentialRefutesWrongFold) {
+  auto T = parse("%r = add %x, 1\n=>\n%r = %x\n");
+  ASSERT_TRUE(T);
+  auto Sys = typing::TypeConstraintSystem::fromTransform(*T);
+  EXPECT_EQ(differentialTest(*T, Sys, FunnelConfig()), DiffVerdict::Refuted);
+}
+
+TEST(Funnel, DifferentialSurvivesIdentity) {
+  auto T = parse("%r = add %x, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(T);
+  auto Sys = typing::TypeConstraintSystem::fromTransform(*T);
+  EXPECT_EQ(differentialTest(*T, Sys, FunnelConfig()), DiffVerdict::Survive);
+}
+
+// A target that traps on every input the source defines: poison-free
+// sources pair with a udiv-by-zero target.
+TEST(Funnel, DifferentialFlagsVacuousSource) {
+  auto T = parse("%t = udiv %x, 0\n%r = add %t, 0\n=>\n%r = %x\n");
+  ASSERT_TRUE(T);
+  auto Sys = typing::TypeConstraintSystem::fromTransform(*T);
+  EXPECT_EQ(differentialTest(*T, Sys, FunnelConfig()), DiffVerdict::Vacuous);
+}
+
+/// In-memory store: proves the resumability contract without touching
+/// disk.
+class MapStore : public ReportStore {
+public:
+  bool lookupReport(const std::string &Key, std::string &Out) override {
+    auto It = M.find(Key);
+    if (It == M.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+  void insertReport(const std::string &Key, std::string_view Bytes) override {
+    M[Key] = std::string(Bytes);
+  }
+  std::map<std::string, std::string> M;
+};
+
+DiscoverOptions smallSweep() {
+  DiscoverOptions O;
+  O.Enum.Limit = 600;
+  O.Cfg.Types.Widths = {4, 8};
+  O.FinalWidths = {4, 8};
+  O.Jobs = 2;
+  O.Generalize = false;
+  return O;
+}
+
+TEST(DiscoverSweep, FindsNovelVerifiedTransforms) {
+  DiscoverOptions O = smallSweep();
+  DiscoverResult R = runDiscover(O, nullptr, nullptr);
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_GE(R.Counters.Emitted, 10u);
+  EXPECT_EQ(R.Counters.Incorrect + R.Counters.Unknown +
+                R.Counters.Correct,
+            R.Counters.SolverBound);
+  // The funnel must do its job: most candidates die before the solver.
+  EXPECT_LT(R.Counters.SolverBound, R.Counters.Unique / 2);
+  // Every emitted transform reparses and carries its rank name.
+  auto P = parser::parseTransforms(R.OptText);
+  ASSERT_TRUE(P.ok()) << P.message();
+  ASSERT_EQ(P.get().size(), R.Counters.Emitted);
+  EXPECT_EQ(P.get().front()->Name, "discovered-1");
+}
+
+TEST(DiscoverSweep, WarmStoreResumesWithZeroReverification) {
+  DiscoverOptions O = smallSweep();
+  MapStore S;
+  DiscoverResult R1 = runDiscover(O, &S, nullptr);
+  EXPECT_GT(R1.Counters.Fresh, 0u);
+  DiscoverResult R2 = runDiscover(O, &S, nullptr);
+  EXPECT_EQ(R2.Counters.Fresh, 0u) << "warm resume issued solver work";
+  // The warm run replays every lookup the cold run answered — the fresh
+  // verdicts plus any the cold run itself already replayed (the final
+  // re-proof replays the sweep's verdicts when the width sets coincide,
+  // as they do here).
+  EXPECT_EQ(R2.Counters.Replayed,
+            R1.Counters.Fresh + R1.Counters.Replayed);
+  EXPECT_EQ(R1.OptText, R2.OptText);
+  EXPECT_EQ(R1.Counters.Emitted, R2.Counters.Emitted);
+}
+
+TEST(DiscoverSweep, GeneralizationAbstractsConstants) {
+  DiscoverOptions O = smallSweep();
+  O.Generalize = true;
+  MapStore S;
+  DiscoverResult R = runDiscover(O, &S, nullptr);
+  EXPECT_GT(R.Counters.Generalized, 0u);
+  EXPECT_NE(R.OptText.find("C1"), std::string::npos);
+  // Generalization outcomes are cached too: a warm rerun runs no CEGIS
+  // and reproduces the bytes.
+  DiscoverResult R2 = runDiscover(O, &S, nullptr);
+  EXPECT_EQ(R2.Counters.Fresh, 0u);
+  EXPECT_EQ(R.OptText, R2.OptText);
+}
+
+// FP satellite: enabling FP shapes keeps functions verifiable; leaving it
+// at the default 0 consumes no randomness, so historical seeds reproduce
+// their exact programs regardless of the new config fields.
+TEST(IRGenFP, DisabledFPDrawsNoRandomness) {
+  lite::IRGenConfig Base;
+  lite::IRGenConfig Tweaked;
+  Tweaked.FPWidths = {16};
+  for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+    auto A = lite::generateFunction(Seed, Base);
+    auto B = lite::generateFunction(Seed, Tweaked);
+    EXPECT_EQ(A->str(), B->str());
+    EXPECT_EQ(A->str().find("fadd"), std::string::npos);
+    EXPECT_EQ(A->str().find("fcmp"), std::string::npos);
+  }
+}
+
+TEST(IRGenFP, EnabledFPEmitsVerifiedOps) {
+  lite::IRGenConfig Cfg;
+  Cfg.FPPercent = 60;
+  bool SawArith = false, SawCmp = false;
+  for (uint64_t Seed = 1; Seed != 9; ++Seed) {
+    auto F = lite::generateFunction(Seed, Cfg);
+    ASSERT_TRUE(F->verify().ok()) << F->str();
+    const std::string S = F->str();
+    SawArith |= S.find("fadd") != std::string::npos ||
+                S.find("fsub") != std::string::npos ||
+                S.find("fmul") != std::string::npos;
+    SawCmp |= S.find("fcmp") != std::string::npos;
+  }
+  EXPECT_TRUE(SawArith);
+  EXPECT_TRUE(SawCmp);
+}
+
+} // namespace

@@ -15,6 +15,10 @@
 ///   alivec print   file.opt   parse and pretty-print
 ///   alivec lint    file.opt   static diagnostics only, no solver (add
 ///                             --weakenable to also flag over-strong Pre:)
+///   alivec discover           enumerate, filter, and solver-verify novel
+///                             peephole candidates; prints a ranked .opt
+///                             file of verified finds (no input file —
+///                             see --depth/--limit/--fp/--final-widths)
 ///   alivec stats              query a daemon (requires --remote)
 ///   alivec shutdown           stop a daemon (requires --remote)
 ///
@@ -58,6 +62,16 @@
 ///                       end-to-end budget for the whole request: queue
 ///                       wait, solver time, and any local fallback all
 ///                       count; a miss is a structured timeout (exit 3)
+///   --depth=N           discover: max source operations (1 or 2)
+///   --limit=N           discover: cap on enumerated candidate pairs
+///   --fp                discover: include the fadd/fsub/fmul space
+///   --seeds=N           discover: lite-IR functions mined for the
+///                       idiom-priority score
+///   --final-widths=4,8,16,32
+///                       discover: widths of the final re-proof every
+///                       emitted transform must pass
+///   --no-generalize     discover: emit concrete finds without abstracting
+///                       constants / inferring preconditions
 ///
 /// The whole batch pipeline lives in service::runBatch (shared with the
 /// alived server, which is what makes --remote byte-identical to a local
@@ -78,12 +92,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/BatchRunner.h"
+#include "service/FaultPlan.h"
 #include "service/RemoteClient.h"
 #include "service/Server.h"
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace alive;
@@ -95,6 +112,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: alivec <verify|infer|infer-pre|codegen|print|lint> "
                "[options] <file.opt>\n"
+               "       alivec discover [options]\n"
                "       alivec <stats|shutdown> --remote=SOCK\n"
                "  --widths=4,8,16        type widths to enumerate\n"
                "  --backend=hybrid|z3|bitblast\n"
@@ -122,6 +140,12 @@ void usage() {
                "                         to local if unreachable)\n"
                "  --retry=N              remote retries before local fallback\n"
                "  --request-deadline-ms=N  end-to-end request budget\n"
+               "  --depth=N              discover: max source ops (1 or 2)\n"
+               "  --limit=N              discover: candidate-pair cap\n"
+               "  --fp                   discover: include the FP space\n"
+               "  --seeds=N              discover: idiom-mining seed count\n"
+               "  --final-widths=W,...   discover: final re-proof widths\n"
+               "  --no-generalize        discover: skip constant abstraction\n"
                "exit codes: 0 all correct, 1 incorrect, 2 usage error,\n"
                "            3 unknown/resource-limited, 4 faulted\n"
                "lint mode: 0 clean, 1 diagnostics reported, 2 usage error\n");
@@ -205,18 +229,46 @@ int main(int argc, char **argv) {
   }
   BatchOptions Options = Parsed.take();
 
-  if (Path.empty()) {
-    usage();
-    return 2;
+  // discover enumerates its candidate space — it takes no input file.
+  // Every other mode requires one.
+  std::string Text;
+  if (Options.Mode == "discover") {
+    if (!Path.empty()) {
+      std::fprintf(stderr,
+                   "error: discover takes no input file (got '%s')\n",
+                   Path.c_str());
+      return 2;
+    }
+  } else {
+    if (Path.empty()) {
+      usage();
+      return 2;
+    }
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 2;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
   }
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
-    return 2;
+
+  // Chaos harnesses target local alivec runs the same way they target the
+  // daemon: a fault plan in the environment wraps the store and solver
+  // seams (see service/FaultPlan.h for the spec grammar).
+  static std::unique_ptr<FaultPlan> Chaos;
+  if (const char *Env = std::getenv("ALIVE_CHAOS"); Env && *Env) {
+    auto ParsedPlan = FaultPlan::parse(Env);
+    if (!ParsedPlan.ok()) {
+      std::fprintf(stderr, "error: bad ALIVE_CHAOS spec: %s\n",
+                   ParsedPlan.message().c_str());
+      return 2;
+    }
+    Chaos = ParsedPlan.take();
+    FaultPlan::install(Chaos.get());
+    std::fprintf(stderr, "chaos: plan installed (%s)\n", Env);
   }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  std::string Text = Buf.str();
 
   // Client-only options stay here; everything else is forwarded verbatim
   // for the daemon to reparse with the same parser.

@@ -40,7 +40,11 @@
 /// flags — the poll-based accept loop notices within 200 ms.
 ///
 /// Clients: `alivec --remote=PATH ...` (or `--remote=tcp:PORT`), plus the
-/// stats/shutdown verbs via `alivec stats|shutdown --remote=PATH`.
+/// stats/shutdown verbs via `alivec stats|shutdown --remote=PATH`. The
+/// batch verbs (verify/infer/infer-pre/codegen/print/lint) and the
+/// discovery sweep (`alivec discover --remote=PATH`) all run through the
+/// same runBatch pipeline, so remote bytes match local bytes; discover
+/// verdicts land in the daemon's store and resume across requests.
 ///
 //===----------------------------------------------------------------------===//
 
